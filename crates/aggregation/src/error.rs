@@ -1,0 +1,90 @@
+//! Error type for aggregation and disaggregation.
+
+use std::error::Error;
+use std::fmt;
+
+use mirabel_flexoffer::{FlexOfferError, FlexOfferId};
+
+/// Errors produced by the aggregation pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AggregationError {
+    /// Aggregation was asked to merge an empty group.
+    EmptyGroup,
+    /// A member offer failed validation while building the aggregate.
+    MemberInvalid {
+        /// The offending member.
+        id: FlexOfferId,
+        /// The underlying model error.
+        source: FlexOfferError,
+    },
+    /// A schedule given for disaggregation does not match the aggregate
+    /// (wrong slice count or start outside the aggregate's window).
+    ScheduleMismatch {
+        /// The aggregate whose schedule was rejected.
+        aggregate: FlexOfferId,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The scheduled energy of some slot lies outside the aggregate's
+    /// summed bounds, so no feasible split exists.
+    InfeasibleSlot {
+        /// The aggregate whose schedule was rejected.
+        aggregate: FlexOfferId,
+        /// Offset of the offending slot within the aggregate profile.
+        slot_offset: usize,
+    },
+}
+
+impl fmt::Display for AggregationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AggregationError::EmptyGroup => write!(f, "cannot aggregate an empty group"),
+            AggregationError::MemberInvalid { id, source } => {
+                write!(f, "member {id} invalid during aggregation: {source}")
+            }
+            AggregationError::ScheduleMismatch { aggregate, reason } => {
+                write!(f, "schedule does not match aggregate {aggregate}: {reason}")
+            }
+            AggregationError::InfeasibleSlot { aggregate, slot_offset } => {
+                write!(
+                    f,
+                    "aggregate {aggregate}: scheduled energy at slice {slot_offset} \
+                     outside the summed member bounds"
+                )
+            }
+        }
+    }
+}
+
+impl Error for AggregationError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AggregationError::MemberInvalid { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_and_source() {
+        assert!(AggregationError::EmptyGroup.to_string().contains("empty"));
+        let e = AggregationError::MemberInvalid {
+            id: FlexOfferId(3),
+            source: FlexOfferError::EmptyProfile,
+        };
+        assert!(e.to_string().contains("fo-3"));
+        assert!(Error::source(&e).is_some());
+        let e = AggregationError::InfeasibleSlot { aggregate: FlexOfferId(8), slot_offset: 2 };
+        assert!(e.to_string().contains("slice 2"));
+        assert!(Error::source(&e).is_none());
+        let e = AggregationError::ScheduleMismatch {
+            aggregate: FlexOfferId(1),
+            reason: "start too late".into(),
+        };
+        assert!(e.to_string().contains("start too late"));
+    }
+}

@@ -1,0 +1,145 @@
+//! Grid-based grouping of flex-offers prior to merging.
+
+use std::collections::BTreeMap;
+
+use mirabel_flexoffer::{Direction, FlexOffer};
+
+use crate::params::AggregationParams;
+
+/// The grid cell a flex-offer falls into. Offers are merged only within
+/// one cell, so the cell dimensions bound the flexibility lost by
+/// aggregation: within a cell, earliest starts differ by less than the
+/// EST tolerance and time flexibilities by less than the TFT tolerance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GroupKey {
+    /// Offers are never merged across directions: a consumption aggregate
+    /// and a production aggregate mean different things to the scheduler.
+    pub direction_producer: bool,
+    /// Earliest-start cell index: `⌊est / est_tolerance⌋`.
+    pub est_cell: i64,
+    /// Time-flexibility cell index: `⌊tf / tft_tolerance⌋`.
+    pub tf_cell: i64,
+}
+
+impl GroupKey {
+    /// Computes the cell of `offer` under `params`.
+    pub fn of(offer: &FlexOffer, params: &AggregationParams) -> GroupKey {
+        GroupKey {
+            direction_producer: offer.direction() == Direction::Production,
+            est_cell: offer.earliest_start().index().div_euclid(params.est_tolerance),
+            tf_cell: offer.time_flexibility().count().div_euclid(params.tft_tolerance),
+        }
+    }
+}
+
+/// Partitions `offers` (by index) into grid cells, honouring
+/// `params.max_group_size` by chunking oversized cells.
+///
+/// The result is deterministic: cells are ordered by key and members keep
+/// their input order within a cell.
+pub fn group_offers(offers: &[FlexOffer], params: &AggregationParams) -> Vec<Vec<usize>> {
+    let mut cells: BTreeMap<GroupKey, Vec<usize>> = BTreeMap::new();
+    for (i, fo) in offers.iter().enumerate() {
+        cells.entry(GroupKey::of(fo, params)).or_default().push(i);
+    }
+    let mut groups = Vec::with_capacity(cells.len());
+    for (_, members) in cells {
+        match params.max_group_size {
+            Some(cap) if members.len() > cap => {
+                for chunk in members.chunks(cap) {
+                    groups.push(chunk.to_vec());
+                }
+            }
+            _ => groups.push(members),
+        }
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirabel_flexoffer::Energy;
+    use mirabel_timeseries::TimeSlot;
+
+    fn offer(id: u64, est: i64, tf: i64, dir: Direction) -> FlexOffer {
+        FlexOffer::builder(id, id)
+            .direction(dir)
+            .earliest_start(TimeSlot::new(est))
+            .latest_start(TimeSlot::new(est + tf))
+            .slices(2, Energy::from_wh(10), Energy::from_wh(20))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn offers_in_same_cell_group_together() {
+        let params = AggregationParams::new(4, 4);
+        let offers = vec![
+            offer(1, 100, 4, Direction::Consumption),
+            offer(2, 101, 5, Direction::Consumption),
+            offer(3, 103, 7, Direction::Consumption),
+        ];
+        let groups = group_offers(&offers, &params);
+        assert_eq!(groups, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn est_cells_split_groups() {
+        let params = AggregationParams::new(4, 4);
+        let offers = vec![
+            offer(1, 100, 4, Direction::Consumption),
+            offer(2, 104, 4, Direction::Consumption), // next EST cell
+        ];
+        let groups = group_offers(&offers, &params);
+        assert_eq!(groups.len(), 2);
+    }
+
+    #[test]
+    fn tf_cells_split_groups() {
+        let params = AggregationParams::new(4, 4);
+        let offers = vec![
+            offer(1, 100, 2, Direction::Consumption),
+            offer(2, 100, 9, Direction::Consumption), // different TF cell
+        ];
+        let groups = group_offers(&offers, &params);
+        assert_eq!(groups.len(), 2);
+    }
+
+    #[test]
+    fn directions_never_mix() {
+        let params = AggregationParams::new(1_000_000, 1_000_000);
+        let offers = vec![
+            offer(1, 100, 4, Direction::Consumption),
+            offer(2, 100, 4, Direction::Production),
+        ];
+        let groups = group_offers(&offers, &params);
+        assert_eq!(groups.len(), 2);
+    }
+
+    #[test]
+    fn max_group_size_chunks() {
+        let params = AggregationParams::new(4, 4).with_max_group_size(2);
+        let offers: Vec<FlexOffer> =
+            (0..5).map(|i| offer(i, 100, 4, Direction::Consumption)).collect();
+        let groups = group_offers(&offers, &params);
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[0].len(), 2);
+        assert_eq!(groups[1].len(), 2);
+        assert_eq!(groups[2].len(), 1);
+    }
+
+    #[test]
+    fn negative_est_uses_floor_division() {
+        let params = AggregationParams::new(4, 4);
+        // -1 and -4 are both in cell -1 ([-4, 0)); 0 is in cell 0.
+        let offers = vec![
+            offer(1, -1, 0, Direction::Consumption),
+            offer(2, -4, 0, Direction::Consumption),
+            offer(3, 0, 0, Direction::Consumption),
+        ];
+        let groups = group_offers(&offers, &params);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0], vec![0, 1]);
+    }
+}

@@ -1,0 +1,101 @@
+//! Aggregation parameters — the knobs of the Figure 11 tool panel.
+
+use std::fmt;
+
+/// Parameters controlling how flex-offers are grouped before merging.
+///
+/// Smaller tolerances preserve more flexibility but aggregate less;
+/// larger tolerances collapse more offers into fewer aggregates (the
+/// count-reduction the paper uses to keep the basic view readable). The
+/// Figure 11 experiment (`benches/aggregation.rs`) sweeps these values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AggregationParams {
+    /// Width, in slots, of the earliest-start-time grid cells: offers
+    /// whose earliest starts fall into the same cell may be merged
+    /// (the *EST tolerance* of \[28\]).
+    pub est_tolerance: i64,
+    /// Width, in slots, of the time-flexibility grid cells: offers with
+    /// similar start-time flexibility may be merged (the *TFT tolerance*
+    /// of \[28\]). Grouping by flexibility bounds the flexibility loss,
+    /// because the aggregate keeps only the minimum member flexibility.
+    pub tft_tolerance: i64,
+    /// Upper bound on the number of members per aggregate; `None` leaves
+    /// group sizes unbounded. Bounding sizes keeps disaggregation error
+    /// localised and is exposed in the paper's parameter panel.
+    pub max_group_size: Option<usize>,
+}
+
+impl AggregationParams {
+    /// Creates parameters after clamping tolerances to at least one slot.
+    pub fn new(est_tolerance: i64, tft_tolerance: i64) -> Self {
+        AggregationParams {
+            est_tolerance: est_tolerance.max(1),
+            tft_tolerance: tft_tolerance.max(1),
+            max_group_size: None,
+        }
+    }
+
+    /// Sets the maximum group size (values below 1 clear the bound).
+    pub fn with_max_group_size(mut self, size: usize) -> Self {
+        self.max_group_size = if size == 0 { None } else { Some(size) };
+        self
+    }
+}
+
+impl Default for AggregationParams {
+    /// One-hour EST cells, one-hour TFT cells, unbounded groups.
+    fn default() -> Self {
+        AggregationParams { est_tolerance: 4, tft_tolerance: 4, max_group_size: None }
+    }
+}
+
+impl fmt::Display for AggregationParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "EST tol {} slots, TFT tol {} slots, max group {}",
+            self.est_tolerance,
+            self.tft_tolerance,
+            match self.max_group_size {
+                Some(n) => n.to_string(),
+                None => "∞".to_string(),
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_one_hour() {
+        let p = AggregationParams::default();
+        assert_eq!(p.est_tolerance, 4);
+        assert_eq!(p.tft_tolerance, 4);
+        assert_eq!(p.max_group_size, None);
+    }
+
+    #[test]
+    fn tolerances_clamped_to_one() {
+        let p = AggregationParams::new(0, -5);
+        assert_eq!(p.est_tolerance, 1);
+        assert_eq!(p.tft_tolerance, 1);
+    }
+
+    #[test]
+    fn group_size_zero_means_unbounded() {
+        let p = AggregationParams::default().with_max_group_size(0);
+        assert_eq!(p.max_group_size, None);
+        let p = p.with_max_group_size(16);
+        assert_eq!(p.max_group_size, Some(16));
+    }
+
+    #[test]
+    fn display() {
+        let p = AggregationParams::new(2, 3).with_max_group_size(5);
+        let s = p.to_string();
+        assert!(s.contains("EST tol 2") && s.contains("TFT tol 3") && s.contains('5'));
+        assert!(AggregationParams::default().to_string().contains('∞'));
+    }
+}

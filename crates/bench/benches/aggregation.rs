@@ -1,0 +1,63 @@
+//! F11 — Figure 11: aggregation reduces the on-screen object count and
+//! its parameters tune the trade-off.
+//!
+//! Measures aggregation throughput across offer counts and tolerance
+//! settings, plus the disaggregation round-trip (see EXPERIMENTS.md
+//! §F11 for the reduction/flexibility-loss series).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mirabel_aggregation::{AggregationParams, Aggregator};
+use mirabel_bench::offers;
+use mirabel_flexoffer::Schedule;
+
+fn short() -> Criterion {
+    Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2))
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f11_aggregation");
+    for prosumers in [1_000usize, 5_000, 25_000] {
+        let (_, raw) = offers(prosumers, 1);
+        group.bench_with_input(
+            BenchmarkId::new("aggregate_default", raw.len()),
+            &raw,
+            |b, raw| {
+                let aggregator = Aggregator::new(AggregationParams::default());
+                b.iter(|| aggregator.aggregate(raw).unwrap().output_count())
+            },
+        );
+    }
+
+    let (_, raw) = offers(5_000, 1);
+    for tol in [1i64, 4, 16] {
+        group.bench_with_input(BenchmarkId::new("tolerance_sweep", tol), &tol, |b, &tol| {
+            let aggregator = Aggregator::new(AggregationParams::new(tol, tol));
+            b.iter(|| aggregator.aggregate(&raw).unwrap().output_count())
+        });
+    }
+
+    // Disaggregation round-trip on the default-parameter result.
+    let aggregator = Aggregator::new(AggregationParams::default());
+    let result = aggregator.aggregate(&raw).unwrap();
+    group.bench_function("disaggregate_all", |b| {
+        b.iter(|| {
+            let mut parts = 0usize;
+            for agg in &result.aggregates {
+                let schedule = Schedule::new(
+                    agg.offer().earliest_start(),
+                    agg.offer().profile().slices().iter().map(|s| s.min).collect(),
+                );
+                parts += aggregator.disaggregate(agg, &schedule).unwrap().len();
+            }
+            parts
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_aggregation
+}
+criterion_main!(benches);

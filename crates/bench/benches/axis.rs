@@ -1,0 +1,60 @@
+//! A1 (ablation) — "pretty scales": the nice-numbers tick algorithm vs a
+//! naive equal-division axis.
+//!
+//! Also records a quality metric: the fraction of random domains whose
+//! naive ticks land on non-round values (printed by the figures binary;
+//! here we measure cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mirabel_viz::{nice_ticks, Axis, LinearScale, Orientation};
+
+fn short() -> Criterion {
+    Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2))
+}
+
+/// The naive baseline: split the domain into `n - 1` equal parts.
+fn naive_ticks(min: f64, max: f64, n: usize) -> Vec<f64> {
+    let n = n.max(2);
+    (0..n).map(|i| min + (max - min) * i as f64 / (n - 1) as f64).collect()
+}
+
+fn domains() -> Vec<(f64, f64)> {
+    (0..256)
+        .map(|i| {
+            let a = (i as f64 * 37.73) % 1000.0 - 300.0;
+            let span = 0.1 + ((i as f64 * 91.17) % 5000.0);
+            (a, a + span)
+        })
+        .collect()
+}
+
+fn bench_axis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a1_axis");
+    let ds = domains();
+    group.bench_function("nice_ticks_256_domains", |b| {
+        b.iter(|| {
+            ds.iter()
+                .map(|&(lo, hi)| nice_ticks(lo, hi, 6).0.len())
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("naive_ticks_256_domains", |b| {
+        b.iter(|| ds.iter().map(|&(lo, hi)| naive_ticks(lo, hi, 6).len()).sum::<usize>())
+    });
+    group.bench_function("axis_node_build", |b| {
+        let axis = Axis::new(
+            LinearScale::new((0.0, 97.0), (50.0, 900.0)),
+            Orientation::Horizontal,
+            500.0,
+        );
+        b.iter(|| axis.build().primitive_count())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_axis
+}
+criterion_main!(benches);

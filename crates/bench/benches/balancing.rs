@@ -1,0 +1,56 @@
+//! F1 — Figure 1: the MIRABEL enterprise shifts flexible demand under
+//! the RES curve.
+//!
+//! Measures the full planning loop (collect → aggregate → schedule →
+//! disaggregate → execute → settle) and its aggregation-free ablation,
+//! across RES shares.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mirabel_aggregation::AggregationParams;
+use mirabel_market::{Enterprise, EnterpriseConfig};
+use mirabel_workload::{Scenario, ScenarioConfig};
+
+fn short() -> Criterion {
+    Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3))
+}
+
+fn bench_balancing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f1_balancing");
+    for res_share in [0.3f64, 0.5] {
+        let scenario = Scenario::generate(&ScenarioConfig {
+            prosumers: 500,
+            res_share,
+            ..Default::default()
+        });
+        group.bench_with_input(
+            BenchmarkId::new("enterprise_day", format!("res{:.0}", res_share * 100.0)),
+            &scenario,
+            |b, sc| {
+                let enterprise = Enterprise::new(EnterpriseConfig::default());
+                b.iter(|| enterprise.run(sc).unwrap().improvement())
+            },
+        );
+    }
+    // Ablation: no aggregation (tolerances of one slot barely merge) vs
+    // the default pipeline.
+    let scenario = Scenario::generate(&ScenarioConfig {
+        prosumers: 500,
+        res_share: 0.5,
+        ..Default::default()
+    });
+    group.bench_function("enterprise_day_fine_aggregation", |b| {
+        let enterprise = Enterprise::new(EnterpriseConfig {
+            aggregation: AggregationParams::new(1, 1),
+            ..Default::default()
+        });
+        b.iter(|| enterprise.run(&scenario).unwrap().improvement())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_balancing
+}
+criterion_main!(benches);

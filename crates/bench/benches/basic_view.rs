@@ -1,0 +1,36 @@
+//! F8 — Figure 8: the basic view shows a *large number* of flex-offers.
+//!
+//! Measures scene construction (layout + nodes) and SVG serialization
+//! across offer counts. The paper's claim is qualitative ("large
+//! numbers"); the series quantifies the near-linear scaling that backs
+//! it (see EXPERIMENTS.md §F8).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mirabel_bench::visual_offers;
+use mirabel_core::views::basic::{build, BasicViewOptions};
+use mirabel_viz::render_svg;
+
+fn short() -> Criterion {
+    Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2))
+}
+
+fn bench_basic_view(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f8_basic_view");
+    for n in [1_000usize, 10_000, 50_000] {
+        let offers = visual_offers(n);
+        group.bench_with_input(BenchmarkId::new("build_scene", n), &offers, |b, offers| {
+            b.iter(|| build(offers, &BasicViewOptions::default()).primitive_count())
+        });
+    }
+    let offers = visual_offers(10_000);
+    let scene = build(&offers, &BasicViewOptions::default());
+    group.bench_function("render_svg_10k", |b| b.iter(|| render_svg(&scene).len()));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_basic_view
+}
+criterion_main!(benches);

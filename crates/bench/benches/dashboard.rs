@@ -1,0 +1,48 @@
+//! F6 — Figure 6: dashboard computation and rendering for a selected
+//! time interval.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mirabel_bench::warehouse;
+use mirabel_core::views::dashboard::{build, compute, DashboardOptions};
+use mirabel_timeseries::{Granularity, SlotSpan, TimeSlot};
+
+fn short() -> Criterion {
+    Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2))
+}
+
+fn options() -> DashboardOptions {
+    let from = TimeSlot::EPOCH + SlotSpan::hours(12);
+    DashboardOptions {
+        width: 900.0,
+        height: 420.0,
+        from,
+        to: from + SlotSpan::slots(5),
+        granularity: Granularity::QuarterHour,
+    }
+}
+
+fn bench_dashboard(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f6_dashboard");
+    for prosumers in [1_000usize, 4_000, 16_000] {
+        let (_, dw) = warehouse(prosumers, 1);
+        let opts = options();
+        group.bench_with_input(
+            BenchmarkId::new("compute", dw.facts().len()),
+            &dw,
+            |b, dw| b.iter(|| compute(dw, &opts).buckets.len()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("build_scene", dw.facts().len()),
+            &dw,
+            |b, dw| b.iter(|| build(dw, &opts).primitive_count()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_dashboard
+}
+criterion_main!(benches);

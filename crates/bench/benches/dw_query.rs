@@ -1,0 +1,60 @@
+//! F7 — Figure 7: loader and warehouse query latency across data sizes.
+//!
+//! Measures warehouse load, the legal-entity + time-interval loader
+//! query, and hierarchical filter/group evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mirabel_bench::{offers_with_statuses, warehouse};
+use mirabel_dw::{Dimension, LoaderQuery, Measure, Query, Warehouse};
+use mirabel_timeseries::{SlotSpan, TimeSlot};
+
+fn short() -> Criterion {
+    Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2))
+}
+
+fn bench_dw(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f7_dw_query");
+    for prosumers in [500usize, 2_000, 8_000] {
+        let (pop, raw) = offers_with_statuses(prosumers, 2);
+        group.bench_with_input(BenchmarkId::new("load", raw.len()), &raw, |b, raw| {
+            b.iter(|| Warehouse::load(&pop, raw).facts().len())
+        });
+
+        let dw = Warehouse::load(&pop, &raw);
+        let entity = raw[0].prosumer();
+        let q = LoaderQuery::window(TimeSlot::EPOCH, TimeSlot::EPOCH + SlotSpan::days(1))
+            .for_prosumer(entity);
+        group.bench_with_input(BenchmarkId::new("loader_query", raw.len()), &dw, |b, dw| {
+            b.iter(|| dw.load_offers(&q).len())
+        });
+
+        let geo = dw.hierarchy(Dimension::Geography);
+        let region = geo.member_by_name("Midtjylland").unwrap().id;
+        let grouped = Query::new(Measure::ScheduledEnergy)
+            .filter(Dimension::Geography, region)
+            .group_by(Dimension::Geography, 2);
+        group.bench_with_input(
+            BenchmarkId::new("filter_group_query", raw.len()),
+            &dw,
+            |b, dw| b.iter(|| dw.eval(&grouped).unwrap().groups.len()),
+        );
+    }
+    // Measure evaluation across all measures on one size.
+    let (_, dw) = warehouse(2_000, 2);
+    group.bench_function("all_measures", |b| {
+        b.iter(|| {
+            Measure::ALL
+                .iter()
+                .map(|&m| dw.eval(&Query::new(m)).unwrap().total)
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_dw
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! F10 — Figure 10: on-the-fly hover information must resolve at
+//! interactive latency on large scenes.
+//!
+//! Compares the linear hit-test scan against the uniform-grid index on
+//! basic-view scenes of growing size, for both pointer probes and
+//! rectangle selections.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mirabel_bench::visual_offers;
+use mirabel_core::views::basic::{build, BasicViewOptions};
+use mirabel_viz::{hit_test, rect_query, GridIndex, Point, Rect};
+
+fn short() -> Criterion {
+    Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2))
+}
+
+fn probes() -> Vec<Point> {
+    (0..64)
+        .map(|i| Point::new(60.0 + (i % 8) as f64 * 110.0, 40.0 + (i / 8) as f64 * 60.0))
+        .collect()
+}
+
+fn bench_hittest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f10_hittest");
+    for n in [5_000usize, 20_000, 50_000] {
+        let offers = visual_offers(n);
+        let scene = build(&offers, &BasicViewOptions::default());
+        let points = probes();
+        group.bench_with_input(BenchmarkId::new("linear_scan", n), &scene, |b, scene| {
+            b.iter(|| {
+                points
+                    .iter()
+                    .map(|&p| hit_test(scene, p).len())
+                    .sum::<usize>()
+            })
+        });
+        let index = GridIndex::build(&scene, 24.0);
+        group.bench_with_input(BenchmarkId::new("grid_index_probe", n), &index, |b, index| {
+            b.iter(|| points.iter().map(|&p| index.hit(p).len()).sum::<usize>())
+        });
+        group.bench_with_input(BenchmarkId::new("index_build", n), &scene, |b, scene| {
+            b.iter(|| GridIndex::build(scene, 24.0).len())
+        });
+        let sel = Rect::new(200.0, 80.0, 360.0, 260.0);
+        group.bench_with_input(
+            BenchmarkId::new("rect_selection_linear", n),
+            &scene,
+            |b, scene| b.iter(|| rect_query(scene, sel).len()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("rect_selection_index", n),
+            &index,
+            |b, index| b.iter(|| index.query(sel).len()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_hittest
+}
+criterion_main!(benches);

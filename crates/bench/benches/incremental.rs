@@ -1,0 +1,76 @@
+//! A2 (ablation) — incremental rendering "does not freeze the tool".
+//!
+//! Measures the worst per-chunk latency of the chunked builder against
+//! the monolithic build of the same 50 k-offer basic view: the chunk
+//! bound is the responsiveness guarantee.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mirabel_bench::visual_offers;
+use mirabel_core::views::basic::{build, BasicViewOptions};
+use mirabel_core::views::DetailLayout;
+use mirabel_viz::{Incremental, Scene};
+
+fn short() -> Criterion {
+    Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3))
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a2_incremental");
+    let offers = visual_offers(50_000);
+    let options = BasicViewOptions::default();
+
+    group.bench_function("monolithic_50k", |b| {
+        b.iter(|| build(&offers, &options).primitive_count())
+    });
+
+    for chunk in [512usize, 4_096] {
+        group.bench_with_input(
+            BenchmarkId::new("chunked_total", chunk),
+            &chunk,
+            |b, &chunk| {
+                b.iter(|| {
+                    let layout = DetailLayout::compute(&offers, options.width, options.height);
+                    let mut inc = Incremental::new(
+                        Scene::new(options.width, options.height),
+                        offers.len(),
+                        |i| {
+                            mirabel_core::views::basic::offer_nodes_for_bench(
+                                &layout, i, &offers,
+                            )
+                        },
+                    );
+                    inc.run_to_completion(chunk);
+                    inc.finish().primitive_count()
+                })
+            },
+        );
+        // The responsiveness bound: one chunk's latency.
+        group.bench_with_input(
+            BenchmarkId::new("single_chunk_latency", chunk),
+            &chunk,
+            |b, &chunk| {
+                let layout = DetailLayout::compute(&offers, options.width, options.height);
+                b.iter(|| {
+                    let mut inc = Incremental::new(
+                        Scene::new(options.width, options.height),
+                        offers.len(),
+                        |i| {
+                            mirabel_core::views::basic::offer_nodes_for_bench(
+                                &layout, i, &offers,
+                            )
+                        },
+                    );
+                    inc.step(chunk).done
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_incremental
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! A3 (ablation) — lane stacking: the heap-based greedy sweep vs the
+//! naive first-fit scan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mirabel_bench::visual_offers;
+use mirabel_viz::{assign_lanes, assign_lanes_first_fit};
+
+fn short() -> Criterion {
+    Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2))
+}
+
+fn bench_lanes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a3_lanes");
+    for n in [10_000usize, 50_000, 200_000] {
+        let offers = visual_offers(n.min(50_000));
+        // Replicate intervals to reach n (keeps the distribution).
+        let mut intervals: Vec<(i64, i64)> = offers
+            .iter()
+            .map(|v| (v.offer.earliest_start().index(), v.offer.latest_end().index()))
+            .collect();
+        while intervals.len() < n {
+            let k = intervals.len() % offers.len();
+            let (s, e) = intervals[k];
+            intervals.push((s + 1, e + 1));
+        }
+        intervals.truncate(n);
+        group.bench_with_input(BenchmarkId::new("heap_greedy", n), &intervals, |b, iv| {
+            b.iter(|| assign_lanes(iv).lane_count)
+        });
+        group.bench_with_input(BenchmarkId::new("first_fit_scan", n), &intervals, |b, iv| {
+            b.iter(|| assign_lanes_first_fit(iv).lane_count)
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_lanes
+}
+criterion_main!(benches);

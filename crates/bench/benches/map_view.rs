@@ -1,0 +1,34 @@
+//! F3 — Figure 3: map view construction (choropleth + mini charts).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mirabel_bench::warehouse;
+use mirabel_core::views::map::{build, MapViewOptions};
+use mirabel_viz::render_svg;
+
+fn short() -> Criterion {
+    Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2))
+}
+
+fn bench_map(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f3_map_view");
+    for prosumers in [1_000usize, 4_000, 16_000] {
+        let (pop, dw) = warehouse(prosumers, 1);
+        let geo = pop.geography().clone();
+        group.bench_with_input(
+            BenchmarkId::new("build_scene", dw.facts().len()),
+            &dw,
+            |b, dw| b.iter(|| build(dw, &geo, &MapViewOptions::default()).primitive_count()),
+        );
+    }
+    let (pop, dw) = warehouse(4_000, 1);
+    let scene = build(&dw, pop.geography(), &MapViewOptions::default());
+    group.bench_function("render_svg", |b| b.iter(|| render_svg(&scene).len()));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_map
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! F5 — Figure 5: pivot view computation (swimlanes + MDX).
+//!
+//! Measures MDX parse+evaluate and programmatic pivots over growing fact
+//! tables, plus drill-down re-computation — the interaction cost of the
+//! pivot view.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mirabel_bench::warehouse;
+use mirabel_dw::{Dimension, Measure, PivotAxis, PivotSpec, Query};
+
+fn short() -> Criterion {
+    Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2))
+}
+
+const MDX: &str = "SELECT {[Time].Children} ON COLUMNS, \
+                   {[Prosumer].[All prosumers].Children} ON ROWS FROM [FlexOffers] \
+                   WHERE ([Measures].[TotalMaxEnergy])";
+
+fn bench_pivot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f5_pivot");
+    for prosumers in [500usize, 2_000, 8_000] {
+        let (_, dw) = warehouse(prosumers, 2);
+        group.bench_with_input(
+            BenchmarkId::new("mdx_query", dw.facts().len()),
+            &dw,
+            |b, dw| b.iter(|| dw.mdx(MDX).unwrap().n_rows()),
+        );
+    }
+
+    let (_, dw) = warehouse(2_000, 2);
+    group.bench_function("mdx_parse_only", |b| {
+        b.iter(|| mirabel_dw::mdx::parse(MDX).unwrap().columns.len())
+    });
+
+    // Drill-down: prosumer leaf level × days.
+    group.bench_function("drilled_pivot", |b| {
+        let rows = PivotAxis::level(&dw, Dimension::ProsumerType, 2);
+        let cols = PivotAxis::level(&dw, Dimension::Time, 3);
+        b.iter(|| {
+            dw.pivot(&PivotSpec {
+                rows: rows.clone(),
+                columns: cols.clone(),
+                base: Query::new(Measure::Count),
+            })
+            .unwrap()
+            .n_rows()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_pivot
+}
+criterion_main!(benches);

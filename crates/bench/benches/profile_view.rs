@@ -1,0 +1,33 @@
+//! F9 — Figure 9: the profile view "is effective for a smaller flex-offer
+//! set with less than few thousands of flex-offers".
+//!
+//! Measures profile-view scene construction across the same counts as
+//! the F8 basic-view bench; the per-slice bound bars make it several
+//! times more expensive per offer, which is exactly the paper's reason
+//! for limiting it to smaller sets (see EXPERIMENTS.md §F9).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mirabel_bench::visual_offers;
+use mirabel_core::views::profile::{build, ProfileViewOptions};
+
+fn short() -> Criterion {
+    Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2))
+}
+
+fn bench_profile_view(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f9_profile_view");
+    for n in [1_000usize, 10_000, 50_000] {
+        let offers = visual_offers(n);
+        group.bench_with_input(BenchmarkId::new("build_scene", n), &offers, |b, offers| {
+            b.iter(|| build(offers, &ProfileViewOptions::default()).primitive_count())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_profile_view
+}
+criterion_main!(benches);

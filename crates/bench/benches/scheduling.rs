@@ -1,0 +1,57 @@
+//! A4 (ablation) — scheduler comparison on the Figure 1 objective:
+//! earliest-start baseline, random, greedy, hill-climb.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mirabel_bench::offers;
+use mirabel_flexoffer::FlexOffer;
+use mirabel_scheduling::{
+    EarliestStartScheduler, GreedyScheduler, HillClimbScheduler, RandomScheduler, Scheduler,
+};
+use mirabel_timeseries::{TimeSeries, TimeSlot};
+
+fn short() -> Criterion {
+    Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3))
+}
+
+fn accepted(prosumers: usize) -> Vec<FlexOffer> {
+    let (_, mut raw) = offers(prosumers, 1);
+    for fo in raw.iter_mut() {
+        fo.accept().expect("offered");
+    }
+    raw
+}
+
+fn target() -> TimeSeries {
+    TimeSeries::from_fn(TimeSlot::EPOCH, 192, |i| {
+        let hour = (i % 96) as f64 / 4.0;
+        80.0 * (-(hour - 13.0) * (hour - 13.0) / 18.0).exp()
+    })
+}
+
+fn bench_scheduling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a4_scheduling");
+    let t = target();
+    let schedulers: Vec<(&str, Box<dyn Scheduler>)> = vec![
+        ("earliest", Box::new(EarliestStartScheduler)),
+        ("random", Box::new(RandomScheduler::new(5))),
+        ("greedy", Box::new(GreedyScheduler)),
+        ("hillclimb", Box::new(HillClimbScheduler::new(200, 5))),
+    ];
+    for (name, scheduler) in &schedulers {
+        let base = accepted(400);
+        group.bench_with_input(BenchmarkId::new(*name, base.len()), &base, |b, base| {
+            b.iter(|| {
+                let mut copy = base.clone();
+                scheduler.schedule(&mut copy, &t).unwrap().after.l2_sq
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_scheduling
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! F4 — Figure 4: schematic view construction (grid layout + status
+//! pies) across grid sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mirabel_bench::warehouse;
+use mirabel_core::views::schematic::{build, SchematicViewOptions};
+use mirabel_grid::{layered_layout, GridConfig, GridTopology};
+
+fn short() -> Criterion {
+    Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2))
+}
+
+fn bench_schematic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f4_schematic_view");
+    let (pop, dw) = warehouse(2_000, 1);
+    group.bench_function("build_scene_paper_grid", |b| {
+        b.iter(|| build(&dw, pop.grid(), &SchematicViewOptions::default()).primitive_count())
+    });
+
+    // Pure layout cost across topology sizes.
+    for lines in [4usize, 16, 64] {
+        let grid = GridTopology::synthetic(&GridConfig {
+            lines,
+            substations_per_line: 4,
+            feeders_per_substation: 10,
+            plants: 2,
+        });
+        group.bench_with_input(
+            BenchmarkId::new("layered_layout", grid.nodes().len()),
+            &grid,
+            |b, grid| b.iter(|| layered_layout(grid, 1200.0, 600.0).len()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_schematic
+}
+criterion_main!(benches);

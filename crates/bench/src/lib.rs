@@ -1,0 +1,102 @@
+//! Shared fixtures for the figure benches and the `figures` binary.
+//!
+//! Everything here is deterministic: the same sizes and seeds always
+//! produce the same offers, scenes and warehouses, so bench numbers and
+//! figure artefacts are comparable across runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mirabel_core::VisualOffer;
+use mirabel_dw::Warehouse;
+use mirabel_flexoffer::FlexOffer;
+use mirabel_workload::{generate_offers, OfferConfig, Population, PopulationConfig};
+
+/// A deterministic population of `size` prosumers (seed fixed).
+pub fn population(size: usize) -> Population {
+    Population::generate(&PopulationConfig { size, seed: 0xBE9C, household_share: 0.8 })
+}
+
+/// `days` days of offers for a fixed-seed population of `prosumers`.
+pub fn offers(prosumers: usize, days: usize) -> (Population, Vec<FlexOffer>) {
+    let pop = population(prosumers);
+    let offers = generate_offers(&pop, &OfferConfig { days, seed: 0xF16, ..Default::default() });
+    (pop, offers)
+}
+
+/// Offers with a deterministic spread of lifecycle statuses (for status
+/// pies and dashboards).
+pub fn offers_with_statuses(prosumers: usize, days: usize) -> (Population, Vec<FlexOffer>) {
+    let (pop, mut offers) = self::offers(prosumers, days);
+    for (i, fo) in offers.iter_mut().enumerate() {
+        match i % 10 {
+            0..=3 => fo.accept().expect("offered"),
+            4..=7 => {
+                fo.accept().expect("offered");
+                let sched = mirabel_flexoffer::Schedule::new(
+                    fo.earliest_start(),
+                    fo.profile().slices().iter().map(|s| s.min).collect(),
+                );
+                fo.assign(sched).expect("feasible");
+            }
+            8 => fo.reject().expect("offered"),
+            _ => {}
+        }
+    }
+    (pop, offers)
+}
+
+/// A loaded warehouse over `prosumers` × `days` with mixed statuses.
+pub fn warehouse(prosumers: usize, days: usize) -> (Population, Warehouse) {
+    let (pop, offers) = offers_with_statuses(prosumers, days);
+    let dw = Warehouse::load(&pop, &offers);
+    (pop, dw)
+}
+
+/// Exactly `n` visual offers (truncating or cycling the generator as
+/// needed) — the unit of the F8/F9 view-scaling benches.
+pub fn visual_offers(n: usize) -> Vec<VisualOffer> {
+    // Scale the population so the generator yields at least n offers.
+    let prosumers = (n / 2).max(50);
+    let (_, mut raw) = offers(prosumers, 1 + n / (prosumers * 2));
+    while raw.len() < n {
+        let extra = raw.len();
+        let clone = raw[extra % raw.len().max(1)].clone();
+        raw.push(clone);
+    }
+    raw.truncate(n);
+    VisualOffer::from_offers(&raw)
+}
+
+/// Writes `content` under `out/figures/`, creating the directory.
+pub fn write_figure(name: &str, content: &str) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new("out/figures");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    std::fs::write(&path, content)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_deterministic() {
+        let a = visual_offers(500);
+        let b = visual_offers(500);
+        assert_eq!(a.len(), 500);
+        assert_eq!(a, b);
+        let (_, w1) = warehouse(100, 1);
+        let (_, w2) = warehouse(100, 1);
+        assert_eq!(w1.facts().len(), w2.facts().len());
+    }
+
+    #[test]
+    fn statuses_are_mixed() {
+        let (_, offers) = offers_with_statuses(200, 1);
+        let statuses: std::collections::BTreeSet<_> =
+            offers.iter().map(|fo| fo.status()).collect();
+        assert!(statuses.len() >= 3, "{statuses:?}");
+    }
+}

@@ -1,0 +1,372 @@
+//! The application model: loader tab, view tabs, selection and events.
+//!
+//! This is the headless equivalent of the tool's main window (Figures
+//! 7–8): a loader that pulls flex-offers from the warehouse for a legal
+//! entity and absolute time interval, tabs holding loaded sets, a
+//! basic/profile mode switch per tab, point and rectangle selection, a
+//! "show selected on a new tab" action and a "remove from view" action —
+//! exactly the interactions Section 4 walks through. Events arrive via
+//! [`App::handle`], so an embedder (or a test) can drive the tool like a
+//! user would drive the GUI.
+
+use mirabel_dw::{LoaderQuery, Warehouse};
+use mirabel_flexoffer::FlexOfferId;
+use mirabel_viz::{hit_test, rect_query, Point, Rect, Scene};
+
+use crate::views::basic::{self, BasicViewOptions};
+use crate::views::profile;
+use crate::views::tooltip::{self, TooltipInfo};
+use crate::views::DetailLayout;
+use crate::visual::VisualOffer;
+
+/// Which detail view a tab shows ("There are two flex-offer views
+/// currently supported: the basic and the profile view").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ViewMode {
+    /// The Figure 8 basic view.
+    #[default]
+    Basic,
+    /// The Figure 9 profile view.
+    Profile,
+}
+
+/// One view tab in the main window.
+#[derive(Debug, Clone)]
+pub struct Tab {
+    /// Tab title (e.g. the loader selection that produced it).
+    pub title: String,
+    /// The offers on this tab.
+    pub offers: Vec<VisualOffer>,
+    /// Current view mode.
+    pub mode: ViewMode,
+    /// Selected offer ids.
+    pub selection: Vec<FlexOfferId>,
+    /// An in-progress drag rectangle (origin point), if any.
+    drag_origin: Option<Point>,
+    /// Canvas geometry.
+    pub options: BasicViewOptions,
+}
+
+impl Tab {
+    /// Creates a tab over the given offers.
+    pub fn new(title: impl Into<String>, offers: Vec<VisualOffer>) -> Tab {
+        Tab {
+            title: title.into(),
+            offers,
+            mode: ViewMode::Basic,
+            selection: Vec::new(),
+            drag_origin: None,
+            options: BasicViewOptions::default(),
+        }
+    }
+
+    /// The layout shared by rendering and interaction.
+    pub fn layout(&self) -> DetailLayout {
+        DetailLayout::compute(&self.offers, self.options.width, self.options.height)
+    }
+
+    /// Renders the tab's current scene (without tooltip overlay).
+    pub fn scene(&self) -> Scene {
+        let layout = self.layout();
+        match self.mode {
+            ViewMode::Basic => basic::build_with_layout(&self.offers, &self.options, &layout),
+            ViewMode::Profile => {
+                profile::build_with_layout(&self.offers, &self.options, &layout)
+            }
+        }
+    }
+
+    /// Index of the offer with `id`.
+    fn index_of(&self, id: FlexOfferId) -> Option<usize> {
+        self.offers.iter().position(|v| v.id() == id)
+    }
+}
+
+/// User interactions, mirroring the mouse actions of Section 4.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// Pointer moved (hover → tooltip).
+    PointerMove(Point),
+    /// Click (select one offer; empty space clears the selection).
+    Click(Point),
+    /// Start of a selection drag.
+    DragStart(Point),
+    /// End of a selection drag (selects everything in the rectangle).
+    DragEnd(Point),
+    /// Switch the active tab's view mode.
+    SetMode(ViewMode),
+    /// Open a new tab with the current selection ("The selected
+    /// flex-offers can be shown on different tab").
+    ShowSelectionInNewTab,
+    /// Remove the selected offers from the current view.
+    RemoveSelected,
+    /// Activate another tab.
+    ActivateTab(usize),
+}
+
+/// The headless main window.
+#[derive(Debug, Clone, Default)]
+pub struct App {
+    tabs: Vec<Tab>,
+    active: usize,
+}
+
+impl App {
+    /// An empty main window (only the loader available).
+    pub fn new() -> App {
+        App::default()
+    }
+
+    /// The Figure 7 loader: runs `query` on the warehouse and opens a
+    /// new view tab with the result. Returns the tab index.
+    pub fn load(&mut self, dw: &Warehouse, query: &LoaderQuery, title: impl Into<String>) -> usize {
+        let offers = dw.load_offers(query).into_iter().cloned().collect::<Vec<_>>();
+        self.open_tab(Tab::new(title, VisualOffer::from_offers(&offers)))
+    }
+
+    /// Opens a prepared tab (used by the aggregation tools and tests).
+    pub fn open_tab(&mut self, tab: Tab) -> usize {
+        self.tabs.push(tab);
+        self.active = self.tabs.len() - 1;
+        self.active
+    }
+
+    /// All tabs.
+    pub fn tabs(&self) -> &[Tab] {
+        &self.tabs
+    }
+
+    /// The active tab, if any.
+    pub fn active_tab(&self) -> Option<&Tab> {
+        self.tabs.get(self.active)
+    }
+
+    /// Mutable active tab.
+    pub fn active_tab_mut(&mut self) -> Option<&mut Tab> {
+        self.tabs.get_mut(self.active)
+    }
+
+    /// Index of the active tab.
+    pub fn active_index(&self) -> usize {
+        self.active
+    }
+
+    /// Handles one event; returns tooltip info for hover events so the
+    /// embedder can draw the Figure 10 overlay.
+    pub fn handle(&mut self, event: Event) -> Option<TooltipInfo> {
+        match event {
+            Event::PointerMove(p) => {
+                let tab = self.tabs.get(self.active)?;
+                let scene = tab.scene();
+                tooltip::probe(&scene, &tab.offers, p)
+            }
+            Event::Click(p) => {
+                if let Some(tab) = self.tabs.get_mut(self.active) {
+                    let scene = tab.scene();
+                    let hits = hit_test(&scene, p);
+                    match hits.last() {
+                        Some(&raw) => {
+                            if let Some(idx) =
+                                tab.offers.iter().position(|v| v.id().raw() == raw)
+                            {
+                                let id = tab.offers[idx].id();
+                                if !tab.selection.contains(&id) {
+                                    tab.selection.push(id);
+                                }
+                            }
+                        }
+                        None => tab.selection.clear(),
+                    }
+                }
+                None
+            }
+            Event::DragStart(p) => {
+                if let Some(tab) = self.tabs.get_mut(self.active) {
+                    tab.drag_origin = Some(p);
+                    tab.options.selection_rect = Some(Rect::from_corners(p, p));
+                }
+                None
+            }
+            Event::DragEnd(p) => {
+                if let Some(tab) = self.tabs.get_mut(self.active) {
+                    if let Some(origin) = tab.drag_origin.take() {
+                        let rect = Rect::from_corners(origin, p);
+                        tab.options.selection_rect = None;
+                        let scene = tab.scene();
+                        for raw in rect_query(&scene, rect) {
+                            if let Some(idx) =
+                                tab.offers.iter().position(|v| v.id().raw() == raw)
+                            {
+                                let id = tab.offers[idx].id();
+                                if !tab.selection.contains(&id) {
+                                    tab.selection.push(id);
+                                }
+                            }
+                        }
+                    }
+                }
+                None
+            }
+            Event::SetMode(mode) => {
+                if let Some(tab) = self.tabs.get_mut(self.active) {
+                    tab.mode = mode;
+                }
+                None
+            }
+            Event::ShowSelectionInNewTab => {
+                if let Some(tab) = self.tabs.get(self.active) {
+                    let selected: Vec<VisualOffer> = tab
+                        .selection
+                        .iter()
+                        .filter_map(|id| tab.index_of(*id).map(|i| tab.offers[i].clone()))
+                        .collect();
+                    if !selected.is_empty() {
+                        let title = format!("{} (selection)", tab.title);
+                        self.open_tab(Tab::new(title, selected));
+                    }
+                }
+                None
+            }
+            Event::RemoveSelected => {
+                if let Some(tab) = self.tabs.get_mut(self.active) {
+                    let selection = std::mem::take(&mut tab.selection);
+                    tab.offers.retain(|v| !selection.contains(&v.id()));
+                }
+                None
+            }
+            Event::ActivateTab(i) => {
+                if i < self.tabs.len() {
+                    self.active = i;
+                }
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirabel_workload::{generate_offers, OfferConfig, Population, PopulationConfig};
+
+    fn dw_and_app() -> (Warehouse, App) {
+        let pop = Population::generate(&PopulationConfig {
+            size: 60,
+            seed: 9,
+            household_share: 0.8,
+        });
+        let offers = generate_offers(&pop, &OfferConfig::default());
+        (Warehouse::load(&pop, &offers), App::new())
+    }
+
+    fn wide_window() -> LoaderQuery {
+        LoaderQuery::window(
+            mirabel_timeseries::TimeSlot::new(-100_000),
+            mirabel_timeseries::TimeSlot::new(100_000),
+        )
+    }
+
+    #[test]
+    fn loader_opens_tabs_like_figure7() {
+        let (dw, mut app) = dw_and_app();
+        // Load everything, then one legal entity — two tabs, as in
+        // Figure 8's tab strip after two read operations.
+        let t0 = app.load(&dw, &wide_window(), "all offers");
+        let entity = dw.offers()[0].prosumer();
+        let t1 = app.load(&dw, &wide_window().for_prosumer(entity), "one prosumer");
+        assert_eq!(app.tabs().len(), 2);
+        assert_eq!((t0, t1), (0, 1));
+        assert_eq!(app.active_index(), 1);
+        assert!(app.tabs()[1].offers.len() < app.tabs()[0].offers.len());
+        assert!(!app.tabs()[1].offers.is_empty());
+        app.handle(Event::ActivateTab(0));
+        assert_eq!(app.active_index(), 0);
+        // Out-of-range activation is ignored.
+        app.handle(Event::ActivateTab(99));
+        assert_eq!(app.active_index(), 0);
+    }
+
+    #[test]
+    fn click_selects_one_offer_and_empty_space_clears() {
+        let (dw, mut app) = dw_and_app();
+        app.load(&dw, &wide_window(), "all");
+        let tab = app.active_tab().unwrap();
+        let layout = tab.layout();
+        let target = layout.profile_box(0, &tab.offers).center();
+        let id0 = tab.offers[0].id();
+        app.handle(Event::Click(target));
+        assert_eq!(app.active_tab().unwrap().selection, vec![id0]);
+        // Clicking the same offer again does not duplicate.
+        app.handle(Event::Click(target));
+        assert_eq!(app.active_tab().unwrap().selection.len(), 1);
+        // Clicking empty space clears.
+        app.handle(Event::Click(Point::new(2.0, 2.0)));
+        assert!(app.active_tab().unwrap().selection.is_empty());
+    }
+
+    #[test]
+    fn drag_rectangle_selects_many() {
+        let (dw, mut app) = dw_and_app();
+        app.load(&dw, &wide_window(), "all");
+        app.handle(Event::DragStart(Point::new(0.0, 0.0)));
+        // While dragging, the dashed rectangle is in the options.
+        assert!(app.active_tab().unwrap().options.selection_rect.is_some());
+        app.handle(Event::DragEnd(Point::new(960.0, 540.0)));
+        let tab = app.active_tab().unwrap();
+        assert!(tab.options.selection_rect.is_none());
+        assert_eq!(tab.selection.len(), tab.offers.len(), "full-canvas drag selects all");
+    }
+
+    #[test]
+    fn selection_to_new_tab_and_removal() {
+        let (dw, mut app) = dw_and_app();
+        app.load(&dw, &wide_window(), "all");
+        let total = app.active_tab().unwrap().offers.len();
+        app.handle(Event::DragStart(Point::new(0.0, 0.0)));
+        app.handle(Event::DragEnd(Point::new(960.0, 540.0)));
+        app.handle(Event::ShowSelectionInNewTab);
+        assert_eq!(app.tabs().len(), 2);
+        assert_eq!(app.active_tab().unwrap().offers.len(), total);
+        assert!(app.active_tab().unwrap().title.contains("selection"));
+
+        // Back on the first tab, remove the selected offers.
+        app.handle(Event::ActivateTab(0));
+        app.handle(Event::RemoveSelected);
+        assert!(app.active_tab().unwrap().offers.is_empty());
+        assert!(app.active_tab().unwrap().selection.is_empty());
+        // Removing again is a no-op.
+        app.handle(Event::RemoveSelected);
+        assert!(app.active_tab().unwrap().offers.is_empty());
+    }
+
+    #[test]
+    fn hover_produces_tooltip_and_mode_switch_changes_scene() {
+        let (dw, mut app) = dw_and_app();
+        app.load(&dw, &wide_window(), "all");
+        let tab = app.active_tab().unwrap();
+        let layout = tab.layout();
+        let target = layout.profile_box(0, &tab.offers).center();
+        let info = app.handle(Event::PointerMove(target)).expect("tooltip");
+        assert!(!info.lines.is_empty());
+
+        let basic_scene = app.active_tab().unwrap().scene();
+        app.handle(Event::SetMode(ViewMode::Profile));
+        let profile_scene = app.active_tab().unwrap().scene();
+        assert_ne!(basic_scene, profile_scene);
+        assert!(profile_scene
+            .texts()
+            .iter()
+            .any(|t| t.contains("Profile view")));
+    }
+
+    #[test]
+    fn events_without_tabs_are_harmless() {
+        let mut app = App::new();
+        assert!(app.handle(Event::PointerMove(Point::new(1.0, 1.0))).is_none());
+        app.handle(Event::Click(Point::new(1.0, 1.0)));
+        app.handle(Event::RemoveSelected);
+        app.handle(Event::ShowSelectionInNewTab);
+        assert!(app.tabs().is_empty());
+        assert!(app.active_tab().is_none());
+    }
+}

@@ -1,0 +1,35 @@
+//! The flex-offer visual analysis framework — the paper's contribution.
+//!
+//! This crate assembles the substrates (flex-offer model, aggregation,
+//! data warehouse, visualization engine) into the views and interaction
+//! model the paper describes:
+//!
+//! | Paper artefact | Module |
+//! |---|---|
+//! | Figure 2 — structural elements of a flex-offer | [`views::annotate`] |
+//! | Figure 3 — map view | [`views::map`] |
+//! | Figure 4 — schematic (grid) view | [`views::schematic`] |
+//! | Figure 5 — pivot view with MDX window | [`views::pivot`] |
+//! | Figure 6 — dashboard view | [`views::dashboard`] |
+//! | Figure 7 — flex-offer loading tab | [`app`] (loader) |
+//! | Figure 8 — basic view | [`views::basic`] |
+//! | Figure 9 — profile view | [`views::profile`] |
+//! | Figure 10 — on-the-fly information | [`views::tooltip`] |
+//! | Figure 11 — aggregation tools | [`tools`] |
+//!
+//! The views are pure functions from data + options to a
+//! [`Scene`](mirabel_viz::Scene); the [`app::App`] model owns tabs,
+//! selection and the event loop contract (see the GUI substitution note
+//! in DESIGN.md).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod tools;
+pub mod views;
+mod visual;
+
+pub use app::{App, Event, Tab, ViewMode};
+pub use tools::AggregationTools;
+pub use visual::{slot_label, VisualOffer};

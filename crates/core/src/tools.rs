@@ -1,0 +1,158 @@
+//! The aggregation tools panel (Figure 11).
+//!
+//! "The visualization tool integrates the flex-offer aggregation and
+//! disaggregation functionalities. This allows, for example, reducing
+//! the count of flex-offers shown on a screen by aggregation, as well as
+//! allows interactive tuning values of the aggregation parameters."
+
+use std::fmt;
+
+use mirabel_aggregation::{AggregationError, AggregationParams, Aggregator};
+use mirabel_flexoffer::FlexOffer;
+
+use crate::visual::VisualOffer;
+
+/// The interactive aggregation panel: holds the current parameters and
+/// applies them to the offers on screen.
+#[derive(Debug, Clone)]
+pub struct AggregationTools {
+    params: AggregationParams,
+}
+
+/// The outcome of one "apply" click: the new display set plus the
+/// statistics the panel shows.
+#[derive(Debug, Clone)]
+pub struct AggregationOutcome {
+    /// The new on-screen objects (aggregates + untouched originals).
+    pub display: Vec<VisualOffer>,
+    /// Objects before aggregation.
+    pub input_count: usize,
+    /// Objects after aggregation.
+    pub output_count: usize,
+    /// `input / output` (≥ 1).
+    pub reduction_factor: f64,
+    /// Total time flexibility lost (slot·offers).
+    pub flexibility_loss_slots: i64,
+}
+
+impl fmt::Display for AggregationOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} -> {} objects ({:.2}x reduction, {} slot-offers of flexibility lost)",
+            self.input_count, self.output_count, self.reduction_factor, self.flexibility_loss_slots
+        )
+    }
+}
+
+impl AggregationTools {
+    /// Creates the panel with default parameters.
+    pub fn new() -> AggregationTools {
+        AggregationTools { params: AggregationParams::default() }
+    }
+
+    /// Current parameters.
+    pub fn params(&self) -> AggregationParams {
+        self.params
+    }
+
+    /// Interactive tuning: replaces the parameters (the sliders of
+    /// Figure 11).
+    pub fn set_params(&mut self, params: AggregationParams) {
+        self.params = params;
+    }
+
+    /// Applies the current parameters to `offers` and returns the new
+    /// display set plus statistics.
+    pub fn apply(&self, offers: &[FlexOffer]) -> Result<AggregationOutcome, AggregationError> {
+        let aggregator = Aggregator::new(self.params);
+        let result = aggregator.aggregate(offers)?;
+        let display = VisualOffer::from_aggregation(offers, &result);
+        Ok(AggregationOutcome {
+            input_count: offers.len(),
+            output_count: result.output_count(),
+            reduction_factor: result.reduction_factor(offers.len()),
+            flexibility_loss_slots: result.flexibility_loss_slots(offers),
+            display,
+        })
+    }
+}
+
+impl Default for AggregationTools {
+    fn default() -> Self {
+        AggregationTools::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirabel_flexoffer::Energy;
+    use mirabel_timeseries::TimeSlot;
+
+    fn offers(n: u64) -> Vec<FlexOffer> {
+        (0..n)
+            .map(|i| {
+                FlexOffer::builder(i + 1, i + 1)
+                    .earliest_start(TimeSlot::new((i % 6) as i64))
+                    .latest_start(TimeSlot::new((i % 6) as i64 + 6))
+                    .slices(3, Energy::from_wh(100), Energy::from_wh(300))
+                    .build()
+                    .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn apply_reduces_screen_objects() {
+        let tools = AggregationTools::new();
+        let input = offers(40);
+        let outcome = tools.apply(&input).unwrap();
+        assert!(outcome.output_count < outcome.input_count);
+        assert!(outcome.reduction_factor > 1.0);
+        assert_eq!(outcome.display.len(), outcome.output_count);
+        assert!(outcome.to_string().contains("reduction"));
+    }
+
+    #[test]
+    fn tighter_tolerances_aggregate_less() {
+        let input = offers(60);
+        let mut tools = AggregationTools::new();
+        tools.set_params(AggregationParams::new(1, 1));
+        let tight = tools.apply(&input).unwrap();
+        tools.set_params(AggregationParams::new(16, 16));
+        let loose = tools.apply(&input).unwrap();
+        assert!(loose.output_count <= tight.output_count);
+        assert!(loose.reduction_factor >= tight.reduction_factor);
+    }
+
+    #[test]
+    fn flexibility_loss_grows_with_tolerance() {
+        let mut input = offers(30);
+        // Give offers varying flexibility so merging costs something.
+        for (i, fo) in input.iter_mut().enumerate() {
+            *fo = FlexOffer::builder(fo.id().raw(), fo.prosumer().raw())
+                .earliest_start(TimeSlot::new(0))
+                .latest_start(TimeSlot::new(2 + (i % 8) as i64))
+                .slices(2, Energy::from_wh(10), Energy::from_wh(30))
+                .build()
+                .unwrap();
+        }
+        let mut tools = AggregationTools::new();
+        tools.set_params(AggregationParams::new(4, 1));
+        let fine = tools.apply(&input).unwrap();
+        tools.set_params(AggregationParams::new(4, 16));
+        let coarse = tools.apply(&input).unwrap();
+        assert!(coarse.flexibility_loss_slots >= fine.flexibility_loss_slots);
+        assert!(coarse.output_count <= fine.output_count);
+    }
+
+    #[test]
+    fn default_panel() {
+        let tools = AggregationTools::default();
+        assert_eq!(tools.params(), AggregationParams::default());
+        let outcome = tools.apply(&[]).unwrap();
+        assert_eq!(outcome.output_count, 0);
+        assert_eq!(outcome.reduction_factor, 1.0);
+    }
+}

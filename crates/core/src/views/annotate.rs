@@ -1,0 +1,230 @@
+//! The annotated single-offer diagram (Figure 2): every structural
+//! element of a flex-offer, labelled.
+
+use mirabel_viz::{palette, Node, Point, Rect, Scene, Style};
+
+use crate::visual::{slot_label, VisualOffer};
+
+/// Builds the Figure 2 diagram for one offer: the profile with its
+/// energy bounds, the start-time flexibility span, the latest end time,
+/// the acceptance/assignment markers, and — when assigned — the
+/// scheduled energy line. All elements carry text labels, matching the
+/// figure's callouts.
+pub fn build(v: &VisualOffer, width: f64, height: f64) -> Scene {
+    let mut scene = Scene::new(width, height);
+    let o = &v.offer;
+    let left = 70.0;
+    let right = width - 20.0;
+    let base = height - 60.0;
+    let top = 40.0;
+
+    // Time scale across creation → latest end.
+    let t0 = o.creation_time().index() as f64;
+    let t1 = o.latest_end().index() as f64;
+    let x = |slot: f64| left + (slot - t0) / (t1 - t0).max(1.0) * (right - left);
+
+    // Energy scale.
+    let peak = o.profile().peak_max().kwh().max(1e-9);
+    let y = |kwh: f64| base - kwh / peak * (base - top) * 0.8;
+
+    let mut nodes = Vec::new();
+
+    // Baseline (time axis) with the named instants of Figure 2.
+    nodes.push(Node::line(
+        Point::new(left, base),
+        Point::new(right, base),
+        Style::stroked(palette::AXIS, 1.0),
+    ));
+    let marks = [
+        (o.creation_time(), "creation"),
+        (o.acceptance_deadline(), "acceptance"),
+        (o.assignment_deadline(), "assignment"),
+        (o.earliest_start(), "earliest start"),
+        (o.latest_start(), "latest start"),
+        (o.latest_end(), "latest end"),
+    ];
+    for (i, (t, label)) in marks.iter().enumerate() {
+        let px = x(t.index() as f64);
+        let color = if *label == "acceptance" || *label == "assignment" {
+            palette::DEADLINE_MARKER
+        } else {
+            palette::AXIS
+        };
+        nodes.push(Node::line(
+            Point::new(px, base),
+            Point::new(px, base + 6.0),
+            Style::stroked(color, 1.5),
+        ));
+        let stagger = if i % 2 == 0 { 14.0 } else { 28.0 };
+        nodes.push(Node::text_centered(
+            Point::new(px, base + stagger),
+            format!("{} {}", slot_label(*t, false), label),
+            8.0,
+            palette::AXIS,
+        ));
+    }
+
+    // Start-time flexibility span (grey band above the axis).
+    let sx0 = x(o.earliest_start().index() as f64);
+    let sx1 = x(o.latest_start().index() as f64);
+    nodes.push(Node::rect(
+        Rect::new(sx0, base - 12.0, (sx1 - sx0).max(1.0), 12.0),
+        Style::filled(palette::TIME_FLEX),
+    ));
+    nodes.push(Node::text_centered(
+        Point::new((sx0 + sx1) / 2.0, base - 16.0),
+        "start time flexibility",
+        8.0,
+        palette::AXIS,
+    ));
+
+    // Profile anchored at earliest start: per-slice min (solid) and max
+    // (hatched band = energy flexibility).
+    let slot_w = (right - left) / (t1 - t0).max(1.0);
+    for (k, s) in o.profile().slices().iter().enumerate() {
+        let px = x((o.earliest_start().index() + k as i64) as f64);
+        let y_min = y(s.min.kwh());
+        let y_max = y(s.max.kwh());
+        nodes.push(Node::rect(
+            Rect::new(px, y_min, slot_w, base - y_min),
+            Style::filled(palette::NON_AGGREGATED),
+        ));
+        nodes.push(Node::rect(
+            Rect::new(px, y_max, slot_w, y_min - y_max),
+            Style::filled(palette::ENERGY_BOUND.with_alpha(90))
+                .with_stroke(palette::ENERGY_BOUND, 0.5),
+        ));
+    }
+    nodes.push(Node::text(
+        Point::new(left + 4.0, y(o.profile().slices()[0].min.kwh()) + 12.0),
+        "minimum required energy",
+        8.0,
+        palette::AXIS,
+    ));
+    nodes.push(Node::text(
+        Point::new(left + 4.0, y(o.profile().slices()[0].max.kwh()) - 4.0),
+        "energy flexibility",
+        8.0,
+        palette::ENERGY_BOUND,
+    ));
+
+    // Scheduled energy and start time (red), when planned.
+    if let Some(s) = o.schedule() {
+        let sx = x(s.start().index() as f64);
+        nodes.push(Node::line(
+            Point::new(sx, top),
+            Point::new(sx, base),
+            Style::stroked(palette::SCHEDULE, 2.0),
+        ));
+        let mut points = Vec::new();
+        for (k, &e) in s.energies().iter().enumerate() {
+            let px0 = x((s.start().index() + k as i64) as f64);
+            let py = y(e.kwh());
+            points.push(Point::new(px0, py));
+            points.push(Point::new(px0 + slot_w, py));
+        }
+        nodes.push(Node::Polyline {
+            points,
+            style: Style::stroked(palette::SCHEDULE, 1.5),
+            tag: None,
+        });
+        nodes.push(Node::text(
+            Point::new(sx + 4.0, top + 10.0),
+            "scheduled start / energy",
+            8.0,
+            palette::SCHEDULE,
+        ));
+    }
+
+    // Axis captions as in the figure (kW over t).
+    nodes.push(Node::text(Point::new(8.0, top - 14.0), "kWh", 9.0, palette::AXIS));
+    nodes.push(Node::text(Point::new(right + 2.0, base + 4.0), "t", 9.0, palette::AXIS));
+
+    scene.push(Node::group("figure2", nodes));
+    scene
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirabel_flexoffer::{Energy, FlexOffer, Schedule};
+    use mirabel_timeseries::{SlotSpan, TimeSlot};
+    use mirabel_viz::render_svg;
+
+    /// The canonical Figure 2 offer: created 11 pm, acceptance 11 pm,
+    /// assignment midnight, earliest start 1 am, latest start 3 am, 2 h
+    /// profile (latest end 5 am).
+    fn figure2() -> VisualOffer {
+        let midnight = TimeSlot::EPOCH + SlotSpan::days(31);
+        let mut fo = FlexOffer::builder(1u64, 1u64)
+            .creation_time(midnight - SlotSpan::hours(1))
+            .acceptance_deadline(midnight - SlotSpan::hours(1))
+            .assignment_deadline(midnight)
+            .earliest_start(midnight + SlotSpan::hours(1))
+            .latest_start(midnight + SlotSpan::hours(3))
+            .slices(8, Energy::from_wh(400), Energy::from_wh(1_200))
+            .build()
+            .unwrap();
+        fo.accept().unwrap();
+        fo.assign(Schedule::new(
+            midnight + SlotSpan::hours(2),
+            vec![Energy::from_wh(800); 8],
+        ))
+        .unwrap();
+        VisualOffer::plain(fo)
+    }
+
+    #[test]
+    fn all_structural_elements_are_labelled() {
+        let scene = build(&figure2(), 900.0, 420.0);
+        let texts = scene.texts().join("\n");
+        for label in [
+            "creation",
+            "acceptance",
+            "assignment",
+            "earliest start",
+            "latest start",
+            "latest end",
+            "start time flexibility",
+            "minimum required energy",
+            "energy flexibility",
+            "scheduled start / energy",
+        ] {
+            assert!(texts.contains(label), "missing label {label}");
+        }
+    }
+
+    #[test]
+    fn figure2_times_appear_in_labels() {
+        let scene = build(&figure2(), 900.0, 420.0);
+        let texts = scene.texts().join("\n");
+        // 23:00 creation/acceptance, 00:00 assignment, 01:00 earliest,
+        // 03:00 latest start, 05:00 latest end.
+        for t in ["23:00", "00:00", "01:00", "03:00", "05:00"] {
+            assert!(texts.contains(t), "missing time {t} in {texts}");
+        }
+    }
+
+    #[test]
+    fn renders_to_svg_with_paper_colors() {
+        let scene = build(&figure2(), 900.0, 420.0);
+        let svg = render_svg(&scene);
+        assert!(svg.contains(&palette::TIME_FLEX.to_hex()));
+        assert!(svg.contains(&palette::SCHEDULE.to_hex()));
+        assert!(svg.contains(&palette::DEADLINE_MARKER.to_hex()));
+    }
+
+    #[test]
+    fn unscheduled_offer_omits_schedule_elements() {
+        let mut v = figure2();
+        v.offer = FlexOffer::builder(2u64, 1u64)
+            .earliest_start(TimeSlot::new(200))
+            .latest_start(TimeSlot::new(208))
+            .slices(4, Energy::from_wh(100), Energy::from_wh(300))
+            .build()
+            .unwrap();
+        let scene = build(&v, 900.0, 420.0);
+        let texts = scene.texts().join("\n");
+        assert!(!texts.contains("scheduled start"));
+    }
+}

@@ -1,0 +1,277 @@
+//! The basic view (Figure 8): a large number of flex-offers as stacked
+//! boxes.
+//!
+//! Per offer the view shows exactly the three elements the paper lists:
+//! the duration of the energy profile (light blue, or light red for
+//! aggregates), the time-flexibility interval (grey), and the scheduled
+//! start time (red solid line). A dashed red rectangle renders an active
+//! selection.
+
+use mirabel_viz::{palette, Anchor, Axis, Node, Orientation, Point, Rect, Scene, Style, TextNode};
+
+use crate::views::DetailLayout;
+use crate::visual::{slot_label, VisualOffer};
+
+/// Options for [`build`].
+#[derive(Debug, Clone, Copy)]
+pub struct BasicViewOptions {
+    /// Canvas width.
+    pub width: f64,
+    /// Canvas height.
+    pub height: f64,
+    /// An active rectangle selection to overlay (scene coordinates).
+    pub selection_rect: Option<Rect>,
+}
+
+impl Default for BasicViewOptions {
+    fn default() -> Self {
+        BasicViewOptions { width: 960.0, height: 540.0, selection_rect: None }
+    }
+}
+
+/// Builds the basic view scene. Boxes are tagged with the offer ids so
+/// hit-testing and rectangle selection work directly on the scene.
+pub fn build(offers: &[VisualOffer], options: &BasicViewOptions) -> Scene {
+    let layout = DetailLayout::compute(offers, options.width, options.height);
+    build_with_layout(offers, options, &layout)
+}
+
+/// Builds the basic view against a precomputed layout (shared with the
+/// tooltip overlay).
+pub fn build_with_layout(
+    offers: &[VisualOffer],
+    options: &BasicViewOptions,
+    layout: &DetailLayout,
+) -> Scene {
+    let mut scene = Scene::new(options.width, options.height);
+    let multi_day = layout.multi_day();
+
+    let mut boxes = Vec::with_capacity(offers.len() * 3);
+    for (i, v) in offers.iter().enumerate() {
+        boxes.extend(offer_nodes(layout, i, v, offers));
+    }
+    scene.push(Node::group("offers", boxes));
+
+    // Time axis with pretty slot ticks labelled as clock time.
+    let mut axis = Axis::new(layout.scale_x, Orientation::Horizontal, layout.bottom + 2.0);
+    axis.build_into(&mut scene, layout, multi_day);
+
+    scene.push(Node::text(
+        Point::new(8.0, 16.0),
+        format!("Basic view - {} flex-offers", offers.len()),
+        11.0,
+        palette::AXIS,
+    ));
+
+    if let Some(sel) = options.selection_rect {
+        scene.push(Node::RectNode {
+            rect: sel,
+            style: Style::stroked(palette::SELECTION, 1.5).with_dash(vec![5.0, 3.0]),
+            tag: None,
+        });
+    }
+    scene
+}
+
+/// The per-offer node builder exposed for incremental rendering: the
+/// embedder drives a [`mirabel_viz::Incremental`] over the offer list
+/// and builds one offer's nodes per item, so the scene grows in bounded
+/// chunks ("rendering does not freeze the tool", Section 4). The A2
+/// ablation bench measures the latency bound this buys.
+pub fn offer_nodes_for_bench(
+    layout: &DetailLayout,
+    i: usize,
+    offers: &[VisualOffer],
+) -> Vec<Node> {
+    offer_nodes(layout, i, &offers[i], offers)
+}
+
+/// The three Figure 8 elements for one offer.
+pub(crate) fn offer_nodes(
+    layout: &DetailLayout,
+    i: usize,
+    v: &VisualOffer,
+    offers: &[VisualOffer],
+) -> Vec<Node> {
+    let tag = v.id().raw();
+    let extent = layout.extent_box(i, offers);
+    let profile = layout.profile_box(i, offers);
+    let fill = if v.aggregated { palette::AGGREGATED } else { palette::NON_AGGREGATED };
+    let mut nodes = vec![
+        // Grey time-flexibility interval behind the profile box.
+        Node::tagged_rect(extent, Style::filled(palette::TIME_FLEX), tag),
+        Node::tagged_rect(profile, Style::filled(fill).with_stroke(palette::AXIS, 0.5), tag),
+    ];
+    if let Some(s) = v.offer.schedule() {
+        let x = layout.scale_x.map(s.start().index() as f64);
+        nodes.push(Node::Line {
+            from: Point::new(x, extent.y),
+            to: Point::new(x, extent.bottom()),
+            style: Style::stroked(palette::SCHEDULE, 2.0),
+            tag: Some(tag),
+        });
+    }
+    nodes
+}
+
+// A small extension so the axis can label slots as clock time without
+// depending on the time crate from within `mirabel-viz`.
+trait SlotAxis {
+    fn build_into(&mut self, scene: &mut Scene, layout: &DetailLayout, multi_day: bool);
+}
+
+impl SlotAxis for Axis {
+    fn build_into(&mut self, scene: &mut Scene, layout: &DetailLayout, multi_day: bool) {
+        // Draw the base line and ticks ourselves so labels can use civil
+        // time (the generic Axis labeller is a fn pointer and cannot
+        // capture the layout).
+        let (d0, d1) = self.scale.domain();
+        let (ticks, _) = mirabel_viz::nice_ticks(d0, d1, 8);
+        let style = Style::stroked(palette::AXIS, 1.0);
+        let y = self.position;
+        let mut children = vec![Node::line(
+            Point::new(self.scale.range().0, y),
+            Point::new(self.scale.range().1, y),
+            style.clone(),
+        )];
+        for t in ticks {
+            if t < d0 - 1e-9 || t > d1 + 1e-9 {
+                continue;
+            }
+            let x = self.scale.map(t);
+            children.push(Node::line(Point::new(x, y), Point::new(x, y + 4.0), style.clone()));
+            children.push(Node::Text(TextNode {
+                pos: Point::new(x, y + 15.0),
+                content: slot_label(
+                    mirabel_timeseries::TimeSlot::new(t.round() as i64),
+                    multi_day,
+                ),
+                size: 9.0,
+                anchor: Anchor::Middle,
+                color: palette::AXIS,
+            }));
+        }
+        let _ = layout;
+        scene.push(Node::Group { label: Some("time-axis".into()), children });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirabel_flexoffer::{Energy, FlexOffer, Schedule};
+    use mirabel_timeseries::{SlotSpan, TimeSlot};
+    use mirabel_viz::{hit_test, rect_query, render_svg};
+
+    fn sample_offers() -> Vec<VisualOffer> {
+        let mk = |id: u64, est: i64, tf: i64| {
+            FlexOffer::builder(id, id)
+                .earliest_start(TimeSlot::new(est))
+                .latest_start(TimeSlot::new(est + tf))
+                .slices(3, Energy::from_wh(100), Energy::from_wh(300))
+                .build()
+                .unwrap()
+        };
+        let mut scheduled = mk(3, 6, 8);
+        scheduled.accept().unwrap();
+        scheduled
+            .assign(Schedule::new(TimeSlot::new(10), vec![Energy::from_wh(200); 3]))
+            .unwrap();
+        vec![
+            VisualOffer::plain(mk(1, 0, 6)),
+            VisualOffer {
+                offer: mk(2, 2, 6),
+                aggregated: true,
+                provenance: vec![],
+            },
+            VisualOffer::plain(scheduled),
+        ]
+    }
+
+    #[test]
+    fn scene_contains_the_three_elements() {
+        let offers = sample_offers();
+        let scene = build(&offers, &BasicViewOptions::default());
+        let svg = render_svg(&scene);
+        // Grey flexibility boxes, light blue and light red profile boxes.
+        assert!(svg.contains(&palette::TIME_FLEX.to_hex()));
+        assert!(svg.contains(&palette::NON_AGGREGATED.to_hex()));
+        assert!(svg.contains(&palette::AGGREGATED.to_hex()));
+        // Red scheduled start line for the assigned offer.
+        assert!(svg.contains(&palette::SCHEDULE.to_hex()));
+        // Header text.
+        assert!(scene.texts().iter().any(|t| t.contains("3 flex-offers")));
+    }
+
+    #[test]
+    fn boxes_are_hit_testable_by_offer_id() {
+        let offers = sample_offers();
+        let layout = DetailLayout::compute(&offers, 960.0, 540.0);
+        let scene =
+            build_with_layout(&offers, &BasicViewOptions::default(), &layout);
+        for (i, v) in offers.iter().enumerate() {
+            let c = layout.profile_box(i, &offers).center();
+            let hits = hit_test(&scene, c);
+            assert!(
+                hits.contains(&v.id().raw()),
+                "offer {} not hit at {c}",
+                v.id()
+            );
+        }
+    }
+
+    #[test]
+    fn rectangle_selection_finds_offers() {
+        let offers = sample_offers();
+        let layout = DetailLayout::compute(&offers, 960.0, 540.0);
+        let scene = build_with_layout(&offers, &BasicViewOptions::default(), &layout);
+        let all = rect_query(&scene, Rect::new(0.0, 0.0, 960.0, 540.0));
+        for v in &offers {
+            assert!(all.contains(&v.id().raw()));
+        }
+    }
+
+    #[test]
+    fn selection_rect_is_drawn_dashed() {
+        let offers = sample_offers();
+        let scene = build(
+            &offers,
+            &BasicViewOptions {
+                selection_rect: Some(Rect::new(100.0, 50.0, 200.0, 120.0)),
+                ..Default::default()
+            },
+        );
+        let svg = render_svg(&scene);
+        assert!(svg.contains("stroke-dasharray"));
+    }
+
+    #[test]
+    fn axis_labels_use_clock_time() {
+        let offers = sample_offers();
+        let scene = build(&offers, &BasicViewOptions::default());
+        let texts = scene.texts();
+        assert!(
+            texts.iter().any(|t| t.contains(':')),
+            "expected HH:MM labels, got {texts:?}"
+        );
+    }
+
+    #[test]
+    fn large_sets_render_without_panic() {
+        let offers: Vec<VisualOffer> = (0..2_000)
+            .map(|i| {
+                VisualOffer::plain(
+                    FlexOffer::builder(i + 1, 1u64)
+                        .earliest_start(TimeSlot::new((i % 96) as i64))
+                        .latest_start(TimeSlot::new((i % 96) as i64 + 8))
+                        .slices(4, Energy::ZERO, Energy::from_wh(500))
+                        .build()
+                        .unwrap(),
+                )
+            })
+            .collect();
+        let scene = build(&offers, &BasicViewOptions::default());
+        assert!(scene.primitive_count() >= 2 * 2_000);
+        let _ = offers[0].offer.earliest_start() + SlotSpan::ZERO;
+    }
+}

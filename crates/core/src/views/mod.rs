@@ -1,0 +1,205 @@
+//! The views of the visual analysis framework.
+
+pub mod annotate;
+pub mod basic;
+pub mod dashboard;
+pub mod map;
+pub mod pivot;
+pub mod profile;
+pub mod schematic;
+pub mod tooltip;
+
+use mirabel_timeseries::TimeSlot;
+use mirabel_viz::{assign_lanes, LinearScale, Rect};
+
+use crate::visual::VisualOffer;
+
+/// Shared geometry of the detail views (basic and profile): the time
+/// scale on the abscissa and one lane per stacked flex-offer box on the
+/// ordinate. Computed once and shared by rendering, hit-testing and the
+/// tooltip overlay so they always agree.
+#[derive(Debug, Clone)]
+pub struct DetailLayout {
+    /// Maps slot index (as f64) to x pixels.
+    pub scale_x: LinearScale,
+    /// Lane per visual offer (input order).
+    pub lanes: Vec<usize>,
+    /// Number of lanes.
+    pub lane_count: usize,
+    /// Pixel height of one lane.
+    pub lane_height: f64,
+    /// Top margin above the first lane.
+    pub top: f64,
+    /// Bottom y of the lane area (the time axis sits here).
+    pub bottom: f64,
+    /// First slot of the time domain.
+    pub t0: TimeSlot,
+    /// One past the last slot of the time domain.
+    pub t1: TimeSlot,
+}
+
+impl DetailLayout {
+    /// Computes the layout for `offers` on a `width × height` canvas.
+    /// The time domain is the union of the offers' flexibility extents
+    /// (one day at the epoch for an empty set); lanes come from greedy
+    /// interval stacking over those extents.
+    pub fn compute(offers: &[VisualOffer], width: f64, height: f64) -> DetailLayout {
+        let t0 = offers
+            .iter()
+            .map(|v| v.offer.earliest_start())
+            .min()
+            .unwrap_or(TimeSlot::EPOCH);
+        let t1 = offers
+            .iter()
+            .map(|v| v.offer.latest_end())
+            .max()
+            .unwrap_or(TimeSlot::EPOCH)
+            .max(t0.next());
+        let intervals: Vec<(i64, i64)> = offers
+            .iter()
+            .map(|v| (v.offer.earliest_start().index(), v.offer.latest_end().index()))
+            .collect();
+        let layout = assign_lanes(&intervals);
+        let left = 56.0;
+        let right = width - 12.0;
+        let top = 26.0;
+        let bottom = height - 32.0;
+        let lane_count = layout.lane_count.max(1);
+        let lane_height = ((bottom - top) / lane_count as f64).clamp(4.0, 64.0);
+        DetailLayout {
+            scale_x: LinearScale::new(
+                (t0.index() as f64, t1.index() as f64),
+                (left, right),
+            ),
+            lanes: layout.lanes,
+            lane_count,
+            lane_height,
+            top,
+            bottom,
+            t0,
+            t1,
+        }
+    }
+
+    /// `true` when the domain spans more than one civil day.
+    pub fn multi_day(&self) -> bool {
+        self.t0.days_from_epoch() != self.t1.prev().days_from_epoch()
+    }
+
+    /// Top y of lane `i`.
+    pub fn lane_y(&self, lane: usize) -> f64 {
+        self.top + lane as f64 * self.lane_height
+    }
+
+    /// The full extent box (earliest start → latest end) of offer `i` —
+    /// the grey flexibility rectangle of the basic view.
+    pub fn extent_box(&self, i: usize, offers: &[VisualOffer]) -> Rect {
+        let v = &offers[i];
+        let x0 = self.scale_x.map(v.offer.earliest_start().index() as f64);
+        let x1 = self.scale_x.map(v.offer.latest_end().index() as f64);
+        let y = self.lane_y(self.lanes[i]) + 1.0;
+        Rect::new(x0, y, x1 - x0, self.lane_height - 2.0)
+    }
+
+    /// The profile-duration box of offer `i`: anchored at the scheduled
+    /// start when assigned, otherwise at the earliest start.
+    pub fn profile_box(&self, i: usize, offers: &[VisualOffer]) -> Rect {
+        let v = &offers[i];
+        let anchor = v
+            .offer
+            .schedule()
+            .map(|s| s.start())
+            .unwrap_or_else(|| v.offer.earliest_start());
+        let len = v.offer.profile().len() as f64;
+        let x0 = self.scale_x.map(anchor.index() as f64);
+        let x1 = self.scale_x.map(anchor.index() as f64 + len);
+        let y = self.lane_y(self.lanes[i]) + 1.0;
+        Rect::new(x0, y, x1 - x0, self.lane_height - 2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirabel_flexoffer::{Energy, FlexOffer};
+    use mirabel_timeseries::SlotSpan;
+
+    fn offers() -> Vec<VisualOffer> {
+        let mk = |id: u64, est: i64, tf: i64, len: usize| {
+            FlexOffer::builder(id, id)
+                .earliest_start(TimeSlot::new(est))
+                .latest_start(TimeSlot::new(est + tf))
+                .slices(len, Energy::from_wh(10), Energy::from_wh(20))
+                .build()
+                .unwrap()
+        };
+        VisualOffer::from_offers(&[mk(1, 0, 4, 2), mk(2, 2, 4, 2), mk(3, 20, 0, 4)])
+    }
+
+    #[test]
+    fn layout_covers_all_offers() {
+        let vs = offers();
+        let l = DetailLayout::compute(&vs, 800.0, 400.0);
+        assert_eq!(l.t0, TimeSlot::new(0));
+        assert_eq!(l.t1, TimeSlot::new(24)); // offer 3 ends at 20 + 4
+        assert_eq!(l.lanes.len(), 3);
+        // Offers 1 and 2 overlap → different lanes; 3 can reuse lane 0.
+        assert_ne!(l.lanes[0], l.lanes[1]);
+        assert!(!l.multi_day());
+    }
+
+    #[test]
+    fn boxes_are_inside_canvas_and_ordered() {
+        let vs = offers();
+        let l = DetailLayout::compute(&vs, 800.0, 400.0);
+        for i in 0..vs.len() {
+            let e = l.extent_box(i, &vs);
+            let p = l.profile_box(i, &vs);
+            assert!(e.x >= 0.0 && e.right() <= 800.0, "{e}");
+            assert!(e.y >= l.top && e.bottom() <= l.bottom + 1.0);
+            // The profile box starts with the extent box (no schedule).
+            assert!((p.x - e.x).abs() < 1e-9);
+            assert!(p.w <= e.w + 1e-9);
+        }
+    }
+
+    #[test]
+    fn scheduled_offers_anchor_profile_at_start() {
+        let mut vs = offers();
+        let off = &mut vs[0].offer;
+        off.accept().unwrap();
+        let start = off.earliest_start() + SlotSpan::slots(2);
+        off.assign(mirabel_flexoffer::Schedule::new(start, vec![Energy::from_wh(15); 2]))
+            .unwrap();
+        let l = DetailLayout::compute(&vs, 800.0, 400.0);
+        let e = l.extent_box(0, &vs);
+        let p = l.profile_box(0, &vs);
+        assert!(p.x > e.x, "profile box must shift to the scheduled start");
+    }
+
+    #[test]
+    fn empty_offer_list_defaults() {
+        let l = DetailLayout::compute(&[], 640.0, 300.0);
+        assert_eq!(l.lane_count, 1);
+        assert!(l.t1 > l.t0);
+    }
+
+    #[test]
+    fn many_lanes_shrink_but_stay_visible() {
+        let vs: Vec<VisualOffer> = (0..100)
+            .map(|i| {
+                VisualOffer::plain(
+                    FlexOffer::builder(i + 1, 1u64)
+                        .earliest_start(TimeSlot::new(0))
+                        .latest_start(TimeSlot::new(10))
+                        .slices(2, Energy::ZERO, Energy::from_wh(1))
+                        .build()
+                        .unwrap(),
+                )
+            })
+            .collect();
+        let l = DetailLayout::compute(&vs, 800.0, 400.0);
+        assert_eq!(l.lane_count, 100);
+        assert!(l.lane_height >= 4.0);
+    }
+}

@@ -1,0 +1,179 @@
+//! The profile view (Figure 9): detailed flex-offer representation.
+//!
+//! Every flex-offer box contains its per-slice `[min, max]` energy bounds
+//! drawn against an ordinate energy scale that is **synchronized across
+//! all lanes** ("thanks to the synchronized scales of all ordinate axes,
+//! compare them across multiple flex-offers"), plus the scheduled energy
+//! per slice as a red step line. The paper notes this view "is effective
+//! for a smaller flex-offer set with less than few thousands of
+//! flex-offers" — the F9 bench quantifies that.
+
+use mirabel_flexoffer::Energy;
+use mirabel_viz::{palette, Node, Point, Scene, Style};
+
+use crate::views::basic::BasicViewOptions;
+use crate::views::DetailLayout;
+use crate::visual::VisualOffer;
+
+/// Options for [`build`]; shares the geometry options with the basic
+/// view.
+pub type ProfileViewOptions = BasicViewOptions;
+
+/// Builds the profile view scene.
+pub fn build(offers: &[VisualOffer], options: &ProfileViewOptions) -> Scene {
+    let layout = DetailLayout::compute(offers, options.width, options.height);
+    build_with_layout(offers, options, &layout)
+}
+
+/// Builds the profile view against a precomputed layout.
+pub fn build_with_layout(
+    offers: &[VisualOffer],
+    options: &ProfileViewOptions,
+    layout: &DetailLayout,
+) -> Scene {
+    let mut scene = Scene::new(options.width, options.height);
+
+    // Synchronized energy scale: the global peak slice bound.
+    let peak: Energy = offers
+        .iter()
+        .map(|v| v.offer.profile().peak_max())
+        .max()
+        .unwrap_or(Energy::ZERO);
+    let peak_kwh = peak.kwh().max(1e-9);
+
+    let mut nodes = Vec::with_capacity(offers.len() * 8);
+    for (i, v) in offers.iter().enumerate() {
+        let tag = v.id().raw();
+        let extent = layout.extent_box(i, offers);
+        let pbox = layout.profile_box(i, offers);
+        let fill = if v.aggregated { palette::AGGREGATED } else { palette::NON_AGGREGATED };
+        // Flexibility window (grey) and profile container box.
+        nodes.push(Node::tagged_rect(extent, Style::filled(palette::TIME_FLEX), tag));
+        nodes.push(Node::tagged_rect(
+            pbox,
+            Style::filled(fill).with_stroke(palette::AXIS, 0.5),
+            tag,
+        ));
+
+        // Per-slice energy bound bars, scaled by the synchronized peak.
+        let n = v.offer.profile().len() as f64;
+        let slice_w = pbox.w / n;
+        let y_of = |e: Energy| pbox.bottom() - (e.kwh() / peak_kwh) * (pbox.h - 2.0);
+        for (k, slice) in v.offer.profile().slices().iter().enumerate() {
+            let x0 = pbox.x + k as f64 * slice_w + slice_w * 0.2;
+            let w = slice_w * 0.6;
+            let y_max = y_of(slice.max);
+            let y_min = y_of(slice.min);
+            // The [min, max] band as a filled bar.
+            nodes.push(Node::RectNode {
+                rect: mirabel_viz::Rect::new(x0, y_max, w, (y_min - y_max).max(1.0)),
+                style: Style::filled(palette::ENERGY_BOUND.with_alpha(140)),
+                tag: Some(tag),
+            });
+            // Min bound line (the solid base of the bar).
+            nodes.push(Node::line(
+                Point::new(x0, y_min),
+                Point::new(x0 + w, y_min),
+                Style::stroked(palette::ENERGY_BOUND, 1.0),
+            ));
+        }
+
+        // Scheduled energy as a red step line over the slices.
+        if let Some(s) = v.offer.schedule() {
+            let x_sched = layout.scale_x.map(s.start().index() as f64);
+            let sched_w = pbox.w; // same slice geometry as the profile
+            let step = sched_w / n;
+            let mut points = Vec::with_capacity(s.len() * 2);
+            for (k, &e) in s.energies().iter().enumerate() {
+                let y = y_of(e);
+                points.push(Point::new(x_sched + k as f64 * step, y));
+                points.push(Point::new(x_sched + (k as f64 + 1.0) * step, y));
+            }
+            nodes.push(Node::Polyline {
+                points,
+                style: Style::stroked(palette::SCHEDULE, 1.5),
+                tag: Some(tag),
+            });
+        }
+    }
+    scene.push(Node::group("profiles", nodes));
+
+    scene.push(Node::text(
+        Point::new(8.0, 16.0),
+        format!(
+            "Profile view - {} flex-offers, ordinate peak {:.2} kWh (synchronized)",
+            offers.len(),
+            peak.kwh()
+        ),
+        11.0,
+        palette::AXIS,
+    ));
+    scene
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirabel_flexoffer::{FlexOffer, Schedule};
+    use mirabel_timeseries::TimeSlot;
+    use mirabel_viz::{hit_test, render_svg};
+
+    fn offers() -> Vec<VisualOffer> {
+        let mk = |id: u64, est: i64, max_wh: i64| {
+            FlexOffer::builder(id, id)
+                .earliest_start(TimeSlot::new(est))
+                .latest_start(TimeSlot::new(est + 4))
+                .slices(4, Energy::from_wh(max_wh / 2), Energy::from_wh(max_wh))
+                .build()
+                .unwrap()
+        };
+        vec![VisualOffer::plain(mk(1, 0, 1_000)), VisualOffer::plain(mk(2, 2, 2_000))]
+    }
+
+    #[test]
+    fn scene_mentions_synchronized_peak() {
+        let vs = offers();
+        let scene = build(&vs, &ProfileViewOptions::default());
+        // Peak is the *global* max slice bound: 2 kWh from offer 2.
+        assert!(scene.texts().iter().any(|t| t.contains("2.00 kWh")));
+    }
+
+    #[test]
+    fn bound_bars_present_per_slice() {
+        let vs = offers();
+        let scene = build(&vs, &ProfileViewOptions::default());
+        // 2 offers × (extent + box) + 4 slices × (band + min line) × 2.
+        assert!(scene.primitive_count() >= 2 * 2 + 2 * 4 * 2);
+        let svg = render_svg(&scene);
+        assert!(svg.contains(&palette::ENERGY_BOUND.to_hex()));
+    }
+
+    #[test]
+    fn scheduled_step_line_is_red_polyline() {
+        let mut vs = offers();
+        let off = &mut vs[0].offer;
+        off.accept().unwrap();
+        off.assign(Schedule::new(TimeSlot::new(1), vec![Energy::from_wh(700); 4])).unwrap();
+        let scene = build(&vs, &ProfileViewOptions::default());
+        let svg = render_svg(&scene);
+        assert!(svg.contains("<polyline"));
+        assert!(svg.contains(&palette::SCHEDULE.to_hex()));
+    }
+
+    #[test]
+    fn boxes_hit_test_to_offer_ids() {
+        let vs = offers();
+        let layout = DetailLayout::compute(&vs, 960.0, 540.0);
+        let scene = build_with_layout(&vs, &ProfileViewOptions::default(), &layout);
+        for (i, v) in vs.iter().enumerate() {
+            let c = layout.profile_box(i, &vs).center();
+            assert!(hit_test(&scene, c).contains(&v.id().raw()));
+        }
+    }
+
+    #[test]
+    fn empty_set_renders_header_only() {
+        let scene = build(&[], &ProfileViewOptions::default());
+        assert!(scene.texts().iter().any(|t| t.contains("0 flex-offers")));
+    }
+}

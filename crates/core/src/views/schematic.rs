@@ -1,0 +1,278 @@
+//! The schematic view (Figure 4): the grid topology with per-node
+//! status pies.
+
+use std::f64::consts::TAU;
+
+use mirabel_dw::{Dimension, Measure, Query, Warehouse};
+use mirabel_flexoffer::FlexOfferStatus;
+use mirabel_grid::{layered_layout, GridTopology, NodeKind};
+use mirabel_viz::{palette, Node, Point, Scene, Style};
+
+/// Options for [`build`].
+#[derive(Debug, Clone, Copy)]
+pub struct SchematicViewOptions {
+    /// Canvas width.
+    pub width: f64,
+    /// Canvas height.
+    pub height: f64,
+    /// Radius of the per-node status pies.
+    pub pie_radius: f64,
+}
+
+impl Default for SchematicViewOptions {
+    fn default() -> Self {
+        SchematicViewOptions { width: 1100.0, height: 620.0, pie_radius: 14.0 }
+    }
+}
+
+/// Status shares for one grid node's pie.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StatusShares {
+    /// Accepted count.
+    pub accepted: f64,
+    /// Assigned count.
+    pub assigned: f64,
+    /// Rejected count.
+    pub rejected: f64,
+    /// Everything else (offered/executed).
+    pub other: f64,
+}
+
+impl StatusShares {
+    /// Total count behind the pie.
+    pub fn total(&self) -> f64 {
+        self.accepted + self.assigned + self.rejected + self.other
+    }
+}
+
+/// Builds the schematic view: the layered grid with edges, node glyphs,
+/// and — on lines and substations — accepted/assigned/rejected pies
+/// computed from the warehouse, like the "G" plants and percentage pies
+/// of Figure 4. Pies are tagged with the grid hierarchy member ids.
+pub fn build(dw: &Warehouse, grid: &GridTopology, options: &SchematicViewOptions) -> Scene {
+    let mut scene = Scene::new(options.width, options.height);
+    let layout = layered_layout(grid, options.width, options.height - 30.0);
+    let pos = |id: mirabel_grid::NodeId| {
+        let p = layout.iter().find(|p| p.id == id).expect("laid out");
+        Point::new(p.x, p.y + 24.0)
+    };
+
+    // Edges first (behind everything).
+    let mut edges = Vec::new();
+    for node in grid.nodes() {
+        if let Some(parent) = node.parent {
+            edges.push(Node::line(
+                pos(parent),
+                pos(node.id),
+                Style::stroked(palette::AXIS.with_alpha(120), 1.0),
+            ));
+        }
+    }
+    scene.push(Node::group("edges", edges));
+
+    let grid_h = dw.hierarchy(Dimension::Grid);
+    let mut nodes = Vec::new();
+    for node in grid.nodes() {
+        let p = pos(node.id);
+        match node.kind {
+            NodeKind::Plant => {
+                // Generator glyph: a circle with a "G", as in Figure 4.
+                nodes.push(Node::Circle {
+                    center: p,
+                    radius: 10.0,
+                    style: Style::filled(palette::BACKGROUND).with_stroke(palette::AXIS, 1.5),
+                    tag: None,
+                });
+                nodes.push(Node::text_centered(
+                    Point::new(p.x, p.y + 3.0),
+                    "G",
+                    9.0,
+                    palette::AXIS,
+                ));
+            }
+            NodeKind::TransmissionLine | NodeKind::Substation => {
+                let member = grid_h.member_by_name(&node.name);
+                let shares = member
+                    .map(|m| status_shares(dw, m.id))
+                    .unwrap_or(StatusShares { accepted: 0.0, assigned: 0.0, rejected: 0.0, other: 0.0 });
+                nodes.push(pie(p, options.pie_radius, &shares, member.map(|m| m.id.0 as u64)));
+                nodes.push(Node::text_centered(
+                    Point::new(p.x, p.y + options.pie_radius + 10.0),
+                    node.name.clone(),
+                    8.0,
+                    palette::AXIS,
+                ));
+            }
+            NodeKind::Feeder => {
+                nodes.push(Node::Circle {
+                    center: p,
+                    radius: 1.5,
+                    style: Style::filled(palette::AXIS),
+                    tag: None,
+                });
+            }
+            NodeKind::Root => {
+                nodes.push(Node::text_centered(
+                    Point::new(p.x, p.y),
+                    "National grid",
+                    10.0,
+                    palette::AXIS,
+                ));
+            }
+        }
+    }
+    scene.push(Node::group("nodes", nodes));
+    scene.push(Node::text(
+        Point::new(8.0, 16.0),
+        "Schematic view - flex-offer status by grid object",
+        11.0,
+        palette::AXIS,
+    ));
+    scene
+}
+
+/// Status counts of the facts under one grid hierarchy member.
+pub fn status_shares(dw: &Warehouse, member: mirabel_dw::MemberId) -> StatusShares {
+    let count = |statuses: Vec<FlexOfferStatus>| {
+        dw.eval(
+            &Query::new(Measure::Count)
+                .filter(Dimension::Grid, member)
+                .statuses(statuses),
+        )
+        .map(|r| r.total)
+        .unwrap_or(0.0)
+    };
+    let accepted = count(vec![FlexOfferStatus::Accepted]);
+    let assigned = count(vec![FlexOfferStatus::Assigned]);
+    let rejected = count(vec![FlexOfferStatus::Rejected]);
+    let other = count(vec![FlexOfferStatus::Offered, FlexOfferStatus::Executed]);
+    StatusShares { accepted, assigned, rejected, other }
+}
+
+/// Builds a status pie (grey disc when empty).
+pub fn pie(center: Point, radius: f64, shares: &StatusShares, tag: Option<u64>) -> Node {
+    let total = shares.total();
+    if total <= 0.0 {
+        return Node::Circle {
+            center,
+            radius,
+            style: Style::filled(palette::STATUS_OFFERED.with_alpha(80))
+                .with_stroke(palette::AXIS, 0.5),
+            tag,
+        };
+    }
+    let segments = [
+        (shares.accepted, palette::STATUS_ACCEPTED),
+        (shares.assigned, palette::STATUS_ASSIGNED),
+        (shares.rejected, palette::STATUS_REJECTED),
+        (shares.other, palette::STATUS_OFFERED),
+    ];
+    let mut angle = 0.0;
+    let mut children = Vec::new();
+    for (value, color) in segments {
+        if value <= 0.0 {
+            continue;
+        }
+        let sweep = value / total * TAU;
+        children.push(Node::Wedge {
+            center,
+            radius,
+            start: angle,
+            end: angle + sweep,
+            style: Style::filled(color).with_stroke(palette::BACKGROUND, 0.5),
+            tag,
+        });
+        angle += sweep;
+    }
+    Node::Group { label: Some("pie".into()), children }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirabel_grid::GridConfig;
+    use mirabel_viz::render_svg;
+    use mirabel_workload::{generate_offers, OfferConfig, Population, PopulationConfig};
+
+    fn setup() -> (Warehouse, GridTopology) {
+        let pop = Population::generate(&PopulationConfig {
+            size: 300,
+            seed: 27,
+            household_share: 0.8,
+        });
+        let mut offers = generate_offers(&pop, &OfferConfig::default());
+        // Give statuses some spread for the pies.
+        for (i, fo) in offers.iter_mut().enumerate() {
+            match i % 3 {
+                0 => fo.accept().unwrap(),
+                1 => fo.reject().unwrap(),
+                _ => {}
+            }
+        }
+        let grid = pop.grid().clone();
+        (Warehouse::load(&pop, &offers), grid)
+    }
+
+    #[test]
+    fn scene_has_plants_edges_and_pies() {
+        let (dw, grid) = setup();
+        let scene = build(&dw, &grid, &SchematicViewOptions::default());
+        let svg = render_svg(&scene);
+        // G glyphs for the two plants.
+        assert!(scene.texts().iter().filter(|t| **t == "G").count() == 2);
+        // Pies are wedge paths.
+        assert!(svg.contains("<path"));
+        // Line names labelled.
+        assert!(scene.texts().contains(&"L1"));
+        assert!(scene.texts().iter().any(|t| t.contains("National grid")));
+    }
+
+    #[test]
+    fn shares_partition_the_line_total() {
+        let (dw, _) = setup();
+        let grid_h = dw.hierarchy(Dimension::Grid);
+        let l1 = grid_h.member_by_name("L1").unwrap().id;
+        let shares = status_shares(&dw, l1);
+        let direct = dw
+            .eval(&Query::new(Measure::Count).filter(Dimension::Grid, l1))
+            .unwrap()
+            .total;
+        assert!((shares.total() - direct).abs() < 1e-9);
+        assert!(shares.accepted > 0.0 && shares.rejected > 0.0);
+    }
+
+    #[test]
+    fn pie_angles_cover_the_circle() {
+        let shares = StatusShares { accepted: 1.0, assigned: 2.0, rejected: 1.0, other: 0.0 };
+        let node = pie(Point::new(0.0, 0.0), 10.0, &shares, Some(5));
+        let mut total_sweep = 0.0;
+        if let Node::Group { children, .. } = &node {
+            assert_eq!(children.len(), 3); // zero-valued segment skipped
+            for c in children {
+                if let Node::Wedge { start, end, tag, .. } = c {
+                    total_sweep += end - start;
+                    assert_eq!(*tag, Some(5));
+                }
+            }
+        }
+        assert!((total_sweep - TAU).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_pie_is_a_grey_disc() {
+        let shares = StatusShares { accepted: 0.0, assigned: 0.0, rejected: 0.0, other: 0.0 };
+        let node = pie(Point::new(0.0, 0.0), 10.0, &shares, None);
+        assert!(matches!(node, Node::Circle { .. }));
+    }
+
+    #[test]
+    fn small_grid_renders_all_substations() {
+        let (dw, _) = setup();
+        let small = GridTopology::synthetic(&GridConfig::small());
+        let scene = build(&dw, &small, &SchematicViewOptions::default());
+        let labels = scene.texts();
+        for sub in small.nodes_of_kind(NodeKind::Substation) {
+            assert!(labels.iter().any(|t| *t == sub.name), "{} missing", sub.name);
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! On-the-fly information (Figure 10): hover tooltips, deadline markers
+//! and aggregation provenance links.
+
+use mirabel_timeseries::TimeSlot;
+use mirabel_viz::{hit_test, palette, Node, Point, Scene, Style};
+
+use crate::views::DetailLayout;
+use crate::visual::{slot_label, VisualOffer};
+
+/// The information shown when pointing at a flex-offer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TooltipInfo {
+    /// The offer under the pointer.
+    pub offer_index: usize,
+    /// Human-readable description lines.
+    pub lines: Vec<String>,
+}
+
+/// Resolves the offer under the pointer on a detail-view scene (topmost
+/// hit wins) and assembles its tooltip text.
+pub fn probe(
+    scene: &Scene,
+    offers: &[VisualOffer],
+    pointer: Point,
+) -> Option<TooltipInfo> {
+    let hits = hit_test(scene, pointer);
+    let &top = hits.last()?;
+    let offer_index = offers.iter().position(|v| v.id().raw() == top)?;
+    let v = &offers[offer_index];
+    let o = &v.offer;
+    let mut lines = vec![
+        format!("{} [{}] {}", o.id(), o.status(), o.appliance_type()),
+        format!(
+            "start in [{}, {}]  profile {} slots",
+            slot_label(o.earliest_start(), true),
+            slot_label(o.latest_start(), true),
+            o.profile().len()
+        ),
+        format!(
+            "energy [{}, {}]  flexibility {}",
+            o.total_min_energy(),
+            o.total_max_energy(),
+            o.energy_flexibility()
+        ),
+        format!(
+            "created {}  accept by {}  assign by {}",
+            slot_label(o.creation_time(), true),
+            slot_label(o.acceptance_deadline(), true),
+            slot_label(o.assignment_deadline(), true)
+        ),
+    ];
+    if let Some(s) = o.schedule() {
+        lines.push(format!("scheduled {} total {}", slot_label(s.start(), true), s.total()));
+    }
+    if v.aggregated {
+        lines.push(format!("aggregate of {} offers", v.provenance.len()));
+    }
+    Some(TooltipInfo { offer_index, lines })
+}
+
+/// Builds the Figure 10 overlay for `offer_index`: yellow vertical
+/// markers at the creation/acceptance/assignment times, the tooltip text
+/// panel, and red dashed provenance lines from an aggregate to its
+/// members (for members currently in the view).
+pub fn overlay(
+    offers: &[VisualOffer],
+    layout: &DetailLayout,
+    info: &TooltipInfo,
+) -> Node {
+    let v = &offers[info.offer_index];
+    let o = &v.offer;
+    let mut nodes = Vec::new();
+
+    // Yellow deadline markers across the lane area.
+    for t in [o.creation_time(), o.acceptance_deadline(), o.assignment_deadline()] {
+        let x = layout.scale_x.map(t.index() as f64);
+        nodes.push(Node::line(
+            Point::new(x, layout.top),
+            Point::new(x, layout.bottom),
+            Style::stroked(palette::DEADLINE_MARKER, 1.5),
+        ));
+    }
+
+    // Provenance links to members shown in the view (red dashed lines,
+    // "indications on which flex-offers were aggregated to produce the
+    // pointed flex-offer").
+    let from = layout.profile_box(info.offer_index, offers).center();
+    for member in &v.provenance {
+        if let Some(j) = offers.iter().position(|w| w.id() == *member) {
+            let to = layout.profile_box(j, offers).center();
+            nodes.push(Node::line(
+                Point::new(from.x, from.y),
+                Point::new(to.x, to.y),
+                Style::stroked(palette::PROVENANCE, 1.0).with_dash(vec![4.0, 3.0]),
+            ));
+        }
+    }
+
+    // Text panel near the pointed box.
+    let panel_w = 340.0;
+    let line_h = 12.0;
+    let panel_h = line_h * info.lines.len() as f64 + 10.0;
+    let px = (from.x + 12.0).min(layout.scale_x.range().1 - panel_w);
+    let py = (from.y + 12.0).min(layout.bottom - panel_h);
+    nodes.push(Node::rect(
+        mirabel_viz::Rect::new(px, py, panel_w, panel_h),
+        Style::filled(palette::BACKGROUND).with_stroke(palette::AXIS, 1.0),
+    ));
+    for (k, line) in info.lines.iter().enumerate() {
+        nodes.push(Node::text(
+            Point::new(px + 6.0, py + line_h * (k as f64 + 1.0)),
+            line.clone(),
+            9.0,
+            palette::AXIS,
+        ));
+    }
+    Node::group("tooltip", nodes)
+}
+
+/// Marker slot positions (for assertions and docs): creation, acceptance
+/// deadline, assignment deadline.
+pub fn marker_slots(v: &VisualOffer) -> [TimeSlot; 3] {
+    [
+        v.offer.creation_time(),
+        v.offer.acceptance_deadline(),
+        v.offer.assignment_deadline(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::views::basic::{build_with_layout, BasicViewOptions};
+    use mirabel_aggregation::{AggregationParams, Aggregator};
+    use mirabel_flexoffer::{Energy, FlexOffer};
+    use mirabel_viz::render_svg;
+
+    fn aggregated_setup() -> (Vec<VisualOffer>, DetailLayout, Scene) {
+        let mk = |id: u64, est: i64| {
+            FlexOffer::builder(id, id)
+                .earliest_start(TimeSlot::new(est))
+                .latest_start(TimeSlot::new(est + 6))
+                .slices(3, Energy::from_wh(100), Energy::from_wh(400))
+                .build()
+                .unwrap()
+        };
+        let originals = vec![mk(1, 0), mk(2, 1), mk(3, 40)];
+        let result =
+            Aggregator::new(AggregationParams::default()).aggregate(&originals).unwrap();
+        // Show the aggregate alongside its members (both in view so the
+        // provenance lines have endpoints).
+        let mut vs = VisualOffer::from_aggregation(&originals, &result);
+        vs.extend(VisualOffer::from_offers(&originals[..2]));
+        let layout = DetailLayout::compute(&vs, 960.0, 540.0);
+        let scene = build_with_layout(&vs, &BasicViewOptions::default(), &layout);
+        (vs, layout, scene)
+    }
+
+    #[test]
+    fn probe_finds_offer_and_lines() {
+        let (vs, layout, scene) = aggregated_setup();
+        let agg_idx = vs.iter().position(|v| v.aggregated).unwrap();
+        let c = layout.profile_box(agg_idx, &vs).center();
+        let info = probe(&scene, &vs, c).expect("aggregate under pointer");
+        assert_eq!(info.offer_index, agg_idx);
+        assert!(info.lines.iter().any(|l| l.contains("aggregate of 2 offers")));
+        assert!(info.lines.iter().any(|l| l.contains("accept by")));
+        // Pointing at empty space yields nothing.
+        assert!(probe(&scene, &vs, Point::new(2.0, 2.0)).is_none());
+    }
+
+    #[test]
+    fn overlay_has_markers_panel_and_provenance() {
+        let (vs, layout, scene) = aggregated_setup();
+        let agg_idx = vs.iter().position(|v| v.aggregated).unwrap();
+        let c = layout.profile_box(agg_idx, &vs).center();
+        let info = probe(&scene, &vs, c).unwrap();
+        let node = overlay(&vs, &layout, &info);
+        // 3 yellow markers + 2 provenance lines + panel + text lines.
+        let mut markers = 0;
+        let mut dashed = 0;
+        count_lines(&node, &mut markers, &mut dashed);
+        assert_eq!(markers, 3, "deadline markers");
+        assert_eq!(dashed, 2, "provenance links to the 2 in-view members");
+
+        let mut full = scene.clone();
+        full.push(node);
+        let svg = render_svg(&full);
+        assert!(svg.contains(&palette::DEADLINE_MARKER.to_hex()));
+        assert!(svg.contains("stroke-dasharray"));
+    }
+
+    fn count_lines(node: &Node, markers: &mut usize, dashed: &mut usize) {
+        match node {
+            Node::Group { children, .. } => {
+                for c in children {
+                    count_lines(c, markers, dashed);
+                }
+            }
+            Node::Line { style, .. } => {
+                if style.dash.is_some() {
+                    *dashed += 1;
+                } else if style.stroke.map(|s| s.0) == Some(palette::DEADLINE_MARKER) {
+                    *markers += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    #[test]
+    fn scheduled_offer_tooltip_mentions_schedule() {
+        let mut fo = FlexOffer::builder(9u64, 9u64)
+            .earliest_start(TimeSlot::new(4))
+            .latest_start(TimeSlot::new(8))
+            .slices(2, Energy::from_wh(0), Energy::from_wh(500))
+            .build()
+            .unwrap();
+        fo.accept().unwrap();
+        fo.assign(mirabel_flexoffer::Schedule::new(
+            TimeSlot::new(6),
+            vec![Energy::from_wh(250); 2],
+        ))
+        .unwrap();
+        let vs = vec![VisualOffer::plain(fo)];
+        let layout = DetailLayout::compute(&vs, 960.0, 540.0);
+        let scene = build_with_layout(&vs, &BasicViewOptions::default(), &layout);
+        let c = layout.profile_box(0, &vs).center();
+        let info = probe(&scene, &vs, c).unwrap();
+        assert!(info.lines.iter().any(|l| l.starts_with("scheduled")));
+        assert_eq!(marker_slots(&vs[0]).len(), 3);
+    }
+}

@@ -1,0 +1,109 @@
+//! The visual unit of the detail views.
+
+use mirabel_aggregation::AggregationResult;
+use mirabel_flexoffer::{FlexOffer, FlexOfferId};
+use mirabel_timeseries::TimeSlot;
+
+/// A flex-offer as the detail views see it: the offer plus its display
+/// provenance. Aggregated offers are rendered light-red (Figure 8) and
+/// their provenance drives the dashed links of Figure 10.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VisualOffer {
+    /// The offer to draw.
+    pub offer: FlexOffer,
+    /// `true` when this is a synthetic aggregate.
+    pub aggregated: bool,
+    /// Member offers merged into this one (empty for originals).
+    pub provenance: Vec<FlexOfferId>,
+}
+
+impl VisualOffer {
+    /// Wraps a plain (non-aggregated) offer.
+    pub fn plain(offer: FlexOffer) -> VisualOffer {
+        VisualOffer { offer, aggregated: false, provenance: Vec::new() }
+    }
+
+    /// Wraps a set of plain offers.
+    pub fn from_offers(offers: &[FlexOffer]) -> Vec<VisualOffer> {
+        offers.iter().cloned().map(VisualOffer::plain).collect()
+    }
+
+    /// Builds the post-aggregation display set: aggregates (light red,
+    /// with provenance) plus untouched originals (light blue) — exactly
+    /// what the paper's tool shows after "reducing the count of
+    /// flex-offers shown on a screen by aggregation".
+    pub fn from_aggregation(offers: &[FlexOffer], result: &AggregationResult) -> Vec<VisualOffer> {
+        let mut out = Vec::with_capacity(result.output_count());
+        for agg in &result.aggregates {
+            out.push(VisualOffer {
+                offer: agg.offer().clone(),
+                aggregated: true,
+                provenance: agg.member_ids().collect(),
+            });
+        }
+        for &i in &result.untouched {
+            out.push(VisualOffer::plain(offers[i].clone()));
+        }
+        out
+    }
+
+    /// The offer's id.
+    pub fn id(&self) -> FlexOfferId {
+        self.offer.id()
+    }
+}
+
+/// Formats a slot for the abscissa labels of the detail views:
+/// `"HH:MM"` within one day, `"MM-DD HH:MM"` across days.
+pub fn slot_label(slot: TimeSlot, multi_day: bool) -> String {
+    let c = slot.civil();
+    if multi_day {
+        format!("{:02}-{:02} {:02}:{:02}", c.date.month, c.date.day, c.hour, c.minute)
+    } else {
+        format!("{:02}:{:02}", c.hour, c.minute)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirabel_aggregation::{AggregationParams, Aggregator};
+    use mirabel_flexoffer::Energy;
+    use mirabel_timeseries::SlotSpan;
+
+    fn offer(id: u64, est: i64) -> FlexOffer {
+        FlexOffer::builder(id, id)
+            .earliest_start(TimeSlot::new(est))
+            .latest_start(TimeSlot::new(est + 4))
+            .slices(2, Energy::from_wh(10), Energy::from_wh(20))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn plain_offers_have_no_provenance() {
+        let vs = VisualOffer::from_offers(&[offer(1, 0), offer(2, 8)]);
+        assert_eq!(vs.len(), 2);
+        assert!(vs.iter().all(|v| !v.aggregated && v.provenance.is_empty()));
+        assert_eq!(vs[0].id(), FlexOfferId(1));
+    }
+
+    #[test]
+    fn aggregation_display_set() {
+        let offers = vec![offer(1, 0), offer(2, 1), offer(3, 500)];
+        let result = Aggregator::new(AggregationParams::default()).aggregate(&offers).unwrap();
+        let vs = VisualOffer::from_aggregation(&offers, &result);
+        assert_eq!(vs.len(), 2); // one aggregate + one singleton
+        let agg = vs.iter().find(|v| v.aggregated).unwrap();
+        assert_eq!(agg.provenance, vec![FlexOfferId(1), FlexOfferId(2)]);
+        let plain = vs.iter().find(|v| !v.aggregated).unwrap();
+        assert_eq!(plain.id(), FlexOfferId(3));
+    }
+
+    #[test]
+    fn slot_labels() {
+        let noon = TimeSlot::EPOCH + SlotSpan::hours(12) + SlotSpan::slots(1);
+        assert_eq!(slot_label(noon, false), "12:15");
+        assert_eq!(slot_label(noon, true), "01-01 12:15");
+    }
+}

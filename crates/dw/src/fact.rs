@@ -1,0 +1,169 @@
+//! The flex-offer fact table.
+
+use mirabel_flexoffer::{Direction, FlexOffer, FlexOfferId, FlexOfferStatus, ProsumerId};
+use mirabel_timeseries::TimeSlot;
+
+use crate::hierarchy::MemberId;
+
+/// One row of the fact table: dimension leaf keys plus pre-extracted
+/// measure inputs for a single flex-offer. Rows are immutable snapshots;
+/// re-loading the warehouse refreshes them after planning or execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FactRow {
+    /// The offer this row describes.
+    pub offer: FlexOfferId,
+    /// Issuing prosumer (the Figure 7 "legal entity" key).
+    pub prosumer: ProsumerId,
+    /// Consumption or production.
+    pub direction: Direction,
+    /// Lifecycle status at load time.
+    pub status: FlexOfferStatus,
+    /// Earliest start slot (drives time-range filters and the time key).
+    pub earliest_start: TimeSlot,
+
+    /// Leaf member in the time hierarchy (day of earliest start).
+    pub time_leaf: MemberId,
+    /// Leaf member in the geography hierarchy (prosumer's district).
+    pub geo_leaf: MemberId,
+    /// Leaf member in the grid hierarchy (prosumer's feeder).
+    pub grid_leaf: MemberId,
+    /// Leaf member in the energy-type hierarchy.
+    pub energy_leaf: MemberId,
+    /// Leaf member in the prosumer-type hierarchy.
+    pub prosumer_leaf: MemberId,
+    /// Leaf member in the appliance hierarchy.
+    pub appliance_leaf: MemberId,
+
+    /// Σ min bounds (Wh).
+    pub total_min_wh: i64,
+    /// Σ max bounds (Wh).
+    pub total_max_wh: i64,
+    /// Σ (max − min) (Wh) — the energy-flexibility measure input.
+    pub energy_flex_wh: i64,
+    /// Start-time flexibility in slots.
+    pub time_flex_slots: i64,
+    /// Profile length in slots.
+    pub profile_len: usize,
+    /// Scheduled energy (Wh), zero when unassigned.
+    pub scheduled_wh: i64,
+    /// Executed energy (Wh), zero when not executed.
+    pub executed_wh: i64,
+    /// Σ |executed − scheduled| per slice (Wh) — the plan-deviation
+    /// measure input.
+    pub deviation_wh: i64,
+    /// Offered price per kWh in euro-cents.
+    pub price_cents: i64,
+    /// Balancing potential (Wh) as defined by
+    /// [`FlexOffer::balancing_potential`].
+    pub balancing_potential_wh: i64,
+}
+
+impl FactRow {
+    /// Extracts a fact row from an offer and its pre-resolved dimension
+    /// keys.
+    #[allow(clippy::too_many_arguments)]
+    pub fn extract(
+        fo: &FlexOffer,
+        time_leaf: MemberId,
+        geo_leaf: MemberId,
+        grid_leaf: MemberId,
+        energy_leaf: MemberId,
+        prosumer_leaf: MemberId,
+        appliance_leaf: MemberId,
+    ) -> FactRow {
+        let scheduled_wh = fo.schedule().map(|s| s.total().wh()).unwrap_or(0);
+        let executed_wh = fo.execution().map(|e| e.total().wh()).unwrap_or(0);
+        let deviation_wh = match (fo.schedule(), fo.execution()) {
+            (Some(s), Some(e)) => e.total_absolute_deviation(s).wh(),
+            _ => 0,
+        };
+        FactRow {
+            offer: fo.id(),
+            prosumer: fo.prosumer(),
+            direction: fo.direction(),
+            status: fo.status(),
+            earliest_start: fo.earliest_start(),
+            time_leaf,
+            geo_leaf,
+            grid_leaf,
+            energy_leaf,
+            prosumer_leaf,
+            appliance_leaf,
+            total_min_wh: fo.total_min_energy().wh(),
+            total_max_wh: fo.total_max_energy().wh(),
+            energy_flex_wh: fo.energy_flexibility().wh(),
+            time_flex_slots: fo.time_flexibility().count(),
+            profile_len: fo.profile().len(),
+            scheduled_wh,
+            executed_wh,
+            deviation_wh,
+            price_cents: fo.price_per_kwh().cents(),
+            balancing_potential_wh: fo.balancing_potential().wh(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirabel_flexoffer::{Energy, Execution, Schedule};
+    use mirabel_timeseries::SlotSpan;
+
+    fn keys() -> [MemberId; 6] {
+        [MemberId(1), MemberId(2), MemberId(3), MemberId(4), MemberId(5), MemberId(6)]
+    }
+
+    fn extract(fo: &FlexOffer) -> FactRow {
+        let [t, g, gr, e, p, a] = keys();
+        FactRow::extract(fo, t, g, gr, e, p, a)
+    }
+
+    #[test]
+    fn measures_for_offered_state() {
+        let fo = FlexOffer::builder(1u64, 9u64)
+            .earliest_start(TimeSlot::new(10))
+            .latest_start(TimeSlot::new(14))
+            .slices(3, Energy::from_wh(100), Energy::from_wh(400))
+            .build()
+            .unwrap();
+        let row = extract(&fo);
+        assert_eq!(row.status, FlexOfferStatus::Offered);
+        assert_eq!(row.total_min_wh, 300);
+        assert_eq!(row.total_max_wh, 1_200);
+        assert_eq!(row.energy_flex_wh, 900);
+        assert_eq!(row.time_flex_slots, 4);
+        assert_eq!(row.profile_len, 3);
+        assert_eq!(row.scheduled_wh, 0);
+        assert_eq!(row.executed_wh, 0);
+        assert_eq!(row.deviation_wh, 0);
+        assert_eq!(row.prosumer, ProsumerId(9));
+    }
+
+    #[test]
+    fn measures_track_lifecycle() {
+        let mut fo = FlexOffer::builder(2u64, 1u64)
+            .earliest_start(TimeSlot::new(0))
+            .latest_start(TimeSlot::new(4))
+            .slices(2, Energy::from_wh(0), Energy::from_wh(1_000))
+            .build()
+            .unwrap();
+        fo.accept().unwrap();
+        let sched = Schedule::new(TimeSlot::new(2), vec![Energy::from_wh(600); 2]);
+        fo.assign(sched.clone()).unwrap();
+        let row = extract(&fo);
+        assert_eq!(row.status, FlexOfferStatus::Assigned);
+        assert_eq!(row.scheduled_wh, 1_200);
+        assert_eq!(row.deviation_wh, 0);
+
+        fo.record_execution(Execution::new(vec![
+            Energy::from_wh(500),
+            Energy::from_wh(800),
+        ]))
+        .unwrap();
+        let row = extract(&fo);
+        assert_eq!(row.status, FlexOfferStatus::Executed);
+        assert_eq!(row.executed_wh, 1_300);
+        assert_eq!(row.deviation_wh, 100 + 200);
+        let _ = fo.earliest_start() + SlotSpan::ZERO;
+    }
+}

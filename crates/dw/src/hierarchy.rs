@@ -1,0 +1,491 @@
+//! Dimension hierarchies: the "intuitive dimension hierarchies as those
+//! in OLAP" required by Section 3.
+
+use std::fmt;
+
+use mirabel_flexoffer::{ApplianceType, EnergyType, ProsumerType};
+use mirabel_geo::Geography;
+use mirabel_grid::{GridTopology, NodeKind};
+use mirabel_timeseries::{CivilDate, SlotSpan, TimeSlot, SLOTS_PER_DAY};
+
+/// The six dimension families of Section 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Dimension {
+    /// Temporal (All → Year → Month → Day).
+    Time,
+    /// Spatial-geographical (All → Region → City → District).
+    Geography,
+    /// Spatial-topological (All → 110 kV line → Substation → Feeder).
+    Grid,
+    /// Energy type (All → type).
+    EnergyType,
+    /// Prosumer type (All → Consumer/Producer → type).
+    ProsumerType,
+    /// Appliance type (All → Consuming/Generating → type).
+    Appliance,
+}
+
+impl Dimension {
+    /// All dimensions in display order.
+    pub const ALL: [Dimension; 6] = [
+        Dimension::Time,
+        Dimension::Geography,
+        Dimension::Grid,
+        Dimension::EnergyType,
+        Dimension::ProsumerType,
+        Dimension::Appliance,
+    ];
+
+    /// Stable display name (also the MDX dimension token, e.g.
+    /// `[Geography]`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Dimension::Time => "Time",
+            Dimension::Geography => "Geography",
+            Dimension::Grid => "Grid",
+            Dimension::EnergyType => "EnergyType",
+            Dimension::ProsumerType => "Prosumer",
+            Dimension::Appliance => "Appliance",
+        }
+    }
+
+    /// Parses a dimension name (case-insensitive).
+    pub fn parse(name: &str) -> Option<Dimension> {
+        Dimension::ALL
+            .into_iter()
+            .find(|d| d.name().eq_ignore_ascii_case(name))
+    }
+}
+
+impl fmt::Display for Dimension {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Index of a member within its hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MemberId(pub u32);
+
+impl fmt::Display for MemberId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// One node of a dimension hierarchy. Level 0 is always the single `All`
+/// member; leaves carry the fact foreign keys.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Member {
+    /// Dense id within the hierarchy.
+    pub id: MemberId,
+    /// Display name (unique among siblings).
+    pub name: String,
+    /// Depth: 0 = All.
+    pub level: u8,
+    /// Parent member (`None` only for All).
+    pub parent: Option<MemberId>,
+}
+
+/// A dimension hierarchy: a member tree plus level names.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hierarchy {
+    dimension: Dimension,
+    level_names: Vec<&'static str>,
+    members: Vec<Member>,
+}
+
+impl Hierarchy {
+    /// The dimension this hierarchy belongs to.
+    pub fn dimension(&self) -> Dimension {
+        self.dimension
+    }
+
+    /// Names of the levels, root first.
+    pub fn level_names(&self) -> &[&'static str] {
+        &self.level_names
+    }
+
+    /// Number of levels.
+    pub fn depth(&self) -> usize {
+        self.level_names.len()
+    }
+
+    /// All members in id order (the root `All` member is id 0).
+    pub fn members(&self) -> &[Member] {
+        &self.members
+    }
+
+    /// The root member.
+    pub fn all(&self) -> &Member {
+        &self.members[0]
+    }
+
+    /// Looks up a member by id.
+    pub fn member(&self, id: MemberId) -> Option<&Member> {
+        self.members.get(id.0 as usize)
+    }
+
+    /// Direct children of `id`, in id order.
+    pub fn children(&self, id: MemberId) -> impl Iterator<Item = &Member> {
+        self.members.iter().filter(move |m| m.parent == Some(id))
+    }
+
+    /// Finds the child of `parent` with the given name (case-insensitive).
+    pub fn child_by_name(&self, parent: MemberId, name: &str) -> Option<&Member> {
+        self.children(parent).find(|m| m.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Finds any member by name (case-insensitive; first match in id
+    /// order).
+    pub fn member_by_name(&self, name: &str) -> Option<&Member> {
+        self.members.iter().find(|m| m.name.eq_ignore_ascii_case(name))
+    }
+
+    /// All members at `level`, in id order.
+    pub fn at_level(&self, level: u8) -> impl Iterator<Item = &Member> {
+        self.members.iter().filter(move |m| m.level == level)
+    }
+
+    /// `true` when `descendant` equals `ancestor` or lies below it.
+    pub fn is_descendant(&self, descendant: MemberId, ancestor: MemberId) -> bool {
+        let mut cur = Some(descendant);
+        while let Some(c) = cur {
+            if c == ancestor {
+                return true;
+            }
+            cur = self.member(c).and_then(|m| m.parent);
+        }
+        false
+    }
+
+    /// The ancestor of `id` at `level` (or `id` itself when already
+    /// there); `None` when `id` is above that level.
+    pub fn ancestor_at_level(&self, id: MemberId, level: u8) -> Option<MemberId> {
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            let m = self.member(c)?;
+            if m.level == level {
+                return Some(c);
+            }
+            if m.level < level {
+                return None;
+            }
+            cur = m.parent;
+        }
+        None
+    }
+
+    /// Full path from the root, e.g. `["All", "Midtjylland", "Aarhus"]`.
+    pub fn path(&self, id: MemberId) -> Vec<&str> {
+        let mut names = Vec::new();
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            if let Some(m) = self.member(c) {
+                names.push(m.name.as_str());
+                cur = m.parent;
+            } else {
+                break;
+            }
+        }
+        names.reverse();
+        names
+    }
+
+    fn push(&mut self, name: impl Into<String>, level: u8, parent: Option<MemberId>) -> MemberId {
+        let id = MemberId(self.members.len() as u32);
+        self.members.push(Member { id, name: name.into(), level, parent });
+        id
+    }
+
+    fn with_root(dimension: Dimension, level_names: Vec<&'static str>, root: &str) -> Hierarchy {
+        let mut h = Hierarchy { dimension, level_names, members: Vec::new() };
+        h.push(root.to_owned(), 0, None);
+        h
+    }
+
+    // ------------------------------------------------------------------
+    // Builders.
+    // ------------------------------------------------------------------
+
+    /// Time hierarchy covering `[from, to)`: All → Year → Month → Day.
+    /// Returns the hierarchy plus, for fast fact keying, the first day's
+    /// slot and a day → leaf-member map in day order.
+    pub fn time(from: TimeSlot, to: TimeSlot) -> (Hierarchy, TimeSlot, Vec<MemberId>) {
+        let mut h = Hierarchy::with_root(
+            Dimension::Time,
+            vec!["All", "Year", "Month", "Day"],
+            "All time",
+        );
+        let root = h.all().id;
+        let first_day = TimeSlot::new(from.index().div_euclid(SLOTS_PER_DAY) * SLOTS_PER_DAY);
+        let mut day_leaves = Vec::new();
+        let mut cur_year: Option<(i32, MemberId)> = None;
+        let mut cur_month: Option<((i32, u8), MemberId)> = None;
+        let mut day = first_day;
+        while day < to {
+            let date = CivilDate::from_days(day.days_from_epoch());
+            let year_id = match cur_year {
+                Some((y, id)) if y == date.year => id,
+                _ => {
+                    let id = h.push(date.year.to_string(), 1, Some(root));
+                    cur_year = Some((date.year, id));
+                    cur_month = None;
+                    id
+                }
+            };
+            let month_id = match cur_month {
+                Some(((y, m), id)) if y == date.year && m == date.month => id,
+                _ => {
+                    let id = h.push(date.month_name().to_owned(), 2, Some(year_id));
+                    cur_month = Some(((date.year, date.month), id));
+                    id
+                }
+            };
+            let day_id = h.push(date.to_string(), 3, Some(month_id));
+            day_leaves.push(day_id);
+            day += SlotSpan::days(1);
+        }
+        (h, first_day, day_leaves)
+    }
+
+    /// Geography hierarchy: All → Region → City → District. Returns the
+    /// hierarchy plus a district-id → leaf-member map in district order.
+    pub fn geography(geo: &Geography) -> (Hierarchy, Vec<MemberId>) {
+        let mut h = Hierarchy::with_root(
+            Dimension::Geography,
+            vec!["All", "Region", "City", "District"],
+            geo.country(),
+        );
+        let root = h.all().id;
+        let mut district_leaves = vec![MemberId(0); geo.districts().len()];
+        for region in geo.regions() {
+            let r_id = h.push(region.name.clone(), 1, Some(root));
+            let cities: Vec<_> = geo.cities_of(region.id).map(|c| c.id).collect();
+            for city_id in cities {
+                let city = geo.city(city_id).expect("city exists");
+                let c_id = h.push(city.name.clone(), 2, Some(r_id));
+                let districts: Vec<_> = geo.districts_of(city.id).map(|d| d.id).collect();
+                for d in districts {
+                    let district = geo.district(d).expect("district exists");
+                    let m = h.push(district.name.clone(), 3, Some(c_id));
+                    district_leaves[d.0 as usize] = m;
+                }
+            }
+        }
+        (h, district_leaves)
+    }
+
+    /// Grid hierarchy: All → Line → Substation → Feeder (plants are
+    /// attached at the line level). Returns the hierarchy plus a grid
+    /// node-id → member map (only feeders get leaf fact keys; other
+    /// entries point at the closest hierarchy member).
+    pub fn grid(grid: &GridTopology) -> (Hierarchy, Vec<MemberId>) {
+        let mut h = Hierarchy::with_root(
+            Dimension::Grid,
+            vec!["All", "110kV line", "Substation", "Feeder"],
+            "National grid",
+        );
+        let root = h.all().id;
+        let mut node_members = vec![MemberId(0); grid.nodes().len()];
+        for line in grid.nodes_of_kind(NodeKind::TransmissionLine) {
+            let l_id = h.push(line.name.clone(), 1, Some(root));
+            node_members[line.id.0 as usize] = l_id;
+            let subs: Vec<_> = grid.children(line.id).map(|n| n.id).collect();
+            for sub in subs {
+                let node = grid.node(sub).expect("node exists");
+                if node.kind != NodeKind::Substation {
+                    // Plants map onto their line's member.
+                    node_members[sub.0 as usize] = l_id;
+                    continue;
+                }
+                let s_id = h.push(node.name.clone(), 2, Some(l_id));
+                node_members[sub.0 as usize] = s_id;
+                let feeders: Vec<_> = grid.children(sub).map(|n| n.id).collect();
+                for f in feeders {
+                    let fnode = grid.node(f).expect("node exists");
+                    let f_id = h.push(fnode.name.clone(), 3, Some(s_id));
+                    node_members[f.0 as usize] = f_id;
+                }
+            }
+        }
+        (h, node_members)
+    }
+
+    /// Energy type hierarchy: All → type. Leaf member order follows
+    /// [`EnergyType::ALL`].
+    pub fn energy_type() -> Hierarchy {
+        let mut h =
+            Hierarchy::with_root(Dimension::EnergyType, vec!["All", "Type"], "All energy");
+        let root = h.all().id;
+        for t in EnergyType::ALL {
+            h.push(t.name().to_owned(), 1, Some(root));
+        }
+        h
+    }
+
+    /// Leaf member for an energy type.
+    pub fn energy_leaf(t: EnergyType) -> MemberId {
+        let idx = EnergyType::ALL.iter().position(|&x| x == t).expect("exhaustive");
+        MemberId(idx as u32 + 1)
+    }
+
+    /// Prosumer hierarchy: All → Consumer/Producer → type (the Figure 5
+    /// drill path "All prosumers → Consumer → Household").
+    pub fn prosumer_type() -> Hierarchy {
+        let mut h = Hierarchy::with_root(
+            Dimension::ProsumerType,
+            vec!["All", "Role", "Type"],
+            "All prosumers",
+        );
+        let root = h.all().id;
+        let consumer = h.push("Consumer", 1, Some(root));
+        let producer = h.push("Producer", 1, Some(root));
+        for t in ProsumerType::ALL {
+            let parent = if t.is_producer() { producer } else { consumer };
+            h.push(t.name().to_owned(), 2, Some(parent));
+        }
+        h
+    }
+
+    /// Leaf member for a prosumer type.
+    pub fn prosumer_leaf(t: ProsumerType) -> MemberId {
+        let idx = ProsumerType::ALL.iter().position(|&x| x == t).expect("exhaustive");
+        MemberId(idx as u32 + 3) // after All, Consumer, Producer
+    }
+
+    /// Appliance hierarchy: All → Consuming/Generating → type.
+    pub fn appliance() -> Hierarchy {
+        let mut h = Hierarchy::with_root(
+            Dimension::Appliance,
+            vec!["All", "Role", "Type"],
+            "All appliances",
+        );
+        let root = h.all().id;
+        let consuming = h.push("Consuming", 1, Some(root));
+        let generating = h.push("Generating", 1, Some(root));
+        for t in ApplianceType::ALL {
+            let parent = if t.is_generator() { generating } else { consuming };
+            h.push(t.name().to_owned(), 2, Some(parent));
+        }
+        h
+    }
+
+    /// Leaf member for an appliance type.
+    pub fn appliance_leaf(t: ApplianceType) -> MemberId {
+        let idx = ApplianceType::ALL.iter().position(|&x| x == t).expect("exhaustive");
+        MemberId(idx as u32 + 3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirabel_grid::GridConfig;
+    use mirabel_timeseries::CivilDateTime;
+
+    fn slot(s: &str) -> TimeSlot {
+        s.parse::<CivilDateTime>().unwrap().to_slot().unwrap()
+    }
+
+    #[test]
+    fn time_hierarchy_covers_window() {
+        let (h, first_day, leaves) =
+            Hierarchy::time(slot("2012-12-30 10:00"), slot("2013-01-03 00:00"));
+        assert_eq!(first_day, slot("2012-12-30 00:00"));
+        assert_eq!(leaves.len(), 4); // Dec 30, 31, Jan 1, 2
+        let years: Vec<&str> = h.at_level(1).map(|m| m.name.as_str()).collect();
+        assert_eq!(years, vec!["2012", "2013"]);
+        let months: Vec<&str> = h.at_level(2).map(|m| m.name.as_str()).collect();
+        assert_eq!(months, vec!["Dec", "Jan"]);
+        let path = h.path(leaves[3]);
+        assert_eq!(path, vec!["All time", "2013", "Jan", "2013-01-02"]);
+    }
+
+    #[test]
+    fn geography_hierarchy_mirrors_geo() {
+        let geo = Geography::synthetic_denmark();
+        let (h, district_leaves) = Hierarchy::geography(&geo);
+        assert_eq!(h.dimension(), Dimension::Geography);
+        assert_eq!(h.at_level(1).count(), 5);
+        assert_eq!(h.at_level(2).count(), 15);
+        assert_eq!(h.at_level(3).count(), 60);
+        assert_eq!(district_leaves.len(), 60);
+        // Every district leaf's path runs through its city and region.
+        let aarhus_d2 = geo.districts().iter().find(|d| d.name == "Aarhus-D2").unwrap();
+        let leaf = district_leaves[aarhus_d2.id.0 as usize];
+        assert_eq!(h.path(leaf), vec!["Denmark", "Midtjylland", "Aarhus", "Aarhus-D2"]);
+    }
+
+    #[test]
+    fn grid_hierarchy_mirrors_topology() {
+        let grid = GridTopology::synthetic(&GridConfig::small());
+        let (h, node_members) = Hierarchy::grid(&grid);
+        assert_eq!(h.at_level(1).count(), 2);
+        assert_eq!(h.at_level(2).count(), 6);
+        assert_eq!(h.at_level(3).count(), 24);
+        // Feeder member paths follow the topology.
+        let feeder = grid.node_by_name("L2/S1/F3").unwrap();
+        let m = node_members[feeder.id.0 as usize];
+        assert_eq!(h.path(m), vec!["National grid", "L2", "L2/S1", "L2/S1/F3"]);
+        // Plants map to their line.
+        let plant = grid.node_by_name("G1").unwrap();
+        let pm = node_members[plant.id.0 as usize];
+        assert_eq!(h.member(pm).unwrap().name, "L1");
+    }
+
+    #[test]
+    fn static_hierarchies_have_expected_leaves() {
+        let e = Hierarchy::energy_type();
+        assert_eq!(e.at_level(1).count(), EnergyType::ALL.len());
+        for t in EnergyType::ALL {
+            let m = e.member(Hierarchy::energy_leaf(t)).unwrap();
+            assert_eq!(m.name, t.name());
+        }
+        let p = Hierarchy::prosumer_type();
+        for t in ProsumerType::ALL {
+            let m = p.member(Hierarchy::prosumer_leaf(t)).unwrap();
+            assert_eq!(m.name, t.name());
+            let parent = p.member(m.parent.unwrap()).unwrap();
+            assert_eq!(parent.name == "Producer", t.is_producer());
+        }
+        let a = Hierarchy::appliance();
+        for t in ApplianceType::ALL {
+            let m = a.member(Hierarchy::appliance_leaf(t)).unwrap();
+            assert_eq!(m.name, t.name());
+        }
+    }
+
+    #[test]
+    fn descendant_and_ancestor_navigation() {
+        let p = Hierarchy::prosumer_type();
+        let household = p.member_by_name("Household").unwrap().id;
+        let consumer = p.member_by_name("Consumer").unwrap().id;
+        let producer = p.member_by_name("Producer").unwrap().id;
+        assert!(p.is_descendant(household, consumer));
+        assert!(p.is_descendant(household, p.all().id));
+        assert!(!p.is_descendant(household, producer));
+        assert!(p.is_descendant(consumer, consumer));
+        assert_eq!(p.ancestor_at_level(household, 1), Some(consumer));
+        assert_eq!(p.ancestor_at_level(household, 0), Some(p.all().id));
+        assert_eq!(p.ancestor_at_level(consumer, 2), None);
+    }
+
+    #[test]
+    fn name_lookup_is_case_insensitive() {
+        let p = Hierarchy::prosumer_type();
+        assert!(p.member_by_name("hOuSeHoLd").is_some());
+        let root = p.all().id;
+        assert!(p.child_by_name(root, "consumer").is_some());
+        assert!(p.child_by_name(root, "Household").is_none()); // grandchild
+    }
+
+    #[test]
+    fn dimension_parse() {
+        assert_eq!(Dimension::parse("geography"), Some(Dimension::Geography));
+        assert_eq!(Dimension::parse("PROSUMER"), Some(Dimension::ProsumerType));
+        assert_eq!(Dimension::parse("bogus"), None);
+        assert_eq!(Dimension::Time.to_string(), "Time");
+        assert_eq!(MemberId(4).to_string(), "m4");
+    }
+}

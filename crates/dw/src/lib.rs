@@ -1,0 +1,51 @@
+//! The MIRABEL data warehouse substrate.
+//!
+//! The paper's tool "reads flex-offers and related data from a database
+//! employing the MIRABEL DW schema \[23\]" (Section 4, Figure 7), and
+//! Section 3 demands OLAP-style analysis: filtering and grouping over
+//! six dimension families, "intuitive dimension hierarchies as those in
+//! OLAP", a pivot view with an MDX query window (Figure 5), and the five
+//! aggregate measures (count, attribute value, scheduled energy, plan
+//! deviations, energy balancing potential).
+//!
+//! This crate is the in-memory reproduction of that warehouse (the
+//! PostgreSQL engine behind the original tool is substituted per
+//! DESIGN.md — the logical query surface is identical):
+//!
+//! * [`Hierarchy`]/[`Member`] — dimension hierarchies built from the
+//!   geography, grid topology, attribute enums and the loaded time window;
+//! * [`Warehouse`] — the star schema: one [`FactRow`] per flex-offer with
+//!   dimension leaf keys and measure inputs, plus the original offers for
+//!   the detail views;
+//! * [`Query`]/[`Measure`] — filter + group-by evaluation with
+//!   hierarchical member semantics (filtering on `[Geography].[Jutland]`
+//!   matches every fact whose district lies below it);
+//! * [`PivotTable`] — rows × columns pivots for the Figure 5 view, with
+//!   drill-down/up helpers;
+//! * [`mdx`] — an MDX-lite parser and evaluator for the pivot view's
+//!   query window ("a possibility to manually formulate a query (e.g., in
+//!   MDX) for the view must be provided", Section 3);
+//! * [`LoaderQuery`] — the Figure 7 loader: select a legal entity and an
+//!   absolute time interval, get flex-offers.
+//!
+//! Design note: the time dimension uses All → Year → Month → Day as its
+//! member tree (compact and sufficient for pivots), while quarter-hour
+//! and hour granularities are served by time-*range* filters plus series
+//! bucketing — exactly how the paper's dashboard (Figure 6) consumes
+//! them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fact;
+mod hierarchy;
+pub mod mdx;
+mod pivot;
+mod query;
+mod warehouse;
+
+pub use fact::FactRow;
+pub use hierarchy::{Dimension, Hierarchy, Member, MemberId};
+pub use pivot::{PivotAxis, PivotSpec, PivotTable};
+pub use query::{DwError, Filter, Measure, Query, QueryResult};
+pub use warehouse::{LoaderQuery, Warehouse};

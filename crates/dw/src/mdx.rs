@@ -1,0 +1,601 @@
+//! MDX-lite: the pivot view's query window.
+//!
+//! Section 3: "A possibility to manually formulate a query (e.g., in MDX)
+//! for the view must be provided." This module implements the subset of
+//! MDX the pivot view needs:
+//!
+//! ```text
+//! SELECT { [Time].[2012].[Jan].Children } ON COLUMNS,
+//!        { [Prosumer].[All prosumers].Children } ON ROWS
+//! FROM [FlexOffers]
+//! WHERE ( [Measures].[ScheduledEnergy], [Geography].[Midtjylland] )
+//! ```
+//!
+//! * each axis is a set of member paths within **one** dimension;
+//!   `.Children` expands a member into its children;
+//! * the `WHERE` tuple may name one `[Measures].[X]` member (default
+//!   `Count`), any number of dimension members (hierarchical filters),
+//!   and `[Status].[Accepted]`-style lifecycle restrictions;
+//! * the cube name is fixed: `[FlexOffers]`.
+//!
+//! Parsing is a hand-written lexer + recursive-descent parser producing a
+//! [`MdxQuery`], which [`Warehouse::mdx`] resolves against the loaded
+//! hierarchies into a [`PivotTable`].
+
+use std::fmt;
+
+use mirabel_flexoffer::FlexOfferStatus;
+
+use crate::hierarchy::{Dimension, MemberId};
+use crate::pivot::{PivotAxis, PivotSpec, PivotTable};
+use crate::query::{DwError, Measure, Query};
+use crate::warehouse::Warehouse;
+
+// ----------------------------------------------------------------------
+// AST
+// ----------------------------------------------------------------------
+
+/// A member path: `[Dim].[A].[B]` (+ optional `.Children`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemberExpr {
+    /// Path segments, the first being the dimension name.
+    pub path: Vec<String>,
+    /// Expand to the member's children instead of the member itself.
+    pub children: bool,
+}
+
+impl fmt::Display for MemberExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let joined: Vec<String> = self.path.iter().map(|p| format!("[{p}]")).collect();
+        write!(f, "{}", joined.join("."))?;
+        if self.children {
+            write!(f, ".Children")?;
+        }
+        Ok(())
+    }
+}
+
+/// A parsed MDX query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MdxQuery {
+    /// The COLUMNS axis set.
+    pub columns: Vec<MemberExpr>,
+    /// The ROWS axis set.
+    pub rows: Vec<MemberExpr>,
+    /// The cube name (always `FlexOffers` for this warehouse).
+    pub cube: String,
+    /// The WHERE tuple (possibly empty).
+    pub slicer: Vec<MemberExpr>,
+}
+
+impl fmt::Display for MdxQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let set = |exprs: &[MemberExpr]| -> String {
+            let items: Vec<String> = exprs.iter().map(|e| e.to_string()).collect();
+            format!("{{ {} }}", items.join(", "))
+        };
+        write!(
+            f,
+            "SELECT {} ON COLUMNS, {} ON ROWS FROM [{}]",
+            set(&self.columns),
+            set(&self.rows),
+            self.cube
+        )?;
+        if !self.slicer.is_empty() {
+            let items: Vec<String> = self.slicer.iter().map(|e| e.to_string()).collect();
+            write!(f, " WHERE ( {} )", items.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+// ----------------------------------------------------------------------
+// Lexer
+// ----------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Token {
+    Word(String),      // SELECT, ON, COLUMNS, ROWS, FROM, WHERE, Children
+    Bracketed(String), // [Anything between brackets]
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+}
+
+fn lex(input: &str) -> Result<Vec<Token>, DwError> {
+    let mut tokens = Vec::new();
+    let mut chars = input.char_indices().peekable();
+    while let Some(&(i, c)) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '{' => {
+                chars.next();
+                tokens.push(Token::LBrace);
+            }
+            '}' => {
+                chars.next();
+                tokens.push(Token::RBrace);
+            }
+            '(' => {
+                chars.next();
+                tokens.push(Token::LParen);
+            }
+            ')' => {
+                chars.next();
+                tokens.push(Token::RParen);
+            }
+            ',' => {
+                chars.next();
+                tokens.push(Token::Comma);
+            }
+            '.' => {
+                chars.next();
+                tokens.push(Token::Dot);
+            }
+            '[' => {
+                chars.next();
+                let mut name = String::new();
+                let mut closed = false;
+                for (_, c2) in chars.by_ref() {
+                    if c2 == ']' {
+                        closed = true;
+                        break;
+                    }
+                    name.push(c2);
+                }
+                if !closed {
+                    return Err(DwError::Mdx(format!("unterminated '[' at byte {i}")));
+                }
+                tokens.push(Token::Bracketed(name.trim().to_owned()));
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let mut word = String::new();
+                while let Some(&(_, c2)) = chars.peek() {
+                    if c2.is_alphanumeric() || c2 == '_' {
+                        word.push(c2);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Word(word));
+            }
+            other => {
+                return Err(DwError::Mdx(format!("unexpected character '{other}' at byte {i}")));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+// ----------------------------------------------------------------------
+// Parser
+// ----------------------------------------------------------------------
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_word(&mut self, word: &str) -> Result<(), DwError> {
+        match self.next() {
+            Some(Token::Word(w)) if w.eq_ignore_ascii_case(word) => Ok(()),
+            other => Err(DwError::Mdx(format!("expected '{word}', found {other:?}"))),
+        }
+    }
+
+    fn expect(&mut self, token: Token, what: &str) -> Result<(), DwError> {
+        match self.next() {
+            Some(t) if t == token => Ok(()),
+            other => Err(DwError::Mdx(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn member_expr(&mut self) -> Result<MemberExpr, DwError> {
+        let mut path = Vec::new();
+        match self.next() {
+            Some(Token::Bracketed(name)) => path.push(name),
+            other => return Err(DwError::Mdx(format!("expected '[member]', found {other:?}"))),
+        }
+        let mut children = false;
+        while self.peek() == Some(&Token::Dot) {
+            self.next();
+            match self.next() {
+                Some(Token::Bracketed(name)) => path.push(name),
+                Some(Token::Word(w)) if w.eq_ignore_ascii_case("children") => {
+                    children = true;
+                    break;
+                }
+                other => {
+                    return Err(DwError::Mdx(format!(
+                        "expected '[member]' or 'Children' after '.', found {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(MemberExpr { path, children })
+    }
+
+    fn set(&mut self) -> Result<Vec<MemberExpr>, DwError> {
+        // Either `{ a, b, ... }` or a bare member expression.
+        if self.peek() == Some(&Token::LBrace) {
+            self.next();
+            let mut exprs = vec![self.member_expr()?];
+            while self.peek() == Some(&Token::Comma) {
+                self.next();
+                exprs.push(self.member_expr()?);
+            }
+            self.expect(Token::RBrace, "'}'")?;
+            Ok(exprs)
+        } else {
+            Ok(vec![self.member_expr()?])
+        }
+    }
+}
+
+/// Parses an MDX-lite query string.
+pub fn parse(input: &str) -> Result<MdxQuery, DwError> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.expect_word("SELECT")?;
+    let first = p.set()?;
+    p.expect_word("ON")?;
+    let first_axis = match p.next() {
+        Some(Token::Word(w)) if w.eq_ignore_ascii_case("columns") => true,
+        Some(Token::Word(w)) if w.eq_ignore_ascii_case("rows") => false,
+        other => return Err(DwError::Mdx(format!("expected COLUMNS or ROWS, found {other:?}"))),
+    };
+    p.expect(Token::Comma, "','")?;
+    let second = p.set()?;
+    p.expect_word("ON")?;
+    match (first_axis, p.next()) {
+        (true, Some(Token::Word(w))) if w.eq_ignore_ascii_case("rows") => {}
+        (false, Some(Token::Word(w))) if w.eq_ignore_ascii_case("columns") => {}
+        (_, other) => {
+            return Err(DwError::Mdx(format!("expected the other axis, found {other:?}")))
+        }
+    }
+    p.expect_word("FROM")?;
+    let cube = match p.next() {
+        Some(Token::Bracketed(name)) => name,
+        other => return Err(DwError::Mdx(format!("expected '[cube]', found {other:?}"))),
+    };
+    let mut slicer = Vec::new();
+    if let Some(Token::Word(w)) = p.peek() {
+        if w.eq_ignore_ascii_case("where") {
+            p.next();
+            if p.peek() == Some(&Token::LParen) {
+                p.next();
+                slicer.push(p.member_expr()?);
+                while p.peek() == Some(&Token::Comma) {
+                    p.next();
+                    slicer.push(p.member_expr()?);
+                }
+                p.expect(Token::RParen, "')'")?;
+            } else {
+                slicer.push(p.member_expr()?);
+            }
+        }
+    }
+    if let Some(t) = p.peek() {
+        return Err(DwError::Mdx(format!("trailing input: {t:?}")));
+    }
+    let (columns, rows) = if first_axis { (first, second) } else { (second, first) };
+    Ok(MdxQuery { columns, rows, cube, slicer })
+}
+
+// ----------------------------------------------------------------------
+// Resolution & evaluation
+// ----------------------------------------------------------------------
+
+struct ResolvedAxis {
+    dimension: Dimension,
+    members: Vec<MemberId>,
+}
+
+impl Warehouse {
+    fn resolve_member(&self, expr: &MemberExpr) -> Result<(Dimension, Vec<MemberId>), DwError> {
+        let dim_name = expr
+            .path
+            .first()
+            .ok_or_else(|| DwError::Mdx("empty member path".into()))?;
+        let dimension = Dimension::parse(dim_name)
+            .ok_or_else(|| DwError::Mdx(format!("unknown dimension [{dim_name}]")))?;
+        let h = self.hierarchy(dimension);
+        let mut current = h.all().id;
+        for seg in &expr.path[1..] {
+            // Accept both the root's display name ([All prosumers]) and
+            // child names; navigating to the current member's name is a
+            // no-op so `[Prosumer].[All prosumers]` works.
+            if h.member(current).map(|m| m.name.eq_ignore_ascii_case(seg)).unwrap_or(false) {
+                continue;
+            }
+            match h.child_by_name(current, seg) {
+                Some(m) => current = m.id,
+                None => {
+                    return Err(DwError::Mdx(format!(
+                        "no member [{seg}] under [{}] in dimension [{}]",
+                        h.member(current).map(|m| m.name.as_str()).unwrap_or("?"),
+                        dimension
+                    )))
+                }
+            }
+        }
+        let members = if expr.children {
+            let kids: Vec<MemberId> = h.children(current).map(|m| m.id).collect();
+            if kids.is_empty() {
+                vec![current] // Children of a leaf: the leaf itself.
+            } else {
+                kids
+            }
+        } else {
+            vec![current]
+        };
+        Ok((dimension, members))
+    }
+
+    fn resolve_axis(&self, exprs: &[MemberExpr], axis: &str) -> Result<ResolvedAxis, DwError> {
+        let mut dimension = None;
+        let mut members = Vec::new();
+        for e in exprs {
+            let (d, ms) = self.resolve_member(e)?;
+            match dimension {
+                None => dimension = Some(d),
+                Some(prev) if prev == d => {}
+                Some(prev) => {
+                    return Err(DwError::Mdx(format!(
+                        "{axis} axis mixes dimensions [{prev}] and [{d}]"
+                    )))
+                }
+            }
+            members.extend(ms);
+        }
+        let dimension =
+            dimension.ok_or_else(|| DwError::Mdx(format!("{axis} axis is empty")))?;
+        Ok(ResolvedAxis { dimension, members })
+    }
+
+    /// Parses and evaluates an MDX-lite query against this warehouse.
+    pub fn mdx(&self, input: &str) -> Result<PivotTable, DwError> {
+        let ast = parse(input)?;
+        if !ast.cube.eq_ignore_ascii_case("flexoffers") {
+            return Err(DwError::Mdx(format!("unknown cube [{}]", ast.cube)));
+        }
+        let cols = self.resolve_axis(&ast.columns, "COLUMNS")?;
+        let rows = self.resolve_axis(&ast.rows, "ROWS")?;
+
+        let mut base = Query::new(Measure::Count);
+        let mut statuses: Vec<FlexOfferStatus> = Vec::new();
+        for s in &ast.slicer {
+            let head = s.path.first().map(String::as_str).unwrap_or("");
+            if head.eq_ignore_ascii_case("measures") {
+                let name = s
+                    .path
+                    .get(1)
+                    .ok_or_else(|| DwError::Mdx("[Measures] needs a member".into()))?;
+                base.measure = Measure::parse(name)
+                    .ok_or_else(|| DwError::Mdx(format!("unknown measure [{name}]")))?;
+            } else if head.eq_ignore_ascii_case("status") {
+                let name = s
+                    .path
+                    .get(1)
+                    .ok_or_else(|| DwError::Mdx("[Status] needs a member".into()))?;
+                let status = FlexOfferStatus::ALL
+                    .into_iter()
+                    .find(|st| st.name().eq_ignore_ascii_case(name))
+                    .ok_or_else(|| DwError::Mdx(format!("unknown status [{name}]")))?;
+                statuses.push(status);
+            } else {
+                let (d, ms) = self.resolve_member(s)?;
+                let m = *ms.first().expect("resolve always yields a member");
+                if s.children || ms.len() > 1 {
+                    return Err(DwError::Mdx(
+                        "WHERE tuple members cannot use .Children".into(),
+                    ));
+                }
+                base = base.filter(d, m);
+            }
+        }
+        if !statuses.is_empty() {
+            base = base.statuses(statuses);
+        }
+
+        self.pivot(&PivotSpec {
+            rows: PivotAxis { dimension: rows.dimension, members: rows.members },
+            columns: PivotAxis { dimension: cols.dimension, members: cols.members },
+            base,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirabel_workload::{generate_offers, OfferConfig, Population, PopulationConfig};
+
+    fn warehouse() -> Warehouse {
+        let pop = Population::generate(&PopulationConfig {
+            size: 200,
+            seed: 77,
+            household_share: 0.8,
+        });
+        let offers = generate_offers(&pop, &OfferConfig { days: 2, ..Default::default() });
+        Warehouse::load(&pop, &offers)
+    }
+
+    #[test]
+    fn lex_basic_tokens() {
+        let tokens = lex("SELECT { [A].[B x] } ON COLUMNS").unwrap();
+        assert_eq!(tokens[0], Token::Word("SELECT".into()));
+        assert_eq!(tokens[1], Token::LBrace);
+        assert_eq!(tokens[2], Token::Bracketed("A".into()));
+        assert_eq!(tokens[3], Token::Dot);
+        assert_eq!(tokens[4], Token::Bracketed("B x".into()));
+        assert!(lex("[unterminated").is_err());
+        assert!(lex("§").is_err());
+    }
+
+    #[test]
+    fn parse_canonical_query() {
+        let q = parse(
+            "SELECT { [Time].[2012].Children } ON COLUMNS, \
+             { [Prosumer].Children } ON ROWS FROM [FlexOffers] \
+             WHERE ( [Measures].[ScheduledEnergy], [Geography].[Midtjylland] )",
+        )
+        .unwrap();
+        assert_eq!(q.cube, "FlexOffers");
+        assert_eq!(q.columns.len(), 1);
+        assert!(q.columns[0].children);
+        assert_eq!(q.columns[0].path, vec!["Time", "2012"]);
+        assert_eq!(q.slicer.len(), 2);
+        // Round-trip through Display re-parses to the same AST.
+        let printed = q.to_string();
+        assert_eq!(parse(&printed).unwrap(), q);
+    }
+
+    #[test]
+    fn parse_axes_in_either_order() {
+        let a = parse(
+            "SELECT {[Time].Children} ON COLUMNS, {[Prosumer].Children} ON ROWS FROM [FlexOffers]",
+        )
+        .unwrap();
+        let b = parse(
+            "SELECT {[Prosumer].Children} ON ROWS, {[Time].Children} ON COLUMNS FROM [FlexOffers]",
+        )
+        .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parse_errors_are_informative() {
+        assert!(parse("FOO").unwrap_err().to_string().contains("SELECT"));
+        assert!(parse("SELECT {[A]} ON SIDEWAYS, {[B]} ON ROWS FROM [C]").is_err());
+        assert!(parse(
+            "SELECT {[A]} ON COLUMNS, {[B]} ON ROWS FROM [C] garbage"
+        )
+        .is_err());
+        // Same axis twice.
+        assert!(parse("SELECT {[A]} ON COLUMNS, {[B]} ON COLUMNS FROM [C]").is_err());
+    }
+
+    #[test]
+    fn evaluate_figure5_query() {
+        let dw = warehouse();
+        let t = dw
+            .mdx(
+                "SELECT { [Time].Children } ON COLUMNS, \
+                 { [Prosumer].[All prosumers].Children } ON ROWS \
+                 FROM [FlexOffers]",
+            )
+            .unwrap();
+        assert_eq!(t.n_rows(), 2); // Consumer, Producer
+        assert_eq!(t.n_cols(), 1); // one year
+        let total: f64 = t.cells.iter().flatten().sum();
+        assert_eq!(total as usize, dw.facts().len());
+    }
+
+    #[test]
+    fn evaluate_with_measure_and_filter() {
+        let dw = warehouse();
+        let all = dw
+            .mdx(
+                "SELECT {[Time].Children} ON COLUMNS, {[Appliance].Children} ON ROWS \
+                 FROM [FlexOffers] WHERE ([Measures].[TotalMaxEnergy])",
+            )
+            .unwrap();
+        let filtered = dw
+            .mdx(
+                "SELECT {[Time].Children} ON COLUMNS, {[Appliance].Children} ON ROWS \
+                 FROM [FlexOffers] \
+                 WHERE ([Measures].[TotalMaxEnergy], [Geography].[Denmark].[Hovedstaden])",
+            )
+            .unwrap();
+        let sum = |t: &PivotTable| -> f64 { t.cells.iter().flatten().sum() };
+        assert!(sum(&filtered) < sum(&all));
+        assert!(sum(&filtered) > 0.0);
+    }
+
+    #[test]
+    fn evaluate_with_status_slicer() {
+        let dw = warehouse();
+        let t = dw
+            .mdx(
+                "SELECT {[Time].Children} ON COLUMNS, {[Prosumer].Children} ON ROWS \
+                 FROM [FlexOffers] WHERE ([Status].[Executed])",
+            )
+            .unwrap();
+        let total: f64 = t.cells.iter().flatten().sum();
+        assert_eq!(total, 0.0); // nothing executed in a fresh load
+    }
+
+    #[test]
+    fn children_of_leaf_is_the_leaf() {
+        let dw = warehouse();
+        let t = dw
+            .mdx(
+                "SELECT {[Time].Children} ON COLUMNS, \
+                 {[Prosumer].[Consumer].[Household].Children} ON ROWS FROM [FlexOffers]",
+            )
+            .unwrap();
+        assert_eq!(t.n_rows(), 1);
+        assert!(t.row_labels[0].contains("Household"));
+    }
+
+    #[test]
+    fn mixed_dimension_axis_rejected() {
+        let dw = warehouse();
+        let err = dw
+            .mdx(
+                "SELECT {[Time].Children} ON COLUMNS, \
+                 {[Prosumer].[Consumer], [Appliance].[Consuming]} ON ROWS FROM [FlexOffers]",
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("mixes dimensions"));
+    }
+
+    #[test]
+    fn unknown_names_rejected() {
+        let dw = warehouse();
+        assert!(dw
+            .mdx("SELECT {[Bogus].Children} ON COLUMNS, {[Time].Children} ON ROWS FROM [FlexOffers]")
+            .unwrap_err()
+            .to_string()
+            .contains("unknown dimension"));
+        assert!(dw
+            .mdx("SELECT {[Time].[1999]} ON COLUMNS, {[Prosumer].Children} ON ROWS FROM [FlexOffers]")
+            .unwrap_err()
+            .to_string()
+            .contains("no member"));
+        assert!(dw
+            .mdx("SELECT {[Time].Children} ON COLUMNS, {[Prosumer].Children} ON ROWS FROM [Wrong]")
+            .unwrap_err()
+            .to_string()
+            .contains("unknown cube"));
+        assert!(dw
+            .mdx(
+                "SELECT {[Time].Children} ON COLUMNS, {[Prosumer].Children} ON ROWS \
+                 FROM [FlexOffers] WHERE ([Measures].[Bogus])"
+            )
+            .unwrap_err()
+            .to_string()
+            .contains("unknown measure"));
+    }
+}

@@ -1,0 +1,298 @@
+//! Pivot-table computation for the Figure 5 view.
+
+use crate::hierarchy::{Dimension, MemberId};
+use crate::query::{DwError, Query};
+use crate::warehouse::Warehouse;
+
+/// One axis of a pivot: explicit members of one dimension (the swimlanes
+/// of Figure 5 are the row members).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PivotAxis {
+    /// The dimension the members belong to.
+    pub dimension: Dimension,
+    /// Members in display order (any mix of levels — drill-down replaces
+    /// a member by its children in place).
+    pub members: Vec<MemberId>,
+}
+
+impl PivotAxis {
+    /// An axis listing the children of `parent` (a drill-down start).
+    pub fn children_of(dw: &Warehouse, dimension: Dimension, parent: MemberId) -> PivotAxis {
+        let members = dw.hierarchy(dimension).children(parent).map(|m| m.id).collect();
+        PivotAxis { dimension, members }
+    }
+
+    /// An axis with every member of one level.
+    pub fn level(dw: &Warehouse, dimension: Dimension, level: u8) -> PivotAxis {
+        let members = dw.hierarchy(dimension).at_level(level).map(|m| m.id).collect();
+        PivotAxis { dimension, members }
+    }
+
+    /// Drills down: replaces `member` by its children (no-op for leaves).
+    pub fn drill_down(&mut self, dw: &Warehouse, member: MemberId) {
+        if let Some(pos) = self.members.iter().position(|&m| m == member) {
+            let children: Vec<MemberId> =
+                dw.hierarchy(self.dimension).children(member).map(|m| m.id).collect();
+            if !children.is_empty() {
+                self.members.splice(pos..=pos, children);
+            }
+        }
+    }
+
+    /// Drills up: replaces every child of `parent` present on the axis by
+    /// the single `parent` (no-op when none are present).
+    pub fn drill_up(&mut self, dw: &Warehouse, parent: MemberId) {
+        let h = dw.hierarchy(self.dimension);
+        let is_child =
+            |m: MemberId| h.member(m).map(|mm| mm.parent == Some(parent)).unwrap_or(false);
+        if let Some(first) = self.members.iter().position(|&m| is_child(m)) {
+            self.members.retain(|&m| !is_child(m));
+            self.members.insert(first, parent);
+        }
+    }
+}
+
+/// A pivot specification: rows × columns × measure (+ shared
+/// restrictions carried by the base query).
+#[derive(Debug, Clone)]
+pub struct PivotSpec {
+    /// Row axis (e.g. prosumer hierarchy members — Figure 5 swimlanes).
+    pub rows: PivotAxis,
+    /// Column axis (e.g. time members).
+    pub columns: PivotAxis,
+    /// Base query: measure plus any filters/status/time restrictions.
+    pub base: Query,
+}
+
+/// The evaluated pivot: headers plus a dense cell matrix
+/// (`cells[row][col]`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PivotTable {
+    /// Row header member ids (same order as `cells`).
+    pub row_members: Vec<MemberId>,
+    /// Row header display paths.
+    pub row_labels: Vec<String>,
+    /// Column header member ids.
+    pub col_members: Vec<MemberId>,
+    /// Column header display names.
+    pub col_labels: Vec<String>,
+    /// `cells[r][c]` = measure for (row member r ∧ column member c).
+    pub cells: Vec<Vec<f64>>,
+}
+
+impl PivotTable {
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.row_members.len()
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.col_members.len()
+    }
+
+    /// Row totals.
+    pub fn row_totals(&self) -> Vec<f64> {
+        self.cells.iter().map(|r| r.iter().sum()).collect()
+    }
+
+    /// Renders a plain-text table (used by examples and the figures
+    /// binary).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{:<28}", ""));
+        for l in &self.col_labels {
+            out.push_str(&format!("{l:>14}"));
+        }
+        out.push('\n');
+        for (r, label) in self.row_labels.iter().enumerate() {
+            out.push_str(&format!("{label:<28}"));
+            for c in 0..self.n_cols() {
+                out.push_str(&format!("{:>14.2}", self.cells[r][c]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Warehouse {
+    /// Evaluates a pivot specification.
+    pub fn pivot(&self, spec: &PivotSpec) -> Result<PivotTable, DwError> {
+        let row_h = self.hierarchy(spec.rows.dimension);
+        let col_h = self.hierarchy(spec.columns.dimension);
+        for &m in &spec.rows.members {
+            if row_h.member(m).is_none() {
+                return Err(DwError::UnknownMember { dimension: spec.rows.dimension, member: m });
+            }
+        }
+        for &m in &spec.columns.members {
+            if col_h.member(m).is_none() {
+                return Err(DwError::UnknownMember {
+                    dimension: spec.columns.dimension,
+                    member: m,
+                });
+            }
+        }
+
+        let mut cells = Vec::with_capacity(spec.rows.members.len());
+        for &r in &spec.rows.members {
+            let mut row = Vec::with_capacity(spec.columns.members.len());
+            for &c in &spec.columns.members {
+                let q = spec
+                    .base
+                    .clone()
+                    .filter(spec.rows.dimension, r)
+                    .filter(spec.columns.dimension, c);
+                row.push(self.eval(&Query { group_by: None, ..q })?.total);
+            }
+            cells.push(row);
+        }
+        let row_labels =
+            spec.rows.members.iter().map(|&m| row_h.path(m).join(" / ")).collect();
+        let col_labels = spec
+            .columns
+            .members
+            .iter()
+            .map(|&m| col_h.member(m).map(|mm| mm.name.clone()).unwrap_or_default())
+            .collect();
+        Ok(PivotTable {
+            row_members: spec.rows.members.clone(),
+            row_labels,
+            col_members: spec.columns.members.clone(),
+            col_labels,
+            cells,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Measure;
+    use mirabel_workload::{generate_offers, OfferConfig, Population, PopulationConfig};
+
+    fn warehouse() -> Warehouse {
+        let pop = Population::generate(&PopulationConfig {
+            size: 250,
+            seed: 33,
+            household_share: 0.8,
+        });
+        let offers = generate_offers(&pop, &OfferConfig { days: 2, ..Default::default() });
+        Warehouse::load(&pop, &offers)
+    }
+
+    #[test]
+    fn figure5_pivot_prosumers_by_day() {
+        let dw = warehouse();
+        let rows = PivotAxis::children_of(
+            &dw,
+            Dimension::ProsumerType,
+            dw.hierarchy(Dimension::ProsumerType).all().id,
+        );
+        let cols = PivotAxis::level(&dw, Dimension::Time, 3);
+        let spec =
+            PivotSpec { rows, columns: cols, base: Query::new(Measure::Count) };
+        let t = dw.pivot(&spec).unwrap();
+        assert_eq!(t.n_rows(), 2); // Consumer, Producer
+        assert!(t.n_cols() >= 2); // at least two days
+        // Cell sums equal the unpivoted total.
+        let total: f64 = t.cells.iter().flatten().sum();
+        assert_eq!(total as usize, dw.facts().len());
+        assert!(t.to_text().contains("Consumer"));
+        assert_eq!(t.row_totals().len(), 2);
+    }
+
+    #[test]
+    fn drill_down_replaces_member_with_children() {
+        let dw = warehouse();
+        let h = dw.hierarchy(Dimension::ProsumerType);
+        let mut axis = PivotAxis::children_of(&dw, Dimension::ProsumerType, h.all().id);
+        let consumer = h.member_by_name("Consumer").unwrap().id;
+        axis.drill_down(&dw, consumer);
+        // Consumer replaced by its four leaf types, Producer untouched.
+        assert_eq!(axis.members.len(), 1 + 4);
+        assert!(!axis.members.contains(&consumer));
+
+        // Drill-up restores it.
+        axis.drill_up(&dw, consumer);
+        assert_eq!(axis.members.len(), 2);
+        assert!(axis.members.contains(&consumer));
+        // Order: Consumer back at the front.
+        assert_eq!(axis.members[0], consumer);
+    }
+
+    #[test]
+    fn drill_down_on_leaf_is_noop() {
+        let dw = warehouse();
+        let h = dw.hierarchy(Dimension::ProsumerType);
+        let household = h.member_by_name("Household").unwrap().id;
+        let mut axis =
+            PivotAxis { dimension: Dimension::ProsumerType, members: vec![household] };
+        axis.drill_down(&dw, household);
+        assert_eq!(axis.members, vec![household]);
+        // Drill-up on a parent with no children present is a no-op too.
+        let producer = h.member_by_name("Producer").unwrap().id;
+        axis.drill_up(&dw, producer);
+        assert_eq!(axis.members, vec![household]);
+    }
+
+    #[test]
+    fn drill_preserves_pivot_totals() {
+        let dw = warehouse();
+        let h = dw.hierarchy(Dimension::ProsumerType);
+        let mut rows = PivotAxis::children_of(&dw, Dimension::ProsumerType, h.all().id);
+        let cols = PivotAxis::level(&dw, Dimension::Time, 1);
+        let before = dw
+            .pivot(&PivotSpec {
+                rows: rows.clone(),
+                columns: cols.clone(),
+                base: Query::new(Measure::Count),
+            })
+            .unwrap();
+        let consumer = h.member_by_name("Consumer").unwrap().id;
+        rows.drill_down(&dw, consumer);
+        let after = dw
+            .pivot(&PivotSpec { rows, columns: cols, base: Query::new(Measure::Count) })
+            .unwrap();
+        let sum = |t: &PivotTable| -> f64 { t.cells.iter().flatten().sum() };
+        assert!((sum(&before) - sum(&after)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_members_rejected() {
+        let dw = warehouse();
+        let rows = PivotAxis { dimension: Dimension::EnergyType, members: vec![MemberId(404)] };
+        let cols = PivotAxis::level(&dw, Dimension::Time, 1);
+        let err = dw
+            .pivot(&PivotSpec { rows, columns: cols, base: Query::new(Measure::Count) })
+            .unwrap_err();
+        assert!(matches!(err, DwError::UnknownMember { .. }));
+    }
+
+    #[test]
+    fn measure_cells_respect_base_filters() {
+        let dw = warehouse();
+        let geo = dw.hierarchy(Dimension::Geography);
+        let region = geo.member_by_name("Hovedstaden").unwrap().id;
+        let rows = PivotAxis::level(&dw, Dimension::Appliance, 1);
+        let cols = PivotAxis::level(&dw, Dimension::Time, 1);
+        let unfiltered = dw
+            .pivot(&PivotSpec {
+                rows: rows.clone(),
+                columns: cols.clone(),
+                base: Query::new(Measure::Count),
+            })
+            .unwrap();
+        let filtered = dw
+            .pivot(&PivotSpec {
+                rows,
+                columns: cols,
+                base: Query::new(Measure::Count).filter(Dimension::Geography, region),
+            })
+            .unwrap();
+        let sum = |t: &PivotTable| -> f64 { t.cells.iter().flatten().sum() };
+        assert!(sum(&filtered) < sum(&unfiltered));
+        assert!(sum(&filtered) > 0.0);
+    }
+}

@@ -1,0 +1,457 @@
+//! Filter + group-by evaluation with the Section 3 measures.
+
+use std::error::Error;
+use std::fmt;
+
+use mirabel_flexoffer::FlexOfferStatus;
+use mirabel_timeseries::TimeSlot;
+
+use crate::fact::FactRow;
+use crate::hierarchy::{Dimension, MemberId};
+use crate::warehouse::Warehouse;
+
+/// The aggregate measures of Section 3 ("the following statistics are
+/// essential and must be supported").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Measure {
+    /// "Flex-offer Count": number of flex-offers (filter by status for the
+    /// accepted/assigned/rejected breakdowns).
+    Count,
+    /// "Scheduled Energy": planned energy in kWh.
+    ScheduledEnergy,
+    /// Physically used energy in kWh (the "physical realization").
+    ExecutedEnergy,
+    /// "Plan Deviations": Σ |actual − planned| in kWh.
+    PlanDeviation,
+    /// "Energy Balancing Potential" in kWh (see
+    /// [`FlexOffer::balancing_potential`](mirabel_flexoffer::FlexOffer::balancing_potential)).
+    BalancingPotential,
+    /// "Flex-offer Attribute Value": total maximum energy in kWh.
+    TotalMaxEnergy,
+    /// Attribute value: total energy flexibility in kWh.
+    EnergyFlexibility,
+    /// Attribute value: mean price in euro-cents per kWh.
+    AvgPrice,
+    /// Attribute value: mean start-time flexibility in slots.
+    AvgTimeFlexibility,
+}
+
+impl Measure {
+    /// All measures in display order.
+    pub const ALL: [Measure; 9] = [
+        Measure::Count,
+        Measure::ScheduledEnergy,
+        Measure::ExecutedEnergy,
+        Measure::PlanDeviation,
+        Measure::BalancingPotential,
+        Measure::TotalMaxEnergy,
+        Measure::EnergyFlexibility,
+        Measure::AvgPrice,
+        Measure::AvgTimeFlexibility,
+    ];
+
+    /// Stable display name (also the MDX member token under
+    /// `[Measures]`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Measure::Count => "Count",
+            Measure::ScheduledEnergy => "ScheduledEnergy",
+            Measure::ExecutedEnergy => "ExecutedEnergy",
+            Measure::PlanDeviation => "PlanDeviation",
+            Measure::BalancingPotential => "BalancingPotential",
+            Measure::TotalMaxEnergy => "TotalMaxEnergy",
+            Measure::EnergyFlexibility => "EnergyFlexibility",
+            Measure::AvgPrice => "AvgPrice",
+            Measure::AvgTimeFlexibility => "AvgTimeFlexibility",
+        }
+    }
+
+    /// Parses a measure name (case-insensitive).
+    pub fn parse(name: &str) -> Option<Measure> {
+        Measure::ALL.into_iter().find(|m| m.name().eq_ignore_ascii_case(name))
+    }
+
+    /// `true` for mean-style measures (they divide by the row count).
+    pub fn is_average(self) -> bool {
+        matches!(self, Measure::AvgPrice | Measure::AvgTimeFlexibility)
+    }
+
+    /// The contribution of one fact row before averaging.
+    pub fn value_of(self, row: &FactRow) -> f64 {
+        match self {
+            Measure::Count => 1.0,
+            Measure::ScheduledEnergy => row.scheduled_wh as f64 / 1_000.0,
+            Measure::ExecutedEnergy => row.executed_wh as f64 / 1_000.0,
+            Measure::PlanDeviation => row.deviation_wh as f64 / 1_000.0,
+            Measure::BalancingPotential => row.balancing_potential_wh as f64 / 1_000.0,
+            Measure::TotalMaxEnergy => row.total_max_wh as f64 / 1_000.0,
+            Measure::EnergyFlexibility => row.energy_flex_wh as f64 / 1_000.0,
+            Measure::AvgPrice => row.price_cents as f64,
+            Measure::AvgTimeFlexibility => row.time_flex_slots as f64,
+        }
+    }
+}
+
+impl fmt::Display for Measure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A hierarchical member filter: a fact matches when its leaf in
+/// `dimension` descends from (or equals) `member`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Filter {
+    /// Dimension to filter on.
+    pub dimension: Dimension,
+    /// Member at any level of that dimension's hierarchy.
+    pub member: MemberId,
+}
+
+/// A warehouse query: conjunctive member filters, optional time-range and
+/// status restrictions, an optional group-by, and one measure.
+///
+/// Example from Section 3: "counts of accepted flex-offers in the west
+/// Denmark in the period from Jan-2013 to Feb-2013 grouped by cities" is
+/// `Query::new(Measure::Count).filter(geo, jutland).statuses([Accepted])
+/// .time_range(jan, mar).group_by(Geography, 2)`.
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// The measure to aggregate.
+    pub measure: Measure,
+    /// Conjunctive hierarchical filters.
+    pub filters: Vec<Filter>,
+    /// Half-open earliest-start range.
+    pub time_range: Option<(TimeSlot, TimeSlot)>,
+    /// Restrict to these lifecycle statuses.
+    pub statuses: Option<Vec<FlexOfferStatus>>,
+    /// Group results by the members of this dimension level.
+    pub group_by: Option<(Dimension, u8)>,
+}
+
+impl Query {
+    /// Creates an unfiltered, ungrouped query for `measure`.
+    pub fn new(measure: Measure) -> Query {
+        Query { measure, filters: Vec::new(), time_range: None, statuses: None, group_by: None }
+    }
+
+    /// Adds a hierarchical member filter.
+    pub fn filter(mut self, dimension: Dimension, member: MemberId) -> Query {
+        self.filters.push(Filter { dimension, member });
+        self
+    }
+
+    /// Restricts earliest-start to `[from, to)`.
+    pub fn time_range(mut self, from: TimeSlot, to: TimeSlot) -> Query {
+        self.time_range = Some((from, to));
+        self
+    }
+
+    /// Restricts to the given statuses.
+    pub fn statuses(mut self, statuses: impl Into<Vec<FlexOfferStatus>>) -> Query {
+        self.statuses = Some(statuses.into());
+        self
+    }
+
+    /// Groups by all members at `level` of `dimension`.
+    pub fn group_by(mut self, dimension: Dimension, level: u8) -> Query {
+        self.group_by = Some((dimension, level));
+        self
+    }
+}
+
+/// Result of a [`Query`]: per-group values (empty when ungrouped) plus the
+/// grand total.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// `(group member, value)` pairs in member-id order; empty for
+    /// ungrouped queries.
+    pub groups: Vec<(MemberId, f64)>,
+    /// The measure over all matching facts.
+    pub total: f64,
+    /// Number of matching facts.
+    pub matching_facts: usize,
+}
+
+/// Errors for query and MDX evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DwError {
+    /// A member id that does not exist in its hierarchy.
+    UnknownMember {
+        /// Dimension looked up.
+        dimension: Dimension,
+        /// Offending id.
+        member: MemberId,
+    },
+    /// A group-by level deeper than the hierarchy.
+    BadLevel {
+        /// Dimension looked up.
+        dimension: Dimension,
+        /// Requested level.
+        level: u8,
+    },
+    /// An MDX parse error with a human-readable message.
+    Mdx(String),
+}
+
+impl fmt::Display for DwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DwError::UnknownMember { dimension, member } => {
+                write!(f, "unknown member {member} in dimension {dimension}")
+            }
+            DwError::BadLevel { dimension, level } => {
+                write!(f, "dimension {dimension} has no level {level}")
+            }
+            DwError::Mdx(msg) => write!(f, "MDX error: {msg}"),
+        }
+    }
+}
+
+impl Error for DwError {}
+
+impl Warehouse {
+    /// Evaluates `query` over the fact table.
+    pub fn eval(&self, query: &Query) -> Result<QueryResult, DwError> {
+        // Validate filters up front.
+        for f in &query.filters {
+            if self.hierarchy(f.dimension).member(f.member).is_none() {
+                return Err(DwError::UnknownMember { dimension: f.dimension, member: f.member });
+            }
+        }
+        if let Some((dim, level)) = query.group_by {
+            if level as usize >= self.hierarchy(dim).depth() {
+                return Err(DwError::BadLevel { dimension: dim, level });
+            }
+        }
+
+        let mut groups: std::collections::BTreeMap<MemberId, (f64, usize)> = Default::default();
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for row in self.facts() {
+            if !self.matches(row, query) {
+                continue;
+            }
+            let v = query.measure.value_of(row);
+            total += v;
+            count += 1;
+            if let Some((dim, level)) = query.group_by {
+                let leaf = self.fact_leaf(row, dim);
+                if let Some(g) = self.hierarchy(dim).ancestor_at_level(leaf, level) {
+                    let e = groups.entry(g).or_insert((0.0, 0));
+                    e.0 += v;
+                    e.1 += 1;
+                }
+            }
+        }
+
+        let finalise = |sum: f64, n: usize| {
+            if query.measure.is_average() && n > 0 {
+                sum / n as f64
+            } else {
+                sum
+            }
+        };
+        let groups: Vec<(MemberId, f64)> =
+            groups.into_iter().map(|(m, (s, n))| (m, finalise(s, n))).collect();
+        Ok(QueryResult { groups, total: finalise(total, count), matching_facts: count })
+    }
+
+    /// The measure of a single member (used by pivots): facts below
+    /// `member` after `query`'s other restrictions.
+    pub fn member_value(
+        &self,
+        query: &Query,
+        dimension: Dimension,
+        member: MemberId,
+    ) -> Result<f64, DwError> {
+        let q = query.clone().filter(dimension, member);
+        Ok(self.eval(&Query { group_by: None, ..q })?.total)
+    }
+
+    fn matches(&self, row: &FactRow, query: &Query) -> bool {
+        if let Some((from, to)) = query.time_range {
+            if row.earliest_start < from || row.earliest_start >= to {
+                return false;
+            }
+        }
+        if let Some(statuses) = &query.statuses {
+            if !statuses.contains(&row.status) {
+                return false;
+            }
+        }
+        for f in &query.filters {
+            let leaf = self.fact_leaf(row, f.dimension);
+            if !self.hierarchy(f.dimension).is_descendant(leaf, f.member) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirabel_workload::{generate_offers, OfferConfig, Population, PopulationConfig};
+
+    fn warehouse() -> Warehouse {
+        let pop = Population::generate(&PopulationConfig {
+            size: 200,
+            seed: 21,
+            household_share: 0.8,
+        });
+        let offers = generate_offers(&pop, &OfferConfig::default());
+        Warehouse::load(&pop, &offers)
+    }
+
+    #[test]
+    fn count_all_facts() {
+        let dw = warehouse();
+        let r = dw.eval(&Query::new(Measure::Count)).unwrap();
+        assert_eq!(r.total as usize, dw.facts().len());
+        assert_eq!(r.matching_facts, dw.facts().len());
+        assert!(r.groups.is_empty());
+    }
+
+    #[test]
+    fn grouping_partitions_the_total() {
+        let dw = warehouse();
+        for dim in Dimension::ALL {
+            let depth = dw.hierarchy(dim).depth() as u8;
+            for level in 0..depth {
+                let q = Query::new(Measure::Count).group_by(dim, level);
+                let r = dw.eval(&q).unwrap();
+                let group_sum: f64 = r.groups.iter().map(|(_, v)| v).sum();
+                assert!(
+                    (group_sum - r.total).abs() < 1e-9,
+                    "{dim} level {level}: {group_sum} != {}",
+                    r.total
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchical_filters_nest() {
+        let dw = warehouse();
+        let geo = dw.hierarchy(Dimension::Geography);
+        let region = geo.member_by_name("Midtjylland").unwrap().id;
+        let city = geo.member_by_name("Aarhus").unwrap().id;
+        let all = dw.eval(&Query::new(Measure::Count)).unwrap().total;
+        let in_region = dw
+            .eval(&Query::new(Measure::Count).filter(Dimension::Geography, region))
+            .unwrap()
+            .total;
+        let in_city = dw
+            .eval(&Query::new(Measure::Count).filter(Dimension::Geography, city))
+            .unwrap()
+            .total;
+        assert!(in_city <= in_region);
+        assert!(in_region <= all);
+        assert!(in_city > 0.0, "Aarhus should have offers");
+        // City + region filter together equals the city filter.
+        let both = dw
+            .eval(
+                &Query::new(Measure::Count)
+                    .filter(Dimension::Geography, region)
+                    .filter(Dimension::Geography, city),
+            )
+            .unwrap()
+            .total;
+        assert_eq!(both, in_city);
+    }
+
+    #[test]
+    fn status_and_time_filters() {
+        let dw = warehouse();
+        let r = dw
+            .eval(&Query::new(Measure::Count).statuses(vec![FlexOfferStatus::Offered]))
+            .unwrap();
+        // Freshly generated offers are all in Offered state.
+        assert_eq!(r.total as usize, dw.facts().len());
+        let none = dw
+            .eval(&Query::new(Measure::Count).statuses(vec![FlexOfferStatus::Executed]))
+            .unwrap();
+        assert_eq!(none.total, 0.0);
+
+        let mid = TimeSlot::new(48);
+        let early = dw
+            .eval(&Query::new(Measure::Count).time_range(TimeSlot::new(-1_000), mid))
+            .unwrap()
+            .total;
+        let late = dw
+            .eval(&Query::new(Measure::Count).time_range(mid, TimeSlot::new(100_000)))
+            .unwrap()
+            .total;
+        assert_eq!(early + late, dw.facts().len() as f64);
+    }
+
+    #[test]
+    fn sum_measures_aggregate_kwh() {
+        let dw = warehouse();
+        let q = Query::new(Measure::TotalMaxEnergy);
+        let r = dw.eval(&q).unwrap();
+        let expected: f64 =
+            dw.facts().iter().map(|f| f.total_max_wh as f64 / 1_000.0).sum();
+        assert!((r.total - expected).abs() < 1e-6);
+        // Balancing potential and flexibility are non-negative.
+        assert!(dw.eval(&Query::new(Measure::BalancingPotential)).unwrap().total >= 0.0);
+        assert!(dw.eval(&Query::new(Measure::EnergyFlexibility)).unwrap().total >= 0.0);
+    }
+
+    #[test]
+    fn averages_divide_by_count() {
+        let dw = warehouse();
+        let r = dw.eval(&Query::new(Measure::AvgTimeFlexibility)).unwrap();
+        let expected: f64 = dw.facts().iter().map(|f| f.time_flex_slots as f64).sum::<f64>()
+            / dw.facts().len() as f64;
+        assert!((r.total - expected).abs() < 1e-9);
+        // Per-group averages also divide by group counts.
+        let grouped = dw
+            .eval(&Query::new(Measure::AvgPrice).group_by(Dimension::ProsumerType, 1))
+            .unwrap();
+        for (_, v) in &grouped.groups {
+            assert!(*v >= 3.0 && *v < 30.0, "price {v} out of generator range");
+        }
+    }
+
+    #[test]
+    fn errors_on_bad_inputs() {
+        let dw = warehouse();
+        let err = dw
+            .eval(&Query::new(Measure::Count).filter(Dimension::EnergyType, MemberId(999)))
+            .unwrap_err();
+        assert!(matches!(err, DwError::UnknownMember { .. }));
+        let err = dw
+            .eval(&Query::new(Measure::Count).group_by(Dimension::EnergyType, 9))
+            .unwrap_err();
+        assert!(matches!(err, DwError::BadLevel { .. }));
+        assert!(err.to_string().contains("level 9"));
+    }
+
+    #[test]
+    fn measure_parse_round_trip() {
+        for m in Measure::ALL {
+            assert_eq!(Measure::parse(m.name()), Some(m));
+            assert_eq!(Measure::parse(&m.name().to_lowercase()), Some(m));
+        }
+        assert_eq!(Measure::parse("bogus"), None);
+        assert_eq!(Measure::Count.to_string(), "Count");
+    }
+
+    #[test]
+    fn member_value_matches_filtered_eval() {
+        let dw = warehouse();
+        let p = dw.hierarchy(Dimension::ProsumerType);
+        let consumer = p.member_by_name("Consumer").unwrap().id;
+        let direct = dw
+            .eval(&Query::new(Measure::Count).filter(Dimension::ProsumerType, consumer))
+            .unwrap()
+            .total;
+        let via = dw
+            .member_value(&Query::new(Measure::Count), Dimension::ProsumerType, consumer)
+            .unwrap();
+        assert_eq!(direct, via);
+    }
+}

@@ -1,0 +1,305 @@
+//! The warehouse: hierarchies + fact table + loader queries.
+
+use std::collections::HashMap;
+
+use mirabel_flexoffer::{FlexOffer, FlexOfferId, ProsumerId};
+use mirabel_timeseries::{SlotSpan, TimeSlot, SLOTS_PER_DAY};
+use mirabel_workload::Population;
+
+use crate::fact::FactRow;
+use crate::hierarchy::{Dimension, Hierarchy, MemberId};
+
+/// The in-memory MIRABEL data warehouse.
+///
+/// Loading snapshots the offers into [`FactRow`]s keyed by the dimension
+/// hierarchies; the original offers are retained for the detail views and
+/// the Figure 7 loader.
+#[derive(Debug, Clone)]
+pub struct Warehouse {
+    time: Hierarchy,
+    geography: Hierarchy,
+    grid: Hierarchy,
+    energy: Hierarchy,
+    prosumer: Hierarchy,
+    appliance: Hierarchy,
+    first_day: TimeSlot,
+    day_leaves: Vec<MemberId>,
+    facts: Vec<FactRow>,
+    offers: Vec<FlexOffer>,
+    by_id: HashMap<FlexOfferId, usize>,
+}
+
+impl Warehouse {
+    /// Loads offers issued by `population` into a fresh warehouse.
+    ///
+    /// Offers whose prosumer is unknown to the population are skipped
+    /// (they cannot be keyed to the spatial dimensions).
+    pub fn load(population: &Population, offers: &[FlexOffer]) -> Warehouse {
+        let (from, to) = offer_window(offers);
+        let (time, first_day, day_leaves) = Hierarchy::time(from, to);
+        let (geography, district_leaves) = Hierarchy::geography(population.geography());
+        let (grid, node_members) = Hierarchy::grid(population.grid());
+        let energy = Hierarchy::energy_type();
+        let prosumer = Hierarchy::prosumer_type();
+        let appliance = Hierarchy::appliance();
+
+        let mut facts = Vec::with_capacity(offers.len());
+        let mut kept = Vec::with_capacity(offers.len());
+        let mut by_id = HashMap::with_capacity(offers.len());
+        for fo in offers {
+            let Some(p) = population.prosumer(fo.prosumer()) else { continue };
+            let day_idx =
+                (fo.earliest_start().index().div_euclid(SLOTS_PER_DAY) * SLOTS_PER_DAY
+                    - first_day.index())
+                    / SLOTS_PER_DAY;
+            let time_leaf = day_leaves[day_idx as usize];
+            let row = FactRow::extract(
+                fo,
+                time_leaf,
+                district_leaves[p.district.0 as usize],
+                node_members[p.feeder.0 as usize],
+                Hierarchy::energy_leaf(fo.energy_type()),
+                Hierarchy::prosumer_leaf(fo.prosumer_type()),
+                Hierarchy::appliance_leaf(fo.appliance_type()),
+            );
+            by_id.insert(fo.id(), kept.len());
+            facts.push(row);
+            kept.push(fo.clone());
+        }
+        Warehouse {
+            time,
+            geography,
+            grid,
+            energy,
+            prosumer,
+            appliance,
+            first_day,
+            day_leaves,
+            facts,
+            offers: kept,
+            by_id,
+        }
+    }
+
+    /// The hierarchy of `dimension`.
+    pub fn hierarchy(&self, dimension: Dimension) -> &Hierarchy {
+        match dimension {
+            Dimension::Time => &self.time,
+            Dimension::Geography => &self.geography,
+            Dimension::Grid => &self.grid,
+            Dimension::EnergyType => &self.energy,
+            Dimension::ProsumerType => &self.prosumer,
+            Dimension::Appliance => &self.appliance,
+        }
+    }
+
+    /// All fact rows.
+    pub fn facts(&self) -> &[FactRow] {
+        &self.facts
+    }
+
+    /// All loaded offers (fact order).
+    pub fn offers(&self) -> &[FlexOffer] {
+        &self.offers
+    }
+
+    /// Looks up an offer by id.
+    pub fn offer(&self, id: FlexOfferId) -> Option<&FlexOffer> {
+        self.by_id.get(&id).map(|&i| &self.offers[i])
+    }
+
+    /// First day slot of the time hierarchy.
+    pub fn first_day(&self) -> TimeSlot {
+        self.first_day
+    }
+
+    /// Leaf member of the day containing `slot`, if inside the window.
+    pub fn day_leaf(&self, slot: TimeSlot) -> Option<MemberId> {
+        let day = slot.index().div_euclid(SLOTS_PER_DAY) * SLOTS_PER_DAY;
+        let idx = (day - self.first_day.index()) / SLOTS_PER_DAY;
+        if idx < 0 {
+            return None;
+        }
+        self.day_leaves.get(idx as usize).copied()
+    }
+
+    /// The leaf member key of `row` in `dimension`.
+    pub fn fact_leaf(&self, row: &FactRow, dimension: Dimension) -> MemberId {
+        match dimension {
+            Dimension::Time => row.time_leaf,
+            Dimension::Geography => row.geo_leaf,
+            Dimension::Grid => row.grid_leaf,
+            Dimension::EnergyType => row.energy_leaf,
+            Dimension::ProsumerType => row.prosumer_leaf,
+            Dimension::Appliance => row.appliance_leaf,
+        }
+    }
+
+    /// The Figure 7 loader: flex-offers of one legal entity (or all) whose
+    /// flexibility window intersects the absolute interval.
+    pub fn load_offers(&self, query: &LoaderQuery) -> Vec<&FlexOffer> {
+        self.offers
+            .iter()
+            .filter(|fo| {
+                if let Some(p) = query.prosumer {
+                    if fo.prosumer() != p {
+                        return false;
+                    }
+                }
+                let (lo, hi) = fo.extent();
+                lo < query.to && query.from < hi
+            })
+            .collect()
+    }
+}
+
+/// The loader tab's selection (Figure 7): a legal entity (optional) and an
+/// absolute time interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoaderQuery {
+    /// Restrict to one prosumer; `None` loads everyone.
+    pub prosumer: Option<ProsumerId>,
+    /// Interval start (inclusive).
+    pub from: TimeSlot,
+    /// Interval end (exclusive).
+    pub to: TimeSlot,
+}
+
+impl LoaderQuery {
+    /// Loads every offer intersecting `[from, to)`.
+    pub fn window(from: TimeSlot, to: TimeSlot) -> LoaderQuery {
+        LoaderQuery { prosumer: None, from, to }
+    }
+
+    /// Restricts the query to one legal entity.
+    pub fn for_prosumer(mut self, prosumer: ProsumerId) -> LoaderQuery {
+        self.prosumer = Some(prosumer);
+        self
+    }
+}
+
+/// The half-open day-aligned slot window covering all offers (falls back
+/// to a single day at the epoch for an empty set).
+fn offer_window(offers: &[FlexOffer]) -> (TimeSlot, TimeSlot) {
+    let lo = offers.iter().map(|fo| fo.earliest_start()).min();
+    let hi = offers.iter().map(|fo| fo.latest_end()).max();
+    match (lo, hi) {
+        (Some(lo), Some(hi)) => (lo, hi + SlotSpan::slots(1)),
+        _ => (TimeSlot::EPOCH, TimeSlot::EPOCH + SlotSpan::days(1)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirabel_workload::{generate_offers, OfferConfig, PopulationConfig};
+
+    fn setup() -> (Population, Vec<FlexOffer>) {
+        let pop = Population::generate(&PopulationConfig {
+            size: 150,
+            seed: 5,
+            household_share: 0.8,
+        });
+        let offers = generate_offers(&pop, &OfferConfig { days: 2, ..Default::default() });
+        (pop, offers)
+    }
+
+    #[test]
+    fn load_keys_every_offer() {
+        let (pop, offers) = setup();
+        let dw = Warehouse::load(&pop, &offers);
+        assert_eq!(dw.facts().len(), offers.len());
+        assert_eq!(dw.offers().len(), offers.len());
+        for (row, fo) in dw.facts().iter().zip(dw.offers()) {
+            assert_eq!(row.offer, fo.id());
+            // Leaf members exist in their hierarchies at leaf level.
+            let geo = dw.hierarchy(Dimension::Geography);
+            assert_eq!(geo.member(row.geo_leaf).unwrap().level, 3);
+            let grid = dw.hierarchy(Dimension::Grid);
+            assert_eq!(grid.member(row.grid_leaf).unwrap().level, 3);
+            let time = dw.hierarchy(Dimension::Time);
+            assert_eq!(time.member(row.time_leaf).unwrap().level, 3);
+        }
+    }
+
+    #[test]
+    fn time_keys_match_days() {
+        let (pop, offers) = setup();
+        let dw = Warehouse::load(&pop, &offers);
+        let time = dw.hierarchy(Dimension::Time);
+        for (row, fo) in dw.facts().iter().zip(dw.offers()) {
+            let day_name = fo.earliest_start().civil().date.to_string();
+            assert_eq!(time.member(row.time_leaf).unwrap().name, day_name);
+            assert_eq!(dw.day_leaf(fo.earliest_start()), Some(row.time_leaf));
+        }
+        assert_eq!(dw.day_leaf(dw.first_day() - SlotSpan::days(1)), None);
+    }
+
+    #[test]
+    fn unknown_prosumers_are_skipped() {
+        let (pop, mut offers) = setup();
+        let alien = FlexOffer::builder(999_999u64, 42_000u64)
+            .earliest_start(TimeSlot::new(10))
+            .slices(1, mirabel_flexoffer::Energy::ZERO, mirabel_flexoffer::Energy::from_wh(1))
+            .build()
+            .unwrap();
+        offers.push(alien);
+        let dw = Warehouse::load(&pop, &offers);
+        assert_eq!(dw.facts().len(), offers.len() - 1);
+        assert!(dw.offer(FlexOfferId(999_999)).is_none());
+    }
+
+    #[test]
+    fn loader_filters_by_entity_and_interval() {
+        let (pop, offers) = setup();
+        let dw = Warehouse::load(&pop, &offers);
+        let p = offers[0].prosumer();
+        let all = dw.load_offers(&LoaderQuery::window(
+            TimeSlot::new(i64::MIN / 4),
+            TimeSlot::new(i64::MAX / 4),
+        ));
+        assert_eq!(all.len(), offers.len());
+        let mine =
+            dw.load_offers(&LoaderQuery::window(TimeSlot::new(i64::MIN / 4), TimeSlot::new(i64::MAX / 4)).for_prosumer(p));
+        assert!(!mine.is_empty());
+        assert!(mine.iter().all(|fo| fo.prosumer() == p));
+        assert!(mine.len() < all.len());
+
+        // A window before all offers matches nothing.
+        let none = dw.load_offers(&LoaderQuery::window(
+            TimeSlot::new(-10_000),
+            TimeSlot::new(-9_999),
+        ));
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn loader_uses_half_open_interval_on_extents() {
+        let (pop, offers) = setup();
+        let dw = Warehouse::load(&pop, &offers);
+        let fo = &offers[0];
+        let (lo, hi) = fo.extent();
+        // Window touching only the exclusive end does not match.
+        let after = dw.load_offers(&LoaderQuery::window(hi, hi + SlotSpan::hours(1)));
+        assert!(after.iter().all(|o| o.id() != fo.id()));
+        // Window overlapping the first slot does.
+        let at = dw.load_offers(&LoaderQuery::window(lo, lo + SlotSpan::slots(1)));
+        assert!(at.iter().any(|o| o.id() == fo.id()));
+    }
+
+    #[test]
+    fn offer_lookup() {
+        let (pop, offers) = setup();
+        let dw = Warehouse::load(&pop, &offers);
+        let id = offers[3].id();
+        assert_eq!(dw.offer(id).unwrap().id(), id);
+    }
+
+    #[test]
+    fn empty_offer_set_loads() {
+        let (pop, _) = setup();
+        let dw = Warehouse::load(&pop, &[]);
+        assert!(dw.facts().is_empty());
+        assert_eq!(dw.hierarchy(Dimension::Time).at_level(3).count(), 1);
+    }
+}

@@ -1,0 +1,101 @@
+//! Error type for flex-offer construction and lifecycle transitions.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ids::FlexOfferId;
+
+/// Errors produced when building, validating or transitioning flex-offers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlexOfferError {
+    /// A profile with no slices.
+    EmptyProfile,
+    /// A slice whose minimum exceeds its maximum, or with negative bounds
+    /// (bounds are magnitudes; direction is carried separately).
+    InvalidSlice {
+        /// Index of the offending slice.
+        index: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// `latest_start` earlier than `earliest_start`.
+    NegativeTimeFlexibility,
+    /// Deadlines out of order (must satisfy creation ≤ acceptance ≤
+    /// assignment ≤ earliest start, as in Figure 2).
+    DeadlineOrder {
+        /// Human-readable description of the violated ordering.
+        detail: String,
+    },
+    /// A lifecycle transition not allowed from the current status.
+    InvalidTransition {
+        /// Offer being transitioned.
+        id: FlexOfferId,
+        /// Current status name.
+        from: &'static str,
+        /// Attempted transition name.
+        attempted: &'static str,
+    },
+    /// A schedule that does not fit the offer (wrong length, start outside
+    /// the flexibility window, or energy outside slice bounds).
+    InfeasibleSchedule {
+        /// Offer the schedule was checked against.
+        id: FlexOfferId,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// An execution record that does not match the schedule length.
+    InvalidExecution {
+        /// Offer the execution was checked against.
+        id: FlexOfferId,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for FlexOfferError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlexOfferError::EmptyProfile => write!(f, "flex-offer profile has no slices"),
+            FlexOfferError::InvalidSlice { index, reason } => {
+                write!(f, "invalid profile slice {index}: {reason}")
+            }
+            FlexOfferError::NegativeTimeFlexibility => {
+                write!(f, "latest start precedes earliest start")
+            }
+            FlexOfferError::DeadlineOrder { detail } => {
+                write!(f, "deadline ordering violated: {detail}")
+            }
+            FlexOfferError::InvalidTransition { id, from, attempted } => {
+                write!(f, "{id}: cannot {attempted} from status {from}")
+            }
+            FlexOfferError::InfeasibleSchedule { id, reason } => {
+                write!(f, "{id}: infeasible schedule: {reason}")
+            }
+            FlexOfferError::InvalidExecution { id, reason } => {
+                write!(f, "{id}: invalid execution record: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for FlexOfferError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_context() {
+        let e = FlexOfferError::InvalidSlice { index: 3, reason: "min > max".into() };
+        assert!(e.to_string().contains('3'));
+        assert!(e.to_string().contains("min > max"));
+        let e = FlexOfferError::InvalidTransition {
+            id: FlexOfferId(9),
+            from: "Rejected",
+            attempted: "assign",
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("fo-9") && msg.contains("Rejected") && msg.contains("assign"));
+        assert!(FlexOfferError::EmptyProfile.to_string().contains("no slices"));
+    }
+}

@@ -1,0 +1,72 @@
+//! Identifier newtypes.
+
+use std::fmt;
+
+/// Unique identifier of a flex-offer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct FlexOfferId(pub u64);
+
+impl FlexOfferId {
+    /// The raw id value.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for FlexOfferId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fo-{}", self.0)
+    }
+}
+
+impl From<u64> for FlexOfferId {
+    fn from(v: u64) -> Self {
+        FlexOfferId(v)
+    }
+}
+
+/// Unique identifier of a prosumer (the paper's "legal entity" that both
+/// consumes and produces energy; Figure 7 selects flex-offers by legal
+/// entity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ProsumerId(pub u64);
+
+impl ProsumerId {
+    /// The raw id value.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for ProsumerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "prosumer-{}", self.0)
+    }
+}
+
+impl From<u64> for ProsumerId {
+    fn from(v: u64) -> Self {
+        ProsumerId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        assert_eq!(FlexOfferId::from(7).to_string(), "fo-7");
+        assert_eq!(ProsumerId::from(9).to_string(), "prosumer-9");
+        assert_eq!(FlexOfferId(3).raw(), 3);
+        assert_eq!(ProsumerId(4).raw(), 4);
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(FlexOfferId(1) < FlexOfferId(2));
+        assert!(ProsumerId(5) > ProsumerId(4));
+    }
+}

@@ -1,0 +1,793 @@
+//! The flex-offer object and its lifecycle state machine.
+
+use std::fmt;
+
+use mirabel_timeseries::{SlotSpan, TimeSlot};
+
+use crate::energy::Energy;
+use crate::error::FlexOfferError;
+use crate::ids::{FlexOfferId, ProsumerId};
+use crate::profile::{EnergySlice, Profile};
+use crate::schedule::{Execution, Schedule};
+use crate::types::{ApplianceType, Direction, EnergyType, Money, ProsumerType};
+
+/// Lifecycle status of a flex-offer.
+///
+/// The dashboard of Figure 6 and the schematic pies of Figure 4 report the
+/// accepted/assigned/rejected breakdown; the aggregate measures of
+/// Section 3 ("total number of accepted, assigned, or rejected
+/// flex-offers") are counts over this status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FlexOfferStatus {
+    /// Submitted by the prosumer, not yet answered.
+    Offered,
+    /// Accepted by the enterprise (before the acceptance deadline).
+    Accepted,
+    /// Declined by the enterprise.
+    Rejected,
+    /// Scheduled: a start time and energies have been assigned.
+    Assigned,
+    /// The schedule's time has passed and actual consumption was metered.
+    Executed,
+}
+
+impl FlexOfferStatus {
+    /// All statuses in lifecycle order.
+    pub const ALL: [FlexOfferStatus; 5] = [
+        FlexOfferStatus::Offered,
+        FlexOfferStatus::Accepted,
+        FlexOfferStatus::Rejected,
+        FlexOfferStatus::Assigned,
+        FlexOfferStatus::Executed,
+    ];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FlexOfferStatus::Offered => "Offered",
+            FlexOfferStatus::Accepted => "Accepted",
+            FlexOfferStatus::Rejected => "Rejected",
+            FlexOfferStatus::Assigned => "Assigned",
+            FlexOfferStatus::Executed => "Executed",
+        }
+    }
+
+    /// `true` for [`FlexOfferStatus::Assigned`] and beyond.
+    pub fn is_assigned(self) -> bool {
+        matches!(self, FlexOfferStatus::Assigned | FlexOfferStatus::Executed)
+    }
+}
+
+impl fmt::Display for FlexOfferStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A flex-offer: the energy planning object of Figure 2.
+///
+/// Use [`FlexOffer::builder`] to construct one; the builder validates the
+/// deadline ordering, the flexibility window and the profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlexOffer {
+    id: FlexOfferId,
+    prosumer: ProsumerId,
+    direction: Direction,
+    profile: Profile,
+    earliest_start: TimeSlot,
+    latest_start: TimeSlot,
+    creation_time: TimeSlot,
+    acceptance_deadline: TimeSlot,
+    assignment_deadline: TimeSlot,
+    energy_type: EnergyType,
+    prosumer_type: ProsumerType,
+    appliance_type: ApplianceType,
+    price_per_kwh: Money,
+    status: FlexOfferStatus,
+    schedule: Option<Schedule>,
+    execution: Option<Execution>,
+}
+
+impl FlexOffer {
+    /// Starts building a flex-offer with the given offer and prosumer ids.
+    pub fn builder(id: impl Into<FlexOfferId>, prosumer: impl Into<ProsumerId>) -> FlexOfferBuilder {
+        FlexOfferBuilder::new(id.into(), prosumer.into())
+    }
+
+    /// Unique id of this offer.
+    #[inline]
+    pub fn id(&self) -> FlexOfferId {
+        self.id
+    }
+
+    /// The issuing prosumer ("legal entity" in Figure 7).
+    #[inline]
+    pub fn prosumer(&self) -> ProsumerId {
+        self.prosumer
+    }
+
+    /// Consumption or production.
+    #[inline]
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    /// The energy profile.
+    #[inline]
+    pub fn profile(&self) -> &Profile {
+        &self.profile
+    }
+
+    /// Earliest slot at which the appliance may start.
+    #[inline]
+    pub fn earliest_start(&self) -> TimeSlot {
+        self.earliest_start
+    }
+
+    /// Latest slot at which the appliance may start.
+    #[inline]
+    pub fn latest_start(&self) -> TimeSlot {
+        self.latest_start
+    }
+
+    /// Latest slot by which the profile is certainly finished
+    /// (`latest_start + profile duration`; "5am, latest end time" in
+    /// Figure 2).
+    #[inline]
+    pub fn latest_end(&self) -> TimeSlot {
+        self.latest_start + self.profile.duration()
+    }
+
+    /// When the prosumer created the offer.
+    #[inline]
+    pub fn creation_time(&self) -> TimeSlot {
+        self.creation_time
+    }
+
+    /// Latest moment for the enterprise to send the acceptance message.
+    #[inline]
+    pub fn acceptance_deadline(&self) -> TimeSlot {
+        self.acceptance_deadline
+    }
+
+    /// Latest moment for the enterprise to send the assignment message.
+    #[inline]
+    pub fn assignment_deadline(&self) -> TimeSlot {
+        self.assignment_deadline
+    }
+
+    /// Energy type attribute (dimension member for the DW).
+    #[inline]
+    pub fn energy_type(&self) -> EnergyType {
+        self.energy_type
+    }
+
+    /// Prosumer type attribute (dimension member for the DW).
+    #[inline]
+    pub fn prosumer_type(&self) -> ProsumerType {
+        self.prosumer_type
+    }
+
+    /// Appliance type attribute (dimension member for the DW).
+    #[inline]
+    pub fn appliance_type(&self) -> ApplianceType {
+        self.appliance_type
+    }
+
+    /// Offered price per kWh.
+    #[inline]
+    pub fn price_per_kwh(&self) -> Money {
+        self.price_per_kwh
+    }
+
+    /// Current lifecycle status.
+    #[inline]
+    pub fn status(&self) -> FlexOfferStatus {
+        self.status
+    }
+
+    /// The assigned schedule, if any.
+    #[inline]
+    pub fn schedule(&self) -> Option<&Schedule> {
+        self.schedule.as_ref()
+    }
+
+    /// The recorded execution, if any.
+    #[inline]
+    pub fn execution(&self) -> Option<&Execution> {
+        self.execution.as_ref()
+    }
+
+    // ------------------------------------------------------------------
+    // Flexibility measures (Figure 2 / Section 3 elements).
+    // ------------------------------------------------------------------
+
+    /// Start-time flexibility: `latest_start − earliest_start`.
+    #[inline]
+    pub fn time_flexibility(&self) -> SlotSpan {
+        self.latest_start - self.earliest_start
+    }
+
+    /// Total energy flexibility: `Σ (max − min)` over the profile.
+    #[inline]
+    pub fn energy_flexibility(&self) -> Energy {
+        self.profile.energy_flexibility()
+    }
+
+    /// Least total energy the offer will use.
+    #[inline]
+    pub fn total_min_energy(&self) -> Energy {
+        self.profile.total_min()
+    }
+
+    /// Most total energy the offer can use.
+    #[inline]
+    pub fn total_max_energy(&self) -> Energy {
+        self.profile.total_max()
+    }
+
+    /// The **energy balancing potential** measure of Section 3: "computed
+    /// from the total amount of energy and the flexibility prosumers offer".
+    ///
+    /// We define it as
+    /// `energy_flexibility + total_max · tf / (tf + duration)`
+    /// where `tf` is the time flexibility and `duration` the profile
+    /// length, both in slots: the first term is energy that can be *scaled*
+    /// away, the second is energy that can be *shifted* (weighted by how
+    /// far it can move relative to its own length). The value is measured
+    /// in watt-hours and is zero only for an offer with no flexibility at
+    /// all.
+    pub fn balancing_potential(&self) -> Energy {
+        let tf = self.time_flexibility().count();
+        let dur = self.profile.len() as i64;
+        let shiftable_wh = if tf == 0 {
+            0
+        } else {
+            // Integer arithmetic: max · tf / (tf + dur), rounded down.
+            self.total_max_energy().wh() * tf / (tf + dur)
+        };
+        self.energy_flexibility() + Energy::from_wh(shiftable_wh)
+    }
+
+    /// The half-open absolute slot interval this offer can possibly touch:
+    /// `[earliest_start, latest_end)`.
+    pub fn extent(&self) -> (TimeSlot, TimeSlot) {
+        (self.earliest_start, self.latest_end())
+    }
+
+    /// `true` when the flexibility windows of `self` and `other` overlap
+    /// in absolute time.
+    pub fn overlaps(&self, other: &FlexOffer) -> bool {
+        let (a0, a1) = self.extent();
+        let (b0, b1) = other.extent();
+        a0 < b1 && b0 < a1
+    }
+
+    /// Checks whether `schedule` is feasible for this offer: start within
+    /// the flexibility window, one energy per slice, every amount within
+    /// the slice bounds.
+    pub fn check_schedule(&self, schedule: &Schedule) -> Result<(), FlexOfferError> {
+        if schedule.start() < self.earliest_start || schedule.start() > self.latest_start {
+            return Err(FlexOfferError::InfeasibleSchedule {
+                id: self.id,
+                reason: format!(
+                    "start {} outside flexibility window [{}, {}]",
+                    schedule.start(),
+                    self.earliest_start,
+                    self.latest_start
+                ),
+            });
+        }
+        if schedule.len() != self.profile.len() {
+            return Err(FlexOfferError::InfeasibleSchedule {
+                id: self.id,
+                reason: format!(
+                    "schedule has {} slices, profile has {}",
+                    schedule.len(),
+                    self.profile.len()
+                ),
+            });
+        }
+        for (i, (&energy, &slice)) in
+            schedule.energies().iter().zip(self.profile.slices()).enumerate()
+        {
+            if !slice.contains(energy) {
+                return Err(FlexOfferError::InfeasibleSchedule {
+                    id: self.id,
+                    reason: format!("slice {i}: energy {energy} outside bound {slice}"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Lifecycle transitions.
+    // ------------------------------------------------------------------
+
+    /// Offered → Accepted.
+    pub fn accept(&mut self) -> Result<(), FlexOfferError> {
+        match self.status {
+            FlexOfferStatus::Offered => {
+                self.status = FlexOfferStatus::Accepted;
+                Ok(())
+            }
+            _ => Err(self.bad_transition("accept")),
+        }
+    }
+
+    /// Offered → Rejected.
+    pub fn reject(&mut self) -> Result<(), FlexOfferError> {
+        match self.status {
+            FlexOfferStatus::Offered => {
+                self.status = FlexOfferStatus::Rejected;
+                Ok(())
+            }
+            _ => Err(self.bad_transition("reject")),
+        }
+    }
+
+    /// Accepted → Assigned with a feasibility-checked schedule. An already
+    /// assigned offer may be re-assigned (re-planning before execution).
+    pub fn assign(&mut self, schedule: Schedule) -> Result<(), FlexOfferError> {
+        match self.status {
+            FlexOfferStatus::Accepted | FlexOfferStatus::Assigned => {
+                self.check_schedule(&schedule)?;
+                self.schedule = Some(schedule);
+                self.status = FlexOfferStatus::Assigned;
+                Ok(())
+            }
+            _ => Err(self.bad_transition("assign")),
+        }
+    }
+
+    /// Assigned → Executed with the metered actual energies. The actuals
+    /// may deviate from the schedule (that is the plan-deviation measure)
+    /// but must cover the same number of slices.
+    pub fn record_execution(&mut self, execution: Execution) -> Result<(), FlexOfferError> {
+        match self.status {
+            FlexOfferStatus::Assigned => {
+                let schedule = self.schedule.as_ref().expect("assigned offers have schedules");
+                if execution.len() != schedule.len() {
+                    return Err(FlexOfferError::InvalidExecution {
+                        id: self.id,
+                        reason: format!(
+                            "execution has {} slices, schedule has {}",
+                            execution.len(),
+                            schedule.len()
+                        ),
+                    });
+                }
+                self.execution = Some(execution);
+                self.status = FlexOfferStatus::Executed;
+                Ok(())
+            }
+            _ => Err(self.bad_transition("record execution for")),
+        }
+    }
+
+    fn bad_transition(&self, attempted: &'static str) -> FlexOfferError {
+        FlexOfferError::InvalidTransition {
+            id: self.id,
+            from: self.status.name(),
+            attempted,
+        }
+    }
+}
+
+impl fmt::Display for FlexOffer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] {} {} start∈[{}, {}] {}",
+            self.id,
+            self.status,
+            self.direction,
+            self.profile,
+            self.earliest_start,
+            self.latest_start,
+            self.appliance_type,
+        )
+    }
+}
+
+/// Builder for [`FlexOffer`], validating all invariants in
+/// [`FlexOfferBuilder::build`].
+#[derive(Debug, Clone)]
+pub struct FlexOfferBuilder {
+    id: FlexOfferId,
+    prosumer: ProsumerId,
+    direction: Direction,
+    slices: Vec<EnergySlice>,
+    earliest_start: TimeSlot,
+    latest_start: Option<TimeSlot>,
+    creation_time: Option<TimeSlot>,
+    acceptance_deadline: Option<TimeSlot>,
+    assignment_deadline: Option<TimeSlot>,
+    energy_type: EnergyType,
+    prosumer_type: ProsumerType,
+    appliance_type: ApplianceType,
+    price_per_kwh: Money,
+}
+
+impl FlexOfferBuilder {
+    fn new(id: FlexOfferId, prosumer: ProsumerId) -> Self {
+        FlexOfferBuilder {
+            id,
+            prosumer,
+            direction: Direction::Consumption,
+            slices: Vec::new(),
+            earliest_start: TimeSlot::EPOCH,
+            latest_start: None,
+            creation_time: None,
+            acceptance_deadline: None,
+            assignment_deadline: None,
+            energy_type: EnergyType::Mixed,
+            prosumer_type: ProsumerType::Household,
+            appliance_type: ApplianceType::Other,
+            price_per_kwh: Money::ZERO,
+        }
+    }
+
+    /// Sets the direction (default: consumption).
+    pub fn direction(mut self, d: Direction) -> Self {
+        self.direction = d;
+        self
+    }
+
+    /// Appends one profile slice with the given bounds.
+    pub fn slice(mut self, min: Energy, max: Energy) -> Self {
+        self.slices.push(EnergySlice { min, max });
+        self
+    }
+
+    /// Appends `n` identical slices.
+    pub fn slices(mut self, n: usize, min: Energy, max: Energy) -> Self {
+        self.slices.extend(std::iter::repeat_n(EnergySlice { min, max }, n));
+        self
+    }
+
+    /// Replaces the profile with an explicit slice list.
+    pub fn profile_slices(mut self, slices: Vec<EnergySlice>) -> Self {
+        self.slices = slices;
+        self
+    }
+
+    /// Sets the earliest start slot (default: the epoch).
+    pub fn earliest_start(mut self, t: TimeSlot) -> Self {
+        self.earliest_start = t;
+        self
+    }
+
+    /// Sets the latest start slot (default: equal to earliest start, i.e.
+    /// no time flexibility).
+    pub fn latest_start(mut self, t: TimeSlot) -> Self {
+        self.latest_start = Some(t);
+        self
+    }
+
+    /// Sets the creation time (default: 4 hours before earliest start).
+    pub fn creation_time(mut self, t: TimeSlot) -> Self {
+        self.creation_time = Some(t);
+        self
+    }
+
+    /// Sets the acceptance deadline (default: 2 hours before earliest
+    /// start).
+    pub fn acceptance_deadline(mut self, t: TimeSlot) -> Self {
+        self.acceptance_deadline = Some(t);
+        self
+    }
+
+    /// Sets the assignment deadline (default: 1 hour before earliest
+    /// start).
+    pub fn assignment_deadline(mut self, t: TimeSlot) -> Self {
+        self.assignment_deadline = Some(t);
+        self
+    }
+
+    /// Sets the energy type attribute.
+    pub fn energy_type(mut self, t: EnergyType) -> Self {
+        self.energy_type = t;
+        self
+    }
+
+    /// Sets the prosumer type attribute.
+    pub fn prosumer_type(mut self, t: ProsumerType) -> Self {
+        self.prosumer_type = t;
+        self
+    }
+
+    /// Sets the appliance type attribute.
+    pub fn appliance_type(mut self, t: ApplianceType) -> Self {
+        self.appliance_type = t;
+        self
+    }
+
+    /// Sets the offered price per kWh.
+    pub fn price_per_kwh(mut self, p: Money) -> Self {
+        self.price_per_kwh = p;
+        self
+    }
+
+    /// Validates all invariants and produces the offer in
+    /// [`FlexOfferStatus::Offered`] state.
+    ///
+    /// Invariants enforced (Figure 2 ordering):
+    /// * non-empty profile, `0 ≤ min ≤ max` per slice;
+    /// * `earliest_start ≤ latest_start`;
+    /// * `creation ≤ acceptance deadline ≤ assignment deadline ≤ earliest
+    ///   start`.
+    pub fn build(self) -> Result<FlexOffer, FlexOfferError> {
+        let profile = Profile::new(self.slices)?;
+        let earliest = self.earliest_start;
+        let latest = self.latest_start.unwrap_or(earliest);
+        if latest < earliest {
+            return Err(FlexOfferError::NegativeTimeFlexibility);
+        }
+        let creation = self.creation_time.unwrap_or(earliest - SlotSpan::hours(4));
+        let acceptance = self.acceptance_deadline.unwrap_or(earliest - SlotSpan::hours(2));
+        let assignment = self.assignment_deadline.unwrap_or(earliest - SlotSpan::hours(1));
+        if creation > acceptance {
+            return Err(FlexOfferError::DeadlineOrder {
+                detail: format!("creation {creation} after acceptance deadline {acceptance}"),
+            });
+        }
+        if acceptance > assignment {
+            return Err(FlexOfferError::DeadlineOrder {
+                detail: format!(
+                    "acceptance deadline {acceptance} after assignment deadline {assignment}"
+                ),
+            });
+        }
+        if assignment > earliest {
+            return Err(FlexOfferError::DeadlineOrder {
+                detail: format!(
+                    "assignment deadline {assignment} after earliest start {earliest}"
+                ),
+            });
+        }
+        Ok(FlexOffer {
+            id: self.id,
+            prosumer: self.prosumer,
+            direction: self.direction,
+            profile,
+            earliest_start: earliest,
+            latest_start: latest,
+            creation_time: creation,
+            acceptance_deadline: acceptance,
+            assignment_deadline: assignment,
+            energy_type: self.energy_type,
+            prosumer_type: self.prosumer_type,
+            appliance_type: self.appliance_type,
+            price_per_kwh: self.price_per_kwh,
+            status: FlexOfferStatus::Offered,
+            schedule: None,
+            execution: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wh(v: i64) -> Energy {
+        Energy::from_wh(v)
+    }
+
+    /// The canonical Figure 2 offer: earliest start 1 am, latest start
+    /// 3 am, 2 h profile, acceptance 11 pm, assignment midnight.
+    fn figure2_offer() -> FlexOffer {
+        let midnight = TimeSlot::new(SlotSpan::days(30).count()); // some midnight
+        FlexOffer::builder(1u64, 10u64)
+            .creation_time(midnight - SlotSpan::hours(2))
+            .acceptance_deadline(midnight - SlotSpan::hours(1))
+            .assignment_deadline(midnight)
+            .earliest_start(midnight + SlotSpan::hours(1))
+            .latest_start(midnight + SlotSpan::hours(3))
+            .slices(8, wh(250), wh(1_000))
+            .appliance_type(ApplianceType::ElectricVehicle)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn figure2_elements() {
+        let fo = figure2_offer();
+        assert_eq!(fo.time_flexibility(), SlotSpan::hours(2));
+        assert_eq!(fo.profile().duration(), SlotSpan::hours(2));
+        // Latest end = latest start (3 am) + 2 h = 5 am, as in Figure 2.
+        assert_eq!(fo.latest_end() - fo.earliest_start(), SlotSpan::hours(4));
+        assert_eq!(fo.energy_flexibility(), wh(8 * 750));
+        assert_eq!(fo.total_min_energy(), wh(2_000));
+        assert_eq!(fo.total_max_energy(), wh(8_000));
+        assert_eq!(fo.status(), FlexOfferStatus::Offered);
+        assert!(fo.schedule().is_none());
+        assert!(fo.execution().is_none());
+    }
+
+    #[test]
+    fn builder_rejects_bad_windows() {
+        let t = TimeSlot::new(100);
+        let err = FlexOffer::builder(1u64, 1u64)
+            .earliest_start(t)
+            .latest_start(t - SlotSpan::hours(1))
+            .slice(wh(1), wh(2))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, FlexOfferError::NegativeTimeFlexibility);
+    }
+
+    #[test]
+    fn builder_rejects_bad_deadlines() {
+        let t = TimeSlot::new(100);
+        // Assignment after earliest start.
+        let err = FlexOffer::builder(1u64, 1u64)
+            .earliest_start(t)
+            .assignment_deadline(t + SlotSpan::hours(1))
+            .slice(wh(1), wh(2))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, FlexOfferError::DeadlineOrder { .. }));
+        // Creation after acceptance.
+        let err = FlexOffer::builder(1u64, 1u64)
+            .earliest_start(t)
+            .creation_time(t - SlotSpan::hours(1))
+            .acceptance_deadline(t - SlotSpan::hours(3))
+            .build_with_slice()
+            .unwrap_err();
+        assert!(matches!(err, FlexOfferError::DeadlineOrder { .. }));
+        // Acceptance after assignment.
+        let err = FlexOffer::builder(1u64, 1u64)
+            .earliest_start(t)
+            .acceptance_deadline(t - SlotSpan::hours(1))
+            .assignment_deadline(t - SlotSpan::hours(2))
+            .build_with_slice()
+            .unwrap_err();
+        assert!(matches!(err, FlexOfferError::DeadlineOrder { .. }));
+    }
+
+    impl FlexOfferBuilder {
+        fn build_with_slice(self) -> Result<FlexOffer, FlexOfferError> {
+            self.slice(Energy::from_wh(1), Energy::from_wh(2)).build()
+        }
+    }
+
+    #[test]
+    fn builder_rejects_empty_profile() {
+        let err = FlexOffer::builder(1u64, 1u64).build().unwrap_err();
+        assert_eq!(err, FlexOfferError::EmptyProfile);
+    }
+
+    #[test]
+    fn lifecycle_happy_path() {
+        let mut fo = figure2_offer();
+        fo.accept().unwrap();
+        assert_eq!(fo.status(), FlexOfferStatus::Accepted);
+        let sched = Schedule::new(fo.earliest_start() + SlotSpan::hours(1), vec![wh(500); 8]);
+        fo.assign(sched.clone()).unwrap();
+        assert_eq!(fo.status(), FlexOfferStatus::Assigned);
+        assert!(fo.status().is_assigned());
+        assert_eq!(fo.schedule(), Some(&sched));
+        fo.record_execution(Execution::compliant(&sched)).unwrap();
+        assert_eq!(fo.status(), FlexOfferStatus::Executed);
+        assert_eq!(fo.execution().unwrap().total(), wh(4_000));
+    }
+
+    #[test]
+    fn reassignment_allowed_before_execution() {
+        let mut fo = figure2_offer();
+        fo.accept().unwrap();
+        let s1 = Schedule::new(fo.earliest_start(), vec![wh(250); 8]);
+        let s2 = Schedule::new(fo.latest_start(), vec![wh(1_000); 8]);
+        fo.assign(s1).unwrap();
+        fo.assign(s2.clone()).unwrap();
+        assert_eq!(fo.schedule(), Some(&s2));
+    }
+
+    #[test]
+    fn invalid_transitions_are_rejected() {
+        let mut fo = figure2_offer();
+        fo.reject().unwrap();
+        assert_eq!(fo.status(), FlexOfferStatus::Rejected);
+        assert!(fo.accept().is_err());
+        let sched = Schedule::new(fo.earliest_start(), vec![wh(500); 8]);
+        assert!(fo.assign(sched.clone()).is_err());
+        assert!(fo.record_execution(Execution::new(vec![wh(0); 8])).is_err());
+
+        let mut fo2 = figure2_offer();
+        // Cannot assign before accepting.
+        assert!(fo2.assign(sched).is_err());
+        // Cannot reject twice.
+        fo2.reject().unwrap();
+        assert!(fo2.reject().is_err());
+    }
+
+    #[test]
+    fn schedule_feasibility_checks() {
+        let fo = figure2_offer();
+        // Start before the window.
+        let early = Schedule::new(fo.earliest_start() - SlotSpan::slots(1), vec![wh(500); 8]);
+        assert!(fo.check_schedule(&early).is_err());
+        // Start after the window.
+        let late = Schedule::new(fo.latest_start() + SlotSpan::slots(1), vec![wh(500); 8]);
+        assert!(fo.check_schedule(&late).is_err());
+        // Wrong slice count.
+        let short = Schedule::new(fo.earliest_start(), vec![wh(500); 7]);
+        assert!(fo.check_schedule(&short).is_err());
+        // Energy outside bounds.
+        let over = Schedule::new(fo.earliest_start(), vec![wh(1_001); 8]);
+        assert!(fo.check_schedule(&over).is_err());
+        let under = Schedule::new(fo.earliest_start(), vec![wh(249); 8]);
+        assert!(fo.check_schedule(&under).is_err());
+        // Boundary values are feasible.
+        let at_min = Schedule::new(fo.earliest_start(), vec![wh(250); 8]);
+        assert!(fo.check_schedule(&at_min).is_ok());
+        let at_max = Schedule::new(fo.latest_start(), vec![wh(1_000); 8]);
+        assert!(fo.check_schedule(&at_max).is_ok());
+    }
+
+    #[test]
+    fn execution_length_must_match() {
+        let mut fo = figure2_offer();
+        fo.accept().unwrap();
+        fo.assign(Schedule::new(fo.earliest_start(), vec![wh(500); 8])).unwrap();
+        let err = fo.record_execution(Execution::new(vec![wh(500); 7])).unwrap_err();
+        assert!(matches!(err, FlexOfferError::InvalidExecution { .. }));
+    }
+
+    #[test]
+    fn balancing_potential_definition() {
+        let fo = figure2_offer();
+        // tf = 8 slots, duration = 8 slots → shiftable = max · 8/16.
+        let expected = fo.energy_flexibility() + Energy::from_wh(8_000 * 8 / 16);
+        assert_eq!(fo.balancing_potential(), expected);
+
+        // An offer without any flexibility has zero potential.
+        let t = TimeSlot::new(50);
+        let rigid = FlexOffer::builder(2u64, 1u64)
+            .earliest_start(t)
+            .slice(wh(100), wh(100))
+            .build()
+            .unwrap();
+        assert_eq!(rigid.balancing_potential(), Energy::ZERO);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let t = TimeSlot::new(1_000);
+        let mk = |shift: i64| {
+            FlexOffer::builder(1u64, 1u64)
+                .earliest_start(t + SlotSpan::slots(shift))
+                .latest_start(t + SlotSpan::slots(shift + 4))
+                .slices(4, wh(1), wh(2))
+                .build()
+                .unwrap()
+        };
+        let a = mk(0); // extent [0, 8)
+        let b = mk(4); // extent [4, 12)
+        let c = mk(8); // extent [8, 16)
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+        assert!(b.overlaps(&c));
+    }
+
+    #[test]
+    fn display_mentions_key_facts() {
+        let fo = figure2_offer();
+        let s = fo.to_string();
+        assert!(s.contains("fo-1"));
+        assert!(s.contains("Offered"));
+        assert!(s.contains("Electric vehicle"));
+    }
+
+    #[test]
+    fn status_names() {
+        assert_eq!(FlexOfferStatus::ALL.len(), 5);
+        assert_eq!(FlexOfferStatus::Accepted.to_string(), "Accepted");
+        assert!(!FlexOfferStatus::Offered.is_assigned());
+        assert!(FlexOfferStatus::Executed.is_assigned());
+    }
+}

@@ -1,0 +1,261 @@
+//! Flex-offer profiles: per-slot energy bounds.
+
+use std::fmt;
+
+use mirabel_timeseries::{SlotSpan, TimeSlot};
+
+use crate::energy::Energy;
+use crate::error::FlexOfferError;
+
+/// One profile slice: the `[min, max]` energy bound for a single 15-minute
+/// slot ("bounds (minimum and maximum energy) of energy required (or
+/// offered) by a prosumer at successive time intervals", Section 3).
+///
+/// Bounds are magnitudes — always non-negative; the offer's
+/// [`Direction`](crate::Direction) carries the sign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EnergySlice {
+    /// Minimum energy the prosumer will use/produce in this slot.
+    pub min: Energy,
+    /// Maximum energy the prosumer can use/produce in this slot.
+    pub max: Energy,
+}
+
+impl EnergySlice {
+    /// Creates a slice after checking `0 ≤ min ≤ max`.
+    pub fn new(min: Energy, max: Energy) -> Result<Self, FlexOfferError> {
+        if min.wh() < 0 || max.wh() < 0 {
+            return Err(FlexOfferError::InvalidSlice {
+                index: 0,
+                reason: format!("negative bound (min {min}, max {max})"),
+            });
+        }
+        if min > max {
+            return Err(FlexOfferError::InvalidSlice {
+                index: 0,
+                reason: format!("min {min} exceeds max {max}"),
+            });
+        }
+        Ok(EnergySlice { min, max })
+    }
+
+    /// A slice with identical bounds (no energy flexibility).
+    pub fn fixed(amount: Energy) -> Result<Self, FlexOfferError> {
+        EnergySlice::new(amount, amount)
+    }
+
+    /// The width of the bound: `max - min`.
+    #[inline]
+    pub fn flexibility(self) -> Energy {
+        self.max - self.min
+    }
+
+    /// `true` when `amount` lies inside `[min, max]`.
+    #[inline]
+    pub fn contains(self, amount: Energy) -> bool {
+        self.min <= amount && amount <= self.max
+    }
+
+    /// Sum of two slices (bounds add; used by aggregation).
+    #[inline]
+    pub fn merge(self, other: EnergySlice) -> EnergySlice {
+        EnergySlice { min: self.min + other.min, max: self.max + other.max }
+    }
+}
+
+impl fmt::Display for EnergySlice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.min, self.max)
+    }
+}
+
+/// An ordered sequence of [`EnergySlice`]s, one per 15-minute slot.
+///
+/// The profile of Figure 2 spans "2h", i.e. eight slices in this model.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Profile {
+    slices: Vec<EnergySlice>,
+}
+
+impl Profile {
+    /// Creates a profile from slices, validating each (`0 ≤ min ≤ max`)
+    /// and requiring at least one slice.
+    pub fn new(slices: Vec<EnergySlice>) -> Result<Self, FlexOfferError> {
+        if slices.is_empty() {
+            return Err(FlexOfferError::EmptyProfile);
+        }
+        for (index, s) in slices.iter().enumerate() {
+            if s.min.wh() < 0 || s.max.wh() < 0 {
+                return Err(FlexOfferError::InvalidSlice {
+                    index,
+                    reason: format!("negative bound (min {}, max {})", s.min, s.max),
+                });
+            }
+            if s.min > s.max {
+                return Err(FlexOfferError::InvalidSlice {
+                    index,
+                    reason: format!("min {} exceeds max {}", s.min, s.max),
+                });
+            }
+        }
+        Ok(Profile { slices })
+    }
+
+    /// A profile of `n` identical slices.
+    pub fn uniform(n: usize, min: Energy, max: Energy) -> Result<Self, FlexOfferError> {
+        let slice = EnergySlice::new(min, max)?;
+        Profile::new(vec![slice; n.max(1)])
+    }
+
+    /// The slices in order.
+    #[inline]
+    pub fn slices(&self) -> &[EnergySlice] {
+        &self.slices
+    }
+
+    /// Number of slices, i.e. the profile duration in slots.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// Profiles are never empty; provided for API completeness.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.slices.is_empty()
+    }
+
+    /// Profile duration as a span.
+    #[inline]
+    pub fn duration(&self) -> SlotSpan {
+        SlotSpan::slots(self.slices.len() as i64)
+    }
+
+    /// Sum of the minimum bounds — the least energy the offer will use.
+    pub fn total_min(&self) -> Energy {
+        self.slices.iter().map(|s| s.min).sum()
+    }
+
+    /// Sum of the maximum bounds — the most energy the offer can use.
+    pub fn total_max(&self) -> Energy {
+        self.slices.iter().map(|s| s.max).sum()
+    }
+
+    /// Total energy flexibility: `Σ (max − min)` over all slices
+    /// (the "Energy flexibility" element of Figure 2).
+    pub fn energy_flexibility(&self) -> Energy {
+        self.slices.iter().map(|s| s.flexibility()).sum()
+    }
+
+    /// Largest per-slice maximum (used for view scaling).
+    pub fn peak_max(&self) -> Energy {
+        self.slices.iter().map(|s| s.max).max().unwrap_or(Energy::ZERO)
+    }
+
+    /// Iterates `(slot, slice)` pairs for a profile anchored at `start`.
+    pub fn anchored_at<'a>(
+        &'a self,
+        start: TimeSlot,
+    ) -> impl Iterator<Item = (TimeSlot, EnergySlice)> + 'a {
+        self.slices
+            .iter()
+            .enumerate()
+            .map(move |(i, &s)| (start + SlotSpan::slots(i as i64), s))
+    }
+}
+
+impl fmt::Display for Profile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Profile[{} slices, {}..{}]", self.len(), self.total_min(), self.total_max())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wh(v: i64) -> Energy {
+        Energy::from_wh(v)
+    }
+
+    #[test]
+    fn slice_validation() {
+        assert!(EnergySlice::new(wh(100), wh(200)).is_ok());
+        assert!(EnergySlice::new(wh(200), wh(100)).is_err());
+        assert!(EnergySlice::new(wh(-1), wh(100)).is_err());
+        assert!(EnergySlice::new(wh(0), wh(-5)).is_err());
+        let fixed = EnergySlice::fixed(wh(150)).unwrap();
+        assert_eq!(fixed.flexibility(), Energy::ZERO);
+    }
+
+    #[test]
+    fn slice_contains_and_merge() {
+        let s = EnergySlice::new(wh(100), wh(300)).unwrap();
+        assert!(s.contains(wh(100)));
+        assert!(s.contains(wh(300)));
+        assert!(!s.contains(wh(99)));
+        assert!(!s.contains(wh(301)));
+        let t = EnergySlice::new(wh(50), wh(60)).unwrap();
+        let m = s.merge(t);
+        assert_eq!(m.min, wh(150));
+        assert_eq!(m.max, wh(360));
+    }
+
+    #[test]
+    fn profile_requires_slices() {
+        assert!(matches!(Profile::new(vec![]), Err(FlexOfferError::EmptyProfile)));
+    }
+
+    #[test]
+    fn profile_validates_every_slice() {
+        let good = EnergySlice::new(wh(1), wh(2)).unwrap();
+        let bad = EnergySlice { min: wh(5), max: wh(1) };
+        let err = Profile::new(vec![good, bad]).unwrap_err();
+        match err {
+            FlexOfferError::InvalidSlice { index, .. } => assert_eq!(index, 1),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn profile_statistics() {
+        let p = Profile::new(vec![
+            EnergySlice::new(wh(100), wh(400)).unwrap(),
+            EnergySlice::new(wh(200), wh(200)).unwrap(),
+            EnergySlice::new(wh(0), wh(300)).unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.duration(), SlotSpan::slots(3));
+        assert_eq!(p.total_min(), wh(300));
+        assert_eq!(p.total_max(), wh(900));
+        assert_eq!(p.energy_flexibility(), wh(600));
+        assert_eq!(p.peak_max(), wh(400));
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn uniform_profile() {
+        let p = Profile::uniform(4, wh(100), wh(200)).unwrap();
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.total_min(), wh(400));
+        assert_eq!(p.total_max(), wh(800));
+        // n = 0 is promoted to a single slice rather than failing.
+        assert_eq!(Profile::uniform(0, wh(1), wh(2)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn anchored_iteration() {
+        let p = Profile::uniform(3, wh(10), wh(20)).unwrap();
+        let start = TimeSlot::new(100);
+        let slots: Vec<i64> = p.anchored_at(start).map(|(t, _)| t.index()).collect();
+        assert_eq!(slots, vec![100, 101, 102]);
+    }
+
+    #[test]
+    fn display() {
+        let p = Profile::uniform(2, wh(10), wh(20)).unwrap();
+        let s = p.to_string();
+        assert!(s.contains("2 slices"));
+    }
+}

@@ -1,0 +1,187 @@
+//! Schedules ("flex-offer assignments") and execution records.
+
+use std::fmt;
+
+use mirabel_timeseries::{SlotSpan, TimeSlot};
+
+use crate::energy::Energy;
+
+/// The enterprise's planning decision for one flex-offer: the scheduled
+/// start time and the scheduled energy amount for every profile slice
+/// ("Scheduled Energy and Start Time", Section 3; the red solid lines of
+/// Figures 8–9).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Schedule {
+    start: TimeSlot,
+    energies: Vec<Energy>,
+}
+
+impl Schedule {
+    /// Creates a schedule starting at `start` with one energy amount per
+    /// profile slice. Feasibility against a concrete offer is checked by
+    /// [`FlexOffer::assign`](crate::FlexOffer::assign).
+    pub fn new(start: TimeSlot, energies: Vec<Energy>) -> Self {
+        Schedule { start, energies }
+    }
+
+    /// Scheduled start slot.
+    #[inline]
+    pub fn start(&self) -> TimeSlot {
+        self.start
+    }
+
+    /// One past the last scheduled slot.
+    #[inline]
+    pub fn end(&self) -> TimeSlot {
+        self.start + SlotSpan::slots(self.energies.len() as i64)
+    }
+
+    /// Scheduled energy per slice.
+    #[inline]
+    pub fn energies(&self) -> &[Energy] {
+        &self.energies
+    }
+
+    /// Number of scheduled slices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.energies.len()
+    }
+
+    /// `true` when the schedule has no slices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.energies.is_empty()
+    }
+
+    /// Total scheduled energy.
+    pub fn total(&self) -> Energy {
+        self.energies.iter().copied().sum()
+    }
+
+    /// Iterates `(slot, energy)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TimeSlot, Energy)> + '_ {
+        self.energies
+            .iter()
+            .enumerate()
+            .map(move |(i, &e)| (self.start + SlotSpan::slots(i as i64), e))
+    }
+
+    /// The scheduled energy at an absolute `slot`, or zero outside the
+    /// schedule.
+    pub fn energy_at(&self, slot: TimeSlot) -> Energy {
+        let off = (slot - self.start).count();
+        if off < 0 {
+            return Energy::ZERO;
+        }
+        self.energies.get(off as usize).copied().unwrap_or(Energy::ZERO)
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Schedule[start {}, {} slices, {}]", self.start, self.len(), self.total())
+    }
+}
+
+/// What the prosumer physically consumed or produced, slot-aligned with
+/// the schedule it realises. The gap between the two is the paper's
+/// "Plan Deviations" measure (Section 3).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Execution {
+    energies: Vec<Energy>,
+}
+
+impl Execution {
+    /// Creates an execution record; one actual amount per scheduled slice.
+    pub fn new(energies: Vec<Energy>) -> Self {
+        Execution { energies }
+    }
+
+    /// An execution that follows `schedule` exactly (a fully compliant
+    /// prosumer).
+    pub fn compliant(schedule: &Schedule) -> Self {
+        Execution { energies: schedule.energies().to_vec() }
+    }
+
+    /// Actual energy per slice.
+    #[inline]
+    pub fn energies(&self) -> &[Energy] {
+        &self.energies
+    }
+
+    /// Number of recorded slices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.energies.len()
+    }
+
+    /// `true` when nothing was recorded.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.energies.is_empty()
+    }
+
+    /// Total actual energy.
+    pub fn total(&self) -> Energy {
+        self.energies.iter().copied().sum()
+    }
+
+    /// Per-slice deviation from `schedule`: `actual − planned`.
+    pub fn deviation_from(&self, schedule: &Schedule) -> Vec<Energy> {
+        self.energies
+            .iter()
+            .zip(schedule.energies())
+            .map(|(&a, &p)| a - p)
+            .collect()
+    }
+
+    /// Sum of absolute per-slice deviations from `schedule`.
+    pub fn total_absolute_deviation(&self, schedule: &Schedule) -> Energy {
+        self.deviation_from(schedule).into_iter().map(Energy::abs).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wh(v: i64) -> Energy {
+        Energy::from_wh(v)
+    }
+
+    #[test]
+    fn schedule_accessors() {
+        let s = Schedule::new(TimeSlot::new(8), vec![wh(100), wh(200), wh(300)]);
+        assert_eq!(s.start(), TimeSlot::new(8));
+        assert_eq!(s.end(), TimeSlot::new(11));
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.total(), wh(600));
+        assert_eq!(s.energy_at(TimeSlot::new(9)), wh(200));
+        assert_eq!(s.energy_at(TimeSlot::new(7)), Energy::ZERO);
+        assert_eq!(s.energy_at(TimeSlot::new(11)), Energy::ZERO);
+        let pairs: Vec<(i64, i64)> = s.iter().map(|(t, e)| (t.index(), e.wh())).collect();
+        assert_eq!(pairs, vec![(8, 100), (9, 200), (10, 300)]);
+        assert!(s.to_string().contains("3 slices"));
+    }
+
+    #[test]
+    fn compliant_execution_has_zero_deviation() {
+        let s = Schedule::new(TimeSlot::new(0), vec![wh(100), wh(200)]);
+        let e = Execution::compliant(&s);
+        assert_eq!(e.total(), s.total());
+        assert_eq!(e.deviation_from(&s), vec![Energy::ZERO, Energy::ZERO]);
+        assert_eq!(e.total_absolute_deviation(&s), Energy::ZERO);
+    }
+
+    #[test]
+    fn deviations_are_signed_and_absolute() {
+        let s = Schedule::new(TimeSlot::new(0), vec![wh(100), wh(200)]);
+        let e = Execution::new(vec![wh(150), wh(120)]);
+        assert_eq!(e.deviation_from(&s), vec![wh(50), wh(-80)]);
+        assert_eq!(e.total_absolute_deviation(&s), wh(130));
+        assert_eq!(e.len(), 2);
+        assert!(!e.is_empty());
+    }
+}

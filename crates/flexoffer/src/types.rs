@@ -1,0 +1,352 @@
+//! Categorical attributes of flex-offers.
+//!
+//! Section 3 of the paper requires filtering and grouping on *energy
+//! type*, *prosumer type* and *appliance type*; these enums are the leaf
+//! members of the corresponding data-warehouse dimensions.
+
+use std::fmt;
+
+/// Whether the flex-offer consumes or produces energy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Direction {
+    /// Energy is drawn from the grid (demand).
+    Consumption,
+    /// Energy is fed into the grid (supply).
+    Production,
+}
+
+impl Direction {
+    /// Both directions.
+    pub const ALL: [Direction; 2] = [Direction::Consumption, Direction::Production];
+
+    /// Sign convention used by residual-curve computations: consumption
+    /// counts positive, production negative.
+    pub fn sign(self) -> f64 {
+        match self {
+            Direction::Consumption => 1.0,
+            Direction::Production => -1.0,
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Direction::Consumption => "consumption",
+            Direction::Production => "production",
+        })
+    }
+}
+
+/// The energy source category associated with a flex-offer
+/// ("e.g., renewable energy from hydro power plants", Section 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EnergyType {
+    /// Conventional thermal generation (coal, gas).
+    Conventional,
+    /// Nuclear generation.
+    Nuclear,
+    /// Wind power (renewable).
+    Wind,
+    /// Solar power (renewable).
+    Solar,
+    /// Hydro power (renewable).
+    Hydro,
+    /// Unspecified household/industrial mixed consumption.
+    Mixed,
+}
+
+impl EnergyType {
+    /// All energy types, in display order.
+    pub const ALL: [EnergyType; 6] = [
+        EnergyType::Conventional,
+        EnergyType::Nuclear,
+        EnergyType::Wind,
+        EnergyType::Solar,
+        EnergyType::Hydro,
+        EnergyType::Mixed,
+    ];
+
+    /// `true` for renewable sources (the RES of the paper's introduction).
+    pub fn is_renewable(self) -> bool {
+        matches!(self, EnergyType::Wind | EnergyType::Solar | EnergyType::Hydro)
+    }
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EnergyType::Conventional => "Conventional",
+            EnergyType::Nuclear => "Nuclear",
+            EnergyType::Wind => "Wind",
+            EnergyType::Solar => "Solar",
+            EnergyType::Hydro => "Hydro",
+            EnergyType::Mixed => "Mixed",
+        }
+    }
+}
+
+impl fmt::Display for EnergyType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The prosumer category ("e.g., small industrial power plants",
+/// Section 3). The pivot view of Figure 5 drills All → Consumer/Producer →
+/// leaf types, which [`ProsumerType::is_producer`] supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ProsumerType {
+    /// Private household.
+    Household,
+    /// Commercial building (offices, retail).
+    Commercial,
+    /// Small industry.
+    SmallIndustry,
+    /// Heavy industry.
+    HeavyIndustry,
+    /// Renewable generation site (wind/solar park).
+    ResPlant,
+    /// Conventional or nuclear power plant.
+    ConventionalPlant,
+}
+
+impl ProsumerType {
+    /// All prosumer types, in display order.
+    pub const ALL: [ProsumerType; 6] = [
+        ProsumerType::Household,
+        ProsumerType::Commercial,
+        ProsumerType::SmallIndustry,
+        ProsumerType::HeavyIndustry,
+        ProsumerType::ResPlant,
+        ProsumerType::ConventionalPlant,
+    ];
+
+    /// `true` when the prosumer primarily produces energy (the "Producer"
+    /// branch of the Figure 5 hierarchy).
+    pub fn is_producer(self) -> bool {
+        matches!(self, ProsumerType::ResPlant | ProsumerType::ConventionalPlant)
+    }
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProsumerType::Household => "Household",
+            ProsumerType::Commercial => "Commercial",
+            ProsumerType::SmallIndustry => "Small industry",
+            ProsumerType::HeavyIndustry => "Heavy industry",
+            ProsumerType::ResPlant => "RES plant",
+            ProsumerType::ConventionalPlant => "Conventional plant",
+        }
+    }
+}
+
+impl fmt::Display for ProsumerType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The appliance behind a flex-offer ("e.g., electric vehicles",
+/// Section 3; the paper's running example is charging an EV battery at any
+/// time over a night).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ApplianceType {
+    /// Electric vehicle charger.
+    ElectricVehicle,
+    /// Heat pump or electric heating.
+    HeatPump,
+    /// Dishwasher.
+    Dishwasher,
+    /// Washing machine or dryer.
+    WashingMachine,
+    /// Stationary battery storage.
+    Battery,
+    /// Shiftable industrial process.
+    IndustrialProcess,
+    /// Wind turbine (production).
+    WindTurbine,
+    /// Photovoltaic panel (production).
+    SolarPanel,
+    /// Hydro generator (production).
+    HydroGenerator,
+    /// Anything else.
+    Other,
+}
+
+impl ApplianceType {
+    /// All appliance types, in display order.
+    pub const ALL: [ApplianceType; 10] = [
+        ApplianceType::ElectricVehicle,
+        ApplianceType::HeatPump,
+        ApplianceType::Dishwasher,
+        ApplianceType::WashingMachine,
+        ApplianceType::Battery,
+        ApplianceType::IndustrialProcess,
+        ApplianceType::WindTurbine,
+        ApplianceType::SolarPanel,
+        ApplianceType::HydroGenerator,
+        ApplianceType::Other,
+    ];
+
+    /// `true` when the appliance produces rather than consumes energy.
+    pub fn is_generator(self) -> bool {
+        matches!(
+            self,
+            ApplianceType::WindTurbine | ApplianceType::SolarPanel | ApplianceType::HydroGenerator
+        )
+    }
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ApplianceType::ElectricVehicle => "Electric vehicle",
+            ApplianceType::HeatPump => "Heat pump",
+            ApplianceType::Dishwasher => "Dishwasher",
+            ApplianceType::WashingMachine => "Washing machine",
+            ApplianceType::Battery => "Battery",
+            ApplianceType::IndustrialProcess => "Industrial process",
+            ApplianceType::WindTurbine => "Wind turbine",
+            ApplianceType::SolarPanel => "Solar panel",
+            ApplianceType::HydroGenerator => "Hydro generator",
+            ApplianceType::Other => "Other",
+        }
+    }
+}
+
+impl fmt::Display for ApplianceType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A money amount in integer euro-cents (used for flex-offer prices and
+/// market settlement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Money(pub i64);
+
+impl Money {
+    /// Zero.
+    pub const ZERO: Money = Money(0);
+
+    /// Creates an amount from euro-cents.
+    #[inline]
+    pub const fn from_cents(cents: i64) -> Self {
+        Money(cents)
+    }
+
+    /// Creates an amount from euros, rounding to the nearest cent.
+    #[inline]
+    pub fn from_eur(eur: f64) -> Self {
+        Money((eur * 100.0).round() as i64)
+    }
+
+    /// The amount in euro-cents.
+    #[inline]
+    pub const fn cents(self) -> i64 {
+        self.0
+    }
+
+    /// The amount in euros.
+    #[inline]
+    pub fn eur(self) -> f64 {
+        self.0 as f64 / 100.0
+    }
+}
+
+impl std::ops::Add for Money {
+    type Output = Money;
+    fn add(self, rhs: Money) -> Money {
+        Money(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::Sub for Money {
+    type Output = Money;
+    fn sub(self, rhs: Money) -> Money {
+        Money(self.0 - rhs.0)
+    }
+}
+
+impl std::ops::AddAssign for Money {
+    fn add_assign(&mut self, rhs: Money) {
+        self.0 += rhs.0;
+    }
+}
+
+impl std::iter::Sum for Money {
+    fn sum<I: Iterator<Item = Money>>(iter: I) -> Money {
+        Money(iter.map(|m| m.0).sum())
+    }
+}
+
+impl fmt::Display for Money {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sign = if self.0 < 0 { "-" } else { "" };
+        let abs = self.0.abs();
+        write!(f, "{sign}{}.{:02} EUR", abs / 100, abs % 100)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_sign_convention() {
+        assert_eq!(Direction::Consumption.sign(), 1.0);
+        assert_eq!(Direction::Production.sign(), -1.0);
+        assert_eq!(Direction::ALL.len(), 2);
+        assert_eq!(Direction::Production.to_string(), "production");
+    }
+
+    #[test]
+    fn renewable_classification() {
+        assert!(EnergyType::Wind.is_renewable());
+        assert!(EnergyType::Solar.is_renewable());
+        assert!(EnergyType::Hydro.is_renewable());
+        assert!(!EnergyType::Nuclear.is_renewable());
+        assert!(!EnergyType::Conventional.is_renewable());
+        assert_eq!(EnergyType::ALL.len(), 6);
+    }
+
+    #[test]
+    fn producer_classification() {
+        assert!(ProsumerType::ResPlant.is_producer());
+        assert!(ProsumerType::ConventionalPlant.is_producer());
+        assert!(!ProsumerType::Household.is_producer());
+        assert_eq!(ProsumerType::ALL.len(), 6);
+        assert_eq!(ProsumerType::SmallIndustry.to_string(), "Small industry");
+    }
+
+    #[test]
+    fn generator_classification() {
+        assert!(ApplianceType::WindTurbine.is_generator());
+        assert!(ApplianceType::SolarPanel.is_generator());
+        assert!(!ApplianceType::ElectricVehicle.is_generator());
+        assert_eq!(ApplianceType::ALL.len(), 10);
+        assert_eq!(ApplianceType::HeatPump.to_string(), "Heat pump");
+    }
+
+    #[test]
+    fn money_arithmetic_and_display() {
+        let a = Money::from_eur(1.5);
+        let b = Money::from_cents(50);
+        assert_eq!((a + b).eur(), 2.0);
+        assert_eq!((a - b).cents(), 100);
+        assert_eq!(a.to_string(), "1.50 EUR");
+        assert_eq!(Money::from_cents(-125).to_string(), "-1.25 EUR");
+        let total: Money = [a, b].into_iter().sum();
+        assert_eq!(total.cents(), 200);
+        let mut c = Money::ZERO;
+        c += a;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = ApplianceType::ALL.iter().map(|a| a.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ApplianceType::ALL.len());
+    }
+}

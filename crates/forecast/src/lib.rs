@@ -1,0 +1,419 @@
+//! Demand/supply forecasting substrate.
+//!
+//! Section 2: "the enterprise aggregates the collected measurements and
+//! flex-offers to forecast required demand (and the supply) of their
+//! customers for a certain time horizon (e.g., day ahead)". The MIRABEL
+//! EDMS delegates this to a forecasting component (reference \[11\]); the
+//! enterprise simulation in `mirabel-market` needs the same capability, so
+//! this crate provides classic baseline forecasters over
+//! [`TimeSeries`](mirabel_timeseries::TimeSeries):
+//!
+//! * [`SeasonalNaive`] — repeat the value one season (e.g. one day = 96
+//!   slots) ago; the standard yardstick for strongly diurnal load;
+//! * [`MovingAverage`] — mean of the last `k` samples;
+//! * [`ExponentialSmoothing`] — single exponential smoothing (level only);
+//! * [`HoltLinear`] — double exponential smoothing (level + trend);
+//! * [`SeasonalSmoothing`] — additive Holt–Winters-style level + seasonal
+//!   decomposition, the workhorse for day-ahead load curves;
+//!
+//! plus the usual error metrics ([`mae`], [`rmse`], [`mape`]) used to
+//! compare them in the benches.
+//!
+//! # Example
+//!
+//! ```
+//! use mirabel_forecast::{Forecaster, SeasonalNaive};
+//! use mirabel_timeseries::{TimeSeries, TimeSlot, SLOTS_PER_DAY};
+//!
+//! // Two identical synthetic days; the seasonal-naive day-ahead forecast
+//! // reproduces the day exactly.
+//! let day = |i: usize| 1.0 + ((i % 96) as f64 / 96.0);
+//! let history = TimeSeries::from_fn(TimeSlot::EPOCH, 192, day);
+//! let fc = SeasonalNaive::daily().forecast(&history, 96);
+//! assert_eq!(fc.len(), 96);
+//! let expected = TimeSeries::from_fn(fc.start(), 96, |i| day(i + 96));
+//! assert!(fc.values().iter().zip(expected.values()).all(|(a, b)| (a - b).abs() < 1e-12));
+//! let _ = SLOTS_PER_DAY;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mirabel_timeseries::{TimeSeries, SLOTS_PER_DAY};
+
+/// A forecaster extrapolates `horizon` slots beyond the end of `history`.
+pub trait Forecaster {
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Produces a forecast series starting at `history.end()` with
+    /// `horizon` samples. An empty history yields a zero forecast.
+    fn forecast(&self, history: &TimeSeries, horizon: usize) -> TimeSeries;
+}
+
+/// Repeats the value observed one season earlier; values older than the
+/// history fall back to the history mean.
+#[derive(Debug, Clone, Copy)]
+pub struct SeasonalNaive {
+    /// Season length in slots (96 = daily seasonality).
+    pub season: usize,
+}
+
+impl SeasonalNaive {
+    /// Daily seasonality (96 slots).
+    pub fn daily() -> Self {
+        SeasonalNaive { season: SLOTS_PER_DAY as usize }
+    }
+}
+
+impl Forecaster for SeasonalNaive {
+    fn name(&self) -> &'static str {
+        "seasonal-naive"
+    }
+
+    fn forecast(&self, history: &TimeSeries, horizon: usize) -> TimeSeries {
+        let n = history.len();
+        let season = self.season.max(1);
+        let mean = history.mean();
+        TimeSeries::from_fn(history.end(), horizon, |h| {
+            // Most recent history index with the same seasonal phase:
+            // the largest i < n with i ≡ phase (mod season).
+            let phase = (n + h) % season;
+            if phase < n {
+                let idx = phase + season * ((n - 1 - phase) / season);
+                history.values()[idx]
+            } else {
+                mean
+            }
+        })
+    }
+}
+
+/// Flat forecast equal to the mean of the last `window` samples.
+#[derive(Debug, Clone, Copy)]
+pub struct MovingAverage {
+    /// Number of trailing samples to average (clamped to ≥ 1).
+    pub window: usize,
+}
+
+impl Forecaster for MovingAverage {
+    fn name(&self) -> &'static str {
+        "moving-average"
+    }
+
+    fn forecast(&self, history: &TimeSeries, horizon: usize) -> TimeSeries {
+        let w = self.window.max(1).min(history.len().max(1));
+        let values = history.values();
+        let level = if values.is_empty() {
+            0.0
+        } else {
+            values[values.len() - w..].iter().sum::<f64>() / w as f64
+        };
+        TimeSeries::constant(history.end(), horizon, level)
+    }
+}
+
+/// Single exponential smoothing: flat forecast at the smoothed level.
+#[derive(Debug, Clone, Copy)]
+pub struct ExponentialSmoothing {
+    /// Smoothing factor in `(0, 1]`; larger reacts faster.
+    pub alpha: f64,
+}
+
+impl Forecaster for ExponentialSmoothing {
+    fn name(&self) -> &'static str {
+        "exponential-smoothing"
+    }
+
+    fn forecast(&self, history: &TimeSeries, horizon: usize) -> TimeSeries {
+        let alpha = self.alpha.clamp(1e-6, 1.0);
+        let mut level = 0.0;
+        let mut initialised = false;
+        for &v in history.values() {
+            if initialised {
+                level = alpha * v + (1.0 - alpha) * level;
+            } else {
+                level = v;
+                initialised = true;
+            }
+        }
+        TimeSeries::constant(history.end(), horizon, level)
+    }
+}
+
+/// Holt's linear (double exponential) smoothing: level + trend, with a
+/// linear extrapolation over the horizon. The right baseline when load
+/// grows or shrinks across days (e.g. a cold spell ramping heat pumps).
+#[derive(Debug, Clone, Copy)]
+pub struct HoltLinear {
+    /// Level smoothing factor in `(0, 1]`.
+    pub alpha: f64,
+    /// Trend smoothing factor in `(0, 1]`.
+    pub beta: f64,
+}
+
+impl Default for HoltLinear {
+    fn default() -> Self {
+        HoltLinear { alpha: 0.4, beta: 0.1 }
+    }
+}
+
+impl Forecaster for HoltLinear {
+    fn name(&self) -> &'static str {
+        "holt-linear"
+    }
+
+    fn forecast(&self, history: &TimeSeries, horizon: usize) -> TimeSeries {
+        let alpha = self.alpha.clamp(1e-6, 1.0);
+        let beta = self.beta.clamp(1e-6, 1.0);
+        let values = history.values();
+        if values.is_empty() {
+            return TimeSeries::zeros(history.end(), horizon);
+        }
+        if values.len() == 1 {
+            return TimeSeries::constant(history.end(), horizon, values[0]);
+        }
+        let mut level = values[0];
+        let mut trend = values[1] - values[0];
+        for &v in &values[1..] {
+            let prev_level = level;
+            level = alpha * v + (1.0 - alpha) * (level + trend);
+            trend = beta * (level - prev_level) + (1.0 - beta) * trend;
+        }
+        TimeSeries::from_fn(history.end(), horizon, |h| level + trend * (h as f64 + 1.0))
+    }
+}
+
+/// Additive level + seasonal smoothing (Holt–Winters without trend):
+/// level and per-phase seasonal offsets are updated per observation, and
+/// the forecast is `level + season[phase]`.
+#[derive(Debug, Clone, Copy)]
+pub struct SeasonalSmoothing {
+    /// Level smoothing factor in `(0, 1]`.
+    pub alpha: f64,
+    /// Seasonal smoothing factor in `(0, 1]`.
+    pub gamma: f64,
+    /// Season length in slots.
+    pub season: usize,
+}
+
+impl SeasonalSmoothing {
+    /// Daily seasonality with moderate smoothing.
+    pub fn daily() -> Self {
+        SeasonalSmoothing { alpha: 0.3, gamma: 0.2, season: SLOTS_PER_DAY as usize }
+    }
+}
+
+impl Forecaster for SeasonalSmoothing {
+    fn name(&self) -> &'static str {
+        "seasonal-smoothing"
+    }
+
+    fn forecast(&self, history: &TimeSeries, horizon: usize) -> TimeSeries {
+        let season = self.season.max(1);
+        let alpha = self.alpha.clamp(1e-6, 1.0);
+        let gamma = self.gamma.clamp(1e-6, 1.0);
+        let values = history.values();
+        if values.is_empty() {
+            return TimeSeries::zeros(history.end(), horizon);
+        }
+        let mut level = values[0];
+        let mut seasonal = vec![0.0f64; season];
+        for (i, &v) in values.iter().enumerate() {
+            let phase = i % season;
+            let prev_level = level;
+            level = alpha * (v - seasonal[phase]) + (1.0 - alpha) * level;
+            seasonal[phase] = gamma * (v - prev_level) + (1.0 - gamma) * seasonal[phase];
+        }
+        let n = values.len();
+        TimeSeries::from_fn(history.end(), horizon, |h| level + seasonal[(n + h) % season])
+    }
+}
+
+/// Mean absolute error between a forecast and the actual series (aligned
+/// sample by sample; panics on length mismatch, which is a caller bug).
+pub fn mae(forecast: &TimeSeries, actual: &TimeSeries) -> f64 {
+    assert_eq!(forecast.len(), actual.len(), "series length mismatch");
+    if forecast.is_empty() {
+        return 0.0;
+    }
+    forecast
+        .values()
+        .iter()
+        .zip(actual.values())
+        .map(|(f, a)| (f - a).abs())
+        .sum::<f64>()
+        / forecast.len() as f64
+}
+
+/// Root mean squared error.
+pub fn rmse(forecast: &TimeSeries, actual: &TimeSeries) -> f64 {
+    assert_eq!(forecast.len(), actual.len(), "series length mismatch");
+    if forecast.is_empty() {
+        return 0.0;
+    }
+    let mse = forecast
+        .values()
+        .iter()
+        .zip(actual.values())
+        .map(|(f, a)| (f - a) * (f - a))
+        .sum::<f64>()
+        / forecast.len() as f64;
+    mse.sqrt()
+}
+
+/// Mean absolute percentage error over samples with non-negligible actual
+/// value (|actual| > 1e-9); returns 0 when no sample qualifies.
+pub fn mape(forecast: &TimeSeries, actual: &TimeSeries) -> f64 {
+    assert_eq!(forecast.len(), actual.len(), "series length mismatch");
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for (f, a) in forecast.values().iter().zip(actual.values()) {
+        if a.abs() > 1e-9 {
+            sum += ((f - a) / a).abs();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        sum / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirabel_timeseries::TimeSlot;
+
+    fn two_days() -> TimeSeries {
+        TimeSeries::from_fn(TimeSlot::EPOCH, 192, |i| ((i % 96) as f64).sin() + 2.0)
+    }
+
+    #[test]
+    fn seasonal_naive_repeats_last_season() {
+        let h = two_days();
+        let fc = SeasonalNaive::daily().forecast(&h, 96);
+        assert_eq!(fc.start(), h.end());
+        for (i, v) in fc.values().iter().enumerate() {
+            assert!((v - h.values()[96 + i]).abs() < 1e-12, "i={i}");
+        }
+    }
+
+    #[test]
+    fn seasonal_naive_short_history_falls_back_to_mean() {
+        let h = TimeSeries::new(TimeSlot::EPOCH, vec![1.0, 3.0]);
+        let fc = SeasonalNaive { season: 96 }.forecast(&h, 4);
+        // Phases 2..5 have no same-phase history → mean (2.0).
+        assert!(fc.values().iter().all(|&v| (v - 2.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn seasonal_naive_empty_history() {
+        let h = TimeSeries::zeros(TimeSlot::EPOCH, 0);
+        let fc = SeasonalNaive::daily().forecast(&h, 3);
+        assert_eq!(fc.values(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn moving_average_uses_trailing_window() {
+        let h = TimeSeries::new(TimeSlot::EPOCH, vec![10.0, 1.0, 2.0, 3.0]);
+        let fc = MovingAverage { window: 3 }.forecast(&h, 2);
+        assert_eq!(fc.values(), &[2.0, 2.0]);
+        // Window larger than the history clamps.
+        let fc = MovingAverage { window: 100 }.forecast(&h, 1);
+        assert_eq!(fc.values(), &[4.0]);
+        // Window 0 clamps to 1.
+        let fc = MovingAverage { window: 0 }.forecast(&h, 1);
+        assert_eq!(fc.values(), &[3.0]);
+    }
+
+    #[test]
+    fn exponential_smoothing_converges_to_constant() {
+        let h = TimeSeries::constant(TimeSlot::EPOCH, 50, 7.5);
+        let fc = ExponentialSmoothing { alpha: 0.5 }.forecast(&h, 3);
+        assert!(fc.values().iter().all(|&v| (v - 7.5).abs() < 1e-9));
+    }
+
+    #[test]
+    fn exponential_smoothing_tracks_level_shift() {
+        let mut vals = vec![0.0; 40];
+        vals.extend(vec![10.0; 40]);
+        let h = TimeSeries::new(TimeSlot::EPOCH, vals);
+        let fc = ExponentialSmoothing { alpha: 0.3 }.forecast(&h, 1);
+        assert!(fc.values()[0] > 9.0, "level {} should be near 10", fc.values()[0]);
+    }
+
+    #[test]
+    fn holt_linear_tracks_a_trend() {
+        // Perfectly linear history: Holt extrapolates the line.
+        let h = TimeSeries::from_fn(TimeSlot::EPOCH, 60, |i| 2.0 + 0.5 * i as f64);
+        let fc = HoltLinear::default().forecast(&h, 4);
+        for (k, v) in fc.values().iter().enumerate() {
+            let expected = 2.0 + 0.5 * (60 + k) as f64;
+            assert!((v - expected).abs() < 1.0, "k={k}: {v} vs {expected}");
+        }
+        // A flat forecaster is strictly worse on trending actuals.
+        let actual = TimeSeries::from_fn(h.end(), 4, |i| 2.0 + 0.5 * (60 + i) as f64);
+        let flat = MovingAverage { window: 10 }.forecast(&h, 4);
+        assert!(rmse(&fc, &actual) < rmse(&flat, &actual));
+    }
+
+    #[test]
+    fn holt_linear_degenerate_histories() {
+        let empty = TimeSeries::zeros(TimeSlot::EPOCH, 0);
+        assert_eq!(HoltLinear::default().forecast(&empty, 2).values(), &[0.0, 0.0]);
+        let single = TimeSeries::new(TimeSlot::EPOCH, vec![3.0]);
+        assert_eq!(HoltLinear::default().forecast(&single, 2).values(), &[3.0, 3.0]);
+        assert_eq!(HoltLinear::default().name(), "holt-linear");
+    }
+
+    #[test]
+    fn seasonal_smoothing_beats_flat_on_seasonal_data() {
+        let h = two_days();
+        let actual = TimeSeries::from_fn(h.end(), 96, |i| ((i % 96) as f64).sin() + 2.0);
+        let ss = SeasonalSmoothing::daily().forecast(&h, 96);
+        let ma = MovingAverage { window: 96 }.forecast(&h, 96);
+        assert!(rmse(&ss, &actual) < rmse(&ma, &actual));
+    }
+
+    #[test]
+    fn seasonal_smoothing_empty_history() {
+        let h = TimeSeries::zeros(TimeSlot::EPOCH, 0);
+        let fc = SeasonalSmoothing::daily().forecast(&h, 2);
+        assert_eq!(fc.values(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn error_metrics() {
+        let f = TimeSeries::new(TimeSlot::EPOCH, vec![1.0, 2.0, 3.0]);
+        let a = TimeSeries::new(TimeSlot::EPOCH, vec![2.0, 2.0, 1.0]);
+        assert!((mae(&f, &a) - 1.0).abs() < 1e-12);
+        assert!((rmse(&f, &a) - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert!((mape(&f, &a) - (0.5 + 0.0 + 2.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mape_skips_zero_actuals() {
+        let f = TimeSeries::new(TimeSlot::EPOCH, vec![1.0, 1.0]);
+        let a = TimeSeries::new(TimeSlot::EPOCH, vec![0.0, 2.0]);
+        assert!((mape(&f, &a) - 0.5).abs() < 1e-12);
+        let zero = TimeSeries::zeros(TimeSlot::EPOCH, 2);
+        assert_eq!(mape(&f, &zero), 0.0);
+    }
+
+    #[test]
+    fn empty_metrics_are_zero() {
+        let e = TimeSeries::zeros(TimeSlot::EPOCH, 0);
+        assert_eq!(mae(&e, &e), 0.0);
+        assert_eq!(rmse(&e, &e), 0.0);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(SeasonalNaive::daily().name(), "seasonal-naive");
+        assert_eq!(MovingAverage { window: 4 }.name(), "moving-average");
+        assert_eq!(ExponentialSmoothing { alpha: 0.1 }.name(), "exponential-smoothing");
+        assert_eq!(SeasonalSmoothing::daily().name(), "seasonal-smoothing");
+    }
+}

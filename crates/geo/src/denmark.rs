@@ -1,0 +1,155 @@
+//! The synthetic Denmark dataset.
+//!
+//! Region outlines are coarse hand-drawn polygons on plausible
+//! coordinates (the real administrative boundaries are not needed — see
+//! the substitution table in DESIGN.md). The five regions tile the
+//! country without overlap so that point-in-region lookups are
+//! unambiguous; every city site lies strictly inside its region.
+
+use crate::geometry::{GeoPoint, Polygon};
+use crate::model::{City, CityId, District, DistrictId, Geography, Region, RegionId};
+
+fn p(lon: f64, lat: f64) -> GeoPoint {
+    GeoPoint::new(lon, lat)
+}
+
+/// Builds the synthetic Denmark: 5 regions, 15 cities (3 per region),
+/// 4 districts per city.
+pub fn synthetic_denmark_data() -> Geography {
+    let regions = vec![
+        Region {
+            id: RegionId(0),
+            name: "Nordjylland".into(),
+            polygon: Polygon::new(vec![
+                p(8.2, 56.7),
+                p(10.9, 56.7),
+                p(10.9, 57.5),
+                p(10.0, 57.8),
+                p(8.2, 57.8),
+            ]),
+        },
+        Region {
+            id: RegionId(1),
+            name: "Midtjylland".into(),
+            polygon: Polygon::new(vec![
+                p(8.1, 55.9),
+                p(11.0, 55.9),
+                p(11.0, 56.7),
+                p(8.1, 56.7),
+            ]),
+        },
+        Region {
+            id: RegionId(2),
+            name: "Syddanmark".into(),
+            polygon: Polygon::new(vec![
+                p(8.0, 54.8),
+                p(10.9, 54.8),
+                p(10.9, 55.9),
+                p(8.0, 55.9),
+            ]),
+        },
+        Region {
+            id: RegionId(3),
+            name: "Sjælland".into(),
+            polygon: Polygon::new(vec![
+                p(10.9, 54.9),
+                p(12.2, 54.9),
+                p(12.2, 55.95),
+                p(10.9, 55.95),
+            ]),
+        },
+        Region {
+            id: RegionId(4),
+            name: "Hovedstaden".into(),
+            polygon: Polygon::new(vec![
+                p(12.2, 55.45),
+                p(12.75, 55.45),
+                p(12.75, 56.1),
+                p(12.2, 56.1),
+            ]),
+        },
+    ];
+
+    // (name, region, lon, lat, weight)
+    let raw_cities: [(&str, u32, f64, f64, f64); 15] = [
+        ("Aalborg", 0, 9.92, 57.05, 4.0),
+        ("Hjørring", 0, 9.98, 57.46, 1.0),
+        ("Thisted", 0, 8.69, 56.95, 0.8),
+        ("Aarhus", 1, 10.20, 56.15, 6.0),
+        ("Herning", 1, 8.98, 56.14, 1.5),
+        ("Randers", 1, 10.04, 56.46, 1.8),
+        ("Odense", 2, 10.39, 55.40, 4.0),
+        ("Esbjerg", 2, 8.45, 55.47, 2.5),
+        ("Kolding", 2, 9.47, 55.49, 1.8),
+        ("Roskilde", 3, 12.08, 55.64, 1.5),
+        ("Næstved", 3, 11.76, 55.23, 1.2),
+        ("Slagelse", 3, 11.35, 55.40, 1.0),
+        ("Copenhagen", 4, 12.57, 55.68, 10.0),
+        ("Hillerød", 4, 12.31, 55.93, 1.2),
+        ("Helsingør", 4, 12.61, 56.03, 1.3),
+    ];
+
+    let cities: Vec<City> = raw_cities
+        .iter()
+        .enumerate()
+        .map(|(i, &(name, region, lon, lat, weight))| City {
+            id: CityId(i as u32),
+            name: name.into(),
+            region: RegionId(region),
+            location: p(lon, lat),
+            weight,
+        })
+        .collect();
+
+    let mut districts = Vec::with_capacity(cities.len() * 4);
+    for city in &cities {
+        for d in 1..=4 {
+            districts.push(District {
+                id: DistrictId(districts.len() as u32),
+                name: format!("{}-D{}", city.name, d),
+                city: city.id,
+            });
+        }
+    }
+
+    Geography::new("Denmark", regions, cities, districts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_do_not_overlap_at_city_sites() {
+        let geo = synthetic_denmark_data();
+        for c in geo.cities() {
+            let containing: Vec<_> = geo
+                .regions()
+                .iter()
+                .filter(|r| r.polygon.contains(c.location))
+                .collect();
+            assert_eq!(containing.len(), 1, "{} in {} regions", c.name, containing.len());
+        }
+    }
+
+    #[test]
+    fn polygon_areas_are_plausible() {
+        let geo = synthetic_denmark_data();
+        for r in geo.regions() {
+            let a = r.polygon.area();
+            assert!(a > 0.3 && a < 10.0, "{} area {a}", r.name);
+        }
+    }
+
+    #[test]
+    fn centroids_inside_polygons() {
+        let geo = synthetic_denmark_data();
+        for r in geo.regions() {
+            assert!(
+                r.polygon.contains(r.polygon.centroid()),
+                "{} centroid outside",
+                r.name
+            );
+        }
+    }
+}

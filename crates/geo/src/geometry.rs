@@ -1,0 +1,274 @@
+//! Planar geometry over (longitude, latitude) pairs.
+
+use std::fmt;
+
+/// A geographic point (WGS84-style lon/lat in degrees; the synthetic maps
+/// treat the pair as planar, which is fine at Denmark's extent).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GeoPoint {
+    /// Longitude (east) in degrees.
+    pub lon: f64,
+    /// Latitude (north) in degrees.
+    pub lat: f64,
+}
+
+impl GeoPoint {
+    /// Creates a point.
+    pub const fn new(lon: f64, lat: f64) -> Self {
+        GeoPoint { lon, lat }
+    }
+
+    /// Euclidean distance in degree units (adequate for layout logic).
+    pub fn distance(self, other: GeoPoint) -> f64 {
+        let dx = self.lon - other.lon;
+        let dy = self.lat - other.lat;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+impl fmt::Display for GeoPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}°E, {:.3}°N)", self.lon, self.lat)
+    }
+}
+
+/// An axis-aligned bounding box.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundingBox {
+    /// Smallest longitude.
+    pub min_lon: f64,
+    /// Smallest latitude.
+    pub min_lat: f64,
+    /// Largest longitude.
+    pub max_lon: f64,
+    /// Largest latitude.
+    pub max_lat: f64,
+}
+
+impl BoundingBox {
+    /// An inverted box that any point expands.
+    pub fn empty() -> Self {
+        BoundingBox {
+            min_lon: f64::INFINITY,
+            min_lat: f64::INFINITY,
+            max_lon: f64::NEG_INFINITY,
+            max_lat: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Expands to include `p`.
+    pub fn include(&mut self, p: GeoPoint) {
+        self.min_lon = self.min_lon.min(p.lon);
+        self.min_lat = self.min_lat.min(p.lat);
+        self.max_lon = self.max_lon.max(p.lon);
+        self.max_lat = self.max_lat.max(p.lat);
+    }
+
+    /// Expands to include another box.
+    pub fn union(&mut self, other: &BoundingBox) {
+        self.min_lon = self.min_lon.min(other.min_lon);
+        self.min_lat = self.min_lat.min(other.min_lat);
+        self.max_lon = self.max_lon.max(other.max_lon);
+        self.max_lat = self.max_lat.max(other.max_lat);
+    }
+
+    /// Width in degrees (zero for an empty box).
+    pub fn width(&self) -> f64 {
+        (self.max_lon - self.min_lon).max(0.0)
+    }
+
+    /// Height in degrees (zero for an empty box).
+    pub fn height(&self) -> f64 {
+        (self.max_lat - self.min_lat).max(0.0)
+    }
+
+    /// `true` when `p` lies inside (inclusive).
+    pub fn contains(&self, p: GeoPoint) -> bool {
+        p.lon >= self.min_lon && p.lon <= self.max_lon && p.lat >= self.min_lat && p.lat <= self.max_lat
+    }
+}
+
+/// A simple (non-self-intersecting) polygon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polygon {
+    vertices: Vec<GeoPoint>,
+}
+
+impl Polygon {
+    /// Creates a polygon from at least three vertices (closing edge is
+    /// implicit). Panics on fewer — synthetic map data is compile-time
+    /// known, so this is a programming error, not an input error.
+    pub fn new(vertices: Vec<GeoPoint>) -> Self {
+        assert!(vertices.len() >= 3, "polygon needs at least 3 vertices");
+        Polygon { vertices }
+    }
+
+    /// The vertices in order.
+    pub fn vertices(&self) -> &[GeoPoint] {
+        &self.vertices
+    }
+
+    /// Even-odd ray-casting containment test. Points exactly on an edge
+    /// may land on either side; the synthetic data keeps sites strictly
+    /// inside their polygons.
+    pub fn contains(&self, p: GeoPoint) -> bool {
+        let mut inside = false;
+        let n = self.vertices.len();
+        let mut j = n - 1;
+        for i in 0..n {
+            let (vi, vj) = (self.vertices[i], self.vertices[j]);
+            let crosses = (vi.lat > p.lat) != (vj.lat > p.lat);
+            if crosses {
+                let x_at = vi.lon + (p.lat - vi.lat) / (vj.lat - vi.lat) * (vj.lon - vi.lon);
+                if p.lon < x_at {
+                    inside = !inside;
+                }
+            }
+            j = i;
+        }
+        inside
+    }
+
+    /// Signed shoelace area (positive for counter-clockwise winding), in
+    /// square degrees.
+    pub fn signed_area(&self) -> f64 {
+        let n = self.vertices.len();
+        let mut sum = 0.0;
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            sum += a.lon * b.lat - b.lon * a.lat;
+        }
+        sum / 2.0
+    }
+
+    /// Absolute area.
+    pub fn area(&self) -> f64 {
+        self.signed_area().abs()
+    }
+
+    /// Area centroid (falls back to the vertex mean for degenerate,
+    /// zero-area polygons).
+    pub fn centroid(&self) -> GeoPoint {
+        let a = self.signed_area();
+        if a.abs() < 1e-12 {
+            let n = self.vertices.len() as f64;
+            let lon = self.vertices.iter().map(|v| v.lon).sum::<f64>() / n;
+            let lat = self.vertices.iter().map(|v| v.lat).sum::<f64>() / n;
+            return GeoPoint::new(lon, lat);
+        }
+        let n = self.vertices.len();
+        let (mut cx, mut cy) = (0.0, 0.0);
+        for i in 0..n {
+            let p = self.vertices[i];
+            let q = self.vertices[(i + 1) % n];
+            let cross = p.lon * q.lat - q.lon * p.lat;
+            cx += (p.lon + q.lon) * cross;
+            cy += (p.lat + q.lat) * cross;
+        }
+        GeoPoint::new(cx / (6.0 * a), cy / (6.0 * a))
+    }
+
+    /// Bounding box of the vertices.
+    pub fn bounding_box(&self) -> BoundingBox {
+        let mut bb = BoundingBox::empty();
+        for &v in &self.vertices {
+            bb.include(v);
+        }
+        bb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_square() -> Polygon {
+        Polygon::new(vec![
+            GeoPoint::new(0.0, 0.0),
+            GeoPoint::new(1.0, 0.0),
+            GeoPoint::new(1.0, 1.0),
+            GeoPoint::new(0.0, 1.0),
+        ])
+    }
+
+    #[test]
+    fn point_distance_and_display() {
+        let a = GeoPoint::new(0.0, 0.0);
+        let b = GeoPoint::new(3.0, 4.0);
+        assert_eq!(a.distance(b), 5.0);
+        assert!(a.to_string().contains("°E"));
+    }
+
+    #[test]
+    fn containment() {
+        let sq = unit_square();
+        assert!(sq.contains(GeoPoint::new(0.5, 0.5)));
+        assert!(!sq.contains(GeoPoint::new(1.5, 0.5)));
+        assert!(!sq.contains(GeoPoint::new(-0.1, 0.5)));
+        assert!(!sq.contains(GeoPoint::new(0.5, 2.0)));
+    }
+
+    #[test]
+    fn concave_containment() {
+        // An L-shape; the notch must be outside.
+        let l = Polygon::new(vec![
+            GeoPoint::new(0.0, 0.0),
+            GeoPoint::new(2.0, 0.0),
+            GeoPoint::new(2.0, 1.0),
+            GeoPoint::new(1.0, 1.0),
+            GeoPoint::new(1.0, 2.0),
+            GeoPoint::new(0.0, 2.0),
+        ]);
+        assert!(l.contains(GeoPoint::new(0.5, 1.5)));
+        assert!(l.contains(GeoPoint::new(1.5, 0.5)));
+        assert!(!l.contains(GeoPoint::new(1.5, 1.5))); // the notch
+    }
+
+    #[test]
+    fn area_and_centroid() {
+        let sq = unit_square();
+        assert!((sq.area() - 1.0).abs() < 1e-12);
+        let c = sq.centroid();
+        assert!((c.lon - 0.5).abs() < 1e-12 && (c.lat - 0.5).abs() < 1e-12);
+        // Clockwise winding gives negative signed area, same absolute.
+        let cw = Polygon::new(sq.vertices().iter().rev().copied().collect());
+        assert!(cw.signed_area() < 0.0);
+        assert!((cw.area() - 1.0).abs() < 1e-12);
+        let cc = cw.centroid();
+        assert!((cc.lon - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_centroid_falls_back() {
+        let line = Polygon::new(vec![
+            GeoPoint::new(0.0, 0.0),
+            GeoPoint::new(1.0, 1.0),
+            GeoPoint::new(2.0, 2.0),
+        ]);
+        let c = line.centroid();
+        assert!((c.lon - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounding_boxes() {
+        let sq = unit_square();
+        let bb = sq.bounding_box();
+        assert_eq!(bb.width(), 1.0);
+        assert_eq!(bb.height(), 1.0);
+        assert!(bb.contains(GeoPoint::new(0.5, 0.5)));
+        assert!(!bb.contains(GeoPoint::new(1.5, 0.5)));
+        let mut u = BoundingBox::empty();
+        assert_eq!(u.width(), 0.0);
+        u.union(&bb);
+        u.include(GeoPoint::new(5.0, -1.0));
+        assert_eq!(u.max_lon, 5.0);
+        assert_eq!(u.min_lat, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn too_few_vertices_panics() {
+        let _ = Polygon::new(vec![GeoPoint::new(0.0, 0.0), GeoPoint::new(1.0, 1.0)]);
+    }
+}

@@ -1,0 +1,47 @@
+//! Synthetic geography substrate for the map view (Figure 3) and the
+//! spatial-geographical dimension of the data warehouse.
+//!
+//! Section 3 requires filtering and grouping "for a spatial object, e.g.,
+//! country, city, or district" and "a user-friendly view to explore and
+//! filter flex-offer data on a map". The paper's deployment region is
+//! Denmark; since the real MIRABEL geography data is not available, this
+//! crate ships a **synthetic Denmark**: five administrative regions with
+//! coarse polygon outlines, plausible major cities, and generated
+//! districts — enough structure to exercise choropleth rendering,
+//! point-in-region tests, and a country → region → city → district
+//! dimension hierarchy.
+//!
+//! Geometry is deliberately self-contained: ray-casting point-in-polygon,
+//! shoelace areas/centroids, bounding boxes, and an equirectangular
+//! projection onto screen rectangles.
+//!
+//! # Example
+//!
+//! ```
+//! use mirabel_geo::{Geography, Projection};
+//!
+//! let geo = Geography::synthetic_denmark();
+//! assert_eq!(geo.regions().len(), 5);
+//! let aarhus = geo.city_by_name("Aarhus").unwrap();
+//! let region = geo.region(aarhus.region).unwrap();
+//! assert_eq!(region.name, "Midtjylland");
+//! assert!(region.polygon.contains(aarhus.location));
+//!
+//! // Project the country onto an 800×600 canvas.
+//! let proj = Projection::fit(geo.bounding_box(), 800.0, 600.0, 10.0);
+//! let (x, y) = proj.project(aarhus.location);
+//! assert!(x >= 0.0 && x <= 800.0 && y >= 0.0 && y <= 600.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod denmark;
+mod geometry;
+mod model;
+mod projection;
+
+pub use denmark::synthetic_denmark_data;
+pub use geometry::{BoundingBox, GeoPoint, Polygon};
+pub use model::{City, CityId, District, DistrictId, Geography, Region, RegionId};
+pub use projection::{choropleth_bucket, Projection};

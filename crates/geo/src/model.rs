@@ -1,0 +1,261 @@
+//! The geographic entity model: country → region → city → district.
+
+use std::fmt;
+
+use crate::denmark::synthetic_denmark_data;
+use crate::geometry::{BoundingBox, GeoPoint, Polygon};
+
+/// Identifier of an administrative region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegionId(pub u32);
+
+/// Identifier of a city.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CityId(pub u32);
+
+/// Identifier of a district within a city.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DistrictId(pub u32);
+
+impl fmt::Display for RegionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "region-{}", self.0)
+    }
+}
+impl fmt::Display for CityId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "city-{}", self.0)
+    }
+}
+impl fmt::Display for DistrictId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "district-{}", self.0)
+    }
+}
+
+/// An administrative region with a polygon outline (one shaded shape of
+/// the Figure 3 map).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Region {
+    /// Region id.
+    pub id: RegionId,
+    /// Display name.
+    pub name: String,
+    /// Outline polygon.
+    pub polygon: Polygon,
+}
+
+/// A city: a point site inside its region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct City {
+    /// City id.
+    pub id: CityId,
+    /// Display name.
+    pub name: String,
+    /// Enclosing region.
+    pub region: RegionId,
+    /// Site coordinates.
+    pub location: GeoPoint,
+    /// Relative size weight (used by the workload generator to spread
+    /// prosumers proportionally to population).
+    pub weight: f64,
+}
+
+/// A district: the finest spatial grain of Section 3's hierarchy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct District {
+    /// District id.
+    pub id: DistrictId,
+    /// Display name (e.g. `"Aarhus-D2"`).
+    pub name: String,
+    /// Enclosing city.
+    pub city: CityId,
+}
+
+/// The full geography: the country with its regions, cities and
+/// districts, forming the spatial-geographical dimension hierarchy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Geography {
+    country: String,
+    regions: Vec<Region>,
+    cities: Vec<City>,
+    districts: Vec<District>,
+}
+
+impl Geography {
+    /// Builds a geography from parts (ids must be dense indices).
+    pub fn new(
+        country: impl Into<String>,
+        regions: Vec<Region>,
+        cities: Vec<City>,
+        districts: Vec<District>,
+    ) -> Self {
+        Geography { country: country.into(), regions, cities, districts }
+    }
+
+    /// The synthetic Denmark used throughout the reproduction (see
+    /// [`synthetic_denmark_data`] and the substitution note in DESIGN.md):
+    /// 5 regions, 15 cities, 4 districts per city.
+    pub fn synthetic_denmark() -> Self {
+        synthetic_denmark_data()
+    }
+
+    /// Country display name.
+    pub fn country(&self) -> &str {
+        &self.country
+    }
+
+    /// All regions.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// All cities.
+    pub fn cities(&self) -> &[City] {
+        &self.cities
+    }
+
+    /// All districts.
+    pub fn districts(&self) -> &[District] {
+        &self.districts
+    }
+
+    /// Looks up a region by id.
+    pub fn region(&self, id: RegionId) -> Option<&Region> {
+        self.regions.get(id.0 as usize)
+    }
+
+    /// Looks up a city by id.
+    pub fn city(&self, id: CityId) -> Option<&City> {
+        self.cities.get(id.0 as usize)
+    }
+
+    /// Looks up a district by id.
+    pub fn district(&self, id: DistrictId) -> Option<&District> {
+        self.districts.get(id.0 as usize)
+    }
+
+    /// Finds a region by name.
+    pub fn region_by_name(&self, name: &str) -> Option<&Region> {
+        self.regions.iter().find(|r| r.name == name)
+    }
+
+    /// Finds a city by name.
+    pub fn city_by_name(&self, name: &str) -> Option<&City> {
+        self.cities.iter().find(|c| c.name == name)
+    }
+
+    /// Cities of one region, in id order.
+    pub fn cities_of(&self, region: RegionId) -> impl Iterator<Item = &City> {
+        self.cities.iter().filter(move |c| c.region == region)
+    }
+
+    /// Districts of one city, in id order.
+    pub fn districts_of(&self, city: CityId) -> impl Iterator<Item = &District> {
+        self.districts.iter().filter(move |d| d.city == city)
+    }
+
+    /// The region containing `p`, if any.
+    pub fn region_containing(&self, p: GeoPoint) -> Option<&Region> {
+        self.regions.iter().find(|r| r.polygon.contains(p))
+    }
+
+    /// Bounding box over all region polygons.
+    pub fn bounding_box(&self) -> BoundingBox {
+        let mut bb = BoundingBox::empty();
+        for r in &self.regions {
+            bb.union(&r.polygon.bounding_box());
+        }
+        bb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_denmark_is_consistent() {
+        let geo = Geography::synthetic_denmark();
+        assert_eq!(geo.country(), "Denmark");
+        assert_eq!(geo.regions().len(), 5);
+        assert_eq!(geo.cities().len(), 15);
+        assert_eq!(geo.districts().len(), 60);
+
+        // Ids are dense indices.
+        for (i, r) in geo.regions().iter().enumerate() {
+            assert_eq!(r.id, RegionId(i as u32));
+        }
+        for (i, c) in geo.cities().iter().enumerate() {
+            assert_eq!(c.id, CityId(i as u32));
+        }
+        for (i, d) in geo.districts().iter().enumerate() {
+            assert_eq!(d.id, DistrictId(i as u32));
+        }
+    }
+
+    #[test]
+    fn every_city_sits_inside_its_region() {
+        let geo = Geography::synthetic_denmark();
+        for c in geo.cities() {
+            let r = geo.region(c.region).unwrap();
+            assert!(
+                r.polygon.contains(c.location),
+                "{} not inside {}",
+                c.name,
+                r.name
+            );
+            // And the point-in-region lookup agrees.
+            let found = geo.region_containing(c.location).unwrap();
+            assert_eq!(found.id, c.region, "{}", c.name);
+        }
+    }
+
+    #[test]
+    fn hierarchy_navigation() {
+        let geo = Geography::synthetic_denmark();
+        let midt = geo.region_by_name("Midtjylland").unwrap();
+        let cities: Vec<&str> = geo.cities_of(midt.id).map(|c| c.name.as_str()).collect();
+        assert!(cities.contains(&"Aarhus"));
+        let aarhus = geo.city_by_name("Aarhus").unwrap();
+        let districts: Vec<&District> = geo.districts_of(aarhus.id).collect();
+        assert_eq!(districts.len(), 4);
+        assert!(districts.iter().all(|d| d.city == aarhus.id));
+        assert!(districts[0].name.starts_with("Aarhus"));
+    }
+
+    #[test]
+    fn lookups_handle_missing_ids() {
+        let geo = Geography::synthetic_denmark();
+        assert!(geo.region(RegionId(99)).is_none());
+        assert!(geo.city(CityId(999)).is_none());
+        assert!(geo.district(DistrictId(9_999)).is_none());
+        assert!(geo.region_by_name("Atlantis").is_none());
+        assert!(geo.city_by_name("Gotham").is_none());
+        // A point far out at sea is in no region.
+        assert!(geo.region_containing(GeoPoint::new(0.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn bounding_box_covers_denmark() {
+        let geo = Geography::synthetic_denmark();
+        let bb = geo.bounding_box();
+        assert!(bb.width() > 3.0 && bb.height() > 2.0);
+        for c in geo.cities() {
+            assert!(bb.contains(c.location), "{}", c.name);
+        }
+    }
+
+    #[test]
+    fn display_of_ids() {
+        assert_eq!(RegionId(1).to_string(), "region-1");
+        assert_eq!(CityId(2).to_string(), "city-2");
+        assert_eq!(DistrictId(3).to_string(), "district-3");
+    }
+
+    #[test]
+    fn weights_are_positive() {
+        let geo = Geography::synthetic_denmark();
+        assert!(geo.cities().iter().all(|c| c.weight > 0.0));
+    }
+}

@@ -1,0 +1,119 @@
+//! Projection onto screen coordinates and choropleth binning.
+
+use crate::geometry::{BoundingBox, GeoPoint};
+
+/// An equirectangular projection fitted to a screen rectangle: longitude
+/// maps linearly to x, latitude to y (flipped so north is up), preserving
+/// aspect ratio and centring the map.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Projection {
+    scale: f64,
+    offset_x: f64,
+    offset_y: f64,
+    min_lon: f64,
+    max_lat: f64,
+}
+
+impl Projection {
+    /// Fits `bbox` into a `width × height` canvas with `margin` pixels on
+    /// every side.
+    pub fn fit(bbox: BoundingBox, width: f64, height: f64, margin: f64) -> Projection {
+        let usable_w = (width - 2.0 * margin).max(1.0);
+        let usable_h = (height - 2.0 * margin).max(1.0);
+        let bw = bbox.width().max(1e-9);
+        let bh = bbox.height().max(1e-9);
+        let scale = (usable_w / bw).min(usable_h / bh);
+        // Centre the projected extent.
+        let offset_x = margin + (usable_w - bw * scale) / 2.0;
+        let offset_y = margin + (usable_h - bh * scale) / 2.0;
+        Projection { scale, offset_x, offset_y, min_lon: bbox.min_lon, max_lat: bbox.max_lat }
+    }
+
+    /// Projects a point to `(x, y)` screen coordinates (y grows downward).
+    pub fn project(&self, p: GeoPoint) -> (f64, f64) {
+        let x = self.offset_x + (p.lon - self.min_lon) * self.scale;
+        let y = self.offset_y + (self.max_lat - p.lat) * self.scale;
+        (x, y)
+    }
+
+    /// Pixels per degree.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+/// Maps `value` into one of `buckets` equal-width choropleth classes over
+/// `[min, max]`; out-of-range values clamp to the extreme classes. With a
+/// degenerate range every value falls in class 0.
+pub fn choropleth_bucket(value: f64, min: f64, max: f64, buckets: usize) -> usize {
+    if buckets == 0 {
+        return 0;
+    }
+    let span = max - min;
+    if span <= 0.0 {
+        return 0;
+    }
+    let t = ((value - min) / span).clamp(0.0, 1.0);
+    ((t * buckets as f64) as usize).min(buckets - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bbox() -> BoundingBox {
+        BoundingBox { min_lon: 8.0, min_lat: 54.0, max_lon: 13.0, max_lat: 58.0 }
+    }
+
+    #[test]
+    fn corners_project_inside_canvas() {
+        let proj = Projection::fit(bbox(), 800.0, 600.0, 20.0);
+        for &(lon, lat) in
+            &[(8.0, 54.0), (13.0, 54.0), (8.0, 58.0), (13.0, 58.0), (10.5, 56.0)]
+        {
+            let (x, y) = proj.project(GeoPoint::new(lon, lat));
+            assert!((0.0..=800.0).contains(&x), "x={x}");
+            assert!((0.0..=600.0).contains(&y), "y={y}");
+        }
+    }
+
+    #[test]
+    fn north_is_up() {
+        let proj = Projection::fit(bbox(), 800.0, 600.0, 0.0);
+        let (_, y_north) = proj.project(GeoPoint::new(10.0, 57.9));
+        let (_, y_south) = proj.project(GeoPoint::new(10.0, 54.1));
+        assert!(y_north < y_south);
+    }
+
+    #[test]
+    fn aspect_ratio_preserved() {
+        let proj = Projection::fit(bbox(), 800.0, 600.0, 0.0);
+        let (x0, _) = proj.project(GeoPoint::new(8.0, 56.0));
+        let (x1, _) = proj.project(GeoPoint::new(9.0, 56.0));
+        let (_, y0) = proj.project(GeoPoint::new(10.0, 56.0));
+        let (_, y1) = proj.project(GeoPoint::new(10.0, 57.0));
+        assert!(((x1 - x0) - (y0 - y1)).abs() < 1e-9, "degrees must be square");
+        assert!(proj.scale() > 0.0);
+    }
+
+    #[test]
+    fn degenerate_bbox_does_not_blow_up() {
+        let tiny = BoundingBox { min_lon: 10.0, min_lat: 56.0, max_lon: 10.0, max_lat: 56.0 };
+        let proj = Projection::fit(tiny, 100.0, 100.0, 10.0);
+        let (x, y) = proj.project(GeoPoint::new(10.0, 56.0));
+        assert!(x.is_finite() && y.is_finite());
+    }
+
+    #[test]
+    fn choropleth_classes() {
+        assert_eq!(choropleth_bucket(0.0, 0.0, 10.0, 5), 0);
+        assert_eq!(choropleth_bucket(9.99, 0.0, 10.0, 5), 4);
+        assert_eq!(choropleth_bucket(10.0, 0.0, 10.0, 5), 4);
+        assert_eq!(choropleth_bucket(5.0, 0.0, 10.0, 5), 2);
+        assert_eq!(choropleth_bucket(-5.0, 0.0, 10.0, 5), 0);
+        assert_eq!(choropleth_bucket(15.0, 0.0, 10.0, 5), 4);
+        // Degenerate inputs.
+        assert_eq!(choropleth_bucket(1.0, 3.0, 3.0, 5), 0);
+        assert_eq!(choropleth_bucket(1.0, 0.0, 10.0, 0), 0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Layered schematic layout for grid topologies.
+
+use crate::model::{GridTopology, NodeId};
+
+/// A node placed on the schematic canvas.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodePosition {
+    /// The node.
+    pub id: NodeId,
+    /// Horizontal centre.
+    pub x: f64,
+    /// Vertical centre (root at the top, feeders at the bottom).
+    pub y: f64,
+}
+
+/// Computes a deterministic layered layout: each node sits on the row of
+/// its [`NodeKind::depth`], and horizontal space is apportioned by the
+/// number of leaves in each subtree, which keeps sibling subtrees from
+/// overlapping. This is the skeleton of the Figure 4 schematic.
+pub fn layered_layout(grid: &GridTopology, width: f64, height: f64) -> Vec<NodePosition> {
+    let n = grid.nodes().len();
+    let leaf_counts = grid.subtree_leaf_counts();
+    let max_depth = grid.nodes().iter().map(|nd| nd.kind.depth()).max().unwrap_or(0);
+    let row_height = height / (max_depth as f64 + 1.0);
+
+    // Horizontal intervals assigned per node; the root gets [0, width).
+    let mut intervals = vec![(0.0f64, 0.0f64); n];
+    intervals[0] = (0.0, width);
+    // Construction order guarantees parents precede children.
+    let mut cursor: Vec<f64> = vec![0.0; n];
+    for node in grid.nodes() {
+        let idx = node.id.0 as usize;
+        if let Some(p) = node.parent {
+            let pidx = p.0 as usize;
+            let (plo, phi) = intervals[pidx];
+            let pleaves = leaf_counts[pidx].max(1) as f64;
+            let share = (phi - plo) * leaf_counts[idx] as f64 / pleaves;
+            let lo = if cursor[pidx] == 0.0 { plo } else { cursor[pidx] };
+            intervals[idx] = (lo, lo + share);
+            cursor[pidx] = lo + share;
+        }
+    }
+
+    grid.nodes()
+        .iter()
+        .map(|node| {
+            let idx = node.id.0 as usize;
+            let (lo, hi) = intervals[idx];
+            NodePosition {
+                id: node.id,
+                x: (lo + hi) / 2.0,
+                y: row_height * (node.kind.depth() as f64 + 0.5),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{GridConfig, NodeKind};
+
+    #[test]
+    fn all_nodes_placed_inside_canvas() {
+        let grid = GridTopology::synthetic(&GridConfig::paper());
+        let layout = layered_layout(&grid, 1000.0, 600.0);
+        assert_eq!(layout.len(), grid.nodes().len());
+        for p in &layout {
+            assert!(p.x >= 0.0 && p.x <= 1000.0, "x={}", p.x);
+            assert!(p.y >= 0.0 && p.y <= 600.0, "y={}", p.y);
+        }
+    }
+
+    #[test]
+    fn rows_follow_depth() {
+        let grid = GridTopology::synthetic(&GridConfig::small());
+        let layout = layered_layout(&grid, 800.0, 400.0);
+        for p in &layout {
+            let node = grid.node(p.id).unwrap();
+            let expected_row = node.kind.depth();
+            let row = (p.y / 100.0).floor() as usize; // 4 rows of 100
+            assert_eq!(row, expected_row, "{}", node.name);
+        }
+    }
+
+    #[test]
+    fn siblings_do_not_collide() {
+        let grid = GridTopology::synthetic(&GridConfig::paper());
+        let layout = layered_layout(&grid, 1200.0, 600.0);
+        // Within each row, x positions must be strictly increasing for
+        // distinct nodes once sorted — i.e. no duplicates.
+        let mut rows: std::collections::BTreeMap<i64, Vec<f64>> = Default::default();
+        for p in &layout {
+            rows.entry(p.y as i64).or_default().push(p.x);
+        }
+        for (row, mut xs) in rows {
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            for w in xs.windows(2) {
+                assert!(w[1] - w[0] > 1e-6, "collision in row {row}");
+            }
+        }
+    }
+
+    #[test]
+    fn parent_centred_over_children() {
+        let grid = GridTopology::synthetic(&GridConfig::small());
+        let layout = layered_layout(&grid, 800.0, 400.0);
+        let pos = |id: NodeId| layout.iter().find(|p| p.id == id).unwrap();
+        for sub in grid.nodes_of_kind(NodeKind::Substation) {
+            let kids: Vec<f64> = grid.children(sub.id).map(|c| pos(c.id).x).collect();
+            let min = kids.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = kids.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let px = pos(sub.id).x;
+            assert!(px >= min - 1e-9 && px <= max + 1e-9, "{} at {px} not within [{min},{max}]", sub.name);
+        }
+    }
+
+    #[test]
+    fn layout_is_deterministic() {
+        let grid = GridTopology::synthetic(&GridConfig::paper());
+        let a = layered_layout(&grid, 640.0, 480.0);
+        let b = layered_layout(&grid, 640.0, 480.0);
+        assert_eq!(a, b);
+    }
+}

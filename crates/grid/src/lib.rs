@@ -1,0 +1,41 @@
+//! Electricity-grid topology substrate for the schematic view (Figure 4)
+//! and the spatial-topological dimension of the data warehouse.
+//!
+//! Section 3 requires filtering and grouping on "the topological or
+//! electrical structure of the electricity grid, e.g., for a particular
+//! 110kV transmission line", plus "a user-friendly view to explore and
+//! filter flex-offer data on a topological map". This crate provides:
+//!
+//! * a typed grid tree ([`GridTopology`], [`GridNode`], [`NodeKind`]):
+//!   national grid → 110 kV transmission lines → substations → feeders,
+//!   with generation plants attached to lines;
+//! * a deterministic synthetic generator ([`GridTopology::synthetic`])
+//!   sized by a [`GridConfig`];
+//! * a layered schematic layout ([`layout::layered_layout`]) that places
+//!   nodes on depth-ranked rows with subtree-proportional horizontal
+//!   spread — the skeleton onto which the view crate draws the per-node
+//!   status pies of Figure 4.
+//!
+//! # Example
+//!
+//! ```
+//! use mirabel_grid::{GridConfig, GridTopology, NodeKind};
+//!
+//! let grid = GridTopology::synthetic(&GridConfig::small());
+//! let lines = grid.nodes_of_kind(NodeKind::TransmissionLine).count();
+//! assert_eq!(lines, 2);
+//! let feeders: Vec<_> = grid.nodes_of_kind(NodeKind::Feeder).collect();
+//! assert!(!feeders.is_empty());
+//! // Every feeder hangs under exactly one transmission line.
+//! let line_of = grid.ancestor_of_kind(feeders[0].id, NodeKind::TransmissionLine);
+//! assert!(line_of.is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod layout;
+mod model;
+
+pub use layout::{layered_layout, NodePosition};
+pub use model::{GridConfig, GridNode, GridTopology, NodeId, NodeKind};

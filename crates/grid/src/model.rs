@@ -1,0 +1,358 @@
+//! The grid tree model and synthetic generator.
+
+use std::fmt;
+
+/// Identifier of a grid node (dense index into the topology).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node-{}", self.0)
+    }
+}
+
+/// The electrical role of a node; also its level in the topological
+/// dimension hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum NodeKind {
+    /// The national grid root (level 0).
+    Root,
+    /// A generation plant feeding a transmission line.
+    Plant,
+    /// A 110 kV transmission line (level 1).
+    TransmissionLine,
+    /// A distribution substation (level 2).
+    Substation,
+    /// A low-voltage feeder serving prosumers (level 3).
+    Feeder,
+}
+
+impl NodeKind {
+    /// Depth of this kind in the tree (plants share the line level).
+    pub fn depth(self) -> usize {
+        match self {
+            NodeKind::Root => 0,
+            NodeKind::Plant | NodeKind::TransmissionLine => 1,
+            NodeKind::Substation => 2,
+            NodeKind::Feeder => 3,
+        }
+    }
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            NodeKind::Root => "Grid",
+            NodeKind::Plant => "Plant",
+            NodeKind::TransmissionLine => "110kV line",
+            NodeKind::Substation => "Substation",
+            NodeKind::Feeder => "Feeder",
+        }
+    }
+}
+
+impl fmt::Display for NodeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One node of the grid tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridNode {
+    /// Node id (index into [`GridTopology::nodes`]).
+    pub id: NodeId,
+    /// Electrical role.
+    pub kind: NodeKind,
+    /// Display name, e.g. `"L1/S2/F3"`.
+    pub name: String,
+    /// Parent node; `None` only for the root.
+    pub parent: Option<NodeId>,
+}
+
+/// Size parameters for the synthetic topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridConfig {
+    /// Number of 110 kV transmission lines.
+    pub lines: usize,
+    /// Substations per line.
+    pub substations_per_line: usize,
+    /// Feeders per substation.
+    pub feeders_per_substation: usize,
+    /// Generation plants (attached round-robin to lines).
+    pub plants: usize,
+}
+
+impl GridConfig {
+    /// A small grid for examples and tests: 2 lines × 3 substations × 4
+    /// feeders, 2 plants.
+    pub fn small() -> Self {
+        GridConfig { lines: 2, substations_per_line: 3, feeders_per_substation: 4, plants: 2 }
+    }
+
+    /// The Figure 4 benchmark grid: 6 lines × 4 substations × 10 feeders,
+    /// 2 plants.
+    pub fn paper() -> Self {
+        GridConfig { lines: 6, substations_per_line: 4, feeders_per_substation: 10, plants: 2 }
+    }
+
+    /// Total number of nodes this configuration generates.
+    pub fn node_count(&self) -> usize {
+        1 + self.plants
+            + self.lines
+            + self.lines * self.substations_per_line
+            + self.lines * self.substations_per_line * self.feeders_per_substation
+    }
+}
+
+/// The grid tree: nodes in id order, children derivable from parents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridTopology {
+    nodes: Vec<GridNode>,
+}
+
+impl GridTopology {
+    /// Deterministically generates a topology from `config`.
+    pub fn synthetic(config: &GridConfig) -> Self {
+        let mut nodes = Vec::with_capacity(config.node_count());
+        let root = NodeId(0);
+        nodes.push(GridNode {
+            id: root,
+            kind: NodeKind::Root,
+            name: "National grid".into(),
+            parent: None,
+        });
+
+        let mut line_ids = Vec::with_capacity(config.lines);
+        for l in 0..config.lines {
+            let id = NodeId(nodes.len() as u32);
+            nodes.push(GridNode {
+                id,
+                kind: NodeKind::TransmissionLine,
+                name: format!("L{}", l + 1),
+                parent: Some(root),
+            });
+            line_ids.push(id);
+        }
+
+        for p in 0..config.plants {
+            let parent = line_ids[p % line_ids.len().max(1)];
+            let id = NodeId(nodes.len() as u32);
+            nodes.push(GridNode {
+                id,
+                kind: NodeKind::Plant,
+                name: format!("G{}", p + 1),
+                parent: Some(parent),
+            });
+        }
+
+        for (l, &line) in line_ids.iter().enumerate() {
+            for s in 0..config.substations_per_line {
+                let sub_id = NodeId(nodes.len() as u32);
+                nodes.push(GridNode {
+                    id: sub_id,
+                    kind: NodeKind::Substation,
+                    name: format!("L{}/S{}", l + 1, s + 1),
+                    parent: Some(line),
+                });
+                for fdr in 0..config.feeders_per_substation {
+                    let id = NodeId(nodes.len() as u32);
+                    nodes.push(GridNode {
+                        id,
+                        kind: NodeKind::Feeder,
+                        name: format!("L{}/S{}/F{}", l + 1, s + 1, fdr + 1),
+                        parent: Some(sub_id),
+                    });
+                }
+            }
+        }
+        GridTopology { nodes }
+    }
+
+    /// All nodes in id order.
+    pub fn nodes(&self) -> &[GridNode] {
+        &self.nodes
+    }
+
+    /// The root node.
+    pub fn root(&self) -> &GridNode {
+        &self.nodes[0]
+    }
+
+    /// Looks up a node by id.
+    pub fn node(&self, id: NodeId) -> Option<&GridNode> {
+        self.nodes.get(id.0 as usize)
+    }
+
+    /// Finds a node by display name.
+    pub fn node_by_name(&self, name: &str) -> Option<&GridNode> {
+        self.nodes.iter().find(|n| n.name == name)
+    }
+
+    /// All nodes of one kind, in id order.
+    pub fn nodes_of_kind(&self, kind: NodeKind) -> impl Iterator<Item = &GridNode> {
+        self.nodes.iter().filter(move |n| n.kind == kind)
+    }
+
+    /// Direct children of `id`, in id order.
+    pub fn children(&self, id: NodeId) -> impl Iterator<Item = &GridNode> {
+        self.nodes.iter().filter(move |n| n.parent == Some(id))
+    }
+
+    /// Walks up from `id` (exclusive) to the root (inclusive).
+    pub fn ancestors(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut cur = self.node(id).and_then(|n| n.parent);
+        while let Some(p) = cur {
+            out.push(p);
+            cur = self.node(p).and_then(|n| n.parent);
+        }
+        out
+    }
+
+    /// The nearest ancestor (or the node itself) of the given kind.
+    pub fn ancestor_of_kind(&self, id: NodeId, kind: NodeKind) -> Option<NodeId> {
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            let node = self.node(c)?;
+            if node.kind == kind {
+                return Some(c);
+            }
+            cur = node.parent;
+        }
+        None
+    }
+
+    /// All feeders in the subtree rooted at `id` (the prosumers behind a
+    /// grid object — what a "select data for a particular 110kV line"
+    /// query resolves to).
+    pub fn feeders_under(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![id];
+        while let Some(cur) = stack.pop() {
+            if let Some(node) = self.node(cur) {
+                if node.kind == NodeKind::Feeder {
+                    out.push(cur);
+                }
+            }
+            for child in self.children(cur) {
+                stack.push(child.id);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Number of leaf feeders under each node, used by the layout to
+    /// apportion horizontal space.
+    pub fn subtree_leaf_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.nodes.len()];
+        // Children always have larger ids than parents (construction
+        // order), so one reverse pass suffices.
+        for i in (0..self.nodes.len()).rev() {
+            if counts[i] == 0 {
+                counts[i] = 1; // a leaf counts itself
+            }
+            if let Some(p) = self.nodes[i].parent {
+                let c = counts[i];
+                counts[p.0 as usize] += c;
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_counts_match_config() {
+        let cfg = GridConfig::paper();
+        let grid = GridTopology::synthetic(&cfg);
+        assert_eq!(grid.nodes().len(), cfg.node_count());
+        assert_eq!(grid.nodes_of_kind(NodeKind::TransmissionLine).count(), 6);
+        assert_eq!(grid.nodes_of_kind(NodeKind::Substation).count(), 24);
+        assert_eq!(grid.nodes_of_kind(NodeKind::Feeder).count(), 240);
+        assert_eq!(grid.nodes_of_kind(NodeKind::Plant).count(), 2);
+        assert_eq!(grid.root().kind, NodeKind::Root);
+    }
+
+    #[test]
+    fn tree_is_well_formed() {
+        let grid = GridTopology::synthetic(&GridConfig::small());
+        for n in grid.nodes() {
+            match n.kind {
+                NodeKind::Root => assert!(n.parent.is_none()),
+                _ => {
+                    let p = grid.node(n.parent.unwrap()).unwrap();
+                    // Parents are one level up (plants hang off lines).
+                    match n.kind {
+                        NodeKind::Plant | NodeKind::TransmissionLine => {
+                            assert!(matches!(p.kind, NodeKind::Root | NodeKind::TransmissionLine))
+                        }
+                        NodeKind::Substation => assert_eq!(p.kind, NodeKind::TransmissionLine),
+                        NodeKind::Feeder => assert_eq!(p.kind, NodeKind::Substation),
+                        NodeKind::Root => unreachable!(),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ancestors_walk_to_root() {
+        let grid = GridTopology::synthetic(&GridConfig::small());
+        let feeder = grid.node_by_name("L2/S3/F4").unwrap();
+        let anc = grid.ancestors(feeder.id);
+        assert_eq!(anc.len(), 3); // substation, line, root
+        assert_eq!(anc[2], grid.root().id);
+        let line = grid.ancestor_of_kind(feeder.id, NodeKind::TransmissionLine).unwrap();
+        assert_eq!(grid.node(line).unwrap().name, "L2");
+        // A node is its own ancestor-of-kind.
+        assert_eq!(grid.ancestor_of_kind(feeder.id, NodeKind::Feeder), Some(feeder.id));
+        // The root has no plant ancestor.
+        assert_eq!(grid.ancestor_of_kind(grid.root().id, NodeKind::Plant), None);
+    }
+
+    #[test]
+    fn feeders_under_line() {
+        let cfg = GridConfig::small();
+        let grid = GridTopology::synthetic(&cfg);
+        let line = grid.node_by_name("L1").unwrap();
+        let feeders = grid.feeders_under(line.id);
+        assert_eq!(feeders.len(), cfg.substations_per_line * cfg.feeders_per_substation);
+        let all = grid.feeders_under(grid.root().id);
+        assert_eq!(all.len(), cfg.lines * cfg.substations_per_line * cfg.feeders_per_substation);
+        // A feeder's subtree is itself.
+        assert_eq!(grid.feeders_under(feeders[0]), vec![feeders[0]]);
+    }
+
+    #[test]
+    fn subtree_leaf_counts_consistent() {
+        let cfg = GridConfig::small();
+        let grid = GridTopology::synthetic(&cfg);
+        let counts = grid.subtree_leaf_counts();
+        // Root: all feeders + the plants (plants are leaves too).
+        let feeders = cfg.lines * cfg.substations_per_line * cfg.feeders_per_substation;
+        assert_eq!(counts[0], feeders + cfg.plants);
+        for sub in grid.nodes_of_kind(NodeKind::Substation) {
+            assert_eq!(counts[sub.id.0 as usize], cfg.feeders_per_substation);
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(NodeKind::TransmissionLine.to_string(), "110kV line");
+        assert_eq!(NodeId(4).to_string(), "node-4");
+        assert_eq!(NodeKind::Feeder.depth(), 3);
+        assert_eq!(NodeKind::Root.depth(), 0);
+    }
+
+    #[test]
+    fn lookups_handle_missing() {
+        let grid = GridTopology::synthetic(&GridConfig::small());
+        assert!(grid.node(NodeId(9_999)).is_none());
+        assert!(grid.node_by_name("does-not-exist").is_none());
+    }
+}

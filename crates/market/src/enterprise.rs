@@ -1,0 +1,427 @@
+//! The MIRABEL enterprise planning loop (Section 2 of the paper).
+
+use std::error::Error;
+use std::fmt;
+
+use mirabel_aggregation::{AggregationError, AggregationParams, Aggregator};
+use mirabel_flexoffer::{Energy, Execution, FlexOffer, FlexOfferStatus, Money};
+use mirabel_scheduling::{
+    load_curve, HillClimbScheduler, Imbalance, Scheduler, SchedulingError,
+};
+use mirabel_timeseries::TimeSeries;
+use mirabel_workload::Scenario;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the enterprise loop.
+#[derive(Debug, Clone, Copy)]
+pub struct EnterpriseConfig {
+    /// Fraction of collected offers the enterprise accepts (cheapest
+    /// first); the paper's dashboards show accepted/rejected breakdowns.
+    pub acceptance_rate: f64,
+    /// Aggregation parameters used before scheduling (reference \[27\]
+    /// pairs aggregation with scheduling for tractability).
+    pub aggregation: AggregationParams,
+    /// Hill-climbing iterations for the scheduler.
+    pub schedule_iterations: usize,
+    /// Probability that a prosumer follows its assignment exactly.
+    pub compliance: f64,
+    /// Relative per-slice deviation of non-compliant prosumers (clamped
+    /// to the offer's bounds, so executions stay physical).
+    pub deviation: f64,
+    /// Spot base price (EUR/MWh).
+    pub spot_base: f64,
+    /// Imbalance fee multiplier over spot.
+    pub imbalance_multiplier: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for EnterpriseConfig {
+    fn default() -> Self {
+        EnterpriseConfig {
+            acceptance_rate: 0.85,
+            aggregation: AggregationParams::default(),
+            schedule_iterations: 300,
+            compliance: 0.9,
+            deviation: 0.25,
+            spot_base: 45.0,
+            imbalance_multiplier: 4.0,
+            seed: 0xE17E,
+        }
+    }
+}
+
+/// Errors from the enterprise loop.
+#[derive(Debug)]
+pub enum EnterpriseError {
+    /// Aggregation failed.
+    Aggregation(AggregationError),
+    /// Scheduling failed.
+    Scheduling(SchedulingError),
+}
+
+impl fmt::Display for EnterpriseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnterpriseError::Aggregation(e) => write!(f, "aggregation failed: {e}"),
+            EnterpriseError::Scheduling(e) => write!(f, "scheduling failed: {e}"),
+        }
+    }
+}
+
+impl Error for EnterpriseError {}
+
+impl From<AggregationError> for EnterpriseError {
+    fn from(e: AggregationError) -> Self {
+        EnterpriseError::Aggregation(e)
+    }
+}
+
+impl From<SchedulingError> for EnterpriseError {
+    fn from(e: SchedulingError) -> Self {
+        EnterpriseError::Scheduling(e)
+    }
+}
+
+/// The outcome of one planning day: every curve and number the Figure 1
+/// experiment and the dashboard measures need.
+#[derive(Debug, Clone)]
+pub struct PlanReport {
+    /// The offers after the full lifecycle (accepted/rejected/assigned/
+    /// executed) — feed these into [`mirabel_dw::Warehouse::load`] for
+    /// dashboards with real plan deviations.
+    pub offers: Vec<FlexOffer>,
+    /// RES supply (kWh per slot).
+    pub res_supply: TimeSeries,
+    /// Non-flexible demand (kWh per slot).
+    pub base_load: TimeSeries,
+    /// The scheduling target (RES surplus after base load).
+    pub target: TimeSeries,
+    /// Flexible load under the flexibility-ignoring baseline.
+    pub baseline_load: TimeSeries,
+    /// Flexible load under the MIRABEL plan.
+    pub scheduled_load: TimeSeries,
+    /// Physically realized flexible load (with non-compliance).
+    pub actual_load: TimeSeries,
+    /// Imbalance of the baseline against the target.
+    pub baseline_imbalance: Imbalance,
+    /// Imbalance of the plan against the target.
+    pub scheduled_imbalance: Imbalance,
+    /// Imbalance of the realization against the plan (plan deviations).
+    pub realization_deviation: Imbalance,
+    /// Counts: offered, accepted, rejected, assigned, executed.
+    pub status_counts: [usize; 5],
+    /// Cost of trading the residual on the spot market.
+    pub trade_cost: Money,
+    /// Imbalance fees paid for the plan-vs-realization gap.
+    pub imbalance_fees: Money,
+}
+
+impl PlanReport {
+    /// Relative L1 imbalance improvement of the plan over the baseline —
+    /// the headline Figure 1 number.
+    pub fn improvement(&self) -> f64 {
+        Imbalance::improvement(&self.baseline_imbalance, &self.scheduled_imbalance)
+    }
+}
+
+impl fmt::Display for PlanReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "plan: {} offers ({} accepted, {} rejected, {} assigned, {} executed)",
+            self.status_counts.iter().sum::<usize>(),
+            self.status_counts[1],
+            self.status_counts[2],
+            self.status_counts[3],
+            self.status_counts[4],
+        )?;
+        writeln!(
+            f,
+            "imbalance L1: baseline {:.1} kWh -> scheduled {:.1} kWh ({:.1}% better)",
+            self.baseline_imbalance.l1,
+            self.scheduled_imbalance.l1,
+            self.improvement() * 100.0
+        )?;
+        write!(
+            f,
+            "costs: spot {} + imbalance fees {}",
+            self.trade_cost, self.imbalance_fees
+        )
+    }
+}
+
+/// The MIRABEL enterprise.
+#[derive(Debug, Clone)]
+pub struct Enterprise {
+    config: EnterpriseConfig,
+}
+
+impl Enterprise {
+    /// Creates an enterprise with the given configuration.
+    pub fn new(config: EnterpriseConfig) -> Enterprise {
+        Enterprise { config }
+    }
+
+    /// Runs the full planning loop on a scenario.
+    pub fn run(&self, scenario: &Scenario) -> Result<PlanReport, EnterpriseError> {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let target = scenario.surplus_target();
+
+        // 1. Collect + accept/reject: cheapest offers first, up to the
+        //    acceptance rate.
+        let mut offers = scenario.offers.clone();
+        let mut by_price: Vec<usize> = (0..offers.len()).collect();
+        by_price.sort_by_key(|&i| (offers[i].price_per_kwh(), offers[i].id()));
+        let keep = (offers.len() as f64 * cfg.acceptance_rate).round() as usize;
+        for (rank, &i) in by_price.iter().enumerate() {
+            if rank < keep {
+                offers[i].accept().expect("fresh offers are Offered");
+            } else {
+                offers[i].reject().expect("fresh offers are Offered");
+            }
+        }
+
+        // Baseline: what happens without MIRABEL — everything runs at its
+        // earliest start with minimum energy.
+        let baseline_load = {
+            let mut copy = offers.clone();
+            mirabel_scheduling::EarliestStartScheduler
+                .schedule(&mut copy, &target)
+                .map_err(EnterpriseError::from)?;
+            load_curve(&copy, target.start(), target.len())
+        };
+
+        // 2. Aggregate accepted offers.
+        let accepted: Vec<FlexOffer> = offers
+            .iter()
+            .filter(|fo| fo.status() == FlexOfferStatus::Accepted)
+            .cloned()
+            .collect();
+        let aggregator = Aggregator::new(cfg.aggregation);
+        let result = aggregator.aggregate(&accepted)?;
+
+        // 3. Schedule aggregates + untouched singletons together.
+        let mut plan_units: Vec<FlexOffer> = Vec::with_capacity(result.output_count());
+        for agg in &result.aggregates {
+            let mut fo = agg.offer().clone();
+            fo.accept().expect("aggregates are built Offered");
+            plan_units.push(fo);
+        }
+        for &i in &result.untouched {
+            plan_units.push(accepted[i].clone());
+        }
+        let scheduler =
+            HillClimbScheduler::new(cfg.schedule_iterations, cfg.seed.wrapping_add(1));
+        scheduler.schedule(&mut plan_units, &target)?;
+
+        // 4. Disaggregate: push aggregate schedules back to the members.
+        let n_aggregates = result.aggregates.len();
+        for (k, agg) in result.aggregates.iter().enumerate() {
+            let schedule = plan_units[k].schedule().expect("scheduled").clone();
+            for (member, member_schedule) in aggregator.disaggregate(agg, &schedule)? {
+                let fo = offers
+                    .iter_mut()
+                    .find(|fo| fo.id() == member)
+                    .expect("member exists");
+                fo.assign(member_schedule).expect("disaggregation is feasible");
+            }
+        }
+        // Untouched singletons keep their own schedules.
+        for (unit, &orig_idx) in plan_units[n_aggregates..].iter().zip(&result.untouched) {
+            let id = accepted[orig_idx].id();
+            let schedule = unit.schedule().expect("scheduled").clone();
+            let fo = offers.iter_mut().find(|fo| fo.id() == id).expect("exists");
+            fo.assign(schedule).expect("same offer, same bounds");
+        }
+
+        let scheduled_load = load_curve(&offers, target.start(), target.len());
+
+        // 5. Trade the residual on the spot market.
+        let market = crate::spot::SpotMarket::new(
+            target.start(),
+            target.len().div_ceil(96),
+            cfg.spot_base,
+            cfg.imbalance_multiplier,
+        );
+        let residual = &target - &scheduled_load;
+        let trade_cost: Money =
+            residual.iter().map(|(slot, kwh)| market.trade_cost(slot, kwh)).sum();
+
+        // 6. Execution: prosumers follow the plan with probability
+        //    `compliance`; deviators scale each slice within bounds.
+        for fo in offers.iter_mut() {
+            if fo.status() != FlexOfferStatus::Assigned {
+                continue;
+            }
+            let schedule = fo.schedule().expect("assigned").clone();
+            let execution = if rng.gen_bool(cfg.compliance.clamp(0.0, 1.0)) {
+                Execution::compliant(&schedule)
+            } else {
+                let energies: Vec<Energy> = schedule
+                    .energies()
+                    .iter()
+                    .zip(fo.profile().slices())
+                    .map(|(&e, slice)| {
+                        let factor = 1.0 + rng.gen_range(-cfg.deviation..=cfg.deviation);
+                        Energy::from_wh((e.wh() as f64 * factor) as i64)
+                            .clamp(slice.min, slice.max)
+                    })
+                    .collect();
+                Execution::new(energies)
+            };
+            fo.record_execution(execution).expect("assigned offers accept executions");
+        }
+
+        // 7. Settle: actual flexible load vs the plan.
+        let actual_load = actual_curve(&offers, target.start(), target.len());
+        let deviations = &actual_load - &scheduled_load;
+        let imbalance_fees = market.settle(&deviations);
+
+        let mut status_counts = [0usize; 5];
+        for fo in &offers {
+            let idx = FlexOfferStatus::ALL
+                .iter()
+                .position(|s| *s == fo.status())
+                .expect("exhaustive");
+            status_counts[idx] += 1;
+        }
+
+        Ok(PlanReport {
+            baseline_imbalance: Imbalance::of(&target, &baseline_load),
+            scheduled_imbalance: Imbalance::of(&target, &scheduled_load),
+            realization_deviation: Imbalance::of(&scheduled_load, &actual_load),
+            offers,
+            res_supply: scenario.res_supply.clone(),
+            base_load: scenario.base_load.clone(),
+            target,
+            baseline_load,
+            scheduled_load,
+            actual_load,
+            status_counts,
+            trade_cost,
+            imbalance_fees,
+        })
+    }
+}
+
+/// The signed realized load of executed offers.
+fn actual_curve(
+    offers: &[FlexOffer],
+    start: mirabel_timeseries::TimeSlot,
+    len: usize,
+) -> TimeSeries {
+    let mut load = TimeSeries::zeros(start, len);
+    for fo in offers {
+        if let (Some(schedule), Some(execution)) = (fo.schedule(), fo.execution()) {
+            let sign = fo.direction().sign();
+            for (k, &e) in execution.energies().iter().enumerate() {
+                load.add_at(
+                    schedule.start() + mirabel_timeseries::SlotSpan::slots(k as i64),
+                    sign * e.kwh(),
+                );
+            }
+        }
+    }
+    load
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirabel_workload::ScenarioConfig;
+
+    fn scenario() -> Scenario {
+        Scenario::generate(&ScenarioConfig { prosumers: 150, seed: 77, ..Default::default() })
+    }
+
+    #[test]
+    fn full_loop_runs_and_improves_balance() {
+        let report = Enterprise::new(EnterpriseConfig::default()).run(&scenario()).unwrap();
+        assert!(report.scheduled_imbalance.l1 <= report.baseline_imbalance.l1 + 1e-6);
+        assert!(report.improvement() >= 0.0);
+        // Figure 1 shape: flexible demand moved toward the RES surplus.
+        assert!(report.scheduled_imbalance.l2_sq < report.baseline_imbalance.l2_sq);
+        let s = report.to_string();
+        assert!(s.contains("imbalance L1"));
+    }
+
+    #[test]
+    fn statuses_partition_the_offers() {
+        let sc = scenario();
+        let report = Enterprise::new(EnterpriseConfig::default()).run(&sc).unwrap();
+        let total: usize = report.status_counts.iter().sum();
+        assert_eq!(total, sc.offers.len());
+        // With 85 % acceptance there are rejected offers and executed
+        // ones.
+        assert!(report.status_counts[2] > 0, "rejected {:?}", report.status_counts);
+        assert!(report.status_counts[4] > 0, "executed {:?}", report.status_counts);
+        // Nothing is left merely accepted or assigned: every accepted
+        // offer was scheduled and executed.
+        assert_eq!(report.status_counts[1], 0);
+        assert_eq!(report.status_counts[3], 0);
+    }
+
+    #[test]
+    fn executions_respect_bounds() {
+        let report = Enterprise::new(EnterpriseConfig {
+            compliance: 0.0, // force every prosumer to deviate
+            ..Default::default()
+        })
+        .run(&scenario())
+        .unwrap();
+        for fo in &report.offers {
+            if let Some(exec) = fo.execution() {
+                for (e, slice) in exec.energies().iter().zip(fo.profile().slices()) {
+                    assert!(slice.contains(*e), "{}: {e} outside {slice}", fo.id());
+                }
+            }
+        }
+        // Non-compliance creates measurable plan deviations and fees.
+        assert!(report.realization_deviation.l1 > 0.0);
+        assert!(report.imbalance_fees.cents() > 0);
+    }
+
+    #[test]
+    fn full_compliance_means_no_fees() {
+        let report = Enterprise::new(EnterpriseConfig {
+            compliance: 1.0,
+            ..Default::default()
+        })
+        .run(&scenario())
+        .unwrap();
+        assert_eq!(report.realization_deviation.l1, 0.0);
+        assert_eq!(report.imbalance_fees.cents(), 0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let sc = scenario();
+        let a = Enterprise::new(EnterpriseConfig::default()).run(&sc).unwrap();
+        let b = Enterprise::new(EnterpriseConfig::default()).run(&sc).unwrap();
+        assert_eq!(a.offers, b.offers);
+        assert_eq!(a.trade_cost, b.trade_cost);
+        assert_eq!(a.imbalance_fees, b.imbalance_fees);
+    }
+
+    #[test]
+    fn acceptance_rate_controls_rejections() {
+        let sc = scenario();
+        let strict = Enterprise::new(EnterpriseConfig {
+            acceptance_rate: 0.5,
+            ..Default::default()
+        })
+        .run(&sc)
+        .unwrap();
+        let lax = Enterprise::new(EnterpriseConfig {
+            acceptance_rate: 1.0,
+            ..Default::default()
+        })
+        .run(&sc)
+        .unwrap();
+        assert!(strict.status_counts[2] > lax.status_counts[2]);
+        assert_eq!(lax.status_counts[2], 0);
+    }
+}

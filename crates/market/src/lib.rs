@@ -1,0 +1,38 @@
+//! Power-exchange simulation and the MIRABEL enterprise planning loop.
+//!
+//! Section 2 of the paper describes the activities of a MIRABEL energy
+//! enterprise: collect flex-offers and readings, forecast demand and
+//! supply, plan so that supply balances demand, trade the residual on a
+//! power exchange ("e.g., Nordpool Spot"), distribute flex-offer
+//! assignments, and pay an imbalance fee — "substantially higher than a
+//! spot (market) price" — for every deviation between the plan and the
+//! physical realization.
+//!
+//! * [`SpotMarket`] — a diurnal spot-price model with imbalance pricing;
+//! * [`Enterprise`] — the full loop
+//!   (collect → accept/reject → forecast → aggregate → schedule → trade →
+//!   disaggregate → execute with prosumer non-compliance → settle),
+//!   producing a [`PlanReport`] whose curves regenerate Figure 1 and
+//!   whose deviations feed the Plan-Deviation measure of the warehouse.
+//!
+//! # Example
+//!
+//! ```
+//! use mirabel_market::{Enterprise, EnterpriseConfig};
+//! use mirabel_workload::{Scenario, ScenarioConfig};
+//!
+//! let scenario = Scenario::generate(&ScenarioConfig { prosumers: 200, ..Default::default() });
+//! let report = Enterprise::new(EnterpriseConfig::default()).run(&scenario).unwrap();
+//! // Exploiting flexibility must not make the balance worse than the
+//! // flexibility-ignoring baseline.
+//! assert!(report.scheduled_imbalance.l1 <= report.baseline_imbalance.l1 + 1e-6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod enterprise;
+mod spot;
+
+pub use enterprise::{Enterprise, EnterpriseConfig, EnterpriseError, PlanReport};
+pub use spot::SpotMarket;

@@ -1,0 +1,112 @@
+//! The spot-price model.
+
+use mirabel_flexoffer::Money;
+use mirabel_timeseries::{TimeSeries, TimeSlot, SLOTS_PER_DAY};
+
+/// A Nordpool-like day-ahead spot market: per-slot prices in EUR/MWh
+/// following the daily demand shape, plus an imbalance price that is a
+/// fixed multiple of spot (the paper: the imbalance fee "is substantially
+/// higher than a spot (market) price of electricity").
+#[derive(Debug, Clone)]
+pub struct SpotMarket {
+    prices: TimeSeries,
+    imbalance_multiplier: f64,
+}
+
+impl SpotMarket {
+    /// Builds a market for `[start, start + days)` with a diurnal price
+    /// shape around `base_eur_mwh`.
+    pub fn new(start: TimeSlot, days: usize, base_eur_mwh: f64, imbalance_multiplier: f64) -> Self {
+        let len = days * SLOTS_PER_DAY as usize;
+        let prices = TimeSeries::from_fn(start, len, |i| {
+            let hour = (i as i64 % SLOTS_PER_DAY) as f64 / 4.0;
+            // Cheap nights, expensive morning/evening peaks.
+            let morning = (-(hour - 8.0) * (hour - 8.0) / 8.0).exp();
+            let evening = (-(hour - 19.0) * (hour - 19.0) / 10.0).exp();
+            base_eur_mwh * (0.7 + 0.5 * morning + 0.6 * evening)
+        });
+        SpotMarket { prices, imbalance_multiplier: imbalance_multiplier.max(1.0) }
+    }
+
+    /// The price curve (EUR/MWh).
+    pub fn prices(&self) -> &TimeSeries {
+        &self.prices
+    }
+
+    /// Spot price at `slot` in EUR/MWh (base price outside the horizon).
+    pub fn price_at(&self, slot: TimeSlot) -> f64 {
+        self.prices.get(slot).unwrap_or_else(|| self.prices.mean())
+    }
+
+    /// Cost of buying (positive `kwh`) or revenue of selling (negative)
+    /// at `slot`.
+    pub fn trade_cost(&self, slot: TimeSlot, kwh: f64) -> Money {
+        Money::from_eur(self.price_at(slot) * kwh / 1_000.0)
+    }
+
+    /// The imbalance fee for `kwh` of absolute deviation at `slot`.
+    pub fn imbalance_fee(&self, slot: TimeSlot, kwh: f64) -> Money {
+        Money::from_eur(self.price_at(slot) * self.imbalance_multiplier * kwh.abs() / 1_000.0)
+    }
+
+    /// Settles a whole deviation series into a total fee.
+    pub fn settle(&self, deviations: &TimeSeries) -> Money {
+        deviations.iter().map(|(slot, kwh)| self.imbalance_fee(slot, kwh)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prices_follow_daily_shape() {
+        let m = SpotMarket::new(TimeSlot::EPOCH, 1, 50.0, 3.0);
+        assert_eq!(m.prices().len(), 96);
+        let night = m.price_at(TimeSlot::new(12)); // 03:00
+        let evening = m.price_at(TimeSlot::new(76)); // 19:00
+        assert!(evening > 1.3 * night, "evening {evening} vs night {night}");
+        // Outside the horizon the mean is used.
+        let outside = m.price_at(TimeSlot::new(10_000));
+        assert!((outside - m.prices().mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trade_costs_are_signed() {
+        let m = SpotMarket::new(TimeSlot::EPOCH, 1, 40.0, 2.0);
+        let buy = m.trade_cost(TimeSlot::new(30), 1_000.0); // 1 MWh
+        let sell = m.trade_cost(TimeSlot::new(30), -1_000.0);
+        assert!(buy.cents() > 0);
+        assert_eq!(buy.cents(), -sell.cents());
+    }
+
+    #[test]
+    fn imbalance_fee_exceeds_spot_cost() {
+        let m = SpotMarket::new(TimeSlot::EPOCH, 1, 40.0, 4.0);
+        let slot = TimeSlot::new(40);
+        let trade = m.trade_cost(slot, 500.0);
+        let fee = m.imbalance_fee(slot, 500.0);
+        assert!(fee.cents() >= 4 * trade.cents() - 1, "{fee} vs {trade}");
+        // The fee never rewards deviation in either direction.
+        assert_eq!(m.imbalance_fee(slot, -500.0), fee);
+    }
+
+    #[test]
+    fn settle_sums_per_slot_fees() {
+        let m = SpotMarket::new(TimeSlot::EPOCH, 1, 40.0, 2.0);
+        let dev = TimeSeries::new(TimeSlot::new(0), vec![1.0, -2.0, 0.0]);
+        let total = m.settle(&dev);
+        let by_hand: Money = (0..3)
+            .map(|i| m.imbalance_fee(TimeSlot::new(i), dev.values()[i as usize]))
+            .sum();
+        assert_eq!(total, by_hand);
+        assert!(total.cents() > 0);
+    }
+
+    #[test]
+    fn multiplier_clamped_to_at_least_one() {
+        let m = SpotMarket::new(TimeSlot::EPOCH, 1, 40.0, 0.1);
+        let slot = TimeSlot::new(10);
+        assert!(m.imbalance_fee(slot, 100.0).cents() >= m.trade_cost(slot, 100.0).cents());
+    }
+}

@@ -1,0 +1,91 @@
+//! Flex-offer scheduling against a residual target curve.
+//!
+//! Section 2 of the paper describes the planning activity of the MIRABEL
+//! enterprise: "it produces a plan in which supply is equal to (balances)
+//! demand", exploiting the flexibilities of collected flex-offers, and
+//! Figure 1 shows the intended effect — flexible demand is *shifted under*
+//! the RES production curve. This crate implements that planning step
+//! (in the spirit of reference \[27\], Tušar et al., *Using Aggregation to
+//! Improve the Scheduling of Flexible Energy Offers*, BIOMA 2012):
+//!
+//! * the **objective** ([`Imbalance`], [`load_curve`]): the residual curve
+//!   is the flexible-consumption target (e.g. RES surplus after
+//!   non-flexible demand); schedulers choose start times and per-slice
+//!   energies so the scheduled load tracks it, minimising the quadratic
+//!   imbalance;
+//! * four **schedulers** implementing the common [`Scheduler`] trait:
+//!   [`EarliestStartScheduler`] (flexibility-ignoring baseline),
+//!   [`RandomScheduler`] (seeded random baseline), [`GreedyScheduler`]
+//!   (best-start greedy with residual tracking), and
+//!   [`HillClimbScheduler`] (stochastic local search on top of greedy).
+//!
+//! All schedulers only ever produce **feasible** assignments: start times
+//! within the flexibility window and energies within slice bounds, which
+//! the [`FlexOffer::assign`](mirabel_flexoffer::FlexOffer::assign) state
+//! machine re-validates.
+//!
+//! # Example
+//!
+//! ```
+//! use mirabel_flexoffer::{Energy, FlexOffer};
+//! use mirabel_scheduling::{GreedyScheduler, Scheduler};
+//! use mirabel_timeseries::{SlotSpan, TimeSlot, TimeSeries};
+//!
+//! let t = TimeSlot::EPOCH;
+//! let mut offers: Vec<FlexOffer> = (0..10)
+//!     .map(|i| {
+//!         let mut fo = FlexOffer::builder(i + 1, i + 1)
+//!             .earliest_start(t)
+//!             .latest_start(t + SlotSpan::hours(4))
+//!             .slices(4, Energy::from_wh(0), Energy::from_wh(2_000))
+//!             .build()
+//!             .unwrap();
+//!         fo.accept().unwrap();
+//!         fo
+//!     })
+//!     .collect();
+//! // A surplus of 5 kWh per slot arrives in hours 2..4.
+//! let target = TimeSeries::from_fn(t, 32, |i| if (8..16).contains(&i) { 5.0 } else { 0.0 });
+//! let report = GreedyScheduler::default().schedule(&mut offers, &target).unwrap();
+//! assert!(report.after.l2_sq < report.before.l2_sq);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod greedy;
+mod hillclimb;
+mod objective;
+mod random;
+mod simple;
+
+pub use greedy::GreedyScheduler;
+pub use hillclimb::HillClimbScheduler;
+pub use objective::{load_curve, best_fill, Imbalance, SchedulingError, SchedulingReport};
+pub use random::RandomScheduler;
+pub use simple::EarliestStartScheduler;
+
+use mirabel_flexoffer::FlexOffer;
+use mirabel_timeseries::TimeSeries;
+
+/// A planning algorithm that assigns schedules to accepted flex-offers so
+/// the resulting load tracks `target`.
+///
+/// Implementations must:
+/// * assign only **feasible** schedules (the offer state machine enforces
+///   this — an infeasible assignment is a bug and surfaces as an error);
+/// * skip offers that are not in the `Accepted` or `Assigned` state;
+/// * be deterministic for a fixed configuration (stochastic schedulers
+///   take explicit seeds).
+pub trait Scheduler {
+    /// Human-readable name used in reports and benchmark output.
+    fn name(&self) -> &'static str;
+
+    /// Assigns schedules in place and reports the imbalance before and
+    /// after.
+    fn schedule(
+        &self,
+        offers: &mut [FlexOffer],
+        target: &TimeSeries,
+    ) -> Result<SchedulingReport, SchedulingError>;
+}

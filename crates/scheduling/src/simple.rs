@@ -1,0 +1,112 @@
+//! The flexibility-ignoring baseline scheduler.
+
+use mirabel_flexoffer::{FlexOffer, Schedule};
+use mirabel_timeseries::TimeSeries;
+
+use crate::objective::{report, schedulable, SchedulingError, SchedulingReport};
+use crate::Scheduler;
+
+/// Schedules every offer at its **earliest start** with its **minimum
+/// energies** — what happens without MIRABEL: appliances run as soon as
+/// allowed and no flexibility is used. This is the "before" curve of
+/// Figure 1 and the baseline every other scheduler is compared against.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EarliestStartScheduler;
+
+impl Scheduler for EarliestStartScheduler {
+    fn name(&self) -> &'static str {
+        "earliest-start"
+    }
+
+    fn schedule(
+        &self,
+        offers: &mut [FlexOffer],
+        target: &TimeSeries,
+    ) -> Result<SchedulingReport, SchedulingError> {
+        if target.is_empty() {
+            return Err(SchedulingError::EmptyTarget);
+        }
+        let mut assigned = 0;
+        let mut skipped = 0;
+        for fo in offers.iter_mut() {
+            if !schedulable(fo) {
+                skipped += 1;
+                continue;
+            }
+            let energies = fo.profile().slices().iter().map(|s| s.min).collect();
+            let schedule = Schedule::new(fo.earliest_start(), energies);
+            fo.assign(schedule)?;
+            assigned += 1;
+        }
+        Ok(report(self.name(), offers, target, assigned, skipped))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirabel_flexoffer::{Energy, FlexOfferStatus};
+    use mirabel_timeseries::TimeSlot;
+
+    fn accepted(id: u64, est: i64, tf: i64) -> FlexOffer {
+        let mut fo = FlexOffer::builder(id, id)
+            .earliest_start(TimeSlot::new(est))
+            .latest_start(TimeSlot::new(est + tf))
+            .slices(2, Energy::from_wh(100), Energy::from_wh(500))
+            .build()
+            .unwrap();
+        fo.accept().unwrap();
+        fo
+    }
+
+    #[test]
+    fn assigns_earliest_minimum() {
+        let mut offers = vec![accepted(1, 4, 8)];
+        let target = TimeSeries::zeros(TimeSlot::new(0), 16);
+        let r = EarliestStartScheduler.schedule(&mut offers, &target).unwrap();
+        assert_eq!(r.assigned, 1);
+        assert_eq!(r.skipped, 0);
+        let s = offers[0].schedule().unwrap();
+        assert_eq!(s.start(), TimeSlot::new(4));
+        assert!(s.energies().iter().all(|&e| e == Energy::from_wh(100)));
+        assert_eq!(offers[0].status(), FlexOfferStatus::Assigned);
+    }
+
+    #[test]
+    fn skips_unaccepted_offers() {
+        let mut offered = FlexOffer::builder(1u64, 1u64)
+            .earliest_start(TimeSlot::new(0))
+            .slices(1, Energy::from_wh(1), Energy::from_wh(2))
+            .build()
+            .unwrap();
+        offered.reject().unwrap();
+        let mut offers = vec![offered, accepted(2, 0, 4)];
+        let target = TimeSeries::zeros(TimeSlot::new(0), 8);
+        let r = EarliestStartScheduler.schedule(&mut offers, &target).unwrap();
+        assert_eq!(r.assigned, 1);
+        assert_eq!(r.skipped, 1);
+        assert!(offers[0].schedule().is_none());
+    }
+
+    #[test]
+    fn empty_target_is_an_error() {
+        let mut offers = vec![accepted(1, 0, 0)];
+        let target = TimeSeries::zeros(TimeSlot::new(0), 0);
+        assert_eq!(
+            EarliestStartScheduler.schedule(&mut offers, &target).unwrap_err(),
+            SchedulingError::EmptyTarget
+        );
+    }
+
+    #[test]
+    fn report_reflects_load() {
+        // One offer, minimum 100 Wh per slot for 2 slots from slot 0;
+        // target is exactly that load, so the residual after is zero.
+        let mut offers = vec![accepted(1, 0, 0)];
+        let target = TimeSeries::new(TimeSlot::new(0), vec![0.1, 0.1, 0.0, 0.0]);
+        let r = EarliestStartScheduler.schedule(&mut offers, &target).unwrap();
+        assert!(r.after.l1 < 1e-9);
+        assert!(r.before.l1 > 0.0);
+        assert_eq!(r.scheduler, "earliest-start");
+    }
+}

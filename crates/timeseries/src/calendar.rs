@@ -1,0 +1,358 @@
+//! Hand-rolled proleptic-Gregorian civil calendar.
+//!
+//! The paper's OLAP time dimension (Section 3) needs calendar levels
+//! (year → month → day → hour → quarter-hour), so the reproduction carries
+//! its own calendar instead of pulling a date-time dependency. The
+//! day-number conversion uses the classic Howard Hinnant `days_from_civil`
+//! algorithm, shifted so that day 0 is the MIRABEL epoch 2012-01-01.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::TimeError;
+use crate::slot::{TimeSlot, SLOTS_PER_DAY, SLOTS_PER_HOUR, SLOT_MINUTES};
+
+/// Days between 1970-01-01 (Unix epoch used by the Hinnant algorithm) and
+/// the MIRABEL epoch 2012-01-01.
+const MIRABEL_EPOCH_UNIX_DAYS: i64 = 15_340;
+
+/// Day of the week. The MIRABEL epoch 2012-01-01 was a Sunday.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Weekday {
+    /// Monday.
+    Monday,
+    /// Tuesday.
+    Tuesday,
+    /// Wednesday.
+    Wednesday,
+    /// Thursday.
+    Thursday,
+    /// Friday.
+    Friday,
+    /// Saturday.
+    Saturday,
+    /// Sunday.
+    Sunday,
+}
+
+impl Weekday {
+    /// Short English name, e.g. `"Mon"`.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Weekday::Monday => "Mon",
+            Weekday::Tuesday => "Tue",
+            Weekday::Wednesday => "Wed",
+            Weekday::Thursday => "Thu",
+            Weekday::Friday => "Fri",
+            Weekday::Saturday => "Sat",
+            Weekday::Sunday => "Sun",
+        }
+    }
+
+    /// `true` for Saturday and Sunday.
+    pub fn is_weekend(self) -> bool {
+        matches!(self, Weekday::Saturday | Weekday::Sunday)
+    }
+
+    fn from_index(i: i64) -> Weekday {
+        match i {
+            0 => Weekday::Monday,
+            1 => Weekday::Tuesday,
+            2 => Weekday::Wednesday,
+            3 => Weekday::Thursday,
+            4 => Weekday::Friday,
+            5 => Weekday::Saturday,
+            _ => Weekday::Sunday,
+        }
+    }
+}
+
+impl fmt::Display for Weekday {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// A civil (calendar) date in the proleptic Gregorian calendar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CivilDate {
+    /// Calendar year, e.g. 2012.
+    pub year: i32,
+    /// Month in `1..=12`.
+    pub month: u8,
+    /// Day of month in `1..=31`.
+    pub day: u8,
+}
+
+impl CivilDate {
+    /// Creates a date, validating month and day ranges (leap years
+    /// included).
+    pub fn new(year: i32, month: u8, day: u8) -> Result<Self, TimeError> {
+        if !(1..=12).contains(&month) {
+            return Err(TimeError::InvalidDate { year, month, day });
+        }
+        if day == 0 || day > days_in_month(year, month) {
+            return Err(TimeError::InvalidDate { year, month, day });
+        }
+        Ok(CivilDate { year, month, day })
+    }
+
+    /// Number of days since the MIRABEL epoch 2012-01-01 (negative before).
+    pub fn days_from_epoch(self) -> i64 {
+        days_from_civil(self.year, self.month, self.day) - MIRABEL_EPOCH_UNIX_DAYS
+    }
+
+    /// Reconstructs a date from a day offset relative to the MIRABEL epoch.
+    pub fn from_days(days: i64) -> CivilDate {
+        let (year, month, day) = civil_from_days(days + MIRABEL_EPOCH_UNIX_DAYS);
+        CivilDate { year, month, day }
+    }
+
+    /// The weekday of this date.
+    pub fn weekday(self) -> Weekday {
+        // 1970-01-01 was a Thursday (index 3 counting Monday = 0).
+        let unix_days = self.days_from_epoch() + MIRABEL_EPOCH_UNIX_DAYS;
+        Weekday::from_index((unix_days + 3).rem_euclid(7))
+    }
+
+    /// Short English month name, e.g. `"Feb"`.
+    pub fn month_name(self) -> &'static str {
+        month_name(self.month)
+    }
+}
+
+impl fmt::Display for CivilDate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+impl FromStr for CivilDate {
+    type Err = TimeError;
+
+    /// Parses `"YYYY-MM-DD"`.
+    fn from_str(s: &str) -> Result<Self, TimeError> {
+        let mut it = s.split('-');
+        let (y, m, d) = match (it.next(), it.next(), it.next(), it.next()) {
+            (Some(y), Some(m), Some(d), None) => (y, m, d),
+            _ => return Err(TimeError::Parse(s.to_owned())),
+        };
+        let year: i32 = y.parse().map_err(|_| TimeError::Parse(s.to_owned()))?;
+        let month: u8 = m.parse().map_err(|_| TimeError::Parse(s.to_owned()))?;
+        let day: u8 = d.parse().map_err(|_| TimeError::Parse(s.to_owned()))?;
+        CivilDate::new(year, month, day)
+    }
+}
+
+/// A civil date-time with quarter-hour resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CivilDateTime {
+    /// The calendar date.
+    pub date: CivilDate,
+    /// Hour of day in `0..24`.
+    pub hour: u8,
+    /// Minute of hour in `0..60`; must be a multiple of the slot length
+    /// when converting to a [`TimeSlot`].
+    pub minute: u8,
+}
+
+impl CivilDateTime {
+    /// Creates a date-time, validating all components.
+    pub fn new(year: i32, month: u8, day: u8, hour: u8, minute: u8) -> Result<Self, TimeError> {
+        let date = CivilDate::new(year, month, day)?;
+        if hour >= 24 || minute >= 60 {
+            return Err(TimeError::InvalidTime { hour, minute });
+        }
+        Ok(CivilDateTime { date, hour, minute })
+    }
+
+    /// Converts to a [`TimeSlot`]. Fails when the minute is not aligned to
+    /// the 15-minute slot raster.
+    pub fn to_slot(self) -> Result<TimeSlot, TimeError> {
+        if i64::from(self.minute) % SLOT_MINUTES != 0 {
+            return Err(TimeError::Unaligned { minute: self.minute });
+        }
+        let day_slots = self.date.days_from_epoch() * SLOTS_PER_DAY;
+        let intra = i64::from(self.hour) * SLOTS_PER_HOUR + i64::from(self.minute) / SLOT_MINUTES;
+        Ok(TimeSlot::new(day_slots + intra))
+    }
+
+    /// The civil date-time at the start of `slot`.
+    pub fn from_slot(slot: TimeSlot) -> CivilDateTime {
+        let date = CivilDate::from_days(slot.days_from_epoch());
+        CivilDateTime {
+            date,
+            hour: slot.hour_of_day() as u8,
+            minute: slot.minute_of_hour() as u8,
+        }
+    }
+}
+
+impl fmt::Display for CivilDateTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {:02}:{:02}", self.date, self.hour, self.minute)
+    }
+}
+
+impl FromStr for CivilDateTime {
+    type Err = TimeError;
+
+    /// Parses `"YYYY-MM-DD HH:MM"` (also accepts a bare date, meaning
+    /// midnight).
+    fn from_str(s: &str) -> Result<Self, TimeError> {
+        match s.split_once(' ') {
+            None => {
+                let date: CivilDate = s.parse()?;
+                Ok(CivilDateTime { date, hour: 0, minute: 0 })
+            }
+            Some((d, t)) => {
+                let date: CivilDate = d.parse()?;
+                let (h, m) = t.split_once(':').ok_or_else(|| TimeError::Parse(s.to_owned()))?;
+                let hour: u8 = h.parse().map_err(|_| TimeError::Parse(s.to_owned()))?;
+                let minute: u8 = m.parse().map_err(|_| TimeError::Parse(s.to_owned()))?;
+                if hour >= 24 || minute >= 60 {
+                    return Err(TimeError::InvalidTime { hour, minute });
+                }
+                Ok(CivilDateTime { date, hour, minute })
+            }
+        }
+    }
+}
+
+/// `true` when `year` is a Gregorian leap year.
+pub(crate) fn is_leap(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+/// Number of days in `month` of `year`.
+pub(crate) fn days_in_month(year: i32, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+/// Short English month name for `month` in `1..=12`.
+pub(crate) fn month_name(month: u8) -> &'static str {
+    const NAMES: [&str; 12] = [
+        "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+    ];
+    NAMES[usize::from(month - 1).min(11)]
+}
+
+/// Days since 1970-01-01 for a civil date (Howard Hinnant's algorithm).
+fn days_from_civil(y: i32, m: u8, d: u8) -> i64 {
+    let y = i64::from(y) - i64::from(m <= 2);
+    let era = y.div_euclid(400);
+    let yoe = y - era * 400; // [0, 399]
+    let m = i64::from(m);
+    let d = i64::from(d);
+    let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe - 719_468
+}
+
+/// Civil date for days since 1970-01-01 (inverse of [`days_from_civil`]).
+fn civil_from_days(z: i64) -> (i32, u8, u8) {
+    let z = z + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
+    ((y + i64::from(m <= 2)) as i32, m as u8, d as u8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_2012_01_01() {
+        let d = CivilDate::new(2012, 1, 1).unwrap();
+        assert_eq!(d.days_from_epoch(), 0);
+        assert_eq!(CivilDate::from_days(0), d);
+        assert_eq!(d.weekday(), Weekday::Sunday);
+    }
+
+    #[test]
+    fn known_dates_round_trip() {
+        // The dashboard of Figure 6 covers 2012-02-01 12:00 to 13:15.
+        let dt = CivilDateTime::new(2012, 2, 1, 12, 0).unwrap();
+        let slot = dt.to_slot().unwrap();
+        assert_eq!(slot.index(), 31 * SLOTS_PER_DAY + 12 * SLOTS_PER_HOUR);
+        assert_eq!(CivilDateTime::from_slot(slot), dt);
+    }
+
+    #[test]
+    fn leap_year_2012_has_feb_29() {
+        assert!(is_leap(2012));
+        assert!(!is_leap(2013));
+        assert!(!is_leap(1900));
+        assert!(is_leap(2000));
+        assert!(CivilDate::new(2012, 2, 29).is_ok());
+        assert!(CivilDate::new(2013, 2, 29).is_err());
+    }
+
+    #[test]
+    fn invalid_components_rejected() {
+        assert!(CivilDate::new(2012, 0, 1).is_err());
+        assert!(CivilDate::new(2012, 13, 1).is_err());
+        assert!(CivilDate::new(2012, 4, 31).is_err());
+        assert!(CivilDateTime::new(2012, 1, 1, 24, 0).is_err());
+        assert!(CivilDateTime::new(2012, 1, 1, 0, 60).is_err());
+    }
+
+    #[test]
+    fn unaligned_minutes_rejected_for_slots() {
+        let dt = CivilDateTime::new(2012, 1, 1, 0, 7).unwrap();
+        assert!(matches!(dt.to_slot(), Err(TimeError::Unaligned { minute: 7 })));
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let dt: CivilDateTime = "2012-02-01 12:15".parse().unwrap();
+        assert_eq!(dt.to_string(), "2012-02-01 12:15");
+        let d: CivilDate = "2013-01-31".parse().unwrap();
+        assert_eq!(d.to_string(), "2013-01-31");
+        let midnight: CivilDateTime = "2012-03-05".parse().unwrap();
+        assert_eq!(midnight.hour, 0);
+        assert!("2012-99-01".parse::<CivilDate>().is_err());
+        assert!("nonsense".parse::<CivilDateTime>().is_err());
+        assert!("2012-01-01 25:00".parse::<CivilDateTime>().is_err());
+    }
+
+    #[test]
+    fn weekday_progression() {
+        // 2012-01-02 was a Monday.
+        assert_eq!(CivilDate::new(2012, 1, 2).unwrap().weekday(), Weekday::Monday);
+        assert_eq!(CivilDate::new(2012, 1, 7).unwrap().weekday(), Weekday::Saturday);
+        assert!(CivilDate::new(2012, 1, 7).unwrap().weekday().is_weekend());
+        assert!(!CivilDate::new(2012, 1, 4).unwrap().weekday().is_weekend());
+    }
+
+    #[test]
+    fn month_names() {
+        assert_eq!(CivilDate::new(2012, 2, 1).unwrap().month_name(), "Feb");
+        assert_eq!(CivilDate::new(2012, 12, 1).unwrap().month_name(), "Dec");
+    }
+
+    #[test]
+    fn civil_round_trip_across_year_boundaries() {
+        for days in [-400, -366, -1, 0, 1, 58, 59, 60, 365, 366, 730, 10_000] {
+            let date = CivilDate::from_days(days);
+            assert_eq!(date.days_from_epoch(), days, "date {date}");
+        }
+    }
+}

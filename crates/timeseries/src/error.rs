@@ -1,0 +1,76 @@
+//! Error type for the time substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by calendar and series operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TimeError {
+    /// A calendar date with out-of-range components.
+    InvalidDate {
+        /// Offending year.
+        year: i32,
+        /// Offending month.
+        month: u8,
+        /// Offending day.
+        day: u8,
+    },
+    /// A time of day with out-of-range components.
+    InvalidTime {
+        /// Offending hour.
+        hour: u8,
+        /// Offending minute.
+        minute: u8,
+    },
+    /// A minute value that does not fall on the 15-minute slot raster.
+    Unaligned {
+        /// Offending minute.
+        minute: u8,
+    },
+    /// A string that could not be parsed as a date or date-time.
+    Parse(String),
+    /// Two series with incompatible extents were combined.
+    Misaligned {
+        /// Description of the mismatch.
+        detail: String,
+    },
+}
+
+impl fmt::Display for TimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimeError::InvalidDate { year, month, day } => {
+                write!(f, "invalid civil date {year:04}-{month:02}-{day:02}")
+            }
+            TimeError::InvalidTime { hour, minute } => {
+                write!(f, "invalid time of day {hour:02}:{minute:02}")
+            }
+            TimeError::Unaligned { minute } => {
+                write!(f, "minute {minute} is not aligned to the 15-minute slot raster")
+            }
+            TimeError::Parse(s) => write!(f, "cannot parse '{s}' as a date or date-time"),
+            TimeError::Misaligned { detail } => write!(f, "misaligned series: {detail}"),
+        }
+    }
+}
+
+impl Error for TimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = TimeError::InvalidDate { year: 2012, month: 13, day: 1 };
+        assert!(e.to_string().contains("2012-13-01"));
+        let e = TimeError::Unaligned { minute: 7 };
+        assert!(e.to_string().contains('7'));
+        let e = TimeError::Parse("xyz".into());
+        assert!(e.to_string().contains("xyz"));
+        let e = TimeError::Misaligned { detail: "starts differ".into() };
+        assert!(e.to_string().contains("starts differ"));
+        let e = TimeError::InvalidTime { hour: 25, minute: 0 };
+        assert!(e.to_string().contains("25"));
+    }
+}

@@ -1,0 +1,224 @@
+//! Calendar granularities for the OLAP time hierarchy.
+
+use std::fmt;
+
+use crate::calendar::{days_in_month, month_name, CivilDate, CivilDateTime};
+use crate::slot::{SlotSpan, TimeSlot, SLOTS_PER_DAY, SLOTS_PER_HOUR};
+
+/// A calendar granularity, ordered from finest to coarsest.
+///
+/// These are exactly the levels of the paper's temporal dimension hierarchy
+/// ("to analyse data at different time granularities", Section 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Granularity {
+    /// One 15-minute slot (the finest granularity).
+    QuarterHour,
+    /// One hour (4 slots).
+    Hour,
+    /// One civil day.
+    Day,
+    /// One civil month.
+    Month,
+    /// One civil year.
+    Year,
+}
+
+impl Granularity {
+    /// All granularities, finest first.
+    pub const ALL: [Granularity; 5] = [
+        Granularity::QuarterHour,
+        Granularity::Hour,
+        Granularity::Day,
+        Granularity::Month,
+        Granularity::Year,
+    ];
+
+    /// The next coarser granularity, or `None` at [`Granularity::Year`].
+    pub fn coarser(self) -> Option<Granularity> {
+        match self {
+            Granularity::QuarterHour => Some(Granularity::Hour),
+            Granularity::Hour => Some(Granularity::Day),
+            Granularity::Day => Some(Granularity::Month),
+            Granularity::Month => Some(Granularity::Year),
+            Granularity::Year => None,
+        }
+    }
+
+    /// The next finer granularity, or `None` at [`Granularity::QuarterHour`].
+    pub fn finer(self) -> Option<Granularity> {
+        match self {
+            Granularity::QuarterHour => None,
+            Granularity::Hour => Some(Granularity::QuarterHour),
+            Granularity::Day => Some(Granularity::Hour),
+            Granularity::Month => Some(Granularity::Day),
+            Granularity::Year => Some(Granularity::Month),
+        }
+    }
+
+    /// Truncates `slot` down to the start of its bucket at this
+    /// granularity.
+    pub fn truncate(self, slot: TimeSlot) -> TimeSlot {
+        match self {
+            Granularity::QuarterHour => slot,
+            Granularity::Hour => {
+                TimeSlot::new(slot.index().div_euclid(SLOTS_PER_HOUR) * SLOTS_PER_HOUR)
+            }
+            Granularity::Day => {
+                TimeSlot::new(slot.index().div_euclid(SLOTS_PER_DAY) * SLOTS_PER_DAY)
+            }
+            Granularity::Month => {
+                let d = CivilDate::from_days(slot.days_from_epoch());
+                let first = CivilDate { year: d.year, month: d.month, day: 1 };
+                TimeSlot::new(first.days_from_epoch() * SLOTS_PER_DAY)
+            }
+            Granularity::Year => {
+                let d = CivilDate::from_days(slot.days_from_epoch());
+                let first = CivilDate { year: d.year, month: 1, day: 1 };
+                TimeSlot::new(first.days_from_epoch() * SLOTS_PER_DAY)
+            }
+        }
+    }
+
+    /// The first slot of the bucket *after* the one containing `slot`.
+    pub fn next_boundary(self, slot: TimeSlot) -> TimeSlot {
+        let start = self.truncate(slot);
+        match self {
+            Granularity::QuarterHour => start.next(),
+            Granularity::Hour => start + SlotSpan::slots(SLOTS_PER_HOUR),
+            Granularity::Day => start + SlotSpan::days(1),
+            Granularity::Month => {
+                let d = CivilDate::from_days(start.days_from_epoch());
+                start + SlotSpan::days(i64::from(days_in_month(d.year, d.month)))
+            }
+            Granularity::Year => {
+                let d = CivilDate::from_days(start.days_from_epoch());
+                let next = CivilDate { year: d.year + 1, month: 1, day: 1 };
+                TimeSlot::new(next.days_from_epoch() * SLOTS_PER_DAY)
+            }
+        }
+    }
+
+    /// Iterates the bucket start slots covering the half-open range
+    /// `[from, to)`. The first bucket may start before `from` (it is the
+    /// bucket containing `from`).
+    pub fn buckets(self, from: TimeSlot, to: TimeSlot) -> Vec<TimeSlot> {
+        let mut out = Vec::new();
+        if from >= to {
+            return out;
+        }
+        let mut cur = self.truncate(from);
+        while cur < to {
+            out.push(cur);
+            cur = self.next_boundary(cur);
+        }
+        out
+    }
+
+    /// A human-readable label for the bucket containing `slot`, as used on
+    /// the axes of the paper's views (e.g. `"12:15"` for a quarter-hour on
+    /// the dashboard of Figure 6, `"Feb-2013"` for a month).
+    pub fn label(self, slot: TimeSlot) -> String {
+        let dt = CivilDateTime::from_slot(self.truncate(slot));
+        match self {
+            Granularity::QuarterHour => format!("{:02}:{:02}", dt.hour, dt.minute),
+            Granularity::Hour => format!("{:02}:00", dt.hour),
+            Granularity::Day => dt.date.to_string(),
+            Granularity::Month => format!("{}-{}", month_name(dt.date.month), dt.date.year),
+            Granularity::Year => dt.date.year.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Granularity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Granularity::QuarterHour => "quarter-hour",
+            Granularity::Hour => "hour",
+            Granularity::Day => "day",
+            Granularity::Month => "month",
+            Granularity::Year => "year",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slot(s: &str) -> TimeSlot {
+        s.parse::<CivilDateTime>().unwrap().to_slot().unwrap()
+    }
+
+    #[test]
+    fn truncate_hour_and_day() {
+        let s = slot("2012-02-01 12:45");
+        assert_eq!(Granularity::QuarterHour.truncate(s), s);
+        assert_eq!(Granularity::Hour.truncate(s), slot("2012-02-01 12:00"));
+        assert_eq!(Granularity::Day.truncate(s), slot("2012-02-01 00:00"));
+    }
+
+    #[test]
+    fn truncate_month_and_year() {
+        let s = slot("2012-02-15 07:30");
+        assert_eq!(Granularity::Month.truncate(s), slot("2012-02-01 00:00"));
+        assert_eq!(Granularity::Year.truncate(s), slot("2012-01-01 00:00"));
+    }
+
+    #[test]
+    fn next_boundary_handles_leap_february() {
+        let s = slot("2012-02-10 00:00");
+        assert_eq!(Granularity::Month.next_boundary(s), slot("2012-03-01 00:00"));
+        let s13 = slot("2013-02-10 00:00");
+        assert_eq!(Granularity::Month.next_boundary(s13), slot("2013-03-01 00:00"));
+        assert_eq!(Granularity::Year.next_boundary(s), slot("2013-01-01 00:00"));
+    }
+
+    #[test]
+    fn buckets_cover_range() {
+        let from = slot("2012-02-01 12:00");
+        let to = slot("2012-02-01 13:15");
+        let buckets = Granularity::QuarterHour.buckets(from, to);
+        assert_eq!(buckets.len(), 5); // 12:00 12:15 12:30 12:45 13:00
+        assert_eq!(Granularity::QuarterHour.label(buckets[0]), "12:00");
+        assert_eq!(Granularity::QuarterHour.label(buckets[4]), "13:00");
+
+        let hours = Granularity::Hour.buckets(from, to);
+        assert_eq!(hours.len(), 2);
+        assert!(Granularity::Hour.buckets(to, from).is_empty());
+    }
+
+    #[test]
+    fn month_buckets_across_year_boundary() {
+        // Jan-2013..Feb-2013 query from Section 3 of the paper.
+        let from = slot("2012-12-15 00:00");
+        let to = slot("2013-02-02 00:00");
+        let months = Granularity::Month.buckets(from, to);
+        let labels: Vec<String> = months.iter().map(|&m| Granularity::Month.label(m)).collect();
+        assert_eq!(labels, vec!["Dec-2012", "Jan-2013", "Feb-2013"]);
+    }
+
+    #[test]
+    fn coarser_finer_chain() {
+        let mut g = Granularity::QuarterHour;
+        let mut seen = vec![g];
+        while let Some(c) = g.coarser() {
+            seen.push(c);
+            g = c;
+        }
+        assert_eq!(seen, Granularity::ALL.to_vec());
+        assert_eq!(Granularity::Year.finer(), Some(Granularity::Month));
+        assert_eq!(Granularity::QuarterHour.finer(), None);
+    }
+
+    #[test]
+    fn labels() {
+        let s = slot("2012-02-01 09:45");
+        assert_eq!(Granularity::QuarterHour.label(s), "09:45");
+        assert_eq!(Granularity::Hour.label(s), "09:00");
+        assert_eq!(Granularity::Day.label(s), "2012-02-01");
+        assert_eq!(Granularity::Month.label(s), "Feb-2012");
+        assert_eq!(Granularity::Year.label(s), "2012");
+        assert_eq!(Granularity::Day.to_string(), "day");
+    }
+}

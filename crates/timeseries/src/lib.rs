@@ -1,0 +1,48 @@
+//! Time substrate for the MIRABEL flex-offer reproduction.
+//!
+//! The MIRABEL system operates on a discrete time axis of **15-minute
+//! slots** (the balancing-market settlement granularity used throughout the
+//! paper's figures, e.g. the 12:00–13:15 dashboard of Figure 6). This crate
+//! provides:
+//!
+//! * [`TimeSlot`] / [`SlotSpan`] — absolute positions and distances on the
+//!   discrete time axis, counted from the MIRABEL epoch
+//!   (2012-01-01 00:00, the project era used in the paper's screenshots);
+//! * [`CivilDateTime`] — a hand-rolled proleptic-Gregorian civil calendar
+//!   (no external date crate), used to build the OLAP *time dimension
+//!   hierarchy* (quarter-hour → hour → day → month → year) required by
+//!   Section 3 of the paper;
+//! * [`Granularity`] — calendar granularities with truncation, bucket
+//!   iteration and human-readable labels;
+//! * [`TimeSeries`] — regular, gap-free series of `f64` samples (energy in
+//!   kWh, prices in EUR/MWh, …) with alignment, arithmetic, resampling and
+//!   summary statistics: the substrate for forecasting, scheduling and the
+//!   enterprise simulation.
+//!
+//! # Example
+//!
+//! ```
+//! use mirabel_timeseries::{CivilDateTime, Granularity, Resample, TimeSlot, TimeSeries};
+//!
+//! let noon = CivilDateTime::new(2012, 2, 1, 12, 0).unwrap().to_slot().unwrap();
+//! let series = TimeSeries::from_fn(noon, 8, |i| i as f64); // 12:00..14:00
+//! assert_eq!(series.sum(), 28.0);
+//! let hourly = series.resample(Granularity::Hour, Resample::Sum);
+//! assert_eq!(hourly.values(), &[6.0, 22.0]);
+//! assert_eq!(TimeSlot::EPOCH.civil().to_string(), "2012-01-01 00:00");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod calendar;
+mod error;
+mod granularity;
+mod series;
+mod slot;
+
+pub use calendar::{CivilDate, CivilDateTime, Weekday};
+pub use error::TimeError;
+pub use granularity::Granularity;
+pub use series::{Resample, TimeSeries};
+pub use slot::{SlotSpan, TimeSlot, SLOTS_PER_DAY, SLOTS_PER_HOUR, SLOT_MINUTES};

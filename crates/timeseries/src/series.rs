@@ -1,0 +1,406 @@
+//! Regular, gap-free time series.
+
+use std::fmt;
+use std::ops::{Add, Neg, Sub};
+
+use crate::error::TimeError;
+use crate::granularity::Granularity;
+use crate::slot::{SlotSpan, TimeSlot};
+
+/// How to combine the samples of one bucket when resampling to a coarser
+/// granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resample {
+    /// Sum the samples (extensive quantities: energy).
+    Sum,
+    /// Average the samples (intensive quantities: power, price).
+    Mean,
+    /// Keep the maximum sample.
+    Max,
+    /// Keep the minimum sample.
+    Min,
+}
+
+/// A regular time series: one `f64` sample per [`TimeSlot`], starting at
+/// `start`, with no gaps.
+///
+/// This is the working representation for demand/supply curves, spot
+/// prices and plan/realization comparisons in the enterprise simulation
+/// (Section 2 of the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    start: TimeSlot,
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates a series starting at `start` with the given samples.
+    pub fn new(start: TimeSlot, values: Vec<f64>) -> Self {
+        TimeSeries { start, values }
+    }
+
+    /// Creates a zero-filled series of `len` slots.
+    pub fn zeros(start: TimeSlot, len: usize) -> Self {
+        TimeSeries { start, values: vec![0.0; len] }
+    }
+
+    /// Creates a constant series of `len` slots.
+    pub fn constant(start: TimeSlot, len: usize, value: f64) -> Self {
+        TimeSeries { start, values: vec![value; len] }
+    }
+
+    /// Creates a series where sample `i` is `f(i)`.
+    pub fn from_fn(start: TimeSlot, len: usize, f: impl Fn(usize) -> f64) -> Self {
+        TimeSeries { start, values: (0..len).map(f).collect() }
+    }
+
+    /// First slot of the series.
+    #[inline]
+    pub fn start(&self) -> TimeSlot {
+        self.start
+    }
+
+    /// One past the last slot of the series.
+    #[inline]
+    pub fn end(&self) -> TimeSlot {
+        self.start + SlotSpan::slots(self.values.len() as i64)
+    }
+
+    /// Number of samples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when the series holds no samples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The raw samples.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access to the raw samples.
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// The sample at `slot`, or `None` outside the series extent.
+    pub fn get(&self, slot: TimeSlot) -> Option<f64> {
+        let off = (slot - self.start).count();
+        if off < 0 {
+            return None;
+        }
+        self.values.get(off as usize).copied()
+    }
+
+    /// The sample at `slot`, or `0.0` outside the extent.
+    #[inline]
+    pub fn get_or_zero(&self, slot: TimeSlot) -> f64 {
+        self.get(slot).unwrap_or(0.0)
+    }
+
+    /// Sets the sample at `slot`; ignores slots outside the extent.
+    pub fn set(&mut self, slot: TimeSlot, value: f64) {
+        let off = (slot - self.start).count();
+        if off >= 0 {
+            if let Some(v) = self.values.get_mut(off as usize) {
+                *v = value;
+            }
+        }
+    }
+
+    /// Adds `delta` to the sample at `slot`; ignores slots outside the
+    /// extent.
+    pub fn add_at(&mut self, slot: TimeSlot, delta: f64) {
+        let off = (slot - self.start).count();
+        if off >= 0 {
+            if let Some(v) = self.values.get_mut(off as usize) {
+                *v += delta;
+            }
+        }
+    }
+
+    /// Iterates `(slot, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TimeSlot, f64)> + '_ {
+        self.values
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| (self.start + SlotSpan::slots(i as i64), v))
+    }
+
+    /// Extracts the sub-series covering `[from, to)` clipped to the extent.
+    pub fn window(&self, from: TimeSlot, to: TimeSlot) -> TimeSeries {
+        let lo = (from.max(self.start) - self.start).count().max(0) as usize;
+        let hi = ((to.min(self.end()) - self.start).count().max(0) as usize).min(self.values.len());
+        if lo >= hi {
+            return TimeSeries::new(from.max(self.start), Vec::new());
+        }
+        TimeSeries::new(self.start + SlotSpan::slots(lo as i64), self.values[lo..hi].to_vec())
+    }
+
+    /// Element-wise combination of two series over the *union* of their
+    /// extents, treating missing samples as zero.
+    pub fn combine(&self, other: &TimeSeries, f: impl Fn(f64, f64) -> f64) -> TimeSeries {
+        if self.is_empty() {
+            return TimeSeries::from_fn(other.start, other.len(), |i| f(0.0, other.values[i]));
+        }
+        if other.is_empty() {
+            return TimeSeries::from_fn(self.start, self.len(), |i| f(self.values[i], 0.0));
+        }
+        let start = self.start.min(other.start);
+        let end = self.end().max(other.end());
+        let len = (end - start).count() as usize;
+        let mut values = Vec::with_capacity(len);
+        for i in 0..len {
+            let slot = start + SlotSpan::slots(i as i64);
+            values.push(f(self.get_or_zero(slot), other.get_or_zero(slot)));
+        }
+        TimeSeries { start, values }
+    }
+
+    /// Multiplies every sample by `k`.
+    pub fn scale(&self, k: f64) -> TimeSeries {
+        TimeSeries {
+            start: self.start,
+            values: self.values.iter().map(|v| v * k).collect(),
+        }
+    }
+
+    /// Clamps every sample below at zero (useful for residual curves).
+    pub fn clamp_non_negative(&self) -> TimeSeries {
+        TimeSeries {
+            start: self.start,
+            values: self.values.iter().map(|v| v.max(0.0)).collect(),
+        }
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Mean of all samples (`0.0` for an empty series).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.values.len() as f64
+        }
+    }
+
+    /// Minimum sample, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::min)
+    }
+
+    /// Maximum sample, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::max)
+    }
+
+    /// Sum of absolute sample values — the L1 imbalance of a deviation
+    /// series.
+    pub fn l1_norm(&self) -> f64 {
+        self.values.iter().map(|v| v.abs()).sum()
+    }
+
+    /// Sum of squared sample values — the quadratic imbalance objective
+    /// used by the schedulers.
+    pub fn l2_sq(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum()
+    }
+
+    /// Resamples to a coarser granularity. Bucket boundaries come from the
+    /// calendar; partially covered buckets aggregate only the covered
+    /// samples.
+    pub fn resample(&self, granularity: Granularity, how: Resample) -> TimeSeries {
+        if self.is_empty() {
+            return self.clone();
+        }
+        let buckets = granularity.buckets(self.start, self.end());
+        let mut out = Vec::with_capacity(buckets.len());
+        for &b in &buckets {
+            let next = granularity.next_boundary(b);
+            let win = self.window(b, next);
+            let v = match how {
+                Resample::Sum => win.sum(),
+                Resample::Mean => win.mean(),
+                Resample::Max => win.max().unwrap_or(0.0),
+                Resample::Min => win.min().unwrap_or(0.0),
+            };
+            out.push(v);
+        }
+        // The resampled series is indexed by bucket, starting at the first
+        // bucket's start slot; its "slots" are buckets, so the caller keeps
+        // track of the granularity. We return it anchored at the first
+        // bucket start for labelling purposes.
+        TimeSeries { start: buckets[0], values: out }
+    }
+
+    /// Checks that `other` covers exactly the same extent.
+    pub fn check_aligned(&self, other: &TimeSeries) -> Result<(), TimeError> {
+        if self.start != other.start || self.len() != other.len() {
+            return Err(TimeError::Misaligned {
+                detail: format!(
+                    "extents [{}, {}) vs [{}, {})",
+                    self.start.index(),
+                    self.end().index(),
+                    other.start.index(),
+                    other.end().index()
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Add for &TimeSeries {
+    type Output = TimeSeries;
+    fn add(self, rhs: &TimeSeries) -> TimeSeries {
+        self.combine(rhs, |a, b| a + b)
+    }
+}
+
+impl Sub for &TimeSeries {
+    type Output = TimeSeries;
+    fn sub(self, rhs: &TimeSeries) -> TimeSeries {
+        self.combine(rhs, |a, b| a - b)
+    }
+}
+
+impl Neg for &TimeSeries {
+    type Output = TimeSeries;
+    fn neg(self) -> TimeSeries {
+        self.scale(-1.0)
+    }
+}
+
+impl fmt::Display for TimeSeries {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TimeSeries[{} .. {}; n={}]", self.start, self.end(), self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(start: i64, vals: &[f64]) -> TimeSeries {
+        TimeSeries::new(TimeSlot::new(start), vals.to_vec())
+    }
+
+    #[test]
+    fn construction_and_extent() {
+        let s = TimeSeries::zeros(TimeSlot::new(4), 3);
+        assert_eq!(s.start(), TimeSlot::new(4));
+        assert_eq!(s.end(), TimeSlot::new(7));
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert!(TimeSeries::zeros(TimeSlot::EPOCH, 0).is_empty());
+    }
+
+    #[test]
+    fn get_set_add() {
+        let mut s = ts(10, &[1.0, 2.0, 3.0]);
+        assert_eq!(s.get(TimeSlot::new(11)), Some(2.0));
+        assert_eq!(s.get(TimeSlot::new(9)), None);
+        assert_eq!(s.get(TimeSlot::new(13)), None);
+        assert_eq!(s.get_or_zero(TimeSlot::new(999)), 0.0);
+        s.set(TimeSlot::new(12), 9.0);
+        s.add_at(TimeSlot::new(10), 0.5);
+        s.set(TimeSlot::new(0), 100.0); // ignored
+        s.add_at(TimeSlot::new(100), 1.0); // ignored
+        assert_eq!(s.values(), &[1.5, 2.0, 9.0]);
+    }
+
+    #[test]
+    fn window_clips() {
+        let s = ts(10, &[1.0, 2.0, 3.0, 4.0]);
+        let w = s.window(TimeSlot::new(11), TimeSlot::new(13));
+        assert_eq!(w.start(), TimeSlot::new(11));
+        assert_eq!(w.values(), &[2.0, 3.0]);
+        let all = s.window(TimeSlot::new(0), TimeSlot::new(100));
+        assert_eq!(all.values(), s.values());
+        assert!(s.window(TimeSlot::new(13), TimeSlot::new(11)).is_empty());
+    }
+
+    #[test]
+    fn combine_unions_extents_with_zero_fill() {
+        let a = ts(10, &[1.0, 1.0]);
+        let b = ts(11, &[2.0, 2.0]);
+        let sum = &a + &b;
+        assert_eq!(sum.start(), TimeSlot::new(10));
+        assert_eq!(sum.values(), &[1.0, 3.0, 2.0]);
+        let diff = &a - &b;
+        assert_eq!(diff.values(), &[1.0, -1.0, -2.0]);
+    }
+
+    #[test]
+    fn combine_with_empty_side() {
+        let a = ts(10, &[1.0, 2.0]);
+        let empty = TimeSeries::zeros(TimeSlot::EPOCH, 0);
+        assert_eq!((&a + &empty).values(), a.values());
+        assert_eq!((&empty + &a).values(), a.values());
+    }
+
+    #[test]
+    fn statistics() {
+        let s = ts(0, &[-1.0, 2.0, -3.0]);
+        assert_eq!(s.sum(), -2.0);
+        assert_eq!(s.mean(), -2.0 / 3.0);
+        assert_eq!(s.min(), Some(-3.0));
+        assert_eq!(s.max(), Some(2.0));
+        assert_eq!(s.l1_norm(), 6.0);
+        assert_eq!(s.l2_sq(), 14.0);
+        assert_eq!((&s).neg().values(), &[1.0, -2.0, 3.0]);
+        assert_eq!(s.clamp_non_negative().values(), &[0.0, 2.0, 0.0]);
+        assert_eq!(s.scale(2.0).values(), &[-2.0, 4.0, -6.0]);
+        let empty = TimeSeries::zeros(TimeSlot::EPOCH, 0);
+        assert_eq!(empty.mean(), 0.0);
+        assert_eq!(empty.min(), None);
+    }
+
+    #[test]
+    fn resample_sum_and_mean() {
+        // 8 quarter-hours starting exactly on an hour boundary.
+        let s = TimeSeries::from_fn(TimeSlot::new(0), 8, |i| i as f64);
+        let sum = s.resample(Granularity::Hour, Resample::Sum);
+        assert_eq!(sum.values(), &[6.0, 22.0]);
+        let mean = s.resample(Granularity::Hour, Resample::Mean);
+        assert_eq!(mean.values(), &[1.5, 5.5]);
+        let max = s.resample(Granularity::Hour, Resample::Max);
+        assert_eq!(max.values(), &[3.0, 7.0]);
+        let min = s.resample(Granularity::Hour, Resample::Min);
+        assert_eq!(min.values(), &[0.0, 4.0]);
+    }
+
+    #[test]
+    fn resample_partial_first_bucket() {
+        // Start at 00:30: the first hour bucket covers only 2 samples.
+        let s = TimeSeries::from_fn(TimeSlot::new(2), 4, |_| 1.0);
+        let sum = s.resample(Granularity::Hour, Resample::Sum);
+        assert_eq!(sum.values(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn alignment_check() {
+        let a = ts(0, &[1.0]);
+        let b = ts(1, &[1.0]);
+        assert!(a.check_aligned(&a.clone()).is_ok());
+        assert!(a.check_aligned(&b).is_err());
+    }
+
+    #[test]
+    fn constant_and_iter() {
+        let s = TimeSeries::constant(TimeSlot::new(5), 3, 7.0);
+        let collected: Vec<(i64, f64)> = s.iter().map(|(t, v)| (t.index(), v)).collect();
+        assert_eq!(collected, vec![(5, 7.0), (6, 7.0), (7, 7.0)]);
+        assert!(s.to_string().contains("n=3"));
+    }
+}

@@ -1,0 +1,305 @@
+//! Discrete 15-minute time slots and spans.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+use crate::calendar::CivilDateTime;
+
+/// Length of one time slot in minutes (the MIRABEL settlement granularity).
+pub const SLOT_MINUTES: i64 = 15;
+/// Number of slots per hour.
+pub const SLOTS_PER_HOUR: i64 = 60 / SLOT_MINUTES;
+/// Number of slots per day.
+pub const SLOTS_PER_DAY: i64 = 24 * SLOTS_PER_HOUR;
+
+/// An absolute position on the discrete MIRABEL time axis.
+///
+/// Slot `0` is the epoch **2012-01-01 00:00**; slot `n` starts `n * 15`
+/// minutes after the epoch. Negative slots address times before the epoch,
+/// which keeps arithmetic total (useful for creation timestamps of
+/// flex-offers issued before the analysed window).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TimeSlot(i64);
+
+impl TimeSlot {
+    /// The MIRABEL epoch, 2012-01-01 00:00.
+    pub const EPOCH: TimeSlot = TimeSlot(0);
+
+    /// Creates a slot from its raw index relative to the epoch.
+    #[inline]
+    pub const fn new(index: i64) -> Self {
+        TimeSlot(index)
+    }
+
+    /// Raw slot index relative to the epoch.
+    #[inline]
+    pub const fn index(self) -> i64 {
+        self.0
+    }
+
+    /// Minutes since the epoch at the *start* of this slot.
+    #[inline]
+    pub const fn minutes_from_epoch(self) -> i64 {
+        self.0 * SLOT_MINUTES
+    }
+
+    /// The civil (calendar) date-time at the start of this slot.
+    pub fn civil(self) -> CivilDateTime {
+        CivilDateTime::from_slot(self)
+    }
+
+    /// The slot immediately after this one.
+    #[inline]
+    pub const fn next(self) -> TimeSlot {
+        TimeSlot(self.0 + 1)
+    }
+
+    /// The slot immediately before this one.
+    #[inline]
+    pub const fn prev(self) -> TimeSlot {
+        TimeSlot(self.0 - 1)
+    }
+
+    /// Offset of this slot within its day, in `0..SLOTS_PER_DAY`.
+    #[inline]
+    pub const fn slot_of_day(self) -> i64 {
+        self.0.rem_euclid(SLOTS_PER_DAY)
+    }
+
+    /// Hour of day in `0..24` at the start of this slot.
+    #[inline]
+    pub const fn hour_of_day(self) -> i64 {
+        self.slot_of_day() / SLOTS_PER_HOUR
+    }
+
+    /// Minute of hour (0, 15, 30 or 45) at the start of this slot.
+    #[inline]
+    pub const fn minute_of_hour(self) -> i64 {
+        (self.slot_of_day() % SLOTS_PER_HOUR) * SLOT_MINUTES
+    }
+
+    /// Number of whole days since the epoch (floor division; negative
+    /// before the epoch).
+    #[inline]
+    pub const fn days_from_epoch(self) -> i64 {
+        self.0.div_euclid(SLOTS_PER_DAY)
+    }
+
+    /// Iterates the half-open slot range `[self, end)`.
+    pub fn range_to(self, end: TimeSlot) -> impl Iterator<Item = TimeSlot> {
+        (self.0..end.0).map(TimeSlot)
+    }
+
+    /// Clamps this slot into the half-open interval `[lo, hi)`.
+    ///
+    /// `hi` must be strictly greater than `lo`.
+    pub fn clamp_to(self, lo: TimeSlot, hi: TimeSlot) -> TimeSlot {
+        debug_assert!(lo < hi, "empty clamp interval");
+        TimeSlot(self.0.clamp(lo.0, hi.0 - 1))
+    }
+}
+
+impl fmt::Display for TimeSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.civil())
+    }
+}
+
+/// A signed distance between two [`TimeSlot`]s, in slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SlotSpan(i64);
+
+impl SlotSpan {
+    /// A zero-length span.
+    pub const ZERO: SlotSpan = SlotSpan(0);
+
+    /// Creates a span of `slots` slots.
+    #[inline]
+    pub const fn slots(slots: i64) -> Self {
+        SlotSpan(slots)
+    }
+
+    /// Creates a span of `hours` hours.
+    #[inline]
+    pub const fn hours(hours: i64) -> Self {
+        SlotSpan(hours * SLOTS_PER_HOUR)
+    }
+
+    /// Creates a span of `days` days.
+    #[inline]
+    pub const fn days(days: i64) -> Self {
+        SlotSpan(days * SLOTS_PER_DAY)
+    }
+
+    /// The number of slots in this span.
+    #[inline]
+    pub const fn count(self) -> i64 {
+        self.0
+    }
+
+    /// Span length in minutes.
+    #[inline]
+    pub const fn minutes(self) -> i64 {
+        self.0 * SLOT_MINUTES
+    }
+
+    /// Span length in (possibly fractional) hours.
+    #[inline]
+    pub fn as_hours(self) -> f64 {
+        self.minutes() as f64 / 60.0
+    }
+
+    /// `true` when the span is negative.
+    #[inline]
+    pub const fn is_negative(self) -> bool {
+        self.0 < 0
+    }
+
+    /// Absolute value of the span.
+    #[inline]
+    pub const fn abs(self) -> SlotSpan {
+        SlotSpan(self.0.abs())
+    }
+}
+
+impl fmt::Display for SlotSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let m = self.minutes();
+        if m % 60 == 0 {
+            write!(f, "{}h", m / 60)
+        } else {
+            write!(f, "{}m", m)
+        }
+    }
+}
+
+impl Add<SlotSpan> for TimeSlot {
+    type Output = TimeSlot;
+    #[inline]
+    fn add(self, rhs: SlotSpan) -> TimeSlot {
+        TimeSlot(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SlotSpan> for TimeSlot {
+    #[inline]
+    fn add_assign(&mut self, rhs: SlotSpan) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SlotSpan> for TimeSlot {
+    type Output = TimeSlot;
+    #[inline]
+    fn sub(self, rhs: SlotSpan) -> TimeSlot {
+        TimeSlot(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign<SlotSpan> for TimeSlot {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SlotSpan) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sub<TimeSlot> for TimeSlot {
+    type Output = SlotSpan;
+    #[inline]
+    fn sub(self, rhs: TimeSlot) -> SlotSpan {
+        SlotSpan(self.0 - rhs.0)
+    }
+}
+
+impl Add for SlotSpan {
+    type Output = SlotSpan;
+    #[inline]
+    fn add(self, rhs: SlotSpan) -> SlotSpan {
+        SlotSpan(self.0 + rhs.0)
+    }
+}
+
+impl Sub for SlotSpan {
+    type Output = SlotSpan;
+    #[inline]
+    fn sub(self, rhs: SlotSpan) -> SlotSpan {
+        SlotSpan(self.0 - rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_slot_zero() {
+        assert_eq!(TimeSlot::EPOCH.index(), 0);
+        assert_eq!(TimeSlot::EPOCH.minutes_from_epoch(), 0);
+    }
+
+    #[test]
+    fn slot_arithmetic_round_trips() {
+        let s = TimeSlot::new(1234);
+        let later = s + SlotSpan::hours(3);
+        assert_eq!(later - s, SlotSpan::slots(12));
+        assert_eq!(later - SlotSpan::hours(3), s);
+    }
+
+    #[test]
+    fn slot_of_day_handles_negative_slots() {
+        // One slot before the epoch is 23:45 of the previous day.
+        let s = TimeSlot::new(-1);
+        assert_eq!(s.slot_of_day(), SLOTS_PER_DAY - 1);
+        assert_eq!(s.hour_of_day(), 23);
+        assert_eq!(s.minute_of_hour(), 45);
+        assert_eq!(s.days_from_epoch(), -1);
+    }
+
+    #[test]
+    fn hour_and_minute_of_day() {
+        let s = TimeSlot::new(SLOTS_PER_DAY + 5); // day 1, 01:15
+        assert_eq!(s.hour_of_day(), 1);
+        assert_eq!(s.minute_of_hour(), 15);
+        assert_eq!(s.days_from_epoch(), 1);
+    }
+
+    #[test]
+    fn range_iteration() {
+        let from = TimeSlot::new(10);
+        let to = TimeSlot::new(14);
+        let slots: Vec<i64> = from.range_to(to).map(TimeSlot::index).collect();
+        assert_eq!(slots, vec![10, 11, 12, 13]);
+        assert_eq!(from.range_to(from).count(), 0);
+    }
+
+    #[test]
+    fn clamp_to_interval() {
+        let lo = TimeSlot::new(10);
+        let hi = TimeSlot::new(20);
+        assert_eq!(TimeSlot::new(5).clamp_to(lo, hi), lo);
+        assert_eq!(TimeSlot::new(25).clamp_to(lo, hi), TimeSlot::new(19));
+        assert_eq!(TimeSlot::new(15).clamp_to(lo, hi), TimeSlot::new(15));
+    }
+
+    #[test]
+    fn span_constructors_agree() {
+        assert_eq!(SlotSpan::hours(1), SlotSpan::slots(4));
+        assert_eq!(SlotSpan::days(1), SlotSpan::hours(24));
+        assert_eq!(SlotSpan::days(1).count(), SLOTS_PER_DAY);
+        assert_eq!(SlotSpan::hours(2).as_hours(), 2.0);
+    }
+
+    #[test]
+    fn span_display() {
+        assert_eq!(SlotSpan::hours(2).to_string(), "2h");
+        assert_eq!(SlotSpan::slots(1).to_string(), "15m");
+        assert_eq!(SlotSpan::slots(5).to_string(), "75m");
+    }
+
+    #[test]
+    fn span_abs_and_sign() {
+        assert!(SlotSpan::slots(-3).is_negative());
+        assert_eq!(SlotSpan::slots(-3).abs(), SlotSpan::slots(3));
+        assert_eq!(SlotSpan::slots(4) - SlotSpan::slots(6), SlotSpan::slots(-2));
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for the time substrate.
+
+use mirabel_timeseries::{
+    CivilDate, CivilDateTime, Granularity, Resample, SlotSpan, TimeSeries, TimeSlot,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Civil date <-> day-number conversion round-trips over ±300 years.
+    #[test]
+    fn civil_day_round_trip(days in -110_000i64..110_000) {
+        let date = CivilDate::from_days(days);
+        prop_assert_eq!(date.days_from_epoch(), days);
+        // Components stay in range.
+        prop_assert!((1..=12).contains(&date.month));
+        prop_assert!(date.day >= 1 && date.day <= 31);
+    }
+
+    /// Slot <-> civil date-time round-trips.
+    #[test]
+    fn slot_civil_round_trip(idx in -10_000_000i64..10_000_000) {
+        let slot = TimeSlot::new(idx);
+        let civil = CivilDateTime::from_slot(slot);
+        prop_assert_eq!(civil.to_slot().unwrap(), slot);
+    }
+
+    /// Date display/parse round-trips.
+    #[test]
+    fn datetime_parse_round_trip(idx in -1_000_000i64..1_000_000) {
+        let civil = CivilDateTime::from_slot(TimeSlot::new(idx));
+        let text = civil.to_string();
+        let parsed: CivilDateTime = text.parse().unwrap();
+        prop_assert_eq!(parsed, civil);
+    }
+
+    /// Truncation is idempotent and never increases the slot.
+    #[test]
+    fn truncate_idempotent(idx in -1_000_000i64..1_000_000, g in 0usize..5) {
+        let g = Granularity::ALL[g];
+        let s = TimeSlot::new(idx);
+        let t = g.truncate(s);
+        prop_assert!(t <= s);
+        prop_assert_eq!(g.truncate(t), t);
+        // The next boundary is strictly after the truncated slot and after s.
+        let nb = g.next_boundary(s);
+        prop_assert!(nb > s);
+        prop_assert_eq!(g.truncate(nb), nb);
+    }
+
+    /// Consecutive buckets tile the range without gaps.
+    #[test]
+    fn buckets_tile(from in -50_000i64..50_000, len in 1i64..5_000, g in 0usize..5) {
+        let g = Granularity::ALL[g];
+        let from = TimeSlot::new(from);
+        let to = from + SlotSpan::slots(len);
+        let buckets = g.buckets(from, to);
+        prop_assert!(!buckets.is_empty());
+        prop_assert!(buckets[0] <= from);
+        for w in buckets.windows(2) {
+            prop_assert_eq!(g.next_boundary(w[0]), w[1]);
+        }
+        let last = *buckets.last().unwrap();
+        prop_assert!(g.next_boundary(last) >= to);
+    }
+
+    /// Resampling with Sum preserves the series total.
+    #[test]
+    fn resample_sum_preserves_total(
+        start in -10_000i64..10_000,
+        vals in proptest::collection::vec(-100.0f64..100.0, 1..300),
+        g in 0usize..5,
+    ) {
+        let g = Granularity::ALL[g];
+        let s = TimeSeries::new(TimeSlot::new(start), vals);
+        let r = s.resample(g, Resample::Sum);
+        prop_assert!((r.sum() - s.sum()).abs() < 1e-6);
+    }
+
+    /// combine(+) is commutative and keeps the union extent.
+    #[test]
+    fn combine_commutative(
+        a_start in -100i64..100, a_vals in proptest::collection::vec(-10.0f64..10.0, 0..50),
+        b_start in -100i64..100, b_vals in proptest::collection::vec(-10.0f64..10.0, 0..50),
+    ) {
+        let a = TimeSeries::new(TimeSlot::new(a_start), a_vals);
+        let b = TimeSeries::new(TimeSlot::new(b_start), b_vals);
+        let ab = &a + &b;
+        let ba = &b + &a;
+        if !a.is_empty() && !b.is_empty() {
+            prop_assert_eq!(ab.start(), a.start().min(b.start()));
+            prop_assert_eq!(ab.end(), a.end().max(b.end()));
+        }
+        prop_assert!((ab.sum() - (a.sum() + b.sum())).abs() < 1e-9);
+        if !a.is_empty() || !b.is_empty() {
+            for (t, v) in ab.iter() {
+                prop_assert!((v - ba.get_or_zero(t)).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// Window never exceeds the parent extent and its samples match.
+    #[test]
+    fn window_consistent(
+        start in -100i64..100,
+        vals in proptest::collection::vec(-10.0f64..10.0, 1..100),
+        lo in -150i64..150,
+        len in 0i64..100,
+    ) {
+        let s = TimeSeries::new(TimeSlot::new(start), vals);
+        let w = s.window(TimeSlot::new(lo), TimeSlot::new(lo + len));
+        prop_assert!(w.start() >= s.start() || w.is_empty());
+        prop_assert!(w.end() <= s.end() || w.is_empty());
+        for (t, v) in w.iter() {
+            prop_assert_eq!(Some(v), s.get(t));
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! ASCII rendering backend for terminal demos.
+
+use crate::scene::{Anchor, Node, Scene};
+
+/// Renders a scene to a character grid (one char ≈ 8×16 screen pixels, so
+/// an 800×480 scene becomes 100×30 characters). Fills use `#`, lines `*`,
+/// text is copied through; later nodes overwrite earlier ones, matching
+/// paint order.
+pub fn render_ascii(scene: &Scene, columns: usize) -> String {
+    let columns = columns.max(8);
+    let sx = scene.width / columns as f64;
+    let sy = sx * 2.0; // terminal cells are roughly twice as tall as wide
+    let rows = ((scene.height / sy).ceil() as usize).max(1);
+    let grid = vec![vec![' '; columns]; rows];
+
+    let mut put = |gx: i64, gy: i64, c: char, grid: &mut Vec<Vec<char>>| {
+        if gx >= 0 && gy >= 0 && (gx as usize) < columns && (gy as usize) < rows {
+            grid[gy as usize][gx as usize] = c;
+        }
+    };
+
+    fn walk(
+        node: &Node,
+        sx: f64,
+        sy: f64,
+        put: &mut impl FnMut(i64, i64, char, &mut Vec<Vec<char>>),
+        grid: &mut Vec<Vec<char>>,
+    ) {
+        match node {
+            Node::Group { children, .. } => {
+                for c in children {
+                    walk(c, sx, sy, put, grid);
+                }
+            }
+            Node::RectNode { rect, style, .. } => {
+                let ch = if style.fill.is_some() { '#' } else { '+' };
+                let x0 = (rect.x / sx) as i64;
+                let x1 = ((rect.right() / sx).ceil() as i64 - 1).max(x0);
+                let y0 = (rect.y / sy) as i64;
+                let y1 = ((rect.bottom() / sy).ceil() as i64 - 1).max(y0);
+                for y in y0..=y1 {
+                    for x in x0..=x1 {
+                        let edge = y == y0 || y == y1 || x == x0 || x == x1;
+                        if style.fill.is_some() || edge {
+                            put(x, y, ch, grid);
+                        }
+                    }
+                }
+            }
+            Node::Line { from, to, .. } => {
+                let steps = ((to.x - from.x).abs().max((to.y - from.y).abs()) / sx).ceil() as i64;
+                let steps = steps.max(1);
+                for k in 0..=steps {
+                    let t = k as f64 / steps as f64;
+                    let x = from.x + (to.x - from.x) * t;
+                    let y = from.y + (to.y - from.y) * t;
+                    put((x / sx) as i64, (y / sy) as i64, '*', grid);
+                }
+            }
+            Node::Polyline { points, .. } | Node::Polygon { points, .. } => {
+                for seg in points.windows(2) {
+                    walk(
+                        &Node::line(seg[0], seg[1], crate::scene::Style::default()),
+                        sx,
+                        sy,
+                        put,
+                        grid,
+                    );
+                }
+            }
+            Node::Circle { center, .. } | Node::Wedge { center, .. } => {
+                put((center.x / sx) as i64, (center.y / sy) as i64, 'o', grid);
+            }
+            Node::Text(t) => {
+                let gx = (t.pos.x / sx) as i64;
+                let gy = (t.pos.y / sy) as i64;
+                let start = match t.anchor {
+                    Anchor::Start => gx,
+                    Anchor::Middle => gx - t.content.chars().count() as i64 / 2,
+                    Anchor::End => gx - t.content.chars().count() as i64,
+                };
+                for (i, c) in t.content.chars().enumerate() {
+                    put(start + i as i64, gy, c, grid);
+                }
+            }
+        }
+    }
+
+    let mut grid_ref = grid;
+    for node in &scene.nodes {
+        walk(node, sx, sy, &mut put, &mut grid_ref);
+    }
+    let mut out = String::with_capacity(rows * (columns + 1));
+    for row in grid_ref {
+        let line: String = row.into_iter().collect();
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::palette;
+    use crate::geometry::{Point, Rect};
+    use crate::scene::Style;
+
+    #[test]
+    fn filled_rect_renders_hashes() {
+        let mut scene = Scene::new(80.0, 40.0);
+        scene.push(Node::rect(Rect::new(0.0, 0.0, 40.0, 20.0), Style::filled(palette::AGGREGATED)));
+        let out = render_ascii(&scene, 20);
+        assert!(out.contains('#'));
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].starts_with('#'));
+    }
+
+    #[test]
+    fn outline_rect_renders_border_only() {
+        let mut scene = Scene::new(80.0, 80.0);
+        scene.push(Node::rect(Rect::new(0.0, 0.0, 80.0, 80.0), Style::stroked(palette::AXIS, 1.0)));
+        let out = render_ascii(&scene, 20);
+        let lines: Vec<&str> = out.lines().filter(|l| !l.is_empty()).collect();
+        // Interior of a middle line is blank.
+        let mid = lines[lines.len() / 2];
+        assert!(mid.trim_start_matches('+').trim_end_matches('+').trim().is_empty());
+    }
+
+    #[test]
+    fn text_appears_verbatim() {
+        let mut scene = Scene::new(200.0, 40.0);
+        scene.push(Node::text(Point::new(10.0, 20.0), "HELLO", 10.0, palette::AXIS));
+        let out = render_ascii(&scene, 40);
+        assert!(out.contains("HELLO"));
+    }
+
+    #[test]
+    fn lines_and_markers() {
+        let mut scene = Scene::new(100.0, 100.0);
+        scene.push(Node::line(Point::new(0.0, 0.0), Point::new(99.0, 99.0), Style::stroked(palette::SCHEDULE, 1.0)));
+        scene.push(Node::Circle {
+            center: Point::new(50.0, 50.0),
+            radius: 5.0,
+            style: Style::default(),
+            tag: None,
+        });
+        let out = render_ascii(&scene, 25);
+        assert!(out.contains('*'));
+        assert!(out.contains('o'));
+    }
+
+    #[test]
+    fn minimum_width_is_enforced() {
+        let scene = Scene::new(100.0, 100.0);
+        let out = render_ascii(&scene, 0);
+        assert!(!out.is_empty());
+    }
+}

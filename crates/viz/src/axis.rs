@@ -1,0 +1,251 @@
+//! Pretty scales and axis rendering.
+//!
+//! The paper: "the tool offers useful graphical enhancements such as
+//! automatic selection of 'pretty scales' of the axes". This module
+//! implements the classic nice-numbers algorithm (steps of 1, 2 or 5
+//! times a power of ten) and renders axes into scene nodes.
+
+use crate::color::palette;
+use crate::geometry::Point;
+use crate::scale::LinearScale;
+use crate::scene::{Anchor, Node, Style, TextNode};
+
+/// Computes "pretty" tick positions covering `[min, max]` with roughly
+/// `target` ticks. Returns `(ticks, step)`; ticks are ascending, the
+/// first is ≤ `min`, the last is ≥ `max`, and the step is `1`, `2` or
+/// `5 × 10^k`.
+pub fn nice_ticks(min: f64, max: f64, target: usize) -> (Vec<f64>, f64) {
+    let target = target.max(2);
+    let (min, max) = if min <= max { (min, max) } else { (max, min) };
+    let span = (max - min).max(f64::MIN_POSITIVE);
+    let raw_step = span / (target - 1) as f64;
+    let mag = 10f64.powf(raw_step.log10().floor());
+    let norm = raw_step / mag; // in [1, 10)
+    let nice = if norm <= 1.0 {
+        1.0
+    } else if norm <= 2.0 {
+        2.0
+    } else if norm <= 5.0 {
+        5.0
+    } else {
+        10.0
+    };
+    let step = nice * mag;
+    let first = (min / step).floor() * step;
+    let mut ticks = Vec::new();
+    let mut t = first;
+    // Guard against floating-point drift with a small epsilon.
+    let eps = step * 1e-9;
+    while t <= max + eps {
+        // Snap values that should be integral multiples of the step.
+        let snapped = (t / step).round() * step;
+        ticks.push(if snapped.abs() < step * 1e-12 { 0.0 } else { snapped });
+        t += step;
+    }
+    if *ticks.last().expect("at least one tick") < max - eps {
+        ticks.push(ticks.last().unwrap() + step);
+    }
+    (ticks, step)
+}
+
+/// Formats a tick value with just enough precision for its step.
+pub fn format_tick(value: f64, step: f64) -> String {
+    let decimals = if step >= 1.0 {
+        0
+    } else {
+        (-step.log10().floor()) as usize
+    };
+    format!("{value:.decimals$}")
+}
+
+/// Axis orientation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Orientation {
+    /// Horizontal axis; ticks and labels below the line.
+    Horizontal,
+    /// Vertical axis; ticks and labels left of the line.
+    Vertical,
+}
+
+/// An axis bound to a scale, rendered as scene nodes.
+#[derive(Debug, Clone)]
+pub struct Axis {
+    /// The data-to-screen scale.
+    pub scale: LinearScale,
+    /// Orientation on the canvas.
+    pub orientation: Orientation,
+    /// Fixed cross-axis position (y for horizontal axes, x for vertical).
+    pub position: f64,
+    /// Desired tick count.
+    pub target_ticks: usize,
+    /// Optional custom tick labeller (e.g. time-of-day formatting).
+    pub labeller: Option<fn(f64) -> String>,
+}
+
+impl Axis {
+    /// Creates an axis with ~6 pretty ticks.
+    pub fn new(scale: LinearScale, orientation: Orientation, position: f64) -> Axis {
+        Axis { scale, orientation, position, target_ticks: 6, labeller: None }
+    }
+
+    /// Builds the axis scene nodes (base line, ticks, labels).
+    pub fn build(&self) -> Node {
+        let (d0, d1) = self.scale.domain();
+        let (ticks, step) = nice_ticks(d0, d1, self.target_ticks);
+        let style = Style::stroked(palette::AXIS, 1.0);
+        let mut children = Vec::with_capacity(ticks.len() * 2 + 1);
+        let (r0, r1) = self.scale.range();
+        match self.orientation {
+            Orientation::Horizontal => {
+                children.push(Node::line(
+                    Point::new(r0, self.position),
+                    Point::new(r1, self.position),
+                    style.clone(),
+                ));
+                for &t in &ticks {
+                    if t < d0 - step * 1e-9 || t > d1 + step * 1e-9 {
+                        continue; // keep ticks inside the plotting area
+                    }
+                    let x = self.scale.map(t);
+                    children.push(Node::line(
+                        Point::new(x, self.position),
+                        Point::new(x, self.position + 4.0),
+                        style.clone(),
+                    ));
+                    children.push(Node::Text(TextNode {
+                        pos: Point::new(x, self.position + 14.0),
+                        content: self.label(t, step),
+                        size: 9.0,
+                        anchor: Anchor::Middle,
+                        color: palette::AXIS,
+                    }));
+                }
+            }
+            Orientation::Vertical => {
+                children.push(Node::line(
+                    Point::new(self.position, r0),
+                    Point::new(self.position, r1),
+                    style.clone(),
+                ));
+                for &t in &ticks {
+                    if t < d0 - step * 1e-9 || t > d1 + step * 1e-9 {
+                        continue;
+                    }
+                    let y = self.scale.map(t);
+                    children.push(Node::line(
+                        Point::new(self.position - 4.0, y),
+                        Point::new(self.position, y),
+                        style.clone(),
+                    ));
+                    children.push(Node::Text(TextNode {
+                        pos: Point::new(self.position - 6.0, y + 3.0),
+                        content: self.label(t, step),
+                        size: 9.0,
+                        anchor: Anchor::End,
+                        color: palette::AXIS,
+                    }));
+                }
+            }
+        }
+        Node::Group { label: Some("axis".into()), children }
+    }
+
+    fn label(&self, t: f64, step: f64) -> String {
+        match self.labeller {
+            Some(f) => f(t),
+            None => format_tick(t, step),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nice_steps_are_1_2_5() {
+        for &(min, max) in
+            &[(0.0, 10.0), (0.0, 97.0), (3.0, 7.0), (-40.0, 160.0), (0.001, 0.009), (5.0, 5.0e6)]
+        {
+            let (ticks, step) = nice_ticks(min, max, 6);
+            let mag = 10f64.powf(step.log10().floor());
+            let norm = (step / mag * 1000.0).round() / 1000.0;
+            assert!(
+                [1.0, 2.0, 5.0, 10.0].contains(&norm),
+                "step {step} not nice for [{min},{max}]"
+            );
+            assert!(*ticks.first().unwrap() <= min + 1e-12);
+            assert!(*ticks.last().unwrap() >= max - 1e-12);
+            // Roughly the requested density (allow generous slack).
+            assert!(ticks.len() >= 2 && ticks.len() <= 14, "{} ticks", ticks.len());
+        }
+    }
+
+    #[test]
+    fn ticks_are_evenly_spaced() {
+        let (ticks, step) = nice_ticks(0.0, 100.0, 5);
+        for w in ticks.windows(2) {
+            assert!((w[1] - w[0] - step).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn reversed_input_is_normalised() {
+        let (a, _) = nice_ticks(10.0, 0.0, 5);
+        let (b, _) = nice_ticks(0.0, 10.0, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_snapping() {
+        let (ticks, _) = nice_ticks(-1.0, 1.0, 5);
+        assert!(ticks.contains(&0.0));
+    }
+
+    #[test]
+    fn tick_formatting_matches_step() {
+        assert_eq!(format_tick(5.0, 1.0), "5");
+        assert_eq!(format_tick(2.5, 0.5), "2.5");
+        assert_eq!(format_tick(0.25, 0.05), "0.25");
+        assert_eq!(format_tick(1_000.0, 500.0), "1000");
+    }
+
+    #[test]
+    fn horizontal_axis_builds_line_ticks_labels() {
+        let scale = LinearScale::new((0.0, 10.0), (50.0, 450.0));
+        let axis = Axis::new(scale, Orientation::Horizontal, 300.0);
+        let node = axis.build();
+        // 1 base line + per tick (line + text).
+        let prims = node.primitive_count();
+        assert!(prims > 2 * 2, "{prims} primitives");
+        if let Node::Group { children, .. } = &node {
+            let texts: Vec<&Node> =
+                children.iter().filter(|n| matches!(n, Node::Text(_))).collect();
+            assert!(!texts.is_empty());
+        } else {
+            panic!("axis must be a group");
+        }
+    }
+
+    #[test]
+    fn vertical_axis_with_custom_labeller() {
+        fn hours(v: f64) -> String {
+            format!("{v}h")
+        }
+        let scale = LinearScale::new((0.0, 24.0), (400.0, 0.0));
+        let mut axis = Axis::new(scale, Orientation::Vertical, 40.0);
+        axis.labeller = Some(hours);
+        let node = axis.build();
+        let mut saw_custom = false;
+        if let Node::Group { children, .. } = &node {
+            for c in children {
+                if let Node::Text(t) = c {
+                    if t.content.ends_with('h') {
+                        saw_custom = true;
+                    }
+                }
+            }
+        }
+        assert!(saw_custom);
+    }
+}

@@ -1,0 +1,166 @@
+//! Colors and the paper's palette.
+
+use std::fmt;
+
+/// An 8-bit RGBA color.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Color {
+    /// Red channel.
+    pub r: u8,
+    /// Green channel.
+    pub g: u8,
+    /// Blue channel.
+    pub b: u8,
+    /// Alpha channel (255 = opaque).
+    pub a: u8,
+}
+
+impl Color {
+    /// Opaque color from RGB components.
+    pub const fn rgb(r: u8, g: u8, b: u8) -> Color {
+        Color { r, g, b, a: 255 }
+    }
+
+    /// Color from RGBA components.
+    pub const fn rgba(r: u8, g: u8, b: u8, a: u8) -> Color {
+        Color { r, g, b, a }
+    }
+
+    /// The same color with a different alpha.
+    pub const fn with_alpha(self, a: u8) -> Color {
+        Color { a, ..self }
+    }
+
+    /// CSS hex representation (`#rrggbb` or `#rrggbbaa`).
+    pub fn to_hex(self) -> String {
+        if self.a == 255 {
+            format!("#{:02x}{:02x}{:02x}", self.r, self.g, self.b)
+        } else {
+            format!("#{:02x}{:02x}{:02x}{:02x}", self.r, self.g, self.b, self.a)
+        }
+    }
+
+    /// Linear interpolation between two colors (`t` clamped to `[0,1]`).
+    pub fn lerp(self, other: Color, t: f64) -> Color {
+        let t = t.clamp(0.0, 1.0);
+        let mix = |a: u8, b: u8| (a as f64 + (b as f64 - a as f64) * t).round() as u8;
+        Color {
+            r: mix(self.r, other.r),
+            g: mix(self.g, other.g),
+            b: mix(self.b, other.b),
+            a: mix(self.a, other.a),
+        }
+    }
+}
+
+impl fmt::Display for Color {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+/// The tool's palette, matching the colour conventions named in
+/// Section 4 of the paper.
+pub mod palette {
+    use super::Color;
+
+    /// Non-aggregated flex-offer boxes ("light blue rectangles").
+    pub const NON_AGGREGATED: Color = Color::rgb(0xAD, 0xD8, 0xE6);
+    /// Aggregated flex-offer boxes ("light red rectangles").
+    pub const AGGREGATED: Color = Color::rgb(0xF4, 0xB0, 0xB0);
+    /// Time-flexibility intervals ("grey rectangles").
+    pub const TIME_FLEX: Color = Color::rgb(0xC8, 0xC8, 0xC8);
+    /// Scheduled start / scheduled energy markers ("red solid lines").
+    pub const SCHEDULE: Color = Color::rgb(0xD0, 0x20, 0x20);
+    /// Creation/acceptance/assignment markers ("yellow lines", Fig. 10).
+    pub const DEADLINE_MARKER: Color = Color::rgb(0xE8, 0xC8, 0x00);
+    /// Aggregation provenance links ("red dashed lines", Fig. 10).
+    pub const PROVENANCE: Color = Color::rgb(0xD0, 0x20, 0x20);
+    /// Selection rectangle ("dashed red rectangle", Fig. 8).
+    pub const SELECTION: Color = Color::rgb(0xD0, 0x20, 0x20);
+    /// Axis lines and labels.
+    pub const AXIS: Color = Color::rgb(0x40, 0x40, 0x40);
+    /// Background.
+    pub const BACKGROUND: Color = Color::rgb(0xFF, 0xFF, 0xFF);
+    /// Energy-bound whiskers in the profile view.
+    pub const ENERGY_BOUND: Color = Color::rgb(0x30, 0x60, 0xB0);
+
+    /// Status colors for the accepted/assigned/rejected pies of
+    /// Figures 4 and 6.
+    pub const STATUS_ACCEPTED: Color = Color::rgb(0x4C, 0xAF, 0x50);
+    /// Assigned slice color.
+    pub const STATUS_ASSIGNED: Color = Color::rgb(0x42, 0x85, 0xF4);
+    /// Rejected slice color.
+    pub const STATUS_REJECTED: Color = Color::rgb(0xEA, 0x43, 0x35);
+    /// Offered (not yet answered) slice color.
+    pub const STATUS_OFFERED: Color = Color::rgb(0x9E, 0x9E, 0x9E);
+    /// Executed slice color.
+    pub const STATUS_EXECUTED: Color = Color::rgb(0x7B, 0x52, 0xAB);
+
+    /// Categorical series palette (pivot swimlanes, map mini-charts).
+    pub const CATEGORICAL: [Color; 8] = [
+        Color::rgb(0x42, 0x85, 0xF4),
+        Color::rgb(0xEA, 0x43, 0x35),
+        Color::rgb(0xFB, 0xBC, 0x05),
+        Color::rgb(0x34, 0xA8, 0x53),
+        Color::rgb(0x9C, 0x27, 0xB0),
+        Color::rgb(0x00, 0xAC, 0xC1),
+        Color::rgb(0xFF, 0x70, 0x43),
+        Color::rgb(0x5D, 0x40, 0x37),
+    ];
+
+    /// Sequential choropleth ramp for the map view (light → dark blue).
+    pub fn choropleth(class: usize, classes: usize) -> Color {
+        let light = Color::rgb(0xE3, 0xF2, 0xFD);
+        let dark = Color::rgb(0x0D, 0x47, 0xA1);
+        if classes <= 1 {
+            return light;
+        }
+        light.lerp(dark, class as f64 / (classes - 1) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_formats() {
+        assert_eq!(Color::rgb(255, 0, 128).to_hex(), "#ff0080");
+        assert_eq!(Color::rgba(0, 0, 0, 128).to_hex(), "#00000080");
+        assert_eq!(Color::rgb(1, 2, 3).to_string(), "#010203");
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Color::rgb(0, 0, 0);
+        let b = Color::rgb(200, 100, 50);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        let mid = a.lerp(b, 0.5);
+        assert_eq!(mid, Color::rgb(100, 50, 25));
+        // Clamping.
+        assert_eq!(a.lerp(b, -1.0), a);
+        assert_eq!(a.lerp(b, 2.0), b);
+    }
+
+    #[test]
+    fn alpha_override() {
+        let c = palette::SCHEDULE.with_alpha(100);
+        assert_eq!(c.a, 100);
+        assert_eq!(c.r, palette::SCHEDULE.r);
+    }
+
+    #[test]
+    fn choropleth_ramp_monotone() {
+        let classes = 5;
+        let mut prev = 256i32;
+        for k in 0..classes {
+            let c = palette::choropleth(k, classes);
+            assert!((c.r as i32) < prev, "ramp must darken");
+            prev = c.r as i32;
+        }
+        // Degenerate class count.
+        assert_eq!(palette::choropleth(0, 1), Color::rgb(0xE3, 0xF2, 0xFD));
+    }
+}

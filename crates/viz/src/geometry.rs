@@ -1,0 +1,153 @@
+//! Screen-space geometry.
+
+use std::fmt;
+
+/// A point in screen coordinates (y grows downward, as in SVG).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    pub const fn new(x: f64, y: f64) -> Point {
+        Point { x, y }
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.1}, {:.1})", self.x, self.y)
+    }
+}
+
+/// An axis-aligned rectangle (origin at the top-left corner).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Rect {
+    /// Left edge.
+    pub x: f64,
+    /// Top edge.
+    pub y: f64,
+    /// Width (non-negative by construction).
+    pub w: f64,
+    /// Height (non-negative by construction).
+    pub h: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle, clamping negative sizes to zero.
+    pub fn new(x: f64, y: f64, w: f64, h: f64) -> Rect {
+        Rect { x, y, w: w.max(0.0), h: h.max(0.0) }
+    }
+
+    /// The rectangle spanned by two corner points (any order).
+    pub fn from_corners(a: Point, b: Point) -> Rect {
+        let x = a.x.min(b.x);
+        let y = a.y.min(b.y);
+        Rect { x, y, w: (a.x - b.x).abs(), h: (a.y - b.y).abs() }
+    }
+
+    /// Right edge.
+    pub fn right(&self) -> f64 {
+        self.x + self.w
+    }
+
+    /// Bottom edge.
+    pub fn bottom(&self) -> f64 {
+        self.y + self.h
+    }
+
+    /// Centre point.
+    pub fn center(&self) -> Point {
+        Point::new(self.x + self.w / 2.0, self.y + self.h / 2.0)
+    }
+
+    /// `true` when `p` lies inside (inclusive of edges).
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.x && p.x <= self.right() && p.y >= self.y && p.y <= self.bottom()
+    }
+
+    /// `true` when the rectangles overlap (touching edges count).
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.x <= other.right()
+            && other.x <= self.right()
+            && self.y <= other.bottom()
+            && other.y <= self.bottom()
+    }
+
+    /// The smallest rectangle covering both.
+    pub fn union(&self, other: &Rect) -> Rect {
+        let x = self.x.min(other.x);
+        let y = self.y.min(other.y);
+        Rect {
+            x,
+            y,
+            w: self.right().max(other.right()) - x,
+            h: self.bottom().max(other.bottom()) - y,
+        }
+    }
+
+    /// Grows the rectangle by `m` on every side.
+    pub fn inflate(&self, m: f64) -> Rect {
+        Rect::new(self.x - m, self.y - m, self.w + 2.0 * m, self.h + 2.0 * m)
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:.1},{:.1} {:.1}×{:.1}]", self.x, self.y, self.w, self.h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_construction_clamps() {
+        let r = Rect::new(1.0, 2.0, -5.0, 4.0);
+        assert_eq!(r.w, 0.0);
+        assert_eq!(r.h, 4.0);
+        let r = Rect::from_corners(Point::new(5.0, 6.0), Point::new(1.0, 2.0));
+        assert_eq!(r, Rect::new(1.0, 2.0, 4.0, 4.0));
+    }
+
+    #[test]
+    fn contains_and_edges() {
+        let r = Rect::new(0.0, 0.0, 10.0, 5.0);
+        assert!(r.contains(Point::new(0.0, 0.0)));
+        assert!(r.contains(Point::new(10.0, 5.0)));
+        assert!(r.contains(Point::new(5.0, 2.5)));
+        assert!(!r.contains(Point::new(10.1, 2.0)));
+        assert!(!r.contains(Point::new(5.0, -0.1)));
+        assert_eq!(r.center(), Point::new(5.0, 2.5));
+    }
+
+    #[test]
+    fn intersection() {
+        let a = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let b = Rect::new(5.0, 5.0, 10.0, 10.0);
+        let c = Rect::new(20.0, 20.0, 1.0, 1.0);
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        assert!(!a.intersects(&c));
+        // Touching edges count as intersecting.
+        let d = Rect::new(10.0, 0.0, 5.0, 5.0);
+        assert!(a.intersects(&d));
+    }
+
+    #[test]
+    fn union_and_inflate() {
+        let a = Rect::new(0.0, 0.0, 2.0, 2.0);
+        let b = Rect::new(5.0, 5.0, 1.0, 1.0);
+        let u = a.union(&b);
+        assert_eq!(u, Rect::new(0.0, 0.0, 6.0, 6.0));
+        let i = a.inflate(1.0);
+        assert_eq!(i, Rect::new(-1.0, -1.0, 4.0, 4.0));
+        assert!(a.to_string().contains('×'));
+        assert_eq!(Point::new(1.0, 2.0).to_string(), "(1.0, 2.0)");
+    }
+}

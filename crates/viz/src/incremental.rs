@@ -1,0 +1,178 @@
+//! Incremental scene construction.
+//!
+//! The paper: the tool offers "the incremental rendering of flex-offers,
+//! which allows executing actions when a flex-offer rendering is in
+//! progress (rendering does not freeze the tool)". The original runs on
+//! a GUI event loop; headless, the same contract is a *chunked builder*:
+//! the caller owns the loop, asks for one bounded chunk of work at a
+//! time, and is free to process events (selection, tooltips, tab
+//! switches) between chunks. The A2 ablation bench measures the
+//! per-chunk latency bound this buys over monolithic building.
+
+use crate::scene::{Node, Scene};
+
+/// Progress of an incremental build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Progress {
+    /// Items built so far.
+    pub done: usize,
+    /// Total items.
+    pub total: usize,
+}
+
+impl Progress {
+    /// `true` when every item has been built.
+    pub fn is_complete(&self) -> bool {
+        self.done >= self.total
+    }
+
+    /// Completion ratio in `[0, 1]` (1 for an empty build).
+    pub fn ratio(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.done as f64 / self.total as f64
+        }
+    }
+}
+
+/// An incremental scene builder over an item list. `build_item(i)`
+/// produces the nodes of item `i`; [`Incremental::step`] appends the next
+/// chunk to the scene.
+pub struct Incremental<'a> {
+    scene: Scene,
+    total: usize,
+    cursor: usize,
+    build_item: Box<dyn FnMut(usize) -> Vec<Node> + 'a>,
+}
+
+impl<'a> Incremental<'a> {
+    /// Creates a builder over `total` items, starting from an empty
+    /// scene of the given size.
+    pub fn new(
+        scene: Scene,
+        total: usize,
+        build_item: impl FnMut(usize) -> Vec<Node> + 'a,
+    ) -> Incremental<'a> {
+        Incremental { scene, total, cursor: 0, build_item: Box::new(build_item) }
+    }
+
+    /// Builds up to `chunk` more items and returns the new progress.
+    /// A `chunk` of zero is promoted to one so progress is always made.
+    pub fn step(&mut self, chunk: usize) -> Progress {
+        let chunk = chunk.max(1);
+        let end = (self.cursor + chunk).min(self.total);
+        for i in self.cursor..end {
+            let nodes = (self.build_item)(i);
+            self.scene.nodes.extend(nodes);
+        }
+        self.cursor = end;
+        self.progress()
+    }
+
+    /// Runs to completion in chunks of `chunk` (convenience for tests
+    /// and the monolithic baseline).
+    pub fn run_to_completion(&mut self, chunk: usize) -> Progress {
+        while !self.progress().is_complete() {
+            self.step(chunk);
+        }
+        self.progress()
+    }
+
+    /// Current progress.
+    pub fn progress(&self) -> Progress {
+        Progress { done: self.cursor, total: self.total }
+    }
+
+    /// The partially (or fully) built scene, inspectable between chunks —
+    /// this is what "the tool stays responsive" means headlessly: the
+    /// caller can hit-test and render the partial scene at any chunk
+    /// boundary.
+    pub fn scene(&self) -> &Scene {
+        &self.scene
+    }
+
+    /// Consumes the builder and returns the scene.
+    pub fn finish(self) -> Scene {
+        self.scene
+    }
+}
+
+impl std::fmt::Debug for Incremental<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Incremental")
+            .field("total", &self.total)
+            .field("cursor", &self.cursor)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Rect;
+    use crate::scene::Style;
+
+    fn builder(scene_w: f64) -> Incremental<'static> {
+        Incremental::new(Scene::new(scene_w, 100.0), 10, |i| {
+            vec![Node::tagged_rect(
+                Rect::new(i as f64 * 10.0, 0.0, 8.0, 8.0),
+                Style::default(),
+                i as u64,
+            )]
+        })
+    }
+
+    #[test]
+    fn chunked_progress() {
+        let mut inc = builder(100.0);
+        assert_eq!(inc.progress(), Progress { done: 0, total: 10 });
+        let p = inc.step(3);
+        assert_eq!(p, Progress { done: 3, total: 10 });
+        assert!(!p.is_complete());
+        assert_eq!(inc.scene().primitive_count(), 3);
+        let p = inc.step(100);
+        assert!(p.is_complete());
+        assert_eq!(inc.scene().primitive_count(), 10);
+        // Further steps are no-ops.
+        let p = inc.step(5);
+        assert_eq!(p.done, 10);
+    }
+
+    #[test]
+    fn partial_scene_is_usable_between_chunks() {
+        let mut inc = builder(100.0);
+        inc.step(5);
+        // Hit-test the partial scene — the "tool stays responsive"
+        // contract.
+        let hits = crate::hittest::hit_test(inc.scene(), crate::geometry::Point::new(12.0, 4.0));
+        assert_eq!(hits, vec![1]);
+        let hits = crate::hittest::hit_test(inc.scene(), crate::geometry::Point::new(92.0, 4.0));
+        assert!(hits.is_empty(), "item 9 not built yet");
+    }
+
+    #[test]
+    fn run_to_completion_equals_monolithic() {
+        let mut a = builder(100.0);
+        a.run_to_completion(3);
+        let mut b = builder(100.0);
+        b.step(10);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn zero_chunk_still_progresses() {
+        let mut inc = builder(100.0);
+        let p = inc.step(0);
+        assert_eq!(p.done, 1);
+    }
+
+    #[test]
+    fn progress_ratio() {
+        assert_eq!(Progress { done: 0, total: 0 }.ratio(), 1.0);
+        assert!(Progress { done: 0, total: 0 }.is_complete());
+        assert_eq!(Progress { done: 1, total: 4 }.ratio(), 0.25);
+        let inc = builder(100.0);
+        assert!(format!("{inc:?}").contains("cursor"));
+    }
+}

@@ -1,0 +1,191 @@
+//! Lane stacking — the dimensional-stacking layout of Figures 8–9.
+//!
+//! "As flex-offers are temporal objects which may potentially overlap in
+//! time, boxes representing flex-offers are stacked on each other thus
+//! occupying one of several ordinate axes in the graph." Assigning each
+//! box to the lowest free lane is interval-graph colouring; the greedy
+//! sweep with a min-heap of lane end times is optimal for interval
+//! graphs and runs in `O(n log n)`.
+
+use std::collections::BinaryHeap;
+
+/// Result of a lane assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaneLayout {
+    /// Lane index per input interval (input order).
+    pub lanes: Vec<usize>,
+    /// Number of lanes used.
+    pub lane_count: usize,
+}
+
+/// Assigns `[start, end)` intervals to lanes greedily (sweep + min-heap).
+/// Touching intervals (`a.end == b.start`) may share a lane. Optimal in
+/// lane count for interval overlap graphs.
+pub fn assign_lanes(intervals: &[(i64, i64)]) -> LaneLayout {
+    let n = intervals.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| (intervals[i].0, intervals[i].1, i));
+
+    // Min-heap of (end, lane) — BinaryHeap is a max-heap, so store
+    // negated ends via Reverse.
+    let mut heap: BinaryHeap<std::cmp::Reverse<(i64, usize)>> = BinaryHeap::new();
+    let mut lanes = vec![0usize; n];
+    let mut lane_count = 0usize;
+    // Free list keeps lane reuse deterministic: the lane that freed
+    // earliest (smallest end) is reused first.
+    for &i in &order {
+        let (start, end) = intervals[i];
+        let end = end.max(start); // tolerate degenerate intervals
+        let lane = match heap.peek() {
+            Some(&std::cmp::Reverse((free_end, lane))) if free_end <= start => {
+                heap.pop();
+                lane
+            }
+            _ => {
+                let l = lane_count;
+                lane_count += 1;
+                l
+            }
+        };
+        lanes[i] = lane;
+        heap.push(std::cmp::Reverse((end, lane)));
+    }
+    LaneLayout { lanes, lane_count }
+}
+
+/// Naive first-fit scan used as the A3 ablation baseline: for each
+/// interval, linearly scan all lanes for one with no overlap —
+/// `O(n · lanes)`.
+pub fn assign_lanes_first_fit(intervals: &[(i64, i64)]) -> LaneLayout {
+    let n = intervals.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| (intervals[i].0, intervals[i].1, i));
+    let mut lane_ends: Vec<i64> = Vec::new();
+    let mut lanes = vec![0usize; n];
+    for &i in &order {
+        let (start, end) = intervals[i];
+        let end = end.max(start);
+        let mut placed = false;
+        for (lane, lane_end) in lane_ends.iter_mut().enumerate() {
+            if *lane_end <= start {
+                *lane_end = end;
+                lanes[i] = lane;
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            lanes[i] = lane_ends.len();
+            lane_ends.push(end);
+        }
+    }
+    LaneLayout { lanes, lane_count: lane_ends.len() }
+}
+
+/// The maximum number of intervals overlapping any single time point —
+/// the information-theoretic lower bound on the lane count.
+pub fn max_overlap(intervals: &[(i64, i64)]) -> usize {
+    let mut events: Vec<(i64, i32)> = Vec::with_capacity(intervals.len() * 2);
+    for &(s, e) in intervals {
+        let e = e.max(s);
+        if s == e {
+            continue; // empty interval occupies no time
+        }
+        events.push((s, 1));
+        events.push((e, -1));
+    }
+    // Ends sort before starts at the same coordinate (half-open).
+    events.sort_by_key(|&(t, d)| (t, d));
+    let mut cur = 0i64;
+    let mut best = 0i64;
+    for (_, d) in events {
+        cur += i64::from(d);
+        best = best.max(cur);
+    }
+    best as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_no_overlap(intervals: &[(i64, i64)], layout: &LaneLayout) {
+        for i in 0..intervals.len() {
+            for j in (i + 1)..intervals.len() {
+                if layout.lanes[i] == layout.lanes[j] {
+                    let (a0, a1) = intervals[i];
+                    let (b0, b1) = intervals[j];
+                    assert!(
+                        a1.max(a0) <= b0 || b1.max(b0) <= a0,
+                        "intervals {i} and {j} overlap in lane {}",
+                        layout.lanes[i]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disjoint_intervals_share_one_lane() {
+        let iv = vec![(0, 2), (2, 4), (4, 6)];
+        let l = assign_lanes(&iv);
+        assert_eq!(l.lane_count, 1);
+        assert_eq!(l.lanes, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn nested_intervals_stack() {
+        let iv = vec![(0, 10), (1, 3), (2, 4)];
+        let l = assign_lanes(&iv);
+        assert_eq!(l.lane_count, 3);
+        check_no_overlap(&iv, &l);
+    }
+
+    #[test]
+    fn greedy_is_optimal_on_known_cases() {
+        // Two overlapping pairs — max overlap 2.
+        let iv = vec![(0, 5), (3, 8), (6, 10), (9, 12)];
+        let l = assign_lanes(&iv);
+        assert_eq!(l.lane_count, max_overlap(&iv));
+        check_no_overlap(&iv, &l);
+    }
+
+    #[test]
+    fn first_fit_agrees_on_validity() {
+        let iv = vec![(0, 5), (1, 2), (1, 9), (4, 6), (5, 7), (8, 11)];
+        let a = assign_lanes(&iv);
+        let b = assign_lanes_first_fit(&iv);
+        check_no_overlap(&iv, &a);
+        check_no_overlap(&iv, &b);
+        assert_eq!(a.lane_count, max_overlap(&iv));
+        // First-fit is also optimal for interval graphs.
+        assert_eq!(b.lane_count, max_overlap(&iv));
+    }
+
+    #[test]
+    fn degenerate_intervals_tolerated() {
+        let iv = vec![(5, 5), (5, 3), (0, 10)];
+        let l = assign_lanes(&iv);
+        check_no_overlap(&iv, &l);
+        assert!(l.lane_count >= 1);
+        assert_eq!(max_overlap(&iv), 1); // only the real interval counts
+    }
+
+    #[test]
+    fn empty_input() {
+        let l = assign_lanes(&[]);
+        assert_eq!(l.lane_count, 0);
+        assert!(l.lanes.is_empty());
+        assert_eq!(max_overlap(&[]), 0);
+    }
+
+    #[test]
+    fn identical_intervals_each_get_a_lane() {
+        let iv = vec![(0, 4); 5];
+        let l = assign_lanes(&iv);
+        assert_eq!(l.lane_count, 5);
+        let mut lanes = l.lanes.clone();
+        lanes.sort_unstable();
+        assert_eq!(lanes, vec![0, 1, 2, 3, 4]);
+    }
+}

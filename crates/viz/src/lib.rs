@@ -1,0 +1,54 @@
+//! Headless visualization engine.
+//!
+//! The paper's tool is an interactive GUI; its visualization *logic* —
+//! what this crate implements — is independent of any window system (see
+//! the substitution note in DESIGN.md). The engine provides:
+//!
+//! * a retained **scene graph** ([`Node`], [`Scene`]) of rectangles,
+//!   lines, polygons, circles, pie wedges and text, each optionally
+//!   carrying an application **tag** (e.g. a flex-offer id) for
+//!   hit-testing;
+//! * **scales and pretty axes** ([`LinearScale`], [`nice_ticks`],
+//!   [`Axis`]) — the paper's "automatic selection of 'pretty scales' of
+//!   the axes";
+//! * **lane stacking** ([`assign_lanes`]) — the dimensional-stacking
+//!   layout that places overlapping flex-offer boxes onto separate
+//!   ordinate lanes (Figures 8–9);
+//! * three **renderers**: SVG ([`render_svg`]), an in-crate rasterizer
+//!   with a built-in 5×7 font ([`Raster`]), and ASCII art
+//!   ([`render_ascii`]) for terminals;
+//! * **hit-testing** ([`hit_test`], [`GridIndex`]) for the hover
+//!   tooltips of Figure 10 and rectangle selection of Figure 8;
+//! * **incremental rendering** ([`Incremental`]) — "the incremental
+//!   rendering of flex-offers, which allows executing actions when a
+//!   flex-offer rendering is in progress (rendering does not freeze the
+//!   tool)".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ascii;
+mod axis;
+mod color;
+mod font;
+mod geometry;
+mod hittest;
+mod incremental;
+mod lanes;
+mod raster;
+mod scale;
+mod scene;
+mod svg;
+
+pub use ascii::render_ascii;
+pub use axis::{nice_ticks, Axis, Orientation};
+pub use color::{palette, Color};
+pub use font::{glyph, FONT_HEIGHT, FONT_WIDTH};
+pub use geometry::{Point, Rect};
+pub use hittest::{hit_test, rect_query, GridIndex};
+pub use incremental::{Incremental, Progress};
+pub use lanes::{assign_lanes, assign_lanes_first_fit, max_overlap, LaneLayout};
+pub use raster::Raster;
+pub use scale::LinearScale;
+pub use scene::{Anchor, Node, Scene, Style, TextNode};
+pub use svg::render_svg;

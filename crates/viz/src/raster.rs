@@ -1,0 +1,396 @@
+//! A self-contained software rasterizer (RGBA, PPM output).
+
+use crate::color::Color;
+use crate::font::{glyph, FONT_HEIGHT, FONT_WIDTH};
+use crate::geometry::Point;
+use crate::scene::{Anchor, Node, Scene, TextNode};
+use crate::svg::wedge_point;
+
+/// An RGBA pixel buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Raster {
+    width: usize,
+    height: usize,
+    pixels: Vec<u8>, // RGBA interleaved
+}
+
+impl Raster {
+    /// Creates a buffer filled with `background`.
+    pub fn new(width: usize, height: usize, background: Color) -> Raster {
+        let mut pixels = Vec::with_capacity(width * height * 4);
+        for _ in 0..width * height {
+            pixels.extend_from_slice(&[background.r, background.g, background.b, background.a]);
+        }
+        Raster { width, height, pixels }
+    }
+
+    /// Rasterizes a scene.
+    pub fn render(scene: &Scene) -> Raster {
+        let mut r = Raster::new(
+            scene.width.max(1.0) as usize,
+            scene.height.max(1.0) as usize,
+            scene.background,
+        );
+        for node in &scene.nodes {
+            r.draw(node);
+        }
+        r
+    }
+
+    /// Buffer width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Buffer height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The pixel at `(x, y)`, or `None` outside the buffer.
+    pub fn pixel(&self, x: usize, y: usize) -> Option<Color> {
+        if x >= self.width || y >= self.height {
+            return None;
+        }
+        let i = (y * self.width + x) * 4;
+        Some(Color::rgba(
+            self.pixels[i],
+            self.pixels[i + 1],
+            self.pixels[i + 2],
+            self.pixels[i + 3],
+        ))
+    }
+
+    /// Counts pixels exactly equal to `c` (ignoring alpha).
+    pub fn count_pixels(&self, c: Color) -> usize {
+        self.pixels
+            .chunks_exact(4)
+            .filter(|p| p[0] == c.r && p[1] == c.g && p[2] == c.b)
+            .count()
+    }
+
+    /// Serializes to binary PPM (P6); alpha is dropped.
+    pub fn to_ppm(&self) -> Vec<u8> {
+        let mut out = format!("P6\n{} {}\n255\n", self.width, self.height).into_bytes();
+        out.reserve(self.width * self.height * 3);
+        for p in self.pixels.chunks_exact(4) {
+            out.extend_from_slice(&p[..3]);
+        }
+        out
+    }
+
+    fn put(&mut self, x: i64, y: i64, c: Color) {
+        if x < 0 || y < 0 || x >= self.width as i64 || y >= self.height as i64 {
+            return;
+        }
+        let i = (y as usize * self.width + x as usize) * 4;
+        if c.a == 255 {
+            self.pixels[i] = c.r;
+            self.pixels[i + 1] = c.g;
+            self.pixels[i + 2] = c.b;
+            self.pixels[i + 3] = 255;
+        } else {
+            // Source-over blending.
+            let a = c.a as f64 / 255.0;
+            for (k, src) in [c.r, c.g, c.b].into_iter().enumerate() {
+                let dst = self.pixels[i + k] as f64;
+                self.pixels[i + k] = (src as f64 * a + dst * (1.0 - a)).round() as u8;
+            }
+            self.pixels[i + 3] = 255;
+        }
+    }
+
+    fn draw(&mut self, node: &Node) {
+        match node {
+            Node::Group { children, .. } => {
+                for c in children {
+                    self.draw(c);
+                }
+            }
+            Node::RectNode { rect, style, .. } => {
+                if let Some(fill) = style.fill {
+                    let x0 = rect.x.floor() as i64;
+                    let y0 = rect.y.floor() as i64;
+                    let x1 = rect.right().ceil() as i64;
+                    let y1 = rect.bottom().ceil() as i64;
+                    for y in y0..y1 {
+                        for x in x0..x1 {
+                            self.put(x, y, fill);
+                        }
+                    }
+                }
+                if let Some((c, w)) = style.stroke {
+                    let p = |x: f64, y: f64| Point::new(x, y);
+                    self.stroke_line(p(rect.x, rect.y), p(rect.right(), rect.y), c, w);
+                    self.stroke_line(p(rect.right(), rect.y), p(rect.right(), rect.bottom()), c, w);
+                    self.stroke_line(p(rect.right(), rect.bottom()), p(rect.x, rect.bottom()), c, w);
+                    self.stroke_line(p(rect.x, rect.bottom()), p(rect.x, rect.y), c, w);
+                }
+            }
+            Node::Line { from, to, style, .. } => {
+                if let Some((c, w)) = style.stroke {
+                    self.stroke_line(*from, *to, c, w);
+                }
+            }
+            Node::Polyline { points, style, .. } => {
+                if let Some((c, w)) = style.stroke {
+                    for seg in points.windows(2) {
+                        self.stroke_line(seg[0], seg[1], c, w);
+                    }
+                }
+            }
+            Node::Polygon { points, style, .. } => {
+                if let Some(fill) = style.fill {
+                    self.fill_polygon(points, fill);
+                }
+                if let Some((c, w)) = style.stroke {
+                    for i in 0..points.len() {
+                        self.stroke_line(points[i], points[(i + 1) % points.len()], c, w);
+                    }
+                }
+            }
+            Node::Circle { center, radius, style, .. } => {
+                let poly = circle_polygon(*center, *radius, 32);
+                self.draw(&Node::Polygon { points: poly, style: style.clone(), tag: None });
+            }
+            Node::Wedge { center, radius, start, end, style, .. } => {
+                let mut points = vec![*center];
+                let steps = 24.max(((end - start) * 8.0) as usize);
+                for k in 0..=steps {
+                    let a = start + (end - start) * k as f64 / steps as f64;
+                    let (x, y) = wedge_point(center.x, center.y, *radius, a);
+                    points.push(Point::new(x, y));
+                }
+                self.draw(&Node::Polygon { points, style: style.clone(), tag: None });
+            }
+            Node::Text(t) => self.draw_text(t),
+        }
+    }
+
+    fn stroke_line(&mut self, from: Point, to: Point, color: Color, width: f64) {
+        // Bresenham over the rounded endpoints; thickness by stamping a
+        // square of the stroke width.
+        let (mut x0, mut y0) = (from.x.round() as i64, from.y.round() as i64);
+        let (x1, y1) = (to.x.round() as i64, to.y.round() as i64);
+        let dx = (x1 - x0).abs();
+        let dy = -(y1 - y0).abs();
+        let sx = if x0 < x1 { 1 } else { -1 };
+        let sy = if y0 < y1 { 1 } else { -1 };
+        let mut err = dx + dy;
+        let half = ((width.max(1.0) as i64) - 1) / 2;
+        loop {
+            for oy in -half..=half.max(0) {
+                for ox in -half..=half.max(0) {
+                    self.put(x0 + ox, y0 + oy, color);
+                }
+            }
+            if x0 == x1 && y0 == y1 {
+                break;
+            }
+            let e2 = 2 * err;
+            if e2 >= dy {
+                err += dy;
+                x0 += sx;
+            }
+            if e2 <= dx {
+                err += dx;
+                y0 += sy;
+            }
+        }
+    }
+
+    fn fill_polygon(&mut self, points: &[Point], color: Color) {
+        if points.len() < 3 {
+            return;
+        }
+        let y_min = points.iter().map(|p| p.y).fold(f64::INFINITY, f64::min).floor() as i64;
+        let y_max = points.iter().map(|p| p.y).fold(f64::NEG_INFINITY, f64::max).ceil() as i64;
+        for y in y_min..=y_max {
+            let yc = y as f64 + 0.5;
+            // Gather crossings of the scanline with polygon edges.
+            let mut xs = Vec::new();
+            for i in 0..points.len() {
+                let a = points[i];
+                let b = points[(i + 1) % points.len()];
+                if (a.y > yc) != (b.y > yc) {
+                    let t = (yc - a.y) / (b.y - a.y);
+                    xs.push(a.x + t * (b.x - a.x));
+                }
+            }
+            xs.sort_by(|p, q| p.partial_cmp(q).expect("finite coordinates"));
+            for pair in xs.chunks_exact(2) {
+                let x0 = pair[0].round() as i64;
+                let x1 = pair[1].round() as i64;
+                for x in x0..=x1 {
+                    self.put(x, y, color);
+                }
+            }
+        }
+    }
+
+    fn draw_text(&mut self, t: &TextNode) {
+        // Integer glyph scaling; size is the pixel height of a glyph.
+        let scale = ((t.size / FONT_HEIGHT as f64).round() as i64).max(1);
+        let advance = (FONT_WIDTH as i64 + 1) * scale;
+        let total = advance * t.content.chars().count() as i64;
+        let mut x = match t.anchor {
+            Anchor::Start => t.pos.x.round() as i64,
+            Anchor::Middle => t.pos.x.round() as i64 - total / 2,
+            Anchor::End => t.pos.x.round() as i64 - total,
+        };
+        let y_top = t.pos.y.round() as i64 - FONT_HEIGHT as i64 * scale;
+        for c in t.content.chars() {
+            if let Some(rows) = glyph(c) {
+                for (ry, row) in rows.iter().enumerate() {
+                    for rx in 0..FONT_WIDTH {
+                        if row & (1 << (FONT_WIDTH - 1 - rx)) != 0 {
+                            for oy in 0..scale {
+                                for ox in 0..scale {
+                                    self.put(
+                                        x + rx as i64 * scale + ox,
+                                        y_top + ry as i64 * scale + oy,
+                                        t.color,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            x += advance;
+        }
+    }
+}
+
+fn circle_polygon(center: Point, radius: f64, segments: usize) -> Vec<Point> {
+    (0..segments)
+        .map(|k| {
+            let a = 2.0 * std::f64::consts::PI * k as f64 / segments as f64;
+            Point::new(center.x + radius * a.cos(), center.y + radius * a.sin())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::palette;
+    use crate::geometry::Rect;
+    use crate::scene::Style;
+
+    const RED: Color = Color::rgb(255, 0, 0);
+
+    #[test]
+    fn rect_fill_covers_expected_area() {
+        let mut scene = Scene::new(20.0, 20.0);
+        scene.push(Node::rect(Rect::new(5.0, 5.0, 10.0, 4.0), Style::filled(RED)));
+        let r = Raster::render(&scene);
+        assert_eq!(r.count_pixels(RED), 40);
+        assert_eq!(r.pixel(6, 6), Some(RED));
+        assert_eq!(r.pixel(0, 0), Some(palette::BACKGROUND));
+        assert_eq!(r.pixel(99, 99), None);
+    }
+
+    #[test]
+    fn line_is_drawn_between_endpoints() {
+        let mut scene = Scene::new(10.0, 10.0);
+        scene.push(Node::line(Point::new(0.0, 0.0), Point::new(9.0, 9.0), Style::stroked(RED, 1.0)));
+        let r = Raster::render(&scene);
+        for i in 0..10 {
+            assert_eq!(r.pixel(i, i), Some(RED), "diagonal pixel {i}");
+        }
+        assert_eq!(r.count_pixels(RED), 10);
+    }
+
+    #[test]
+    fn polygon_scanline_fill() {
+        let mut scene = Scene::new(20.0, 20.0);
+        scene.push(Node::Polygon {
+            points: vec![Point::new(2.0, 2.0), Point::new(17.0, 2.0), Point::new(2.0, 17.0)],
+            style: Style::filled(RED),
+            tag: None,
+        });
+        let r = Raster::render(&scene);
+        assert_eq!(r.pixel(4, 4), Some(RED)); // inside
+        assert_eq!(r.pixel(16, 16), Some(palette::BACKGROUND)); // outside hypotenuse
+        assert!(r.count_pixels(RED) > 80);
+    }
+
+    #[test]
+    fn alpha_blending() {
+        let mut scene = Scene::new(4.0, 4.0);
+        scene.push(Node::rect(Rect::new(0.0, 0.0, 4.0, 4.0), Style::filled(Color::rgb(0, 0, 0))));
+        scene.push(Node::rect(
+            Rect::new(0.0, 0.0, 4.0, 4.0),
+            Style::filled(Color::rgba(255, 255, 255, 128)),
+        ));
+        let r = Raster::render(&scene);
+        let p = r.pixel(1, 1).unwrap();
+        assert!((p.r as i32 - 128).abs() <= 1, "blended {p:?}");
+    }
+
+    #[test]
+    fn text_marks_pixels() {
+        let mut scene = Scene::new(60.0, 20.0);
+        scene.push(Node::text(Point::new(2.0, 15.0), "A1", 7.0, RED));
+        let r = Raster::render(&scene);
+        assert!(r.count_pixels(RED) > 10, "glyphs should be visible");
+        // Unsupported characters are skipped without panicking.
+        let mut scene2 = Scene::new(20.0, 20.0);
+        scene2.push(Node::text(Point::new(2.0, 15.0), "€€", 7.0, RED));
+        let r2 = Raster::render(&scene2);
+        assert_eq!(r2.count_pixels(RED), 0);
+    }
+
+    #[test]
+    fn wedge_and_circle_fill() {
+        let mut scene = Scene::new(40.0, 40.0);
+        scene.push(Node::Circle {
+            center: Point::new(20.0, 20.0),
+            radius: 10.0,
+            style: Style::filled(RED),
+            tag: None,
+        });
+        let r = Raster::render(&scene);
+        let area = r.count_pixels(RED) as f64;
+        let expected = std::f64::consts::PI * 100.0;
+        assert!((area - expected).abs() / expected < 0.2, "circle area {area} vs {expected}");
+
+        let mut scene = Scene::new(40.0, 40.0);
+        scene.push(Node::Wedge {
+            center: Point::new(20.0, 20.0),
+            radius: 10.0,
+            start: 0.0,
+            end: std::f64::consts::FRAC_PI_2,
+            style: Style::filled(RED),
+            tag: None,
+        });
+        let r = Raster::render(&scene);
+        // Quarter disc ≈ 78.5 px; the top-right quadrant holds the wedge.
+        assert!(r.pixel(25, 14).is_some_and(|c| c == RED));
+        assert_eq!(r.pixel(14, 25), Some(palette::BACKGROUND));
+    }
+
+    #[test]
+    fn ppm_output_well_formed() {
+        let scene = Scene::new(3.0, 2.0);
+        let r = Raster::render(&scene);
+        let ppm = r.to_ppm();
+        let header = b"P6\n3 2\n255\n";
+        assert_eq!(&ppm[..header.len()], header);
+        assert_eq!(ppm.len(), header.len() + 3 * 2 * 3);
+        assert_eq!(r.width(), 3);
+        assert_eq!(r.height(), 2);
+    }
+
+    #[test]
+    fn thick_lines_are_wider() {
+        let mut thin = Scene::new(20.0, 20.0);
+        thin.push(Node::line(Point::new(0.0, 10.0), Point::new(19.0, 10.0), Style::stroked(RED, 1.0)));
+        let mut thick = Scene::new(20.0, 20.0);
+        thick.push(Node::line(Point::new(0.0, 10.0), Point::new(19.0, 10.0), Style::stroked(RED, 3.0)));
+        assert!(
+            Raster::render(&thick).count_pixels(RED) > 2 * Raster::render(&thin).count_pixels(RED)
+        );
+    }
+}

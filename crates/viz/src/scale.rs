@@ -1,0 +1,98 @@
+//! Linear scales between data and screen coordinates.
+
+/// A linear mapping from a data domain to a screen range. Inverted
+/// ranges (e.g. `range.0 > range.1` for y axes growing upward) are
+/// supported.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearScale {
+    domain: (f64, f64),
+    range: (f64, f64),
+}
+
+impl LinearScale {
+    /// Creates a scale; a degenerate domain is widened by ±0.5 so the
+    /// mapping stays defined.
+    pub fn new(domain: (f64, f64), range: (f64, f64)) -> LinearScale {
+        let domain = if (domain.1 - domain.0).abs() < f64::EPSILON {
+            (domain.0 - 0.5, domain.1 + 0.5)
+        } else {
+            domain
+        };
+        LinearScale { domain, range }
+    }
+
+    /// The data domain.
+    pub fn domain(&self) -> (f64, f64) {
+        self.domain
+    }
+
+    /// The screen range.
+    pub fn range(&self) -> (f64, f64) {
+        self.range
+    }
+
+    /// Maps a data value to screen coordinates (extrapolates outside the
+    /// domain).
+    pub fn map(&self, v: f64) -> f64 {
+        let t = (v - self.domain.0) / (self.domain.1 - self.domain.0);
+        self.range.0 + t * (self.range.1 - self.range.0)
+    }
+
+    /// Inverse mapping from screen to data coordinates.
+    pub fn invert(&self, px: f64) -> f64 {
+        let t = (px - self.range.0) / (self.range.1 - self.range.0);
+        self.domain.0 + t * (self.domain.1 - self.domain.0)
+    }
+
+    /// Screen length of one data unit (may be negative for inverted
+    /// ranges).
+    pub fn unit(&self) -> f64 {
+        self.map(1.0) - self.map(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_endpoints() {
+        let s = LinearScale::new((0.0, 10.0), (100.0, 200.0));
+        assert_eq!(s.map(0.0), 100.0);
+        assert_eq!(s.map(10.0), 200.0);
+        assert_eq!(s.map(5.0), 150.0);
+        assert_eq!(s.unit(), 10.0);
+        assert_eq!(s.domain(), (0.0, 10.0));
+        assert_eq!(s.range(), (100.0, 200.0));
+    }
+
+    #[test]
+    fn inverted_range_for_y_axis() {
+        let s = LinearScale::new((0.0, 1.0), (300.0, 0.0));
+        assert_eq!(s.map(0.0), 300.0);
+        assert_eq!(s.map(1.0), 0.0);
+        assert!(s.unit() < 0.0);
+    }
+
+    #[test]
+    fn invert_round_trips() {
+        let s = LinearScale::new((-5.0, 15.0), (0.0, 640.0));
+        for v in [-5.0, 0.0, 7.5, 15.0, 20.0] {
+            assert!((s.invert(s.map(v)) - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn degenerate_domain_widens() {
+        let s = LinearScale::new((3.0, 3.0), (0.0, 100.0));
+        assert!(s.map(3.0).is_finite());
+        assert_eq!(s.map(3.0), 50.0);
+    }
+
+    #[test]
+    fn extrapolates_outside_domain() {
+        let s = LinearScale::new((0.0, 10.0), (0.0, 100.0));
+        assert!((s.map(-1.0) + 10.0).abs() < 1e-9);
+        assert!((s.map(11.0) - 110.0).abs() < 1e-9);
+    }
+}

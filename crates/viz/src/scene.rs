@@ -1,0 +1,402 @@
+//! The retained scene graph.
+
+use crate::color::Color;
+use crate::geometry::{Point, Rect};
+
+/// Fill/stroke styling shared by all primitives.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Style {
+    /// Interior fill; `None` leaves the shape hollow.
+    pub fill: Option<Color>,
+    /// Stroke color and width.
+    pub stroke: Option<(Color, f64)>,
+    /// Dash pattern in pixels (`None` = solid), e.g. `[4.0, 2.0]`.
+    pub dash: Option<Vec<f64>>,
+}
+
+impl Style {
+    /// A filled style without stroke.
+    pub fn filled(c: Color) -> Style {
+        Style { fill: Some(c), stroke: None, dash: None }
+    }
+
+    /// A stroked style without fill.
+    pub fn stroked(c: Color, width: f64) -> Style {
+        Style { fill: None, stroke: Some((c, width)), dash: None }
+    }
+
+    /// Adds a stroke to a style.
+    pub fn with_stroke(mut self, c: Color, width: f64) -> Style {
+        self.stroke = Some((c, width));
+        self
+    }
+
+    /// Adds a dash pattern.
+    pub fn with_dash(mut self, pattern: Vec<f64>) -> Style {
+        self.dash = Some(pattern);
+        self
+    }
+}
+
+/// Horizontal anchoring of text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Anchor {
+    /// Text starts at the given point.
+    #[default]
+    Start,
+    /// Text is centred on the point.
+    Middle,
+    /// Text ends at the point.
+    End,
+}
+
+/// A text primitive (y is the baseline).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TextNode {
+    /// Anchor position.
+    pub pos: Point,
+    /// The text content.
+    pub content: String,
+    /// Font size in pixels (glyph height).
+    pub size: f64,
+    /// Horizontal anchoring.
+    pub anchor: Anchor,
+    /// Text color.
+    pub color: Color,
+}
+
+/// One node of the scene graph. Primitives carry an optional `tag`
+/// (application id — e.g. a flex-offer id) used by hit-testing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Node {
+    /// A group of child nodes (no transform; grouping is semantic).
+    Group {
+        /// Optional group label (used for SVG `id` attributes).
+        label: Option<String>,
+        /// Child nodes.
+        children: Vec<Node>,
+    },
+    /// An axis-aligned rectangle.
+    RectNode {
+        /// Geometry.
+        rect: Rect,
+        /// Styling.
+        style: Style,
+        /// Hit-test tag.
+        tag: Option<u64>,
+    },
+    /// A line segment.
+    Line {
+        /// One endpoint.
+        from: Point,
+        /// Other endpoint.
+        to: Point,
+        /// Styling (stroke only).
+        style: Style,
+        /// Hit-test tag.
+        tag: Option<u64>,
+    },
+    /// A connected polyline (not closed).
+    Polyline {
+        /// Vertices in order.
+        points: Vec<Point>,
+        /// Styling (stroke only).
+        style: Style,
+        /// Hit-test tag.
+        tag: Option<u64>,
+    },
+    /// A closed polygon.
+    Polygon {
+        /// Vertices in order (closing edge implicit).
+        points: Vec<Point>,
+        /// Styling.
+        style: Style,
+        /// Hit-test tag.
+        tag: Option<u64>,
+    },
+    /// A circle.
+    Circle {
+        /// Centre.
+        center: Point,
+        /// Radius.
+        radius: f64,
+        /// Styling.
+        style: Style,
+        /// Hit-test tag.
+        tag: Option<u64>,
+    },
+    /// A pie wedge (angles in radians, clockwise from 12 o'clock).
+    Wedge {
+        /// Centre.
+        center: Point,
+        /// Radius.
+        radius: f64,
+        /// Start angle.
+        start: f64,
+        /// End angle (> start).
+        end: f64,
+        /// Styling.
+        style: Style,
+        /// Hit-test tag.
+        tag: Option<u64>,
+    },
+    /// Text.
+    Text(TextNode),
+}
+
+impl Node {
+    /// Convenience rectangle constructor.
+    pub fn rect(rect: Rect, style: Style) -> Node {
+        Node::RectNode { rect, style, tag: None }
+    }
+
+    /// Convenience tagged-rectangle constructor.
+    pub fn tagged_rect(rect: Rect, style: Style, tag: u64) -> Node {
+        Node::RectNode { rect, style, tag: Some(tag) }
+    }
+
+    /// Convenience line constructor.
+    pub fn line(from: Point, to: Point, style: Style) -> Node {
+        Node::Line { from, to, style, tag: None }
+    }
+
+    /// Convenience text constructor.
+    pub fn text(pos: Point, content: impl Into<String>, size: f64, color: Color) -> Node {
+        Node::Text(TextNode { pos, content: content.into(), size, anchor: Anchor::Start, color })
+    }
+
+    /// Convenience centred-text constructor.
+    pub fn text_centered(pos: Point, content: impl Into<String>, size: f64, color: Color) -> Node {
+        Node::Text(TextNode { pos, content: content.into(), size, anchor: Anchor::Middle, color })
+    }
+
+    /// Convenience group constructor.
+    pub fn group(label: impl Into<String>, children: Vec<Node>) -> Node {
+        Node::Group { label: Some(label.into()), children }
+    }
+
+    /// The tag on this node, if any.
+    pub fn tag(&self) -> Option<u64> {
+        match self {
+            Node::RectNode { tag, .. }
+            | Node::Line { tag, .. }
+            | Node::Polyline { tag, .. }
+            | Node::Polygon { tag, .. }
+            | Node::Circle { tag, .. }
+            | Node::Wedge { tag, .. } => *tag,
+            Node::Group { .. } | Node::Text(_) => None,
+        }
+    }
+
+    /// Approximate bounding rectangle (text extent estimated from glyph
+    /// metrics).
+    pub fn bounds(&self) -> Option<Rect> {
+        match self {
+            Node::Group { children, .. } => {
+                let mut acc: Option<Rect> = None;
+                for c in children {
+                    if let Some(b) = c.bounds() {
+                        acc = Some(match acc {
+                            Some(a) => a.union(&b),
+                            None => b,
+                        });
+                    }
+                }
+                acc
+            }
+            Node::RectNode { rect, .. } => Some(*rect),
+            Node::Line { from, to, .. } => Some(Rect::from_corners(*from, *to)),
+            Node::Polyline { points, .. } | Node::Polygon { points, .. } => {
+                points_bounds(points)
+            }
+            Node::Circle { center, radius, .. }
+            | Node::Wedge { center, radius, .. } => Some(Rect::new(
+                center.x - radius,
+                center.y - radius,
+                2.0 * radius,
+                2.0 * radius,
+            )),
+            Node::Text(t) => {
+                let w = t.content.chars().count() as f64 * t.size * 0.66;
+                let x = match t.anchor {
+                    Anchor::Start => t.pos.x,
+                    Anchor::Middle => t.pos.x - w / 2.0,
+                    Anchor::End => t.pos.x - w,
+                };
+                Some(Rect::new(x, t.pos.y - t.size, w, t.size * 1.2))
+            }
+        }
+    }
+
+    /// Total primitive count (groups excluded, recursively).
+    pub fn primitive_count(&self) -> usize {
+        match self {
+            Node::Group { children, .. } => children.iter().map(Node::primitive_count).sum(),
+            _ => 1,
+        }
+    }
+}
+
+fn points_bounds(points: &[Point]) -> Option<Rect> {
+    let first = points.first()?;
+    let mut r = Rect::new(first.x, first.y, 0.0, 0.0);
+    for p in &points[1..] {
+        r = r.union(&Rect::new(p.x, p.y, 0.0, 0.0));
+    }
+    Some(r)
+}
+
+/// A complete scene: a canvas size plus root nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scene {
+    /// Canvas width in pixels.
+    pub width: f64,
+    /// Canvas height in pixels.
+    pub height: f64,
+    /// Background color.
+    pub background: Color,
+    /// Root nodes in paint order.
+    pub nodes: Vec<Node>,
+}
+
+impl Scene {
+    /// Creates an empty scene with a white background.
+    pub fn new(width: f64, height: f64) -> Scene {
+        Scene {
+            width,
+            height,
+            background: crate::color::palette::BACKGROUND,
+            nodes: Vec::new(),
+        }
+    }
+
+    /// Appends a root node.
+    pub fn push(&mut self, node: Node) {
+        self.nodes.push(node);
+    }
+
+    /// Total primitive count.
+    pub fn primitive_count(&self) -> usize {
+        self.nodes.iter().map(Node::primitive_count).sum()
+    }
+
+    /// Depth-first visit of every node (groups included).
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a Node)) {
+        fn walk<'a>(node: &'a Node, f: &mut impl FnMut(&'a Node)) {
+            f(node);
+            if let Node::Group { children, .. } = node {
+                for c in children {
+                    walk(c, f);
+                }
+            }
+        }
+        for n in &self.nodes {
+            walk(n, f);
+        }
+    }
+
+    /// Collects all text contents (tests assert on labels through this).
+    pub fn texts(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.visit(&mut |n| {
+            if let Node::Text(t) = n {
+                out.push(t.content.as_str());
+            }
+        });
+        out
+    }
+
+    /// Collects all tags present in the scene.
+    pub fn tags(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.visit(&mut |n| {
+            if let Some(t) = n.tag() {
+                out.push(t);
+            }
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::palette;
+
+    #[test]
+    fn style_builders() {
+        let s = Style::filled(palette::AGGREGATED).with_stroke(palette::AXIS, 2.0).with_dash(vec![3.0, 1.0]);
+        assert!(s.fill.is_some());
+        assert_eq!(s.stroke.unwrap().1, 2.0);
+        assert_eq!(s.dash.unwrap(), vec![3.0, 1.0]);
+        let s = Style::stroked(palette::AXIS, 1.0);
+        assert!(s.fill.is_none());
+    }
+
+    #[test]
+    fn tags_and_counts() {
+        let mut scene = Scene::new(100.0, 100.0);
+        scene.push(Node::group(
+            "g",
+            vec![
+                Node::tagged_rect(Rect::new(0.0, 0.0, 10.0, 10.0), Style::default(), 7),
+                Node::line(Point::new(0.0, 0.0), Point::new(5.0, 5.0), Style::default()),
+            ],
+        ));
+        scene.push(Node::text(Point::new(1.0, 1.0), "hello", 10.0, palette::AXIS));
+        assert_eq!(scene.primitive_count(), 3);
+        assert_eq!(scene.tags(), vec![7]);
+        assert_eq!(scene.texts(), vec!["hello"]);
+    }
+
+    #[test]
+    fn bounds_cover_children() {
+        let g = Node::group(
+            "g",
+            vec![
+                Node::rect(Rect::new(0.0, 0.0, 10.0, 10.0), Style::default()),
+                Node::rect(Rect::new(20.0, 20.0, 5.0, 5.0), Style::default()),
+            ],
+        );
+        let b = g.bounds().unwrap();
+        assert_eq!(b, Rect::new(0.0, 0.0, 25.0, 25.0));
+        let empty = Node::group("e", vec![]);
+        assert!(empty.bounds().is_none());
+    }
+
+    #[test]
+    fn primitive_bounds() {
+        let c = Node::Circle {
+            center: Point::new(5.0, 5.0),
+            radius: 2.0,
+            style: Style::default(),
+            tag: None,
+        };
+        assert_eq!(c.bounds().unwrap(), Rect::new(3.0, 3.0, 4.0, 4.0));
+        let pl = Node::Polyline {
+            points: vec![Point::new(0.0, 0.0), Point::new(4.0, 3.0), Point::new(-1.0, 1.0)],
+            style: Style::default(),
+            tag: Some(3),
+        };
+        assert_eq!(pl.bounds().unwrap(), Rect::new(-1.0, 0.0, 5.0, 3.0));
+        assert_eq!(pl.tag(), Some(3));
+        let t = Node::text_centered(Point::new(50.0, 10.0), "ab", 10.0, palette::AXIS);
+        let tb = t.bounds().unwrap();
+        assert!(tb.contains(Point::new(50.0, 5.0)));
+    }
+
+    #[test]
+    fn visit_reaches_nested_nodes() {
+        let mut scene = Scene::new(10.0, 10.0);
+        scene.push(Node::group(
+            "outer",
+            vec![Node::group(
+                "inner",
+                vec![Node::rect(Rect::new(0.0, 0.0, 1.0, 1.0), Style::default())],
+            )],
+        ));
+        let mut count = 0;
+        scene.visit(&mut |_| count += 1);
+        assert_eq!(count, 3); // outer group, inner group, rect
+    }
+}

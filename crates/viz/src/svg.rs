@@ -1,0 +1,286 @@
+//! SVG rendering backend.
+
+use std::fmt::Write as _;
+
+use crate::scene::{Anchor, Node, Scene, Style, TextNode};
+
+/// Renders a scene to an SVG document string.
+pub fn render_svg(scene: &Scene) -> String {
+    let mut out = String::with_capacity(1024 + scene.primitive_count() * 96);
+    let _ = writeln!(
+        out,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" \
+         viewBox=\"0 0 {w} {h}\">",
+        w = fmt(scene.width),
+        h = fmt(scene.height),
+    );
+    let _ = writeln!(
+        out,
+        "<rect x=\"0\" y=\"0\" width=\"{}\" height=\"{}\" fill=\"{}\"/>",
+        fmt(scene.width),
+        fmt(scene.height),
+        scene.background.to_hex()
+    );
+    for node in &scene.nodes {
+        render_node(&mut out, node);
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+fn render_node(out: &mut String, node: &Node) {
+    match node {
+        Node::Group { label, children } => {
+            match label {
+                Some(l) => {
+                    let _ = writeln!(out, "<g id=\"{}\">", escape(l));
+                }
+                None => out.push_str("<g>\n"),
+            }
+            for c in children {
+                render_node(out, c);
+            }
+            out.push_str("</g>\n");
+        }
+        Node::RectNode { rect, style, .. } => {
+            let _ = writeln!(
+                out,
+                "<rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\"{}/>",
+                fmt(rect.x),
+                fmt(rect.y),
+                fmt(rect.w),
+                fmt(rect.h),
+                style_attrs(style)
+            );
+        }
+        Node::Line { from, to, style, .. } => {
+            let _ = writeln!(
+                out,
+                "<line x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\"{}/>",
+                fmt(from.x),
+                fmt(from.y),
+                fmt(to.x),
+                fmt(to.y),
+                style_attrs(style)
+            );
+        }
+        Node::Polyline { points, style, .. } => {
+            let pts: Vec<String> =
+                points.iter().map(|p| format!("{},{}", fmt(p.x), fmt(p.y))).collect();
+            let _ = writeln!(out, "<polyline points=\"{}\" fill=\"none\"{}/>", pts.join(" "), stroke_attrs(style));
+        }
+        Node::Polygon { points, style, .. } => {
+            let pts: Vec<String> =
+                points.iter().map(|p| format!("{},{}", fmt(p.x), fmt(p.y))).collect();
+            let _ = writeln!(out, "<polygon points=\"{}\"{}/>", pts.join(" "), style_attrs(style));
+        }
+        Node::Circle { center, radius, style, .. } => {
+            let _ = writeln!(
+                out,
+                "<circle cx=\"{}\" cy=\"{}\" r=\"{}\"{}/>",
+                fmt(center.x),
+                fmt(center.y),
+                fmt(*radius),
+                style_attrs(style)
+            );
+        }
+        Node::Wedge { center, radius, start, end, style, .. } => {
+            // Angles are clockwise from 12 o'clock.
+            let (sx, sy) = wedge_point(center.x, center.y, *radius, *start);
+            let (ex, ey) = wedge_point(center.x, center.y, *radius, *end);
+            let large = if end - start > std::f64::consts::PI { 1 } else { 0 };
+            let _ = writeln!(
+                out,
+                "<path d=\"M {cx} {cy} L {sx} {sy} A {r} {r} 0 {large} 1 {ex} {ey} Z\"{attrs}/>",
+                cx = fmt(center.x),
+                cy = fmt(center.y),
+                sx = fmt(sx),
+                sy = fmt(sy),
+                r = fmt(*radius),
+                ex = fmt(ex),
+                ey = fmt(ey),
+                attrs = style_attrs(style)
+            );
+        }
+        Node::Text(t) => render_text(out, t),
+    }
+}
+
+fn render_text(out: &mut String, t: &TextNode) {
+    let anchor = match t.anchor {
+        Anchor::Start => "start",
+        Anchor::Middle => "middle",
+        Anchor::End => "end",
+    };
+    let _ = writeln!(
+        out,
+        "<text x=\"{}\" y=\"{}\" font-size=\"{}\" font-family=\"sans-serif\" \
+         text-anchor=\"{}\" fill=\"{}\">{}</text>",
+        fmt(t.pos.x),
+        fmt(t.pos.y),
+        fmt(t.size),
+        anchor,
+        t.color.to_hex(),
+        escape(&t.content)
+    );
+}
+
+pub(crate) fn wedge_point(cx: f64, cy: f64, r: f64, angle: f64) -> (f64, f64) {
+    // Clockwise from 12 o'clock: x = sin, y = -cos.
+    (cx + r * angle.sin(), cy - r * angle.cos())
+}
+
+fn style_attrs(style: &Style) -> String {
+    let mut s = String::new();
+    match style.fill {
+        Some(c) => {
+            let _ = write!(s, " fill=\"{}\"", c.to_hex());
+            if c.a != 255 {
+                let _ = write!(s, " fill-opacity=\"{:.3}\"", c.a as f64 / 255.0);
+            }
+        }
+        None => s.push_str(" fill=\"none\""),
+    }
+    s.push_str(&stroke_attrs(style));
+    s
+}
+
+fn stroke_attrs(style: &Style) -> String {
+    let mut s = String::new();
+    if let Some((c, w)) = style.stroke {
+        let _ = write!(s, " stroke=\"{}\" stroke-width=\"{}\"", c.to_hex(), fmt(w));
+        if c.a != 255 {
+            let _ = write!(s, " stroke-opacity=\"{:.3}\"", c.a as f64 / 255.0);
+        }
+        if let Some(dash) = &style.dash {
+            let pattern: Vec<String> = dash.iter().map(|d| fmt(*d)).collect();
+            let _ = write!(s, " stroke-dasharray=\"{}\"", pattern.join(" "));
+        }
+    }
+    s
+}
+
+fn escape(text: &str) -> String {
+    text.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+}
+
+/// Compact numeric formatting (strips trailing zeros).
+fn fmt(v: f64) -> String {
+    if (v - v.round()).abs() < 1e-9 {
+        format!("{}", v.round() as i64)
+    } else {
+        let s = format!("{v:.3}");
+        s.trim_end_matches('0').trim_end_matches('.').to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::{palette, Color};
+    use crate::geometry::{Point, Rect};
+
+    #[test]
+    fn document_structure() {
+        let mut scene = Scene::new(320.0, 240.0);
+        scene.push(Node::rect(Rect::new(10.0, 20.0, 30.0, 40.0), Style::filled(palette::NON_AGGREGATED)));
+        let svg = render_svg(&scene);
+        assert!(svg.starts_with("<svg "));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("width=\"320\""));
+        assert!(svg.contains("<rect x=\"10\" y=\"20\" width=\"30\" height=\"40\""));
+        assert!(svg.contains("#add8e6"));
+    }
+
+    #[test]
+    fn all_primitives_render() {
+        let mut scene = Scene::new(100.0, 100.0);
+        scene.push(Node::group(
+            "everything",
+            vec![
+                Node::rect(Rect::new(0.0, 0.0, 1.0, 1.0), Style::default()),
+                Node::line(Point::new(0.0, 0.0), Point::new(1.0, 1.0), Style::stroked(palette::AXIS, 1.0)),
+                Node::Polyline {
+                    points: vec![Point::new(0.0, 0.0), Point::new(2.0, 2.0)],
+                    style: Style::stroked(palette::SCHEDULE, 1.0),
+                    tag: None,
+                },
+                Node::Polygon {
+                    points: vec![Point::new(0.0, 0.0), Point::new(2.0, 0.0), Point::new(1.0, 2.0)],
+                    style: Style::filled(palette::AGGREGATED),
+                    tag: None,
+                },
+                Node::Circle { center: Point::new(5.0, 5.0), radius: 2.0, style: Style::default(), tag: None },
+                Node::Wedge {
+                    center: Point::new(5.0, 5.0),
+                    radius: 3.0,
+                    start: 0.0,
+                    end: 2.0,
+                    style: Style::filled(palette::STATUS_ACCEPTED),
+                    tag: None,
+                },
+                Node::text(Point::new(1.0, 9.0), "label", 8.0, palette::AXIS),
+            ],
+        ));
+        let svg = render_svg(&scene);
+        for tag in ["<rect", "<line", "<polyline", "<polygon", "<circle", "<path", "<text", "<g id=\"everything\""] {
+            assert!(svg.contains(tag), "missing {tag}");
+        }
+    }
+
+    #[test]
+    fn text_is_escaped() {
+        let mut scene = Scene::new(10.0, 10.0);
+        scene.push(Node::text(Point::new(0.0, 5.0), "a<b & \"c\">", 8.0, palette::AXIS));
+        let svg = render_svg(&scene);
+        assert!(svg.contains("a&lt;b &amp; &quot;c&quot;&gt;"));
+        assert!(!svg.contains("a<b"));
+    }
+
+    #[test]
+    fn dash_and_alpha_attributes() {
+        let mut scene = Scene::new(10.0, 10.0);
+        let style = Style::stroked(Color::rgba(255, 0, 0, 128), 1.5).with_dash(vec![4.0, 2.0]);
+        scene.push(Node::line(Point::new(0.0, 0.0), Point::new(9.0, 9.0), style));
+        scene.push(Node::rect(
+            Rect::new(0.0, 0.0, 5.0, 5.0),
+            Style::filled(Color::rgba(0, 0, 255, 64)),
+        ));
+        let svg = render_svg(&scene);
+        assert!(svg.contains("stroke-dasharray=\"4 2\""));
+        assert!(svg.contains("stroke-opacity=\"0.502\""));
+        assert!(svg.contains("fill-opacity=\"0.251\""));
+        assert!(svg.contains("stroke-width=\"1.5\""));
+    }
+
+    #[test]
+    fn wedge_large_arc_flag() {
+        let mut scene = Scene::new(10.0, 10.0);
+        scene.push(Node::Wedge {
+            center: Point::new(5.0, 5.0),
+            radius: 4.0,
+            start: 0.0,
+            end: 5.0, // > π
+            style: Style::filled(palette::STATUS_REJECTED),
+            tag: None,
+        });
+        let svg = render_svg(&scene);
+        assert!(svg.contains(" 1 1 "), "large-arc flag expected: {svg}");
+    }
+
+    #[test]
+    fn wedge_points_start_at_twelve_oclock() {
+        let (x, y) = wedge_point(0.0, 0.0, 1.0, 0.0);
+        assert!(x.abs() < 1e-12 && (y + 1.0).abs() < 1e-12);
+        let (x, y) = wedge_point(0.0, 0.0, 1.0, std::f64::consts::FRAC_PI_2);
+        assert!((x - 1.0).abs() < 1e-12 && y.abs() < 1e-12);
+    }
+
+    #[test]
+    fn numeric_formatting_is_compact() {
+        assert_eq!(fmt(5.0), "5");
+        assert_eq!(fmt(5.25), "5.25");
+        assert_eq!(fmt(5.100), "5.1");
+        assert_eq!(fmt(-3.0), "-3");
+    }
+}

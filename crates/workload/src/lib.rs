@@ -1,0 +1,46 @@
+//! Seeded synthetic workloads.
+//!
+//! The MIRABEL enterprise of the paper "collects millions of energy
+//! readings and flex-offers from individual prosumers (e.g., households)
+//! in a certain geographical region, e.g., Denmark" (Section 2). That
+//! data is proprietary, so the reproduction generates statistically
+//! similar synthetic workloads (see the substitution table in DESIGN.md):
+//!
+//! * [`Population`] — prosumers placed on the synthetic Denmark geography
+//!   (proportionally to city weights) and attached to grid feeders, with
+//!   type-dependent appliance portfolios;
+//! * [`generate_offers`] — flex-offers drawn from per-appliance
+//!   archetypes (EV night charging — the paper's running example — heat
+//!   pumps, wet appliances, batteries, industrial processes, and RES
+//!   production offers);
+//! * [`curves`] — diurnal base-load and RES supply curves (solar bell +
+//!   autocorrelated wind) for the Figure 1 balancing experiment.
+//!
+//! Everything is deterministic in the explicit seeds: the same
+//! [`ScenarioConfig`] always regenerates the same scenario, which is what
+//! makes the figure artefacts reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use mirabel_workload::{Scenario, ScenarioConfig};
+//!
+//! let scenario = Scenario::generate(&ScenarioConfig { prosumers: 100, ..Default::default() });
+//! assert_eq!(scenario.population.prosumers().len(), 100);
+//! assert!(!scenario.offers.is_empty());
+//! // Deterministic: regenerating gives the identical offer set.
+//! let again = Scenario::generate(&ScenarioConfig { prosumers: 100, ..Default::default() });
+//! assert_eq!(scenario.offers.len(), again.offers.len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod curves;
+mod offers;
+mod population;
+mod scenario;
+
+pub use offers::{generate_offers, OfferConfig, OfferStats};
+pub use population::{Population, PopulationConfig, Prosumer};
+pub use scenario::{Scenario, ScenarioConfig};

@@ -1,0 +1,274 @@
+//! Synthetic prosumer populations.
+
+use mirabel_flexoffer::{ApplianceType, ProsumerId, ProsumerType};
+use mirabel_geo::{CityId, DistrictId, Geography};
+use mirabel_grid::{GridConfig, GridTopology, NodeId, NodeKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One synthetic prosumer: a legal entity (Figure 7 loads flex-offers per
+/// legal entity) with a location in the geography and a connection point
+/// in the grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prosumer {
+    /// Stable id; offers reference it.
+    pub id: ProsumerId,
+    /// Display name, e.g. `"Household-17 (Aarhus)"`.
+    pub name: String,
+    /// Category (drives the appliance portfolio and offer volume).
+    pub prosumer_type: ProsumerType,
+    /// City of residence.
+    pub city: CityId,
+    /// District within the city.
+    pub district: DistrictId,
+    /// Feeder the prosumer's meter hangs on.
+    pub feeder: NodeId,
+    /// Appliances that emit flex-offers.
+    pub appliances: Vec<ApplianceType>,
+}
+
+/// Parameters for population generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PopulationConfig {
+    /// Number of prosumers.
+    pub size: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Fraction of households (the remainder splits between commercial,
+    /// industry and plants).
+    pub household_share: f64,
+}
+
+impl Default for PopulationConfig {
+    fn default() -> Self {
+        PopulationConfig { size: 1_000, seed: 0xD4_EB, household_share: 0.8 }
+    }
+}
+
+/// A generated population bound to its geography and grid.
+#[derive(Debug, Clone)]
+pub struct Population {
+    geography: Geography,
+    grid: GridTopology,
+    prosumers: Vec<Prosumer>,
+}
+
+impl Population {
+    /// Generates a population on the synthetic Denmark and the paper
+    /// grid configuration.
+    pub fn generate(config: &PopulationConfig) -> Population {
+        let geography = Geography::synthetic_denmark();
+        let grid = GridTopology::synthetic(&GridConfig::paper());
+        Population::generate_with(config, geography, grid)
+    }
+
+    /// Generates a population on explicit geography and grid substrates.
+    pub fn generate_with(
+        config: &PopulationConfig,
+        geography: Geography,
+        grid: GridTopology,
+    ) -> Population {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let feeders: Vec<NodeId> =
+            grid.nodes_of_kind(NodeKind::Feeder).map(|n| n.id).collect();
+        assert!(!feeders.is_empty(), "grid must have feeders");
+
+        // Cumulative city weights for proportional placement.
+        let total_weight: f64 = geography.cities().iter().map(|c| c.weight).sum();
+        let mut prosumers = Vec::with_capacity(config.size);
+        for i in 0..config.size {
+            let id = ProsumerId(i as u64 + 1);
+            let prosumer_type = draw_type(&mut rng, config.household_share);
+            // Proportional city draw.
+            let mut pick = rng.gen_range(0.0..total_weight);
+            let mut city = geography.cities().last().expect("cities");
+            for c in geography.cities() {
+                if pick < c.weight {
+                    city = c;
+                    break;
+                }
+                pick -= c.weight;
+            }
+            let districts: Vec<DistrictId> =
+                geography.districts_of(city.id).map(|d| d.id).collect();
+            let district = districts[rng.gen_range(0..districts.len())];
+            let feeder = feeders[rng.gen_range(0..feeders.len())];
+            let appliances = appliances_for(&mut rng, prosumer_type);
+            prosumers.push(Prosumer {
+                id,
+                name: format!("{}-{} ({})", type_slug(prosumer_type), i + 1, city.name),
+                prosumer_type,
+                city: city.id,
+                district,
+                feeder,
+                appliances,
+            });
+        }
+        Population { geography, grid, prosumers }
+    }
+
+    /// The geography the population lives on.
+    pub fn geography(&self) -> &Geography {
+        &self.geography
+    }
+
+    /// The grid the population is connected to.
+    pub fn grid(&self) -> &GridTopology {
+        &self.grid
+    }
+
+    /// All prosumers in id order.
+    pub fn prosumers(&self) -> &[Prosumer] {
+        &self.prosumers
+    }
+
+    /// Looks up a prosumer by id.
+    pub fn prosumer(&self, id: ProsumerId) -> Option<&Prosumer> {
+        let idx = id.raw().checked_sub(1)? as usize;
+        self.prosumers.get(idx)
+    }
+}
+
+fn draw_type(rng: &mut StdRng, household_share: f64) -> ProsumerType {
+    let x: f64 = rng.gen();
+    if x < household_share {
+        return ProsumerType::Household;
+    }
+    // Remaining mass: commercial 40%, small industry 25%, heavy industry
+    // 15%, RES plants 15%, conventional plants 5%.
+    let y = (x - household_share) / (1.0 - household_share).max(1e-9);
+    if y < 0.40 {
+        ProsumerType::Commercial
+    } else if y < 0.65 {
+        ProsumerType::SmallIndustry
+    } else if y < 0.80 {
+        ProsumerType::HeavyIndustry
+    } else if y < 0.95 {
+        ProsumerType::ResPlant
+    } else {
+        ProsumerType::ConventionalPlant
+    }
+}
+
+fn appliances_for(rng: &mut StdRng, t: ProsumerType) -> Vec<ApplianceType> {
+    match t {
+        ProsumerType::Household => {
+            let mut a = vec![ApplianceType::Dishwasher, ApplianceType::WashingMachine];
+            if rng.gen_bool(0.4) {
+                a.push(ApplianceType::ElectricVehicle);
+            }
+            if rng.gen_bool(0.5) {
+                a.push(ApplianceType::HeatPump);
+            }
+            if rng.gen_bool(0.1) {
+                a.push(ApplianceType::Battery);
+            }
+            a
+        }
+        ProsumerType::Commercial => vec![ApplianceType::HeatPump, ApplianceType::Battery],
+        ProsumerType::SmallIndustry | ProsumerType::HeavyIndustry => {
+            vec![ApplianceType::IndustrialProcess]
+        }
+        ProsumerType::ResPlant => {
+            if rng.gen_bool(0.6) {
+                vec![ApplianceType::WindTurbine]
+            } else {
+                vec![ApplianceType::SolarPanel]
+            }
+        }
+        ProsumerType::ConventionalPlant => vec![ApplianceType::HydroGenerator],
+    }
+}
+
+fn type_slug(t: ProsumerType) -> &'static str {
+    match t {
+        ProsumerType::Household => "Household",
+        ProsumerType::Commercial => "Commercial",
+        ProsumerType::SmallIndustry => "SmallInd",
+        ProsumerType::HeavyIndustry => "HeavyInd",
+        ProsumerType::ResPlant => "ResPlant",
+        ProsumerType::ConventionalPlant => "ConvPlant",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = PopulationConfig { size: 200, ..Default::default() };
+        let a = Population::generate(&cfg);
+        let b = Population::generate(&cfg);
+        assert_eq!(a.prosumers(), b.prosumers());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Population::generate(&PopulationConfig { size: 200, seed: 1, household_share: 0.8 });
+        let b = Population::generate(&PopulationConfig { size: 200, seed: 2, household_share: 0.8 });
+        assert_ne!(a.prosumers(), b.prosumers());
+    }
+
+    #[test]
+    fn household_share_is_respected() {
+        let pop = Population::generate(&PopulationConfig {
+            size: 2_000,
+            seed: 7,
+            household_share: 0.8,
+        });
+        let households = pop
+            .prosumers()
+            .iter()
+            .filter(|p| p.prosumer_type == ProsumerType::Household)
+            .count();
+        let share = households as f64 / 2_000.0;
+        assert!((0.75..0.85).contains(&share), "share {share}");
+    }
+
+    #[test]
+    fn placements_are_consistent() {
+        let pop = Population::generate(&PopulationConfig { size: 300, ..Default::default() });
+        for p in pop.prosumers() {
+            let city = pop.geography().city(p.city).unwrap();
+            let district = pop.geography().district(p.district).unwrap();
+            assert_eq!(district.city, city.id, "{}", p.name);
+            let feeder = pop.grid().node(p.feeder).unwrap();
+            assert_eq!(feeder.kind, NodeKind::Feeder);
+            assert!(p.name.contains(&city.name));
+        }
+    }
+
+    #[test]
+    fn populous_cities_attract_more_prosumers() {
+        let pop = Population::generate(&PopulationConfig { size: 5_000, seed: 3, household_share: 0.8 });
+        let geo = pop.geography();
+        let copenhagen = geo.city_by_name("Copenhagen").unwrap().id;
+        let thisted = geo.city_by_name("Thisted").unwrap().id;
+        let count = |c| pop.prosumers().iter().filter(|p| p.city == c).count();
+        assert!(count(copenhagen) > 3 * count(thisted));
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        let pop = Population::generate(&PopulationConfig { size: 10, ..Default::default() });
+        let p = pop.prosumer(ProsumerId(5)).unwrap();
+        assert_eq!(p.id, ProsumerId(5));
+        assert!(pop.prosumer(ProsumerId(0)).is_none());
+        assert!(pop.prosumer(ProsumerId(11)).is_none());
+    }
+
+    #[test]
+    fn appliance_portfolios_match_types() {
+        let pop = Population::generate(&PopulationConfig { size: 1_000, ..Default::default() });
+        for p in pop.prosumers() {
+            assert!(!p.appliances.is_empty(), "{}", p.name);
+            match p.prosumer_type {
+                ProsumerType::ResPlant | ProsumerType::ConventionalPlant => {
+                    assert!(p.appliances.iter().all(|a| a.is_generator()));
+                }
+                _ => assert!(p.appliances.iter().all(|a| !a.is_generator())),
+            }
+        }
+    }
+}

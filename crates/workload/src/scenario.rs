@@ -1,0 +1,134 @@
+//! One-stop scenario bundles.
+
+use mirabel_flexoffer::FlexOffer;
+use mirabel_timeseries::{TimeSeries, TimeSlot};
+
+use crate::curves::{base_load_curve, res_supply_curve};
+use crate::offers::{generate_offers, OfferConfig};
+use crate::population::{Population, PopulationConfig};
+
+/// Everything the enterprise simulation and the figure benches need for
+/// one experiment: who exists, what they offered, and the inflexible
+/// curves around them.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The prosumer population (with geography and grid).
+    pub population: Population,
+    /// Generated flex-offers, all in `Offered` state.
+    pub offers: Vec<FlexOffer>,
+    /// Non-flexible demand (kWh per slot).
+    pub base_load: TimeSeries,
+    /// RES supply (kWh per slot).
+    pub res_supply: TimeSeries,
+    /// The configuration that produced this scenario.
+    pub config: ScenarioConfig,
+}
+
+/// Scenario parameters; `Default` gives the standard one-day, 1 000
+/// prosumer setup used by the examples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioConfig {
+    /// Number of prosumers.
+    pub prosumers: usize,
+    /// Days of offers and curves.
+    pub days: usize,
+    /// First slot of the window.
+    pub window_start: TimeSlot,
+    /// Share of base load covered by RES on average.
+    pub res_share: f64,
+    /// Master seed; sub-generators derive their own.
+    pub seed: u64,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            prosumers: 1_000,
+            days: 1,
+            window_start: TimeSlot::EPOCH,
+            res_share: 0.45,
+            seed: 0x4D1B,
+        }
+    }
+}
+
+impl Scenario {
+    /// Generates the full scenario deterministically from `config`.
+    pub fn generate(config: &ScenarioConfig) -> Scenario {
+        let population = Population::generate(&PopulationConfig {
+            size: config.prosumers,
+            seed: config.seed,
+            household_share: 0.8,
+        });
+        let offers = generate_offers(
+            &population,
+            &OfferConfig {
+                window_start: config.window_start,
+                days: config.days,
+                seed: config.seed.wrapping_mul(31).wrapping_add(7),
+            },
+        );
+        let base_load =
+            base_load_curve(config.window_start, config.days, config.prosumers, config.seed);
+        let res_supply = res_supply_curve(
+            config.window_start,
+            config.days,
+            config.prosumers,
+            config.res_share,
+            config.seed,
+        );
+        Scenario { population, offers, base_load, res_supply, config: *config }
+    }
+
+    /// The flexible-consumption target for the schedulers: RES supply
+    /// minus non-flexible demand, clamped at zero (there is no point in
+    /// scheduling consumption into a deficit).
+    pub fn surplus_target(&self) -> TimeSeries {
+        (&self.res_supply - &self.base_load).clamp_non_negative()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scenario_is_plausible() {
+        let s = Scenario::generate(&ScenarioConfig { prosumers: 300, ..Default::default() });
+        assert_eq!(s.population.prosumers().len(), 300);
+        assert!(s.offers.len() > 300, "households have ≥ 2 appliances");
+        assert_eq!(s.base_load.len(), 96);
+        assert_eq!(s.res_supply.len(), 96);
+        let target = s.surplus_target();
+        assert_eq!(target.len(), 96);
+        assert!(target.min().unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn scenario_is_deterministic() {
+        let cfg = ScenarioConfig { prosumers: 100, ..Default::default() };
+        let a = Scenario::generate(&cfg);
+        let b = Scenario::generate(&cfg);
+        assert_eq!(a.offers, b.offers);
+        assert_eq!(a.base_load, b.base_load);
+        assert_eq!(a.res_supply, b.res_supply);
+    }
+
+    #[test]
+    fn seeds_differentiate_scenarios() {
+        let a = Scenario::generate(&ScenarioConfig { prosumers: 100, seed: 1, ..Default::default() });
+        let b = Scenario::generate(&ScenarioConfig { prosumers: 100, seed: 2, ..Default::default() });
+        assert_ne!(a.offers, b.offers);
+    }
+
+    #[test]
+    fn multi_day_scenarios_extend_curves() {
+        let s = Scenario::generate(&ScenarioConfig {
+            prosumers: 50,
+            days: 3,
+            ..Default::default()
+        });
+        assert_eq!(s.base_load.len(), 3 * 96);
+        assert_eq!(s.res_supply.len(), 3 * 96);
+    }
+}
