@@ -1,5 +1,7 @@
 //! Building aggregate flex-offers from groups (start alignment).
 
+use std::borrow::Borrow;
+
 use mirabel_flexoffer::{Energy, EnergySlice, FlexOffer, FlexOfferId};
 use mirabel_timeseries::SlotSpan;
 
@@ -86,10 +88,10 @@ impl AggregationResult {
 
     /// Total flexibility (in slot·offers) lost by aggregation: the sum
     /// over members of `tf_member − tf_aggregate`.
-    pub fn flexibility_loss_slots(&self, offers: &[FlexOffer]) -> i64 {
+    pub fn flexibility_loss_slots<O: Borrow<FlexOffer>>(&self, offers: &[O]) -> i64 {
         let tf_by_id: std::collections::HashMap<FlexOfferId, i64> = offers
             .iter()
-            .map(|fo| (fo.id(), fo.time_flexibility().count()))
+            .map(|fo| (fo.borrow().id(), fo.borrow().time_flexibility().count()))
             .collect();
         let mut loss = 0;
         for agg in &self.aggregates {
@@ -125,9 +127,12 @@ impl Aggregator {
     /// Groups `offers` and merges every multi-member group into an
     /// [`AggregateOffer`]. Synthetic aggregate ids start after the
     /// largest input id.
-    pub fn aggregate(&self, offers: &[FlexOffer]) -> Result<AggregationResult, AggregationError> {
+    pub fn aggregate<O: Borrow<FlexOffer>>(
+        &self,
+        offers: &[O],
+    ) -> Result<AggregationResult, AggregationError> {
         let groups = group_offers(offers, &self.params);
-        let mut next_id = offers.iter().map(|fo| fo.id().raw()).max().unwrap_or(0) + 1;
+        let mut next_id = offers.iter().map(|fo| fo.borrow().id().raw()).max().unwrap_or(0) + 1;
         let mut aggregates = Vec::new();
         let mut untouched = Vec::new();
         for group in groups {
@@ -135,7 +140,7 @@ impl Aggregator {
                 untouched.push(group[0]);
                 continue;
             }
-            let members: Vec<&FlexOffer> = group.iter().map(|&i| &offers[i]).collect();
+            let members: Vec<&FlexOffer> = group.iter().map(|&i| offers[i].borrow()).collect();
             let agg = merge_group(FlexOfferId(next_id), &members)?;
             next_id += 1;
             aggregates.push(agg);
@@ -152,11 +157,7 @@ pub(crate) fn merge_group(
 ) -> Result<AggregateOffer, AggregationError> {
     let first = *members.first().ok_or(AggregationError::EmptyGroup)?;
     let group_est = members.iter().map(|m| m.earliest_start()).min().expect("non-empty");
-    let agg_tf = members
-        .iter()
-        .map(|m| m.time_flexibility().count())
-        .min()
-        .expect("non-empty");
+    let agg_tf = members.iter().map(|m| m.time_flexibility().count()).min().expect("non-empty");
     let agg_len = members
         .iter()
         .map(|m| {
@@ -168,8 +169,7 @@ pub(crate) fn merge_group(
 
     // Sum member bounds into the aggregate profile (uncovered slots are
     // implicitly [0, 0], which stays valid because bounds are magnitudes).
-    let mut slices =
-        vec![EnergySlice { min: Energy::ZERO, max: Energy::ZERO }; agg_len];
+    let mut slices = vec![EnergySlice { min: Energy::ZERO, max: Energy::ZERO }; agg_len];
     let mut placements = Vec::with_capacity(members.len());
     for m in members {
         let offset = (m.earliest_start() - group_est).count();
@@ -185,10 +185,8 @@ pub(crate) fn merge_group(
     }
 
     let creation = members.iter().map(|m| m.creation_time()).min().expect("non-empty");
-    let acceptance =
-        members.iter().map(|m| m.acceptance_deadline()).min().expect("non-empty");
-    let assignment =
-        members.iter().map(|m| m.assignment_deadline()).min().expect("non-empty");
+    let acceptance = members.iter().map(|m| m.acceptance_deadline()).min().expect("non-empty");
+    let assignment = members.iter().map(|m| m.assignment_deadline()).min().expect("non-empty");
 
     // Categorical attributes survive only when uniform across members.
     let uniform = |f: fn(&FlexOffer) -> bool| members.iter().all(|m| f(m));
@@ -197,14 +195,15 @@ pub(crate) fn merge_group(
     } else {
         mirabel_flexoffer::EnergyType::Mixed
     };
-    let appliance_type =
-        if members.iter().all(|m| m.appliance_type() == first.appliance_type()) {
-            first.appliance_type()
-        } else {
-            mirabel_flexoffer::ApplianceType::Other
-        };
-    debug_assert!(uniform(|m| m.direction() == Direction::Consumption)
-        || uniform(|m| m.direction() == Direction::Production));
+    let appliance_type = if members.iter().all(|m| m.appliance_type() == first.appliance_type()) {
+        first.appliance_type()
+    } else {
+        mirabel_flexoffer::ApplianceType::Other
+    };
+    debug_assert!(
+        uniform(|m| m.direction() == Direction::Consumption)
+            || uniform(|m| m.direction() == Direction::Production)
+    );
 
     let offer = FlexOffer::builder(id, first.prosumer())
         .direction(first.direction())
@@ -325,9 +324,11 @@ mod tests {
 
     #[test]
     fn aggregate_total_bounds_equal_member_sums() {
-        let offers = [offer(1, 100, 4, 3, 100, 300),
+        let offers = [
+            offer(1, 100, 4, 3, 100, 300),
             offer(2, 102, 4, 2, 50, 80),
-            offer(3, 101, 4, 4, 10, 10)];
+            offer(3, 101, 4, 4, 10, 10),
+        ];
         let refs: Vec<&FlexOffer> = offers.iter().collect();
         let agg = merge_group(FlexOfferId(99), &refs).unwrap();
         let expect_min: Energy = offers.iter().map(|o| o.total_min_energy()).sum();

@@ -61,9 +61,8 @@ impl Aggregator {
                     covering.push(mi);
                 }
             }
-            let split = split_energy(energy, &bounds).ok_or(
-                AggregationError::InfeasibleSlot { aggregate: agg_id, slot_offset: k },
-            )?;
+            let split = split_energy(energy, &bounds)
+                .ok_or(AggregationError::InfeasibleSlot { aggregate: agg_id, slot_offset: k })?;
             for (slot_in_covering, &mi) in covering.iter().enumerate() {
                 out[mi].push(split[slot_in_covering]);
             }
@@ -131,13 +130,7 @@ pub fn split_energy(total: Energy, bounds: &[(Energy, Energy)]) -> Option<Vec<En
         }
         ri += 1;
     }
-    Some(
-        bounds
-            .iter()
-            .zip(shares)
-            .map(|(&(lo, _), share)| lo + Energy::from_wh(share))
-            .collect(),
-    )
+    Some(bounds.iter().zip(shares).map(|(&(lo, _), share)| lo + Energy::from_wh(share)).collect())
 }
 
 #[cfg(test)]
@@ -211,13 +204,8 @@ mod tests {
 
         // Schedule the aggregate mid-window at mid energies.
         let start = agg.offer().earliest_start() + SlotSpan::slots(2);
-        let energies: Vec<Energy> = agg
-            .offer()
-            .profile()
-            .slices()
-            .iter()
-            .map(|s| (s.min + s.max) / 2)
-            .collect();
+        let energies: Vec<Energy> =
+            agg.offer().profile().slices().iter().map(|s| (s.min + s.max) / 2).collect();
         let schedule = Schedule::new(start, energies.clone());
         agg.offer().check_schedule(&schedule).unwrap();
 

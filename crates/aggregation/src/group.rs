@@ -1,5 +1,6 @@
 //! Grid-based grouping of flex-offers prior to merging.
 
+use std::borrow::Borrow;
 use std::collections::BTreeMap;
 
 use mirabel_flexoffer::{Direction, FlexOffer};
@@ -37,10 +38,13 @@ impl GroupKey {
 ///
 /// The result is deterministic: cells are ordered by key and members keep
 /// their input order within a cell.
-pub fn group_offers(offers: &[FlexOffer], params: &AggregationParams) -> Vec<Vec<usize>> {
+pub fn group_offers<O: Borrow<FlexOffer>>(
+    offers: &[O],
+    params: &AggregationParams,
+) -> Vec<Vec<usize>> {
     let mut cells: BTreeMap<GroupKey, Vec<usize>> = BTreeMap::new();
     for (i, fo) in offers.iter().enumerate() {
-        cells.entry(GroupKey::of(fo, params)).or_default().push(i);
+        cells.entry(GroupKey::of(fo.borrow(), params)).or_default().push(i);
     }
     let mut groups = Vec::with_capacity(cells.len());
     for (_, members) in cells {
@@ -109,10 +113,8 @@ mod tests {
     #[test]
     fn directions_never_mix() {
         let params = AggregationParams::new(1_000_000, 1_000_000);
-        let offers = vec![
-            offer(1, 100, 4, Direction::Consumption),
-            offer(2, 100, 4, Direction::Production),
-        ];
+        let offers =
+            vec![offer(1, 100, 4, Direction::Consumption), offer(2, 100, 4, Direction::Production)];
         let groups = group_offers(&offers, &params);
         assert_eq!(groups.len(), 2);
     }

@@ -1,0 +1,113 @@
+//! S1 — the session engine under interactive load.
+//!
+//! Self-harnessed (no `criterion` in the offline environment): measures
+//!
+//! 1. hover latency with a **warm** frame cache vs. a **cold** rebuild
+//!    per event (the acceptance bar is warm ≥ 10× faster), and
+//! 2. command throughput with 1 / 10 / 100 concurrent sessions
+//!    multiplexed over one shared warehouse.
+//!
+//! ```sh
+//! cargo bench -p mirabel-bench --bench session
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use mirabel_bench::warehouse;
+use mirabel_dw::{LoaderQuery, Warehouse};
+use mirabel_session::{Command, Session, SessionPool};
+use mirabel_timeseries::TimeSlot;
+use mirabel_viz::Point;
+
+fn wide() -> LoaderQuery {
+    LoaderQuery::window(TimeSlot::new(-100_000), TimeSlot::new(100_000))
+}
+
+fn storm_points(n: usize) -> Vec<Point> {
+    // Deterministic pseudo-random sweep across the canvas.
+    (0..n)
+        .map(|i| {
+            let k = (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            Point::new((k % 960) as f64, ((k >> 32) % 540) as f64)
+        })
+        .collect()
+}
+
+/// ns/event for a pointer storm against a warm cache.
+fn bench_warm(dw: &Arc<Warehouse>, events: &[Point]) -> f64 {
+    let mut session = Session::new(Arc::clone(dw));
+    session.handle(Command::Load { query: wide(), title: "warm".into() });
+    session.handle(Command::Render); // pre-build the frame
+    let t = Instant::now();
+    for &p in events {
+        session.handle(Command::PointerMove(p));
+    }
+    let ns = t.elapsed().as_nanos() as f64 / events.len() as f64;
+    assert_eq!(session.frames_built(), 1, "warm run must not rebuild");
+    ns
+}
+
+/// ns/event when every hover pays a full scene rebuild (the pre-session
+/// behaviour, reproduced by invalidating the cache before each event).
+fn bench_cold(dw: &Arc<Warehouse>, events: &[Point]) -> f64 {
+    let mut session = Session::new(Arc::clone(dw));
+    session.handle(Command::Load { query: wide(), title: "cold".into() });
+    let t = Instant::now();
+    for &p in events {
+        session.active_tab_mut(); // touch(): cache invalidated
+        session.handle(Command::PointerMove(p));
+    }
+    let ns = t.elapsed().as_nanos() as f64 / events.len() as f64;
+    assert_eq!(session.frames_built() as usize, events.len(), "cold run rebuilds every event");
+    ns
+}
+
+/// Commands/sec with `n` concurrent sessions round-robining a hover/
+/// click mix over one shared warehouse.
+fn bench_pool(dw: &Arc<Warehouse>, n: usize, commands: usize) -> f64 {
+    let mut pool = SessionPool::new(Arc::clone(dw));
+    let ids: Vec<_> = (0..n).map(|_| pool.open()).collect();
+    for &id in &ids {
+        pool.handle(id, Command::Load { query: wide(), title: format!("{id}") });
+        pool.handle(id, Command::Render);
+    }
+    let points = storm_points(commands);
+    let t = Instant::now();
+    for (i, &p) in points.iter().enumerate() {
+        let id = ids[i % ids.len()];
+        let cmd = match i % 5 {
+            0 => Command::Click(p),
+            _ => Command::PointerMove(p),
+        };
+        pool.handle(id, cmd);
+    }
+    commands as f64 / t.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let (_, dw) = warehouse(400, 2);
+    let dw = Arc::new(dw);
+    let offers = dw.offers().len();
+    println!("S1 session bench — {offers} offers in the shared warehouse\n");
+
+    let warm_events = storm_points(10_000);
+    let cold_events = storm_points(300); // cold rebuilds are slow; keep the run short
+    let warm = bench_warm(&dw, &warm_events);
+    let cold = bench_cold(&dw, &cold_events);
+    let speedup = cold / warm;
+    println!("hover latency (PointerMove storm):");
+    println!("  warm cache  : {warm:>12.0} ns/event");
+    println!("  cold rebuild: {cold:>12.0} ns/event");
+    println!("  speedup     : {speedup:>12.1}x  (acceptance bar: >= 10x)\n");
+    assert!(
+        speedup >= 10.0,
+        "warm-cache hover must be >= 10x faster than cold rebuild (got {speedup:.1}x)"
+    );
+
+    println!("command throughput over one shared warehouse:");
+    for n in [1usize, 10, 100] {
+        let rate = bench_pool(&dw, n, 20_000);
+        println!("  {n:>3} sessions: {rate:>12.0} commands/sec");
+    }
+}

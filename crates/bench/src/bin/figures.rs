@@ -20,14 +20,14 @@ use mirabel_scheduling::{
     EarliestStartScheduler, GreedyScheduler, HillClimbScheduler, RandomScheduler, Scheduler,
 };
 use mirabel_timeseries::{Granularity, SlotSpan, TimeSeries, TimeSlot};
-use mirabel_viz::{hit_test, nice_ticks, palette, render_svg, GridIndex, Node, Point, Scene, Style};
+use mirabel_viz::{
+    hit_test, nice_ticks, palette, render_svg, GridIndex, Node, Point, Scene, Style,
+};
 use mirabel_workload::{Scenario, ScenarioConfig};
 
 fn main() {
-    let only: Option<u32> = std::env::args()
-        .skip_while(|a| a != "--fig")
-        .nth(1)
-        .and_then(|v| v.parse().ok());
+    let only: Option<u32> =
+        std::env::args().skip_while(|a| a != "--fig").nth(1).and_then(|v| v.parse().ok());
     let run = |n: u32| only.is_none() || only == Some(n);
 
     if run(1) {
@@ -73,8 +73,11 @@ fn main() {
 /// comparison backing the claim.
 fn figure1() {
     println!("== Figure 1: balancing before/after ==");
-    let scenario =
-        Scenario::generate(&ScenarioConfig { prosumers: 2_000, res_share: 0.5, ..Default::default() });
+    let scenario = Scenario::generate(&ScenarioConfig {
+        prosumers: 2_000,
+        res_share: 0.5,
+        ..Default::default()
+    });
     let report = Enterprise::new(EnterpriseConfig::default()).run(&scenario).unwrap();
     println!(
         "  baseline imbalance L1 {:>10.1} kWh   L2² {:>12.0}",
@@ -103,12 +106,8 @@ fn balancing_panels(report: &mirabel_market::PlanReport) -> Scene {
     ];
     let res = series(&report.res_supply);
     let base = series(&report.base_load);
-    let peak = res
-        .iter()
-        .chain(base.iter())
-        .chain(panels[0].1.iter())
-        .cloned()
-        .fold(1.0f64, f64::max);
+    let peak =
+        res.iter().chain(base.iter()).chain(panels[0].1.iter()).cloned().fold(1.0f64, f64::max);
     for (title, flexible, x0) in panels {
         let pw = w / 2.0 - 30.0;
         let n = flexible.len().max(1);
@@ -126,7 +125,12 @@ fn balancing_panels(report: &mirabel_market::PlanReport) -> Scene {
                 poly(&base, palette::AXIS, 1.0),
                 poly(&flexible, palette::SCHEDULE, 1.5),
                 Node::text(Point::new(x0, 20.0), title, 11.0, palette::AXIS),
-                Node::text(Point::new(x0, h - 14.0), "green RES / grey base / red flexible", 8.0, palette::AXIS),
+                Node::text(
+                    Point::new(x0, h - 14.0),
+                    "green RES / grey base / red flexible",
+                    8.0,
+                    palette::AXIS,
+                ),
             ],
         ));
     }
@@ -147,8 +151,7 @@ fn figure2() {
         .build()
         .unwrap();
     fo.accept().unwrap();
-    fo.assign(Schedule::new(midnight + SlotSpan::hours(2), vec![Energy::from_wh(800); 8]))
-        .unwrap();
+    fo.assign(Schedule::new(midnight + SlotSpan::hours(2), vec![Energy::from_wh(800); 8])).unwrap();
     let v = VisualOffer::plain(fo);
     let scene = annotate::build(&v, 900.0, 420.0);
     let labels = scene.texts().len();
@@ -197,11 +200,7 @@ fn figure5() {
                FROM [FlexOffers] WHERE ( [Measures].[TotalMaxEnergy] )";
     let t = Instant::now();
     let table = dw.mdx(mdx).unwrap();
-    println!(
-        "  MDX over {} facts in {:.1} ms:",
-        dw.facts().len(),
-        t.elapsed().as_secs_f64() * 1e3
-    );
+    println!("  MDX over {} facts in {:.1} ms:", dw.facts().len(), t.elapsed().as_secs_f64() * 1e3);
     print!("{}", indent(&table.to_text()));
     let scene = pivot::build_mdx(&dw, mdx, &Default::default()).unwrap();
     let path = write_figure("fig5_pivot.svg", &render_svg(&scene)).unwrap();
@@ -244,8 +243,7 @@ fn figure7() {
         let dw = Warehouse::load(&pop, &raw);
         let load_ms = t.elapsed().as_secs_f64() * 1e3;
         let entity = raw[0].prosumer();
-        let window =
-            LoaderQuery::window(TimeSlot::EPOCH, TimeSlot::EPOCH + SlotSpan::days(1));
+        let window = LoaderQuery::window(TimeSlot::EPOCH, TimeSlot::EPOCH + SlotSpan::days(1));
         let t = Instant::now();
         let a = dw.load_offers(&window.for_prosumer(entity)).len();
         let entity_ms = t.elapsed().as_secs_f64() * 1e3;
@@ -406,11 +404,10 @@ fn ablations() {
     let _ = basic::build_with_layout(&vs, &options, &layout);
     let mono_ms = t.elapsed().as_secs_f64() * 1e3;
     let t = Instant::now();
-    let mut inc = mirabel_viz::Incremental::new(
-        Scene::new(options.width, options.height),
-        vs.len(),
-        |i| basic::offer_nodes_for_bench(&layout, i, &vs),
-    );
+    let mut inc =
+        mirabel_viz::Incremental::new(Scene::new(options.width, options.height), vs.len(), |i| {
+            basic::offer_nodes_for_bench(&layout, i, &vs)
+        });
     inc.step(1_000);
     let chunk_ms = t.elapsed().as_secs_f64() * 1e3;
     println!(

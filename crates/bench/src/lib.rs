@@ -95,8 +95,7 @@ mod tests {
     #[test]
     fn statuses_are_mixed() {
         let (_, offers) = offers_with_statuses(200, 1);
-        let statuses: std::collections::BTreeSet<_> =
-            offers.iter().map(|fo| fo.status()).collect();
+        let statuses: std::collections::BTreeSet<_> = offers.iter().map(|fo| fo.status()).collect();
         assert!(statuses.len() >= 3, "{statuses:?}");
     }
 }

@@ -1,88 +1,30 @@
-//! The application model: loader tab, view tabs, selection and events.
+//! The classic application model, now a thin compatibility shim.
 //!
-//! This is the headless equivalent of the tool's main window (Figures
-//! 7–8): a loader that pulls flex-offers from the warehouse for a legal
-//! entity and absolute time interval, tabs holding loaded sets, a
-//! basic/profile mode switch per tab, point and rectangle selection, a
-//! "show selected on a new tab" action and a "remove from view" action —
-//! exactly the interactions Section 4 walks through. Events arrive via
-//! [`App::handle`], so an embedder (or a test) can drive the tool like a
-//! user would drive the GUI.
+//! **Migration note:** the engine behind this API lives in
+//! [`mirabel_session`]. [`App`] wraps a [`Session`] and translates the
+//! legacy [`Event`] enum into serializable
+//! [`Command`](mirabel_session::Command)s; new code should hold a
+//! `Session` (or a [`mirabel_session::SessionPool`]) directly — it
+//! exposes the full command vocabulary (loader, aggregation, MDX,
+//! dashboard, rendered frames), structured
+//! [`Outcome`](mirabel_session::Outcome)s, recording/replay, and the
+//! cached-frame counters. The shim exists so embedders written against
+//! the original headless main window (Figures 7–8) keep working
+//! unchanged — and, because tabs now cache their frames, an `App`
+//! hover/click storm no longer rebuilds the scene per event either.
 
 use mirabel_dw::{LoaderQuery, Warehouse};
-use mirabel_flexoffer::FlexOfferId;
-use mirabel_viz::{hit_test, rect_query, Point, Rect, Scene};
+use mirabel_session::{Command, Outcome, Session};
+use mirabel_viz::Point;
 
-use crate::views::basic::{self, BasicViewOptions};
-use crate::views::profile;
-use crate::views::tooltip::{self, TooltipInfo};
-use crate::views::DetailLayout;
-use crate::visual::VisualOffer;
+pub use mirabel_session::{Tab, ViewMode};
 
-/// Which detail view a tab shows ("There are two flex-offer views
-/// currently supported: the basic and the profile view").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum ViewMode {
-    /// The Figure 8 basic view.
-    #[default]
-    Basic,
-    /// The Figure 9 profile view.
-    Profile,
-}
-
-/// One view tab in the main window.
-#[derive(Debug, Clone)]
-pub struct Tab {
-    /// Tab title (e.g. the loader selection that produced it).
-    pub title: String,
-    /// The offers on this tab.
-    pub offers: Vec<VisualOffer>,
-    /// Current view mode.
-    pub mode: ViewMode,
-    /// Selected offer ids.
-    pub selection: Vec<FlexOfferId>,
-    /// An in-progress drag rectangle (origin point), if any.
-    drag_origin: Option<Point>,
-    /// Canvas geometry.
-    pub options: BasicViewOptions,
-}
-
-impl Tab {
-    /// Creates a tab over the given offers.
-    pub fn new(title: impl Into<String>, offers: Vec<VisualOffer>) -> Tab {
-        Tab {
-            title: title.into(),
-            offers,
-            mode: ViewMode::Basic,
-            selection: Vec::new(),
-            drag_origin: None,
-            options: BasicViewOptions::default(),
-        }
-    }
-
-    /// The layout shared by rendering and interaction.
-    pub fn layout(&self) -> DetailLayout {
-        DetailLayout::compute(&self.offers, self.options.width, self.options.height)
-    }
-
-    /// Renders the tab's current scene (without tooltip overlay).
-    pub fn scene(&self) -> Scene {
-        let layout = self.layout();
-        match self.mode {
-            ViewMode::Basic => basic::build_with_layout(&self.offers, &self.options, &layout),
-            ViewMode::Profile => {
-                profile::build_with_layout(&self.offers, &self.options, &layout)
-            }
-        }
-    }
-
-    /// Index of the offer with `id`.
-    fn index_of(&self, id: FlexOfferId) -> Option<usize> {
-        self.offers.iter().position(|v| v.id() == id)
-    }
-}
+use crate::views::tooltip::TooltipInfo;
 
 /// User interactions, mirroring the mouse actions of Section 4.
+///
+/// The legacy event vocabulary; each event maps 1:1 onto a
+/// [`Command`] (see the [`From`] impl).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Event {
     /// Pointer moved (hover → tooltip).
@@ -104,142 +46,83 @@ pub enum Event {
     ActivateTab(usize),
 }
 
-/// The headless main window.
+impl From<Event> for Command {
+    fn from(event: Event) -> Command {
+        match event {
+            Event::PointerMove(p) => Command::PointerMove(p),
+            Event::Click(p) => Command::Click(p),
+            Event::DragStart(p) => Command::DragStart(p),
+            Event::DragEnd(p) => Command::DragEnd(p),
+            Event::SetMode(mode) => Command::SetMode(mode),
+            Event::ShowSelectionInNewTab => Command::ShowSelectionInNewTab,
+            Event::RemoveSelected => Command::RemoveSelected,
+            Event::ActivateTab(i) => Command::ActivateTab(i),
+        }
+    }
+}
+
+/// The headless main window — a compatibility wrapper over
+/// [`Session`].
 #[derive(Debug, Clone, Default)]
 pub struct App {
-    tabs: Vec<Tab>,
-    active: usize,
+    session: Session,
 }
 
 impl App {
     /// An empty main window (only the loader available).
     pub fn new() -> App {
-        App::default()
+        App { session: Session::detached() }
+    }
+
+    /// The underlying session, for embedders migrating to the command
+    /// API incrementally.
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// Mutable access to the underlying session.
+    pub fn session_mut(&mut self) -> &mut Session {
+        &mut self.session
     }
 
     /// The Figure 7 loader: runs `query` on the warehouse and opens a
-    /// new view tab with the result. Returns the tab index.
+    /// new view tab with the result (offers shared with the warehouse,
+    /// not cloned). Returns the tab index.
     pub fn load(&mut self, dw: &Warehouse, query: &LoaderQuery, title: impl Into<String>) -> usize {
-        let offers = dw.load_offers(query).into_iter().cloned().collect::<Vec<_>>();
-        self.open_tab(Tab::new(title, VisualOffer::from_offers(&offers)))
+        self.session.load_with(dw, query, title)
     }
 
     /// Opens a prepared tab (used by the aggregation tools and tests).
     pub fn open_tab(&mut self, tab: Tab) -> usize {
-        self.tabs.push(tab);
-        self.active = self.tabs.len() - 1;
-        self.active
+        self.session.open_tab(tab)
     }
 
     /// All tabs.
     pub fn tabs(&self) -> &[Tab] {
-        &self.tabs
+        self.session.tabs()
     }
 
     /// The active tab, if any.
     pub fn active_tab(&self) -> Option<&Tab> {
-        self.tabs.get(self.active)
+        self.session.active_tab()
     }
 
-    /// Mutable active tab.
+    /// Mutable active tab (invalidates its cached frame).
     pub fn active_tab_mut(&mut self) -> Option<&mut Tab> {
-        self.tabs.get_mut(self.active)
+        self.session.active_tab_mut()
     }
 
     /// Index of the active tab.
     pub fn active_index(&self) -> usize {
-        self.active
+        self.session.active_index()
     }
 
     /// Handles one event; returns tooltip info for hover events so the
     /// embedder can draw the Figure 10 overlay.
     pub fn handle(&mut self, event: Event) -> Option<TooltipInfo> {
-        match event {
-            Event::PointerMove(p) => {
-                let tab = self.tabs.get(self.active)?;
-                let scene = tab.scene();
-                tooltip::probe(&scene, &tab.offers, p)
-            }
-            Event::Click(p) => {
-                if let Some(tab) = self.tabs.get_mut(self.active) {
-                    let scene = tab.scene();
-                    let hits = hit_test(&scene, p);
-                    match hits.last() {
-                        Some(&raw) => {
-                            if let Some(idx) =
-                                tab.offers.iter().position(|v| v.id().raw() == raw)
-                            {
-                                let id = tab.offers[idx].id();
-                                if !tab.selection.contains(&id) {
-                                    tab.selection.push(id);
-                                }
-                            }
-                        }
-                        None => tab.selection.clear(),
-                    }
-                }
-                None
-            }
-            Event::DragStart(p) => {
-                if let Some(tab) = self.tabs.get_mut(self.active) {
-                    tab.drag_origin = Some(p);
-                    tab.options.selection_rect = Some(Rect::from_corners(p, p));
-                }
-                None
-            }
-            Event::DragEnd(p) => {
-                if let Some(tab) = self.tabs.get_mut(self.active) {
-                    if let Some(origin) = tab.drag_origin.take() {
-                        let rect = Rect::from_corners(origin, p);
-                        tab.options.selection_rect = None;
-                        let scene = tab.scene();
-                        for raw in rect_query(&scene, rect) {
-                            if let Some(idx) =
-                                tab.offers.iter().position(|v| v.id().raw() == raw)
-                            {
-                                let id = tab.offers[idx].id();
-                                if !tab.selection.contains(&id) {
-                                    tab.selection.push(id);
-                                }
-                            }
-                        }
-                    }
-                }
-                None
-            }
-            Event::SetMode(mode) => {
-                if let Some(tab) = self.tabs.get_mut(self.active) {
-                    tab.mode = mode;
-                }
-                None
-            }
-            Event::ShowSelectionInNewTab => {
-                if let Some(tab) = self.tabs.get(self.active) {
-                    let selected: Vec<VisualOffer> = tab
-                        .selection
-                        .iter()
-                        .filter_map(|id| tab.index_of(*id).map(|i| tab.offers[i].clone()))
-                        .collect();
-                    if !selected.is_empty() {
-                        let title = format!("{} (selection)", tab.title);
-                        self.open_tab(Tab::new(title, selected));
-                    }
-                }
-                None
-            }
-            Event::RemoveSelected => {
-                if let Some(tab) = self.tabs.get_mut(self.active) {
-                    let selection = std::mem::take(&mut tab.selection);
-                    tab.offers.retain(|v| !selection.contains(&v.id()));
-                }
-                None
-            }
-            Event::ActivateTab(i) => {
-                if i < self.tabs.len() {
-                    self.active = i;
-                }
-                None
-            }
+        match self.session.handle(Command::from(event)) {
+            Outcome::Tooltip(info) => info,
+            _ => None,
         }
     }
 }
@@ -250,11 +133,8 @@ mod tests {
     use mirabel_workload::{generate_offers, OfferConfig, Population, PopulationConfig};
 
     fn dw_and_app() -> (Warehouse, App) {
-        let pop = Population::generate(&PopulationConfig {
-            size: 60,
-            seed: 9,
-            household_share: 0.8,
-        });
+        let pop =
+            Population::generate(&PopulationConfig { size: 60, seed: 9, household_share: 0.8 });
         let offers = generate_offers(&pop, &OfferConfig::default());
         (Warehouse::load(&pop, &offers), App::new())
     }
@@ -291,8 +171,7 @@ mod tests {
         let (dw, mut app) = dw_and_app();
         app.load(&dw, &wide_window(), "all");
         let tab = app.active_tab().unwrap();
-        let layout = tab.layout();
-        let target = layout.profile_box(0, &tab.offers).center();
+        let target = tab.layout().profile_box(0, &tab.offers).center();
         let id0 = tab.offers[0].id();
         app.handle(Event::Click(target));
         assert_eq!(app.active_tab().unwrap().selection, vec![id0]);
@@ -344,8 +223,7 @@ mod tests {
         let (dw, mut app) = dw_and_app();
         app.load(&dw, &wide_window(), "all");
         let tab = app.active_tab().unwrap();
-        let layout = tab.layout();
-        let target = layout.profile_box(0, &tab.offers).center();
+        let target = tab.layout().profile_box(0, &tab.offers).center();
         let info = app.handle(Event::PointerMove(target)).expect("tooltip");
         assert!(!info.lines.is_empty());
 
@@ -353,10 +231,7 @@ mod tests {
         app.handle(Event::SetMode(ViewMode::Profile));
         let profile_scene = app.active_tab().unwrap().scene();
         assert_ne!(basic_scene, profile_scene);
-        assert!(profile_scene
-            .texts()
-            .iter()
-            .any(|t| t.contains("Profile view")));
+        assert!(profile_scene.texts().iter().any(|t| t.contains("Profile view")));
     }
 
     #[test]
@@ -368,5 +243,20 @@ mod tests {
         app.handle(Event::ShowSelectionInNewTab);
         assert!(app.tabs().is_empty());
         assert!(app.active_tab().is_none());
+    }
+
+    #[test]
+    fn event_storms_reuse_the_cached_frame() {
+        // The shim inherits the session engine's cache: a hover storm
+        // builds exactly one frame.
+        let (dw, mut app) = dw_and_app();
+        app.load(&dw, &wide_window(), "all");
+        let tab = app.active_tab().unwrap();
+        let target = tab.layout().profile_box(0, &tab.offers).center();
+        for i in 0..5_000 {
+            let p = Point::new(target.x + (i % 7) as f64, target.y);
+            app.handle(Event::PointerMove(p));
+        }
+        assert_eq!(app.session().frames_built(), 1, "hover storm must not rebuild");
     }
 }

@@ -1,8 +1,13 @@
-//! The flex-offer visual analysis framework — the paper's contribution.
+//! Compatibility facade over the flex-offer visual analysis engine.
 //!
-//! This crate assembles the substrates (flex-offer model, aggregation,
-//! data warehouse, visualization engine) into the views and interaction
-//! model the paper describes:
+//! The paper's views and interaction model now live in
+//! [`mirabel_session`]: views are pure functions from data + options to
+//! a [`Scene`](mirabel_viz::Scene), and the interaction surface is the
+//! command-driven [`mirabel_session::Session`]. This crate re-exports
+//! all of it under the original `mirabel_core` paths and keeps the
+//! classic [`app::App`]/[`Event`] surface alive as a thin shim, so
+//! pre-session embedders compile unchanged (see the migration note in
+//! [`app`]).
 //!
 //! | Paper artefact | Module |
 //! |---|---|
@@ -16,20 +21,15 @@
 //! | Figure 9 — profile view | [`views::profile`] |
 //! | Figure 10 — on-the-fly information | [`views::tooltip`] |
 //! | Figure 11 — aggregation tools | [`tools`] |
-//!
-//! The views are pure functions from data + options to a
-//! [`Scene`](mirabel_viz::Scene); the [`app::App`] model owns tabs,
-//! selection and the event loop contract (see the GUI substitution note
-//! in DESIGN.md).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod app;
-pub mod tools;
-pub mod views;
-mod visual;
+
+pub use mirabel_session::tools;
+pub use mirabel_session::views;
+pub use mirabel_session::visual;
 
 pub use app::{App, Event, Tab, ViewMode};
-pub use tools::AggregationTools;
-pub use visual::{slot_label, VisualOffer};
+pub use mirabel_session::{slot_label, AggregationTools, VisualOffer};

@@ -155,11 +155,8 @@ mod tests {
         assert_eq!(row.scheduled_wh, 1_200);
         assert_eq!(row.deviation_wh, 0);
 
-        fo.record_execution(Execution::new(vec![
-            Energy::from_wh(500),
-            Energy::from_wh(800),
-        ]))
-        .unwrap();
+        fo.record_execution(Execution::new(vec![Energy::from_wh(500), Energy::from_wh(800)]))
+            .unwrap();
         let row = extract(&fo);
         assert_eq!(row.status, FlexOfferStatus::Executed);
         assert_eq!(row.executed_wh, 1_300);

@@ -51,9 +51,7 @@ impl Dimension {
 
     /// Parses a dimension name (case-insensitive).
     pub fn parse(name: &str) -> Option<Dimension> {
-        Dimension::ALL
-            .into_iter()
-            .find(|d| d.name().eq_ignore_ascii_case(name))
+        Dimension::ALL.into_iter().find(|d| d.name().eq_ignore_ascii_case(name))
     }
 }
 
@@ -212,11 +210,8 @@ impl Hierarchy {
     /// Returns the hierarchy plus, for fast fact keying, the first day's
     /// slot and a day → leaf-member map in day order.
     pub fn time(from: TimeSlot, to: TimeSlot) -> (Hierarchy, TimeSlot, Vec<MemberId>) {
-        let mut h = Hierarchy::with_root(
-            Dimension::Time,
-            vec!["All", "Year", "Month", "Day"],
-            "All time",
-        );
+        let mut h =
+            Hierarchy::with_root(Dimension::Time, vec!["All", "Year", "Month", "Day"], "All time");
         let root = h.all().id;
         let first_day = TimeSlot::new(from.index().div_euclid(SLOTS_PER_DAY) * SLOTS_PER_DAY);
         let mut day_leaves = Vec::new();
@@ -315,8 +310,7 @@ impl Hierarchy {
     /// Energy type hierarchy: All → type. Leaf member order follows
     /// [`EnergyType::ALL`].
     pub fn energy_type() -> Hierarchy {
-        let mut h =
-            Hierarchy::with_root(Dimension::EnergyType, vec!["All", "Type"], "All energy");
+        let mut h = Hierarchy::with_root(Dimension::EnergyType, vec!["All", "Type"], "All energy");
         let root = h.all().id;
         for t in EnergyType::ALL {
             h.push(t.name().to_owned(), 1, Some(root));

@@ -313,10 +313,7 @@ struct ResolvedAxis {
 
 impl Warehouse {
     fn resolve_member(&self, expr: &MemberExpr) -> Result<(Dimension, Vec<MemberId>), DwError> {
-        let dim_name = expr
-            .path
-            .first()
-            .ok_or_else(|| DwError::Mdx("empty member path".into()))?;
+        let dim_name = expr.path.first().ok_or_else(|| DwError::Mdx("empty member path".into()))?;
         let dimension = Dimension::parse(dim_name)
             .ok_or_else(|| DwError::Mdx(format!("unknown dimension [{dim_name}]")))?;
         let h = self.hierarchy(dimension);
@@ -368,8 +365,7 @@ impl Warehouse {
             }
             members.extend(ms);
         }
-        let dimension =
-            dimension.ok_or_else(|| DwError::Mdx(format!("{axis} axis is empty")))?;
+        let dimension = dimension.ok_or_else(|| DwError::Mdx(format!("{axis} axis is empty")))?;
         Ok(ResolvedAxis { dimension, members })
     }
 
@@ -394,10 +390,8 @@ impl Warehouse {
                 base.measure = Measure::parse(name)
                     .ok_or_else(|| DwError::Mdx(format!("unknown measure [{name}]")))?;
             } else if head.eq_ignore_ascii_case("status") {
-                let name = s
-                    .path
-                    .get(1)
-                    .ok_or_else(|| DwError::Mdx("[Status] needs a member".into()))?;
+                let name =
+                    s.path.get(1).ok_or_else(|| DwError::Mdx("[Status] needs a member".into()))?;
                 let status = FlexOfferStatus::ALL
                     .into_iter()
                     .find(|st| st.name().eq_ignore_ascii_case(name))
@@ -407,9 +401,7 @@ impl Warehouse {
                 let (d, ms) = self.resolve_member(s)?;
                 let m = *ms.first().expect("resolve always yields a member");
                 if s.children || ms.len() > 1 {
-                    return Err(DwError::Mdx(
-                        "WHERE tuple members cannot use .Children".into(),
-                    ));
+                    return Err(DwError::Mdx("WHERE tuple members cannot use .Children".into()));
                 }
                 base = base.filter(d, m);
             }
@@ -432,11 +424,8 @@ mod tests {
     use mirabel_workload::{generate_offers, OfferConfig, Population, PopulationConfig};
 
     fn warehouse() -> Warehouse {
-        let pop = Population::generate(&PopulationConfig {
-            size: 200,
-            seed: 77,
-            household_share: 0.8,
-        });
+        let pop =
+            Population::generate(&PopulationConfig { size: 200, seed: 77, household_share: 0.8 });
         let offers = generate_offers(&pop, &OfferConfig { days: 2, ..Default::default() });
         Warehouse::load(&pop, &offers)
     }
@@ -488,10 +477,7 @@ mod tests {
     fn parse_errors_are_informative() {
         assert!(parse("FOO").unwrap_err().to_string().contains("SELECT"));
         assert!(parse("SELECT {[A]} ON SIDEWAYS, {[B]} ON ROWS FROM [C]").is_err());
-        assert!(parse(
-            "SELECT {[A]} ON COLUMNS, {[B]} ON ROWS FROM [C] garbage"
-        )
-        .is_err());
+        assert!(parse("SELECT {[A]} ON COLUMNS, {[B]} ON ROWS FROM [C] garbage").is_err());
         // Same axis twice.
         assert!(parse("SELECT {[A]} ON COLUMNS, {[B]} ON COLUMNS FROM [C]").is_err());
     }
@@ -575,7 +561,9 @@ mod tests {
     fn unknown_names_rejected() {
         let dw = warehouse();
         assert!(dw
-            .mdx("SELECT {[Bogus].Children} ON COLUMNS, {[Time].Children} ON ROWS FROM [FlexOffers]")
+            .mdx(
+                "SELECT {[Bogus].Children} ON COLUMNS, {[Time].Children} ON ROWS FROM [FlexOffers]"
+            )
             .unwrap_err()
             .to_string()
             .contains("unknown dimension"));

@@ -148,8 +148,7 @@ impl Warehouse {
             }
             cells.push(row);
         }
-        let row_labels =
-            spec.rows.members.iter().map(|&m| row_h.path(m).join(" / ")).collect();
+        let row_labels = spec.rows.members.iter().map(|&m| row_h.path(m).join(" / ")).collect();
         let col_labels = spec
             .columns
             .members
@@ -173,11 +172,8 @@ mod tests {
     use mirabel_workload::{generate_offers, OfferConfig, Population, PopulationConfig};
 
     fn warehouse() -> Warehouse {
-        let pop = Population::generate(&PopulationConfig {
-            size: 250,
-            seed: 33,
-            household_share: 0.8,
-        });
+        let pop =
+            Population::generate(&PopulationConfig { size: 250, seed: 33, household_share: 0.8 });
         let offers = generate_offers(&pop, &OfferConfig { days: 2, ..Default::default() });
         Warehouse::load(&pop, &offers)
     }
@@ -191,12 +187,11 @@ mod tests {
             dw.hierarchy(Dimension::ProsumerType).all().id,
         );
         let cols = PivotAxis::level(&dw, Dimension::Time, 3);
-        let spec =
-            PivotSpec { rows, columns: cols, base: Query::new(Measure::Count) };
+        let spec = PivotSpec { rows, columns: cols, base: Query::new(Measure::Count) };
         let t = dw.pivot(&spec).unwrap();
         assert_eq!(t.n_rows(), 2); // Consumer, Producer
         assert!(t.n_cols() >= 2); // at least two days
-        // Cell sums equal the unpivoted total.
+                                  // Cell sums equal the unpivoted total.
         let total: f64 = t.cells.iter().flatten().sum();
         assert_eq!(total as usize, dw.facts().len());
         assert!(t.to_text().contains("Consumer"));
@@ -227,8 +222,7 @@ mod tests {
         let dw = warehouse();
         let h = dw.hierarchy(Dimension::ProsumerType);
         let household = h.member_by_name("Household").unwrap().id;
-        let mut axis =
-            PivotAxis { dimension: Dimension::ProsumerType, members: vec![household] };
+        let mut axis = PivotAxis { dimension: Dimension::ProsumerType, members: vec![household] };
         axis.drill_down(&dw, household);
         assert_eq!(axis.members, vec![household]);
         // Drill-up on a parent with no children present is a no-op too.
@@ -252,9 +246,8 @@ mod tests {
             .unwrap();
         let consumer = h.member_by_name("Consumer").unwrap().id;
         rows.drill_down(&dw, consumer);
-        let after = dw
-            .pivot(&PivotSpec { rows, columns: cols, base: Query::new(Measure::Count) })
-            .unwrap();
+        let after =
+            dw.pivot(&PivotSpec { rows, columns: cols, base: Query::new(Measure::Count) }).unwrap();
         let sum = |t: &PivotTable| -> f64 { t.cells.iter().flatten().sum() };
         assert!((sum(&before) - sum(&after)).abs() < 1e-9);
     }

@@ -296,11 +296,8 @@ mod tests {
     use mirabel_workload::{generate_offers, OfferConfig, Population, PopulationConfig};
 
     fn warehouse() -> Warehouse {
-        let pop = Population::generate(&PopulationConfig {
-            size: 200,
-            seed: 21,
-            household_share: 0.8,
-        });
+        let pop =
+            Population::generate(&PopulationConfig { size: 200, seed: 21, household_share: 0.8 });
         let offers = generate_offers(&pop, &OfferConfig::default());
         Warehouse::load(&pop, &offers)
     }
@@ -343,10 +340,8 @@ mod tests {
             .eval(&Query::new(Measure::Count).filter(Dimension::Geography, region))
             .unwrap()
             .total;
-        let in_city = dw
-            .eval(&Query::new(Measure::Count).filter(Dimension::Geography, city))
-            .unwrap()
-            .total;
+        let in_city =
+            dw.eval(&Query::new(Measure::Count).filter(Dimension::Geography, city)).unwrap().total;
         assert!(in_city <= in_region);
         assert!(in_region <= all);
         assert!(in_city > 0.0, "Aarhus should have offers");
@@ -365,14 +360,12 @@ mod tests {
     #[test]
     fn status_and_time_filters() {
         let dw = warehouse();
-        let r = dw
-            .eval(&Query::new(Measure::Count).statuses(vec![FlexOfferStatus::Offered]))
-            .unwrap();
+        let r =
+            dw.eval(&Query::new(Measure::Count).statuses(vec![FlexOfferStatus::Offered])).unwrap();
         // Freshly generated offers are all in Offered state.
         assert_eq!(r.total as usize, dw.facts().len());
-        let none = dw
-            .eval(&Query::new(Measure::Count).statuses(vec![FlexOfferStatus::Executed]))
-            .unwrap();
+        let none =
+            dw.eval(&Query::new(Measure::Count).statuses(vec![FlexOfferStatus::Executed])).unwrap();
         assert_eq!(none.total, 0.0);
 
         let mid = TimeSlot::new(48);
@@ -392,8 +385,7 @@ mod tests {
         let dw = warehouse();
         let q = Query::new(Measure::TotalMaxEnergy);
         let r = dw.eval(&q).unwrap();
-        let expected: f64 =
-            dw.facts().iter().map(|f| f.total_max_wh as f64 / 1_000.0).sum();
+        let expected: f64 = dw.facts().iter().map(|f| f.total_max_wh as f64 / 1_000.0).sum();
         assert!((r.total - expected).abs() < 1e-6);
         // Balancing potential and flexibility are non-negative.
         assert!(dw.eval(&Query::new(Measure::BalancingPotential)).unwrap().total >= 0.0);
@@ -408,9 +400,8 @@ mod tests {
             / dw.facts().len() as f64;
         assert!((r.total - expected).abs() < 1e-9);
         // Per-group averages also divide by group counts.
-        let grouped = dw
-            .eval(&Query::new(Measure::AvgPrice).group_by(Dimension::ProsumerType, 1))
-            .unwrap();
+        let grouped =
+            dw.eval(&Query::new(Measure::AvgPrice).group_by(Dimension::ProsumerType, 1)).unwrap();
         for (_, v) in &grouped.groups {
             assert!(*v >= 3.0 && *v < 30.0, "price {v} out of generator range");
         }
@@ -423,9 +414,8 @@ mod tests {
             .eval(&Query::new(Measure::Count).filter(Dimension::EnergyType, MemberId(999)))
             .unwrap_err();
         assert!(matches!(err, DwError::UnknownMember { .. }));
-        let err = dw
-            .eval(&Query::new(Measure::Count).group_by(Dimension::EnergyType, 9))
-            .unwrap_err();
+        let err =
+            dw.eval(&Query::new(Measure::Count).group_by(Dimension::EnergyType, 9)).unwrap_err();
         assert!(matches!(err, DwError::BadLevel { .. }));
         assert!(err.to_string().contains("level 9"));
     }

@@ -1,6 +1,7 @@
 //! The warehouse: hierarchies + fact table + loader queries.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use mirabel_flexoffer::{FlexOffer, FlexOfferId, ProsumerId};
 use mirabel_timeseries::{SlotSpan, TimeSlot, SLOTS_PER_DAY};
@@ -25,7 +26,7 @@ pub struct Warehouse {
     first_day: TimeSlot,
     day_leaves: Vec<MemberId>,
     facts: Vec<FactRow>,
-    offers: Vec<FlexOffer>,
+    offers: Vec<Arc<FlexOffer>>,
     by_id: HashMap<FlexOfferId, usize>,
 }
 
@@ -48,10 +49,9 @@ impl Warehouse {
         let mut by_id = HashMap::with_capacity(offers.len());
         for fo in offers {
             let Some(p) = population.prosumer(fo.prosumer()) else { continue };
-            let day_idx =
-                (fo.earliest_start().index().div_euclid(SLOTS_PER_DAY) * SLOTS_PER_DAY
-                    - first_day.index())
-                    / SLOTS_PER_DAY;
+            let day_idx = (fo.earliest_start().index().div_euclid(SLOTS_PER_DAY) * SLOTS_PER_DAY
+                - first_day.index())
+                / SLOTS_PER_DAY;
             let time_leaf = day_leaves[day_idx as usize];
             let row = FactRow::extract(
                 fo,
@@ -64,7 +64,7 @@ impl Warehouse {
             );
             by_id.insert(fo.id(), kept.len());
             facts.push(row);
-            kept.push(fo.clone());
+            kept.push(Arc::new(fo.clone()));
         }
         Warehouse {
             time,
@@ -98,14 +98,16 @@ impl Warehouse {
         &self.facts
     }
 
-    /// All loaded offers (fact order).
-    pub fn offers(&self) -> &[FlexOffer] {
+    /// All loaded offers (fact order). Offers are stored behind [`Arc`]
+    /// so loaders can hand them to view tabs without cloning the payload
+    /// (see [`Warehouse::load_shared`]).
+    pub fn offers(&self) -> &[Arc<FlexOffer>] {
         &self.offers
     }
 
     /// Looks up an offer by id.
     pub fn offer(&self, id: FlexOfferId) -> Option<&FlexOffer> {
-        self.by_id.get(&id).map(|&i| &self.offers[i])
+        self.by_id.get(&id).map(|&i| self.offers[i].as_ref())
     }
 
     /// First day slot of the time hierarchy.
@@ -138,18 +140,15 @@ impl Warehouse {
     /// The Figure 7 loader: flex-offers of one legal entity (or all) whose
     /// flexibility window intersects the absolute interval.
     pub fn load_offers(&self, query: &LoaderQuery) -> Vec<&FlexOffer> {
-        self.offers
-            .iter()
-            .filter(|fo| {
-                if let Some(p) = query.prosumer {
-                    if fo.prosumer() != p {
-                        return false;
-                    }
-                }
-                let (lo, hi) = fo.extent();
-                lo < query.to && query.from < hi
-            })
-            .collect()
+        self.offers.iter().filter(|fo| query.matches(fo)).map(|fo| fo.as_ref()).collect()
+    }
+
+    /// The loader, Arc-flavored: the same selection as
+    /// [`Warehouse::load_offers`] but returning shared handles, so a view
+    /// tab (or many tabs across many sessions) holds the warehouse's
+    /// allocation instead of a per-tab clone of every offer.
+    pub fn load_shared(&self, query: &LoaderQuery) -> Vec<Arc<FlexOffer>> {
+        self.offers.iter().filter(|fo| query.matches(fo)).map(Arc::clone).collect()
     }
 }
 
@@ -176,6 +175,18 @@ impl LoaderQuery {
         self.prosumer = Some(prosumer);
         self
     }
+
+    /// `true` when `offer` satisfies the entity filter and intersects the
+    /// half-open interval.
+    pub fn matches(&self, offer: &FlexOffer) -> bool {
+        if let Some(p) = self.prosumer {
+            if offer.prosumer() != p {
+                return false;
+            }
+        }
+        let (lo, hi) = offer.extent();
+        lo < self.to && self.from < hi
+    }
 }
 
 /// The half-open day-aligned slot window covering all offers (falls back
@@ -195,11 +206,8 @@ mod tests {
     use mirabel_workload::{generate_offers, OfferConfig, PopulationConfig};
 
     fn setup() -> (Population, Vec<FlexOffer>) {
-        let pop = Population::generate(&PopulationConfig {
-            size: 150,
-            seed: 5,
-            household_share: 0.8,
-        });
+        let pop =
+            Population::generate(&PopulationConfig { size: 150, seed: 5, household_share: 0.8 });
         let offers = generate_offers(&pop, &OfferConfig { days: 2, ..Default::default() });
         (pop, offers)
     }
@@ -259,17 +267,17 @@ mod tests {
             TimeSlot::new(i64::MAX / 4),
         ));
         assert_eq!(all.len(), offers.len());
-        let mine =
-            dw.load_offers(&LoaderQuery::window(TimeSlot::new(i64::MIN / 4), TimeSlot::new(i64::MAX / 4)).for_prosumer(p));
+        let mine = dw.load_offers(
+            &LoaderQuery::window(TimeSlot::new(i64::MIN / 4), TimeSlot::new(i64::MAX / 4))
+                .for_prosumer(p),
+        );
         assert!(!mine.is_empty());
         assert!(mine.iter().all(|fo| fo.prosumer() == p));
         assert!(mine.len() < all.len());
 
         // A window before all offers matches nothing.
-        let none = dw.load_offers(&LoaderQuery::window(
-            TimeSlot::new(-10_000),
-            TimeSlot::new(-9_999),
-        ));
+        let none =
+            dw.load_offers(&LoaderQuery::window(TimeSlot::new(-10_000), TimeSlot::new(-9_999)));
         assert!(none.is_empty());
     }
 
@@ -285,6 +293,24 @@ mod tests {
         // Window overlapping the first slot does.
         let at = dw.load_offers(&LoaderQuery::window(lo, lo + SlotSpan::slots(1)));
         assert!(at.iter().any(|o| o.id() == fo.id()));
+    }
+
+    #[test]
+    fn shared_loader_aliases_warehouse_allocations() {
+        let (pop, offers) = setup();
+        let dw = Warehouse::load(&pop, &offers);
+        let q = LoaderQuery::window(TimeSlot::new(i64::MIN / 4), TimeSlot::new(i64::MAX / 4));
+        let shared = dw.load_shared(&q);
+        let borrowed = dw.load_offers(&q);
+        assert_eq!(shared.len(), borrowed.len());
+        // The Arc loader hands out the warehouse's own allocations.
+        for (arc, dw_arc) in shared.iter().zip(dw.offers()) {
+            assert!(Arc::ptr_eq(arc, dw_arc));
+        }
+        let entity = offers[0].prosumer();
+        let mine = dw.load_shared(&q.for_prosumer(entity));
+        assert!(!mine.is_empty());
+        assert!(mine.iter().all(|fo| fo.prosumer() == entity));
     }
 
     #[test]

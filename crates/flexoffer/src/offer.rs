@@ -90,7 +90,10 @@ pub struct FlexOffer {
 
 impl FlexOffer {
     /// Starts building a flex-offer with the given offer and prosumer ids.
-    pub fn builder(id: impl Into<FlexOfferId>, prosumer: impl Into<ProsumerId>) -> FlexOfferBuilder {
+    pub fn builder(
+        id: impl Into<FlexOfferId>,
+        prosumer: impl Into<ProsumerId>,
+    ) -> FlexOfferBuilder {
         FlexOfferBuilder::new(id.into(), prosumer.into())
     }
 
@@ -367,11 +370,7 @@ impl FlexOffer {
     }
 
     fn bad_transition(&self, attempted: &'static str) -> FlexOfferError {
-        FlexOfferError::InvalidTransition {
-            id: self.id,
-            from: self.status.name(),
-            attempted,
-        }
+        FlexOfferError::InvalidTransition { id: self.id, from: self.status.name(), attempted }
     }
 }
 
@@ -542,9 +541,7 @@ impl FlexOfferBuilder {
         }
         if assignment > earliest {
             return Err(FlexOfferError::DeadlineOrder {
-                detail: format!(
-                    "assignment deadline {assignment} after earliest start {earliest}"
-                ),
+                detail: format!("assignment deadline {assignment} after earliest start {earliest}"),
             });
         }
         Ok(FlexOffer {

@@ -157,10 +157,7 @@ impl Profile {
         &'a self,
         start: TimeSlot,
     ) -> impl Iterator<Item = (TimeSlot, EnergySlice)> + 'a {
-        self.slices
-            .iter()
-            .enumerate()
-            .map(move |(i, &s)| (start + SlotSpan::slots(i as i64), s))
+        self.slices.iter().enumerate().map(move |(i, &s)| (start + SlotSpan::slots(i as i64), s))
     }
 }
 

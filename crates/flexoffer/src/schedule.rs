@@ -129,11 +129,7 @@ impl Execution {
 
     /// Per-slice deviation from `schedule`: `actual − planned`.
     pub fn deviation_from(&self, schedule: &Schedule) -> Vec<Energy> {
-        self.energies
-            .iter()
-            .zip(schedule.energies())
-            .map(|(&a, &p)| a - p)
-            .collect()
+        self.energies.iter().zip(schedule.energies()).map(|(&a, &p)| a - p).collect()
     }
 
     /// Sum of absolute per-slice deviations from `schedule`.

@@ -237,12 +237,7 @@ pub fn mae(forecast: &TimeSeries, actual: &TimeSeries) -> f64 {
     if forecast.is_empty() {
         return 0.0;
     }
-    forecast
-        .values()
-        .iter()
-        .zip(actual.values())
-        .map(|(f, a)| (f - a).abs())
-        .sum::<f64>()
+    forecast.values().iter().zip(actual.values()).map(|(f, a)| (f - a).abs()).sum::<f64>()
         / forecast.len() as f64
 }
 
@@ -252,13 +247,9 @@ pub fn rmse(forecast: &TimeSeries, actual: &TimeSeries) -> f64 {
     if forecast.is_empty() {
         return 0.0;
     }
-    let mse = forecast
-        .values()
-        .iter()
-        .zip(actual.values())
-        .map(|(f, a)| (f - a) * (f - a))
-        .sum::<f64>()
-        / forecast.len() as f64;
+    let mse =
+        forecast.values().iter().zip(actual.values()).map(|(f, a)| (f - a) * (f - a)).sum::<f64>()
+            / forecast.len() as f64;
     mse.sqrt()
 }
 

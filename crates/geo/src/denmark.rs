@@ -31,22 +31,12 @@ pub fn synthetic_denmark_data() -> Geography {
         Region {
             id: RegionId(1),
             name: "Midtjylland".into(),
-            polygon: Polygon::new(vec![
-                p(8.1, 55.9),
-                p(11.0, 55.9),
-                p(11.0, 56.7),
-                p(8.1, 56.7),
-            ]),
+            polygon: Polygon::new(vec![p(8.1, 55.9), p(11.0, 55.9), p(11.0, 56.7), p(8.1, 56.7)]),
         },
         Region {
             id: RegionId(2),
             name: "Syddanmark".into(),
-            polygon: Polygon::new(vec![
-                p(8.0, 54.8),
-                p(10.9, 54.8),
-                p(10.9, 55.9),
-                p(8.0, 55.9),
-            ]),
+            polygon: Polygon::new(vec![p(8.0, 54.8), p(10.9, 54.8), p(10.9, 55.9), p(8.0, 55.9)]),
         },
         Region {
             id: RegionId(3),
@@ -123,11 +113,8 @@ mod tests {
     fn regions_do_not_overlap_at_city_sites() {
         let geo = synthetic_denmark_data();
         for c in geo.cities() {
-            let containing: Vec<_> = geo
-                .regions()
-                .iter()
-                .filter(|r| r.polygon.contains(c.location))
-                .collect();
+            let containing: Vec<_> =
+                geo.regions().iter().filter(|r| r.polygon.contains(c.location)).collect();
             assert_eq!(containing.len(), 1, "{} in {} regions", c.name, containing.len());
         }
     }
@@ -145,11 +132,7 @@ mod tests {
     fn centroids_inside_polygons() {
         let geo = synthetic_denmark_data();
         for r in geo.regions() {
-            assert!(
-                r.polygon.contains(r.polygon.centroid()),
-                "{} centroid outside",
-                r.name
-            );
+            assert!(r.polygon.contains(r.polygon.centroid()), "{} centroid outside", r.name);
         }
     }
 }

@@ -84,7 +84,10 @@ impl BoundingBox {
 
     /// `true` when `p` lies inside (inclusive).
     pub fn contains(&self, p: GeoPoint) -> bool {
-        p.lon >= self.min_lon && p.lon <= self.max_lon && p.lat >= self.min_lat && p.lat <= self.max_lat
+        p.lon >= self.min_lon
+            && p.lon <= self.max_lon
+            && p.lat >= self.min_lat
+            && p.lat <= self.max_lat
     }
 }
 

@@ -199,12 +199,7 @@ mod tests {
         let geo = Geography::synthetic_denmark();
         for c in geo.cities() {
             let r = geo.region(c.region).unwrap();
-            assert!(
-                r.polygon.contains(c.location),
-                "{} not inside {}",
-                c.name,
-                r.name
-            );
+            assert!(r.polygon.contains(c.location), "{} not inside {}", c.name, r.name);
             // And the point-in-region lookup agrees.
             let found = geo.region_containing(c.location).unwrap();
             assert_eq!(found.id, c.region, "{}", c.name);

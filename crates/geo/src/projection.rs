@@ -68,9 +68,7 @@ mod tests {
     #[test]
     fn corners_project_inside_canvas() {
         let proj = Projection::fit(bbox(), 800.0, 600.0, 20.0);
-        for &(lon, lat) in
-            &[(8.0, 54.0), (13.0, 54.0), (8.0, 58.0), (13.0, 58.0), (10.5, 56.0)]
-        {
+        for &(lon, lat) in &[(8.0, 54.0), (13.0, 54.0), (8.0, 58.0), (13.0, 58.0), (10.5, 56.0)] {
             let (x, y) = proj.project(GeoPoint::new(lon, lat));
             assert!((0.0..=800.0).contains(&x), "x={x}");
             assert!((0.0..=600.0).contains(&y), "y={y}");

@@ -111,7 +111,11 @@ mod tests {
             let min = kids.iter().cloned().fold(f64::INFINITY, f64::min);
             let max = kids.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             let px = pos(sub.id).x;
-            assert!(px >= min - 1e-9 && px <= max + 1e-9, "{} at {px} not within [{min},{max}]", sub.name);
+            assert!(
+                px >= min - 1e-9 && px <= max + 1e-9,
+                "{} at {px} not within [{min},{max}]",
+                sub.name
+            );
         }
     }
 

@@ -5,9 +5,7 @@ use std::fmt;
 
 use mirabel_aggregation::{AggregationError, AggregationParams, Aggregator};
 use mirabel_flexoffer::{Energy, Execution, FlexOffer, FlexOfferStatus, Money};
-use mirabel_scheduling::{
-    load_curve, HillClimbScheduler, Imbalance, Scheduler, SchedulingError,
-};
+use mirabel_scheduling::{load_curve, HillClimbScheduler, Imbalance, Scheduler, SchedulingError};
 use mirabel_timeseries::TimeSeries;
 use mirabel_workload::Scenario;
 use rand::rngs::StdRng;
@@ -144,11 +142,7 @@ impl fmt::Display for PlanReport {
             self.scheduled_imbalance.l1,
             self.improvement() * 100.0
         )?;
-        write!(
-            f,
-            "costs: spot {} + imbalance fees {}",
-            self.trade_cost, self.imbalance_fees
-        )
+        write!(f, "costs: spot {} + imbalance fees {}", self.trade_cost, self.imbalance_fees)
     }
 }
 
@@ -195,11 +189,8 @@ impl Enterprise {
         };
 
         // 2. Aggregate accepted offers.
-        let accepted: Vec<FlexOffer> = offers
-            .iter()
-            .filter(|fo| fo.status() == FlexOfferStatus::Accepted)
-            .cloned()
-            .collect();
+        let accepted: Vec<FlexOffer> =
+            offers.iter().filter(|fo| fo.status() == FlexOfferStatus::Accepted).cloned().collect();
         let aggregator = Aggregator::new(cfg.aggregation);
         let result = aggregator.aggregate(&accepted)?;
 
@@ -213,8 +204,7 @@ impl Enterprise {
         for &i in &result.untouched {
             plan_units.push(accepted[i].clone());
         }
-        let scheduler =
-            HillClimbScheduler::new(cfg.schedule_iterations, cfg.seed.wrapping_add(1));
+        let scheduler = HillClimbScheduler::new(cfg.schedule_iterations, cfg.seed.wrapping_add(1));
         scheduler.schedule(&mut plan_units, &target)?;
 
         // 4. Disaggregate: push aggregate schedules back to the members.
@@ -222,10 +212,7 @@ impl Enterprise {
         for (k, agg) in result.aggregates.iter().enumerate() {
             let schedule = plan_units[k].schedule().expect("scheduled").clone();
             for (member, member_schedule) in aggregator.disaggregate(agg, &schedule)? {
-                let fo = offers
-                    .iter_mut()
-                    .find(|fo| fo.id() == member)
-                    .expect("member exists");
+                let fo = offers.iter_mut().find(|fo| fo.id() == member).expect("member exists");
                 fo.assign(member_schedule).expect("disaggregation is feasible");
             }
         }
@@ -266,8 +253,7 @@ impl Enterprise {
                     .zip(fo.profile().slices())
                     .map(|(&e, slice)| {
                         let factor = 1.0 + rng.gen_range(-cfg.deviation..=cfg.deviation);
-                        Energy::from_wh((e.wh() as f64 * factor) as i64)
-                            .clamp(slice.min, slice.max)
+                        Energy::from_wh((e.wh() as f64 * factor) as i64).clamp(slice.min, slice.max)
                     })
                     .collect();
                 Execution::new(energies)
@@ -282,10 +268,8 @@ impl Enterprise {
 
         let mut status_counts = [0usize; 5];
         for fo in &offers {
-            let idx = FlexOfferStatus::ALL
-                .iter()
-                .position(|s| *s == fo.status())
-                .expect("exhaustive");
+            let idx =
+                FlexOfferStatus::ALL.iter().position(|s| *s == fo.status()).expect("exhaustive");
             status_counts[idx] += 1;
         }
 
@@ -386,12 +370,9 @@ mod tests {
 
     #[test]
     fn full_compliance_means_no_fees() {
-        let report = Enterprise::new(EnterpriseConfig {
-            compliance: 1.0,
-            ..Default::default()
-        })
-        .run(&scenario())
-        .unwrap();
+        let report = Enterprise::new(EnterpriseConfig { compliance: 1.0, ..Default::default() })
+            .run(&scenario())
+            .unwrap();
         assert_eq!(report.realization_deviation.l1, 0.0);
         assert_eq!(report.imbalance_fees.cents(), 0);
     }
@@ -409,18 +390,13 @@ mod tests {
     #[test]
     fn acceptance_rate_controls_rejections() {
         let sc = scenario();
-        let strict = Enterprise::new(EnterpriseConfig {
-            acceptance_rate: 0.5,
-            ..Default::default()
-        })
-        .run(&sc)
-        .unwrap();
-        let lax = Enterprise::new(EnterpriseConfig {
-            acceptance_rate: 1.0,
-            ..Default::default()
-        })
-        .run(&sc)
-        .unwrap();
+        let strict =
+            Enterprise::new(EnterpriseConfig { acceptance_rate: 0.5, ..Default::default() })
+                .run(&sc)
+                .unwrap();
+        let lax = Enterprise::new(EnterpriseConfig { acceptance_rate: 1.0, ..Default::default() })
+            .run(&sc)
+            .unwrap();
         assert!(strict.status_counts[2] > lax.status_counts[2]);
         assert_eq!(lax.status_counts[2], 0);
     }

@@ -96,9 +96,8 @@ mod tests {
         let m = SpotMarket::new(TimeSlot::EPOCH, 1, 40.0, 2.0);
         let dev = TimeSeries::new(TimeSlot::new(0), vec![1.0, -2.0, 0.0]);
         let total = m.settle(&dev);
-        let by_hand: Money = (0..3)
-            .map(|i| m.imbalance_fee(TimeSlot::new(i), dev.values()[i as usize]))
-            .sum();
+        let by_hand: Money =
+            (0..3).map(|i| m.imbalance_fee(TimeSlot::new(i), dev.values()[i as usize])).sum();
         assert_eq!(total, by_hand);
         assert!(total.cents() > 0);
     }

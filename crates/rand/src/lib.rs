@@ -1,0 +1,235 @@
+//! Deterministic stand-in for the [`rand`](https://crates.io/crates/rand)
+//! crate, implementing exactly the 0.8 API subset this workspace uses.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! this shim as a path dependency (see `crates/rand/Cargo.toml`). The
+//! generator is a SplitMix64 stream: statistically adequate for synthetic
+//! workload generation and fully deterministic for a given seed, which is
+//! what the seeded benches and scenario generators require. It makes no
+//! attempt to be cryptographically secure and does not reproduce the
+//! value streams of the real `StdRng`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level generator interface: a stream of `u64`s.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator seeded from `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every
+/// [`RngCore`] (mirrors `rand::Rng`).
+pub trait Rng: RngCore {
+    /// A uniformly random value of `T` over its natural domain
+    /// (`[0, 1)` for floats, the full range for integers).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// A uniformly random value in `range`.
+    ///
+    /// # Panics
+    /// Panics on an empty range, like the real `rand`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self.next_u64()) < p.clamp(0.0, 1.0)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Types samplable over their natural domain (mirrors the `Standard`
+/// distribution of the real crate, spelled as a trait for simplicity).
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges samplable uniformly (mirrors `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// Element types with a uniform sampler over half-open and closed ranges
+/// (mirrors `SampleUniform`; a single blanket range impl keeps integer
+/// literal inference working exactly like the real crate).
+pub trait SampleUniform: Copy + PartialOrd {
+    /// A uniform draw from `[start, end)` (`end` included when
+    /// `inclusive`).
+    fn sample_range<R: RngCore>(rng: &mut R, start: Self, end: Self, inclusive: bool) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample<R: RngCore>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_range(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample<R: RngCore>(self, rng: &mut R) -> T {
+        let (start, end) = self.into_inner();
+        assert!(start <= end, "cannot sample empty range");
+        T::sample_range(rng, start, end, true)
+    }
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore>(rng: &mut R, start: Self, end: Self, inclusive: bool) -> Self {
+                let span = (end as i128 - start as i128) as u128 + inclusive as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+uniform_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore>(rng: &mut R, start: Self, end: Self, _inclusive: bool) -> Self {
+        start + unit_f64(rng.next_u64()) * (end - start)
+    }
+}
+
+/// Maps 64 random bits to `[0, 1)` using the top 53 bits.
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Concrete generators (mirrors `rand::rngs`).
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: a SplitMix64 stream.
+    ///
+    /// Deterministic for a given seed; not the real `StdRng` (ChaCha12)
+    /// and not suitable for anything security-sensitive.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // Pre-mix once so that small consecutive seeds do not yield
+            // correlated first draws.
+            let mut rng = StdRng { state };
+            let _ = RngCore::next_u64(&mut rng);
+            rng
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea & Flood 2014).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+            let v = rng.gen_range(0usize..=3);
+            assert!(v <= 3);
+            let f = rng.gen_range(-0.25f64..0.25);
+            assert!((-0.25..0.25).contains(&f));
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+        // Degenerate inclusive range is fine.
+        assert_eq!(rng.gen_range(4i64..=4), 4);
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_000..4_000).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn values_spread_across_buckets() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut buckets = [0usize; 8];
+        for _ in 0..8_000 {
+            buckets[rng.gen_range(0usize..8)] += 1;
+        }
+        assert!(buckets.iter().all(|&b| b > 500), "{buckets:?}");
+    }
+}

@@ -104,7 +104,11 @@ mod tests {
         // Surplus arrives at slots 8..12; the offer may start anywhere in
         // 0..=8. Greedy must start it at 8.
         let target =
-            TimeSeries::from_fn(TimeSlot::new(0), 16, |i| if (8..12).contains(&i) { 2.0 } else { 0.0 });
+            TimeSeries::from_fn(
+                TimeSlot::new(0),
+                16,
+                |i| if (8..12).contains(&i) { 2.0 } else { 0.0 },
+            );
         let mut offers = vec![accepted(1, 0, 8, 4, 0, 2_000)];
         let r = GreedyScheduler.schedule(&mut offers, &target).unwrap();
         let s = offers[0].schedule().unwrap();
@@ -115,8 +119,13 @@ mod tests {
 
     #[test]
     fn beats_earliest_start_baseline() {
-        let target =
-            TimeSeries::from_fn(TimeSlot::new(0), 32, |i| if (16..28).contains(&i) { 3.0 } else { 0.0 });
+        let target = TimeSeries::from_fn(TimeSlot::new(0), 32, |i| {
+            if (16..28).contains(&i) {
+                3.0
+            } else {
+                0.0
+            }
+        });
         let mk = || -> Vec<FlexOffer> {
             (0..12).map(|i| accepted(i + 1, (i % 4) as i64, 16, 4, 100, 1_500)).collect()
         };
@@ -147,11 +156,10 @@ mod tests {
         // The big offer should take the surplus; the small one fits in
         // what remains. If order were reversed, the small offer would sit
         // in the middle of the surplus and the big one would overspill.
-        let target =
-            TimeSeries::from_fn(TimeSlot::new(0), 8, |i| if i < 4 { 4.0 } else { 0.0 });
+        let target = TimeSeries::from_fn(TimeSlot::new(0), 8, |i| if i < 4 { 4.0 } else { 0.0 });
         let mut offers = vec![
-            accepted(1, 0, 4, 4, 0, 1_000),  // small
-            accepted(2, 0, 4, 4, 0, 4_000),  // big
+            accepted(1, 0, 4, 4, 0, 1_000), // small
+            accepted(2, 0, 4, 4, 0, 4_000), // big
         ];
         GreedyScheduler.schedule(&mut offers, &target).unwrap();
         let big = offers[1].schedule().unwrap();

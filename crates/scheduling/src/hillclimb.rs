@@ -6,9 +6,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::greedy::{plan_one, GreedyScheduler};
-use crate::objective::{
-    apply_to_residual, report, schedulable, SchedulingError, SchedulingReport,
-};
+use crate::objective::{apply_to_residual, report, schedulable, SchedulingError, SchedulingReport};
 use crate::Scheduler;
 
 /// Hill-climbing refinement (the local-search spirit of the evolutionary
@@ -132,9 +130,7 @@ mod tests {
     fn never_worse_than_greedy() {
         let target = spiky_target();
         let mk = || -> Vec<FlexOffer> {
-            (0..16)
-                .map(|i| accepted(i + 1, (i % 6) as i64, 24, 4, 0, 1_200))
-                .collect()
+            (0..16).map(|i| accepted(i + 1, (i % 6) as i64, 24, 4, 0, 1_200)).collect()
         };
         let mut g = mk();
         let mut h = mk();
@@ -146,9 +142,8 @@ mod tests {
     #[test]
     fn deterministic_for_fixed_seed() {
         let target = spiky_target();
-        let mk = || -> Vec<FlexOffer> {
-            (0..10).map(|i| accepted(i + 1, 0, 20, 3, 0, 900)).collect()
-        };
+        let mk =
+            || -> Vec<FlexOffer> { (0..10).map(|i| accepted(i + 1, 0, 20, 3, 0, 900)).collect() };
         let mut a = mk();
         let mut b = mk();
         HillClimbScheduler::new(100, 9).schedule(&mut a, &target).unwrap();
@@ -177,9 +172,8 @@ mod tests {
     #[test]
     fn zero_iterations_equals_greedy() {
         let target = spiky_target();
-        let mk = || -> Vec<FlexOffer> {
-            (0..8).map(|i| accepted(i + 1, 2, 16, 3, 0, 700)).collect()
-        };
+        let mk =
+            || -> Vec<FlexOffer> { (0..8).map(|i| accepted(i + 1, 2, 16, 3, 0, 700)).collect() };
         let mut a = mk();
         let mut b = mk();
         GreedyScheduler.schedule(&mut a, &target).unwrap();

@@ -61,7 +61,7 @@ mod simple;
 
 pub use greedy::GreedyScheduler;
 pub use hillclimb::HillClimbScheduler;
-pub use objective::{load_curve, best_fill, Imbalance, SchedulingError, SchedulingReport};
+pub use objective::{best_fill, load_curve, Imbalance, SchedulingError, SchedulingReport};
 pub use random::RandomScheduler;
 pub use simple::EarliestStartScheduler;
 

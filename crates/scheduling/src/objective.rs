@@ -24,10 +24,7 @@ impl Imbalance {
         Imbalance {
             l1: residual.l1_norm(),
             l2_sq: residual.l2_sq(),
-            peak: residual
-                .values()
-                .iter()
-                .fold(0.0f64, |acc, v| acc.max(v.abs())),
+            peak: residual.values().iter().fold(0.0f64, |acc, v| acc.max(v.abs())),
         }
     }
 

@@ -1,0 +1,426 @@
+//! The serializable command vocabulary of the session engine.
+//!
+//! Every interaction the paper's GUI supports — and the loader, pivot,
+//! dashboard and aggregation operations around it — is one [`Command`]
+//! value. Commands are plain data: a server can receive them over a
+//! wire, a REPL can parse them from a line, a test can construct them
+//! literally, and a recorded `Vec<Command>` replays to a bit-identical
+//! frame (see [`crate::Session::replay`]).
+//!
+//! The text encoding is a deliberately simple line format (one command
+//! per line, `#` comments) so command logs diff well and can be written
+//! by hand. [`Command::encode`] and [`Command::decode`] round-trip every
+//! command whose free-text fields (`Load` titles, `Mdx` queries) are
+//! *normalized* — trimmed, no embedded newlines; [`Command::encode`]
+//! normalizes such fields on the way out, so scripts are always stable
+//! after one encode.
+
+use std::fmt;
+
+use mirabel_aggregation::AggregationParams;
+use mirabel_dw::LoaderQuery;
+use mirabel_flexoffer::ProsumerId;
+use mirabel_timeseries::{Granularity, TimeSlot};
+use mirabel_viz::Point;
+
+use crate::tab::ViewMode;
+
+/// One serializable interaction with a [`crate::Session`].
+///
+/// The pointer/tab commands mirror the mouse actions of Section 4; the
+/// loader, aggregation, pivot and dashboard commands cover the rest of
+/// the tool's surface.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Pointer moved (hover → tooltip). Read-only: served from the
+    /// cached frame.
+    PointerMove(Point),
+    /// Click (select one offer; empty space clears the selection).
+    Click(Point),
+    /// Start of a selection drag.
+    DragStart(Point),
+    /// End of a selection drag (selects everything in the rectangle).
+    DragEnd(Point),
+    /// Switch the active tab's view mode.
+    SetMode(ViewMode),
+    /// Open a new tab with the current selection.
+    ShowSelectionInNewTab,
+    /// Remove the selected offers from the current view.
+    RemoveSelected,
+    /// Activate another tab.
+    ActivateTab(usize),
+    /// Close a tab.
+    CloseTab(usize),
+    /// Resize the active tab's canvas.
+    SetCanvas {
+        /// New canvas width in pixels.
+        width: f64,
+        /// New canvas height in pixels.
+        height: f64,
+    },
+    /// The Figure 7 loader: run the query on the session's warehouse and
+    /// open the result in a new tab.
+    Load {
+        /// Entity + interval selection.
+        query: LoaderQuery,
+        /// Title for the new tab.
+        title: String,
+    },
+    /// Tune the Figure 11 aggregation parameters.
+    SetAggregationParams(AggregationParams),
+    /// Apply the current aggregation parameters to the active tab,
+    /// replacing its offers with aggregates + untouched originals.
+    Aggregate,
+    /// Evaluate an MDX-lite query against the warehouse (Figure 5).
+    Mdx(String),
+    /// Render the Figure 6 dashboard for an absolute interval.
+    Dashboard {
+        /// Interval start (inclusive).
+        from: TimeSlot,
+        /// Interval end (exclusive).
+        to: TimeSlot,
+        /// Series bucketing granularity.
+        granularity: Granularity,
+    },
+    /// Return a versioned [`crate::FrameRef`] of the active tab.
+    Render,
+}
+
+impl Command {
+    /// `true` for commands that can change what a tab renders (and thus
+    /// invalidate its cached frame).
+    pub fn is_mutating(&self) -> bool {
+        !matches!(
+            self,
+            Command::PointerMove(_)
+                | Command::Click(_)
+                | Command::Mdx(_)
+                | Command::Dashboard { .. }
+                | Command::Render
+        )
+    }
+
+    /// Encodes the command as one line of the script format.
+    pub fn encode(&self) -> String {
+        match self {
+            Command::PointerMove(p) => format!("pointer-move {} {}", p.x, p.y),
+            Command::Click(p) => format!("click {} {}", p.x, p.y),
+            Command::DragStart(p) => format!("drag-start {} {}", p.x, p.y),
+            Command::DragEnd(p) => format!("drag-end {} {}", p.x, p.y),
+            Command::SetMode(ViewMode::Basic) => "set-mode basic".into(),
+            Command::SetMode(ViewMode::Profile) => "set-mode profile".into(),
+            Command::ShowSelectionInNewTab => "show-selection".into(),
+            Command::RemoveSelected => "remove-selected".into(),
+            Command::ActivateTab(i) => format!("activate-tab {i}"),
+            Command::CloseTab(i) => format!("close-tab {i}"),
+            Command::SetCanvas { width, height } => format!("set-canvas {width} {height}"),
+            Command::Load { query, title } => format!(
+                "load {} {} {} {}",
+                query.from.index(),
+                query.to.index(),
+                match query.prosumer {
+                    Some(p) => p.0.to_string(),
+                    None => "-".into(),
+                },
+                single_line(title),
+            ),
+            Command::SetAggregationParams(p) => format!(
+                "set-aggregation {} {} {}",
+                p.est_tolerance,
+                p.tft_tolerance,
+                match p.max_group_size {
+                    Some(n) => n.to_string(),
+                    None => "-".into(),
+                },
+            ),
+            Command::Aggregate => "aggregate".into(),
+            Command::Mdx(q) => format!("mdx {}", single_line(q)),
+            Command::Dashboard { from, to, granularity } => format!(
+                "dashboard {} {} {}",
+                from.index(),
+                to.index(),
+                granularity_name(*granularity),
+            ),
+            Command::Render => "render".into(),
+        }
+    }
+
+    /// Parses one line of the script format.
+    pub fn decode(line: &str) -> Result<Command, CommandParseError> {
+        let line = line.trim();
+        let (head, rest) = match line.split_once(char::is_whitespace) {
+            Some((h, r)) => (h, r.trim()),
+            None => (line, ""),
+        };
+        let err = |what: &str| CommandParseError(format!("{what} in {line:?}"));
+        let mut nums = rest.split_whitespace();
+        let mut f64_arg = |name: &str| -> Result<f64, CommandParseError> {
+            nums.next()
+                .ok_or_else(|| err(&format!("missing {name}")))?
+                .parse::<f64>()
+                .map_err(|_| err(&format!("bad {name}")))
+        };
+        match head {
+            "pointer-move" => Ok(Command::PointerMove(Point::new(f64_arg("x")?, f64_arg("y")?))),
+            "click" => Ok(Command::Click(Point::new(f64_arg("x")?, f64_arg("y")?))),
+            "drag-start" => Ok(Command::DragStart(Point::new(f64_arg("x")?, f64_arg("y")?))),
+            "drag-end" => Ok(Command::DragEnd(Point::new(f64_arg("x")?, f64_arg("y")?))),
+            "set-mode" => match rest {
+                "basic" => Ok(Command::SetMode(ViewMode::Basic)),
+                "profile" => Ok(Command::SetMode(ViewMode::Profile)),
+                _ => Err(err("unknown mode")),
+            },
+            "show-selection" => Ok(Command::ShowSelectionInNewTab),
+            "remove-selected" => Ok(Command::RemoveSelected),
+            "activate-tab" => {
+                Ok(Command::ActivateTab(rest.parse().map_err(|_| err("bad tab index"))?))
+            }
+            "close-tab" => Ok(Command::CloseTab(rest.parse().map_err(|_| err("bad tab index"))?)),
+            "set-canvas" => {
+                Ok(Command::SetCanvas { width: f64_arg("width")?, height: f64_arg("height")? })
+            }
+            "load" => {
+                // Tokenize robustly (repeated whitespace is fine in
+                // hand-written scripts); the title is whatever remains.
+                let (from_tok, rest) = next_token(rest).ok_or_else(|| err("missing from"))?;
+                let from: i64 = from_tok.parse().map_err(|_| err("bad from"))?;
+                let (to_tok, rest) = next_token(rest).ok_or_else(|| err("missing to"))?;
+                let to: i64 = to_tok.parse().map_err(|_| err("bad to"))?;
+                let (p_tok, title) = next_token(rest).ok_or_else(|| err("missing prosumer"))?;
+                let prosumer = match p_tok {
+                    "-" => None,
+                    p => Some(ProsumerId(p.parse().map_err(|_| err("bad prosumer"))?)),
+                };
+                let mut query = LoaderQuery::window(TimeSlot::new(from), TimeSlot::new(to));
+                query.prosumer = prosumer;
+                Ok(Command::Load { query, title: title.to_string() })
+            }
+            "set-aggregation" => {
+                let mut parts = rest.split_whitespace();
+                let est: i64 = parts
+                    .next()
+                    .ok_or_else(|| err("missing est"))?
+                    .parse()
+                    .map_err(|_| err("bad est"))?;
+                let tft: i64 = parts
+                    .next()
+                    .ok_or_else(|| err("missing tft"))?
+                    .parse()
+                    .map_err(|_| err("bad tft"))?;
+                let mut params = AggregationParams::new(est, tft);
+                params.max_group_size = match parts.next().ok_or_else(|| err("missing group"))? {
+                    "-" => None,
+                    n => Some(n.parse().map_err(|_| err("bad group size"))?),
+                };
+                Ok(Command::SetAggregationParams(params))
+            }
+            "aggregate" => Ok(Command::Aggregate),
+            "mdx" => Ok(Command::Mdx(rest.to_string())),
+            "dashboard" => {
+                let mut parts = rest.split_whitespace();
+                let from: i64 = parts
+                    .next()
+                    .ok_or_else(|| err("missing from"))?
+                    .parse()
+                    .map_err(|_| err("bad from"))?;
+                let to: i64 = parts
+                    .next()
+                    .ok_or_else(|| err("missing to"))?
+                    .parse()
+                    .map_err(|_| err("bad to"))?;
+                let granularity =
+                    parse_granularity(parts.next().ok_or_else(|| err("missing granularity"))?)
+                        .ok_or_else(|| err("bad granularity"))?;
+                Ok(Command::Dashboard {
+                    from: TimeSlot::new(from),
+                    to: TimeSlot::new(to),
+                    granularity,
+                })
+            }
+            "render" => Ok(Command::Render),
+            _ => Err(err("unknown command")),
+        }
+    }
+}
+
+/// Splits off the next whitespace-delimited token, returning it and the
+/// trimmed remainder.
+fn next_token(s: &str) -> Option<(&str, &str)> {
+    let s = s.trim_start();
+    if s.is_empty() {
+        return None;
+    }
+    match s.find(char::is_whitespace) {
+        Some(i) => Some((&s[..i], s[i..].trim_start())),
+        None => Some((s, "")),
+    }
+}
+
+/// Normalizes a free-text field for the line format: newlines would
+/// break one-command-per-line, and surrounding whitespace would not
+/// survive the line-trimming decoder.
+fn single_line(s: &str) -> String {
+    s.trim().replace('\n', " ")
+}
+
+fn granularity_name(g: Granularity) -> &'static str {
+    match g {
+        Granularity::QuarterHour => "quarter-hour",
+        Granularity::Hour => "hour",
+        Granularity::Day => "day",
+        Granularity::Month => "month",
+        Granularity::Year => "year",
+    }
+}
+
+fn parse_granularity(s: &str) -> Option<Granularity> {
+    Some(match s {
+        "quarter-hour" => Granularity::QuarterHour,
+        "hour" => Granularity::Hour,
+        "day" => Granularity::Day,
+        "month" => Granularity::Month,
+        "year" => Granularity::Year,
+        _ => return None,
+    })
+}
+
+/// Serializes a command log as a replayable script (one command per line).
+pub fn encode_script(commands: &[Command]) -> String {
+    let mut out = String::new();
+    for c in commands {
+        out.push_str(&c.encode());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a script produced by [`encode_script`] (or written by hand).
+/// Blank lines and `#` comments are skipped.
+pub fn parse_script(script: &str) -> Result<Vec<Command>, CommandParseError> {
+    script
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(Command::decode)
+        .collect()
+}
+
+/// A malformed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommandParseError(pub String);
+
+impl fmt::Display for CommandParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "command parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CommandParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Command> {
+        vec![
+            Command::PointerMove(Point::new(12.5, 40.0)),
+            Command::Click(Point::new(-1.0, 0.125)),
+            Command::DragStart(Point::new(0.0, 0.0)),
+            Command::DragEnd(Point::new(960.0, 540.0)),
+            Command::SetMode(ViewMode::Profile),
+            Command::SetMode(ViewMode::Basic),
+            Command::ShowSelectionInNewTab,
+            Command::RemoveSelected,
+            Command::ActivateTab(3),
+            Command::CloseTab(0),
+            Command::SetCanvas { width: 1280.0, height: 720.0 },
+            Command::Load {
+                query: LoaderQuery::window(TimeSlot::new(-96), TimeSlot::new(192))
+                    .for_prosumer(ProsumerId(7)),
+                title: "entity 7, two days".into(),
+            },
+            Command::Load {
+                query: LoaderQuery::window(TimeSlot::new(0), TimeSlot::new(96)),
+                title: "everyone".into(),
+            },
+            Command::SetAggregationParams(AggregationParams::new(8, 2).with_max_group_size(5)),
+            Command::SetAggregationParams(AggregationParams::default()),
+            Command::Aggregate,
+            Command::Mdx("SELECT {[Time].Children} ON COLUMNS FROM [FlexOffers]".into()),
+            Command::Dashboard {
+                from: TimeSlot::new(48),
+                to: TimeSlot::new(53),
+                granularity: Granularity::QuarterHour,
+            },
+            Command::Render,
+        ]
+    }
+
+    #[test]
+    fn every_command_round_trips() {
+        for cmd in samples() {
+            let line = cmd.encode();
+            assert_eq!(Command::decode(&line).unwrap(), cmd, "line {line:?}");
+        }
+    }
+
+    #[test]
+    fn scripts_round_trip_with_comments() {
+        let cmds = samples();
+        let mut script = String::from("# a recorded session\n\n");
+        script.push_str(&encode_script(&cmds));
+        assert_eq!(parse_script(&script).unwrap(), cmds);
+    }
+
+    #[test]
+    fn hand_written_lines_tolerate_repeated_whitespace() {
+        let cmd = Command::decode("load 0    96  -   all the offers").unwrap();
+        assert_eq!(
+            cmd,
+            Command::Load {
+                query: LoaderQuery::window(TimeSlot::new(0), TimeSlot::new(96)),
+                title: "all the offers".into(),
+            }
+        );
+        let cmd = Command::decode("load -5 5 7  entity seven").unwrap();
+        assert_eq!(
+            cmd,
+            Command::Load {
+                query: LoaderQuery::window(TimeSlot::new(-5), TimeSlot::new(5))
+                    .for_prosumer(ProsumerId(7)),
+                title: "entity seven".into(),
+            }
+        );
+        // Empty title is fine.
+        assert!(matches!(
+            Command::decode("load 0 96 -").unwrap(),
+            Command::Load { title, .. } if title.is_empty()
+        ));
+    }
+
+    #[test]
+    fn bad_lines_are_rejected_not_panicked() {
+        for bad in [
+            "warp 1 2",
+            "pointer-move",
+            "pointer-move a b",
+            "set-mode sideways",
+            "activate-tab minus-one",
+            "load 0 x - t",
+            "dashboard 0 96 fortnight",
+            "set-aggregation 4",
+        ] {
+            assert!(Command::decode(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn mutating_classification() {
+        assert!(!Command::PointerMove(Point::new(0.0, 0.0)).is_mutating());
+        assert!(!Command::Render.is_mutating());
+        assert!(!Command::Click(Point::new(0.0, 0.0)).is_mutating());
+        assert!(Command::RemoveSelected.is_mutating());
+        assert!(Command::Aggregate.is_mutating());
+        assert!(Command::DragStart(Point::new(0.0, 0.0)).is_mutating());
+    }
+}

@@ -1,0 +1,52 @@
+//! The flex-offer visual analysis engine — the paper's contribution,
+//! restructured as a command-driven service.
+//!
+//! The paper's tool is an interactive GUI. This crate keeps its views as
+//! pure functions (data + options → [`Scene`](mirabel_viz::Scene)) and
+//! wraps the *interaction model* into a [`Session`]: a stateful engine
+//! over a shared [`Warehouse`](mirabel_dw::Warehouse) that accepts a
+//! serializable [`Command`] and answers with a structured [`Outcome`] —
+//! so a server, a REPL, a test, or a recorded script can all drive the
+//! tool identically (the query/response shape of E³-style exploration
+//! backends). A [`SessionPool`] multiplexes many independent sessions
+//! over one warehouse to model concurrent users.
+//!
+//! | Paper artefact | Module |
+//! |---|---|
+//! | Figure 2 — structural elements of a flex-offer | [`views::annotate`] |
+//! | Figure 3 — map view | [`views::map`] |
+//! | Figure 4 — schematic (grid) view | [`views::schematic`] |
+//! | Figure 5 — pivot view with MDX window | [`views::pivot`], [`Command::Mdx`] |
+//! | Figure 6 — dashboard view | [`views::dashboard`], [`Command::Dashboard`] |
+//! | Figure 7 — flex-offer loading tab | [`Command::Load`] |
+//! | Figure 8 — basic view | [`views::basic`] |
+//! | Figure 9 — profile view | [`views::profile`] |
+//! | Figure 10 — on-the-fly information | [`views::tooltip`], [`Command::PointerMove`] |
+//! | Figure 11 — aggregation tools | [`tools`], [`Command::Aggregate`] |
+//!
+//! Performance model ("rendering does not freeze the tool"): each
+//! [`Tab`] caches its layout, scene, spatial index and id lookup keyed
+//! by a revision that only mutating commands bump — a hover/click storm
+//! is served from one cached frame. Offers are `Arc`-shared from the
+//! warehouse through the loader into every tab of every session; no
+//! per-tab clones of the payload. See DESIGN.md for the architecture.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod command;
+pub mod outcome;
+pub mod pool;
+pub mod session;
+pub mod tab;
+pub mod tools;
+pub mod views;
+pub mod visual;
+
+pub use command::{encode_script, parse_script, Command, CommandParseError};
+pub use outcome::{AggregationStats, Outcome, SelectionDelta};
+pub use pool::{SessionId, SessionPool};
+pub use session::{Session, SessionStats};
+pub use tab::{FrameRef, Selection, Tab, ViewMode};
+pub use tools::{AggregationOutcome, AggregationTools};
+pub use visual::{slot_label, VisualOffer};

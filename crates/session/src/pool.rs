@@ -1,0 +1,88 @@
+//! Multiplexing many sessions over one shared warehouse.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use mirabel_dw::Warehouse;
+
+use crate::command::Command;
+use crate::outcome::Outcome;
+use crate::session::Session;
+
+/// Identifies one session within a [`SessionPool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SessionId(pub u64);
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "session#{}", self.0)
+    }
+}
+
+/// A pool of independent [`Session`]s over a single shared
+/// [`Warehouse`] — the concurrent-user model: every session has its own
+/// tabs, selection and aggregation parameters, but all of them read the
+/// same warehouse allocation (offers are `Arc`-shared all the way into
+/// the view tabs, so a thousand sessions hold one copy of the data).
+#[derive(Debug, Clone)]
+pub struct SessionPool {
+    warehouse: Arc<Warehouse>,
+    sessions: BTreeMap<u64, Session>,
+    next: u64,
+}
+
+impl SessionPool {
+    /// An empty pool over `warehouse`.
+    pub fn new(warehouse: Arc<Warehouse>) -> SessionPool {
+        SessionPool { warehouse, sessions: BTreeMap::new(), next: 0 }
+    }
+
+    /// The shared warehouse.
+    pub fn warehouse(&self) -> &Arc<Warehouse> {
+        &self.warehouse
+    }
+
+    /// Opens a fresh session and returns its id.
+    pub fn open(&mut self) -> SessionId {
+        let id = self.next;
+        self.next += 1;
+        self.sessions.insert(id, Session::new(Arc::clone(&self.warehouse)));
+        SessionId(id)
+    }
+
+    /// Closes a session; returns `false` if the id is unknown.
+    pub fn close(&mut self, id: SessionId) -> bool {
+        self.sessions.remove(&id.0).is_some()
+    }
+
+    /// Routes one command to session `id`; `None` for an unknown id.
+    pub fn handle(&mut self, id: SessionId, cmd: Command) -> Option<Outcome> {
+        self.sessions.get_mut(&id.0).map(|s| s.handle(cmd))
+    }
+
+    /// Read access to a session.
+    pub fn session(&self, id: SessionId) -> Option<&Session> {
+        self.sessions.get(&id.0)
+    }
+
+    /// Mutable access to a session.
+    pub fn session_mut(&mut self, id: SessionId) -> Option<&mut Session> {
+        self.sessions.get_mut(&id.0)
+    }
+
+    /// Live session ids, ascending.
+    pub fn ids(&self) -> impl Iterator<Item = SessionId> + '_ {
+        self.sessions.keys().map(|&k| SessionId(k))
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// `true` when no sessions are open.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+}

@@ -1,0 +1,368 @@
+//! View tabs with revision-keyed frame caches.
+//!
+//! A [`Tab`] owns an [`Arc`]-shared slice of [`VisualOffer`]s and lazily
+//! materialises everything derived from them — the [`DetailLayout`], the
+//! rendered [`Scene`], a [`GridIndex`] for pointer probes, and an
+//! id→index lookup — into one [`CachedFrame`] keyed by a monotonically
+//! bumped *revision*. Read-only commands (hover, click, render) reuse the
+//! cached frame; only mutating commands bump the revision and pay for a
+//! rebuild on the next read. This is the paper's "rendering does not
+//! freeze the tool" discipline made explicit: a 10k-event pointer storm
+//! builds exactly one frame.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use mirabel_flexoffer::FlexOfferId;
+use mirabel_viz::{GridIndex, Point, Scene};
+
+use crate::views::basic::{self, BasicViewOptions};
+use crate::views::profile;
+use crate::views::DetailLayout;
+use crate::visual::VisualOffer;
+
+/// Grid-index cell size (pixels) for cached pointer probes.
+const GRID_CELL: f64 = 32.0;
+
+/// Which detail view a tab shows ("There are two flex-offer views
+/// currently supported: the basic and the profile view").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ViewMode {
+    /// The Figure 8 basic view.
+    #[default]
+    Basic,
+    /// The Figure 9 profile view.
+    Profile,
+}
+
+/// An insertion-ordered selection with O(1) membership tests — the
+/// set-backed replacement for the old `Vec<FlexOfferId>` whose
+/// `contains` made click/drag selection O(n²).
+#[derive(Debug, Clone, Default)]
+pub struct Selection {
+    order: Vec<FlexOfferId>,
+    set: std::collections::HashSet<FlexOfferId>,
+}
+
+impl Selection {
+    /// An empty selection.
+    pub fn new() -> Selection {
+        Selection::default()
+    }
+
+    /// Adds `id` if absent; returns `true` when it was added.
+    pub fn insert(&mut self, id: FlexOfferId) -> bool {
+        if self.set.insert(id) {
+            self.order.push(id);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// O(1) membership test.
+    pub fn contains(&self, id: FlexOfferId) -> bool {
+        self.set.contains(&id)
+    }
+
+    /// Empties the selection.
+    pub fn clear(&mut self) {
+        self.order.clear();
+        self.set.clear();
+    }
+
+    /// Number of selected offers.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// `true` when nothing is selected.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Selected ids in insertion order.
+    pub fn ids(&self) -> &[FlexOfferId] {
+        &self.order
+    }
+
+    /// Iterates the selected ids in insertion order.
+    pub fn iter(&self) -> std::slice::Iter<'_, FlexOfferId> {
+        self.order.iter()
+    }
+}
+
+impl PartialEq for Selection {
+    fn eq(&self, other: &Selection) -> bool {
+        self.order == other.order
+    }
+}
+
+/// Lets tests keep asserting `tab.selection == vec![id]`.
+impl PartialEq<Vec<FlexOfferId>> for Selection {
+    fn eq(&self, other: &Vec<FlexOfferId>) -> bool {
+        self.order == *other
+    }
+}
+
+impl<'a> IntoIterator for &'a Selection {
+    type Item = &'a FlexOfferId;
+    type IntoIter = std::slice::Iter<'a, FlexOfferId>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.order.iter()
+    }
+}
+
+impl FromIterator<FlexOfferId> for Selection {
+    fn from_iter<I: IntoIterator<Item = FlexOfferId>>(iter: I) -> Selection {
+        let mut s = Selection::new();
+        for id in iter {
+            s.insert(id);
+        }
+        s
+    }
+}
+
+/// A handle to one rendered, versioned frame: cheap to clone, cheap to
+/// compare, safe to ship to a thin client or hold across commands.
+#[derive(Debug, Clone)]
+pub struct FrameRef {
+    /// The rendered scene (shared with the tab's cache).
+    pub scene: Arc<Scene>,
+    /// Tab revision the frame was built at.
+    pub revision: u64,
+    /// Structural content hash of the scene (see
+    /// [`Scene::content_hash`]); equal hashes ⇒ identical rendering.
+    pub hash: u64,
+}
+
+/// Everything derived from a tab's offers at one revision.
+#[derive(Debug, Clone)]
+pub(crate) struct CachedFrame {
+    pub(crate) revision: u64,
+    pub(crate) layout: Arc<DetailLayout>,
+    pub(crate) scene: Arc<Scene>,
+    pub(crate) index: Arc<GridIndex>,
+    /// Raw offer id → first index in `offers` (mirrors the linear
+    /// `position()` the pre-session `App` ran per hit).
+    pub(crate) lookup: Arc<HashMap<u64, usize>>,
+    pub(crate) hash: u64,
+}
+
+#[derive(Debug, Default)]
+struct CacheSlot {
+    frame: Option<CachedFrame>,
+    builds: u64,
+}
+
+/// One view tab in the main window.
+#[derive(Debug)]
+pub struct Tab {
+    /// Tab title (e.g. the loader selection that produced it).
+    pub title: String,
+    /// The offers on this tab, shared rather than cloned per tab.
+    pub offers: Arc<[VisualOffer]>,
+    /// Current view mode.
+    pub mode: ViewMode,
+    /// Selected offer ids.
+    pub selection: Selection,
+    /// An in-progress drag rectangle (origin point), if any.
+    pub(crate) drag_origin: Option<Point>,
+    /// Canvas geometry.
+    pub options: BasicViewOptions,
+    revision: u64,
+    cache: Mutex<CacheSlot>,
+}
+
+impl Clone for Tab {
+    fn clone(&self) -> Tab {
+        Tab {
+            title: self.title.clone(),
+            offers: Arc::clone(&self.offers),
+            mode: self.mode,
+            selection: self.selection.clone(),
+            drag_origin: self.drag_origin,
+            options: self.options,
+            revision: self.revision,
+            cache: Mutex::new(CacheSlot {
+                frame: self.cache.lock().expect("tab cache").frame.clone(),
+                builds: 0,
+            }),
+        }
+    }
+}
+
+impl Tab {
+    /// Creates a tab over the given offers.
+    pub fn new(title: impl Into<String>, offers: impl Into<Arc<[VisualOffer]>>) -> Tab {
+        Tab {
+            title: title.into(),
+            offers: offers.into(),
+            mode: ViewMode::Basic,
+            selection: Selection::new(),
+            drag_origin: None,
+            options: BasicViewOptions::default(),
+            revision: 0,
+            cache: Mutex::new(CacheSlot::default()),
+        }
+    }
+
+    /// The tab's current revision. Bumped by every mutating command (and
+    /// pessimistically by mutable access); the cached frame is valid
+    /// exactly while the revision stands still.
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    /// Invalidates the cached frame by bumping the revision.
+    ///
+    /// Called by the session for mutating commands, and by anything
+    /// handing out `&mut Tab` (mutations through the public fields
+    /// cannot be observed, so mutable access invalidates pessimistically).
+    pub fn touch(&mut self) {
+        self.revision += 1;
+    }
+
+    /// How many frames this tab has built so far — the cache-efficiency
+    /// counter behind [`crate::SessionStats`].
+    pub fn frame_builds(&self) -> u64 {
+        self.cache.lock().expect("tab cache").builds
+    }
+
+    /// The layout shared by rendering and interaction.
+    pub fn layout(&self) -> Arc<DetailLayout> {
+        Arc::clone(&self.cached().layout)
+    }
+
+    /// The tab's current scene (without tooltip overlay), served from the
+    /// frame cache.
+    pub fn scene(&self) -> Arc<Scene> {
+        Arc::clone(&self.cached().scene)
+    }
+
+    /// The spatial index over the current scene, for pointer probes.
+    pub fn grid_index(&self) -> Arc<GridIndex> {
+        Arc::clone(&self.cached().index)
+    }
+
+    /// A versioned handle to the current frame.
+    pub fn frame(&self) -> FrameRef {
+        let c = self.cached();
+        FrameRef { scene: c.scene, revision: c.revision, hash: c.hash }
+    }
+
+    /// Index of the offer with `id` (first match, as the views draw it).
+    pub fn index_of(&self, id: FlexOfferId) -> Option<usize> {
+        self.index_of_raw(id.raw())
+    }
+
+    /// Index of the offer whose raw id is `raw`, via the cached lookup.
+    pub(crate) fn index_of_raw(&self, raw: u64) -> Option<usize> {
+        self.cached().lookup.get(&raw).copied()
+    }
+
+    /// The cached frame for the current revision, building it if stale.
+    pub(crate) fn cached(&self) -> CachedFrame {
+        let mut slot = self.cache.lock().expect("tab cache");
+        if let Some(c) = &slot.frame {
+            if c.revision == self.revision {
+                return c.clone();
+            }
+        }
+        let layout = DetailLayout::compute(&self.offers, self.options.width, self.options.height);
+        let scene = match self.mode {
+            ViewMode::Basic => basic::build_with_layout(&self.offers, &self.options, &layout),
+            ViewMode::Profile => profile::build_with_layout(&self.offers, &self.options, &layout),
+        };
+        let index = GridIndex::build(&scene, GRID_CELL);
+        let mut lookup = HashMap::with_capacity(self.offers.len());
+        for (i, v) in self.offers.iter().enumerate() {
+            lookup.entry(v.id().raw()).or_insert(i);
+        }
+        let hash = scene.content_hash();
+        let frame = CachedFrame {
+            revision: self.revision,
+            layout: Arc::new(layout),
+            scene: Arc::new(scene),
+            index: Arc::new(index),
+            lookup: Arc::new(lookup),
+            hash,
+        };
+        slot.frame = Some(frame.clone());
+        slot.builds += 1;
+        frame
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirabel_flexoffer::{Energy, FlexOffer};
+    use mirabel_timeseries::TimeSlot;
+
+    fn offers(n: u64) -> Vec<VisualOffer> {
+        VisualOffer::from_offers(
+            &(0..n)
+                .map(|i| {
+                    FlexOffer::builder(i + 1, i + 1)
+                        .earliest_start(TimeSlot::new((i % 8) as i64))
+                        .latest_start(TimeSlot::new((i % 8) as i64 + 4))
+                        .slices(2, Energy::from_wh(10), Energy::from_wh(40))
+                        .build()
+                        .unwrap()
+                })
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn repeated_reads_reuse_one_frame() {
+        let tab = Tab::new("t", offers(30));
+        let s1 = tab.scene();
+        let s2 = tab.scene();
+        let f = tab.frame();
+        let _ = tab.layout();
+        let _ = tab.grid_index();
+        assert!(Arc::ptr_eq(&s1, &s2), "scene must be cached");
+        assert!(Arc::ptr_eq(&s1, &f.scene));
+        assert_eq!(tab.frame_builds(), 1);
+        assert_eq!(f.revision, 0);
+        assert_eq!(f.hash, s1.content_hash());
+    }
+
+    #[test]
+    fn touch_invalidates_and_mode_changes_frame() {
+        let mut tab = Tab::new("t", offers(12));
+        let before = tab.frame();
+        tab.mode = ViewMode::Profile;
+        tab.touch();
+        let after = tab.frame();
+        assert_eq!(tab.frame_builds(), 2);
+        assert!(after.revision > before.revision);
+        assert_ne!(before.hash, after.hash);
+        assert!(!Arc::ptr_eq(&before.scene, &after.scene));
+    }
+
+    #[test]
+    fn lookup_matches_linear_position() {
+        let vs = offers(20);
+        let tab = Tab::new("t", vs.clone());
+        for (i, v) in vs.iter().enumerate() {
+            assert_eq!(tab.index_of(v.id()), Some(i));
+        }
+        assert_eq!(tab.index_of(FlexOfferId(999)), None);
+    }
+
+    #[test]
+    fn selection_is_ordered_and_deduplicated() {
+        let mut s = Selection::new();
+        assert!(s.insert(FlexOfferId(3)));
+        assert!(s.insert(FlexOfferId(1)));
+        assert!(!s.insert(FlexOfferId(3)));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(FlexOfferId(1)));
+        assert_eq!(s, vec![FlexOfferId(3), FlexOfferId(1)]);
+        s.clear();
+        assert!(s.is_empty());
+    }
+}

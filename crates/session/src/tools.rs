@@ -76,6 +76,33 @@ impl AggregationTools {
             display,
         })
     }
+
+    /// [`AggregationTools::apply`] for a tab's display set: payloads are
+    /// read in place (no per-offer clone on the way in — this is the
+    /// session engine's path, where a tab may hold 100k warehouse-shared
+    /// offers), and untouched entries keep their `VisualOffer` verbatim,
+    /// so existing aggregates retain their light-red rendering and
+    /// Figure 10 provenance across repeated aggregation runs.
+    pub fn apply_visual(
+        &self,
+        offers: &[VisualOffer],
+    ) -> Result<AggregationOutcome, AggregationError> {
+        let aggregator = Aggregator::new(self.params);
+        let payloads: Vec<&FlexOffer> = offers.iter().map(|v| v.offer.as_ref()).collect();
+        let result = aggregator.aggregate(&payloads)?;
+        let mut display = Vec::with_capacity(result.output_count());
+        display.extend(result.aggregates.iter().map(VisualOffer::from_aggregate));
+        for &i in &result.untouched {
+            display.push(offers[i].clone());
+        }
+        Ok(AggregationOutcome {
+            input_count: offers.len(),
+            output_count: result.output_count(),
+            reduction_factor: result.reduction_factor(offers.len()),
+            flexibility_loss_slots: result.flexibility_loss_slots(&payloads),
+            display,
+        })
+    }
 }
 
 impl Default for AggregationTools {
@@ -145,6 +172,30 @@ mod tests {
         let coarse = tools.apply(&input).unwrap();
         assert!(coarse.flexibility_loss_slots >= fine.flexibility_loss_slots);
         assert!(coarse.output_count <= fine.output_count);
+    }
+
+    #[test]
+    fn repeated_aggregation_preserves_aggregate_metadata() {
+        let input = offers(40);
+        let mut tools = AggregationTools::new();
+        let first = tools.apply(&input).unwrap();
+        let aggregates_before: Vec<_> =
+            first.display.iter().filter(|v| v.aggregated).map(|v| v.id()).collect();
+        assert!(!aggregates_before.is_empty());
+
+        // A second run that merges nothing must keep every aggregate's
+        // flag, provenance and shared payload intact.
+        tools.set_params(AggregationParams::new(1, 1).with_max_group_size(1));
+        let second = tools.apply_visual(&first.display).unwrap();
+        assert_eq!(second.output_count, first.output_count);
+        for (before, after) in first.display.iter().zip(&second.display) {
+            assert_eq!(before.aggregated, after.aggregated);
+            assert_eq!(before.provenance, after.provenance);
+            assert!(std::sync::Arc::ptr_eq(&before.offer, &after.offer), "payload must be shared");
+        }
+        let survivors: Vec<_> =
+            second.display.iter().filter(|v| v.aggregated).map(|v| v.id()).collect();
+        assert_eq!(survivors, aggregates_before);
     }
 
     #[test]

@@ -166,11 +166,8 @@ mod tests {
             .build()
             .unwrap();
         fo.accept().unwrap();
-        fo.assign(Schedule::new(
-            midnight + SlotSpan::hours(2),
-            vec![Energy::from_wh(800); 8],
-        ))
-        .unwrap();
+        fo.assign(Schedule::new(midnight + SlotSpan::hours(2), vec![Energy::from_wh(800); 8]))
+            .unwrap();
         VisualOffer::plain(fo)
     }
 
@@ -217,12 +214,14 @@ mod tests {
     #[test]
     fn unscheduled_offer_omits_schedule_elements() {
         let mut v = figure2();
-        v.offer = FlexOffer::builder(2u64, 1u64)
-            .earliest_start(TimeSlot::new(200))
-            .latest_start(TimeSlot::new(208))
-            .slices(4, Energy::from_wh(100), Energy::from_wh(300))
-            .build()
-            .unwrap();
+        v.offer = std::sync::Arc::new(
+            FlexOffer::builder(2u64, 1u64)
+                .earliest_start(TimeSlot::new(200))
+                .latest_start(TimeSlot::new(208))
+                .slices(4, Energy::from_wh(100), Energy::from_wh(300))
+                .build()
+                .unwrap(),
+        );
         let scene = build(&v, 900.0, 420.0);
         let texts = scene.texts().join("\n");
         assert!(!texts.contains("scheduled start"));

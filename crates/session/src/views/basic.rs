@@ -78,11 +78,7 @@ pub fn build_with_layout(
 /// and builds one offer's nodes per item, so the scene grows in bounded
 /// chunks ("rendering does not freeze the tool", Section 4). The A2
 /// ablation bench measures the latency bound this buys.
-pub fn offer_nodes_for_bench(
-    layout: &DetailLayout,
-    i: usize,
-    offers: &[VisualOffer],
-) -> Vec<Node> {
+pub fn offer_nodes_for_bench(layout: &DetailLayout, i: usize, offers: &[VisualOffer]) -> Vec<Node> {
     offer_nodes(layout, i, &offers[i], offers)
 }
 
@@ -142,10 +138,7 @@ impl SlotAxis for Axis {
             children.push(Node::line(Point::new(x, y), Point::new(x, y + 4.0), style.clone()));
             children.push(Node::Text(TextNode {
                 pos: Point::new(x, y + 15.0),
-                content: slot_label(
-                    mirabel_timeseries::TimeSlot::new(t.round() as i64),
-                    multi_day,
-                ),
+                content: slot_label(mirabel_timeseries::TimeSlot::new(t.round() as i64), multi_day),
                 size: 9.0,
                 anchor: Anchor::Middle,
                 color: palette::AXIS,
@@ -174,16 +167,10 @@ mod tests {
         };
         let mut scheduled = mk(3, 6, 8);
         scheduled.accept().unwrap();
-        scheduled
-            .assign(Schedule::new(TimeSlot::new(10), vec![Energy::from_wh(200); 3]))
-            .unwrap();
+        scheduled.assign(Schedule::new(TimeSlot::new(10), vec![Energy::from_wh(200); 3])).unwrap();
         vec![
             VisualOffer::plain(mk(1, 0, 6)),
-            VisualOffer {
-                offer: mk(2, 2, 6),
-                aggregated: true,
-                provenance: vec![],
-            },
+            VisualOffer { offer: mk(2, 2, 6).into(), aggregated: true, provenance: vec![] },
             VisualOffer::plain(scheduled),
         ]
     }
@@ -207,16 +194,11 @@ mod tests {
     fn boxes_are_hit_testable_by_offer_id() {
         let offers = sample_offers();
         let layout = DetailLayout::compute(&offers, 960.0, 540.0);
-        let scene =
-            build_with_layout(&offers, &BasicViewOptions::default(), &layout);
+        let scene = build_with_layout(&offers, &BasicViewOptions::default(), &layout);
         for (i, v) in offers.iter().enumerate() {
             let c = layout.profile_box(i, &offers).center();
             let hits = hit_test(&scene, c);
-            assert!(
-                hits.contains(&v.id().raw()),
-                "offer {} not hit at {c}",
-                v.id()
-            );
+            assert!(hits.contains(&v.id().raw()), "offer {} not hit at {c}", v.id());
         }
     }
 
@@ -250,10 +232,7 @@ mod tests {
         let offers = sample_offers();
         let scene = build(&offers, &BasicViewOptions::default());
         let texts = scene.texts();
-        assert!(
-            texts.iter().any(|t| t.contains(':')),
-            "expected HH:MM labels, got {texts:?}"
-        );
+        assert!(texts.iter().any(|t| t.contains(':')), "expected HH:MM labels, got {texts:?}");
     }
 
     #[test]

@@ -66,11 +66,7 @@ pub fn build(dw: &Warehouse, options: &DashboardOptions) -> Scene {
 
     scene.push(Node::text(
         Point::new(8.0, 18.0),
-        format!(
-            "From: {} To: {}",
-            slot_label(options.from, true),
-            slot_label(options.to, true)
-        ),
+        format!("From: {} To: {}", slot_label(options.from, true), slot_label(options.to, true)),
         11.0,
         palette::AXIS,
     ));
@@ -80,8 +76,7 @@ pub fn build(dw: &Warehouse, options: &DashboardOptions) -> Scene {
     let pie_c = Point::new(options.width * 0.2, options.height * 0.5);
     let radius = (options.height * 0.28).min(options.width * 0.16);
     let labels = ["Accepted", "Assigned", "Rejected"];
-    let colors =
-        [palette::STATUS_ACCEPTED, palette::STATUS_ASSIGNED, palette::STATUS_REJECTED];
+    let colors = [palette::STATUS_ACCEPTED, palette::STATUS_ASSIGNED, palette::STATUS_REJECTED];
     let mut pie = Vec::new();
     if total > 0.0 {
         let mut angle = 0.0;
@@ -173,11 +168,8 @@ mod tests {
     use mirabel_workload::{generate_offers, OfferConfig, Population, PopulationConfig};
 
     fn warehouse_with_statuses() -> Warehouse {
-        let pop = Population::generate(&PopulationConfig {
-            size: 400,
-            seed: 3,
-            household_share: 0.8,
-        });
+        let pop =
+            Population::generate(&PopulationConfig { size: 400, seed: 3, household_share: 0.8 });
         let mut offers = generate_offers(&pop, &OfferConfig::default());
         for (i, fo) in offers.iter_mut().enumerate() {
             match i % 4 {

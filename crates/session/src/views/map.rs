@@ -121,9 +121,7 @@ fn mini_chart(
     for b in 0..bars {
         let lo = from + SlotSpan::slots(b as i64 * step);
         let hi = from + SlotSpan::slots(((b + 1) as i64 * step).min(span));
-        let q = Query::new(options.measure)
-            .filter(Dimension::Geography, region)
-            .time_range(lo, hi);
+        let q = Query::new(options.measure).filter(Dimension::Geography, region).time_range(lo, hi);
         values.push(dw.eval(&q).map(|r| r.total).unwrap_or(0.0));
     }
     let peak = values.iter().cloned().fold(0.0f64, f64::max).max(1.0);
@@ -152,13 +150,7 @@ fn mini_chart(
 
 fn window(dw: &Warehouse) -> (TimeSlot, TimeSlot) {
     let lo = dw.facts().iter().map(|f| f.earliest_start).min().unwrap_or(TimeSlot::EPOCH);
-    let hi = dw
-        .facts()
-        .iter()
-        .map(|f| f.earliest_start)
-        .max()
-        .unwrap_or(TimeSlot::EPOCH)
-        .next();
+    let hi = dw.facts().iter().map(|f| f.earliest_start).max().unwrap_or(TimeSlot::EPOCH).next();
     (lo, hi)
 }
 
@@ -169,11 +161,8 @@ mod tests {
     use mirabel_workload::{generate_offers, OfferConfig, Population, PopulationConfig};
 
     fn setup() -> (Warehouse, Geography) {
-        let pop = Population::generate(&PopulationConfig {
-            size: 300,
-            seed: 17,
-            household_share: 0.8,
-        });
+        let pop =
+            Population::generate(&PopulationConfig { size: 300, seed: 17, household_share: 0.8 });
         let offers = generate_offers(&pop, &OfferConfig::default());
         let geo = pop.geography().clone();
         (Warehouse::load(&pop, &offers), geo)
@@ -226,11 +215,8 @@ mod tests {
         let geo_h = dw.hierarchy(Dimension::Geography);
         let hov = geo_h.member_by_name("Hovedstaden").unwrap().id;
         let nord = geo_h.member_by_name("Nordjylland").unwrap().id;
-        let q = |m| {
-            dw.eval(&Query::new(Measure::Count).filter(Dimension::Geography, m))
-                .unwrap()
-                .total
-        };
+        let q =
+            |m| dw.eval(&Query::new(Measure::Count).filter(Dimension::Geography, m)).unwrap().total;
         assert!(q(hov) > q(nord));
         let _ = geo; // geometry consulted above
     }

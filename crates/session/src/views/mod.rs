@@ -44,11 +44,7 @@ impl DetailLayout {
     /// (one day at the epoch for an empty set); lanes come from greedy
     /// interval stacking over those extents.
     pub fn compute(offers: &[VisualOffer], width: f64, height: f64) -> DetailLayout {
-        let t0 = offers
-            .iter()
-            .map(|v| v.offer.earliest_start())
-            .min()
-            .unwrap_or(TimeSlot::EPOCH);
+        let t0 = offers.iter().map(|v| v.offer.earliest_start()).min().unwrap_or(TimeSlot::EPOCH);
         let t1 = offers
             .iter()
             .map(|v| v.offer.latest_end())
@@ -67,10 +63,7 @@ impl DetailLayout {
         let lane_count = layout.lane_count.max(1);
         let lane_height = ((bottom - top) / lane_count as f64).clamp(4.0, 64.0);
         DetailLayout {
-            scale_x: LinearScale::new(
-                (t0.index() as f64, t1.index() as f64),
-                (left, right),
-            ),
+            scale_x: LinearScale::new((t0.index() as f64, t1.index() as f64), (left, right)),
             lanes: layout.lanes,
             lane_count,
             lane_height,
@@ -105,11 +98,8 @@ impl DetailLayout {
     /// start when assigned, otherwise at the earliest start.
     pub fn profile_box(&self, i: usize, offers: &[VisualOffer]) -> Rect {
         let v = &offers[i];
-        let anchor = v
-            .offer
-            .schedule()
-            .map(|s| s.start())
-            .unwrap_or_else(|| v.offer.earliest_start());
+        let anchor =
+            v.offer.schedule().map(|s| s.start()).unwrap_or_else(|| v.offer.earliest_start());
         let len = v.offer.profile().len() as f64;
         let x0 = self.scale_x.map(anchor.index() as f64);
         let x1 = self.scale_x.map(anchor.index() as f64 + len);
@@ -166,11 +156,10 @@ mod tests {
     #[test]
     fn scheduled_offers_anchor_profile_at_start() {
         let mut vs = offers();
-        let off = &mut vs[0].offer;
+        let off = std::sync::Arc::get_mut(&mut vs[0].offer).expect("sole holder");
         off.accept().unwrap();
         let start = off.earliest_start() + SlotSpan::slots(2);
-        off.assign(mirabel_flexoffer::Schedule::new(start, vec![Energy::from_wh(15); 2]))
-            .unwrap();
+        off.assign(mirabel_flexoffer::Schedule::new(start, vec![Energy::from_wh(15); 2])).unwrap();
         let l = DetailLayout::compute(&vs, 800.0, 400.0);
         let e = l.extent_box(0, &vs);
         let p = l.profile_box(0, &vs);

@@ -51,23 +51,12 @@ pub fn build_table(table: &PivotTable, options: &PivotViewOptions) -> Scene {
         Style::filled(palette::BACKGROUND).with_stroke(palette::AXIS, 1.0),
     ));
     scene.push(Node::text(Point::new(14.0, 24.0), "MDX query window", 9.0, palette::AXIS));
-    scene.push(Node::text(
-        Point::new(14.0, 40.0),
-        options.mdx_text.clone(),
-        8.0,
-        palette::AXIS,
-    ));
+    scene.push(Node::text(Point::new(14.0, 40.0), options.mdx_text.clone(), 8.0, palette::AXIS));
 
     let n_rows = table.n_rows().max(1);
     let n_cols = table.n_cols().max(1);
     let lane_h = (bottom - top) / n_rows as f64;
-    let peak = table
-        .cells
-        .iter()
-        .flatten()
-        .cloned()
-        .fold(0.0f64, f64::max)
-        .max(1e-9);
+    let peak = table.cells.iter().flatten().cloned().fold(0.0f64, f64::max).max(1e-9);
 
     let mut lanes = Vec::new();
     for r in 0..table.n_rows() {
@@ -103,9 +92,7 @@ pub fn build_table(table: &PivotTable, options: &PivotViewOptions) -> Scene {
                     (col_w - 4.0).max(1.0),
                     bh,
                 ),
-                style: Style::filled(
-                    palette::CATEGORICAL[r % palette::CATEGORICAL.len()],
-                ),
+                style: Style::filled(palette::CATEGORICAL[r % palette::CATEGORICAL.len()]),
                 tag: Some(table.row_members[r].0 as u64),
             });
         }
@@ -157,9 +144,7 @@ pub fn build_swimlane_offers(
     let aggregator = mirabel_aggregation::Aggregator::new(aggregation);
 
     for (r, &member) in members.iter().enumerate() {
-        let m = h
-            .member(member)
-            .ok_or(DwError::UnknownMember { dimension, member })?;
+        let m = h.member(member).ok_or(DwError::UnknownMember { dimension, member })?;
         let y = top + r as f64 * lane_h;
         scene.push(Node::line(
             Point::new(8.0, y),
@@ -179,7 +164,7 @@ pub fn build_swimlane_offers(
             .iter()
             .zip(dw.offers())
             .filter(|(row, _)| h.is_descendant(dw.fact_leaf(row, dimension), member))
-            .map(|(_, fo)| fo.clone())
+            .map(|(_, fo)| fo.as_ref().clone())
             .collect();
         let result = aggregator
             .aggregate(&leaf_offers)
@@ -214,11 +199,8 @@ mod tests {
     use mirabel_workload::{generate_offers, OfferConfig, Population, PopulationConfig};
 
     fn warehouse() -> Warehouse {
-        let pop = Population::generate(&PopulationConfig {
-            size: 200,
-            seed: 41,
-            household_share: 0.8,
-        });
+        let pop =
+            Population::generate(&PopulationConfig { size: 200, seed: 41, household_share: 0.8 });
         let offers = generate_offers(&pop, &OfferConfig { days: 2, ..Default::default() });
         Warehouse::load(&pop, &offers)
     }
@@ -276,8 +258,7 @@ mod tests {
     fn swimlane_offers_render_aggregates_per_member() {
         let dw = warehouse();
         let h = dw.hierarchy(mirabel_dw::Dimension::ProsumerType);
-        let members: Vec<mirabel_dw::MemberId> =
-            h.children(h.all().id).map(|m| m.id).collect();
+        let members: Vec<mirabel_dw::MemberId> = h.children(h.all().id).map(|m| m.id).collect();
         let scene = build_swimlane_offers(
             &dw,
             mirabel_dw::Dimension::ProsumerType,

@@ -34,11 +34,8 @@ pub fn build_with_layout(
     let mut scene = Scene::new(options.width, options.height);
 
     // Synchronized energy scale: the global peak slice bound.
-    let peak: Energy = offers
-        .iter()
-        .map(|v| v.offer.profile().peak_max())
-        .max()
-        .unwrap_or(Energy::ZERO);
+    let peak: Energy =
+        offers.iter().map(|v| v.offer.profile().peak_max()).max().unwrap_or(Energy::ZERO);
     let peak_kwh = peak.kwh().max(1e-9);
 
     let mut nodes = Vec::with_capacity(offers.len() * 8);
@@ -151,7 +148,7 @@ mod tests {
     #[test]
     fn scheduled_step_line_is_red_polyline() {
         let mut vs = offers();
-        let off = &mut vs[0].offer;
+        let off = std::sync::Arc::get_mut(&mut vs[0].offer).expect("sole holder");
         off.accept().unwrap();
         off.assign(Schedule::new(TimeSlot::new(1), vec![Energy::from_wh(700); 4])).unwrap();
         let scene = build(&vs, &ProfileViewOptions::default());

@@ -92,9 +92,12 @@ pub fn build(dw: &Warehouse, grid: &GridTopology, options: &SchematicViewOptions
             }
             NodeKind::TransmissionLine | NodeKind::Substation => {
                 let member = grid_h.member_by_name(&node.name);
-                let shares = member
-                    .map(|m| status_shares(dw, m.id))
-                    .unwrap_or(StatusShares { accepted: 0.0, assigned: 0.0, rejected: 0.0, other: 0.0 });
+                let shares = member.map(|m| status_shares(dw, m.id)).unwrap_or(StatusShares {
+                    accepted: 0.0,
+                    assigned: 0.0,
+                    rejected: 0.0,
+                    other: 0.0,
+                });
                 nodes.push(pie(p, options.pie_radius, &shares, member.map(|m| m.id.0 as u64)));
                 nodes.push(Node::text_centered(
                     Point::new(p.x, p.y + options.pie_radius + 10.0),
@@ -134,13 +137,9 @@ pub fn build(dw: &Warehouse, grid: &GridTopology, options: &SchematicViewOptions
 /// Status counts of the facts under one grid hierarchy member.
 pub fn status_shares(dw: &Warehouse, member: mirabel_dw::MemberId) -> StatusShares {
     let count = |statuses: Vec<FlexOfferStatus>| {
-        dw.eval(
-            &Query::new(Measure::Count)
-                .filter(Dimension::Grid, member)
-                .statuses(statuses),
-        )
-        .map(|r| r.total)
-        .unwrap_or(0.0)
+        dw.eval(&Query::new(Measure::Count).filter(Dimension::Grid, member).statuses(statuses))
+            .map(|r| r.total)
+            .unwrap_or(0.0)
     };
     let accepted = count(vec![FlexOfferStatus::Accepted]);
     let assigned = count(vec![FlexOfferStatus::Assigned]);
@@ -195,11 +194,8 @@ mod tests {
     use mirabel_workload::{generate_offers, OfferConfig, Population, PopulationConfig};
 
     fn setup() -> (Warehouse, GridTopology) {
-        let pop = Population::generate(&PopulationConfig {
-            size: 300,
-            seed: 27,
-            household_share: 0.8,
-        });
+        let pop =
+            Population::generate(&PopulationConfig { size: 300, seed: 27, household_share: 0.8 });
         let mut offers = generate_offers(&pop, &OfferConfig::default());
         // Give statuses some spread for the pies.
         for (i, fo) in offers.iter_mut().enumerate() {
@@ -233,10 +229,8 @@ mod tests {
         let grid_h = dw.hierarchy(Dimension::Grid);
         let l1 = grid_h.member_by_name("L1").unwrap().id;
         let shares = status_shares(&dw, l1);
-        let direct = dw
-            .eval(&Query::new(Measure::Count).filter(Dimension::Grid, l1))
-            .unwrap()
-            .total;
+        let direct =
+            dw.eval(&Query::new(Measure::Count).filter(Dimension::Grid, l1)).unwrap().total;
         assert!((shares.total() - direct).abs() < 1e-9);
         assert!(shares.accepted > 0.0 && shares.rejected > 0.0);
     }

@@ -18,14 +18,19 @@ pub struct TooltipInfo {
 
 /// Resolves the offer under the pointer on a detail-view scene (topmost
 /// hit wins) and assembles its tooltip text.
-pub fn probe(
-    scene: &Scene,
-    offers: &[VisualOffer],
-    pointer: Point,
-) -> Option<TooltipInfo> {
+///
+/// This linear-scan probe rebuilds nothing but walks the whole scene per
+/// call; the session engine instead resolves the index via its cached
+/// [`mirabel_viz::GridIndex`] and calls [`info_for`] directly.
+pub fn probe(scene: &Scene, offers: &[VisualOffer], pointer: Point) -> Option<TooltipInfo> {
     let hits = hit_test(scene, pointer);
     let &top = hits.last()?;
     let offer_index = offers.iter().position(|v| v.id().raw() == top)?;
+    Some(info_for(offers, offer_index))
+}
+
+/// Assembles the Figure 10 tooltip text for `offers[offer_index]`.
+pub fn info_for(offers: &[VisualOffer], offer_index: usize) -> TooltipInfo {
     let v = &offers[offer_index];
     let o = &v.offer;
     let mut lines = vec![
@@ -55,18 +60,14 @@ pub fn probe(
     if v.aggregated {
         lines.push(format!("aggregate of {} offers", v.provenance.len()));
     }
-    Some(TooltipInfo { offer_index, lines })
+    TooltipInfo { offer_index, lines }
 }
 
 /// Builds the Figure 10 overlay for `offer_index`: yellow vertical
 /// markers at the creation/acceptance/assignment times, the tooltip text
 /// panel, and red dashed provenance lines from an aggregate to its
 /// members (for members currently in the view).
-pub fn overlay(
-    offers: &[VisualOffer],
-    layout: &DetailLayout,
-    info: &TooltipInfo,
-) -> Node {
+pub fn overlay(offers: &[VisualOffer], layout: &DetailLayout, info: &TooltipInfo) -> Node {
     let v = &offers[info.offer_index];
     let o = &v.offer;
     let mut nodes = Vec::new();
@@ -120,11 +121,7 @@ pub fn overlay(
 /// Marker slot positions (for assertions and docs): creation, acceptance
 /// deadline, assignment deadline.
 pub fn marker_slots(v: &VisualOffer) -> [TimeSlot; 3] {
-    [
-        v.offer.creation_time(),
-        v.offer.acceptance_deadline(),
-        v.offer.assignment_deadline(),
-    ]
+    [v.offer.creation_time(), v.offer.acceptance_deadline(), v.offer.assignment_deadline()]
 }
 
 #[cfg(test)]
@@ -145,8 +142,7 @@ mod tests {
                 .unwrap()
         };
         let originals = vec![mk(1, 0), mk(2, 1), mk(3, 40)];
-        let result =
-            Aggregator::new(AggregationParams::default()).aggregate(&originals).unwrap();
+        let result = Aggregator::new(AggregationParams::default()).aggregate(&originals).unwrap();
         // Show the aggregate alongside its members (both in view so the
         // provenance lines have endpoints).
         let mut vs = VisualOffer::from_aggregation(&originals, &result);

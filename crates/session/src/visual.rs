@@ -1,16 +1,23 @@
 //! The visual unit of the detail views.
 
-use mirabel_aggregation::AggregationResult;
+use std::sync::Arc;
+
+use mirabel_aggregation::{AggregateOffer, AggregationResult};
 use mirabel_flexoffer::{FlexOffer, FlexOfferId};
 use mirabel_timeseries::TimeSlot;
 
 /// A flex-offer as the detail views see it: the offer plus its display
 /// provenance. Aggregated offers are rendered light-red (Figure 8) and
 /// their provenance drives the dashed links of Figure 10.
+///
+/// The payload is held behind an [`Arc`], so a warehouse, any number of
+/// view tabs and any number of concurrent sessions share one allocation
+/// per offer; cloning a `VisualOffer` bumps a reference count instead of
+/// copying the profile.
 #[derive(Debug, Clone, PartialEq)]
 pub struct VisualOffer {
-    /// The offer to draw.
-    pub offer: FlexOffer,
+    /// The offer to draw (shared with its other holders).
+    pub offer: Arc<FlexOffer>,
     /// `true` when this is a synthetic aggregate.
     pub aggregated: bool,
     /// Member offers merged into this one (empty for originals).
@@ -20,12 +27,34 @@ pub struct VisualOffer {
 impl VisualOffer {
     /// Wraps a plain (non-aggregated) offer.
     pub fn plain(offer: FlexOffer) -> VisualOffer {
+        VisualOffer::shared(Arc::new(offer))
+    }
+
+    /// Wraps an already-shared plain offer without cloning the payload.
+    pub fn shared(offer: Arc<FlexOffer>) -> VisualOffer {
         VisualOffer { offer, aggregated: false, provenance: Vec::new() }
     }
 
-    /// Wraps a set of plain offers.
+    /// Wraps a set of plain offers (cloning each payload once).
     pub fn from_offers(offers: &[FlexOffer]) -> Vec<VisualOffer> {
         offers.iter().cloned().map(VisualOffer::plain).collect()
+    }
+
+    /// Wraps shared offers — e.g. straight from
+    /// [`mirabel_dw::Warehouse::load_shared`] — with zero payload clones:
+    /// the warehouse's allocation *is* the tab's allocation.
+    pub fn from_shared(offers: &[Arc<FlexOffer>]) -> Vec<VisualOffer> {
+        offers.iter().cloned().map(VisualOffer::shared).collect()
+    }
+
+    /// The display form of one synthetic aggregate: light red, carrying
+    /// the member provenance that drives the Figure 10 dashed links.
+    pub fn from_aggregate(agg: &AggregateOffer) -> VisualOffer {
+        VisualOffer {
+            offer: Arc::new(agg.offer().clone()),
+            aggregated: true,
+            provenance: agg.member_ids().collect(),
+        }
     }
 
     /// Builds the post-aggregation display set: aggregates (light red,
@@ -34,13 +63,7 @@ impl VisualOffer {
     /// flex-offers shown on a screen by aggregation".
     pub fn from_aggregation(offers: &[FlexOffer], result: &AggregationResult) -> Vec<VisualOffer> {
         let mut out = Vec::with_capacity(result.output_count());
-        for agg in &result.aggregates {
-            out.push(VisualOffer {
-                offer: agg.offer().clone(),
-                aggregated: true,
-                provenance: agg.member_ids().collect(),
-            });
-        }
+        out.extend(result.aggregates.iter().map(VisualOffer::from_aggregate));
         for &i in &result.untouched {
             out.push(VisualOffer::plain(offers[i].clone()));
         }
@@ -98,6 +121,19 @@ mod tests {
         assert_eq!(agg.provenance, vec![FlexOfferId(1), FlexOfferId(2)]);
         let plain = vs.iter().find(|v| !v.aggregated).unwrap();
         assert_eq!(plain.id(), FlexOfferId(3));
+    }
+
+    #[test]
+    fn shared_offers_alias_their_source() {
+        let source: Vec<Arc<FlexOffer>> = vec![Arc::new(offer(1, 0)), Arc::new(offer(2, 8))];
+        let vs = VisualOffer::from_shared(&source);
+        assert_eq!(vs.len(), 2);
+        for (v, src) in vs.iter().zip(&source) {
+            assert!(Arc::ptr_eq(&v.offer, src), "payload must not be cloned");
+        }
+        // Cloning a VisualOffer shares too.
+        let c = vs[0].clone();
+        assert!(Arc::ptr_eq(&c.offer, &vs[0].offer));
     }
 
     #[test]

@@ -1,0 +1,289 @@
+//! Command-log properties: totality under random interleavings,
+//! determinism of replay, and cache behaviour under pointer storms.
+//!
+//! `proptest` is unavailable in the offline build environment, so these
+//! are hand-rolled property tests: a seeded generator draws random
+//! command interleavings (including invalid ones) and the assertions
+//! hold for every draw.
+
+use std::sync::Arc;
+
+use mirabel_aggregation::AggregationParams;
+use mirabel_dw::{LoaderQuery, Warehouse};
+use mirabel_session::{
+    encode_script, parse_script, Command, Outcome, Session, SessionPool, ViewMode,
+};
+use mirabel_timeseries::{Granularity, TimeSlot};
+use mirabel_viz::Point;
+use mirabel_workload::{generate_offers, OfferConfig, Population, PopulationConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn warehouse() -> Arc<Warehouse> {
+    let pop =
+        Population::generate(&PopulationConfig { size: 40, seed: 0xC0FFEE, household_share: 0.8 });
+    let offers = generate_offers(&pop, &OfferConfig::default());
+    Arc::new(Warehouse::load(&pop, &offers))
+}
+
+fn wide() -> LoaderQuery {
+    LoaderQuery::window(TimeSlot::new(-100_000), TimeSlot::new(100_000))
+}
+
+fn random_point(rng: &mut StdRng) -> Point {
+    // Deliberately overshoots the canvas on all sides.
+    Point::new(rng.gen_range(-80.0..1100.0), rng.gen_range(-80.0..700.0))
+}
+
+/// Draws one command; roughly one in five draws is invalid on purpose
+/// (bad tab indices, empty windows, malformed MDX, zero-sized canvas).
+fn random_command(rng: &mut StdRng) -> Command {
+    match rng.gen_range(0..18) {
+        0..=2 => Command::PointerMove(random_point(rng)),
+        3..=4 => Command::Click(random_point(rng)),
+        5 => Command::DragStart(random_point(rng)),
+        6 => Command::DragEnd(random_point(rng)),
+        7 => Command::SetMode(if rng.gen_bool(0.5) { ViewMode::Basic } else { ViewMode::Profile }),
+        8 => Command::ShowSelectionInNewTab,
+        9 => Command::RemoveSelected,
+        10 => Command::ActivateTab(rng.gen_range(0usize..6)),
+        11 => Command::CloseTab(rng.gen_range(0usize..6)),
+        12 => {
+            if rng.gen_bool(0.1) {
+                Command::SetCanvas { width: 0.0, height: -5.0 }
+            } else if rng.gen_bool(0.1) {
+                // Must be rejected by the canvas bound, never hang.
+                Command::SetCanvas { width: 1e12, height: 1e12 }
+            } else {
+                Command::SetCanvas {
+                    width: rng.gen_range(100.0..1400.0),
+                    height: rng.gen_range(100.0..900.0),
+                }
+            }
+        }
+        13 => {
+            let a = rng.gen_range(-200i64..200);
+            let b = rng.gen_range(-200i64..200);
+            Command::Load {
+                query: LoaderQuery::window(
+                    TimeSlot::new(a.min(b) * 10),
+                    TimeSlot::new(a.max(b) * 10 + 1),
+                ),
+                title: format!("load {a} {b}"),
+            }
+        }
+        14 => {
+            if rng.gen_bool(0.5) {
+                Command::Aggregate
+            } else {
+                Command::Mdx(if rng.gen_bool(0.5) {
+                    "SELECT {[Time].Children} ON COLUMNS, {[Prosumer].Children} ON ROWS \
+                     FROM [FlexOffers]"
+                        .into()
+                } else {
+                    "SELECT gibberish FROM nowhere".into()
+                })
+            }
+        }
+        15 => Command::SetAggregationParams(
+            AggregationParams::new(rng.gen_range(1i64..12), rng.gen_range(1i64..12))
+                .with_max_group_size(rng.gen_range(0usize..6)),
+        ),
+        16 => {
+            // Mostly sane windows; occasionally absurd ones that must be
+            // rejected (never hang) by the dashboard work bound.
+            let (from, to) = if rng.gen_bool(0.25) {
+                (-100_000_000, 100_000_000)
+            } else {
+                let a = rng.gen_range(-2000i64..2000);
+                (a, a + rng.gen_range(0i64..500))
+            };
+            Command::Dashboard {
+                from: TimeSlot::new(from),
+                to: TimeSlot::new(to),
+                granularity: Granularity::ALL[rng.gen_range(0usize..Granularity::ALL.len())],
+            }
+        }
+        _ => Command::Render,
+    }
+}
+
+#[test]
+fn random_interleavings_never_panic_and_invariants_hold() {
+    let dw = warehouse();
+    for seed in 0..24u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut session = Session::new(Arc::clone(&dw));
+        for step in 0..60 {
+            let cmd = random_command(&mut rng);
+            let revisions: Vec<u64> = session.tabs().iter().map(|t| t.revision()).collect();
+            let outcome = session.handle(cmd.clone());
+            // `is_mutating` must agree with what dispatch actually does:
+            // a non-mutating command leaves every tab revision (and the
+            // tab list itself) untouched.
+            if !cmd.is_mutating() {
+                let after: Vec<u64> = session.tabs().iter().map(|t| t.revision()).collect();
+                assert_eq!(revisions, after, "seed {seed} step {step}: {cmd:?} mutated a tab");
+            }
+            // Invariants after every command, valid or not.
+            if !session.tabs().is_empty() {
+                assert!(
+                    session.active_index() < session.tabs().len(),
+                    "seed {seed} step {step}: active index out of range after {cmd:?}"
+                );
+                // The cached frame is always materialisable.
+                let frame = session.active_frame().unwrap();
+                assert_eq!(frame.hash, frame.scene.content_hash());
+            }
+            if let Outcome::Selection(delta) = &outcome {
+                let tab = &session.tabs()[delta.tab];
+                assert_eq!(delta.total, tab.selection.len());
+                assert!(delta.total <= tab.offers.len());
+            }
+        }
+        assert_eq!(session.stats().commands, 60);
+    }
+}
+
+#[test]
+fn detached_sessions_reject_but_survive_everything() {
+    for seed in 100..108u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut session = Session::detached();
+        for _ in 0..40 {
+            let _ = session.handle(random_command(&mut rng));
+        }
+        // Loader/MDX/dashboard need a warehouse, so no tab can appear
+        // other than via selection (which needs a tab first).
+        assert!(session.tabs().is_empty());
+    }
+}
+
+#[test]
+fn replaying_a_recorded_log_reproduces_the_frame_hashes() {
+    let dw = warehouse();
+    for seed in [7u64, 99, 4242] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut live = Session::new(Arc::clone(&dw));
+        live.set_recording(true);
+        // Guarantee at least one tab, then drive randomly.
+        live.handle(Command::Load { query: wide(), title: "base".into() });
+        for _ in 0..80 {
+            live.handle(random_command(&mut rng));
+        }
+        let log = live.take_log();
+
+        // Replay the log object directly…
+        let replayed = Session::replay(Some(Arc::clone(&dw)), &log);
+        // …and through the text encoding.
+        let decoded = parse_script(&encode_script(&log)).expect("log must round-trip");
+        let reparsed = Session::replay(Some(Arc::clone(&dw)), &decoded);
+
+        assert_eq!(live.tabs().len(), replayed.tabs().len(), "seed {seed}");
+        assert_eq!(live.tabs().len(), reparsed.tabs().len(), "seed {seed}");
+        assert_eq!(live.active_index(), replayed.active_index());
+        for (i, (a, b)) in live.tabs().iter().zip(replayed.tabs()).enumerate() {
+            assert_eq!(a.frame().hash, b.frame().hash, "seed {seed} tab {i}");
+            assert_eq!(a.selection, b.selection, "seed {seed} tab {i}");
+            assert_eq!(a.title, b.title, "seed {seed} tab {i}");
+        }
+        for (a, b) in live.tabs().iter().zip(reparsed.tabs()) {
+            assert_eq!(a.frame().hash, b.frame().hash);
+        }
+    }
+}
+
+#[test]
+fn pointer_storm_of_10k_events_builds_exactly_one_frame() {
+    let dw = warehouse();
+    let mut session = Session::new(dw);
+    session.handle(Command::Load { query: wide(), title: "storm".into() });
+    // Loading alone must not render anything yet.
+    assert_eq!(session.frames_built(), 0);
+
+    let mut rng = StdRng::seed_from_u64(0x5701);
+    let mut tooltips = 0u32;
+    for i in 0..10_000u32 {
+        let p = random_point(&mut rng);
+        let outcome = if i % 4 == 0 {
+            session.handle(Command::Click(p))
+        } else {
+            session.handle(Command::PointerMove(p))
+        };
+        if let Outcome::Tooltip(Some(_)) = outcome {
+            tooltips += 1;
+        }
+    }
+    assert_eq!(
+        session.frames_built(),
+        1,
+        "a hover/click storm with no mutating command must reuse one cached frame"
+    );
+    assert!(tooltips > 0, "the storm should hit at least one offer");
+    assert_eq!(session.stats().commands, 10_001);
+
+    // A mutating command invalidates exactly once.
+    session.handle(Command::SetMode(ViewMode::Profile));
+    session.handle(Command::Render);
+    session.handle(Command::PointerMove(Point::new(480.0, 270.0)));
+    assert_eq!(session.frames_built(), 2);
+}
+
+#[test]
+fn closing_a_tab_below_the_active_one_keeps_it_active() {
+    let dw = warehouse();
+    let mut session = Session::new(dw);
+    session.handle(Command::Load { query: wide(), title: "A".into() });
+    session.handle(Command::Load { query: wide(), title: "B".into() });
+    session.handle(Command::Load { query: wide(), title: "C".into() });
+    session.handle(Command::ActivateTab(1));
+    assert_eq!(session.active_tab().unwrap().title, "B");
+
+    // Closing A shifts indices; B must stay active.
+    session.handle(Command::CloseTab(0));
+    assert_eq!(session.active_tab().unwrap().title, "B");
+    assert_eq!(session.active_index(), 0);
+
+    // Closing the active tab falls over to the nearest remaining one.
+    session.handle(Command::CloseTab(0));
+    assert_eq!(session.active_tab().unwrap().title, "C");
+
+    // Closing the last tab leaves an empty, harmless session.
+    session.handle(Command::CloseTab(0));
+    assert!(session.active_tab().is_none());
+    assert!(session.handle(Command::Render).frame().is_none());
+}
+
+#[test]
+fn pool_sessions_are_isolated_but_share_offer_allocations() {
+    let dw = warehouse();
+    let mut pool = SessionPool::new(Arc::clone(&dw));
+    let a = pool.open();
+    let b = pool.open();
+    assert_eq!(pool.len(), 2);
+
+    for id in [a, b] {
+        let out = pool.handle(id, Command::Load { query: wide(), title: format!("{id}") });
+        assert!(matches!(out, Some(Outcome::TabOpened { .. })));
+    }
+    // Same warehouse allocation behind both sessions' tabs.
+    let tab_a = pool.session(a).unwrap().active_tab().unwrap();
+    let tab_b = pool.session(b).unwrap().active_tab().unwrap();
+    assert_eq!(tab_a.offers.len(), tab_b.offers.len());
+    for (va, vb) in tab_a.offers.iter().zip(tab_b.offers.iter()) {
+        assert!(Arc::ptr_eq(&va.offer, &vb.offer), "payload must be shared across sessions");
+    }
+
+    // Mutating one session leaves the other untouched.
+    let target = tab_a.layout().profile_box(0, &tab_a.offers).center();
+    pool.handle(a, Command::Click(target));
+    pool.handle(a, Command::RemoveSelected);
+    let len_a = pool.session(a).unwrap().active_tab().unwrap().offers.len();
+    let len_b = pool.session(b).unwrap().active_tab().unwrap().offers.len();
+    assert_eq!(len_a + 1, len_b);
+
+    assert!(pool.close(a));
+    assert!(!pool.close(a));
+    assert_eq!(pool.len(), 1);
+    assert!(pool.handle(a, Command::Render).is_none());
+}

@@ -180,11 +180,7 @@ impl CivilDateTime {
     /// The civil date-time at the start of `slot`.
     pub fn from_slot(slot: TimeSlot) -> CivilDateTime {
         let date = CivilDate::from_days(slot.days_from_epoch());
-        CivilDateTime {
-            date,
-            hour: slot.hour_of_day() as u8,
-            minute: slot.minute_of_hour() as u8,
-        }
+        CivilDateTime { date, hour: slot.hour_of_day() as u8, minute: slot.minute_of_hour() as u8 }
     }
 }
 
@@ -242,9 +238,8 @@ pub(crate) fn days_in_month(year: i32, month: u8) -> u8 {
 
 /// Short English month name for `month` in `1..=12`.
 pub(crate) fn month_name(month: u8) -> &'static str {
-    const NAMES: [&str; 12] = [
-        "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
-    ];
+    const NAMES: [&str; 12] =
+        ["Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"];
     NAMES[usize::from(month - 1).min(11)]
 }
 

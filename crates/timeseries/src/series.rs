@@ -166,18 +166,12 @@ impl TimeSeries {
 
     /// Multiplies every sample by `k`.
     pub fn scale(&self, k: f64) -> TimeSeries {
-        TimeSeries {
-            start: self.start,
-            values: self.values.iter().map(|v| v * k).collect(),
-        }
+        TimeSeries { start: self.start, values: self.values.iter().map(|v| v * k).collect() }
     }
 
     /// Clamps every sample below at zero (useful for residual curves).
     pub fn clamp_non_negative(&self) -> TimeSeries {
-        TimeSeries {
-            start: self.start,
-            values: self.values.iter().map(|v| v.max(0.0)).collect(),
-        }
+        TimeSeries { start: self.start, values: self.values.iter().map(|v| v.max(0.0)).collect() }
     }
 
     /// Sum of all samples.

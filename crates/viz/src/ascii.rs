@@ -138,7 +138,11 @@ mod tests {
     #[test]
     fn lines_and_markers() {
         let mut scene = Scene::new(100.0, 100.0);
-        scene.push(Node::line(Point::new(0.0, 0.0), Point::new(99.0, 99.0), Style::stroked(palette::SCHEDULE, 1.0)));
+        scene.push(Node::line(
+            Point::new(0.0, 0.0),
+            Point::new(99.0, 99.0),
+            Style::stroked(palette::SCHEDULE, 1.0),
+        ));
         scene.push(Node::Circle {
             center: Point::new(50.0, 50.0),
             radius: 5.0,

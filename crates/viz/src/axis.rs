@@ -50,11 +50,7 @@ pub fn nice_ticks(min: f64, max: f64, target: usize) -> (Vec<f64>, f64) {
 
 /// Formats a tick value with just enough precision for its step.
 pub fn format_tick(value: f64, step: f64) -> String {
-    let decimals = if step >= 1.0 {
-        0
-    } else {
-        (-step.log10().floor()) as usize
-    };
+    let decimals = if step >= 1.0 { 0 } else { (-step.log10().floor()) as usize };
     format!("{value:.decimals$}")
 }
 

@@ -39,6 +39,9 @@ pub fn rect_query(scene: &Scene, query: Rect) -> Vec<u64> {
     hits
 }
 
+/// One indexed primitive: bounds, tag, and paint-order sequence number.
+type Entry = (Rect, u64, u32);
+
 /// A uniform-grid spatial index over tagged primitive bounds,
 /// accelerating repeated pointer probes on large scenes (the F10
 /// experiment compares it against the linear scan).
@@ -47,7 +50,7 @@ pub struct GridIndex {
     cell: f64,
     cols: usize,
     rows: usize,
-    cells: HashMap<(usize, usize), Vec<(Rect, u64)>>,
+    cells: HashMap<(usize, usize), Vec<Entry>>,
     /// Entries in insertion (paint) order for deterministic results.
     entries: usize,
 }
@@ -71,11 +74,12 @@ impl GridIndex {
     }
 
     fn insert(&mut self, bounds: Rect, tag: u64) {
+        let seq = self.entries as u32;
         let (c0, r0) = self.cell_of(bounds.x, bounds.y);
         let (c1, r1) = self.cell_of(bounds.right(), bounds.bottom());
         for r in r0..=r1 {
             for c in c0..=c1 {
-                self.cells.entry((c, r)).or_default().push((bounds, tag));
+                self.cells.entry((c, r)).or_default().push((bounds, tag, seq));
             }
         }
         self.entries += 1;
@@ -104,11 +108,49 @@ impl GridIndex {
         let mut hits: Vec<u64> = self
             .cells
             .get(&(c, r))
-            .map(|v| v.iter().filter(|(b, _)| b.contains(p)).map(|(_, t)| *t).collect())
+            .map(|v| v.iter().filter(|(b, _, _)| b.contains(p)).map(|(_, t, _)| *t).collect())
             .unwrap_or_default();
         hits.sort_unstable();
         hits.dedup();
         hits
+    }
+
+    /// The tag painted topmost under `p`, if any — exactly
+    /// [`hit_test`]`(scene, p).last()` for the indexed scene, served from
+    /// the grid. This is the hover-tooltip probe of the interactive
+    /// session engine.
+    pub fn hit_topmost(&self, p: Point) -> Option<u64> {
+        let (c, r) = self.cell_of(p.x, p.y);
+        self.cells
+            .get(&(c, r))?
+            .iter()
+            .filter(|(b, _, _)| b.contains(p))
+            .max_by_key(|(_, _, seq)| *seq)
+            .map(|(_, t, _)| *t)
+    }
+
+    /// Tags whose bounds intersect `query`, deduplicated, in first-touch
+    /// paint order — exactly [`rect_query`] for the indexed scene, served
+    /// from the grid.
+    pub fn query_ordered(&self, query: Rect) -> Vec<u64> {
+        let (c0, r0) = self.cell_of(query.x, query.y);
+        let (c1, r1) = self.cell_of(query.right(), query.bottom());
+        let mut first: HashMap<u64, u32> = HashMap::new();
+        for r in r0..=r1 {
+            for c in c0..=c1 {
+                if let Some(v) = self.cells.get(&(c, r)) {
+                    for (b, t, seq) in v {
+                        if b.intersects(&query) {
+                            let e = first.entry(*t).or_insert(*seq);
+                            *e = (*e).min(*seq);
+                        }
+                    }
+                }
+            }
+        }
+        let mut hits: Vec<(u32, u64)> = first.into_iter().map(|(t, s)| (s, t)).collect();
+        hits.sort_unstable();
+        hits.into_iter().map(|(_, t)| t).collect()
     }
 
     /// Tags whose bounds intersect `query` (sorted, deduplicated).
@@ -119,7 +161,7 @@ impl GridIndex {
         for r in r0..=r1 {
             for c in c0..=c1 {
                 if let Some(v) = self.cells.get(&(c, r)) {
-                    for (b, t) in v {
+                    for (b, t, _) in v {
                         if b.intersects(&query) {
                             hits.push(*t);
                         }
@@ -188,6 +230,30 @@ mod tests {
             let mut linear = rect_query(&scene, rect);
             linear.sort_unstable();
             assert_eq!(index.query(rect), linear, "{rect}");
+        }
+    }
+
+    #[test]
+    fn ordered_probes_match_linear_paint_order() {
+        // Paint order deliberately disagrees with tag order: tag 9 is
+        // painted first, tag 3 on top of it.
+        let mut scene = Scene::new(100.0, 100.0);
+        scene.push(Node::tagged_rect(Rect::new(10.0, 10.0, 40.0, 40.0), Style::default(), 9));
+        scene.push(Node::tagged_rect(Rect::new(20.0, 20.0, 40.0, 40.0), Style::default(), 3));
+        scene.push(Node::tagged_rect(Rect::new(80.0, 80.0, 10.0, 10.0), Style::default(), 5));
+        let index = GridIndex::build(&scene, 16.0);
+
+        for &(x, y) in &[(15.0, 15.0), (25.0, 25.0), (55.0, 55.0), (85.0, 85.0), (1.0, 99.0)] {
+            let p = Point::new(x, y);
+            assert_eq!(index.hit_topmost(p), hit_test(&scene, p).last().copied(), "at ({x},{y})");
+        }
+        for &rect in &[
+            Rect::new(0.0, 0.0, 100.0, 100.0),
+            Rect::new(25.0, 25.0, 10.0, 10.0),
+            Rect::new(75.0, 75.0, 20.0, 20.0),
+            Rect::new(0.0, 90.0, 5.0, 5.0),
+        ] {
+            assert_eq!(index.query_ordered(rect), rect_query(&scene, rect), "{rect}");
         }
     }
 

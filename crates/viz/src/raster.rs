@@ -63,10 +63,7 @@ impl Raster {
 
     /// Counts pixels exactly equal to `c` (ignoring alpha).
     pub fn count_pixels(&self, c: Color) -> usize {
-        self.pixels
-            .chunks_exact(4)
-            .filter(|p| p[0] == c.r && p[1] == c.g && p[2] == c.b)
-            .count()
+        self.pixels.chunks_exact(4).filter(|p| p[0] == c.r && p[1] == c.g && p[2] == c.b).count()
     }
 
     /// Serializes to binary PPM (P6); alpha is dropped.
@@ -123,7 +120,12 @@ impl Raster {
                     let p = |x: f64, y: f64| Point::new(x, y);
                     self.stroke_line(p(rect.x, rect.y), p(rect.right(), rect.y), c, w);
                     self.stroke_line(p(rect.right(), rect.y), p(rect.right(), rect.bottom()), c, w);
-                    self.stroke_line(p(rect.right(), rect.bottom()), p(rect.x, rect.bottom()), c, w);
+                    self.stroke_line(
+                        p(rect.right(), rect.bottom()),
+                        p(rect.x, rect.bottom()),
+                        c,
+                        w,
+                    );
                     self.stroke_line(p(rect.x, rect.bottom()), p(rect.x, rect.y), c, w);
                 }
             }
@@ -294,7 +296,11 @@ mod tests {
     #[test]
     fn line_is_drawn_between_endpoints() {
         let mut scene = Scene::new(10.0, 10.0);
-        scene.push(Node::line(Point::new(0.0, 0.0), Point::new(9.0, 9.0), Style::stroked(RED, 1.0)));
+        scene.push(Node::line(
+            Point::new(0.0, 0.0),
+            Point::new(9.0, 9.0),
+            Style::stroked(RED, 1.0),
+        ));
         let r = Raster::render(&scene);
         for i in 0..10 {
             assert_eq!(r.pixel(i, i), Some(RED), "diagonal pixel {i}");
@@ -386,9 +392,17 @@ mod tests {
     #[test]
     fn thick_lines_are_wider() {
         let mut thin = Scene::new(20.0, 20.0);
-        thin.push(Node::line(Point::new(0.0, 10.0), Point::new(19.0, 10.0), Style::stroked(RED, 1.0)));
+        thin.push(Node::line(
+            Point::new(0.0, 10.0),
+            Point::new(19.0, 10.0),
+            Style::stroked(RED, 1.0),
+        ));
         let mut thick = Scene::new(20.0, 20.0);
-        thick.push(Node::line(Point::new(0.0, 10.0), Point::new(19.0, 10.0), Style::stroked(RED, 3.0)));
+        thick.push(Node::line(
+            Point::new(0.0, 10.0),
+            Point::new(19.0, 10.0),
+            Style::stroked(RED, 3.0),
+        ));
         assert!(
             Raster::render(&thick).count_pixels(RED) > 2 * Raster::render(&thin).count_pixels(RED)
         );

@@ -206,16 +206,10 @@ impl Node {
             }
             Node::RectNode { rect, .. } => Some(*rect),
             Node::Line { from, to, .. } => Some(Rect::from_corners(*from, *to)),
-            Node::Polyline { points, .. } | Node::Polygon { points, .. } => {
-                points_bounds(points)
+            Node::Polyline { points, .. } | Node::Polygon { points, .. } => points_bounds(points),
+            Node::Circle { center, radius, .. } | Node::Wedge { center, radius, .. } => {
+                Some(Rect::new(center.x - radius, center.y - radius, 2.0 * radius, 2.0 * radius))
             }
-            Node::Circle { center, radius, .. }
-            | Node::Wedge { center, radius, .. } => Some(Rect::new(
-                center.x - radius,
-                center.y - radius,
-                2.0 * radius,
-                2.0 * radius,
-            )),
             Node::Text(t) => {
                 let w = t.content.chars().count() as f64 * t.size * 0.66;
                 let x = match t.anchor {
@@ -262,12 +256,7 @@ pub struct Scene {
 impl Scene {
     /// Creates an empty scene with a white background.
     pub fn new(width: f64, height: f64) -> Scene {
-        Scene {
-            width,
-            height,
-            background: crate::color::palette::BACKGROUND,
-            nodes: Vec::new(),
-        }
+        Scene { width, height, background: crate::color::palette::BACKGROUND, nodes: Vec::new() }
     }
 
     /// Appends a root node.
@@ -316,6 +305,172 @@ impl Scene {
         });
         out
     }
+
+    /// A cheap structural hash of the whole scene (FNV-1a over geometry,
+    /// styling and text). Two scenes that render identically hash
+    /// identically, so cached frames can be compared and replayed command
+    /// logs can assert determinism without serializing pixels.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.f64(self.width);
+        h.f64(self.height);
+        h.color(self.background);
+        self.visit(&mut |n| hash_node(n, &mut h));
+        h.finish()
+    }
+}
+
+/// FNV-1a accumulator for [`Scene::content_hash`].
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 = (self.0 ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        for b in s.bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn color(&mut self, c: Color) {
+        self.u64(u32::from_le_bytes([c.r, c.g, c.b, c.a]) as u64);
+    }
+
+    fn point(&mut self, p: Point) {
+        self.f64(p.x);
+        self.f64(p.y);
+    }
+
+    fn style(&mut self, s: &Style) {
+        match s.fill {
+            Some(c) => {
+                self.byte(1);
+                self.color(c);
+            }
+            None => self.byte(0),
+        }
+        match s.stroke {
+            Some((c, w)) => {
+                self.byte(1);
+                self.color(c);
+                self.f64(w);
+            }
+            None => self.byte(0),
+        }
+        match &s.dash {
+            Some(d) => {
+                self.byte(1);
+                self.u64(d.len() as u64);
+                for &v in d {
+                    self.f64(v);
+                }
+            }
+            None => self.byte(0),
+        }
+    }
+
+    fn tag(&mut self, t: Option<u64>) {
+        match t {
+            Some(t) => {
+                self.byte(1);
+                self.u64(t);
+            }
+            None => self.byte(0),
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+fn hash_node(node: &Node, h: &mut Fnv) {
+    match node {
+        Node::Group { label, .. } => {
+            // Children are hashed by the caller's depth-first visit.
+            h.byte(0);
+            h.str(label.as_deref().unwrap_or(""));
+        }
+        Node::RectNode { rect, style, tag } => {
+            h.byte(1);
+            h.f64(rect.x);
+            h.f64(rect.y);
+            h.f64(rect.w);
+            h.f64(rect.h);
+            h.style(style);
+            h.tag(*tag);
+        }
+        Node::Line { from, to, style, tag } => {
+            h.byte(2);
+            h.point(*from);
+            h.point(*to);
+            h.style(style);
+            h.tag(*tag);
+        }
+        Node::Polyline { points, style, tag } => {
+            h.byte(3);
+            h.u64(points.len() as u64);
+            for &p in points {
+                h.point(p);
+            }
+            h.style(style);
+            h.tag(*tag);
+        }
+        Node::Polygon { points, style, tag } => {
+            h.byte(4);
+            h.u64(points.len() as u64);
+            for &p in points {
+                h.point(p);
+            }
+            h.style(style);
+            h.tag(*tag);
+        }
+        Node::Circle { center, radius, style, tag } => {
+            h.byte(5);
+            h.point(*center);
+            h.f64(*radius);
+            h.style(style);
+            h.tag(*tag);
+        }
+        Node::Wedge { center, radius, start, end, style, tag } => {
+            h.byte(6);
+            h.point(*center);
+            h.f64(*radius);
+            h.f64(*start);
+            h.f64(*end);
+            h.style(style);
+            h.tag(*tag);
+        }
+        Node::Text(t) => {
+            h.byte(7);
+            h.point(t.pos);
+            h.str(&t.content);
+            h.f64(t.size);
+            h.byte(match t.anchor {
+                Anchor::Start => 0,
+                Anchor::Middle => 1,
+                Anchor::End => 2,
+            });
+            h.color(t.color);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -325,7 +480,9 @@ mod tests {
 
     #[test]
     fn style_builders() {
-        let s = Style::filled(palette::AGGREGATED).with_stroke(palette::AXIS, 2.0).with_dash(vec![3.0, 1.0]);
+        let s = Style::filled(palette::AGGREGATED)
+            .with_stroke(palette::AXIS, 2.0)
+            .with_dash(vec![3.0, 1.0]);
         assert!(s.fill.is_some());
         assert_eq!(s.stroke.unwrap().1, 2.0);
         assert_eq!(s.dash.unwrap(), vec![3.0, 1.0]);
@@ -383,6 +540,29 @@ mod tests {
         let t = Node::text_centered(Point::new(50.0, 10.0), "ab", 10.0, palette::AXIS);
         let tb = t.bounds().unwrap();
         assert!(tb.contains(Point::new(50.0, 5.0)));
+    }
+
+    #[test]
+    fn content_hash_tracks_structure() {
+        let mut a = Scene::new(100.0, 100.0);
+        a.push(Node::tagged_rect(Rect::new(0.0, 0.0, 10.0, 10.0), Style::default(), 7));
+        a.push(Node::text(Point::new(1.0, 12.0), "label", 10.0, palette::AXIS));
+        let mut b = a.clone();
+        assert_eq!(a.content_hash(), b.content_hash());
+
+        // Any visible difference changes the hash.
+        b.push(Node::line(Point::new(0.0, 0.0), Point::new(5.0, 5.0), Style::default()));
+        assert_ne!(a.content_hash(), b.content_hash());
+        let mut c = a.clone();
+        if let Node::RectNode { rect, .. } = &mut c.nodes[0] {
+            rect.w = 11.0;
+        }
+        assert_ne!(a.content_hash(), c.content_hash());
+        let mut d = a.clone();
+        if let Node::Text(t) = &mut d.nodes[1] {
+            t.content = "other".into();
+        }
+        assert_ne!(a.content_hash(), d.content_hash());
     }
 
     #[test]

@@ -67,7 +67,12 @@ fn render_node(out: &mut String, node: &Node) {
         Node::Polyline { points, style, .. } => {
             let pts: Vec<String> =
                 points.iter().map(|p| format!("{},{}", fmt(p.x), fmt(p.y))).collect();
-            let _ = writeln!(out, "<polyline points=\"{}\" fill=\"none\"{}/>", pts.join(" "), stroke_attrs(style));
+            let _ = writeln!(
+                out,
+                "<polyline points=\"{}\" fill=\"none\"{}/>",
+                pts.join(" "),
+                stroke_attrs(style)
+            );
         }
         Node::Polygon { points, style, .. } => {
             let pts: Vec<String> =
@@ -183,7 +188,10 @@ mod tests {
     #[test]
     fn document_structure() {
         let mut scene = Scene::new(320.0, 240.0);
-        scene.push(Node::rect(Rect::new(10.0, 20.0, 30.0, 40.0), Style::filled(palette::NON_AGGREGATED)));
+        scene.push(Node::rect(
+            Rect::new(10.0, 20.0, 30.0, 40.0),
+            Style::filled(palette::NON_AGGREGATED),
+        ));
         let svg = render_svg(&scene);
         assert!(svg.starts_with("<svg "));
         assert!(svg.trim_end().ends_with("</svg>"));
@@ -199,7 +207,11 @@ mod tests {
             "everything",
             vec![
                 Node::rect(Rect::new(0.0, 0.0, 1.0, 1.0), Style::default()),
-                Node::line(Point::new(0.0, 0.0), Point::new(1.0, 1.0), Style::stroked(palette::AXIS, 1.0)),
+                Node::line(
+                    Point::new(0.0, 0.0),
+                    Point::new(1.0, 1.0),
+                    Style::stroked(palette::AXIS, 1.0),
+                ),
                 Node::Polyline {
                     points: vec![Point::new(0.0, 0.0), Point::new(2.0, 2.0)],
                     style: Style::stroked(palette::SCHEDULE, 1.0),
@@ -210,7 +222,12 @@ mod tests {
                     style: Style::filled(palette::AGGREGATED),
                     tag: None,
                 },
-                Node::Circle { center: Point::new(5.0, 5.0), radius: 2.0, style: Style::default(), tag: None },
+                Node::Circle {
+                    center: Point::new(5.0, 5.0),
+                    radius: 2.0,
+                    style: Style::default(),
+                    tag: None,
+                },
                 Node::Wedge {
                     center: Point::new(5.0, 5.0),
                     radius: 3.0,
@@ -223,7 +240,16 @@ mod tests {
             ],
         ));
         let svg = render_svg(&scene);
-        for tag in ["<rect", "<line", "<polyline", "<polygon", "<circle", "<path", "<text", "<g id=\"everything\""] {
+        for tag in [
+            "<rect",
+            "<line",
+            "<polyline",
+            "<polygon",
+            "<circle",
+            "<path",
+            "<text",
+            "<g id=\"everything\"",
+        ] {
             assert!(svg.contains(tag), "missing {tag}");
         }
     }

@@ -83,11 +83,8 @@ fn archetype_offer(
     let earliest = midnight + SlotSpan::slots(hour * 4 + quarter);
     let tf = rng.gen_range(tf_lo..=tf_hi);
     let len = rng.gen_range(len_lo..=len_hi).min(SLOTS_PER_DAY as usize);
-    let direction = if appliance.is_generator() {
-        Direction::Production
-    } else {
-        Direction::Consumption
-    };
+    let direction =
+        if appliance.is_generator() { Direction::Production } else { Direction::Consumption };
     let energy_type = match appliance {
         ApplianceType::WindTurbine => EnergyType::Wind,
         ApplianceType::SolarPanel => EnergyType::Solar,
@@ -143,8 +140,7 @@ impl OfferStats {
     /// Computes statistics over `offers`.
     pub fn of(offers: &[FlexOffer]) -> OfferStats {
         let count = offers.len();
-        let consumption =
-            offers.iter().filter(|o| o.direction() == Direction::Consumption).count();
+        let consumption = offers.iter().filter(|o| o.direction() == Direction::Consumption).count();
         let sum_tf: i64 = offers.iter().map(|o| o.time_flexibility().count()).sum();
         let sum_len: usize = offers.iter().map(|o| o.profile().len()).sum();
         let total_max_kwh: f64 = offers.iter().map(|o| o.total_max_energy().kwh()).sum();
@@ -216,8 +212,7 @@ mod tests {
         let pop = small_population();
         let cfg = OfferConfig { days: 3, ..Default::default() };
         let offers = generate_offers(&pop, &cfg);
-        let window_end =
-            cfg.window_start + SlotSpan::days(cfg.days as i64) + SlotSpan::days(2);
+        let window_end = cfg.window_start + SlotSpan::days(cfg.days as i64) + SlotSpan::days(2);
         for fo in &offers {
             assert!(fo.earliest_start() >= cfg.window_start);
             // Latest end may run into the following night but not beyond.

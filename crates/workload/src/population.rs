@@ -69,8 +69,7 @@ impl Population {
         grid: GridTopology,
     ) -> Population {
         let mut rng = StdRng::seed_from_u64(config.seed);
-        let feeders: Vec<NodeId> =
-            grid.nodes_of_kind(NodeKind::Feeder).map(|n| n.id).collect();
+        let feeders: Vec<NodeId> = grid.nodes_of_kind(NodeKind::Feeder).map(|n| n.id).collect();
         assert!(!feeders.is_empty(), "grid must have feeders");
 
         // Cumulative city weights for proportional placement.
@@ -205,23 +204,19 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = Population::generate(&PopulationConfig { size: 200, seed: 1, household_share: 0.8 });
-        let b = Population::generate(&PopulationConfig { size: 200, seed: 2, household_share: 0.8 });
+        let a =
+            Population::generate(&PopulationConfig { size: 200, seed: 1, household_share: 0.8 });
+        let b =
+            Population::generate(&PopulationConfig { size: 200, seed: 2, household_share: 0.8 });
         assert_ne!(a.prosumers(), b.prosumers());
     }
 
     #[test]
     fn household_share_is_respected() {
-        let pop = Population::generate(&PopulationConfig {
-            size: 2_000,
-            seed: 7,
-            household_share: 0.8,
-        });
-        let households = pop
-            .prosumers()
-            .iter()
-            .filter(|p| p.prosumer_type == ProsumerType::Household)
-            .count();
+        let pop =
+            Population::generate(&PopulationConfig { size: 2_000, seed: 7, household_share: 0.8 });
+        let households =
+            pop.prosumers().iter().filter(|p| p.prosumer_type == ProsumerType::Household).count();
         let share = households as f64 / 2_000.0;
         assert!((0.75..0.85).contains(&share), "share {share}");
     }
@@ -241,7 +236,8 @@ mod tests {
 
     #[test]
     fn populous_cities_attract_more_prosumers() {
-        let pop = Population::generate(&PopulationConfig { size: 5_000, seed: 3, household_share: 0.8 });
+        let pop =
+            Population::generate(&PopulationConfig { size: 5_000, seed: 3, household_share: 0.8 });
         let geo = pop.geography();
         let copenhagen = geo.city_by_name("Copenhagen").unwrap().id;
         let thisted = geo.city_by_name("Thisted").unwrap().id;

@@ -116,18 +116,17 @@ mod tests {
 
     #[test]
     fn seeds_differentiate_scenarios() {
-        let a = Scenario::generate(&ScenarioConfig { prosumers: 100, seed: 1, ..Default::default() });
-        let b = Scenario::generate(&ScenarioConfig { prosumers: 100, seed: 2, ..Default::default() });
+        let a =
+            Scenario::generate(&ScenarioConfig { prosumers: 100, seed: 1, ..Default::default() });
+        let b =
+            Scenario::generate(&ScenarioConfig { prosumers: 100, seed: 2, ..Default::default() });
         assert_ne!(a.offers, b.offers);
     }
 
     #[test]
     fn multi_day_scenarios_extend_curves() {
-        let s = Scenario::generate(&ScenarioConfig {
-            prosumers: 50,
-            days: 3,
-            ..Default::default()
-        });
+        let s =
+            Scenario::generate(&ScenarioConfig { prosumers: 50, days: 3, ..Default::default() });
         assert_eq!(s.base_load.len(), 3 * 96);
         assert_eq!(s.res_supply.len(), 3 * 96);
     }

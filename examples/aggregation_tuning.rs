@@ -13,11 +13,8 @@ use mirabel::viz::render_svg;
 use mirabel::workload::{generate_offers, OfferConfig, Population, PopulationConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let population = Population::generate(&PopulationConfig {
-        size: 800,
-        seed: 11,
-        household_share: 0.8,
-    });
+    let population =
+        Population::generate(&PopulationConfig { size: 800, seed: 11, household_share: 0.8 });
     let offers = generate_offers(&population, &OfferConfig::default());
     println!("{} flex-offers before aggregation\n", offers.len());
 
@@ -31,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let outcome = tools.apply(&offers)?;
         println!(
             "{:>8} {:>8} {:>9} {:>10.2}x {:>12}",
-            tol, tol, outcome.output_count, outcome.reduction_factor,
+            tol,
+            tol,
+            outcome.output_count,
+            outcome.reduction_factor,
             outcome.flexibility_loss_slots
         );
     }

@@ -14,11 +14,8 @@ use mirabel::viz::{render_svg, Point};
 use mirabel::workload::{generate_offers, OfferConfig, Population, PopulationConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let population = Population::generate(&PopulationConfig {
-        size: 120,
-        seed: 8,
-        household_share: 0.8,
-    });
+    let population =
+        Population::generate(&PopulationConfig { size: 120, seed: 8, household_share: 0.8 });
     let offers = generate_offers(&population, &OfferConfig::default());
     let dw = Warehouse::load(&population, &offers);
 
@@ -45,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Render the scene with the overlay, as the tool would.
         let tab = app.active_tab().unwrap();
         let layout = tab.layout();
-        let mut scene = tab.scene();
+        let mut scene = tab.scene().as_ref().clone();
         scene.push(tooltip::overlay(&tab.offers, &layout, &info));
         std::fs::create_dir_all("out")?;
         std::fs::write("out/session_tooltip.svg", render_svg(&scene))?;

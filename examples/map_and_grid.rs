@@ -6,18 +6,15 @@
 //! cargo run --example map_and_grid
 //! ```
 
-use mirabel::core::views::schematic::{self, SchematicViewOptions};
 use mirabel::core::views::map::{self, MapViewOptions};
+use mirabel::core::views::schematic::{self, SchematicViewOptions};
 use mirabel::dw::{Measure, Warehouse};
 use mirabel::viz::render_svg;
 use mirabel::workload::{generate_offers, OfferConfig, Population, PopulationConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let population = Population::generate(&PopulationConfig {
-        size: 1_000,
-        seed: 4_2,
-        household_share: 0.8,
-    });
+    let population =
+        Population::generate(&PopulationConfig { size: 1_000, seed: 4_2, household_share: 0.8 });
     let mut offers = generate_offers(&population, &OfferConfig::default());
     // Spread statuses so the Figure 4 pies have all three slices.
     for (i, fo) in offers.iter_mut().enumerate() {
@@ -58,10 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let schematic_scene =
         schematic::build(&dw, population.grid(), &SchematicViewOptions::default());
     std::fs::write("out/schematic_view.svg", render_svg(&schematic_scene))?;
-    println!(
-        "wrote out/schematic_view.svg ({} primitives)",
-        schematic_scene.primitive_count()
-    );
+    println!("wrote out/schematic_view.svg ({} primitives)", schematic_scene.primitive_count());
 
     // Print the per-line shares the pies encode.
     println!("\nflex-offer status by 110kV line:");

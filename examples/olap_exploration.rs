@@ -15,11 +15,8 @@ use mirabel::workload::{generate_offers, OfferConfig, Population, PopulationConf
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Two days of offers from 1 500 prosumers; accept/reject a share so
     // the status measures are non-trivial.
-    let population = Population::generate(&PopulationConfig {
-        size: 1_500,
-        seed: 20_13,
-        household_share: 0.8,
-    });
+    let population =
+        Population::generate(&PopulationConfig { size: 1_500, seed: 20_13, household_share: 0.8 });
     let mut offers = generate_offers(&population, &OfferConfig { days: 2, ..Default::default() });
     for (i, fo) in offers.iter_mut().enumerate() {
         match i % 5 {
@@ -52,18 +49,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Dimension::ProsumerType,
         dw.hierarchy(Dimension::ProsumerType).all().id,
     );
-    let consumer = dw
-        .hierarchy(Dimension::ProsumerType)
-        .member_by_name("Consumer")
-        .unwrap()
-        .id;
+    let consumer = dw.hierarchy(Dimension::ProsumerType).member_by_name("Consumer").unwrap().id;
     rows.drill_down(&dw, consumer); // All prosumers -> Household, ...
     let columns = PivotAxis::level(&dw, Dimension::Time, 3);
-    let table = dw.pivot(&PivotSpec {
-        rows,
-        columns,
-        base: Query::new(Measure::ScheduledEnergy),
-    })?;
+    let table =
+        dw.pivot(&PivotSpec { rows, columns, base: Query::new(Measure::ScheduledEnergy) })?;
     println!("\npivot (scheduled energy kWh, prosumer types x days):");
     print!("{}", table.to_text());
 

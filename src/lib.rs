@@ -20,7 +20,10 @@
 //!   OLAP queries, MDX-lite, pivots (Figures 5–7);
 //! * [`market`] — spot market + the enterprise planning loop;
 //! * [`viz`] — the headless scene-graph/render engine;
-//! * [`core`] — the views and app model (Figures 2–11).
+//! * [`session`] — the command-driven session engine: views
+//!   (Figures 2–11), cached frames, command log replay, session pools;
+//! * [`core`] — the classic `App`/`Event` surface, now a compatibility
+//!   shim over [`session`].
 //!
 //! See `examples/quickstart.rs` for a five-minute tour, DESIGN.md for
 //! the architecture and substitutions, and EXPERIMENTS.md for the
@@ -35,6 +38,7 @@ pub use mirabel_geo as geo;
 pub use mirabel_grid as grid;
 pub use mirabel_market as market;
 pub use mirabel_scheduling as scheduling;
+pub use mirabel_session as session;
 pub use mirabel_timeseries as timeseries;
 pub use mirabel_viz as viz;
 pub use mirabel_workload as workload;

@@ -66,22 +66,13 @@ fn aggregation_pipeline_is_exact_through_the_warehouse() {
             agg.offer().profile().slices().iter().map(|s| s.min).collect(),
         );
         for (id, member_schedule) in aggregator.disaggregate(agg, &schedule).unwrap() {
-            offers
-                .iter_mut()
-                .find(|fo| fo.id() == id)
-                .unwrap()
-                .assign(member_schedule)
-                .unwrap();
+            offers.iter_mut().find(|fo| fo.id() == id).unwrap().assign(member_schedule).unwrap();
         }
     }
 
     let dw = Warehouse::load(&sc.population, &offers);
     let rollup = dw.eval(&Query::new(Measure::ScheduledEnergy)).unwrap().total;
-    let direct: f64 = offers
-        .iter()
-        .filter_map(|fo| fo.schedule())
-        .map(|s| s.total().kwh())
-        .sum();
+    let direct: f64 = offers.iter().filter_map(|fo| fo.schedule()).map(|s| s.total().kwh()).sum();
     assert!((rollup - direct).abs() < 1e-6, "rollup {rollup} != direct {direct}");
 }
 
@@ -159,7 +150,7 @@ fn section4_walkthrough() {
 
     // Aggregate the new tab's offers with the Figure 11 tools.
     let originals: Vec<mirabel::flexoffer::FlexOffer> =
-        app.active_tab().unwrap().offers.iter().map(|v| v.offer.clone()).collect();
+        app.active_tab().unwrap().offers.iter().map(|v| v.offer.as_ref().clone()).collect();
     let tools = mirabel::core::AggregationTools::new();
     let outcome = tools.apply(&originals).unwrap();
     assert!(outcome.reduction_factor > 1.0);
@@ -247,7 +238,8 @@ fn selection_matches_geometry() {
     let sc = scenario();
     let visual = VisualOffer::from_offers(&sc.offers[..80]);
     let options = basic::BasicViewOptions::default();
-    let layout = mirabel::core::views::DetailLayout::compute(&visual, options.width, options.height);
+    let layout =
+        mirabel::core::views::DetailLayout::compute(&visual, options.width, options.height);
     let scene = basic::build_with_layout(&visual, &options, &layout);
 
     let query = Rect::new(200.0, 60.0, 300.0, 200.0);
