@@ -7,6 +7,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod stress;
+
 use mirabel_core::VisualOffer;
 use mirabel_dw::Warehouse;
 use mirabel_flexoffer::FlexOffer;

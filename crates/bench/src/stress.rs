@@ -1,0 +1,440 @@
+//! The concurrent-serving stress harness.
+//!
+//! Binds the abstract analyst traces of [`mirabel_workload::trace`] to
+//! concrete session [`Command`]s, replays K users × M commands over a
+//! [`ConcurrentPool`] at several thread counts, and reports throughput
+//! (commands/s), p50/p99 latency, and speedup versus the single-thread
+//! run — while asserting the serving layer's core promise: **frame
+//! hashes are identical at every thread count**, so concurrency never
+//! changes what a user sees.
+//!
+//! Everything is deterministic in the config seed: user `u` receives
+//! the same command stream in every run, threads only change which OS
+//! thread delivers it. The `stress` binary wraps this module for CI
+//! (`cargo run --release -p mirabel-bench --bin stress`).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use mirabel_dw::LoaderQuery;
+use mirabel_session::{Command, ConcurrentPool, SessionId, ViewMode};
+use mirabel_timeseries::{Granularity, TimeSlot};
+use mirabel_viz::Point;
+use mirabel_workload::{generate_traces, InteractionStep, TraceConfig};
+
+/// Canvas the simulated analysts work on.
+const CANVAS: (f64, f64) = (960.0, 540.0);
+
+/// Canned MDX queries for [`InteractionStep::MdxQuery`] — a mix of
+/// cheap and grouping-heavy pivots, all valid against the warehouse.
+const MDX_QUERIES: &[&str] = &[
+    "SELECT { [Time].Children } ON COLUMNS FROM [FlexOffers]",
+    "SELECT { [Geography].Children } ON COLUMNS FROM [FlexOffers]",
+    "SELECT { [Time].Children } ON COLUMNS, { [Geography].Children } ON ROWS FROM [FlexOffers]",
+    "SELECT { [EnergyType].Children } ON COLUMNS FROM [FlexOffers]",
+    "SELECT { [Prosumer].Children } ON COLUMNS, { [Time].Children } ON ROWS FROM [FlexOffers]",
+    "SELECT { [Appliance].Children } ON COLUMNS, { [Grid].Children } ON ROWS FROM [FlexOffers]",
+];
+
+/// Shape of one stress run; `Default` is the CI smoke configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StressConfig {
+    /// Concurrent users (K).
+    pub users: usize,
+    /// Commands replayed per user (M).
+    pub commands_per_user: usize,
+    /// Thread counts to replay at; must include 1 for the speedup base.
+    pub threads: Vec<usize>,
+    /// Master seed for the traces.
+    pub seed: u64,
+    /// Prosumers in the shared warehouse.
+    pub prosumers: usize,
+    /// Days of offers in the shared warehouse.
+    pub days: usize,
+    /// Measurement rounds per thread count; the best-throughput round
+    /// is reported (standard best-of-N noise damping for shared CI
+    /// runners). Determinism is checked on *every* round.
+    pub repeats: usize,
+}
+
+impl Default for StressConfig {
+    fn default() -> Self {
+        StressConfig {
+            users: 8,
+            commands_per_user: 300,
+            threads: vec![1, 2, 4, 8],
+            seed: 0x57E5,
+            prosumers: 200,
+            days: 1,
+            repeats: 2,
+        }
+    }
+}
+
+/// Measured results of one thread count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunStats {
+    /// OS threads driving the pool.
+    pub threads: usize,
+    /// Total commands applied.
+    pub commands: u64,
+    /// Wall-clock duration of the replay, seconds.
+    pub wall_s: f64,
+    /// Commands per second.
+    pub commands_per_s: f64,
+    /// Median per-command latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile per-command latency, microseconds.
+    pub p99_us: f64,
+    /// Throughput relative to the baseline run (see
+    /// [`StressReport::baseline_threads`]).
+    pub speedup_vs_1: f64,
+}
+
+/// The full harness report, serializable as `BENCH_stress.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StressReport {
+    /// The configuration that produced the report.
+    pub config: StressConfig,
+    /// Offers in the shared warehouse.
+    pub offers: usize,
+    /// `std::thread::available_parallelism()` on the measuring host —
+    /// speedup is only meaningful when this covers the thread count.
+    pub available_parallelism: usize,
+    /// One entry per thread count, in `config.threads` order.
+    pub runs: Vec<RunStats>,
+    /// Thread count of the run `speedup_vs_1` is measured against —
+    /// 1 when `config.threads` contains 1 (the intended shape), else
+    /// the smallest configured thread count, recorded here so a report
+    /// from a 1-less config cannot be misread.
+    pub baseline_threads: usize,
+    /// `true` iff every run produced identical per-user frame hashes.
+    pub determinism_ok: bool,
+}
+
+impl StressReport {
+    /// The run at `threads`, if it was measured.
+    pub fn run_at(&self, threads: usize) -> Option<&RunStats> {
+        self.runs.iter().find(|r| r.threads == threads)
+    }
+
+    /// Serializes the report as pretty-printed JSON (hand-rolled; the
+    /// offline build has no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"bench\": \"stress\",\n");
+        out.push_str(&format!("  \"users\": {},\n", self.config.users));
+        out.push_str(&format!("  \"commands_per_user\": {},\n", self.config.commands_per_user));
+        out.push_str(&format!("  \"seed\": {},\n", self.config.seed));
+        out.push_str(&format!("  \"prosumers\": {},\n", self.config.prosumers));
+        out.push_str(&format!("  \"days\": {},\n", self.config.days));
+        out.push_str(&format!("  \"offers\": {},\n", self.offers));
+        out.push_str(&format!("  \"available_parallelism\": {},\n", self.available_parallelism));
+        out.push_str(&format!("  \"repeats\": {},\n", self.config.repeats.max(1)));
+        out.push_str(&format!("  \"baseline_threads\": {},\n", self.baseline_threads));
+        out.push_str(&format!("  \"determinism_ok\": {},\n", self.determinism_ok));
+        out.push_str("  \"runs\": [\n");
+        for (i, r) in self.runs.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"threads\": {}, \"commands\": {}, \"wall_s\": {:.6}, \
+                 \"commands_per_s\": {:.1}, \"p50_us\": {:.2}, \"p99_us\": {:.2}, \
+                 \"speedup_vs_1\": {:.3}}}{}\n",
+                r.threads,
+                r.commands,
+                r.wall_s,
+                r.commands_per_s,
+                r.p50_us,
+                r.p99_us,
+                r.speedup_vs_1,
+                if i + 1 < self.runs.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Expands one abstract interaction step into engine commands.
+fn bind_step(step: &InteractionStep, window_slots: i64, user: usize, seq: usize) -> Vec<Command> {
+    let px = |(x, y): (f64, f64)| Point::new(x * CANVAS.0, y * CANVAS.1);
+    match step {
+        InteractionStep::HoverStorm { points } => {
+            points.iter().map(|&p| Command::PointerMove(px(p))).collect()
+        }
+        InteractionStep::Click { x, y } => vec![Command::Click(px((*x, *y)))],
+        InteractionStep::Drag { from, to } => {
+            vec![Command::DragStart(px(*from)), Command::DragEnd(px(*to))]
+        }
+        InteractionStep::TabSwitch { slot } => vec![Command::ActivateTab(*slot)],
+        InteractionStep::ToggleMode => {
+            // Deterministic alternation: even sequence numbers go basic.
+            let mode = if seq.is_multiple_of(2) { ViewMode::Basic } else { ViewMode::Profile };
+            vec![Command::SetMode(mode)]
+        }
+        InteractionStep::MdxQuery { idx } => {
+            vec![Command::Mdx(MDX_QUERIES[idx % MDX_QUERIES.len()].to_string())]
+        }
+        InteractionStep::DashboardRender { day } => {
+            let from = TimeSlot::new((day % 4) as i64 * 96);
+            vec![Command::Dashboard {
+                from,
+                to: TimeSlot::new(from.index() + 96),
+                granularity: Granularity::Hour,
+            }]
+        }
+        InteractionStep::LoadWindow { lo, hi } => {
+            let a = (lo * window_slots as f64) as i64;
+            let b = ((hi * window_slots as f64) as i64).max(a + 1);
+            vec![Command::Load {
+                query: LoaderQuery::window(TimeSlot::new(a), TimeSlot::new(b)),
+                title: format!("u{user} s{seq}"),
+            }]
+        }
+        InteractionStep::Aggregate { est, tft } => vec![
+            Command::SetAggregationParams(mirabel_aggregation::AggregationParams::new(*est, *tft)),
+            Command::Aggregate,
+        ],
+        InteractionStep::Render => vec![Command::Render],
+    }
+}
+
+/// Builds the per-user command streams: exactly
+/// `config.commands_per_user` commands each, deterministic in the seed.
+pub fn build_traces(config: &StressConfig) -> Vec<Vec<Command>> {
+    // Generate more steps than needed and trim at the command level so
+    // every user gets exactly M commands.
+    let window_slots = (config.days.max(1) as i64) * 96;
+    let trace_cfg = TraceConfig {
+        users: config.users,
+        // A step averages ~3 commands (hover storms dominate); generate
+        // a comfortable surplus, then truncate.
+        steps_per_user: config.commands_per_user.max(4),
+        seed: config.seed,
+    };
+    generate_traces(&trace_cfg)
+        .iter()
+        .map(|trace| {
+            let mut commands = Vec::with_capacity(config.commands_per_user + 8);
+            // Fixed prologue: a canvas and a full-window tab, so every
+            // stream has something to hover over from command one.
+            commands.push(Command::SetCanvas { width: CANVAS.0, height: CANVAS.1 });
+            commands.push(Command::Load {
+                query: LoaderQuery::window(TimeSlot::new(0), TimeSlot::new(window_slots)),
+                title: format!("u{} main", trace.user),
+            });
+            'outer: loop {
+                for (seq, step) in trace.steps.iter().enumerate() {
+                    for cmd in bind_step(step, window_slots, trace.user, seq) {
+                        commands.push(cmd);
+                        if commands.len() >= config.commands_per_user {
+                            break 'outer;
+                        }
+                    }
+                }
+                // Steps exhausted below M (tiny configs): cycle them.
+            }
+            commands.truncate(config.commands_per_user);
+            commands
+        })
+        .collect()
+}
+
+/// Per-user frame hashes after a replay — the observable state the
+/// determinism check compares across thread counts.
+type UserHashes = Vec<Vec<u64>>;
+
+/// Replays the given per-user streams over a fresh [`ConcurrentPool`]
+/// with `threads` OS threads (users are partitioned round-robin).
+/// Returns the run's latencies (ns, unsorted), wall time, and the
+/// per-user frame hashes.
+fn replay(
+    warehouse: &Arc<mirabel_dw::Warehouse>,
+    traces: &[Vec<Command>],
+    threads: usize,
+) -> (Vec<u64>, f64, UserHashes) {
+    let pool = ConcurrentPool::new(Arc::clone(warehouse));
+    // Open on the coordinating thread so user → id is deterministic.
+    let ids: Vec<SessionId> = traces.iter().map(|_| pool.open()).collect();
+
+    let started = Instant::now();
+    let mut lat_per_thread: Vec<Vec<u64>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let pool = &pool;
+                let ids = &ids;
+                scope.spawn(move || {
+                    let mut lat = Vec::new();
+                    // Interleave this thread's users command-by-command:
+                    // closer to real serving than replaying user after
+                    // user, and it keeps all users live for the whole
+                    // run.
+                    let mine: Vec<usize> = (0..traces.len()).filter(|u| u % threads == t).collect();
+                    lat.reserve(mine.iter().map(|&u| traces[u].len()).sum());
+                    let longest = mine.iter().map(|&u| traces[u].len()).max().unwrap_or(0);
+                    for j in 0..longest {
+                        for &u in &mine {
+                            let Some(cmd) = traces[u].get(j) else { continue };
+                            let t0 = Instant::now();
+                            let outcome = pool.apply(ids[u], cmd.clone());
+                            lat.push(t0.elapsed().as_nanos() as u64);
+                            assert!(outcome.is_some(), "session {u} vanished mid-replay");
+                        }
+                    }
+                    lat
+                })
+            })
+            .collect();
+        for h in handles {
+            lat_per_thread.push(h.join().expect("stress worker panicked"));
+        }
+    });
+    let wall_s = started.elapsed().as_secs_f64();
+
+    let hashes: UserHashes = ids
+        .iter()
+        .map(|&id| pool.with_session(id, |s| s.frame_hashes()).expect("session still open"))
+        .collect();
+    (lat_per_thread.into_iter().flatten().collect(), wall_s, hashes)
+}
+
+fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() - 1) as f64 * p).round() as usize;
+    sorted_ns[idx] as f64 / 1_000.0
+}
+
+/// Runs the full harness: builds the warehouse and traces, replays at
+/// every configured thread count, and cross-checks frame hashes.
+pub fn run_stress(config: &StressConfig) -> StressReport {
+    let (_, dw) = crate::warehouse(config.prosumers, config.days);
+    let warehouse = Arc::new(dw);
+    let offers = warehouse.offers().len();
+    let traces = build_traces(config);
+
+    let mut runs = Vec::new();
+    let mut reference: Option<UserHashes> = None;
+    let mut determinism_ok = true;
+    for &threads in &config.threads {
+        // Best-of-N: keep the fastest round per thread count (damps
+        // noisy-neighbor variance on shared CI runners); determinism is
+        // asserted on every round, not just the kept one.
+        let mut best: Option<RunStats> = None;
+        for _ in 0..config.repeats.max(1) {
+            let (mut lat, wall_s, hashes) = replay(&warehouse, &traces, threads.max(1));
+            match &reference {
+                None => reference = Some(hashes),
+                Some(r) => determinism_ok &= *r == hashes,
+            }
+            lat.sort_unstable();
+            let commands = lat.len() as u64;
+            let round = RunStats {
+                threads,
+                commands,
+                wall_s,
+                commands_per_s: commands as f64 / wall_s,
+                p50_us: percentile_us(&lat, 0.50),
+                p99_us: percentile_us(&lat, 0.99),
+                speedup_vs_1: 1.0,
+            };
+            if best.as_ref().is_none_or(|b| round.commands_per_s > b.commands_per_s) {
+                best = Some(round);
+            }
+        }
+        runs.push(best.expect("repeats >= 1"));
+    }
+    // Speedups are relative to the 1-thread run wherever it sits in
+    // `config.threads`; a config without one falls back to its smallest
+    // thread count, and the report records which baseline was used.
+    let baseline_run =
+        runs.iter().find(|r| r.threads == 1).or_else(|| runs.iter().min_by_key(|r| r.threads));
+    let baseline_threads = baseline_run.map_or(1, |r| r.threads);
+    let baseline = baseline_run.map_or(1.0, |r| r.commands_per_s);
+    for r in &mut runs {
+        r.speedup_vs_1 = r.commands_per_s / baseline;
+    }
+
+    StressReport {
+        config: config.clone(),
+        offers,
+        available_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        runs,
+        baseline_threads,
+        determinism_ok,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> StressConfig {
+        StressConfig {
+            users: 3,
+            commands_per_user: 40,
+            threads: vec![1, 2],
+            seed: 7,
+            prosumers: 40,
+            days: 1,
+            repeats: 1,
+        }
+    }
+
+    #[test]
+    fn traces_have_exactly_m_commands_and_are_deterministic() {
+        let cfg = tiny();
+        let a = build_traces(&cfg);
+        let b = build_traces(&cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        for t in &a {
+            assert_eq!(t.len(), 40);
+            assert!(matches!(t[0], Command::SetCanvas { .. }));
+            assert!(matches!(t[1], Command::Load { .. }));
+        }
+        // Users do not share a stream.
+        assert_ne!(a[0], a[1]);
+    }
+
+    #[test]
+    fn stress_smoke_is_deterministic_across_thread_counts() {
+        let report = run_stress(&tiny());
+        assert!(report.determinism_ok, "frame hashes diverged across thread counts");
+        assert_eq!(report.runs.len(), 2);
+        assert_eq!(report.runs[0].commands, 3 * 40);
+        assert!((report.runs[0].speedup_vs_1 - 1.0).abs() < 1e-9);
+        let json = report.to_json();
+        assert!(json.contains("\"determinism_ok\": true"), "{json}");
+        assert!(json.contains("\"threads\": 2"), "{json}");
+        assert!(json.contains("\"baseline_threads\": 1"), "{json}");
+    }
+
+    #[test]
+    fn determinism_is_checked_on_every_repeat_round() {
+        let report = run_stress(&StressConfig { repeats: 2, ..tiny() });
+        assert!(report.determinism_ok);
+        assert_eq!(report.baseline_threads, 1);
+    }
+
+    #[test]
+    fn missing_1_thread_run_is_recorded_as_a_different_baseline() {
+        let report = run_stress(&StressConfig { threads: vec![2, 4], ..tiny() });
+        assert_eq!(report.baseline_threads, 2);
+        assert!(report.to_json().contains("\"baseline_threads\": 2"));
+        let two = report.run_at(2).expect("2-thread run");
+        assert!((two.speedup_vs_1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup_baseline_is_the_1_thread_run_regardless_of_order() {
+        // `--threads 2,1`: the baseline must still be the 1-thread run,
+        // not whichever run happens to come first.
+        let report = run_stress(&StressConfig { threads: vec![2, 1], ..tiny() });
+        let one = report.run_at(1).expect("1-thread run");
+        assert!((one.speedup_vs_1 - 1.0).abs() < 1e-9, "{:?}", report.runs);
+        let two = report.run_at(2).expect("2-thread run");
+        assert!((two.speedup_vs_1 - two.commands_per_s / one.commands_per_s).abs() < 1e-9);
+    }
+}

@@ -3,11 +3,11 @@
 //! **Migration note:** the engine behind this API lives in
 //! [`mirabel_session`]. [`App`] wraps a [`Session`] and translates the
 //! legacy [`Event`] enum into serializable
-//! [`Command`](mirabel_session::Command)s; new code should hold a
+//! [`Command`]s; new code should hold a
 //! `Session` (or a [`mirabel_session::SessionPool`]) directly — it
 //! exposes the full command vocabulary (loader, aggregation, MDX,
 //! dashboard, rendered frames), structured
-//! [`Outcome`](mirabel_session::Outcome)s, recording/replay, and the
+//! [`Outcome`]s, recording/replay, and the
 //! cached-frame counters. The shim exists so embedders written against
 //! the original headless main window (Figures 7–8) keep working
 //! unchanged — and, because tabs now cache their frames, an `App`

@@ -33,3 +33,7 @@ pub use mirabel_session::visual;
 
 pub use app::{App, Event, Tab, ViewMode};
 pub use mirabel_session::{slot_label, AggregationTools, VisualOffer};
+// The serving layer, re-exported so embedders that started from the
+// `mirabel_core` facade can reach the command-driven engine — including
+// the sharded, `Send + Sync` pool — without importing a second crate.
+pub use mirabel_session::{Command, ConcurrentPool, Outcome, Session, SessionId, SessionPool};

@@ -6,7 +6,7 @@
 //! EDMS delegates this to a forecasting component (reference \[11\]); the
 //! enterprise simulation in `mirabel-market` needs the same capability, so
 //! this crate provides classic baseline forecasters over
-//! [`TimeSeries`](mirabel_timeseries::TimeSeries):
+//! [`TimeSeries`]:
 //!
 //! * [`SeasonalNaive`] — repeat the value one season (e.g. one day = 96
 //!   slots) ago; the standard yardstick for strongly diurnal load;

@@ -14,7 +14,7 @@ pub struct NodePosition {
 }
 
 /// Computes a deterministic layered layout: each node sits on the row of
-/// its [`NodeKind::depth`], and horizontal space is apportioned by the
+/// its [`NodeKind::depth`](crate::NodeKind::depth), and horizontal space is apportioned by the
 /// number of leaves in each subtree, which keeps sibling subtrees from
 /// overlapping. This is the skeleton of the Figure 4 schematic.
 pub fn layered_layout(grid: &GridTopology, width: f64, height: f64) -> Vec<NodePosition> {

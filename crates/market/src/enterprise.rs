@@ -87,7 +87,7 @@ impl From<SchedulingError> for EnterpriseError {
 #[derive(Debug, Clone)]
 pub struct PlanReport {
     /// The offers after the full lifecycle (accepted/rejected/assigned/
-    /// executed) — feed these into [`mirabel_dw::Warehouse::load`] for
+    /// executed) — feed these into `mirabel_dw::Warehouse::load` for
     /// dashboards with real plan deviations.
     pub offers: Vec<FlexOffer>,
     /// RES supply (kWh per slot).

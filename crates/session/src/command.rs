@@ -100,6 +100,29 @@ impl Command {
         )
     }
 
+    /// The command's script-format head token — a stable label for
+    /// per-command-class latency buckets in benches and logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Command::PointerMove(_) => "pointer-move",
+            Command::Click(_) => "click",
+            Command::DragStart(_) => "drag-start",
+            Command::DragEnd(_) => "drag-end",
+            Command::SetMode(_) => "set-mode",
+            Command::ShowSelectionInNewTab => "show-selection",
+            Command::RemoveSelected => "remove-selected",
+            Command::ActivateTab(_) => "activate-tab",
+            Command::CloseTab(_) => "close-tab",
+            Command::SetCanvas { .. } => "set-canvas",
+            Command::Load { .. } => "load",
+            Command::SetAggregationParams(_) => "set-aggregation",
+            Command::Aggregate => "aggregate",
+            Command::Mdx(_) => "mdx",
+            Command::Dashboard { .. } => "dashboard",
+            Command::Render => "render",
+        }
+    }
+
     /// Encodes the command as one line of the script format.
     pub fn encode(&self) -> String {
         match self {
@@ -361,6 +384,15 @@ mod tests {
         for cmd in samples() {
             let line = cmd.encode();
             assert_eq!(Command::decode(&line).unwrap(), cmd, "line {line:?}");
+        }
+    }
+
+    #[test]
+    fn name_is_the_encoded_head_token() {
+        for cmd in samples() {
+            let line = cmd.encode();
+            let head = line.split_whitespace().next().unwrap();
+            assert_eq!(cmd.name(), head, "line {line:?}");
         }
     }
 

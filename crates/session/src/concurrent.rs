@@ -1,0 +1,276 @@
+//! The concurrent serving layer: many OS threads, many sessions, one
+//! shared warehouse.
+//!
+//! [`SessionPool`](crate::SessionPool) multiplexes sessions behind
+//! `&mut self` — correct, but one caller at a time. [`ConcurrentPool`]
+//! is its `Send + Sync` sibling for the MIRABEL enterprise setting
+//! (many analysts over one warehouse): sessions are sharded across `N`
+//! independently locked maps (session id → shard), and every session
+//! additionally sits behind its own lock, so
+//!
+//! * commands to *distinct* sessions never contend — a shard lock is
+//!   held only for the map lookup, and the command itself runs under
+//!   the per-session lock;
+//! * the warehouse is `Arc`-shared and read-only, so a thousand
+//!   sessions hold one copy of the data;
+//! * everything session-local (tabs, selections, frame caches,
+//!   aggregation parameters) stays inside that session's lock.
+//!
+//! Determinism guarantee: a session's state is a pure function of the
+//! command sequence *it* received. Commands never cross sessions and
+//! the warehouse is immutable, so replaying the same per-session
+//! streams over any number of threads — in any interleaving — produces
+//! the same per-session frame hashes as a sequential replay. The stress
+//! harness in `mirabel-bench` and the `concurrent.rs` integration tests
+//! hold this bar at every thread count.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use mirabel_dw::Warehouse;
+
+use crate::command::Command;
+use crate::outcome::Outcome;
+use crate::pool::SessionId;
+use crate::session::Session;
+
+/// Default shard count ([`ConcurrentPool::new`]); power of two so the
+/// id → shard map is a mask.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// One lock's worth of sessions. The map value is `Arc<Mutex<_>>` so
+/// [`ConcurrentPool::apply`] can release the shard lock before running
+/// the command: shard locks serialize only open/close/lookup, never the
+/// work of handling a command.
+#[derive(Debug, Default)]
+struct Shard {
+    sessions: Mutex<HashMap<u64, Arc<Mutex<Session>>>>,
+}
+
+/// A sharded, lock-per-session pool of [`Session`]s over one shared
+/// [`Warehouse`] — the concurrent twin of [`crate::SessionPool`].
+///
+/// `ConcurrentPool` is `Send + Sync`; `&self` suffices for every
+/// operation, so any number of OS threads can drive distinct sessions
+/// in parallel:
+///
+/// ```
+/// use std::sync::Arc;
+/// use mirabel_session::{Command, ConcurrentPool};
+/// # use mirabel_dw::Warehouse;
+/// # use mirabel_workload::{generate_offers, OfferConfig, Population, PopulationConfig};
+/// # let pop = Population::generate(&PopulationConfig {
+/// #     size: 10, seed: 1, household_share: 0.8 });
+/// # let offers = generate_offers(&pop, &OfferConfig::default());
+/// # let warehouse = Arc::new(Warehouse::load(&pop, &offers));
+/// let pool = Arc::new(ConcurrentPool::new(warehouse));
+/// let id = pool.open();
+/// std::thread::scope(|s| {
+///     let pool = &pool;
+///     s.spawn(move || pool.apply(id, Command::Render));
+/// });
+/// assert_eq!(pool.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct ConcurrentPool {
+    warehouse: Arc<Warehouse>,
+    shards: Box<[Shard]>,
+    /// Monotone id source; [`ConcurrentPool::open`] skips live ids, so
+    /// even a full `u64` wraparound cannot collide with an open session.
+    next: AtomicU64,
+}
+
+impl ConcurrentPool {
+    /// An empty pool over `warehouse` with [`DEFAULT_SHARDS`] shards.
+    pub fn new(warehouse: Arc<Warehouse>) -> ConcurrentPool {
+        ConcurrentPool::with_shards(warehouse, DEFAULT_SHARDS)
+    }
+
+    /// An empty pool with at least `shards` shards (rounded up to a
+    /// power of two, minimum 1).
+    pub fn with_shards(warehouse: Arc<Warehouse>, shards: usize) -> ConcurrentPool {
+        let n = shards.max(1).next_power_of_two();
+        let shards = (0..n).map(|_| Shard::default()).collect::<Vec<_>>().into_boxed_slice();
+        ConcurrentPool { warehouse, shards, next: AtomicU64::new(0) }
+    }
+
+    /// The shared warehouse.
+    pub fn warehouse(&self) -> &Arc<Warehouse> {
+        &self.warehouse
+    }
+
+    /// Number of shards (always a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, id: u64) -> &Shard {
+        // Sequential ids round-robin the shards, which is exactly the
+        // spread we want for K users opened in a row.
+        &self.shards[(id as usize) & (self.shards.len() - 1)]
+    }
+
+    /// Opens a fresh session and returns its id.
+    ///
+    /// Ids come from a monotone atomic counter; if the counter ever
+    /// wraps (or a caller races a wraparound), ids still held by live
+    /// sessions are skipped, never reissued.
+    pub fn open(&self) -> SessionId {
+        loop {
+            let id = self.next.fetch_add(1, Ordering::Relaxed);
+            let mut map = self.shard(id).sessions.lock().expect("shard lock");
+            if let Entry::Vacant(slot) = map.entry(id) {
+                slot.insert(Arc::new(Mutex::new(Session::new(Arc::clone(&self.warehouse)))));
+                return SessionId(id);
+            }
+            // `id` is still live after a counter wraparound: advance.
+        }
+    }
+
+    /// Closes a session; returns `false` if the id is unknown. A command
+    /// in flight on another thread finishes on its own handle; the
+    /// session is dropped when the last handle goes away.
+    pub fn close(&self, id: SessionId) -> bool {
+        self.shard(id.0).sessions.lock().expect("shard lock").remove(&id.0).is_some()
+    }
+
+    /// Routes one command to session `id`; `None` for an unknown id.
+    ///
+    /// The shard lock is held only for the map lookup; the command runs
+    /// under the session's own lock, so concurrent commands to distinct
+    /// sessions proceed in parallel.
+    pub fn apply(&self, id: SessionId, cmd: Command) -> Option<Outcome> {
+        let session = {
+            let map = self.shard(id.0).sessions.lock().expect("shard lock");
+            Arc::clone(map.get(&id.0)?)
+        };
+        let outcome = session.lock().expect("session lock").handle(cmd);
+        Some(outcome)
+    }
+
+    /// Runs `f` with shared access to session `id`; `None` if unknown.
+    pub fn with_session<R>(&self, id: SessionId, f: impl FnOnce(&Session) -> R) -> Option<R> {
+        let session = {
+            let map = self.shard(id.0).sessions.lock().expect("shard lock");
+            Arc::clone(map.get(&id.0)?)
+        };
+        let guard = session.lock().expect("session lock");
+        Some(f(&guard))
+    }
+
+    /// Runs `f` with exclusive access to session `id`; `None` if unknown.
+    pub fn with_session_mut<R>(
+        &self,
+        id: SessionId,
+        f: impl FnOnce(&mut Session) -> R,
+    ) -> Option<R> {
+        let session = {
+            let map = self.shard(id.0).sessions.lock().expect("shard lock");
+            Arc::clone(map.get(&id.0)?)
+        };
+        let mut guard = session.lock().expect("session lock");
+        Some(f(&mut guard))
+    }
+
+    /// Live session ids, ascending. A point-in-time snapshot: other
+    /// threads may open or close sessions while it is being taken.
+    pub fn ids(&self) -> Vec<SessionId> {
+        let mut ids: Vec<SessionId> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.sessions
+                    .lock()
+                    .expect("shard lock")
+                    .keys()
+                    .map(|&k| SessionId(k))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.sessions.lock().expect("shard lock").len()).sum()
+    }
+
+    /// `true` when no sessions are open.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+// The whole point of this type: it crosses threads. A compile-time
+// assertion so a non-`Send` field can never sneak in silently.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ConcurrentPool>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirabel_dw::LoaderQuery;
+    use mirabel_timeseries::TimeSlot;
+    use mirabel_workload::{generate_offers, OfferConfig, Population, PopulationConfig};
+
+    fn pool() -> ConcurrentPool {
+        let pop = Population::generate(&PopulationConfig {
+            size: 20,
+            seed: 0xC0C0,
+            household_share: 0.8,
+        });
+        let offers = generate_offers(&pop, &OfferConfig::default());
+        ConcurrentPool::new(Arc::new(Warehouse::load(&pop, &offers)))
+    }
+
+    #[test]
+    fn shard_count_rounds_up_to_power_of_two() {
+        let dw = Arc::clone(pool().warehouse());
+        assert_eq!(ConcurrentPool::with_shards(Arc::clone(&dw), 0).shard_count(), 1);
+        assert_eq!(ConcurrentPool::with_shards(Arc::clone(&dw), 3).shard_count(), 4);
+        assert_eq!(ConcurrentPool::with_shards(dw, 16).shard_count(), 16);
+    }
+
+    #[test]
+    fn open_apply_close_round_trip() {
+        let pool = pool();
+        let a = pool.open();
+        let b = pool.open();
+        assert_ne!(a, b);
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.ids(), vec![a, b]);
+
+        let query = LoaderQuery::window(TimeSlot::new(-100_000), TimeSlot::new(100_000));
+        let outcome = pool.apply(a, Command::Load { query, title: "t".into() }).unwrap();
+        assert!(matches!(outcome, Outcome::TabOpened { .. }));
+        // `b` is untouched by `a`'s commands.
+        assert_eq!(pool.with_session(b, |s| s.tabs().len()).unwrap(), 0);
+        assert_eq!(pool.with_session(a, |s| s.tabs().len()).unwrap(), 1);
+
+        assert!(pool.close(a));
+        assert!(!pool.close(a));
+        assert!(pool.apply(a, Command::Render).is_none());
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn wraparound_never_reissues_a_live_id() {
+        let pool = pool();
+        let first = pool.open();
+        assert_eq!(first, SessionId(0));
+        // Park the counter at the end of the id space: the next two
+        // opens take u64::MAX, wrap to 0 — which is live — and must
+        // skip to 1 instead of clobbering `first`.
+        pool.next.store(u64::MAX, Ordering::Relaxed);
+        let high = pool.open();
+        assert_eq!(high, SessionId(u64::MAX));
+        let wrapped = pool.open();
+        assert_eq!(wrapped, SessionId(1));
+        assert_eq!(pool.len(), 3);
+    }
+}

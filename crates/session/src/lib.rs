@@ -9,7 +9,9 @@
 //! so a server, a REPL, a test, or a recorded script can all drive the
 //! tool identically (the query/response shape of E³-style exploration
 //! backends). A [`SessionPool`] multiplexes many independent sessions
-//! over one warehouse to model concurrent users.
+//! over one warehouse to model concurrent users, and [`ConcurrentPool`]
+//! is its sharded `Send + Sync` sibling that lets many OS threads drive
+//! distinct sessions in parallel (see [`concurrent`]).
 //!
 //! | Paper artefact | Module |
 //! |---|---|
@@ -35,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod command;
+pub mod concurrent;
 pub mod outcome;
 pub mod pool;
 pub mod session;
@@ -44,6 +47,7 @@ pub mod views;
 pub mod visual;
 
 pub use command::{encode_script, parse_script, Command, CommandParseError};
+pub use concurrent::ConcurrentPool;
 pub use outcome::{AggregationStats, Outcome, SelectionDelta};
 pub use pool::{SessionId, SessionPool};
 pub use session::{Session, SessionStats};

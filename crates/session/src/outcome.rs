@@ -101,6 +101,15 @@ impl Outcome {
         }
     }
 
+    /// The frame's content hash, without consuming the outcome — the
+    /// one number the stress harness compares across thread counts.
+    pub fn frame_hash(&self) -> Option<u64> {
+        match self {
+            Outcome::Frame(f) => Some(f.hash),
+            _ => None,
+        }
+    }
+
     /// The opened/activated tab index, if any.
     pub fn tab(&self) -> Option<usize> {
         match self {

@@ -44,9 +44,17 @@ impl SessionPool {
     }
 
     /// Opens a fresh session and returns its id.
+    ///
+    /// Ids come from a monotone counter. The counter wraps instead of
+    /// overflowing, and ids still held by live sessions are skipped, so
+    /// no open/close pattern — not even a full `u64` wraparound — can
+    /// reissue a live id (see the regression test below).
     pub fn open(&mut self) -> SessionId {
-        let id = self.next;
-        self.next += 1;
+        let mut id = self.next;
+        while self.sessions.contains_key(&id) {
+            id = id.wrapping_add(1);
+        }
+        self.next = id.wrapping_add(1);
         self.sessions.insert(id, Session::new(Arc::clone(&self.warehouse)));
         SessionId(id)
     }
@@ -84,5 +92,50 @@ impl SessionPool {
     /// `true` when no sessions are open.
     pub fn is_empty(&self) -> bool {
         self.sessions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirabel_workload::{generate_offers, OfferConfig, Population, PopulationConfig};
+
+    fn pool() -> SessionPool {
+        let pop =
+            Population::generate(&PopulationConfig { size: 10, seed: 0xB00, household_share: 0.8 });
+        let offers = generate_offers(&pop, &OfferConfig::default());
+        SessionPool::new(Arc::new(Warehouse::load(&pop, &offers)))
+    }
+
+    #[test]
+    fn open_after_close_never_reuses_until_wraparound() {
+        let mut pool = pool();
+        let a = pool.open();
+        let b = pool.open();
+        assert!(pool.close(a));
+        // Closing must not make the counter reuse `a` for the next open.
+        let c = pool.open();
+        assert_ne!(c, a);
+        assert_ne!(c, b);
+    }
+
+    #[test]
+    fn wraparound_skips_live_ids() {
+        // Regression: with the old `self.next += 1` the second open
+        // below would overflow (debug) or hand out id 0 — which is
+        // still live — replacing that session's state (release).
+        let mut pool = pool();
+        let first = pool.open();
+        assert_eq!(first, SessionId(0));
+        pool.next = u64::MAX;
+        let high = pool.open();
+        assert_eq!(high, SessionId(u64::MAX));
+        let wrapped = pool.open();
+        assert_eq!(wrapped, SessionId(1), "id 0 is live and must be skipped");
+        assert_eq!(pool.len(), 3);
+        // After closing id 0 a later wraparound may reuse it.
+        assert!(pool.close(first));
+        pool.next = 0;
+        assert_eq!(pool.open(), SessionId(0));
     }
 }

@@ -3,7 +3,7 @@
 //! A [`Tab`] owns an [`Arc`]-shared slice of [`VisualOffer`]s and lazily
 //! materialises everything derived from them — the [`DetailLayout`], the
 //! rendered [`Scene`], a [`GridIndex`] for pointer probes, and an
-//! id→index lookup — into one [`CachedFrame`] keyed by a monotonically
+//! id→index lookup — into one `CachedFrame` keyed by a monotonically
 //! bumped *revision*. Read-only commands (hover, click, render) reuse the
 //! cached frame; only mutating commands bump the revision and pay for a
 //! rebuild on the next read. This is the paper's "rendering does not

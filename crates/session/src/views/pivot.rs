@@ -4,7 +4,7 @@
 use mirabel_dw::{DwError, PivotTable, Warehouse};
 use mirabel_viz::{palette, Node, Point, Rect, Scene, Style};
 
-/// Options for [`build`].
+/// Options for [`build_mdx`] and [`build_table`].
 #[derive(Debug, Clone)]
 pub struct PivotViewOptions {
     /// Canvas width.

@@ -14,7 +14,10 @@
 //!   pumps, wet appliances, batteries, industrial processes, and RES
 //!   production offers);
 //! * [`curves`] — diurnal base-load and RES supply curves (solar bell +
-//!   autocorrelated wind) for the Figure 1 balancing experiment.
+//!   autocorrelated wind) for the Figure 1 balancing experiment;
+//! * [`trace`] — seeded multi-user interaction traces (hover storms,
+//!   selections, tab switches, MDX/dashboard/aggregation operations)
+//!   for the concurrent-serving stress harness.
 //!
 //! Everything is deterministic in the explicit seeds: the same
 //! [`ScenarioConfig`] always regenerates the same scenario, which is what
@@ -40,7 +43,9 @@ pub mod curves;
 mod offers;
 mod population;
 mod scenario;
+pub mod trace;
 
 pub use offers::{generate_offers, OfferConfig, OfferStats};
 pub use population::{Population, PopulationConfig, Prosumer};
 pub use scenario::{Scenario, ScenarioConfig};
+pub use trace::{generate_traces, InteractionStep, TraceConfig, UserTrace};
