@@ -33,6 +33,12 @@
 //! "indications (red dashed lines) on which flex-offers were aggregated
 //! to produce the pointed flex-offer" of Figure 10.
 //!
+//! For a *streaming* population (the live warehouse), the
+//! [`IncrementalAggregator`] maintains the same grouping without
+//! re-running it: ingested and withdrawn members patch only their own
+//! grid cell, and [`IncrementalAggregator::refresh`] re-merges exactly
+//! the dirty cells (see [`incremental`]).
+//!
 //! # Example
 //!
 //! ```
@@ -72,10 +78,12 @@ mod aggregate;
 mod disaggregate;
 mod error;
 mod group;
+pub mod incremental;
 mod params;
 
 pub use aggregate::{AggregateOffer, AggregationResult, Aggregator, MemberPlacement};
 pub use disaggregate::split_energy;
 pub use error::AggregationError;
 pub use group::{group_offers, GroupKey};
+pub use incremental::{IncrementalAggregator, RefreshStats};
 pub use params::AggregationParams;

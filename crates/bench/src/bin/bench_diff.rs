@@ -1,0 +1,171 @@
+//! The bench-regression gate, as a binary — runnable in CI and locally:
+//!
+//! ```sh
+//! cargo run --release -p mirabel-bench --bin bench_diff -- \
+//!     --baseline BENCH_baseline.json \
+//!     --stress BENCH_stress.json --ingest BENCH_ingest.json
+//! ```
+//!
+//! The baseline file holds one `stress` and one `ingest` section (each
+//! the verbatim report its harness wrote). Throughput metrics may not
+//! drop, and tail-latency metrics may not rise, by more than
+//! `--tolerance` (relative, default 0.20 = ±20 %); `determinism_ok` /
+//! `hash_stable` must hold outright. Improvements pass — refresh the
+//! baseline when they should become the new bar:
+//!
+//! ```sh
+//! cargo run --release -p mirabel-bench --bin bench_diff -- \
+//!     --baseline BENCH_baseline.json --stress ... --ingest ... --write-baseline
+//! ```
+
+use std::process::ExitCode;
+
+use mirabel_bench::diff::{diff_ingest, diff_stress, Json, MetricCheck};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_diff --baseline PATH [--stress PATH] [--ingest PATH] \
+         [--tolerance F] [--write-baseline]"
+    );
+    std::process::exit(2);
+}
+
+fn read_json(path: &str, what: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("{what} report {path} is not valid JSON: {e}"))
+}
+
+fn main() -> ExitCode {
+    let mut baseline_path: Option<String> = None;
+    let mut stress_path: Option<String> = None;
+    let mut ingest_path: Option<String> = None;
+    let mut tolerance = 0.20f64;
+    let mut write_baseline = false;
+
+    fn value(args: &[String], i: &mut usize) -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| usage())
+    }
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--baseline" => baseline_path = Some(value(&args, &mut i)),
+            "--stress" => stress_path = Some(value(&args, &mut i)),
+            "--ingest" => ingest_path = Some(value(&args, &mut i)),
+            "--tolerance" => {
+                tolerance = value(&args, &mut i).parse().unwrap_or_else(|_| usage());
+            }
+            "--write-baseline" => write_baseline = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    let Some(baseline_path) = baseline_path else { usage() };
+    if stress_path.is_none() && ingest_path.is_none() {
+        eprintln!("nothing to compare: pass --stress and/or --ingest");
+        usage();
+    }
+    if !(0.0..=1.0).contains(&tolerance) {
+        eprintln!("tolerance must be in [0, 1]");
+        usage();
+    }
+
+    // --write-baseline: (re)compose the baseline from the fresh reports
+    // instead of gating against it.
+    if write_baseline {
+        let mut out = String::from("{\n");
+        let mut sections = Vec::new();
+        for (key, path) in [("stress", &stress_path), ("ingest", &ingest_path)] {
+            if let Some(path) = path {
+                match std::fs::read_to_string(path) {
+                    Ok(text) => {
+                        let trimmed = text.trim();
+                        let indented = trimmed.replace('\n', "\n  ");
+                        sections.push(format!("  \"{key}\": {indented}"));
+                    }
+                    Err(e) => {
+                        eprintln!("cannot read {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+        }
+        out.push_str(&sections.join(",\n"));
+        out.push_str("\n}\n");
+        if let Err(e) = Json::parse(&out) {
+            eprintln!("refusing to write a malformed baseline: {e}");
+            return ExitCode::FAILURE;
+        }
+        if let Err(e) = std::fs::write(&baseline_path, out) {
+            eprintln!("cannot write {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {baseline_path}");
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match read_json(&baseline_path, "baseline") {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut checks: Vec<MetricCheck> = Vec::new();
+    for (key, path, diff) in [
+        ("stress", &stress_path, diff_stress as fn(&Json, &Json, f64) -> _),
+        ("ingest", &ingest_path, diff_ingest as fn(&Json, &Json, f64) -> _),
+    ] {
+        let Some(path) = path else { continue };
+        let Some(base_section) = baseline.get(key) else {
+            eprintln!("baseline {baseline_path} has no \"{key}\" section");
+            return ExitCode::FAILURE;
+        };
+        let current = match read_json(path, key) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match diff(base_section, &current, tolerance) {
+            Ok(mut section_checks) => checks.append(&mut section_checks),
+            Err(e) => {
+                eprintln!("cannot diff {key}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    println!("bench gate (tolerance ±{:.0}%):", tolerance * 100.0);
+    for c in &checks {
+        println!("  {c}");
+    }
+    let advisories = checks.iter().filter(|c| !c.ok && c.advisory).count();
+    if advisories > 0 {
+        println!(
+            "\nnote: {advisories} numeric check(s) are advisory-only — the baseline was \
+             recorded on a different machine class (available_parallelism mismatch). \
+             Refresh it on this runner class with --write-baseline to arm them."
+        );
+    }
+    let regressions = checks.iter().filter(|c| c.is_regression()).count();
+    if regressions > 0 {
+        eprintln!(
+            "\nFAIL: {regressions} metric(s) regressed beyond ±{:.0}% — \
+             if intentional, refresh BENCH_baseline.json with --write-baseline",
+            tolerance * 100.0,
+        );
+        ExitCode::FAILURE
+    } else {
+        println!("\nall {} gated metrics within tolerance", checks.len() - advisories);
+        ExitCode::SUCCESS
+    }
+}

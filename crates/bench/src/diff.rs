@@ -1,0 +1,585 @@
+//! The bench-regression gate: diff a fresh `BENCH_*.json` against the
+//! committed `BENCH_baseline.json`.
+//!
+//! CI (and `cargo xtask ci` locally) runs the stress and ingest
+//! harnesses, then `mirabel-bench --bin bench_diff` compares the
+//! reports' throughput and tail-latency metrics against the baseline
+//! with a relative tolerance (±20 % by default): throughput may not
+//! drop below `baseline × (1 − tol)`, latency may not rise above
+//! `baseline × (1 + tol)`, and the boolean gates (`determinism_ok`,
+//! `hash_stable`) must hold outright. Improvements always pass — the
+//! gate is one-sided.
+//!
+//! The offline build has no serde, so this module carries a minimal
+//! recursive-descent JSON reader ([`Json::parse`]) that covers exactly
+//! the subset the bench reports emit (objects, arrays, strings,
+//! numbers, booleans, null).
+
+use std::fmt;
+
+/// A parsed JSON value (the bench-report subset).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number, kept as `f64`.
+    Num(f64),
+    /// A string (escape sequences are decoded minimally: `\"`, `\\`,
+    /// `\/`, `\n`, `\t`, `\r`).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, insertion-ordered.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses `text` as a single JSON value (trailing whitespace only).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Member `key` of an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a number.
+    pub fn num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn boolean(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Drills `path` through nested objects, then reads a number.
+    pub fn num_at(&self, path: &[&str]) -> Option<f64> {
+        let mut cur = self;
+        for key in path {
+            cur = cur.get(key)?;
+        }
+        cur.num()
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            loop {
+                skip_ws(b, pos);
+                let Json::Str(key) = parse_value(b, pos)? else {
+                    return Err(format!("object key must be a string at byte {pos}"));
+                };
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                let value = parse_value(b, pos)?;
+                members.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(members));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => {
+            *pos += 1;
+            let mut s = String::new();
+            loop {
+                match b.get(*pos) {
+                    None => return Err("unterminated string".into()),
+                    Some(b'"') => {
+                        *pos += 1;
+                        return Ok(Json::Str(s));
+                    }
+                    Some(b'\\') => {
+                        *pos += 1;
+                        let c = match b.get(*pos) {
+                            Some(b'"') => '"',
+                            Some(b'\\') => '\\',
+                            Some(b'/') => '/',
+                            Some(b'n') => '\n',
+                            Some(b't') => '\t',
+                            Some(b'r') => '\r',
+                            other => return Err(format!("unsupported escape {other:?}")),
+                        };
+                        s.push(c);
+                        *pos += 1;
+                    }
+                    Some(&c) => {
+                        s.push(c as char);
+                        *pos += 1;
+                    }
+                }
+            }
+        }
+        Some(b't') if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if b[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+            text.parse::<f64>().map(Json::Num).map_err(|e| format!("bad number {text:?}: {e}"))
+        }
+    }
+}
+
+/// Which way a metric is allowed to move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Better {
+    /// Throughput-like: regression = dropping below `base × (1 − tol)`.
+    Higher,
+    /// Latency-like: regression = rising above `base × (1 + tol)`.
+    Lower,
+}
+
+/// One metric's verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricCheck {
+    /// Human-readable metric name, e.g. `stress.4t.commands_per_s`.
+    pub name: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Freshly measured value.
+    pub current: f64,
+    /// Which direction is an improvement.
+    pub better: Better,
+    /// `false` = regression beyond tolerance.
+    pub ok: bool,
+    /// `true` when the check cannot gate: the baseline was recorded on
+    /// a different machine class (`available_parallelism` mismatch), so
+    /// absolute throughput/latency are not comparable. Advisory checks
+    /// are reported but never fail the gate — re-baseline on the new
+    /// runner class to arm them again.
+    pub advisory: bool,
+}
+
+impl MetricCheck {
+    /// `true` when this check fails the gate (a non-advisory regression).
+    pub fn is_regression(&self) -> bool {
+        !self.ok && !self.advisory
+    }
+}
+
+impl fmt::Display for MetricCheck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let delta = if self.baseline.abs() > f64::EPSILON {
+            (self.current - self.baseline) / self.baseline * 100.0
+        } else {
+            0.0
+        };
+        let verdict = if self.ok {
+            "ok  "
+        } else if self.advisory {
+            "warn"
+        } else {
+            "FAIL"
+        };
+        write!(
+            f,
+            "{verdict} {:>40}  base {:>12.2}  now {:>12.2}  ({:+6.1}%)",
+            self.name, self.baseline, self.current, delta,
+        )
+    }
+}
+
+/// `true` when both reports were measured on the same machine class
+/// (equal `available_parallelism`). Missing fields count as same-class,
+/// so hand-written fixtures and old reports stay strictly gated.
+pub fn same_machine_class(baseline: &Json, current: &Json) -> bool {
+    match (baseline.num_at(&["available_parallelism"]), current.num_at(&["available_parallelism"]))
+    {
+        (Some(a), Some(b)) => a == b,
+        _ => true,
+    }
+}
+
+/// Latency metrics (milliseconds) below this absolute floor are treated
+/// as noise: a publish that takes 0.07 ms in the baseline and 0.11 ms
+/// now is a 60 % "regression" of pure timer jitter, not a signal. The
+/// relative gate only arms once the measured tail clears the floor; the
+/// hard 100 ms probe bound in the `ingest` binary covers the region in
+/// between.
+pub const LATENCY_FLOOR_MS: f64 = 5.0;
+
+/// Checks one metric against tolerance (see [`Better`]). Improvements
+/// always pass.
+pub fn check_metric(
+    name: impl Into<String>,
+    baseline: f64,
+    current: f64,
+    tolerance: f64,
+    better: Better,
+) -> MetricCheck {
+    check_metric_floored(name, baseline, current, tolerance, better, 0.0)
+}
+
+/// [`check_metric`] with an absolute noise floor: for
+/// [`Better::Lower`] metrics, values up to `floor` pass regardless of
+/// the relative change.
+pub fn check_metric_floored(
+    name: impl Into<String>,
+    baseline: f64,
+    current: f64,
+    tolerance: f64,
+    better: Better,
+    floor: f64,
+) -> MetricCheck {
+    let ok = match better {
+        Better::Higher => current >= baseline * (1.0 - tolerance),
+        Better::Lower => current <= (baseline * (1.0 + tolerance)).max(floor),
+    };
+    MetricCheck { name: name.into(), baseline, current, better, ok, advisory: false }
+}
+
+/// Indexes a report's `runs` array by its `threads` field.
+fn run_at(report: &Json, threads: f64) -> Option<&Json> {
+    report.get("runs")?.arr()?.iter().find(|r| r.num_at(&["threads"]) == Some(threads))
+}
+
+/// Diffs a stress report against the baseline's `stress` section:
+/// per-thread-count throughput (higher is better) and p99 latency
+/// (lower is better), plus the hard `determinism_ok` gate.
+pub fn diff_stress(
+    baseline: &Json,
+    current: &Json,
+    tolerance: f64,
+) -> Result<Vec<MetricCheck>, String> {
+    let mut checks = Vec::new();
+    if current.num_at(&["offers"]).is_none() {
+        return Err("current stress report has no 'offers' field — wrong file?".into());
+    }
+    checks.push(MetricCheck {
+        name: "stress.determinism_ok".into(),
+        baseline: 1.0,
+        current: f64::from(current.get("determinism_ok").and_then(Json::boolean).unwrap_or(false)),
+        better: Better::Higher,
+        ok: current.get("determinism_ok").and_then(Json::boolean) == Some(true),
+        advisory: false,
+    });
+    let advisory = !same_machine_class(baseline, current);
+    let base_runs =
+        baseline.get("runs").and_then(Json::arr).ok_or("baseline stress has no runs")?;
+    for base in base_runs {
+        let threads = base.num_at(&["threads"]).ok_or("baseline run without threads")?;
+        let Some(cur) = run_at(current, threads) else { continue };
+        for (field, better) in [("commands_per_s", Better::Higher), ("p99_us", Better::Lower)] {
+            let (Some(b), Some(c)) = (base.num_at(&[field]), cur.num_at(&[field])) else {
+                return Err(format!("missing {field} in a {threads}-thread stress run"));
+            };
+            let mut check =
+                check_metric(format!("stress.{threads}t.{field}"), b, c, tolerance, better);
+            check.advisory = advisory;
+            checks.push(check);
+        }
+    }
+    Ok(checks)
+}
+
+/// Diffs an ingest report against the baseline's `ingest` section:
+/// reader throughput and publish tails per thread count, the 1k-batch
+/// publish probe, and the hard `hash_stable` gate.
+pub fn diff_ingest(
+    baseline: &Json,
+    current: &Json,
+    tolerance: f64,
+) -> Result<Vec<MetricCheck>, String> {
+    let mut checks = Vec::new();
+    if current.num_at(&["initial_offers"]).is_none() {
+        return Err("current ingest report has no 'initial_offers' field — wrong file?".into());
+    }
+    checks.push(MetricCheck {
+        name: "ingest.hash_stable".into(),
+        baseline: 1.0,
+        current: f64::from(current.get("hash_stable").and_then(Json::boolean).unwrap_or(false)),
+        better: Better::Higher,
+        ok: current.get("hash_stable").and_then(Json::boolean) == Some(true),
+        advisory: false,
+    });
+    let advisory = !same_machine_class(baseline, current);
+    if let (Some(b), Some(c)) =
+        (baseline.num_at(&["publish_1k_ms"]), current.num_at(&["publish_1k_ms"]))
+    {
+        let mut check = check_metric_floored(
+            "ingest.publish_1k_ms",
+            b,
+            c,
+            tolerance,
+            Better::Lower,
+            LATENCY_FLOOR_MS,
+        );
+        check.advisory = advisory;
+        checks.push(check);
+    }
+    let base_runs =
+        baseline.get("runs").and_then(Json::arr).ok_or("baseline ingest has no runs")?;
+    for base in base_runs {
+        let threads = base.num_at(&["threads"]).ok_or("baseline run without threads")?;
+        let Some(cur) = run_at(current, threads) else { continue };
+        for (field, better, floor) in [
+            ("reader_commands_per_s", Better::Higher, 0.0),
+            ("publish_p99_ms", Better::Lower, LATENCY_FLOOR_MS),
+        ] {
+            let (Some(b), Some(c)) = (base.num_at(&[field]), cur.num_at(&[field])) else {
+                return Err(format!("missing {field} in a {threads}-thread ingest run"));
+            };
+            let mut check = check_metric_floored(
+                format!("ingest.{threads}t.{field}"),
+                b,
+                c,
+                tolerance,
+                better,
+                floor,
+            );
+            check.advisory = advisory;
+            checks.push(check);
+        }
+    }
+    Ok(checks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_bench_report_shape() {
+        let j = Json::parse(
+            r#"{"bench": "stress", "n": -1.5e2, "flag": true, "none": null,
+                "runs": [{"threads": 1, "p99_us": 10.25}, {"threads": 4, "p99_us": 3.5}]}"#,
+        )
+        .unwrap();
+        assert_eq!(j.num_at(&["n"]), Some(-150.0));
+        assert_eq!(j.get("flag").and_then(Json::boolean), Some(true));
+        assert_eq!(j.get("none"), Some(&Json::Null));
+        assert_eq!(j.get("bench"), Some(&Json::Str("stress".into())));
+        let runs = j.get("runs").unwrap().arr().unwrap();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(run_at(&j, 4.0).unwrap().num_at(&["p99_us"]), Some(3.5));
+        assert!(run_at(&j, 2.0).is_none());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1, 2,]").is_err());
+        assert!(Json::parse("{\"a\": 1} x").is_err());
+        assert!(Json::parse("{1: 2}").is_err());
+    }
+
+    #[test]
+    fn latency_floor_suppresses_noise_regressions() {
+        // 0.07 → 0.11 ms is +60% but both sit under the 5 ms floor: ok.
+        assert!(check_metric_floored("l", 0.07, 0.11, 0.20, Better::Lower, 5.0).ok);
+        assert!(check_metric_floored("l", 0.01, 4.99, 0.20, Better::Lower, 5.0).ok);
+        // Above the floor the relative gate arms again.
+        assert!(!check_metric_floored("l", 0.07, 5.01, 0.20, Better::Lower, 5.0).ok);
+        assert!(!check_metric_floored("l", 10.0, 13.0, 0.20, Better::Lower, 5.0).ok);
+        assert!(check_metric_floored("l", 10.0, 11.0, 0.20, Better::Lower, 5.0).ok);
+        // The floor never touches throughput metrics.
+        assert!(!check_metric_floored("t", 100.0, 75.0, 0.20, Better::Higher, 5.0).ok);
+    }
+
+    #[test]
+    fn tolerance_is_one_sided() {
+        // Throughput: 25% drop fails, 15% drop passes, any gain passes.
+        assert!(!check_metric("t", 100.0, 75.0, 0.20, Better::Higher).ok);
+        assert!(check_metric("t", 100.0, 85.0, 0.20, Better::Higher).ok);
+        assert!(check_metric("t", 100.0, 500.0, 0.20, Better::Higher).ok);
+        // Latency: 25% rise fails, 15% rise passes, any drop passes.
+        assert!(!check_metric("l", 100.0, 125.0, 0.20, Better::Lower).ok);
+        assert!(check_metric("l", 100.0, 115.0, 0.20, Better::Lower).ok);
+        assert!(check_metric("l", 100.0, 1.0, 0.20, Better::Lower).ok);
+    }
+
+    fn stress_json(cps: f64, p99: f64, det: bool) -> Json {
+        Json::parse(&format!(
+            r#"{{"offers": 500, "determinism_ok": {det},
+                 "runs": [{{"threads": 1, "commands_per_s": {cps}, "p99_us": {p99}}},
+                          {{"threads": 4, "commands_per_s": {}, "p99_us": {p99}}}]}}"#,
+            cps * 3.0,
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn stress_diff_flags_only_regressions() {
+        let base = stress_json(1000.0, 50.0, true);
+        let same = diff_stress(&base, &stress_json(1000.0, 50.0, true), 0.2).unwrap();
+        assert!(same.iter().all(|c| c.ok), "{same:?}");
+        assert_eq!(same.len(), 1 + 4); // gate + 2 metrics × 2 thread counts
+
+        let slow = diff_stress(&base, &stress_json(700.0, 50.0, true), 0.2).unwrap();
+        assert!(slow.iter().any(|c| !c.ok && c.name.contains("commands_per_s")));
+
+        let tail = diff_stress(&base, &stress_json(1000.0, 90.0, true), 0.2).unwrap();
+        assert!(tail.iter().any(|c| !c.ok && c.name.contains("p99_us")));
+
+        let torn = diff_stress(&base, &stress_json(1000.0, 50.0, false), 0.2).unwrap();
+        assert!(torn.iter().any(|c| !c.ok && c.name == "stress.determinism_ok"));
+
+        assert!(diff_stress(&base, &Json::parse("{}").unwrap(), 0.2).is_err());
+    }
+
+    fn ingest_json(rcps: f64, p99: f64, probe: f64, stable: bool) -> Json {
+        Json::parse(&format!(
+            r#"{{"initial_offers": 100, "hash_stable": {stable}, "publish_1k_ms": {probe},
+                 "runs": [{{"threads": 2, "reader_commands_per_s": {rcps},
+                            "publish_p99_ms": {p99}}}]}}"#,
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn ingest_diff_gates_probe_and_stability() {
+        let base = ingest_json(5000.0, 2.0, 10.0, true);
+        let ok = diff_ingest(&base, &ingest_json(4900.0, 2.1, 11.0, true), 0.2).unwrap();
+        assert!(ok.iter().all(|c| c.ok), "{ok:?}");
+
+        let unstable = diff_ingest(&base, &ingest_json(5000.0, 2.0, 10.0, false), 0.2).unwrap();
+        assert!(unstable.iter().any(|c| !c.ok && c.name == "ingest.hash_stable"));
+
+        let probe = diff_ingest(&base, &ingest_json(5000.0, 2.0, 20.0, true), 0.2).unwrap();
+        assert!(probe.iter().any(|c| !c.ok && c.name == "ingest.publish_1k_ms"));
+
+        // Display renders both verdicts.
+        let line = probe.iter().find(|c| !c.ok).unwrap().to_string();
+        assert!(line.starts_with("FAIL"), "{line}");
+        assert!(ok[0].to_string().starts_with("ok"), "{}", ok[0]);
+    }
+
+    #[test]
+    fn cross_machine_baselines_downgrade_numeric_checks_to_advisory() {
+        // Baseline from a 1-CPU dev box, current from a 4-CPU runner: a
+        // huge numeric "regression" must not gate, but the boolean
+        // integrity check still must.
+        let base = Json::parse(
+            r#"{"offers": 1, "available_parallelism": 1, "determinism_ok": true,
+                "runs": [{"threads": 4, "commands_per_s": 60000, "p99_us": 100}]}"#,
+        )
+        .unwrap();
+        let current = Json::parse(
+            r#"{"offers": 1, "available_parallelism": 4, "determinism_ok": false,
+                "runs": [{"threads": 4, "commands_per_s": 10000, "p99_us": 900}]}"#,
+        )
+        .unwrap();
+        assert!(!same_machine_class(&base, &current));
+        let checks = diff_stress(&base, &current, 0.2).unwrap();
+        let throughput = checks.iter().find(|c| c.name.contains("commands_per_s")).unwrap();
+        assert!(!throughput.ok && throughput.advisory && !throughput.is_regression());
+        assert!(throughput.to_string().starts_with("warn"), "{throughput}");
+        let det = checks.iter().find(|c| c.name == "stress.determinism_ok").unwrap();
+        assert!(det.is_regression(), "boolean gates stay hard across machine classes");
+        // Same machine class (or unknown): numeric checks gate again.
+        let strict = diff_stress(
+            &base,
+            &Json::parse(
+                r#"{"offers": 1, "available_parallelism": 1, "determinism_ok": true,
+                "runs": [{"threads": 4, "commands_per_s": 10000, "p99_us": 900}]}"#,
+            )
+            .unwrap(),
+            0.2,
+        )
+        .unwrap();
+        assert!(strict.iter().any(MetricCheck::is_regression));
+    }
+
+    #[test]
+    fn missing_baseline_threads_are_skipped_not_fatal() {
+        let base = ingest_json(5000.0, 2.0, 10.0, true);
+        // Current measured only 8 threads: nothing to compare, no error.
+        let current = Json::parse(
+            r#"{"initial_offers": 10, "hash_stable": true, "publish_1k_ms": 9.0,
+                "runs": [{"threads": 8, "reader_commands_per_s": 1.0, "publish_p99_ms": 1.0}]}"#,
+        )
+        .unwrap();
+        let checks = diff_ingest(&base, &current, 0.2).unwrap();
+        assert!(checks.iter().all(|c| c.ok));
+        assert_eq!(checks.len(), 2); // hash_stable + publish_1k_ms only
+    }
+}

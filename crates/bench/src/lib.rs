@@ -7,6 +7,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod diff;
+pub mod ingest;
 pub mod stress;
 
 use mirabel_core::VisualOffer;

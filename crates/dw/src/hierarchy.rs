@@ -244,6 +244,41 @@ impl Hierarchy {
         (h, first_day, day_leaves)
     }
 
+    /// Extends a time hierarchy **in place** with day leaves covering
+    /// `[from, to)`, reusing the existing year and month members where
+    /// the window already touches them — the incremental twin of
+    /// [`Hierarchy::time`] used by the live warehouse, where rebuilding
+    /// the whole member tree per ingest batch would invalidate every
+    /// existing `MemberId`.
+    ///
+    /// `from` is day-aligned by the caller convention ([`Warehouse`]
+    /// passes the end of its current window); returns the new day leaf
+    /// ids in day order. Existing member ids are never renumbered.
+    ///
+    /// [`Warehouse`]: crate::Warehouse
+    pub fn extend_time(&mut self, from: TimeSlot, to: TimeSlot) -> Vec<MemberId> {
+        debug_assert_eq!(self.dimension, Dimension::Time, "extend_time is for the time hierarchy");
+        let root = self.all().id;
+        let mut added = Vec::new();
+        let mut day = TimeSlot::new(from.index().div_euclid(SLOTS_PER_DAY) * SLOTS_PER_DAY);
+        while day < to {
+            let date = CivilDate::from_days(day.days_from_epoch());
+            let year_name = date.year.to_string();
+            let year_id = match self.child_by_name(root, &year_name) {
+                Some(m) => m.id,
+                None => self.push(year_name, 1, Some(root)),
+            };
+            let month_id = match self.child_by_name(year_id, date.month_name()) {
+                Some(m) => m.id,
+                None => self.push(date.month_name().to_owned(), 2, Some(year_id)),
+            };
+            let day_id = self.push(date.to_string(), 3, Some(month_id));
+            added.push(day_id);
+            day += SlotSpan::days(1);
+        }
+        added
+    }
+
     /// Geography hierarchy: All → Region → City → District. Returns the
     /// hierarchy plus a district-id → leaf-member map in district order.
     pub fn geography(geo: &Geography) -> (Hierarchy, Vec<MemberId>) {
@@ -394,6 +429,38 @@ mod tests {
         assert_eq!(months, vec!["Dec", "Jan"]);
         let path = h.path(leaves[3]);
         assert_eq!(path, vec!["All time", "2013", "Jan", "2013-01-02"]);
+    }
+
+    #[test]
+    fn extend_time_reuses_trailing_year_and_month() {
+        let (mut h, _, leaves) =
+            Hierarchy::time(slot("2012-12-30 00:00"), slot("2013-01-02 00:00"));
+        let before_ids: Vec<MemberId> = h.members().iter().map(|m| m.id).collect();
+        let added = h.extend_time(slot("2013-01-02 00:00"), slot("2013-02-02 00:00"));
+        assert_eq!(added.len(), 31); // Jan 2..31 + Feb 1
+                                     // Existing members were not renumbered.
+        for (i, id) in before_ids.iter().enumerate() {
+            assert_eq!(h.members()[i].id, *id);
+        }
+        // The pre-existing 2013/Jan members were reused, Feb was created.
+        let years: Vec<&str> = h.at_level(1).map(|m| m.name.as_str()).collect();
+        assert_eq!(years, vec!["2012", "2013"]);
+        let months: Vec<&str> = h.at_level(2).map(|m| m.name.as_str()).collect();
+        assert_eq!(months, vec!["Dec", "Jan", "Feb"]);
+        assert_eq!(h.path(added[0]), vec!["All time", "2013", "Jan", "2013-01-02"]);
+        assert_eq!(h.path(*added.last().unwrap()), vec!["All time", "2013", "Feb", "2013-02-01"]);
+        // Extended leaves key facts exactly like freshly built ones.
+        let (fresh, _, fresh_leaves) =
+            Hierarchy::time(slot("2012-12-30 00:00"), slot("2013-02-02 00:00"));
+        let all_leaves: Vec<MemberId> = leaves.iter().copied().chain(added).collect();
+        assert_eq!(all_leaves.len(), fresh_leaves.len());
+        for (a, b) in all_leaves.iter().zip(&fresh_leaves) {
+            assert_eq!(h.member(*a).unwrap().name, fresh.member(*b).unwrap().name);
+            assert_eq!(h.path(*a), fresh.path(*b));
+        }
+        // An empty extension is a no-op.
+        let none = h.extend_time(slot("2013-02-02 00:00"), slot("2013-02-02 00:00"));
+        assert!(none.is_empty());
     }
 
     #[test]

@@ -26,7 +26,11 @@
 //!   query window ("a possibility to manually formulate a query (e.g., in
 //!   MDX) for the view must be provided", Section 3);
 //! * [`LoaderQuery`] — the Figure 7 loader: select a legal entity and an
-//!   absolute time interval, get flex-offers.
+//!   absolute time interval, get flex-offers;
+//! * [`LiveWarehouse`] — streaming ingest: batched
+//!   ingest/withdraw/advance-day deltas applied incrementally to a
+//!   working copy, published as immutable [`EpochSnapshot`]s so readers
+//!   are wait-free (see [`live`]).
 //!
 //! Design note: the time dimension uses All → Year → Month → Day as its
 //! member tree (compact and sufficient for pivots), while quarter-hour
@@ -39,6 +43,7 @@
 
 mod fact;
 mod hierarchy;
+pub mod live;
 pub mod mdx;
 mod pivot;
 mod query;
@@ -46,6 +51,7 @@ mod warehouse;
 
 pub use fact::FactRow;
 pub use hierarchy::{Dimension, Hierarchy, Member, MemberId};
+pub use live::{EpochSnapshot, LiveWarehouse, PendingDeltas};
 pub use pivot::{PivotAxis, PivotSpec, PivotTable};
 pub use query::{DwError, Filter, Measure, Query, QueryResult};
-pub use warehouse::{LoaderQuery, Warehouse};
+pub use warehouse::{IngestOutcome, LoaderQuery, Warehouse};

@@ -14,7 +14,10 @@ use crate::hierarchy::{Dimension, Hierarchy, MemberId};
 ///
 /// Loading snapshots the offers into [`FactRow`]s keyed by the dimension
 /// hierarchies; the original offers are retained for the detail views and
-/// the Figure 7 loader.
+/// the Figure 7 loader. A loaded warehouse is not frozen: [`Warehouse::ingest`]
+/// appends newly arrived offers (extending the time hierarchy in place)
+/// and [`Warehouse::withdraw`] compacts retracted ones away — the
+/// incremental deltas behind [`LiveWarehouse`](crate::LiveWarehouse).
 #[derive(Debug, Clone)]
 pub struct Warehouse {
     time: Hierarchy,
@@ -25,9 +28,36 @@ pub struct Warehouse {
     appliance: Hierarchy,
     first_day: TimeSlot,
     day_leaves: Vec<MemberId>,
+    /// District id → geography leaf member, kept for incremental keying.
+    district_leaves: Vec<MemberId>,
+    /// Grid node id → grid member, kept for incremental keying.
+    node_members: Vec<MemberId>,
     facts: Vec<FactRow>,
     offers: Vec<Arc<FlexOffer>>,
     by_id: HashMap<FlexOfferId, usize>,
+    /// Prosumer → fact indices (ascending): makes entity-restricted
+    /// loader queries O(k in the entity's offers) instead of a scan of
+    /// the whole population.
+    by_prosumer: HashMap<ProsumerId, Vec<usize>>,
+}
+
+/// What one [`Warehouse::ingest`] batch did — every skipped offer is
+/// accounted for, so a live feed can see (and alert on) malformed input
+/// instead of silently losing it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestOutcome {
+    /// Offers appended to the fact table.
+    pub ingested: usize,
+    /// Day leaves appended to the time hierarchy to cover the batch.
+    pub days_added: usize,
+    /// Skipped: prosumer unknown to the population (cannot be keyed to
+    /// the spatial dimensions — same rule as [`Warehouse::load`]).
+    pub skipped_unknown_prosumer: usize,
+    /// Skipped: an offer with this id is already loaded.
+    pub skipped_duplicate: usize,
+    /// Skipped: the offer starts before the warehouse's first day (a
+    /// live warehouse only moves forward in time).
+    pub skipped_before_window: usize,
 }
 
 impl Warehouse {
@@ -44,29 +74,7 @@ impl Warehouse {
         let prosumer = Hierarchy::prosumer_type();
         let appliance = Hierarchy::appliance();
 
-        let mut facts = Vec::with_capacity(offers.len());
-        let mut kept = Vec::with_capacity(offers.len());
-        let mut by_id = HashMap::with_capacity(offers.len());
-        for fo in offers {
-            let Some(p) = population.prosumer(fo.prosumer()) else { continue };
-            let day_idx = (fo.earliest_start().index().div_euclid(SLOTS_PER_DAY) * SLOTS_PER_DAY
-                - first_day.index())
-                / SLOTS_PER_DAY;
-            let time_leaf = day_leaves[day_idx as usize];
-            let row = FactRow::extract(
-                fo,
-                time_leaf,
-                district_leaves[p.district.0 as usize],
-                node_members[p.feeder.0 as usize],
-                Hierarchy::energy_leaf(fo.energy_type()),
-                Hierarchy::prosumer_leaf(fo.prosumer_type()),
-                Hierarchy::appliance_leaf(fo.appliance_type()),
-            );
-            by_id.insert(fo.id(), kept.len());
-            facts.push(row);
-            kept.push(Arc::new(fo.clone()));
-        }
-        Warehouse {
+        let mut dw = Warehouse {
             time,
             geography,
             grid,
@@ -75,10 +83,143 @@ impl Warehouse {
             appliance,
             first_day,
             day_leaves,
-            facts,
-            offers: kept,
-            by_id,
+            district_leaves,
+            node_members,
+            facts: Vec::with_capacity(offers.len()),
+            offers: Vec::with_capacity(offers.len()),
+            by_id: HashMap::with_capacity(offers.len()),
+            by_prosumer: HashMap::new(),
+        };
+        for fo in offers {
+            dw.append_offer(population, fo);
         }
+        dw
+    }
+
+    /// Appends one offer (already inside the time window) to the fact
+    /// table and every index. Returns `false` when the prosumer is
+    /// unknown.
+    fn append_offer(&mut self, population: &Population, fo: &FlexOffer) -> bool {
+        let Some(p) = population.prosumer(fo.prosumer()) else { return false };
+        let day_idx = (fo.earliest_start().index().div_euclid(SLOTS_PER_DAY) * SLOTS_PER_DAY
+            - self.first_day.index())
+            / SLOTS_PER_DAY;
+        let time_leaf = self.day_leaves[day_idx as usize];
+        let row = FactRow::extract(
+            fo,
+            time_leaf,
+            self.district_leaves[p.district.0 as usize],
+            self.node_members[p.feeder.0 as usize],
+            Hierarchy::energy_leaf(fo.energy_type()),
+            Hierarchy::prosumer_leaf(fo.prosumer_type()),
+            Hierarchy::appliance_leaf(fo.appliance_type()),
+        );
+        let idx = self.offers.len();
+        self.by_id.insert(fo.id(), idx);
+        self.by_prosumer.entry(fo.prosumer()).or_default().push(idx);
+        self.facts.push(row);
+        self.offers.push(Arc::new(fo.clone()));
+        true
+    }
+
+    /// First slot *after* the covered day window.
+    fn window_end(&self) -> TimeSlot {
+        self.first_day + SlotSpan::days(self.day_leaves.len() as i64)
+    }
+
+    /// Extends the time hierarchy in place so the window covers `to`
+    /// (exclusive). Existing member ids are never renumbered — cached
+    /// filters, pivots and fact keys all stay valid. Returns the number
+    /// of day leaves appended.
+    pub fn extend_to(&mut self, to: TimeSlot) -> usize {
+        let end = self.window_end();
+        if to <= end {
+            return 0;
+        }
+        let added = self.time.extend_time(end, to);
+        let n = added.len();
+        self.day_leaves.extend(added);
+        n
+    }
+
+    /// Appends one more day to the covered window (the live warehouse's
+    /// midnight tick). Returns the new last day's leaf member.
+    pub fn advance_day(&mut self) -> MemberId {
+        self.extend_to(self.window_end() + SlotSpan::days(1));
+        *self.day_leaves.last().expect("window is never empty")
+    }
+
+    /// Ingests a batch of newly arrived offers **incrementally**: fact
+    /// rows are appended, the per-id and per-prosumer indices are
+    /// extended, and the time hierarchy grows in place when a batch
+    /// reaches into new days — no existing row, member id or index entry
+    /// is rebuilt. Skipped offers are itemised in the returned
+    /// [`IngestOutcome`].
+    pub fn ingest(&mut self, population: &Population, offers: &[FlexOffer]) -> IngestOutcome {
+        let mut out = IngestOutcome::default();
+        for fo in offers {
+            if self.by_id.contains_key(&fo.id()) {
+                out.skipped_duplicate += 1;
+                continue;
+            }
+            let day = TimeSlot::new(
+                fo.earliest_start().index().div_euclid(SLOTS_PER_DAY) * SLOTS_PER_DAY,
+            );
+            if day < self.first_day {
+                out.skipped_before_window += 1;
+                continue;
+            }
+            if population.prosumer(fo.prosumer()).is_none() {
+                out.skipped_unknown_prosumer += 1;
+                continue;
+            }
+            out.days_added += self.extend_to(day + SlotSpan::days(1));
+            self.append_offer(population, fo);
+            out.ingested += 1;
+        }
+        out
+    }
+
+    /// Withdraws offers by id (the SAREF4ENER *withdrawn* transition):
+    /// matching rows are tombstoned and the fact table is compacted in
+    /// one O(live) pass at the batch boundary, preserving fact order for
+    /// the survivors. Unknown ids are ignored. Returns the number of
+    /// offers removed.
+    pub fn withdraw(&mut self, ids: &[FlexOfferId]) -> usize {
+        let mut dead = vec![false; self.offers.len()];
+        let mut removed = 0;
+        for id in ids {
+            if let Some(&i) = self.by_id.get(id) {
+                if !dead[i] {
+                    dead[i] = true;
+                    removed += 1;
+                }
+            }
+        }
+        if removed == 0 {
+            return 0;
+        }
+        let mut i = 0;
+        self.facts.retain(|_| {
+            let keep = !dead[i];
+            i += 1;
+            keep
+        });
+        let mut i = 0;
+        self.offers.retain(|_| {
+            let keep = !dead[i];
+            i += 1;
+            keep
+        });
+        // Survivor indices shifted: rebuild both secondary indices in
+        // one pass over the (compacted) offer list.
+        self.by_id.clear();
+        self.by_prosumer.clear();
+        for (idx, fo) in self.offers.iter().enumerate() {
+            self.by_id.insert(fo.id(), idx);
+            self.by_prosumer.entry(fo.prosumer()).or_default().push(idx);
+        }
+        removed
     }
 
     /// The hierarchy of `dimension`.
@@ -137,10 +278,30 @@ impl Warehouse {
         }
     }
 
+    /// Fact indices of one prosumer's offers, ascending (empty for an
+    /// unknown prosumer) — the index behind the entity-restricted loader.
+    fn prosumer_indices(&self, prosumer: ProsumerId) -> &[usize] {
+        self.by_prosumer.get(&prosumer).map(Vec::as_slice).unwrap_or(&[])
+    }
+
     /// The Figure 7 loader: flex-offers of one legal entity (or all) whose
     /// flexibility window intersects the absolute interval.
+    ///
+    /// Entity-restricted queries walk the per-prosumer index — O(k in
+    /// that entity's offers) — instead of scanning the whole population;
+    /// results are in fact order either way.
     pub fn load_offers(&self, query: &LoaderQuery) -> Vec<&FlexOffer> {
-        self.offers.iter().filter(|fo| query.matches(fo)).map(|fo| fo.as_ref()).collect()
+        match query.prosumer {
+            Some(p) => self
+                .prosumer_indices(p)
+                .iter()
+                .map(|&i| self.offers[i].as_ref())
+                .filter(|fo| query.matches(fo))
+                .collect(),
+            None => {
+                self.offers.iter().filter(|fo| query.matches(fo)).map(|fo| fo.as_ref()).collect()
+            }
+        }
     }
 
     /// The loader, Arc-flavored: the same selection as
@@ -148,7 +309,16 @@ impl Warehouse {
     /// tab (or many tabs across many sessions) holds the warehouse's
     /// allocation instead of a per-tab clone of every offer.
     pub fn load_shared(&self, query: &LoaderQuery) -> Vec<Arc<FlexOffer>> {
-        self.offers.iter().filter(|fo| query.matches(fo)).map(Arc::clone).collect()
+        match query.prosumer {
+            Some(p) => self
+                .prosumer_indices(p)
+                .iter()
+                .map(|&i| &self.offers[i])
+                .filter(|fo| query.matches(fo))
+                .map(Arc::clone)
+                .collect(),
+            None => self.offers.iter().filter(|fo| query.matches(fo)).map(Arc::clone).collect(),
+        }
     }
 }
 
@@ -327,5 +497,164 @@ mod tests {
         let dw = Warehouse::load(&pop, &[]);
         assert!(dw.facts().is_empty());
         assert_eq!(dw.hierarchy(Dimension::Time).at_level(3).count(), 1);
+    }
+
+    /// The half-open everything window used by the incremental tests.
+    fn everywhere() -> LoaderQuery {
+        LoaderQuery::window(TimeSlot::new(i64::MIN / 4), TimeSlot::new(i64::MAX / 4))
+    }
+
+    #[test]
+    fn ingest_matches_a_full_reload() {
+        let (pop, offers) = setup();
+        let (day1, rest): (Vec<FlexOffer>, Vec<FlexOffer>) = offers
+            .iter()
+            .cloned()
+            .partition(|fo| fo.earliest_start().index() < mirabel_timeseries::SLOTS_PER_DAY);
+        assert!(!day1.is_empty() && !rest.is_empty());
+
+        let mut live = Warehouse::load(&pop, &day1);
+        let out = live.ingest(&pop, &rest);
+        assert_eq!(out.ingested, rest.len());
+        assert_eq!(out.skipped_duplicate + out.skipped_unknown_prosumer, 0);
+
+        // Same facts as loading everything at once, up to fact order.
+        let full = Warehouse::load(&pop, &offers);
+        assert_eq!(live.facts().len(), full.facts().len());
+        let mut live_ids: Vec<u64> = live.offers().iter().map(|fo| fo.id().raw()).collect();
+        let mut full_ids: Vec<u64> = full.offers().iter().map(|fo| fo.id().raw()).collect();
+        live_ids.sort_unstable();
+        full_ids.sort_unstable();
+        assert_eq!(live_ids, full_ids);
+        // Every ingested fact is keyed to the correct day leaf by name.
+        let time = live.hierarchy(Dimension::Time);
+        for (row, fo) in live.facts().iter().zip(live.offers()) {
+            let day_name = fo.earliest_start().civil().date.to_string();
+            assert_eq!(time.member(row.time_leaf).unwrap().name, day_name);
+        }
+        // Measures aggregate identically.
+        let a = live.eval(&crate::Query::new(crate::Measure::TotalMaxEnergy)).unwrap();
+        let b = full.eval(&crate::Query::new(crate::Measure::TotalMaxEnergy)).unwrap();
+        assert!((a.total - b.total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ingest_extends_the_time_hierarchy_in_place() {
+        let (pop, offers) = setup();
+        let mut dw = Warehouse::load(&pop, &offers);
+        let days_before = dw.hierarchy(Dimension::Time).at_level(3).count();
+        let member_ids_before: Vec<MemberId> =
+            dw.hierarchy(Dimension::Time).members().iter().map(|m| m.id).collect();
+
+        // An offer ten days past the window forces an extension.
+        let far = dw.first_day() + SlotSpan::days(12);
+        let p = offers[0].prosumer();
+        let fo = FlexOffer::builder(900_001u64, p.raw())
+            .earliest_start(far)
+            .slices(2, mirabel_flexoffer::Energy::ZERO, mirabel_flexoffer::Energy::from_wh(5))
+            .build()
+            .unwrap();
+        let out = dw.ingest(&pop, std::slice::from_ref(&fo));
+        assert_eq!(out.ingested, 1);
+        assert!(out.days_added >= 10, "{out:?}");
+        assert_eq!(dw.hierarchy(Dimension::Time).at_level(3).count(), days_before + out.days_added);
+        // No existing member was renumbered.
+        for (i, id) in member_ids_before.iter().enumerate() {
+            assert_eq!(dw.hierarchy(Dimension::Time).members()[i].id, *id);
+        }
+        assert_eq!(dw.day_leaf(far), Some(dw.facts().last().unwrap().time_leaf));
+    }
+
+    #[test]
+    fn ingest_skips_are_itemised() {
+        let (pop, offers) = setup();
+        let mut dw = Warehouse::load(&pop, &offers);
+        let before = dw.facts().len();
+        let alien = FlexOffer::builder(900_002u64, 42_000u64)
+            .earliest_start(TimeSlot::new(10))
+            .slices(1, mirabel_flexoffer::Energy::ZERO, mirabel_flexoffer::Energy::from_wh(1))
+            .build()
+            .unwrap();
+        let early = FlexOffer::builder(900_003u64, offers[0].prosumer().raw())
+            .earliest_start(dw.first_day() - SlotSpan::days(2))
+            .slices(1, mirabel_flexoffer::Energy::ZERO, mirabel_flexoffer::Energy::from_wh(1))
+            .build()
+            .unwrap();
+        let out = dw.ingest(&pop, &[alien, early, offers[0].clone()]);
+        assert_eq!(out.ingested, 0);
+        assert_eq!(out.skipped_unknown_prosumer, 1);
+        assert_eq!(out.skipped_before_window, 1);
+        assert_eq!(out.skipped_duplicate, 1);
+        assert_eq!(dw.facts().len(), before);
+    }
+
+    #[test]
+    fn withdraw_compacts_and_preserves_order() {
+        let (pop, offers) = setup();
+        let mut dw = Warehouse::load(&pop, &offers);
+        let victims: Vec<FlexOfferId> =
+            offers.iter().step_by(3).map(mirabel_flexoffer::FlexOffer::id).collect();
+        let removed = dw.withdraw(&victims);
+        assert_eq!(removed, victims.len());
+        assert_eq!(dw.facts().len(), offers.len() - victims.len());
+        // Duplicate and unknown ids are no-ops.
+        assert_eq!(dw.withdraw(&victims), 0);
+        assert_eq!(dw.withdraw(&[FlexOfferId(123_456_789)]), 0);
+
+        // Survivors keep their relative order and every index agrees.
+        let expected: Vec<FlexOfferId> = offers
+            .iter()
+            .map(mirabel_flexoffer::FlexOffer::id)
+            .filter(|id| !victims.contains(id))
+            .collect();
+        let got: Vec<FlexOfferId> = dw.offers().iter().map(|fo| fo.id()).collect();
+        assert_eq!(got, expected);
+        for (row, fo) in dw.facts().iter().zip(dw.offers()) {
+            assert_eq!(row.offer, fo.id());
+        }
+        for id in &victims {
+            assert!(dw.offer(*id).is_none());
+        }
+        for id in &expected {
+            assert_eq!(dw.offer(*id).unwrap().id(), *id);
+        }
+    }
+
+    #[test]
+    fn prosumer_index_matches_linear_scan() {
+        let (pop, offers) = setup();
+        let mut dw = Warehouse::load(&pop, &offers);
+        // Exercise the index across mutations too.
+        let victims: Vec<FlexOfferId> = offers.iter().step_by(5).map(|fo| fo.id()).collect();
+        dw.withdraw(&victims);
+        let (lo, hi) = (TimeSlot::new(0), TimeSlot::new(96));
+        let prosumers: std::collections::BTreeSet<ProsumerId> =
+            pop.prosumers().iter().map(|p| p.id).collect();
+        for p in prosumers {
+            for q in [everywhere().for_prosumer(p), LoaderQuery::window(lo, hi).for_prosumer(p)] {
+                let indexed: Vec<FlexOfferId> =
+                    dw.load_offers(&q).iter().map(|fo| fo.id()).collect();
+                // Reference: the pre-index linear scan over every offer.
+                let linear: Vec<FlexOfferId> =
+                    dw.offers().iter().filter(|fo| q.matches(fo)).map(|fo| fo.id()).collect();
+                assert_eq!(indexed, linear, "prosumer {p:?}");
+                let shared: Vec<FlexOfferId> =
+                    dw.load_shared(&q).iter().map(|fo| fo.id()).collect();
+                assert_eq!(shared, linear, "prosumer {p:?} (shared)");
+            }
+        }
+    }
+
+    #[test]
+    fn advance_day_appends_one_leaf() {
+        let (pop, offers) = setup();
+        let mut dw = Warehouse::load(&pop, &offers);
+        let days = dw.hierarchy(Dimension::Time).at_level(3).count();
+        let leaf = dw.advance_day();
+        assert_eq!(dw.hierarchy(Dimension::Time).at_level(3).count(), days + 1);
+        assert_eq!(dw.hierarchy(Dimension::Time).member(leaf).unwrap().level, 3);
+        // The new day is immediately ingestable.
+        let last_day = dw.first_day() + SlotSpan::days(days as i64);
+        assert_eq!(dw.day_leaf(last_day), Some(leaf));
     }
 }

@@ -97,6 +97,14 @@ impl FlexOffer {
         FlexOfferBuilder::new(id.into(), prosumer.into())
     }
 
+    /// A copy of this offer re-identified as `id`, every other field
+    /// unchanged — the live-feed helper for re-stamping generated
+    /// offers into an id space disjoint from an already-loaded set.
+    #[must_use]
+    pub fn with_id(&self, id: FlexOfferId) -> FlexOffer {
+        FlexOffer { id, ..self.clone() }
+    }
+
     /// Unique id of this offer.
     #[inline]
     pub fn id(&self) -> FlexOfferId {

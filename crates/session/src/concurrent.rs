@@ -17,19 +17,22 @@
 //!   aggregation parameters) stays inside that session's lock.
 //!
 //! Determinism guarantee: a session's state is a pure function of the
-//! command sequence *it* received. Commands never cross sessions and
-//! the warehouse is immutable, so replaying the same per-session
-//! streams over any number of threads — in any interleaving — produces
-//! the same per-session frame hashes as a sequential replay. The stress
-//! harness in `mirabel-bench` and the `concurrent.rs` integration tests
-//! hold this bar at every thread count.
+//! command sequence *it* received **and the epoch sequence it observed**.
+//! Commands never cross sessions and every warehouse snapshot is
+//! immutable, so replaying the same per-session streams over any number
+//! of threads — in any interleaving — produces the same per-session
+//! frame hashes as a sequential replay. The stress harness in
+//! `mirabel-bench` and the `concurrent.rs` integration tests hold this
+//! bar at every thread count; the ingest harness holds it per epoch
+//! while [`ConcurrentPool::publish`] swaps live snapshots underneath
+//! the readers.
 
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 
-use mirabel_dw::Warehouse;
+use mirabel_dw::{EpochSnapshot, Warehouse};
 
 use crate::command::Command;
 use crate::outcome::Outcome;
@@ -75,11 +78,27 @@ struct Shard {
 /// ```
 #[derive(Debug)]
 pub struct ConcurrentPool {
-    warehouse: Arc<Warehouse>,
+    /// The current warehouse snapshot + epoch. Readers hold the read
+    /// lock for one Arc clone; [`ConcurrentPool::publish`] takes the
+    /// write lock for one pointer swap — in-flight commands keep the
+    /// snapshot their session already synced to and are never stopped.
+    current: RwLock<Current>,
+    /// Mirror of `current.epoch` for the per-command fast path: a
+    /// relaxed-cost atomic load answers "did an epoch change since this
+    /// session's last command?" without touching the pool-global
+    /// `RwLock`, so the hot path stays contention-free between publishes
+    /// (the PR2 scaling property the stress gate enforces).
+    epoch: AtomicU64,
     shards: Box<[Shard]>,
     /// Monotone id source; [`ConcurrentPool::open`] skips live ids, so
     /// even a full `u64` wraparound cannot collide with an open session.
     next: AtomicU64,
+}
+
+#[derive(Debug, Clone)]
+struct Current {
+    epoch: u64,
+    warehouse: Arc<Warehouse>,
 }
 
 impl ConcurrentPool {
@@ -93,12 +112,50 @@ impl ConcurrentPool {
     pub fn with_shards(warehouse: Arc<Warehouse>, shards: usize) -> ConcurrentPool {
         let n = shards.max(1).next_power_of_two();
         let shards = (0..n).map(|_| Shard::default()).collect::<Vec<_>>().into_boxed_slice();
-        ConcurrentPool { warehouse, shards, next: AtomicU64::new(0) }
+        ConcurrentPool {
+            current: RwLock::new(Current { epoch: 0, warehouse }),
+            epoch: AtomicU64::new(0),
+            shards,
+            next: AtomicU64::new(0),
+        }
     }
 
-    /// The shared warehouse.
-    pub fn warehouse(&self) -> &Arc<Warehouse> {
-        &self.warehouse
+    /// The current warehouse snapshot.
+    pub fn warehouse(&self) -> Arc<Warehouse> {
+        Arc::clone(&self.current.read().expect("current lock").warehouse)
+    }
+
+    /// The pool's current warehouse epoch (0 until the first publish).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Swaps in a freshly published warehouse epoch **for all shards,
+    /// without stopping in-flight commands**: the swap is one pointer
+    /// write; every session notices the new epoch at its next command
+    /// and re-syncs lazily (live-view tabs re-run their loader query,
+    /// cached frames go stale through their `(revision, epoch)` key).
+    ///
+    /// Stale publishes (epoch ≤ the pool's current epoch) are ignored,
+    /// so a racing pair of publishers cannot move the pool backwards.
+    /// Returns the pool's epoch after the call.
+    pub fn publish(&self, snapshot: &EpochSnapshot) -> u64 {
+        let mut cur = self.current.write().expect("current lock");
+        if snapshot.epoch() > cur.epoch {
+            *cur = Current { epoch: snapshot.epoch(), warehouse: Arc::clone(snapshot.warehouse()) };
+            // Arm the fast path only after `current` holds the new
+            // snapshot (both still under the write lock): a session
+            // that reads the new epoch always finds a warehouse at
+            // least that new behind the read lock.
+            self.epoch.store(cur.epoch, Ordering::Release);
+        }
+        cur.epoch
+    }
+
+    /// Snapshot + epoch in one read-lock acquisition.
+    fn current(&self) -> (u64, Arc<Warehouse>) {
+        let cur = self.current.read().expect("current lock");
+        (cur.epoch, Arc::clone(&cur.warehouse))
     }
 
     /// Number of shards (always a power of two).
@@ -118,11 +175,14 @@ impl ConcurrentPool {
     /// wraps (or a caller races a wraparound), ids still held by live
     /// sessions are skipped, never reissued.
     pub fn open(&self) -> SessionId {
+        let (epoch, warehouse) = self.current();
         loop {
             let id = self.next.fetch_add(1, Ordering::Relaxed);
             let mut map = self.shard(id).sessions.lock().expect("shard lock");
             if let Entry::Vacant(slot) = map.entry(id) {
-                slot.insert(Arc::new(Mutex::new(Session::new(Arc::clone(&self.warehouse)))));
+                let mut session = Session::new(Arc::clone(&warehouse));
+                session.sync_warehouse(Arc::clone(&warehouse), epoch);
+                slot.insert(Arc::new(Mutex::new(session)));
                 return SessionId(id);
             }
             // `id` is still live after a counter wraparound: advance.
@@ -136,27 +196,45 @@ impl ConcurrentPool {
         self.shard(id.0).sessions.lock().expect("shard lock").remove(&id.0).is_some()
     }
 
+    /// Locks session `id` and lazily syncs it to the pool's current
+    /// epoch first — the point where a publish becomes visible to a
+    /// session. The steady-state cost is one atomic load: the
+    /// pool-global `current` lock is touched only when the epoch
+    /// actually moved since this session's last command.
+    fn locked<'a>(&self, session: &'a Arc<Mutex<Session>>) -> std::sync::MutexGuard<'a, Session> {
+        let mut guard = session.lock().expect("session lock");
+        if guard.epoch() != self.epoch.load(Ordering::Acquire) {
+            let (epoch, warehouse) = self.current();
+            guard.sync_warehouse(warehouse, epoch);
+        }
+        guard
+    }
+
     /// Routes one command to session `id`; `None` for an unknown id.
     ///
     /// The shard lock is held only for the map lookup; the command runs
     /// under the session's own lock, so concurrent commands to distinct
-    /// sessions proceed in parallel.
+    /// sessions proceed in parallel. If the pool moved to a new
+    /// warehouse epoch since this session's last command, the session
+    /// re-syncs first (see [`ConcurrentPool::publish`]).
     pub fn apply(&self, id: SessionId, cmd: Command) -> Option<Outcome> {
         let session = {
             let map = self.shard(id.0).sessions.lock().expect("shard lock");
             Arc::clone(map.get(&id.0)?)
         };
-        let outcome = session.lock().expect("session lock").handle(cmd);
+        let outcome = self.locked(&session).handle(cmd);
         Some(outcome)
     }
 
     /// Runs `f` with shared access to session `id`; `None` if unknown.
+    /// Like [`ConcurrentPool::apply`], syncs the session to the current
+    /// epoch first.
     pub fn with_session<R>(&self, id: SessionId, f: impl FnOnce(&Session) -> R) -> Option<R> {
         let session = {
             let map = self.shard(id.0).sessions.lock().expect("shard lock");
             Arc::clone(map.get(&id.0)?)
         };
-        let guard = session.lock().expect("session lock");
+        let guard = self.locked(&session);
         Some(f(&guard))
     }
 
@@ -170,7 +248,7 @@ impl ConcurrentPool {
             let map = self.shard(id.0).sessions.lock().expect("shard lock");
             Arc::clone(map.get(&id.0)?)
         };
-        let mut guard = session.lock().expect("session lock");
+        let mut guard = self.locked(&session);
         Some(f(&mut guard))
     }
 
@@ -230,7 +308,7 @@ mod tests {
 
     #[test]
     fn shard_count_rounds_up_to_power_of_two() {
-        let dw = Arc::clone(pool().warehouse());
+        let dw = pool().warehouse();
         assert_eq!(ConcurrentPool::with_shards(Arc::clone(&dw), 0).shard_count(), 1);
         assert_eq!(ConcurrentPool::with_shards(Arc::clone(&dw), 3).shard_count(), 4);
         assert_eq!(ConcurrentPool::with_shards(dw, 16).shard_count(), 16);

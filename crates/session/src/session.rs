@@ -49,6 +49,7 @@ pub struct SessionStats {
 #[derive(Debug, Clone, Default)]
 pub struct Session {
     warehouse: Option<Arc<Warehouse>>,
+    epoch: u64,
     tabs: Vec<Tab>,
     active: usize,
     tools: AggregationTools,
@@ -73,6 +74,32 @@ impl Session {
     /// The shared warehouse, if the session has one.
     pub fn warehouse(&self) -> Option<&Arc<Warehouse>> {
         self.warehouse.as_ref()
+    }
+
+    /// The warehouse epoch this session last synchronised to (0 until a
+    /// [`LiveWarehouse`](mirabel_dw::LiveWarehouse) publish reaches it).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Moves the session to a freshly published warehouse snapshot.
+    ///
+    /// This is the lazy half of the epoch protocol: a publish swaps the
+    /// pool's snapshot immediately, but each session pays for the move
+    /// only when its next command arrives — live-view tabs re-run their
+    /// loader query against the new snapshot, every tab's cached frame
+    /// goes stale through the epoch half of its `(revision, epoch)` key,
+    /// and frames rebuild on next read. A detached session (no
+    /// warehouse) ignores the call. No-op when already at `epoch`.
+    pub fn sync_warehouse(&mut self, warehouse: Arc<Warehouse>, epoch: u64) {
+        if self.warehouse.is_none() || self.epoch == epoch {
+            return;
+        }
+        for tab in &mut self.tabs {
+            tab.sync_epoch(&warehouse, epoch);
+        }
+        self.warehouse = Some(warehouse);
+        self.epoch = epoch;
     }
 
     /// All tabs.
@@ -152,7 +179,9 @@ impl Session {
     }
 
     /// Opens a prepared tab and activates it. Returns the tab index.
-    pub fn open_tab(&mut self, tab: Tab) -> usize {
+    /// The tab is stamped with the session's current warehouse epoch.
+    pub fn open_tab(&mut self, mut tab: Tab) -> usize {
+        tab.stamp_epoch(self.epoch);
         self.tabs.push(tab);
         self.active = self.tabs.len() - 1;
         self.active
@@ -160,7 +189,9 @@ impl Session {
 
     /// The Figure 7 loader against an explicit warehouse reference (the
     /// compatibility path): offers are shared with the warehouse, not
-    /// cloned. Returns the new tab index.
+    /// cloned. The tab remembers its query, so it re-loads as a live
+    /// view when the warehouse moves to a new epoch. Returns the new
+    /// tab index.
     pub fn load_with(
         &mut self,
         dw: &Warehouse,
@@ -168,7 +199,7 @@ impl Session {
         title: impl Into<String>,
     ) -> usize {
         let shared = dw.load_shared(query);
-        self.open_tab(Tab::new(title, VisualOffer::from_shared(&shared)))
+        self.open_tab(Tab::new(title, VisualOffer::from_shared(&shared)).with_query(*query))
     }
 
     /// The current frame of the active tab, if any.
@@ -332,6 +363,9 @@ impl Session {
                     .collect();
                 tab.offers = keep.into();
                 tab.selection.clear();
+                // The on-screen set now diverges from the loader query:
+                // stop tracking it across epochs.
+                tab.pin_data();
                 tab.touch();
                 Outcome::Selection(delta)
             }
@@ -399,6 +433,10 @@ impl Session {
                         // thin clients mirroring selection state stay in
                         // sync (every other mutation reports them too).
                         let deselected = std::mem::take(&mut tab.selection).ids().to_vec();
+                        // Aggregates are not the loader query's result:
+                        // pin the tab so an epoch sync cannot discard
+                        // the user's aggregation.
+                        tab.pin_data();
                         tab.touch();
                         Outcome::Aggregated {
                             stats: AggregationStats {
@@ -448,7 +486,7 @@ impl Session {
                     &DashboardOptions { width, height, from, to, granularity },
                 ));
                 let hash = scene.content_hash();
-                Outcome::Frame(FrameRef { scene, revision: 0, hash })
+                Outcome::Frame(FrameRef { scene, revision: 0, epoch: self.epoch, hash })
             }
             Command::Render => match self.active_tab() {
                 Some(tab) => Outcome::Frame(tab.frame()),

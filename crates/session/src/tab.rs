@@ -13,6 +13,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
+use mirabel_dw::{LoaderQuery, Warehouse};
 use mirabel_flexoffer::FlexOfferId;
 use mirabel_viz::{GridIndex, Point, Scene};
 
@@ -131,15 +132,19 @@ pub struct FrameRef {
     pub scene: Arc<Scene>,
     /// Tab revision the frame was built at.
     pub revision: u64,
+    /// Warehouse epoch the frame was built at (0 until the session sees
+    /// its first [`publish`](mirabel_dw::LiveWarehouse::publish)).
+    pub epoch: u64,
     /// Structural content hash of the scene (see
     /// [`Scene::content_hash`]); equal hashes ⇒ identical rendering.
     pub hash: u64,
 }
 
-/// Everything derived from a tab's offers at one revision.
+/// Everything derived from a tab's offers at one (revision, epoch) key.
 #[derive(Debug, Clone)]
 pub(crate) struct CachedFrame {
     pub(crate) revision: u64,
+    pub(crate) epoch: u64,
     pub(crate) layout: Arc<DetailLayout>,
     pub(crate) scene: Arc<Scene>,
     pub(crate) index: Arc<GridIndex>,
@@ -170,7 +175,11 @@ pub struct Tab {
     pub(crate) drag_origin: Option<Point>,
     /// Canvas geometry.
     pub options: BasicViewOptions,
+    /// The loader query this tab tracks across warehouse epochs, if any.
+    /// Cleared when a command pins the tab's data (aggregation, removal).
+    query: Option<LoaderQuery>,
     revision: u64,
+    epoch: u64,
     cache: Mutex<CacheSlot>,
 }
 
@@ -183,7 +192,9 @@ impl Clone for Tab {
             selection: self.selection.clone(),
             drag_origin: self.drag_origin,
             options: self.options,
+            query: self.query,
             revision: self.revision,
+            epoch: self.epoch,
             cache: Mutex::new(CacheSlot {
                 frame: self.cache.lock().expect("tab cache").frame.clone(),
                 builds: 0,
@@ -202,14 +213,79 @@ impl Tab {
             selection: Selection::new(),
             drag_origin: None,
             options: BasicViewOptions::default(),
+            query: None,
             revision: 0,
+            epoch: 0,
             cache: Mutex::new(CacheSlot::default()),
         }
     }
 
+    /// Marks this tab as a **live view** of `query`: when the session's
+    /// warehouse moves to a new epoch, the tab re-runs the query against
+    /// the fresh snapshot (see
+    /// [`Session::sync_warehouse`](crate::Session::sync_warehouse)).
+    pub fn with_query(mut self, query: LoaderQuery) -> Tab {
+        self.query = Some(query);
+        self
+    }
+
+    /// The loader query this tab tracks, if it is a live view.
+    pub fn query(&self) -> Option<LoaderQuery> {
+        self.query
+    }
+
+    /// Pins the tab's current data set: it stops tracking its loader
+    /// query across epochs. Called when a command makes the on-screen
+    /// set diverge from the query result (aggregation, manual removal).
+    pub(crate) fn pin_data(&mut self) {
+        self.query = None;
+    }
+
+    /// The warehouse epoch this tab last synchronised to.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Stamps the tab with the session's current epoch at open time
+    /// (without reloading anything — the tab was just built from that
+    /// epoch's data).
+    pub(crate) fn stamp_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
+    /// Moves the tab to warehouse epoch `epoch`: a live-view tab re-runs
+    /// its loader query against `dw` (dropping selection entries whose
+    /// offers vanished), every tab's cached frame goes stale via the
+    /// epoch half of its `(revision, epoch)` key, and the rebuild is
+    /// paid lazily on the next read — a publish never blocks on
+    /// rendering.
+    ///
+    /// Note for thin clients mirroring selection state: an epoch sync
+    /// happens *between* commands, so selection pruning here is not
+    /// reported through a [`SelectionDelta`](crate::SelectionDelta) —
+    /// on observing a new [`FrameRef::epoch`], re-read the tab's
+    /// selection instead of diffing outcomes.
+    pub(crate) fn sync_epoch(&mut self, dw: &Warehouse, epoch: u64) {
+        if self.epoch == epoch {
+            return;
+        }
+        if let Some(q) = self.query {
+            let offers = VisualOffer::from_shared(&dw.load_shared(&q));
+            let live: std::collections::HashSet<FlexOfferId> =
+                offers.iter().map(VisualOffer::id).collect();
+            self.selection =
+                self.selection.iter().copied().filter(|id| live.contains(id)).collect();
+            self.offers = offers.into();
+        }
+        self.epoch = epoch;
+    }
+
     /// The tab's current revision. Bumped by every mutating command (and
     /// pessimistically by mutable access); the cached frame is valid
-    /// exactly while the revision stands still.
+    /// exactly while the `(revision, epoch)` pair stands still — a
+    /// warehouse publish invalidates through [`Tab::epoch`] without
+    /// touching the revision, so clients tracking frame identity must
+    /// compare both halves (or simply compare [`FrameRef::hash`]).
     pub fn revision(&self) -> u64 {
         self.revision
     }
@@ -248,7 +324,7 @@ impl Tab {
     /// A versioned handle to the current frame.
     pub fn frame(&self) -> FrameRef {
         let c = self.cached();
-        FrameRef { scene: c.scene, revision: c.revision, hash: c.hash }
+        FrameRef { scene: c.scene, revision: c.revision, epoch: c.epoch, hash: c.hash }
     }
 
     /// Index of the offer with `id` (first match, as the views draw it).
@@ -261,11 +337,12 @@ impl Tab {
         self.cached().lookup.get(&raw).copied()
     }
 
-    /// The cached frame for the current revision, building it if stale.
+    /// The cached frame for the current `(revision, epoch)` key,
+    /// building it if stale.
     pub(crate) fn cached(&self) -> CachedFrame {
         let mut slot = self.cache.lock().expect("tab cache");
         if let Some(c) = &slot.frame {
-            if c.revision == self.revision {
+            if c.revision == self.revision && c.epoch == self.epoch {
                 return c.clone();
             }
         }
@@ -282,6 +359,7 @@ impl Tab {
         let hash = scene.content_hash();
         let frame = CachedFrame {
             revision: self.revision,
+            epoch: self.epoch,
             layout: Arc::new(layout),
             scene: Arc::new(scene),
             index: Arc::new(index),

@@ -17,7 +17,9 @@
 //!   autocorrelated wind) for the Figure 1 balancing experiment;
 //! * [`trace`] — seeded multi-user interaction traces (hover storms,
 //!   selections, tab switches, MDX/dashboard/aggregation operations)
-//!   for the concurrent-serving stress harness.
+//!   for the concurrent-serving stress harness;
+//! * [`ingest`] — seeded flex-offer arrival/withdrawal/day-tick streams
+//!   (the SAREF4ENER lifecycle) for the live-warehouse ingest harness.
 //!
 //! Everything is deterministic in the explicit seeds: the same
 //! [`ScenarioConfig`] always regenerates the same scenario, which is what
@@ -40,11 +42,13 @@
 #![warn(missing_docs)]
 
 pub mod curves;
+pub mod ingest;
 mod offers;
 mod population;
 mod scenario;
 pub mod trace;
 
+pub use ingest::{generate_ingest_trace, IngestEvent, IngestTraceConfig, IngestTraceStats};
 pub use offers::{generate_offers, OfferConfig, OfferStats};
 pub use population::{Population, PopulationConfig, Prosumer};
 pub use scenario::{Scenario, ScenarioConfig};

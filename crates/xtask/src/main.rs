@@ -1,0 +1,259 @@
+//! Repo automation (the cargo-xtask pattern: plain Rust instead of a
+//! Makefile, so contributors need nothing but the toolchain).
+//!
+//! `cargo xtask ci` runs the **exact** lint + test + bench-gate
+//! sequence `.github/workflows/ci.yml` runs, in the same order with the
+//! same flags, so "CI is red but it worked on my machine" reduces to
+//! one local command. Subsets:
+//!
+//! * `cargo xtask lint` — clippy, rustfmt, rustdoc (the `lint` job);
+//! * `cargo xtask test` — release build + workspace tests (the first
+//!   half of `build-test`);
+//! * `cargo xtask bench-gate` — session/stress/ingest harnesses plus
+//!   the `bench_diff` regression gate (the second half);
+//! * `cargo xtask baseline` — refresh `BENCH_baseline.json` from fresh
+//!   harness runs on this machine.
+
+use std::process::{Command, ExitCode};
+
+/// One pipeline step: a display name plus the exact command CI runs.
+struct Step {
+    name: &'static str,
+    program: &'static str,
+    args: &'static [&'static str],
+    env: &'static [(&'static str, &'static str)],
+}
+
+const LINT: &[Step] = &[
+    Step {
+        name: "clippy",
+        program: "cargo",
+        args: &["clippy", "--workspace", "--all-targets", "--locked", "--", "-D", "warnings"],
+        env: &[],
+    },
+    Step { name: "rustfmt", program: "cargo", args: &["fmt", "--check"], env: &[] },
+    Step {
+        name: "rustdoc",
+        program: "cargo",
+        args: &["doc", "--workspace", "--no-deps", "--locked"],
+        env: &[("RUSTDOCFLAGS", "-D warnings")],
+    },
+];
+
+const TEST: &[Step] = &[
+    Step {
+        name: "build (release)",
+        program: "cargo",
+        args: &["build", "--workspace", "--release", "--locked"],
+        env: &[],
+    },
+    Step {
+        name: "test",
+        program: "cargo",
+        args: &["test", "--workspace", "-q", "--locked"],
+        env: &[],
+    },
+];
+
+const BENCH_GATE: &[Step] = &[
+    Step {
+        name: "session bench (warm >= 10x cold)",
+        program: "cargo",
+        args: &["bench", "-p", "mirabel-bench", "--bench", "session", "--locked"],
+        env: &[],
+    },
+    Step {
+        name: "stress harness (determinism + speedup gates)",
+        program: "cargo",
+        args: &[
+            "run",
+            "--release",
+            "--locked",
+            "-p",
+            "mirabel-bench",
+            "--bin",
+            "stress",
+            "--",
+            "--users",
+            "8",
+            "--commands",
+            "300",
+            "--threads",
+            "1,2,4,8",
+            "--assert-speedup",
+            "2.0",
+            "--out",
+            "BENCH_stress.json",
+        ],
+        env: &[],
+    },
+    Step {
+        name: "ingest harness (epoch integrity + publish gates)",
+        program: "cargo",
+        args: &[
+            "run",
+            "--release",
+            "--locked",
+            "-p",
+            "mirabel-bench",
+            "--bin",
+            "ingest",
+            "--",
+            "--readers",
+            "4",
+            "--commands",
+            "24",
+            "--threads",
+            "1,2,4,8",
+            "--assert-publish-ms",
+            "100",
+            "--out",
+            "BENCH_ingest.json",
+        ],
+        env: &[],
+    },
+    Step {
+        name: "bench gate (±20% vs BENCH_baseline.json)",
+        program: "cargo",
+        args: &[
+            "run",
+            "--release",
+            "--locked",
+            "-p",
+            "mirabel-bench",
+            "--bin",
+            "bench_diff",
+            "--",
+            "--baseline",
+            "BENCH_baseline.json",
+            "--stress",
+            "BENCH_stress.json",
+            "--ingest",
+            "BENCH_ingest.json",
+            "--tolerance",
+            "0.20",
+        ],
+        env: &[],
+    },
+];
+
+const BASELINE: &[Step] = &[
+    Step {
+        name: "stress harness",
+        program: "cargo",
+        args: &[
+            "run",
+            "--release",
+            "--locked",
+            "-p",
+            "mirabel-bench",
+            "--bin",
+            "stress",
+            "--",
+            "--users",
+            "8",
+            "--commands",
+            "300",
+            "--threads",
+            "1,2,4,8",
+            "--out",
+            "BENCH_stress.json",
+        ],
+        env: &[],
+    },
+    Step {
+        name: "ingest harness",
+        program: "cargo",
+        args: &[
+            "run",
+            "--release",
+            "--locked",
+            "-p",
+            "mirabel-bench",
+            "--bin",
+            "ingest",
+            "--",
+            "--readers",
+            "4",
+            "--commands",
+            "24",
+            "--threads",
+            "1,2,4,8",
+            "--out",
+            "BENCH_ingest.json",
+        ],
+        env: &[],
+    },
+    Step {
+        name: "write BENCH_baseline.json",
+        program: "cargo",
+        args: &[
+            "run",
+            "--release",
+            "--locked",
+            "-p",
+            "mirabel-bench",
+            "--bin",
+            "bench_diff",
+            "--",
+            "--baseline",
+            "BENCH_baseline.json",
+            "--stress",
+            "BENCH_stress.json",
+            "--ingest",
+            "BENCH_ingest.json",
+            "--write-baseline",
+        ],
+        env: &[],
+    },
+];
+
+fn run(steps: &[&[Step]]) -> ExitCode {
+    let total: usize = steps.iter().map(|s| s.len()).sum();
+    let mut done = 0;
+    for step in steps.iter().copied().flatten() {
+        done += 1;
+        println!("\n[{done}/{total}] {} — {} {}", step.name, step.program, step.args.join(" "));
+        let mut cmd = Command::new(step.program);
+        cmd.args(step.args);
+        for (k, v) in step.env {
+            cmd.env(k, v);
+        }
+        match cmd.status() {
+            Ok(status) if status.success() => {}
+            Ok(status) => {
+                eprintln!("\nFAILED at step [{done}/{total}] {} ({status})", step.name);
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("\ncannot spawn {}: {e}", step.program);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("\nall {total} steps passed");
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let task = std::env::args().nth(1).unwrap_or_default();
+    match task.as_str() {
+        "ci" => run(&[LINT, TEST, BENCH_GATE]),
+        "lint" => run(&[LINT]),
+        "test" => run(&[TEST]),
+        "bench-gate" => run(&[BENCH_GATE]),
+        "baseline" => run(&[BASELINE]),
+        _ => {
+            eprintln!(
+                "usage: cargo xtask <task>\n\n\
+                 tasks:\n\
+                 \x20 ci          the full CI pipeline (lint + test + bench-gate)\n\
+                 \x20 lint        clippy + rustfmt + rustdoc, all -D warnings\n\
+                 \x20 test        release build + workspace tests\n\
+                 \x20 bench-gate  benches, stress/ingest harnesses, bench_diff gate\n\
+                 \x20 baseline    refresh BENCH_baseline.json from this machine"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
