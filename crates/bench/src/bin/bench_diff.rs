@@ -20,12 +20,12 @@
 
 use std::process::ExitCode;
 
-use mirabel_bench::diff::{diff_ingest, diff_stress, Json, MetricCheck};
+use mirabel_bench::diff::{diff_ingest, diff_planning, diff_stress, Json, MetricCheck};
 
 fn usage() -> ! {
     eprintln!(
         "usage: bench_diff --baseline PATH [--stress PATH] [--ingest PATH] \
-         [--tolerance F] [--write-baseline]"
+         [--planning PATH] [--tolerance F] [--write-baseline]"
     );
     std::process::exit(2);
 }
@@ -39,6 +39,7 @@ fn main() -> ExitCode {
     let mut baseline_path: Option<String> = None;
     let mut stress_path: Option<String> = None;
     let mut ingest_path: Option<String> = None;
+    let mut planning_path: Option<String> = None;
     let mut tolerance = 0.20f64;
     let mut write_baseline = false;
 
@@ -54,6 +55,7 @@ fn main() -> ExitCode {
             "--baseline" => baseline_path = Some(value(&args, &mut i)),
             "--stress" => stress_path = Some(value(&args, &mut i)),
             "--ingest" => ingest_path = Some(value(&args, &mut i)),
+            "--planning" => planning_path = Some(value(&args, &mut i)),
             "--tolerance" => {
                 tolerance = value(&args, &mut i).parse().unwrap_or_else(|_| usage());
             }
@@ -67,8 +69,8 @@ fn main() -> ExitCode {
         i += 1;
     }
     let Some(baseline_path) = baseline_path else { usage() };
-    if stress_path.is_none() && ingest_path.is_none() {
-        eprintln!("nothing to compare: pass --stress and/or --ingest");
+    if stress_path.is_none() && ingest_path.is_none() && planning_path.is_none() {
+        eprintln!("nothing to compare: pass --stress, --ingest and/or --planning");
         usage();
     }
     if !(0.0..=1.0).contains(&tolerance) {
@@ -81,7 +83,9 @@ fn main() -> ExitCode {
     if write_baseline {
         let mut out = String::from("{\n");
         let mut sections = Vec::new();
-        for (key, path) in [("stress", &stress_path), ("ingest", &ingest_path)] {
+        for (key, path) in
+            [("stress", &stress_path), ("ingest", &ingest_path), ("planning", &planning_path)]
+        {
             if let Some(path) = path {
                 match std::fs::read_to_string(path) {
                     Ok(text) => {
@@ -122,6 +126,7 @@ fn main() -> ExitCode {
     for (key, path, diff) in [
         ("stress", &stress_path, diff_stress as fn(&Json, &Json, f64) -> _),
         ("ingest", &ingest_path, diff_ingest as fn(&Json, &Json, f64) -> _),
+        ("planning", &planning_path, diff_planning as fn(&Json, &Json, f64) -> _),
     ] {
         let Some(path) = path else { continue };
         let Some(base_section) = baseline.get(key) else {

@@ -9,6 +9,7 @@
 
 pub mod diff;
 pub mod ingest;
+pub mod planning;
 pub mod stress;
 
 use mirabel_core::VisualOffer;

@@ -1,0 +1,383 @@
+//! S4 — the live planning subsystem under day-ahead churn.
+//!
+//! Measures the three claims the `Planner` tentpole makes:
+//!
+//! * **incrementality** — after a full day-ahead plan over
+//!   `config.offers` offers, a single-offer ingest must re-plan in a
+//!   small fraction of the full-replan time (the `1/P` dirty-partition
+//!   win; the CI gate demands ≥ 10×);
+//! * **determinism** — the partitioned plan and the balance-view frame
+//!   a session renders from it are bit-for-bit identical at every
+//!   worker thread count (plan hashes and frame hashes compared across
+//!   `config.threads`);
+//! * **quality** — per-scheduler imbalance before/after over the same
+//!   pool, so the "partition shares barely cost quality" claim stays a
+//!   measured number instead of folklore.
+//!
+//! Everything is deterministic in the config seed. The `planning`
+//! binary wraps this module for CI
+//! (`cargo run --release -p mirabel-bench --bin planning`).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use mirabel_dw::LiveWarehouse;
+use mirabel_flexoffer::{FlexOffer, FlexOfferId};
+use mirabel_scheduling::{IncrementalPlanner, PlannerConfig, Scheduler, SchedulerKind};
+use mirabel_session::{Command, ConcurrentPool, PlanningParams};
+use mirabel_timeseries::{SlotSpan, TimeSeries, TimeSlot};
+use mirabel_workload::curves::{base_load_curve, res_supply_curve};
+use mirabel_workload::{
+    generate_offer_pool, generate_offers, OfferConfig, Population, PopulationConfig,
+};
+
+/// Shape of one planning bench run; `Default` is the CI configuration
+/// (10 000 offers — the acceptance-criteria scale).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanningConfig {
+    /// Day-ahead offer pool size.
+    pub offers: usize,
+    /// Partition count `P` for the incremental planner.
+    pub partitions: usize,
+    /// Worker thread counts to cross-check determinism at (timings are
+    /// reported per count too).
+    pub threads: Vec<usize>,
+    /// Prosumers in the generating population.
+    pub prosumers: usize,
+    /// Measurement rounds; the best round is reported (standard
+    /// best-of-N damping for shared CI runners).
+    pub repeats: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for PlanningConfig {
+    fn default() -> Self {
+        PlanningConfig {
+            offers: 10_000,
+            partitions: 64,
+            threads: vec![1, 2, 4, 8],
+            prosumers: 400,
+            repeats: 3,
+            seed: 0x91A7,
+        }
+    }
+}
+
+/// Imbalance quality of one scheduler over the shared pool.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedulerQuality {
+    /// Scheduler display name.
+    pub name: &'static str,
+    /// L1 imbalance of the zero plan (kWh).
+    pub before_l1: f64,
+    /// L1 imbalance of the plan (kWh).
+    pub after_l1: f64,
+    /// L2² imbalance of the plan (kWh²) — the scheduling objective,
+    /// the one hill-climb is monotone in.
+    pub after_l2_sq: f64,
+    /// Relative L1 improvement in `0..=1`.
+    pub improvement: f64,
+}
+
+/// Full-replan wall-clock at one worker thread count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanningRunStats {
+    /// Worker threads.
+    pub threads: usize,
+    /// Best-of-N full re-plan latency, milliseconds.
+    pub full_replan_ms: f64,
+}
+
+/// The full harness report, serializable as `BENCH_planning.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanningReport {
+    /// The configuration that produced the report.
+    pub config: PlanningConfig,
+    /// `std::thread::available_parallelism()` on the measuring host.
+    pub available_parallelism: usize,
+    /// Best-of-N single-threaded full re-plan, milliseconds.
+    pub full_replan_ms: f64,
+    /// Best-of-N single-threaded incremental re-plan after a
+    /// single-offer ingest, milliseconds.
+    pub incremental_replan_ms: f64,
+    /// `full_replan_ms / incremental_replan_ms` — the headline gate.
+    pub incremental_speedup: f64,
+    /// `true` iff plan hashes matched across every thread count.
+    pub determinism_ok: bool,
+    /// `true` iff session balance-view frame hashes matched across
+    /// every thread count.
+    pub frame_hash_stable: bool,
+    /// Full-replan latency per worker thread count.
+    pub runs: Vec<PlanningRunStats>,
+    /// Imbalance quality per scheduler kind.
+    pub schedulers: Vec<SchedulerQuality>,
+}
+
+impl PlanningReport {
+    /// Serializes the report as pretty-printed JSON (hand-rolled; the
+    /// offline build has no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"bench\": \"planning\",\n");
+        out.push_str(&format!("  \"offers\": {},\n", self.config.offers));
+        out.push_str(&format!("  \"partitions\": {},\n", self.config.partitions));
+        out.push_str(&format!("  \"prosumers\": {},\n", self.config.prosumers));
+        out.push_str(&format!("  \"repeats\": {},\n", self.config.repeats.max(1)));
+        out.push_str(&format!("  \"seed\": {},\n", self.config.seed));
+        out.push_str(&format!("  \"available_parallelism\": {},\n", self.available_parallelism));
+        out.push_str(&format!("  \"full_replan_ms\": {:.3},\n", self.full_replan_ms));
+        out.push_str(&format!("  \"incremental_replan_ms\": {:.4},\n", self.incremental_replan_ms));
+        out.push_str(&format!("  \"incremental_speedup\": {:.1},\n", self.incremental_speedup));
+        out.push_str(&format!("  \"determinism_ok\": {},\n", self.determinism_ok));
+        out.push_str(&format!("  \"frame_hash_stable\": {},\n", self.frame_hash_stable));
+        out.push_str("  \"runs\": [\n");
+        for (i, r) in self.runs.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"threads\": {}, \"full_replan_ms\": {:.3}}}{}\n",
+                r.threads,
+                r.full_replan_ms,
+                if i + 1 < self.runs.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"schedulers\": [\n");
+        for (i, s) in self.schedulers.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"before_l1\": {:.1}, \"after_l1\": {:.1}, \
+                 \"after_l2_sq\": {:.1}, \"improvement\": {:.4}}}{}\n",
+                s.name,
+                s.before_l1,
+                s.after_l1,
+                s.after_l2_sq,
+                s.improvement,
+                if i + 1 < self.schedulers.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// The planning window the pool lands in: one day after the history day.
+fn window_start() -> TimeSlot {
+    TimeSlot::EPOCH + SlotSpan::days(1)
+}
+
+/// The shared fixture: a population, its accepted day-ahead pool, and a
+/// realistic surplus target scaled to the pool's capacity.
+fn fixture(config: &PlanningConfig) -> (Population, Vec<FlexOffer>, TimeSeries) {
+    let population = Population::generate(&PopulationConfig {
+        size: config.prosumers,
+        seed: config.seed ^ 0xBEEF,
+        household_share: 0.8,
+    });
+    let pool = generate_offer_pool(&population, config.offers, config.seed, window_start());
+    // RES surplus over base load on an RES-rich day (share > 1 — the
+    // regime where shifting flexible load matters), scaled so the pool
+    // could in principle absorb it (otherwise every scheduler saturates
+    // at max energy and the quality comparison degenerates).
+    let res = res_supply_curve(window_start(), 1, config.prosumers, 1.3, config.seed);
+    let base = base_load_curve(window_start(), 1, config.prosumers, config.seed);
+    let raw = (&res - &base).clamp_non_negative();
+    let capacity: f64 = pool.iter().map(|fo| fo.total_max_energy().kwh()).sum();
+    let scale = if raw.sum() > 1e-9 { capacity * 0.6 / raw.sum() } else { 1.0 };
+    (population, pool, raw.scale(scale))
+}
+
+fn planner_with(
+    kind: SchedulerKind,
+    config: &PlanningConfig,
+    threads: usize,
+    pool: &[FlexOffer],
+    target: &TimeSeries,
+) -> IncrementalPlanner<SchedulerKind> {
+    let mut p = IncrementalPlanner::new(
+        kind,
+        PlannerConfig { partitions: config.partitions, threads, seed: config.seed },
+        target.clone(),
+    );
+    p.insert(pool.iter().cloned());
+    p
+}
+
+/// One extra accepted offer, id disjoint from the pool, for the
+/// single-ingest probe (`round` varies the id so each repeat dirties a
+/// fresh partition).
+fn extra_offer(population: &Population, config: &PlanningConfig, round: u64) -> FlexOffer {
+    let template = generate_offers(
+        population,
+        &OfferConfig { window_start: window_start(), days: 1, seed: config.seed ^ 0x5151 },
+    )
+    .into_iter()
+    .next()
+    .expect("population generates offers");
+    let mut fo = template.with_id(FlexOfferId(90_000_000 + round));
+    fo.accept().expect("generated offers are Offered");
+    fo
+}
+
+/// Runs the full harness.
+pub fn run_planning(config: &PlanningConfig) -> PlanningReport {
+    let (population, pool, target) = fixture(config);
+    let repeats = config.repeats.max(1);
+
+    // 1. Full vs incremental re-plan, single-threaded (the pure
+    //    algorithmic ratio, uncontaminated by parallel speedup).
+    let mut full_ms = f64::INFINITY;
+    for _ in 0..repeats {
+        let mut p = planner_with(SchedulerKind::Greedy, config, 1, &pool, &target);
+        let t0 = Instant::now();
+        p.full_replan().expect("full replan");
+        full_ms = full_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let mut incremental_ms = f64::INFINITY;
+    let mut standing = planner_with(SchedulerKind::Greedy, config, 1, &pool, &target);
+    standing.full_replan().expect("full replan");
+    for round in 0..repeats {
+        standing.insert([extra_offer(&population, config, round as u64)]);
+        let t0 = Instant::now();
+        let out = standing.replan().expect("incremental replan");
+        incremental_ms = incremental_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(out.replanned, 1, "single ingest must dirty one partition");
+    }
+
+    // 2. Determinism across thread counts: plan hashes...
+    let mut determinism_ok = true;
+    let mut reference_hash = None;
+    let mut runs = Vec::new();
+    for &threads in &config.threads {
+        let mut best = f64::INFINITY;
+        for _ in 0..repeats {
+            let mut p = planner_with(SchedulerKind::Greedy, config, threads.max(1), &pool, &target);
+            let t0 = Instant::now();
+            p.full_replan().expect("full replan");
+            best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+            match reference_hash {
+                None => reference_hash = Some(p.plan_hash()),
+                Some(r) => determinism_ok &= r == p.plan_hash(),
+            }
+        }
+        runs.push(PlanningRunStats { threads, full_replan_ms: best });
+    }
+
+    // 3. ...and balance-view frame hashes through the full serving
+    //    stack: warehouse → session → Command::Plan → rendered frame.
+    let history = generate_offers(
+        &population,
+        &OfferConfig { days: 1, seed: config.seed ^ 0x715, ..Default::default() },
+    );
+    let live = LiveWarehouse::new(population.clone(), &history);
+    live.ingest(&pool);
+    let snapshot = live.publish();
+    let mut frame_hash_stable = true;
+    let mut reference_frame = None;
+    for &threads in &config.threads {
+        let pool_srv = ConcurrentPool::new(Arc::clone(snapshot.warehouse()));
+        let id = pool_srv.open();
+        pool_srv.apply(
+            id,
+            Command::SetPlanningParams(PlanningParams {
+                partitions: config.partitions,
+                threads: threads.max(1),
+                seed: config.seed,
+                ..Default::default()
+            }),
+        );
+        let planned = pool_srv.apply(id, Command::Plan).expect("session open");
+        let hash = pool_srv
+            .apply(id, Command::Render)
+            .and_then(|o| o.frame_hash())
+            .unwrap_or_else(|| panic!("plan rejected: {planned:?}"));
+        match reference_frame {
+            None => reference_frame = Some(hash),
+            Some(r) => frame_hash_stable &= r == hash,
+        }
+    }
+
+    // 4. Per-scheduler quality over the identical pool + target.
+    let schedulers = SchedulerKind::ALL
+        .into_iter()
+        .map(|kind| {
+            let mut p = planner_with(kind, config, 1, &pool, &target);
+            let out = p.full_replan().expect("quality replan");
+            SchedulerQuality {
+                name: kind.name(),
+                before_l1: out.report.before.l1,
+                after_l1: out.report.after.l1,
+                after_l2_sq: out.report.after.l2_sq,
+                improvement: mirabel_scheduling::Imbalance::improvement(
+                    &out.report.before,
+                    &out.report.after,
+                ),
+            }
+        })
+        .collect();
+
+    PlanningReport {
+        config: config.clone(),
+        available_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        full_replan_ms: full_ms,
+        incremental_replan_ms: incremental_ms,
+        incremental_speedup: if incremental_ms > 0.0 { full_ms / incremental_ms } else { 0.0 },
+        determinism_ok,
+        frame_hash_stable,
+        runs,
+        schedulers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> PlanningConfig {
+        PlanningConfig {
+            offers: 600,
+            partitions: 16,
+            threads: vec![1, 2],
+            prosumers: 60,
+            repeats: 1,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn harness_reports_consistent_gates() {
+        let report = run_planning(&tiny());
+        assert!(report.determinism_ok, "plan hashes diverged across threads");
+        assert!(report.frame_hash_stable, "frame hashes diverged across threads");
+        assert!(report.full_replan_ms > 0.0 && report.incremental_replan_ms > 0.0);
+        assert!(
+            report.incremental_speedup > 1.0,
+            "incremental replan must beat full replan ({} vs {})",
+            report.incremental_replan_ms,
+            report.full_replan_ms
+        );
+        assert_eq!(report.runs.len(), 2);
+        assert_eq!(report.schedulers.len(), 4);
+        // Greedy must beat both baselines on the shared pool (in the
+        // L2² objective every scheduler minimises).
+        let after = |name: &str| {
+            report.schedulers.iter().find(|s| s.name.contains(name)).expect(name).after_l2_sq
+        };
+        assert!(after("greedy") < after("earliest"));
+        assert!(after("greedy") < after("random"));
+        // Hill-climb is monotone only against its own per-partition
+        // share objective — globally the cross-partition terms can move
+        // either way — but it must still clearly beat the baselines.
+        assert!(after("hill-climb") < after("earliest"));
+        assert!(after("hill-climb") < after("random"));
+
+        let json = report.to_json();
+        assert!(json.contains("\"bench\": \"planning\""));
+        assert!(json.contains("\"determinism_ok\": true"));
+        assert!(json.contains("\"frame_hash_stable\": true"));
+        assert!(json.contains("\"incremental_speedup\""));
+        mirabel_bench_json_sanity(&json);
+    }
+
+    fn mirabel_bench_json_sanity(json: &str) {
+        crate::diff::Json::parse(json).expect("report must parse with the gate's own reader");
+    }
+}

@@ -34,5 +34,7 @@
 mod enterprise;
 mod spot;
 
-pub use enterprise::{Enterprise, EnterpriseConfig, EnterpriseError, PlanReport};
+pub use enterprise::{
+    forecast_surplus_target, Enterprise, EnterpriseConfig, EnterpriseError, PlanReport,
+};
 pub use spot::SpotMarket;

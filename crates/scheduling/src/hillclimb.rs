@@ -99,6 +99,18 @@ impl Scheduler for HillClimbScheduler {
         out.scheduler = self.name();
         Ok(out)
     }
+
+    /// Combines the partition seed with the scheduler's own (see
+    /// [`crate::Scheduler::schedule_seeded`]); the move budget is kept.
+    fn schedule_seeded(
+        &self,
+        offers: &mut [FlexOffer],
+        target: &TimeSeries,
+        seed: u64,
+    ) -> Result<SchedulingReport, SchedulingError> {
+        HillClimbScheduler { iterations: self.iterations, seed: self.seed.wrapping_add(seed) }
+            .schedule(offers, target)
+    }
 }
 
 #[cfg(test)]

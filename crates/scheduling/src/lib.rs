@@ -56,12 +56,14 @@
 mod greedy;
 mod hillclimb;
 mod objective;
+pub mod partition;
 mod random;
 mod simple;
 
 pub use greedy::GreedyScheduler;
 pub use hillclimb::HillClimbScheduler;
 pub use objective::{best_fill, load_curve, Imbalance, SchedulingError, SchedulingReport};
+pub use partition::{IncrementalPlanner, PlanOutcome, PlannerConfig};
 pub use random::RandomScheduler;
 pub use simple::EarliestStartScheduler;
 
@@ -77,6 +79,11 @@ use mirabel_timeseries::TimeSeries;
 /// * skip offers that are not in the `Accepted` or `Assigned` state;
 /// * be deterministic for a fixed configuration (stochastic schedulers
 ///   take explicit seeds).
+///
+/// Schedulers are partition-agnostic: the [`IncrementalPlanner`] calls
+/// [`Scheduler::schedule_seeded`] once per dirty partition with a seed
+/// derived from the partition index, so a stochastic scheduler produces
+/// the same per-partition plan no matter which worker thread runs it.
 pub trait Scheduler {
     /// Human-readable name used in reports and benchmark output.
     fn name(&self) -> &'static str;
@@ -88,4 +95,121 @@ pub trait Scheduler {
         offers: &mut [FlexOffer],
         target: &TimeSeries,
     ) -> Result<SchedulingReport, SchedulingError>;
+
+    /// [`Scheduler::schedule`] with an explicit seed mixed in — the
+    /// entry point the partitioned planner uses so each partition gets
+    /// its own deterministic randomness. Deterministic schedulers
+    /// ignore the seed (the default); stochastic ones must combine it
+    /// with their own.
+    fn schedule_seeded(
+        &self,
+        offers: &mut [FlexOffer],
+        target: &TimeSeries,
+        seed: u64,
+    ) -> Result<SchedulingReport, SchedulingError> {
+        let _ = seed;
+        self.schedule(offers, target)
+    }
+}
+
+/// A wire-encodable choice of scheduler — what a session command or a
+/// bench config carries instead of a trait object. Implements
+/// [`Scheduler`] by enum dispatch, so an
+/// [`IncrementalPlanner<SchedulerKind>`] is a concrete, clonable,
+/// serializable planning engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// [`EarliestStartScheduler`] — the flexibility-ignoring baseline.
+    Earliest,
+    /// [`RandomScheduler`] — the seeded random baseline.
+    Random,
+    /// [`GreedyScheduler`] — best-start greedy with residual tracking.
+    #[default]
+    Greedy,
+    /// [`HillClimbScheduler`] (default move budget) on top of greedy.
+    HillClimb,
+}
+
+impl SchedulerKind {
+    /// Every kind, in quality order (baselines first).
+    pub const ALL: [SchedulerKind; 4] = [
+        SchedulerKind::Earliest,
+        SchedulerKind::Random,
+        SchedulerKind::Greedy,
+        SchedulerKind::HillClimb,
+    ];
+
+    /// The stable token used in command scripts and bench JSON.
+    pub fn token(self) -> &'static str {
+        match self {
+            SchedulerKind::Earliest => "earliest",
+            SchedulerKind::Random => "random",
+            SchedulerKind::Greedy => "greedy",
+            SchedulerKind::HillClimb => "hillclimb",
+        }
+    }
+
+    /// Parses a [`SchedulerKind::token`].
+    pub fn from_token(s: &str) -> Option<SchedulerKind> {
+        SchedulerKind::ALL.into_iter().find(|k| k.token() == s)
+    }
+}
+
+impl Scheduler for SchedulerKind {
+    fn name(&self) -> &'static str {
+        match self {
+            SchedulerKind::Earliest => EarliestStartScheduler.name(),
+            SchedulerKind::Random => RandomScheduler::default().name(),
+            SchedulerKind::Greedy => GreedyScheduler.name(),
+            SchedulerKind::HillClimb => HillClimbScheduler::default().name(),
+        }
+    }
+
+    fn schedule(
+        &self,
+        offers: &mut [FlexOffer],
+        target: &TimeSeries,
+    ) -> Result<SchedulingReport, SchedulingError> {
+        self.schedule_seeded(offers, target, 0)
+    }
+
+    fn schedule_seeded(
+        &self,
+        offers: &mut [FlexOffer],
+        target: &TimeSeries,
+        seed: u64,
+    ) -> Result<SchedulingReport, SchedulingError> {
+        match self {
+            SchedulerKind::Earliest => EarliestStartScheduler.schedule_seeded(offers, target, seed),
+            SchedulerKind::Random => {
+                RandomScheduler::default().schedule_seeded(offers, target, seed)
+            }
+            SchedulerKind::Greedy => GreedyScheduler.schedule_seeded(offers, target, seed),
+            SchedulerKind::HillClimb => {
+                HillClimbScheduler::default().schedule_seeded(offers, target, seed)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod kind_tests {
+    use super::*;
+
+    #[test]
+    fn tokens_round_trip() {
+        for kind in SchedulerKind::ALL {
+            assert_eq!(SchedulerKind::from_token(kind.token()), Some(kind));
+        }
+        assert_eq!(SchedulerKind::from_token("simulated-annealing"), None);
+        assert_eq!(SchedulerKind::default(), SchedulerKind::Greedy);
+    }
+
+    #[test]
+    fn names_match_the_inner_schedulers() {
+        assert_eq!(SchedulerKind::Greedy.name(), GreedyScheduler.name());
+        assert_eq!(SchedulerKind::Earliest.name(), EarliestStartScheduler.name());
+        assert_eq!(SchedulerKind::Random.name(), RandomScheduler::default().name());
+        assert_eq!(SchedulerKind::HillClimb.name(), HillClimbScheduler::default().name());
+    }
 }

@@ -72,6 +72,18 @@ impl Scheduler for RandomScheduler {
         }
         Ok(report(self.name(), offers, target, assigned, skipped))
     }
+
+    /// Combines the partition seed with the scheduler's own, so every
+    /// partition of an [`crate::IncrementalPlanner`] draws an
+    /// independent — but deterministic — stream.
+    fn schedule_seeded(
+        &self,
+        offers: &mut [FlexOffer],
+        target: &TimeSeries,
+        seed: u64,
+    ) -> Result<SchedulingReport, SchedulingError> {
+        RandomScheduler { seed: self.seed.wrapping_add(seed) }.schedule(offers, target)
+    }
 }
 
 #[cfg(test)]

@@ -20,9 +20,11 @@ use std::fmt;
 use mirabel_aggregation::AggregationParams;
 use mirabel_dw::LoaderQuery;
 use mirabel_flexoffer::ProsumerId;
+use mirabel_scheduling::SchedulerKind;
 use mirabel_timeseries::{Granularity, TimeSlot};
 use mirabel_viz::Point;
 
+use crate::planner::PlanningParams;
 use crate::tab::ViewMode;
 
 /// One serializable interaction with a [`crate::Session`].
@@ -71,6 +73,11 @@ pub enum Command {
     /// Apply the current aggregation parameters to the active tab,
     /// replacing its offers with aggregates + untouched originals.
     Aggregate,
+    /// Tune the parameters of the live planning subsystem.
+    SetPlanningParams(PlanningParams),
+    /// Run (or incrementally refresh) the day-ahead plan against the
+    /// session's current warehouse snapshot and update the balance tab.
+    Plan,
     /// Evaluate an MDX-lite query against the warehouse (Figure 5).
     Mdx(String),
     /// Render the Figure 6 dashboard for an absolute interval.
@@ -117,6 +124,8 @@ impl Command {
             Command::Load { .. } => "load",
             Command::SetAggregationParams(_) => "set-aggregation",
             Command::Aggregate => "aggregate",
+            Command::SetPlanningParams(_) => "set-planning",
+            Command::Plan => "plan",
             Command::Mdx(_) => "mdx",
             Command::Dashboard { .. } => "dashboard",
             Command::Render => "render",
@@ -132,6 +141,7 @@ impl Command {
             Command::DragEnd(p) => format!("drag-end {} {}", p.x, p.y),
             Command::SetMode(ViewMode::Basic) => "set-mode basic".into(),
             Command::SetMode(ViewMode::Profile) => "set-mode profile".into(),
+            Command::SetMode(ViewMode::Balance) => "set-mode balance".into(),
             Command::ShowSelectionInNewTab => "show-selection".into(),
             Command::RemoveSelected => "remove-selected".into(),
             Command::ActivateTab(i) => format!("activate-tab {i}"),
@@ -157,6 +167,15 @@ impl Command {
                 },
             ),
             Command::Aggregate => "aggregate".into(),
+            Command::SetPlanningParams(p) => format!(
+                "set-planning {} {} {} {} {}",
+                p.scheduler.token(),
+                p.partitions,
+                p.threads,
+                p.horizon,
+                p.seed,
+            ),
+            Command::Plan => "plan".into(),
             Command::Mdx(q) => format!("mdx {}", single_line(q)),
             Command::Dashboard { from, to, granularity } => format!(
                 "dashboard {} {} {}",
@@ -191,6 +210,7 @@ impl Command {
             "set-mode" => match rest {
                 "basic" => Ok(Command::SetMode(ViewMode::Basic)),
                 "profile" => Ok(Command::SetMode(ViewMode::Profile)),
+                "balance" => Ok(Command::SetMode(ViewMode::Balance)),
                 _ => Err(err("unknown mode")),
             },
             "show-selection" => Ok(Command::ShowSelectionInNewTab),
@@ -238,6 +258,36 @@ impl Command {
                 Ok(Command::SetAggregationParams(params))
             }
             "aggregate" => Ok(Command::Aggregate),
+            "set-planning" => {
+                let mut parts = rest.split_whitespace();
+                let scheduler = SchedulerKind::from_token(
+                    parts.next().ok_or_else(|| err("missing scheduler"))?,
+                )
+                .ok_or_else(|| err("unknown scheduler"))?;
+                let mut usize_arg = |name: &str| -> Result<usize, CommandParseError> {
+                    parts
+                        .next()
+                        .ok_or_else(|| err(&format!("missing {name}")))?
+                        .parse()
+                        .map_err(|_| err(&format!("bad {name}")))
+                };
+                let partitions = usize_arg("partitions")?;
+                let threads = usize_arg("threads")?;
+                let horizon = usize_arg("horizon")?;
+                let seed: u64 = parts
+                    .next()
+                    .ok_or_else(|| err("missing seed"))?
+                    .parse()
+                    .map_err(|_| err("bad seed"))?;
+                Ok(Command::SetPlanningParams(PlanningParams {
+                    scheduler,
+                    partitions,
+                    threads,
+                    horizon,
+                    seed,
+                }))
+            }
+            "plan" => Ok(Command::Plan),
             "mdx" => Ok(Command::Mdx(rest.to_string())),
             "dashboard" => {
                 let mut parts = rest.split_whitespace();
@@ -369,6 +419,16 @@ mod tests {
             Command::SetAggregationParams(AggregationParams::new(8, 2).with_max_group_size(5)),
             Command::SetAggregationParams(AggregationParams::default()),
             Command::Aggregate,
+            Command::SetMode(ViewMode::Balance),
+            Command::SetPlanningParams(PlanningParams::default()),
+            Command::SetPlanningParams(PlanningParams {
+                scheduler: SchedulerKind::HillClimb,
+                partitions: 64,
+                threads: 4,
+                horizon: 192,
+                seed: 99,
+            }),
+            Command::Plan,
             Command::Mdx("SELECT {[Time].Children} ON COLUMNS FROM [FlexOffers]".into()),
             Command::Dashboard {
                 from: TimeSlot::new(48),
@@ -441,6 +501,10 @@ mod tests {
             "load 0 x - t",
             "dashboard 0 96 fortnight",
             "set-aggregation 4",
+            "set-planning",
+            "set-planning simulated-annealing 8 1 96 0",
+            "set-planning greedy 8 1 96",
+            "set-planning greedy 8 one 96 0",
         ] {
             assert!(Command::decode(bad).is_err(), "{bad:?} should fail");
         }
@@ -454,5 +518,7 @@ mod tests {
         assert!(Command::RemoveSelected.is_mutating());
         assert!(Command::Aggregate.is_mutating());
         assert!(Command::DragStart(Point::new(0.0, 0.0)).is_mutating());
+        assert!(Command::Plan.is_mutating());
+        assert!(Command::SetPlanningParams(PlanningParams::default()).is_mutating());
     }
 }

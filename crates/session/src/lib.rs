@@ -25,6 +25,7 @@
 //! | Figure 9 — profile view | [`views::profile`] |
 //! | Figure 10 — on-the-fly information | [`views::tooltip`], [`Command::PointerMove`] |
 //! | Figure 11 — aggregation tools | [`tools`], [`Command::Aggregate`] |
+//! | Figure 1 — day-ahead balance | [`views::balance`], [`Command::Plan`], [`planner`] |
 //!
 //! Performance model ("rendering does not freeze the tool"): each
 //! [`Tab`] caches its layout, scene, spatial index and id lookup keyed
@@ -39,6 +40,7 @@
 pub mod command;
 pub mod concurrent;
 pub mod outcome;
+pub mod planner;
 pub mod pool;
 pub mod session;
 pub mod tab;
@@ -48,7 +50,8 @@ pub mod visual;
 
 pub use command::{encode_script, parse_script, Command, CommandParseError};
 pub use concurrent::ConcurrentPool;
-pub use outcome::{AggregationStats, Outcome, SelectionDelta};
+pub use outcome::{AggregationStats, Outcome, PlanStats, SelectionDelta};
+pub use planner::PlanningParams;
 pub use pool::{SessionId, SessionPool};
 pub use session::{Session, SessionStats};
 pub use tab::{FrameRef, Selection, Tab, ViewMode};

@@ -32,6 +32,48 @@ pub struct AggregationStats {
     pub flexibility_loss_slots: i64,
 }
 
+/// What a [`Command::Plan`](crate::Command::Plan) did — the numbers the
+/// balance panel reports next to the Figure 1 curves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanStats {
+    /// Monotone plan generation (the balance tab's cache key third).
+    pub generation: u64,
+    /// Warehouse epoch the plan was made against.
+    pub epoch: u64,
+    /// First slot of the planned window.
+    pub window_start: mirabel_timeseries::TimeSlot,
+    /// Partitions re-planned by this command (0 = nothing was dirty).
+    pub replanned: usize,
+    /// Total partitions in the plan.
+    pub partitions: usize,
+    /// Offers holding a schedule after the command.
+    pub assigned: usize,
+    /// Offers skipped (not in a schedulable state).
+    pub skipped: usize,
+    /// L1 imbalance of the zero plan against the target (kWh).
+    pub before_l1: f64,
+    /// L1 imbalance of the plan against the target (kWh).
+    pub after_l1: f64,
+}
+
+impl PlanStats {
+    /// `true` when this command re-planned at least one partition.
+    pub fn did_work(&self) -> bool {
+        self.replanned > 0
+    }
+
+    /// Fraction of partitions re-planned, in `0..=1` — the incremental
+    /// win in one number (an ingest of one offer at 32 partitions
+    /// reports 1/32).
+    pub fn replanned_fraction(&self) -> f64 {
+        if self.partitions == 0 {
+            0.0
+        } else {
+            self.replanned as f64 / self.partitions as f64
+        }
+    }
+}
+
 /// The structured response to one [`crate::Command`].
 ///
 /// Every command yields exactly one `Outcome`; invalid commands yield
@@ -71,6 +113,9 @@ pub enum Outcome {
         /// Ids that were selected before aggregation cleared them.
         deselected: Vec<FlexOfferId>,
     },
+    /// A day-ahead plan ran (or incrementally refreshed); the balance
+    /// tab now shows generation [`PlanStats::generation`].
+    Planned(PlanStats),
     /// An MDX query evaluated to a pivot table.
     Pivot(PivotTable),
     /// A rendered, versioned frame.
@@ -106,6 +151,14 @@ impl Outcome {
     pub fn frame_hash(&self) -> Option<u64> {
         match self {
             Outcome::Frame(f) => Some(f.hash),
+            _ => None,
+        }
+    }
+
+    /// The plan stats, if this outcome carries them.
+    pub fn plan(&self) -> Option<PlanStats> {
+        match self {
+            Outcome::Planned(stats) => Some(*stats),
             _ => None,
         }
     }

@@ -1,0 +1,464 @@
+//! The live planning subsystem: day-ahead scheduling as a session
+//! citizen.
+//!
+//! The paper's Section 2 loop — forecast demand, then shift flexible
+//! load under the RES curve (Figure 1) — ran only offline until now.
+//! This module makes it live:
+//!
+//! * the **target** comes from [`mirabel_forecast`] over warehouse
+//!   history ([`day_ahead_target`]): the signed flexible-load envelope
+//!   of every past-day offer is summed per slot and extrapolated one
+//!   horizon ahead with a daily-seasonal forecaster;
+//! * the **plan** is held by an [`IncrementalPlanner`] over
+//!   partitioned offer sets: when the session's warehouse moves to a new
+//!   epoch, [`plan`] diffs the loadable offer set against the standing
+//!   plan and re-plans **only the dirty partitions** (ingests and
+//!   withdrawals touch `1/P` of the set each; a day tick moves the
+//!   window and re-plans everything);
+//! * the **view** is the balance tab ([`crate::views::balance`]),
+//!   refreshed with the planned offers and curves after every
+//!   [`Command::Plan`](crate::Command::Plan), cache-keyed by
+//!   `(revision, epoch, plan_generation)`.
+//!
+//! Everything here is deterministic in (warehouse snapshot, params):
+//! replaying the same command log over the same epochs reproduces the
+//! same plan, the same generation counters and the same frame hashes at
+//! any worker thread count.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use mirabel_dw::{Dimension, LoaderQuery, Warehouse};
+use mirabel_flexoffer::FlexOfferId;
+use mirabel_forecast::{Forecaster, SeasonalNaive, SeasonalSmoothing};
+use mirabel_scheduling::{IncrementalPlanner, PlannerConfig, SchedulerKind};
+use mirabel_timeseries::{SlotSpan, TimeSeries, TimeSlot};
+
+use crate::outcome::PlanStats;
+use crate::views::balance::BalanceData;
+use crate::visual::VisualOffer;
+
+/// Upper bound on a [`Command::SetPlanningParams`](crate::Command)
+/// horizon, in slots (a week of quarter-hours): planning work is
+/// O(offers × flexibility × horizon) and the command arrives over a
+/// wire, so the work one of them can request must be bounded.
+pub const MAX_PLAN_HORIZON: usize = 96 * 7;
+
+/// Upper bound on partitions/threads a wire-decodable
+/// [`PlanningParams`] may request.
+pub const MAX_PLAN_UNITS: usize = 4_096;
+
+/// Serializable planning parameters — the
+/// [`Command::SetPlanningParams`](crate::Command::SetPlanningParams)
+/// payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanningParams {
+    /// Which scheduler plans the partitions.
+    pub scheduler: SchedulerKind,
+    /// Partition count `P` (dirty granularity; see
+    /// [`mirabel_scheduling::PlannerConfig`]).
+    pub partitions: usize,
+    /// Worker threads for a re-plan (wall-clock only — never the plan).
+    pub threads: usize,
+    /// Planning horizon in slots (one day = 96).
+    pub horizon: usize,
+    /// Master seed for stochastic schedulers.
+    pub seed: u64,
+}
+
+impl Default for PlanningParams {
+    fn default() -> Self {
+        PlanningParams {
+            scheduler: SchedulerKind::Greedy,
+            partitions: 32,
+            threads: 1,
+            horizon: 96,
+            seed: 0x91AB,
+        }
+    }
+}
+
+impl PlanningParams {
+    /// `true` when the wire-decoded values are within the served bounds.
+    pub fn is_sane(&self) -> bool {
+        (1..=MAX_PLAN_HORIZON).contains(&self.horizon)
+            && (1..=MAX_PLAN_UNITS).contains(&self.partitions)
+            && (1..=MAX_PLAN_UNITS).contains(&self.threads)
+    }
+
+    /// `true` when switching from `self` to `other` invalidates a
+    /// standing plan (anything but the thread count changes the plan).
+    fn invalidates(&self, other: &PlanningParams) -> bool {
+        PlanningParams { threads: 0, ..*self } != PlanningParams { threads: 0, ..*other }
+    }
+}
+
+/// First slot of the planning window: the civil day of the **newest
+/// arrival** (the maximum `earliest_start` across the snapshot). Day
+/// ticks move the plan forward through the offers they admit: once the
+/// first offers for "tomorrow" are ingested, the window jumps to that
+/// day and the next [`plan`] re-plans in full. (The last *hierarchy*
+/// day would overshoot — offers crossing midnight extend the hierarchy
+/// past their arrival day.) An empty warehouse falls back to the last
+/// hierarchy day.
+pub fn plan_window_start(dw: &Warehouse) -> TimeSlot {
+    match dw.offers().iter().map(|fo| fo.earliest_start()).max() {
+        Some(newest) => {
+            let day = newest.index().div_euclid(mirabel_timeseries::SLOTS_PER_DAY);
+            TimeSlot::new(day * mirabel_timeseries::SLOTS_PER_DAY)
+        }
+        None => {
+            let days = dw.hierarchy(Dimension::Time).at_level(3).count().max(1);
+            dw.first_day() + SlotSpan::days(days as i64 - 1)
+        }
+    }
+}
+
+/// The forecast residual target for `[window_start, window_start +
+/// horizon)`: the per-slot **net** flexible-demand envelope (each
+/// offer's maximum energies anchored at its earliest start, signed by
+/// direction — consumption positive, production negative, exactly like
+/// [`mirabel_scheduling::load_curve`] signs the plan) over all history
+/// before `window_start`, extrapolated with a daily-seasonal
+/// forecaster and clamped at zero. Signing matters: an unsigned
+/// envelope would set a target the net scheduled load can never reach
+/// whenever production offers are in the mix.
+///
+/// Forecaster choice follows the forecast crate's own guidance: with
+/// less than two full seasons of history, [`SeasonalSmoothing`] has
+/// seen each phase at most once and washes the diurnal shape into a
+/// flat level (which a temporally clustered offer pool cannot track),
+/// so short histories use [`SeasonalNaive`] — repeat yesterday — and
+/// longer ones the smoother. With no history the target is zero;
+/// schedulers then place only mandatory minimums.
+pub fn day_ahead_target(dw: &Warehouse, window_start: TimeSlot, horizon: usize) -> TimeSeries {
+    let first = dw.first_day();
+    let span = (window_start - first).count();
+    if span <= 0 {
+        return TimeSeries::zeros(window_start, horizon);
+    }
+    let mut history = TimeSeries::zeros(first, span as usize);
+    for fo in dw.offers() {
+        if fo.earliest_start() >= window_start {
+            continue;
+        }
+        let sign = fo.direction().sign();
+        for (i, slice) in fo.profile().slices().iter().enumerate() {
+            history.add_at(fo.earliest_start() + SlotSpan::slots(i as i64), sign * slice.max.kwh());
+        }
+    }
+    let season = mirabel_timeseries::SLOTS_PER_DAY as usize;
+    let forecast = if history.len() < 2 * season {
+        SeasonalNaive::daily().forecast(&history, horizon)
+    } else {
+        SeasonalSmoothing::daily().forecast(&history, horizon)
+    };
+    forecast.clamp_non_negative()
+}
+
+/// The session's standing plan: the incremental core plus the keys that
+/// decide whether the next [`plan`] call can diff instead of rebuild.
+#[derive(Debug, Clone)]
+pub struct SessionPlanner {
+    params: PlanningParams,
+    window_start: TimeSlot,
+    planner: IncrementalPlanner<SchedulerKind>,
+    /// Carries generations across planner rebuilds (changed params, a
+    /// moved window), keeping [`SessionPlanner::generation`] monotone
+    /// for the whole session — the property the balance tab's
+    /// `(revision, epoch, plan_generation)` cache key needs.
+    generation_offset: u64,
+}
+
+impl SessionPlanner {
+    /// Plan generation of the standing plan: monotone across the whole
+    /// session, bumped by every re-plan that did work.
+    pub fn generation(&self) -> u64 {
+        self.generation_offset + self.planner.generation()
+    }
+
+    /// First slot of the planned window.
+    pub fn window_start(&self) -> TimeSlot {
+        self.window_start
+    }
+}
+
+/// Everything a successful [`plan`] call hands back to the session: the
+/// stats for the [`Outcome`](crate::Outcome), plus the refreshed
+/// balance-tab content.
+#[derive(Debug)]
+pub struct PlanUpdate {
+    /// The structured outcome payload.
+    pub stats: PlanStats,
+    /// The planned offers (with schedules), sorted by id — the balance
+    /// tab's offer set, so hover and selection work like any other view.
+    pub offers: Vec<VisualOffer>,
+    /// The curves the balance view draws.
+    pub balance: BalanceData,
+}
+
+/// Runs (or incrementally refreshes) the day-ahead plan against the
+/// session's current warehouse snapshot.
+///
+/// When `state` already holds a plan with the same parameters and the
+/// same planning window, the loadable offer set is **diffed** against
+/// it: new offers are inserted, vanished ones removed, and only the
+/// partitions they land in are re-planned — the epoch-aware incremental
+/// path. A moved window (day tick), a changed target or changed
+/// parameters rebuild/re-plan in full.
+pub fn plan(
+    dw: &Arc<Warehouse>,
+    epoch: u64,
+    params: PlanningParams,
+    state: &mut Option<SessionPlanner>,
+) -> Result<PlanUpdate, String> {
+    let window_start = plan_window_start(dw);
+    let horizon = params.horizon.max(1);
+    let target = day_ahead_target(dw, window_start, horizon);
+    let window = LoaderQuery::window(window_start, window_start + SlotSpan::slots(horizon as i64));
+
+    // The loadable working set, still Arc-shared with the snapshot:
+    // only genuinely *new* arrivals are cloned further down, so a
+    // one-offer epoch costs one clone, not a re-clone of the window.
+    let shared = dw.load_shared(&window);
+    let desired_ids: HashSet<FlexOfferId> = shared.iter().map(|fo| fo.id()).collect();
+
+    let reusable = state
+        .as_ref()
+        .is_some_and(|s| !s.params.invalidates(&params) && s.window_start == window_start);
+    if !reusable {
+        let generation_offset = state.as_ref().map_or(0, SessionPlanner::generation);
+        let config = PlannerConfig {
+            partitions: params.partitions,
+            threads: params.threads,
+            seed: params.seed,
+        };
+        *state = Some(SessionPlanner {
+            params,
+            window_start,
+            planner: IncrementalPlanner::new(params.scheduler, config, target.clone()),
+            generation_offset,
+        });
+    }
+    let s = state.as_mut().expect("planner state just ensured");
+    s.params = params;
+    s.planner.set_threads(params.threads);
+
+    // Epoch delta → dirty partitions: insert arrivals, drop withdrawals.
+    let known: HashSet<FlexOfferId> = s.planner.ids().into_iter().collect();
+    let gone: Vec<FlexOfferId> =
+        known.iter().copied().filter(|id| !desired_ids.contains(id)).collect();
+    s.planner.remove(&gone);
+    s.planner.insert(shared.iter().filter(|fo| !known.contains(&fo.id())).map(|arc| {
+        // Cloned out of the immutable snapshot (a session never mutates
+        // a warehouse); freshly offered → accepted, anything already
+        // past that state keeps its status (the scheduler skips
+        // rejected/executed).
+        let mut fo = (**arc).clone();
+        let _ = fo.accept();
+        fo
+    }));
+    s.planner.set_target(target);
+
+    let outcome = s.planner.replan().map_err(|e| format!("planning failed: {e}"))?;
+
+    let offers: Vec<VisualOffer> =
+        s.planner.offers().into_iter().map(|fo| VisualOffer::plain(fo.clone())).collect();
+    let balance =
+        BalanceData { target: s.planner.target().clone(), scheduled: s.planner.scheduled_load() };
+    let stats = PlanStats {
+        generation: s.generation(),
+        epoch,
+        window_start,
+        replanned: outcome.replanned,
+        partitions: outcome.partitions,
+        assigned: outcome.report.assigned,
+        skipped: outcome.report.skipped,
+        before_l1: outcome.report.before.l1,
+        after_l1: outcome.report.after.l1,
+    };
+    Ok(PlanUpdate { stats, offers, balance })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirabel_dw::LiveWarehouse;
+    use mirabel_flexoffer::FlexOffer;
+    use mirabel_workload::{generate_offers, OfferConfig, Population, PopulationConfig};
+
+    fn setup() -> (Population, Vec<FlexOffer>, Vec<FlexOffer>) {
+        let pop = Population::generate(&PopulationConfig {
+            size: 60,
+            seed: 0x91A4,
+            household_share: 0.8,
+        });
+        let day0 = generate_offers(&pop, &OfferConfig { days: 1, seed: 1, ..Default::default() });
+        let day1: Vec<FlexOffer> = generate_offers(
+            &pop,
+            &OfferConfig { days: 1, seed: 2, window_start: TimeSlot::EPOCH + SlotSpan::days(1) },
+        )
+        .into_iter()
+        .enumerate()
+        .map(|(i, fo)| fo.with_id(FlexOfferId(10_000 + i as u64)))
+        .collect();
+        (pop, day0, day1)
+    }
+
+    #[test]
+    fn plan_window_follows_the_newest_arrival_day() {
+        let (pop, day0, day1) = setup();
+        let live = LiveWarehouse::new(pop, &day0);
+        let snap = live.snapshot();
+        assert_eq!(plan_window_start(snap.warehouse()), snap.warehouse().first_day());
+        // A day tick alone does not move the window — there is nothing
+        // to plan on the new day yet.
+        live.advance_day();
+        let snap = live.publish();
+        assert_eq!(plan_window_start(snap.warehouse()), snap.warehouse().first_day());
+        // Tomorrow's first arrivals move it.
+        live.ingest(&day1);
+        let snap = live.publish();
+        assert_eq!(
+            plan_window_start(snap.warehouse()),
+            snap.warehouse().first_day() + SlotSpan::days(1)
+        );
+    }
+
+    #[test]
+    fn target_is_forecast_from_history_and_zero_without() {
+        let (pop, day0, _) = setup();
+        let live = LiveWarehouse::new(pop, &day0);
+        let snap = live.snapshot();
+        // Day 0 is the window: no history → zero target.
+        let t0 = day_ahead_target(snap.warehouse(), snap.warehouse().first_day(), 96);
+        assert_eq!(t0.len(), 96);
+        assert_eq!(t0.sum(), 0.0);
+        // With day 1 as the window, day 0 is history: the forecast
+        // carries its diurnal envelope into day 1.
+        live.advance_day();
+        let snap = live.publish();
+        let start = snap.warehouse().first_day() + SlotSpan::days(1);
+        let t1 = day_ahead_target(snap.warehouse(), start, 96);
+        assert_eq!(t1.start(), start);
+        assert!(t1.sum() > 0.0, "history must produce a non-trivial target");
+        assert!(t1.min().unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn incremental_plan_touches_few_partitions_per_ingest() {
+        let (pop, day0, day1) = setup();
+        let live = LiveWarehouse::new(pop, &day0);
+        live.advance_day();
+        let (head, tail) = day1.split_at(day1.len() - 1);
+        live.ingest(head);
+        let snap = live.publish();
+
+        let mut state = None;
+        let params = PlanningParams::default();
+        let up = plan(snap.warehouse(), snap.epoch(), params, &mut state).unwrap();
+        assert!(up.stats.replanned > 0 && up.stats.replanned <= up.stats.partitions);
+        assert!(up.stats.assigned > 0);
+        let g1 = up.stats.generation;
+
+        // One more offer arrives: exactly one partition goes dirty.
+        live.ingest(tail);
+        let snap = live.publish();
+        let up = plan(snap.warehouse(), snap.epoch(), params, &mut state).unwrap();
+        assert_eq!(up.stats.replanned, 1, "single ingest must re-plan one partition");
+        assert!(up.stats.generation > g1);
+
+        // No delta → reporting no-op.
+        let up = plan(snap.warehouse(), snap.epoch(), params, &mut state).unwrap();
+        assert_eq!(up.stats.replanned, 0);
+    }
+
+    #[test]
+    fn withdrawal_dirties_and_drops_offers() {
+        let (pop, day0, day1) = setup();
+        let live = LiveWarehouse::new(pop, &day0);
+        live.advance_day();
+        live.ingest(&day1);
+        let snap = live.publish();
+        let mut state = None;
+        let params = PlanningParams::default();
+        let up = plan(snap.warehouse(), snap.epoch(), params, &mut state).unwrap();
+        let planned = up.offers.len();
+
+        let victims: Vec<FlexOfferId> = day1.iter().take(3).map(FlexOffer::id).collect();
+        live.withdraw(&victims);
+        let snap = live.publish();
+        let up = plan(snap.warehouse(), snap.epoch(), params, &mut state).unwrap();
+        assert_eq!(up.offers.len(), planned - 3);
+        assert!(up.stats.replanned >= 1 && up.stats.replanned <= 3);
+        for v in &victims {
+            assert!(up.offers.iter().all(|o| o.id() != *v));
+        }
+    }
+
+    #[test]
+    fn changed_params_rebuild_but_thread_count_does_not() {
+        let (pop, day0, day1) = setup();
+        let live = LiveWarehouse::new(pop, &day0);
+        live.advance_day();
+        live.ingest(&day1);
+        let snap = live.publish();
+        let mut state = None;
+        let params = PlanningParams::default();
+        plan(snap.warehouse(), snap.epoch(), params, &mut state).unwrap();
+
+        // Thread count change: plan untouched (0 replanned).
+        let up = plan(
+            snap.warehouse(),
+            snap.epoch(),
+            PlanningParams { threads: 4, ..params },
+            &mut state,
+        )
+        .unwrap();
+        assert_eq!(up.stats.replanned, 0);
+
+        // Scheduler change: full rebuild.
+        let up = plan(
+            snap.warehouse(),
+            snap.epoch(),
+            PlanningParams { scheduler: SchedulerKind::Earliest, threads: 4, ..params },
+            &mut state,
+        )
+        .unwrap();
+        assert!(up.stats.replanned > 0);
+    }
+
+    #[test]
+    fn plans_are_identical_at_any_thread_count() {
+        let (pop, day0, day1) = setup();
+        let live = LiveWarehouse::new(pop, &day0);
+        live.advance_day();
+        live.ingest(&day1);
+        let snap = live.publish();
+        let mut reference: Option<Vec<(FlexOfferId, Option<TimeSlot>)>> = None;
+        for threads in [1, 2, 4, 8] {
+            let mut state = None;
+            let params = PlanningParams {
+                threads,
+                scheduler: SchedulerKind::HillClimb,
+                ..Default::default()
+            };
+            let up = plan(snap.warehouse(), snap.epoch(), params, &mut state).unwrap();
+            let plan_keys: Vec<(FlexOfferId, Option<TimeSlot>)> =
+                up.offers.iter().map(|o| (o.id(), o.offer.schedule().map(|s| s.start()))).collect();
+            match &reference {
+                None => reference = Some(plan_keys),
+                Some(r) => assert_eq!(*r, plan_keys, "{threads} threads diverged"),
+            }
+        }
+    }
+
+    #[test]
+    fn sanity_bounds() {
+        assert!(PlanningParams::default().is_sane());
+        assert!(!PlanningParams { horizon: 0, ..Default::default() }.is_sane());
+        assert!(!PlanningParams { horizon: MAX_PLAN_HORIZON + 1, ..Default::default() }.is_sane());
+        assert!(!PlanningParams { partitions: 0, ..Default::default() }.is_sane());
+        assert!(!PlanningParams { threads: MAX_PLAN_UNITS + 1, ..Default::default() }.is_sane());
+    }
+}

@@ -8,7 +8,8 @@ use mirabel_viz::Rect;
 
 use crate::command::Command;
 use crate::outcome::{AggregationStats, Outcome, SelectionDelta};
-use crate::tab::{FrameRef, Tab};
+use crate::planner::{self, PlanningParams, SessionPlanner};
+use crate::tab::{FrameRef, Tab, ViewMode};
 use crate::tools::AggregationTools;
 use crate::views::dashboard::{self, DashboardOptions};
 use crate::views::tooltip;
@@ -53,6 +54,8 @@ pub struct Session {
     tabs: Vec<Tab>,
     active: usize,
     tools: AggregationTools,
+    planning: Option<PlanningParams>,
+    planner: Option<SessionPlanner>,
     stats: SessionStats,
     log: Option<Vec<Command>>,
 }
@@ -137,6 +140,17 @@ impl Session {
     /// Command/rejection counters.
     pub fn stats(&self) -> SessionStats {
         self.stats
+    }
+
+    /// The planning parameters the next [`Command::Plan`] will use.
+    pub fn planning_params(&self) -> PlanningParams {
+        self.planning.unwrap_or_default()
+    }
+
+    /// Plan generation of the session's standing plan (0 before the
+    /// first [`Command::Plan`]); monotone for the whole session.
+    pub fn plan_generation(&self) -> u64 {
+        self.planner.as_ref().map_or(0, SessionPlanner::generation)
     }
 
     /// Total frames built across the session's live tabs — compare with
@@ -420,6 +434,44 @@ impl Session {
             Command::SetAggregationParams(params) => {
                 self.tools.set_params(params);
                 Outcome::Ack
+            }
+            Command::SetPlanningParams(params) => {
+                if !params.is_sane() {
+                    return Outcome::Rejected(format!("bad planning params {params:?}"));
+                }
+                self.planning = Some(params);
+                Outcome::Ack
+            }
+            Command::Plan => {
+                let Some(dw) = self.warehouse.clone() else {
+                    return Outcome::Rejected("session has no warehouse".into());
+                };
+                let params = self.planning.unwrap_or_default();
+                match planner::plan(&dw, self.epoch, params, &mut self.planner) {
+                    Ok(update) => {
+                        let stats = update.stats;
+                        let balance = Arc::new(update.balance);
+                        let offers: Arc<[VisualOffer]> = update.offers.into();
+                        match self.tabs.iter().position(Tab::is_balance) {
+                            Some(i) => {
+                                let epoch = self.epoch;
+                                let tab = self.tab_mut(i).expect("position is in range");
+                                tab.offers = offers;
+                                tab.set_balance(balance, stats.generation);
+                                tab.stamp_epoch(epoch);
+                                self.active = i;
+                            }
+                            None => {
+                                let mut tab = Tab::new("Balance", offers);
+                                tab.mode = ViewMode::Balance;
+                                tab.set_balance(balance, stats.generation);
+                                self.open_tab(tab);
+                            }
+                        }
+                        Outcome::Planned(stats)
+                    }
+                    Err(e) => Outcome::Rejected(e),
+                }
             }
             Command::Aggregate => {
                 let Some(tab) = self.tabs.get_mut(self.active) else {

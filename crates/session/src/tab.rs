@@ -17,6 +17,7 @@ use mirabel_dw::{LoaderQuery, Warehouse};
 use mirabel_flexoffer::FlexOfferId;
 use mirabel_viz::{GridIndex, Point, Scene};
 
+use crate::views::balance::{self, BalanceData};
 use crate::views::basic::{self, BasicViewOptions};
 use crate::views::profile;
 use crate::views::DetailLayout;
@@ -25,8 +26,9 @@ use crate::visual::VisualOffer;
 /// Grid-index cell size (pixels) for cached pointer probes.
 const GRID_CELL: f64 = 32.0;
 
-/// Which detail view a tab shows ("There are two flex-offer views
-/// currently supported: the basic and the profile view").
+/// Which detail view a tab shows: the paper's basic and profile views,
+/// plus the balance view the live planning subsystem adds (Figure 1 as
+/// a tab).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ViewMode {
     /// The Figure 8 basic view.
@@ -34,6 +36,9 @@ pub enum ViewMode {
     Basic,
     /// The Figure 9 profile view.
     Profile,
+    /// The Figure 1 balance view (target vs. scheduled load) — only
+    /// meaningful on a tab carrying [`Tab::balance`] data.
+    Balance,
 }
 
 /// An insertion-ordered selection with O(1) membership tests — the
@@ -140,11 +145,13 @@ pub struct FrameRef {
     pub hash: u64,
 }
 
-/// Everything derived from a tab's offers at one (revision, epoch) key.
+/// Everything derived from a tab's offers at one
+/// `(revision, epoch, plan_generation)` key.
 #[derive(Debug, Clone)]
 pub(crate) struct CachedFrame {
     pub(crate) revision: u64,
     pub(crate) epoch: u64,
+    pub(crate) plan_generation: u64,
     pub(crate) layout: Arc<DetailLayout>,
     pub(crate) scene: Arc<Scene>,
     pub(crate) index: Arc<GridIndex>,
@@ -178,6 +185,11 @@ pub struct Tab {
     /// The loader query this tab tracks across warehouse epochs, if any.
     /// Cleared when a command pins the tab's data (aggregation, removal).
     query: Option<LoaderQuery>,
+    /// The plan curves of a balance tab (`None` on ordinary tabs).
+    balance: Option<Arc<BalanceData>>,
+    /// Plan generation the balance data was produced at — the third
+    /// half of the cache key, bumped by the session after every re-plan.
+    plan_generation: u64,
     revision: u64,
     epoch: u64,
     cache: Mutex<CacheSlot>,
@@ -193,6 +205,8 @@ impl Clone for Tab {
             drag_origin: self.drag_origin,
             options: self.options,
             query: self.query,
+            balance: self.balance.clone(),
+            plan_generation: self.plan_generation,
             revision: self.revision,
             epoch: self.epoch,
             cache: Mutex::new(CacheSlot {
@@ -214,10 +228,35 @@ impl Tab {
             drag_origin: None,
             options: BasicViewOptions::default(),
             query: None,
+            balance: None,
+            plan_generation: 0,
             revision: 0,
             epoch: 0,
             cache: Mutex::new(CacheSlot::default()),
         }
+    }
+
+    /// The plan curves of a balance tab, if this is one.
+    pub fn balance(&self) -> Option<&Arc<BalanceData>> {
+        self.balance.as_ref()
+    }
+
+    /// `true` when this tab is the session's balance view.
+    pub fn is_balance(&self) -> bool {
+        self.balance.is_some()
+    }
+
+    /// Plan generation this tab's balance data was produced at.
+    pub fn plan_generation(&self) -> u64 {
+        self.plan_generation
+    }
+
+    /// Installs fresh plan curves and generation (the session calls
+    /// this after every successful re-plan). The cached frame goes
+    /// stale through the `plan_generation` third of its key.
+    pub(crate) fn set_balance(&mut self, data: Arc<BalanceData>, generation: u64) {
+        self.balance = Some(data);
+        self.plan_generation = generation;
     }
 
     /// Marks this tab as a **live view** of `query`: when the session's
@@ -342,14 +381,23 @@ impl Tab {
     pub(crate) fn cached(&self) -> CachedFrame {
         let mut slot = self.cache.lock().expect("tab cache");
         if let Some(c) = &slot.frame {
-            if c.revision == self.revision && c.epoch == self.epoch {
+            if c.revision == self.revision
+                && c.epoch == self.epoch
+                && c.plan_generation == self.plan_generation
+            {
                 return c.clone();
             }
         }
         let layout = DetailLayout::compute(&self.offers, self.options.width, self.options.height);
-        let scene = match self.mode {
-            ViewMode::Basic => basic::build_with_layout(&self.offers, &self.options, &layout),
-            ViewMode::Profile => profile::build_with_layout(&self.offers, &self.options, &layout),
+        let scene = match (self.mode, &self.balance) {
+            (ViewMode::Balance, Some(data)) => balance::build(&self.offers, data, &self.options),
+            (ViewMode::Balance, None) => {
+                balance::build(&self.offers, &BalanceData::empty(), &self.options)
+            }
+            (ViewMode::Basic, _) => basic::build_with_layout(&self.offers, &self.options, &layout),
+            (ViewMode::Profile, _) => {
+                profile::build_with_layout(&self.offers, &self.options, &layout)
+            }
         };
         let index = GridIndex::build(&scene, GRID_CELL);
         let mut lookup = HashMap::with_capacity(self.offers.len());
@@ -360,6 +408,7 @@ impl Tab {
         let frame = CachedFrame {
             revision: self.revision,
             epoch: self.epoch,
+            plan_generation: self.plan_generation,
             layout: Arc::new(layout),
             scene: Arc::new(scene),
             index: Arc::new(index),
@@ -429,6 +478,38 @@ mod tests {
             assert_eq!(tab.index_of(v.id()), Some(i));
         }
         assert_eq!(tab.index_of(FlexOfferId(999)), None);
+    }
+
+    #[test]
+    fn plan_generation_is_the_third_cache_key() {
+        use crate::views::balance::BalanceData;
+        use mirabel_timeseries::TimeSeries;
+        let mut tab = Tab::new("balance", offers(6));
+        tab.mode = ViewMode::Balance;
+        let placeholder = tab.frame();
+        assert_eq!(tab.frame_builds(), 1);
+
+        let data = BalanceData {
+            target: TimeSeries::constant(TimeSlot::EPOCH, 8, 2.0),
+            scheduled: TimeSeries::constant(TimeSlot::EPOCH, 8, 1.0),
+        };
+        tab.set_balance(Arc::new(data.clone()), 1);
+        let planned = tab.frame();
+        assert_eq!(tab.frame_builds(), 2, "new generation must invalidate");
+        assert_ne!(placeholder.hash, planned.hash);
+
+        // Same generation, same revision, same epoch → cached.
+        let again = tab.frame();
+        assert_eq!(tab.frame_builds(), 2);
+        assert!(Arc::ptr_eq(&planned.scene, &again.scene));
+
+        // A re-plan with identical curves but a new generation rebuilds
+        // (the session cannot inspect curve equality cheaply).
+        tab.set_balance(Arc::new(data), 2);
+        let _ = tab.frame();
+        assert_eq!(tab.frame_builds(), 3);
+        assert_eq!(tab.plan_generation(), 2);
+        assert!(tab.is_balance());
     }
 
     #[test]

@@ -1,0 +1,346 @@
+//! The balance view: the paper's Figure 1 as a live tab.
+//!
+//! Three layers over one time axis:
+//!
+//! * the **imbalance band** — a grey per-slot band between the target
+//!   and the scheduled load, so the residual the enterprise must trade
+//!   on the spot market is visible at a glance;
+//! * the **scheduled load**, stacked per offer and tagged with the
+//!   offer ids, so hover and rectangle selection hit-test exactly like
+//!   the basic and profile views (Figure 10's on-the-fly information
+//!   works over plan segments too);
+//! * the **target curve** (forecast RES surplus) as a red step line —
+//!   the curve flexible demand is shifted under.
+//!
+//! The scene is a pure function of `(offers, data, options)`; the tab
+//! caches it keyed by `(revision, epoch, plan_generation)` so pointer
+//! storms between re-plans build exactly one frame.
+
+use mirabel_timeseries::{SlotSpan, TimeSeries};
+use mirabel_viz::{palette, LinearScale, Node, Point, Rect, Scene, Style};
+
+use crate::views::basic::BasicViewOptions;
+use crate::visual::{slot_label, VisualOffer};
+
+/// The curves one plan generation produced (see
+/// [`crate::planner::plan`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BalanceData {
+    /// The forecast residual target for the planning window.
+    pub target: TimeSeries,
+    /// The merged scheduled load of the current plan.
+    pub scheduled: TimeSeries,
+}
+
+impl BalanceData {
+    /// An empty window (used by balance tabs before the first plan).
+    pub fn empty() -> BalanceData {
+        BalanceData {
+            target: TimeSeries::zeros(mirabel_timeseries::TimeSlot::EPOCH, 0),
+            scheduled: TimeSeries::zeros(mirabel_timeseries::TimeSlot::EPOCH, 0),
+        }
+    }
+}
+
+/// Margins shared with the detail views.
+const LEFT: f64 = 56.0;
+const RIGHT_PAD: f64 = 12.0;
+const TOP: f64 = 26.0;
+const BOTTOM_PAD: f64 = 32.0;
+
+/// Builds the balance scene. `offers` are the planned offers (sorted by
+/// id); per-offer stacked segments are tagged with the offer ids for
+/// hit-testing.
+pub fn build(offers: &[VisualOffer], data: &BalanceData, options: &BasicViewOptions) -> Scene {
+    let mut scene = Scene::new(options.width, options.height);
+    let len = data.target.len();
+    if len == 0 {
+        scene.push(Node::text_centered(
+            Point::new(options.width / 2.0, options.height / 2.0),
+            "no plan yet - run the plan command",
+            10.0,
+            palette::AXIS,
+        ));
+        return scene;
+    }
+    let t0 = data.target.start();
+    let bottom = options.height - BOTTOM_PAD;
+    let scale_x = LinearScale::new(
+        (t0.index() as f64, (t0.index() + len as i64) as f64),
+        (LEFT, options.width - RIGHT_PAD),
+    );
+
+    // Pass 1 — stack the per-offer scheduled segments (in input/id
+    // order) as values, so the vertical domain can cover everything
+    // that will be drawn. Scheduled load is *signed*: production
+    // offers stack downward through zero, and an intermediate stack
+    // top can exceed both curves' net values — so the domain must come
+    // from the actual segment extremes, not from `|values|`.
+    struct Segment {
+        tag: u64,
+        aggregated: bool,
+        slot: usize,
+        lo: f64,
+        hi: f64,
+    }
+    let mut stack_base = vec![0.0f64; len];
+    let mut segments: Vec<Segment> = Vec::new();
+    let (mut min_v, mut max_v) = (0.0f64, 1.0f64);
+    for v in offers {
+        let Some(schedule) = v.offer.schedule() else { continue };
+        let sign = v.offer.direction().sign();
+        for (slot, energy) in schedule.iter() {
+            let i = (slot - t0).count();
+            if i < 0 || i as usize >= len {
+                continue;
+            }
+            let kwh = sign * energy.kwh();
+            if kwh.abs() <= f64::EPSILON {
+                continue;
+            }
+            let i = i as usize;
+            let base = stack_base[i];
+            stack_base[i] += kwh;
+            min_v = min_v.min(base.min(stack_base[i]));
+            max_v = max_v.max(base.max(stack_base[i]));
+            segments.push(Segment {
+                tag: v.id().raw(),
+                aggregated: v.aggregated,
+                slot: i,
+                lo: base.min(stack_base[i]),
+                hi: base.max(stack_base[i]),
+            });
+        }
+    }
+    for (slot, t) in data.target.iter() {
+        let s = data.scheduled.get_or_zero(slot);
+        min_v = min_v.min(t.min(s));
+        max_v = max_v.max(t.max(s));
+    }
+    let scale_y = LinearScale::new((min_v * 1.05, max_v * 1.05), (bottom, TOP));
+
+    // Imbalance band: the gap between target and net scheduled load
+    // per slot, grey.
+    let mut band = Vec::with_capacity(len);
+    for (i, (slot, t)) in data.target.iter().enumerate() {
+        let s = data.scheduled.get_or_zero(slot);
+        let (lo, hi) = if t <= s { (t, s) } else { (s, t) };
+        if hi - lo <= f64::EPSILON {
+            continue;
+        }
+        let x0 = scale_x.map((t0.index() + i as i64) as f64);
+        let x1 = scale_x.map((t0.index() + i as i64 + 1) as f64);
+        let y_hi = scale_y.map(hi);
+        let y_lo = scale_y.map(lo);
+        band.push(Node::rect(
+            Rect::new(x0, y_hi, x1 - x0, y_lo - y_hi),
+            Style::filled(palette::TIME_FLEX),
+        ));
+    }
+    scene.push(Node::group("imbalance-band", band));
+
+    // Pass 2 — emit the stacked segments, tagged with their offer ids
+    // so the pointer finds them.
+    let mut bars = Vec::with_capacity(segments.len());
+    for seg in &segments {
+        let fill = if seg.aggregated { palette::AGGREGATED } else { palette::NON_AGGREGATED };
+        let x0 = scale_x.map((t0.index() + seg.slot as i64) as f64);
+        let x1 = scale_x.map((t0.index() + seg.slot as i64 + 1) as f64);
+        let y0 = scale_y.map(seg.hi);
+        let y1 = scale_y.map(seg.lo);
+        bars.push(Node::tagged_rect(
+            Rect::new(x0, y0, (x1 - x0).max(0.5), (y1 - y0).max(0.5)),
+            Style::filled(fill).with_stroke(palette::BACKGROUND, 0.3),
+            seg.tag,
+        ));
+    }
+    scene.push(Node::group("scheduled-load", bars));
+
+    // Target step line on top.
+    let mut steps = Vec::with_capacity(len * 2);
+    let style = Style::stroked(palette::SCHEDULE, 1.5);
+    let mut prev_y: Option<f64> = None;
+    for (i, &t) in data.target.values().iter().enumerate() {
+        let x0 = scale_x.map((t0.index() + i as i64) as f64);
+        let x1 = scale_x.map((t0.index() + i as i64 + 1) as f64);
+        let y = scale_y.map(t);
+        if let Some(py) = prev_y {
+            steps.push(Node::line(Point::new(x0, py), Point::new(x0, y), style.clone()));
+        }
+        steps.push(Node::line(Point::new(x0, y), Point::new(x1, y), style.clone()));
+        prev_y = Some(y);
+    }
+    scene.push(Node::group("target-curve", steps));
+
+    // Axes: time below, kWh left.
+    let mut axis = vec![Node::line(
+        Point::new(LEFT, bottom),
+        Point::new(options.width - RIGHT_PAD, bottom),
+        Style::stroked(palette::AXIS, 1.0),
+    )];
+    let multi_day = len > 96;
+    let tick_every = (len / 8).max(1);
+    for i in (0..=len).step_by(tick_every) {
+        let slot = t0 + SlotSpan::slots(i as i64);
+        let x = scale_x.map((t0.index() + i as i64) as f64);
+        axis.push(Node::line(
+            Point::new(x, bottom),
+            Point::new(x, bottom + 4.0),
+            Style::stroked(palette::AXIS, 1.0),
+        ));
+        axis.push(Node::text_centered(
+            Point::new(x, bottom + 16.0),
+            slot_label(slot, multi_day),
+            8.0,
+            palette::AXIS,
+        ));
+    }
+    let mut y_ticks = vec![min_v, 0.0, max_v];
+    y_ticks.dedup_by(|a, b| (*a - *b).abs() < f64::EPSILON);
+    for v in y_ticks {
+        let y = scale_y.map(v);
+        axis.push(Node::line(
+            Point::new(LEFT - 4.0, y),
+            Point::new(LEFT, y),
+            Style::stroked(palette::AXIS, 1.0),
+        ));
+        axis.push(Node::text(Point::new(4.0, y + 3.0), format!("{v:.0} kWh"), 8.0, palette::AXIS));
+    }
+    if min_v < 0.0 {
+        // Zero line, so downward (production) stacks read correctly.
+        let y = scale_y.map(0.0);
+        axis.push(Node::line(
+            Point::new(LEFT, y),
+            Point::new(options.width - RIGHT_PAD, y),
+            Style::stroked(palette::AXIS, 0.5).with_dash(vec![2.0, 3.0]),
+        ));
+    }
+    scene.push(Node::group("axes", axis));
+
+    let residual = (&data.target - &data.scheduled).l1_norm();
+    scene.push(Node::text(
+        Point::new(8.0, 16.0),
+        format!(
+            "Balance view - {} planned offers, residual L1 {residual:.1} kWh",
+            offers.iter().filter(|v| v.offer.schedule().is_some()).count(),
+        ),
+        11.0,
+        palette::AXIS,
+    ));
+    scene
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirabel_flexoffer::{Energy, FlexOffer, Schedule};
+    use mirabel_timeseries::TimeSlot;
+
+    fn planned_offer(id: u64, start: i64, wh: i64) -> VisualOffer {
+        let mut fo = FlexOffer::builder(id, id)
+            .earliest_start(TimeSlot::new(start))
+            .latest_start(TimeSlot::new(start + 4))
+            .slices(2, Energy::ZERO, Energy::from_wh(wh))
+            .build()
+            .unwrap();
+        fo.accept().unwrap();
+        fo.assign(Schedule::new(TimeSlot::new(start), vec![Energy::from_wh(wh); 2])).unwrap();
+        VisualOffer::plain(fo)
+    }
+
+    fn data() -> BalanceData {
+        BalanceData {
+            target: TimeSeries::from_fn(TimeSlot::new(0), 16, |i| (i % 5) as f64),
+            scheduled: TimeSeries::from_fn(TimeSlot::new(0), 16, |i| ((i + 1) % 4) as f64),
+        }
+    }
+
+    #[test]
+    fn scene_tags_every_scheduled_offer() {
+        let offers = vec![planned_offer(1, 0, 2_000), planned_offer(2, 2, 1_500)];
+        let scene = build(&offers, &data(), &BasicViewOptions::default());
+        let tags = scene.tags();
+        assert!(tags.contains(&1) && tags.contains(&2), "{tags:?}");
+        let texts = scene.texts().join("\n");
+        assert!(texts.contains("Balance view"));
+        assert!(texts.contains("kWh"));
+    }
+
+    #[test]
+    fn empty_plan_renders_placeholder() {
+        let scene = build(&[], &BalanceData::empty(), &BasicViewOptions::default());
+        assert!(scene.texts().iter().any(|t| t.contains("no plan yet")));
+    }
+
+    #[test]
+    fn identical_inputs_hash_identically_and_differ_on_change() {
+        let offers = vec![planned_offer(1, 0, 2_000)];
+        let a = build(&offers, &data(), &BasicViewOptions::default());
+        let b = build(&offers, &data(), &BasicViewOptions::default());
+        assert_eq!(a.content_hash(), b.content_hash());
+        let other = BalanceData { scheduled: data().scheduled.scale(2.0), ..data() };
+        let c = build(&offers, &other, &BasicViewOptions::default());
+        assert_ne!(a.content_hash(), c.content_hash());
+    }
+
+    fn planned_production(id: u64, start: i64, wh: i64) -> VisualOffer {
+        let mut fo = FlexOffer::builder(id, id)
+            .direction(mirabel_flexoffer::Direction::Production)
+            .earliest_start(TimeSlot::new(start))
+            .latest_start(TimeSlot::new(start + 2))
+            .slices(2, Energy::ZERO, Energy::from_wh(wh))
+            .build()
+            .unwrap();
+        fo.accept().unwrap();
+        fo.assign(Schedule::new(TimeSlot::new(start), vec![Energy::from_wh(wh); 2])).unwrap();
+        VisualOffer::plain(fo)
+    }
+
+    #[test]
+    fn geometry_stays_inside_the_canvas() {
+        let offers: Vec<VisualOffer> =
+            (0..12).map(|i| planned_offer(i + 1, (i % 6) as i64, 1_000)).collect();
+        let options = BasicViewOptions { width: 640.0, height: 360.0, selection_rect: None };
+        let scene = build(&offers, &data(), &options);
+        scene.visit(&mut |node| {
+            if let Node::RectNode { rect, .. } = node {
+                assert!(rect.x >= 0.0 && rect.right() <= 640.0 + 1e-6, "{rect}");
+                assert!(rect.y >= 0.0 && rect.bottom() <= 360.0 + 1e-6, "{rect}");
+                assert!(rect.w >= 0.0 && rect.h >= 0.0);
+            }
+        });
+    }
+
+    #[test]
+    fn production_offers_stack_downward_inside_the_canvas() {
+        // Production dominates some slots: the net scheduled curve goes
+        // negative, and intermediate stack tops exceed the net — the
+        // y-domain must cover both, and a zero line appears.
+        let offers = vec![
+            planned_offer(1, 0, 3_000),
+            planned_production(2, 0, 8_000),
+            planned_offer(3, 1, 2_000),
+            planned_production(4, 2, 5_000),
+        ];
+        let scheduled = TimeSeries::new(TimeSlot::new(0), vec![-5.0, -8.0, -3.0, -5.0]);
+        let d = BalanceData {
+            target: TimeSeries::from_fn(TimeSlot::new(0), 4, |i| i as f64),
+            scheduled,
+        };
+        let options = BasicViewOptions { width: 640.0, height: 360.0, selection_rect: None };
+        let scene = build(&offers, &d, &options);
+        let mut rects = 0;
+        scene.visit(&mut |node| {
+            if let Node::RectNode { rect, .. } = node {
+                rects += 1;
+                assert!(rect.y >= 0.0 && rect.bottom() <= 360.0 + 1e-6, "{rect}");
+                assert!(rect.x >= 0.0 && rect.right() <= 640.0 + 1e-6, "{rect}");
+            }
+        });
+        assert!(rects > 4, "band + stacked segments expected, saw {rects}");
+        let tags = scene.tags();
+        for id in [1, 2, 3, 4] {
+            assert!(tags.contains(&id), "offer {id} segment missing: {tags:?}");
+        }
+    }
+}

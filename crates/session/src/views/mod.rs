@@ -1,6 +1,7 @@
 //! The views of the visual analysis framework.
 
 pub mod annotate;
+pub mod balance;
 pub mod basic;
 pub mod dashboard;
 pub mod map;

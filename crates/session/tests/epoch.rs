@@ -228,3 +228,92 @@ fn concurrent_publishes_and_commands_keep_sessions_consistent() {
         );
     }
 }
+
+#[test]
+fn plan_command_is_epoch_aware_and_incremental() {
+    let (pop, day1, day2) = setup();
+    let live = LiveWarehouse::new(pop, &day1);
+    let pool = ConcurrentPool::new(Arc::clone(live.snapshot().warehouse()));
+    let id = pool.open();
+
+    // Day 2 arrives (minus one straggler), then the session plans it.
+    let (bulk, straggler) = day2.split_at(day2.len() - 1);
+    live.ingest(bulk);
+    pool.publish(&live.publish());
+    let Some(Outcome::Planned(first)) = pool.apply(id, Command::Plan) else {
+        panic!("plan rejected")
+    };
+    assert!(first.assigned > 0);
+    assert!(first.replanned > 0);
+    assert_eq!(first.epoch, 1);
+
+    // The balance tab exists, is active, and serves pointer storms from
+    // one cached frame.
+    let builds = pool
+        .with_session(id, |s| {
+            let tab = s.active_tab().unwrap();
+            assert!(tab.is_balance());
+            assert_eq!(tab.plan_generation(), first.generation);
+            s.frames_built()
+        })
+        .unwrap();
+    for i in 0..20 {
+        pool.apply(id, Command::PointerMove(mirabel_viz::Point::new(i as f64 * 9.0, 200.0)))
+            .unwrap();
+    }
+    pool.apply(id, Command::Render).unwrap();
+    assert_eq!(pool.with_session(id, |s| s.frames_built()).unwrap(), builds + 1);
+
+    // One straggler offer arrives in a new epoch: the re-plan touches a
+    // single partition, and the balance frame moves to the new
+    // generation.
+    live.ingest(straggler);
+    pool.publish(&live.publish());
+    let Some(Outcome::Planned(second)) = pool.apply(id, Command::Plan) else {
+        panic!("plan rejected")
+    };
+    assert_eq!(second.replanned, 1, "single ingest re-plans one partition");
+    assert!(second.generation > first.generation);
+    assert_eq!(second.epoch, 2);
+    assert_eq!(second.assigned, first.assigned + 1);
+
+    // No further delta: planning again reports a no-op.
+    let Some(Outcome::Planned(third)) = pool.apply(id, Command::Plan) else {
+        panic!("plan rejected")
+    };
+    assert_eq!(third.replanned, 0);
+    assert_eq!(third.generation, second.generation);
+}
+
+#[test]
+fn plan_replay_reproduces_frame_hashes() {
+    let (pop, day1, day2) = setup();
+    let live = LiveWarehouse::new(pop, &day1);
+    live.ingest(&day2);
+    let snapshot = live.publish();
+    let dw: Arc<Warehouse> = Arc::clone(snapshot.warehouse());
+
+    let commands = vec![
+        Command::SetCanvas { width: 960.0, height: 540.0 },
+        Command::SetPlanningParams(mirabel_session::PlanningParams {
+            threads: 4,
+            ..Default::default()
+        }),
+        Command::Plan,
+        Command::Render,
+    ];
+    let a = mirabel_session::Session::replay(Some(Arc::clone(&dw)), &commands);
+    let b = mirabel_session::Session::replay(Some(dw), &commands);
+    assert_eq!(a.frame_hashes(), b.frame_hashes());
+    assert_eq!(a.plan_generation(), b.plan_generation());
+    assert!(a.plan_generation() > 0);
+}
+
+#[test]
+fn detached_session_rejects_plan() {
+    let mut s = mirabel_session::Session::detached();
+    assert!(s.handle(Command::Plan).is_rejected());
+    // Insane wire params are rejected before they can cost anything.
+    let bad = mirabel_session::PlanningParams { horizon: 0, ..Default::default() };
+    assert!(s.handle(Command::SetPlanningParams(bad)).is_rejected());
+}

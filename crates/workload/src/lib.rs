@@ -19,7 +19,10 @@
 //!   selections, tab switches, MDX/dashboard/aggregation operations)
 //!   for the concurrent-serving stress harness;
 //! * [`ingest`] — seeded flex-offer arrival/withdrawal/day-tick streams
-//!   (the SAREF4ENER lifecycle) for the live-warehouse ingest harness.
+//!   (the SAREF4ENER lifecycle) for the live-warehouse ingest harness;
+//! * [`planning`] — seeded day-ahead planning scenarios (arrival
+//!   storms, withdrawal churn, forecast-error shocks) for the
+//!   incremental-planning harness.
 //!
 //! Everything is deterministic in the explicit seeds: the same
 //! [`ScenarioConfig`] always regenerates the same scenario, which is what
@@ -44,12 +47,17 @@
 pub mod curves;
 pub mod ingest;
 mod offers;
+pub mod planning;
 mod population;
 mod scenario;
 pub mod trace;
 
 pub use ingest::{generate_ingest_trace, IngestEvent, IngestTraceConfig, IngestTraceStats};
 pub use offers::{generate_offers, OfferConfig, OfferStats};
+pub use planning::{
+    generate_offer_pool, generate_planning_trace, PlanningEvent, PlanningTraceConfig,
+    PlanningTraceStats,
+};
 pub use population::{Population, PopulationConfig, Prosumer};
 pub use scenario::{Scenario, ScenarioConfig};
 pub use trace::{generate_traces, InteractionStep, TraceConfig, UserTrace};

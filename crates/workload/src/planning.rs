@@ -1,0 +1,289 @@
+//! Seeded day-ahead planning scenarios: the stream the live `Planner`
+//! subsystem drinks from.
+//!
+//! Where [`crate::ingest`] models the warehouse's feed, this module
+//! models the *planning* day around it, in the spirit of MGA-style
+//! continuous re-planning (many near-optimal alternatives under
+//! churn): a pool of tomorrow's offers arrives in **storms**, a seeded
+//! fraction is **withdrawn** again before execution, the forecast is
+//! repeatedly **shocked** (forecast-error revisions scale the target),
+//! and each burst ends with a **re-plan point** where the incremental
+//! planner must refresh the day-ahead plan.
+//!
+//! Every trace is fully deterministic in its config, which is what lets
+//! the planning bench assert plan-hash and frame-hash stability across
+//! worker thread counts.
+
+use mirabel_flexoffer::{FlexOffer, FlexOfferId};
+use mirabel_timeseries::{SlotSpan, TimeSlot};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::offers::{generate_offers, OfferConfig};
+use crate::population::Population;
+
+/// One event of a planning trace, in stream order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanningEvent {
+    /// An arrival storm: a batch of tomorrow's offers lands at once.
+    Arrive {
+        /// The arrived offers, ids unique across the whole trace.
+        offers: Vec<FlexOffer>,
+    },
+    /// Withdrawal churn: prosumers retract still-live offers.
+    Withdraw {
+        /// Ids to retract (always previously arrived, never repeated).
+        ids: Vec<FlexOfferId>,
+    },
+    /// A forecast-error shock: the day-ahead target is re-issued scaled
+    /// by `factor` (demand revised up or down).
+    ForecastShock {
+        /// Multiplier applied to the standing target curve.
+        factor: f64,
+    },
+    /// The planner refreshes the day-ahead plan (incrementally).
+    Replan,
+}
+
+/// Shape of a planning trace; `Default` is the CI smoke configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanningTraceConfig {
+    /// Offers in the day-ahead pool (split across the storms).
+    pub offers: usize,
+    /// Arrival storms the pool lands in (each followed by churn and a
+    /// re-plan point).
+    pub storms: usize,
+    /// Fraction of each storm's arrivals withdrawn again, in `[0, 1]`.
+    pub churn_fraction: f64,
+    /// Forecast-error shocks appended after the storms (each followed
+    /// by a re-plan point).
+    pub shocks: usize,
+    /// Master seed (also seeds the offer pool generation).
+    pub seed: u64,
+}
+
+impl Default for PlanningTraceConfig {
+    fn default() -> Self {
+        PlanningTraceConfig { offers: 400, storms: 4, churn_fraction: 0.1, shocks: 2, seed: 0x91A2 }
+    }
+}
+
+/// Summary counters of a generated trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PlanningTraceStats {
+    /// Offers across all arrival storms.
+    pub arrivals: usize,
+    /// Ids across all withdrawal batches.
+    pub withdrawals: usize,
+    /// Forecast shocks.
+    pub shocks: usize,
+    /// Re-plan points.
+    pub replans: usize,
+}
+
+impl PlanningTraceStats {
+    /// Computes the counters of `events`.
+    pub fn of(events: &[PlanningEvent]) -> PlanningTraceStats {
+        let mut s = PlanningTraceStats::default();
+        for e in events {
+            match e {
+                PlanningEvent::Arrive { offers } => s.arrivals += offers.len(),
+                PlanningEvent::Withdraw { ids } => s.withdrawals += ids.len(),
+                PlanningEvent::ForecastShock { .. } => s.shocks += 1,
+                PlanningEvent::Replan => s.replans += 1,
+            }
+        }
+        s
+    }
+}
+
+/// Generates exactly `count` accepted flex-offers for the day starting
+/// at `window_start`, ids `first_id..first_id + count` — the fixed-size
+/// pool the planning bench needs (the per-population generators yield
+/// however many the appliance portfolios produce; this helper loops
+/// them with distinct seeds until the pool is full).
+pub fn generate_offer_pool(
+    population: &Population,
+    count: usize,
+    seed: u64,
+    window_start: TimeSlot,
+) -> Vec<FlexOffer> {
+    let mut pool = Vec::with_capacity(count);
+    let mut round = 0u64;
+    while pool.len() < count {
+        let batch = generate_offers(
+            population,
+            &OfferConfig {
+                window_start,
+                days: 1,
+                seed: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(round),
+            },
+        );
+        assert!(!batch.is_empty(), "a population must generate offers");
+        for fo in batch {
+            if pool.len() >= count {
+                break;
+            }
+            let id = first_pool_id(seed) + pool.len() as u64;
+            let mut fo = fo.with_id(FlexOfferId(id));
+            fo.accept().expect("generated offers are Offered");
+            pool.push(fo);
+        }
+        round += 1;
+    }
+    pool
+}
+
+/// First id [`generate_offer_pool`] assigns for `seed` — stable, so a
+/// trace and its pool agree without threading state around.
+fn first_pool_id(seed: u64) -> u64 {
+    1_000_000 + (seed % 1_000) * 100_000
+}
+
+/// Generates a deterministic day-ahead planning trace for `population`:
+/// `storms` arrival storms over a `config.offers`-offer pool, each
+/// followed by seeded withdrawal churn and a re-plan point, then
+/// `shocks` forecast-error revisions, each re-planned too.
+pub fn generate_planning_trace(
+    population: &Population,
+    config: &PlanningTraceConfig,
+    window_start: TimeSlot,
+) -> Vec<PlanningEvent> {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xDA1AEAD);
+    let mut pool = generate_offer_pool(population, config.offers.max(1), config.seed, window_start);
+    let mut events = Vec::new();
+    let storms = config.storms.max(1);
+    let per_storm = pool.len().div_ceil(storms).max(1);
+    let mut live: Vec<FlexOfferId> = Vec::new();
+    while !pool.is_empty() {
+        let take = per_storm.min(pool.len());
+        let storm: Vec<FlexOffer> = pool.drain(..take).collect();
+        live.extend(storm.iter().map(FlexOffer::id));
+        events.push(PlanningEvent::Arrive { offers: storm });
+
+        let want = (take as f64 * config.churn_fraction.clamp(0.0, 1.0)).round() as usize;
+        let mut ids = Vec::with_capacity(want);
+        for _ in 0..want.min(live.len()) {
+            let idx = rng.gen_range(0..live.len());
+            ids.push(live.swap_remove(idx));
+        }
+        if !ids.is_empty() {
+            events.push(PlanningEvent::Withdraw { ids });
+        }
+        events.push(PlanningEvent::Replan);
+    }
+    for _ in 0..config.shocks {
+        // Revisions stay within ±30 % — the scale of day-ahead load
+        // forecast error, not a blackout.
+        let factor = 0.7 + rng.gen_range(0.0..=0.6);
+        events.push(PlanningEvent::ForecastShock { factor });
+        events.push(PlanningEvent::Replan);
+    }
+    events
+}
+
+/// The window the trace's offers land in, one day after `start` — kept
+/// next to the generator so harnesses agree on geometry.
+pub fn planning_window(start: TimeSlot) -> (TimeSlot, TimeSlot) {
+    (start, start + SlotSpan::days(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::PopulationConfig;
+    use mirabel_flexoffer::FlexOfferStatus;
+    use std::collections::HashSet;
+
+    fn pop() -> Population {
+        Population::generate(&PopulationConfig { size: 40, seed: 9, household_share: 0.8 })
+    }
+
+    #[test]
+    fn pool_has_exact_count_sequential_ids_accepted() {
+        let p = pop();
+        let pool = generate_offer_pool(&p, 137, 5, TimeSlot::EPOCH);
+        assert_eq!(pool.len(), 137);
+        let first = first_pool_id(5);
+        for (i, fo) in pool.iter().enumerate() {
+            assert_eq!(fo.id().raw(), first + i as u64);
+            assert_eq!(fo.status(), FlexOfferStatus::Accepted);
+            assert!(fo.earliest_start() >= TimeSlot::EPOCH);
+        }
+        // Deterministic.
+        assert_eq!(pool, generate_offer_pool(&p, 137, 5, TimeSlot::EPOCH));
+    }
+
+    #[test]
+    fn traces_are_deterministic_and_structured() {
+        let p = pop();
+        let cfg = PlanningTraceConfig { offers: 100, storms: 3, ..Default::default() };
+        let a = generate_planning_trace(&p, &cfg, TimeSlot::EPOCH);
+        let b = generate_planning_trace(&p, &cfg, TimeSlot::EPOCH);
+        assert_eq!(a, b);
+        let c =
+            generate_planning_trace(&p, &PlanningTraceConfig { seed: 1, ..cfg }, TimeSlot::EPOCH);
+        assert_ne!(a, c);
+
+        let stats = PlanningTraceStats::of(&a);
+        assert_eq!(stats.arrivals, 100);
+        assert!(stats.withdrawals > 0);
+        assert_eq!(stats.shocks, cfg.shocks);
+        assert_eq!(stats.replans, 3 + cfg.shocks);
+        // Every storm/shock burst closes with a re-plan point.
+        let mut pending = false;
+        for e in &a {
+            match e {
+                PlanningEvent::Replan => pending = false,
+                _ => pending = true,
+            }
+        }
+        assert!(!pending, "trace must end on a re-plan point");
+    }
+
+    #[test]
+    fn churn_references_live_arrivals_exactly_once() {
+        let p = pop();
+        let events = generate_planning_trace(
+            &p,
+            &PlanningTraceConfig { offers: 120, churn_fraction: 0.25, ..Default::default() },
+            TimeSlot::EPOCH,
+        );
+        let mut arrived = HashSet::new();
+        let mut withdrawn = HashSet::new();
+        for e in &events {
+            match e {
+                PlanningEvent::Arrive { offers } => {
+                    for fo in offers {
+                        assert!(arrived.insert(fo.id()), "duplicate arrival {:?}", fo.id());
+                    }
+                }
+                PlanningEvent::Withdraw { ids } => {
+                    for id in ids {
+                        assert!(arrived.contains(id), "withdrew a never-arrived id");
+                        assert!(withdrawn.insert(*id), "double withdrawal");
+                    }
+                }
+                _ => {}
+            }
+        }
+        assert!(withdrawn.len() < arrived.len());
+    }
+
+    #[test]
+    fn shocks_stay_within_forecast_error_scale() {
+        let p = pop();
+        let events = generate_planning_trace(
+            &p,
+            &PlanningTraceConfig { shocks: 10, ..Default::default() },
+            TimeSlot::EPOCH,
+        );
+        for e in &events {
+            if let PlanningEvent::ForecastShock { factor } = e {
+                assert!((0.7..=1.3).contains(factor), "{factor}");
+            }
+        }
+        let (lo, hi) = planning_window(TimeSlot::EPOCH);
+        assert_eq!((hi - lo).count(), 96);
+    }
+}

@@ -9,8 +9,10 @@
 //! * `cargo xtask lint` — clippy, rustfmt, rustdoc (the `lint` job);
 //! * `cargo xtask test` — release build + workspace tests (the first
 //!   half of `build-test`);
-//! * `cargo xtask bench-gate` — session/stress/ingest harnesses plus
-//!   the `bench_diff` regression gate (the second half);
+//! * `cargo xtask examples` — *run* the smoke examples (the `examples`
+//!   job; clippy only proves they compile);
+//! * `cargo xtask bench-gate` — session/stress/ingest/planning
+//!   harnesses plus the `bench_diff` regression gate (the second half);
 //! * `cargo xtask baseline` — refresh `BENCH_baseline.json` from fresh
 //!   harness runs on this machine.
 
@@ -113,6 +115,31 @@ const BENCH_GATE: &[Step] = &[
         env: &[],
     },
     Step {
+        name: "planning harness (incremental >= 10x + determinism gates)",
+        program: "cargo",
+        args: &[
+            "run",
+            "--release",
+            "--locked",
+            "-p",
+            "mirabel-bench",
+            "--bin",
+            "planning",
+            "--",
+            "--offers",
+            "10000",
+            "--partitions",
+            "64",
+            "--threads",
+            "1,2,4,8",
+            "--assert-speedup",
+            "10",
+            "--out",
+            "BENCH_planning.json",
+        ],
+        env: &[],
+    },
+    Step {
         name: "bench gate (±20% vs BENCH_baseline.json)",
         program: "cargo",
         args: &[
@@ -130,9 +157,29 @@ const BENCH_GATE: &[Step] = &[
             "BENCH_stress.json",
             "--ingest",
             "BENCH_ingest.json",
+            "--planning",
+            "BENCH_planning.json",
             "--tolerance",
             "0.20",
         ],
+        env: &[],
+    },
+];
+
+/// The examples smoke job: examples are *run*, not just
+/// clippy-compiled, so a drifting API or a panicking main surfaces in
+/// CI instead of in a reader's terminal.
+const EXAMPLES: &[Step] = &[
+    Step {
+        name: "example: quickstart",
+        program: "cargo",
+        args: &["run", "--release", "--locked", "--example", "quickstart"],
+        env: &[],
+    },
+    Step {
+        name: "example: enterprise_day_ahead",
+        program: "cargo",
+        args: &["run", "--release", "--locked", "--example", "enterprise_day_ahead"],
         env: &[],
     },
 ];
@@ -185,6 +232,29 @@ const BASELINE: &[Step] = &[
         env: &[],
     },
     Step {
+        name: "planning harness",
+        program: "cargo",
+        args: &[
+            "run",
+            "--release",
+            "--locked",
+            "-p",
+            "mirabel-bench",
+            "--bin",
+            "planning",
+            "--",
+            "--offers",
+            "10000",
+            "--partitions",
+            "64",
+            "--threads",
+            "1,2,4,8",
+            "--out",
+            "BENCH_planning.json",
+        ],
+        env: &[],
+    },
+    Step {
         name: "write BENCH_baseline.json",
         program: "cargo",
         args: &[
@@ -202,6 +272,8 @@ const BASELINE: &[Step] = &[
             "BENCH_stress.json",
             "--ingest",
             "BENCH_ingest.json",
+            "--planning",
+            "BENCH_planning.json",
             "--write-baseline",
         ],
         env: &[],
@@ -238,19 +310,21 @@ fn run(steps: &[&[Step]]) -> ExitCode {
 fn main() -> ExitCode {
     let task = std::env::args().nth(1).unwrap_or_default();
     match task.as_str() {
-        "ci" => run(&[LINT, TEST, BENCH_GATE]),
+        "ci" => run(&[LINT, TEST, EXAMPLES, BENCH_GATE]),
         "lint" => run(&[LINT]),
         "test" => run(&[TEST]),
+        "examples" => run(&[EXAMPLES]),
         "bench-gate" => run(&[BENCH_GATE]),
         "baseline" => run(&[BASELINE]),
         _ => {
             eprintln!(
                 "usage: cargo xtask <task>\n\n\
                  tasks:\n\
-                 \x20 ci          the full CI pipeline (lint + test + bench-gate)\n\
+                 \x20 ci          the full CI pipeline (lint + test + examples + bench-gate)\n\
                  \x20 lint        clippy + rustfmt + rustdoc, all -D warnings\n\
                  \x20 test        release build + workspace tests\n\
-                 \x20 bench-gate  benches, stress/ingest harnesses, bench_diff gate\n\
+                 \x20 examples    run (not just compile) the smoke examples\n\
+                 \x20 bench-gate  benches, stress/ingest/planning harnesses, bench_diff gate\n\
                  \x20 baseline    refresh BENCH_baseline.json from this machine"
             );
             ExitCode::FAILURE
