@@ -20,12 +20,12 @@
 
 use std::process::ExitCode;
 
-use mirabel_bench::diff::{diff_ingest, diff_planning, diff_stress, Json, MetricCheck};
+use mirabel_bench::diff::{diff_ingest, diff_net, diff_planning, diff_stress, Json, MetricCheck};
 
 fn usage() -> ! {
     eprintln!(
         "usage: bench_diff --baseline PATH [--stress PATH] [--ingest PATH] \
-         [--planning PATH] [--tolerance F] [--write-baseline]"
+         [--planning PATH] [--net PATH] [--tolerance F] [--write-baseline]"
     );
     std::process::exit(2);
 }
@@ -40,6 +40,7 @@ fn main() -> ExitCode {
     let mut stress_path: Option<String> = None;
     let mut ingest_path: Option<String> = None;
     let mut planning_path: Option<String> = None;
+    let mut net_path: Option<String> = None;
     let mut tolerance = 0.20f64;
     let mut write_baseline = false;
 
@@ -56,6 +57,7 @@ fn main() -> ExitCode {
             "--stress" => stress_path = Some(value(&args, &mut i)),
             "--ingest" => ingest_path = Some(value(&args, &mut i)),
             "--planning" => planning_path = Some(value(&args, &mut i)),
+            "--net" => net_path = Some(value(&args, &mut i)),
             "--tolerance" => {
                 tolerance = value(&args, &mut i).parse().unwrap_or_else(|_| usage());
             }
@@ -69,8 +71,12 @@ fn main() -> ExitCode {
         i += 1;
     }
     let Some(baseline_path) = baseline_path else { usage() };
-    if stress_path.is_none() && ingest_path.is_none() && planning_path.is_none() {
-        eprintln!("nothing to compare: pass --stress, --ingest and/or --planning");
+    if stress_path.is_none()
+        && ingest_path.is_none()
+        && planning_path.is_none()
+        && net_path.is_none()
+    {
+        eprintln!("nothing to compare: pass --stress, --ingest, --planning and/or --net");
         usage();
     }
     if !(0.0..=1.0).contains(&tolerance) {
@@ -83,9 +89,12 @@ fn main() -> ExitCode {
     if write_baseline {
         let mut out = String::from("{\n");
         let mut sections = Vec::new();
-        for (key, path) in
-            [("stress", &stress_path), ("ingest", &ingest_path), ("planning", &planning_path)]
-        {
+        for (key, path) in [
+            ("stress", &stress_path),
+            ("ingest", &ingest_path),
+            ("planning", &planning_path),
+            ("net", &net_path),
+        ] {
             if let Some(path) = path {
                 match std::fs::read_to_string(path) {
                     Ok(text) => {
@@ -127,6 +136,7 @@ fn main() -> ExitCode {
         ("stress", &stress_path, diff_stress as fn(&Json, &Json, f64) -> _),
         ("ingest", &ingest_path, diff_ingest as fn(&Json, &Json, f64) -> _),
         ("planning", &planning_path, diff_planning as fn(&Json, &Json, f64) -> _),
+        ("net", &net_path, diff_net as fn(&Json, &Json, f64) -> _),
     ] {
         let Some(path) = path else { continue };
         let Some(base_section) = baseline.get(key) else {

@@ -1,0 +1,114 @@
+//! S4 — the wire protocol under multi-client load.
+//!
+//! Replays a deterministic K-clients network trace (interaction steps
+//! plus reconnects) twice over the same warehouse — once in-process
+//! through `ConcurrentPool`, once over loopback TCP through
+//! `mirabel-net` — writes `BENCH_net.json`, and enforces the
+//! PROTOCOL.md determinism promise as two hard gates:
+//!
+//! * **outcome equivalence** (always): every wire reply must equal the
+//!   wire projection of the in-process outcome, bit for bit;
+//! * **frame-hash equivalence** (always): every client's final `hashes`
+//!   reply must equal the in-process session's frame hashes.
+//!
+//! ```sh
+//! cargo run --release -p mirabel-bench --bin net -- \
+//!     --clients 4 --commands 150 --repeats 3
+//! ```
+
+use std::process::ExitCode;
+
+use mirabel_bench::net::{run_net, NetConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: net [--clients K] [--commands M] [--reconnect-rate R] [--repeats N] \
+         [--prosumers N] [--days D] [--seed S] [--out PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut config = NetConfig::default();
+    let mut out_path = String::from("BENCH_net.json");
+
+    fn value(args: &[String], i: &mut usize) -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| usage())
+    }
+    fn parse<T: std::str::FromStr>(s: String) -> T {
+        s.parse().unwrap_or_else(|_| usage())
+    }
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--clients" => config.clients = parse(value(&args, &mut i)),
+            "--commands" => config.commands_per_client = parse(value(&args, &mut i)),
+            "--reconnect-rate" => config.reconnect_rate = parse(value(&args, &mut i)),
+            "--repeats" => config.repeats = parse(value(&args, &mut i)),
+            "--prosumers" => config.prosumers = parse(value(&args, &mut i)),
+            "--days" => config.days = parse(value(&args, &mut i)),
+            "--seed" => config.seed = parse(value(&args, &mut i)),
+            "--out" => out_path = value(&args, &mut i),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    if config.clients == 0 || config.commands_per_client == 0 {
+        usage();
+    }
+
+    println!(
+        "S4 net — {} clients x {} commands over loopback TCP \
+         (reconnect rate {:.0}%, warehouse: {} prosumers x {} days)",
+        config.clients,
+        config.commands_per_client,
+        config.reconnect_rate * 100.0,
+        config.prosumers,
+        config.days,
+    );
+    let report = run_net(&config);
+    println!(
+        "{} offers shared; {} reconnects; host parallelism {}; best of {} round(s)\n",
+        report.offers,
+        report.reconnects,
+        report.available_parallelism,
+        config.repeats.max(1),
+    );
+    println!(
+        "  {:>10.0} commands/s over the wire  p50 {:>8.1} us  p99 {:>9.1} us (trimmed)",
+        report.commands_per_s, report.p50_us, report.p99_us,
+    );
+    println!(
+        "\nwire equivalence: outcomes {}, frame hashes {}",
+        if report.outcome_match { "identical" } else { "DIVERGED" },
+        if report.hash_match { "identical" } else { "DIVERGED" },
+    );
+
+    if let Err(e) = std::fs::write(&out_path, report.to_json()) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}");
+
+    let mut failed = false;
+    if !report.outcome_match {
+        eprintln!("FAIL: the wire changed at least one outcome (see PROTOCOL.md)");
+        failed = true;
+    }
+    if !report.hash_match {
+        eprintln!("FAIL: frame hashes diverged between the wire and in-process replay");
+        failed = true;
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

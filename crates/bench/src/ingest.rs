@@ -55,9 +55,11 @@ pub struct IngestConfig {
     pub withdraw_fraction: f64,
     /// Master seed.
     pub seed: u64,
-    /// Measurement rounds per thread count; the best-throughput round
-    /// is reported (standard best-of-N noise damping for shared CI
-    /// runners). Epoch-hash stability is checked on *every* round.
+    /// Measurement rounds per thread count. Throughput reports the
+    /// best round (best-of-N noise damping); the gated publish p99 is
+    /// the trimmed tail mean across rounds
+    /// ([`crate::trimmed_tail_mean`]). Epoch-hash stability is checked
+    /// on *every* round.
     pub repeats: usize,
 }
 
@@ -72,7 +74,7 @@ impl Default for IngestConfig {
             batches_per_day: 4,
             withdraw_fraction: 0.15,
             seed: 0x11FE57,
-            repeats: 2,
+            repeats: 3,
         }
     }
 }
@@ -84,9 +86,11 @@ pub struct IngestRunStats {
     pub threads: usize,
     /// Epochs published during the run.
     pub epochs: u64,
-    /// Median publish latency, milliseconds.
+    /// Median publish latency, milliseconds (best round).
     pub publish_p50_ms: f64,
-    /// 99th-percentile publish latency, milliseconds.
+    /// 99th-percentile publish latency, milliseconds — the trimmed
+    /// tail mean across the config's repeat rounds (see
+    /// [`crate::trimmed_tail_mean`]); this is the gated number.
     pub publish_p99_ms: f64,
     /// Worst publish latency, milliseconds.
     pub publish_max_ms: f64,
@@ -362,21 +366,27 @@ pub fn run_ingest(config: &IngestConfig) -> IngestReport {
     let mut reference: Option<EpochHashes> = None;
     let mut hash_stable = true;
     for &threads in &config.threads {
-        // Best-of-N per thread count (damps noisy-neighbor variance on
-        // shared CI runners); epoch-hash stability is asserted on every
-        // round, not just the kept one.
+        // Best-of-N per thread count for throughput (damps
+        // noisy-neighbor variance on shared CI runners); the gated
+        // publish p99 is the trimmed tail mean across rounds.
+        // Epoch-hash stability is asserted on every round, not just
+        // the kept one.
         let mut best: Option<IngestRunStats> = None;
+        let mut round_p99s = Vec::with_capacity(config.repeats.max(1));
         for _ in 0..config.repeats.max(1) {
             let (round, hashes) = replay(&population, &initial, &trace, config, threads.max(1));
             match &reference {
                 None => reference = Some(hashes),
                 Some(r) => hash_stable &= *r == hashes,
             }
+            round_p99s.push(round.publish_p99_ms);
             if best.as_ref().is_none_or(|b| round.reader_commands_per_s > b.reader_commands_per_s) {
                 best = Some(round);
             }
         }
-        runs.push(best.expect("repeats >= 1"));
+        let mut best = best.expect("repeats >= 1");
+        best.publish_p99_ms = crate::trimmed_tail_mean(&round_p99s);
+        runs.push(best);
     }
 
     IngestReport {

@@ -9,6 +9,7 @@
 
 pub mod diff;
 pub mod ingest;
+pub mod net;
 pub mod planning;
 pub mod stress;
 
@@ -73,6 +74,39 @@ pub fn visual_offers(n: usize) -> Vec<VisualOffer> {
     VisualOffer::from_offers(&raw)
 }
 
+/// Nearest-rank percentile over sorted per-command latencies, reported
+/// in microseconds — the single estimator every harness (stress, net)
+/// feeds into the p99 gates, shared so the gated metrics cannot drift
+/// apart across harnesses.
+pub fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() - 1) as f64 * p).round() as usize;
+    sorted_ns[idx] as f64 / 1_000.0
+}
+
+/// The tail-latency estimator the regression gates run on: drop the
+/// highest ⌈n/4⌉ rounds and average the rest (a one-sided trimmed
+/// mean). Worst-round spikes on shared CI runners are almost always a
+/// noisy neighbour, not a regression — but unlike best-of-N, the
+/// surviving rounds still have to *agree* that the tail is low, so a
+/// real regression shows up in every kept round. This is what lets the
+/// p99 gates run with noise floors tight enough to re-arm
+/// sub-millisecond tails (see DESIGN.md, "Bench gating policy").
+///
+/// With a single round this is the identity; an empty slice yields 0.
+pub fn trimmed_tail_mean(rounds: &[f64]) -> f64 {
+    if rounds.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = rounds.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let drop = rounds.len().div_ceil(4).min(rounds.len() - 1);
+    let kept = &sorted[..sorted.len() - drop];
+    kept.iter().sum::<f64>() / kept.len() as f64
+}
+
 /// Writes `content` under `out/figures/`, creating the directory.
 pub fn write_figure(name: &str, content: &str) -> std::io::Result<std::path::PathBuf> {
     let dir = std::path::Path::new("out/figures");
@@ -95,6 +129,19 @@ mod tests {
         let (_, w1) = warehouse(100, 1);
         let (_, w2) = warehouse(100, 1);
         assert_eq!(w1.facts().len(), w2.facts().len());
+    }
+
+    #[test]
+    fn trimmed_tail_mean_drops_only_the_top_quarter() {
+        assert_eq!(trimmed_tail_mean(&[]), 0.0);
+        assert_eq!(trimmed_tail_mean(&[7.0]), 7.0);
+        // Two rounds: ⌈2/4⌉ = 1 dropped — the spike goes, the floor stays.
+        assert_eq!(trimmed_tail_mean(&[100.0, 3.0]), 3.0);
+        // Four rounds: one dropped, mean of the remaining three.
+        assert_eq!(trimmed_tail_mean(&[1.0, 2.0, 3.0, 1000.0]), 2.0);
+        // A consistent tail survives trimming — regressions still gate.
+        let consistent = trimmed_tail_mean(&[50.0, 52.0, 51.0, 49.0]);
+        assert!((consistent - 50.0).abs() < 1.0, "{consistent}");
     }
 
     #[test]

@@ -1,0 +1,413 @@
+//! The wire-protocol harness: the same seeded trace, once in-process,
+//! once over loopback TCP — outcomes and frame hashes must be
+//! bit-identical.
+//!
+//! Binds the multi-client network traces of [`mirabel_workload::net`]
+//! (interaction steps plus connection-lifecycle reconnects) to session
+//! commands, then replays them two ways over the *same* warehouse:
+//!
+//! * **in-process reference** — a [`ConcurrentPool`] driven directly;
+//!   a reconnect closes the session and opens a fresh one;
+//! * **over the wire** — a [`NetServer`] on `127.0.0.1:0`, one
+//!   [`NetClient`] thread per trace client; a reconnect is an actual
+//!   `bye` + reconnect.
+//!
+//! The harness's core assertion is PROTOCOL.md's determinism promise:
+//! the wire adds nothing and loses nothing — every reply's wire
+//! encoding equals the wire projection of the in-process outcome
+//! (`outcome_match`), and the final per-client `hashes` replies equal
+//! the in-process frame hashes (`hash_match`). Both are hard CI gates
+//! in `BENCH_net.json`; throughput and tail latency are soft-gated
+//! against `BENCH_baseline.json` by `bench_diff --net`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use mirabel_dw::LoaderQuery;
+use mirabel_net::{NetClient, NetServer};
+use mirabel_session::{Command, ConcurrentPool};
+use mirabel_timeseries::TimeSlot;
+use mirabel_workload::{generate_net_traces, NetEvent, NetTraceConfig};
+
+/// Canvas the simulated clients work on (same as the stress harness).
+const CANVAS: (f64, f64) = (960.0, 540.0);
+
+/// Shape of one net-harness run; `Default` is the CI smoke
+/// configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetConfig {
+    /// Concurrent clients (K), each on its own connection.
+    pub clients: usize,
+    /// Commands replayed per client (M; reconnects not counted).
+    pub commands_per_client: usize,
+    /// Probability of a reconnect between two trace steps.
+    pub reconnect_rate: f64,
+    /// Master seed for the traces.
+    pub seed: u64,
+    /// Prosumers in the shared warehouse.
+    pub prosumers: usize,
+    /// Days of offers in the shared warehouse.
+    pub days: usize,
+    /// Measurement rounds; throughput keeps the best round, the p99
+    /// gate runs on the trimmed tail mean across rounds
+    /// ([`crate::trimmed_tail_mean`]). Outcome/hash equality is
+    /// asserted on *every* round.
+    pub repeats: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            clients: 4,
+            commands_per_client: 150,
+            reconnect_rate: 0.02,
+            seed: 0x4E37,
+            prosumers: 150,
+            days: 1,
+            repeats: 3,
+        }
+    }
+}
+
+/// One replayable per-client event stream: commands plus lifecycle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplayEvent {
+    /// Apply one command on the client's current session.
+    Cmd(Command),
+    /// Drop the session/connection and start a fresh one.
+    Reconnect,
+}
+
+/// The full harness report, serializable as `BENCH_net.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetReport {
+    /// The configuration that produced the report.
+    pub config: NetConfig,
+    /// Offers in the shared warehouse.
+    pub offers: usize,
+    /// Total reconnects across all clients.
+    pub reconnects: usize,
+    /// `std::thread::available_parallelism()` on the measuring host.
+    pub available_parallelism: usize,
+    /// `true` iff every wire reply matched the in-process outcome's
+    /// wire encoding, on every round.
+    pub outcome_match: bool,
+    /// `true` iff every client's final `hashes` reply matched the
+    /// in-process frame hashes, on every round.
+    pub hash_match: bool,
+    /// Total commands replayed over the wire (per round).
+    pub commands: u64,
+    /// Wall-clock seconds of the best wire round.
+    pub wall_s: f64,
+    /// Commands per second over the wire (best round).
+    pub commands_per_s: f64,
+    /// Median request→reply latency, microseconds (best round).
+    pub p50_us: f64,
+    /// 99th-percentile request→reply latency, microseconds (trimmed
+    /// tail mean across rounds — the gated number).
+    pub p99_us: f64,
+}
+
+impl NetReport {
+    /// Serializes the report as pretty-printed JSON (hand-rolled; the
+    /// offline build has no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"bench\": \"net\",\n");
+        out.push_str(&format!("  \"clients\": {},\n", self.config.clients));
+        out.push_str(&format!("  \"commands_per_client\": {},\n", self.config.commands_per_client));
+        out.push_str(&format!("  \"reconnect_rate\": {},\n", self.config.reconnect_rate));
+        out.push_str(&format!("  \"seed\": {},\n", self.config.seed));
+        out.push_str(&format!("  \"prosumers\": {},\n", self.config.prosumers));
+        out.push_str(&format!("  \"days\": {},\n", self.config.days));
+        out.push_str(&format!("  \"repeats\": {},\n", self.config.repeats.max(1)));
+        out.push_str(&format!("  \"offers\": {},\n", self.offers));
+        out.push_str(&format!("  \"reconnects\": {},\n", self.reconnects));
+        out.push_str(&format!("  \"available_parallelism\": {},\n", self.available_parallelism));
+        out.push_str(&format!("  \"outcome_match\": {},\n", self.outcome_match));
+        out.push_str(&format!("  \"hash_match\": {},\n", self.hash_match));
+        out.push_str(&format!("  \"commands\": {},\n", self.commands));
+        out.push_str(&format!("  \"wall_s\": {:.6},\n", self.wall_s));
+        out.push_str(&format!("  \"commands_per_s\": {:.1},\n", self.commands_per_s));
+        out.push_str(&format!("  \"p50_us\": {:.2},\n", self.p50_us));
+        out.push_str(&format!("  \"p99_us\": {:.2}\n", self.p99_us));
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Builds the per-client replay streams: exactly
+/// `config.commands_per_client` commands each (cycling the trace if it
+/// runs short), reconnects interleaved, deterministic in the seed.
+pub fn build_replays(config: &NetConfig) -> Vec<Vec<ReplayEvent>> {
+    let window_slots = (config.days.max(1) as i64) * 96;
+    let traces = generate_net_traces(&NetTraceConfig {
+        clients: config.clients,
+        steps_per_client: config.commands_per_client.max(4),
+        reconnect_rate: config.reconnect_rate,
+        seed: config.seed,
+    });
+    traces
+        .iter()
+        .map(|trace| {
+            let mut events = Vec::with_capacity(config.commands_per_client + 8);
+            let mut commands = 0usize;
+            // Fixed prologue, same idea as the stress harness: every
+            // session starts with a canvas and a full-window tab.
+            let mut push = |cmd: Command, events: &mut Vec<ReplayEvent>| {
+                events.push(ReplayEvent::Cmd(cmd));
+                commands += 1;
+                commands >= config.commands_per_client
+            };
+            let prologue = |client: usize| {
+                [
+                    Command::SetCanvas { width: CANVAS.0, height: CANVAS.1 },
+                    Command::Load {
+                        query: LoaderQuery::window(TimeSlot::new(0), TimeSlot::new(window_slots)),
+                        title: format!("c{client} main"),
+                    },
+                ]
+            };
+            'outer: loop {
+                for cmd in prologue(trace.client) {
+                    if push(cmd, &mut events) {
+                        break 'outer;
+                    }
+                }
+                for (seq, event) in trace.events.iter().enumerate() {
+                    match event {
+                        NetEvent::Reconnect => {
+                            events.push(ReplayEvent::Reconnect);
+                            for cmd in prologue(trace.client) {
+                                if push(cmd, &mut events) {
+                                    break 'outer;
+                                }
+                            }
+                        }
+                        NetEvent::Step(step) => {
+                            for cmd in
+                                crate::stress::bind_step(step, window_slots, trace.client, seq)
+                            {
+                                if push(cmd, &mut events) {
+                                    break 'outer;
+                                }
+                            }
+                        }
+                    }
+                }
+                // Trace exhausted below M (tiny configs): cycle it.
+            }
+            events
+        })
+        .collect()
+}
+
+/// What one client observed over a full replay — the determinism
+/// comparand between the two transports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientObservation {
+    /// The wire encoding of every command's outcome, in order.
+    pub outcomes: Vec<String>,
+    /// The final session's per-tab frame hashes.
+    pub hashes: Vec<u64>,
+}
+
+/// The in-process reference replay: same pool type, same sessions-per-
+/// reconnect semantics, no sockets.
+pub fn replay_in_process(
+    warehouse: &Arc<mirabel_dw::Warehouse>,
+    replays: &[Vec<ReplayEvent>],
+) -> Vec<ClientObservation> {
+    let pool = ConcurrentPool::new(Arc::clone(warehouse));
+    replays
+        .iter()
+        .map(|events| {
+            let mut id = pool.open();
+            let mut outcomes = Vec::new();
+            for event in events {
+                match event {
+                    ReplayEvent::Reconnect => {
+                        pool.close(id);
+                        id = pool.open();
+                    }
+                    ReplayEvent::Cmd(cmd) => {
+                        let outcome = pool.apply(id, cmd.clone()).expect("session open").to_wire();
+                        outcomes.push(outcome.encode());
+                    }
+                }
+            }
+            let hashes = pool.with_session(id, |s| s.frame_hashes()).expect("session open");
+            pool.close(id);
+            ClientObservation { outcomes, hashes }
+        })
+        .collect()
+}
+
+/// One full wire replay: K client threads against a fresh server over
+/// `warehouse`. Returns per-client observations, per-command latencies
+/// (ns, unsorted) and the wall-clock seconds.
+fn replay_over_wire(
+    warehouse: &Arc<mirabel_dw::Warehouse>,
+    replays: &[Vec<ReplayEvent>],
+) -> (Vec<ClientObservation>, Vec<u64>, f64) {
+    let pool = Arc::new(ConcurrentPool::new(Arc::clone(warehouse)));
+    let server = NetServer::bind("127.0.0.1:0", pool).expect("bind loopback");
+    let addr = server.local_addr();
+
+    let started = Instant::now();
+    let results: Vec<(ClientObservation, Vec<u64>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = replays
+            .iter()
+            .map(|events| {
+                scope.spawn(move || {
+                    let mut client = NetClient::connect(addr).expect("connect");
+                    let mut outcomes = Vec::new();
+                    let mut latencies = Vec::new();
+                    for event in events {
+                        match event {
+                            ReplayEvent::Reconnect => {
+                                client.bye().expect("bye");
+                                client = NetClient::connect(addr).expect("reconnect");
+                            }
+                            ReplayEvent::Cmd(cmd) => {
+                                let t0 = Instant::now();
+                                let outcome = client.command(cmd).expect("command reply");
+                                latencies.push(t0.elapsed().as_nanos() as u64);
+                                outcomes.push(outcome.encode());
+                            }
+                        }
+                    }
+                    let hashes = client.hashes().expect("hashes reply");
+                    client.bye().expect("final bye");
+                    (ClientObservation { outcomes, hashes }, latencies)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+    let wall_s = started.elapsed().as_secs_f64();
+    drop(server);
+
+    let mut observations = Vec::with_capacity(results.len());
+    let mut latencies = Vec::new();
+    for (obs, lat) in results {
+        observations.push(obs);
+        latencies.extend(lat);
+    }
+    (observations, latencies, wall_s)
+}
+
+/// Runs the full harness: builds the warehouse and traces, replays
+/// in-process once (the reference is seed-deterministic — one replay
+/// serves every round), then replays over loopback `repeats` times,
+/// cross-checking outcomes and hashes on every round.
+pub fn run_net(config: &NetConfig) -> NetReport {
+    let (_, dw) = crate::warehouse(config.prosumers, config.days);
+    let warehouse = Arc::new(dw);
+    let offers = warehouse.offers().len();
+    let replays = build_replays(config);
+    let reconnects = replays
+        .iter()
+        .map(|events| events.iter().filter(|e| matches!(e, ReplayEvent::Reconnect)).count())
+        .sum();
+
+    let reference = replay_in_process(&warehouse, &replays);
+
+    let mut outcome_match = true;
+    let mut hash_match = true;
+    let mut best: Option<(f64, f64, u64, f64)> = None; // (cps, wall, commands, p50)
+    let mut round_p99s = Vec::new();
+    for _ in 0..config.repeats.max(1) {
+        let (observed, mut latencies, wall_s) = replay_over_wire(&warehouse, &replays);
+        for (o, r) in observed.iter().zip(&reference) {
+            outcome_match &= o.outcomes == r.outcomes;
+            hash_match &= o.hashes == r.hashes;
+        }
+        latencies.sort_unstable();
+        let commands = latencies.len() as u64;
+        let cps = commands as f64 / wall_s;
+        round_p99s.push(crate::percentile_us(&latencies, 0.99));
+        let p50 = crate::percentile_us(&latencies, 0.50);
+        if best.as_ref().is_none_or(|(b, ..)| cps > *b) {
+            best = Some((cps, wall_s, commands, p50));
+        }
+    }
+    let (commands_per_s, wall_s, commands, p50_us) = best.expect("repeats >= 1");
+
+    NetReport {
+        config: config.clone(),
+        offers,
+        reconnects,
+        available_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        outcome_match,
+        hash_match,
+        commands,
+        wall_s,
+        commands_per_s,
+        p50_us,
+        p99_us: crate::trimmed_tail_mean(&round_p99s),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> NetConfig {
+        NetConfig {
+            clients: 3,
+            commands_per_client: 40,
+            reconnect_rate: 0.08,
+            seed: 11,
+            prosumers: 40,
+            days: 1,
+            repeats: 1,
+        }
+    }
+
+    #[test]
+    fn replays_are_deterministic_and_sized() {
+        let cfg = tiny();
+        let a = build_replays(&cfg);
+        assert_eq!(a, build_replays(&cfg));
+        assert_eq!(a.len(), 3);
+        for events in &a {
+            let commands = events.iter().filter(|e| matches!(e, ReplayEvent::Cmd(_))).count();
+            assert_eq!(commands, 40);
+            assert!(matches!(events[0], ReplayEvent::Cmd(Command::SetCanvas { .. })));
+        }
+        // Clients do not share a stream.
+        assert_ne!(a[0], a[1]);
+    }
+
+    #[test]
+    fn wire_replay_is_bit_identical_to_in_process() {
+        let report = run_net(&tiny());
+        assert!(report.outcome_match, "a wire outcome diverged from in-process");
+        assert!(report.hash_match, "frame hashes diverged across the wire");
+        assert_eq!(report.commands, 3 * 40);
+        assert!(report.commands_per_s > 0.0);
+        let json = report.to_json();
+        assert!(json.contains("\"bench\": \"net\""), "{json}");
+        assert!(json.contains("\"outcome_match\": true"), "{json}");
+        assert!(json.contains("\"hash_match\": true"), "{json}");
+    }
+
+    #[test]
+    fn reconnects_actually_happen_and_stay_deterministic() {
+        let cfg = NetConfig { commands_per_client: 120, ..tiny() };
+        let replays = build_replays(&cfg);
+        let reconnects: usize = replays
+            .iter()
+            .map(|e| e.iter().filter(|e| matches!(e, ReplayEvent::Reconnect)).count())
+            .sum();
+        assert!(reconnects > 0, "an 8% rate over 360 steps must reconnect somewhere");
+        // Sessions-per-reconnect semantics match across transports even
+        // with mid-stream session churn.
+        let (_, dw) = crate::warehouse(cfg.prosumers, cfg.days);
+        let warehouse = Arc::new(dw);
+        let reference = replay_in_process(&warehouse, &replays);
+        let (observed, _, _) = replay_over_wire(&warehouse, &replays);
+        assert_eq!(reference, observed);
+    }
+}

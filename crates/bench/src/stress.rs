@@ -51,9 +51,11 @@ pub struct StressConfig {
     pub prosumers: usize,
     /// Days of offers in the shared warehouse.
     pub days: usize,
-    /// Measurement rounds per thread count; the best-throughput round
-    /// is reported (standard best-of-N noise damping for shared CI
-    /// runners). Determinism is checked on *every* round.
+    /// Measurement rounds per thread count. Throughput and p50 report
+    /// the best round (best-of-N noise damping); the gated p99 is the
+    /// trimmed tail mean across rounds ([`crate::trimmed_tail_mean`]),
+    /// which is what lets the regression gate run with a tight absolute
+    /// noise floor. Determinism is checked on *every* round.
     pub repeats: usize,
 }
 
@@ -66,7 +68,7 @@ impl Default for StressConfig {
             seed: 0x57E5,
             prosumers: 200,
             days: 1,
-            repeats: 2,
+            repeats: 4,
         }
     }
 }
@@ -82,9 +84,11 @@ pub struct RunStats {
     pub wall_s: f64,
     /// Commands per second.
     pub commands_per_s: f64,
-    /// Median per-command latency, microseconds.
+    /// Median per-command latency, microseconds (best round).
     pub p50_us: f64,
-    /// 99th-percentile per-command latency, microseconds.
+    /// 99th-percentile per-command latency, microseconds — the trimmed
+    /// tail mean across the config's repeat rounds (see
+    /// [`crate::trimmed_tail_mean`]); this is the gated number.
     pub p99_us: f64,
     /// Throughput relative to the baseline run (see
     /// [`StressReport::baseline_threads`]).
@@ -154,8 +158,15 @@ impl StressReport {
     }
 }
 
-/// Expands one abstract interaction step into engine commands.
-fn bind_step(step: &InteractionStep, window_slots: i64, user: usize, seq: usize) -> Vec<Command> {
+/// Expands one abstract interaction step into engine commands. Shared
+/// with the net harness (`crate::net`), which binds the same
+/// interaction vocabulary over TCP.
+pub(crate) fn bind_step(
+    step: &InteractionStep,
+    window_slots: i64,
+    user: usize,
+    seq: usize,
+) -> Vec<Command> {
     let px = |(x, y): (f64, f64)| Point::new(x * CANVAS.0, y * CANVAS.1);
     match step {
         InteractionStep::HoverStorm { points } => {
@@ -298,14 +309,6 @@ fn replay(
     (lat_per_thread.into_iter().flatten().collect(), wall_s, hashes)
 }
 
-fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
-    if sorted_ns.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted_ns.len() - 1) as f64 * p).round() as usize;
-    sorted_ns[idx] as f64 / 1_000.0
-}
-
 /// Runs the full harness: builds the warehouse and traces, replays at
 /// every configured thread count, and cross-checks frame hashes.
 pub fn run_stress(config: &StressConfig) -> StressReport {
@@ -318,10 +321,13 @@ pub fn run_stress(config: &StressConfig) -> StressReport {
     let mut reference: Option<UserHashes> = None;
     let mut determinism_ok = true;
     for &threads in &config.threads {
-        // Best-of-N: keep the fastest round per thread count (damps
-        // noisy-neighbor variance on shared CI runners); determinism is
-        // asserted on every round, not just the kept one.
+        // Best-of-N for throughput/p50 (damps noisy-neighbor variance
+        // on shared CI runners); the gated p99 is the trimmed tail
+        // mean across rounds, so one spiky round cannot fail the gate
+        // but a tail every kept round agrees on still does.
+        // Determinism is asserted on every round, not just the kept one.
         let mut best: Option<RunStats> = None;
+        let mut round_p99s = Vec::with_capacity(config.repeats.max(1));
         for _ in 0..config.repeats.max(1) {
             let (mut lat, wall_s, hashes) = replay(&warehouse, &traces, threads.max(1));
             match &reference {
@@ -329,21 +335,24 @@ pub fn run_stress(config: &StressConfig) -> StressReport {
                 Some(r) => determinism_ok &= *r == hashes,
             }
             lat.sort_unstable();
+            round_p99s.push(crate::percentile_us(&lat, 0.99));
             let commands = lat.len() as u64;
             let round = RunStats {
                 threads,
                 commands,
                 wall_s,
                 commands_per_s: commands as f64 / wall_s,
-                p50_us: percentile_us(&lat, 0.50),
-                p99_us: percentile_us(&lat, 0.99),
+                p50_us: crate::percentile_us(&lat, 0.50),
+                p99_us: 0.0, // filled from the trimmed mean below
                 speedup_vs_1: 1.0,
             };
             if best.as_ref().is_none_or(|b| round.commands_per_s > b.commands_per_s) {
                 best = Some(round);
             }
         }
-        runs.push(best.expect("repeats >= 1"));
+        let mut best = best.expect("repeats >= 1");
+        best.p99_us = crate::trimmed_tail_mean(&round_p99s);
+        runs.push(best);
     }
     // Speedups are relative to the 1-thread run wherever it sits in
     // `config.threads`; a config without one falls back to its smallest

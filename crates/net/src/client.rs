@@ -1,0 +1,246 @@
+//! A blocking client for the PROTOCOL.md line protocol.
+//!
+//! [`NetClient`] is deliberately synchronous — connect, send a request,
+//! block for the reply — because that is what the determinism harness
+//! and the tests need: a replay loop whose observable behaviour depends
+//! only on the request stream. Epoch notifications that arrive while
+//! waiting for a reply are absorbed into [`NetClient::notifications`];
+//! [`NetClient::wait_for_epoch`] polls for a push while the client is
+//! otherwise idle.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use mirabel_session::{Command, WireOutcome};
+
+use crate::protocol::{parse_greeting, Reply, Request, ServerLine, PROTOCOL_VERSION};
+
+/// One connection to a [`NetServer`](crate::NetServer) — and therefore
+/// one session on the server's pool.
+#[derive(Debug)]
+pub struct NetClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    session: u64,
+    /// Epoch notifications in arrival order (including the handshake
+    /// epoch at index 0 when it is non-zero).
+    notifications: Vec<u64>,
+    /// Highest epoch the server has told us about.
+    epoch: u64,
+    /// Bytes of a line whose read was interrupted by a
+    /// [`NetClient::wait_for_epoch`] timeout mid-line. `read_line`
+    /// keeps everything it consumed in its buffer on error, so parking
+    /// the partial line here (and resuming into it on the next read)
+    /// keeps the frame stream aligned — dropping those bytes would
+    /// desynchronize every subsequent frame on the connection.
+    partial: String,
+}
+
+impl NetClient {
+    /// Connects to `addr` and performs the version handshake. Fails if
+    /// the server is not a `mirabel-net` endpoint or speaks a different
+    /// protocol version.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<NetClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut client = NetClient {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+            session: 0,
+            notifications: Vec::new(),
+            epoch: 0,
+            partial: String::new(),
+        };
+        let line = client.read_line()?;
+        let version = parse_greeting(&line)?;
+        if version != PROTOCOL_VERSION {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("server speaks protocol {version}, this client speaks {PROTOCOL_VERSION}"),
+            ));
+        }
+        match client.request(&Request::Hello { version: PROTOCOL_VERSION })? {
+            Reply::Session { session, epoch } => {
+                client.session = session;
+                // The handshake epoch counts as a notification — but a
+                // publish racing the handshake may have pushed the very
+                // same epoch already (absorbed by read_reply above), and
+                // the at-most-once-per-epoch property must hold.
+                if epoch > 0 && !client.notifications.contains(&epoch) {
+                    client.notifications.push(epoch);
+                }
+                client.epoch = client.epoch.max(epoch);
+                Ok(client)
+            }
+            Reply::Error(reason) => {
+                Err(std::io::Error::new(std::io::ErrorKind::ConnectionRefused, reason))
+            }
+            other => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unexpected hello reply {other:?}"),
+            )),
+        }
+    }
+
+    /// The session id the server opened for this connection.
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+
+    /// The highest warehouse epoch the server has announced.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Every epoch notification received so far, in arrival order.
+    pub fn notifications(&self) -> &[u64] {
+        &self.notifications
+    }
+
+    /// Sends one request and blocks for its reply frame. Epoch
+    /// notifications arriving in between are absorbed (see
+    /// [`NetClient::notifications`]).
+    pub fn request(&mut self, request: &Request) -> std::io::Result<Reply> {
+        self.writer.write_all(format!("{}\n", request.encode()).as_bytes())?;
+        self.read_reply()
+    }
+
+    /// Sends one session command and returns its wire outcome. An `err`
+    /// reply (protocol failure) maps to an [`std::io::Error`]; note a
+    /// *rejected command* is not an error but
+    /// [`WireOutcome::Rejected`], mirroring the in-process API.
+    pub fn command(&mut self, cmd: &Command) -> std::io::Result<WireOutcome> {
+        match self.request(&Request::Command(cmd.clone()))? {
+            Reply::Outcome(outcome) => Ok(outcome),
+            Reply::Error(reason) => {
+                Err(std::io::Error::new(std::io::ErrorKind::InvalidInput, reason))
+            }
+            other => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unexpected command reply {other:?}"),
+            )),
+        }
+    }
+
+    /// Sends a raw request line (useful for scripted transcripts) and
+    /// returns the raw reply/notification lines up to and including the
+    /// reply frame.
+    pub fn request_raw(&mut self, line: &str) -> std::io::Result<Vec<String>> {
+        self.writer.write_all(format!("{line}\n").as_bytes())?;
+        let mut lines = Vec::new();
+        loop {
+            let raw = self.read_line()?;
+            let parsed = ServerLine::decode(&raw)?;
+            lines.push(raw);
+            match parsed {
+                ServerLine::Epoch(e) => self.record_epoch(e),
+                ServerLine::Reply(_) => return Ok(lines),
+            }
+        }
+    }
+
+    /// Asks the server for the session's per-tab frame hashes — the
+    /// wire twin of
+    /// [`Session::frame_hashes`](mirabel_session::Session::frame_hashes).
+    pub fn hashes(&mut self) -> std::io::Result<Vec<u64>> {
+        match self.request(&Request::Hashes)? {
+            Reply::Hashes(hashes) => Ok(hashes),
+            other => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unexpected hashes reply {other:?}"),
+            )),
+        }
+    }
+
+    /// Orderly close: sends `bye`, waits for `ok bye`, and drops the
+    /// connection (which closes the server-side session).
+    pub fn bye(mut self) -> std::io::Result<()> {
+        match self.request(&Request::Bye)? {
+            Reply::Bye => Ok(()),
+            other => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unexpected bye reply {other:?}"),
+            )),
+        }
+    }
+
+    /// Blocks up to `timeout` for the server to push epoch `epoch` (or
+    /// newer). Returns `true` if it arrived (possibly earlier),
+    /// `false` on timeout. Only valid while no request is in flight —
+    /// any reply frame arriving here is a protocol violation.
+    pub fn wait_for_epoch(&mut self, epoch: u64, timeout: Duration) -> std::io::Result<bool> {
+        let deadline = Instant::now() + timeout;
+        while self.epoch < epoch {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Ok(false);
+            }
+            self.writer.set_read_timeout(Some(remaining))?;
+            let read = self.reader.read_line(&mut self.partial);
+            self.writer.set_read_timeout(None)?;
+            match read {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "server closed while waiting for an epoch push",
+                    ));
+                }
+                Ok(_) => {
+                    let line = std::mem::take(&mut self.partial);
+                    match ServerLine::decode(&line)? {
+                        ServerLine::Epoch(e) => self.record_epoch(e),
+                        ServerLine::Reply(r) => {
+                            return Err(std::io::Error::new(
+                                std::io::ErrorKind::InvalidData,
+                                format!("unsolicited reply while idle: {r:?}"),
+                            ));
+                        }
+                    }
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    // Whatever was consumed so far stays in
+                    // `self.partial`; the next read (here or in
+                    // read_reply) resumes the same line instead of
+                    // dropping bytes and misframing the stream.
+                    return Ok(false);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(true)
+    }
+
+    fn record_epoch(&mut self, epoch: u64) {
+        self.notifications.push(epoch);
+        self.epoch = self.epoch.max(epoch);
+    }
+
+    /// Reads one complete line, resuming a line left half-read by a
+    /// timed-out [`NetClient::wait_for_epoch`].
+    fn read_line(&mut self) -> std::io::Result<String> {
+        if self.reader.read_line(&mut self.partial)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        let line = std::mem::take(&mut self.partial);
+        Ok(line.trim_end().to_string())
+    }
+
+    /// Reads server lines until a reply frame arrives, recording any
+    /// epoch notifications on the way.
+    fn read_reply(&mut self) -> std::io::Result<Reply> {
+        loop {
+            let line = self.read_line()?;
+            match ServerLine::decode(&line)? {
+                ServerLine::Epoch(e) => self.record_epoch(e),
+                ServerLine::Reply(reply) => return Ok(reply),
+            }
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! Frames of the version-1 line protocol — the code half of
+//! PROTOCOL.md (the normative grammar; the `protocol_spec` test suite
+//! holds the two in sync).
+//!
+//! Everything on the wire is a UTF-8 line. The client speaks
+//! [`Request`]s; the server answers [`Reply`] frames in request order
+//! and may interleave [`ServerLine::Epoch`] notifications *between*
+//! (never inside) frames. Command requests reuse the session engine's
+//! script format ([`Command::decode`]) verbatim, so a recorded command
+//! log is already a valid request stream.
+
+use std::fmt;
+
+use mirabel_session::wire::{esc, unesc};
+use mirabel_session::{Command, WireOutcome};
+
+/// The protocol version this build speaks. The server greets with it;
+/// a client whose [`Request::Hello`] names any other version is turned
+/// away with an `err` reply before a session is opened.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// First token of the server greeting line.
+pub const GREETING_HEAD: &str = "mirabel-net";
+
+/// The greeting the server writes on accept: `mirabel-net <version>`.
+pub fn greeting() -> String {
+    format!("{GREETING_HEAD} {PROTOCOL_VERSION}")
+}
+
+/// Parses a greeting line, returning the server's protocol version.
+pub fn parse_greeting(line: &str) -> Result<u32, ProtocolError> {
+    let mut tokens = line.split_whitespace();
+    match (tokens.next(), tokens.next(), tokens.next()) {
+        (Some(GREETING_HEAD), Some(v), None) => {
+            v.parse().map_err(|_| ProtocolError(format!("bad greeting version {v:?}")))
+        }
+        _ => Err(ProtocolError(format!("not a greeting: {line:?}"))),
+    }
+}
+
+/// One client→server line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// `hello <version>` — the version handshake; must be the first
+    /// request on a connection, and only the first.
+    Hello {
+        /// The protocol version the client speaks.
+        version: u32,
+    },
+    /// Any session command in its script form (`load 0 96 - title`,
+    /// `render`, …) — see [`Command::decode`].
+    Command(Command),
+    /// `hashes` — ask for the session's per-tab frame hashes (the
+    /// determinism observable; same value as
+    /// [`Session::frame_hashes`](mirabel_session::Session::frame_hashes)).
+    Hashes,
+    /// `bye` — orderly close: the server replies `ok bye`, closes the
+    /// session, and drops the connection.
+    Bye,
+}
+
+impl Request {
+    /// Encodes the request as one line (no trailing newline).
+    pub fn encode(&self) -> String {
+        match self {
+            Request::Hello { version } => format!("hello {version}"),
+            Request::Command(cmd) => cmd.encode(),
+            Request::Hashes => "hashes".into(),
+            Request::Bye => "bye".into(),
+        }
+    }
+
+    /// Parses one request line. The three protocol-level heads
+    /// (`hello`, `hashes`, `bye`) are matched first; everything else is
+    /// handed to [`Command::decode`].
+    pub fn decode(line: &str) -> Result<Request, ProtocolError> {
+        let line = line.trim();
+        let mut tokens = line.split_whitespace();
+        match tokens.next() {
+            Some("hello") => match (tokens.next(), tokens.next()) {
+                (Some(v), None) => {
+                    let version =
+                        v.parse().map_err(|_| ProtocolError(format!("bad version {v:?}")))?;
+                    Ok(Request::Hello { version })
+                }
+                _ => Err(ProtocolError(format!("malformed hello: {line:?}"))),
+            },
+            Some("hashes") if tokens.next().is_none() => Ok(Request::Hashes),
+            Some("bye") if tokens.next().is_none() => Ok(Request::Bye),
+            Some("hashes" | "bye") => Err(ProtocolError(format!("trailing tokens in {line:?}"))),
+            _ => Command::decode(line)
+                .map(Request::Command)
+                .map_err(|e| ProtocolError(e.to_string())),
+        }
+    }
+}
+
+/// One server→client reply frame. Replies arrive strictly in request
+/// order on a connection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// `ok session <id> epoch <e>` — the reply to a valid
+    /// [`Request::Hello`]: the connection's session id and the
+    /// warehouse epoch it starts at.
+    Session {
+        /// The session id the server opened for this connection.
+        session: u64,
+        /// The warehouse epoch the session starts at.
+        epoch: u64,
+    },
+    /// `ok <outcome>` — the reply to a command request; the payload is
+    /// a [`WireOutcome`] line. Note a rejected command is still an `ok`
+    /// frame (`ok rejected <reason>`): the *protocol* succeeded, the
+    /// session declined the command and is unchanged.
+    Outcome(WireOutcome),
+    /// `ok hashes <n> <hash>*` — the reply to [`Request::Hashes`].
+    Hashes(Vec<u64>),
+    /// `ok bye` — the reply to [`Request::Bye`]; the connection closes
+    /// after this frame.
+    Bye,
+    /// `err <reason>` — a protocol-level failure (unparseable request,
+    /// version mismatch, vanished session). The session, if any, is
+    /// unchanged.
+    Error(String),
+}
+
+impl Reply {
+    /// Encodes the reply as one line (no trailing newline).
+    pub fn encode(&self) -> String {
+        match self {
+            Reply::Session { session, epoch } => format!("ok session {session} epoch {epoch}"),
+            Reply::Outcome(outcome) => format!("ok {}", outcome.encode()),
+            Reply::Hashes(hashes) => {
+                let mut out = format!("ok hashes {}", hashes.len());
+                for h in hashes {
+                    out.push_str(&format!(" {h}"));
+                }
+                out
+            }
+            Reply::Bye => "ok bye".into(),
+            Reply::Error(reason) => format!("err {}", esc(reason)),
+        }
+    }
+
+    /// Parses one reply line.
+    pub fn decode(line: &str) -> Result<Reply, ProtocolError> {
+        let line = line.trim();
+        let (head, rest) = match line.split_once(char::is_whitespace) {
+            Some((h, r)) => (h, r.trim()),
+            None => (line, ""),
+        };
+        match head {
+            "ok" => {
+                let payload_head = rest.split_whitespace().next().unwrap_or("");
+                match payload_head {
+                    "session" => {
+                        let mut tokens = rest.split_whitespace().skip(1);
+                        match (tokens.next(), tokens.next(), tokens.next(), tokens.next()) {
+                            (Some(id), Some("epoch"), Some(e), None) => Ok(Reply::Session {
+                                session: id
+                                    .parse()
+                                    .map_err(|_| ProtocolError(format!("bad session {id:?}")))?,
+                                epoch: e
+                                    .parse()
+                                    .map_err(|_| ProtocolError(format!("bad epoch {e:?}")))?,
+                            }),
+                            _ => Err(ProtocolError(format!("malformed session reply: {line:?}"))),
+                        }
+                    }
+                    "hashes" => {
+                        let mut tokens = rest.split_whitespace().skip(1);
+                        let n: usize = tokens
+                            .next()
+                            .ok_or_else(|| ProtocolError("missing hash count".into()))?
+                            .parse()
+                            .map_err(|_| ProtocolError("bad hash count".into()))?;
+                        let mut hashes = Vec::with_capacity(n.min(1_024));
+                        for _ in 0..n {
+                            hashes.push(
+                                tokens
+                                    .next()
+                                    .ok_or_else(|| ProtocolError("missing hash".into()))?
+                                    .parse()
+                                    .map_err(|_| ProtocolError("bad hash".into()))?,
+                            );
+                        }
+                        if tokens.next().is_some() {
+                            return Err(ProtocolError(format!("trailing hashes in {line:?}")));
+                        }
+                        Ok(Reply::Hashes(hashes))
+                    }
+                    "bye" if rest == "bye" => Ok(Reply::Bye),
+                    _ => WireOutcome::decode(rest)
+                        .map(Reply::Outcome)
+                        .map_err(|e| ProtocolError(e.to_string())),
+                }
+            }
+            "err" => {
+                let mut tokens = rest.split_whitespace();
+                let reason = tokens
+                    .next()
+                    .ok_or_else(|| ProtocolError(format!("err frame without reason: {line:?}")))?;
+                if tokens.next().is_some() {
+                    return Err(ProtocolError(format!("trailing tokens in {line:?}")));
+                }
+                Ok(Reply::Error(unesc(reason).map_err(|e| ProtocolError(e.to_string()))?))
+            }
+            _ => Err(ProtocolError(format!("unknown reply head in {line:?}"))),
+        }
+    }
+}
+
+/// Any server→client line: a reply frame or an asynchronous epoch
+/// notification. This is what a client's read loop parses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerLine {
+    /// A reply frame (correlates to the oldest unanswered request).
+    Reply(Reply),
+    /// `epoch <e>` — the pool moved to warehouse epoch `e`. Pushed at
+    /// most once per epoch per connection, always between frames, and
+    /// always before any reply computed at epoch `e`.
+    Epoch(u64),
+}
+
+impl ServerLine {
+    /// Encodes the line (no trailing newline).
+    pub fn encode(&self) -> String {
+        match self {
+            ServerLine::Reply(reply) => reply.encode(),
+            ServerLine::Epoch(e) => format!("epoch {e}"),
+        }
+    }
+
+    /// Parses one server→client line.
+    pub fn decode(line: &str) -> Result<ServerLine, ProtocolError> {
+        let trimmed = line.trim();
+        match trimmed.split_whitespace().next() {
+            Some("epoch") => {
+                let mut tokens = trimmed.split_whitespace().skip(1);
+                match (tokens.next(), tokens.next()) {
+                    (Some(e), None) => Ok(ServerLine::Epoch(
+                        e.parse().map_err(|_| ProtocolError(format!("bad epoch {e:?}")))?,
+                    )),
+                    _ => Err(ProtocolError(format!("malformed epoch line: {trimmed:?}"))),
+                }
+            }
+            _ => Reply::decode(trimmed).map(ServerLine::Reply),
+        }
+    }
+}
+
+/// A malformed protocol line (either direction).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError(pub String);
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "protocol error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<ProtocolError> for std::io::Error {
+    fn from(e: ProtocolError) -> std::io::Error {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn greeting_round_trips() {
+        assert_eq!(parse_greeting(&greeting()).unwrap(), PROTOCOL_VERSION);
+        assert!(parse_greeting("mirabel-net").is_err());
+        assert!(parse_greeting("mirabel-net one").is_err());
+        assert!(parse_greeting("hello 1").is_err());
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for req in [
+            Request::Hello { version: 1 },
+            Request::Command(Command::Render),
+            Request::Command(Command::decode("load 0 96 - first day").unwrap()),
+            Request::Hashes,
+            Request::Bye,
+        ] {
+            assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        }
+        assert!(Request::decode("hello").is_err());
+        assert!(Request::decode("hello 1 2").is_err());
+        assert!(Request::decode("hashes now").is_err());
+        assert!(Request::decode("bye bye").is_err());
+        assert!(Request::decode("warp 9").is_err());
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        for reply in [
+            Reply::Session { session: 42, epoch: 7 },
+            Reply::Outcome(WireOutcome::Ack),
+            Reply::Outcome(WireOutcome::TabOpened { tab: 1, offers: 250 }),
+            Reply::Outcome(WireOutcome::Rejected("no active tab".into())),
+            Reply::Hashes(vec![]),
+            Reply::Hashes(vec![1, u64::MAX, 3]),
+            Reply::Bye,
+            Reply::Error("unsupported version 2".into()),
+        ] {
+            let line = reply.encode();
+            assert_eq!(Reply::decode(&line).unwrap(), reply, "{line:?}");
+            // Every reply is also a valid server line.
+            assert_eq!(ServerLine::decode(&line).unwrap(), ServerLine::Reply(reply));
+        }
+        assert!(Reply::decode("ok").is_err());
+        assert!(Reply::decode("ok session 1").is_err());
+        assert!(Reply::decode("ok hashes 2 1").is_err());
+        assert!(Reply::decode("nope").is_err());
+        assert!(Reply::decode("err").is_err());
+    }
+
+    #[test]
+    fn epoch_notifications_parse_as_server_lines_only() {
+        let line = ServerLine::Epoch(9).encode();
+        assert_eq!(line, "epoch 9");
+        assert_eq!(ServerLine::decode(&line).unwrap(), ServerLine::Epoch(9));
+        assert!(ServerLine::decode("epoch").is_err());
+        assert!(ServerLine::decode("epoch 1 2").is_err());
+        // `epoch` is not a reply head.
+        assert!(Reply::decode("epoch 9").is_err());
+    }
+
+    #[test]
+    fn rejected_commands_are_ok_frames_not_err_frames() {
+        let reply = Reply::Outcome(WireOutcome::Rejected("empty dashboard window".into()));
+        assert!(reply.encode().starts_with("ok rejected "));
+    }
+}

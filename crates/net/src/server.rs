@@ -1,0 +1,386 @@
+//! The TCP server: one connection = one session over a shared
+//! [`ConcurrentPool`].
+//!
+//! The server owns no sessions and no warehouse — it is a thin framing
+//! layer: an accept loop, a thread per connection, and a writer mutex
+//! per connection that keeps reply frames and epoch notifications from
+//! interleaving mid-line. All session semantics (lazy epoch sync,
+//! per-session locking, determinism) live in the pool it serves.
+//!
+//! ## Epoch-push ordering
+//!
+//! [`NetServer::bind`] registers a
+//! [`ConcurrentPool::on_publish`] hook that pushes `epoch <e>` to every
+//! connection. Two writers touch a connection's stream — the publish
+//! hook and the connection's own reply path — so each connection keeps
+//! a high-water `announced` epoch under its writer lock:
+//!
+//! * the hook sends `epoch e` only when `e > announced`;
+//! * the reply path, which knows the epoch every command actually ran
+//!   against ([`ConcurrentPool::apply_with_epoch`]), injects the
+//!   notification *before* the reply if the hook has not delivered it
+//!   yet.
+//!
+//! Together these give the PROTOCOL.md guarantee: at most one
+//! notification per epoch per connection, never inside a frame, and
+//! always before any reply computed at that epoch.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+use std::thread::JoinHandle;
+
+use mirabel_session::ConcurrentPool;
+
+use crate::protocol::{greeting, Reply, Request, PROTOCOL_VERSION};
+
+/// A TCP front over a [`ConcurrentPool`]; see the [module
+/// docs](crate::server) and PROTOCOL.md.
+///
+/// Dropping the server stops accepting, closes every live connection
+/// (closing their sessions), and joins all of its threads.
+pub struct NetServer {
+    addr: SocketAddr,
+    inner: Arc<Inner>,
+    accept: Option<JoinHandle<()>>,
+}
+
+/// State shared between the server handle, the accept loop, the
+/// connection threads and the pool's publish hook.
+struct Inner {
+    pool: Arc<ConcurrentPool>,
+    shutdown: AtomicBool,
+    /// Live connection writers, held weakly: a connection drops its own
+    /// writer when its thread exits, and sweeps prune the dead entries.
+    conns: Mutex<Vec<Weak<ConnWriter>>>,
+    /// Connection threads, joined on shutdown.
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// The write half of one connection: the stream clone plus the epoch
+/// high-water mark, under one lock so a notification can never split a
+/// reply frame (see the module docs).
+struct ConnWriter {
+    state: Mutex<WriterState>,
+}
+
+struct WriterState {
+    stream: TcpStream,
+    /// Highest epoch already announced on this connection.
+    announced: u64,
+}
+
+impl ConnWriter {
+    /// Writes `epoch <e>` if `e` is news to this connection.
+    fn notify_epoch(&self, epoch: u64) {
+        let mut w = self.state.lock().expect("writer lock");
+        if epoch > w.announced {
+            w.announced = epoch;
+            // A failed (or timed-out — see `WRITE_TIMEOUT`) write means
+            // the client is dead or wedged: shut the socket so its
+            // connection thread unblocks and tears the session down;
+            // never panic a publisher over one bad client.
+            if w.stream.write_all(format!("epoch {epoch}\n").as_bytes()).is_err() {
+                let _ = w.stream.shutdown(Shutdown::Both);
+            }
+        }
+    }
+
+    /// Writes one reply frame; when `epoch` is newer than everything
+    /// announced so far, the `epoch` notification goes out first (same
+    /// lock hold, two lines, one write).
+    fn reply(&self, reply: &Reply, epoch: Option<u64>) -> std::io::Result<()> {
+        let mut w = self.state.lock().expect("writer lock");
+        let mut out = String::new();
+        if let Some(e) = epoch {
+            if e > w.announced {
+                w.announced = e;
+                out.push_str(&format!("epoch {e}\n"));
+            }
+        }
+        out.push_str(&reply.encode());
+        out.push('\n');
+        w.stream.write_all(out.as_bytes())
+    }
+
+    fn close(&self) {
+        let w = self.state.lock().expect("writer lock");
+        let _ = w.stream.shutdown(Shutdown::Both);
+    }
+}
+
+impl NetServer {
+    /// Binds `addr` (use port 0 for an OS-assigned port) and starts
+    /// serving `pool`. Returns once the listener is live;
+    /// [`NetServer::local_addr`] is immediately connectable.
+    pub fn bind(addr: impl ToSocketAddrs, pool: Arc<ConcurrentPool>) -> std::io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let inner = Arc::new(Inner {
+            pool: Arc::clone(&pool),
+            shutdown: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+            workers: Mutex::new(Vec::new()),
+        });
+
+        // The publish hook holds the server state weakly: once the
+        // server drops, publishes fall through to a no-op instead of
+        // keeping dead connection lists alive inside the pool.
+        let hook_inner = Arc::downgrade(&inner);
+        pool.on_publish(move |epoch| {
+            if let Some(inner) = hook_inner.upgrade() {
+                inner.broadcast_epoch(epoch);
+            }
+        });
+
+        let accept_inner = Arc::clone(&inner);
+        let accept = std::thread::Builder::new()
+            .name("mirabel-net-accept".into())
+            .spawn(move || accept_loop(listener, accept_inner))?;
+
+        Ok(NetServer { addr, inner, accept: Some(accept) })
+    }
+
+    /// The bound address (the one to hand to
+    /// [`NetClient::connect`](crate::NetClient::connect)).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The pool this server fronts.
+    pub fn pool(&self) -> &Arc<ConcurrentPool> {
+        &self.inner.pool
+    }
+
+    /// Number of live connections (= network sessions).
+    pub fn connections(&self) -> usize {
+        self.inner
+            .conns
+            .lock()
+            .expect("conns lock")
+            .iter()
+            .filter(|w| w.upgrade().is_some())
+            .count()
+    }
+
+    /// Stops accepting, closes every connection, and joins all server
+    /// threads. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        if self.inner.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        for conn in self.inner.conns.lock().expect("conns lock").drain(..) {
+            if let Some(conn) = conn.upgrade() {
+                conn.close();
+            }
+        }
+        let workers: Vec<_> = self.inner.workers.lock().expect("workers lock").drain(..).collect();
+        for handle in workers {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl Inner {
+    /// Pushes `epoch <e>` to every live connection, pruning dead ones.
+    fn broadcast_epoch(&self, epoch: u64) {
+        let conns: Vec<Arc<ConnWriter>> = {
+            let mut guard = self.conns.lock().expect("conns lock");
+            guard.retain(|w| w.strong_count() > 0);
+            guard.iter().filter_map(Weak::upgrade).collect()
+        };
+        for conn in conns {
+            conn.notify_epoch(epoch);
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, inner: Arc<Inner>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Persistent accept errors (EMFILE under fd exhaustion,
+                // say) must not busy-spin a core; back off briefly so
+                // connection threads get cycles to finish and free fds.
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                continue;
+            }
+        };
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let conn_inner = Arc::clone(&inner);
+        let worker = std::thread::Builder::new().name("mirabel-net-conn".into()).spawn(move || {
+            // Connection errors tear down that connection only.
+            let _ = serve_connection(stream, conn_inner);
+        });
+        if let Ok(handle) = worker {
+            let mut workers = inner.workers.lock().expect("workers lock");
+            // Reap finished connections as we go: a long-lived server
+            // under connection churn must not accumulate a handle per
+            // connection ever served (dropping a finished handle just
+            // detaches an already-exited thread).
+            workers.retain(|h| !h.is_finished());
+            workers.push(handle);
+        }
+    }
+}
+
+/// A connection that blocks writes this long is dead or hostile: the
+/// timed-out write errors, the connection tears down, and — crucially —
+/// a publish hook broadcasting epochs is never wedged indefinitely
+/// behind one client that stopped reading.
+const WRITE_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(10);
+
+/// Runs one connection to completion: greeting, hello handshake,
+/// request loop, session teardown.
+fn serve_connection(stream: TcpStream, inner: Arc<Inner>) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
+    let writer = Arc::new(ConnWriter {
+        state: Mutex::new(WriterState { stream: stream.try_clone()?, announced: 0 }),
+    });
+    // Register for epoch broadcasts while holding the writer lock across
+    // the greeting write: a publish racing the handshake blocks on the
+    // lock until the greeting is out, so `epoch <e>` can never precede
+    // `mirabel-net 1` on the stream (the client absorbs notifications
+    // anywhere after that).
+    {
+        let mut w = writer.state.lock().expect("writer lock");
+        {
+            let mut conns = inner.conns.lock().expect("conns lock");
+            conns.retain(|c| c.strong_count() > 0);
+            conns.push(Arc::downgrade(&writer));
+        }
+        w.stream.write_all(format!("{}\n", greeting()).as_bytes())?;
+    }
+    // Close the shutdown race: NetServer::shutdown sets the flag
+    // *before* draining `conns`, so a connection that registered too
+    // late to be drained is guaranteed to observe the flag here and
+    // exit instead of parking in a read that shutdown would then join
+    // against forever.
+    if inner.shutdown.load(Ordering::SeqCst) {
+        return Ok(());
+    }
+
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+
+    // Handshake: the first request must be a matching `hello`.
+    let Some(first) = read_request_line(&mut reader, &mut line)? else {
+        return Ok(());
+    };
+    match Request::decode(&first) {
+        Ok(Request::Hello { version }) if version == PROTOCOL_VERSION => {}
+        Ok(Request::Hello { version }) => {
+            let reason =
+                format!("unsupported version {version} (this server speaks {PROTOCOL_VERSION})");
+            return writer.reply(&Reply::Error(reason), None);
+        }
+        Ok(_) | Err(_) => {
+            return writer.reply(&Reply::Error("expected hello first".into()), None);
+        }
+    }
+
+    let session = inner.pool.open();
+    // The hello reply itself carries the starting epoch, so mark it
+    // announced — monotonically: the broadcast hook may have already
+    // announced something newer during the handshake, and the reported
+    // epoch must never move the high-water mark backwards.
+    let epoch = {
+        let mut w = writer.state.lock().expect("writer lock");
+        w.announced = w.announced.max(inner.pool.epoch());
+        w.announced
+    };
+    // From here on every exit path must close the session: run the
+    // request loop in a closure so `?` on a dead socket cannot skip
+    // the teardown (a killed client must not leak its session into the
+    // shared pool).
+    let mut serve = || -> std::io::Result<()> {
+        writer.reply(&Reply::Session { session: session.0, epoch }, None)?;
+        loop {
+            let Some(request) = read_request_line(&mut reader, &mut line)? else {
+                return Ok(()); // EOF: the client vanished.
+            };
+            match Request::decode(&request) {
+                Err(e) => writer.reply(&Reply::Error(e.0), None)?,
+                Ok(Request::Hello { .. }) => {
+                    writer.reply(
+                        &Reply::Error("hello is only valid as the first request".into()),
+                        None,
+                    )?;
+                }
+                Ok(Request::Hashes) => {
+                    match inner.pool.with_session(session, |s| (s.epoch(), s.frame_hashes())) {
+                        Some((epoch, hashes)) => {
+                            writer.reply(&Reply::Hashes(hashes), Some(epoch))?;
+                        }
+                        None => return writer.reply(&Reply::Error("session closed".into()), None),
+                    }
+                }
+                Ok(Request::Bye) => return writer.reply(&Reply::Bye, None),
+                Ok(Request::Command(cmd)) => match inner.pool.apply_with_epoch(session, cmd) {
+                    Some((epoch, outcome)) => {
+                        writer.reply(&Reply::Outcome(outcome.to_wire()), Some(epoch))?;
+                    }
+                    None => return writer.reply(&Reply::Error("session closed".into()), None),
+                },
+            }
+        }
+    };
+    let result = serve();
+    inner.pool.close(session);
+    writer.close();
+    result
+}
+
+/// Longest request line the server will buffer. Requests arrive from
+/// untrusted peers, so the read must be bounded the same way the
+/// decode layer bounds attacker-declared list sizes — no legitimate
+/// command line (titles, MDX) comes anywhere near 64 KiB.
+const MAX_REQUEST_LINE: u64 = 64 * 1024;
+
+/// Reads the next non-empty, non-comment request line; `None` at EOF.
+/// Blank lines and `#` comments are tolerated so a recorded command
+/// script can be piped at a server verbatim. A line exceeding
+/// [`MAX_REQUEST_LINE`] is an error (tearing the connection down)
+/// rather than an unbounded allocation.
+fn read_request_line(
+    reader: &mut BufReader<TcpStream>,
+    line: &mut String,
+) -> std::io::Result<Option<String>> {
+    loop {
+        line.clear();
+        let mut limited = reader.by_ref().take(MAX_REQUEST_LINE);
+        let n = limited.read_line(line)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        if !line.ends_with('\n') && limited.limit() == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("request line exceeds {MAX_REQUEST_LINE} bytes"),
+            ));
+        }
+        let trimmed = line.trim();
+        if !trimmed.is_empty() && !trimmed.starts_with('#') {
+            return Ok(Some(trimmed.to_string()));
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! End-to-end server behaviour: connection = session, wire replies
+//! mirror in-process outcomes bit-for-bit, epoch pushes arrive with the
+//! documented ordering, and malformed input never kills a connection.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use mirabel_dw::{LiveWarehouse, Warehouse};
+use mirabel_net::{NetClient, NetServer, Reply, Request};
+use mirabel_session::{Command, ConcurrentPool, SessionPool, WireOutcome};
+use mirabel_workload::{generate_offers, OfferConfig, Population, PopulationConfig};
+
+fn population(size: usize, seed: u64) -> Population {
+    Population::generate(&PopulationConfig { size, seed, household_share: 0.8 })
+}
+
+fn pool(size: usize, seed: u64) -> Arc<ConcurrentPool> {
+    let pop = population(size, seed);
+    let offers = generate_offers(&pop, &OfferConfig::default());
+    Arc::new(ConcurrentPool::new(Arc::new(Warehouse::load(&pop, &offers))))
+}
+
+/// The script every determinism test replays: one of each command
+/// class, including a rejection.
+fn script() -> Vec<Command> {
+    [
+        "set-canvas 960 540",
+        "load 0 192 - main window",
+        "set-mode profile",
+        "render",
+        "pointer-move 480 270",
+        "click 480 270",
+        "drag-start 100 100",
+        "drag-end 800 500",
+        "show-selection",
+        "set-mode basic",
+        "render",
+        "activate-tab 0",
+        "set-aggregation 8 2 5",
+        "aggregate",
+        "mdx SELECT { [EnergyType].Children } ON COLUMNS FROM [FlexOffers]",
+        "dashboard 0 96 hour",
+        "set-planning greedy 8 1 96 42",
+        "plan",
+        "close-tab 99",
+        "render",
+    ]
+    .iter()
+    .map(|line| Command::decode(line).expect("valid script line"))
+    .collect()
+}
+
+#[test]
+fn wire_replies_match_in_process_outcomes_bit_for_bit() {
+    // In-process reference replay.
+    let reference_pool = pool(30, 0x2EF);
+    let ref_id = reference_pool.open();
+    let reference: Vec<String> = script()
+        .into_iter()
+        .map(|cmd| reference_pool.apply(ref_id, cmd).unwrap().to_wire().encode())
+        .collect();
+    let ref_hashes = reference_pool.with_session(ref_id, |s| s.frame_hashes()).unwrap();
+
+    // The same script over loopback TCP.
+    let server = NetServer::bind("127.0.0.1:0", pool(30, 0x2EF)).unwrap();
+    let mut client = NetClient::connect(server.local_addr()).unwrap();
+    let over_wire: Vec<String> =
+        script().iter().map(|cmd| client.command(cmd).unwrap().encode()).collect();
+    let wire_hashes = client.hashes().unwrap();
+    client.bye().unwrap();
+
+    assert_eq!(reference, over_wire, "the wire must not change a single outcome");
+    assert_eq!(ref_hashes, wire_hashes, "frame hashes must survive the wire");
+    assert!(!wire_hashes.is_empty());
+}
+
+#[test]
+fn concurrent_clients_replay_deterministically() {
+    const CLIENTS: usize = 4;
+
+    // Reference: each client's script in its own in-process session.
+    let reference_pool = pool(30, 0x51ED);
+    let reference: Vec<Vec<u64>> = (0..CLIENTS)
+        .map(|_| {
+            let id = reference_pool.open();
+            for cmd in script() {
+                reference_pool.apply(id, cmd).unwrap();
+            }
+            reference_pool.with_session(id, |s| s.frame_hashes()).unwrap()
+        })
+        .collect();
+
+    let server = NetServer::bind("127.0.0.1:0", pool(30, 0x51ED)).unwrap();
+    let addr = server.local_addr();
+    let wire: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut client = NetClient::connect(addr).unwrap();
+                    for cmd in script() {
+                        client.command(&cmd).unwrap();
+                    }
+                    let hashes = client.hashes().unwrap();
+                    client.bye().unwrap();
+                    hashes
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (i, hashes) in wire.iter().enumerate() {
+        assert_eq!(hashes, &reference[i], "client {i} diverged from the in-process replay");
+    }
+}
+
+#[test]
+fn connection_is_a_session_and_bye_closes_it() {
+    let server = NetServer::bind("127.0.0.1:0", pool(10, 1)).unwrap();
+    assert_eq!(server.pool().len(), 0);
+
+    let client_a = NetClient::connect(server.local_addr()).unwrap();
+    let client_b = NetClient::connect(server.local_addr()).unwrap();
+    assert_ne!(client_a.session(), client_b.session());
+    assert_eq!(server.pool().len(), 2);
+
+    client_a.bye().unwrap();
+    // bye is synchronous on the wire but teardown races the assertion;
+    // poll briefly.
+    for _ in 0..200 {
+        if server.pool().len() == 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(server.pool().len(), 1);
+
+    // Dropping a client without bye also closes its session (EOF path).
+    drop(client_b);
+    for _ in 0..200 {
+        if server.pool().is_empty() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(server.pool().len(), 0);
+}
+
+#[test]
+fn malformed_lines_get_err_replies_and_the_session_survives() {
+    let server = NetServer::bind("127.0.0.1:0", pool(10, 2)).unwrap();
+    let mut client = NetClient::connect(server.local_addr()).unwrap();
+
+    for bad in ["warp 9", "load 0 x - t", "hello 1", "set-mode sideways"] {
+        let lines = client.request_raw(bad).unwrap();
+        assert!(
+            lines.last().unwrap().starts_with("err "),
+            "{bad:?} should earn an err reply, got {lines:?}"
+        );
+    }
+    // Rejected commands are ok-frames, not protocol errors...
+    let outcome = client.command(&Command::decode("activate-tab 7").unwrap()).unwrap();
+    assert!(outcome.is_rejected());
+    // ...and the session still works after all of the above.
+    let outcome = client.command(&Command::decode("load 0 96 - still alive").unwrap()).unwrap();
+    assert!(matches!(outcome, WireOutcome::TabOpened { .. }));
+    client.bye().unwrap();
+}
+
+#[test]
+fn blank_lines_and_comments_are_tolerated() {
+    // A recorded command script (with comments) can be piped verbatim.
+    let server = NetServer::bind("127.0.0.1:0", pool(10, 3)).unwrap();
+    let mut client = NetClient::connect(server.local_addr()).unwrap();
+    let lines = client.request_raw("# a comment, then a blank, then a command\n\nrender").unwrap();
+    assert!(lines.last().unwrap().starts_with("ok "), "{lines:?}");
+    client.bye().unwrap();
+}
+
+#[test]
+fn version_mismatch_is_refused_before_a_session_opens() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let server = NetServer::bind("127.0.0.1:0", pool(10, 4)).unwrap();
+    let mut stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim(), "mirabel-net 1");
+
+    stream.write_all(b"hello 2\n").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    let reply = Reply::decode(&line).unwrap();
+    assert!(
+        matches!(reply, Reply::Error(ref r) if r.contains("unsupported version 2")),
+        "{reply:?}"
+    );
+    assert_eq!(server.pool().len(), 0, "no session may open for a refused client");
+}
+
+#[test]
+fn hello_must_come_first_and_only_once() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let server = NetServer::bind("127.0.0.1:0", pool(10, 5)).unwrap();
+    let mut stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap(); // greeting
+    stream.write_all(b"render\n").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(matches!(Reply::decode(&line).unwrap(), Reply::Error(_)), "{line:?}");
+
+    // On an established connection, a second hello is an error but the
+    // session survives.
+    let mut client = NetClient::connect(server.local_addr()).unwrap();
+    match client.request(&Request::Hello { version: 1 }).unwrap() {
+        Reply::Error(reason) => assert!(reason.contains("first"), "{reason}"),
+        other => panic!("unexpected {other:?}"),
+    }
+    assert!(client.request(&Request::Hashes).is_ok());
+    client.bye().unwrap();
+}
+
+#[test]
+fn epoch_publishes_are_pushed_and_ordered_before_dependent_replies() {
+    let pop = population(20, 0xE9);
+    let offers = generate_offers(&pop, &OfferConfig::default());
+    let live = LiveWarehouse::new(pop, &offers);
+    let pool = Arc::new(ConcurrentPool::new(Arc::clone(live.snapshot().warehouse())));
+    let server = NetServer::bind("127.0.0.1:0", Arc::clone(&pool)).unwrap();
+
+    let mut client = NetClient::connect(server.local_addr()).unwrap();
+    client.command(&Command::decode("load 0 192 - live view").unwrap()).unwrap();
+    assert_eq!(client.epoch(), 0);
+
+    // Publish through the pool: the hook must push to the idle client.
+    live.advance_day();
+    pool.publish(&live.publish());
+    assert!(
+        client.wait_for_epoch(1, Duration::from_secs(5)).unwrap(),
+        "the epoch push never arrived"
+    );
+    assert_eq!(client.notifications(), &[1]);
+
+    // A second publish while the client is *not* reading: the ordering
+    // guarantee says the notification precedes the reply of the next
+    // command (which runs at epoch 2).
+    live.advance_day();
+    pool.publish(&live.publish());
+    let lines = client.request_raw("render").unwrap();
+    let epoch_pos = lines.iter().position(|l| l.trim() == "epoch 2");
+    let reply_pos = lines.iter().position(|l| l.starts_with("ok ")).unwrap();
+    match epoch_pos {
+        Some(pos) => assert!(pos < reply_pos, "epoch push must precede the reply: {lines:?}"),
+        // The hook may have delivered it before our request went out —
+        // then it must already be recorded.
+        None => assert!(client.notifications().contains(&2), "{lines:?}"),
+    }
+    assert_eq!(client.epoch(), 2);
+
+    // At most one notification per epoch per connection.
+    let all = client.notifications().to_vec();
+    let mut dedup = all.clone();
+    dedup.dedup();
+    assert_eq!(all, dedup, "duplicate epoch notifications: {all:?}");
+    client.bye().unwrap();
+}
+
+#[test]
+fn wire_replay_matches_session_pool_replay_of_a_recorded_log() {
+    // The command-log story carries over the wire: a log recorded
+    // in-process replays over TCP to the same frames.
+    let pop = population(25, 0xAB);
+    let offers = generate_offers(&pop, &OfferConfig::default());
+    let warehouse = Arc::new(Warehouse::load(&pop, &offers));
+
+    let mut pool = SessionPool::new(Arc::clone(&warehouse));
+    let id = pool.open();
+    let session = pool.session_mut(id).unwrap();
+    session.set_recording(true);
+    for cmd in script() {
+        session.handle(cmd);
+    }
+    let log = session.take_log();
+    let reference = session.frame_hashes();
+
+    let server = NetServer::bind("127.0.0.1:0", Arc::new(ConcurrentPool::new(warehouse))).unwrap();
+    let mut client = NetClient::connect(server.local_addr()).unwrap();
+    for cmd in &log {
+        client.command(cmd).unwrap();
+    }
+    assert_eq!(client.hashes().unwrap(), reference);
+    client.bye().unwrap();
+}

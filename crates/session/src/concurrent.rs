@@ -76,7 +76,6 @@ struct Shard {
 /// });
 /// assert_eq!(pool.len(), 1);
 /// ```
-#[derive(Debug)]
 pub struct ConcurrentPool {
     /// The current warehouse snapshot + epoch. Readers hold the read
     /// lock for one Arc clone; [`ConcurrentPool::publish`] takes the
@@ -93,6 +92,27 @@ pub struct ConcurrentPool {
     /// Monotone id source; [`ConcurrentPool::open`] skips live ids, so
     /// even a full `u64` wraparound cannot collide with an open session.
     next: AtomicU64,
+    /// Publish subscribers (see [`ConcurrentPool::on_publish`]).
+    hooks: Mutex<Vec<PublishHook>>,
+}
+
+/// A publish subscriber: called with the new epoch after every
+/// *advancing* [`ConcurrentPool::publish`]. `Arc`, not `Box`, so
+/// [`ConcurrentPool::publish`] can snapshot the list and run the hooks
+/// with **no pool lock held** — a slow hook (or one that calls back
+/// into the pool, even `publish`/`on_publish`) can never wedge the
+/// registry.
+type PublishHook = Arc<dyn Fn(u64) + Send + Sync>;
+
+impl std::fmt::Debug for ConcurrentPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConcurrentPool")
+            .field("epoch", &self.epoch())
+            .field("shards", &self.shards.len())
+            .field("sessions", &self.len())
+            .field("publish_hooks", &self.hooks.lock().expect("hooks lock").len())
+            .finish()
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -117,7 +137,28 @@ impl ConcurrentPool {
             epoch: AtomicU64::new(0),
             shards,
             next: AtomicU64::new(0),
+            hooks: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Subscribes to epoch publishes: `hook` runs with the new epoch
+    /// after every publish that actually advanced the pool (stale
+    /// publishes never fire it). This is how a network front pushes
+    /// `epoch` notifications to connected clients without polling.
+    ///
+    /// Hooks run on the publishing thread, *after* the snapshot swap is
+    /// visible and outside every pool lock — including the hook
+    /// registry's own lock, so a hook may freely call back into the
+    /// pool, `on_publish` and `publish` included (and sessions
+    /// observing the new epoch before their notification arrives is
+    /// fine: the per-connection ordering guarantee lives in the
+    /// transport, see PROTOCOL.md). A slow hook still runs on the
+    /// publisher's thread, so subscribers doing I/O should bound it
+    /// (the network front uses socket write timeouts). Hooks cannot be
+    /// unregistered; subscribers that may outlive their interest
+    /// should capture a [`std::sync::Weak`] and no-op once dead.
+    pub fn on_publish(&self, hook: impl Fn(u64) + Send + Sync + 'static) {
+        self.hooks.lock().expect("hooks lock").push(Arc::new(hook));
     }
 
     /// The current warehouse snapshot.
@@ -140,16 +181,36 @@ impl ConcurrentPool {
     /// so a racing pair of publishers cannot move the pool backwards.
     /// Returns the pool's epoch after the call.
     pub fn publish(&self, snapshot: &EpochSnapshot) -> u64 {
-        let mut cur = self.current.write().expect("current lock");
-        if snapshot.epoch() > cur.epoch {
-            *cur = Current { epoch: snapshot.epoch(), warehouse: Arc::clone(snapshot.warehouse()) };
-            // Arm the fast path only after `current` holds the new
-            // snapshot (both still under the write lock): a session
-            // that reads the new epoch always finds a warehouse at
-            // least that new behind the read lock.
-            self.epoch.store(cur.epoch, Ordering::Release);
+        let (epoch, advanced) = {
+            let mut cur = self.current.write().expect("current lock");
+            let advanced = snapshot.epoch() > cur.epoch;
+            if advanced {
+                *cur = Current {
+                    epoch: snapshot.epoch(),
+                    warehouse: Arc::clone(snapshot.warehouse()),
+                };
+                // Arm the fast path only after `current` holds the new
+                // snapshot (both still under the write lock): a session
+                // that reads the new epoch always finds a warehouse at
+                // least that new behind the read lock.
+                self.epoch.store(cur.epoch, Ordering::Release);
+            }
+            (cur.epoch, advanced)
+        };
+        // Hooks run outside every pool lock (the registry is cloned
+        // out, not iterated under its mutex): a subscriber may call
+        // back into the pool — even publish/on_publish — without
+        // deadlocking, and a slow hook never blocks registration.
+        // Racing publishers may invoke hooks out of epoch order —
+        // subscribers keep a monotone high-water mark.
+        if advanced {
+            let hooks: Vec<PublishHook> =
+                self.hooks.lock().expect("hooks lock").iter().map(Arc::clone).collect();
+            for hook in hooks {
+                hook(epoch);
+            }
         }
-        cur.epoch
+        epoch
     }
 
     /// Snapshot + epoch in one read-lock acquisition.
@@ -218,12 +279,23 @@ impl ConcurrentPool {
     /// warehouse epoch since this session's last command, the session
     /// re-syncs first (see [`ConcurrentPool::publish`]).
     pub fn apply(&self, id: SessionId, cmd: Command) -> Option<Outcome> {
+        self.apply_with_epoch(id, cmd).map(|(_, outcome)| outcome)
+    }
+
+    /// Like [`ConcurrentPool::apply`], but also returns the warehouse
+    /// epoch the command actually ran against (i.e. the session's epoch
+    /// *after* the lazy sync). A network front needs this to honor the
+    /// protocol's ordering guarantee: the `epoch E` notification must
+    /// precede any reply computed at epoch `E` on the same connection.
+    pub fn apply_with_epoch(&self, id: SessionId, cmd: Command) -> Option<(u64, Outcome)> {
         let session = {
             let map = self.shard(id.0).sessions.lock().expect("shard lock");
             Arc::clone(map.get(&id.0)?)
         };
-        let outcome = self.locked(&session).handle(cmd);
-        Some(outcome)
+        let mut guard = self.locked(&session);
+        let epoch = guard.epoch();
+        let outcome = guard.handle(cmd);
+        Some((epoch, outcome))
     }
 
     /// Runs `f` with shared access to session `id`; `None` if unknown.
@@ -334,6 +406,74 @@ mod tests {
         assert!(!pool.close(a));
         assert!(pool.apply(a, Command::Render).is_none());
         assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn publish_hooks_fire_once_per_advancing_epoch() {
+        use mirabel_dw::LiveWarehouse;
+        use std::sync::atomic::AtomicUsize;
+
+        let pop = Population::generate(&PopulationConfig {
+            size: 10,
+            seed: 0xF00D,
+            household_share: 0.8,
+        });
+        let offers = generate_offers(&pop, &OfferConfig::default());
+        let live = LiveWarehouse::new(pop, &offers);
+        let pool = ConcurrentPool::new(Arc::clone(live.snapshot().warehouse()));
+
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let calls = Arc::new(AtomicUsize::new(0));
+        {
+            let seen = Arc::clone(&seen);
+            pool.on_publish(move |epoch| seen.lock().unwrap().push(epoch));
+        }
+        {
+            let calls = Arc::clone(&calls);
+            pool.on_publish(move |_| {
+                calls.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+
+        live.advance_day();
+        let snap1 = live.publish();
+        assert_eq!(pool.publish(&snap1), 1);
+        // A stale re-publish must not fire the hooks again.
+        assert_eq!(pool.publish(&snap1), 1);
+        live.advance_day();
+        let snap2 = live.publish();
+        assert_eq!(pool.publish(&snap2), 2);
+
+        assert_eq!(*seen.lock().unwrap(), vec![1, 2]);
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+        // Debug output reports the subscriber count without panicking.
+        assert!(format!("{pool:?}").contains("publish_hooks: 2"));
+    }
+
+    #[test]
+    fn apply_with_epoch_reports_the_synced_epoch() {
+        use mirabel_dw::LiveWarehouse;
+
+        let pop = Population::generate(&PopulationConfig {
+            size: 10,
+            seed: 0xF00D,
+            household_share: 0.8,
+        });
+        let offers = generate_offers(&pop, &OfferConfig::default());
+        let live = LiveWarehouse::new(pop, &offers);
+        let pool = ConcurrentPool::new(Arc::clone(live.snapshot().warehouse()));
+        let id = pool.open();
+
+        let (epoch, _) = pool.apply_with_epoch(id, Command::Render).unwrap();
+        assert_eq!(epoch, 0);
+
+        live.advance_day();
+        pool.publish(&live.publish());
+        // The next command lazily syncs the session and reports the
+        // epoch it actually ran against.
+        let (epoch, _) = pool.apply_with_epoch(id, Command::Render).unwrap();
+        assert_eq!(epoch, 1);
+        assert!(pool.apply_with_epoch(SessionId(999), Command::Render).is_none());
     }
 
     #[test]

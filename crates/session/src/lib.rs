@@ -33,6 +33,36 @@
 //! is served from one cached frame. Offers are `Arc`-shared from the
 //! warehouse through the loader into every tab of every session; no
 //! per-tab clones of the payload. See DESIGN.md for the architecture.
+//!
+//! Both halves of the command surface are line-encodable — commands via
+//! [`Command::encode`]/[`Command::decode`], outcomes via their
+//! [`wire`] projection — which is what lets `mirabel-net` serve a
+//! session over TCP (PROTOCOL.md is the normative grammar).
+//!
+//! # Example
+//!
+//! Drive a session entirely through decoded command lines, exactly as a
+//! network front would, and read the reply off the wire encoding:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use mirabel_dw::Warehouse;
+//! use mirabel_session::{Command, Session, WireOutcome};
+//! use mirabel_workload::{generate_offers, OfferConfig, Population, PopulationConfig};
+//!
+//! let pop = Population::generate(&PopulationConfig {
+//!     size: 20, seed: 7, household_share: 0.8 });
+//! let offers = generate_offers(&pop, &OfferConfig::default());
+//! let mut session = Session::new(Arc::new(Warehouse::load(&pop, &offers)));
+//!
+//! for line in ["load 0 96 - first day", "set-mode profile", "render"] {
+//!     let cmd = Command::decode(line).expect("valid script line");
+//!     let reply = session.handle(cmd).to_wire();
+//!     // Every reply round-trips through its one-line wire form.
+//!     assert_eq!(WireOutcome::decode(&reply.encode()), Ok(reply));
+//! }
+//! assert_eq!(session.tabs().len(), 1);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -47,6 +77,7 @@ pub mod tab;
 pub mod tools;
 pub mod views;
 pub mod visual;
+pub mod wire;
 
 pub use command::{encode_script, parse_script, Command, CommandParseError};
 pub use concurrent::ConcurrentPool;
@@ -57,3 +88,4 @@ pub use session::{Session, SessionStats};
 pub use tab::{FrameRef, Selection, Tab, ViewMode};
 pub use tools::{AggregationOutcome, AggregationTools};
 pub use visual::{slot_label, VisualOffer};
+pub use wire::{FrameMeta, WireOutcome, WireParseError};

@@ -1,0 +1,673 @@
+//! The wire encoding of [`Outcome`] — the response half of the network
+//! protocol.
+//!
+//! [`Command`](crate::Command) has been line-encodable since PR 1
+//! ([`Command::encode`](crate::Command::encode) /
+//! [`Command::decode`](crate::Command::decode)); this module gives
+//! [`Outcome`] the matching property, so the whole command surface can
+//! cross a socket. PROTOCOL.md is the normative grammar; the
+//! `mirabel-net` crate frames these lines over TCP.
+//!
+//! An [`Outcome`] is not itself decodable — [`Outcome::Frame`] carries a
+//! whole rendered [`Scene`](mirabel_viz::Scene), which a thin client
+//! neither needs nor wants per response. [`WireOutcome`] is the
+//! protocol-level projection: every variant maps one-to-one, and the
+//! frame variant carries the versioned handle a client actually consumes
+//! — `(revision, epoch, hash)`, the [`FrameRef`](crate::FrameRef) minus the scene. The
+//! content hash is the determinism observable: two clients replaying the
+//! same commands can compare hashes without shipping a single pixel.
+//!
+//! `WireOutcome` round-trips exactly: for every variant,
+//! `WireOutcome::decode(&w.encode()) == Ok(w)` — including titles with
+//! spaces, MDX errors with newlines, empty strings, negative slots and
+//! non-finite-free floats. The seeded property tests below hold that bar
+//! for every variant; `mirabel-net` quotes the productions from
+//! PROTOCOL.md.
+//!
+//! # Encoding
+//!
+//! One outcome per line: a head token naming the variant, then
+//! whitespace-separated fields. Variable-length lists are prefixed with
+//! their count. Free-text fields are escaped so they cannot contain
+//! whitespace ([`esc`]): `\` → `\\`, space → `\_`, tab → `\t`, newline
+//! → `\n`, carriage return → `\r`, and the empty string encodes as the
+//! two-character token `\e`. Floats use Rust's shortest round-trip
+//! `Display` form.
+
+use std::fmt;
+
+use mirabel_dw::{MemberId, PivotTable};
+use mirabel_flexoffer::FlexOfferId;
+use mirabel_timeseries::TimeSlot;
+
+use crate::outcome::{AggregationStats, Outcome, PlanStats, SelectionDelta};
+use crate::views::tooltip::TooltipInfo;
+
+/// The versioned frame handle the wire protocol ships instead of a
+/// rendered scene: enough for a client to key its own cache and to
+/// verify determinism (equal hashes ⇒ pixel-identical rendering).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameMeta {
+    /// Tab revision the frame was built at.
+    pub revision: u64,
+    /// Warehouse epoch the frame was built at.
+    pub epoch: u64,
+    /// Structural content hash of the scene (see
+    /// [`Scene::content_hash`](mirabel_viz::Scene::content_hash)).
+    pub hash: u64,
+}
+
+/// The wire-encodable projection of [`Outcome`] — one variant per
+/// outcome variant, with [`Outcome::Frame`] reduced to its
+/// [`FrameMeta`] handle.
+///
+/// Unlike `Outcome`, `WireOutcome` is `PartialEq` and round-trips
+/// through [`WireOutcome::encode`] / [`WireOutcome::decode`] exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireOutcome {
+    /// `ack` — the command applied; nothing further to report.
+    Ack,
+    /// `tooltip` — hover result (`None` over empty space).
+    Tooltip(Option<TooltipInfo>),
+    /// `selection` — the selection changed.
+    Selection(SelectionDelta),
+    /// `tab-opened` — a tab was opened (now active).
+    TabOpened {
+        /// Index of the new tab.
+        tab: usize,
+        /// Number of offers on it.
+        offers: usize,
+    },
+    /// `tab-activated` — a tab was activated.
+    TabActivated {
+        /// Index of the now-active tab.
+        tab: usize,
+    },
+    /// `tab-closed` — a tab was closed.
+    TabClosed {
+        /// Index the tab had before removal.
+        tab: usize,
+    },
+    /// `aggregated` — aggregation ran on the active tab.
+    Aggregated {
+        /// The numbers the Figure 11 panel shows.
+        stats: AggregationStats,
+        /// Ids that were selected before aggregation cleared them.
+        deselected: Vec<FlexOfferId>,
+    },
+    /// `planned` — a day-ahead plan ran or incrementally refreshed.
+    Planned(PlanStats),
+    /// `pivot` — an MDX query evaluated to a pivot table.
+    Pivot(PivotTable),
+    /// `frame` — a rendered, versioned frame, shipped as its handle.
+    Frame(FrameMeta),
+    /// `rejected` — the command could not be applied; the session is
+    /// unchanged.
+    Rejected(String),
+}
+
+impl WireOutcome {
+    /// The variant's head token — the first token of its encoded line,
+    /// and the production name PROTOCOL.md documents.
+    pub fn head(&self) -> &'static str {
+        match self {
+            WireOutcome::Ack => "ack",
+            WireOutcome::Tooltip(_) => "tooltip",
+            WireOutcome::Selection(_) => "selection",
+            WireOutcome::TabOpened { .. } => "tab-opened",
+            WireOutcome::TabActivated { .. } => "tab-activated",
+            WireOutcome::TabClosed { .. } => "tab-closed",
+            WireOutcome::Aggregated { .. } => "aggregated",
+            WireOutcome::Planned(_) => "planned",
+            WireOutcome::Pivot(_) => "pivot",
+            WireOutcome::Frame(_) => "frame",
+            WireOutcome::Rejected(_) => "rejected",
+        }
+    }
+
+    /// `true` when the command was rejected (mirrors
+    /// [`Outcome::is_rejected`]).
+    pub fn is_rejected(&self) -> bool {
+        matches!(self, WireOutcome::Rejected(_))
+    }
+
+    /// The frame hash, if this outcome carries a frame — the one number
+    /// a client compares to verify determinism across the wire.
+    pub fn frame_hash(&self) -> Option<u64> {
+        match self {
+            WireOutcome::Frame(meta) => Some(meta.hash),
+            _ => None,
+        }
+    }
+
+    /// Encodes the outcome as one line of the wire format (no trailing
+    /// newline).
+    pub fn encode(&self) -> String {
+        match self {
+            WireOutcome::Ack => "ack".into(),
+            WireOutcome::Tooltip(None) => "tooltip -".into(),
+            WireOutcome::Tooltip(Some(info)) => {
+                let mut out = format!("tooltip {} {}", info.offer_index, info.lines.len());
+                for line in &info.lines {
+                    out.push(' ');
+                    out.push_str(&esc(line));
+                }
+                out
+            }
+            WireOutcome::Selection(d) => {
+                let mut out = format!("selection {} {} {}", d.tab, d.total, d.added.len());
+                for id in &d.added {
+                    out.push_str(&format!(" {}", id.0));
+                }
+                out.push_str(&format!(" {}", d.removed.len()));
+                for id in &d.removed {
+                    out.push_str(&format!(" {}", id.0));
+                }
+                out
+            }
+            WireOutcome::TabOpened { tab, offers } => format!("tab-opened {tab} {offers}"),
+            WireOutcome::TabActivated { tab } => format!("tab-activated {tab}"),
+            WireOutcome::TabClosed { tab } => format!("tab-closed {tab}"),
+            WireOutcome::Aggregated { stats, deselected } => {
+                let mut out = format!(
+                    "aggregated {} {} {} {} {}",
+                    stats.input_count,
+                    stats.output_count,
+                    stats.reduction_factor,
+                    stats.flexibility_loss_slots,
+                    deselected.len(),
+                );
+                for id in deselected {
+                    out.push_str(&format!(" {}", id.0));
+                }
+                out
+            }
+            WireOutcome::Planned(p) => format!(
+                "planned {} {} {} {} {} {} {} {} {}",
+                p.generation,
+                p.epoch,
+                p.window_start.index(),
+                p.replanned,
+                p.partitions,
+                p.assigned,
+                p.skipped,
+                p.before_l1,
+                p.after_l1,
+            ),
+            WireOutcome::Pivot(t) => {
+                let mut out = format!("pivot {} {}", t.n_rows(), t.n_cols());
+                for (m, l) in t.row_members.iter().zip(&t.row_labels) {
+                    out.push_str(&format!(" {} {}", m.0, esc(l)));
+                }
+                for (m, l) in t.col_members.iter().zip(&t.col_labels) {
+                    out.push_str(&format!(" {} {}", m.0, esc(l)));
+                }
+                for row in &t.cells {
+                    for cell in row {
+                        out.push_str(&format!(" {cell}"));
+                    }
+                }
+                out
+            }
+            WireOutcome::Frame(f) => format!("frame {} {} {}", f.revision, f.epoch, f.hash),
+            WireOutcome::Rejected(reason) => format!("rejected {}", esc(reason)),
+        }
+    }
+
+    /// Parses one line of the wire format. Inverse of
+    /// [`WireOutcome::encode`]: rejects unknown heads, truncated field
+    /// lists, malformed numbers and trailing garbage.
+    pub fn decode(line: &str) -> Result<WireOutcome, WireParseError> {
+        let mut c = Cursor::new(line);
+        let head = c.token("head")?;
+        let outcome = match head {
+            "ack" => WireOutcome::Ack,
+            "tooltip" => match c.token("offer index or '-'")? {
+                "-" => WireOutcome::Tooltip(None),
+                idx => {
+                    let offer_index = parse_tok(idx, "offer index")?;
+                    let n: usize = c.parse("line count")?;
+                    let mut lines = Vec::with_capacity(n.min(MAX_WIRE_LIST));
+                    for _ in 0..n {
+                        lines.push(unesc(c.token("tooltip line")?)?);
+                    }
+                    WireOutcome::Tooltip(Some(TooltipInfo { offer_index, lines }))
+                }
+            },
+            "selection" => {
+                let tab = c.parse("tab")?;
+                let total = c.parse("total")?;
+                let added = c.id_list("added")?;
+                let removed = c.id_list("removed")?;
+                WireOutcome::Selection(SelectionDelta { tab, added, removed, total })
+            }
+            "tab-opened" => {
+                WireOutcome::TabOpened { tab: c.parse("tab")?, offers: c.parse("offers")? }
+            }
+            "tab-activated" => WireOutcome::TabActivated { tab: c.parse("tab")? },
+            "tab-closed" => WireOutcome::TabClosed { tab: c.parse("tab")? },
+            "aggregated" => {
+                let stats = AggregationStats {
+                    input_count: c.parse("input count")?,
+                    output_count: c.parse("output count")?,
+                    reduction_factor: c.parse("reduction factor")?,
+                    flexibility_loss_slots: c.parse("flexibility loss")?,
+                };
+                let deselected = c.id_list("deselected")?;
+                WireOutcome::Aggregated { stats, deselected }
+            }
+            "planned" => WireOutcome::Planned(PlanStats {
+                generation: c.parse("generation")?,
+                epoch: c.parse("epoch")?,
+                window_start: TimeSlot::new(c.parse("window start")?),
+                replanned: c.parse("replanned")?,
+                partitions: c.parse("partitions")?,
+                assigned: c.parse("assigned")?,
+                skipped: c.parse("skipped")?,
+                before_l1: c.parse("before l1")?,
+                after_l1: c.parse("after l1")?,
+            }),
+            "pivot" => {
+                let rows: usize = c.parse("row count")?;
+                let cols: usize = c.parse("col count")?;
+                let mut table = PivotTable {
+                    row_members: Vec::with_capacity(rows.min(MAX_WIRE_LIST)),
+                    row_labels: Vec::with_capacity(rows.min(MAX_WIRE_LIST)),
+                    col_members: Vec::with_capacity(cols.min(MAX_WIRE_LIST)),
+                    col_labels: Vec::with_capacity(cols.min(MAX_WIRE_LIST)),
+                    cells: Vec::with_capacity(rows.min(MAX_WIRE_LIST)),
+                };
+                for _ in 0..rows {
+                    table.row_members.push(MemberId(c.parse("row member")?));
+                    table.row_labels.push(unesc(c.token("row label")?)?);
+                }
+                for _ in 0..cols {
+                    table.col_members.push(MemberId(c.parse("col member")?));
+                    table.col_labels.push(unesc(c.token("col label")?)?);
+                }
+                for _ in 0..rows {
+                    let mut row = Vec::with_capacity(cols.min(MAX_WIRE_LIST));
+                    for _ in 0..cols {
+                        row.push(c.parse("cell")?);
+                    }
+                    table.cells.push(row);
+                }
+                WireOutcome::Pivot(table)
+            }
+            "frame" => WireOutcome::Frame(FrameMeta {
+                revision: c.parse("revision")?,
+                epoch: c.parse("epoch")?,
+                hash: c.parse("hash")?,
+            }),
+            "rejected" => WireOutcome::Rejected(unesc(c.token("reason")?)?),
+            other => return Err(WireParseError(format!("unknown outcome head {other:?}"))),
+        };
+        c.finish()?;
+        Ok(outcome)
+    }
+}
+
+impl From<&Outcome> for WireOutcome {
+    fn from(outcome: &Outcome) -> WireOutcome {
+        match outcome {
+            Outcome::Ack => WireOutcome::Ack,
+            Outcome::Tooltip(info) => WireOutcome::Tooltip(info.clone()),
+            Outcome::Selection(d) => WireOutcome::Selection(d.clone()),
+            Outcome::TabOpened { tab, offers } => {
+                WireOutcome::TabOpened { tab: *tab, offers: *offers }
+            }
+            Outcome::TabActivated { tab } => WireOutcome::TabActivated { tab: *tab },
+            Outcome::TabClosed { tab } => WireOutcome::TabClosed { tab: *tab },
+            Outcome::Aggregated { stats, deselected } => {
+                WireOutcome::Aggregated { stats: stats.clone(), deselected: deselected.clone() }
+            }
+            Outcome::Planned(p) => WireOutcome::Planned(*p),
+            Outcome::Pivot(t) => WireOutcome::Pivot(t.clone()),
+            Outcome::Frame(f) => {
+                WireOutcome::Frame(FrameMeta { revision: f.revision, epoch: f.epoch, hash: f.hash })
+            }
+            Outcome::Rejected(reason) => WireOutcome::Rejected(reason.clone()),
+        }
+    }
+}
+
+impl Outcome {
+    /// The wire projection of this outcome (see [`WireOutcome`]): what a
+    /// network front sends back for the command that produced it.
+    pub fn to_wire(&self) -> WireOutcome {
+        WireOutcome::from(self)
+    }
+}
+
+/// Upper bound on any pre-allocated list capacity while decoding — the
+/// declared count is attacker-controlled on a wire, so allocation must
+/// follow actual tokens, not the claim.
+const MAX_WIRE_LIST: usize = 1_024;
+
+/// A malformed wire outcome line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireParseError(pub String);
+
+impl fmt::Display for WireParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireParseError {}
+
+/// Escapes a free-text field into a single whitespace-free token:
+/// `\` → `\\`, space → `\_`, tab → `\t`, newline → `\n`, carriage
+/// return → `\r`; the empty string encodes as `\e`.
+pub fn esc(s: &str) -> String {
+    if s.is_empty() {
+        return r"\e".into();
+    }
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '\\' => out.push_str(r"\\"),
+            ' ' => out.push_str(r"\_"),
+            '\t' => out.push_str(r"\t"),
+            '\n' => out.push_str(r"\n"),
+            '\r' => out.push_str(r"\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inverse of [`esc`]. Errors on dangling or unknown escapes (which
+/// [`esc`] never produces).
+pub fn unesc(tok: &str) -> Result<String, WireParseError> {
+    if tok == r"\e" {
+        return Ok(String::new());
+    }
+    let mut out = String::with_capacity(tok.len());
+    let mut chars = tok.chars();
+    while let Some(ch) = chars.next() {
+        if ch != '\\' {
+            out.push(ch);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('_') => out.push(' '),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            other => {
+                return Err(WireParseError(format!("bad escape {other:?} in token {tok:?}")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn parse_tok<T: std::str::FromStr>(tok: &str, what: &str) -> Result<T, WireParseError> {
+    tok.parse().map_err(|_| WireParseError(format!("bad {what} {tok:?}")))
+}
+
+/// A whitespace token cursor over one wire line.
+struct Cursor<'a> {
+    tokens: std::str::SplitWhitespace<'a>,
+    line: &'a str,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(line: &'a str) -> Cursor<'a> {
+        Cursor { tokens: line.split_whitespace(), line }
+    }
+
+    fn token(&mut self, what: &str) -> Result<&'a str, WireParseError> {
+        self.tokens
+            .next()
+            .ok_or_else(|| WireParseError(format!("missing {what} in {:?}", self.line)))
+    }
+
+    fn parse<T: std::str::FromStr>(&mut self, what: &str) -> Result<T, WireParseError> {
+        parse_tok(self.token(what)?, what)
+    }
+
+    /// A count-prefixed id list.
+    fn id_list(&mut self, what: &str) -> Result<Vec<FlexOfferId>, WireParseError> {
+        let n: usize = self.parse(&format!("{what} count"))?;
+        let mut ids = Vec::with_capacity(n.min(MAX_WIRE_LIST));
+        for _ in 0..n {
+            ids.push(FlexOfferId(self.parse(what)?));
+        }
+        Ok(ids)
+    }
+
+    fn finish(mut self) -> Result<(), WireParseError> {
+        match self.tokens.next() {
+            None => Ok(()),
+            Some(extra) => Err(WireParseError(format!("trailing {extra:?} in {:?}", self.line))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny deterministic xorshift64* — the property tests need
+    /// seeded variety, not statistical quality.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        fn below(&mut self, n: usize) -> usize {
+            (self.next() % n.max(1) as u64) as usize
+        }
+
+        /// A finite float with a wide dynamic range (incl. negatives,
+        /// zero and values needing many digits to round-trip).
+        fn float(&mut self) -> f64 {
+            match self.below(6) {
+                0 => 0.0,
+                1 => (self.next() as i64) as f64,
+                2 => (self.next() as i64) as f64 / 1e3,
+                3 => (self.next() as f64) * 1e-20,
+                4 => -((self.next() % 1_000_000) as f64) * 1e14,
+                _ => 1.0 / ((self.next() % 999 + 1) as f64),
+            }
+        }
+
+        /// A string drawn from characters the escaper must handle:
+        /// whitespace of every kind, backslashes, unicode, and the
+        /// empty string.
+        fn string(&mut self) -> String {
+            let len = self.below(12);
+            (0..len)
+                .map(|_| {
+                    const ALPHABET: &[char] = &[
+                        'a', 'Z', '7', ' ', ' ', '\t', '\n', '\r', '\\', '_', 'é', '≥', '-', '#',
+                        'e',
+                    ];
+                    ALPHABET[self.below(ALPHABET.len())]
+                })
+                .collect()
+        }
+
+        fn ids(&mut self) -> Vec<FlexOfferId> {
+            (0..self.below(5)).map(|_| FlexOfferId(self.next())).collect()
+        }
+    }
+
+    /// One arbitrary value of variant `v` (11 variants).
+    fn arbitrary(v: usize, rng: &mut Rng) -> WireOutcome {
+        match v {
+            0 => WireOutcome::Ack,
+            1 => WireOutcome::Tooltip(if rng.below(4) == 0 {
+                None
+            } else {
+                Some(TooltipInfo {
+                    offer_index: rng.below(1000),
+                    lines: (0..rng.below(5)).map(|_| rng.string()).collect(),
+                })
+            }),
+            2 => WireOutcome::Selection(SelectionDelta {
+                tab: rng.below(16),
+                added: rng.ids(),
+                removed: rng.ids(),
+                total: rng.below(100),
+            }),
+            3 => WireOutcome::TabOpened { tab: rng.below(16), offers: rng.below(100_000) },
+            4 => WireOutcome::TabActivated { tab: rng.below(16) },
+            5 => WireOutcome::TabClosed { tab: rng.below(16) },
+            6 => WireOutcome::Aggregated {
+                stats: AggregationStats {
+                    input_count: rng.below(10_000),
+                    output_count: rng.below(10_000),
+                    reduction_factor: rng.float(),
+                    flexibility_loss_slots: rng.next() as i64,
+                },
+                deselected: rng.ids(),
+            },
+            7 => WireOutcome::Planned(PlanStats {
+                generation: rng.next(),
+                epoch: rng.next(),
+                window_start: TimeSlot::new(rng.next() as i64 % 1_000_000),
+                replanned: rng.below(256),
+                partitions: rng.below(256),
+                assigned: rng.below(100_000),
+                skipped: rng.below(100_000),
+                before_l1: rng.float(),
+                after_l1: rng.float(),
+            }),
+            8 => {
+                let rows = rng.below(4);
+                let cols = rng.below(4);
+                WireOutcome::Pivot(PivotTable {
+                    row_members: (0..rows).map(|_| MemberId(rng.next() as u32)).collect(),
+                    row_labels: (0..rows).map(|_| rng.string()).collect(),
+                    col_members: (0..cols).map(|_| MemberId(rng.next() as u32)).collect(),
+                    col_labels: (0..cols).map(|_| rng.string()).collect(),
+                    cells: (0..rows).map(|_| (0..cols).map(|_| rng.float()).collect()).collect(),
+                })
+            }
+            9 => WireOutcome::Frame(FrameMeta {
+                revision: rng.next(),
+                epoch: rng.next(),
+                hash: rng.next(),
+            }),
+            _ => WireOutcome::Rejected(rng.string()),
+        }
+    }
+
+    #[test]
+    fn every_variant_round_trips_under_seeded_fuzz() {
+        let mut rng = Rng(0x5EED_CAFE);
+        for variant in 0..11 {
+            for case in 0..200 {
+                let outcome = arbitrary(variant, &mut rng);
+                let line = outcome.encode();
+                assert!(!line.contains('\n'), "one line per outcome: {line:?}");
+                let back = WireOutcome::decode(&line)
+                    .unwrap_or_else(|e| panic!("variant {variant} case {case}: {e}\n{line:?}"));
+                assert_eq!(back, outcome, "variant {variant} case {case}: {line:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn head_is_the_first_encoded_token() {
+        let mut rng = Rng(7);
+        for variant in 0..11 {
+            let outcome = arbitrary(variant, &mut rng);
+            assert_eq!(outcome.encode().split_whitespace().next().unwrap(), outcome.head(),);
+        }
+    }
+
+    #[test]
+    fn escaping_round_trips_hostile_strings() {
+        for s in [
+            "",
+            " ",
+            "\\",
+            r"\e",
+            r"\\e",
+            "a b\tc\nd\re",
+            "tabs\t\tand  doubles",
+            "ünïcødé ≥ plain",
+            "trailing space ",
+            "_underscore_",
+        ] {
+            let tok = esc(s);
+            assert!(
+                !tok.contains(char::is_whitespace) && !tok.is_empty(),
+                "{s:?} → {tok:?} must be one clean token"
+            );
+            assert_eq!(unesc(&tok).unwrap(), s, "via {tok:?}");
+        }
+    }
+
+    #[test]
+    fn bad_lines_are_rejected_not_panicked() {
+        for bad in [
+            "",
+            "warp",
+            "tooltip",
+            "tooltip 3",
+            "tooltip 3 2 only-one",
+            "selection 0 1 2 7",
+            "tab-opened 1",
+            "tab-opened 1 2 3",
+            "aggregated 1 2 x 4 0",
+            "planned 1 2 3",
+            "pivot 2 2 1 a",
+            "frame 1 2",
+            "frame 1 2 3 4",
+            r"rejected bad\escape",
+            "ack trailing",
+        ] {
+            assert!(WireOutcome::decode(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn huge_declared_counts_do_not_preallocate() {
+        // A hostile peer can claim a 10^18-entry list; decode must fail
+        // on the missing tokens, not abort on allocation.
+        let bad = format!("selection 0 0 {} 1", u64::MAX);
+        assert!(WireOutcome::decode(&bad).is_err());
+        let bad = format!("pivot {} 2", u64::MAX);
+        assert!(WireOutcome::decode(&bad).is_err());
+        let bad = format!("tooltip 1 {}", 1u64 << 60);
+        assert!(WireOutcome::decode(&bad).is_err());
+    }
+
+    #[test]
+    fn to_wire_projects_every_outcome_variant() {
+        use crate::tab::FrameRef;
+        use std::sync::Arc;
+
+        let frame = Outcome::Frame(FrameRef {
+            scene: Arc::new(mirabel_viz::Scene::new(10.0, 10.0)),
+            revision: 3,
+            epoch: 5,
+            hash: 99,
+        });
+        assert_eq!(
+            frame.to_wire(),
+            WireOutcome::Frame(FrameMeta { revision: 3, epoch: 5, hash: 99 })
+        );
+        assert_eq!(frame.to_wire().frame_hash(), Some(99));
+        assert_eq!(Outcome::Ack.to_wire(), WireOutcome::Ack);
+        let rejected = Outcome::Rejected("no active tab".into()).to_wire();
+        assert!(rejected.is_rejected());
+        assert_eq!(
+            WireOutcome::decode(&rejected.encode()).unwrap(),
+            WireOutcome::Rejected("no active tab".into())
+        );
+    }
+}

@@ -22,7 +22,10 @@
 //!   (the SAREF4ENER lifecycle) for the live-warehouse ingest harness;
 //! * [`planning`] — seeded day-ahead planning scenarios (arrival
 //!   storms, withdrawal churn, forecast-error shocks) for the
-//!   incremental-planning harness.
+//!   incremental-planning harness;
+//! * [`net`] — seeded multi-client network traces (interaction steps
+//!   plus connection-lifecycle reconnects) for the wire-protocol
+//!   harness (`BENCH_net.json`).
 //!
 //! Everything is deterministic in the explicit seeds: the same
 //! [`ScenarioConfig`] always regenerates the same scenario, which is what
@@ -46,6 +49,7 @@
 
 pub mod curves;
 pub mod ingest;
+pub mod net;
 mod offers;
 pub mod planning;
 mod population;
@@ -53,6 +57,7 @@ mod scenario;
 pub mod trace;
 
 pub use ingest::{generate_ingest_trace, IngestEvent, IngestTraceConfig, IngestTraceStats};
+pub use net::{generate_net_traces, NetClientTrace, NetEvent, NetTraceConfig};
 pub use offers::{generate_offers, OfferConfig, OfferStats};
 pub use planning::{
     generate_offer_pool, generate_planning_trace, PlanningEvent, PlanningTraceConfig,

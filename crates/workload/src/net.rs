@@ -1,0 +1,166 @@
+//! Deterministic multi-client *network* traces.
+//!
+//! The wire protocol's unit of state is the connection (connection =
+//! session, PROTOCOL.md), so a network workload is more than a command
+//! stream: clients connect, work, drop, and reconnect with a fresh
+//! session. This module models that as a seeded stream of
+//! [`NetEvent`]s per client — the interaction vocabulary of
+//! [`trace`](crate::trace) plus an explicit [`NetEvent::Reconnect`]
+//! lifecycle event.
+//!
+//! Like every workload generator, the traces are engine-agnostic and
+//! fully deterministic in the seed: `mirabel-bench` binds the steps to
+//! session commands and replays the same trace once in-process and once
+//! over loopback TCP, asserting bit-identical outcomes — reconnects
+//! included (an in-process "reconnect" closes the session and opens a
+//! fresh one, exactly what a dropped connection does server-side).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::trace::{InteractionStep, TraceConfig};
+
+/// One event in a network client's life.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetEvent {
+    /// An ordinary interaction (bound to one or more commands).
+    Step(InteractionStep),
+    /// Drop the connection and reconnect: the old session dies with
+    /// everything on it, the next step starts on a fresh one.
+    Reconnect,
+}
+
+/// One client's network trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetClientTrace {
+    /// Client index in `0..config.clients`.
+    pub client: usize,
+    /// The events, in order. Never starts or ends with a
+    /// [`NetEvent::Reconnect`], and reconnects are never adjacent.
+    pub events: Vec<NetEvent>,
+}
+
+impl NetClientTrace {
+    /// Number of reconnects in this trace.
+    pub fn reconnects(&self) -> usize {
+        self.events.iter().filter(|e| matches!(e, NetEvent::Reconnect)).count()
+    }
+}
+
+/// Parameters of a multi-client network trace; `Default` is the net
+/// harness's smoke shape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetTraceConfig {
+    /// Number of concurrent clients (K).
+    pub clients: usize,
+    /// Interaction steps per client (excluding reconnects; a step can
+    /// expand to more than one command).
+    pub steps_per_client: usize,
+    /// Probability of a reconnect between two consecutive steps.
+    pub reconnect_rate: f64,
+    /// Master seed; each client derives an independent stream.
+    pub seed: u64,
+}
+
+impl Default for NetTraceConfig {
+    fn default() -> Self {
+        NetTraceConfig { clients: 4, steps_per_client: 64, reconnect_rate: 0.02, seed: 0x4E37 }
+    }
+}
+
+/// Generates `config.clients` deterministic network traces: each
+/// client's interaction steps come from [`crate::trace`] (hover-storm
+/// dominated, occasional heavy operations), with seeded
+/// [`NetEvent::Reconnect`]s woven between steps at
+/// `config.reconnect_rate`. After every reconnect the next step is
+/// forced to be a [`InteractionStep::LoadWindow`] so the fresh session
+/// immediately has a tab to work on — the same invariant the first
+/// step of every trace has.
+pub fn generate_net_traces(config: &NetTraceConfig) -> Vec<NetClientTrace> {
+    let steps = crate::trace::generate_traces(&TraceConfig {
+        users: config.clients,
+        steps_per_user: config.steps_per_client.max(1),
+        seed: config.seed ^ 0x4E54_5752_4143_4531, // distinct stream from the stress traces
+    });
+    steps
+        .into_iter()
+        .map(|trace| {
+            let seed = config
+                .seed
+                .wrapping_mul(0xA076_1D64_78BD_642F)
+                .wrapping_add(trace.user as u64 ^ 0x004E_4554);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut events = Vec::with_capacity(trace.steps.len() + 4);
+            let last = trace.steps.len().saturating_sub(1);
+            for (i, step) in trace.steps.into_iter().enumerate() {
+                // Never first (the session just connected), never last
+                // (a trailing reconnect would be unobservable), never
+                // adjacent (the decode below forces a step after one).
+                let reconnect =
+                    i > 0 && i < last && rng.gen_range(0.0..1.0) < config.reconnect_rate;
+                if reconnect {
+                    events.push(NetEvent::Reconnect);
+                    // A fresh session has no tabs: make the step a load
+                    // so whatever follows has something to act on.
+                    events.push(NetEvent::Step(InteractionStep::LoadWindow {
+                        lo: rng.gen_range(0.0..0.4),
+                        hi: rng.gen_range(0.5..1.0),
+                    }));
+                } else {
+                    events.push(NetEvent::Step(step));
+                }
+            }
+            NetClientTrace { client: trace.user, events }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn net_traces_are_deterministic() {
+        let cfg = NetTraceConfig::default();
+        assert_eq!(generate_net_traces(&cfg), generate_net_traces(&cfg));
+        let other = generate_net_traces(&NetTraceConfig { seed: 1, ..cfg });
+        assert_ne!(generate_net_traces(&cfg), other);
+    }
+
+    #[test]
+    fn reconnects_follow_the_documented_shape() {
+        let cfg = NetTraceConfig {
+            clients: 6,
+            steps_per_client: 120,
+            reconnect_rate: 0.10,
+            seed: 0xD1A1,
+        };
+        let traces = generate_net_traces(&cfg);
+        assert_eq!(traces.len(), 6);
+        let mut total_reconnects = 0;
+        for t in &traces {
+            assert!(matches!(t.events.first(), Some(NetEvent::Step(_))));
+            assert!(matches!(t.events.last(), Some(NetEvent::Step(_))));
+            for pair in t.events.windows(2) {
+                if matches!(pair[0], NetEvent::Reconnect) {
+                    // Immediately followed by a load on the new session.
+                    assert!(
+                        matches!(pair[1], NetEvent::Step(InteractionStep::LoadWindow { .. })),
+                        "a reconnect must be followed by a load"
+                    );
+                }
+            }
+            total_reconnects += t.reconnects();
+        }
+        assert!(total_reconnects > 0, "a 10% rate over 720 steps must reconnect somewhere");
+    }
+
+    #[test]
+    fn zero_rate_means_no_reconnects() {
+        let cfg = NetTraceConfig { clients: 3, steps_per_client: 50, reconnect_rate: 0.0, seed: 5 };
+        for t in generate_net_traces(&cfg) {
+            assert_eq!(t.reconnects(), 0);
+            assert_eq!(t.events.len(), 50);
+        }
+    }
+}

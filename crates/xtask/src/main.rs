@@ -55,6 +55,12 @@ const TEST: &[Step] = &[
         args: &["test", "--workspace", "-q", "--locked"],
         env: &[],
     },
+    Step {
+        name: "doc-tests",
+        program: "cargo",
+        args: &["test", "--workspace", "--doc", "--locked"],
+        env: &[],
+    },
 ];
 
 const BENCH_GATE: &[Step] = &[
@@ -140,6 +146,29 @@ const BENCH_GATE: &[Step] = &[
         env: &[],
     },
     Step {
+        name: "net harness (wire == in-process gates)",
+        program: "cargo",
+        args: &[
+            "run",
+            "--release",
+            "--locked",
+            "-p",
+            "mirabel-bench",
+            "--bin",
+            "net",
+            "--",
+            "--clients",
+            "4",
+            "--commands",
+            "150",
+            "--repeats",
+            "3",
+            "--out",
+            "BENCH_net.json",
+        ],
+        env: &[],
+    },
+    Step {
         name: "bench gate (±20% vs BENCH_baseline.json)",
         program: "cargo",
         args: &[
@@ -159,6 +188,8 @@ const BENCH_GATE: &[Step] = &[
             "BENCH_ingest.json",
             "--planning",
             "BENCH_planning.json",
+            "--net",
+            "BENCH_net.json",
             "--tolerance",
             "0.20",
         ],
@@ -180,6 +211,12 @@ const EXAMPLES: &[Step] = &[
         name: "example: enterprise_day_ahead",
         program: "cargo",
         args: &["run", "--release", "--locked", "--example", "enterprise_day_ahead"],
+        env: &[],
+    },
+    Step {
+        name: "example: net_quickstart",
+        program: "cargo",
+        args: &["run", "--release", "--locked", "--example", "net_quickstart"],
         env: &[],
     },
 ];
@@ -255,6 +292,29 @@ const BASELINE: &[Step] = &[
         env: &[],
     },
     Step {
+        name: "net harness",
+        program: "cargo",
+        args: &[
+            "run",
+            "--release",
+            "--locked",
+            "-p",
+            "mirabel-bench",
+            "--bin",
+            "net",
+            "--",
+            "--clients",
+            "4",
+            "--commands",
+            "150",
+            "--repeats",
+            "3",
+            "--out",
+            "BENCH_net.json",
+        ],
+        env: &[],
+    },
+    Step {
         name: "write BENCH_baseline.json",
         program: "cargo",
         args: &[
@@ -274,6 +334,8 @@ const BASELINE: &[Step] = &[
             "BENCH_ingest.json",
             "--planning",
             "BENCH_planning.json",
+            "--net",
+            "BENCH_net.json",
             "--write-baseline",
         ],
         env: &[],
@@ -324,7 +386,7 @@ fn main() -> ExitCode {
                  \x20 lint        clippy + rustfmt + rustdoc, all -D warnings\n\
                  \x20 test        release build + workspace tests\n\
                  \x20 examples    run (not just compile) the smoke examples\n\
-                 \x20 bench-gate  benches, stress/ingest/planning harnesses, bench_diff gate\n\
+                 \x20 bench-gate  benches, stress/ingest/planning/net harnesses, bench_diff gate\n\
                  \x20 baseline    refresh BENCH_baseline.json from this machine"
             );
             ExitCode::FAILURE

@@ -1,0 +1,65 @@
+//! Net quickstart: serve a warehouse over TCP, drive it with two
+//! clients, and watch an epoch publish reach them as a push
+//! notification — the PROTOCOL.md session in miniature.
+//!
+//! ```sh
+//! cargo run --example net_quickstart
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use mirabel::dw::LiveWarehouse;
+use mirabel::net::{NetClient, NetServer};
+use mirabel::session::{Command, ConcurrentPool};
+use mirabel::workload::{generate_offers, OfferConfig, Population, PopulationConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. A live warehouse and a concurrent pool over its snapshot. --
+    let population =
+        Population::generate(&PopulationConfig { size: 60, seed: 0xBE9C, household_share: 0.8 });
+    let offers = generate_offers(&population, &OfferConfig::default());
+    let live = LiveWarehouse::new(population, &offers);
+    let pool = Arc::new(ConcurrentPool::new(Arc::clone(live.snapshot().warehouse())));
+
+    // --- 2. Serve it. Port 0 = pick a free loopback port. -------------
+    let server = NetServer::bind("127.0.0.1:0", Arc::clone(&pool))?;
+    println!("serving on {} (protocol: see PROTOCOL.md)", server.local_addr());
+
+    // --- 3. Each connection is a session; commands are script lines. --
+    let mut alice = NetClient::connect(server.local_addr())?;
+    let mut bob = NetClient::connect(server.local_addr())?;
+    println!("alice = session {}, bob = session {}", alice.session(), bob.session());
+
+    for line in ["load 0 192 - first two days", "set-canvas 960 540", "set-mode profile", "render"]
+    {
+        let reply = alice.command(&Command::decode(line)?)?;
+        println!("alice> {line}\n       ok {}", reply.encode());
+    }
+    // Bob's session is untouched by Alice's commands.
+    let bob_reply = bob.command(&Command::decode("render")?)?;
+    println!("bob>   render\n       ok {}", bob_reply.encode());
+
+    // --- 4. Publish a new epoch: both clients get a push. -------------
+    live.advance_day();
+    let epoch = pool.publish(&live.publish());
+    for (name, client) in [("alice", &mut alice), ("bob", &mut bob)] {
+        let arrived = client.wait_for_epoch(epoch, Duration::from_secs(5))?;
+        println!("{name} saw the publish: epoch {} (pushed: {arrived})", client.epoch());
+    }
+
+    // --- 5. Determinism across the wire: frame hashes on demand. ------
+    println!("alice per-tab frame hashes: {:?}", alice.hashes()?);
+    alice.bye()?;
+    bob.bye()?;
+    // `ok bye` reaches the client just before the server closes the
+    // session, so give the teardown a moment before reading the pool.
+    for _ in 0..100 {
+        if pool.is_empty() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    println!("sessions closed; pool now holds {} sessions", pool.len());
+    Ok(())
+}

@@ -22,6 +22,7 @@
 //! * [`viz`] — the headless scene-graph/render engine;
 //! * [`session`] — the command-driven session engine: views
 //!   (Figures 2–11), cached frames, command log replay, session pools;
+//! * [`net`] — the TCP front over the serving layer (PROTOCOL.md);
 //! * [`core`] — the classic `App`/`Event` surface, now a compatibility
 //!   shim over [`session`].
 //!
@@ -37,6 +38,7 @@ pub use mirabel_forecast as forecast;
 pub use mirabel_geo as geo;
 pub use mirabel_grid as grid;
 pub use mirabel_market as market;
+pub use mirabel_net as net;
 pub use mirabel_scheduling as scheduling;
 pub use mirabel_session as session;
 pub use mirabel_timeseries as timeseries;
