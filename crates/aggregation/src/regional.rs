@@ -1,0 +1,224 @@
+//! Region-dimensioned incremental aggregation.
+//!
+//! The spatial warehouse dimension splits the streaming population by
+//! region, and balance exploration wants the (EST × TFT × direction)
+//! grid *per region*: "how much aggregated flexibility does Midtjylland
+//! hold tonight?". [`RegionalAggregator`] maintains one
+//! [`IncrementalAggregator`] per region key, routing inserts by the
+//! caller-supplied key (the warehouse passes the fact's geography leaf)
+//! and withdrawals by the maintained id → region map. Refreshing
+//! re-merges only the dirty cells of the dirty regions, so the
+//! O(dirty)-not-O(population) property of the incremental maintainer is
+//! preserved across the spatial split.
+//!
+//! Region keys are plain `u64`s: this crate sits below the warehouse, so
+//! it does not know about hierarchy member ids — callers map their
+//! region identifiers (e.g. `MemberId.0`) in and out.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use mirabel_flexoffer::{FlexOffer, FlexOfferId};
+
+use crate::aggregate::AggregateOffer;
+use crate::error::AggregationError;
+use crate::incremental::{IncrementalAggregator, RefreshStats};
+use crate::params::AggregationParams;
+
+/// Per-region incrementally maintained aggregation — see the
+/// [module docs](self).
+#[derive(Debug, Clone)]
+pub struct RegionalAggregator {
+    params: AggregationParams,
+    /// Region key → that region's maintainer, in key order so iteration
+    /// (and therefore output and hashing downstream) is deterministic.
+    regions: BTreeMap<u64, IncrementalAggregator>,
+    /// Offer id → region key, so withdrawals need no region argument.
+    by_id: HashMap<FlexOfferId, u64>,
+}
+
+impl RegionalAggregator {
+    /// An empty maintainer; every region inherits `params`.
+    pub fn new(params: AggregationParams) -> RegionalAggregator {
+        RegionalAggregator { params, regions: BTreeMap::new(), by_id: HashMap::new() }
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> &AggregationParams {
+        &self.params
+    }
+
+    /// Number of live member offers across all regions.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// `true` when no offers are maintained.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Region keys with at least one live member, ascending.
+    pub fn region_keys(&self) -> impl Iterator<Item = u64> + '_ {
+        self.regions.iter().filter(|(_, a)| !a.is_empty()).map(|(&k, _)| k)
+    }
+
+    /// The maintainer of one region, if it has ever seen an offer.
+    pub fn region(&self, key: u64) -> Option<&IncrementalAggregator> {
+        self.regions.get(&key)
+    }
+
+    /// Inserts an arrived offer into its region's grid, marking only
+    /// that region's cell dirty. Returns `false` (and changes nothing)
+    /// when the id is already maintained — in *any* region.
+    pub fn insert(&mut self, region: u64, offer: Arc<FlexOffer>) -> bool {
+        let id = offer.id();
+        if self.by_id.contains_key(&id) {
+            return false;
+        }
+        let inserted = self
+            .regions
+            .entry(region)
+            .or_insert_with(|| IncrementalAggregator::new(self.params))
+            .insert(offer);
+        debug_assert!(inserted, "id is new to every region, so new to this one");
+        self.by_id.insert(id, region);
+        true
+    }
+
+    /// Withdraws an offer from whichever region holds it. Returns
+    /// `false` for an unknown id.
+    pub fn remove(&mut self, id: FlexOfferId) -> bool {
+        let Some(region) = self.by_id.remove(&id) else { return false };
+        let removed = self.regions.get_mut(&region).map(|a| a.remove(id)).unwrap_or(false);
+        debug_assert!(removed, "indexed id must be in its region");
+        removed
+    }
+
+    /// Refreshes every region, re-merging exactly the dirty cells.
+    /// Returns the summed stats; `rebuilt_groups` counts only cells that
+    /// were actually dirty, so a quiet region costs nothing.
+    pub fn refresh(&mut self) -> Result<RefreshStats, AggregationError> {
+        let mut total = RefreshStats::default();
+        for agg in self.regions.values_mut() {
+            let stats = agg.refresh()?;
+            total.rebuilt_groups += stats.rebuilt_groups;
+            total.total_groups += stats.total_groups;
+            total.aggregates += stats.aggregates;
+            total.untouched += stats.untouched;
+        }
+        Ok(total)
+    }
+
+    /// All maintained aggregates, region key order then grid-cell key
+    /// order (deterministic), each paired with its region key.
+    pub fn aggregates(&self) -> impl Iterator<Item = (u64, &AggregateOffer)> {
+        self.regions.iter().flat_map(|(&k, a)| a.aggregates().map(move |agg| (k, agg)))
+    }
+
+    /// Objects after aggregation across all regions (aggregates +
+    /// untouched singletons).
+    pub fn output_count(&self) -> usize {
+        self.regions.values().map(IncrementalAggregator::output_count).sum()
+    }
+
+    /// Grid cells awaiting a refresh across all regions.
+    pub fn dirty_groups(&self) -> usize {
+        self.regions.values().map(IncrementalAggregator::dirty_groups).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirabel_flexoffer::Energy;
+    use mirabel_timeseries::TimeSlot;
+
+    fn offer(id: u64, est: i64) -> Arc<FlexOffer> {
+        Arc::new(
+            FlexOffer::builder(id, id)
+                .earliest_start(TimeSlot::new(est))
+                .latest_start(TimeSlot::new(est + 4))
+                .slices(2, Energy::from_wh(10), Energy::from_wh(30))
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn regions_partition_the_population() {
+        let mut reg = RegionalAggregator::new(AggregationParams::new(4, 4));
+        // Same grid cell, different regions: never merged together.
+        assert!(reg.insert(1, offer(1, 0)));
+        assert!(reg.insert(1, offer(2, 1)));
+        assert!(reg.insert(2, offer(3, 0)));
+        assert!(reg.insert(2, offer(4, 1)));
+        assert!(!reg.insert(3, offer(1, 0)), "ids are unique across regions");
+        reg.refresh().unwrap();
+        assert_eq!(reg.len(), 4);
+        assert_eq!(reg.region_keys().collect::<Vec<_>>(), vec![1, 2]);
+        let aggs: Vec<(u64, Vec<FlexOfferId>)> =
+            reg.aggregates().map(|(k, a)| (k, a.member_ids().collect())).collect();
+        assert_eq!(
+            aggs,
+            vec![
+                (1, vec![FlexOfferId(1), FlexOfferId(2)]),
+                (2, vec![FlexOfferId(3), FlexOfferId(4)]),
+            ]
+        );
+    }
+
+    #[test]
+    fn per_region_output_matches_a_dedicated_maintainer() {
+        // A region's slice of the regional maintainer behaves exactly
+        // like a standalone IncrementalAggregator over the same offers.
+        let params = AggregationParams::new(4, 4);
+        let mut reg = RegionalAggregator::new(params);
+        let mut solo = IncrementalAggregator::new(params);
+        for i in 0..20u64 {
+            let fo = offer(i + 1, (i as i64 % 5) * 2);
+            if i % 3 == 0 {
+                reg.insert(7, Arc::clone(&fo));
+                solo.insert(fo);
+            } else {
+                reg.insert(i % 3, fo);
+            }
+        }
+        reg.refresh().unwrap();
+        solo.refresh().unwrap();
+        let region7 = reg.region(7).unwrap();
+        assert_eq!(region7.len(), solo.len());
+        assert_eq!(region7.output_count(), solo.output_count());
+        let a: Vec<Vec<FlexOfferId>> =
+            region7.aggregates().map(|agg| agg.member_ids().collect()).collect();
+        let b: Vec<Vec<FlexOfferId>> =
+            solo.aggregates().map(|agg| agg.member_ids().collect()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn removal_routes_by_id_and_refresh_touches_only_dirty_regions() {
+        let mut reg = RegionalAggregator::new(AggregationParams::new(4, 4));
+        reg.insert(1, offer(1, 0));
+        reg.insert(1, offer(2, 1));
+        reg.insert(2, offer(3, 0));
+        reg.insert(2, offer(4, 1));
+        reg.refresh().unwrap();
+        assert_eq!(reg.dirty_groups(), 0);
+
+        assert!(reg.remove(FlexOfferId(3)));
+        assert!(!reg.remove(FlexOfferId(3)));
+        assert_eq!(reg.dirty_groups(), 1);
+        let stats = reg.refresh().unwrap();
+        assert_eq!(stats.rebuilt_groups, 1, "only region 2's cell was dirty");
+        assert_eq!(reg.len(), 3);
+        // Region 2 degraded to a singleton; region 1 kept its aggregate.
+        assert_eq!(reg.aggregates().count(), 1);
+        assert_eq!(reg.aggregates().next().unwrap().0, 1);
+
+        assert!(reg.remove(FlexOfferId(4)));
+        reg.refresh().unwrap();
+        assert_eq!(reg.region_keys().collect::<Vec<_>>(), vec![1]);
+        assert!(!reg.is_empty());
+    }
+}

@@ -20,12 +20,15 @@
 
 use std::process::ExitCode;
 
-use mirabel_bench::diff::{diff_ingest, diff_net, diff_planning, diff_stress, Json, MetricCheck};
+use mirabel_bench::diff::{
+    diff_ingest, diff_net, diff_planning, diff_spatial, diff_stress, guard_machine_class, Json,
+    MetricCheck, PARALLEL_GATE_MIN_CORES,
+};
 
 fn usage() -> ! {
     eprintln!(
         "usage: bench_diff --baseline PATH [--stress PATH] [--ingest PATH] \
-         [--planning PATH] [--net PATH] [--tolerance F] [--write-baseline]"
+         [--planning PATH] [--net PATH] [--spatial PATH] [--tolerance F] [--write-baseline]"
     );
     std::process::exit(2);
 }
@@ -41,6 +44,7 @@ fn main() -> ExitCode {
     let mut ingest_path: Option<String> = None;
     let mut planning_path: Option<String> = None;
     let mut net_path: Option<String> = None;
+    let mut spatial_path: Option<String> = None;
     let mut tolerance = 0.20f64;
     let mut write_baseline = false;
 
@@ -58,6 +62,7 @@ fn main() -> ExitCode {
             "--ingest" => ingest_path = Some(value(&args, &mut i)),
             "--planning" => planning_path = Some(value(&args, &mut i)),
             "--net" => net_path = Some(value(&args, &mut i)),
+            "--spatial" => spatial_path = Some(value(&args, &mut i)),
             "--tolerance" => {
                 tolerance = value(&args, &mut i).parse().unwrap_or_else(|_| usage());
             }
@@ -75,8 +80,11 @@ fn main() -> ExitCode {
         && ingest_path.is_none()
         && planning_path.is_none()
         && net_path.is_none()
+        && spatial_path.is_none()
     {
-        eprintln!("nothing to compare: pass --stress, --ingest, --planning and/or --net");
+        eprintln!(
+            "nothing to compare: pass --stress, --ingest, --planning, --net and/or --spatial"
+        );
         usage();
     }
     if !(0.0..=1.0).contains(&tolerance) {
@@ -94,6 +102,7 @@ fn main() -> ExitCode {
             ("ingest", &ingest_path),
             ("planning", &planning_path),
             ("net", &net_path),
+            ("spatial", &spatial_path),
         ] {
             if let Some(path) = path {
                 match std::fs::read_to_string(path) {
@@ -137,6 +146,7 @@ fn main() -> ExitCode {
         ("ingest", &ingest_path, diff_ingest as fn(&Json, &Json, f64) -> _),
         ("planning", &planning_path, diff_planning as fn(&Json, &Json, f64) -> _),
         ("net", &net_path, diff_net as fn(&Json, &Json, f64) -> _),
+        ("spatial", &spatial_path, diff_spatial as fn(&Json, &Json, f64) -> _),
     ] {
         let Some(path) = path else { continue };
         let Some(base_section) = baseline.get(key) else {
@@ -150,6 +160,12 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
+        // Hard machine-class guard: a baseline measured with more cores
+        // than this runner has sets bars the runner cannot reach.
+        if let Err(e) = guard_machine_class(key, base_section, &current) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
         match diff(base_section, &current, tolerance) {
             Ok(mut section_checks) => checks.append(&mut section_checks),
             Err(e) => {
@@ -163,12 +179,25 @@ fn main() -> ExitCode {
     for c in &checks {
         println!("  {c}");
     }
+    let skipped_parallel: Vec<&str> = checks
+        .iter()
+        .filter(|c| c.advisory && c.name.ends_with("parallel_speedup"))
+        .map(|c| c.name.as_str())
+        .collect();
+    if !skipped_parallel.is_empty() {
+        eprintln!(
+            "\nWARNING: parallel-speedup gate(s) {skipped_parallel:?} ran advisory-only — this \
+             runner has fewer than {PARALLEL_GATE_MIN_CORES} cores (or a different machine \
+             class than the baseline), so thread-scaling claims cannot be verified here."
+        );
+    }
     let advisories = checks.iter().filter(|c| !c.ok && c.advisory).count();
     if advisories > 0 {
         println!(
             "\nnote: {advisories} numeric check(s) are advisory-only — the baseline was \
-             recorded on a different machine class (available_parallelism mismatch). \
-             Refresh it on this runner class with --write-baseline to arm them."
+             recorded on a different machine class (available_parallelism mismatch) or this \
+             runner is too small to verify parallel scaling. Refresh the baseline on this \
+             runner class with --write-baseline to arm the class-mismatched ones."
         );
     }
     let regressions = checks.iter().filter(|c| c.is_regression()).count();

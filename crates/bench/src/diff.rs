@@ -278,6 +278,34 @@ pub fn same_machine_class(baseline: &Json, current: &Json) -> bool {
     }
 }
 
+/// Host parallelism recorded in a report (every harness stamps
+/// `available_parallelism`); `None` for old or hand-written reports.
+pub fn recorded_parallelism(report: &Json) -> Option<usize> {
+    report.num_at(&["available_parallelism"]).map(|n| n as usize)
+}
+
+/// Minimum runner parallelism for parallel-scaling gates to mean
+/// anything: below this, "N threads beat 1 thread" measures the
+/// scheduler, not the code, so those checks run advisory-only.
+pub const PARALLEL_GATE_MIN_CORES: usize = 4;
+
+/// The hard half of the machine-class policy: a baseline recorded with
+/// *more* parallelism than the runner has claims numbers this machine
+/// can never reproduce, so the gate refuses to run at all instead of
+/// silently downgrading every check to advisory. (The opposite
+/// direction — a baseline from a *smaller* machine — stays the existing
+/// advisory downgrade: the runner can only be faster.)
+pub fn guard_machine_class(section: &str, baseline: &Json, current: &Json) -> Result<(), String> {
+    match (recorded_parallelism(baseline), recorded_parallelism(current)) {
+        (Some(base), Some(cur)) if base > cur => Err(format!(
+            "the {section} baseline was recorded with {base} cores but this runner has {cur} — \
+             its throughput and latency bars are unreachable here; regenerate the baseline on \
+             this runner class with --write-baseline"
+        )),
+        _ => Ok(()),
+    }
+}
+
 /// Latency metrics (milliseconds) below this absolute floor are treated
 /// as noise: a publish that takes 0.07 ms in the baseline and 0.11 ms
 /// now is a 60 % "regression" of pure timer jitter, not a signal. The
@@ -527,6 +555,76 @@ pub fn diff_planning(
             ok: c >= b - tolerance,
             advisory: false,
         });
+    }
+    Ok(checks)
+}
+
+/// Diffs a spatial report against the baseline's `spatial` section:
+/// the hard `results_match` / `frame_hash_stable` gates, the
+/// seed-deterministic fact count (the scale floor cannot quietly
+/// shrink), the O(region) query speedup (a ratio of two timings taken
+/// on the same host, so it gates on every machine class — a 1-core
+/// runner proves the algorithmic claim just as well), latencies (lower
+/// is better, noise-floored, advisory across machine classes), and the
+/// parallel replay speedup — advisory whenever the runner has fewer
+/// than [`PARALLEL_GATE_MIN_CORES`] cores, because a small machine
+/// cannot exhibit parallel speedup at all.
+pub fn diff_spatial(
+    baseline: &Json,
+    current: &Json,
+    tolerance: f64,
+) -> Result<Vec<MetricCheck>, String> {
+    let mut checks = Vec::new();
+    if current.num_at(&["facts"]).is_none() {
+        return Err("current spatial report has no 'facts' field — wrong file?".into());
+    }
+    for gate in ["results_match", "frame_hash_stable"] {
+        checks.push(MetricCheck {
+            name: format!("spatial.{gate}"),
+            baseline: 1.0,
+            current: f64::from(current.get(gate).and_then(Json::boolean).unwrap_or(false)),
+            better: Better::Higher,
+            ok: current.get(gate).and_then(Json::boolean) == Some(true),
+            advisory: false,
+        });
+    }
+    // Facts are a pure function of the seed: a shrink is a harness
+    // change, not runner noise — hard on any machine class.
+    if let (Some(b), Some(c)) = (baseline.num_at(&["facts"]), current.num_at(&["facts"])) {
+        checks.push(check_metric("spatial.facts", b, c, tolerance, Better::Higher));
+    }
+    let advisory = !same_machine_class(baseline, current);
+    {
+        let (Some(b), Some(c)) =
+            (baseline.num_at(&["query_speedup"]), current.num_at(&["query_speedup"]))
+        else {
+            return Err("missing query_speedup in a spatial report".into());
+        };
+        checks.push(check_metric("spatial.query_speedup", b, c, tolerance, Better::Higher));
+    }
+    for field in ["indexed_total_ms", "publish_ms"] {
+        let (Some(b), Some(c)) = (baseline.num_at(&[field]), current.num_at(&[field])) else {
+            return Err(format!("missing {field} in a spatial report"));
+        };
+        let mut check = check_metric_floored(
+            format!("spatial.{field}"),
+            b,
+            c,
+            tolerance,
+            Better::Lower,
+            LATENCY_FLOOR_MS,
+        );
+        check.advisory = advisory;
+        checks.push(check);
+    }
+    if let (Some(b), Some(c)) =
+        (baseline.num_at(&["parallel_speedup"]), current.num_at(&["parallel_speedup"]))
+    {
+        let small_runner =
+            recorded_parallelism(current).is_some_and(|cores| cores < PARALLEL_GATE_MIN_CORES);
+        let mut check = check_metric("spatial.parallel_speedup", b, c, tolerance, Better::Higher);
+        check.advisory = advisory || small_runner;
+        checks.push(check);
     }
     Ok(checks)
 }
@@ -842,6 +940,111 @@ mod tests {
         assert!(outcome.is_regression(), "wire equivalence must gate on any machine");
         let throughput = checks.iter().find(|c| c.name == "net.commands_per_s").unwrap();
         assert!(throughput.advisory && !throughput.is_regression());
+    }
+
+    fn spatial_json(speedup: f64, publish: f64, cores: usize, matches: bool, frames: bool) -> Json {
+        Json::parse(&format!(
+            r#"{{"facts": 1000000, "available_parallelism": {cores},
+                 "results_match": {matches}, "frame_hash_stable": {frames},
+                 "indexed_total_ms": 30.0, "scan_total_ms": 900.0,
+                 "query_speedup": {speedup}, "parallel_speedup": 1.4,
+                 "publish_ms": {publish}}}"#,
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn spatial_diff_gates_equality_determinism_speedup_and_publish() {
+        let base = spatial_json(30.0, 40.0, 8, true, true);
+        let ok = diff_spatial(&base, &spatial_json(28.0, 42.0, 8, true, true), 0.2).unwrap();
+        assert!(ok.iter().all(|c| c.ok), "{ok:?}");
+        assert_eq!(ok.len(), 2 + 1 + 1 + 2 + 1); // gates + facts + speedup + latencies + parallel
+
+        let torn = diff_spatial(&base, &spatial_json(30.0, 40.0, 8, false, true), 0.2).unwrap();
+        assert!(torn.iter().any(|c| !c.ok && c.name == "spatial.results_match"));
+        let frames = diff_spatial(&base, &spatial_json(30.0, 40.0, 8, true, false), 0.2).unwrap();
+        assert!(frames.iter().any(|c| !c.ok && c.name == "spatial.frame_hash_stable"));
+
+        let slow = diff_spatial(&base, &spatial_json(10.0, 40.0, 8, true, true), 0.2).unwrap();
+        assert!(slow.iter().any(|c| c.is_regression() && c.name == "spatial.query_speedup"));
+        let publish = diff_spatial(&base, &spatial_json(30.0, 90.0, 8, true, true), 0.2).unwrap();
+        assert!(publish.iter().any(|c| c.is_regression() && c.name == "spatial.publish_ms"));
+
+        assert!(diff_spatial(&base, &Json::parse("{}").unwrap(), 0.2).is_err());
+    }
+
+    #[test]
+    fn spatial_query_speedup_gates_hard_across_machine_classes() {
+        // Baseline from a 1-core box, current from an 8-core runner: the
+        // publish latency downgrades to advisory, but the query speedup
+        // is a same-host ratio and the result/frame gates are booleans —
+        // all three stay hard.
+        let base = spatial_json(30.0, 40.0, 1, true, true);
+        let cur = spatial_json(10.0, 200.0, 8, false, true);
+        let checks = diff_spatial(&base, &cur, 0.2).unwrap();
+        assert!(checks.iter().any(|c| c.is_regression() && c.name == "spatial.query_speedup"));
+        assert!(checks.iter().any(|c| c.is_regression() && c.name == "spatial.results_match"));
+        let publish = checks.iter().find(|c| c.name == "spatial.publish_ms").unwrap();
+        assert!(publish.advisory && !publish.is_regression());
+    }
+
+    #[test]
+    fn parallel_speedup_is_advisory_on_small_runners() {
+        // Same machine class (1 core on both sides), so every other
+        // numeric check is hard — but a 1-core runner cannot exhibit
+        // parallel speedup, so that one check is advisory-only.
+        let base = spatial_json(30.0, 40.0, 1, true, true);
+        let mut cur = spatial_json(29.0, 41.0, 1, true, true);
+        if let Json::Obj(members) = &mut cur {
+            for (k, v) in members.iter_mut() {
+                if k == "parallel_speedup" {
+                    *v = Json::Num(0.3);
+                }
+            }
+        }
+        let checks = diff_spatial(&base, &cur, 0.2).unwrap();
+        let parallel = checks.iter().find(|c| c.name == "spatial.parallel_speedup").unwrap();
+        assert!(!parallel.ok && parallel.advisory && !parallel.is_regression());
+        assert!(checks
+            .iter()
+            .filter(|c| c.name != "spatial.parallel_speedup")
+            .all(|c| !c.advisory));
+        // On a 4-core runner the same drop gates hard.
+        let big = diff_spatial(
+            &spatial_json(30.0, 40.0, 4, true, true),
+            &{
+                let mut c = spatial_json(29.0, 41.0, 4, true, true);
+                if let Json::Obj(members) = &mut c {
+                    for (k, v) in members.iter_mut() {
+                        if k == "parallel_speedup" {
+                            *v = Json::Num(0.3);
+                        }
+                    }
+                }
+                c
+            },
+            0.2,
+        )
+        .unwrap();
+        assert!(big.iter().any(|c| c.is_regression() && c.name == "spatial.parallel_speedup"));
+    }
+
+    #[test]
+    fn machine_class_guard_rejects_baselines_from_bigger_machines() {
+        let big = spatial_json(30.0, 40.0, 8, true, true);
+        let small = spatial_json(30.0, 40.0, 1, true, true);
+        // Baseline claims 8 cores, runner has 1: refuse to gate.
+        let err = guard_machine_class("spatial", &big, &small).unwrap_err();
+        assert!(err.contains("regenerate the baseline"), "{err}");
+        // Runner grew: fine (checks go advisory via same_machine_class).
+        assert!(guard_machine_class("spatial", &small, &big).is_ok());
+        assert!(guard_machine_class("spatial", &big, &big).is_ok());
+        // Old reports without the field are never rejected.
+        let bare = Json::parse(r#"{"facts": 1}"#).unwrap();
+        assert!(guard_machine_class("spatial", &big, &bare).is_ok());
+        assert!(guard_machine_class("spatial", &bare, &small).is_ok());
+        assert_eq!(recorded_parallelism(&big), Some(8));
+        assert_eq!(recorded_parallelism(&bare), None);
     }
 
     #[test]

@@ -11,6 +11,7 @@ pub mod diff;
 pub mod ingest;
 pub mod net;
 pub mod planning;
+pub mod spatial;
 pub mod stress;
 
 use mirabel_core::VisualOffer;

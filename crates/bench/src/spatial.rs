@@ -1,0 +1,493 @@
+//! S5 — the spatial dimension at city scale.
+//!
+//! Measures the three claims the spatial tentpole makes:
+//!
+//! * **O(region) queries** — a region-scoped loader query
+//!   ([`LoaderQuery::for_region`]) must answer from the per-region fact
+//!   index in time proportional to the subtree, not the warehouse: every
+//!   geography member is probed through both the indexed loader and the
+//!   reference full scan, the results must match exactly, and the
+//!   aggregate speedup is the headline gate (the CI bound is ≥ 10× at a
+//!   million facts);
+//! * **heatmap determinism** — replaying seeded region-scoped drill
+//!   traces ([`mirabel_workload::spatial`]) through full serving
+//!   sessions must produce bit-identical frame hashes at every planner
+//!   worker thread count;
+//! * **live publish** — ingesting a 1 000-offer batch into a live
+//!   warehouse already holding the full city-scale fact table and
+//!   publishing the next epoch (spatial index maintained incrementally,
+//!   never rebuilt) must stay within the interactive bound (the CI
+//!   probe is < 100 ms).
+//!
+//! Everything is deterministic in the config seed. The `spatial` binary
+//! wraps this module for CI
+//! (`cargo run --release -p mirabel-bench --bin spatial`).
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::Instant;
+
+use mirabel_dw::{Dimension, LiveWarehouse, LoaderQuery, MemberId, Warehouse};
+use mirabel_flexoffer::{FlexOffer, FlexOfferId};
+use mirabel_session::{Command, ConcurrentPool, PlanningParams};
+use mirabel_timeseries::TimeSlot;
+use mirabel_viz::Point;
+use mirabel_workload::{
+    generate_spatial_scenario, generate_spatial_traces, SpatialConfig, SpatialStep,
+    SpatialTraceConfig,
+};
+
+/// Shape of one spatial bench run; `Default` is the CI configuration
+/// (530 000 prosumers ≈ 1.02 M facts — the acceptance-criteria scale).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpatialBenchConfig {
+    /// Prosumers in the city-scale population.
+    pub prosumers: usize,
+    /// Days of offers (~2 offers per prosumer per day).
+    pub days: usize,
+    /// City-weight exponent (see [`SpatialConfig::density_skew`]).
+    pub density_skew: f64,
+    /// Planner worker thread counts to cross-check heatmap frame
+    /// hashes at.
+    pub threads: Vec<usize>,
+    /// Measurement rounds; the best round is reported (standard
+    /// best-of-N damping for shared CI runners).
+    pub repeats: usize,
+    /// Analysts in the drill-trace determinism fixture.
+    pub trace_users: usize,
+    /// Steps per analyst in the drill-trace determinism fixture.
+    pub trace_steps: usize,
+    /// Prosumers in the (smaller) drill-trace fixture — the traces
+    /// re-plan repeatedly, which would be wasteful at the full query
+    /// scale without measuring anything extra.
+    pub trace_prosumers: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for SpatialBenchConfig {
+    fn default() -> Self {
+        SpatialBenchConfig {
+            prosumers: 530_000,
+            days: 1,
+            density_skew: 1.5,
+            threads: vec![1, 2, 4, 8],
+            repeats: 3,
+            trace_users: 4,
+            trace_steps: 32,
+            trace_prosumers: 2_000,
+            seed: 0x5EA7,
+        }
+    }
+}
+
+/// Indexed-vs-scan timing for all probes of one hierarchy level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelQueryStats {
+    /// Hierarchy level (1 = region, 2 = city, 3 = district).
+    pub level: u8,
+    /// Members probed at this level.
+    pub probes: usize,
+    /// Offers selected across all probes (each fact appears once per
+    /// level — the levels partition the warehouse).
+    pub selected: usize,
+    /// Best-of-N total indexed time across the probes, milliseconds.
+    pub indexed_ms: f64,
+    /// Best-of-N total full-scan time across the probes, milliseconds.
+    pub scan_ms: f64,
+    /// `scan_ms / indexed_ms`.
+    pub speedup: f64,
+}
+
+/// The full harness report, serializable as `BENCH_spatial.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpatialReport {
+    /// The configuration that produced the report.
+    pub config: SpatialBenchConfig,
+    /// `std::thread::available_parallelism()` on the measuring host.
+    pub available_parallelism: usize,
+    /// Fact rows in the city-scale warehouse.
+    pub facts: usize,
+    /// `true` iff every probe's indexed result equalled the full scan.
+    pub results_match: bool,
+    /// Best-of-N total indexed time across every probe, milliseconds.
+    pub indexed_total_ms: f64,
+    /// Best-of-N total full-scan time across every probe, milliseconds.
+    pub scan_total_ms: f64,
+    /// `scan_total_ms / indexed_total_ms` — the headline gate.
+    pub query_speedup: f64,
+    /// Per-level breakdown of the query probes.
+    pub levels: Vec<LevelQueryStats>,
+    /// `true` iff drill-trace frame hashes matched across every planner
+    /// thread count.
+    pub frame_hash_stable: bool,
+    /// Frames rendered per trace replay (sanity: > 0, identical across
+    /// thread counts when `frame_hash_stable`).
+    pub trace_frames: usize,
+    /// Best-of-N trace replay wall-clock at one planner thread,
+    /// milliseconds.
+    pub replay_1t_ms: f64,
+    /// Best-of-N trace replay wall-clock at the highest configured
+    /// thread count, milliseconds.
+    pub replay_max_t_ms: f64,
+    /// `replay_1t_ms / replay_max_t_ms` — a *parallel* speedup, only
+    /// meaningful on runners with real cores (the gate skips it below
+    /// 4, see `bench_diff`).
+    pub parallel_speedup: f64,
+    /// Best-of-N publish latency after a 1 000-offer ingest into the
+    /// full city-scale live warehouse, milliseconds.
+    pub publish_ms: f64,
+}
+
+impl SpatialReport {
+    /// Serializes the report as pretty-printed JSON (hand-rolled; the
+    /// offline build has no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"bench\": \"spatial\",\n");
+        out.push_str(&format!("  \"prosumers\": {},\n", self.config.prosumers));
+        out.push_str(&format!("  \"days\": {},\n", self.config.days));
+        out.push_str(&format!("  \"density_skew\": {:.2},\n", self.config.density_skew));
+        out.push_str(&format!("  \"repeats\": {},\n", self.config.repeats.max(1)));
+        out.push_str(&format!("  \"seed\": {},\n", self.config.seed));
+        out.push_str(&format!("  \"available_parallelism\": {},\n", self.available_parallelism));
+        out.push_str(&format!("  \"facts\": {},\n", self.facts));
+        out.push_str(&format!("  \"results_match\": {},\n", self.results_match));
+        out.push_str(&format!("  \"indexed_total_ms\": {:.3},\n", self.indexed_total_ms));
+        out.push_str(&format!("  \"scan_total_ms\": {:.3},\n", self.scan_total_ms));
+        out.push_str(&format!("  \"query_speedup\": {:.1},\n", self.query_speedup));
+        out.push_str("  \"levels\": [\n");
+        for (i, l) in self.levels.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"level\": {}, \"probes\": {}, \"selected\": {}, \
+                 \"indexed_ms\": {:.3}, \"scan_ms\": {:.3}, \"speedup\": {:.1}}}{}\n",
+                l.level,
+                l.probes,
+                l.selected,
+                l.indexed_ms,
+                l.scan_ms,
+                l.speedup,
+                if i + 1 < self.levels.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!("  \"frame_hash_stable\": {},\n", self.frame_hash_stable));
+        out.push_str(&format!("  \"trace_frames\": {},\n", self.trace_frames));
+        out.push_str(&format!("  \"replay_1t_ms\": {:.3},\n", self.replay_1t_ms));
+        out.push_str(&format!("  \"replay_max_t_ms\": {:.3},\n", self.replay_max_t_ms));
+        out.push_str(&format!("  \"parallel_speedup\": {:.2},\n", self.parallel_speedup));
+        out.push_str(&format!("  \"publish_ms\": {:.3}\n", self.publish_ms));
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// A loader query spanning every slot (the spatial filter alone
+/// selects).
+fn everywhere() -> LoaderQuery {
+    LoaderQuery::window(TimeSlot::new(i64::MIN / 4), TimeSlot::new(i64::MAX / 4))
+}
+
+/// Indexed-vs-scan probes over every member of `level`, best of
+/// `repeats` rounds for each side, with an exact result comparison.
+fn probe_level(
+    dw: &Warehouse,
+    level: u8,
+    repeats: usize,
+    results_match: &mut bool,
+) -> LevelQueryStats {
+    let members: Vec<MemberId> =
+        dw.hierarchy(Dimension::Geography).at_level(level).map(|m| m.id).collect();
+    let mut selected = 0usize;
+
+    // Correctness first (once — the timing rounds assume it holds).
+    for &m in &members {
+        let q = everywhere().for_region(m);
+        let indexed: BTreeSet<FlexOfferId> = dw.load_offers(&q).iter().map(|fo| fo.id()).collect();
+        let scanned: BTreeSet<FlexOfferId> =
+            dw.load_offers_scan(&q).iter().map(|fo| fo.id()).collect();
+        *results_match &= indexed == scanned;
+        selected += indexed.len();
+    }
+
+    let mut indexed_ms = f64::INFINITY;
+    let mut scan_ms = f64::INFINITY;
+    for _ in 0..repeats.max(1) {
+        let t0 = Instant::now();
+        let mut loaded = 0usize;
+        for &m in &members {
+            loaded += dw.load_offers(&everywhere().for_region(m)).len();
+        }
+        indexed_ms = indexed_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(loaded, selected, "indexed probe drifted between rounds");
+
+        let t0 = Instant::now();
+        let mut scanned = 0usize;
+        for &m in &members {
+            scanned += dw.load_offers_scan(&everywhere().for_region(m)).len();
+        }
+        scan_ms = scan_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(scanned, selected, "scan probe drifted between rounds");
+    }
+    LevelQueryStats {
+        level,
+        probes: members.len(),
+        selected,
+        indexed_ms,
+        scan_ms,
+        speedup: if indexed_ms > 0.0 { scan_ms / indexed_ms } else { 0.0 },
+    }
+}
+
+/// Binds one abstract drill step to concrete session commands, tracking
+/// the analyst's focus exactly as the session will (drills into a leaf
+/// are sent anyway — the deterministic rejection exercises that path —
+/// but never move the local focus).
+fn bind_step(
+    dw: &Warehouse,
+    step: &SpatialStep,
+    root: MemberId,
+    focus: &mut MemberId,
+) -> Vec<Command> {
+    let h = dw.hierarchy(Dimension::Geography);
+    match step {
+        SpatialStep::DrillRoot => {
+            *focus = root;
+            vec![Command::RegionDrill(root)]
+        }
+        SpatialStep::DrillChild { slot } => {
+            let children: Vec<&mirabel_dw::Member> = h.children(*focus).collect();
+            if children.is_empty() {
+                *focus = root;
+                return vec![Command::RegionDrill(root)];
+            }
+            let child = children[slot % children.len()];
+            if child.level < 3 {
+                *focus = child.id;
+            }
+            vec![Command::RegionDrill(child.id)]
+        }
+        SpatialStep::Up => {
+            if let Some(parent) = h.member(*focus).and_then(|m| m.parent) {
+                *focus = parent;
+            }
+            vec![Command::RegionUp]
+        }
+        SpatialStep::HoverStorm { points } => points
+            .iter()
+            .map(|&(x, y)| Command::PointerMove(Point::new(x * 960.0, y * 540.0)))
+            .collect(),
+        SpatialStep::Plan => vec![Command::Plan],
+        SpatialStep::Render => vec![Command::Render],
+    }
+}
+
+/// Replays every analyst trace through its own session at one planner
+/// thread count; returns (frame hashes in replay order, wall-clock ms).
+fn replay_traces(
+    snapshot_dw: &Arc<Warehouse>,
+    config: &SpatialBenchConfig,
+    threads: usize,
+) -> (Vec<u64>, f64) {
+    let traces = generate_spatial_traces(&SpatialTraceConfig {
+        users: config.trace_users,
+        steps_per_user: config.trace_steps,
+        seed: config.seed ^ 0xD811,
+    });
+    let root = snapshot_dw.hierarchy(Dimension::Geography).all().id;
+    let pool = ConcurrentPool::new(Arc::clone(snapshot_dw));
+    let mut hashes = Vec::new();
+    let t0 = Instant::now();
+    for trace in &traces {
+        let id = pool.open();
+        pool.apply(
+            id,
+            Command::SetPlanningParams(PlanningParams {
+                threads: threads.max(1),
+                seed: config.seed,
+                ..Default::default()
+            }),
+        );
+        let mut focus = root;
+        for step in &trace.steps {
+            for cmd in bind_step(snapshot_dw, step, root, &mut focus) {
+                let outcome = pool.apply(id, cmd).expect("session open");
+                if let Some(hash) = outcome.frame_hash() {
+                    hashes.push(hash);
+                }
+            }
+        }
+        // One final frame per analyst so even hover-only tails hash.
+        if let Some(hash) = pool.apply(id, Command::Render).and_then(|o| o.frame_hash()) {
+            hashes.push(hash);
+        }
+    }
+    (hashes, t0.elapsed().as_secs_f64() * 1e3)
+}
+
+/// A 1 000-offer batch with ids disjoint from the warehouse (and from
+/// every other round), cloned off live offers so the prosumers resolve.
+fn publish_batch(offers: &[Arc<FlexOffer>], round: u64) -> Vec<FlexOffer> {
+    offers
+        .iter()
+        .take(1_000)
+        .enumerate()
+        .map(|(i, fo)| fo.with_id(FlexOfferId(50_000_000 + round * 1_000_000 + i as u64)))
+        .collect()
+}
+
+/// Runs the full harness.
+pub fn run_spatial(config: &SpatialBenchConfig) -> SpatialReport {
+    // 1. The city-scale warehouse and the O(region) query probes.
+    let (population, offers) = generate_spatial_scenario(&SpatialConfig {
+        prosumers: config.prosumers,
+        days: config.days,
+        seed: config.seed,
+        density_skew: config.density_skew,
+        household_share: 0.8,
+    });
+    let dw = Warehouse::load(&population, &offers);
+    let facts = dw.facts().len();
+    let mut results_match = true;
+    let levels: Vec<LevelQueryStats> =
+        (1..=3).map(|level| probe_level(&dw, level, config.repeats, &mut results_match)).collect();
+    let indexed_total_ms: f64 = levels.iter().map(|l| l.indexed_ms).sum();
+    let scan_total_ms: f64 = levels.iter().map(|l| l.scan_ms).sum();
+
+    // 2. Publish latency with the full fact table live: ingest 1k, then
+    //    freeze the next epoch (clone-and-swap, spatial index maintained
+    //    incrementally on the working copy).
+    let live = LiveWarehouse::from_warehouse(population.clone(), dw.clone());
+    let shared_offers = dw.offers().to_vec();
+    drop(dw);
+    let mut publish_ms = f64::INFINITY;
+    for round in 0..config.repeats.max(1) as u64 {
+        live.ingest(&publish_batch(&shared_offers, round));
+        let t0 = Instant::now();
+        live.publish();
+        publish_ms = publish_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+
+    // 3. Heatmap determinism: the same drill traces through full serving
+    //    sessions at every planner thread count must hash identically.
+    let (trace_pop, trace_offers) = generate_spatial_scenario(&SpatialConfig {
+        prosumers: config.trace_prosumers,
+        days: config.days,
+        seed: config.seed ^ 0x7A0,
+        density_skew: config.density_skew,
+        household_share: 0.8,
+    });
+    let trace_live = LiveWarehouse::new(trace_pop, &trace_offers);
+    trace_live.advance_day();
+    let snapshot = trace_live.publish();
+    let mut frame_hash_stable = true;
+    let mut reference: Option<Vec<u64>> = None;
+    let mut replay_1t_ms = f64::INFINITY;
+    let mut replay_max_t_ms = f64::INFINITY;
+    let max_threads = config.threads.iter().copied().max().unwrap_or(1);
+    for &threads in &config.threads {
+        for _ in 0..config.repeats.max(1) {
+            let (hashes, ms) = replay_traces(snapshot.warehouse(), config, threads);
+            match &reference {
+                None => reference = Some(hashes),
+                Some(r) => frame_hash_stable &= *r == hashes,
+            }
+            if threads == 1 {
+                replay_1t_ms = replay_1t_ms.min(ms);
+            }
+            if threads == max_threads {
+                replay_max_t_ms = replay_max_t_ms.min(ms);
+            }
+        }
+    }
+    let trace_frames = reference.as_ref().map_or(0, Vec::len);
+    if !replay_1t_ms.is_finite() {
+        replay_1t_ms = replay_max_t_ms;
+    }
+    if !replay_max_t_ms.is_finite() {
+        replay_max_t_ms = replay_1t_ms;
+    }
+
+    SpatialReport {
+        config: config.clone(),
+        available_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        facts,
+        results_match,
+        indexed_total_ms,
+        scan_total_ms,
+        query_speedup: if indexed_total_ms > 0.0 { scan_total_ms / indexed_total_ms } else { 0.0 },
+        levels,
+        frame_hash_stable,
+        trace_frames,
+        replay_1t_ms,
+        replay_max_t_ms,
+        parallel_speedup: if replay_max_t_ms > 0.0 { replay_1t_ms / replay_max_t_ms } else { 0.0 },
+        publish_ms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SpatialBenchConfig {
+        SpatialBenchConfig {
+            prosumers: 2_000,
+            days: 1,
+            density_skew: 1.5,
+            threads: vec![1, 2],
+            repeats: 1,
+            trace_users: 2,
+            trace_steps: 12,
+            trace_prosumers: 150,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn harness_reports_consistent_gates() {
+        let report = run_spatial(&tiny());
+        assert!(report.results_match, "indexed loader diverged from the full scan");
+        assert!(report.frame_hash_stable, "heatmap frame hashes diverged across threads");
+        assert!(report.facts > 3_000, "{} facts", report.facts);
+        assert!(report.trace_frames > 0);
+        assert!(report.publish_ms > 0.0 && report.publish_ms.is_finite());
+        assert_eq!(report.levels.len(), 3);
+        // The levels partition the warehouse: every fact sits under
+        // exactly one region, city and district (Unassigned included at
+        // level 1 only — unassigned facts simply never occur for
+        // generated populations, so each level sums to the fact count).
+        for l in &report.levels {
+            assert_eq!(l.selected, report.facts, "level {} does not partition", l.level);
+        }
+        // Even at this small scale the per-region index must clearly
+        // beat 81 full scans of the fact table.
+        assert!(
+            report.query_speedup > 1.0,
+            "indexed {:.3} ms vs scan {:.3} ms",
+            report.indexed_total_ms,
+            report.scan_total_ms
+        );
+
+        let json = report.to_json();
+        assert!(json.contains("\"bench\": \"spatial\""));
+        assert!(json.contains("\"results_match\": true"));
+        assert!(json.contains("\"frame_hash_stable\": true"));
+        assert!(json.contains("\"query_speedup\""));
+        crate::diff::Json::parse(&json).expect("report must parse with the gate's own reader");
+    }
+
+    #[test]
+    fn trace_binding_is_deterministic() {
+        let config = tiny();
+        let (pop, offers) = generate_spatial_scenario(&SpatialConfig {
+            prosumers: config.trace_prosumers,
+            ..Default::default()
+        });
+        let dw = Arc::new(Warehouse::load(&pop, &offers));
+        let (a, _) = replay_traces(&dw, &config, 1);
+        let (b, _) = replay_traces(&dw, &config, 1);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+}

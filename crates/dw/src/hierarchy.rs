@@ -279,9 +279,13 @@ impl Hierarchy {
         added
     }
 
-    /// Geography hierarchy: All → Region → City → District. Returns the
-    /// hierarchy plus a district-id → leaf-member map in district order.
-    pub fn geography(geo: &Geography) -> (Hierarchy, Vec<MemberId>) {
+    /// Geography hierarchy: All → Region → City → District, closed off
+    /// with a synthetic `Unassigned` region/city/district branch so that
+    /// a location outside every region polygon still keys a level-3 leaf
+    /// (facts are never dropped from the spatial dimension). Returns the
+    /// hierarchy, a district-id → leaf-member map in district order, and
+    /// the unassigned district leaf.
+    pub fn geography(geo: &Geography) -> (Hierarchy, Vec<MemberId>, MemberId) {
         let mut h = Hierarchy::with_root(
             Dimension::Geography,
             vec!["All", "Region", "City", "District"],
@@ -303,7 +307,11 @@ impl Hierarchy {
                 }
             }
         }
-        (h, district_leaves)
+        // Appended last so the real members keep their dense ids.
+        let u_region = h.push("Unassigned", 1, Some(root));
+        let u_city = h.push("Unassigned city", 2, Some(u_region));
+        let unassigned_leaf = h.push("Unassigned district", 3, Some(u_city));
+        (h, district_leaves, unassigned_leaf)
     }
 
     /// Grid hierarchy: All → Line → Substation → Feeder (plants are
@@ -466,16 +474,26 @@ mod tests {
     #[test]
     fn geography_hierarchy_mirrors_geo() {
         let geo = Geography::synthetic_denmark();
-        let (h, district_leaves) = Hierarchy::geography(&geo);
+        let (h, district_leaves, unassigned) = Hierarchy::geography(&geo);
         assert_eq!(h.dimension(), Dimension::Geography);
-        assert_eq!(h.at_level(1).count(), 5);
-        assert_eq!(h.at_level(2).count(), 15);
-        assert_eq!(h.at_level(3).count(), 60);
+        // 5 real regions / 15 cities / 60 districts plus the synthetic
+        // Unassigned branch at every level.
+        assert_eq!(h.at_level(1).count(), 6);
+        assert_eq!(h.at_level(2).count(), 16);
+        assert_eq!(h.at_level(3).count(), 61);
         assert_eq!(district_leaves.len(), 60);
         // Every district leaf's path runs through its city and region.
         let aarhus_d2 = geo.districts().iter().find(|d| d.name == "Aarhus-D2").unwrap();
         let leaf = district_leaves[aarhus_d2.id.0 as usize];
         assert_eq!(h.path(leaf), vec!["Denmark", "Midtjylland", "Aarhus", "Aarhus-D2"]);
+        // The unassigned branch is a full level-3 path appended after all
+        // real members (ids stay dense and stable).
+        assert_eq!(h.member(unassigned).unwrap().level, 3);
+        assert_eq!(
+            h.path(unassigned),
+            vec!["Denmark", "Unassigned", "Unassigned city", "Unassigned district"]
+        );
+        assert!(district_leaves.iter().all(|l| l.0 < unassigned.0 - 2));
     }
 
     #[test]

@@ -26,7 +26,11 @@
 //!   query window ("a possibility to manually formulate a query (e.g., in
 //!   MDX) for the view must be provided", Section 3);
 //! * [`LoaderQuery`] — the Figure 7 loader: select a legal entity and an
-//!   absolute time interval, get flex-offers;
+//!   absolute time interval, get flex-offers; region-scoped queries
+//!   ([`LoaderQuery::for_region`]) answer from the per-region fact index
+//!   in O(offers-in-subtree) (see [`spatial`]);
+//! * [`spatial`] — the spatial dimension's per-region posting lists and
+//!   the per-prosumer point-in-region membership cache;
 //! * [`LiveWarehouse`] — streaming ingest: batched
 //!   ingest/withdraw/advance-day deltas applied incrementally to a
 //!   working copy, published as immutable [`EpochSnapshot`]s so readers
@@ -47,6 +51,7 @@ pub mod live;
 pub mod mdx;
 mod pivot;
 mod query;
+pub mod spatial;
 mod warehouse;
 
 pub use fact::FactRow;
@@ -54,4 +59,5 @@ pub use hierarchy::{Dimension, Hierarchy, Member, MemberId};
 pub use live::{EpochSnapshot, LiveWarehouse, PendingDeltas};
 pub use pivot::{PivotAxis, PivotSpec, PivotTable};
 pub use query::{DwError, Filter, Measure, Query, QueryResult};
+pub use spatial::{region_leaves, SpatialIndex};
 pub use warehouse::{IngestOutcome, LoaderQuery, Warehouse};

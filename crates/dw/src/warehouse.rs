@@ -4,11 +4,13 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use mirabel_flexoffer::{FlexOffer, FlexOfferId, ProsumerId};
+use mirabel_geo::Geography;
 use mirabel_timeseries::{SlotSpan, TimeSlot, SLOTS_PER_DAY};
 use mirabel_workload::Population;
 
 use crate::fact::FactRow;
 use crate::hierarchy::{Dimension, Hierarchy, MemberId};
+use crate::spatial::SpatialIndex;
 
 /// The in-memory MIRABEL data warehouse.
 ///
@@ -18,6 +20,13 @@ use crate::hierarchy::{Dimension, Hierarchy, MemberId};
 /// appends newly arrived offers (extending the time hierarchy in place)
 /// and [`Warehouse::withdraw`] compacts retracted ones away — the
 /// incremental deltas behind [`LiveWarehouse`](crate::LiveWarehouse).
+///
+/// The heavy state — fact table, offer store, the per-id / per-prosumer /
+/// per-region indices — sits behind [`Arc`] with copy-on-write semantics
+/// ([`Arc::make_mut`]): cloning the warehouse (the live warehouse's epoch
+/// publish, which happens under the writer lock) costs O(hierarchies),
+/// independent of the fact count, and the first mutating batch after a
+/// publish pays for unsharing only the structures it actually touches.
 #[derive(Debug, Clone)]
 pub struct Warehouse {
     time: Hierarchy,
@@ -30,15 +39,23 @@ pub struct Warehouse {
     day_leaves: Vec<MemberId>,
     /// District id → geography leaf member, kept for incremental keying.
     district_leaves: Vec<MemberId>,
+    /// Leaf for locations outside every region polygon.
+    unassigned_leaf: MemberId,
+    /// The geometric geography model (polygons, city sites), kept for
+    /// point-in-region membership resolution and the heatmap view.
+    geo_model: Geography,
+    /// Per-region fact index + per-prosumer membership cache
+    /// (copy-on-write — shared with published epochs until mutated).
+    spatial: Arc<SpatialIndex>,
     /// Grid node id → grid member, kept for incremental keying.
     node_members: Vec<MemberId>,
-    facts: Vec<FactRow>,
-    offers: Vec<Arc<FlexOffer>>,
-    by_id: HashMap<FlexOfferId, usize>,
+    facts: Arc<Vec<FactRow>>,
+    offers: Arc<Vec<Arc<FlexOffer>>>,
+    by_id: Arc<HashMap<FlexOfferId, usize>>,
     /// Prosumer → fact indices (ascending): makes entity-restricted
     /// loader queries O(k in the entity's offers) instead of a scan of
     /// the whole population.
-    by_prosumer: HashMap<ProsumerId, Vec<usize>>,
+    by_prosumer: Arc<HashMap<ProsumerId, Vec<usize>>>,
 }
 
 /// What one [`Warehouse::ingest`] batch did — every skipped offer is
@@ -68,7 +85,8 @@ impl Warehouse {
     pub fn load(population: &Population, offers: &[FlexOffer]) -> Warehouse {
         let (from, to) = offer_window(offers);
         let (time, first_day, day_leaves) = Hierarchy::time(from, to);
-        let (geography, district_leaves) = Hierarchy::geography(population.geography());
+        let (geography, district_leaves, unassigned_leaf) =
+            Hierarchy::geography(population.geography());
         let (grid, node_members) = Hierarchy::grid(population.grid());
         let energy = Hierarchy::energy_type();
         let prosumer = Hierarchy::prosumer_type();
@@ -84,11 +102,14 @@ impl Warehouse {
             first_day,
             day_leaves,
             district_leaves,
+            unassigned_leaf,
+            geo_model: population.geography().clone(),
+            spatial: Arc::new(SpatialIndex::new()),
             node_members,
-            facts: Vec::with_capacity(offers.len()),
-            offers: Vec::with_capacity(offers.len()),
-            by_id: HashMap::with_capacity(offers.len()),
-            by_prosumer: HashMap::new(),
+            facts: Arc::new(Vec::with_capacity(offers.len())),
+            offers: Arc::new(Vec::with_capacity(offers.len())),
+            by_id: Arc::new(HashMap::with_capacity(offers.len())),
+            by_prosumer: Arc::new(HashMap::new()),
         };
         for fo in offers {
             dw.append_offer(population, fo);
@@ -99,26 +120,38 @@ impl Warehouse {
     /// Appends one offer (already inside the time window) to the fact
     /// table and every index. Returns `false` when the prosumer is
     /// unknown.
+    ///
+    /// Spatial membership comes from point-in-region over the prosumer's
+    /// meter location, resolved once per prosumer and cached (see
+    /// [`SpatialIndex::leaf_for`]); unresolvable locations key to the
+    /// `Unassigned` district leaf.
     fn append_offer(&mut self, population: &Population, fo: &FlexOffer) -> bool {
         let Some(p) = population.prosumer(fo.prosumer()) else { return false };
         let day_idx = (fo.earliest_start().index().div_euclid(SLOTS_PER_DAY) * SLOTS_PER_DAY
             - self.first_day.index())
             / SLOTS_PER_DAY;
         let time_leaf = self.day_leaves[day_idx as usize];
+        // Unshare the copy-on-write state (no-op while this writer is
+        // the sole owner; a full copy right after an epoch publish).
+        let spatial = Arc::make_mut(&mut self.spatial);
+        let geo_leaf =
+            spatial.leaf_for(&self.geo_model, &self.district_leaves, self.unassigned_leaf, p);
         let row = FactRow::extract(
             fo,
             time_leaf,
-            self.district_leaves[p.district.0 as usize],
+            geo_leaf,
             self.node_members[p.feeder.0 as usize],
             Hierarchy::energy_leaf(fo.energy_type()),
             Hierarchy::prosumer_leaf(fo.prosumer_type()),
             Hierarchy::appliance_leaf(fo.appliance_type()),
         );
-        let idx = self.offers.len();
-        self.by_id.insert(fo.id(), idx);
-        self.by_prosumer.entry(fo.prosumer()).or_default().push(idx);
-        self.facts.push(row);
-        self.offers.push(Arc::new(fo.clone()));
+        let offers = Arc::make_mut(&mut self.offers);
+        let idx = offers.len();
+        Arc::make_mut(&mut self.by_id).insert(fo.id(), idx);
+        Arc::make_mut(&mut self.by_prosumer).entry(fo.prosumer()).or_default().push(idx);
+        spatial.insert(geo_leaf, idx);
+        Arc::make_mut(&mut self.facts).push(row);
+        offers.push(Arc::new(fo.clone()));
         true
     }
 
@@ -199,26 +232,31 @@ impl Warehouse {
         if removed == 0 {
             return 0;
         }
+        let facts = Arc::make_mut(&mut self.facts);
         let mut i = 0;
-        self.facts.retain(|_| {
+        facts.retain(|_| {
             let keep = !dead[i];
             i += 1;
             keep
         });
+        let offers = Arc::make_mut(&mut self.offers);
         let mut i = 0;
-        self.offers.retain(|_| {
+        offers.retain(|_| {
             let keep = !dead[i];
             i += 1;
             keep
         });
-        // Survivor indices shifted: rebuild both secondary indices in
-        // one pass over the (compacted) offer list.
-        self.by_id.clear();
-        self.by_prosumer.clear();
-        for (idx, fo) in self.offers.iter().enumerate() {
-            self.by_id.insert(fo.id(), idx);
-            self.by_prosumer.entry(fo.prosumer()).or_default().push(idx);
+        // Survivor indices shifted: rebuild the secondary indices in one
+        // pass over the (compacted) offer list and fact table.
+        let by_id = Arc::make_mut(&mut self.by_id);
+        let by_prosumer = Arc::make_mut(&mut self.by_prosumer);
+        by_id.clear();
+        by_prosumer.clear();
+        for (idx, fo) in offers.iter().enumerate() {
+            by_id.insert(fo.id(), idx);
+            by_prosumer.entry(fo.prosumer()).or_default().push(idx);
         }
+        Arc::make_mut(&mut self.spatial).rebuild(facts);
         removed
     }
 
@@ -284,24 +322,70 @@ impl Warehouse {
         self.by_prosumer.get(&prosumer).map(Vec::as_slice).unwrap_or(&[])
     }
 
-    /// The Figure 7 loader: flex-offers of one legal entity (or all) whose
-    /// flexibility window intersects the absolute interval.
-    ///
-    /// Entity-restricted queries walk the per-prosumer index — O(k in
-    /// that entity's offers) — instead of scanning the whole population;
-    /// results are in fact order either way.
-    pub fn load_offers(&self, query: &LoaderQuery) -> Vec<&FlexOffer> {
-        match query.prosumer {
-            Some(p) => self
+    /// The geometric geography model the warehouse was loaded on
+    /// (polygons and city sites — what the heatmap view projects).
+    pub fn geography_model(&self) -> &Geography {
+        &self.geo_model
+    }
+
+    /// The district leaf for facts whose location resolves to no region.
+    pub fn unassigned_leaf(&self) -> MemberId {
+        self.unassigned_leaf
+    }
+
+    /// The per-region fact index (read access for diagnostics and the
+    /// spatial bench harness).
+    pub fn spatial_index(&self) -> &SpatialIndex {
+        &self.spatial
+    }
+
+    /// The geography leaf the fact of offer `id` is keyed to — how the
+    /// session folds a standing plan into per-region heatmap cells.
+    pub fn geo_leaf_of(&self, id: FlexOfferId) -> Option<MemberId> {
+        self.by_id.get(&id).map(|&i| self.facts[i].geo_leaf)
+    }
+
+    /// `true` when fact `idx` lies in the subtree of `member` in the
+    /// geography hierarchy.
+    fn in_region(&self, idx: usize, member: MemberId) -> bool {
+        self.geography.is_descendant(self.facts[idx].geo_leaf, member)
+    }
+
+    /// Fact indices satisfying every part of `query`, ascending. Picks
+    /// the cheapest index: the per-prosumer postings for entity queries,
+    /// the per-region postings for spatial queries, a full scan only when
+    /// neither filter is set.
+    fn selected_indices(&self, query: &LoaderQuery) -> Vec<usize> {
+        match (query.prosumer, query.region) {
+            (Some(p), region) => self
                 .prosumer_indices(p)
                 .iter()
-                .map(|&i| self.offers[i].as_ref())
-                .filter(|fo| query.matches(fo))
+                .copied()
+                .filter(|&i| region.is_none_or(|m| self.in_region(i, m)))
+                .filter(|&i| query.matches(&self.offers[i]))
                 .collect(),
-            None => {
-                self.offers.iter().filter(|fo| query.matches(fo)).map(|fo| fo.as_ref()).collect()
+            (None, Some(m)) => {
+                let mut indices = self.spatial.indices_under(&self.geography, m);
+                indices.retain(|&i| query.matches(&self.offers[i]));
+                indices
+            }
+            (None, None) => {
+                (0..self.offers.len()).filter(|&i| query.matches(&self.offers[i])).collect()
             }
         }
+    }
+
+    /// The Figure 7 loader: flex-offers of one legal entity (or all) in
+    /// one spatial subtree (or anywhere) whose flexibility window
+    /// intersects the absolute interval.
+    ///
+    /// Entity-restricted queries walk the per-prosumer index — O(k in
+    /// that entity's offers); region-restricted queries merge the
+    /// per-region posting lists — O(offers-in-subtree) — instead of
+    /// scanning the whole population; results are in fact order either
+    /// way.
+    pub fn load_offers(&self, query: &LoaderQuery) -> Vec<&FlexOffer> {
+        self.selected_indices(query).into_iter().map(|i| self.offers[i].as_ref()).collect()
     }
 
     /// The loader, Arc-flavored: the same selection as
@@ -309,25 +393,35 @@ impl Warehouse {
     /// tab (or many tabs across many sessions) holds the warehouse's
     /// allocation instead of a per-tab clone of every offer.
     pub fn load_shared(&self, query: &LoaderQuery) -> Vec<Arc<FlexOffer>> {
-        match query.prosumer {
-            Some(p) => self
-                .prosumer_indices(p)
-                .iter()
-                .map(|&i| &self.offers[i])
-                .filter(|fo| query.matches(fo))
-                .map(Arc::clone)
-                .collect(),
-            None => self.offers.iter().filter(|fo| query.matches(fo)).map(Arc::clone).collect(),
-        }
+        self.selected_indices(query).into_iter().map(|i| Arc::clone(&self.offers[i])).collect()
+    }
+
+    /// Reference implementation of [`Warehouse::load_offers`] that
+    /// ignores every secondary index: a linear scan over all facts
+    /// applying the entity, region and interval filters directly. The
+    /// equality-regression tests and the spatial bench harness compare
+    /// the indexed loaders against this.
+    pub fn load_offers_scan(&self, query: &LoaderQuery) -> Vec<&FlexOffer> {
+        (0..self.offers.len())
+            .filter(|&i| query.region.is_none_or(|m| self.in_region(i, m)))
+            .filter(|&i| query.matches(&self.offers[i]))
+            .map(|i| self.offers[i].as_ref())
+            .collect()
     }
 }
 
-/// The loader tab's selection (Figure 7): a legal entity (optional) and an
-/// absolute time interval.
+/// The loader tab's selection (Figure 7): a legal entity (optional), a
+/// spatial subtree (optional, any member of the geography hierarchy) and
+/// an absolute time interval.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LoaderQuery {
     /// Restrict to one prosumer; `None` loads everyone.
     pub prosumer: Option<ProsumerId>,
+    /// Restrict to facts under this geography member (region, city or
+    /// district); `None` loads everywhere. Spatial membership lives on
+    /// the fact row, so this filter is applied by the warehouse loaders,
+    /// not by [`LoaderQuery::matches`].
+    pub region: Option<MemberId>,
     /// Interval start (inclusive).
     pub from: TimeSlot,
     /// Interval end (exclusive).
@@ -337,7 +431,7 @@ pub struct LoaderQuery {
 impl LoaderQuery {
     /// Loads every offer intersecting `[from, to)`.
     pub fn window(from: TimeSlot, to: TimeSlot) -> LoaderQuery {
-        LoaderQuery { prosumer: None, from, to }
+        LoaderQuery { prosumer: None, region: None, from, to }
     }
 
     /// Restricts the query to one legal entity.
@@ -346,8 +440,18 @@ impl LoaderQuery {
         self
     }
 
+    /// Restricts the query to facts under one geography member — the
+    /// O(offers-in-subtree) spatial query (answered from the per-region
+    /// fact index, see [`crate::spatial`]).
+    pub fn for_region(mut self, member: MemberId) -> LoaderQuery {
+        self.region = Some(member);
+        self
+    }
+
     /// `true` when `offer` satisfies the entity filter and intersects the
-    /// half-open interval.
+    /// half-open interval. The spatial filter is *not* checked here (an
+    /// offer alone does not know its region) — the warehouse loaders
+    /// apply it against the fact table.
     pub fn matches(&self, offer: &FlexOffer) -> bool {
         if let Some(p) = self.prosumer {
             if offer.prosumer() != p {
@@ -642,6 +746,105 @@ mod tests {
                     dw.load_shared(&q).iter().map(|fo| fo.id()).collect();
                 assert_eq!(shared, linear, "prosumer {p:?} (shared)");
             }
+        }
+    }
+
+    #[test]
+    fn region_index_matches_full_scan() {
+        let (pop, offers) = setup();
+        let mut dw = Warehouse::load(&pop, &offers);
+        // Exercise the index across mutations too (withdraw rebuilds it).
+        let victims: Vec<FlexOfferId> = offers.iter().step_by(4).map(|fo| fo.id()).collect();
+        dw.withdraw(&victims);
+        let geo = dw.hierarchy(Dimension::Geography);
+        // Every member of the geography hierarchy at every level,
+        // including the root and the unassigned branch.
+        let members: Vec<MemberId> = geo.members().iter().map(|m| m.id).collect();
+        let (lo, hi) = (TimeSlot::new(0), TimeSlot::new(96));
+        for m in members {
+            for q in [everywhere().for_region(m), LoaderQuery::window(lo, hi).for_region(m)] {
+                let indexed: Vec<FlexOfferId> =
+                    dw.load_offers(&q).iter().map(|fo| fo.id()).collect();
+                let scanned: Vec<FlexOfferId> =
+                    dw.load_offers_scan(&q).iter().map(|fo| fo.id()).collect();
+                assert_eq!(indexed, scanned, "member {m}");
+                let shared: Vec<FlexOfferId> =
+                    dw.load_shared(&q).iter().map(|fo| fo.id()).collect();
+                assert_eq!(shared, scanned, "member {m} (shared)");
+            }
+        }
+        // The root member selects everything the unfiltered query does.
+        let all = dw.load_offers(&everywhere()).len();
+        assert_eq!(dw.load_offers(&everywhere().for_region(geo.all().id)).len(), all);
+    }
+
+    #[test]
+    fn region_and_prosumer_filters_compose() {
+        let (pop, offers) = setup();
+        let dw = Warehouse::load(&pop, &offers);
+        let p = pop
+            .prosumers()
+            .iter()
+            .find(|pr| !dw.load_offers(&everywhere().for_prosumer(pr.id)).is_empty())
+            .unwrap();
+        let home = dw.district_leaves[p.district.0 as usize];
+        let geo = dw.hierarchy(Dimension::Geography);
+        let region = geo.ancestor_at_level(home, 1).unwrap();
+        // All of the prosumer's offers live in its home subtree...
+        let both = dw.load_offers(&everywhere().for_prosumer(p.id).for_region(region));
+        let mine = dw.load_offers(&everywhere().for_prosumer(p.id));
+        assert_eq!(
+            both.iter().map(|fo| fo.id()).collect::<Vec<_>>(),
+            mine.iter().map(|fo| fo.id()).collect::<Vec<_>>()
+        );
+        // ...and none in a disjoint region.
+        let other = geo
+            .at_level(1)
+            .find(|m| m.id != region && m.name != "Unassigned")
+            .map(|m| m.id)
+            .unwrap();
+        assert!(dw.load_offers(&everywhere().for_prosumer(p.id).for_region(other)).is_empty());
+        // Composition agrees with the scan reference either way.
+        let q = everywhere().for_prosumer(p.id).for_region(other);
+        assert_eq!(dw.load_offers(&q).len(), dw.load_offers_scan(&q).len());
+    }
+
+    #[test]
+    fn spatial_membership_is_cached_per_prosumer() {
+        let (pop, offers) = setup();
+        let dw = Warehouse::load(&pop, &offers);
+        // One membership resolution per distinct prosumer with offers,
+        // not one per fact.
+        let distinct: std::collections::BTreeSet<ProsumerId> =
+            dw.offers().iter().map(|fo| fo.prosumer()).collect();
+        assert_eq!(dw.spatial_index().cached_memberships(), distinct.len());
+        assert!(dw.facts().len() > distinct.len());
+        // Generated locations resolve to the declared district, so no
+        // fact lands on the unassigned leaf.
+        assert!(dw.facts().iter().all(|row| row.geo_leaf != dw.unassigned_leaf()));
+        assert!(dw.load_offers(&everywhere().for_region(dw.unassigned_leaf())).is_empty());
+    }
+
+    #[test]
+    fn ingest_maintains_the_spatial_index_incrementally() {
+        let (pop, offers) = setup();
+        let (day1, rest): (Vec<FlexOffer>, Vec<FlexOffer>) = offers
+            .iter()
+            .cloned()
+            .partition(|fo| fo.earliest_start().index() < mirabel_timeseries::SLOTS_PER_DAY);
+        let mut live = Warehouse::load(&pop, &day1);
+        live.ingest(&pop, &rest);
+        let full = Warehouse::load(&pop, &offers);
+        let geo = full.hierarchy(Dimension::Geography);
+        for m in geo.at_level(1).chain(geo.at_level(2)) {
+            let q = everywhere().for_region(m.id);
+            let mut live_ids: Vec<u64> =
+                live.load_offers(&q).iter().map(|fo| fo.id().raw()).collect();
+            let mut full_ids: Vec<u64> =
+                full.load_offers(&q).iter().map(|fo| fo.id().raw()).collect();
+            live_ids.sort_unstable();
+            full_ids.sort_unstable();
+            assert_eq!(live_ids, full_ids, "member {}", m.name);
         }
     }
 

@@ -43,5 +43,7 @@ mod projection;
 
 pub use denmark::synthetic_denmark_data;
 pub use geometry::{BoundingBox, GeoPoint, Polygon};
-pub use model::{City, CityId, District, DistrictId, Geography, Region, RegionId};
+pub use model::{
+    City, CityId, District, DistrictId, Geography, Region, RegionId, ResolvedLocation,
+};
 pub use projection::{choropleth_bucket, Projection};

@@ -72,6 +72,23 @@ pub struct District {
     pub city: CityId,
 }
 
+/// The spatial membership of one point, fully resolved down the
+/// hierarchy: the region whose polygon contains it, the nearest city
+/// site within that region, and the district quadrant around that site.
+///
+/// Produced by [`Geography::resolve_district`]; the warehouse caches one
+/// of these per prosumer so point-in-region runs once per entity, not
+/// once per fact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ResolvedLocation {
+    /// Containing region.
+    pub region: RegionId,
+    /// Nearest city site within the region.
+    pub city: CityId,
+    /// District quadrant of the city.
+    pub district: DistrictId,
+}
+
 /// The full geography: the country with its regions, cities and
 /// districts, forming the spatial-geographical dimension hierarchy.
 #[derive(Debug, Clone, PartialEq)]
@@ -158,6 +175,38 @@ impl Geography {
     /// The region containing `p`, if any.
     pub fn region_containing(&self, p: GeoPoint) -> Option<&Region> {
         self.regions.iter().find(|r| r.polygon.contains(p))
+    }
+
+    /// Resolves a point to its district membership: containing region →
+    /// nearest city site in that region (ties broken by lower city id) →
+    /// district quadrant around the site (SW/SE/NW/NE, wrapped into the
+    /// city's district count).
+    ///
+    /// Returns `None` when the point is outside every region polygon, or
+    /// when the containing region has no cities or the nearest city has
+    /// no districts — callers map that to their own "unassigned" bucket.
+    /// Total and deterministic: never panics, and the same point always
+    /// resolves the same way.
+    pub fn resolve_district(&self, p: GeoPoint) -> Option<ResolvedLocation> {
+        let region = self.region_containing(p)?;
+        let city = self
+            .cities_of(region.id)
+            .map(|c| (c.location.distance(p), c))
+            // Strict `<` keeps the first (lowest-id) city on exact ties,
+            // so border points resolve deterministically.
+            .reduce(|best, next| if next.0 < best.0 { next } else { best })
+            .map(|(_, c)| c)?;
+        let districts: Vec<DistrictId> = self.districts_of(city.id).map(|d| d.id).collect();
+        if districts.is_empty() {
+            return None;
+        }
+        // Quadrant relative to the city site: SW=0, SE=1, NW=2, NE=3.
+        // Points exactly on an axis count as west/south of it.
+        let east = p.lon > city.location.lon;
+        let north = p.lat > city.location.lat;
+        let quadrant = usize::from(east) + 2 * usize::from(north);
+        let district = districts[quadrant % districts.len()];
+        Some(ResolvedLocation { region: region.id, city: city.id, district })
     }
 
     /// Bounding box over all region polygons.
@@ -252,5 +301,97 @@ mod tests {
     fn weights_are_positive() {
         let geo = Geography::synthetic_denmark();
         assert!(geo.cities().iter().all(|c| c.weight > 0.0));
+    }
+
+    #[test]
+    fn city_sites_resolve_to_their_own_city() {
+        let geo = Geography::synthetic_denmark();
+        for c in geo.cities() {
+            let resolved = geo.resolve_district(c.location).expect("city site resolves");
+            assert_eq!(resolved.region, c.region, "{}", c.name);
+            assert_eq!(resolved.city, c.id, "{}", c.name);
+            let d = geo.district(resolved.district).unwrap();
+            assert_eq!(d.city, c.id, "{}", c.name);
+        }
+    }
+
+    #[test]
+    fn resolution_is_consistent_down_the_hierarchy() {
+        let geo = Geography::synthetic_denmark();
+        let bb = geo.bounding_box();
+        // A coarse lattice over the country: every resolvable point's
+        // district belongs to its city, which belongs to its region.
+        for i in 0..40 {
+            for j in 0..40 {
+                let p = GeoPoint::new(
+                    bb.min_lon + bb.width() * (i as f64 + 0.5) / 40.0,
+                    bb.min_lat + bb.height() * (j as f64 + 0.5) / 40.0,
+                );
+                if let Some(r) = geo.resolve_district(p) {
+                    let city = geo.city(r.city).unwrap();
+                    assert_eq!(city.region, r.region);
+                    assert_eq!(geo.district(r.district).unwrap().city, r.city);
+                    assert_eq!(geo.region_containing(p).unwrap().id, r.region);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn points_outside_every_region_resolve_to_none_without_panicking() {
+        let geo = Geography::synthetic_denmark();
+        for p in [
+            GeoPoint::new(0.0, 0.0),
+            GeoPoint::new(-180.0, -90.0),
+            GeoPoint::new(180.0, 90.0),
+            GeoPoint::new(f64::MAX, f64::MIN),
+            GeoPoint::new(f64::NAN, f64::NAN),
+        ] {
+            assert!(geo.resolve_district(p).is_none());
+        }
+    }
+
+    #[test]
+    fn border_points_resolve_deterministically() {
+        let geo = Geography::synthetic_denmark();
+        // Walk points along shared polygon edges and exact vertices; a
+        // border point may land on either side (or in no region at all,
+        // per the even-odd rule), but repeated resolution must agree.
+        let mut probes = Vec::new();
+        for r in geo.regions() {
+            for w in r.polygon.vertices().windows(2) {
+                probes.push(w[0]);
+                for k in 1..4 {
+                    let t = k as f64 / 4.0;
+                    probes.push(GeoPoint::new(
+                        w[0].lon + (w[1].lon - w[0].lon) * t,
+                        w[0].lat + (w[1].lat - w[0].lat) * t,
+                    ));
+                }
+            }
+        }
+        for p in probes {
+            let first = geo.resolve_district(p);
+            for _ in 0..3 {
+                assert_eq!(geo.resolve_district(p), first);
+            }
+            if let Some(r) = first {
+                assert_eq!(geo.district(r.district).unwrap().city, r.city);
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_geographies_resolve_to_none() {
+        let geo = Geography::synthetic_denmark();
+        let inside_nordjylland =
+            geo.city_by_name("Aalborg").map(|c| c.location).expect("Aalborg exists");
+        // Regions without cities (or cities without districts) cannot
+        // produce a district; both degenerate shapes yield None.
+        let no_cities = Geography::new("Empty", geo.regions().to_vec(), Vec::new(), Vec::new());
+        assert!(no_cities.resolve_district(inside_nordjylland).is_none());
+        let no_districts =
+            Geography::new("Bare", geo.regions().to_vec(), geo.cities().to_vec(), Vec::new());
+        assert!(no_districts.resolve_district(inside_nordjylland).is_none());
     }
 }

@@ -104,6 +104,8 @@ const EXERCISED: &[&str] = &[
     "aggregate",
     "set-planning",
     "plan",
+    "region-drill",
+    "region-up",
     "mdx",
     "dashboard",
     "render",
@@ -120,6 +122,7 @@ const EXERCISED: &[&str] = &[
     "tab-closed",
     "aggregated",
     "planned",
+    "region-focus",
     "pivot",
     "frame",
     "rejected",
@@ -184,6 +187,11 @@ fn every_command_production_earns_its_documented_reply() {
         ("dashboard 0 96 hour", "frame"),
         ("set-planning hillclimb 4 1 96 7", "ack"),
         ("plan", "planned"),
+        // member 0 is the geography root on every fixture
+        ("region-drill 0", "region-focus"),
+        ("region-drill 999999", "rejected"),
+        ("region-up", "rejected"), // already at the country root
+        ("set-mode heatmap", "ack"),
     ];
     for (request, expected_head) in expectations {
         let cmd = Command::decode(request).expect(request);

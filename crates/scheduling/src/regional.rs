@@ -1,0 +1,513 @@
+//! Region-dimensioned incremental planning.
+//!
+//! The spatial warehouse splits the offer population by region, and the
+//! balance-responsible party plans each region against its *share* of
+//! the day-ahead target: a region holding 30 % of the flexible demand
+//! should absorb 30 % of the surplus. [`RegionalPlanner`] maintains one
+//! [`IncrementalPlanner`] per region key; each region plans against the
+//! global target scaled by its configured share
+//! ([`RegionalPlanner::set_shares`]), or by an equal split over the
+//! populated regions when no shares are configured. Inserts are routed
+//! by the caller-supplied key (the warehouse passes the fact's
+//! geography leaf), withdrawals by the maintained id → region map, and
+//! a replan touches only regions with dirty partitions — the
+//! O(dirty)-not-O(population) property of the partitioned planner is
+//! preserved across the spatial split.
+//!
+//! Region keys are plain `u64`s: this crate sits below the warehouse,
+//! so callers map their member ids (e.g. `MemberId.0`) in and out.
+//!
+//! Determinism: each region's planner is seeded with
+//! [`region_seed`]`(master, key)`, so the full plan — and therefore
+//! [`RegionalPlanner::plan_hash`] — is a pure function of (offers,
+//! regions, shares, target, master seed), independent of thread count
+//! and of the order regions were first seen.
+
+use std::collections::{BTreeMap, HashMap};
+
+use mirabel_flexoffer::{FlexOffer, FlexOfferId};
+use mirabel_timeseries::TimeSeries;
+
+use crate::objective::{Imbalance, SchedulingError, SchedulingReport};
+use crate::partition::{IncrementalPlanner, PlannerConfig};
+use crate::Scheduler;
+
+/// Mixes a region key into a master seed (SplitMix64 finalizer), so
+/// each region's stochastic scheduling stream is independent yet
+/// reproducible. A single-region planner seeded this way is
+/// bit-identical to a plain [`IncrementalPlanner`] whose config seed is
+/// `region_seed(master, key)` — the equivalence the regression tests
+/// pin.
+pub fn region_seed(master: u64, region: u64) -> u64 {
+    let mut z = master ^ region.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// What one [`RegionalPlanner::replan`] call did, summed over regions.
+#[derive(Debug, Clone)]
+pub struct RegionalOutcome {
+    /// Imbalance of the *global* scheduled load against the *global*
+    /// target (per-region reports are summed for assigned/skipped).
+    pub report: SchedulingReport,
+    /// Partitions re-planned across all regions (0 = nothing dirty).
+    pub replanned: usize,
+    /// Regions holding at least one offer.
+    pub regions: usize,
+    /// Plan generation after the call (bumped only when work was done).
+    pub generation: u64,
+}
+
+/// Per-region incremental planning with target shares — see the
+/// [module docs](self).
+#[derive(Debug)]
+pub struct RegionalPlanner<S> {
+    scheduler: S,
+    config: PlannerConfig,
+    /// The global day-ahead target; regions plan against slices of it.
+    target: TimeSeries,
+    /// Region key → *normalized* share of the target. Empty = equal
+    /// split over populated regions.
+    shares: BTreeMap<u64, f64>,
+    /// Region key → that region's planner, in key order so replan
+    /// order, iteration and hashing are deterministic.
+    regions: BTreeMap<u64, IncrementalPlanner<S>>,
+    /// Offer id → region key, so withdrawals need no region argument.
+    by_id: HashMap<FlexOfferId, u64>,
+    generation: u64,
+}
+
+impl<S: Scheduler + Sync + Clone> RegionalPlanner<S> {
+    /// An empty regional planner. `config.seed` is the master seed;
+    /// each region derives its own via [`region_seed`].
+    pub fn new(scheduler: S, config: PlannerConfig, target: TimeSeries) -> RegionalPlanner<S> {
+        RegionalPlanner {
+            scheduler,
+            config,
+            target,
+            shares: BTreeMap::new(),
+            regions: BTreeMap::new(),
+            by_id: HashMap::new(),
+            generation: 0,
+        }
+    }
+
+    /// The planner configuration (shared by every region, seeds aside).
+    pub fn config(&self) -> PlannerConfig {
+        self.config
+    }
+
+    /// The global target curve.
+    pub fn target(&self) -> &TimeSeries {
+        &self.target
+    }
+
+    /// Plan generation; bumped once per [`RegionalPlanner::replan`]
+    /// that did work in any region.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Live offers across all regions.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// `true` when no offers are maintained.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Dirty partitions across all regions.
+    pub fn dirty_len(&self) -> usize {
+        self.regions.values().map(IncrementalPlanner::dirty_len).sum()
+    }
+
+    /// `true` when the id is maintained (in any region).
+    pub fn contains(&self, id: FlexOfferId) -> bool {
+        self.by_id.contains_key(&id)
+    }
+
+    /// The region currently holding `id`.
+    pub fn region_of(&self, id: FlexOfferId) -> Option<u64> {
+        self.by_id.get(&id).copied()
+    }
+
+    /// Region keys with at least one live offer, ascending.
+    pub fn region_keys(&self) -> impl Iterator<Item = u64> + '_ {
+        self.regions.iter().filter(|(_, p)| !p.is_empty()).map(|(&k, _)| k)
+    }
+
+    /// One region's planner, if the region has ever seen an offer.
+    pub fn region(&self, key: u64) -> Option<&IncrementalPlanner<S>> {
+        self.regions.get(&key)
+    }
+
+    /// The normalized target share a region plans against right now.
+    pub fn share_of(&self, key: u64) -> f64 {
+        if let Some(&s) = self.shares.get(&key) {
+            return s;
+        }
+        if !self.shares.is_empty() {
+            return 0.0; // explicit shares configured; unlisted regions get none
+        }
+        let populated = self.regions.values().filter(|p| !p.is_empty()).count();
+        if populated == 0 {
+            0.0
+        } else {
+            1.0 / populated as f64
+        }
+    }
+
+    /// Configures per-region target shares. Entries are clamped to
+    /// `>= 0`, non-finite values dropped, and the rest normalized to
+    /// sum to 1; an empty (or all-zero) table reverts to the equal
+    /// split. Regions whose share changed are re-targeted and marked
+    /// dirty; untouched regions stay clean.
+    pub fn set_shares(&mut self, shares: impl IntoIterator<Item = (u64, f64)>) {
+        let cleaned: BTreeMap<u64, f64> =
+            shares.into_iter().filter(|(_, s)| s.is_finite() && *s > 0.0).collect();
+        let sum: f64 = cleaned.values().sum();
+        self.shares = if sum > 0.0 {
+            cleaned.into_iter().map(|(k, s)| (k, s / sum)).collect()
+        } else {
+            BTreeMap::new()
+        };
+        self.retarget_all();
+    }
+
+    /// Replaces the global target; every region's slice is rescaled
+    /// (a region whose slice is unchanged stays clean).
+    pub fn set_target(&mut self, target: TimeSeries) {
+        if self.target == target {
+            return;
+        }
+        self.target = target;
+        self.retarget_all();
+    }
+
+    /// Propagates a new worker-thread count to every region.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.config.threads = threads;
+        for planner in self.regions.values_mut() {
+            planner.set_threads(threads);
+        }
+    }
+
+    /// Pushes each region's current target slice down to its planner
+    /// (`IncrementalPlanner::set_target` no-ops when unchanged).
+    fn retarget_all(&mut self) {
+        let slices: Vec<(u64, TimeSeries)> =
+            self.regions.keys().map(|&k| (k, self.target.scale(self.share_of(k)))).collect();
+        for (k, slice) in slices {
+            if let Some(planner) = self.regions.get_mut(&k) {
+                planner.set_target(slice);
+            }
+        }
+    }
+
+    /// Inserts (or replaces) offers, routing each to `region`. An id
+    /// previously held by a *different* region migrates: it is removed
+    /// there and inserted here, dirtying both. Returns the number of
+    /// offers ingested.
+    pub fn insert(&mut self, region: u64, offers: impl IntoIterator<Item = FlexOffer>) -> usize {
+        let mut count = 0;
+        let mut new_region = false;
+        for fo in offers {
+            let id = fo.id();
+            if let Some(old) = self.by_id.get(&id).copied() {
+                if old != region {
+                    if let Some(planner) = self.regions.get_mut(&old) {
+                        planner.remove(&[id]);
+                    }
+                }
+            }
+            if !self.regions.contains_key(&region) {
+                new_region = true;
+                let share = TimeSeries::zeros(self.target.start(), self.target.len());
+                let config =
+                    PlannerConfig { seed: region_seed(self.config.seed, region), ..self.config };
+                self.regions
+                    .insert(region, IncrementalPlanner::new(self.scheduler.clone(), config, share));
+            }
+            let planner = self.regions.get_mut(&region).expect("just ensured");
+            count += planner.insert([fo]);
+            self.by_id.insert(id, region);
+        }
+        if new_region {
+            // A new populated region shifts the equal-split denominator
+            // (and needs its own slice either way).
+            self.retarget_all();
+        }
+        count
+    }
+
+    /// Withdraws offers, each routed to whichever region holds it.
+    /// Returns the number actually removed.
+    pub fn remove(&mut self, ids: &[FlexOfferId]) -> usize {
+        let mut removed = 0;
+        let mut emptied = false;
+        for &id in ids {
+            let Some(region) = self.by_id.remove(&id) else { continue };
+            if let Some(planner) = self.regions.get_mut(&region) {
+                removed += planner.remove(&[id]);
+                if planner.is_empty() {
+                    emptied = true;
+                }
+            }
+        }
+        if emptied && self.shares.is_empty() {
+            // The equal split re-divides over the surviving regions.
+            self.retarget_all();
+        }
+        removed
+    }
+
+    /// Marks every populated region fully dirty.
+    pub fn mark_all_dirty(&mut self) {
+        for planner in self.regions.values_mut() {
+            planner.mark_all_dirty();
+        }
+    }
+
+    /// [`RegionalPlanner::mark_all_dirty`] + [`RegionalPlanner::replan`].
+    pub fn full_replan(&mut self) -> Result<RegionalOutcome, SchedulingError> {
+        self.mark_all_dirty();
+        self.replan()
+    }
+
+    /// Replans every region with dirty partitions, in key order.
+    /// Regions with nothing dirty cost one cheap call. The returned
+    /// report measures the *global* load against the *global* target.
+    pub fn replan(&mut self) -> Result<RegionalOutcome, SchedulingError> {
+        if self.target.is_empty() {
+            return Err(SchedulingError::EmptyTarget);
+        }
+        let mut replanned = 0;
+        let mut assigned = 0;
+        let mut skipped = 0;
+        for planner in self.regions.values_mut() {
+            if planner.is_empty() {
+                continue;
+            }
+            let outcome = planner.replan()?;
+            replanned += outcome.replanned;
+            assigned += outcome.report.assigned;
+            skipped += outcome.report.skipped;
+        }
+        if replanned > 0 {
+            self.generation += 1;
+        }
+        let load = self.scheduled_load();
+        let zero = TimeSeries::zeros(self.target.start(), self.target.len());
+        Ok(RegionalOutcome {
+            report: SchedulingReport {
+                scheduler: self.scheduler.name(),
+                assigned,
+                skipped,
+                before: Imbalance::of(&self.target, &zero),
+                after: Imbalance::of(&self.target, &load),
+            },
+            replanned,
+            regions: self.regions.values().filter(|p| !p.is_empty()).count(),
+            generation: self.generation,
+        })
+    }
+
+    /// The global scheduled load: every region's load summed onto the
+    /// global target's extent.
+    pub fn scheduled_load(&self) -> TimeSeries {
+        let mut load = TimeSeries::zeros(self.target.start(), self.target.len());
+        for planner in self.regions.values() {
+            for (slot, v) in planner.scheduled_load().iter() {
+                if v != 0.0 {
+                    if let Some(cur) = load.get(slot) {
+                        load.set(slot, cur + v);
+                    }
+                }
+            }
+        }
+        load
+    }
+
+    /// One region's scheduled load (zeros for an unknown region).
+    pub fn region_load(&self, key: u64) -> TimeSeries {
+        self.regions
+            .get(&key)
+            .map(IncrementalPlanner::scheduled_load)
+            .unwrap_or_else(|| TimeSeries::zeros(self.target.start(), self.target.len()))
+    }
+
+    /// Order-independent digest of the full plan: FNV-1a over
+    /// `(region key, region plan hash)` in key order, skipping empty
+    /// regions so history (a region that emptied out) does not haunt
+    /// the hash.
+    pub fn plan_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut h = OFFSET;
+        let mut write = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        for (&k, planner) in &self.regions {
+            if planner.is_empty() {
+                continue;
+            }
+            write(k);
+            write(planner.plan_hash());
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HillClimbScheduler, SchedulerKind};
+    use mirabel_flexoffer::Energy;
+    use mirabel_timeseries::TimeSlot;
+
+    fn accepted(id: u64, est: i64, tf: i64, len: usize, min: i64, max: i64) -> FlexOffer {
+        let mut fo = FlexOffer::builder(id, id)
+            .earliest_start(TimeSlot::new(est))
+            .latest_start(TimeSlot::new(est + tf))
+            .slices(len, Energy::from_wh(min), Energy::from_wh(max))
+            .build()
+            .unwrap();
+        fo.accept().unwrap();
+        fo
+    }
+
+    fn target() -> TimeSeries {
+        TimeSeries::from_fn(TimeSlot::new(0), 32, |i| if (8..24).contains(&i) { 6.0 } else { 1.0 })
+    }
+
+    fn offers(seed: u64, n: u64) -> Vec<FlexOffer> {
+        (0..n)
+            .map(|i| {
+                let est = ((i * 7 + seed) % 20) as i64;
+                accepted(i + 1, est, 6, 3 + (i % 3) as usize, 100, 2_000)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_region_matches_a_plain_incremental_planner() {
+        let config = PlannerConfig { partitions: 8, threads: 1, seed: 0x5151 };
+        let mut regional = RegionalPlanner::new(SchedulerKind::HillClimb, config, target());
+        regional.insert(9, offers(3, 40));
+        let outcome = regional.replan().unwrap();
+
+        // The lone region's equal-split share is 1.0, and its seed is
+        // region_seed(master, key) — a plain planner configured that way
+        // must produce the identical plan.
+        let plain_config = PlannerConfig { seed: region_seed(0x5151, 9), ..config };
+        let mut plain = IncrementalPlanner::new(SchedulerKind::HillClimb, plain_config, target());
+        plain.insert(offers(3, 40));
+        plain.replan().unwrap();
+
+        assert_eq!(regional.region(9).unwrap().plan_hash(), plain.plan_hash());
+        assert_eq!(regional.region(9).unwrap().target(), plain.target());
+        assert!(outcome.report.after.l2_sq < outcome.report.before.l2_sq);
+    }
+
+    #[test]
+    fn plan_is_deterministic_across_thread_counts() {
+        let mut hashes = Vec::new();
+        for threads in [1, 2, 4, 8] {
+            let config = PlannerConfig { partitions: 16, threads, seed: 0xA1 };
+            let mut planner =
+                RegionalPlanner::new(HillClimbScheduler::new(40, 3), config, target());
+            for (i, fo) in offers(1, 60).into_iter().enumerate() {
+                planner.insert((i % 3) as u64, [fo]);
+            }
+            planner.replan().unwrap();
+            hashes.push(planner.plan_hash());
+        }
+        assert!(hashes.windows(2).all(|w| w[0] == w[1]), "{hashes:?}");
+    }
+
+    #[test]
+    fn shares_scale_each_regions_target() {
+        let config = PlannerConfig::default();
+        let mut planner = RegionalPlanner::new(SchedulerKind::Greedy, config, target());
+        planner.insert(1, offers(0, 10));
+        planner.insert(2, (1..=10u64).map(|i| accepted(i + 100, 2, 6, 3, 100, 2_000)));
+
+        // Equal split by default over the two populated regions.
+        assert_eq!(planner.share_of(1), 0.5);
+        assert_eq!(planner.share_of(2), 0.5);
+        assert_eq!(planner.region(1).unwrap().target(), &target().scale(0.5));
+
+        // Explicit 3:1 shares normalize; an unlisted region gets zero.
+        planner.set_shares([(1, 3.0), (2, 1.0)]);
+        assert_eq!(planner.share_of(1), 0.75);
+        assert_eq!(planner.share_of(2), 0.25);
+        assert_eq!(planner.share_of(77), 0.0);
+        assert_eq!(planner.region(1).unwrap().target(), &target().scale(0.75));
+        assert_eq!(planner.region(2).unwrap().target(), &target().scale(0.25));
+
+        // Degenerate tables fall back to the equal split.
+        planner.set_shares([(1, f64::NAN), (2, -4.0)]);
+        assert_eq!(planner.share_of(1), 0.5);
+    }
+
+    #[test]
+    fn removal_routes_by_id_and_migration_moves_regions() {
+        let config = PlannerConfig { partitions: 4, threads: 1, seed: 7 };
+        let mut planner = RegionalPlanner::new(SchedulerKind::Greedy, config, target());
+        planner.insert(1, [accepted(1, 0, 6, 3, 100, 2_000)]);
+        planner.insert(1, [accepted(2, 1, 6, 3, 100, 2_000)]);
+        planner.insert(2, [accepted(3, 2, 6, 3, 100, 2_000)]);
+        planner.replan().unwrap();
+        assert_eq!(planner.dirty_len(), 0);
+        assert_eq!(planner.region_keys().collect::<Vec<_>>(), vec![1, 2]);
+
+        // Re-inserting id 3 under region 1 migrates it.
+        planner.insert(1, [accepted(3, 2, 6, 3, 100, 2_000)]);
+        assert_eq!(planner.region_of(FlexOfferId(3)), Some(1));
+        assert!(planner.region(2).unwrap().is_empty());
+        assert_eq!(planner.region_keys().collect::<Vec<_>>(), vec![1]);
+        // The emptied region drops out of the hash and the equal split.
+        assert_eq!(planner.share_of(1), 1.0);
+
+        assert_eq!(planner.remove(&[FlexOfferId(3), FlexOfferId(99)]), 1);
+        assert!(!planner.contains(FlexOfferId(3)));
+        assert_eq!(planner.len(), 2);
+        let outcome = planner.replan().unwrap();
+        assert_eq!(outcome.regions, 1);
+        assert!(outcome.generation > 0);
+    }
+
+    #[test]
+    fn global_load_is_the_sum_of_region_loads() {
+        let config = PlannerConfig { partitions: 4, threads: 1, seed: 0xEE };
+        let mut planner = RegionalPlanner::new(SchedulerKind::Greedy, config, target());
+        for (i, fo) in offers(5, 30).into_iter().enumerate() {
+            planner.insert((i % 4) as u64, [fo]);
+        }
+        planner.replan().unwrap();
+        let global = planner.scheduled_load();
+        let mut summed = TimeSeries::zeros(global.start(), global.len());
+        for key in planner.region_keys().collect::<Vec<_>>() {
+            for (slot, v) in planner.region_load(key).iter() {
+                summed.set(slot, summed.get(slot).unwrap() + v);
+            }
+        }
+        for (slot, v) in global.iter() {
+            assert!((summed.get(slot).unwrap() - v).abs() < 1e-9);
+        }
+        // An empty target is rejected like the plain planner does.
+        let mut empty = RegionalPlanner::new(
+            SchedulerKind::Greedy,
+            config,
+            TimeSeries::zeros(TimeSlot::new(0), 0),
+        );
+        empty.insert(0, [accepted(1, 0, 6, 3, 100, 2_000)]);
+        assert!(matches!(empty.replan(), Err(SchedulingError::EmptyTarget)));
+    }
+}

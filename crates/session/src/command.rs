@@ -18,7 +18,7 @@
 use std::fmt;
 
 use mirabel_aggregation::AggregationParams;
-use mirabel_dw::LoaderQuery;
+use mirabel_dw::{LoaderQuery, MemberId};
 use mirabel_flexoffer::ProsumerId;
 use mirabel_scheduling::SchedulerKind;
 use mirabel_timeseries::{Granularity, TimeSlot};
@@ -78,6 +78,12 @@ pub enum Command {
     /// Run (or incrementally refresh) the day-ahead plan against the
     /// session's current warehouse snapshot and update the balance tab.
     Plan,
+    /// Focus the spatial heatmap on a geography member: its children
+    /// become the choropleth cells (country → regions, region → cities,
+    /// city → districts), opening the heatmap tab if needed.
+    RegionDrill(MemberId),
+    /// Move the heatmap focus one level up towards the country root.
+    RegionUp,
     /// Evaluate an MDX-lite query against the warehouse (Figure 5).
     Mdx(String),
     /// Render the Figure 6 dashboard for an absolute interval.
@@ -126,6 +132,8 @@ impl Command {
             Command::Aggregate => "aggregate",
             Command::SetPlanningParams(_) => "set-planning",
             Command::Plan => "plan",
+            Command::RegionDrill(_) => "region-drill",
+            Command::RegionUp => "region-up",
             Command::Mdx(_) => "mdx",
             Command::Dashboard { .. } => "dashboard",
             Command::Render => "render",
@@ -142,6 +150,7 @@ impl Command {
             Command::SetMode(ViewMode::Basic) => "set-mode basic".into(),
             Command::SetMode(ViewMode::Profile) => "set-mode profile".into(),
             Command::SetMode(ViewMode::Balance) => "set-mode balance".into(),
+            Command::SetMode(ViewMode::Heatmap) => "set-mode heatmap".into(),
             Command::ShowSelectionInNewTab => "show-selection".into(),
             Command::RemoveSelected => "remove-selected".into(),
             Command::ActivateTab(i) => format!("activate-tab {i}"),
@@ -176,6 +185,8 @@ impl Command {
                 p.seed,
             ),
             Command::Plan => "plan".into(),
+            Command::RegionDrill(m) => format!("region-drill {}", m.0),
+            Command::RegionUp => "region-up".into(),
             Command::Mdx(q) => format!("mdx {}", single_line(q)),
             Command::Dashboard { from, to, granularity } => format!(
                 "dashboard {} {} {}",
@@ -211,6 +222,7 @@ impl Command {
                 "basic" => Ok(Command::SetMode(ViewMode::Basic)),
                 "profile" => Ok(Command::SetMode(ViewMode::Profile)),
                 "balance" => Ok(Command::SetMode(ViewMode::Balance)),
+                "heatmap" => Ok(Command::SetMode(ViewMode::Heatmap)),
                 _ => Err(err("unknown mode")),
             },
             "show-selection" => Ok(Command::ShowSelectionInNewTab),
@@ -288,6 +300,10 @@ impl Command {
                 }))
             }
             "plan" => Ok(Command::Plan),
+            "region-drill" => {
+                Ok(Command::RegionDrill(MemberId(rest.parse().map_err(|_| err("bad member"))?)))
+            }
+            "region-up" => Ok(Command::RegionUp),
             "mdx" => Ok(Command::Mdx(rest.to_string())),
             "dashboard" => {
                 let mut parts = rest.split_whitespace();
@@ -429,6 +445,10 @@ mod tests {
                 seed: 99,
             }),
             Command::Plan,
+            Command::SetMode(ViewMode::Heatmap),
+            Command::RegionDrill(MemberId(0)),
+            Command::RegionDrill(MemberId(42)),
+            Command::RegionUp,
             Command::Mdx("SELECT {[Time].Children} ON COLUMNS FROM [FlexOffers]".into()),
             Command::Dashboard {
                 from: TimeSlot::new(48),
@@ -505,6 +525,9 @@ mod tests {
             "set-planning simulated-annealing 8 1 96 0",
             "set-planning greedy 8 1 96",
             "set-planning greedy 8 one 96 0",
+            "region-drill",
+            "region-drill minus-one",
+            "region-drill 1 2",
         ] {
             assert!(Command::decode(bad).is_err(), "{bad:?} should fail");
         }

@@ -26,6 +26,7 @@
 //! | Figure 10 — on-the-fly information | [`views::tooltip`], [`Command::PointerMove`] |
 //! | Figure 11 — aggregation tools | [`tools`], [`Command::Aggregate`] |
 //! | Figure 1 — day-ahead balance | [`views::balance`], [`Command::Plan`], [`planner`] |
+//! | Spatial heatmap drill-down | [`views::heatmap`], [`Command::RegionDrill`], [`Command::RegionUp`] |
 //!
 //! Performance model ("rendering does not freeze the tool"): each
 //! [`Tab`] caches its layout, scene, spatial index and id lookup keyed
@@ -87,5 +88,6 @@ pub use pool::{SessionId, SessionPool};
 pub use session::{Session, SessionStats};
 pub use tab::{FrameRef, Selection, Tab, ViewMode};
 pub use tools::{AggregationOutcome, AggregationTools};
+pub use views::heatmap::{HeatmapCell, HeatmapData, REGION_TAG_BASE};
 pub use visual::{slot_label, VisualOffer};
 pub use wire::{FrameMeta, WireOutcome, WireParseError};

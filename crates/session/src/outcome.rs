@@ -1,6 +1,6 @@
 //! Structured results of applying a [`crate::Command`].
 
-use mirabel_dw::PivotTable;
+use mirabel_dw::{MemberId, PivotTable};
 use mirabel_flexoffer::FlexOfferId;
 
 use crate::tab::FrameRef;
@@ -116,6 +116,17 @@ pub enum Outcome {
     /// A day-ahead plan ran (or incrementally refreshed); the balance
     /// tab now shows generation [`PlanStats::generation`].
     Planned(PlanStats),
+    /// The heatmap tab focused on a geography member (via
+    /// [`Command::RegionDrill`](crate::Command::RegionDrill) or
+    /// [`Command::RegionUp`](crate::Command::RegionUp)).
+    RegionFocus {
+        /// The member now in focus (cells are its children).
+        member: MemberId,
+        /// Hierarchy level of the focus (0 = country).
+        level: u8,
+        /// Number of choropleth cells on the heatmap.
+        cells: usize,
+    },
     /// An MDX query evaluated to a pivot table.
     Pivot(PivotTable),
     /// A rendered, versioned frame.

@@ -181,6 +181,33 @@ impl SessionPlanner {
     pub fn window_start(&self) -> TimeSlot {
         self.window_start
     }
+
+    /// Total target energy of the planned window (kWh) — what the
+    /// heatmap shares out proportionally across region cells.
+    pub fn target_total(&self) -> f64 {
+        self.planner.target().sum()
+    }
+
+    /// Folds the standing plan to per-district scheduled energy (kWh,
+    /// signed by direction like [`mirabel_scheduling::load_curve`]),
+    /// keyed by the geography leaf each offer's fact is keyed to in
+    /// `dw` — the heatmap's drill-down measure. Offers the snapshot no
+    /// longer knows (mid-epoch withdrawals not yet re-planned) are
+    /// skipped rather than guessed.
+    pub fn leaf_load(
+        &self,
+        dw: &Warehouse,
+    ) -> std::collections::HashMap<mirabel_dw::MemberId, f64> {
+        let mut load = std::collections::HashMap::new();
+        for fo in self.planner.offers() {
+            let Some(schedule) = fo.schedule() else { continue };
+            let Some(leaf) = dw.geo_leaf_of(fo.id()) else { continue };
+            let sign = fo.direction().sign();
+            let kwh: f64 = schedule.energies().iter().map(|e| e.kwh()).sum();
+            *load.entry(leaf).or_insert(0.0) += sign * kwh;
+        }
+        load
+    }
 }
 
 /// Everything a successful [`plan`] call hands back to the session: the

@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use mirabel_dw::{LoaderQuery, Warehouse};
+use mirabel_dw::{Dimension, LoaderQuery, MemberId, Warehouse};
 use mirabel_viz::Rect;
 
 use crate::command::Command;
@@ -12,7 +12,8 @@ use crate::planner::{self, PlanningParams, SessionPlanner};
 use crate::tab::{FrameRef, Tab, ViewMode};
 use crate::tools::AggregationTools;
 use crate::views::dashboard::{self, DashboardOptions};
-use crate::views::tooltip;
+use crate::views::heatmap::{self, REGION_TAG_BASE};
+use crate::views::tooltip::{self, TooltipInfo};
 use crate::visual::VisualOffer;
 
 /// Upper bound on a [`Command::Dashboard`] window, in slots (366 days of
@@ -256,9 +257,14 @@ impl Session {
                 // Served entirely from the cached frame: grid-index probe
                 // plus cached id→index lookup; no scene rebuild, no scan.
                 let cached = tab.cached();
-                let info = cached
-                    .index
-                    .hit_topmost(p)
+                let hit = cached.index.hit_topmost(p);
+                if tab.is_heatmap() {
+                    let info = hit
+                        .and_then(|raw| raw.checked_sub(REGION_TAG_BASE))
+                        .and_then(|m| heatmap_tooltip(tab, m));
+                    return Outcome::Tooltip(info);
+                }
+                let info = hit
                     .and_then(|raw| cached.lookup.get(&raw).copied())
                     .map(|i| tooltip::info_for(&tab.offers, i));
                 Outcome::Tooltip(info)
@@ -473,6 +479,23 @@ impl Session {
                     Err(e) => Outcome::Rejected(e),
                 }
             }
+            Command::RegionDrill(member) => self.region_focus(member),
+            Command::RegionUp => {
+                let Some(data) =
+                    self.tabs.iter().find(|t| t.is_heatmap()).and_then(|t| t.heatmap()).cloned()
+                else {
+                    return Outcome::Rejected("no heatmap tab - run region-drill first".into());
+                };
+                let Some(dw) = &self.warehouse else {
+                    return Outcome::Rejected("session has no warehouse".into());
+                };
+                let parent =
+                    dw.hierarchy(Dimension::Geography).member(data.focus).and_then(|m| m.parent);
+                match parent {
+                    Some(p) => self.region_focus(p),
+                    None => Outcome::Rejected("already at the top of the geography".into()),
+                }
+            }
             Command::Aggregate => {
                 let Some(tab) = self.tabs.get_mut(self.active) else {
                     return Outcome::Rejected("no active tab".into());
@@ -546,4 +569,60 @@ impl Session {
             },
         }
     }
+
+    /// Focuses the heatmap tab on `member` (its children become the
+    /// choropleth cells), opening the tab if the session has none yet.
+    /// The per-cell measure is the standing plan folded to geography
+    /// leaves — zero everywhere before the first [`Command::Plan`].
+    fn region_focus(&mut self, member: MemberId) -> Outcome {
+        let Some(dw) = self.warehouse.clone() else {
+            return Outcome::Rejected("session has no warehouse".into());
+        };
+        let (leaf_load, target_total) = match &self.planner {
+            Some(p) => (p.leaf_load(&dw), p.target_total()),
+            None => (Default::default(), 0.0),
+        };
+        let data = match heatmap::data_for(&dw, &leaf_load, target_total, member) {
+            Ok(data) => Arc::new(data),
+            Err(e) => return Outcome::Rejected(e),
+        };
+        let outcome =
+            Outcome::RegionFocus { member: data.focus, level: data.level, cells: data.cells.len() };
+        let generation = self.plan_generation();
+        match self.tabs.iter().position(Tab::is_heatmap) {
+            Some(i) => {
+                let epoch = self.epoch;
+                let tab = self.tab_mut(i).expect("position is in range");
+                tab.set_heatmap(data, generation);
+                tab.stamp_epoch(epoch);
+                self.active = i;
+            }
+            None => {
+                let mut tab = Tab::new("Heatmap", Vec::<VisualOffer>::new());
+                tab.mode = ViewMode::Heatmap;
+                tab.set_heatmap(data, generation);
+                self.open_tab(tab);
+            }
+        }
+        outcome
+    }
+}
+
+/// The hover card of one heatmap cell, mirroring what the cell label
+/// abbreviates: name, fact count, scheduled vs target energy, and the
+/// signed imbalance.
+fn heatmap_tooltip(tab: &Tab, member_raw: u64) -> Option<TooltipInfo> {
+    let data = tab.heatmap()?;
+    let (idx, cell) =
+        data.cells.iter().enumerate().find(|(_, c)| u64::from(c.member.0) == member_raw)?;
+    Some(TooltipInfo {
+        offer_index: idx,
+        lines: vec![
+            cell.name.clone(),
+            format!("offers: {}", cell.offers),
+            format!("scheduled: {:+.2} kWh", cell.scheduled_kwh),
+            format!("target share: {:.2} kWh", cell.target_kwh),
+            format!("imbalance: {:+.2} kWh", cell.imbalance_kwh()),
+        ],
+    })
 }

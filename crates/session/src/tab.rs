@@ -19,6 +19,7 @@ use mirabel_viz::{GridIndex, Point, Scene};
 
 use crate::views::balance::{self, BalanceData};
 use crate::views::basic::{self, BasicViewOptions};
+use crate::views::heatmap::{self, HeatmapData};
 use crate::views::profile;
 use crate::views::DetailLayout;
 use crate::visual::VisualOffer;
@@ -39,6 +40,9 @@ pub enum ViewMode {
     /// The Figure 1 balance view (target vs. scheduled load) — only
     /// meaningful on a tab carrying [`Tab::balance`] data.
     Balance,
+    /// The spatial heatmap (per-region choropleth of scheduled load) —
+    /// only meaningful on a tab carrying [`Tab::heatmap`] data.
+    Heatmap,
 }
 
 /// An insertion-ordered selection with O(1) membership tests — the
@@ -187,6 +191,8 @@ pub struct Tab {
     query: Option<LoaderQuery>,
     /// The plan curves of a balance tab (`None` on ordinary tabs).
     balance: Option<Arc<BalanceData>>,
+    /// The region cells of a heatmap tab (`None` on ordinary tabs).
+    heatmap: Option<Arc<HeatmapData>>,
     /// Plan generation the balance data was produced at — the third
     /// half of the cache key, bumped by the session after every re-plan.
     plan_generation: u64,
@@ -206,6 +212,7 @@ impl Clone for Tab {
             options: self.options,
             query: self.query,
             balance: self.balance.clone(),
+            heatmap: self.heatmap.clone(),
             plan_generation: self.plan_generation,
             revision: self.revision,
             epoch: self.epoch,
@@ -229,6 +236,7 @@ impl Tab {
             options: BasicViewOptions::default(),
             query: None,
             balance: None,
+            heatmap: None,
             plan_generation: 0,
             revision: 0,
             epoch: 0,
@@ -256,6 +264,26 @@ impl Tab {
     /// stale through the `plan_generation` third of its key.
     pub(crate) fn set_balance(&mut self, data: Arc<BalanceData>, generation: u64) {
         self.balance = Some(data);
+        self.plan_generation = generation;
+    }
+
+    /// The region cells of a heatmap tab, if this is one.
+    pub fn heatmap(&self) -> Option<&Arc<HeatmapData>> {
+        self.heatmap.as_ref()
+    }
+
+    /// `true` when this tab is the session's spatial heatmap.
+    pub fn is_heatmap(&self) -> bool {
+        self.heatmap.is_some()
+    }
+
+    /// Installs fresh heatmap cells (the session calls this on every
+    /// drill and after every re-plan). Heatmap data rides the same
+    /// `plan_generation` third of the cache key as balance data: a
+    /// re-plan invalidates the choropleth without touching the
+    /// revision, and a hover storm between plans builds one frame.
+    pub(crate) fn set_heatmap(&mut self, data: Arc<HeatmapData>, generation: u64) {
+        self.heatmap = Some(data);
         self.plan_generation = generation;
     }
 
@@ -394,6 +422,10 @@ impl Tab {
             (ViewMode::Balance, None) => {
                 balance::build(&self.offers, &BalanceData::empty(), &self.options)
             }
+            (ViewMode::Heatmap, _) => match &self.heatmap {
+                Some(data) => heatmap::build(data, &self.options),
+                None => heatmap::build(&HeatmapData::empty(), &self.options),
+            },
             (ViewMode::Basic, _) => basic::build_with_layout(&self.offers, &self.options, &layout),
             (ViewMode::Profile, _) => {
                 profile::build_with_layout(&self.offers, &self.options, &layout)

@@ -4,6 +4,7 @@ pub mod annotate;
 pub mod balance;
 pub mod basic;
 pub mod dashboard;
+pub mod heatmap;
 pub mod map;
 pub mod pivot;
 pub mod profile;

@@ -97,6 +97,15 @@ pub enum WireOutcome {
     },
     /// `planned` — a day-ahead plan ran or incrementally refreshed.
     Planned(PlanStats),
+    /// `region-focus` — the heatmap tab focused on a geography member.
+    RegionFocus {
+        /// The member now in focus (cells are its children).
+        member: MemberId,
+        /// Hierarchy level of the focus (0 = country).
+        level: u8,
+        /// Number of choropleth cells on the heatmap.
+        cells: usize,
+    },
     /// `pivot` — an MDX query evaluated to a pivot table.
     Pivot(PivotTable),
     /// `frame` — a rendered, versioned frame, shipped as its handle.
@@ -119,6 +128,7 @@ impl WireOutcome {
             WireOutcome::TabClosed { .. } => "tab-closed",
             WireOutcome::Aggregated { .. } => "aggregated",
             WireOutcome::Planned(_) => "planned",
+            WireOutcome::RegionFocus { .. } => "region-focus",
             WireOutcome::Pivot(_) => "pivot",
             WireOutcome::Frame(_) => "frame",
             WireOutcome::Rejected(_) => "rejected",
@@ -194,6 +204,9 @@ impl WireOutcome {
                 p.before_l1,
                 p.after_l1,
             ),
+            WireOutcome::RegionFocus { member, level, cells } => {
+                format!("region-focus {} {} {}", member.0, level, cells)
+            }
             WireOutcome::Pivot(t) => {
                 let mut out = format!("pivot {} {}", t.n_rows(), t.n_cols());
                 for (m, l) in t.row_members.iter().zip(&t.row_labels) {
@@ -267,6 +280,11 @@ impl WireOutcome {
                 before_l1: c.parse("before l1")?,
                 after_l1: c.parse("after l1")?,
             }),
+            "region-focus" => WireOutcome::RegionFocus {
+                member: MemberId(c.parse("member")?),
+                level: c.parse("level")?,
+                cells: c.parse("cells")?,
+            },
             "pivot" => {
                 let rows: usize = c.parse("row count")?;
                 let cols: usize = c.parse("col count")?;
@@ -322,6 +340,9 @@ impl From<&Outcome> for WireOutcome {
                 WireOutcome::Aggregated { stats: stats.clone(), deselected: deselected.clone() }
             }
             Outcome::Planned(p) => WireOutcome::Planned(*p),
+            Outcome::RegionFocus { member, level, cells } => {
+                WireOutcome::RegionFocus { member: *member, level: *level, cells: *cells }
+            }
             Outcome::Pivot(t) => WireOutcome::Pivot(t.clone()),
             Outcome::Frame(f) => {
                 WireOutcome::Frame(FrameMeta { revision: f.revision, epoch: f.epoch, hash: f.hash })
@@ -503,7 +524,7 @@ mod tests {
         }
     }
 
-    /// One arbitrary value of variant `v` (11 variants).
+    /// One arbitrary value of variant `v` (12 variants).
     fn arbitrary(v: usize, rng: &mut Rng) -> WireOutcome {
         match v {
             0 => WireOutcome::Ack,
@@ -560,6 +581,11 @@ mod tests {
                 epoch: rng.next(),
                 hash: rng.next(),
             }),
+            10 => WireOutcome::RegionFocus {
+                member: MemberId(rng.next() as u32),
+                level: rng.below(3) as u8,
+                cells: rng.below(64),
+            },
             _ => WireOutcome::Rejected(rng.string()),
         }
     }
@@ -567,7 +593,7 @@ mod tests {
     #[test]
     fn every_variant_round_trips_under_seeded_fuzz() {
         let mut rng = Rng(0x5EED_CAFE);
-        for variant in 0..11 {
+        for variant in 0..12 {
             for case in 0..200 {
                 let outcome = arbitrary(variant, &mut rng);
                 let line = outcome.encode();
@@ -582,7 +608,7 @@ mod tests {
     #[test]
     fn head_is_the_first_encoded_token() {
         let mut rng = Rng(7);
-        for variant in 0..11 {
+        for variant in 0..12 {
             let outcome = arbitrary(variant, &mut rng);
             assert_eq!(outcome.encode().split_whitespace().next().unwrap(), outcome.head(),);
         }
@@ -627,6 +653,10 @@ mod tests {
             "pivot 2 2 1 a",
             "frame 1 2",
             "frame 1 2 3 4",
+            "region-focus",
+            "region-focus 1 2",
+            "region-focus 1 2 3 4",
+            "region-focus x 2 3",
             r"rejected bad\escape",
             "ack trailing",
         ] {

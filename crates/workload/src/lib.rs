@@ -25,7 +25,10 @@
 //!   incremental-planning harness;
 //! * [`net`] — seeded multi-client network traces (interaction steps
 //!   plus connection-lifecycle reconnects) for the wire-protocol
-//!   harness (`BENCH_net.json`).
+//!   harness (`BENCH_net.json`);
+//! * [`spatial`] — city-scale density-skewed populations and
+//!   region-scoped drill traces for the spatial-dimension harness
+//!   (`BENCH_spatial.json`).
 //!
 //! Everything is deterministic in the explicit seeds: the same
 //! [`ScenarioConfig`] always regenerates the same scenario, which is what
@@ -54,6 +57,7 @@ mod offers;
 pub mod planning;
 mod population;
 mod scenario;
+pub mod spatial;
 pub mod trace;
 
 pub use ingest::{generate_ingest_trace, IngestEvent, IngestTraceConfig, IngestTraceStats};
@@ -65,4 +69,8 @@ pub use planning::{
 };
 pub use population::{Population, PopulationConfig, Prosumer};
 pub use scenario::{Scenario, ScenarioConfig};
+pub use spatial::{
+    generate_spatial_scenario, generate_spatial_traces, SpatialConfig, SpatialStep,
+    SpatialTraceConfig, SpatialUserTrace,
+};
 pub use trace::{generate_traces, InteractionStep, TraceConfig, UserTrace};

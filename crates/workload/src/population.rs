@@ -1,7 +1,7 @@
 //! Synthetic prosumer populations.
 
 use mirabel_flexoffer::{ApplianceType, ProsumerId, ProsumerType};
-use mirabel_geo::{CityId, DistrictId, Geography};
+use mirabel_geo::{City, CityId, DistrictId, GeoPoint, Geography};
 use mirabel_grid::{GridConfig, GridTopology, NodeId, NodeKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -21,6 +21,10 @@ pub struct Prosumer {
     pub city: CityId,
     /// District within the city.
     pub district: DistrictId,
+    /// Meter coordinates: a point scattered around the city site inside
+    /// the district's quadrant, so `Geography::resolve_district` maps it
+    /// back to exactly `district` (the spatial-dimension ingest path).
+    pub location: GeoPoint,
     /// Feeder the prosumer's meter hangs on.
     pub feeder: NodeId,
     /// Appliances that emit flex-offers.
@@ -90,15 +94,22 @@ impl Population {
             }
             let districts: Vec<DistrictId> =
                 geography.districts_of(city.id).map(|d| d.id).collect();
-            let district = districts[rng.gen_range(0..districts.len())];
+            let district_idx = rng.gen_range(0..districts.len());
+            let district = districts[district_idx];
             let feeder = feeders[rng.gen_range(0..feeders.len())];
             let appliances = appliances_for(&mut rng, prosumer_type);
+            // Locations come from a hash stream separate from `rng`, so
+            // adding coordinates never perturbs the draws above (seeded
+            // fixtures elsewhere pin the offer stream bit-for-bit).
+            let location =
+                scatter_location(&geography, city, district, district_idx, config.seed, i);
             prosumers.push(Prosumer {
                 id,
                 name: format!("{}-{} ({})", type_slug(prosumer_type), i + 1, city.name),
                 prosumer_type,
                 city: city.id,
                 district,
+                location,
                 feeder,
                 appliances,
             });
@@ -126,6 +137,53 @@ impl Population {
         let idx = id.raw().checked_sub(1)? as usize;
         self.prosumers.get(idx)
     }
+}
+
+/// SplitMix64 finalizer: a cheap, high-quality hash used to derive
+/// per-prosumer coordinates without touching the population RNG stream.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Scatters a meter location around `city`'s site inside the quadrant of
+/// the declared district, shrinking the offset until
+/// [`Geography::resolve_district`] maps the point back to exactly
+/// `district`. Converges because the city site is strictly inside its
+/// region and strictly nearest to itself.
+fn scatter_location(
+    geography: &Geography,
+    city: &City,
+    district: DistrictId,
+    district_idx: usize,
+    seed: u64,
+    index: usize,
+) -> GeoPoint {
+    let h1 = splitmix64(seed ^ (index as u64).wrapping_mul(0xA076_1D64_78BD_642F));
+    let h2 = splitmix64(h1);
+    let unit = |h: u64| (h >> 11) as f64 / (1u64 << 53) as f64;
+    // Strictly positive offsets keep the point off the quadrant axes
+    // (the resolver's strict comparisons would otherwise flip it).
+    let off_lon = 0.004 + 0.036 * unit(h1);
+    let off_lat = 0.004 + 0.036 * unit(h2);
+    // The resolver maps quadrant SW/SE/NW/NE → district index % count.
+    let quadrant = district_idx % 4;
+    let sign_east = if quadrant % 2 == 1 { 1.0 } else { -1.0 };
+    let sign_north = if quadrant / 2 == 1 { 1.0 } else { -1.0 };
+    let mut point = city.location;
+    for scale in [1.0, 0.25, 0.05, 0.002, 1e-5] {
+        point = GeoPoint::new(
+            city.location.lon + sign_east * off_lon * scale,
+            city.location.lat + sign_north * off_lat * scale,
+        );
+        match geography.resolve_district(point) {
+            Some(r) if r.district == district => return point,
+            _ => {}
+        }
+    }
+    point
 }
 
 fn draw_type(rng: &mut StdRng, household_share: f64) -> ProsumerType {
@@ -232,6 +290,41 @@ mod tests {
             assert_eq!(feeder.kind, NodeKind::Feeder);
             assert!(p.name.contains(&city.name));
         }
+    }
+
+    #[test]
+    fn every_location_resolves_to_exactly_its_declared_district() {
+        // Satellite property: the meter point of every generated prosumer
+        // resolves through point-in-region → nearest-city → quadrant to
+        // exactly one district, and it is the declared one.
+        for seed in [0xD4_EB, 1, 0xBE9C] {
+            let pop =
+                Population::generate(&PopulationConfig { size: 2_000, seed, household_share: 0.8 });
+            for p in pop.prosumers() {
+                let resolved = pop
+                    .geography()
+                    .resolve_district(p.location)
+                    .unwrap_or_else(|| panic!("{} has an unresolvable location", p.name));
+                assert_eq!(resolved.district, p.district, "{}", p.name);
+                assert_eq!(resolved.city, p.city, "{}", p.name);
+            }
+        }
+    }
+
+    #[test]
+    fn locations_are_deterministic_and_scattered() {
+        let cfg = PopulationConfig { size: 500, ..Default::default() };
+        let a = Population::generate(&cfg);
+        let b = Population::generate(&cfg);
+        for (x, y) in a.prosumers().iter().zip(b.prosumers()) {
+            assert_eq!(x.location, y.location);
+        }
+        // Not everyone in a city sits on the same point.
+        let first_city = a.prosumers()[0].city;
+        let mut lons: Vec<f64> =
+            a.prosumers().iter().filter(|p| p.city == first_city).map(|p| p.location.lon).collect();
+        lons.dedup();
+        assert!(lons.len() > 1, "locations collapse to a single point");
     }
 
     #[test]

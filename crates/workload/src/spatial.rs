@@ -1,0 +1,327 @@
+//! City-scale spatial workloads: skewed populations and drill traces.
+//!
+//! The spatial dimension (DESIGN.md, "Spatial dimension") only earns its
+//! keep at scale — a region-scoped loader query over a dozen offers is
+//! indistinguishable from a full scan. This module generates the inputs
+//! the spatial bench and the heatmap determinism harness need:
+//!
+//! * [`generate_spatial_scenario`] — a seeded population of hundreds of
+//!   thousands to millions of prosumers whose city placement follows a
+//!   *density skew* (weight<sup>skew</sup> proportional draw, so large
+//!   cities soak up a super-linear share, like real settlement
+//!   patterns), plus the matching flex-offers.
+//! * [`generate_spatial_traces`] — seeded region-scoped analyst
+//!   sessions (drill into a region, drill into a city, hover the
+//!   choropleth, plan, climb back up) in the same engine-agnostic shape
+//!   as [`crate::trace`]: member *slots*, not member ids, so the
+//!   consumer binds them to whatever hierarchy is live.
+//!
+//! Everything is deterministic in the seed, which is what lets the
+//! bench assert heatmap frame-hash equality across thread counts.
+
+use mirabel_flexoffer::FlexOffer;
+use mirabel_geo::Geography;
+use mirabel_grid::{GridConfig, GridTopology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::offers::{generate_offers, OfferConfig};
+use crate::population::{Population, PopulationConfig};
+
+/// Parameters of a city-scale spatial scenario; `Default` is a
+/// smoke-test shape, [`SpatialConfig::city_scale`] the bench shape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpatialConfig {
+    /// Number of prosumers to place.
+    pub prosumers: usize,
+    /// Days of flex-offers to generate (~2 offers per prosumer per day).
+    pub days: usize,
+    /// Master seed for placement and offers.
+    pub seed: u64,
+    /// Exponent applied to each city's weight before the proportional
+    /// draw. `1.0` reproduces the base generator's spread; `> 1.0`
+    /// concentrates prosumers in the largest cities.
+    pub density_skew: f64,
+    /// Share of prosumers that are households (as in
+    /// [`PopulationConfig`]).
+    pub household_share: f64,
+}
+
+impl Default for SpatialConfig {
+    fn default() -> Self {
+        SpatialConfig {
+            prosumers: 2_000,
+            days: 1,
+            seed: 0x5EA7,
+            density_skew: 1.5,
+            household_share: 0.8,
+        }
+    }
+}
+
+impl SpatialConfig {
+    /// The bench shape: enough prosumers that one day of offers clears
+    /// a million facts (the generator yields roughly two offers per
+    /// prosumer per day), with a pronounced big-city skew.
+    pub fn city_scale() -> Self {
+        SpatialConfig { prosumers: 530_000, ..Default::default() }
+    }
+}
+
+/// The synthetic Denmark with every city weight raised to
+/// `config.density_skew`. Polygons, locations and ids are untouched, so
+/// the skewed geography resolves exactly like the base one.
+fn skewed_geography(skew: f64) -> Geography {
+    let base = Geography::synthetic_denmark();
+    let cities = base
+        .cities()
+        .iter()
+        .map(|c| {
+            let mut c = c.clone();
+            c.weight = c.weight.powf(skew);
+            c
+        })
+        .collect();
+    Geography::new(
+        base.country().to_string(),
+        base.regions().to_vec(),
+        cities,
+        base.districts().to_vec(),
+    )
+}
+
+/// Generates a density-skewed population and its flex-offers. With
+/// `density_skew == 1.0` the population is bit-identical to
+/// [`Population::generate`] on the same [`PopulationConfig`].
+pub fn generate_spatial_scenario(config: &SpatialConfig) -> (Population, Vec<FlexOffer>) {
+    let pop_config = PopulationConfig {
+        size: config.prosumers,
+        seed: config.seed,
+        household_share: config.household_share,
+    };
+    let population = Population::generate_with(
+        &pop_config,
+        skewed_geography(config.density_skew),
+        GridTopology::synthetic(&GridConfig::paper()),
+    );
+    let offers = generate_offers(
+        &population,
+        &OfferConfig { days: config.days, seed: config.seed ^ 0x000F_FE12, ..Default::default() },
+    );
+    (population, offers)
+}
+
+/// One abstract region-scoped analyst interaction. Slots are indices
+/// into "the children of the current focus" — the consumer takes them
+/// modulo whatever the live hierarchy offers, so traces stay valid on
+/// any fixture.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpatialStep {
+    /// Focus the heatmap on the hierarchy root (the country overview).
+    DrillRoot,
+    /// Drill into child `slot` of the current focus.
+    DrillChild {
+        /// Index into the focus's children (taken modulo their count).
+        slot: usize,
+    },
+    /// Climb one level back up.
+    Up,
+    /// A burst of pointer positions over the choropleth, in the unit
+    /// square (the consumer scales them to its canvas).
+    HoverStorm {
+        /// Unit-square pointer positions, in order.
+        points: Vec<(f64, f64)>,
+    },
+    /// Re-plan, so the next frames show scheduled load per region.
+    Plan,
+    /// Request the current frame of the heatmap tab.
+    Render,
+}
+
+/// Parameters of a multi-user spatial trace; `Default` is the
+/// determinism harness's smoke shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpatialTraceConfig {
+    /// Number of concurrent analysts.
+    pub users: usize,
+    /// Steps generated per analyst.
+    pub steps_per_user: usize,
+    /// Master seed; each analyst derives an independent stream.
+    pub seed: u64,
+}
+
+impl Default for SpatialTraceConfig {
+    fn default() -> Self {
+        SpatialTraceConfig { users: 4, steps_per_user: 48, seed: 0xD811 }
+    }
+}
+
+/// One analyst's region-scoped stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpatialUserTrace {
+    /// Analyst index in `0..config.users`.
+    pub user: usize,
+    /// The steps, in interaction order.
+    pub steps: Vec<SpatialStep>,
+}
+
+/// Generates `config.users` deterministic drill traces. Every trace
+/// begins with [`SpatialStep::DrillRoot`] so the analyst always has a
+/// heatmap tab, and an early [`SpatialStep::Plan`] so the choropleth is
+/// filled; the remaining mix is dominated by hover storms and
+/// drill/climb navigation.
+pub fn generate_spatial_traces(config: &SpatialTraceConfig) -> Vec<SpatialUserTrace> {
+    (0..config.users)
+        .map(|user| {
+            let seed = config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(user as u64);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut steps = vec![SpatialStep::DrillRoot, SpatialStep::Plan];
+            while steps.len() < config.steps_per_user.max(2) {
+                steps.push(random_step(&mut rng));
+            }
+            steps.truncate(config.steps_per_user.max(2));
+            SpatialUserTrace { user, steps }
+        })
+        .collect()
+}
+
+fn random_step(rng: &mut StdRng) -> SpatialStep {
+    match rng.gen_range(0u32..100) {
+        // Hover storms dominate, as in the interactive trace model.
+        0..=44 => {
+            let n = rng.gen_range(4usize..=12);
+            SpatialStep::HoverStorm {
+                points: (0..n)
+                    .map(|_| (rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)))
+                    .collect(),
+            }
+        }
+        45..=64 => SpatialStep::DrillChild { slot: rng.gen_range(0usize..6) },
+        65..=79 => SpatialStep::Up,
+        80..=86 => SpatialStep::DrillRoot,
+        87..=92 => SpatialStep::Render,
+        _ => SpatialStep::Plan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::BTreeMap;
+
+    use super::*;
+
+    #[test]
+    fn unit_skew_reproduces_the_base_population() {
+        let config = SpatialConfig { prosumers: 300, density_skew: 1.0, ..Default::default() };
+        let (pop, _) = generate_spatial_scenario(&config);
+        let base = Population::generate(&PopulationConfig {
+            size: 300,
+            seed: config.seed,
+            household_share: config.household_share,
+        });
+        assert_eq!(pop.prosumers(), base.prosumers());
+    }
+
+    #[test]
+    fn scenarios_are_deterministic_and_seed_sensitive() {
+        let config = SpatialConfig { prosumers: 400, ..Default::default() };
+        let (pop_a, offers_a) = generate_spatial_scenario(&config);
+        let (pop_b, offers_b) = generate_spatial_scenario(&config);
+        assert_eq!(pop_a.prosumers(), pop_b.prosumers());
+        assert_eq!(offers_a, offers_b);
+        let (pop_c, _) = generate_spatial_scenario(&SpatialConfig { seed: 99, ..config });
+        assert_ne!(pop_a.prosumers(), pop_c.prosumers());
+    }
+
+    #[test]
+    fn density_skew_concentrates_the_biggest_city() {
+        let count_in_top_city = |skew: f64| {
+            let (pop, _) = generate_spatial_scenario(&SpatialConfig {
+                prosumers: 4_000,
+                density_skew: skew,
+                ..Default::default()
+            });
+            let geo = Geography::synthetic_denmark();
+            let top = geo
+                .cities()
+                .iter()
+                .max_by(|a, b| a.weight.total_cmp(&b.weight))
+                .expect("cities")
+                .id;
+            pop.prosumers().iter().filter(|p| p.city == top).count()
+        };
+        let flat = count_in_top_city(1.0);
+        let skewed = count_in_top_city(2.0);
+        assert!(
+            skewed > flat + flat / 4,
+            "skew 2.0 must concentrate the top city well past the \
+             proportional draw: {flat} flat vs {skewed} skewed"
+        );
+    }
+
+    #[test]
+    fn skewed_populations_still_resolve_every_district() {
+        let (pop, _) =
+            generate_spatial_scenario(&SpatialConfig { prosumers: 500, ..Default::default() });
+        let geo = Geography::synthetic_denmark();
+        let mut per_city: BTreeMap<u32, usize> = BTreeMap::new();
+        for p in pop.prosumers() {
+            let resolved = geo.resolve_district(p.location).expect("in some district");
+            assert_eq!(resolved.district, p.district);
+            *per_city.entry(p.city.0).or_default() += 1;
+        }
+        assert!(per_city.len() > 1, "a 500-prosumer draw must spread past one city");
+    }
+
+    #[test]
+    fn offer_volume_tracks_the_prosumer_count() {
+        let (pop, offers) =
+            generate_spatial_scenario(&SpatialConfig { prosumers: 1_000, ..Default::default() });
+        assert_eq!(pop.prosumers().len(), 1_000);
+        // ~2 offers per prosumer per day; the city-scale shape relies on
+        // this ratio clearing a million facts at 530k prosumers.
+        assert!(
+            offers.len() > pop.prosumers().len() * 3 / 2,
+            "{} offers for {} prosumers",
+            offers.len(),
+            pop.prosumers().len()
+        );
+    }
+
+    #[test]
+    fn traces_are_deterministic_and_start_with_a_root_drill_and_plan() {
+        let config = SpatialTraceConfig::default();
+        let a = generate_spatial_traces(&config);
+        assert_eq!(a, generate_spatial_traces(&config));
+        assert_eq!(a.len(), config.users);
+        for trace in &a {
+            assert_eq!(trace.steps.len(), config.steps_per_user);
+            assert_eq!(trace.steps[0], SpatialStep::DrillRoot);
+            assert_eq!(trace.steps[1], SpatialStep::Plan);
+        }
+        assert_ne!(a[0].steps, a[1].steps, "users must draw distinct streams");
+    }
+
+    #[test]
+    fn traces_mix_navigation_with_hover_storms() {
+        let traces = generate_spatial_traces(&SpatialTraceConfig {
+            users: 4,
+            steps_per_user: 200,
+            seed: 0xA11CE,
+        });
+        let (mut storms, mut drills, mut ups, mut total) = (0usize, 0usize, 0usize, 0usize);
+        for t in &traces {
+            for s in &t.steps {
+                total += 1;
+                match s {
+                    SpatialStep::HoverStorm { .. } => storms += 1,
+                    SpatialStep::DrillChild { .. } | SpatialStep::DrillRoot => drills += 1,
+                    SpatialStep::Up => ups += 1,
+                    _ => {}
+                }
+            }
+        }
+        assert!(storms * 100 / total >= 30, "{storms}/{total} storms");
+        assert!(drills > 0 && ups > 0, "{drills} drills, {ups} ups");
+    }
+}

@@ -11,7 +11,7 @@
 //!   half of `build-test`);
 //! * `cargo xtask examples` — *run* the smoke examples (the `examples`
 //!   job; clippy only proves they compile);
-//! * `cargo xtask bench-gate` — session/stress/ingest/planning
+//! * `cargo xtask bench-gate` — session/stress/ingest/planning/spatial
 //!   harnesses plus the `bench_diff` regression gate (the second half);
 //! * `cargo xtask baseline` — refresh `BENCH_baseline.json` from fresh
 //!   harness runs on this machine.
@@ -146,6 +146,29 @@ const BENCH_GATE: &[Step] = &[
         env: &[],
     },
     Step {
+        name: "spatial harness (O(region) speedup + heatmap determinism gates)",
+        program: "cargo",
+        args: &[
+            "run",
+            "--release",
+            "--locked",
+            "-p",
+            "mirabel-bench",
+            "--bin",
+            "spatial",
+            "--",
+            "--min-facts",
+            "1000000",
+            "--assert-speedup",
+            "10",
+            "--assert-publish-ms",
+            "100",
+            "--out",
+            "BENCH_spatial.json",
+        ],
+        env: &[],
+    },
+    Step {
         name: "net harness (wire == in-process gates)",
         program: "cargo",
         args: &[
@@ -188,6 +211,8 @@ const BENCH_GATE: &[Step] = &[
             "BENCH_ingest.json",
             "--planning",
             "BENCH_planning.json",
+            "--spatial",
+            "BENCH_spatial.json",
             "--net",
             "BENCH_net.json",
             "--tolerance",
@@ -292,6 +317,23 @@ const BASELINE: &[Step] = &[
         env: &[],
     },
     Step {
+        name: "spatial harness",
+        program: "cargo",
+        args: &[
+            "run",
+            "--release",
+            "--locked",
+            "-p",
+            "mirabel-bench",
+            "--bin",
+            "spatial",
+            "--",
+            "--out",
+            "BENCH_spatial.json",
+        ],
+        env: &[],
+    },
+    Step {
         name: "net harness",
         program: "cargo",
         args: &[
@@ -334,6 +376,8 @@ const BASELINE: &[Step] = &[
             "BENCH_ingest.json",
             "--planning",
             "BENCH_planning.json",
+            "--spatial",
+            "BENCH_spatial.json",
             "--net",
             "BENCH_net.json",
             "--write-baseline",
@@ -386,7 +430,7 @@ fn main() -> ExitCode {
                  \x20 lint        clippy + rustfmt + rustdoc, all -D warnings\n\
                  \x20 test        release build + workspace tests\n\
                  \x20 examples    run (not just compile) the smoke examples\n\
-                 \x20 bench-gate  benches, stress/ingest/planning/net harnesses, bench_diff gate\n\
+                 \x20 bench-gate  benches, stress/ingest/planning/spatial/net harnesses, bench_diff gate\n\
                  \x20 baseline    refresh BENCH_baseline.json from this machine"
             );
             ExitCode::FAILURE
