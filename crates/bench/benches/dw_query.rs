@@ -22,8 +22,9 @@ fn bench_dw(c: &mut Criterion) {
 
         let dw = Warehouse::load(&pop, &raw);
         let entity = raw[0].prosumer();
-        let q = LoaderQuery::window(TimeSlot::EPOCH, TimeSlot::EPOCH + SlotSpan::days(1))
-            .for_prosumer(entity);
+        let q = LoaderQuery::for_prosumer(entity)
+            .window(TimeSlot::EPOCH, TimeSlot::EPOCH + SlotSpan::days(1))
+            .build();
         group.bench_with_input(BenchmarkId::new("loader_query", raw.len()), &dw, |b, dw| {
             b.iter(|| dw.load_offers(&q).len())
         });

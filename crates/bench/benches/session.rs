@@ -21,7 +21,7 @@ use mirabel_timeseries::TimeSlot;
 use mirabel_viz::Point;
 
 fn wide() -> LoaderQuery {
-    LoaderQuery::window(TimeSlot::new(-100_000), TimeSlot::new(100_000))
+    LoaderQuery::builder().window(TimeSlot::new(-100_000), TimeSlot::new(100_000)).build()
 }
 
 fn storm_points(n: usize) -> Vec<Point> {

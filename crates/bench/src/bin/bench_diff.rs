@@ -21,14 +21,15 @@
 use std::process::ExitCode;
 
 use mirabel_bench::diff::{
-    diff_ingest, diff_net, diff_planning, diff_spatial, diff_stress, guard_machine_class, Json,
-    MetricCheck, PARALLEL_GATE_MIN_CORES,
+    diff_forecast, diff_ingest, diff_net, diff_planning, diff_spatial, diff_stress,
+    guard_machine_class, Json, MetricCheck, PARALLEL_GATE_MIN_CORES,
 };
 
 fn usage() -> ! {
     eprintln!(
         "usage: bench_diff --baseline PATH [--stress PATH] [--ingest PATH] \
-         [--planning PATH] [--net PATH] [--spatial PATH] [--tolerance F] [--write-baseline]"
+         [--planning PATH] [--net PATH] [--spatial PATH] [--forecast PATH] [--tolerance F] \
+         [--write-baseline]"
     );
     std::process::exit(2);
 }
@@ -45,6 +46,7 @@ fn main() -> ExitCode {
     let mut planning_path: Option<String> = None;
     let mut net_path: Option<String> = None;
     let mut spatial_path: Option<String> = None;
+    let mut forecast_path: Option<String> = None;
     let mut tolerance = 0.20f64;
     let mut write_baseline = false;
 
@@ -63,6 +65,7 @@ fn main() -> ExitCode {
             "--planning" => planning_path = Some(value(&args, &mut i)),
             "--net" => net_path = Some(value(&args, &mut i)),
             "--spatial" => spatial_path = Some(value(&args, &mut i)),
+            "--forecast" => forecast_path = Some(value(&args, &mut i)),
             "--tolerance" => {
                 tolerance = value(&args, &mut i).parse().unwrap_or_else(|_| usage());
             }
@@ -81,9 +84,11 @@ fn main() -> ExitCode {
         && planning_path.is_none()
         && net_path.is_none()
         && spatial_path.is_none()
+        && forecast_path.is_none()
     {
         eprintln!(
-            "nothing to compare: pass --stress, --ingest, --planning, --net and/or --spatial"
+            "nothing to compare: pass --stress, --ingest, --planning, --net, --spatial \
+             and/or --forecast"
         );
         usage();
     }
@@ -103,6 +108,7 @@ fn main() -> ExitCode {
             ("planning", &planning_path),
             ("net", &net_path),
             ("spatial", &spatial_path),
+            ("forecast", &forecast_path),
         ] {
             if let Some(path) = path {
                 match std::fs::read_to_string(path) {
@@ -147,6 +153,7 @@ fn main() -> ExitCode {
         ("planning", &planning_path, diff_planning as fn(&Json, &Json, f64) -> _),
         ("net", &net_path, diff_net as fn(&Json, &Json, f64) -> _),
         ("spatial", &spatial_path, diff_spatial as fn(&Json, &Json, f64) -> _),
+        ("forecast", &forecast_path, diff_forecast as fn(&Json, &Json, f64) -> _),
     ] {
         let Some(path) = path else { continue };
         let Some(base_section) = baseline.get(key) else {

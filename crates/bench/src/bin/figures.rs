@@ -243,9 +243,17 @@ fn figure7() {
         let dw = Warehouse::load(&pop, &raw);
         let load_ms = t.elapsed().as_secs_f64() * 1e3;
         let entity = raw[0].prosumer();
-        let window = LoaderQuery::window(TimeSlot::EPOCH, TimeSlot::EPOCH + SlotSpan::days(1));
+        let window = LoaderQuery::builder()
+            .window(TimeSlot::EPOCH, TimeSlot::EPOCH + SlotSpan::days(1))
+            .build();
         let t = Instant::now();
-        let a = dw.load_offers(&window.for_prosumer(entity)).len();
+        let a = dw
+            .load_offers(
+                &LoaderQuery::for_prosumer(entity)
+                    .window(TimeSlot::EPOCH, TimeSlot::EPOCH + SlotSpan::days(1))
+                    .build(),
+            )
+            .len();
         let entity_ms = t.elapsed().as_secs_f64() * 1e3;
         let t = Instant::now();
         let b = dw.load_offers(&window).len();

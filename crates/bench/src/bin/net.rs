@@ -1,15 +1,18 @@
 //! S4 — the wire protocol under multi-client load.
 //!
 //! Replays a deterministic K-clients network trace (interaction steps
-//! plus reconnects) twice over the same warehouse — once in-process
-//! through `ConcurrentPool`, once over loopback TCP through
-//! `mirabel-net` — writes `BENCH_net.json`, and enforces the
-//! PROTOCOL.md determinism promise as two hard gates:
+//! plus seeded fresh-reconnects and kill-and-resumes) twice over the
+//! same warehouse — once in-process through `ConcurrentPool`, once
+//! over loopback TCP through `mirabel-net` — writes `BENCH_net.json`,
+//! and enforces the PROTOCOL.md determinism promise as hard gates:
 //!
 //! * **outcome equivalence** (always): every wire reply must equal the
 //!   wire projection of the in-process outcome, bit for bit;
 //! * **frame-hash equivalence** (always): every client's final `hashes`
-//!   reply must equal the in-process session's frame hashes.
+//!   reply must equal the in-process session's frame hashes;
+//! * **storm equivalence** (always): a reconnect-storm round kills and
+//!   resumes 25% of the clients mid-trace via `session resume <token>`
+//!   and must still pass both equalities.
 //!
 //! ```sh
 //! cargo run --release -p mirabel-bench --bin net -- \
@@ -22,8 +25,8 @@ use mirabel_bench::net::{run_net, NetConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: net [--clients K] [--commands M] [--reconnect-rate R] [--repeats N] \
-         [--prosumers N] [--days D] [--seed S] [--out PATH]"
+        "usage: net [--clients K] [--commands M] [--reconnect-rate R] [--resume-share R] \
+         [--repeats N] [--prosumers N] [--days D] [--seed S] [--out PATH]"
     );
     std::process::exit(2);
 }
@@ -47,6 +50,7 @@ fn main() -> ExitCode {
             "--clients" => config.clients = parse(value(&args, &mut i)),
             "--commands" => config.commands_per_client = parse(value(&args, &mut i)),
             "--reconnect-rate" => config.reconnect_rate = parse(value(&args, &mut i)),
+            "--resume-share" => config.resume_share = parse(value(&args, &mut i)),
             "--repeats" => config.repeats = parse(value(&args, &mut i)),
             "--prosumers" => config.prosumers = parse(value(&args, &mut i)),
             "--days" => config.days = parse(value(&args, &mut i)),
@@ -66,18 +70,21 @@ fn main() -> ExitCode {
 
     println!(
         "S4 net — {} clients x {} commands over loopback TCP \
-         (reconnect rate {:.0}%, warehouse: {} prosumers x {} days)",
+         (drop rate {:.0}%, resume share {:.0}%, warehouse: {} prosumers x {} days)",
         config.clients,
         config.commands_per_client,
         config.reconnect_rate * 100.0,
+        config.resume_share * 100.0,
         config.prosumers,
         config.days,
     );
     let report = run_net(&config);
     println!(
-        "{} offers shared; {} reconnects; host parallelism {}; best of {} round(s)\n",
+        "{} offers shared; {} reconnects + {} resumes; host parallelism {}; \
+         best of {} round(s)\n",
         report.offers,
         report.reconnects,
+        report.resumes,
         report.available_parallelism,
         config.repeats.max(1),
     );
@@ -89,6 +96,12 @@ fn main() -> ExitCode {
         "\nwire equivalence: outcomes {}, frame hashes {}",
         if report.outcome_match { "identical" } else { "DIVERGED" },
         if report.hash_match { "identical" } else { "DIVERGED" },
+    );
+    println!(
+        "reconnect storm ({} client(s) killed + resumed): outcomes {}, frame hashes {}",
+        report.storm_clients,
+        if report.storm_outcome_match { "identical" } else { "DIVERGED" },
+        if report.storm_hash_match { "identical" } else { "DIVERGED" },
     );
 
     if let Err(e) = std::fs::write(&out_path, report.to_json()) {
@@ -104,6 +117,10 @@ fn main() -> ExitCode {
     }
     if !report.hash_match {
         eprintln!("FAIL: frame hashes diverged between the wire and in-process replay");
+        failed = true;
+    }
+    if !report.storm_outcome_match || !report.storm_hash_match {
+        eprintln!("FAIL: the reconnect storm diverged — a resumed session is not its old self");
         failed = true;
     }
     if failed {

@@ -630,9 +630,11 @@ pub fn diff_spatial(
 }
 
 /// Diffs a net report against the baseline's `net` section: the hard
-/// `outcome_match` / `hash_match` gates (the wire must be bit-exact,
-/// on any machine class), wire throughput (higher is better) and the
-/// request→reply p99 (lower is better, noise-floored).
+/// `outcome_match` / `hash_match` gates plus the reconnect-storm
+/// `storm_outcome_match` / `storm_hash_match` gates (the wire must be
+/// bit-exact — park/resume seams included — on any machine class),
+/// wire throughput (higher is better) and the request→reply p99
+/// (lower is better, noise-floored).
 pub fn diff_net(
     baseline: &Json,
     current: &Json,
@@ -642,7 +644,7 @@ pub fn diff_net(
     if current.num_at(&["clients"]).is_none() {
         return Err("current net report has no 'clients' field — wrong file?".into());
     }
-    for gate in ["outcome_match", "hash_match"] {
+    for gate in ["outcome_match", "hash_match", "storm_outcome_match", "storm_hash_match"] {
         checks.push(MetricCheck {
             name: format!("net.{gate}"),
             baseline: 1.0,
@@ -661,6 +663,53 @@ pub fn diff_net(
         };
         let mut check =
             check_metric_floored(format!("net.{field}"), b, c, tolerance, better, floor);
+        check.advisory = advisory;
+        checks.push(check);
+    }
+    Ok(checks)
+}
+
+/// Diffs a forecast report against the baseline's `forecast` section:
+/// the hard `executions_beat_envelope` quality gate and the
+/// execution-trained MAPE (both seed-deterministic, so they hold on
+/// any machine class), plus the forecast wall time (lower is better,
+/// advisory across machine classes, noise-floored).
+pub fn diff_forecast(
+    baseline: &Json,
+    current: &Json,
+    tolerance: f64,
+) -> Result<Vec<MetricCheck>, String> {
+    let mut checks = Vec::new();
+    if current.num_at(&["mape_executions"]).is_none() {
+        return Err("current forecast report has no 'mape_executions' field — wrong file?".into());
+    }
+    let gate = "executions_beat_envelope";
+    checks.push(MetricCheck {
+        name: format!("forecast.{gate}"),
+        baseline: 1.0,
+        current: f64::from(current.get(gate).and_then(Json::boolean).unwrap_or(false)),
+        better: Better::Higher,
+        ok: current.get(gate).and_then(Json::boolean) == Some(true),
+        advisory: false,
+    });
+    let (Some(b), Some(c)) =
+        (baseline.num_at(&["mape_executions"]), current.num_at(&["mape_executions"]))
+    else {
+        return Err("missing mape_executions in a forecast report".into());
+    };
+    checks.push(check_metric("forecast.mape_executions", b, c, tolerance, Better::Lower));
+    let advisory = !same_machine_class(baseline, current);
+    if let (Some(b), Some(c)) =
+        (baseline.num_at(&["forecast_ms"]), current.num_at(&["forecast_ms"]))
+    {
+        let mut check = check_metric_floored(
+            "forecast.forecast_ms",
+            b,
+            c,
+            tolerance,
+            Better::Lower,
+            LATENCY_FLOOR_MS,
+        );
         check.advisory = advisory;
         checks.push(check);
     }
@@ -891,6 +940,7 @@ mod tests {
     fn net_json(cps: f64, p99: f64, outcomes: bool, hashes: bool) -> Json {
         Json::parse(&format!(
             r#"{{"clients": 4, "outcome_match": {outcomes}, "hash_match": {hashes},
+                 "storm_outcome_match": true, "storm_hash_match": true,
                  "commands_per_s": {cps}, "p99_us": {p99}}}"#,
         ))
         .unwrap()
@@ -901,12 +951,22 @@ mod tests {
         let base = net_json(20_000.0, 2_000.0, true, true);
         let ok = diff_net(&base, &net_json(19_000.0, 2_100.0, true, true), 0.2).unwrap();
         assert!(ok.iter().all(|c| c.ok), "{ok:?}");
-        assert_eq!(ok.len(), 2 + 2); // 2 hard gates + 2 numerics
+        assert_eq!(ok.len(), 4 + 2); // 4 hard gates + 2 numerics
 
         let torn = diff_net(&base, &net_json(20_000.0, 2_000.0, false, true), 0.2).unwrap();
         assert!(torn.iter().any(|c| !c.ok && c.name == "net.outcome_match"));
         let frames = diff_net(&base, &net_json(20_000.0, 2_000.0, true, false), 0.2).unwrap();
         assert!(frames.iter().any(|c| !c.ok && c.name == "net.hash_match"));
+        // A report predating the storm round (or one that failed it)
+        // fails the storm gates — absence is not a pass.
+        let legacy = Json::parse(
+            r#"{"clients": 4, "outcome_match": true, "hash_match": true,
+                "commands_per_s": 20000.0, "p99_us": 2000.0}"#,
+        )
+        .unwrap();
+        let stormless = diff_net(&base, &legacy, 0.2).unwrap();
+        assert!(stormless.iter().any(|c| !c.ok && c.name == "net.storm_outcome_match"));
+        assert!(stormless.iter().any(|c| !c.ok && c.name == "net.storm_hash_match"));
 
         let slow = diff_net(&base, &net_json(10_000.0, 2_000.0, true, true), 0.2).unwrap();
         assert!(slow.iter().any(|c| !c.ok && c.name == "net.commands_per_s"));
@@ -940,6 +1000,45 @@ mod tests {
         assert!(outcome.is_regression(), "wire equivalence must gate on any machine");
         let throughput = checks.iter().find(|c| c.name == "net.commands_per_s").unwrap();
         assert!(throughput.advisory && !throughput.is_regression());
+    }
+
+    fn forecast_json(mape_exec: f64, ms: f64, beats: bool) -> Json {
+        Json::parse(&format!(
+            r#"{{"mape_executions": {mape_exec}, "mape_envelope": 2.0,
+                 "executions_beat_envelope": {beats}, "forecast_ms": {ms}}}"#,
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn forecast_diff_gates_quality_hard_and_wall_time_soft() {
+        let base = forecast_json(0.20, 50.0, true);
+        let ok = diff_forecast(&base, &forecast_json(0.21, 55.0, true), 0.2).unwrap();
+        assert!(ok.iter().all(|c| c.ok), "{ok:?}");
+        assert_eq!(ok.len(), 3); // quality gate + MAPE + wall time
+
+        let lost = diff_forecast(&base, &forecast_json(0.21, 50.0, false), 0.2).unwrap();
+        assert!(lost.iter().any(|c| !c.ok && c.name == "forecast.executions_beat_envelope"));
+        let worse = diff_forecast(&base, &forecast_json(0.30, 50.0, true), 0.2).unwrap();
+        assert!(worse.iter().any(|c| !c.ok && c.name == "forecast.mape_executions"));
+
+        // Wall-time jitter under the floor never gates; a machine-class
+        // mismatch makes it advisory but leaves the quality gates hard.
+        let mut base_1core = forecast_json(0.20, 50.0, true);
+        if let Json::Obj(members) = &mut base_1core {
+            members.push(("available_parallelism".into(), Json::Num(1.0)));
+        }
+        let mut cur_8core = forecast_json(0.30, 500.0, true);
+        if let Json::Obj(members) = &mut cur_8core {
+            members.push(("available_parallelism".into(), Json::Num(8.0)));
+        }
+        let checks = diff_forecast(&base_1core, &cur_8core, 0.2).unwrap();
+        let quality = checks.iter().find(|c| c.name == "forecast.mape_executions").unwrap();
+        assert!(quality.is_regression(), "MAPE must gate across machine classes");
+        let wall = checks.iter().find(|c| c.name == "forecast.forecast_ms").unwrap();
+        assert!(wall.advisory && !wall.is_regression());
+
+        assert!(diff_forecast(&base, &Json::parse("{}").unwrap(), 0.2).is_err());
     }
 
     fn spatial_json(speedup: f64, publish: f64, cores: usize, matches: bool, frames: bool) -> Json {

@@ -231,10 +231,12 @@ fn replay(
 ) -> (IngestRunStats, EpochHashes) {
     let live = LiveWarehouse::new(population.clone(), initial);
     let pool = ConcurrentPool::new(Arc::clone(live.snapshot().warehouse()));
-    let window = LoaderQuery::window(
-        TimeSlot::EPOCH,
-        TimeSlot::EPOCH + mirabel_timeseries::SlotSpan::days(config.days as i64 + 3),
-    );
+    let window = LoaderQuery::builder()
+        .window(
+            TimeSlot::EPOCH,
+            TimeSlot::EPOCH + mirabel_timeseries::SlotSpan::days(config.days as i64 + 3),
+        )
+        .build();
     let ids: Vec<SessionId> = (0..config.readers.max(1)).map(|_| pool.open()).collect();
     for (u, &id) in ids.iter().enumerate() {
         pool.apply(id, Command::SetCanvas { width: CANVAS.0, height: CANVAS.1 });
@@ -261,7 +263,9 @@ fn replay(
                 live.withdraw(ids);
                 ingest_ns += t0.elapsed().as_nanos() as u64;
             }
-            IngestEvent::AdvanceDay => live.advance_day(),
+            IngestEvent::AdvanceDay => {
+                live.advance_day();
+            }
             IngestEvent::Publish => {
                 let t0 = Instant::now();
                 let snapshot = live.publish();

@@ -8,6 +8,7 @@
 #![warn(missing_docs)]
 
 pub mod diff;
+pub mod forecast;
 pub mod ingest;
 pub mod net;
 pub mod planning;

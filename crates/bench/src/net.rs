@@ -3,22 +3,28 @@
 //! bit-identical.
 //!
 //! Binds the multi-client network traces of [`mirabel_workload::net`]
-//! (interaction steps plus connection-lifecycle reconnects) to session
+//! (interaction steps plus connection-lifecycle drops) to session
 //! commands, then replays them two ways over the *same* warehouse:
 //!
 //! * **in-process reference** — a [`ConcurrentPool`] driven directly;
-//!   a reconnect closes the session and opens a fresh one;
+//!   a reconnect closes the session and opens a fresh one, a resume is
+//!   a no-op (the session never went anywhere);
 //! * **over the wire** — a [`NetServer`] on `127.0.0.1:0`, one
 //!   [`NetClient`] thread per trace client; a reconnect is an actual
-//!   `bye` + reconnect.
+//!   `bye` + reconnect, a resume actually kills the connection without
+//!   `bye` and re-attaches the parked session with
+//!   `session resume <token>` (PROTOCOL.md).
 //!
 //! The harness's core assertion is PROTOCOL.md's determinism promise:
 //! the wire adds nothing and loses nothing — every reply's wire
 //! encoding equals the wire projection of the in-process outcome
 //! (`outcome_match`), and the final per-client `hashes` replies equal
-//! the in-process frame hashes (`hash_match`). Both are hard CI gates
-//! in `BENCH_net.json`; throughput and tail latency are soft-gated
-//! against `BENCH_baseline.json` by `bench_diff --net`.
+//! the in-process frame hashes (`hash_match`), resumes included. A
+//! dedicated **reconnect storm** round additionally kills and resumes
+//! 25% of the clients mid-trace and re-checks both equalities
+//! (`storm_outcome_match` / `storm_hash_match`). All four are hard CI
+//! gates in `BENCH_net.json`; throughput and tail latency are
+//! soft-gated against `BENCH_baseline.json` by `bench_diff --net`.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -40,8 +46,11 @@ pub struct NetConfig {
     pub clients: usize,
     /// Commands replayed per client (M; reconnects not counted).
     pub commands_per_client: usize,
-    /// Probability of a reconnect between two trace steps.
+    /// Probability of a connection drop between two trace steps.
     pub reconnect_rate: f64,
+    /// Fraction of drops that resume the parked session instead of
+    /// opening a fresh one.
+    pub resume_share: f64,
     /// Master seed for the traces.
     pub seed: u64,
     /// Prosumers in the shared warehouse.
@@ -61,6 +70,7 @@ impl Default for NetConfig {
             clients: 4,
             commands_per_client: 150,
             reconnect_rate: 0.02,
+            resume_share: 0.5,
             seed: 0x4E37,
             prosumers: 150,
             days: 1,
@@ -76,6 +86,11 @@ pub enum ReplayEvent {
     Cmd(Command),
     /// Drop the session/connection and start a fresh one.
     Reconnect,
+    /// Kill the connection without `bye` and resume the same session
+    /// with its token; in-process this is a no-op (the session never
+    /// went anywhere), which is exactly the equivalence the gates
+    /// assert.
+    Resume,
 }
 
 /// The full harness report, serializable as `BENCH_net.json`.
@@ -85,8 +100,10 @@ pub struct NetReport {
     pub config: NetConfig,
     /// Offers in the shared warehouse.
     pub offers: usize,
-    /// Total reconnects across all clients.
+    /// Total fresh-session reconnects across all clients.
     pub reconnects: usize,
+    /// Total kill-and-resume events across all clients.
+    pub resumes: usize,
     /// `std::thread::available_parallelism()` on the measuring host.
     pub available_parallelism: usize,
     /// `true` iff every wire reply matched the in-process outcome's
@@ -95,6 +112,12 @@ pub struct NetReport {
     /// `true` iff every client's final `hashes` reply matched the
     /// in-process frame hashes, on every round.
     pub hash_match: bool,
+    /// Clients killed and resumed mid-trace by the storm round.
+    pub storm_clients: usize,
+    /// `true` iff the storm round's wire outcomes matched in-process.
+    pub storm_outcome_match: bool,
+    /// `true` iff the storm round's frame hashes matched in-process.
+    pub storm_hash_match: bool,
     /// Total commands replayed over the wire (per round).
     pub commands: u64,
     /// Wall-clock seconds of the best wire round.
@@ -117,15 +140,20 @@ impl NetReport {
         out.push_str(&format!("  \"clients\": {},\n", self.config.clients));
         out.push_str(&format!("  \"commands_per_client\": {},\n", self.config.commands_per_client));
         out.push_str(&format!("  \"reconnect_rate\": {},\n", self.config.reconnect_rate));
+        out.push_str(&format!("  \"resume_share\": {},\n", self.config.resume_share));
         out.push_str(&format!("  \"seed\": {},\n", self.config.seed));
         out.push_str(&format!("  \"prosumers\": {},\n", self.config.prosumers));
         out.push_str(&format!("  \"days\": {},\n", self.config.days));
         out.push_str(&format!("  \"repeats\": {},\n", self.config.repeats.max(1)));
         out.push_str(&format!("  \"offers\": {},\n", self.offers));
         out.push_str(&format!("  \"reconnects\": {},\n", self.reconnects));
+        out.push_str(&format!("  \"resumes\": {},\n", self.resumes));
         out.push_str(&format!("  \"available_parallelism\": {},\n", self.available_parallelism));
         out.push_str(&format!("  \"outcome_match\": {},\n", self.outcome_match));
         out.push_str(&format!("  \"hash_match\": {},\n", self.hash_match));
+        out.push_str(&format!("  \"storm_clients\": {},\n", self.storm_clients));
+        out.push_str(&format!("  \"storm_outcome_match\": {},\n", self.storm_outcome_match));
+        out.push_str(&format!("  \"storm_hash_match\": {},\n", self.storm_hash_match));
         out.push_str(&format!("  \"commands\": {},\n", self.commands));
         out.push_str(&format!("  \"wall_s\": {:.6},\n", self.wall_s));
         out.push_str(&format!("  \"commands_per_s\": {:.1},\n", self.commands_per_s));
@@ -145,6 +173,7 @@ pub fn build_replays(config: &NetConfig) -> Vec<Vec<ReplayEvent>> {
         clients: config.clients,
         steps_per_client: config.commands_per_client.max(4),
         reconnect_rate: config.reconnect_rate,
+        resume_share: config.resume_share,
         seed: config.seed,
     });
     traces
@@ -163,7 +192,9 @@ pub fn build_replays(config: &NetConfig) -> Vec<Vec<ReplayEvent>> {
                 [
                     Command::SetCanvas { width: CANVAS.0, height: CANVAS.1 },
                     Command::Load {
-                        query: LoaderQuery::window(TimeSlot::new(0), TimeSlot::new(window_slots)),
+                        query: LoaderQuery::builder()
+                            .window(TimeSlot::new(0), TimeSlot::new(window_slots))
+                            .build(),
                         title: format!("c{client} main"),
                     },
                 ]
@@ -184,6 +215,9 @@ pub fn build_replays(config: &NetConfig) -> Vec<Vec<ReplayEvent>> {
                                 }
                             }
                         }
+                        // No prologue: the resumed session kept its
+                        // canvas and tabs.
+                        NetEvent::Resume => events.push(ReplayEvent::Resume),
                         NetEvent::Step(step) => {
                             for cmd in
                                 crate::stress::bind_step(step, window_slots, trace.client, seq)
@@ -230,6 +264,9 @@ pub fn replay_in_process(
                         pool.close(id);
                         id = pool.open();
                     }
+                    // In-process the session never detaches; resuming
+                    // it is the identity.
+                    ReplayEvent::Resume => {}
                     ReplayEvent::Cmd(cmd) => {
                         let outcome = pool.apply(id, cmd.clone()).expect("session open").to_wire();
                         outcomes.push(outcome.encode());
@@ -269,6 +306,16 @@ fn replay_over_wire(
                                 client.bye().expect("bye");
                                 client = NetClient::connect(addr).expect("reconnect");
                             }
+                            ReplayEvent::Resume => {
+                                let (session, epoch) = (client.session(), client.epoch());
+                                let parked = client.detach();
+                                client = NetClient::resume(parked).expect("resume");
+                                assert_eq!(client.session(), session, "resume changed the session");
+                                assert!(
+                                    client.epoch() >= epoch,
+                                    "resume lost the epoch high-water mark"
+                                );
+                            }
                             ReplayEvent::Cmd(cmd) => {
                                 let t0 = Instant::now();
                                 let outcome = client.command(cmd).expect("command reply");
@@ -277,6 +324,14 @@ fn replay_over_wire(
                             }
                         }
                     }
+                    // Epoch pushes stay at-most-once across resume
+                    // seams: the high-water mark must keep the list
+                    // strictly increasing.
+                    let notes = client.notifications();
+                    assert!(
+                        notes.windows(2).all(|w| w[0] < w[1]),
+                        "duplicate epoch push after a resume: {notes:?}"
+                    );
                     let hashes = client.hashes().expect("hashes reply");
                     client.bye().expect("final bye");
                     (ClientObservation { outcomes, hashes }, latencies)
@@ -297,19 +352,57 @@ fn replay_over_wire(
     (observations, latencies, wall_s)
 }
 
+/// Share of clients the storm round kills and resumes mid-trace.
+pub const STORM_SHARE: f64 = 0.25;
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The reconnect-storm scenario: kills and resumes [`STORM_SHARE`] of
+/// the clients (at least one) halfway through their event streams by
+/// splicing a [`ReplayEvent::Resume`] into the seeded replays. Returns
+/// the stormed replays and how many clients were hit; deterministic in
+/// the seed.
+pub fn storm_replays(replays: &[Vec<ReplayEvent>], seed: u64) -> (Vec<Vec<ReplayEvent>>, usize) {
+    let hit = ((replays.len() as f64 * STORM_SHARE).round() as usize).clamp(1, replays.len());
+    // Seeded ranking: the `hit` clients with the smallest hashes storm.
+    let mut ranked: Vec<usize> = (0..replays.len()).collect();
+    ranked.sort_by_key(|&i| splitmix64(seed ^ i as u64));
+    let stormed: Vec<usize> = ranked.into_iter().take(hit).collect();
+    let replays = replays
+        .iter()
+        .enumerate()
+        .map(|(i, events)| {
+            let mut events = events.clone();
+            if stormed.contains(&i) {
+                events.insert(events.len() / 2, ReplayEvent::Resume);
+            }
+            events
+        })
+        .collect();
+    (replays, hit)
+}
+
 /// Runs the full harness: builds the warehouse and traces, replays
 /// in-process once (the reference is seed-deterministic — one replay
 /// serves every round), then replays over loopback `repeats` times,
-/// cross-checking outcomes and hashes on every round.
+/// cross-checking outcomes and hashes on every round; finally runs the
+/// reconnect-storm round (kill + resume 25% of the clients mid-trace)
+/// and cross-checks it the same way.
 pub fn run_net(config: &NetConfig) -> NetReport {
     let (_, dw) = crate::warehouse(config.prosumers, config.days);
     let warehouse = Arc::new(dw);
     let offers = warehouse.offers().len();
     let replays = build_replays(config);
-    let reconnects = replays
-        .iter()
-        .map(|events| events.iter().filter(|e| matches!(e, ReplayEvent::Reconnect)).count())
-        .sum();
+    let count = |replays: &[Vec<ReplayEvent>], wanted: fn(&ReplayEvent) -> bool| {
+        replays.iter().map(|events| events.iter().filter(|e| wanted(e)).count()).sum()
+    };
+    let reconnects = count(&replays, |e| matches!(e, ReplayEvent::Reconnect));
+    let resumes = count(&replays, |e| matches!(e, ReplayEvent::Resume));
 
     let reference = replay_in_process(&warehouse, &replays);
 
@@ -334,13 +427,29 @@ pub fn run_net(config: &NetConfig) -> NetReport {
     }
     let (commands_per_s, wall_s, commands, p50_us) = best.expect("repeats >= 1");
 
+    // The storm round: same trace, but 25% of the clients get killed
+    // and resumed halfway through. Unmeasured — equivalence only.
+    let (stormed, storm_clients) = storm_replays(&replays, config.seed);
+    let storm_reference = replay_in_process(&warehouse, &stormed);
+    let (storm_observed, _, _) = replay_over_wire(&warehouse, &stormed);
+    let mut storm_outcome_match = true;
+    let mut storm_hash_match = true;
+    for (o, r) in storm_observed.iter().zip(&storm_reference) {
+        storm_outcome_match &= o.outcomes == r.outcomes;
+        storm_hash_match &= o.hashes == r.hashes;
+    }
+
     NetReport {
         config: config.clone(),
         offers,
         reconnects,
+        resumes,
         available_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
         outcome_match,
         hash_match,
+        storm_clients,
+        storm_outcome_match,
+        storm_hash_match,
         commands,
         wall_s,
         commands_per_s,
@@ -358,6 +467,7 @@ mod tests {
             clients: 3,
             commands_per_client: 40,
             reconnect_rate: 0.08,
+            resume_share: 0.5,
             seed: 11,
             prosumers: 40,
             days: 1,
@@ -387,27 +497,52 @@ mod tests {
         assert!(report.hash_match, "frame hashes diverged across the wire");
         assert_eq!(report.commands, 3 * 40);
         assert!(report.commands_per_s > 0.0);
+        assert!(report.storm_clients >= 1, "the storm must hit at least one client");
+        assert!(report.storm_outcome_match, "storm outcomes diverged from in-process");
+        assert!(report.storm_hash_match, "storm frame hashes diverged across the wire");
         let json = report.to_json();
         assert!(json.contains("\"bench\": \"net\""), "{json}");
         assert!(json.contains("\"outcome_match\": true"), "{json}");
         assert!(json.contains("\"hash_match\": true"), "{json}");
+        assert!(json.contains("\"storm_outcome_match\": true"), "{json}");
+        assert!(json.contains("\"storm_hash_match\": true"), "{json}");
     }
 
     #[test]
-    fn reconnects_actually_happen_and_stay_deterministic() {
+    fn reconnects_and_resumes_actually_happen_and_stay_deterministic() {
         let cfg = NetConfig { commands_per_client: 120, ..tiny() };
         let replays = build_replays(&cfg);
-        let reconnects: usize = replays
-            .iter()
-            .map(|e| e.iter().filter(|e| matches!(e, ReplayEvent::Reconnect)).count())
-            .sum();
-        assert!(reconnects > 0, "an 8% rate over 360 steps must reconnect somewhere");
-        // Sessions-per-reconnect semantics match across transports even
-        // with mid-stream session churn.
+        let count = |wanted: fn(&ReplayEvent) -> bool| -> usize {
+            replays.iter().map(|e| e.iter().filter(|e| wanted(e)).count()).sum()
+        };
+        assert!(
+            count(|e| matches!(e, ReplayEvent::Reconnect)) > 0,
+            "a 4% fresh rate over 360 steps must reconnect somewhere"
+        );
+        assert!(
+            count(|e| matches!(e, ReplayEvent::Resume)) > 0,
+            "a 4% resume rate over 360 steps must resume somewhere"
+        );
+        // Lifecycle semantics match across transports even with
+        // mid-stream session churn and park/resume seams.
         let (_, dw) = crate::warehouse(cfg.prosumers, cfg.days);
         let warehouse = Arc::new(dw);
         let reference = replay_in_process(&warehouse, &replays);
         let (observed, _, _) = replay_over_wire(&warehouse, &replays);
         assert_eq!(reference, observed);
+    }
+
+    #[test]
+    fn storm_replays_splice_resumes_deterministically() {
+        let cfg = tiny();
+        let replays = build_replays(&cfg);
+        let (stormed, hit) = storm_replays(&replays, cfg.seed);
+        assert_eq!((stormed.clone(), hit), storm_replays(&replays, cfg.seed));
+        assert_eq!(hit, 1, "25% of 3 clients rounds to one stormed client");
+        let spliced = stormed.iter().zip(&replays).filter(|(s, r)| s.len() == r.len() + 1).count();
+        assert_eq!(spliced, hit, "every stormed client gains exactly one resume");
+        // A different seed may pick different victims, never a
+        // different count.
+        assert_eq!(storm_replays(&replays, !cfg.seed).1, hit);
     }
 }

@@ -30,7 +30,6 @@ use std::time::Instant;
 use mirabel_dw::{Dimension, LiveWarehouse, LoaderQuery, MemberId, Warehouse};
 use mirabel_flexoffer::{FlexOffer, FlexOfferId};
 use mirabel_session::{Command, ConcurrentPool, PlanningParams};
-use mirabel_timeseries::TimeSlot;
 use mirabel_viz::Point;
 use mirabel_workload::{
     generate_spatial_scenario, generate_spatial_traces, SpatialConfig, SpatialStep,
@@ -184,8 +183,8 @@ impl SpatialReport {
 
 /// A loader query spanning every slot (the spatial filter alone
 /// selects).
-fn everywhere() -> LoaderQuery {
-    LoaderQuery::window(TimeSlot::new(i64::MIN / 4), TimeSlot::new(i64::MAX / 4))
+fn everywhere() -> mirabel_dw::LoaderQueryBuilder {
+    LoaderQuery::builder()
 }
 
 /// Indexed-vs-scan probes over every member of `level`, best of
@@ -202,7 +201,7 @@ fn probe_level(
 
     // Correctness first (once — the timing rounds assume it holds).
     for &m in &members {
-        let q = everywhere().for_region(m);
+        let q = everywhere().region(m).build();
         let indexed: BTreeSet<FlexOfferId> = dw.load_offers(&q).iter().map(|fo| fo.id()).collect();
         let scanned: BTreeSet<FlexOfferId> =
             dw.load_offers_scan(&q).iter().map(|fo| fo.id()).collect();
@@ -216,7 +215,7 @@ fn probe_level(
         let t0 = Instant::now();
         let mut loaded = 0usize;
         for &m in &members {
-            loaded += dw.load_offers(&everywhere().for_region(m)).len();
+            loaded += dw.load_offers(&everywhere().region(m).build()).len();
         }
         indexed_ms = indexed_ms.min(t0.elapsed().as_secs_f64() * 1e3);
         assert_eq!(loaded, selected, "indexed probe drifted between rounds");
@@ -224,7 +223,7 @@ fn probe_level(
         let t0 = Instant::now();
         let mut scanned = 0usize;
         for &m in &members {
-            scanned += dw.load_offers_scan(&everywhere().for_region(m)).len();
+            scanned += dw.load_offers_scan(&everywhere().region(m).build()).len();
         }
         scan_ms = scan_ms.min(t0.elapsed().as_secs_f64() * 1e3);
         assert_eq!(scanned, selected, "scan probe drifted between rounds");

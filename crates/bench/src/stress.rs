@@ -197,7 +197,7 @@ pub(crate) fn bind_step(
             let a = (lo * window_slots as f64) as i64;
             let b = ((hi * window_slots as f64) as i64).max(a + 1);
             vec![Command::Load {
-                query: LoaderQuery::window(TimeSlot::new(a), TimeSlot::new(b)),
+                query: LoaderQuery::builder().window(TimeSlot::new(a), TimeSlot::new(b)).build(),
                 title: format!("u{user} s{seq}"),
             }]
         }
@@ -230,7 +230,9 @@ pub fn build_traces(config: &StressConfig) -> Vec<Vec<Command>> {
             // stream has something to hover over from command one.
             commands.push(Command::SetCanvas { width: CANVAS.0, height: CANVAS.1 });
             commands.push(Command::Load {
-                query: LoaderQuery::window(TimeSlot::new(0), TimeSlot::new(window_slots)),
+                query: LoaderQuery::builder()
+                    .window(TimeSlot::new(0), TimeSlot::new(window_slots))
+                    .build(),
                 title: format!("u{} main", trace.user),
             });
             'outer: loop {

@@ -139,8 +139,8 @@ mod tests {
         (Warehouse::load(&pop, &offers), App::new())
     }
 
-    fn wide_window() -> LoaderQuery {
-        LoaderQuery::window(
+    fn wide_window() -> mirabel_dw::LoaderQueryBuilder {
+        LoaderQuery::builder().window(
             mirabel_timeseries::TimeSlot::new(-100_000),
             mirabel_timeseries::TimeSlot::new(100_000),
         )
@@ -151,9 +151,9 @@ mod tests {
         let (dw, mut app) = dw_and_app();
         // Load everything, then one legal entity — two tabs, as in
         // Figure 8's tab strip after two read operations.
-        let t0 = app.load(&dw, &wide_window(), "all offers");
+        let t0 = app.load(&dw, &wide_window().build(), "all offers");
         let entity = dw.offers()[0].prosumer();
-        let t1 = app.load(&dw, &wide_window().for_prosumer(entity), "one prosumer");
+        let t1 = app.load(&dw, &wide_window().prosumer(entity).build(), "one prosumer");
         assert_eq!(app.tabs().len(), 2);
         assert_eq!((t0, t1), (0, 1));
         assert_eq!(app.active_index(), 1);
@@ -169,7 +169,7 @@ mod tests {
     #[test]
     fn click_selects_one_offer_and_empty_space_clears() {
         let (dw, mut app) = dw_and_app();
-        app.load(&dw, &wide_window(), "all");
+        app.load(&dw, &wide_window().build(), "all");
         let tab = app.active_tab().unwrap();
         let target = tab.layout().profile_box(0, &tab.offers).center();
         let id0 = tab.offers[0].id();
@@ -186,7 +186,7 @@ mod tests {
     #[test]
     fn drag_rectangle_selects_many() {
         let (dw, mut app) = dw_and_app();
-        app.load(&dw, &wide_window(), "all");
+        app.load(&dw, &wide_window().build(), "all");
         app.handle(Event::DragStart(Point::new(0.0, 0.0)));
         // While dragging, the dashed rectangle is in the options.
         assert!(app.active_tab().unwrap().options.selection_rect.is_some());
@@ -199,7 +199,7 @@ mod tests {
     #[test]
     fn selection_to_new_tab_and_removal() {
         let (dw, mut app) = dw_and_app();
-        app.load(&dw, &wide_window(), "all");
+        app.load(&dw, &wide_window().build(), "all");
         let total = app.active_tab().unwrap().offers.len();
         app.handle(Event::DragStart(Point::new(0.0, 0.0)));
         app.handle(Event::DragEnd(Point::new(960.0, 540.0)));
@@ -221,7 +221,7 @@ mod tests {
     #[test]
     fn hover_produces_tooltip_and_mode_switch_changes_scene() {
         let (dw, mut app) = dw_and_app();
-        app.load(&dw, &wide_window(), "all");
+        app.load(&dw, &wide_window().build(), "all");
         let tab = app.active_tab().unwrap();
         let target = tab.layout().profile_box(0, &tab.offers).center();
         let info = app.handle(Event::PointerMove(target)).expect("tooltip");
@@ -250,7 +250,7 @@ mod tests {
         // The shim inherits the session engine's cache: a hover storm
         // builds exactly one frame.
         let (dw, mut app) = dw_and_app();
-        app.load(&dw, &wide_window(), "all");
+        app.load(&dw, &wide_window().build(), "all");
         let tab = app.active_tab().unwrap();
         let target = tab.layout().profile_box(0, &tab.offers).center();
         for i in 0..5_000 {

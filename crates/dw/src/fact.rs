@@ -1,6 +1,6 @@
 //! The flex-offer fact table.
 
-use mirabel_flexoffer::{Direction, FlexOffer, FlexOfferId, FlexOfferStatus, ProsumerId};
+use mirabel_flexoffer::{Direction, FlexOffer, FlexOfferId, OfferState, ProsumerId};
 use mirabel_timeseries::TimeSlot;
 
 use crate::hierarchy::MemberId;
@@ -17,7 +17,7 @@ pub struct FactRow {
     /// Consumption or production.
     pub direction: Direction,
     /// Lifecycle status at load time.
-    pub status: FlexOfferStatus,
+    pub status: OfferState,
     /// Earliest start slot (drives time-range filters and the time key).
     pub earliest_start: TimeSlot,
 
@@ -127,7 +127,7 @@ mod tests {
             .build()
             .unwrap();
         let row = extract(&fo);
-        assert_eq!(row.status, FlexOfferStatus::Offered);
+        assert_eq!(row.status, OfferState::Offered);
         assert_eq!(row.total_min_wh, 300);
         assert_eq!(row.total_max_wh, 1_200);
         assert_eq!(row.energy_flex_wh, 900);
@@ -151,14 +151,14 @@ mod tests {
         let sched = Schedule::new(TimeSlot::new(2), vec![Energy::from_wh(600); 2]);
         fo.assign(sched.clone()).unwrap();
         let row = extract(&fo);
-        assert_eq!(row.status, FlexOfferStatus::Assigned);
+        assert_eq!(row.status, OfferState::Scheduled);
         assert_eq!(row.scheduled_wh, 1_200);
         assert_eq!(row.deviation_wh, 0);
 
         fo.record_execution(Execution::new(vec![Energy::from_wh(500), Energy::from_wh(800)]))
             .unwrap();
         let row = extract(&fo);
-        assert_eq!(row.status, FlexOfferStatus::Executed);
+        assert_eq!(row.status, OfferState::Executed);
         assert_eq!(row.executed_wh, 1_300);
         assert_eq!(row.deviation_wh, 100 + 200);
         let _ = fo.earliest_start() + SlotSpan::ZERO;

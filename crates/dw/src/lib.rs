@@ -25,7 +25,8 @@
 //! * [`mdx`] — an MDX-lite parser and evaluator for the pivot view's
 //!   query window ("a possibility to manually formulate a query (e.g., in
 //!   MDX) for the view must be provided", Section 3);
-//! * [`LoaderQuery`] — the Figure 7 loader: select a legal entity and an
+//! * [`LoaderQuery`] — the Figure 7 loader (built with
+//!   [`LoaderQuery::builder`]): select a legal entity, a direction and an
 //!   absolute time interval, get flex-offers; region-scoped queries
 //!   ([`LoaderQuery::for_region`]) answer from the per-region fact index
 //!   in O(offers-in-subtree) (see [`spatial`]);
@@ -60,4 +61,4 @@ pub use live::{EpochSnapshot, LiveWarehouse, PendingDeltas};
 pub use pivot::{PivotAxis, PivotSpec, PivotTable};
 pub use query::{DwError, Filter, Measure, Query, QueryResult};
 pub use spatial::{region_leaves, SpatialIndex};
-pub use warehouse::{IngestOutcome, LoaderQuery, Warehouse};
+pub use warehouse::{IngestOutcome, LoaderQuery, LoaderQueryBuilder, ScheduleOutcome, Warehouse};

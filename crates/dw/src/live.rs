@@ -26,10 +26,11 @@
 
 use std::sync::{Arc, Mutex, RwLock};
 
-use mirabel_flexoffer::{FlexOffer, FlexOfferId};
+use mirabel_flexoffer::{FlexOffer, FlexOfferId, Schedule};
+use mirabel_timeseries::SlotSpan;
 use mirabel_workload::Population;
 
-use crate::warehouse::{IngestOutcome, Warehouse};
+use crate::warehouse::{IngestOutcome, ScheduleOutcome, Warehouse};
 
 /// One immutable published state of the live warehouse: a frozen
 /// [`Warehouse`] plus the epoch counter it was published at. Cheap to
@@ -62,12 +63,21 @@ pub struct PendingDeltas {
     pub withdrawn: usize,
     /// Days appended to the working copy since the last publish.
     pub days_added: usize,
+    /// Offers scheduled in the working copy since the last publish.
+    pub scheduled: usize,
+    /// Offers executed (metered) in the working copy since the last
+    /// publish.
+    pub executed: usize,
 }
 
 impl PendingDeltas {
     /// `true` when a publish would change nothing.
     pub fn is_empty(&self) -> bool {
-        self.ingested == 0 && self.withdrawn == 0 && self.days_added == 0
+        self.ingested == 0
+            && self.withdrawn == 0
+            && self.days_added == 0
+            && self.scheduled == 0
+            && self.executed == 0
     }
 }
 
@@ -159,12 +169,29 @@ impl LiveWarehouse {
         removed
     }
 
+    /// Applies enterprise schedule assignments to the working copy (see
+    /// [`Warehouse::assign_schedules`]; not yet visible to readers).
+    pub fn assign_schedules(&self, assignments: &[(FlexOfferId, Schedule)]) -> ScheduleOutcome {
+        let mut w = self.writer.lock().expect("writer lock");
+        let out = w.working.assign_schedules(assignments);
+        w.pending.scheduled += out.scheduled;
+        out
+    }
+
     /// Appends one day to the working copy's time window (the midnight
-    /// tick that keeps "tomorrow" loadable before its offers arrive).
-    pub fn advance_day(&self) {
+    /// tick that keeps "tomorrow" loadable before its offers arrive) and
+    /// **executes due schedules**: every offer whose schedule fully
+    /// elapsed before the newly appended day is metered into the
+    /// `Executed` state, streaming its execution curve into the fact
+    /// table. Returns the number of offers executed.
+    pub fn advance_day(&self) -> usize {
         let mut w = self.writer.lock().expect("writer lock");
         w.working.advance_day();
         w.pending.days_added += 1;
+        let now = w.working.window_end() - SlotSpan::days(1);
+        let executed = w.working.execute_due(now);
+        w.pending.executed += executed;
+        executed
     }
 
     /// Freezes the working copy into the next epoch and swaps it in for
@@ -220,7 +247,7 @@ const _: () = {
 mod tests {
     use super::*;
     use crate::{Dimension, LoaderQuery, Measure, Query};
-    use mirabel_timeseries::{SlotSpan, TimeSlot};
+    use mirabel_timeseries::SlotSpan;
     use mirabel_workload::{generate_offers, OfferConfig, PopulationConfig};
 
     fn setup() -> (Population, Vec<FlexOffer>, Vec<FlexOffer>) {
@@ -346,15 +373,51 @@ mod tests {
                         let q = Query::new(Measure::Count);
                         let n = snap.warehouse().eval(&q).unwrap().total as usize;
                         assert_eq!(n, snap.warehouse().facts().len());
-                        let loaded = snap.warehouse().load_offers(&LoaderQuery::window(
-                            TimeSlot::new(i64::MIN / 4),
-                            TimeSlot::new(i64::MAX / 4),
-                        ));
+                        let loaded = snap.warehouse().load_offers(&LoaderQuery::builder().build());
                         assert_eq!(loaded.len(), n);
                     }
                 });
             }
             writer.join().expect("writer panicked");
         });
+    }
+
+    #[test]
+    fn advance_day_meters_due_schedules_into_the_next_epoch() {
+        let (pop, day1, _) = setup();
+        let live = LiveWarehouse::new(pop, &day1);
+        // Schedule a handful of day-1 offers at their earliest start.
+        let assignments: Vec<(FlexOfferId, Schedule)> = day1
+            .iter()
+            .take(6)
+            .map(|fo| {
+                let energies = fo.profile().slices().iter().map(|s| s.min).collect();
+                (fo.id(), Schedule::new(fo.earliest_start(), energies))
+            })
+            .collect();
+        let out = live.assign_schedules(&assignments);
+        assert_eq!(out.scheduled, 6);
+        assert_eq!(live.pending().scheduled, 6);
+        let before = live.publish();
+
+        // The midnight tick executes everything that elapsed within the
+        // covered window.
+        let executed = live.advance_day();
+        assert_eq!(executed, 6);
+        assert_eq!(live.pending().executed, 6);
+        let after = live.publish();
+
+        for (id, _) in &assignments {
+            // Prior epoch untouched; new epoch carries the executions.
+            assert!(before.warehouse().offer(*id).unwrap().status().is_scheduled());
+            let fo = after.warehouse().offer(*id).unwrap();
+            assert!(fo.status().is_terminal());
+            assert!(fo.execution().is_some());
+        }
+        // Fact measures stream along with the state.
+        let metered: i64 = after.warehouse().facts().iter().map(|r| r.executed_wh).sum();
+        assert!(metered >= 0);
+        // A second tick finds nothing left to execute.
+        assert_eq!(live.advance_day(), 0);
     }
 }

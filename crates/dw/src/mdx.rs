@@ -24,7 +24,7 @@
 
 use std::fmt;
 
-use mirabel_flexoffer::FlexOfferStatus;
+use mirabel_flexoffer::OfferState;
 
 use crate::hierarchy::{Dimension, MemberId};
 use crate::pivot::{PivotAxis, PivotSpec, PivotTable};
@@ -379,7 +379,7 @@ impl Warehouse {
         let rows = self.resolve_axis(&ast.rows, "ROWS")?;
 
         let mut base = Query::new(Measure::Count);
-        let mut statuses: Vec<FlexOfferStatus> = Vec::new();
+        let mut statuses: Vec<OfferState> = Vec::new();
         for s in &ast.slicer {
             let head = s.path.first().map(String::as_str).unwrap_or("");
             if head.eq_ignore_ascii_case("measures") {
@@ -392,7 +392,7 @@ impl Warehouse {
             } else if head.eq_ignore_ascii_case("status") {
                 let name =
                     s.path.get(1).ok_or_else(|| DwError::Mdx("[Status] needs a member".into()))?;
-                let status = FlexOfferStatus::ALL
+                let status = OfferState::ALL
                     .into_iter()
                     .find(|st| st.name().eq_ignore_ascii_case(name))
                     .ok_or_else(|| DwError::Mdx(format!("unknown status [{name}]")))?;

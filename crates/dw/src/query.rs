@@ -3,7 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
-use mirabel_flexoffer::FlexOfferStatus;
+use mirabel_flexoffer::OfferState;
 use mirabel_timeseries::TimeSlot;
 
 use crate::fact::FactRow;
@@ -124,7 +124,7 @@ pub struct Query {
     /// Half-open earliest-start range.
     pub time_range: Option<(TimeSlot, TimeSlot)>,
     /// Restrict to these lifecycle statuses.
-    pub statuses: Option<Vec<FlexOfferStatus>>,
+    pub statuses: Option<Vec<OfferState>>,
     /// Group results by the members of this dimension level.
     pub group_by: Option<(Dimension, u8)>,
 }
@@ -148,7 +148,7 @@ impl Query {
     }
 
     /// Restricts to the given statuses.
-    pub fn statuses(mut self, statuses: impl Into<Vec<FlexOfferStatus>>) -> Query {
+    pub fn statuses(mut self, statuses: impl Into<Vec<OfferState>>) -> Query {
         self.statuses = Some(statuses.into());
         self
     }
@@ -360,12 +360,11 @@ mod tests {
     #[test]
     fn status_and_time_filters() {
         let dw = warehouse();
-        let r =
-            dw.eval(&Query::new(Measure::Count).statuses(vec![FlexOfferStatus::Offered])).unwrap();
+        let r = dw.eval(&Query::new(Measure::Count).statuses(vec![OfferState::Offered])).unwrap();
         // Freshly generated offers are all in Offered state.
         assert_eq!(r.total as usize, dw.facts().len());
         let none =
-            dw.eval(&Query::new(Measure::Count).statuses(vec![FlexOfferStatus::Executed])).unwrap();
+            dw.eval(&Query::new(Measure::Count).statuses(vec![OfferState::Executed])).unwrap();
         assert_eq!(none.total, 0.0);
 
         let mid = TimeSlot::new(48);

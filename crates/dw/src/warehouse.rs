@@ -3,7 +3,9 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use mirabel_flexoffer::{FlexOffer, FlexOfferId, ProsumerId};
+use mirabel_flexoffer::{
+    Direction, Energy, Execution, FlexOffer, FlexOfferId, OfferState, ProsumerId, Schedule,
+};
 use mirabel_geo::Geography;
 use mirabel_timeseries::{SlotSpan, TimeSlot, SLOTS_PER_DAY};
 use mirabel_workload::Population;
@@ -75,6 +77,20 @@ pub struct IngestOutcome {
     /// Skipped: the offer starts before the warehouse's first day (a
     /// live warehouse only moves forward in time).
     pub skipped_before_window: usize,
+}
+
+/// What one [`Warehouse::assign_schedules`] batch did — like
+/// [`IngestOutcome`], every skipped assignment is accounted for.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScheduleOutcome {
+    /// Offers now carrying the proposed schedule (state `Scheduled`).
+    pub scheduled: usize,
+    /// Skipped: no offer with that id is loaded.
+    pub skipped_unknown: usize,
+    /// Skipped: the offer is rejected, withdrawn or already executed.
+    pub skipped_state: usize,
+    /// Skipped: the schedule violates the offer's flexibility bounds.
+    pub skipped_infeasible: usize,
 }
 
 impl Warehouse {
@@ -156,7 +172,7 @@ impl Warehouse {
     }
 
     /// First slot *after* the covered day window.
-    fn window_end(&self) -> TimeSlot {
+    pub fn window_end(&self) -> TimeSlot {
         self.first_day + SlotSpan::days(self.day_leaves.len() as i64)
     }
 
@@ -258,6 +274,95 @@ impl Warehouse {
         }
         Arc::make_mut(&mut self.spatial).rebuild(facts);
         removed
+    }
+
+    /// Applies enterprise schedule assignments to loaded offers **in
+    /// place**: a still-`Offered` offer is accepted first (assignment
+    /// implies acceptance), the schedule is feasibility-checked by the
+    /// offer itself, and the fact row is re-extracted reusing its stored
+    /// dimension keys — no hierarchy work, no re-keying, no index
+    /// rebuild. Unknown ids and terminal-state offers are itemised in
+    /// the returned [`ScheduleOutcome`].
+    pub fn assign_schedules(&mut self, assignments: &[(FlexOfferId, Schedule)]) -> ScheduleOutcome {
+        let mut out = ScheduleOutcome::default();
+        for (id, schedule) in assignments {
+            let Some(&idx) = self.by_id.get(id) else {
+                out.skipped_unknown += 1;
+                continue;
+            };
+            {
+                let offers = Arc::make_mut(&mut self.offers);
+                let fo = Arc::make_mut(&mut offers[idx]);
+                if fo.status() == OfferState::Offered {
+                    fo.accept().expect("offered offers accept");
+                }
+                match fo.status() {
+                    OfferState::Accepted | OfferState::Scheduled => {}
+                    _ => {
+                        out.skipped_state += 1;
+                        continue;
+                    }
+                }
+                if fo.assign(schedule.clone()).is_err() {
+                    out.skipped_infeasible += 1;
+                    continue;
+                }
+            }
+            self.refresh_fact(idx);
+            out.scheduled += 1;
+        }
+        out
+    }
+
+    /// Executes every scheduled offer whose schedule has fully elapsed
+    /// by `now` (schedule end ≤ `now`, half-open): the offer transitions
+    /// to `Executed` with metered actuals and its fact row's
+    /// `executed_wh` / `deviation_wh` measures refresh in place. Returns
+    /// the number of offers executed.
+    ///
+    /// The actuals are synthesised deterministically from the offer's
+    /// identity and standing schedule (SplitMix64 keyed on offer id and
+    /// slice index, ±10 % deviation clamped back into the slice bounds)
+    /// — a wire replay and an in-process replay of the same trace meter
+    /// bit-identically. When nothing is due this is a no-op: no
+    /// copy-on-write unsharing, published epochs keep their shared
+    /// allocations.
+    pub fn execute_due(&mut self, now: TimeSlot) -> usize {
+        let due: Vec<usize> = self
+            .offers
+            .iter()
+            .enumerate()
+            .filter(|(_, fo)| {
+                fo.status() == OfferState::Scheduled
+                    && fo.schedule().is_some_and(|s| s.end() <= now)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        for &idx in &due {
+            let execution = synth_execution(&self.offers[idx]);
+            let offers = Arc::make_mut(&mut self.offers);
+            let fo = Arc::make_mut(&mut offers[idx]);
+            fo.record_execution(execution).expect("synthesised executions cover the schedule");
+            self.refresh_fact(idx);
+        }
+        due.len()
+    }
+
+    /// Re-extracts fact row `idx` from its (mutated) offer, reusing the
+    /// row's stored dimension leaf keys.
+    fn refresh_fact(&mut self, idx: usize) {
+        let row = &self.facts[idx];
+        let keys = (
+            row.time_leaf,
+            row.geo_leaf,
+            row.grid_leaf,
+            row.energy_leaf,
+            row.prosumer_leaf,
+            row.appliance_leaf,
+        );
+        let fresh =
+            FactRow::extract(&self.offers[idx], keys.0, keys.1, keys.2, keys.3, keys.4, keys.5);
+        Arc::make_mut(&mut self.facts)[idx] = fresh;
     }
 
     /// The hierarchy of `dimension`.
@@ -411,8 +516,25 @@ impl Warehouse {
 }
 
 /// The loader tab's selection (Figure 7): a legal entity (optional), a
-/// spatial subtree (optional, any member of the geography hierarchy) and
-/// an absolute time interval.
+/// spatial subtree (optional, any member of the geography hierarchy), a
+/// direction (optional) and an absolute time interval.
+///
+/// Construct one with [`LoaderQuery::builder`] (or the pre-filtered
+/// entry points [`LoaderQuery::for_region`] /
+/// [`LoaderQuery::for_prosumer`]):
+///
+/// ```
+/// use mirabel_dw::LoaderQuery;
+/// use mirabel_flexoffer::Direction;
+/// use mirabel_timeseries::TimeSlot;
+///
+/// let everything = LoaderQuery::builder().build();
+/// let one_day = LoaderQuery::builder()
+///     .window(TimeSlot::new(0), TimeSlot::new(96))
+///     .direction(Direction::Production)
+///     .build();
+/// assert!(everything.from < one_day.from);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LoaderQuery {
     /// Restrict to one prosumer; `None` loads everyone.
@@ -422,6 +544,8 @@ pub struct LoaderQuery {
     /// the fact row, so this filter is applied by the warehouse loaders,
     /// not by [`LoaderQuery::matches`].
     pub region: Option<MemberId>,
+    /// Restrict to consumption or production offers; `None` loads both.
+    pub direction: Option<Direction>,
     /// Interval start (inclusive).
     pub from: TimeSlot,
     /// Interval end (exclusive).
@@ -429,38 +553,128 @@ pub struct LoaderQuery {
 }
 
 impl LoaderQuery {
-    /// Loads every offer intersecting `[from, to)`.
-    pub fn window(from: TimeSlot, to: TimeSlot) -> LoaderQuery {
-        LoaderQuery { prosumer: None, region: None, from, to }
+    /// Starts a builder over the **full** time axis with no filters:
+    /// `LoaderQuery::builder().build()` loads everything.
+    pub fn builder() -> LoaderQueryBuilder {
+        LoaderQueryBuilder {
+            query: LoaderQuery {
+                prosumer: None,
+                region: None,
+                direction: None,
+                from: TimeSlot::new(i64::MIN / 4),
+                to: TimeSlot::new(i64::MAX / 4),
+            },
+        }
     }
 
-    /// Restricts the query to one legal entity.
-    pub fn for_prosumer(mut self, prosumer: ProsumerId) -> LoaderQuery {
-        self.prosumer = Some(prosumer);
-        self
-    }
-
-    /// Restricts the query to facts under one geography member — the
+    /// Builder pre-filtered to facts under one geography member — the
     /// O(offers-in-subtree) spatial query (answered from the per-region
     /// fact index, see [`crate::spatial`]).
-    pub fn for_region(mut self, member: MemberId) -> LoaderQuery {
-        self.region = Some(member);
-        self
+    pub fn for_region(member: MemberId) -> LoaderQueryBuilder {
+        LoaderQuery::builder().region(member)
     }
 
-    /// `true` when `offer` satisfies the entity filter and intersects the
-    /// half-open interval. The spatial filter is *not* checked here (an
-    /// offer alone does not know its region) — the warehouse loaders
-    /// apply it against the fact table.
+    /// Builder pre-filtered to one legal entity.
+    pub fn for_prosumer(prosumer: ProsumerId) -> LoaderQueryBuilder {
+        LoaderQuery::builder().prosumer(prosumer)
+    }
+
+    /// Loads every offer intersecting `[from, to)`.
+    #[deprecated(since = "0.7.0", note = "use `LoaderQuery::builder().window(from, to).build()`")]
+    pub fn window(from: TimeSlot, to: TimeSlot) -> LoaderQuery {
+        LoaderQuery { prosumer: None, region: None, direction: None, from, to }
+    }
+
+    /// `true` when `offer` satisfies the entity and direction filters and
+    /// intersects the half-open interval. The spatial filter is *not*
+    /// checked here (an offer alone does not know its region) — the
+    /// warehouse loaders apply it against the fact table.
     pub fn matches(&self, offer: &FlexOffer) -> bool {
         if let Some(p) = self.prosumer {
             if offer.prosumer() != p {
                 return false;
             }
         }
+        if let Some(d) = self.direction {
+            if offer.direction() != d {
+                return false;
+            }
+        }
         let (lo, hi) = offer.extent();
         lo < self.to && self.from < hi
     }
+}
+
+/// Builder for [`LoaderQuery`]; obtained from [`LoaderQuery::builder`],
+/// [`LoaderQuery::for_region`] or [`LoaderQuery::for_prosumer`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoaderQueryBuilder {
+    query: LoaderQuery,
+}
+
+impl LoaderQueryBuilder {
+    /// Restricts the query to offers intersecting `[from, to)` (default:
+    /// the full time axis).
+    pub fn window(mut self, from: TimeSlot, to: TimeSlot) -> Self {
+        self.query.from = from;
+        self.query.to = to;
+        self
+    }
+
+    /// Restricts the query to one legal entity.
+    pub fn prosumer(mut self, prosumer: ProsumerId) -> Self {
+        self.query.prosumer = Some(prosumer);
+        self
+    }
+
+    /// Restricts the query to facts under one geography member.
+    pub fn region(mut self, member: MemberId) -> Self {
+        self.query.region = Some(member);
+        self
+    }
+
+    /// Restricts the query to one direction.
+    pub fn direction(mut self, direction: Direction) -> Self {
+        self.query.direction = Some(direction);
+        self
+    }
+
+    /// Finishes the builder. Infallible: every combination of filters is
+    /// a valid query (an inverted window simply matches nothing).
+    pub fn build(self) -> LoaderQuery {
+        self.query
+    }
+}
+
+/// Deterministic metered actuals for one scheduled offer: per slice, the
+/// scheduled amount nudged by a ±10 % pseudo-random deviation keyed on
+/// (offer id, slice index), clamped back into the slice's energy bounds.
+/// Depends only on the offer's identity and standing schedule — never on
+/// wall-clock, ingestion order or thread timing — so every replay of the
+/// same trace meters the same actuals.
+fn synth_execution(fo: &FlexOffer) -> Execution {
+    let schedule = fo.schedule().expect("due offers carry a schedule");
+    let energies = schedule
+        .energies()
+        .iter()
+        .zip(fo.profile().slices())
+        .enumerate()
+        .map(|(i, (&energy, &slice))| {
+            let h = splitmix64(fo.id().raw() ^ (i as u64).wrapping_mul(0xA076_1D64_78BD_642F));
+            let dev = (h >> 11) as f64 / (1u64 << 53) as f64 * 0.2 - 0.1;
+            let wh = (energy.wh() as f64 * (1.0 + dev)).round() as i64;
+            Energy::from_wh(wh.clamp(slice.min.wh(), slice.max.wh()))
+        })
+        .collect();
+    Execution::new(energies)
+}
+
+/// SplitMix64 finalizer (same mixer as the workload generators).
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// The half-open day-aligned slot window covering all offers (falls back
@@ -536,22 +750,17 @@ mod tests {
         let (pop, offers) = setup();
         let dw = Warehouse::load(&pop, &offers);
         let p = offers[0].prosumer();
-        let all = dw.load_offers(&LoaderQuery::window(
-            TimeSlot::new(i64::MIN / 4),
-            TimeSlot::new(i64::MAX / 4),
-        ));
+        let all = dw.load_offers(&LoaderQuery::builder().build());
         assert_eq!(all.len(), offers.len());
-        let mine = dw.load_offers(
-            &LoaderQuery::window(TimeSlot::new(i64::MIN / 4), TimeSlot::new(i64::MAX / 4))
-                .for_prosumer(p),
-        );
+        let mine = dw.load_offers(&LoaderQuery::for_prosumer(p).build());
         assert!(!mine.is_empty());
         assert!(mine.iter().all(|fo| fo.prosumer() == p));
         assert!(mine.len() < all.len());
 
         // A window before all offers matches nothing.
-        let none =
-            dw.load_offers(&LoaderQuery::window(TimeSlot::new(-10_000), TimeSlot::new(-9_999)));
+        let none = dw.load_offers(
+            &LoaderQuery::builder().window(TimeSlot::new(-10_000), TimeSlot::new(-9_999)).build(),
+        );
         assert!(none.is_empty());
     }
 
@@ -562,10 +771,12 @@ mod tests {
         let fo = &offers[0];
         let (lo, hi) = fo.extent();
         // Window touching only the exclusive end does not match.
-        let after = dw.load_offers(&LoaderQuery::window(hi, hi + SlotSpan::hours(1)));
+        let after =
+            dw.load_offers(&LoaderQuery::builder().window(hi, hi + SlotSpan::hours(1)).build());
         assert!(after.iter().all(|o| o.id() != fo.id()));
         // Window overlapping the first slot does.
-        let at = dw.load_offers(&LoaderQuery::window(lo, lo + SlotSpan::slots(1)));
+        let at =
+            dw.load_offers(&LoaderQuery::builder().window(lo, lo + SlotSpan::slots(1)).build());
         assert!(at.iter().any(|o| o.id() == fo.id()));
     }
 
@@ -573,7 +784,7 @@ mod tests {
     fn shared_loader_aliases_warehouse_allocations() {
         let (pop, offers) = setup();
         let dw = Warehouse::load(&pop, &offers);
-        let q = LoaderQuery::window(TimeSlot::new(i64::MIN / 4), TimeSlot::new(i64::MAX / 4));
+        let q = LoaderQuery::builder().build();
         let shared = dw.load_shared(&q);
         let borrowed = dw.load_offers(&q);
         assert_eq!(shared.len(), borrowed.len());
@@ -582,7 +793,7 @@ mod tests {
             assert!(Arc::ptr_eq(arc, dw_arc));
         }
         let entity = offers[0].prosumer();
-        let mine = dw.load_shared(&q.for_prosumer(entity));
+        let mine = dw.load_shared(&LoaderQuery::for_prosumer(entity).build());
         assert!(!mine.is_empty());
         assert!(mine.iter().all(|fo| fo.prosumer() == entity));
     }
@@ -603,9 +814,9 @@ mod tests {
         assert_eq!(dw.hierarchy(Dimension::Time).at_level(3).count(), 1);
     }
 
-    /// The half-open everything window used by the incremental tests.
-    fn everywhere() -> LoaderQuery {
-        LoaderQuery::window(TimeSlot::new(i64::MIN / 4), TimeSlot::new(i64::MAX / 4))
+    /// Full-axis builder used by the incremental tests.
+    fn everywhere() -> LoaderQueryBuilder {
+        LoaderQuery::builder()
     }
 
     #[test]
@@ -735,7 +946,10 @@ mod tests {
         let prosumers: std::collections::BTreeSet<ProsumerId> =
             pop.prosumers().iter().map(|p| p.id).collect();
         for p in prosumers {
-            for q in [everywhere().for_prosumer(p), LoaderQuery::window(lo, hi).for_prosumer(p)] {
+            for q in [
+                everywhere().prosumer(p).build(),
+                LoaderQuery::for_prosumer(p).window(lo, hi).build(),
+            ] {
                 let indexed: Vec<FlexOfferId> =
                     dw.load_offers(&q).iter().map(|fo| fo.id()).collect();
                 // Reference: the pre-index linear scan over every offer.
@@ -762,7 +976,9 @@ mod tests {
         let members: Vec<MemberId> = geo.members().iter().map(|m| m.id).collect();
         let (lo, hi) = (TimeSlot::new(0), TimeSlot::new(96));
         for m in members {
-            for q in [everywhere().for_region(m), LoaderQuery::window(lo, hi).for_region(m)] {
+            for q in
+                [everywhere().region(m).build(), LoaderQuery::for_region(m).window(lo, hi).build()]
+            {
                 let indexed: Vec<FlexOfferId> =
                     dw.load_offers(&q).iter().map(|fo| fo.id()).collect();
                 let scanned: Vec<FlexOfferId> =
@@ -774,8 +990,8 @@ mod tests {
             }
         }
         // The root member selects everything the unfiltered query does.
-        let all = dw.load_offers(&everywhere()).len();
-        assert_eq!(dw.load_offers(&everywhere().for_region(geo.all().id)).len(), all);
+        let all = dw.load_offers(&everywhere().build()).len();
+        assert_eq!(dw.load_offers(&everywhere().region(geo.all().id).build()).len(), all);
     }
 
     #[test]
@@ -785,14 +1001,14 @@ mod tests {
         let p = pop
             .prosumers()
             .iter()
-            .find(|pr| !dw.load_offers(&everywhere().for_prosumer(pr.id)).is_empty())
+            .find(|pr| !dw.load_offers(&everywhere().prosumer(pr.id).build()).is_empty())
             .unwrap();
         let home = dw.district_leaves[p.district.0 as usize];
         let geo = dw.hierarchy(Dimension::Geography);
         let region = geo.ancestor_at_level(home, 1).unwrap();
         // All of the prosumer's offers live in its home subtree...
-        let both = dw.load_offers(&everywhere().for_prosumer(p.id).for_region(region));
-        let mine = dw.load_offers(&everywhere().for_prosumer(p.id));
+        let both = dw.load_offers(&everywhere().prosumer(p.id).region(region).build());
+        let mine = dw.load_offers(&everywhere().prosumer(p.id).build());
         assert_eq!(
             both.iter().map(|fo| fo.id()).collect::<Vec<_>>(),
             mine.iter().map(|fo| fo.id()).collect::<Vec<_>>()
@@ -803,9 +1019,9 @@ mod tests {
             .find(|m| m.id != region && m.name != "Unassigned")
             .map(|m| m.id)
             .unwrap();
-        assert!(dw.load_offers(&everywhere().for_prosumer(p.id).for_region(other)).is_empty());
+        assert!(dw.load_offers(&everywhere().prosumer(p.id).region(other).build()).is_empty());
         // Composition agrees with the scan reference either way.
-        let q = everywhere().for_prosumer(p.id).for_region(other);
+        let q = everywhere().prosumer(p.id).region(other).build();
         assert_eq!(dw.load_offers(&q).len(), dw.load_offers_scan(&q).len());
     }
 
@@ -822,7 +1038,7 @@ mod tests {
         // Generated locations resolve to the declared district, so no
         // fact lands on the unassigned leaf.
         assert!(dw.facts().iter().all(|row| row.geo_leaf != dw.unassigned_leaf()));
-        assert!(dw.load_offers(&everywhere().for_region(dw.unassigned_leaf())).is_empty());
+        assert!(dw.load_offers(&everywhere().region(dw.unassigned_leaf()).build()).is_empty());
     }
 
     #[test]
@@ -837,7 +1053,7 @@ mod tests {
         let full = Warehouse::load(&pop, &offers);
         let geo = full.hierarchy(Dimension::Geography);
         for m in geo.at_level(1).chain(geo.at_level(2)) {
-            let q = everywhere().for_region(m.id);
+            let q = everywhere().region(m.id).build();
             let mut live_ids: Vec<u64> =
                 live.load_offers(&q).iter().map(|fo| fo.id().raw()).collect();
             let mut full_ids: Vec<u64> =
@@ -859,5 +1075,115 @@ mod tests {
         // The new day is immediately ingestable.
         let last_day = dw.first_day() + SlotSpan::days(days as i64);
         assert_eq!(dw.day_leaf(last_day), Some(leaf));
+    }
+
+    /// A feasible schedule for `fo`: start at the earliest slot, midpoint
+    /// energy per slice.
+    fn midpoint_schedule(fo: &FlexOffer) -> Schedule {
+        let energies = fo
+            .profile()
+            .slices()
+            .iter()
+            .map(|s| Energy::from_wh((s.min.wh() + s.max.wh()) / 2))
+            .collect();
+        Schedule::new(fo.earliest_start(), energies)
+    }
+
+    #[test]
+    fn assign_schedules_refreshes_facts_in_place() {
+        let (pop, offers) = setup();
+        let mut dw = Warehouse::load(&pop, &offers);
+        let assignments: Vec<(FlexOfferId, Schedule)> =
+            offers.iter().take(10).map(|fo| (fo.id(), midpoint_schedule(fo))).collect();
+        let out = dw.assign_schedules(&assignments);
+        assert_eq!(out.scheduled, 10);
+        assert_eq!(out, ScheduleOutcome { scheduled: 10, ..Default::default() });
+        for (id, schedule) in &assignments {
+            let fo = dw.offer(*id).unwrap();
+            assert_eq!(fo.status(), OfferState::Scheduled);
+            let idx = dw.facts().iter().position(|r| r.offer == *id).unwrap();
+            let row = &dw.facts()[idx];
+            assert_eq!(row.status, OfferState::Scheduled);
+            assert_eq!(row.scheduled_wh, schedule.total().wh());
+            // Dimension keys survive the in-place refresh.
+            assert_eq!(row.time_leaf, dw.day_leaf(fo.earliest_start()).unwrap());
+        }
+    }
+
+    #[test]
+    fn assign_schedules_itemises_skips() {
+        let (pop, offers) = setup();
+        let mut dw = Warehouse::load(&pop, &offers);
+        let fo = &offers[0];
+        let infeasible = Schedule::new(
+            fo.earliest_start(),
+            vec![Energy::from_wh(i64::MAX / 4); fo.profile().len()],
+        );
+        dw.withdraw(&[offers[1].id()]);
+        let mut terminal = offers[2].clone();
+        // Drive offer 2 to a terminal state through the erased API.
+        terminal.reject().ok();
+        let mut dw2 = dw.clone();
+        let out = dw2.assign_schedules(&[
+            (fo.id(), infeasible),
+            (offers[1].id(), midpoint_schedule(&offers[1])), // withdrawn from the table
+            (FlexOfferId(987_654_321), midpoint_schedule(fo)),
+        ]);
+        assert_eq!(out.skipped_infeasible, 1);
+        assert_eq!(out.skipped_unknown, 2); // withdrawn offers leave the table
+        assert_eq!(out.scheduled, 0);
+        // The infeasible attempt left the offer untouched.
+        assert_eq!(dw2.offer(fo.id()).unwrap().status(), OfferState::Accepted);
+    }
+
+    #[test]
+    fn execute_due_meters_elapsed_schedules_deterministically() {
+        let (pop, offers) = setup();
+        let mut dw = Warehouse::load(&pop, &offers);
+        let assignments: Vec<(FlexOfferId, Schedule)> =
+            offers.iter().take(12).map(|fo| (fo.id(), midpoint_schedule(fo))).collect();
+        dw.assign_schedules(&assignments);
+        let mut replay = dw.clone();
+
+        // Nothing is due before any schedule has elapsed.
+        let t0 = assignments
+            .iter()
+            .map(|(id, _)| dw.offer(*id).unwrap())
+            .map(|fo| fo.schedule().unwrap().end())
+            .min()
+            .unwrap();
+        assert_eq!(dw.clone().execute_due(t0 - SlotSpan::slots(1)), 0);
+
+        // After the horizon, every assignment is metered.
+        let horizon = dw.window_end();
+        assert_eq!(dw.execute_due(horizon), 12);
+        for (id, schedule) in &assignments {
+            let fo = dw.offer(*id).unwrap();
+            assert_eq!(fo.status(), OfferState::Executed);
+            let execution = fo.execution().unwrap();
+            // Actuals stay within the offer's own slice bounds.
+            for (&e, &slice) in execution.energies().iter().zip(fo.profile().slices()) {
+                assert!(slice.contains(e), "{e} outside {slice}");
+            }
+            let idx = dw.facts().iter().position(|r| r.offer == *id).unwrap();
+            let row = &dw.facts()[idx];
+            assert_eq!(row.status, OfferState::Executed);
+            assert_eq!(row.executed_wh, execution.total().wh());
+            assert_eq!(row.deviation_wh, execution.total_absolute_deviation(schedule).wh());
+        }
+
+        // Replays meter bit-identically.
+        replay.execute_due(horizon);
+        for (id, _) in &assignments {
+            assert_eq!(dw.offer(*id).unwrap().execution(), replay.offer(*id).unwrap().execution());
+        }
+    }
+
+    #[test]
+    fn execute_due_ignores_unscheduled_offers() {
+        let (pop, offers) = setup();
+        let mut dw = Warehouse::load(&pop, &offers);
+        assert_eq!(dw.execute_due(dw.window_end()), 0);
+        assert!(dw.facts().iter().all(|r| r.executed_wh == 0));
     }
 }

@@ -2,7 +2,7 @@
 //! monotonicity and MDX round-trips over randomized workloads.
 
 use mirabel_dw::{mdx, Dimension, Measure, Query, Warehouse};
-use mirabel_flexoffer::FlexOfferStatus;
+use mirabel_flexoffer::OfferState;
 use mirabel_timeseries::TimeSlot;
 use mirabel_workload::{generate_offers, OfferConfig, Population, PopulationConfig};
 use proptest::prelude::*;
@@ -95,7 +95,7 @@ proptest! {
     fn status_filters_partition(seed in 0u64..50) {
         let dw = warehouse(seed, 70);
         let total = dw.eval(&Query::new(Measure::Count)).unwrap().total;
-        let sum: f64 = FlexOfferStatus::ALL
+        let sum: f64 = OfferState::ALL
             .iter()
             .map(|&s| {
                 dw.eval(&Query::new(Measure::Count).statuses(vec![s])).unwrap().total

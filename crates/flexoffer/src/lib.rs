@@ -14,10 +14,20 @@
 //!   per-slot energy amounts; and after the fact, an **execution**
 //!   ([`Execution`]): what the prosumer physically consumed or produced.
 //!
-//! The lifecycle (offered → accepted/rejected → assigned → executed) is a
-//! checked state machine on [`FlexOffer`]; every transition validates its
-//! inputs so downstream crates (aggregation, scheduling, the data
-//! warehouse, the views) can rely on well-formed objects.
+//! The lifecycle (offered → accepted/rejected → scheduled → executed,
+//! with withdrawal before commitment) is a state machine on
+//! [`FlexOffer`], and it exists at **two levels**:
+//!
+//! * the erased form (`FlexOffer`, state tag [`OfferState`]) offers
+//!   checked `&mut` transitions for mixed-state collections — every
+//!   transition validates its inputs so downstream crates (aggregation,
+//!   scheduling, the data warehouse, the views) can rely on well-formed
+//!   objects;
+//! * the typed form (`FlexOffer<state::Offered>`,
+//!   `FlexOffer<state::Accepted>`, …) makes invalid transitions
+//!   *compile errors*: transition methods consume `self` and only exist
+//!   on the states they are legal from. See [`state`] for the diagram
+//!   and the compile-fail proofs.
 //!
 //! Energy is held as integer watt-hours ([`Energy`]) so that aggregation,
 //! disaggregation and warehouse rollups are exact.
@@ -44,18 +54,19 @@
 //! assert_eq!(fo.time_flexibility(), SlotSpan::hours(2));
 //! assert_eq!(fo.energy_flexibility(), Energy::from_wh(8 * 1_500));
 //!
-//! let mut fo = fo;
-//! fo.accept().unwrap();
+//! // Typed lifecycle: `accept` consumes the offer, so accepting twice —
+//! // or scheduling a withdrawn offer — does not compile.
+//! let accepted = fo.typed::<mirabel_flexoffer::state::Offered>().unwrap().accept();
 //! let schedule = Schedule::new(t0 + SlotSpan::hours(2), vec![Energy::from_wh(1_000); 8]);
-//! fo.assign(schedule).unwrap();
-//! assert!(fo.status().is_assigned());
+//! let scheduled = accepted.schedule_with(schedule).unwrap();
+//! assert!(scheduled.status().is_scheduled());
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod energy;
-mod error;
+pub mod error;
 mod ids;
 mod offer;
 mod profile;
@@ -65,7 +76,10 @@ mod types;
 pub use energy::Energy;
 pub use error::FlexOfferError;
 pub use ids::{FlexOfferId, ProsumerId};
-pub use offer::{FlexOffer, FlexOfferBuilder, FlexOfferStatus};
+pub use offer::{
+    state, ExecutionRejected, FlexOffer, FlexOfferBuilder, FlexOfferStatus, OfferState,
+    ScheduleRejected,
+};
 pub use profile::{EnergySlice, Profile};
 pub use schedule::{Execution, Schedule};
 pub use types::{ApplianceType, Direction, EnergyType, Money, ProsumerType};

@@ -1,6 +1,26 @@
 //! The flex-offer object and its lifecycle state machine.
+//!
+//! The lifecycle exists twice, deliberately:
+//!
+//! * **erased** — [`FlexOffer`] (i.e. `FlexOffer<Erased>`) carries its
+//!   state as the runtime [`OfferState`] tag and offers checked `&mut`
+//!   transitions ([`FlexOffer::accept`], [`FlexOffer::assign`], …) for
+//!   storage layers (fact tables, epoch snapshots, the wire) that must
+//!   hold offers of mixed states in one collection;
+//! * **typed** — `FlexOffer<Offered>`, `FlexOffer<Accepted>`,
+//!   `FlexOffer<Scheduled>`, `FlexOffer<Executed>`,
+//!   `FlexOffer<Withdrawn>` are zero-cost typestates
+//!   ([`std::marker::PhantomData`], no extra bytes, no vtable) whose
+//!   transition methods consume `self`, so an *invalid transition does
+//!   not compile* — see the [`state`] module for the diagram and the
+//!   compile-fail proofs.
+//!
+//! [`FlexOffer::typed`] moves from the erased world into the typed one
+//! (checked at runtime, exactly once); [`FlexOffer::erase`] moves back
+//! (free — it only drops the marker).
 
 use std::fmt;
+use std::marker::PhantomData;
 
 use mirabel_timeseries::{SlotSpan, TimeSlot};
 
@@ -11,65 +31,226 @@ use crate::profile::{EnergySlice, Profile};
 use crate::schedule::{Execution, Schedule};
 use crate::types::{ApplianceType, Direction, EnergyType, Money, ProsumerType};
 
-/// Lifecycle status of a flex-offer.
+/// Lifecycle state of a flex-offer — the erased, wire-encodable form.
 ///
 /// The dashboard of Figure 6 and the schematic pies of Figure 4 report the
-/// accepted/assigned/rejected breakdown; the aggregate measures of
+/// accepted/scheduled/rejected breakdown; the aggregate measures of
 /// Section 3 ("total number of accepted, assigned, or rejected
-/// flex-offers") are counts over this status.
+/// flex-offers") are counts over this state. The typed mirror of each
+/// variant lives in the [`state`] module.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub enum FlexOfferStatus {
+pub enum OfferState {
     /// Submitted by the prosumer, not yet answered.
     Offered,
     /// Accepted by the enterprise (before the acceptance deadline).
     Accepted,
     /// Declined by the enterprise.
     Rejected,
-    /// Scheduled: a start time and energies have been assigned.
-    Assigned,
+    /// Scheduled: a start time and energies have been assigned
+    /// (the paper's "assigned" state).
+    Scheduled,
     /// The schedule's time has passed and actual consumption was metered.
     Executed,
+    /// Withdrawn by the prosumer before assignment.
+    Withdrawn,
 }
 
-impl FlexOfferStatus {
-    /// All statuses in lifecycle order.
-    pub const ALL: [FlexOfferStatus; 5] = [
-        FlexOfferStatus::Offered,
-        FlexOfferStatus::Accepted,
-        FlexOfferStatus::Rejected,
-        FlexOfferStatus::Assigned,
-        FlexOfferStatus::Executed,
+/// Backwards-compatible name for [`OfferState`] from before the typestate
+/// redesign.
+pub type FlexOfferStatus = OfferState;
+
+impl OfferState {
+    /// All states in lifecycle order.
+    pub const ALL: [OfferState; 6] = [
+        OfferState::Offered,
+        OfferState::Accepted,
+        OfferState::Rejected,
+        OfferState::Scheduled,
+        OfferState::Executed,
+        OfferState::Withdrawn,
     ];
 
     /// Stable display name.
     pub fn name(self) -> &'static str {
         match self {
-            FlexOfferStatus::Offered => "Offered",
-            FlexOfferStatus::Accepted => "Accepted",
-            FlexOfferStatus::Rejected => "Rejected",
-            FlexOfferStatus::Assigned => "Assigned",
-            FlexOfferStatus::Executed => "Executed",
+            OfferState::Offered => "Offered",
+            OfferState::Accepted => "Accepted",
+            OfferState::Rejected => "Rejected",
+            OfferState::Scheduled => "Scheduled",
+            OfferState::Executed => "Executed",
+            OfferState::Withdrawn => "Withdrawn",
         }
     }
 
-    /// `true` for [`FlexOfferStatus::Assigned`] and beyond.
+    /// Stable lower-case wire token, suitable as a single whitespace-free
+    /// protocol field. Round-trips through [`OfferState::from_wire_token`].
+    pub fn wire_token(self) -> &'static str {
+        match self {
+            OfferState::Offered => "offered",
+            OfferState::Accepted => "accepted",
+            OfferState::Rejected => "rejected",
+            OfferState::Scheduled => "scheduled",
+            OfferState::Executed => "executed",
+            OfferState::Withdrawn => "withdrawn",
+        }
+    }
+
+    /// Decodes a wire token produced by [`OfferState::wire_token`];
+    /// anything else is `None` (tokens are exact, case-sensitive).
+    pub fn from_wire_token(token: &str) -> Option<OfferState> {
+        OfferState::ALL.into_iter().find(|s| s.wire_token() == token)
+    }
+
+    /// `true` for [`OfferState::Scheduled`] and beyond.
+    pub fn is_scheduled(self) -> bool {
+        matches!(self, OfferState::Scheduled | OfferState::Executed)
+    }
+
+    /// `true` for states a schedule can no longer be assigned from.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, OfferState::Rejected | OfferState::Executed | OfferState::Withdrawn)
+    }
+
+    /// Former name of [`OfferState::is_scheduled`].
+    #[deprecated(since = "0.7.0", note = "renamed to `is_scheduled`")]
     pub fn is_assigned(self) -> bool {
-        matches!(self, FlexOfferStatus::Assigned | FlexOfferStatus::Executed)
+        self.is_scheduled()
     }
 }
 
-impl fmt::Display for FlexOfferStatus {
+impl fmt::Display for OfferState {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.name())
     }
 }
 
+/// Typestate markers for [`FlexOffer`] — the compile-time mirror of
+/// [`OfferState`].
+///
+/// The legal transitions, each a consuming method on the corresponding
+/// `FlexOffer<_>`:
+///
+/// ```text
+///            ┌── reject ──────────────▶ Rejected
+///            │
+/// Offered ───┼── accept ─▶ Accepted ── schedule_with ─▶ Scheduled ── execute ─▶ Executed
+///            │                 │                            │
+///            └── withdraw ──┐  └── withdraw ──┐             └─ reschedule_with ─┐
+///                           ▼                 ▼                 (loops)         │
+///                        Withdrawn        Withdrawn         Scheduled ◀─────────┘
+/// ```
+///
+/// Everything else *does not compile*. Scheduling a withdrawn offer:
+///
+/// ```compile_fail
+/// use mirabel_flexoffer::{state, FlexOffer, Schedule};
+///
+/// fn schedule_withdrawn(fo: FlexOffer<state::Withdrawn>, s: Schedule) {
+///     fo.schedule_with(s); // ERROR: no `schedule_with` on a withdrawn offer
+/// }
+/// ```
+///
+/// Executing an offer that was never scheduled:
+///
+/// ```compile_fail
+/// use mirabel_flexoffer::{state, Execution, FlexOffer};
+///
+/// fn execute_unscheduled(fo: FlexOffer<state::Accepted>, e: Execution) {
+///     fo.execute(e); // ERROR: only `FlexOffer<Scheduled>` can execute
+/// }
+/// ```
+///
+/// Accepting twice (the first `accept` consumed the offer):
+///
+/// ```compile_fail
+/// use mirabel_flexoffer::{state, FlexOffer};
+///
+/// fn accept_twice(fo: FlexOffer<state::Offered>) {
+///     let accepted = fo.accept();
+///     fo.accept(); // ERROR: use of moved value `fo`
+///     let _ = accepted;
+/// }
+/// ```
+///
+/// Withdrawing a schedule-committed offer (assignment is binding):
+///
+/// ```compile_fail
+/// use mirabel_flexoffer::{state, FlexOffer};
+///
+/// fn withdraw_scheduled(fo: FlexOffer<state::Scheduled>) {
+///     fo.withdraw(); // ERROR: no `withdraw` once scheduled
+/// }
+/// ```
+pub mod state {
+    use super::OfferState;
+
+    mod sealed {
+        pub trait Sealed {}
+    }
+
+    /// A marker type usable as the state parameter of
+    /// [`FlexOffer`](super::FlexOffer). Sealed: exactly [`Erased`] and
+    /// the six typed states implement it.
+    pub trait LifecycleState:
+        sealed::Sealed + std::fmt::Debug + Clone + Copy + PartialEq + Eq + std::hash::Hash
+    {
+    }
+
+    /// A marker that pins one concrete [`OfferState`] at compile time
+    /// (every state except [`Erased`]).
+    pub trait TypedState: LifecycleState {
+        /// The runtime tag this marker mirrors.
+        const STATE: OfferState;
+    }
+
+    macro_rules! markers {
+        ($($(#[$doc:meta])* $name:ident => $tag:expr;)*) => {$(
+            $(#[$doc])*
+            #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+            pub struct $name;
+            impl sealed::Sealed for $name {}
+            impl LifecycleState for $name {}
+            impl TypedState for $name {
+                const STATE: OfferState = $tag;
+            }
+        )*};
+    }
+
+    markers! {
+        /// Compile-time [`OfferState::Offered`].
+        Offered => OfferState::Offered;
+        /// Compile-time [`OfferState::Accepted`].
+        Accepted => OfferState::Accepted;
+        /// Compile-time [`OfferState::Rejected`].
+        Rejected => OfferState::Rejected;
+        /// Compile-time [`OfferState::Scheduled`].
+        Scheduled => OfferState::Scheduled;
+        /// Compile-time [`OfferState::Executed`].
+        Executed => OfferState::Executed;
+        /// Compile-time [`OfferState::Withdrawn`].
+        Withdrawn => OfferState::Withdrawn;
+    }
+
+    /// The erased (runtime-tagged) state: collections of mixed-state
+    /// offers use `FlexOffer<Erased>`, which is what the bare
+    /// [`FlexOffer`](super::FlexOffer) alias means.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+    pub struct Erased;
+    impl sealed::Sealed for Erased {}
+    impl LifecycleState for Erased {}
+}
+
+use state::{LifecycleState, TypedState};
+
 /// A flex-offer: the energy planning object of Figure 2.
 ///
 /// Use [`FlexOffer::builder`] to construct one; the builder validates the
-/// deadline ordering, the flexibility window and the profile.
+/// deadline ordering, the flexibility window and the profile. The `S`
+/// parameter is the typestate (see [`state`]); it defaults to
+/// [`state::Erased`], so `FlexOffer` written without a parameter is the
+/// runtime-tagged form every storage layer uses.
 #[derive(Debug, Clone, PartialEq)]
-pub struct FlexOffer {
+pub struct FlexOffer<S: LifecycleState = state::Erased> {
     id: FlexOfferId,
     prosumer: ProsumerId,
     direction: Direction,
@@ -83,25 +264,43 @@ pub struct FlexOffer {
     prosumer_type: ProsumerType,
     appliance_type: ApplianceType,
     price_per_kwh: Money,
-    status: FlexOfferStatus,
+    status: OfferState,
     schedule: Option<Schedule>,
     execution: Option<Execution>,
+    _state: PhantomData<S>,
 }
 
-impl FlexOffer {
-    /// Starts building a flex-offer with the given offer and prosumer ids.
-    pub fn builder(
-        id: impl Into<FlexOfferId>,
-        prosumer: impl Into<ProsumerId>,
-    ) -> FlexOfferBuilder {
-        FlexOfferBuilder::new(id.into(), prosumer.into())
+impl<S: LifecycleState> FlexOffer<S> {
+    /// Re-tags the offer with a (possibly different) state parameter,
+    /// updating the runtime tag to match. Private: every public path to
+    /// this goes through a checked or total transition.
+    fn into_state<T: LifecycleState>(self, status: OfferState) -> FlexOffer<T> {
+        FlexOffer {
+            id: self.id,
+            prosumer: self.prosumer,
+            direction: self.direction,
+            profile: self.profile,
+            earliest_start: self.earliest_start,
+            latest_start: self.latest_start,
+            creation_time: self.creation_time,
+            acceptance_deadline: self.acceptance_deadline,
+            assignment_deadline: self.assignment_deadline,
+            energy_type: self.energy_type,
+            prosumer_type: self.prosumer_type,
+            appliance_type: self.appliance_type,
+            price_per_kwh: self.price_per_kwh,
+            status,
+            schedule: self.schedule,
+            execution: self.execution,
+            _state: PhantomData,
+        }
     }
 
     /// A copy of this offer re-identified as `id`, every other field
     /// unchanged — the live-feed helper for re-stamping generated
     /// offers into an id space disjoint from an already-loaded set.
     #[must_use]
-    pub fn with_id(&self, id: FlexOfferId) -> FlexOffer {
+    pub fn with_id(&self, id: FlexOfferId) -> FlexOffer<S> {
         FlexOffer { id, ..self.clone() }
     }
 
@@ -191,9 +390,10 @@ impl FlexOffer {
         self.price_per_kwh
     }
 
-    /// Current lifecycle status.
+    /// Current lifecycle state (the erased runtime tag; for a typed
+    /// offer this always equals `S::STATE`).
     #[inline]
-    pub fn status(&self) -> FlexOfferStatus {
+    pub fn status(&self) -> OfferState {
         self.status
     }
 
@@ -268,7 +468,7 @@ impl FlexOffer {
 
     /// `true` when the flexibility windows of `self` and `other` overlap
     /// in absolute time.
-    pub fn overlaps(&self, other: &FlexOffer) -> bool {
+    pub fn overlaps<T: LifecycleState>(&self, other: &FlexOffer<T>) -> bool {
         let (a0, a1) = self.extent();
         let (b0, b1) = other.extent();
         a0 < b1 && b0 < a1
@@ -312,15 +512,63 @@ impl FlexOffer {
         Ok(())
     }
 
-    // ------------------------------------------------------------------
-    // Lifecycle transitions.
-    // ------------------------------------------------------------------
+    fn check_execution(&self, execution: &Execution) -> Result<(), FlexOfferError> {
+        let schedule = self.schedule.as_ref().expect("scheduled offers have schedules");
+        if execution.len() != schedule.len() {
+            return Err(FlexOfferError::InvalidExecution {
+                id: self.id,
+                reason: format!(
+                    "execution has {} slices, schedule has {}",
+                    execution.len(),
+                    schedule.len()
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+// ----------------------------------------------------------------------
+// Erased API: construction, checked `&mut` transitions, typing.
+// ----------------------------------------------------------------------
+
+impl FlexOffer {
+    /// Starts building a flex-offer with the given offer and prosumer ids.
+    pub fn builder(
+        id: impl Into<FlexOfferId>,
+        prosumer: impl Into<ProsumerId>,
+    ) -> FlexOfferBuilder {
+        FlexOfferBuilder::new(id.into(), prosumer.into())
+    }
+
+    /// Moves into the typed world: `Ok(FlexOffer<T>)` when the runtime
+    /// tag matches `T::STATE`, otherwise hands the offer back unchanged.
+    ///
+    /// ```
+    /// use mirabel_flexoffer::{state, Energy, FlexOffer};
+    /// let fo = FlexOffer::builder(1u64, 2u64)
+    ///     .slice(Energy::from_wh(1), Energy::from_wh(2))
+    ///     .build()
+    ///     .unwrap();
+    /// let typed: FlexOffer<state::Offered> = fo.typed().unwrap();
+    /// let accepted = typed.accept(); // consuming, cannot accept twice
+    /// assert_eq!(accepted.erase().status(), mirabel_flexoffer::OfferState::Accepted);
+    /// ```
+    #[allow(clippy::result_large_err)] // the Err deliberately returns the offer
+    pub fn typed<T: TypedState>(self) -> Result<FlexOffer<T>, FlexOffer> {
+        if self.status == T::STATE {
+            let status = self.status;
+            Ok(self.into_state(status))
+        } else {
+            Err(self)
+        }
+    }
 
     /// Offered → Accepted.
     pub fn accept(&mut self) -> Result<(), FlexOfferError> {
         match self.status {
-            FlexOfferStatus::Offered => {
-                self.status = FlexOfferStatus::Accepted;
+            OfferState::Offered => {
+                self.status = OfferState::Accepted;
                 Ok(())
             }
             _ => Err(self.bad_transition("accept")),
@@ -330,47 +578,51 @@ impl FlexOffer {
     /// Offered → Rejected.
     pub fn reject(&mut self) -> Result<(), FlexOfferError> {
         match self.status {
-            FlexOfferStatus::Offered => {
-                self.status = FlexOfferStatus::Rejected;
+            OfferState::Offered => {
+                self.status = OfferState::Rejected;
                 Ok(())
             }
             _ => Err(self.bad_transition("reject")),
         }
     }
 
-    /// Accepted → Assigned with a feasibility-checked schedule. An already
-    /// assigned offer may be re-assigned (re-planning before execution).
+    /// Offered | Accepted → Withdrawn: the prosumer pulls the offer back
+    /// before it is schedule-committed. Assignment is binding, so a
+    /// scheduled offer can no longer be withdrawn.
+    pub fn withdraw(&mut self) -> Result<(), FlexOfferError> {
+        match self.status {
+            OfferState::Offered | OfferState::Accepted => {
+                self.status = OfferState::Withdrawn;
+                Ok(())
+            }
+            _ => Err(self.bad_transition("withdraw")),
+        }
+    }
+
+    /// Accepted → Scheduled with a feasibility-checked schedule. An
+    /// already scheduled offer may be re-assigned (re-planning before
+    /// execution).
     pub fn assign(&mut self, schedule: Schedule) -> Result<(), FlexOfferError> {
         match self.status {
-            FlexOfferStatus::Accepted | FlexOfferStatus::Assigned => {
+            OfferState::Accepted | OfferState::Scheduled => {
                 self.check_schedule(&schedule)?;
                 self.schedule = Some(schedule);
-                self.status = FlexOfferStatus::Assigned;
+                self.status = OfferState::Scheduled;
                 Ok(())
             }
             _ => Err(self.bad_transition("assign")),
         }
     }
 
-    /// Assigned → Executed with the metered actual energies. The actuals
+    /// Scheduled → Executed with the metered actual energies. The actuals
     /// may deviate from the schedule (that is the plan-deviation measure)
     /// but must cover the same number of slices.
     pub fn record_execution(&mut self, execution: Execution) -> Result<(), FlexOfferError> {
         match self.status {
-            FlexOfferStatus::Assigned => {
-                let schedule = self.schedule.as_ref().expect("assigned offers have schedules");
-                if execution.len() != schedule.len() {
-                    return Err(FlexOfferError::InvalidExecution {
-                        id: self.id,
-                        reason: format!(
-                            "execution has {} slices, schedule has {}",
-                            execution.len(),
-                            schedule.len()
-                        ),
-                    });
-                }
+            OfferState::Scheduled => {
+                self.check_execution(&execution)?;
                 self.execution = Some(execution);
-                self.status = FlexOfferStatus::Executed;
+                self.status = OfferState::Executed;
                 Ok(())
             }
             _ => Err(self.bad_transition("record execution for")),
@@ -382,7 +634,109 @@ impl FlexOffer {
     }
 }
 
-impl fmt::Display for FlexOffer {
+// ----------------------------------------------------------------------
+// Typed API: transitions consume `self`; illegal ones do not exist.
+// ----------------------------------------------------------------------
+
+impl<S: TypedState> FlexOffer<S> {
+    /// Drops the compile-time state, keeping the runtime tag — free, and
+    /// the way typed offers re-enter mixed-state collections.
+    pub fn erase(self) -> FlexOffer {
+        let status = self.status;
+        self.into_state(status)
+    }
+}
+
+/// A schedule the offer could not adopt: the offer comes back unchanged
+/// (in its original typestate) together with the reason, so a planner
+/// can retry with a different schedule without cloning up front.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleRejected<S: TypedState> {
+    /// The offer, unchanged.
+    pub offer: FlexOffer<S>,
+    /// Why the schedule was infeasible.
+    pub error: FlexOfferError,
+}
+
+/// An execution record the scheduled offer could not adopt (wrong slice
+/// count); the offer comes back unchanged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionRejected {
+    /// The offer, still scheduled.
+    pub offer: FlexOffer<state::Scheduled>,
+    /// Why the execution record was invalid.
+    pub error: FlexOfferError,
+}
+
+impl FlexOffer<state::Offered> {
+    /// Offered → Accepted.
+    pub fn accept(self) -> FlexOffer<state::Accepted> {
+        self.into_state(OfferState::Accepted)
+    }
+
+    /// Offered → Rejected.
+    pub fn reject(self) -> FlexOffer<state::Rejected> {
+        self.into_state(OfferState::Rejected)
+    }
+
+    /// Offered → Withdrawn.
+    pub fn withdraw(self) -> FlexOffer<state::Withdrawn> {
+        self.into_state(OfferState::Withdrawn)
+    }
+}
+
+impl FlexOffer<state::Accepted> {
+    /// Accepted → Scheduled with a feasibility-checked schedule; an
+    /// infeasible schedule hands the accepted offer back.
+    #[allow(clippy::result_large_err)] // the Err deliberately returns the offer
+    pub fn schedule_with(
+        mut self,
+        schedule: Schedule,
+    ) -> Result<FlexOffer<state::Scheduled>, ScheduleRejected<state::Accepted>> {
+        if let Err(error) = self.check_schedule(&schedule) {
+            return Err(ScheduleRejected { offer: self, error });
+        }
+        self.schedule = Some(schedule);
+        Ok(self.into_state(OfferState::Scheduled))
+    }
+
+    /// Accepted → Withdrawn.
+    pub fn withdraw(self) -> FlexOffer<state::Withdrawn> {
+        self.into_state(OfferState::Withdrawn)
+    }
+}
+
+impl FlexOffer<state::Scheduled> {
+    /// Scheduled → Scheduled with a replacement schedule (re-planning
+    /// before execution); an infeasible one hands the offer back with
+    /// its standing schedule intact.
+    #[allow(clippy::result_large_err)] // the Err deliberately returns the offer
+    pub fn reschedule_with(
+        mut self,
+        schedule: Schedule,
+    ) -> Result<FlexOffer<state::Scheduled>, ScheduleRejected<state::Scheduled>> {
+        if let Err(error) = self.check_schedule(&schedule) {
+            return Err(ScheduleRejected { offer: self, error });
+        }
+        self.schedule = Some(schedule);
+        Ok(self)
+    }
+
+    /// Scheduled → Executed with the metered actual energies.
+    #[allow(clippy::result_large_err)] // the Err deliberately returns the offer
+    pub fn execute(
+        mut self,
+        execution: Execution,
+    ) -> Result<FlexOffer<state::Executed>, ExecutionRejected> {
+        if let Err(error) = self.check_execution(&execution) {
+            return Err(ExecutionRejected { offer: self, error });
+        }
+        self.execution = Some(execution);
+        Ok(self.into_state(OfferState::Executed))
+    }
+}
+
+impl<S: LifecycleState> fmt::Display for FlexOffer<S> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
@@ -518,7 +872,7 @@ impl FlexOfferBuilder {
     }
 
     /// Validates all invariants and produces the offer in
-    /// [`FlexOfferStatus::Offered`] state.
+    /// [`OfferState::Offered`] state (erased form).
     ///
     /// Invariants enforced (Figure 2 ordering):
     /// * non-empty profile, `0 ≤ min ≤ max` per slice;
@@ -566,10 +920,18 @@ impl FlexOfferBuilder {
             prosumer_type: self.prosumer_type,
             appliance_type: self.appliance_type,
             price_per_kwh: self.price_per_kwh,
-            status: FlexOfferStatus::Offered,
+            status: OfferState::Offered,
             schedule: None,
             execution: None,
+            _state: PhantomData,
         })
+    }
+
+    /// Like [`FlexOfferBuilder::build`], but lands directly in the typed
+    /// world as `FlexOffer<Offered>` — the entry point of the typestate
+    /// machine.
+    pub fn build_typed(self) -> Result<FlexOffer<state::Offered>, FlexOfferError> {
+        Ok(self.build()?.typed().expect("freshly built offers are Offered"))
     }
 }
 
@@ -607,7 +969,7 @@ mod tests {
         assert_eq!(fo.energy_flexibility(), wh(8 * 750));
         assert_eq!(fo.total_min_energy(), wh(2_000));
         assert_eq!(fo.total_max_energy(), wh(8_000));
-        assert_eq!(fo.status(), FlexOfferStatus::Offered);
+        assert_eq!(fo.status(), OfferState::Offered);
         assert!(fo.schedule().is_none());
         assert!(fo.execution().is_none());
     }
@@ -669,15 +1031,88 @@ mod tests {
     fn lifecycle_happy_path() {
         let mut fo = figure2_offer();
         fo.accept().unwrap();
-        assert_eq!(fo.status(), FlexOfferStatus::Accepted);
+        assert_eq!(fo.status(), OfferState::Accepted);
         let sched = Schedule::new(fo.earliest_start() + SlotSpan::hours(1), vec![wh(500); 8]);
         fo.assign(sched.clone()).unwrap();
-        assert_eq!(fo.status(), FlexOfferStatus::Assigned);
-        assert!(fo.status().is_assigned());
+        assert_eq!(fo.status(), OfferState::Scheduled);
+        assert!(fo.status().is_scheduled());
         assert_eq!(fo.schedule(), Some(&sched));
         fo.record_execution(Execution::compliant(&sched)).unwrap();
-        assert_eq!(fo.status(), FlexOfferStatus::Executed);
+        assert_eq!(fo.status(), OfferState::Executed);
         assert_eq!(fo.execution().unwrap().total(), wh(4_000));
+    }
+
+    #[test]
+    fn typed_lifecycle_happy_path() {
+        let fo: FlexOffer<state::Offered> = figure2_offer().typed().unwrap();
+        let accepted = fo.accept();
+        let sched = Schedule::new(accepted.earliest_start(), vec![wh(500); 8]);
+        let scheduled = accepted.schedule_with(sched.clone()).unwrap();
+        assert_eq!(scheduled.status(), OfferState::Scheduled);
+        let rescheduled =
+            scheduled.reschedule_with(Schedule::new(sched.start(), vec![wh(750); 8])).unwrap();
+        let executed = rescheduled.execute(Execution::new(vec![wh(700); 8])).unwrap();
+        assert_eq!(executed.status(), OfferState::Executed);
+        let erased = executed.erase();
+        assert_eq!(erased.execution().unwrap().total(), wh(8 * 700));
+        // The runtime tag always mirrors the typestate.
+        assert!(erased.typed::<state::Executed>().is_ok());
+    }
+
+    #[test]
+    fn typed_rejections_hand_the_offer_back() {
+        let fo: FlexOffer<state::Offered> = figure2_offer().typed().unwrap();
+        let accepted = fo.accept();
+        let bad = Schedule::new(accepted.earliest_start() - SlotSpan::slots(1), vec![wh(500); 8]);
+        let ScheduleRejected { offer, error } = accepted.schedule_with(bad).unwrap_err();
+        assert!(matches!(error, FlexOfferError::InfeasibleSchedule { .. }));
+        assert_eq!(offer.status(), OfferState::Accepted);
+
+        let good = Schedule::new(offer.earliest_start(), vec![wh(500); 8]);
+        let scheduled = offer.schedule_with(good).unwrap();
+        let ExecutionRejected { offer, error } =
+            scheduled.execute(Execution::new(vec![wh(500); 7])).unwrap_err();
+        assert!(matches!(error, FlexOfferError::InvalidExecution { .. }));
+        assert_eq!(offer.status(), OfferState::Scheduled);
+        assert!(offer.schedule().is_some(), "standing schedule survives a bad execution");
+    }
+
+    #[test]
+    fn typed_withdrawals() {
+        let fo: FlexOffer<state::Offered> = figure2_offer().typed().unwrap();
+        let withdrawn = fo.withdraw();
+        assert_eq!(withdrawn.status(), OfferState::Withdrawn);
+        let fo2: FlexOffer<state::Offered> = figure2_offer().typed().unwrap();
+        let withdrawn2 = fo2.accept().withdraw();
+        assert_eq!(withdrawn2.erase().status(), OfferState::Withdrawn);
+    }
+
+    #[test]
+    fn typed_conversion_checks_the_tag() {
+        let mut fo = figure2_offer();
+        fo.accept().unwrap();
+        let back: FlexOffer = fo.typed::<state::Offered>().unwrap_err();
+        assert_eq!(back.status(), OfferState::Accepted);
+        assert!(back.typed::<state::Accepted>().is_ok());
+    }
+
+    #[test]
+    fn erased_withdraw_rules() {
+        let mut fo = figure2_offer();
+        fo.withdraw().unwrap();
+        assert_eq!(fo.status(), OfferState::Withdrawn);
+        assert!(fo.accept().is_err());
+        assert!(fo.withdraw().is_err(), "cannot withdraw twice");
+
+        let mut fo = figure2_offer();
+        fo.accept().unwrap();
+        fo.withdraw().unwrap();
+        assert_eq!(fo.status(), OfferState::Withdrawn);
+
+        let mut fo = figure2_offer();
+        fo.accept().unwrap();
+        fo.assign(Schedule::new(fo.earliest_start(), vec![wh(500); 8])).unwrap();
+        assert!(fo.withdraw().is_err(), "assignment is binding");
     }
 
     #[test]
@@ -695,11 +1130,12 @@ mod tests {
     fn invalid_transitions_are_rejected() {
         let mut fo = figure2_offer();
         fo.reject().unwrap();
-        assert_eq!(fo.status(), FlexOfferStatus::Rejected);
+        assert_eq!(fo.status(), OfferState::Rejected);
         assert!(fo.accept().is_err());
         let sched = Schedule::new(fo.earliest_start(), vec![wh(500); 8]);
         assert!(fo.assign(sched.clone()).is_err());
         assert!(fo.record_execution(Execution::new(vec![wh(0); 8])).is_err());
+        assert!(fo.withdraw().is_err(), "rejection is final");
 
         let mut fo2 = figure2_offer();
         // Cannot assign before accepting.
@@ -789,10 +1225,56 @@ mod tests {
     }
 
     #[test]
-    fn status_names() {
-        assert_eq!(FlexOfferStatus::ALL.len(), 5);
-        assert_eq!(FlexOfferStatus::Accepted.to_string(), "Accepted");
-        assert!(!FlexOfferStatus::Offered.is_assigned());
-        assert!(FlexOfferStatus::Executed.is_assigned());
+    fn state_names() {
+        assert_eq!(OfferState::ALL.len(), 6);
+        assert_eq!(OfferState::Accepted.to_string(), "Accepted");
+        assert_eq!(OfferState::Scheduled.to_string(), "Scheduled");
+        assert_eq!(OfferState::Withdrawn.to_string(), "Withdrawn");
+        assert!(!OfferState::Offered.is_scheduled());
+        assert!(OfferState::Scheduled.is_scheduled());
+        assert!(OfferState::Executed.is_scheduled());
+        assert!(OfferState::Withdrawn.is_terminal());
+        assert!(!OfferState::Accepted.is_terminal());
+    }
+
+    /// Satellite: the erased state round-trips through the wire codec —
+    /// exhaustive over [`OfferState::ALL`] plus a seeded fuzz of
+    /// near-miss tokens that must all decode to `None`.
+    #[test]
+    fn wire_tokens_round_trip() {
+        for s in OfferState::ALL {
+            assert_eq!(OfferState::from_wire_token(s.wire_token()), Some(s), "{s}");
+            assert!(s.wire_token().chars().all(|c| c.is_ascii_lowercase()), "{s}");
+        }
+        // Deterministic splitmix64 fuzz: mutate valid tokens one byte at
+        // a time and by case; none of the mutants may decode.
+        let mut x: u64 = 0x5EED_0FFE_12E5_7A7E;
+        let mut next = move || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for _ in 0..2_000 {
+            let s = OfferState::ALL[(next() % 6) as usize];
+            let mut tok: Vec<u8> = s.wire_token().bytes().collect();
+            let i = (next() as usize) % tok.len();
+            match next() % 3 {
+                0 => tok[i] = tok[i].to_ascii_uppercase(),
+                1 => tok[i] = b'a' + ((next() % 26) as u8),
+                _ => {
+                    tok.remove(i);
+                }
+            }
+            let tok = String::from_utf8(tok).unwrap();
+            if tok != s.wire_token() {
+                assert_eq!(
+                    OfferState::from_wire_token(&tok),
+                    None,
+                    "mutant {tok:?} must not decode"
+                );
+            }
+        }
     }
 }

@@ -4,7 +4,7 @@ use std::error::Error;
 use std::fmt;
 
 use mirabel_aggregation::{AggregationError, AggregationParams, Aggregator};
-use mirabel_flexoffer::{Energy, Execution, FlexOffer, FlexOfferStatus, Money};
+use mirabel_flexoffer::{Energy, Execution, FlexOffer, Money, OfferState};
 use mirabel_forecast::{Forecaster, SeasonalSmoothing};
 use mirabel_scheduling::{load_curve, HillClimbScheduler, Imbalance, Scheduler, SchedulingError};
 use mirabel_timeseries::TimeSeries;
@@ -125,7 +125,7 @@ impl From<SchedulingError> for EnterpriseError {
 /// experiment and the dashboard measures need.
 #[derive(Debug, Clone)]
 pub struct PlanReport {
-    /// The offers after the full lifecycle (accepted/rejected/assigned/
+    /// The offers after the full lifecycle (accepted/rejected/scheduled/
     /// executed) — feed these into `mirabel_dw::Warehouse::load` for
     /// dashboards with real plan deviations.
     pub offers: Vec<FlexOffer>,
@@ -147,8 +147,8 @@ pub struct PlanReport {
     pub scheduled_imbalance: Imbalance,
     /// Imbalance of the realization against the plan (plan deviations).
     pub realization_deviation: Imbalance,
-    /// Counts: offered, accepted, rejected, assigned, executed.
-    pub status_counts: [usize; 5],
+    /// Counts: offered, accepted, rejected, scheduled, executed, withdrawn.
+    pub status_counts: [usize; 6],
     /// Cost of trading the residual on the spot market.
     pub trade_cost: Money,
     /// Imbalance fees paid for the plan-vs-realization gap.
@@ -167,7 +167,7 @@ impl fmt::Display for PlanReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "plan: {} offers ({} accepted, {} rejected, {} assigned, {} executed)",
+            "plan: {} offers ({} accepted, {} rejected, {} scheduled, {} executed)",
             self.status_counts.iter().sum::<usize>(),
             self.status_counts[1],
             self.status_counts[2],
@@ -263,7 +263,7 @@ impl Enterprise {
 
         // 2. Aggregate accepted offers.
         let accepted: Vec<FlexOffer> =
-            offers.iter().filter(|fo| fo.status() == FlexOfferStatus::Accepted).cloned().collect();
+            offers.iter().filter(|fo| fo.status() == OfferState::Accepted).cloned().collect();
         let aggregator = Aggregator::new(cfg.aggregation);
         let result = aggregator.aggregate(&accepted)?;
 
@@ -313,7 +313,7 @@ impl Enterprise {
         // 6. Execution: prosumers follow the plan with probability
         //    `compliance`; deviators scale each slice within bounds.
         for fo in offers.iter_mut() {
-            if fo.status() != FlexOfferStatus::Assigned {
+            if fo.status() != OfferState::Scheduled {
                 continue;
             }
             let schedule = fo.schedule().expect("assigned").clone();
@@ -339,10 +339,9 @@ impl Enterprise {
         let deviations = &actual_load - &scheduled_load;
         let imbalance_fees = market.settle(&deviations);
 
-        let mut status_counts = [0usize; 5];
+        let mut status_counts = [0usize; 6];
         for fo in &offers {
-            let idx =
-                FlexOfferStatus::ALL.iter().position(|s| *s == fo.status()).expect("exhaustive");
+            let idx = OfferState::ALL.iter().position(|s| *s == fo.status()).expect("exhaustive");
             status_counts[idx] += 1;
         }
 

@@ -7,240 +7,121 @@
 //! waiting for a reply are absorbed into [`NetClient::notifications`];
 //! [`NetClient::wait_for_epoch`] polls for a push while the client is
 //! otherwise idle.
+//!
+//! `NetClient` is an ergonomic facade over the typestate
+//! [`Connection`] machine (see [`crate::conn`]): it always wraps a
+//! `Connection<state::Active>`, so every method is legal. Callers that
+//! want the compiler to police the lifecycle — or need
+//! detach/resume — use [`Connection`] directly, or cross over with
+//! [`NetClient::detach`] / [`NetClient::resume`].
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
-use std::time::{Duration, Instant};
+use std::net::ToSocketAddrs;
+use std::time::Duration;
 
 use mirabel_session::{Command, WireOutcome};
 
-use crate::protocol::{parse_greeting, Reply, Request, ServerLine, PROTOCOL_VERSION};
+use crate::conn::{state, Connection};
+use crate::error::NetError;
+use crate::protocol::{Reply, Request};
 
-/// One connection to a [`NetServer`](crate::NetServer) — and therefore
-/// one session on the server's pool.
+/// One attached connection to a [`NetServer`](crate::NetServer) — and
+/// therefore one session on the server's pool.
 #[derive(Debug)]
 pub struct NetClient {
-    reader: BufReader<TcpStream>,
-    writer: TcpStream,
-    session: u64,
-    /// Epoch notifications in arrival order (including the handshake
-    /// epoch at index 0 when it is non-zero).
-    notifications: Vec<u64>,
-    /// Highest epoch the server has told us about.
-    epoch: u64,
-    /// Bytes of a line whose read was interrupted by a
-    /// [`NetClient::wait_for_epoch`] timeout mid-line. `read_line`
-    /// keeps everything it consumed in its buffer on error, so parking
-    /// the partial line here (and resuming into it on the next read)
-    /// keeps the frame stream aligned — dropping those bytes would
-    /// desynchronize every subsequent frame on the connection.
-    partial: String,
+    conn: Connection<state::Active>,
 }
 
 impl NetClient {
-    /// Connects to `addr` and performs the version handshake. Fails if
-    /// the server is not a `mirabel-net` endpoint or speaks a different
-    /// protocol version.
-    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<NetClient> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        let mut client = NetClient {
-            reader: BufReader::new(stream.try_clone()?),
-            writer: stream,
-            session: 0,
-            notifications: Vec::new(),
-            epoch: 0,
-            partial: String::new(),
-        };
-        let line = client.read_line()?;
-        let version = parse_greeting(&line)?;
-        if version != PROTOCOL_VERSION {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                format!("server speaks protocol {version}, this client speaks {PROTOCOL_VERSION}"),
-            ));
-        }
-        match client.request(&Request::Hello { version: PROTOCOL_VERSION })? {
-            Reply::Session { session, epoch } => {
-                client.session = session;
-                // The handshake epoch counts as a notification — but a
-                // publish racing the handshake may have pushed the very
-                // same epoch already (absorbed by read_reply above), and
-                // the at-most-once-per-epoch property must hold.
-                if epoch > 0 && !client.notifications.contains(&epoch) {
-                    client.notifications.push(epoch);
-                }
-                client.epoch = client.epoch.max(epoch);
-                Ok(client)
-            }
-            Reply::Error(reason) => {
-                Err(std::io::Error::new(std::io::ErrorKind::ConnectionRefused, reason))
-            }
-            other => Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                format!("unexpected hello reply {other:?}"),
-            )),
-        }
+    /// Connects to `addr`, performs the version handshake and opens a
+    /// fresh session. Fails if the server is not a `mirabel-net`
+    /// endpoint or speaks a different protocol version.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<NetClient, NetError> {
+        Ok(NetClient { conn: Connection::open(addr)?.hello()? })
+    }
+
+    /// Re-attaches a detached connection (see [`NetClient::detach`])
+    /// and wraps it back into a client.
+    pub fn resume(conn: Connection<state::Resumable>) -> Result<NetClient, NetError> {
+        Ok(NetClient { conn: conn.resume()? })
     }
 
     /// The session id the server opened for this connection.
     pub fn session(&self) -> u64 {
-        self.session
+        self.conn.session()
     }
 
     /// The highest warehouse epoch the server has announced.
     pub fn epoch(&self) -> u64 {
-        self.epoch
+        self.conn.epoch()
     }
 
     /// Every epoch notification received so far, in arrival order.
     pub fn notifications(&self) -> &[u64] {
-        &self.notifications
+        self.conn.notifications()
+    }
+
+    /// The current single-use resume token (rotated at every attach).
+    pub fn resume_token(&self) -> &str {
+        self.conn.resume_token()
     }
 
     /// Sends one request and blocks for its reply frame. Epoch
     /// notifications arriving in between are absorbed (see
     /// [`NetClient::notifications`]).
-    pub fn request(&mut self, request: &Request) -> std::io::Result<Reply> {
-        self.writer.write_all(format!("{}\n", request.encode()).as_bytes())?;
-        self.read_reply()
+    pub fn request(&mut self, request: &Request) -> Result<Reply, NetError> {
+        self.conn.request(request)
     }
 
     /// Sends one session command and returns its wire outcome. An `err`
-    /// reply (protocol failure) maps to an [`std::io::Error`]; note a
+    /// reply (protocol failure) maps to [`NetError::Refused`]; note a
     /// *rejected command* is not an error but
     /// [`WireOutcome::Rejected`], mirroring the in-process API.
-    pub fn command(&mut self, cmd: &Command) -> std::io::Result<WireOutcome> {
-        match self.request(&Request::Command(cmd.clone()))? {
-            Reply::Outcome(outcome) => Ok(outcome),
-            Reply::Error(reason) => {
-                Err(std::io::Error::new(std::io::ErrorKind::InvalidInput, reason))
-            }
-            other => Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                format!("unexpected command reply {other:?}"),
-            )),
-        }
+    pub fn command(&mut self, cmd: &Command) -> Result<WireOutcome, NetError> {
+        self.conn.command(cmd)
     }
 
     /// Sends a raw request line (useful for scripted transcripts) and
     /// returns the raw reply/notification lines up to and including the
     /// reply frame.
-    pub fn request_raw(&mut self, line: &str) -> std::io::Result<Vec<String>> {
-        self.writer.write_all(format!("{line}\n").as_bytes())?;
-        let mut lines = Vec::new();
-        loop {
-            let raw = self.read_line()?;
-            let parsed = ServerLine::decode(&raw)?;
-            lines.push(raw);
-            match parsed {
-                ServerLine::Epoch(e) => self.record_epoch(e),
-                ServerLine::Reply(_) => return Ok(lines),
-            }
-        }
+    pub fn request_raw(&mut self, line: &str) -> Result<Vec<String>, NetError> {
+        self.conn.request_raw(line)
     }
 
     /// Asks the server for the session's per-tab frame hashes — the
     /// wire twin of
     /// [`Session::frame_hashes`](mirabel_session::Session::frame_hashes).
-    pub fn hashes(&mut self) -> std::io::Result<Vec<u64>> {
-        match self.request(&Request::Hashes)? {
-            Reply::Hashes(hashes) => Ok(hashes),
-            other => Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                format!("unexpected hashes reply {other:?}"),
-            )),
-        }
-    }
-
-    /// Orderly close: sends `bye`, waits for `ok bye`, and drops the
-    /// connection (which closes the server-side session).
-    pub fn bye(mut self) -> std::io::Result<()> {
-        match self.request(&Request::Bye)? {
-            Reply::Bye => Ok(()),
-            other => Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                format!("unexpected bye reply {other:?}"),
-            )),
-        }
+    pub fn hashes(&mut self) -> Result<Vec<u64>, NetError> {
+        self.conn.hashes()
     }
 
     /// Blocks up to `timeout` for the server to push epoch `epoch` (or
     /// newer). Returns `true` if it arrived (possibly earlier),
-    /// `false` on timeout. Only valid while no request is in flight —
-    /// any reply frame arriving here is a protocol violation.
-    pub fn wait_for_epoch(&mut self, epoch: u64, timeout: Duration) -> std::io::Result<bool> {
-        let deadline = Instant::now() + timeout;
-        while self.epoch < epoch {
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            if remaining.is_zero() {
-                return Ok(false);
-            }
-            self.writer.set_read_timeout(Some(remaining))?;
-            let read = self.reader.read_line(&mut self.partial);
-            self.writer.set_read_timeout(None)?;
-            match read {
-                Ok(0) => {
-                    return Err(std::io::Error::new(
-                        std::io::ErrorKind::UnexpectedEof,
-                        "server closed while waiting for an epoch push",
-                    ));
-                }
-                Ok(_) => {
-                    let line = std::mem::take(&mut self.partial);
-                    match ServerLine::decode(&line)? {
-                        ServerLine::Epoch(e) => self.record_epoch(e),
-                        ServerLine::Reply(r) => {
-                            return Err(std::io::Error::new(
-                                std::io::ErrorKind::InvalidData,
-                                format!("unsolicited reply while idle: {r:?}"),
-                            ));
-                        }
-                    }
-                }
-                Err(e)
-                    if e.kind() == std::io::ErrorKind::WouldBlock
-                        || e.kind() == std::io::ErrorKind::TimedOut =>
-                {
-                    // Whatever was consumed so far stays in
-                    // `self.partial`; the next read (here or in
-                    // read_reply) resumes the same line instead of
-                    // dropping bytes and misframing the stream.
-                    return Ok(false);
-                }
-                Err(e) => return Err(e),
-            }
-        }
-        Ok(true)
+    /// `false` on timeout. Only valid while no request is in flight.
+    pub fn wait_for_epoch(&mut self, epoch: u64, timeout: Duration) -> Result<bool, NetError> {
+        self.conn.wait_for_epoch(epoch, timeout)
     }
 
-    fn record_epoch(&mut self, epoch: u64) {
-        self.notifications.push(epoch);
-        self.epoch = self.epoch.max(epoch);
+    /// Orderly close: sends `bye`, waits for `ok bye`, and drops the
+    /// connection (which closes the server-side session for good).
+    pub fn bye(self) -> Result<(), NetError> {
+        self.conn.bye().map(|_| ())
     }
 
-    /// Reads one complete line, resuming a line left half-read by a
-    /// timed-out [`NetClient::wait_for_epoch`].
-    fn read_line(&mut self) -> std::io::Result<String> {
-        if self.reader.read_line(&mut self.partial)? == 0 {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            ));
-        }
-        let line = std::mem::take(&mut self.partial);
-        Ok(line.trim_end().to_string())
+    /// Drops the socket *without* `bye`, parking the session
+    /// server-side. The returned [`Connection`] in the `Resumable`
+    /// state carries the token needed to [`NetClient::resume`].
+    pub fn detach(self) -> Connection<state::Resumable> {
+        self.conn.detach()
     }
 
-    /// Reads server lines until a reply frame arrives, recording any
-    /// epoch notifications on the way.
-    fn read_reply(&mut self) -> std::io::Result<Reply> {
-        loop {
-            let line = self.read_line()?;
-            match ServerLine::decode(&line)? {
-                ServerLine::Epoch(e) => self.record_epoch(e),
-                ServerLine::Reply(reply) => return Ok(reply),
-            }
-        }
+    /// Unwraps the facade into the underlying typestate connection.
+    pub fn into_connection(self) -> Connection<state::Active> {
+        self.conn
+    }
+}
+
+impl From<Connection<state::Active>> for NetClient {
+    fn from(conn: Connection<state::Active>) -> NetClient {
+        NetClient { conn }
     }
 }

@@ -1,0 +1,131 @@
+//! The net crate's error hierarchy.
+//!
+//! Every fallible client and server operation returns [`NetError`], a
+//! structured enum instead of stringified [`std::io::Error`] wrappers:
+//! the socket layer surfaces as [`NetError::Io`], grammar violations as
+//! [`NetError::Protocol`], and server-side rejections keep their
+//! category ([`NetError::Refused`] for `err` frames,
+//! [`NetError::Handshake`] for greeting/version failures). `From` impls
+//! let `?` flow from [`std::io::Error`] and
+//! [`ProtocolError`] without manual
+//! mapping, and `From<NetError> for std::io::Error` keeps callers that
+//! still live in `io::Result` compiling (the original error stays
+//! reachable through [`std::error::Error::source`]).
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+use crate::protocol::ProtocolError;
+
+/// Errors produced by the net client and server surfaces.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum NetError {
+    /// The underlying socket operation failed (connect, read, write,
+    /// timeout configuration).
+    Io(io::Error),
+    /// A received line violated the PROTOCOL.md grammar.
+    Protocol(ProtocolError),
+    /// The connection handshake failed before a session opened: the
+    /// endpoint did not greet as `mirabel-net`, or speaks an
+    /// incompatible protocol version.
+    Handshake {
+        /// What the handshake expected or observed.
+        detail: String,
+    },
+    /// The server answered an `err <reason>` frame.
+    Refused {
+        /// The server's unescaped reason text.
+        reason: String,
+    },
+    /// The server answered a well-formed frame the request cannot
+    /// accept (e.g. a `hashes` reply to a command).
+    UnexpectedReply {
+        /// What the caller was waiting for.
+        expected: &'static str,
+        /// The frame that arrived instead.
+        got: String,
+    },
+    /// The connection delivered end-of-file where a reply was required.
+    UnexpectedEof,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "socket error: {e}"),
+            NetError::Protocol(e) => write!(f, "protocol violation: {e}"),
+            NetError::Handshake { detail } => write!(f, "handshake failed: {detail}"),
+            NetError::Refused { reason } => write!(f, "server refused: {reason}"),
+            NetError::UnexpectedReply { expected, got } => {
+                write!(f, "expected {expected} reply, got `{got}`")
+            }
+            NetError::UnexpectedEof => write!(f, "connection closed mid-reply"),
+        }
+    }
+}
+
+impl Error for NetError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            NetError::Protocol(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> NetError {
+        NetError::Io(e)
+    }
+}
+
+impl From<ProtocolError> for NetError {
+    fn from(e: ProtocolError) -> NetError {
+        NetError::Protocol(e)
+    }
+}
+
+impl From<NetError> for io::Error {
+    fn from(e: NetError) -> io::Error {
+        match e {
+            NetError::Io(inner) => inner,
+            NetError::UnexpectedEof => io::Error::new(io::ErrorKind::UnexpectedEof, e.to_string()),
+            other => io::Error::new(io::ErrorKind::InvalidData, other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_errors_keep_their_source() {
+        let e = NetError::from(io::Error::new(io::ErrorKind::ConnectionReset, "gone"));
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn protocol_errors_flow_through_question_mark() {
+        fn inner() -> Result<(), NetError> {
+            Err(ProtocolError("bad head".into()))?;
+            Ok(())
+        }
+        match inner() {
+            Err(NetError::Protocol(p)) => assert!(p.0.contains("bad head")),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn refused_round_trips_into_io_error_without_losing_the_variant() {
+        let io_err = io::Error::from(NetError::Refused { reason: "nope".into() });
+        assert_eq!(io_err.kind(), io::ErrorKind::InvalidData);
+        let src = io_err.get_ref().expect("keeps the NetError");
+        assert!(src.to_string().contains("nope"));
+    }
+}

@@ -10,6 +10,17 @@
 //! crate's tests quote), a [`NetServer`] where *each connection is a
 //! session*, and a blocking [`NetClient`] for harnesses and tests.
 //!
+//! Connections live in a typestate machine ([`Connection<S>`] — see
+//! [`conn`]): the compiler rejects requests before the handshake, after
+//! `bye`, or on a detached connection. Sessions are **resumable**: the
+//! hello reply carries a single-use resume token, a dropped connection
+//! parks its session server-side (bounded by
+//! [`server::NetServerConfig`]), and a fresh connection whose first
+//! request is `session resume <token>` picks the session back up —
+//! tabs, epoch high-water mark and all. Every fallible operation
+//! returns the structured [`NetError`] instead of stringified
+//! [`std::io::Error`]s.
+//!
 //! Three properties carry over the wire intact:
 //!
 //! * **determinism** — replies embed frame content hashes, and the
@@ -56,12 +67,16 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod conn;
+pub mod error;
 pub mod protocol;
 pub mod server;
 
 pub use client::NetClient;
+pub use conn::{state, Connection};
+pub use error::NetError;
 pub use protocol::{
     greeting, parse_greeting, ProtocolError, Reply, Request, ServerLine, GREETING_HEAD,
     PROTOCOL_VERSION,
 };
-pub use server::NetServer;
+pub use server::{NetServer, NetServerConfig};

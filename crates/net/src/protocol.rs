@@ -57,6 +57,15 @@ pub enum Request {
     /// `bye` — orderly close: the server replies `ok bye`, closes the
     /// session, and drops the connection.
     Bye,
+    /// `session resume <token>` — instead of `hello`, re-attach to a
+    /// parked session using the resume token from a previous
+    /// [`Reply::Session`]. Only valid as the first request on a
+    /// connection; tokens are single-use (a fresh one is minted on
+    /// every attach).
+    Resume {
+        /// The opaque resume token exactly as the server issued it.
+        token: String,
+    },
 }
 
 impl Request {
@@ -67,12 +76,13 @@ impl Request {
             Request::Command(cmd) => cmd.encode(),
             Request::Hashes => "hashes".into(),
             Request::Bye => "bye".into(),
+            Request::Resume { token } => format!("session resume {token}"),
         }
     }
 
-    /// Parses one request line. The three protocol-level heads
-    /// (`hello`, `hashes`, `bye`) are matched first; everything else is
-    /// handed to [`Command::decode`].
+    /// Parses one request line. The four protocol-level heads
+    /// (`hello`, `hashes`, `bye`, `session`) are matched first;
+    /// everything else is handed to [`Command::decode`].
     pub fn decode(line: &str) -> Result<Request, ProtocolError> {
         let line = line.trim();
         let mut tokens = line.split_whitespace();
@@ -88,6 +98,12 @@ impl Request {
             Some("hashes") if tokens.next().is_none() => Ok(Request::Hashes),
             Some("bye") if tokens.next().is_none() => Ok(Request::Bye),
             Some("hashes" | "bye") => Err(ProtocolError(format!("trailing tokens in {line:?}"))),
+            Some("session") => match (tokens.next(), tokens.next(), tokens.next()) {
+                (Some("resume"), Some(token), None) => {
+                    Ok(Request::Resume { token: token.to_string() })
+                }
+                _ => Err(ProtocolError(format!("malformed session request: {line:?}"))),
+            },
             _ => Command::decode(line)
                 .map(Request::Command)
                 .map_err(|e| ProtocolError(e.to_string())),
@@ -99,14 +115,19 @@ impl Request {
 /// order on a connection.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Reply {
-    /// `ok session <id> epoch <e>` — the reply to a valid
-    /// [`Request::Hello`]: the connection's session id and the
-    /// warehouse epoch it starts at.
+    /// `ok session <id> epoch <e> resume <token>` — the reply to a
+    /// valid [`Request::Hello`] or [`Request::Resume`]: the
+    /// connection's session id, the warehouse epoch it starts (or
+    /// resumes) at, and the single-use token a future connection can
+    /// present to re-attach to this session after a drop.
     Session {
-        /// The session id the server opened for this connection.
+        /// The session id the server opened (or re-attached) for this
+        /// connection.
         session: u64,
-        /// The warehouse epoch the session starts at.
+        /// The warehouse epoch the session starts or resumes at.
         epoch: u64,
+        /// The single-use resume token for this attachment.
+        resume: String,
     },
     /// `ok <outcome>` — the reply to a command request; the payload is
     /// a [`WireOutcome`] line. Note a rejected command is still an `ok`
@@ -128,7 +149,9 @@ impl Reply {
     /// Encodes the reply as one line (no trailing newline).
     pub fn encode(&self) -> String {
         match self {
-            Reply::Session { session, epoch } => format!("ok session {session} epoch {epoch}"),
+            Reply::Session { session, epoch, resume } => {
+                format!("ok session {session} epoch {epoch} resume {resume}")
+            }
             Reply::Outcome(outcome) => format!("ok {}", outcome.encode()),
             Reply::Hashes(hashes) => {
                 let mut out = format!("ok hashes {}", hashes.len());
@@ -155,14 +178,29 @@ impl Reply {
                 match payload_head {
                     "session" => {
                         let mut tokens = rest.split_whitespace().skip(1);
-                        match (tokens.next(), tokens.next(), tokens.next(), tokens.next()) {
-                            (Some(id), Some("epoch"), Some(e), None) => Ok(Reply::Session {
+                        match (
+                            tokens.next(),
+                            tokens.next(),
+                            tokens.next(),
+                            tokens.next(),
+                            tokens.next(),
+                            tokens.next(),
+                        ) {
+                            (
+                                Some(id),
+                                Some("epoch"),
+                                Some(e),
+                                Some("resume"),
+                                Some(token),
+                                None,
+                            ) => Ok(Reply::Session {
                                 session: id
                                     .parse()
                                     .map_err(|_| ProtocolError(format!("bad session {id:?}")))?,
                                 epoch: e
                                     .parse()
                                     .map_err(|_| ProtocolError(format!("bad epoch {e:?}")))?,
+                                resume: token.to_string(),
                             }),
                             _ => Err(ProtocolError(format!("malformed session reply: {line:?}"))),
                         }
@@ -287,6 +325,7 @@ mod tests {
             Request::Command(Command::decode("load 0 96 - first day").unwrap()),
             Request::Hashes,
             Request::Bye,
+            Request::Resume { token: "0000002a-0000000000000001-00c0ffee00c0ffee".into() },
         ] {
             assert_eq!(Request::decode(&req.encode()).unwrap(), req);
         }
@@ -295,12 +334,16 @@ mod tests {
         assert!(Request::decode("hashes now").is_err());
         assert!(Request::decode("bye bye").is_err());
         assert!(Request::decode("warp 9").is_err());
+        assert!(Request::decode("session").is_err());
+        assert!(Request::decode("session resume").is_err());
+        assert!(Request::decode("session resume a b").is_err());
+        assert!(Request::decode("session open abc").is_err());
     }
 
     #[test]
     fn replies_round_trip() {
         for reply in [
-            Reply::Session { session: 42, epoch: 7 },
+            Reply::Session { session: 42, epoch: 7, resume: "2a-1-9".into() },
             Reply::Outcome(WireOutcome::Ack),
             Reply::Outcome(WireOutcome::TabOpened { tab: 1, offers: 250 }),
             Reply::Outcome(WireOutcome::Rejected("no active tab".into())),
@@ -316,6 +359,8 @@ mod tests {
         }
         assert!(Reply::decode("ok").is_err());
         assert!(Reply::decode("ok session 1").is_err());
+        assert!(Reply::decode("ok session 1 epoch 2").is_err());
+        assert!(Reply::decode("ok session 1 epoch 2 resume").is_err());
         assert!(Reply::decode("ok hashes 2 1").is_err());
         assert!(Reply::decode("nope").is_err());
         assert!(Reply::decode("err").is_err());

@@ -1,11 +1,37 @@
 //! The TCP server: one connection = one session over a shared
-//! [`ConcurrentPool`].
+//! [`ConcurrentPool`] — with a parking lot for resumable sessions.
 //!
 //! The server owns no sessions and no warehouse — it is a thin framing
 //! layer: an accept loop, a thread per connection, and a writer mutex
 //! per connection that keeps reply frames and epoch notifications from
 //! interleaving mid-line. All session semantics (lazy epoch sync,
 //! per-session locking, determinism) live in the pool it serves.
+//!
+//! Each connection runs through the same typestate machine as the
+//! client side ([`crate::conn`]): a private `ServerConn<S>` moves
+//! `Greeting → Active → {Closed, Resumable}`, and the teardown action
+//! (retire vs park) is picked by the *type* the request loop exits
+//! with, so no code path can close a session that should have been
+//! parked or vice versa.
+//!
+//! ## Resumable sessions
+//!
+//! The hello reply carries a single-use resume token
+//! (`<session>-<nonce>-<mac>`, hex). When a connection ends *without*
+//! `bye` — EOF, socket error, kill — its session is not closed but
+//! **parked**: the pool session stays alive, and the token can
+//! re-attach it from a fresh connection whose first request is
+//! `session resume <token>` instead of `hello`. On attach the token is
+//! rotated (the old one is dead), and the reply's epoch is the
+//! session's announced high-water mark joined with the pool's current
+//! epoch — so a resumed client never sees a duplicated `epoch` push.
+//! The MAC is keyed per server process ([`RandomState`]), so tokens
+//! cannot be forged or replayed across server restarts.
+//!
+//! The lot is bounded by [`NetServerConfig`]: parked sessions expire
+//! after `park_ttl` and the oldest is evicted beyond `park_capacity`
+//! (expired/evicted sessions are closed on the pool). `bye` and
+//! shutdown close sessions for good.
 //!
 //! ## Epoch-push ordering
 //!
@@ -23,23 +49,46 @@
 //!
 //! Together these give the PROTOCOL.md guarantee: at most one
 //! notification per epoch per connection, never inside a frame, and
-//! always before any reply computed at that epoch.
+//! always before any reply computed at that epoch. Parking preserves
+//! the mark across connections: a parked session remembers its
+//! announced epoch, and the resume reply carries it forward.
 
+use std::collections::HashMap;
+use std::hash::{BuildHasher, RandomState};
 use std::io::{BufRead, BufReader, Read, Write};
+use std::marker::PhantomData;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, Weak};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-use mirabel_session::ConcurrentPool;
+use mirabel_session::{ConcurrentPool, SessionId};
 
+use crate::conn::state::{self, ConnState};
 use crate::protocol::{greeting, Reply, Request, PROTOCOL_VERSION};
+
+/// Bounds on the parking lot of resumable sessions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetServerConfig {
+    /// Most sessions parked at once; beyond it the oldest parked
+    /// session is evicted (and closed on the pool).
+    pub park_capacity: usize,
+    /// How long a parked session stays resumable before it expires.
+    pub park_ttl: Duration,
+}
+
+impl Default for NetServerConfig {
+    fn default() -> NetServerConfig {
+        NetServerConfig { park_capacity: 1_024, park_ttl: Duration::from_secs(300) }
+    }
+}
 
 /// A TCP front over a [`ConcurrentPool`]; see the [module
 /// docs](crate::server) and PROTOCOL.md.
 ///
 /// Dropping the server stops accepting, closes every live connection
-/// (closing their sessions), and joins all of its threads.
+/// and every parked session, and joins all of its threads.
 pub struct NetServer {
     addr: SocketAddr,
     inner: Arc<Inner>,
@@ -50,12 +99,40 @@ pub struct NetServer {
 /// connection threads and the pool's publish hook.
 struct Inner {
     pool: Arc<ConcurrentPool>,
+    config: NetServerConfig,
     shutdown: AtomicBool,
     /// Live connection writers, held weakly: a connection drops its own
     /// writer when its thread exits, and sweeps prune the dead entries.
     conns: Mutex<Vec<Weak<ConnWriter>>>,
     /// Connection threads, joined on shutdown.
     workers: Mutex<Vec<JoinHandle<()>>>,
+    /// Every open session's lot entry — attached or parked. The key is
+    /// the raw session id; the entry holds the nonce of the one valid
+    /// resume token.
+    lot: Mutex<HashMap<u64, LotEntry>>,
+    /// Per-process MAC key for resume tokens.
+    mac_key: RandomState,
+    /// Token nonce counter (nonces are unique per process).
+    nonce: AtomicU64,
+}
+
+/// One session's entry in the parking lot.
+struct LotEntry {
+    /// Nonce of the currently valid resume token (rotated per attach).
+    nonce: u64,
+    attachment: Attachment,
+}
+
+enum Attachment {
+    /// A connection thread currently serves this session.
+    Attached,
+    /// The connection dropped without `bye`; resumable until TTL or
+    /// eviction.
+    Parked {
+        /// The epoch high-water mark announced on the last connection.
+        announced: u64,
+        parked_at: Instant,
+    },
 }
 
 /// The write half of one connection: the stream clone plus the epoch
@@ -104,6 +181,10 @@ impl ConnWriter {
         w.stream.write_all(out.as_bytes())
     }
 
+    fn announced(&self) -> u64 {
+        self.state.lock().expect("writer lock").announced
+    }
+
     fn close(&self) {
         let w = self.state.lock().expect("writer lock");
         let _ = w.stream.shutdown(Shutdown::Both);
@@ -112,16 +193,30 @@ impl ConnWriter {
 
 impl NetServer {
     /// Binds `addr` (use port 0 for an OS-assigned port) and starts
-    /// serving `pool`. Returns once the listener is live;
-    /// [`NetServer::local_addr`] is immediately connectable.
+    /// serving `pool` with the default [`NetServerConfig`]. Returns
+    /// once the listener is live; [`NetServer::local_addr`] is
+    /// immediately connectable.
     pub fn bind(addr: impl ToSocketAddrs, pool: Arc<ConcurrentPool>) -> std::io::Result<NetServer> {
+        NetServer::bind_with(addr, pool, NetServerConfig::default())
+    }
+
+    /// [`NetServer::bind`] with explicit parking-lot bounds.
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        pool: Arc<ConcurrentPool>,
+        config: NetServerConfig,
+    ) -> std::io::Result<NetServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let inner = Arc::new(Inner {
             pool: Arc::clone(&pool),
+            config,
             shutdown: AtomicBool::new(false),
             conns: Mutex::new(Vec::new()),
             workers: Mutex::new(Vec::new()),
+            lot: Mutex::new(HashMap::new()),
+            mac_key: RandomState::new(),
+            nonce: AtomicU64::new(0),
         });
 
         // The publish hook holds the server state weakly: once the
@@ -153,7 +248,7 @@ impl NetServer {
         &self.inner.pool
     }
 
-    /// Number of live connections (= network sessions).
+    /// Number of live connections (attached network sessions).
     pub fn connections(&self) -> usize {
         self.inner
             .conns
@@ -164,8 +259,22 @@ impl NetServer {
             .count()
     }
 
-    /// Stops accepting, closes every connection, and joins all server
-    /// threads. Idempotent; also runs on drop.
+    /// Number of sessions currently parked (resumable), after expiring
+    /// overdue ones.
+    pub fn parked(&self) -> usize {
+        self.inner.sweep_lot();
+        self.inner
+            .lot
+            .lock()
+            .expect("lot lock")
+            .values()
+            .filter(|e| matches!(e.attachment, Attachment::Parked { .. }))
+            .count()
+    }
+
+    /// Stops accepting, closes every connection and every parked
+    /// session, and joins all server threads. Idempotent; also runs on
+    /// drop.
     pub fn shutdown(&mut self) {
         if self.inner.shutdown.swap(true, Ordering::SeqCst) {
             return;
@@ -184,6 +293,13 @@ impl NetServer {
         for handle in workers {
             let _ = handle.join();
         }
+        // Every remaining lot entry — parked sessions, plus any a
+        // worker parked while we were joining — dies with the server.
+        let drained: Vec<u64> =
+            self.inner.lot.lock().expect("lot lock").drain().map(|(id, _)| id).collect();
+        for id in drained {
+            self.inner.pool.close(SessionId(id));
+        }
     }
 }
 
@@ -191,6 +307,20 @@ impl Drop for NetServer {
     fn drop(&mut self) {
         self.shutdown();
     }
+}
+
+/// How long a resume request waits for the token's session to finish
+/// detaching. Covers the race where the client's old connection has
+/// dropped but its server thread has not yet parked the session.
+const RESUME_ATTACH_WAIT: Duration = Duration::from_secs(2);
+const RESUME_POLL: Duration = Duration::from_millis(10);
+
+/// A successful re-attach: the session, the epoch mark to carry
+/// forward, and the freshly rotated token.
+struct Resumed {
+    session: u64,
+    announced: u64,
+    token: String,
 }
 
 impl Inner {
@@ -203,6 +333,142 @@ impl Inner {
         };
         for conn in conns {
             conn.notify_epoch(epoch);
+        }
+    }
+
+    /// Mints a resume token for `session` with a fresh nonce.
+    fn mint(&self, session: u64) -> (u64, String) {
+        let nonce = self.nonce.fetch_add(1, Ordering::Relaxed) + 1;
+        let mac = self.mac_key.hash_one((session, nonce));
+        (nonce, format!("{session:08x}-{nonce:016x}-{mac:016x}"))
+    }
+
+    /// Parses and MAC-checks a token; `None` if malformed or forged.
+    fn verify(&self, token: &str) -> Option<(u64, u64)> {
+        let mut parts = token.split('-');
+        let (s, n, m) = (parts.next()?, parts.next()?, parts.next()?);
+        if parts.next().is_some() {
+            return None;
+        }
+        let session = u64::from_str_radix(s, 16).ok()?;
+        let nonce = u64::from_str_radix(n, 16).ok()?;
+        let mac = u64::from_str_radix(m, 16).ok()?;
+        (self.mac_key.hash_one((session, nonce)) == mac).then_some((session, nonce))
+    }
+
+    /// Registers a freshly opened session as attached and returns its
+    /// first resume token.
+    fn lot_open(&self, session: u64) -> String {
+        let (nonce, token) = self.mint(session);
+        self.lot
+            .lock()
+            .expect("lot lock")
+            .insert(session, LotEntry { nonce, attachment: Attachment::Attached });
+        token
+    }
+
+    /// Attempts to re-attach the session a resume token names. Waits a
+    /// bounded time for the old connection to finish parking (a client
+    /// that reconnects faster than the server notices the drop).
+    fn try_resume(&self, token: &str) -> Result<Resumed, String> {
+        let Some((session, nonce)) = self.verify(token) else {
+            return Err("bad resume token".into());
+        };
+        let deadline = Instant::now() + RESUME_ATTACH_WAIT;
+        loop {
+            self.sweep_lot();
+            {
+                let mut lot = self.lot.lock().expect("lot lock");
+                match lot.get_mut(&session) {
+                    None => return Err("unknown or expired resume token".into()),
+                    Some(entry) if entry.nonce != nonce => {
+                        return Err("stale resume token".into());
+                    }
+                    Some(entry) => {
+                        if let Attachment::Parked { announced, .. } = entry.attachment {
+                            let (new_nonce, new_token) = self.mint(session);
+                            entry.nonce = new_nonce;
+                            entry.attachment = Attachment::Attached;
+                            return Ok(Resumed { session, announced, token: new_token });
+                        }
+                        // Still attached: the old connection has not
+                        // detached yet — poll below.
+                    }
+                }
+            }
+            if Instant::now() >= deadline {
+                return Err("session is still attached".into());
+            }
+            std::thread::sleep(RESUME_POLL);
+        }
+    }
+
+    /// Parks `session` for later resume (or retires it outright when
+    /// the server is shutting down), enforcing TTL and capacity.
+    fn park(&self, session: u64, announced: u64) {
+        if self.shutdown.load(Ordering::SeqCst) {
+            self.retire(session);
+            return;
+        }
+        self.sweep_lot();
+        let evicted: Vec<u64> = {
+            let mut lot = self.lot.lock().expect("lot lock");
+            if let Some(entry) = lot.get_mut(&session) {
+                entry.attachment = Attachment::Parked { announced, parked_at: Instant::now() };
+            } else {
+                // Already evicted/retired under us; nothing to park.
+                return;
+            }
+            let mut evicted = Vec::new();
+            loop {
+                let parked: Vec<(u64, Instant)> = lot
+                    .iter()
+                    .filter_map(|(id, e)| match e.attachment {
+                        Attachment::Parked { parked_at, .. } => Some((*id, parked_at)),
+                        Attachment::Attached => None,
+                    })
+                    .collect();
+                if parked.len() <= self.config.park_capacity {
+                    break;
+                }
+                // Evict the longest-parked session.
+                let (oldest, _) =
+                    parked.iter().min_by_key(|(_, at)| *at).copied().expect("nonempty");
+                lot.remove(&oldest);
+                evicted.push(oldest);
+            }
+            evicted
+        };
+        for id in evicted {
+            self.pool.close(SessionId(id));
+        }
+    }
+
+    /// Closes `session` for good: lot entry gone, pool session closed.
+    fn retire(&self, session: u64) {
+        self.lot.lock().expect("lot lock").remove(&session);
+        self.pool.close(SessionId(session));
+    }
+
+    /// Expires parked sessions past their TTL.
+    fn sweep_lot(&self) {
+        let expired: Vec<u64> = {
+            let mut lot = self.lot.lock().expect("lot lock");
+            let ttl = self.config.park_ttl;
+            let dead: Vec<u64> = lot
+                .iter()
+                .filter_map(|(id, e)| match e.attachment {
+                    Attachment::Parked { parked_at, .. } if parked_at.elapsed() > ttl => Some(*id),
+                    _ => None,
+                })
+                .collect();
+            for id in &dead {
+                lot.remove(id);
+            }
+            dead
+        };
+        for id in expired {
+            self.pool.close(SessionId(id));
         }
     }
 }
@@ -248,8 +514,210 @@ fn accept_loop(listener: TcpListener, inner: Arc<Inner>) {
 /// behind one client that stopped reading.
 const WRITE_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(10);
 
-/// Runs one connection to completion: greeting, hello handshake,
-/// request loop, session teardown.
+/// The server half of one connection in lifecycle state `S` — the
+/// mirror of the client's [`Connection`](crate::Connection) machine.
+/// `Greeting` has no session; `handshake` attaches one (fresh or
+/// resumed) and moves to `Active`; the request loop exits as `Closed`
+/// (bye — retire the session) or `Resumable` (drop — park it), and the
+/// teardown impls only exist on those exit states.
+struct ServerConn<S: ConnState> {
+    inner: Arc<Inner>,
+    writer: Arc<ConnWriter>,
+    reader: BufReader<TcpStream>,
+    line: String,
+    /// The attached session's raw id; meaningless in `Greeting`.
+    session: u64,
+    _state: PhantomData<S>,
+}
+
+/// How the handshake ended.
+enum Handshake {
+    /// A session is attached; serve the request loop.
+    Attached(ServerConn<state::Active>),
+    /// Refused (version mismatch, bad token, garbage) or the client
+    /// vanished — the `err` reply, if any, has been written and there
+    /// is no session to clean up.
+    Rejected,
+}
+
+/// How an active request loop ended.
+enum Exit {
+    /// `bye` acknowledged (or the session vanished): retire for good.
+    Closed(ServerConn<state::Closed>),
+    /// EOF or socket error without `bye`: park for resume.
+    Detached(ServerConn<state::Resumable>),
+}
+
+impl<S: ConnState> ServerConn<S> {
+    fn cast<T: ConnState>(self) -> ServerConn<T> {
+        ServerConn {
+            inner: self.inner,
+            writer: self.writer,
+            reader: self.reader,
+            line: self.line,
+            session: self.session,
+            _state: PhantomData,
+        }
+    }
+
+    fn read_request(&mut self) -> std::io::Result<Option<String>> {
+        read_request_line(&mut self.reader, &mut self.line)
+    }
+}
+
+impl ServerConn<state::Greeting> {
+    /// Consumes the first request: `hello` opens a fresh session,
+    /// `session resume <token>` re-attaches a parked one, anything
+    /// else is refused.
+    fn handshake(mut self) -> Handshake {
+        let first = match self.read_request() {
+            Ok(Some(line)) => line,
+            Ok(None) | Err(_) => return Handshake::Rejected,
+        };
+        match Request::decode(&first) {
+            Ok(Request::Hello { version }) if version == PROTOCOL_VERSION => self.open_fresh(),
+            Ok(Request::Hello { version }) => {
+                let reason = format!(
+                    "unsupported version {version} (this server speaks {PROTOCOL_VERSION})"
+                );
+                let _ = self.writer.reply(&Reply::Error(reason), None);
+                Handshake::Rejected
+            }
+            Ok(Request::Resume { token }) => self.attach_resumed(&token),
+            Ok(_) | Err(_) => {
+                let _ = self
+                    .writer
+                    .reply(&Reply::Error("expected hello or session resume first".into()), None);
+                Handshake::Rejected
+            }
+        }
+    }
+
+    fn open_fresh(mut self) -> Handshake {
+        let session = self.inner.pool.open();
+        let token = self.inner.lot_open(session.0);
+        // The hello reply itself carries the starting epoch, so mark it
+        // announced — monotonically: the broadcast hook may have
+        // already announced something newer during the handshake, and
+        // the reported epoch must never move the high-water mark
+        // backwards.
+        let epoch = {
+            let mut w = self.writer.state.lock().expect("writer lock");
+            w.announced = w.announced.max(self.inner.pool.epoch());
+            w.announced
+        };
+        self.session = session.0;
+        let reply = Reply::Session { session: session.0, epoch, resume: token };
+        if self.writer.reply(&reply, None).is_err() {
+            // The client never saw the session: close it, not park it.
+            self.inner.retire(session.0);
+            return Handshake::Rejected;
+        }
+        Handshake::Attached(self.cast())
+    }
+
+    fn attach_resumed(mut self, token: &str) -> Handshake {
+        let resumed = match self.inner.try_resume(token) {
+            Ok(resumed) => resumed,
+            Err(reason) => {
+                let _ = self.writer.reply(&Reply::Error(reason), None);
+                return Handshake::Rejected;
+            }
+        };
+        // Carry the parked high-water mark onto this connection, joined
+        // with the pool's current epoch (the reply reports where the
+        // session resumes): anything at or below it is already known to
+        // the client and must not be pushed again.
+        let epoch = {
+            let mut w = self.writer.state.lock().expect("writer lock");
+            w.announced = w.announced.max(resumed.announced).max(self.inner.pool.epoch());
+            w.announced
+        };
+        self.session = resumed.session;
+        let reply = Reply::Session { session: resumed.session, epoch, resume: resumed.token };
+        if self.writer.reply(&reply, None).is_err() {
+            // The client never saw the rotated token — park the session
+            // again under the *new* nonce? It could never present it.
+            // Retire instead: a half-resumed session is unreachable.
+            self.inner.retire(resumed.session);
+            return Handshake::Rejected;
+        }
+        Handshake::Attached(self.cast())
+    }
+}
+
+impl ServerConn<state::Active> {
+    /// Runs the request loop to its exit state. Socket failures (read
+    /// or write) exit as `Detached` — from here the client might still
+    /// resume — while `bye` and a vanished session exit as `Closed`.
+    fn serve(mut self) -> Exit {
+        loop {
+            let request = match self.read_request() {
+                Ok(Some(line)) => line,
+                Ok(None) | Err(_) => return Exit::Detached(self.cast()),
+            };
+            let sid = SessionId(self.session);
+            let step = match Request::decode(&request) {
+                Err(e) => self.writer.reply(&Reply::Error(e.0), None),
+                Ok(Request::Hello { .. }) => self
+                    .writer
+                    .reply(&Reply::Error("hello is only valid as the first request".into()), None),
+                Ok(Request::Resume { .. }) => self.writer.reply(
+                    &Reply::Error("session resume is only valid as the first request".into()),
+                    None,
+                ),
+                Ok(Request::Hashes) => {
+                    match self.inner.pool.with_session(sid, |s| (s.epoch(), s.frame_hashes())) {
+                        Some((epoch, hashes)) => {
+                            self.writer.reply(&Reply::Hashes(hashes), Some(epoch))
+                        }
+                        None => {
+                            let _ = self.writer.reply(&Reply::Error("session closed".into()), None);
+                            return Exit::Closed(self.cast());
+                        }
+                    }
+                }
+                Ok(Request::Bye) => {
+                    let _ = self.writer.reply(&Reply::Bye, None);
+                    return Exit::Closed(self.cast());
+                }
+                Ok(Request::Command(cmd)) => match self.inner.pool.apply_with_epoch(sid, cmd) {
+                    Some((epoch, outcome)) => {
+                        self.writer.reply(&Reply::Outcome(outcome.to_wire()), Some(epoch))
+                    }
+                    None => {
+                        let _ = self.writer.reply(&Reply::Error("session closed".into()), None);
+                        return Exit::Closed(self.cast());
+                    }
+                },
+            };
+            if step.is_err() {
+                return Exit::Detached(self.cast());
+            }
+        }
+    }
+}
+
+impl ServerConn<state::Closed> {
+    /// The session ended for good: drop it from the lot and the pool.
+    fn retire(self) {
+        self.inner.retire(self.session);
+        self.writer.close();
+    }
+}
+
+impl ServerConn<state::Resumable> {
+    /// The connection died without `bye`: park the session with the
+    /// epoch mark this connection had announced.
+    fn park(self) {
+        let announced = self.writer.announced();
+        self.inner.park(self.session, announced);
+        self.writer.close();
+    }
+}
+
+/// Runs one connection to completion: greeting, hello-or-resume
+/// handshake, request loop, type-directed teardown (retire vs park).
 fn serve_connection(stream: TcpStream, inner: Arc<Inner>) -> std::io::Result<()> {
     stream.set_nodelay(true)?;
     stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
@@ -279,75 +747,22 @@ fn serve_connection(stream: TcpStream, inner: Arc<Inner>) -> std::io::Result<()>
         return Ok(());
     }
 
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-
-    // Handshake: the first request must be a matching `hello`.
-    let Some(first) = read_request_line(&mut reader, &mut line)? else {
-        return Ok(());
+    let conn: ServerConn<state::Greeting> = ServerConn {
+        inner: Arc::clone(&inner),
+        writer: Arc::clone(&writer),
+        reader: BufReader::new(stream),
+        line: String::new(),
+        session: 0,
+        _state: PhantomData,
     };
-    match Request::decode(&first) {
-        Ok(Request::Hello { version }) if version == PROTOCOL_VERSION => {}
-        Ok(Request::Hello { version }) => {
-            let reason =
-                format!("unsupported version {version} (this server speaks {PROTOCOL_VERSION})");
-            return writer.reply(&Reply::Error(reason), None);
-        }
-        Ok(_) | Err(_) => {
-            return writer.reply(&Reply::Error("expected hello first".into()), None);
-        }
+    match conn.handshake() {
+        Handshake::Rejected => writer.close(),
+        Handshake::Attached(active) => match active.serve() {
+            Exit::Closed(closed) => closed.retire(),
+            Exit::Detached(detached) => detached.park(),
+        },
     }
-
-    let session = inner.pool.open();
-    // The hello reply itself carries the starting epoch, so mark it
-    // announced — monotonically: the broadcast hook may have already
-    // announced something newer during the handshake, and the reported
-    // epoch must never move the high-water mark backwards.
-    let epoch = {
-        let mut w = writer.state.lock().expect("writer lock");
-        w.announced = w.announced.max(inner.pool.epoch());
-        w.announced
-    };
-    // From here on every exit path must close the session: run the
-    // request loop in a closure so `?` on a dead socket cannot skip
-    // the teardown (a killed client must not leak its session into the
-    // shared pool).
-    let mut serve = || -> std::io::Result<()> {
-        writer.reply(&Reply::Session { session: session.0, epoch }, None)?;
-        loop {
-            let Some(request) = read_request_line(&mut reader, &mut line)? else {
-                return Ok(()); // EOF: the client vanished.
-            };
-            match Request::decode(&request) {
-                Err(e) => writer.reply(&Reply::Error(e.0), None)?,
-                Ok(Request::Hello { .. }) => {
-                    writer.reply(
-                        &Reply::Error("hello is only valid as the first request".into()),
-                        None,
-                    )?;
-                }
-                Ok(Request::Hashes) => {
-                    match inner.pool.with_session(session, |s| (s.epoch(), s.frame_hashes())) {
-                        Some((epoch, hashes)) => {
-                            writer.reply(&Reply::Hashes(hashes), Some(epoch))?;
-                        }
-                        None => return writer.reply(&Reply::Error("session closed".into()), None),
-                    }
-                }
-                Ok(Request::Bye) => return writer.reply(&Reply::Bye, None),
-                Ok(Request::Command(cmd)) => match inner.pool.apply_with_epoch(session, cmd) {
-                    Some((epoch, outcome)) => {
-                        writer.reply(&Reply::Outcome(outcome.to_wire()), Some(epoch))?;
-                    }
-                    None => return writer.reply(&Reply::Error("session closed".into()), None),
-                },
-            }
-        }
-    };
-    let result = serve();
-    inner.pool.close(session);
-    writer.close();
-    result
+    Ok(())
 }
 
 /// Longest request line the server will buffer. Requests arrive from

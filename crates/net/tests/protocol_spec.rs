@@ -40,44 +40,83 @@ fn line_matches(expected: &str, actual: &str) -> bool {
     exp.len() == act.len() && exp.iter().zip(&act).all(|(e, a)| *e == "*" || e == a)
 }
 
-#[test]
-fn transcript_replays_verbatim() {
-    let spec = protocol_md();
+/// Extracts the `n`-th ```transcript block (1-based) as (tag, line)
+/// steps.
+fn transcript_steps(spec: &str, n: usize) -> Vec<(String, String)> {
     let block = spec
         .split("```transcript")
-        .nth(1)
-        .expect("PROTOCOL.md must contain a ```transcript block")
+        .nth(n)
+        .unwrap_or_else(|| panic!("PROTOCOL.md must contain transcript block #{n}"))
         .split("```")
         .next()
         .unwrap();
-    let steps: Vec<(&str, &str)> = block
+    block
         .lines()
         .filter_map(|l| {
             let l = l.trim();
-            l.split_once(": ").filter(|(tag, _)| matches!(*tag, "C" | "S"))
+            l.split_once(": ")
+                .filter(|(tag, _)| matches!(*tag, "C" | "S"))
+                .map(|(tag, text)| (tag.to_string(), text.to_string()))
         })
-        .collect();
-    assert!(steps.len() > 10, "transcript looks truncated: {} lines", steps.len());
+        .collect()
+}
 
+/// Replays transcript steps against a live server. A repeated
+/// `S: mirabel-net 1` greeting drops the current connection (no `bye`)
+/// and reconnects; a `*` in a `C:` line is substituted with the resume
+/// token captured from the most recent `ok session … resume <token>`
+/// reply.
+fn replay_transcript(steps: &[(String, String)]) {
+    assert!(steps.len() > 10, "transcript looks truncated: {} lines", steps.len());
     let server = NetServer::bind("127.0.0.1:0", spec_fixture()).unwrap();
     let mut stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
     let mut reader = BufReader::new(stream.try_clone().unwrap());
     let mut line = String::new();
+    let mut token = String::new();
+    let mut greeted = false;
     for (tag, text) in steps {
-        match tag {
-            "C" => stream.write_all(format!("{text}\n").as_bytes()).unwrap(),
+        match tag.as_str() {
+            "C" => {
+                let out = text.replace('*', &token);
+                stream.write_all(format!("{out}\n").as_bytes()).unwrap();
+            }
             "S" => {
+                if text.starts_with("mirabel-net") && greeted {
+                    // Reconnect point: kill the old connection without
+                    // `bye` — the server parks its session.
+                    drop(reader);
+                    drop(stream);
+                    stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+                    reader = BufReader::new(stream.try_clone().unwrap());
+                }
                 line.clear();
                 assert!(reader.read_line(&mut line).unwrap() > 0, "EOF awaiting {text:?}");
-                assert!(
-                    line_matches(text, line.trim_end()),
-                    "spec says {text:?}, server said {:?}",
-                    line.trim_end(),
-                );
+                let actual = line.trim_end();
+                assert!(line_matches(text, actual), "spec says {text:?}, server said {actual:?}");
+                if text.starts_with("mirabel-net") {
+                    greeted = true;
+                }
+                // Remember the latest resume token for `C: … *` lines.
+                let toks: Vec<&str> = actual.split_whitespace().collect();
+                if toks.len() >= 2 && toks.get(0..2) == Some(&["ok", "session"][..]) {
+                    token = toks.last().unwrap().to_string();
+                }
             }
             _ => unreachable!(),
         }
     }
+}
+
+#[test]
+fn transcript_replays_verbatim() {
+    let spec = protocol_md();
+    replay_transcript(&transcript_steps(&spec, 1));
+}
+
+#[test]
+fn reconnect_transcript_replays_verbatim() {
+    let spec = protocol_md();
+    replay_transcript(&transcript_steps(&spec, 2));
 }
 
 /// Every production these tests exercise, by head token. Kept in sync

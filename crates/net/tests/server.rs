@@ -115,7 +115,7 @@ fn concurrent_clients_replay_deterministically() {
 }
 
 #[test]
-fn connection_is_a_session_and_bye_closes_it() {
+fn bye_closes_the_session_but_a_drop_parks_it() {
     let server = NetServer::bind("127.0.0.1:0", pool(10, 1)).unwrap();
     assert_eq!(server.pool().len(), 0);
 
@@ -134,16 +134,181 @@ fn connection_is_a_session_and_bye_closes_it() {
         std::thread::sleep(Duration::from_millis(5));
     }
     assert_eq!(server.pool().len(), 1);
+    assert_eq!(server.parked(), 0, "bye closes for good — nothing to resume");
 
-    // Dropping a client without bye also closes its session (EOF path).
-    drop(client_b);
+    // Dropping a client without bye parks its session: still open on
+    // the pool, resumable from a fresh connection.
+    drop(client_b.detach());
+    for _ in 0..200 {
+        if server.parked() == 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(server.parked(), 1, "an EOF without bye must park, not close");
+    assert_eq!(server.pool().len(), 1, "the parked session stays open on the pool");
+    assert_eq!(server.connections(), 0, "parked ≠ connected");
+}
+
+#[test]
+fn dropped_connection_resumes_with_identical_hashes() {
+    // Reference: the full script in one uninterrupted in-process
+    // session.
+    let reference_pool = pool(30, 0x7E5);
+    let ref_id = reference_pool.open();
+    for cmd in script() {
+        reference_pool.apply(ref_id, cmd).unwrap();
+    }
+    let reference = reference_pool.with_session(ref_id, |s| s.frame_hashes()).unwrap();
+
+    // Over the wire: run half the script, kill the connection (no
+    // bye), resume from a fresh one, run the rest.
+    let server = NetServer::bind("127.0.0.1:0", pool(30, 0x7E5)).unwrap();
+    let mut client = NetClient::connect(server.local_addr()).unwrap();
+    let session = client.session();
+    let first_token = client.resume_token().to_string();
+    let all = script();
+    let half = all.len() / 2;
+    for cmd in &all[..half] {
+        client.command(cmd).unwrap();
+    }
+    let parked = client.detach();
+    assert_eq!(parked.resume_token(), first_token);
+
+    let mut client = NetClient::resume(parked).unwrap();
+    assert_eq!(client.session(), session, "resume re-attaches the same session");
+    assert_ne!(client.resume_token(), first_token, "tokens rotate on every attach");
+    for cmd in &all[half..] {
+        client.command(cmd).unwrap();
+    }
+    assert_eq!(
+        client.hashes().unwrap(),
+        reference,
+        "a resumed session must replay bit-identically to an uninterrupted one"
+    );
+    client.bye().unwrap();
+}
+
+#[test]
+fn resume_preserves_the_epoch_high_water_mark() {
+    let pop = population(20, 0x1DE);
+    let offers = generate_offers(&pop, &OfferConfig::default());
+    let live = LiveWarehouse::new(pop, &offers);
+    let pool = Arc::new(ConcurrentPool::new(Arc::clone(live.snapshot().warehouse())));
+    let server = NetServer::bind("127.0.0.1:0", Arc::clone(&pool)).unwrap();
+
+    let mut client = NetClient::connect(server.local_addr()).unwrap();
+    live.advance_day();
+    pool.publish(&live.publish());
+    assert!(client.wait_for_epoch(1, Duration::from_secs(5)).unwrap());
+    assert_eq!(client.notifications(), &[1]);
+
+    // Kill the connection; the warehouse moves on while parked.
+    let parked = client.detach();
+    live.advance_day();
+    pool.publish(&live.publish());
+
+    let mut client = NetClient::resume(parked).unwrap();
+    // The resume reply reports the newer epoch exactly once — no
+    // duplicate of epoch 1, no missed epoch 2.
+    assert_eq!(client.epoch(), 2);
+    assert_eq!(client.notifications(), &[1, 2], "history carries over, deduplicated");
+    client.command(&Command::decode("load 0 96 - after resume").unwrap()).unwrap();
+    let all = client.notifications().to_vec();
+    let mut dedup = all.clone();
+    dedup.dedup();
+    assert_eq!(all, dedup, "duplicate epoch notifications after resume: {all:?}");
+    client.bye().unwrap();
+}
+
+#[test]
+fn resume_tokens_are_single_use_and_unforgeable() {
+    use mirabel_net::Connection;
+
+    let server = NetServer::bind("127.0.0.1:0", pool(10, 6)).unwrap();
+    let addr = server.local_addr();
+
+    let client = NetClient::connect(addr).unwrap();
+    let old_token = client.resume_token().to_string();
+    let parked = client.detach();
+    let client = NetClient::resume(parked).unwrap();
+
+    // The presented token rotated at resume: the old one is dead.
+    let refused = Connection::open(addr).unwrap().resume_with(&old_token);
+    assert!(
+        matches!(refused, Err(mirabel_net::NetError::Refused { .. })),
+        "a spent token must be refused: {refused:?}"
+    );
+
+    // Garbage and forged tokens are refused too.
+    for bad in ["not-a-token", "00000000-0000000000000000-0000000000000000", "a-b-c-d"] {
+        let refused = Connection::open(addr).unwrap().resume_with(bad);
+        assert!(matches!(refused, Err(mirabel_net::NetError::Refused { .. })), "{bad:?}");
+    }
+
+    // After bye the (current) token names a closed session.
+    let final_token = client.resume_token().to_string();
+    client.bye().unwrap();
     for _ in 0..200 {
         if server.pool().is_empty() {
             break;
         }
         std::thread::sleep(Duration::from_millis(5));
     }
-    assert_eq!(server.pool().len(), 0);
+    let refused = Connection::open(addr).unwrap().resume_with(&final_token);
+    assert!(matches!(refused, Err(mirabel_net::NetError::Refused { .. })), "{refused:?}");
+}
+
+#[test]
+fn parking_lot_honors_ttl_and_capacity() {
+    use mirabel_net::NetServerConfig;
+
+    // TTL zero: a parked session expires on the next sweep.
+    let server = NetServer::bind_with(
+        "127.0.0.1:0",
+        pool(10, 7),
+        NetServerConfig { park_capacity: 16, park_ttl: Duration::ZERO },
+    )
+    .unwrap();
+    let client = NetClient::connect(server.local_addr()).unwrap();
+    drop(client.detach());
+    for _ in 0..200 {
+        if server.parked() == 0 && server.pool().is_empty() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(server.parked(), 0, "TTL-expired sessions leave the lot");
+    assert_eq!(server.pool().len(), 0, "TTL-expired sessions close on the pool");
+
+    // Capacity one: parking a second session evicts the first.
+    let server = NetServer::bind_with(
+        "127.0.0.1:0",
+        pool(10, 8),
+        NetServerConfig { park_capacity: 1, park_ttl: Duration::from_secs(300) },
+    )
+    .unwrap();
+    let first = NetClient::connect(server.local_addr()).unwrap();
+    let second = NetClient::connect(server.local_addr()).unwrap();
+    let first_parked = first.detach();
+    for _ in 0..200 {
+        if server.parked() == 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let second_parked = second.detach();
+    for _ in 0..200 {
+        if server.pool().len() == 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(server.parked(), 1, "capacity bounds the lot");
+    assert_eq!(server.pool().len(), 1, "the evicted session closes on the pool");
+    // The survivor must be the *younger* parked session.
+    assert!(second_parked.resume().is_ok(), "the newest parked session survives");
+    assert!(first_parked.resume().is_err(), "the oldest parked session was evicted");
 }
 
 #[test]

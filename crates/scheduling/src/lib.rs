@@ -78,7 +78,7 @@ use mirabel_timeseries::TimeSeries;
 /// Implementations must:
 /// * assign only **feasible** schedules (the offer state machine enforces
 ///   this — an infeasible assignment is a bug and surfaces as an error);
-/// * skip offers that are not in the `Accepted` or `Assigned` state;
+/// * skip offers that are not in the `Accepted` or `Scheduled` state;
 /// * be deterministic for a fixed configuration (stochastic schedulers
 ///   take explicit seeds).
 ///

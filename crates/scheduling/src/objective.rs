@@ -3,7 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
-use mirabel_flexoffer::{Energy, FlexOffer, FlexOfferError, FlexOfferStatus};
+use mirabel_flexoffer::{Energy, FlexOffer, FlexOfferError, OfferState};
 use mirabel_timeseries::{SlotSpan, TimeSeries, TimeSlot};
 
 /// Summary of how far a load curve is from its target.
@@ -165,7 +165,7 @@ pub fn apply_to_residual(
 
 /// `true` when the scheduler should plan this offer.
 pub fn schedulable(fo: &FlexOffer) -> bool {
-    matches!(fo.status(), FlexOfferStatus::Accepted | FlexOfferStatus::Assigned)
+    matches!(fo.status(), OfferState::Accepted | OfferState::Scheduled)
 }
 
 /// Builds the standard report around a scheduling pass.

@@ -45,7 +45,7 @@ impl Scheduler for EarliestStartScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mirabel_flexoffer::{Energy, FlexOfferStatus};
+    use mirabel_flexoffer::{Energy, OfferState};
     use mirabel_timeseries::TimeSlot;
 
     fn accepted(id: u64, est: i64, tf: i64) -> FlexOffer {
@@ -69,7 +69,7 @@ mod tests {
         let s = offers[0].schedule().unwrap();
         assert_eq!(s.start(), TimeSlot::new(4));
         assert!(s.energies().iter().all(|&e| e == Energy::from_wh(100)));
-        assert_eq!(offers[0].status(), FlexOfferStatus::Assigned);
+        assert_eq!(offers[0].status(), OfferState::Scheduled);
     }
 
     #[test]

@@ -246,9 +246,12 @@ impl Command {
                     "-" => None,
                     p => Some(ProsumerId(p.parse().map_err(|_| err("bad prosumer"))?)),
                 };
-                let mut query = LoaderQuery::window(TimeSlot::new(from), TimeSlot::new(to));
-                query.prosumer = prosumer;
-                Ok(Command::Load { query, title: title.to_string() })
+                let mut builder =
+                    LoaderQuery::builder().window(TimeSlot::new(from), TimeSlot::new(to));
+                if let Some(p) = prosumer {
+                    builder = builder.prosumer(p);
+                }
+                Ok(Command::Load { query: builder.build(), title: title.to_string() })
             }
             "set-aggregation" => {
                 let mut parts = rest.split_whitespace();
@@ -424,12 +427,13 @@ mod tests {
             Command::CloseTab(0),
             Command::SetCanvas { width: 1280.0, height: 720.0 },
             Command::Load {
-                query: LoaderQuery::window(TimeSlot::new(-96), TimeSlot::new(192))
-                    .for_prosumer(ProsumerId(7)),
+                query: LoaderQuery::for_prosumer(ProsumerId(7))
+                    .window(TimeSlot::new(-96), TimeSlot::new(192))
+                    .build(),
                 title: "entity 7, two days".into(),
             },
             Command::Load {
-                query: LoaderQuery::window(TimeSlot::new(0), TimeSlot::new(96)),
+                query: LoaderQuery::builder().window(TimeSlot::new(0), TimeSlot::new(96)).build(),
                 title: "everyone".into(),
             },
             Command::SetAggregationParams(AggregationParams::new(8, 2).with_max_group_size(5)),
@@ -490,7 +494,7 @@ mod tests {
         assert_eq!(
             cmd,
             Command::Load {
-                query: LoaderQuery::window(TimeSlot::new(0), TimeSlot::new(96)),
+                query: LoaderQuery::builder().window(TimeSlot::new(0), TimeSlot::new(96)).build(),
                 title: "all the offers".into(),
             }
         );
@@ -498,8 +502,9 @@ mod tests {
         assert_eq!(
             cmd,
             Command::Load {
-                query: LoaderQuery::window(TimeSlot::new(-5), TimeSlot::new(5))
-                    .for_prosumer(ProsumerId(7)),
+                query: LoaderQuery::for_prosumer(ProsumerId(7))
+                    .window(TimeSlot::new(-5), TimeSlot::new(5))
+                    .build(),
                 title: "entity seven".into(),
             }
         );

@@ -395,7 +395,8 @@ mod tests {
         assert_eq!(pool.len(), 2);
         assert_eq!(pool.ids(), vec![a, b]);
 
-        let query = LoaderQuery::window(TimeSlot::new(-100_000), TimeSlot::new(100_000));
+        let query =
+            LoaderQuery::builder().window(TimeSlot::new(-100_000), TimeSlot::new(100_000)).build();
         let outcome = pool.apply(a, Command::Load { query, title: "t".into() }).unwrap();
         assert!(matches!(outcome, Outcome::TabOpened { .. }));
         // `b` is untouched by `a`'s commands.

@@ -115,14 +115,22 @@ pub fn plan_window_start(dw: &Warehouse) -> TimeSlot {
 }
 
 /// The forecast residual target for `[window_start, window_start +
-/// horizon)`: the per-slot **net** flexible-demand envelope (each
-/// offer's maximum energies anchored at its earliest start, signed by
+/// horizon)`: the per-slot **net** flexible-demand history (signed by
 /// direction — consumption positive, production negative, exactly like
 /// [`mirabel_scheduling::load_curve`] signs the plan) over all history
 /// before `window_start`, extrapolated with a daily-seasonal
 /// forecaster and clamped at zero. Signing matters: an unsigned
 /// envelope would set a target the net scheduled load can never reach
 /// whenever production offers are in the mix.
+///
+/// An offer's history contribution prefers what actually happened:
+/// once the day tick metered an
+/// [`Executed`](mirabel_flexoffer::OfferState::Executed) offer, its
+/// recorded execution energies (anchored at the schedule
+/// start) replace the maximum-envelope guess (anchored at the earliest
+/// start). Before anything executes the two are identical by
+/// construction, so a warehouse without executions plans exactly as it
+/// always did.
 ///
 /// Forecaster choice follows the forecast crate's own guidance: with
 /// less than two full seasons of history, [`SeasonalSmoothing`] has
@@ -143,8 +151,25 @@ pub fn day_ahead_target(dw: &Warehouse, window_start: TimeSlot, horizon: usize) 
             continue;
         }
         let sign = fo.direction().sign();
-        for (i, slice) in fo.profile().slices().iter().enumerate() {
-            history.add_at(fo.earliest_start() + SlotSpan::slots(i as i64), sign * slice.max.kwh());
+        match (fo.execution(), fo.schedule()) {
+            // Metered: the execution is the ground truth the forecast
+            // should learn from.
+            (Some(execution), Some(schedule)) => {
+                for (i, energy) in execution.energies().iter().enumerate() {
+                    history
+                        .add_at(schedule.start() + SlotSpan::slots(i as i64), sign * energy.kwh());
+                }
+            }
+            // Not (yet) executed: the maximum envelope at the earliest
+            // start is the best available stand-in.
+            _ => {
+                for (i, slice) in fo.profile().slices().iter().enumerate() {
+                    history.add_at(
+                        fo.earliest_start() + SlotSpan::slots(i as i64),
+                        sign * slice.max.kwh(),
+                    );
+                }
+            }
         }
     }
     let season = mirabel_timeseries::SLOTS_PER_DAY as usize;
@@ -242,7 +267,9 @@ pub fn plan(
     let window_start = plan_window_start(dw);
     let horizon = params.horizon.max(1);
     let target = day_ahead_target(dw, window_start, horizon);
-    let window = LoaderQuery::window(window_start, window_start + SlotSpan::slots(horizon as i64));
+    let window = LoaderQuery::builder()
+        .window(window_start, window_start + SlotSpan::slots(horizon as i64))
+        .build();
 
     // The loadable working set, still Arc-shared with the snapshot:
     // only genuinely *new* arrivals are cloned further down, so a
@@ -370,6 +397,42 @@ mod tests {
         assert_eq!(t1.start(), start);
         assert!(t1.sum() > 0.0, "history must produce a non-trivial target");
         assert!(t1.min().unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn metered_executions_replace_the_envelope_in_the_target() {
+        let (pop, day0, _) = setup();
+        // Reference: nothing executed, the max envelope is the history.
+        let live = LiveWarehouse::new(pop.clone(), &day0);
+        live.advance_day();
+        let snap = live.publish();
+        let start = snap.warehouse().first_day() + SlotSpan::days(1);
+        let envelope = day_ahead_target(snap.warehouse(), start, 96);
+        assert!(envelope.sum() > 0.0);
+
+        // Same pool, but day 0 is scheduled at its minimums and metered
+        // by the day tick before the target is taken.
+        let live = LiveWarehouse::new(pop, &day0);
+        let assignments: Vec<_> = day0
+            .iter()
+            .map(|fo| {
+                let energies = fo.profile().slices().iter().map(|s| s.min).collect();
+                (fo.id(), mirabel_flexoffer::Schedule::new(fo.earliest_start(), energies))
+            })
+            .collect();
+        let out = live.assign_schedules(&assignments);
+        assert_eq!(out.scheduled, day0.len());
+        assert!(live.advance_day() > 0, "day-0 schedules must be due at the tick");
+        let snap = live.publish();
+        let metered = day_ahead_target(snap.warehouse(), start, 96);
+        assert!(
+            metered.sum() < envelope.sum(),
+            "metered minimums must pull the target below the max envelope \
+             ({} >= {})",
+            metered.sum(),
+            envelope.sum()
+        );
+        assert!(metered.min().unwrap() >= 0.0);
     }
 
     #[test]

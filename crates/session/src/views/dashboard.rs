@@ -4,7 +4,7 @@
 use std::f64::consts::TAU;
 
 use mirabel_dw::{Measure, Query, Warehouse};
-use mirabel_flexoffer::FlexOfferStatus;
+use mirabel_flexoffer::OfferState;
 use mirabel_timeseries::{Granularity, TimeSlot};
 use mirabel_viz::{palette, Node, Point, Rect, Scene, Style};
 
@@ -30,7 +30,7 @@ pub struct DashboardOptions {
 pub struct DashboardData {
     /// Bucket start slots.
     pub buckets: Vec<TimeSlot>,
-    /// `counts[status][bucket]` for accepted/assigned/rejected.
+    /// `counts[status][bucket]` for accepted/scheduled/rejected.
     pub counts: [Vec<f64>; 3],
     /// Window totals per status (accepted, assigned, rejected).
     pub totals: [f64; 3],
@@ -39,8 +39,7 @@ pub struct DashboardData {
 /// Computes the dashboard aggregates from the warehouse.
 pub fn compute(dw: &Warehouse, options: &DashboardOptions) -> DashboardData {
     let buckets = options.granularity.buckets(options.from, options.to);
-    let statuses =
-        [FlexOfferStatus::Accepted, FlexOfferStatus::Assigned, FlexOfferStatus::Rejected];
+    let statuses = [OfferState::Accepted, OfferState::Scheduled, OfferState::Rejected];
     let mut counts: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
     let mut totals = [0.0; 3];
     for (si, status) in statuses.iter().enumerate() {
@@ -75,8 +74,8 @@ pub fn build(dw: &Warehouse, options: &DashboardOptions) -> Scene {
     let total: f64 = data.totals.iter().sum();
     let pie_c = Point::new(options.width * 0.2, options.height * 0.5);
     let radius = (options.height * 0.28).min(options.width * 0.16);
-    let labels = ["Accepted", "Assigned", "Rejected"];
-    let colors = [palette::STATUS_ACCEPTED, palette::STATUS_ASSIGNED, palette::STATUS_REJECTED];
+    let labels = ["Accepted", "Scheduled", "Rejected"];
+    let colors = [palette::STATUS_ACCEPTED, palette::STATUS_SCHEDULED, palette::STATUS_REJECTED];
     let mut pie = Vec::new();
     if total > 0.0 {
         let mut angle = 0.0;
@@ -213,7 +212,7 @@ mod tests {
         assert!(texts.contains("From: 01-01 12:00"));
         assert!(texts.contains("To: 01-01 13:15"));
         assert!(texts.contains("Accepted"));
-        assert!(texts.contains("Assigned"));
+        assert!(texts.contains("Scheduled"));
         assert!(texts.contains("Rejected"));
         // Quarter-hour bucket labels as in the figure.
         assert!(texts.contains("12:15"));

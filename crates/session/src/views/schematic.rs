@@ -4,7 +4,7 @@
 use std::f64::consts::TAU;
 
 use mirabel_dw::{Dimension, Measure, Query, Warehouse};
-use mirabel_flexoffer::FlexOfferStatus;
+use mirabel_flexoffer::OfferState;
 use mirabel_grid::{layered_layout, GridTopology, NodeKind};
 use mirabel_viz::{palette, Node, Point, Scene, Style};
 
@@ -30,8 +30,8 @@ impl Default for SchematicViewOptions {
 pub struct StatusShares {
     /// Accepted count.
     pub accepted: f64,
-    /// Assigned count.
-    pub assigned: f64,
+    /// Scheduled count.
+    pub scheduled: f64,
     /// Rejected count.
     pub rejected: f64,
     /// Everything else (offered/executed).
@@ -41,12 +41,12 @@ pub struct StatusShares {
 impl StatusShares {
     /// Total count behind the pie.
     pub fn total(&self) -> f64 {
-        self.accepted + self.assigned + self.rejected + self.other
+        self.accepted + self.scheduled + self.rejected + self.other
     }
 }
 
 /// Builds the schematic view: the layered grid with edges, node glyphs,
-/// and — on lines and substations — accepted/assigned/rejected pies
+/// and — on lines and substations — accepted/scheduled/rejected pies
 /// computed from the warehouse, like the "G" plants and percentage pies
 /// of Figure 4. Pies are tagged with the grid hierarchy member ids.
 pub fn build(dw: &Warehouse, grid: &GridTopology, options: &SchematicViewOptions) -> Scene {
@@ -94,7 +94,7 @@ pub fn build(dw: &Warehouse, grid: &GridTopology, options: &SchematicViewOptions
                 let member = grid_h.member_by_name(&node.name);
                 let shares = member.map(|m| status_shares(dw, m.id)).unwrap_or(StatusShares {
                     accepted: 0.0,
-                    assigned: 0.0,
+                    scheduled: 0.0,
                     rejected: 0.0,
                     other: 0.0,
                 });
@@ -136,16 +136,16 @@ pub fn build(dw: &Warehouse, grid: &GridTopology, options: &SchematicViewOptions
 
 /// Status counts of the facts under one grid hierarchy member.
 pub fn status_shares(dw: &Warehouse, member: mirabel_dw::MemberId) -> StatusShares {
-    let count = |statuses: Vec<FlexOfferStatus>| {
+    let count = |statuses: Vec<OfferState>| {
         dw.eval(&Query::new(Measure::Count).filter(Dimension::Grid, member).statuses(statuses))
             .map(|r| r.total)
             .unwrap_or(0.0)
     };
-    let accepted = count(vec![FlexOfferStatus::Accepted]);
-    let assigned = count(vec![FlexOfferStatus::Assigned]);
-    let rejected = count(vec![FlexOfferStatus::Rejected]);
-    let other = count(vec![FlexOfferStatus::Offered, FlexOfferStatus::Executed]);
-    StatusShares { accepted, assigned, rejected, other }
+    let accepted = count(vec![OfferState::Accepted]);
+    let scheduled = count(vec![OfferState::Scheduled]);
+    let rejected = count(vec![OfferState::Rejected]);
+    let other = count(vec![OfferState::Offered, OfferState::Executed]);
+    StatusShares { accepted, scheduled, rejected, other }
 }
 
 /// Builds a status pie (grey disc when empty).
@@ -162,7 +162,7 @@ pub fn pie(center: Point, radius: f64, shares: &StatusShares, tag: Option<u64>) 
     }
     let segments = [
         (shares.accepted, palette::STATUS_ACCEPTED),
-        (shares.assigned, palette::STATUS_ASSIGNED),
+        (shares.scheduled, palette::STATUS_SCHEDULED),
         (shares.rejected, palette::STATUS_REJECTED),
         (shares.other, palette::STATUS_OFFERED),
     ];
@@ -237,7 +237,7 @@ mod tests {
 
     #[test]
     fn pie_angles_cover_the_circle() {
-        let shares = StatusShares { accepted: 1.0, assigned: 2.0, rejected: 1.0, other: 0.0 };
+        let shares = StatusShares { accepted: 1.0, scheduled: 2.0, rejected: 1.0, other: 0.0 };
         let node = pie(Point::new(0.0, 0.0), 10.0, &shares, Some(5));
         let mut total_sweep = 0.0;
         if let Node::Group { children, .. } = &node {
@@ -254,7 +254,7 @@ mod tests {
 
     #[test]
     fn empty_pie_is_a_grey_disc() {
-        let shares = StatusShares { accepted: 0.0, assigned: 0.0, rejected: 0.0, other: 0.0 };
+        let shares = StatusShares { accepted: 0.0, scheduled: 0.0, rejected: 0.0, other: 0.0 };
         let node = pie(Point::new(0.0, 0.0), 10.0, &shares, None);
         assert!(matches!(node, Node::Circle { .. }));
     }

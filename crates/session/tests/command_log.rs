@@ -27,7 +27,7 @@ fn warehouse() -> Arc<Warehouse> {
 }
 
 fn wide() -> LoaderQuery {
-    LoaderQuery::window(TimeSlot::new(-100_000), TimeSlot::new(100_000))
+    LoaderQuery::builder().window(TimeSlot::new(-100_000), TimeSlot::new(100_000)).build()
 }
 
 fn random_point(rng: &mut StdRng) -> Point {
@@ -65,10 +65,9 @@ fn random_command(rng: &mut StdRng) -> Command {
             let a = rng.gen_range(-200i64..200);
             let b = rng.gen_range(-200i64..200);
             Command::Load {
-                query: LoaderQuery::window(
-                    TimeSlot::new(a.min(b) * 10),
-                    TimeSlot::new(a.max(b) * 10 + 1),
-                ),
+                query: LoaderQuery::builder()
+                    .window(TimeSlot::new(a.min(b) * 10), TimeSlot::new(a.max(b) * 10 + 1))
+                    .build(),
                 title: format!("load {a} {b}"),
             }
         }

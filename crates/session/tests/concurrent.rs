@@ -21,7 +21,7 @@ fn warehouse() -> Arc<Warehouse> {
 }
 
 fn wide() -> LoaderQuery {
-    LoaderQuery::window(TimeSlot::new(-100_000), TimeSlot::new(100_000))
+    LoaderQuery::builder().window(TimeSlot::new(-100_000), TimeSlot::new(100_000)).build()
 }
 
 /// A seeded per-user command stream: a load, then a mixed interactive

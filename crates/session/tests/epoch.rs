@@ -6,7 +6,7 @@ use std::sync::Arc;
 use mirabel_dw::{LiveWarehouse, LoaderQuery, Warehouse};
 use mirabel_flexoffer::{FlexOffer, FlexOfferId};
 use mirabel_session::{Command, ConcurrentPool, Outcome};
-use mirabel_timeseries::{TimeSlot, SLOTS_PER_DAY};
+use mirabel_timeseries::SLOTS_PER_DAY;
 use mirabel_workload::{generate_offers, OfferConfig, Population, PopulationConfig};
 
 fn setup() -> (Population, Vec<FlexOffer>, Vec<FlexOffer>) {
@@ -19,7 +19,7 @@ fn setup() -> (Population, Vec<FlexOffer>, Vec<FlexOffer>) {
 }
 
 fn everywhere() -> LoaderQuery {
-    LoaderQuery::window(TimeSlot::new(i64::MIN / 4), TimeSlot::new(i64::MAX / 4))
+    LoaderQuery::builder().build()
 }
 
 #[test]

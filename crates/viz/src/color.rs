@@ -85,11 +85,11 @@ pub mod palette {
     /// Energy-bound whiskers in the profile view.
     pub const ENERGY_BOUND: Color = Color::rgb(0x30, 0x60, 0xB0);
 
-    /// Status colors for the accepted/assigned/rejected pies of
+    /// Status colors for the accepted/scheduled/rejected pies of
     /// Figures 4 and 6.
     pub const STATUS_ACCEPTED: Color = Color::rgb(0x4C, 0xAF, 0x50);
-    /// Assigned slice color.
-    pub const STATUS_ASSIGNED: Color = Color::rgb(0x42, 0x85, 0xF4);
+    /// Scheduled slice color.
+    pub const STATUS_SCHEDULED: Color = Color::rgb(0x42, 0x85, 0xF4);
     /// Rejected slice color.
     pub const STATUS_REJECTED: Color = Color::rgb(0xEA, 0x43, 0x35);
     /// Offered (not yet answered) slice color.

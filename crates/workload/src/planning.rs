@@ -192,7 +192,7 @@ pub fn planning_window(start: TimeSlot) -> (TimeSlot, TimeSlot) {
 mod tests {
     use super::*;
     use crate::population::PopulationConfig;
-    use mirabel_flexoffer::FlexOfferStatus;
+    use mirabel_flexoffer::OfferState;
     use std::collections::HashSet;
 
     fn pop() -> Population {
@@ -207,7 +207,7 @@ mod tests {
         let first = first_pool_id(5);
         for (i, fo) in pool.iter().enumerate() {
             assert_eq!(fo.id().raw(), first + i as u64);
-            assert_eq!(fo.status(), FlexOfferStatus::Accepted);
+            assert_eq!(fo.status(), OfferState::Accepted);
             assert!(fo.earliest_start() >= TimeSlot::EPOCH);
         }
         // Deterministic.

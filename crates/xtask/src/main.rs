@@ -11,6 +11,10 @@
 //!   half of `build-test`);
 //! * `cargo xtask examples` — *run* the smoke examples (the `examples`
 //!   job; clippy only proves they compile);
+//! * `cargo xtask api-check` — the typestate API surface: the
+//!   compile-fail doctest suites of `mirabel-flexoffer` and
+//!   `mirabel-net` (invalid lifecycle transitions must not compile)
+//!   plus their rustdoc under `-D warnings`;
 //! * `cargo xtask bench-gate` — session/stress/ingest/planning/spatial
 //!   harnesses plus the `bench_diff` regression gate (the second half);
 //! * `cargo xtask baseline` — refresh `BENCH_baseline.json` from fresh
@@ -60,6 +64,30 @@ const TEST: &[Step] = &[
         program: "cargo",
         args: &["test", "--workspace", "--doc", "--locked"],
         env: &[],
+    },
+];
+
+/// The typestate API gate: the `compile_fail` doctests are the proof
+/// that invalid offer/connection transitions do not compile, and the
+/// crates' rustdoc is the spec they quote — both must stay green.
+const API_CHECK: &[Step] = &[
+    Step {
+        name: "flexoffer lifecycle doctests (compile-fail suite)",
+        program: "cargo",
+        args: &["test", "-p", "mirabel-flexoffer", "--doc", "--locked"],
+        env: &[],
+    },
+    Step {
+        name: "net connection doctests (compile-fail suite)",
+        program: "cargo",
+        args: &["test", "-p", "mirabel-net", "--doc", "--locked"],
+        env: &[],
+    },
+    Step {
+        name: "API rustdoc (-D warnings)",
+        program: "cargo",
+        args: &["doc", "-p", "mirabel-flexoffer", "-p", "mirabel-net", "--no-deps", "--locked"],
+        env: &[("RUSTDOCFLAGS", "-D warnings")],
     },
 ];
 
@@ -192,6 +220,29 @@ const BENCH_GATE: &[Step] = &[
         env: &[],
     },
     Step {
+        name: "forecast harness (executions-beat-envelope gate)",
+        program: "cargo",
+        args: &[
+            "run",
+            "--release",
+            "--locked",
+            "-p",
+            "mirabel-bench",
+            "--bin",
+            "forecast",
+            "--",
+            "--prosumers",
+            "120",
+            "--days",
+            "5",
+            "--eval-days",
+            "3",
+            "--out",
+            "BENCH_forecast.json",
+        ],
+        env: &[],
+    },
+    Step {
         name: "bench gate (±20% vs BENCH_baseline.json)",
         program: "cargo",
         args: &[
@@ -215,6 +266,8 @@ const BENCH_GATE: &[Step] = &[
             "BENCH_spatial.json",
             "--net",
             "BENCH_net.json",
+            "--forecast",
+            "BENCH_forecast.json",
             "--tolerance",
             "0.20",
         ],
@@ -357,6 +410,23 @@ const BASELINE: &[Step] = &[
         env: &[],
     },
     Step {
+        name: "forecast harness",
+        program: "cargo",
+        args: &[
+            "run",
+            "--release",
+            "--locked",
+            "-p",
+            "mirabel-bench",
+            "--bin",
+            "forecast",
+            "--",
+            "--out",
+            "BENCH_forecast.json",
+        ],
+        env: &[],
+    },
+    Step {
         name: "write BENCH_baseline.json",
         program: "cargo",
         args: &[
@@ -380,6 +450,8 @@ const BASELINE: &[Step] = &[
             "BENCH_spatial.json",
             "--net",
             "BENCH_net.json",
+            "--forecast",
+            "BENCH_forecast.json",
             "--write-baseline",
         ],
         env: &[],
@@ -416,19 +488,21 @@ fn run(steps: &[&[Step]]) -> ExitCode {
 fn main() -> ExitCode {
     let task = std::env::args().nth(1).unwrap_or_default();
     match task.as_str() {
-        "ci" => run(&[LINT, TEST, EXAMPLES, BENCH_GATE]),
+        "ci" => run(&[LINT, TEST, API_CHECK, EXAMPLES, BENCH_GATE]),
         "lint" => run(&[LINT]),
         "test" => run(&[TEST]),
         "examples" => run(&[EXAMPLES]),
+        "api-check" => run(&[API_CHECK]),
         "bench-gate" => run(&[BENCH_GATE]),
         "baseline" => run(&[BASELINE]),
         _ => {
             eprintln!(
                 "usage: cargo xtask <task>\n\n\
                  tasks:\n\
-                 \x20 ci          the full CI pipeline (lint + test + examples + bench-gate)\n\
+                 \x20 ci          the full CI pipeline (lint + test + api-check + examples + bench-gate)\n\
                  \x20 lint        clippy + rustfmt + rustdoc, all -D warnings\n\
                  \x20 test        release build + workspace tests\n\
+                 \x20 api-check   typestate compile-fail doctests + API rustdoc -D warnings\n\
                  \x20 examples    run (not just compile) the smoke examples\n\
                  \x20 bench-gate  benches, stress/ingest/planning/spatial/net harnesses, bench_diff gate\n\
                  \x20 baseline    refresh BENCH_baseline.json from this machine"

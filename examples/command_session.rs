@@ -24,7 +24,8 @@ fn main() {
     // aggregate, render.
     let mut session = Session::new(Arc::clone(&dw));
     session.set_recording(true);
-    let window = LoaderQuery::window(TimeSlot::EPOCH, TimeSlot::EPOCH + SlotSpan::days(2));
+    let window =
+        LoaderQuery::builder().window(TimeSlot::EPOCH, TimeSlot::EPOCH + SlotSpan::days(2)).build();
     session.handle(Command::Load { query: window, title: "day 1".into() });
     session.handle(Command::DragStart(Point::new(0.0, 0.0)));
     session.handle(Command::DragEnd(Point::new(960.0, 540.0)));

@@ -23,9 +23,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Figure 7: pick a legal entity and an absolute interval, load.
     let entity = population.prosumers()[0].id;
-    let window = LoaderQuery::window(TimeSlot::EPOCH, TimeSlot::EPOCH + SlotSpan::days(2));
+    let window =
+        LoaderQuery::builder().window(TimeSlot::EPOCH, TimeSlot::EPOCH + SlotSpan::days(2)).build();
     app.load(&dw, &window, "all offers, day 1");
-    app.load(&dw, &window.for_prosumer(entity), format!("entity {entity}"));
+    app.load(
+        &dw,
+        &LoaderQuery::for_prosumer(entity)
+            .window(TimeSlot::EPOCH, TimeSlot::EPOCH + SlotSpan::days(2))
+            .build(),
+        format!("entity {entity}"),
+    );
     println!("tabs: {:?}", app.tabs().iter().map(|t| t.title.as_str()).collect::<Vec<_>>());
 
     // Back to the big tab; hover over the first offer (Figure 10).

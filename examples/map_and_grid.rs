@@ -51,7 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     std::fs::write("out/map_view_potential.svg", render_svg(&potential_scene))?;
     println!("wrote out/map_view_potential.svg");
 
-    // Figure 4: the schematic grid with accepted/assigned/rejected pies.
+    // Figure 4: the schematic grid with accepted/scheduled/rejected pies.
     let schematic_scene =
         schematic::build(&dw, population.grid(), &SchematicViewOptions::default());
     std::fs::write("out/schematic_view.svg", render_svg(&schematic_scene))?;
@@ -64,10 +64,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let shares = schematic::status_shares(&dw, line.id);
         let total = shares.total().max(1.0);
         println!(
-            "  {:<4} accepted {:>4.0}% assigned {:>4.0}% rejected {:>4.0}%",
+            "  {:<4} accepted {:>4.0}% scheduled {:>4.0}% rejected {:>4.0}%",
             line.name,
             shares.accepted / total * 100.0,
-            shares.assigned / total * 100.0,
+            shares.scheduled / total * 100.0,
             shares.rejected / total * 100.0,
         );
     }

@@ -8,7 +8,7 @@
 
 use mirabel::core::views::pivot::{self, PivotViewOptions};
 use mirabel::dw::{Dimension, Measure, PivotAxis, PivotSpec, Query, Warehouse};
-use mirabel::flexoffer::FlexOfferStatus;
+use mirabel::flexoffer::OfferState;
 use mirabel::viz::render_svg;
 use mirabel::workload::{generate_offers, OfferConfig, Population, PopulationConfig};
 
@@ -35,7 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let result = dw.eval(
         &Query::new(Measure::Count)
             .filter(Dimension::Geography, region.id)
-            .statuses(vec![FlexOfferStatus::Accepted])
+            .statuses(vec![OfferState::Accepted])
             .group_by(Dimension::Geography, 2),
     )?;
     println!("\naccepted flex-offers in Midtjylland by city:");

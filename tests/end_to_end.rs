@@ -6,7 +6,7 @@ use mirabel::aggregation::{AggregationParams, Aggregator};
 use mirabel::core::views::{annotate, basic, dashboard, map, pivot, profile, schematic, tooltip};
 use mirabel::core::{App, Event, VisualOffer};
 use mirabel::dw::{Dimension, LoaderQuery, Measure, Query, Warehouse};
-use mirabel::flexoffer::FlexOfferStatus;
+use mirabel::flexoffer::OfferState;
 use mirabel::market::{Enterprise, EnterpriseConfig};
 use mirabel::timeseries::{Granularity, SlotSpan, TimeSlot};
 use mirabel::viz::{render_ascii, render_svg, Point, Raster, Rect};
@@ -27,10 +27,8 @@ fn enterprise_day_populates_all_measures() {
     let total = dw.eval(&Query::new(Measure::Count)).unwrap().total as usize;
     assert_eq!(total, sc.offers.len());
 
-    let executed = dw
-        .eval(&Query::new(Measure::Count).statuses(vec![FlexOfferStatus::Executed]))
-        .unwrap()
-        .total;
+    let executed =
+        dw.eval(&Query::new(Measure::Count).statuses(vec![OfferState::Executed])).unwrap().total;
     assert!(executed > 0.0);
 
     let scheduled = dw.eval(&Query::new(Measure::ScheduledEnergy)).unwrap().total;
@@ -137,7 +135,8 @@ fn section4_walkthrough() {
     let mut app = App::new();
 
     // Load one day of everything.
-    let window = LoaderQuery::window(TimeSlot::EPOCH, TimeSlot::EPOCH + SlotSpan::days(2));
+    let window =
+        LoaderQuery::builder().window(TimeSlot::EPOCH, TimeSlot::EPOCH + SlotSpan::days(2)).build();
     app.load(&dw, &window, "day 1");
     let n = app.active_tab().unwrap().offers.len();
     assert!(n > 100);
@@ -185,14 +184,14 @@ fn loader_respects_entity_and_window() {
     let dw = Warehouse::load(&sc.population, &sc.offers);
     let from = TimeSlot::EPOCH + SlotSpan::hours(18);
     let to = TimeSlot::EPOCH + SlotSpan::hours(26);
-    let loaded = dw.load_offers(&LoaderQuery::window(from, to));
+    let loaded = dw.load_offers(&LoaderQuery::builder().window(from, to).build());
     assert!(!loaded.is_empty());
     for fo in &loaded {
         let (lo, hi) = fo.extent();
         assert!(lo < to && from < hi, "{} outside window", fo.id());
     }
     let entity = loaded[0].prosumer();
-    let only = dw.load_offers(&LoaderQuery::window(from, to).for_prosumer(entity));
+    let only = dw.load_offers(&LoaderQuery::for_prosumer(entity).window(from, to).build());
     assert!(only.iter().all(|fo| fo.prosumer() == entity));
     assert!(only.len() <= loaded.len());
 }
@@ -216,7 +215,7 @@ fn mdx_agrees_with_programmatic_queries() {
         .eval(
             &Query::new(Measure::Count)
                 .filter(Dimension::Geography, region)
-                .statuses(vec![FlexOfferStatus::Accepted]),
+                .statuses(vec![OfferState::Accepted]),
         )
         .unwrap()
         .total;
