@@ -25,10 +25,30 @@ pub struct GroupKey {
 impl GroupKey {
     /// Computes the cell of `offer` under `params`.
     pub fn of(offer: &FlexOffer, params: &AggregationParams) -> GroupKey {
+        GroupKey::from_parts(
+            offer.direction() == Direction::Production,
+            offer.earliest_start().index(),
+            offer.time_flexibility().count(),
+            params,
+        )
+    }
+
+    /// Computes a cell from raw attribute values — the columnar entry
+    /// point: a warehouse sweep reads the direction, earliest-start and
+    /// time-flexibility *columns* and keys offers without touching the
+    /// offer objects themselves. `GroupKey::of(fo, p)` is definitionally
+    /// `GroupKey::from_parts(fo.direction() == Production,
+    /// fo.earliest_start().index(), fo.time_flexibility().count(), p)`.
+    pub fn from_parts(
+        producer: bool,
+        est_slot: i64,
+        tf_slots: i64,
+        params: &AggregationParams,
+    ) -> GroupKey {
         GroupKey {
-            direction_producer: offer.direction() == Direction::Production,
-            est_cell: offer.earliest_start().index().div_euclid(params.est_tolerance),
-            tf_cell: offer.time_flexibility().count().div_euclid(params.tft_tolerance),
+            direction_producer: producer,
+            est_cell: est_slot.div_euclid(params.est_tolerance),
+            tf_cell: tf_slots.div_euclid(params.tft_tolerance),
         }
     }
 }

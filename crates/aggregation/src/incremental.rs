@@ -102,11 +102,23 @@ impl IncrementalAggregator {
     /// cell dirty. Returns `false` (and changes nothing) when an offer
     /// with this id is already maintained.
     pub fn insert(&mut self, offer: Arc<FlexOffer>) -> bool {
+        let key = GroupKey::of(&offer, &self.params);
+        self.insert_keyed(offer, key)
+    }
+
+    /// [`IncrementalAggregator::insert`] with a pre-computed [`GroupKey`]
+    /// — the columnar ingest path: a warehouse sweep derives keys from
+    /// the direction/EST/TFT *columns* via [`GroupKey::from_parts`] and
+    /// only dereferences the shared offer handle for storage. The key
+    /// must equal `GroupKey::of(&offer, self.params())`; a mismatched
+    /// key is a caller bug (checked in debug builds) that would silently
+    /// corrupt cell membership in release builds.
+    pub fn insert_keyed(&mut self, offer: Arc<FlexOffer>, key: GroupKey) -> bool {
+        debug_assert_eq!(key, GroupKey::of(&offer, &self.params), "key/offer mismatch");
         let id = offer.id();
         if self.by_id.contains_key(&id) {
             return false;
         }
-        let key = GroupKey::of(&offer, &self.params);
         self.next_synthetic = self.next_synthetic.max(id.raw() + 1);
         self.by_id.insert(id, key);
         self.cells.entry(key).or_default().members.push(offer);
@@ -473,6 +485,36 @@ mod tests {
             }
         }
         assert!(!inc.is_empty());
+    }
+
+    /// The columnar ingest path: keys computed from raw attribute values
+    /// (what a warehouse sweep reads off its columns) must land offers in
+    /// exactly the cells the offer-object path chooses.
+    #[test]
+    fn columnar_keyed_insert_matches_plain_insert() {
+        let params = AggregationParams::new(4, 3);
+        let offers: Vec<Arc<FlexOffer>> =
+            (0..30).map(|i| offer(i + 1, (i as i64 % 7) * 2, i as i64 % 5, 2, 10, 40)).collect();
+        let mut plain = IncrementalAggregator::new(params);
+        let mut keyed = IncrementalAggregator::new(params);
+        for fo in &offers {
+            assert!(plain.insert(Arc::clone(fo)));
+            let key = GroupKey::from_parts(
+                fo.direction() == Direction::Production,
+                fo.earliest_start().index(),
+                fo.time_flexibility().count(),
+                &params,
+            );
+            assert!(keyed.insert_keyed(Arc::clone(fo), key));
+        }
+        plain.refresh().unwrap();
+        keyed.refresh().unwrap();
+        assert_eq!(plain.output_count(), keyed.output_count());
+        let a: Vec<Vec<FlexOfferId>> =
+            plain.aggregates().map(|x| x.member_ids().collect()).collect();
+        let b: Vec<Vec<FlexOfferId>> =
+            keyed.aggregates().map(|x| x.member_ids().collect()).collect();
+        assert_eq!(a, b);
     }
 
     #[test]

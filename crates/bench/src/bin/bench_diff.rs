@@ -21,15 +21,15 @@
 use std::process::ExitCode;
 
 use mirabel_bench::diff::{
-    diff_forecast, diff_ingest, diff_net, diff_planning, diff_spatial, diff_stress,
+    diff_columnar, diff_forecast, diff_ingest, diff_net, diff_planning, diff_spatial, diff_stress,
     guard_machine_class, Json, MetricCheck, PARALLEL_GATE_MIN_CORES,
 };
 
 fn usage() -> ! {
     eprintln!(
         "usage: bench_diff --baseline PATH [--stress PATH] [--ingest PATH] \
-         [--planning PATH] [--net PATH] [--spatial PATH] [--forecast PATH] [--tolerance F] \
-         [--write-baseline]"
+         [--planning PATH] [--net PATH] [--spatial PATH] [--forecast PATH] \
+         [--columnar PATH] [--tolerance F] [--write-baseline]"
     );
     std::process::exit(2);
 }
@@ -47,6 +47,7 @@ fn main() -> ExitCode {
     let mut net_path: Option<String> = None;
     let mut spatial_path: Option<String> = None;
     let mut forecast_path: Option<String> = None;
+    let mut columnar_path: Option<String> = None;
     let mut tolerance = 0.20f64;
     let mut write_baseline = false;
 
@@ -66,6 +67,7 @@ fn main() -> ExitCode {
             "--net" => net_path = Some(value(&args, &mut i)),
             "--spatial" => spatial_path = Some(value(&args, &mut i)),
             "--forecast" => forecast_path = Some(value(&args, &mut i)),
+            "--columnar" => columnar_path = Some(value(&args, &mut i)),
             "--tolerance" => {
                 tolerance = value(&args, &mut i).parse().unwrap_or_else(|_| usage());
             }
@@ -85,10 +87,11 @@ fn main() -> ExitCode {
         && net_path.is_none()
         && spatial_path.is_none()
         && forecast_path.is_none()
+        && columnar_path.is_none()
     {
         eprintln!(
-            "nothing to compare: pass --stress, --ingest, --planning, --net, --spatial \
-             and/or --forecast"
+            "nothing to compare: pass --stress, --ingest, --planning, --net, --spatial, \
+             --forecast and/or --columnar"
         );
         usage();
     }
@@ -109,6 +112,7 @@ fn main() -> ExitCode {
             ("net", &net_path),
             ("spatial", &spatial_path),
             ("forecast", &forecast_path),
+            ("columnar", &columnar_path),
         ] {
             if let Some(path) = path {
                 match std::fs::read_to_string(path) {
@@ -154,6 +158,7 @@ fn main() -> ExitCode {
         ("net", &net_path, diff_net as fn(&Json, &Json, f64) -> _),
         ("spatial", &spatial_path, diff_spatial as fn(&Json, &Json, f64) -> _),
         ("forecast", &forecast_path, diff_forecast as fn(&Json, &Json, f64) -> _),
+        ("columnar", &columnar_path, diff_columnar as fn(&Json, &Json, f64) -> _),
     ] {
         let Some(path) = path else { continue };
         let Some(base_section) = baseline.get(key) else {

@@ -1,0 +1,105 @@
+//! S7 — columnar ≡ row equivalence under ingest churn, as a CI binary.
+//!
+//! Runs the columnar harness, writes `BENCH_columnar.json`, and
+//! enforces two gates unconditionally:
+//!
+//! * **query equality**: every columnar `eval` answer must equal the
+//!   row-oriented `eval_rows` reference exactly, at every epoch;
+//! * **view equality**: every borrowed `view` (ids and materialized
+//!   offers) must match the linear row scan, at every epoch.
+//!
+//! The columns-vs-rows timing ratio is reported but advisory — the
+//! correctness booleans are what CI fails on.
+//!
+//! ```sh
+//! cargo run --release -p mirabel-bench --bin columnar -- \
+//!     --prosumers 150 --days 2 --repeats 3
+//! ```
+
+use std::process::ExitCode;
+
+use mirabel_bench::columnar::{run_columnar, ColumnarConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: columnar [--prosumers N] [--days N] [--batches-per-day N] \
+         [--withdraw-fraction F] [--repeats N] [--seed S] [--out PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut config = ColumnarConfig::default();
+    let mut out_path = String::from("BENCH_columnar.json");
+
+    fn value(args: &[String], i: &mut usize) -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| usage())
+    }
+    fn parse<T: std::str::FromStr>(s: String) -> T {
+        s.parse().unwrap_or_else(|_| usage())
+    }
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--prosumers" => config.prosumers = parse(value(&args, &mut i)),
+            "--days" => config.days = parse(value(&args, &mut i)),
+            "--batches-per-day" => config.batches_per_day = parse(value(&args, &mut i)),
+            "--withdraw-fraction" => config.withdraw_fraction = parse(value(&args, &mut i)),
+            "--repeats" => config.repeats = parse(value(&args, &mut i)),
+            "--seed" => config.seed = parse(value(&args, &mut i)),
+            "--out" => out_path = value(&args, &mut i),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    if config.prosumers == 0 || config.days == 0 {
+        usage();
+    }
+
+    println!(
+        "S7 columnar — {} prosumers, {} days of churn (seed {:#x})",
+        config.prosumers, config.days, config.seed,
+    );
+    let report = run_columnar(&config);
+    println!(
+        "{} epochs, {} rows final; {} query + {} view comparisons",
+        report.epochs, report.offers, report.queries, report.views,
+    );
+    println!(
+        "final-epoch battery: columns {:.3} ms vs rows {:.3} ms → {:.2}x",
+        report.columnar_eval_ms, report.row_eval_ms, report.eval_speedup,
+    );
+    println!(
+        "query equality: {}; view equality: {}",
+        if report.equality_ok { "exact" } else { "DIVERGED" },
+        if report.views_ok { "exact" } else { "DIVERGED" },
+    );
+
+    if let Err(e) = std::fs::write(&out_path, report.to_json()) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}");
+
+    let mut failed = false;
+    if !report.equality_ok {
+        eprintln!("FAIL: columnar eval diverged from the row reference");
+        failed = true;
+    }
+    if !report.views_ok {
+        eprintln!("FAIL: borrowed views diverged from the linear row scan");
+        failed = true;
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

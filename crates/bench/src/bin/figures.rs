@@ -167,7 +167,7 @@ fn figure3() {
     let scene = map::build(&dw, pop.geography(), &Default::default());
     println!(
         "  {} facts -> {} primitives in {:.1} ms",
-        dw.facts().len(),
+        dw.columns().len(),
         scene.primitive_count(),
         t.elapsed().as_secs_f64() * 1e3
     );
@@ -200,7 +200,11 @@ fn figure5() {
                FROM [FlexOffers] WHERE ( [Measures].[TotalMaxEnergy] )";
     let t = Instant::now();
     let table = dw.mdx(mdx).unwrap();
-    println!("  MDX over {} facts in {:.1} ms:", dw.facts().len(), t.elapsed().as_secs_f64() * 1e3);
+    println!(
+        "  MDX over {} facts in {:.1} ms:",
+        dw.columns().len(),
+        t.elapsed().as_secs_f64() * 1e3
+    );
     print!("{}", indent(&table.to_text()));
     let scene = pivot::build_mdx(&dw, mdx, &Default::default()).unwrap();
     let path = write_figure("fig5_pivot.svg", &render_svg(&scene)).unwrap();
@@ -260,7 +264,7 @@ fn figure7() {
         let window_ms = t.elapsed().as_secs_f64() * 1e3;
         println!(
             "  {:>9} {:>10.1}ms {:>10.2}ms ({a}) {:>8.2}ms ({b})",
-            dw.facts().len(),
+            dw.columns().len(),
             load_ms,
             entity_ms,
             window_ms

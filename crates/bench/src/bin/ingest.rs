@@ -23,8 +23,8 @@ use mirabel_bench::ingest::{run_ingest, IngestConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: ingest [--readers K] [--commands M] [--threads 1,2,4,8] [--prosumers N] \
-         [--days D] [--batches B] [--withdraw F] [--repeats N] [--seed S] [--out PATH] \
-         [--assert-publish-ms MS]"
+         [--days D] [--batches B] [--withdraw F] [--repeats N] [--seed S] [--bulk-offers N] \
+         [--out PATH] [--assert-publish-ms MS] [--assert-bulk-publish-ms MS]"
     );
     std::process::exit(2);
 }
@@ -33,6 +33,7 @@ fn main() -> ExitCode {
     let mut config = IngestConfig::default();
     let mut out_path = String::from("BENCH_ingest.json");
     let mut assert_publish_ms: Option<f64> = None;
+    let mut assert_bulk_publish_ms: Option<f64> = None;
 
     fn value(args: &[String], i: &mut usize) -> String {
         *i += 1;
@@ -60,8 +61,12 @@ fn main() -> ExitCode {
             "--withdraw" => config.withdraw_fraction = parse(value(&args, &mut i)),
             "--repeats" => config.repeats = parse(value(&args, &mut i)),
             "--seed" => config.seed = parse(value(&args, &mut i)),
+            "--bulk-offers" => config.bulk_offers = parse(value(&args, &mut i)),
             "--out" => out_path = value(&args, &mut i),
             "--assert-publish-ms" => assert_publish_ms = Some(parse(value(&args, &mut i))),
+            "--assert-bulk-publish-ms" => {
+                assert_bulk_publish_ms = Some(parse(value(&args, &mut i)));
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument {other:?}");
@@ -108,6 +113,14 @@ fn main() -> ExitCode {
         if report.hash_stable { "identical" } else { "DIVERGED" },
     );
     println!("1k-offer batch publish probe: {:.2} ms", report.publish_1k_ms);
+    println!(
+        "bulk probe: {} offers ingested in {:.0} ms; publish {:.2} ms, \
+         delta re-publish {:.2} ms",
+        report.bulk.offers,
+        report.bulk.ingest_ms,
+        report.bulk.publish_ms,
+        report.bulk.delta_publish_ms,
+    );
 
     if let Err(e) = std::fs::write(&out_path, report.to_json()) {
         eprintln!("cannot write {out_path}: {e}");
@@ -130,6 +143,21 @@ fn main() -> ExitCode {
             eprintln!(
                 "FAIL: 1k-offer batch publish took {:.2} ms, bound is {bound:.0} ms",
                 report.publish_1k_ms,
+            );
+            failed = true;
+        }
+    }
+    if let Some(bound) = assert_bulk_publish_ms {
+        let worst = report.bulk.publish_ms.max(report.bulk.delta_publish_ms);
+        if worst <= bound {
+            println!(
+                "bulk publish gate passed: {worst:.2} ms at {} offers (bound {bound:.0} ms)",
+                report.bulk.offers,
+            );
+        } else {
+            eprintln!(
+                "FAIL: publishing {} offers took {worst:.2} ms, bound is {bound:.0} ms",
+                report.bulk.offers,
             );
             failed = true;
         }

@@ -11,11 +11,16 @@
 //!   worker thread count;
 //! * **incrementality** (`--assert-speedup X`): a single-offer
 //!   incremental re-plan must be at least `X`× faster than a full
-//!   re-plan.
+//!   re-plan;
+//! * **bundling** (`--assert-bundle-speedup X`): aggregate-then-schedule
+//!   must plan the pool at least `X`× faster than raw scheduling, and
+//!   its round trip must leave every offer feasibly scheduled (the
+//!   round-trip check is enforced whenever the flag is given).
 //!
 //! ```sh
 //! cargo run --release -p mirabel-bench --bin planning -- \
-//!     --offers 10000 --partitions 64 --threads 1,2,4,8 --assert-speedup 10
+//!     --offers 10000 --partitions 64 --threads 1,2,4,8 \
+//!     --assert-speedup 10 --assert-bundle-speedup 5
 //! ```
 
 use std::process::ExitCode;
@@ -25,7 +30,8 @@ use mirabel_bench::planning::{run_planning, PlanningConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: planning [--offers N] [--partitions P] [--threads 1,2,4,8] [--prosumers N] \
-         [--repeats N] [--seed S] [--out PATH] [--assert-speedup X]"
+         [--repeats N] [--seed S] [--out PATH] [--assert-speedup X] \
+         [--assert-bundle-speedup X]"
     );
     std::process::exit(2);
 }
@@ -34,6 +40,7 @@ fn main() -> ExitCode {
     let mut config = PlanningConfig::default();
     let mut out_path = String::from("BENCH_planning.json");
     let mut assert_speedup: Option<f64> = None;
+    let mut assert_bundle_speedup: Option<f64> = None;
 
     fn value(args: &[String], i: &mut usize) -> String {
         *i += 1;
@@ -60,6 +67,7 @@ fn main() -> ExitCode {
             "--seed" => config.seed = parse(value(&args, &mut i)),
             "--out" => out_path = value(&args, &mut i),
             "--assert-speedup" => assert_speedup = Some(parse(value(&args, &mut i))),
+            "--assert-bundle-speedup" => assert_bundle_speedup = Some(parse(value(&args, &mut i))),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument {other:?}");
@@ -95,6 +103,13 @@ fn main() -> ExitCode {
         );
     }
     println!(
+        "bundled plan {:.2} ms vs raw {:.2} ms → {:.1}x speedup (round trip {})",
+        report.bundled_replan_ms,
+        report.bundle_raw_ms,
+        report.bundle_speedup,
+        if report.bundle_roundtrip_ok { "exact" } else { "BROKEN" },
+    );
+    println!(
         "plan determinism: {}; balance frame hashes: {}",
         if report.determinism_ok { "identical across thread counts" } else { "DIVERGED" },
         if report.frame_hash_stable { "identical across thread counts" } else { "DIVERGED" },
@@ -125,6 +140,21 @@ fn main() -> ExitCode {
             eprintln!(
                 "FAIL: incremental re-plan is only {:.1}x faster than full, bound is {bound:.0}x",
                 report.incremental_speedup,
+            );
+            failed = true;
+        }
+    }
+    if let Some(bound) = assert_bundle_speedup {
+        if !report.bundle_roundtrip_ok {
+            eprintln!("FAIL: bundled planning left offers without feasible schedules");
+            failed = true;
+        }
+        if report.bundle_speedup >= bound {
+            println!("bundling gate passed: {:.1}x (bound {bound:.0}x)", report.bundle_speedup,);
+        } else {
+            eprintln!(
+                "FAIL: bundled planning is only {:.1}x faster than raw, bound is {bound:.0}x",
+                report.bundle_speedup,
             );
             failed = true;
         }

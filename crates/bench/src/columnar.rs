@@ -1,0 +1,334 @@
+//! S7 — columnar ≡ row equivalence under ingest churn.
+//!
+//! The column store behind [`Warehouse::eval`] and
+//! [`Warehouse::view`] is an optimisation, not a second source of
+//! truth: every columnar answer must be *bit-identical* to the
+//! row-oriented reference ([`Warehouse::eval_rows`],
+//! [`Warehouse::load_offers_scan`]). This harness replays a seeded
+//! [`mirabel_workload::ingest`] trace — arrivals, withdrawal storms,
+//! day ticks — and at **every** published epoch runs
+//!
+//! * a **query battery**: all nine [`Measure`]s, plain / status-filtered
+//!   / time-ranged, plus group-bys at every level of every dimension
+//!   hierarchy and a member-filtered probe per dimension, comparing
+//!   [`Warehouse::eval`] against [`Warehouse::eval_rows`] with exact
+//!   [`mirabel_dw::QueryResult`] equality (`equality_ok`);
+//! * a **view battery**: full / windowed / direction / prosumer /
+//!   region [`LoaderQuery`]s, comparing the borrowed
+//!   [`Warehouse::view`] (both its id iterator and its
+//!   `materialize()`d offers) against the linear row scan
+//!   (`views_ok`);
+//! * a **timing probe** on the final epoch: the whole query battery
+//!   through the columns vs through the rows, best-of-N
+//!   (`eval_speedup` — advisory; the equality booleans are the hard
+//!   gates).
+//!
+//! Everything is deterministic in the config seed. The `columnar`
+//! binary wraps this module for CI
+//! (`cargo run --release -p mirabel-bench --bin columnar`).
+
+use std::time::Instant;
+
+use mirabel_dw::{Dimension, LiveWarehouse, LoaderQuery, Measure, Query, Warehouse};
+use mirabel_flexoffer::{Direction, OfferState};
+use mirabel_timeseries::{SlotSpan, TimeSlot};
+use mirabel_workload::{
+    generate_ingest_trace, generate_offers, IngestEvent, IngestTraceConfig, OfferConfig,
+    Population, PopulationConfig,
+};
+
+/// Shape of one columnar-equivalence run; `Default` is the CI smoke
+/// configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnarConfig {
+    /// Prosumers in the population.
+    pub prosumers: usize,
+    /// Days of arrivals streamed after the initial load.
+    pub days: usize,
+    /// Arrival batches per day.
+    pub batches_per_day: usize,
+    /// Fraction of each day's arrivals withdrawn again.
+    pub withdraw_fraction: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Timing rounds for the final-epoch probe (best-of-N); equality is
+    /// checked at every epoch regardless.
+    pub repeats: usize,
+}
+
+impl Default for ColumnarConfig {
+    fn default() -> Self {
+        ColumnarConfig {
+            prosumers: 150,
+            days: 2,
+            batches_per_day: 4,
+            withdraw_fraction: 0.15,
+            seed: 0xC07A,
+            repeats: 3,
+        }
+    }
+}
+
+/// The full harness report, serializable as `BENCH_columnar.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnarReport {
+    /// The configuration that produced the report.
+    pub config: ColumnarConfig,
+    /// Rows in the final published epoch.
+    pub offers: usize,
+    /// Epochs the batteries ran against (initial snapshot + every
+    /// publish in the trace).
+    pub epochs: u64,
+    /// Query comparisons across all epochs.
+    pub queries: usize,
+    /// View comparisons across all epochs.
+    pub views: usize,
+    /// `true` iff every columnar [`Warehouse::eval`] result equalled the
+    /// row reference exactly — the hard gate.
+    pub equality_ok: bool,
+    /// `true` iff every [`Warehouse::view`] matched the linear row scan
+    /// (ids and materialized offers) — the other hard gate.
+    pub views_ok: bool,
+    /// Best-of-N wall clock for the final-epoch query battery through
+    /// the columns, milliseconds.
+    pub columnar_eval_ms: f64,
+    /// Best-of-N wall clock for the same battery through the rows,
+    /// milliseconds.
+    pub row_eval_ms: f64,
+    /// `row_eval_ms / columnar_eval_ms` (advisory).
+    pub eval_speedup: f64,
+    /// `std::thread::available_parallelism()` on the measuring host.
+    pub available_parallelism: usize,
+}
+
+impl ColumnarReport {
+    /// Serializes the report as pretty-printed JSON (hand-rolled; the
+    /// offline build has no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"bench\": \"columnar\",\n");
+        out.push_str(&format!("  \"prosumers\": {},\n", self.config.prosumers));
+        out.push_str(&format!("  \"days\": {},\n", self.config.days));
+        out.push_str(&format!("  \"seed\": {},\n", self.config.seed));
+        out.push_str(&format!("  \"repeats\": {},\n", self.config.repeats.max(1)));
+        out.push_str(&format!("  \"offers\": {},\n", self.offers));
+        out.push_str(&format!("  \"epochs\": {},\n", self.epochs));
+        out.push_str(&format!("  \"queries\": {},\n", self.queries));
+        out.push_str(&format!("  \"views\": {},\n", self.views));
+        out.push_str(&format!("  \"equality_ok\": {},\n", self.equality_ok));
+        out.push_str(&format!("  \"views_ok\": {},\n", self.views_ok));
+        out.push_str(&format!("  \"columnar_eval_ms\": {:.3},\n", self.columnar_eval_ms));
+        out.push_str(&format!("  \"row_eval_ms\": {:.3},\n", self.row_eval_ms));
+        out.push_str(&format!("  \"eval_speedup\": {:.2},\n", self.eval_speedup));
+        out.push_str(&format!("  \"available_parallelism\": {}\n", self.available_parallelism));
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// The query battery for one warehouse: every measure plain,
+/// status-filtered and time-ranged; group-bys at every level of every
+/// hierarchy for the two headline measures; one member-filtered probe
+/// per dimension.
+fn query_battery(w: &Warehouse) -> Vec<Query> {
+    let from = TimeSlot::EPOCH + SlotSpan::days(1);
+    let to = from + SlotSpan::days(1);
+    let mut qs = Vec::new();
+    for m in Measure::ALL {
+        qs.push(Query::new(m));
+        qs.push(Query::new(m).statuses([OfferState::Accepted, OfferState::Scheduled]));
+        qs.push(Query::new(m).time_range(from, to));
+    }
+    for m in [Measure::Count, Measure::ScheduledEnergy] {
+        for dim in Dimension::ALL {
+            for level in 1..w.hierarchy(dim).depth() as u8 {
+                qs.push(Query::new(m).group_by(dim, level));
+            }
+        }
+    }
+    for dim in Dimension::ALL {
+        if let Some(member) = w.hierarchy(dim).at_level(1).next() {
+            qs.push(Query::new(Measure::Count).filter(dim, member.id));
+            qs.push(
+                Query::new(Measure::TotalMaxEnergy)
+                    .filter(dim, member.id)
+                    .group_by(dim, w.hierarchy(dim).depth() as u8 - 1),
+            );
+        }
+    }
+    qs
+}
+
+/// The view battery: one [`LoaderQuery`] per selectivity axis.
+fn view_battery(w: &Warehouse, config: &ColumnarConfig) -> Vec<LoaderQuery> {
+    let from = TimeSlot::EPOCH;
+    let to = from + SlotSpan::days(config.days as i64 + 3);
+    let mut qs = vec![
+        LoaderQuery::builder().build(),
+        LoaderQuery::builder().window(from, to).build(),
+        LoaderQuery::builder().window(from + SlotSpan::days(1), from + SlotSpan::days(2)).build(),
+        LoaderQuery::builder().direction(Direction::Consumption).build(),
+        LoaderQuery::builder().direction(Direction::Production).build(),
+    ];
+    if let Some(fo) = w.offers().first() {
+        qs.push(LoaderQuery::builder().prosumer(fo.prosumer()).build());
+    }
+    if let Some(region) = w.hierarchy(Dimension::Geography).at_level(1).next() {
+        qs.push(LoaderQuery::builder().region(region.id).build());
+        qs.push(
+            LoaderQuery::builder()
+                .region(region.id)
+                .window(from + SlotSpan::days(1), to)
+                .direction(Direction::Consumption)
+                .build(),
+        );
+    }
+    qs
+}
+
+/// Runs both batteries against one epoch's warehouse; returns
+/// `(queries, views, equality_ok, views_ok)`.
+fn check_epoch(w: &Warehouse, config: &ColumnarConfig) -> (usize, usize, bool, bool) {
+    let mut equality_ok = true;
+    let queries = query_battery(w);
+    for q in &queries {
+        equality_ok &= w.eval(q) == w.eval_rows(q);
+    }
+    let mut views_ok = true;
+    let views = view_battery(w, config);
+    for q in &views {
+        let view = w.view(q);
+        let borrowed: Vec<_> = view.ids().collect();
+        let scanned: Vec<_> = w.load_offers_scan(q).iter().map(|fo| fo.id()).collect();
+        views_ok &= borrowed == scanned;
+        let materialized: Vec<_> = view.materialize().iter().map(|fo| fo.id()).collect();
+        views_ok &= materialized == scanned;
+    }
+    (queries.len(), views.len(), equality_ok, views_ok)
+}
+
+/// Runs the full harness.
+pub fn run_columnar(config: &ColumnarConfig) -> ColumnarReport {
+    let population = Population::generate(&PopulationConfig {
+        size: config.prosumers,
+        seed: config.seed ^ 0xBE9C,
+        household_share: 0.8,
+    });
+    let initial = generate_offers(
+        &population,
+        &OfferConfig { days: 1, seed: config.seed, ..Default::default() },
+    );
+    let trace = generate_ingest_trace(
+        &population,
+        &IngestTraceConfig {
+            days: config.days.max(1),
+            batches_per_day: config.batches_per_day.max(1),
+            withdraw_fraction: config.withdraw_fraction,
+            seed: config.seed,
+        },
+        initial.len() as u64 + 1,
+        TimeSlot::EPOCH + SlotSpan::days(1),
+    );
+
+    let live = LiveWarehouse::new(population, &initial);
+    let mut epochs = 0u64;
+    let mut queries = 0usize;
+    let mut views = 0usize;
+    let mut equality_ok = true;
+    let mut views_ok = true;
+    let mut check = |w: &Warehouse| {
+        let (q, v, eq, vw) = check_epoch(w, config);
+        queries += q;
+        views += v;
+        equality_ok &= eq;
+        views_ok &= vw;
+    };
+
+    check(live.snapshot().warehouse());
+    epochs += 1;
+    for event in &trace {
+        match event {
+            IngestEvent::Arrive { offers } => {
+                live.ingest(offers);
+            }
+            IngestEvent::Withdraw { ids } => {
+                live.withdraw(ids);
+            }
+            IngestEvent::AdvanceDay => {
+                live.advance_day();
+            }
+            IngestEvent::Publish => {
+                let snapshot = live.publish();
+                check(snapshot.warehouse());
+                epochs += 1;
+            }
+        }
+    }
+
+    // Timing probe on the final epoch: same battery, columns vs rows.
+    let snapshot = live.publish();
+    let warehouse = snapshot.warehouse();
+    let battery = query_battery(warehouse);
+    let repeats = config.repeats.max(1);
+    let mut columnar_eval_ms = f64::INFINITY;
+    let mut row_eval_ms = f64::INFINITY;
+    for _ in 0..repeats {
+        let t0 = Instant::now();
+        for q in &battery {
+            let _ = warehouse.eval(q);
+        }
+        columnar_eval_ms = columnar_eval_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        let t0 = Instant::now();
+        for q in &battery {
+            let _ = warehouse.eval_rows(q);
+        }
+        row_eval_ms = row_eval_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+
+    ColumnarReport {
+        config: config.clone(),
+        offers: warehouse.offers().len(),
+        epochs,
+        queries,
+        views,
+        equality_ok,
+        views_ok,
+        columnar_eval_ms,
+        row_eval_ms,
+        eval_speedup: if columnar_eval_ms > 0.0 { row_eval_ms / columnar_eval_ms } else { 0.0 },
+        available_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ColumnarConfig {
+        ColumnarConfig {
+            prosumers: 40,
+            days: 1,
+            batches_per_day: 2,
+            withdraw_fraction: 0.2,
+            seed: 17,
+            repeats: 1,
+        }
+    }
+
+    #[test]
+    fn columnar_answers_equal_the_row_reference_at_every_epoch() {
+        let report = run_columnar(&tiny());
+        assert!(report.equality_ok, "columnar eval diverged from the row reference");
+        assert!(report.views_ok, "borrowed views diverged from the linear scan");
+        assert!(report.epochs >= 2, "the trace must publish at least once");
+        assert!(report.queries > 0 && report.views > 0);
+        assert!(report.offers > 0);
+        assert!(report.columnar_eval_ms > 0.0 && report.row_eval_ms > 0.0);
+
+        let json = report.to_json();
+        assert!(json.contains("\"bench\": \"columnar\""));
+        assert!(json.contains("\"equality_ok\": true"));
+        assert!(json.contains("\"views_ok\": true"));
+        crate::diff::Json::parse(&json).expect("report must parse with the gate's own reader");
+    }
+}

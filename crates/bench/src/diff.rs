@@ -459,6 +459,25 @@ pub fn diff_ingest(
         check.advisory = advisory;
         checks.push(check);
     }
+    // The bulk probe: publish must stay O(1) however many rows the
+    // columns hold, and the one-offer delta publish after it too. The
+    // absolute < 100 ms wall is the ingest binary's
+    // `--assert-bulk-publish-ms` gate; this diff holds the relative
+    // line against the baseline.
+    for field in ["publish_bulk_ms", "publish_bulk_delta_ms"] {
+        if let (Some(b), Some(c)) = (baseline.num_at(&[field]), current.num_at(&[field])) {
+            let mut check = check_metric_floored(
+                format!("ingest.{field}"),
+                b,
+                c,
+                tolerance,
+                Better::Lower,
+                LATENCY_FLOOR_MS,
+            );
+            check.advisory = advisory;
+            checks.push(check);
+        }
+    }
     let base_runs =
         baseline.get("runs").and_then(Json::arr).ok_or("baseline ingest has no runs")?;
     for base in base_runs {
@@ -487,11 +506,13 @@ pub fn diff_ingest(
 }
 
 /// Diffs a planning report against the baseline's `planning` section:
-/// the hard `determinism_ok` / `frame_hash_stable` gates, the
-/// incremental speedup (higher is better), re-plan latencies (lower is
-/// better, noise-floored), and per-scheduler imbalance improvement
-/// (higher is better; seed-deterministic, so it gates even across
-/// machine classes).
+/// the hard `determinism_ok` / `frame_hash_stable` /
+/// `bundle_roundtrip_ok` gates (absence is a failure), the incremental
+/// and bundling speedups (higher is better; the bundle speedup is a
+/// same-host ratio, so it gates on every machine class), re-plan
+/// latencies (lower is better, noise-floored), and per-scheduler
+/// imbalance improvement (higher is better; seed-deterministic, so it
+/// gates even across machine classes).
 pub fn diff_planning(
     baseline: &Json,
     current: &Json,
@@ -501,7 +522,7 @@ pub fn diff_planning(
     if current.num_at(&["incremental_speedup"]).is_none() {
         return Err("current planning report has no 'incremental_speedup' — wrong file?".into());
     }
-    for gate in ["determinism_ok", "frame_hash_stable"] {
+    for gate in ["determinism_ok", "frame_hash_stable", "bundle_roundtrip_ok"] {
         checks.push(MetricCheck {
             name: format!("planning.{gate}"),
             baseline: 1.0,
@@ -511,11 +532,23 @@ pub fn diff_planning(
             advisory: false,
         });
     }
+    // Bundling speedup is a ratio of two timings taken on the same
+    // host, like the spatial query speedup — hard on any machine class.
+    {
+        let (Some(b), Some(c)) =
+            (baseline.num_at(&["bundle_speedup"]), current.num_at(&["bundle_speedup"]))
+        else {
+            return Err("missing bundle_speedup in a planning report".into());
+        };
+        checks.push(check_metric("planning.bundle_speedup", b, c, tolerance, Better::Higher));
+    }
     let advisory = !same_machine_class(baseline, current);
     for (field, better, floor) in [
         ("incremental_speedup", Better::Higher, 0.0),
         ("full_replan_ms", Better::Lower, LATENCY_FLOOR_MS),
         ("incremental_replan_ms", Better::Lower, LATENCY_FLOOR_MS),
+        ("bundle_raw_ms", Better::Lower, LATENCY_FLOOR_MS),
+        ("bundled_replan_ms", Better::Lower, LATENCY_FLOOR_MS),
     ] {
         let (Some(b), Some(c)) = (baseline.num_at(&[field]), current.num_at(&[field])) else {
             return Err(format!("missing {field} in a planning report"));
@@ -716,6 +749,66 @@ pub fn diff_forecast(
     Ok(checks)
 }
 
+/// Diffs a columnar report against the baseline's `columnar` section:
+/// the hard `equality_ok` / `views_ok` gates (absence is a failure —
+/// a report without them never ran the batteries), the battery sizes
+/// (seed-deterministic coverage that cannot quietly shrink), the
+/// columns-vs-rows eval speedup (a same-host ratio, so it gates on
+/// every machine class), and the battery latencies (lower is better,
+/// noise-floored, advisory across machine classes).
+pub fn diff_columnar(
+    baseline: &Json,
+    current: &Json,
+    tolerance: f64,
+) -> Result<Vec<MetricCheck>, String> {
+    let mut checks = Vec::new();
+    if current.num_at(&["queries"]).is_none() {
+        return Err("current columnar report has no 'queries' field — wrong file?".into());
+    }
+    for gate in ["equality_ok", "views_ok"] {
+        checks.push(MetricCheck {
+            name: format!("columnar.{gate}"),
+            baseline: 1.0,
+            current: f64::from(current.get(gate).and_then(Json::boolean).unwrap_or(false)),
+            better: Better::Higher,
+            ok: current.get(gate).and_then(Json::boolean) == Some(true),
+            advisory: false,
+        });
+    }
+    // Battery sizes are a pure function of the seed: a shrink means the
+    // equivalence gate silently covers less — hard on any machine class.
+    for field in ["queries", "views"] {
+        if let (Some(b), Some(c)) = (baseline.num_at(&[field]), current.num_at(&[field])) {
+            checks.push(check_metric(format!("columnar.{field}"), b, c, tolerance, Better::Higher));
+        }
+    }
+    {
+        let (Some(b), Some(c)) =
+            (baseline.num_at(&["eval_speedup"]), current.num_at(&["eval_speedup"]))
+        else {
+            return Err("missing eval_speedup in a columnar report".into());
+        };
+        checks.push(check_metric("columnar.eval_speedup", b, c, tolerance, Better::Higher));
+    }
+    let advisory = !same_machine_class(baseline, current);
+    for field in ["columnar_eval_ms", "row_eval_ms"] {
+        let (Some(b), Some(c)) = (baseline.num_at(&[field]), current.num_at(&[field])) else {
+            return Err(format!("missing {field} in a columnar report"));
+        };
+        let mut check = check_metric_floored(
+            format!("columnar.{field}"),
+            b,
+            c,
+            tolerance,
+            Better::Lower,
+            LATENCY_FLOOR_MS,
+        );
+        check.advisory = advisory;
+        checks.push(check);
+    }
+    Ok(checks)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -816,8 +909,13 @@ mod tests {
     }
 
     fn ingest_json(rcps: f64, p99: f64, probe: f64, stable: bool) -> Json {
+        ingest_json_bulk(rcps, p99, probe, stable, 10.0)
+    }
+
+    fn ingest_json_bulk(rcps: f64, p99: f64, probe: f64, stable: bool, bulk: f64) -> Json {
         Json::parse(&format!(
             r#"{{"initial_offers": 100, "hash_stable": {stable}, "publish_1k_ms": {probe},
+                 "publish_bulk_ms": {bulk}, "publish_bulk_delta_ms": {bulk},
                  "runs": [{{"threads": 2, "reader_commands_per_s": {rcps},
                             "publish_p99_ms": {p99}}}]}}"#,
         ))
@@ -835,6 +933,13 @@ mod tests {
 
         let probe = diff_ingest(&base, &ingest_json(5000.0, 2.0, 20.0, true), 0.2).unwrap();
         assert!(probe.iter().any(|c| !c.ok && c.name == "ingest.publish_1k_ms"));
+
+        // The bulk probe gates relatively too (its absolute wall lives
+        // in the ingest binary).
+        let bulk =
+            diff_ingest(&base, &ingest_json_bulk(5000.0, 2.0, 10.0, true, 25.0), 0.2).unwrap();
+        assert!(bulk.iter().any(|c| !c.ok && c.name == "ingest.publish_bulk_ms"));
+        assert!(bulk.iter().any(|c| !c.ok && c.name == "ingest.publish_bulk_delta_ms"));
 
         // Display renders both verdicts.
         let line = probe.iter().find(|c| !c.ok).unwrap().to_string();
@@ -879,10 +984,23 @@ mod tests {
     }
 
     fn planning_json(speedup: f64, improvement: f64, det: bool, frames: bool) -> Json {
+        planning_json_bundle(speedup, improvement, det, frames, 8.0, true)
+    }
+
+    fn planning_json_bundle(
+        speedup: f64,
+        improvement: f64,
+        det: bool,
+        frames: bool,
+        bundle: f64,
+        roundtrip: bool,
+    ) -> Json {
         Json::parse(&format!(
             r#"{{"incremental_speedup": {speedup}, "full_replan_ms": 40.0,
                  "incremental_replan_ms": 1.0, "determinism_ok": {det},
                  "frame_hash_stable": {frames},
+                 "bundle_raw_ms": 40.0, "bundled_replan_ms": 5.0,
+                 "bundle_speedup": {bundle}, "bundle_roundtrip_ok": {roundtrip},
                  "schedulers": [{{"name": "greedy-best-start", "improvement": {improvement}}},
                                 {{"name": "earliest-start", "improvement": 0.1}}]}}"#,
         ))
@@ -894,7 +1012,7 @@ mod tests {
         let base = planning_json(40.0, 0.8, true, true);
         let ok = diff_planning(&base, &planning_json(38.0, 0.81, true, true), 0.2).unwrap();
         assert!(ok.iter().all(|c| c.ok), "{ok:?}");
-        assert_eq!(ok.len(), 2 + 3 + 2); // gates + numerics + 2 schedulers
+        assert_eq!(ok.len(), 3 + 1 + 5 + 2); // gates + bundle speedup + numerics + 2 schedulers
 
         let torn = diff_planning(&base, &planning_json(40.0, 0.8, false, true), 0.2).unwrap();
         assert!(torn.iter().any(|c| !c.ok && c.name == "planning.determinism_ok"));
@@ -914,6 +1032,33 @@ mod tests {
         assert!(same.iter().all(|c| c.ok), "{same:?}");
 
         assert!(diff_planning(&base, &Json::parse("{}").unwrap(), 0.2).is_err());
+    }
+
+    #[test]
+    fn planning_diff_gates_the_bundle_pipeline() {
+        let base = planning_json(40.0, 0.8, true, true);
+        // Bundling losing its edge is a regression even though the raw
+        // latency is unchanged.
+        let slow =
+            diff_planning(&base, &planning_json_bundle(40.0, 0.8, true, true, 4.0, true), 0.2)
+                .unwrap();
+        assert!(slow.iter().any(|c| c.is_regression() && c.name == "planning.bundle_speedup"));
+        // A broken round trip is a hard boolean gate.
+        let broken =
+            diff_planning(&base, &planning_json_bundle(40.0, 0.8, true, true, 8.0, false), 0.2)
+                .unwrap();
+        assert!(broken
+            .iter()
+            .any(|c| c.is_regression() && c.name == "planning.bundle_roundtrip_ok"));
+        // A report predating the bundle section cannot pass: the
+        // boolean fails and the missing speedup is a structural error.
+        let legacy = Json::parse(
+            r#"{"incremental_speedup": 40.0, "full_replan_ms": 40.0,
+                "incremental_replan_ms": 1.0, "determinism_ok": true,
+                "frame_hash_stable": true, "schedulers": []}"#,
+        )
+        .unwrap();
+        assert!(diff_planning(&base, &legacy, 0.2).is_err());
     }
 
     #[test]
@@ -1144,6 +1289,67 @@ mod tests {
         assert!(guard_machine_class("spatial", &bare, &small).is_ok());
         assert_eq!(recorded_parallelism(&big), Some(8));
         assert_eq!(recorded_parallelism(&bare), None);
+    }
+
+    fn columnar_json(eq: bool, views: bool, speedup: f64, cols_ms: f64) -> Json {
+        Json::parse(&format!(
+            r#"{{"queries": 400, "views": 48, "equality_ok": {eq}, "views_ok": {views},
+                 "columnar_eval_ms": {cols_ms}, "row_eval_ms": 40.0,
+                 "eval_speedup": {speedup}}}"#,
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn columnar_diff_gates_equality_hard_and_latency_soft() {
+        let base = columnar_json(true, true, 4.0, 10.0);
+        let ok = diff_columnar(&base, &columnar_json(true, true, 3.8, 10.5), 0.2).unwrap();
+        assert!(ok.iter().all(|c| c.ok), "{ok:?}");
+        assert_eq!(ok.len(), 2 + 2 + 1 + 2); // gates + counts + speedup + latencies
+
+        let diverged = diff_columnar(&base, &columnar_json(false, true, 4.0, 10.0), 0.2).unwrap();
+        assert!(diverged.iter().any(|c| c.is_regression() && c.name == "columnar.equality_ok"));
+        let views = diff_columnar(&base, &columnar_json(true, false, 4.0, 10.0), 0.2).unwrap();
+        assert!(views.iter().any(|c| c.is_regression() && c.name == "columnar.views_ok"));
+        let slower = diff_columnar(&base, &columnar_json(true, true, 1.5, 10.0), 0.2).unwrap();
+        assert!(slower.iter().any(|c| c.is_regression() && c.name == "columnar.eval_speedup"));
+
+        // A shrunken battery fails even when everything it still runs
+        // agrees: coverage is part of the gate.
+        let shrunk = Json::parse(
+            r#"{"queries": 40, "views": 48, "equality_ok": true, "views_ok": true,
+                "columnar_eval_ms": 1.0, "row_eval_ms": 4.0, "eval_speedup": 4.0}"#,
+        )
+        .unwrap();
+        let small = diff_columnar(&base, &shrunk, 0.2).unwrap();
+        assert!(small.iter().any(|c| c.is_regression() && c.name == "columnar.queries"));
+
+        // Absence of the equality booleans is a failure, not a skip.
+        let bare = Json::parse(
+            r#"{"queries": 400, "views": 48, "columnar_eval_ms": 10.0,
+                "row_eval_ms": 40.0, "eval_speedup": 4.0}"#,
+        )
+        .unwrap();
+        let missing = diff_columnar(&base, &bare, 0.2).unwrap();
+        assert!(missing.iter().any(|c| c.is_regression() && c.name == "columnar.equality_ok"));
+
+        assert!(diff_columnar(&base, &Json::parse("{}").unwrap(), 0.2).is_err());
+    }
+
+    #[test]
+    fn columnar_speedup_gates_hard_across_machine_classes() {
+        let mut base = columnar_json(true, true, 4.0, 10.0);
+        if let Json::Obj(members) = &mut base {
+            members.push(("available_parallelism".into(), Json::Num(1.0)));
+        }
+        let mut cur = columnar_json(true, true, 1.5, 200.0);
+        if let Json::Obj(members) = &mut cur {
+            members.push(("available_parallelism".into(), Json::Num(8.0)));
+        }
+        let checks = diff_columnar(&base, &cur, 0.2).unwrap();
+        assert!(checks.iter().any(|c| c.is_regression() && c.name == "columnar.eval_speedup"));
+        let latency = checks.iter().find(|c| c.name == "columnar.columnar_eval_ms").unwrap();
+        assert!(latency.advisory && !latency.is_regression());
     }
 
     #[test]

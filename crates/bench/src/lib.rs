@@ -7,6 +7,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod columnar;
 pub mod diff;
 pub mod forecast;
 pub mod ingest;
@@ -130,7 +131,7 @@ mod tests {
         assert_eq!(a, b);
         let (_, w1) = warehouse(100, 1);
         let (_, w2) = warehouse(100, 1);
-        assert_eq!(w1.facts().len(), w2.facts().len());
+        assert_eq!(w1.columns().len(), w2.columns().len());
     }
 
     #[test]

@@ -346,7 +346,7 @@ pub fn run_spatial(config: &SpatialBenchConfig) -> SpatialReport {
         household_share: 0.8,
     });
     let dw = Warehouse::load(&population, &offers);
-    let facts = dw.facts().len();
+    let facts = dw.columns().len();
     let mut results_match = true;
     let levels: Vec<LevelQueryStats> =
         (1..=3).map(|level| probe_level(&dw, level, config.repeats, &mut results_match)).collect();
@@ -359,8 +359,12 @@ pub fn run_spatial(config: &SpatialBenchConfig) -> SpatialReport {
     let live = LiveWarehouse::from_warehouse(population.clone(), dw.clone());
     let shared_offers = dw.offers().to_vec();
     drop(dw);
+    // Best of max(repeats, 5) rounds: one publish is ~30 ms of Arc
+    // bookkeeping at city scale, small enough that three rounds on a
+    // contended CI runner still flap the ±20% diff — extra rounds are
+    // nearly free next to the fixture build above.
     let mut publish_ms = f64::INFINITY;
-    for round in 0..config.repeats.max(1) as u64 {
+    for round in 0..config.repeats.max(5) as u64 {
         live.ingest(&publish_batch(&shared_offers, round));
         let t0 = Instant::now();
         live.publish();

@@ -1,0 +1,512 @@
+//! Struct-of-arrays fact storage: the columnar twin of [`FactRow`].
+//!
+//! The row-oriented fact table made every aggregate query walk an array
+//! of ~200-byte structs to read one 8-byte measure. At city scale that
+//! is cache-hostile; at the 10M-offer scale the ROADMAP targets it is
+//! the difference between a nightly that holds the publish bound and
+//! one that does not. The [`ColumnStore`] keeps each fact attribute in
+//! its own contiguous `Vec`, so:
+//!
+//! * a measure scan ([`crate::Measure::value_at`]) touches exactly the
+//!   column it aggregates;
+//! * per-slice energy bounds live in one CSR-shaped triple
+//!   (`slice_offsets` + `slice_min_wh` / `slice_max_wh`) instead of a
+//!   `Vec` allocation per offer — profiles are immutable for an offer's
+//!   whole lifecycle, so these columns are written once at ingest and
+//!   only rewritten by withdraw compaction;
+//! * lifecycle mutations (schedule assignment, execution metering)
+//!   rewrite only the handful of scalar columns that actually change
+//!   ([`ColumnStore::refresh`]).
+//!
+//! The store sits behind the warehouse's copy-on-write `Arc` exactly
+//! like the row table did: an epoch publish clones `Arc` handles, not
+//! columns, so publish latency stays O(hierarchies) no matter how many
+//! offers are loaded. [`FactRow`] survives as the *materialized row
+//! view* — [`ColumnStore::row`] gathers one — so row-shaped consumers
+//! and the columnar ≡ row equality gates keep a common currency.
+
+use mirabel_flexoffer::{Direction, FlexOffer, FlexOfferId, OfferState, ProsumerId};
+use mirabel_timeseries::TimeSlot;
+
+use crate::fact::FactRow;
+use crate::hierarchy::{Dimension, MemberId};
+
+/// The six dimension leaf keys of one fact, in the fixed order
+/// (time, geography, grid, energy type, prosumer type, appliance).
+pub type LeafKeys = [MemberId; 6];
+
+/// One offer's per-slice energy bounds, borrowed straight from the CSR
+/// slice columns — what the aggregator and the planner's load-curve
+/// merge iterate instead of chasing an `Arc<FlexOffer>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColumnSlice<'a> {
+    /// Per-slice minimum bounds (Wh), one entry per profile slot.
+    pub min_wh: &'a [i64],
+    /// Per-slice maximum bounds (Wh), one entry per profile slot.
+    pub max_wh: &'a [i64],
+}
+
+impl ColumnSlice<'_> {
+    /// Number of profile slots.
+    pub fn len(&self) -> usize {
+        self.min_wh.len()
+    }
+
+    /// `true` for a zero-length profile (never produced by the loader,
+    /// but total for the API).
+    pub fn is_empty(&self) -> bool {
+        self.min_wh.is_empty()
+    }
+}
+
+/// Struct-of-arrays fact storage: one `Vec` per fact attribute plus a
+/// CSR triple for per-slice energy bounds. See the module docs
+/// (`columns.rs`) for why.
+///
+/// All per-offer columns share one length ([`ColumnStore::len`]); the
+/// CSR offsets column has `len + 1` entries. Invariants are upheld by
+/// the mutators ([`ColumnStore::push`], [`ColumnStore::refresh`],
+/// [`ColumnStore::compact`]) and spot-checked by the live warehouse's
+/// torn-epoch probe.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStore {
+    offer: Vec<FlexOfferId>,
+    prosumer: Vec<ProsumerId>,
+    direction: Vec<Direction>,
+    status: Vec<OfferState>,
+    earliest_start: Vec<TimeSlot>,
+
+    time_leaf: Vec<MemberId>,
+    geo_leaf: Vec<MemberId>,
+    grid_leaf: Vec<MemberId>,
+    energy_leaf: Vec<MemberId>,
+    prosumer_leaf: Vec<MemberId>,
+    appliance_leaf: Vec<MemberId>,
+
+    total_min_wh: Vec<i64>,
+    total_max_wh: Vec<i64>,
+    energy_flex_wh: Vec<i64>,
+    time_flex_slots: Vec<i64>,
+    scheduled_wh: Vec<i64>,
+    executed_wh: Vec<i64>,
+    deviation_wh: Vec<i64>,
+    price_cents: Vec<i64>,
+    balancing_potential_wh: Vec<i64>,
+
+    /// CSR offsets into the slice columns; `len() + 1` entries, so the
+    /// slices of fact `i` live at `slice_offsets[i]..slice_offsets[i+1]`.
+    slice_offsets: Vec<usize>,
+    slice_min_wh: Vec<i64>,
+    slice_max_wh: Vec<i64>,
+}
+
+impl Default for ColumnStore {
+    fn default() -> ColumnStore {
+        ColumnStore::new()
+    }
+}
+
+impl ColumnStore {
+    /// An empty store.
+    pub fn new() -> ColumnStore {
+        ColumnStore {
+            offer: Vec::new(),
+            prosumer: Vec::new(),
+            direction: Vec::new(),
+            status: Vec::new(),
+            earliest_start: Vec::new(),
+            time_leaf: Vec::new(),
+            geo_leaf: Vec::new(),
+            grid_leaf: Vec::new(),
+            energy_leaf: Vec::new(),
+            prosumer_leaf: Vec::new(),
+            appliance_leaf: Vec::new(),
+            total_min_wh: Vec::new(),
+            total_max_wh: Vec::new(),
+            energy_flex_wh: Vec::new(),
+            time_flex_slots: Vec::new(),
+            scheduled_wh: Vec::new(),
+            executed_wh: Vec::new(),
+            deviation_wh: Vec::new(),
+            price_cents: Vec::new(),
+            balancing_potential_wh: Vec::new(),
+            slice_offsets: vec![0],
+            slice_min_wh: Vec::new(),
+            slice_max_wh: Vec::new(),
+        }
+    }
+
+    /// An empty store with per-offer columns sized for `n` facts.
+    pub fn with_capacity(n: usize) -> ColumnStore {
+        let mut cs = ColumnStore::new();
+        cs.offer.reserve(n);
+        cs.prosumer.reserve(n);
+        cs.direction.reserve(n);
+        cs.status.reserve(n);
+        cs.earliest_start.reserve(n);
+        cs.slice_offsets.reserve(n);
+        cs
+    }
+
+    /// Number of facts.
+    pub fn len(&self) -> usize {
+        self.offer.len()
+    }
+
+    /// `true` when no facts are loaded.
+    pub fn is_empty(&self) -> bool {
+        self.offer.is_empty()
+    }
+
+    /// Total slice entries across all facts (the CSR payload length).
+    pub fn slice_count(&self) -> usize {
+        self.slice_min_wh.len()
+    }
+
+    /// Appends one offer's fact with pre-resolved dimension leaf keys
+    /// (same key order as [`FactRow::extract`]).
+    pub fn push(&mut self, fo: &FlexOffer, keys: LeafKeys) {
+        let [t, g, gr, e, p, a] = keys;
+        self.offer.push(fo.id());
+        self.prosumer.push(fo.prosumer());
+        self.direction.push(fo.direction());
+        self.status.push(fo.status());
+        self.earliest_start.push(fo.earliest_start());
+        self.time_leaf.push(t);
+        self.geo_leaf.push(g);
+        self.grid_leaf.push(gr);
+        self.energy_leaf.push(e);
+        self.prosumer_leaf.push(p);
+        self.appliance_leaf.push(a);
+        self.push_measures(fo);
+        for s in fo.profile().slices() {
+            self.slice_min_wh.push(s.min.wh());
+            self.slice_max_wh.push(s.max.wh());
+        }
+        self.slice_offsets.push(self.slice_min_wh.len());
+    }
+
+    fn push_measures(&mut self, fo: &FlexOffer) {
+        let (scheduled_wh, executed_wh, deviation_wh) = lifecycle_measures(fo);
+        self.total_min_wh.push(fo.total_min_energy().wh());
+        self.total_max_wh.push(fo.total_max_energy().wh());
+        self.energy_flex_wh.push(fo.energy_flexibility().wh());
+        self.time_flex_slots.push(fo.time_flexibility().count());
+        self.scheduled_wh.push(scheduled_wh);
+        self.executed_wh.push(executed_wh);
+        self.deviation_wh.push(deviation_wh);
+        self.price_cents.push(fo.price_per_kwh().cents());
+        self.balancing_potential_wh.push(fo.balancing_potential().wh());
+    }
+
+    /// Refreshes the scalar columns of fact `idx` from its (mutated)
+    /// offer: status and the lifecycle measures. Dimension keys and the
+    /// CSR slice columns are untouched — an offer's profile is immutable
+    /// for its whole lifecycle, so a schedule assignment or an execution
+    /// rewrites a handful of words instead of a 200-byte row.
+    pub fn refresh(&mut self, idx: usize, fo: &FlexOffer) {
+        debug_assert_eq!(self.offer[idx], fo.id(), "refresh keyed to the wrong offer");
+        let (scheduled_wh, executed_wh, deviation_wh) = lifecycle_measures(fo);
+        self.status[idx] = fo.status();
+        self.scheduled_wh[idx] = scheduled_wh;
+        self.executed_wh[idx] = executed_wh;
+        self.deviation_wh[idx] = deviation_wh;
+        self.balancing_potential_wh[idx] = fo.balancing_potential().wh();
+    }
+
+    /// Drops every fact whose `dead` flag is set, preserving survivor
+    /// order — the columnar half of withdraw compaction. The CSR slice
+    /// columns compact in the same O(live) pass.
+    pub fn compact(&mut self, dead: &[bool]) {
+        assert_eq!(dead.len(), self.len(), "dead mask must cover every fact");
+        retain_by(&mut self.offer, dead);
+        retain_by(&mut self.prosumer, dead);
+        retain_by(&mut self.direction, dead);
+        retain_by(&mut self.status, dead);
+        retain_by(&mut self.earliest_start, dead);
+        retain_by(&mut self.time_leaf, dead);
+        retain_by(&mut self.geo_leaf, dead);
+        retain_by(&mut self.grid_leaf, dead);
+        retain_by(&mut self.energy_leaf, dead);
+        retain_by(&mut self.prosumer_leaf, dead);
+        retain_by(&mut self.appliance_leaf, dead);
+        retain_by(&mut self.total_min_wh, dead);
+        retain_by(&mut self.total_max_wh, dead);
+        retain_by(&mut self.energy_flex_wh, dead);
+        retain_by(&mut self.time_flex_slots, dead);
+        retain_by(&mut self.scheduled_wh, dead);
+        retain_by(&mut self.executed_wh, dead);
+        retain_by(&mut self.deviation_wh, dead);
+        retain_by(&mut self.price_cents, dead);
+        retain_by(&mut self.balancing_potential_wh, dead);
+
+        // Rebuild the CSR triple by streaming the surviving ranges.
+        let old_offsets = std::mem::take(&mut self.slice_offsets);
+        let old_min = std::mem::take(&mut self.slice_min_wh);
+        let old_max = std::mem::take(&mut self.slice_max_wh);
+        self.slice_offsets.reserve(self.offer.len() + 1);
+        self.slice_offsets.push(0);
+        for (i, &gone) in dead.iter().enumerate() {
+            if gone {
+                continue;
+            }
+            let (lo, hi) = (old_offsets[i], old_offsets[i + 1]);
+            self.slice_min_wh.extend_from_slice(&old_min[lo..hi]);
+            self.slice_max_wh.extend_from_slice(&old_max[lo..hi]);
+            self.slice_offsets.push(self.slice_min_wh.len());
+        }
+    }
+
+    /// Materializes fact `idx` as a row — the gather that keeps
+    /// [`FactRow`] as the common currency of row-shaped consumers and
+    /// the columnar ≡ row equality gates.
+    pub fn row(&self, idx: usize) -> FactRow {
+        FactRow {
+            offer: self.offer[idx],
+            prosumer: self.prosumer[idx],
+            direction: self.direction[idx],
+            status: self.status[idx],
+            earliest_start: self.earliest_start[idx],
+            time_leaf: self.time_leaf[idx],
+            geo_leaf: self.geo_leaf[idx],
+            grid_leaf: self.grid_leaf[idx],
+            energy_leaf: self.energy_leaf[idx],
+            prosumer_leaf: self.prosumer_leaf[idx],
+            appliance_leaf: self.appliance_leaf[idx],
+            total_min_wh: self.total_min_wh[idx],
+            total_max_wh: self.total_max_wh[idx],
+            energy_flex_wh: self.energy_flex_wh[idx],
+            time_flex_slots: self.time_flex_slots[idx],
+            profile_len: self.slice_offsets[idx + 1] - self.slice_offsets[idx],
+            scheduled_wh: self.scheduled_wh[idx],
+            executed_wh: self.executed_wh[idx],
+            deviation_wh: self.deviation_wh[idx],
+            price_cents: self.price_cents[idx],
+            balancing_potential_wh: self.balancing_potential_wh[idx],
+        }
+    }
+
+    /// Materializes every fact in order — the row-oriented reference
+    /// iterator.
+    pub fn rows(&self) -> impl Iterator<Item = FactRow> + '_ {
+        (0..self.len()).map(|i| self.row(i))
+    }
+
+    /// The per-slice energy bounds of fact `idx`, borrowed from the CSR
+    /// columns.
+    pub fn slices(&self, idx: usize) -> ColumnSlice<'_> {
+        let (lo, hi) = (self.slice_offsets[idx], self.slice_offsets[idx + 1]);
+        ColumnSlice { min_wh: &self.slice_min_wh[lo..hi], max_wh: &self.slice_max_wh[lo..hi] }
+    }
+
+    /// Offer-id column.
+    pub fn offer_ids(&self) -> &[FlexOfferId] {
+        &self.offer
+    }
+
+    /// Prosumer column.
+    pub fn prosumers(&self) -> &[ProsumerId] {
+        &self.prosumer
+    }
+
+    /// Direction column.
+    pub fn directions(&self) -> &[Direction] {
+        &self.direction
+    }
+
+    /// Lifecycle-status column.
+    pub fn statuses(&self) -> &[OfferState] {
+        &self.status
+    }
+
+    /// Earliest-start column.
+    pub fn earliest_starts(&self) -> &[TimeSlot] {
+        &self.earliest_start
+    }
+
+    /// Start-time flexibility column (slots) — the TFT input of
+    /// columnar aggregation grouping.
+    pub fn time_flex(&self) -> &[i64] {
+        &self.time_flex_slots
+    }
+
+    /// Scheduled-energy column (Wh).
+    pub fn scheduled_wh(&self) -> &[i64] {
+        &self.scheduled_wh
+    }
+
+    /// Executed-energy column (Wh).
+    pub fn executed_wh(&self) -> &[i64] {
+        &self.executed_wh
+    }
+
+    /// Plan-deviation column (Wh).
+    pub fn deviation_wh(&self) -> &[i64] {
+        &self.deviation_wh
+    }
+
+    /// Σ min-bound column (Wh).
+    pub fn total_min_wh(&self) -> &[i64] {
+        &self.total_min_wh
+    }
+
+    /// Σ max-bound column (Wh).
+    pub fn total_max_wh(&self) -> &[i64] {
+        &self.total_max_wh
+    }
+
+    /// Energy-flexibility column (Wh).
+    pub fn energy_flex_wh(&self) -> &[i64] {
+        &self.energy_flex_wh
+    }
+
+    /// Price column (euro-cents per kWh).
+    pub fn price_cents(&self) -> &[i64] {
+        &self.price_cents
+    }
+
+    /// Balancing-potential column (Wh).
+    pub fn balancing_potential_wh(&self) -> &[i64] {
+        &self.balancing_potential_wh
+    }
+
+    /// Geography leaf column — what the spatial index rebuilds from.
+    pub fn geo_leaves(&self) -> &[MemberId] {
+        &self.geo_leaf
+    }
+
+    /// The leaf-key column of `dimension`.
+    pub fn leaves(&self, dimension: Dimension) -> &[MemberId] {
+        match dimension {
+            Dimension::Time => &self.time_leaf,
+            Dimension::Geography => &self.geo_leaf,
+            Dimension::Grid => &self.grid_leaf,
+            Dimension::EnergyType => &self.energy_leaf,
+            Dimension::ProsumerType => &self.prosumer_leaf,
+            Dimension::Appliance => &self.appliance_leaf,
+        }
+    }
+}
+
+/// The three lifecycle measures extracted together (shared by push and
+/// refresh so the columnar store and [`FactRow::extract`] can never
+/// disagree).
+fn lifecycle_measures(fo: &FlexOffer) -> (i64, i64, i64) {
+    let scheduled_wh = fo.schedule().map(|s| s.total().wh()).unwrap_or(0);
+    let executed_wh = fo.execution().map(|e| e.total().wh()).unwrap_or(0);
+    let deviation_wh = match (fo.schedule(), fo.execution()) {
+        (Some(s), Some(e)) => e.total_absolute_deviation(s).wh(),
+        _ => 0,
+    };
+    (scheduled_wh, executed_wh, deviation_wh)
+}
+
+/// In-place `retain` keyed by a parallel dead mask.
+fn retain_by<T>(column: &mut Vec<T>, dead: &[bool]) {
+    let mut i = 0;
+    column.retain(|_| {
+        let keep = !dead[i];
+        i += 1;
+        keep
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirabel_flexoffer::{Energy, Schedule};
+    use mirabel_timeseries::TimeSlot;
+
+    fn keys() -> LeafKeys {
+        [MemberId(1), MemberId(2), MemberId(3), MemberId(4), MemberId(5), MemberId(6)]
+    }
+
+    fn offer(id: u64, est: i64, len: usize, min: i64, max: i64) -> FlexOffer {
+        FlexOffer::builder(id, id)
+            .earliest_start(TimeSlot::new(est))
+            .latest_start(TimeSlot::new(est + 4))
+            .slices(len, Energy::from_wh(min), Energy::from_wh(max))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn push_and_row_round_trip_through_extract() {
+        let mut cs = ColumnStore::new();
+        let offers = [offer(1, 0, 3, 10, 40), offer(2, 5, 2, 0, 100), offer(3, 9, 4, 7, 7)];
+        for fo in &offers {
+            cs.push(fo, keys());
+        }
+        assert_eq!(cs.len(), 3);
+        assert_eq!(cs.slice_count(), 9);
+        let [t, g, gr, e, p, a] = keys();
+        for (i, fo) in offers.iter().enumerate() {
+            assert_eq!(cs.row(i), FactRow::extract(fo, t, g, gr, e, p, a), "row {i}");
+        }
+        let rows: Vec<FactRow> = cs.rows().collect();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[1].offer, FlexOfferId(2));
+    }
+
+    #[test]
+    fn slices_borrow_the_csr_columns() {
+        let mut cs = ColumnStore::new();
+        cs.push(&offer(1, 0, 2, 10, 40), keys());
+        cs.push(&offer(2, 5, 3, 1, 2), keys());
+        let s0 = cs.slices(0);
+        assert_eq!(s0.len(), 2);
+        assert!(!s0.is_empty());
+        assert_eq!(s0.min_wh, &[10, 10]);
+        assert_eq!(s0.max_wh, &[40, 40]);
+        let s1 = cs.slices(1);
+        assert_eq!((s1.min_wh, s1.max_wh), (&[1i64, 1, 1][..], &[2i64, 2, 2][..]));
+    }
+
+    #[test]
+    fn refresh_rewrites_only_lifecycle_scalars() {
+        let mut cs = ColumnStore::new();
+        let mut fo = offer(7, 0, 2, 0, 1_000);
+        cs.push(&fo, keys());
+        fo.accept().unwrap();
+        fo.assign(Schedule::new(TimeSlot::new(1), vec![Energy::from_wh(600); 2])).unwrap();
+        cs.refresh(0, &fo);
+        assert_eq!(cs.statuses()[0], OfferState::Scheduled);
+        assert_eq!(cs.scheduled_wh()[0], 1_200);
+        // Keys and profile columns untouched.
+        assert_eq!(cs.leaves(Dimension::Time)[0], MemberId(1));
+        assert_eq!(cs.slices(0).max_wh, &[1_000, 1_000]);
+        // The materialized row agrees with a fresh extract.
+        let [t, g, gr, e, p, a] = keys();
+        assert_eq!(cs.row(0), FactRow::extract(&fo, t, g, gr, e, p, a));
+    }
+
+    #[test]
+    fn compact_drops_dead_facts_and_their_slices() {
+        let mut cs = ColumnStore::new();
+        let offers = [offer(1, 0, 1, 1, 2), offer(2, 1, 2, 3, 4), offer(3, 2, 3, 5, 6)];
+        for fo in &offers {
+            cs.push(fo, keys());
+        }
+        cs.compact(&[false, true, false]);
+        assert_eq!(cs.len(), 2);
+        assert_eq!(cs.offer_ids(), &[FlexOfferId(1), FlexOfferId(3)]);
+        assert_eq!(cs.slice_count(), 4);
+        assert_eq!(cs.slices(1).min_wh, &[5, 5, 5]);
+        assert_eq!(cs.row(1).profile_len, 3);
+        // Compacting nothing is a structural no-op.
+        let before = cs.clone();
+        cs.compact(&[false, false]);
+        assert_eq!(cs, before);
+    }
+
+    #[test]
+    fn empty_store_is_consistent() {
+        let cs = ColumnStore::new();
+        assert!(cs.is_empty());
+        assert_eq!(cs.len(), 0);
+        assert_eq!(cs.slice_count(), 0);
+        assert_eq!(cs.rows().count(), 0);
+        let with_cap = ColumnStore::with_capacity(64);
+        assert!(with_cap.is_empty());
+    }
+}

@@ -14,9 +14,15 @@
 //!
 //! * [`Hierarchy`]/[`Member`] — dimension hierarchies built from the
 //!   geography, grid topology, attribute enums and the loaded time window;
-//! * [`Warehouse`] — the star schema: one [`FactRow`] per flex-offer with
-//!   dimension leaf keys and measure inputs, plus the original offers for
-//!   the detail views;
+//! * [`Warehouse`] — the star schema, stored struct-of-arrays: one
+//!   [`ColumnStore`] holding a contiguous column per dimension leaf key
+//!   and per measure input (plus CSR per-slice energy bounds), with the
+//!   original offers retained for the detail views; [`FactRow`] is the
+//!   row-shaped view materialized on demand;
+//! * [`OfferView`]/[`WarehouseRead`] — the redesigned read surface:
+//!   loader queries answer as borrowed views over the epoch's columns
+//!   (with [`OfferView::materialize`] as the owned-handle escape
+//!   hatch), and one trait abstracts over warehouse/snapshot flavors;
 //! * [`Query`]/[`Measure`] — filter + group-by evaluation with
 //!   hierarchical member semantics (filtering on `[Geography].[Jutland]`
 //!   matches every fact whose district lies below it);
@@ -46,6 +52,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod columns;
 mod fact;
 mod hierarchy;
 pub mod live;
@@ -53,12 +60,15 @@ pub mod mdx;
 mod pivot;
 mod query;
 pub mod spatial;
+mod view;
 mod warehouse;
 
+pub use columns::{ColumnSlice, ColumnStore, LeafKeys};
 pub use fact::FactRow;
 pub use hierarchy::{Dimension, Hierarchy, Member, MemberId};
 pub use live::{EpochSnapshot, LiveWarehouse, PendingDeltas};
 pub use pivot::{PivotAxis, PivotSpec, PivotTable};
 pub use query::{DwError, Filter, Measure, Query, QueryResult};
 pub use spatial::{region_leaves, SpatialIndex};
+pub use view::{EpochRef, OfferView, WarehouseRead};
 pub use warehouse::{IngestOutcome, LoaderQuery, LoaderQueryBuilder, ScheduleOutcome, Warehouse};

@@ -9,7 +9,7 @@
 //! * **writers batch** — [`LiveWarehouse::ingest`],
 //!   [`LiveWarehouse::withdraw`] and [`LiveWarehouse::advance_day`]
 //!   apply deltas to a private working copy under one writer lock,
-//!   incrementally (fact rows append, the time hierarchy extends in
+//!   incrementally (fact columns append, the time hierarchy extends in
 //!   place, withdrawals tombstone and compact at the batch boundary —
 //!   never a full [`Warehouse::load`] rebuild);
 //! * **readers are wait-free** — [`LiveWarehouse::snapshot`] hands out
@@ -198,11 +198,12 @@ impl LiveWarehouse {
     /// all future readers. In-flight readers keep the snapshot they
     /// hold; nobody ever observes a partially applied batch.
     ///
-    /// Cost: one clone of the working warehouse (fact rows memcpy,
-    /// offers are `Arc`-shared with every previous epoch) plus a pointer
-    /// swap — the working copy itself is **not** rebuilt, so publish
-    /// latency is O(live facts), independent of how the batch was
-    /// composed. Returns the new snapshot.
+    /// Cost: one clone of the working warehouse (the fact columns,
+    /// offer store and secondary indices are all copy-on-write `Arc`
+    /// handles shared with every previous epoch) plus a pointer swap —
+    /// the working copy itself is **not** rebuilt, so publish latency is
+    /// O(hierarchies), independent of both the fact count and how the
+    /// batch was composed. Returns the new snapshot.
     pub fn publish(&self) -> Arc<EpochSnapshot> {
         let mut w = self.writer.lock().expect("writer lock");
         let epoch = self.published.read().expect("published lock").epoch + 1;
@@ -219,18 +220,13 @@ impl LiveWarehouse {
     pub fn validate_snapshot(snapshot: &EpochSnapshot) {
         let dw = snapshot.warehouse();
         assert_eq!(
-            dw.facts().len(),
+            dw.columns().len(),
             dw.offers().len(),
-            "epoch {}: fact/offer tables out of step",
+            "epoch {}: fact columns/offer store out of step",
             snapshot.epoch()
         );
-        for (row, fo) in dw.facts().iter().zip(dw.offers()) {
-            assert_eq!(
-                row.offer,
-                fo.id(),
-                "epoch {}: fact row keyed to the wrong offer",
-                snapshot.epoch()
-            );
+        for (&id, fo) in dw.columns().offer_ids().iter().zip(dw.offers()) {
+            assert_eq!(id, fo.id(), "epoch {}: fact keyed to the wrong offer", snapshot.epoch());
         }
     }
 }
@@ -277,14 +273,14 @@ mod tests {
         assert!(!live.pending().is_empty());
         // Not yet visible: readers still see epoch 0.
         assert_eq!(live.snapshot().epoch(), 0);
-        assert_eq!(live.snapshot().warehouse().facts().len(), day1.len());
+        assert_eq!(live.snapshot().warehouse().columns().len(), day1.len());
 
         let e1 = live.publish();
         assert_eq!(e1.epoch(), 1);
         assert!(live.pending().is_empty());
-        assert_eq!(e1.warehouse().facts().len(), day1.len() + day2.len());
+        assert_eq!(e1.warehouse().columns().len(), day1.len() + day2.len());
         // The old snapshot is untouched — a reader holding it is safe.
-        assert_eq!(e0.warehouse().facts().len(), day1.len());
+        assert_eq!(e0.warehouse().columns().len(), day1.len());
         LiveWarehouse::validate_snapshot(&e0);
         LiveWarehouse::validate_snapshot(&e1);
     }
@@ -296,9 +292,9 @@ mod tests {
         let victims: Vec<FlexOfferId> = day1.iter().take(5).map(|fo| fo.id()).collect();
         assert_eq!(live.withdraw(&victims), 5);
         assert_eq!(live.pending().withdrawn, 5);
-        assert_eq!(live.snapshot().warehouse().facts().len(), day1.len());
+        assert_eq!(live.snapshot().warehouse().columns().len(), day1.len());
         let e1 = live.publish();
-        assert_eq!(e1.warehouse().facts().len(), day1.len() - 5);
+        assert_eq!(e1.warehouse().columns().len(), day1.len() - 5);
         for id in &victims {
             assert!(e1.warehouse().offer(*id).is_none());
         }
@@ -372,7 +368,7 @@ mod tests {
                         // Queries over a snapshot agree with themselves.
                         let q = Query::new(Measure::Count);
                         let n = snap.warehouse().eval(&q).unwrap().total as usize;
-                        assert_eq!(n, snap.warehouse().facts().len());
+                        assert_eq!(n, snap.warehouse().columns().len());
                         let loaded = snap.warehouse().load_offers(&LoaderQuery::builder().build());
                         assert_eq!(loaded.len(), n);
                     }
@@ -415,7 +411,7 @@ mod tests {
             assert!(fo.execution().is_some());
         }
         // Fact measures stream along with the state.
-        let metered: i64 = after.warehouse().facts().iter().map(|r| r.executed_wh).sum();
+        let metered: i64 = after.warehouse().columns().executed_wh().iter().sum();
         assert!(metered >= 0);
         // A second tick finds nothing left to execute.
         assert_eq!(live.advance_day(), 0);

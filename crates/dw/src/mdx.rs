@@ -495,7 +495,7 @@ mod tests {
         assert_eq!(t.n_rows(), 2); // Consumer, Producer
         assert_eq!(t.n_cols(), 1); // one year
         let total: f64 = t.cells.iter().flatten().sum();
-        assert_eq!(total as usize, dw.facts().len());
+        assert_eq!(total as usize, dw.columns().len());
     }
 
     #[test]

@@ -193,7 +193,7 @@ mod tests {
         assert!(t.n_cols() >= 2); // at least two days
                                   // Cell sums equal the unpivoted total.
         let total: f64 = t.cells.iter().flatten().sum();
-        assert_eq!(total as usize, dw.facts().len());
+        assert_eq!(total as usize, dw.columns().len());
         assert!(t.to_text().contains("Consumer"));
         assert_eq!(t.row_totals().len(), 2);
     }

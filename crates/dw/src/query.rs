@@ -6,6 +6,7 @@ use std::fmt;
 use mirabel_flexoffer::OfferState;
 use mirabel_timeseries::TimeSlot;
 
+use crate::columns::ColumnStore;
 use crate::fact::FactRow;
 use crate::hierarchy::{Dimension, MemberId};
 use crate::warehouse::Warehouse;
@@ -88,6 +89,24 @@ impl Measure {
             Measure::EnergyFlexibility => row.energy_flex_wh as f64 / 1_000.0,
             Measure::AvgPrice => row.price_cents as f64,
             Measure::AvgTimeFlexibility => row.time_flex_slots as f64,
+        }
+    }
+
+    /// The contribution of fact `idx` read straight from the measure
+    /// columns — the columnar counterpart of [`Measure::value_of`]
+    /// (evaluation touches exactly one contiguous column per measure
+    /// instead of striding over whole rows).
+    pub fn value_at(self, cols: &ColumnStore, idx: usize) -> f64 {
+        match self {
+            Measure::Count => 1.0,
+            Measure::ScheduledEnergy => cols.scheduled_wh()[idx] as f64 / 1_000.0,
+            Measure::ExecutedEnergy => cols.executed_wh()[idx] as f64 / 1_000.0,
+            Measure::PlanDeviation => cols.deviation_wh()[idx] as f64 / 1_000.0,
+            Measure::BalancingPotential => cols.balancing_potential_wh()[idx] as f64 / 1_000.0,
+            Measure::TotalMaxEnergy => cols.total_max_wh()[idx] as f64 / 1_000.0,
+            Measure::EnergyFlexibility => cols.energy_flex_wh()[idx] as f64 / 1_000.0,
+            Measure::AvgPrice => cols.price_cents()[idx] as f64,
+            Measure::AvgTimeFlexibility => cols.time_flex()[idx] as f64,
         }
     }
 }
@@ -211,9 +230,69 @@ impl fmt::Display for DwError {
 impl Error for DwError {}
 
 impl Warehouse {
-    /// Evaluates `query` over the fact table.
+    /// Evaluates `query` over the fact columns.
+    ///
+    /// Columnar evaluation: the filter pass reads only the
+    /// `earliest_start`, `status` and touched dimension-leaf columns,
+    /// and the aggregation pass reads exactly one measure column — no
+    /// row materialization anywhere. [`Warehouse::eval_rows`] is the
+    /// row-oriented reference this is regression-tested against.
     pub fn eval(&self, query: &Query) -> Result<QueryResult, DwError> {
-        // Validate filters up front.
+        self.validate(query)?;
+        let cols = self.columns();
+        let mut groups: std::collections::BTreeMap<MemberId, (f64, usize)> = Default::default();
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for idx in 0..cols.len() {
+            if !self.matches_at(cols, idx, query) {
+                continue;
+            }
+            let v = query.measure.value_at(cols, idx);
+            total += v;
+            count += 1;
+            if let Some((dim, level)) = query.group_by {
+                let leaf = cols.leaves(dim)[idx];
+                if let Some(g) = self.hierarchy(dim).ancestor_at_level(leaf, level) {
+                    let e = groups.entry(g).or_insert((0.0, 0));
+                    e.0 += v;
+                    e.1 += 1;
+                }
+            }
+        }
+        Ok(finalise(query, groups, total, count))
+    }
+
+    /// Row-oriented reference evaluator: materializes every [`FactRow`]
+    /// and aggregates via [`Measure::value_of`] — semantically identical
+    /// to [`Warehouse::eval`] but striding over whole rows. Kept public
+    /// as the oracle for the columnar ≡ row equality gates (bench
+    /// harness and property tests); not a hot path.
+    pub fn eval_rows(&self, query: &Query) -> Result<QueryResult, DwError> {
+        self.validate(query)?;
+        let mut groups: std::collections::BTreeMap<MemberId, (f64, usize)> = Default::default();
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for row in self.columns().rows() {
+            if !self.matches(&row, query) {
+                continue;
+            }
+            let v = query.measure.value_of(&row);
+            total += v;
+            count += 1;
+            if let Some((dim, level)) = query.group_by {
+                let leaf = self.fact_leaf(&row, dim);
+                if let Some(g) = self.hierarchy(dim).ancestor_at_level(leaf, level) {
+                    let e = groups.entry(g).or_insert((0.0, 0));
+                    e.0 += v;
+                    e.1 += 1;
+                }
+            }
+        }
+        Ok(finalise(query, groups, total, count))
+    }
+
+    /// Validates `query`'s members and group-by level up front.
+    fn validate(&self, query: &Query) -> Result<(), DwError> {
         for f in &query.filters {
             if self.hierarchy(f.dimension).member(f.member).is_none() {
                 return Err(DwError::UnknownMember { dimension: f.dimension, member: f.member });
@@ -224,37 +303,7 @@ impl Warehouse {
                 return Err(DwError::BadLevel { dimension: dim, level });
             }
         }
-
-        let mut groups: std::collections::BTreeMap<MemberId, (f64, usize)> = Default::default();
-        let mut total = 0.0;
-        let mut count = 0usize;
-        for row in self.facts() {
-            if !self.matches(row, query) {
-                continue;
-            }
-            let v = query.measure.value_of(row);
-            total += v;
-            count += 1;
-            if let Some((dim, level)) = query.group_by {
-                let leaf = self.fact_leaf(row, dim);
-                if let Some(g) = self.hierarchy(dim).ancestor_at_level(leaf, level) {
-                    let e = groups.entry(g).or_insert((0.0, 0));
-                    e.0 += v;
-                    e.1 += 1;
-                }
-            }
-        }
-
-        let finalise = |sum: f64, n: usize| {
-            if query.measure.is_average() && n > 0 {
-                sum / n as f64
-            } else {
-                sum
-            }
-        };
-        let groups: Vec<(MemberId, f64)> =
-            groups.into_iter().map(|(m, (s, n))| (m, finalise(s, n))).collect();
-        Ok(QueryResult { groups, total: finalise(total, count), matching_facts: count })
+        Ok(())
     }
 
     /// The measure of a single member (used by pivots): facts below
@@ -288,6 +337,48 @@ impl Warehouse {
         }
         true
     }
+
+    /// Columnar twin of [`Warehouse::matches`]: the same predicate
+    /// reading individual columns at `idx` instead of a materialized row.
+    fn matches_at(&self, cols: &ColumnStore, idx: usize, query: &Query) -> bool {
+        if let Some((from, to)) = query.time_range {
+            let est = cols.earliest_starts()[idx];
+            if est < from || est >= to {
+                return false;
+            }
+        }
+        if let Some(statuses) = &query.statuses {
+            if !statuses.contains(&cols.statuses()[idx]) {
+                return false;
+            }
+        }
+        for f in &query.filters {
+            let leaf = cols.leaves(f.dimension)[idx];
+            if !self.hierarchy(f.dimension).is_descendant(leaf, f.member) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Applies the average division and flattens the group map.
+fn finalise(
+    query: &Query,
+    groups: std::collections::BTreeMap<MemberId, (f64, usize)>,
+    total: f64,
+    count: usize,
+) -> QueryResult {
+    let avg = |sum: f64, n: usize| {
+        if query.measure.is_average() && n > 0 {
+            sum / n as f64
+        } else {
+            sum
+        }
+    };
+    let groups: Vec<(MemberId, f64)> =
+        groups.into_iter().map(|(m, (s, n))| (m, avg(s, n))).collect();
+    QueryResult { groups, total: avg(total, count), matching_facts: count }
 }
 
 #[cfg(test)]
@@ -306,8 +397,8 @@ mod tests {
     fn count_all_facts() {
         let dw = warehouse();
         let r = dw.eval(&Query::new(Measure::Count)).unwrap();
-        assert_eq!(r.total as usize, dw.facts().len());
-        assert_eq!(r.matching_facts, dw.facts().len());
+        assert_eq!(r.total as usize, dw.columns().len());
+        assert_eq!(r.matching_facts, dw.columns().len());
         assert!(r.groups.is_empty());
     }
 
@@ -362,7 +453,7 @@ mod tests {
         let dw = warehouse();
         let r = dw.eval(&Query::new(Measure::Count).statuses(vec![OfferState::Offered])).unwrap();
         // Freshly generated offers are all in Offered state.
-        assert_eq!(r.total as usize, dw.facts().len());
+        assert_eq!(r.total as usize, dw.columns().len());
         let none =
             dw.eval(&Query::new(Measure::Count).statuses(vec![OfferState::Executed])).unwrap();
         assert_eq!(none.total, 0.0);
@@ -376,7 +467,7 @@ mod tests {
             .eval(&Query::new(Measure::Count).time_range(mid, TimeSlot::new(100_000)))
             .unwrap()
             .total;
-        assert_eq!(early + late, dw.facts().len() as f64);
+        assert_eq!(early + late, dw.columns().len() as f64);
     }
 
     #[test]
@@ -384,7 +475,7 @@ mod tests {
         let dw = warehouse();
         let q = Query::new(Measure::TotalMaxEnergy);
         let r = dw.eval(&q).unwrap();
-        let expected: f64 = dw.facts().iter().map(|f| f.total_max_wh as f64 / 1_000.0).sum();
+        let expected: f64 = dw.columns().total_max_wh().iter().map(|&wh| wh as f64 / 1_000.0).sum();
         assert!((r.total - expected).abs() < 1e-6);
         // Balancing potential and flexibility are non-negative.
         assert!(dw.eval(&Query::new(Measure::BalancingPotential)).unwrap().total >= 0.0);
@@ -395,8 +486,8 @@ mod tests {
     fn averages_divide_by_count() {
         let dw = warehouse();
         let r = dw.eval(&Query::new(Measure::AvgTimeFlexibility)).unwrap();
-        let expected: f64 = dw.facts().iter().map(|f| f.time_flex_slots as f64).sum::<f64>()
-            / dw.facts().len() as f64;
+        let expected: f64 = dw.columns().time_flex().iter().map(|&t| t as f64).sum::<f64>()
+            / dw.columns().len() as f64;
         assert!((r.total - expected).abs() < 1e-9);
         // Per-group averages also divide by group counts.
         let grouped =
@@ -427,6 +518,26 @@ mod tests {
         }
         assert_eq!(Measure::parse("bogus"), None);
         assert_eq!(Measure::Count.to_string(), "Count");
+    }
+
+    #[test]
+    fn columnar_eval_matches_the_row_reference() {
+        let dw = warehouse();
+        let geo = dw.hierarchy(Dimension::Geography);
+        let region = geo.member_by_name("Midtjylland").unwrap().id;
+        let queries = vec![
+            Query::new(Measure::Count),
+            Query::new(Measure::TotalMaxEnergy).group_by(Dimension::Geography, 2),
+            Query::new(Measure::AvgPrice)
+                .filter(Dimension::Geography, region)
+                .group_by(Dimension::ProsumerType, 1),
+            Query::new(Measure::EnergyFlexibility)
+                .time_range(TimeSlot::new(0), TimeSlot::new(96))
+                .statuses(vec![OfferState::Offered]),
+        ];
+        for q in &queries {
+            assert_eq!(dw.eval(q).unwrap(), dw.eval_rows(q).unwrap());
+        }
     }
 
     #[test]

@@ -26,7 +26,6 @@ use mirabel_flexoffer::ProsumerId;
 use mirabel_geo::Geography;
 use mirabel_workload::Prosumer;
 
-use crate::fact::FactRow;
 use crate::hierarchy::{Hierarchy, MemberId};
 
 /// Per-region fact index of one warehouse.
@@ -75,13 +74,13 @@ impl SpatialIndex {
         self.postings.entry(leaf).or_default().push(fact_idx);
     }
 
-    /// Rebuilds every posting list from a compacted fact table (the
-    /// withdraw path, where surviving fact indices shift). The membership
-    /// cache is unaffected — prosumers do not move.
-    pub fn rebuild(&mut self, facts: &[FactRow]) {
+    /// Rebuilds every posting list from a compacted geography-leaf
+    /// column (the withdraw path, where surviving fact indices shift).
+    /// The membership cache is unaffected — prosumers do not move.
+    pub fn rebuild(&mut self, geo_leaves: &[MemberId]) {
         self.postings.clear();
-        for (idx, row) in facts.iter().enumerate() {
-            self.postings.entry(row.geo_leaf).or_default().push(idx);
+        for (idx, &leaf) in geo_leaves.iter().enumerate() {
+            self.postings.entry(leaf).or_default().push(idx);
         }
     }
 
@@ -92,14 +91,38 @@ impl SpatialIndex {
 
     /// Fact indices under `member` (any level of the geography
     /// hierarchy), ascending: the posting lists of every district leaf in
-    /// the member's subtree, merged. Cost is O(leaves + offers-in-subtree
-    /// × log fan-in), independent of the total fact count.
+    /// the member's subtree, merged. A single-leaf subtree is answered by
+    /// copying its (already ascending) posting list; wider subtrees merge
+    /// through a fact-index bitmap — set one bit per posting, then walk
+    /// the set words — which is O(offers-in-subtree + max-fact-index/64)
+    /// and allocation-friendly (the bitmap for a million facts is 128 KiB,
+    /// cache-resident), where the comparison sort it replaces paid
+    /// O(n log n) on the leaf-interleaved order and dominated the S5
+    /// region-query harness at city scale.
     pub fn indices_under(&self, geography: &Hierarchy, member: MemberId) -> Vec<usize> {
-        let mut merged: Vec<usize> = region_leaves(geography, member)
-            .into_iter()
-            .flat_map(|leaf| self.indices(leaf).iter().copied())
-            .collect();
-        merged.sort_unstable();
+        let leaves = region_leaves(geography, member);
+        if let [leaf] = leaves.as_slice() {
+            return self.indices(*leaf).to_vec();
+        }
+        let lists: Vec<&[usize]> = leaves.iter().map(|&leaf| self.indices(leaf)).collect();
+        let total: usize = lists.iter().map(|l| l.len()).sum();
+        let Some(max) = lists.iter().filter_map(|l| l.last()).max() else {
+            return Vec::new();
+        };
+        let mut bits = vec![0u64; max / 64 + 1];
+        for list in &lists {
+            for &i in *list {
+                bits[i / 64] |= 1 << (i % 64);
+            }
+        }
+        let mut merged = Vec::with_capacity(total);
+        for (w, &word) in bits.iter().enumerate() {
+            let mut word = word;
+            while word != 0 {
+                merged.push(w * 64 + word.trailing_zeros() as usize);
+                word &= word - 1;
+            }
+        }
         merged
     }
 

@@ -10,20 +10,24 @@ use mirabel_geo::Geography;
 use mirabel_timeseries::{SlotSpan, TimeSlot, SLOTS_PER_DAY};
 use mirabel_workload::Population;
 
+use crate::columns::{ColumnStore, LeafKeys};
 use crate::fact::FactRow;
 use crate::hierarchy::{Dimension, Hierarchy, MemberId};
 use crate::spatial::SpatialIndex;
+use crate::view::OfferView;
 
 /// The in-memory MIRABEL data warehouse.
 ///
-/// Loading snapshots the offers into [`FactRow`]s keyed by the dimension
-/// hierarchies; the original offers are retained for the detail views and
-/// the Figure 7 loader. A loaded warehouse is not frozen: [`Warehouse::ingest`]
+/// Loading keys the offers into the columnar fact store
+/// ([`ColumnStore`], struct-of-arrays — one contiguous column per
+/// measure and per dimension leaf key); the original offers are
+/// retained for the detail views and the Figure 7 loader. A loaded
+/// warehouse is not frozen: [`Warehouse::ingest`]
 /// appends newly arrived offers (extending the time hierarchy in place)
 /// and [`Warehouse::withdraw`] compacts retracted ones away — the
 /// incremental deltas behind [`LiveWarehouse`](crate::LiveWarehouse).
 ///
-/// The heavy state — fact table, offer store, the per-id / per-prosumer /
+/// The heavy state — fact columns, offer store, the per-id / per-prosumer /
 /// per-region indices — sits behind [`Arc`] with copy-on-write semantics
 /// ([`Arc::make_mut`]): cloning the warehouse (the live warehouse's epoch
 /// publish, which happens under the writer lock) costs O(hierarchies),
@@ -51,7 +55,7 @@ pub struct Warehouse {
     spatial: Arc<SpatialIndex>,
     /// Grid node id → grid member, kept for incremental keying.
     node_members: Vec<MemberId>,
-    facts: Arc<Vec<FactRow>>,
+    columns: Arc<ColumnStore>,
     offers: Arc<Vec<Arc<FlexOffer>>>,
     by_id: Arc<HashMap<FlexOfferId, usize>>,
     /// Prosumer → fact indices (ascending): makes entity-restricted
@@ -122,7 +126,7 @@ impl Warehouse {
             geo_model: population.geography().clone(),
             spatial: Arc::new(SpatialIndex::new()),
             node_members,
-            facts: Arc::new(Vec::with_capacity(offers.len())),
+            columns: Arc::new(ColumnStore::with_capacity(offers.len())),
             offers: Arc::new(Vec::with_capacity(offers.len())),
             by_id: Arc::new(HashMap::with_capacity(offers.len())),
             by_prosumer: Arc::new(HashMap::new()),
@@ -134,7 +138,7 @@ impl Warehouse {
     }
 
     /// Appends one offer (already inside the time window) to the fact
-    /// table and every index. Returns `false` when the prosumer is
+    /// columns and every index. Returns `false` when the prosumer is
     /// unknown.
     ///
     /// Spatial membership comes from point-in-region over the prosumer's
@@ -152,21 +156,20 @@ impl Warehouse {
         let spatial = Arc::make_mut(&mut self.spatial);
         let geo_leaf =
             spatial.leaf_for(&self.geo_model, &self.district_leaves, self.unassigned_leaf, p);
-        let row = FactRow::extract(
-            fo,
+        let keys: LeafKeys = [
             time_leaf,
             geo_leaf,
             self.node_members[p.feeder.0 as usize],
             Hierarchy::energy_leaf(fo.energy_type()),
             Hierarchy::prosumer_leaf(fo.prosumer_type()),
             Hierarchy::appliance_leaf(fo.appliance_type()),
-        );
+        ];
         let offers = Arc::make_mut(&mut self.offers);
         let idx = offers.len();
         Arc::make_mut(&mut self.by_id).insert(fo.id(), idx);
         Arc::make_mut(&mut self.by_prosumer).entry(fo.prosumer()).or_default().push(idx);
         spatial.insert(geo_leaf, idx);
-        Arc::make_mut(&mut self.facts).push(row);
+        Arc::make_mut(&mut self.columns).push(fo, keys);
         offers.push(Arc::new(fo.clone()));
         true
     }
@@ -248,13 +251,7 @@ impl Warehouse {
         if removed == 0 {
             return 0;
         }
-        let facts = Arc::make_mut(&mut self.facts);
-        let mut i = 0;
-        facts.retain(|_| {
-            let keep = !dead[i];
-            i += 1;
-            keep
-        });
+        Arc::make_mut(&mut self.columns).compact(&dead);
         let offers = Arc::make_mut(&mut self.offers);
         let mut i = 0;
         offers.retain(|_| {
@@ -272,15 +269,15 @@ impl Warehouse {
             by_id.insert(fo.id(), idx);
             by_prosumer.entry(fo.prosumer()).or_default().push(idx);
         }
-        Arc::make_mut(&mut self.spatial).rebuild(facts);
+        Arc::make_mut(&mut self.spatial).rebuild(self.columns.geo_leaves());
         removed
     }
 
     /// Applies enterprise schedule assignments to loaded offers **in
     /// place**: a still-`Offered` offer is accepted first (assignment
     /// implies acceptance), the schedule is feasibility-checked by the
-    /// offer itself, and the fact row is re-extracted reusing its stored
-    /// dimension keys — no hierarchy work, no re-keying, no index
+    /// offer itself, and only the lifecycle measure columns are
+    /// rewritten — no hierarchy work, no re-keying, no index
     /// rebuild. Unknown ids and terminal-state offers are itemised in
     /// the returned [`ScheduleOutcome`].
     pub fn assign_schedules(&mut self, assignments: &[(FlexOfferId, Schedule)]) -> ScheduleOutcome {
@@ -316,8 +313,8 @@ impl Warehouse {
 
     /// Executes every scheduled offer whose schedule has fully elapsed
     /// by `now` (schedule end ≤ `now`, half-open): the offer transitions
-    /// to `Executed` with metered actuals and its fact row's
-    /// `executed_wh` / `deviation_wh` measures refresh in place. Returns
+    /// to `Executed` with metered actuals and its fact's
+    /// `executed_wh` / `deviation_wh` measure columns refresh in place. Returns
     /// the number of offers executed.
     ///
     /// The actuals are synthesised deterministically from the offer's
@@ -348,21 +345,13 @@ impl Warehouse {
         due.len()
     }
 
-    /// Re-extracts fact row `idx` from its (mutated) offer, reusing the
-    /// row's stored dimension leaf keys.
+    /// Refreshes fact `idx`'s lifecycle measure columns from its
+    /// (mutated) offer. Dimension keys, flexibility measures and the
+    /// slice columns are immutable over an offer's lifecycle and stay
+    /// untouched.
     fn refresh_fact(&mut self, idx: usize) {
-        let row = &self.facts[idx];
-        let keys = (
-            row.time_leaf,
-            row.geo_leaf,
-            row.grid_leaf,
-            row.energy_leaf,
-            row.prosumer_leaf,
-            row.appliance_leaf,
-        );
-        let fresh =
-            FactRow::extract(&self.offers[idx], keys.0, keys.1, keys.2, keys.3, keys.4, keys.5);
-        Arc::make_mut(&mut self.facts)[idx] = fresh;
+        let fo = Arc::clone(&self.offers[idx]);
+        Arc::make_mut(&mut self.columns).refresh(idx, &fo);
     }
 
     /// The hierarchy of `dimension`.
@@ -377,9 +366,12 @@ impl Warehouse {
         }
     }
 
-    /// All fact rows.
-    pub fn facts(&self) -> &[FactRow] {
-        &self.facts
+    /// The columnar fact store: every measure and every dimension leaf
+    /// key as a contiguous column, in fact order (see
+    /// [`ColumnStore`]). Row-shaped consumers materialize individual
+    /// [`FactRow`]s via [`ColumnStore::row`] / [`ColumnStore::rows`].
+    pub fn columns(&self) -> &ColumnStore {
+        &self.columns
     }
 
     /// All loaded offers (fact order). Offers are stored behind [`Arc`]
@@ -447,19 +439,54 @@ impl Warehouse {
     /// The geography leaf the fact of offer `id` is keyed to — how the
     /// session folds a standing plan into per-region heatmap cells.
     pub fn geo_leaf_of(&self, id: FlexOfferId) -> Option<MemberId> {
-        self.by_id.get(&id).map(|&i| self.facts[i].geo_leaf)
+        self.by_id.get(&id).map(|&i| self.columns.geo_leaves()[i])
     }
 
     /// `true` when fact `idx` lies in the subtree of `member` in the
     /// geography hierarchy.
     fn in_region(&self, idx: usize, member: MemberId) -> bool {
-        self.geography.is_descendant(self.facts[idx].geo_leaf, member)
+        self.geography.is_descendant(self.columns.geo_leaves()[idx], member)
+    }
+
+    /// The warehouse's own shared handle for fact `idx` (for the view
+    /// layer's borrow/materialize split).
+    pub(crate) fn shared_offer(&self, idx: usize) -> &Arc<FlexOffer> {
+        &self.offers[idx]
+    }
+
+    /// The [`LoaderQuery::matches`] predicate evaluated off the fact
+    /// columns instead of the offer heap: the entity and direction
+    /// filters read their own columns, and the extent test reconstructs
+    /// `[earliest_start, latest_end)` from the earliest-start,
+    /// time-flexibility and profile-length columns (an offer's latest
+    /// end is its earliest start plus its start flexibility plus its
+    /// profile duration). Semantically identical to chasing the
+    /// `Arc<FlexOffer>` — the row-oriented scan oracle and the S5/S7
+    /// equality gates hold the two in lockstep — but touches only
+    /// contiguous arrays, which is what keeps selection cache-friendly
+    /// at the million-fact scale.
+    fn loader_matches_at(&self, i: usize, query: &LoaderQuery) -> bool {
+        let c = &self.columns;
+        if let Some(p) = query.prosumer {
+            if c.prosumers()[i] != p {
+                return false;
+            }
+        }
+        if let Some(d) = query.direction {
+            if c.directions()[i] != d {
+                return false;
+            }
+        }
+        let lo = c.earliest_starts()[i];
+        let hi = lo + SlotSpan::slots(c.time_flex()[i] + c.slices(i).len() as i64);
+        lo < query.to && query.from < hi
     }
 
     /// Fact indices satisfying every part of `query`, ascending. Picks
     /// the cheapest index: the per-prosumer postings for entity queries,
     /// the per-region postings for spatial queries, a full scan only when
-    /// neither filter is set.
+    /// neither filter is set. All residual filters run columnar
+    /// ([`Warehouse::loader_matches_at`]).
     fn selected_indices(&self, query: &LoaderQuery) -> Vec<usize> {
         match (query.prosumer, query.region) {
             (Some(p), region) => self
@@ -467,15 +494,15 @@ impl Warehouse {
                 .iter()
                 .copied()
                 .filter(|&i| region.is_none_or(|m| self.in_region(i, m)))
-                .filter(|&i| query.matches(&self.offers[i]))
+                .filter(|&i| self.loader_matches_at(i, query))
                 .collect(),
             (None, Some(m)) => {
                 let mut indices = self.spatial.indices_under(&self.geography, m);
-                indices.retain(|&i| query.matches(&self.offers[i]));
+                indices.retain(|&i| self.loader_matches_at(i, query));
                 indices
             }
             (None, None) => {
-                (0..self.offers.len()).filter(|&i| query.matches(&self.offers[i])).collect()
+                (0..self.offers.len()).filter(|&i| self.loader_matches_at(i, query)).collect()
             }
         }
     }
@@ -493,10 +520,20 @@ impl Warehouse {
         self.selected_indices(query).into_iter().map(|i| self.offers[i].as_ref()).collect()
     }
 
+    /// The redesigned loader: the same selection as
+    /// [`Warehouse::load_offers`], answered as a borrowed [`OfferView`]
+    /// over the fact columns — no per-offer refcounting, no
+    /// allocation beyond the index list. Callers that need owned
+    /// handles call [`OfferView::materialize`] explicitly.
+    pub fn view(&self, query: &LoaderQuery) -> OfferView<'_> {
+        OfferView::new(self, self.selected_indices(query))
+    }
+
     /// The loader, Arc-flavored: the same selection as
     /// [`Warehouse::load_offers`] but returning shared handles, so a view
     /// tab (or many tabs across many sessions) holds the warehouse's
     /// allocation instead of a per-tab clone of every offer.
+    #[deprecated(since = "0.8.0", note = "use `Warehouse::view(query).materialize()`")]
     pub fn load_shared(&self, query: &LoaderQuery) -> Vec<Arc<FlexOffer>> {
         self.selected_indices(query).into_iter().map(|i| Arc::clone(&self.offers[i])).collect()
     }
@@ -704,9 +741,9 @@ mod tests {
     fn load_keys_every_offer() {
         let (pop, offers) = setup();
         let dw = Warehouse::load(&pop, &offers);
-        assert_eq!(dw.facts().len(), offers.len());
+        assert_eq!(dw.columns().len(), offers.len());
         assert_eq!(dw.offers().len(), offers.len());
-        for (row, fo) in dw.facts().iter().zip(dw.offers()) {
+        for (row, fo) in dw.columns().rows().zip(dw.offers()) {
             assert_eq!(row.offer, fo.id());
             // Leaf members exist in their hierarchies at leaf level.
             let geo = dw.hierarchy(Dimension::Geography);
@@ -723,7 +760,7 @@ mod tests {
         let (pop, offers) = setup();
         let dw = Warehouse::load(&pop, &offers);
         let time = dw.hierarchy(Dimension::Time);
-        for (row, fo) in dw.facts().iter().zip(dw.offers()) {
+        for (row, fo) in dw.columns().rows().zip(dw.offers()) {
             let day_name = fo.earliest_start().civil().date.to_string();
             assert_eq!(time.member(row.time_leaf).unwrap().name, day_name);
             assert_eq!(dw.day_leaf(fo.earliest_start()), Some(row.time_leaf));
@@ -741,7 +778,7 @@ mod tests {
             .unwrap();
         offers.push(alien);
         let dw = Warehouse::load(&pop, &offers);
-        assert_eq!(dw.facts().len(), offers.len() - 1);
+        assert_eq!(dw.columns().len(), offers.len() - 1);
         assert!(dw.offer(FlexOfferId(999_999)).is_none());
     }
 
@@ -781,6 +818,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // pins the compat contract of the deprecated loader
     fn shared_loader_aliases_warehouse_allocations() {
         let (pop, offers) = setup();
         let dw = Warehouse::load(&pop, &offers);
@@ -796,6 +834,12 @@ mod tests {
         let mine = dw.load_shared(&LoaderQuery::for_prosumer(entity).build());
         assert!(!mine.is_empty());
         assert!(mine.iter().all(|fo| fo.prosumer() == entity));
+        // The replacement path hands out the identical allocations.
+        let via_view = dw.view(&q).materialize();
+        assert_eq!(via_view.len(), shared.len());
+        for (a, b) in via_view.iter().zip(&shared) {
+            assert!(Arc::ptr_eq(a, b));
+        }
     }
 
     #[test]
@@ -810,7 +854,7 @@ mod tests {
     fn empty_offer_set_loads() {
         let (pop, _) = setup();
         let dw = Warehouse::load(&pop, &[]);
-        assert!(dw.facts().is_empty());
+        assert!(dw.columns().is_empty());
         assert_eq!(dw.hierarchy(Dimension::Time).at_level(3).count(), 1);
     }
 
@@ -835,7 +879,7 @@ mod tests {
 
         // Same facts as loading everything at once, up to fact order.
         let full = Warehouse::load(&pop, &offers);
-        assert_eq!(live.facts().len(), full.facts().len());
+        assert_eq!(live.columns().len(), full.columns().len());
         let mut live_ids: Vec<u64> = live.offers().iter().map(|fo| fo.id().raw()).collect();
         let mut full_ids: Vec<u64> = full.offers().iter().map(|fo| fo.id().raw()).collect();
         live_ids.sort_unstable();
@@ -843,7 +887,7 @@ mod tests {
         assert_eq!(live_ids, full_ids);
         // Every ingested fact is keyed to the correct day leaf by name.
         let time = live.hierarchy(Dimension::Time);
-        for (row, fo) in live.facts().iter().zip(live.offers()) {
+        for (row, fo) in live.columns().rows().zip(live.offers()) {
             let day_name = fo.earliest_start().civil().date.to_string();
             assert_eq!(time.member(row.time_leaf).unwrap().name, day_name);
         }
@@ -877,14 +921,14 @@ mod tests {
         for (i, id) in member_ids_before.iter().enumerate() {
             assert_eq!(dw.hierarchy(Dimension::Time).members()[i].id, *id);
         }
-        assert_eq!(dw.day_leaf(far), Some(dw.facts().last().unwrap().time_leaf));
+        assert_eq!(dw.day_leaf(far), dw.columns().leaves(Dimension::Time).last().copied());
     }
 
     #[test]
     fn ingest_skips_are_itemised() {
         let (pop, offers) = setup();
         let mut dw = Warehouse::load(&pop, &offers);
-        let before = dw.facts().len();
+        let before = dw.columns().len();
         let alien = FlexOffer::builder(900_002u64, 42_000u64)
             .earliest_start(TimeSlot::new(10))
             .slices(1, mirabel_flexoffer::Energy::ZERO, mirabel_flexoffer::Energy::from_wh(1))
@@ -900,7 +944,7 @@ mod tests {
         assert_eq!(out.skipped_unknown_prosumer, 1);
         assert_eq!(out.skipped_before_window, 1);
         assert_eq!(out.skipped_duplicate, 1);
-        assert_eq!(dw.facts().len(), before);
+        assert_eq!(dw.columns().len(), before);
     }
 
     #[test]
@@ -911,7 +955,7 @@ mod tests {
             offers.iter().step_by(3).map(mirabel_flexoffer::FlexOffer::id).collect();
         let removed = dw.withdraw(&victims);
         assert_eq!(removed, victims.len());
-        assert_eq!(dw.facts().len(), offers.len() - victims.len());
+        assert_eq!(dw.columns().len(), offers.len() - victims.len());
         // Duplicate and unknown ids are no-ops.
         assert_eq!(dw.withdraw(&victims), 0);
         assert_eq!(dw.withdraw(&[FlexOfferId(123_456_789)]), 0);
@@ -924,7 +968,7 @@ mod tests {
             .collect();
         let got: Vec<FlexOfferId> = dw.offers().iter().map(|fo| fo.id()).collect();
         assert_eq!(got, expected);
-        for (row, fo) in dw.facts().iter().zip(dw.offers()) {
+        for (row, fo) in dw.columns().rows().zip(dw.offers()) {
             assert_eq!(row.offer, fo.id());
         }
         for id in &victims {
@@ -957,7 +1001,7 @@ mod tests {
                     dw.offers().iter().filter(|fo| q.matches(fo)).map(|fo| fo.id()).collect();
                 assert_eq!(indexed, linear, "prosumer {p:?}");
                 let shared: Vec<FlexOfferId> =
-                    dw.load_shared(&q).iter().map(|fo| fo.id()).collect();
+                    dw.view(&q).materialize().iter().map(|fo| fo.id()).collect();
                 assert_eq!(shared, linear, "prosumer {p:?} (shared)");
             }
         }
@@ -985,7 +1029,7 @@ mod tests {
                     dw.load_offers_scan(&q).iter().map(|fo| fo.id()).collect();
                 assert_eq!(indexed, scanned, "member {m}");
                 let shared: Vec<FlexOfferId> =
-                    dw.load_shared(&q).iter().map(|fo| fo.id()).collect();
+                    dw.view(&q).materialize().iter().map(|fo| fo.id()).collect();
                 assert_eq!(shared, scanned, "member {m} (shared)");
             }
         }
@@ -1034,10 +1078,10 @@ mod tests {
         let distinct: std::collections::BTreeSet<ProsumerId> =
             dw.offers().iter().map(|fo| fo.prosumer()).collect();
         assert_eq!(dw.spatial_index().cached_memberships(), distinct.len());
-        assert!(dw.facts().len() > distinct.len());
+        assert!(dw.columns().len() > distinct.len());
         // Generated locations resolve to the declared district, so no
         // fact lands on the unassigned leaf.
-        assert!(dw.facts().iter().all(|row| row.geo_leaf != dw.unassigned_leaf()));
+        assert!(dw.columns().geo_leaves().iter().all(|&g| g != dw.unassigned_leaf()));
         assert!(dw.load_offers(&everywhere().region(dw.unassigned_leaf()).build()).is_empty());
     }
 
@@ -1101,8 +1145,8 @@ mod tests {
         for (id, schedule) in &assignments {
             let fo = dw.offer(*id).unwrap();
             assert_eq!(fo.status(), OfferState::Scheduled);
-            let idx = dw.facts().iter().position(|r| r.offer == *id).unwrap();
-            let row = &dw.facts()[idx];
+            let idx = dw.columns().offer_ids().iter().position(|o| o == id).unwrap();
+            let row = dw.columns().row(idx);
             assert_eq!(row.status, OfferState::Scheduled);
             assert_eq!(row.scheduled_wh, schedule.total().wh());
             // Dimension keys survive the in-place refresh.
@@ -1165,8 +1209,8 @@ mod tests {
             for (&e, &slice) in execution.energies().iter().zip(fo.profile().slices()) {
                 assert!(slice.contains(e), "{e} outside {slice}");
             }
-            let idx = dw.facts().iter().position(|r| r.offer == *id).unwrap();
-            let row = &dw.facts()[idx];
+            let idx = dw.columns().offer_ids().iter().position(|o| o == id).unwrap();
+            let row = dw.columns().row(idx);
             assert_eq!(row.status, OfferState::Executed);
             assert_eq!(row.executed_wh, execution.total().wh());
             assert_eq!(row.deviation_wh, execution.total_absolute_deviation(schedule).wh());
@@ -1184,6 +1228,6 @@ mod tests {
         let (pop, offers) = setup();
         let mut dw = Warehouse::load(&pop, &offers);
         assert_eq!(dw.execute_due(dw.window_end()), 0);
-        assert!(dw.facts().iter().all(|r| r.executed_wh == 0));
+        assert!(dw.columns().executed_wh().iter().all(|&e| e == 0));
     }
 }

@@ -78,7 +78,9 @@ use std::time::{Duration, Instant};
 use mirabel_session::{Command, WireOutcome};
 
 use crate::error::NetError;
-use crate::protocol::{parse_greeting, Reply, Request, ServerLine, PROTOCOL_VERSION};
+use crate::protocol::{
+    parse_greeting, Reply, Request, ServerLine, PROTOCOL_VERSION, RESUME_TOKEN_EXPIRED,
+};
 
 /// Connection lifecycle state markers (zero-sized; the trait is
 /// sealed, so this set is closed).
@@ -289,6 +291,7 @@ impl Connection<state::Greeting> {
                 self.epoch = self.epoch.max(epoch);
                 Ok(self.cast())
             }
+            Reply::Error(reason) if reason == RESUME_TOKEN_EXPIRED => Err(NetError::ResumeExpired),
             Reply::Error(reason) => Err(NetError::Refused { reason }),
             other => Err(NetError::UnexpectedReply { expected: "session", got: other.encode() }),
         }

@@ -39,6 +39,12 @@ pub enum NetError {
         /// The server's unescaped reason text.
         reason: String,
     },
+    /// A `session resume` was turned away because the token outlived
+    /// the server's resume-token TTL (which is distinct from the
+    /// parking-lot TTL — the session may still be parked; only a fresh
+    /// `hello` can reach it now). Recognised by the canonical reason
+    /// text [`RESUME_TOKEN_EXPIRED`](crate::protocol::RESUME_TOKEN_EXPIRED).
+    ResumeExpired,
     /// The server answered a well-formed frame the request cannot
     /// accept (e.g. a `hashes` reply to a command).
     UnexpectedReply {
@@ -58,6 +64,7 @@ impl fmt::Display for NetError {
             NetError::Protocol(e) => write!(f, "protocol violation: {e}"),
             NetError::Handshake { detail } => write!(f, "handshake failed: {detail}"),
             NetError::Refused { reason } => write!(f, "server refused: {reason}"),
+            NetError::ResumeExpired => write!(f, "resume token expired"),
             NetError::UnexpectedReply { expected, got } => {
                 write!(f, "expected {expected} reply, got `{got}`")
             }

@@ -22,6 +22,16 @@ pub const PROTOCOL_VERSION: u32 = 1;
 /// First token of the server greeting line.
 pub const GREETING_HEAD: &str = "mirabel-net";
 
+/// Canonical `err` reason the server sends when a `session resume`
+/// token has outlived the server's resume-token TTL (distinct from the
+/// parking-lot TTL — the session may still be parked). Clients match on
+/// this exact text to surface [`NetError::ResumeExpired`]; every other
+/// `err` reason stays a generic [`NetError::Refused`].
+///
+/// [`NetError::ResumeExpired`]: crate::NetError::ResumeExpired
+/// [`NetError::Refused`]: crate::NetError::Refused
+pub const RESUME_TOKEN_EXPIRED: &str = "resume token expired";
+
 /// The greeting the server writes on accept: `mirabel-net <version>`.
 pub fn greeting() -> String {
     format!("{GREETING_HEAD} {PROTOCOL_VERSION}")

@@ -66,7 +66,7 @@ use std::time::{Duration, Instant};
 use mirabel_session::{ConcurrentPool, SessionId};
 
 use crate::conn::state::{self, ConnState};
-use crate::protocol::{greeting, Reply, Request, PROTOCOL_VERSION};
+use crate::protocol::{greeting, Reply, Request, PROTOCOL_VERSION, RESUME_TOKEN_EXPIRED};
 
 /// Bounds on the parking lot of resumable sessions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,11 +76,23 @@ pub struct NetServerConfig {
     pub park_capacity: usize,
     /// How long a parked session stays resumable before it expires.
     pub park_ttl: Duration,
+    /// How long a minted resume token stays valid, measured from the
+    /// moment it was handed out — **not** from when the session parked.
+    /// Tokens are bearer credentials; this bounds the replay window of
+    /// a leaked token independently of [`park_ttl`](Self::park_ttl)
+    /// (the session itself may still be parked when its token expires —
+    /// resuming it then requires a fresh `hello`). See PROTOCOL.md,
+    /// "Resumable sessions".
+    pub resume_token_ttl: Duration,
 }
 
 impl Default for NetServerConfig {
     fn default() -> NetServerConfig {
-        NetServerConfig { park_capacity: 1_024, park_ttl: Duration::from_secs(300) }
+        NetServerConfig {
+            park_capacity: 1_024,
+            park_ttl: Duration::from_secs(300),
+            resume_token_ttl: Duration::from_secs(150),
+        }
     }
 }
 
@@ -120,6 +132,9 @@ struct Inner {
 struct LotEntry {
     /// Nonce of the currently valid resume token (rotated per attach).
     nonce: u64,
+    /// When the current token was minted; resume tokens expire
+    /// `resume_token_ttl` after this, independently of the park TTL.
+    minted_at: Instant,
     attachment: Attachment,
 }
 
@@ -360,10 +375,10 @@ impl Inner {
     /// first resume token.
     fn lot_open(&self, session: u64) -> String {
         let (nonce, token) = self.mint(session);
-        self.lot
-            .lock()
-            .expect("lot lock")
-            .insert(session, LotEntry { nonce, attachment: Attachment::Attached });
+        self.lot.lock().expect("lot lock").insert(
+            session,
+            LotEntry { nonce, minted_at: Instant::now(), attachment: Attachment::Attached },
+        );
         token
     }
 
@@ -384,10 +399,18 @@ impl Inner {
                     Some(entry) if entry.nonce != nonce => {
                         return Err("stale resume token".into());
                     }
+                    Some(entry) if entry.minted_at.elapsed() > self.config.resume_token_ttl => {
+                        // The token outlived its own TTL — independent
+                        // of the park TTL, so the session may well still
+                        // be parked. Report the canonical reason so the
+                        // client can distinguish this from a lot miss.
+                        return Err(RESUME_TOKEN_EXPIRED.into());
+                    }
                     Some(entry) => {
                         if let Attachment::Parked { announced, .. } = entry.attachment {
                             let (new_nonce, new_token) = self.mint(session);
                             entry.nonce = new_nonce;
+                            entry.minted_at = Instant::now();
                             entry.attachment = Attachment::Attached;
                             return Ok(Resumed { session, announced, token: new_token });
                         }

@@ -267,7 +267,7 @@ fn parking_lot_honors_ttl_and_capacity() {
     let server = NetServer::bind_with(
         "127.0.0.1:0",
         pool(10, 7),
-        NetServerConfig { park_capacity: 16, park_ttl: Duration::ZERO },
+        NetServerConfig { park_capacity: 16, park_ttl: Duration::ZERO, ..Default::default() },
     )
     .unwrap();
     let client = NetClient::connect(server.local_addr()).unwrap();
@@ -285,7 +285,11 @@ fn parking_lot_honors_ttl_and_capacity() {
     let server = NetServer::bind_with(
         "127.0.0.1:0",
         pool(10, 8),
-        NetServerConfig { park_capacity: 1, park_ttl: Duration::from_secs(300) },
+        NetServerConfig {
+            park_capacity: 1,
+            park_ttl: Duration::from_secs(300),
+            ..Default::default()
+        },
     )
     .unwrap();
     let first = NetClient::connect(server.local_addr()).unwrap();
@@ -309,6 +313,54 @@ fn parking_lot_honors_ttl_and_capacity() {
     // The survivor must be the *younger* parked session.
     assert!(second_parked.resume().is_ok(), "the newest parked session survives");
     assert!(first_parked.resume().is_err(), "the oldest parked session was evicted");
+}
+
+#[test]
+fn resume_tokens_expire_independently_of_the_parking_lot() {
+    use mirabel_net::{NetError, NetServerConfig};
+
+    // Token TTL far below the park TTL: the bearer credential dies
+    // while the session itself stays parked.
+    let server = NetServer::bind_with(
+        "127.0.0.1:0",
+        pool(10, 9),
+        NetServerConfig {
+            park_ttl: Duration::from_secs(300),
+            resume_token_ttl: Duration::from_millis(50),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // Control: a resume well inside the token TTL succeeds.
+    let quick = NetClient::connect(addr).unwrap().detach();
+    for _ in 0..200 {
+        if server.parked() == 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let quick = quick.resume().expect("a fresh token resumes");
+    quick.bye().unwrap();
+
+    // Expired: wait out the token TTL before resuming.
+    let stale = NetClient::connect(addr).unwrap().detach();
+    for _ in 0..200 {
+        if server.parked() == 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    std::thread::sleep(Duration::from_millis(120));
+    assert_eq!(server.parked(), 1, "the session is still parked; only its token died");
+    let err = stale.resume().expect_err("an expired token cannot resume");
+    assert!(
+        matches!(err, NetError::ResumeExpired),
+        "expiry must surface as the dedicated variant, got {err:?}"
+    );
+    // The distinct variant is exactly what Refused never is.
+    assert_eq!(err.to_string(), "resume token expired");
 }
 
 #[test]

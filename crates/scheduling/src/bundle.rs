@@ -1,0 +1,286 @@
+//! Aggregate-then-schedule: the reference \[27\] pipeline as a
+//! [`Scheduler`] wrapper.
+//!
+//! Tušar et al. pair aggregation with scheduling for a reason: a
+//! best-start scheduler is `O(n · tf · len)` in the number of objects it
+//! plans, so shrinking `n` first — merging similar offers into grid-cell
+//! aggregates — buys a near-proportional speedup, at the price of the
+//! flexibility the merge forfeits. [`BundleScheduler`] packages that
+//! trade as a drop-in [`Scheduler`]:
+//!
+//! 1. the **Accepted/Scheduled** subset of the input is aggregated under
+//!    the configured [`AggregationParams`] (other states are never
+//!    touched, matching every other scheduler's skip contract);
+//! 2. the inner scheduler plans the *surrogate* population — synthetic
+//!    aggregates plus the untouched singletons — against the target;
+//! 3. each aggregate's schedule is **disaggregated** back into one
+//!    feasible schedule per member ([`Aggregator::disaggregate`] splits
+//!    every slot exactly, so the bundled load curve re-sums to the
+//!    surrogate plan), and the member schedules are assigned to the real
+//!    offers through the ordinary state machine, which re-validates them.
+//!
+//! Because [`crate::IncrementalPlanner`] calls
+//! [`Scheduler::schedule_seeded`] once per dirty partition, wrapping its
+//! scheduler in a [`BundleScheduler`] routes every *per-partition* offer
+//! set through the aggregator before scheduling and disaggregates after —
+//! the planner itself needs no changes and keeps its determinism
+//! guarantees (the pipeline adds no randomness of its own).
+
+use std::collections::HashMap;
+
+use mirabel_aggregation::{AggregationParams, Aggregator};
+use mirabel_flexoffer::{FlexOffer, FlexOfferId, OfferState};
+use mirabel_timeseries::TimeSeries;
+
+use crate::objective::{report, SchedulingError, SchedulingReport};
+use crate::Scheduler;
+
+/// A [`Scheduler`] that aggregates before planning and disaggregates
+/// after — aggregate the schedulable subset into surrogate offers, plan
+/// those with the inner scheduler, then disaggregate exactly back onto
+/// the members.
+#[derive(Debug, Clone)]
+pub struct BundleScheduler<S> {
+    inner: S,
+    aggregator: Aggregator,
+}
+
+impl<S> BundleScheduler<S> {
+    /// Wraps `inner` so it plans aggregates built under `params`.
+    pub fn new(inner: S, params: AggregationParams) -> BundleScheduler<S> {
+        BundleScheduler { inner, aggregator: Aggregator::new(params) }
+    }
+
+    /// The wrapped scheduler.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// The aggregation parameters the bundle is built under.
+    pub fn params(&self) -> &AggregationParams {
+        self.aggregator.params()
+    }
+}
+
+impl<S: Scheduler> Scheduler for BundleScheduler<S> {
+    fn name(&self) -> &'static str {
+        "bundled"
+    }
+
+    fn schedule(
+        &self,
+        offers: &mut [FlexOffer],
+        target: &TimeSeries,
+    ) -> Result<SchedulingReport, SchedulingError> {
+        self.schedule_seeded(offers, target, 0)
+    }
+
+    fn schedule_seeded(
+        &self,
+        offers: &mut [FlexOffer],
+        target: &TimeSeries,
+        seed: u64,
+    ) -> Result<SchedulingReport, SchedulingError> {
+        if target.is_empty() {
+            return Err(SchedulingError::EmptyTarget);
+        }
+
+        // The schedulable subset, by input index; everything else is
+        // skipped exactly like the inner scheduler would skip it.
+        let schedulable: Vec<usize> = (0..offers.len())
+            .filter(|&i| matches!(offers[i].status(), OfferState::Accepted | OfferState::Scheduled))
+            .collect();
+        let subset: Vec<&FlexOffer> = schedulable.iter().map(|&i| &offers[i]).collect();
+        let mut result = self
+            .aggregator
+            .aggregate(&subset)
+            .map_err(|e| SchedulingError::Bundling(e.to_string()))?;
+
+        // Surrogate population: accepted synthetic aggregates first, then
+        // clones of the untouched singletons (their real states carry
+        // over, so a Scheduled singleton is re-planned like anywhere
+        // else).
+        let mut surrogates: Vec<FlexOffer> = Vec::with_capacity(result.output_count());
+        for agg in &mut result.aggregates {
+            agg.offer_mut().accept().map_err(SchedulingError::AssignmentRejected)?;
+            surrogates.push(agg.offer().clone());
+        }
+        for &u in &result.untouched {
+            surrogates.push(offers[schedulable[u]].clone());
+        }
+
+        self.inner.schedule_seeded(&mut surrogates, target, seed)?;
+
+        // Split every aggregate's schedule back to its members and assign
+        // through the state machine (which re-validates feasibility).
+        let index_of: HashMap<FlexOfferId, usize> =
+            schedulable.iter().map(|&i| (offers[i].id(), i)).collect();
+        let n_aggregates = result.aggregates.len();
+        for (k, agg) in result.aggregates.iter().enumerate() {
+            let Some(schedule) = surrogates[k].schedule() else { continue };
+            let parts = self
+                .aggregator
+                .disaggregate(agg, schedule)
+                .map_err(|e| SchedulingError::Bundling(e.to_string()))?;
+            for (id, member_schedule) in parts {
+                let i = index_of[&id];
+                offers[i].assign(member_schedule)?;
+            }
+        }
+        for (k, &u) in result.untouched.iter().enumerate() {
+            if let Some(schedule) = surrogates[n_aggregates + k].schedule() {
+                offers[schedulable[u]].assign(schedule.clone())?;
+            }
+        }
+
+        // Report over the *real* offers: the disaggregated plan, not the
+        // surrogate one.
+        let assigned = offers.iter().filter(|fo| fo.schedule().is_some()).count();
+        Ok(report(self.name(), offers, target, assigned, offers.len() - assigned))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::load_curve;
+    use crate::{GreedyScheduler, IncrementalPlanner, PlannerConfig};
+    use mirabel_flexoffer::Energy;
+    use mirabel_timeseries::TimeSlot;
+
+    fn accepted(id: u64, est: i64, tf: i64, len: usize, min: i64, max: i64) -> FlexOffer {
+        let mut fo = FlexOffer::builder(id, id)
+            .earliest_start(TimeSlot::new(est))
+            .latest_start(TimeSlot::new(est + tf))
+            .slices(len, Energy::from_wh(min), Energy::from_wh(max))
+            .build()
+            .unwrap();
+        fo.accept().unwrap();
+        fo
+    }
+
+    fn population(n: u64) -> Vec<FlexOffer> {
+        (0..n).map(|i| accepted(i + 1, (i % 6) as i64, 8 + (i % 4) as i64, 3, 0, 1_200)).collect()
+    }
+
+    fn target() -> TimeSeries {
+        TimeSeries::from_fn(TimeSlot::new(0), 32, |i| if (6..18).contains(&i) { 8.0 } else { 1.0 })
+    }
+
+    #[test]
+    fn every_member_gets_a_feasible_schedule() {
+        let mut offers = population(40);
+        let bundled = BundleScheduler::new(GreedyScheduler, AggregationParams::new(2, 2));
+        let r = bundled.schedule(&mut offers, &target()).unwrap();
+        assert_eq!(r.assigned, 40);
+        assert_eq!(r.skipped, 0);
+        assert!(r.after.l2_sq < r.before.l2_sq);
+        for fo in &offers {
+            fo.check_schedule(fo.schedule().unwrap()).unwrap();
+            assert_eq!(fo.status(), OfferState::Scheduled);
+        }
+    }
+
+    #[test]
+    fn disaggregated_load_resums_to_the_surrogate_plan() {
+        // The bundled report's load curve is computed from the real
+        // offers; exact per-slot disaggregation means it must equal the
+        // curve of the surrogate plan, so `after` is the *true* imbalance.
+        let mut offers = population(24);
+        let t = target();
+        let bundled = BundleScheduler::new(GreedyScheduler, AggregationParams::new(4, 4));
+        let r = bundled.schedule(&mut offers, &t).unwrap();
+        let real = load_curve(&offers, t.start(), t.len());
+        let diff: f64 = real.iter().map(|(_, v)| v).zip(t.iter()).map(|(v, _)| v).sum::<f64>();
+        assert!(diff.is_finite());
+        assert!((crate::objective::Imbalance::of(&t, &real).l2_sq - r.after.l2_sq).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_schedulable_offers_are_left_alone() {
+        let mut offers = population(10);
+        // Offer 0 is still Offered: the bundle must not accept it behind
+        // the enterprise's back.
+        offers[0] = FlexOffer::builder(99u64, 99u64)
+            .earliest_start(TimeSlot::new(0))
+            .latest_start(TimeSlot::new(4))
+            .slices(2, Energy::from_wh(0), Energy::from_wh(500))
+            .build()
+            .unwrap();
+        let bundled = BundleScheduler::new(GreedyScheduler, AggregationParams::new(2, 2));
+        let r = bundled.schedule(&mut offers, &target()).unwrap();
+        assert_eq!(r.assigned, 9);
+        assert_eq!(r.skipped, 1);
+        assert_eq!(offers[0].status(), OfferState::Offered);
+        assert!(offers[0].schedule().is_none());
+    }
+
+    #[test]
+    fn bundling_is_deterministic() {
+        let bundled = BundleScheduler::new(GreedyScheduler, AggregationParams::new(2, 2));
+        let t = target();
+        let mut a = population(30);
+        let mut b = population(30);
+        bundled.schedule_seeded(&mut a, &t, 7).unwrap();
+        bundled.schedule_seeded(&mut b, &t, 7).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.schedule(), y.schedule());
+        }
+    }
+
+    #[test]
+    fn singleton_groups_reduce_the_bundle_to_the_raw_schedule() {
+        // With a group-size cap of 1 every cell chunks into singletons,
+        // so the surrogate population *is* the real population — the
+        // pipeline must collapse to exactly the raw plan, schedule for
+        // schedule. This pins the round-trip: aggregate-then-schedule
+        // with no merging ≡ raw scheduling. Energies are distinct so
+        // greedy's big-first order is total (the bundle re-orders its
+        // surrogates by grid cell, which must not matter).
+        let distinct = |n: u64| -> Vec<FlexOffer> {
+            (0..n)
+                .map(|i| accepted(i + 1, (i % 6) as i64, 8, 3, 0, 1_000 + 10 * i as i64))
+                .collect()
+        };
+        let t = target();
+        let mut raw = distinct(32);
+        GreedyScheduler.schedule(&mut raw, &t).unwrap();
+
+        let mut bundled = distinct(32);
+        let params = AggregationParams::new(2, 2).with_max_group_size(1);
+        BundleScheduler::new(GreedyScheduler, params).schedule(&mut bundled, &t).unwrap();
+
+        for (r, b) in raw.iter().zip(&bundled) {
+            assert_eq!(r.schedule(), b.schedule(), "offer {:?} diverged", r.id());
+        }
+    }
+
+    #[test]
+    fn empty_target_is_rejected() {
+        let bundled = BundleScheduler::new(GreedyScheduler, AggregationParams::new(2, 2));
+        let err = bundled
+            .schedule(&mut population(4), &TimeSeries::zeros(TimeSlot::new(0), 0))
+            .unwrap_err();
+        assert_eq!(err, SchedulingError::EmptyTarget);
+    }
+
+    #[test]
+    fn incremental_planner_routes_partitions_through_the_bundle() {
+        // The tentpole wiring: an IncrementalPlanner over a
+        // BundleScheduler aggregates each dirty partition before
+        // scheduling it and disaggregates after — every real offer ends
+        // up with a feasible schedule of its own.
+        let mut p = IncrementalPlanner::new(
+            BundleScheduler::new(GreedyScheduler, AggregationParams::new(2, 2)),
+            PlannerConfig { partitions: 4, threads: 2, seed: 3 },
+            target(),
+        );
+        p.insert(population(48));
+        let out = p.replan().unwrap();
+        assert_eq!(out.report.assigned, 48);
+        assert_eq!(out.report.scheduler, "bundled");
+        for fo in p.offers() {
+            fo.check_schedule(fo.schedule().unwrap()).unwrap();
+        }
+    }
+}

@@ -17,22 +17,36 @@ use crate::Scheduler;
 /// worsens the objective, so the plan quality is monotone).
 #[derive(Debug, Clone, Copy)]
 pub struct HillClimbScheduler {
-    /// Number of single-offer re-planning moves.
+    /// Fixed number of single-offer re-planning moves.
     pub iterations: usize,
+    /// Additional moves *per assigned offer*, on top of `iterations`.
+    /// A non-zero value scales the optimization budget with the size of
+    /// the input — every offer gets, on average, this many chances to be
+    /// re-planned, regardless of pool size. Zero keeps the budget fixed.
+    pub moves_per_offer: usize,
     /// RNG seed for the move order.
     pub seed: u64,
 }
 
 impl HillClimbScheduler {
-    /// Creates a hill climber with the given move budget and seed.
+    /// Creates a hill climber with the given fixed move budget and seed.
     pub fn new(iterations: usize, seed: u64) -> Self {
-        HillClimbScheduler { iterations, seed }
+        HillClimbScheduler { iterations, moves_per_offer: 0, seed }
+    }
+
+    /// Creates a hill climber whose move budget scales with its input:
+    /// `moves` single-offer re-planning moves per assigned offer. This is
+    /// the natural budget for local search — the work grows with the
+    /// number of units being scheduled, which is exactly what
+    /// aggregate-then-schedule exploits (fewer units, smaller budget).
+    pub fn per_offer(moves: usize, seed: u64) -> Self {
+        HillClimbScheduler { iterations: 0, moves_per_offer: moves, seed }
     }
 }
 
 impl Default for HillClimbScheduler {
     fn default() -> Self {
-        HillClimbScheduler { iterations: 200, seed: 0xC11AB }
+        HillClimbScheduler { iterations: 200, moves_per_offer: 0, seed: 0xC11AB }
     }
 }
 
@@ -70,8 +84,9 @@ impl Scheduler for HillClimbScheduler {
         }
 
         // Phase 2: single-offer re-planning moves.
+        let budget = self.iterations + self.moves_per_offer * assigned_idx.len();
         let mut rng = StdRng::seed_from_u64(self.seed);
-        for _ in 0..self.iterations {
+        for _ in 0..budget {
             let pick = assigned_idx[rng.gen_range(0..assigned_idx.len())];
             // Remove the offer's current load from the residual (i.e. add
             // it back to the target side).
@@ -108,8 +123,7 @@ impl Scheduler for HillClimbScheduler {
         target: &TimeSeries,
         seed: u64,
     ) -> Result<SchedulingReport, SchedulingError> {
-        HillClimbScheduler { iterations: self.iterations, seed: self.seed.wrapping_add(seed) }
-            .schedule(offers, target)
+        HillClimbScheduler { seed: self.seed.wrapping_add(seed), ..*self }.schedule(offers, target)
     }
 }
 
@@ -190,6 +204,22 @@ mod tests {
         let mut b = mk();
         GreedyScheduler.schedule(&mut a, &target).unwrap();
         HillClimbScheduler::new(0, 1).schedule(&mut b, &target).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.schedule(), y.schedule());
+        }
+    }
+
+    #[test]
+    fn per_offer_budget_matches_the_equivalent_fixed_budget() {
+        let target = spiky_target();
+        let mk =
+            || -> Vec<FlexOffer> { (0..14).map(|i| accepted(i + 1, 1, 18, 3, 0, 800)).collect() };
+        // All 14 offers are schedulable, so per_offer(5) spends exactly
+        // the same 70 moves (and the same RNG stream) as new(70, seed).
+        let mut a = mk();
+        let mut b = mk();
+        HillClimbScheduler::per_offer(5, 11).schedule(&mut a, &target).unwrap();
+        HillClimbScheduler::new(70, 11).schedule(&mut b, &target).unwrap();
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.schedule(), y.schedule());
         }

@@ -53,6 +53,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bundle;
 mod greedy;
 mod hillclimb;
 mod objective;
@@ -61,6 +62,7 @@ mod random;
 pub mod regional;
 mod simple;
 
+pub use bundle::BundleScheduler;
 pub use greedy::GreedyScheduler;
 pub use hillclimb::HillClimbScheduler;
 pub use objective::{best_fill, load_curve, Imbalance, SchedulingError, SchedulingReport};

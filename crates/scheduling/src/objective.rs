@@ -83,6 +83,10 @@ pub enum SchedulingError {
     /// A scheduler produced an infeasible assignment — a bug surfaced by
     /// the offer state machine.
     AssignmentRejected(FlexOfferError),
+    /// The aggregate-then-schedule pipeline failed to bundle or unbundle
+    /// (see [`crate::BundleScheduler`]); carries the aggregation error's
+    /// message.
+    Bundling(String),
 }
 
 impl fmt::Display for SchedulingError {
@@ -92,6 +96,9 @@ impl fmt::Display for SchedulingError {
             SchedulingError::AssignmentRejected(e) => {
                 write!(f, "scheduler produced an infeasible assignment: {e}")
             }
+            SchedulingError::Bundling(reason) => {
+                write!(f, "aggregate-then-schedule pipeline failed: {reason}")
+            }
         }
     }
 }
@@ -100,7 +107,7 @@ impl Error for SchedulingError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             SchedulingError::AssignmentRejected(e) => Some(e),
-            SchedulingError::EmptyTarget => None,
+            SchedulingError::EmptyTarget | SchedulingError::Bundling(_) => None,
         }
     }
 }

@@ -177,12 +177,13 @@ impl Command {
             ),
             Command::Aggregate => "aggregate".into(),
             Command::SetPlanningParams(p) => format!(
-                "set-planning {} {} {} {} {}",
+                "set-planning {} {} {} {} {} {}",
                 p.scheduler.token(),
                 p.partitions,
                 p.threads,
                 p.horizon,
                 p.seed,
+                if p.bundle { "bundled" } else { "raw" },
             ),
             Command::Plan => "plan".into(),
             Command::RegionDrill(m) => format!("region-drill {}", m.0),
@@ -294,12 +295,20 @@ impl Command {
                     .ok_or_else(|| err("missing seed"))?
                     .parse()
                     .map_err(|_| err("bad seed"))?;
+                // Optional trailing mode token: logs recorded before the
+                // bundle pipeline existed decode as raw planning.
+                let bundle = match parts.next() {
+                    None | Some("raw") => false,
+                    Some("bundled") => true,
+                    Some(_) => return Err(err("unknown planning mode")),
+                };
                 Ok(Command::SetPlanningParams(PlanningParams {
                     scheduler,
                     partitions,
                     threads,
                     horizon,
                     seed,
+                    bundle,
                 }))
             }
             "plan" => Ok(Command::Plan),
@@ -447,6 +456,7 @@ mod tests {
                 threads: 4,
                 horizon: 192,
                 seed: 99,
+                bundle: true,
             }),
             Command::Plan,
             Command::SetMode(ViewMode::Heatmap),
@@ -513,6 +523,27 @@ mod tests {
             Command::decode("load 0 96 -").unwrap(),
             Command::Load { title, .. } if title.is_empty()
         ));
+    }
+
+    #[test]
+    fn legacy_planning_lines_decode_as_raw() {
+        // Logs recorded before the bundle pipeline existed carry five
+        // tokens; they must keep replaying (as raw planning).
+        let cmd = Command::decode("set-planning greedy 8 1 96 7").unwrap();
+        assert_eq!(
+            cmd,
+            Command::SetPlanningParams(PlanningParams {
+                scheduler: SchedulerKind::Greedy,
+                partitions: 8,
+                threads: 1,
+                horizon: 96,
+                seed: 7,
+                bundle: false,
+            })
+        );
+        let cmd = Command::decode("set-planning greedy 8 1 96 7 bundled").unwrap();
+        assert!(matches!(cmd, Command::SetPlanningParams(p) if p.bundle));
+        assert!(Command::decode("set-planning greedy 8 1 96 7 sideways").is_err());
     }
 
     #[test]

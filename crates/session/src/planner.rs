@@ -26,12 +26,15 @@
 //! any worker thread count.
 
 use std::collections::HashSet;
-use std::sync::Arc;
 
-use mirabel_dw::{Dimension, LoaderQuery, Warehouse};
-use mirabel_flexoffer::FlexOfferId;
+use mirabel_aggregation::AggregationParams;
+use mirabel_dw::{Dimension, LoaderQuery, Warehouse, WarehouseRead};
+use mirabel_flexoffer::{FlexOffer, FlexOfferId, OfferState};
 use mirabel_forecast::{Forecaster, SeasonalNaive, SeasonalSmoothing};
-use mirabel_scheduling::{IncrementalPlanner, PlannerConfig, SchedulerKind};
+use mirabel_scheduling::{
+    BundleScheduler, IncrementalPlanner, PlannerConfig, Scheduler, SchedulerKind, SchedulingError,
+    SchedulingReport,
+};
 use mirabel_timeseries::{SlotSpan, TimeSeries, TimeSlot};
 
 use crate::outcome::PlanStats;
@@ -64,6 +67,13 @@ pub struct PlanningParams {
     pub horizon: usize,
     /// Master seed for stochastic schedulers.
     pub seed: u64,
+    /// Route each partition's offer set through the aggregate-then-
+    /// schedule pipeline ([`BundleScheduler`] under the session's
+    /// aggregation parameters): offers are bundled into grid-cell
+    /// aggregates before the scheduler runs and the aggregate schedules
+    /// are disaggregated back to the members after — the reference \[27\]
+    /// speedup, traded against the flexibility the merge forfeits.
+    pub bundle: bool,
 }
 
 impl Default for PlanningParams {
@@ -74,6 +84,7 @@ impl Default for PlanningParams {
             threads: 1,
             horizon: 96,
             seed: 0x91AB,
+            bundle: false,
         }
     }
 }
@@ -102,7 +113,7 @@ impl PlanningParams {
 /// past their arrival day.) An empty warehouse falls back to the last
 /// hierarchy day.
 pub fn plan_window_start(dw: &Warehouse) -> TimeSlot {
-    match dw.offers().iter().map(|fo| fo.earliest_start()).max() {
+    match dw.columns().earliest_starts().iter().copied().max() {
         Some(newest) => {
             let day = newest.index().div_euclid(mirabel_timeseries::SLOTS_PER_DAY);
             TimeSlot::new(day * mirabel_timeseries::SLOTS_PER_DAY)
@@ -146,29 +157,34 @@ pub fn day_ahead_target(dw: &Warehouse, window_start: TimeSlot, horizon: usize) 
         return TimeSeries::zeros(window_start, horizon);
     }
     let mut history = TimeSeries::zeros(first, span as usize);
-    for fo in dw.offers() {
-        if fo.earliest_start() >= window_start {
+    // Columnar sweep: the common (never-executed) case reads only the
+    // earliest-start, direction, status and CSR slice-max columns; the
+    // offer store is consulted only for metered executions, whose
+    // curves live on the offer.
+    let cols = dw.columns();
+    let starts = cols.earliest_starts();
+    let directions = cols.directions();
+    let statuses = cols.statuses();
+    for idx in 0..cols.len() {
+        let est = starts[idx];
+        if est >= window_start {
             continue;
         }
-        let sign = fo.direction().sign();
-        match (fo.execution(), fo.schedule()) {
+        let sign = directions[idx].sign();
+        if statuses[idx] == OfferState::Executed {
             // Metered: the execution is the ground truth the forecast
             // should learn from.
-            (Some(execution), Some(schedule)) => {
-                for (i, energy) in execution.energies().iter().enumerate() {
-                    history
-                        .add_at(schedule.start() + SlotSpan::slots(i as i64), sign * energy.kwh());
-                }
+            let fo = &dw.offers()[idx];
+            let (execution, schedule) =
+                (fo.execution().expect("executed"), fo.schedule().expect("executed"));
+            for (i, energy) in execution.energies().iter().enumerate() {
+                history.add_at(schedule.start() + SlotSpan::slots(i as i64), sign * energy.kwh());
             }
+        } else {
             // Not (yet) executed: the maximum envelope at the earliest
             // start is the best available stand-in.
-            _ => {
-                for (i, slice) in fo.profile().slices().iter().enumerate() {
-                    history.add_at(
-                        fo.earliest_start() + SlotSpan::slots(i as i64),
-                        sign * slice.max.kwh(),
-                    );
-                }
+            for (i, &max_wh) in cols.slices(idx).max_wh.iter().enumerate() {
+                history.add_at(est + SlotSpan::slots(i as i64), sign * max_wh as f64 / 1_000.0);
             }
         }
     }
@@ -181,13 +197,67 @@ pub fn day_ahead_target(dw: &Warehouse, window_start: TimeSlot, horizon: usize) 
     forecast.clamp_non_negative()
 }
 
+/// The concrete scheduler the session planner drives: the chosen
+/// [`SchedulerKind`], either raw or routed through the
+/// aggregate-then-schedule pipeline — so every *per-partition* offer set
+/// the [`IncrementalPlanner`] hands down is bundled before scheduling
+/// and disaggregated after when [`PlanningParams::bundle`] is on.
+#[derive(Debug, Clone)]
+enum PlanEngine {
+    /// The scheduler plans the real offers directly.
+    Raw(SchedulerKind),
+    /// The scheduler plans grid-cell aggregates; members get their
+    /// schedules by exact disaggregation.
+    Bundled(BundleScheduler<SchedulerKind>),
+}
+
+impl PlanEngine {
+    fn of(params: &PlanningParams, aggregation: AggregationParams) -> PlanEngine {
+        if params.bundle {
+            PlanEngine::Bundled(BundleScheduler::new(params.scheduler, aggregation))
+        } else {
+            PlanEngine::Raw(params.scheduler)
+        }
+    }
+}
+
+impl Scheduler for PlanEngine {
+    fn name(&self) -> &'static str {
+        match self {
+            PlanEngine::Raw(kind) => kind.name(),
+            PlanEngine::Bundled(bundled) => bundled.name(),
+        }
+    }
+
+    fn schedule(
+        &self,
+        offers: &mut [FlexOffer],
+        target: &TimeSeries,
+    ) -> Result<SchedulingReport, SchedulingError> {
+        self.schedule_seeded(offers, target, 0)
+    }
+
+    fn schedule_seeded(
+        &self,
+        offers: &mut [FlexOffer],
+        target: &TimeSeries,
+        seed: u64,
+    ) -> Result<SchedulingReport, SchedulingError> {
+        match self {
+            PlanEngine::Raw(kind) => kind.schedule_seeded(offers, target, seed),
+            PlanEngine::Bundled(bundled) => bundled.schedule_seeded(offers, target, seed),
+        }
+    }
+}
+
 /// The session's standing plan: the incremental core plus the keys that
 /// decide whether the next [`plan`] call can diff instead of rebuild.
 #[derive(Debug, Clone)]
 pub struct SessionPlanner {
     params: PlanningParams,
+    aggregation: AggregationParams,
     window_start: TimeSlot,
-    planner: IncrementalPlanner<SchedulerKind>,
+    planner: IncrementalPlanner<PlanEngine>,
     /// Carries generations across planner rebuilds (changed params, a
     /// moved window), keeping [`SessionPlanner::generation`] monotone
     /// for the whole session — the property the balance tab's
@@ -250,7 +320,9 @@ pub struct PlanUpdate {
 }
 
 /// Runs (or incrementally refreshes) the day-ahead plan against the
-/// session's current warehouse snapshot.
+/// session's current warehouse snapshot — any [`WarehouseRead`]
+/// implementor: an [`EpochSnapshot`](mirabel_dw::EpochSnapshot), an
+/// [`EpochRef`](mirabel_dw::EpochRef) or a bare [`Warehouse`].
 ///
 /// When `state` already holds a plan with the same parameters and the
 /// same planning window, the loadable offer set is **diffed** against
@@ -258,12 +330,18 @@ pub struct PlanUpdate {
 /// partitions they land in are re-planned — the epoch-aware incremental
 /// path. A moved window (day tick), a changed target or changed
 /// parameters rebuild/re-plan in full.
+/// `aggregation` feeds the bundle when [`PlanningParams::bundle`] is on
+/// (the session passes its tool-panel parameters, so the plan bundles
+/// exactly the way the Figure 11 panel is configured) and is ignored for
+/// raw planning.
 pub fn plan(
-    dw: &Arc<Warehouse>,
-    epoch: u64,
+    src: &impl WarehouseRead,
     params: PlanningParams,
+    aggregation: AggregationParams,
     state: &mut Option<SessionPlanner>,
 ) -> Result<PlanUpdate, String> {
+    let dw = src.warehouse();
+    let epoch = src.epoch();
     let window_start = plan_window_start(dw);
     let horizon = params.horizon.max(1);
     let target = day_ahead_target(dw, window_start, horizon);
@@ -271,15 +349,18 @@ pub fn plan(
         .window(window_start, window_start + SlotSpan::slots(horizon as i64))
         .build();
 
-    // The loadable working set, still Arc-shared with the snapshot:
-    // only genuinely *new* arrivals are cloned further down, so a
+    // The loadable working set as a borrowed view over the snapshot's
+    // columns: the id diff below allocates nothing per offer, and only
+    // genuinely *new* arrivals are materialized further down — a
     // one-offer epoch costs one clone, not a re-clone of the window.
-    let shared = dw.load_shared(&window);
-    let desired_ids: HashSet<FlexOfferId> = shared.iter().map(|fo| fo.id()).collect();
+    let view = dw.view(&window);
+    let desired_ids: HashSet<FlexOfferId> = view.ids().collect();
 
-    let reusable = state
-        .as_ref()
-        .is_some_and(|s| !s.params.invalidates(&params) && s.window_start == window_start);
+    let reusable = state.as_ref().is_some_and(|s| {
+        !s.params.invalidates(&params)
+            && s.window_start == window_start
+            && (!params.bundle || s.aggregation == aggregation)
+    });
     if !reusable {
         let generation_offset = state.as_ref().map_or(0, SessionPlanner::generation);
         let config = PlannerConfig {
@@ -289,8 +370,13 @@ pub fn plan(
         };
         *state = Some(SessionPlanner {
             params,
+            aggregation,
             window_start,
-            planner: IncrementalPlanner::new(params.scheduler, config, target.clone()),
+            planner: IncrementalPlanner::new(
+                PlanEngine::of(&params, aggregation),
+                config,
+                target.clone(),
+            ),
             generation_offset,
         });
     }
@@ -303,12 +389,12 @@ pub fn plan(
     let gone: Vec<FlexOfferId> =
         known.iter().copied().filter(|id| !desired_ids.contains(id)).collect();
     s.planner.remove(&gone);
-    s.planner.insert(shared.iter().filter(|fo| !known.contains(&fo.id())).map(|arc| {
+    s.planner.insert((0..view.len()).filter(|&k| !known.contains(&view.id(k))).map(|k| {
         // Cloned out of the immutable snapshot (a session never mutates
         // a warehouse); freshly offered → accepted, anything already
         // past that state keeps its status (the scheduler skips
         // rejected/executed).
-        let mut fo = (**arc).clone();
+        let mut fo = view.offer(k).clone();
         let _ = fo.accept();
         fo
     }));
@@ -446,7 +532,7 @@ mod tests {
 
         let mut state = None;
         let params = PlanningParams::default();
-        let up = plan(snap.warehouse(), snap.epoch(), params, &mut state).unwrap();
+        let up = plan(snap.as_ref(), params, AggregationParams::default(), &mut state).unwrap();
         assert!(up.stats.replanned > 0 && up.stats.replanned <= up.stats.partitions);
         assert!(up.stats.assigned > 0);
         let g1 = up.stats.generation;
@@ -454,12 +540,12 @@ mod tests {
         // One more offer arrives: exactly one partition goes dirty.
         live.ingest(tail);
         let snap = live.publish();
-        let up = plan(snap.warehouse(), snap.epoch(), params, &mut state).unwrap();
+        let up = plan(snap.as_ref(), params, AggregationParams::default(), &mut state).unwrap();
         assert_eq!(up.stats.replanned, 1, "single ingest must re-plan one partition");
         assert!(up.stats.generation > g1);
 
         // No delta → reporting no-op.
-        let up = plan(snap.warehouse(), snap.epoch(), params, &mut state).unwrap();
+        let up = plan(snap.as_ref(), params, AggregationParams::default(), &mut state).unwrap();
         assert_eq!(up.stats.replanned, 0);
     }
 
@@ -472,13 +558,13 @@ mod tests {
         let snap = live.publish();
         let mut state = None;
         let params = PlanningParams::default();
-        let up = plan(snap.warehouse(), snap.epoch(), params, &mut state).unwrap();
+        let up = plan(snap.as_ref(), params, AggregationParams::default(), &mut state).unwrap();
         let planned = up.offers.len();
 
         let victims: Vec<FlexOfferId> = day1.iter().take(3).map(FlexOffer::id).collect();
         live.withdraw(&victims);
         let snap = live.publish();
-        let up = plan(snap.warehouse(), snap.epoch(), params, &mut state).unwrap();
+        let up = plan(snap.as_ref(), params, AggregationParams::default(), &mut state).unwrap();
         assert_eq!(up.offers.len(), planned - 3);
         assert!(up.stats.replanned >= 1 && up.stats.replanned <= 3);
         for v in &victims {
@@ -495,13 +581,13 @@ mod tests {
         let snap = live.publish();
         let mut state = None;
         let params = PlanningParams::default();
-        plan(snap.warehouse(), snap.epoch(), params, &mut state).unwrap();
+        plan(snap.as_ref(), params, AggregationParams::default(), &mut state).unwrap();
 
         // Thread count change: plan untouched (0 replanned).
         let up = plan(
-            snap.warehouse(),
-            snap.epoch(),
+            snap.as_ref(),
             PlanningParams { threads: 4, ..params },
+            AggregationParams::default(),
             &mut state,
         )
         .unwrap();
@@ -509,9 +595,9 @@ mod tests {
 
         // Scheduler change: full rebuild.
         let up = plan(
-            snap.warehouse(),
-            snap.epoch(),
+            snap.as_ref(),
             PlanningParams { scheduler: SchedulerKind::Earliest, threads: 4, ..params },
+            AggregationParams::default(),
             &mut state,
         )
         .unwrap();
@@ -533,7 +619,7 @@ mod tests {
                 scheduler: SchedulerKind::HillClimb,
                 ..Default::default()
             };
-            let up = plan(snap.warehouse(), snap.epoch(), params, &mut state).unwrap();
+            let up = plan(snap.as_ref(), params, AggregationParams::default(), &mut state).unwrap();
             let plan_keys: Vec<(FlexOfferId, Option<TimeSlot>)> =
                 up.offers.iter().map(|o| (o.id(), o.offer.schedule().map(|s| s.start()))).collect();
             match &reference {
@@ -541,6 +627,47 @@ mod tests {
                 Some(r) => assert_eq!(*r, plan_keys, "{threads} threads diverged"),
             }
         }
+    }
+
+    #[test]
+    fn bundled_planning_assigns_feasible_schedules() {
+        let (pop, day0, day1) = setup();
+        let live = LiveWarehouse::new(pop, &day0);
+        live.advance_day();
+        live.ingest(&day1);
+        let snap = live.publish();
+
+        let mut state = None;
+        let params = PlanningParams { bundle: true, ..Default::default() };
+        let up = plan(snap.as_ref(), params, AggregationParams::default(), &mut state).unwrap();
+        assert!(up.stats.assigned > 0);
+        for o in &up.offers {
+            let s = o.offer.schedule().expect("bundled plan covers every loadable offer");
+            o.offer.check_schedule(s).unwrap();
+        }
+
+        // The bundle plans the same working set raw planning does; only
+        // the schedules (and the wall-clock) differ.
+        let mut raw_state = None;
+        let raw = plan(
+            snap.as_ref(),
+            PlanningParams::default(),
+            AggregationParams::default(),
+            &mut raw_state,
+        )
+        .unwrap();
+        assert_eq!(up.offers.len(), raw.offers.len());
+
+        // Flipping the bundle off invalidates the standing plan (it is a
+        // different plan, not a tuning knob).
+        let up2 = plan(
+            snap.as_ref(),
+            PlanningParams::default(),
+            AggregationParams::default(),
+            &mut state,
+        )
+        .unwrap();
+        assert!(up2.stats.replanned > 0);
     }
 
     #[test]

@@ -213,7 +213,7 @@ impl Session {
         query: &LoaderQuery,
         title: impl Into<String>,
     ) -> usize {
-        let shared = dw.load_shared(query);
+        let shared = dw.view(query).materialize();
         self.open_tab(Tab::new(title, VisualOffer::from_shared(&shared)).with_query(*query))
     }
 
@@ -453,7 +453,8 @@ impl Session {
                     return Outcome::Rejected("session has no warehouse".into());
                 };
                 let params = self.planning.unwrap_or_default();
-                match planner::plan(&dw, self.epoch, params, &mut self.planner) {
+                let at = mirabel_dw::EpochRef { warehouse: &dw, epoch: self.epoch };
+                match planner::plan(&at, params, self.tools.params(), &mut self.planner) {
                     Ok(update) => {
                         let stats = update.stats;
                         let balance = Arc::new(update.balance);

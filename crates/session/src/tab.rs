@@ -337,7 +337,7 @@ impl Tab {
             return;
         }
         if let Some(q) = self.query {
-            let offers = VisualOffer::from_shared(&dw.load_shared(&q));
+            let offers = VisualOffer::from_shared(&dw.view(&q).materialize());
             let live: std::collections::HashSet<FlexOfferId> =
                 offers.iter().map(VisualOffer::id).collect();
             self.selection =

@@ -93,7 +93,7 @@ pub fn data_for(
         return Err(format!("cannot drill into district {:?}", member.name));
     }
     let geo = dw.geography_model();
-    let total_facts = dw.facts().len();
+    let total_facts = dw.columns().len();
     let spatial = dw.spatial_index();
     let mut cells = Vec::new();
     for child in h.children(focus) {
@@ -272,7 +272,7 @@ mod tests {
         assert_eq!(data.level, 0);
         assert_eq!(data.cells.len(), 6, "five regions + Unassigned");
         let covered: usize = data.cells.iter().map(|c| c.offers).sum();
-        assert_eq!(covered, dw.facts().len(), "cells partition the facts");
+        assert_eq!(covered, dw.columns().len(), "cells partition the facts");
         assert!(data.cells.iter().all(|c| !c.outline.is_empty()));
     }
 

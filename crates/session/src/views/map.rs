@@ -149,8 +149,9 @@ fn mini_chart(
 }
 
 fn window(dw: &Warehouse) -> (TimeSlot, TimeSlot) {
-    let lo = dw.facts().iter().map(|f| f.earliest_start).min().unwrap_or(TimeSlot::EPOCH);
-    let hi = dw.facts().iter().map(|f| f.earliest_start).max().unwrap_or(TimeSlot::EPOCH).next();
+    let starts = dw.columns().earliest_starts();
+    let lo = starts.iter().copied().min().unwrap_or(TimeSlot::EPOCH);
+    let hi = starts.iter().copied().max().unwrap_or(TimeSlot::EPOCH).next();
     (lo, hi)
 }
 

@@ -160,10 +160,11 @@ pub fn build_swimlane_offers(
 
         // Offers of this member, aggregated to fit the lane.
         let leaf_offers: Vec<mirabel_flexoffer::FlexOffer> = dw
-            .facts()
+            .columns()
+            .leaves(dimension)
             .iter()
             .zip(dw.offers())
-            .filter(|(row, _)| h.is_descendant(dw.fact_leaf(row, dimension), member))
+            .filter(|(&leaf, _)| h.is_descendant(leaf, member))
             .map(|(_, fo)| fo.as_ref().clone())
             .collect();
         let result = aggregator

@@ -152,7 +152,7 @@ fn stale_publishes_cannot_move_the_pool_backwards() {
     // Replaying an old epoch is ignored.
     assert_eq!(pool.publish(&e0), 1);
     assert_eq!(pool.publish(&e1), 1);
-    assert_eq!(pool.warehouse().facts().len(), day1.len() + day2.len());
+    assert_eq!(pool.warehouse().columns().len(), day1.len() + day2.len());
 }
 
 #[test]

@@ -15,8 +15,9 @@
 //!   compile-fail doctest suites of `mirabel-flexoffer` and
 //!   `mirabel-net` (invalid lifecycle transitions must not compile)
 //!   plus their rustdoc under `-D warnings`;
-//! * `cargo xtask bench-gate` — session/stress/ingest/planning/spatial
-//!   harnesses plus the `bench_diff` regression gate (the second half);
+//! * `cargo xtask bench-gate` — session/stress/ingest/planning/spatial/
+//!   net/forecast/columnar harnesses plus the `bench_diff` regression
+//!   gate (the second half);
 //! * `cargo xtask baseline` — refresh `BENCH_baseline.json` from fresh
 //!   harness runs on this machine.
 
@@ -143,6 +144,8 @@ const BENCH_GATE: &[Step] = &[
             "1,2,4,8",
             "--assert-publish-ms",
             "100",
+            "--assert-bulk-publish-ms",
+            "100",
             "--out",
             "BENCH_ingest.json",
         ],
@@ -168,6 +171,8 @@ const BENCH_GATE: &[Step] = &[
             "1,2,4,8",
             "--assert-speedup",
             "10",
+            "--assert-bundle-speedup",
+            "5",
             "--out",
             "BENCH_planning.json",
         ],
@@ -243,6 +248,29 @@ const BENCH_GATE: &[Step] = &[
         env: &[],
     },
     Step {
+        name: "columnar harness (columnar == row equality gates)",
+        program: "cargo",
+        args: &[
+            "run",
+            "--release",
+            "--locked",
+            "-p",
+            "mirabel-bench",
+            "--bin",
+            "columnar",
+            "--",
+            "--prosumers",
+            "150",
+            "--days",
+            "2",
+            "--repeats",
+            "3",
+            "--out",
+            "BENCH_columnar.json",
+        ],
+        env: &[],
+    },
+    Step {
         name: "bench gate (±20% vs BENCH_baseline.json)",
         program: "cargo",
         args: &[
@@ -268,6 +296,8 @@ const BENCH_GATE: &[Step] = &[
             "BENCH_net.json",
             "--forecast",
             "BENCH_forecast.json",
+            "--columnar",
+            "BENCH_columnar.json",
             "--tolerance",
             "0.20",
         ],
@@ -427,6 +457,23 @@ const BASELINE: &[Step] = &[
         env: &[],
     },
     Step {
+        name: "columnar harness",
+        program: "cargo",
+        args: &[
+            "run",
+            "--release",
+            "--locked",
+            "-p",
+            "mirabel-bench",
+            "--bin",
+            "columnar",
+            "--",
+            "--out",
+            "BENCH_columnar.json",
+        ],
+        env: &[],
+    },
+    Step {
         name: "write BENCH_baseline.json",
         program: "cargo",
         args: &[
@@ -452,6 +499,8 @@ const BASELINE: &[Step] = &[
             "BENCH_net.json",
             "--forecast",
             "BENCH_forecast.json",
+            "--columnar",
+            "BENCH_columnar.json",
             "--write-baseline",
         ],
         env: &[],
@@ -504,7 +553,7 @@ fn main() -> ExitCode {
                  \x20 test        release build + workspace tests\n\
                  \x20 api-check   typestate compile-fail doctests + API rustdoc -D warnings\n\
                  \x20 examples    run (not just compile) the smoke examples\n\
-                 \x20 bench-gate  benches, stress/ingest/planning/spatial/net harnesses, bench_diff gate\n\
+                 \x20 bench-gate  benches, stress/ingest/planning/spatial/net/columnar harnesses, bench_diff gate\n\
                  \x20 baseline    refresh BENCH_baseline.json from this machine"
             );
             ExitCode::FAILURE

@@ -26,7 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     let dw = Warehouse::load(&population, &offers);
-    println!("warehouse: {} facts", dw.facts().len());
+    println!("warehouse: {} facts", dw.columns().len());
 
     // --- The Section 3 example: "counts of accepted flex-offers in
     //     [a region] ... grouped by cities". -----------------------------
