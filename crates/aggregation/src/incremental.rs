@@ -219,6 +219,39 @@ impl IncrementalAggregator {
     pub fn output_count(&self) -> usize {
         self.cells.values().map(|c| c.aggregates.len() + c.untouched.len()).sum()
     }
+
+    /// Keys of the cells currently awaiting a refresh (touched by an
+    /// insert or withdraw since the last one), in key order. Captured
+    /// *before* [`IncrementalAggregator::refresh`] clears the set, this
+    /// is exactly the churn a bundle-aware replanner has to re-schedule.
+    pub fn dirty_cells(&self) -> impl Iterator<Item = GroupKey> + '_ {
+        self.dirty.iter().copied()
+    }
+
+    /// Per-cell views in key order — the iteration a replanner uses to
+    /// split the grid into churned and clean cells.
+    pub fn cells(&self) -> impl Iterator<Item = CellView<'_>> {
+        self.cells.iter().map(|(key, cell)| CellView {
+            key: *key,
+            members: &cell.members,
+            aggregates: &cell.aggregates,
+            untouched: &cell.untouched,
+        })
+    }
+}
+
+/// A borrowed view of one materialised grid cell (see
+/// [`IncrementalAggregator::cells`]).
+#[derive(Debug, Clone, Copy)]
+pub struct CellView<'a> {
+    /// The cell's grid coordinates.
+    pub key: GroupKey,
+    /// Live member offers, arrival order.
+    pub members: &'a [Arc<FlexOffer>],
+    /// Aggregates built at the last refresh.
+    pub aggregates: &'a [AggregateOffer],
+    /// Members whose chunk was a singleton at the last refresh.
+    pub untouched: &'a [Arc<FlexOffer>],
 }
 
 #[cfg(test)]

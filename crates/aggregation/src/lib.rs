@@ -89,6 +89,6 @@ pub use aggregate::{AggregateOffer, AggregationResult, Aggregator, MemberPlaceme
 pub use disaggregate::split_energy;
 pub use error::AggregationError;
 pub use group::{group_offers, GroupKey};
-pub use incremental::{IncrementalAggregator, RefreshStats};
+pub use incremental::{CellView, IncrementalAggregator, RefreshStats};
 pub use params::AggregationParams;
 pub use regional::RegionalAggregator;

@@ -6,14 +6,20 @@
 //! * **query equality**: every columnar `eval` answer must equal the
 //!   row-oriented `eval_rows` reference exactly, at every epoch;
 //! * **view equality**: every borrowed `view` (ids and materialized
-//!   offers) must match the linear row scan, at every epoch.
+//!   offers) must match the linear row scan, at every epoch;
+//! * **filtered equality**: every selective probe over the bulk pool
+//!   must agree three ways — pushdown `eval` ≡ plain `eval_scan` ≡ row
+//!   `eval_rows`.
 //!
-//! The columns-vs-rows timing ratio is reported but advisory — the
-//! correctness booleans are what CI fails on.
+//! The timing ratios are reported always; `--assert-filtered-speedup`
+//! additionally fails the run when dictionary-mask pushdown is not at
+//! least that many times faster than the plain columnar scan on the
+//! filtered probe battery.
 //!
 //! ```sh
 //! cargo run --release -p mirabel-bench --bin columnar -- \
-//!     --prosumers 150 --days 2 --repeats 3
+//!     --prosumers 150 --days 2 --repeats 3 \
+//!     --filter-facts 1000000 --assert-filtered-speedup 3
 //! ```
 
 use std::process::ExitCode;
@@ -23,7 +29,8 @@ use mirabel_bench::columnar::{run_columnar, ColumnarConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: columnar [--prosumers N] [--days N] [--batches-per-day N] \
-         [--withdraw-fraction F] [--repeats N] [--seed S] [--out PATH]"
+         [--withdraw-fraction F] [--repeats N] [--seed S] [--out PATH] \
+         [--filter-facts N] [--assert-filtered-speedup X]"
     );
     std::process::exit(2);
 }
@@ -31,6 +38,7 @@ fn usage() -> ! {
 fn main() -> ExitCode {
     let mut config = ColumnarConfig::default();
     let mut out_path = String::from("BENCH_columnar.json");
+    let mut assert_filtered_speedup: Option<f64> = None;
 
     fn value(args: &[String], i: &mut usize) -> String {
         *i += 1;
@@ -51,6 +59,10 @@ fn main() -> ExitCode {
             "--repeats" => config.repeats = parse(value(&args, &mut i)),
             "--seed" => config.seed = parse(value(&args, &mut i)),
             "--out" => out_path = value(&args, &mut i),
+            "--filter-facts" => config.filter_facts = parse(value(&args, &mut i)),
+            "--assert-filtered-speedup" => {
+                assert_filtered_speedup = Some(parse(value(&args, &mut i)))
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument {other:?}");
@@ -59,7 +71,7 @@ fn main() -> ExitCode {
         }
         i += 1;
     }
-    if config.prosumers == 0 || config.days == 0 {
+    if config.prosumers == 0 || config.days == 0 || config.filter_facts == 0 {
         usage();
     }
 
@@ -77,9 +89,17 @@ fn main() -> ExitCode {
         report.columnar_eval_ms, report.row_eval_ms, report.eval_speedup,
     );
     println!(
-        "query equality: {}; view equality: {}",
+        "filtered probe over {} facts: pushdown {:.3} ms vs plain scan {:.3} ms → {:.2}x",
+        report.config.filter_facts,
+        report.filtered_pushdown_ms,
+        report.filtered_scan_ms,
+        report.filtered_speedup,
+    );
+    println!(
+        "query equality: {}; view equality: {}; filtered equality: {}",
         if report.equality_ok { "exact" } else { "DIVERGED" },
         if report.views_ok { "exact" } else { "DIVERGED" },
+        if report.filtered_equality_ok { "exact" } else { "DIVERGED" },
     );
 
     if let Err(e) = std::fs::write(&out_path, report.to_json()) {
@@ -96,6 +116,19 @@ fn main() -> ExitCode {
     if !report.views_ok {
         eprintln!("FAIL: borrowed views diverged from the linear row scan");
         failed = true;
+    }
+    if !report.filtered_equality_ok {
+        eprintln!("FAIL: filtered pushdown diverged from the scan or row oracle");
+        failed = true;
+    }
+    if let Some(bound) = assert_filtered_speedup {
+        if report.filtered_speedup < bound {
+            eprintln!(
+                "FAIL: filtered pushdown speedup {:.2}x below the required {:.2}x",
+                report.filtered_speedup, bound,
+            );
+            failed = true;
+        }
     }
     if failed {
         ExitCode::FAILURE

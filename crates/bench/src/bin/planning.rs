@@ -15,12 +15,17 @@
 //! * **bundling** (`--assert-bundle-speedup X`): aggregate-then-schedule
 //!   must plan the pool at least `X`× faster than raw scheduling, and
 //!   its round trip must leave every offer feasibly scheduled (the
-//!   round-trip check is enforced whenever the flag is given).
+//!   round-trip check is enforced whenever the flag is given);
+//! * **bundle-aware replanning** (`--assert-bundle-replan-speedup X`):
+//!   after single-offer churn, the standing bundle grid must re-plan at
+//!   least `X`× faster than a cold full re-group, with the exact
+//!   disaggregation round trip preserved through plan reuse.
 //!
 //! ```sh
 //! cargo run --release -p mirabel-bench --bin planning -- \
 //!     --offers 10000 --partitions 64 --threads 1,2,4,8 \
-//!     --assert-speedup 10 --assert-bundle-speedup 5
+//!     --assert-speedup 10 --assert-bundle-speedup 5 \
+//!     --assert-bundle-replan-speedup 5
 //! ```
 
 use std::process::ExitCode;
@@ -31,7 +36,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: planning [--offers N] [--partitions P] [--threads 1,2,4,8] [--prosumers N] \
          [--repeats N] [--seed S] [--out PATH] [--assert-speedup X] \
-         [--assert-bundle-speedup X]"
+         [--assert-bundle-speedup X] [--assert-bundle-replan-speedup X]"
     );
     std::process::exit(2);
 }
@@ -41,6 +46,7 @@ fn main() -> ExitCode {
     let mut out_path = String::from("BENCH_planning.json");
     let mut assert_speedup: Option<f64> = None;
     let mut assert_bundle_speedup: Option<f64> = None;
+    let mut assert_bundle_replan_speedup: Option<f64> = None;
 
     fn value(args: &[String], i: &mut usize) -> String {
         *i += 1;
@@ -68,6 +74,9 @@ fn main() -> ExitCode {
             "--out" => out_path = value(&args, &mut i),
             "--assert-speedup" => assert_speedup = Some(parse(value(&args, &mut i))),
             "--assert-bundle-speedup" => assert_bundle_speedup = Some(parse(value(&args, &mut i))),
+            "--assert-bundle-replan-speedup" => {
+                assert_bundle_replan_speedup = Some(parse(value(&args, &mut i)))
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument {other:?}");
@@ -108,6 +117,13 @@ fn main() -> ExitCode {
         report.bundle_raw_ms,
         report.bundle_speedup,
         if report.bundle_roundtrip_ok { "exact" } else { "BROKEN" },
+    );
+    println!(
+        "warm cell re-plan {:.3} ms vs cold bundled {:.2} ms → {:.1}x speedup (round trip {})",
+        report.cell_replan_ms,
+        report.bundled_replan_ms,
+        report.bundle_replan_speedup,
+        if report.bundle_replan_roundtrip_ok { "exact" } else { "BROKEN" },
     );
     println!(
         "plan determinism: {}; balance frame hashes: {}",
@@ -155,6 +171,25 @@ fn main() -> ExitCode {
             eprintln!(
                 "FAIL: bundled planning is only {:.1}x faster than raw, bound is {bound:.0}x",
                 report.bundle_speedup,
+            );
+            failed = true;
+        }
+    }
+    if let Some(bound) = assert_bundle_replan_speedup {
+        if !report.bundle_replan_roundtrip_ok {
+            eprintln!("FAIL: warm cell replanning left offers without feasible schedules");
+            failed = true;
+        }
+        if report.bundle_replan_speedup >= bound {
+            println!(
+                "bundle-aware replan gate passed: {:.1}x (bound {bound:.0}x)",
+                report.bundle_replan_speedup,
+            );
+        } else {
+            eprintln!(
+                "FAIL: warm cell replan is only {:.1}x faster than a cold re-group, \
+                 bound is {bound:.0}x",
+                report.bundle_replan_speedup,
             );
             failed = true;
         }

@@ -20,8 +20,14 @@
 //!   (`views_ok`);
 //! * a **timing probe** on the final epoch: the whole query battery
 //!   through the columns vs through the rows, best-of-N
-//!   (`eval_speedup` — advisory; the equality booleans are the hard
-//!   gates).
+//!   (`eval_speedup` — gated by a floor in `bench_diff`);
+//! * a **filtered-query probe**: selective predicates (a city, an
+//!   appliance type, a region × time window) over a bulk-loaded pool of
+//!   `filter_facts` offers, timing dictionary-mask pushdown
+//!   ([`Warehouse::eval`]) against the plain columnar scan
+//!   ([`Warehouse::eval_scan`], the pre-pushdown baseline) with a
+//!   three-way exact-equality check against [`Warehouse::eval_rows`]
+//!   (`filtered_equality_ok` — hard; `filtered_speedup` — gated).
 //!
 //! Everything is deterministic in the config seed. The `columnar`
 //! binary wraps this module for CI
@@ -33,8 +39,8 @@ use mirabel_dw::{Dimension, LiveWarehouse, LoaderQuery, Measure, Query, Warehous
 use mirabel_flexoffer::{Direction, OfferState};
 use mirabel_timeseries::{SlotSpan, TimeSlot};
 use mirabel_workload::{
-    generate_ingest_trace, generate_offers, IngestEvent, IngestTraceConfig, OfferConfig,
-    Population, PopulationConfig,
+    generate_ingest_trace, generate_offer_pool, generate_offers, IngestEvent, IngestTraceConfig,
+    OfferConfig, Population, PopulationConfig,
 };
 
 /// Shape of one columnar-equivalence run; `Default` is the CI smoke
@@ -54,6 +60,8 @@ pub struct ColumnarConfig {
     /// Timing rounds for the final-epoch probe (best-of-N); equality is
     /// checked at every epoch regardless.
     pub repeats: usize,
+    /// Facts in the bulk-loaded pool the filtered-query probe scans.
+    pub filter_facts: usize,
 }
 
 impl Default for ColumnarConfig {
@@ -65,6 +73,7 @@ impl Default for ColumnarConfig {
             withdraw_fraction: 0.15,
             seed: 0xC07A,
             repeats: 3,
+            filter_facts: 1_000_000,
         }
     }
 }
@@ -95,8 +104,21 @@ pub struct ColumnarReport {
     /// Best-of-N wall clock for the same battery through the rows,
     /// milliseconds.
     pub row_eval_ms: f64,
-    /// `row_eval_ms / columnar_eval_ms` (advisory).
+    /// `row_eval_ms / columnar_eval_ms` (floored in `bench_diff`).
     pub eval_speedup: f64,
+    /// `true` iff every filtered probe agreed three ways: pushdown
+    /// `eval` ≡ plain columnar `eval_scan` ≡ row `eval_rows` — a hard
+    /// gate.
+    pub filtered_equality_ok: bool,
+    /// Best-of-N wall clock for the filtered probe battery with
+    /// predicate pushdown, milliseconds.
+    pub filtered_pushdown_ms: f64,
+    /// Best-of-N wall clock for the same battery through the plain
+    /// (pre-pushdown) columnar scan, milliseconds.
+    pub filtered_scan_ms: f64,
+    /// `filtered_scan_ms / filtered_pushdown_ms` — the pushdown gate
+    /// (CI demands ≥ 3×).
+    pub filtered_speedup: f64,
     /// `std::thread::available_parallelism()` on the measuring host.
     pub available_parallelism: usize,
 }
@@ -120,6 +142,11 @@ impl ColumnarReport {
         out.push_str(&format!("  \"columnar_eval_ms\": {:.3},\n", self.columnar_eval_ms));
         out.push_str(&format!("  \"row_eval_ms\": {:.3},\n", self.row_eval_ms));
         out.push_str(&format!("  \"eval_speedup\": {:.2},\n", self.eval_speedup));
+        out.push_str(&format!("  \"filter_facts\": {},\n", self.config.filter_facts));
+        out.push_str(&format!("  \"filtered_equality_ok\": {},\n", self.filtered_equality_ok));
+        out.push_str(&format!("  \"filtered_pushdown_ms\": {:.3},\n", self.filtered_pushdown_ms));
+        out.push_str(&format!("  \"filtered_scan_ms\": {:.3},\n", self.filtered_scan_ms));
+        out.push_str(&format!("  \"filtered_speedup\": {:.2},\n", self.filtered_speedup));
         out.push_str(&format!("  \"available_parallelism\": {}\n", self.available_parallelism));
         out.push_str("}\n");
         out
@@ -192,7 +219,8 @@ fn check_epoch(w: &Warehouse, config: &ColumnarConfig) -> (usize, usize, bool, b
     let mut equality_ok = true;
     let queries = query_battery(w);
     for q in &queries {
-        equality_ok &= w.eval(q) == w.eval_rows(q);
+        let rows = w.eval_rows(q);
+        equality_ok &= w.eval(q) == rows && w.eval_scan(q) == rows;
     }
     let mut views_ok = true;
     let views = view_battery(w, config);
@@ -205,6 +233,106 @@ fn check_epoch(w: &Warehouse, config: &ColumnarConfig) -> (usize, usize, bool, b
         views_ok &= materialized == scanned;
     }
     (queries.len(), views.len(), equality_ok, views_ok)
+}
+
+/// The filtered probe battery: selective predicates whose dictionary
+/// masks and status runs let pushdown skip most facts — a city
+/// (geography level 2), a concrete appliance type (the deepest
+/// appliance level), a region × time-window conjunction, and
+/// status-restricted probes that skip whole runs of the status RLE
+/// column (the probe warehouse schedules a contiguous quarter of the
+/// pool precisely so those runs exist).
+fn filtered_battery(w: &Warehouse) -> Vec<Query> {
+    let geo = w.hierarchy(Dimension::Geography);
+    let mut qs = Vec::new();
+    if let Some(city) = geo.at_level(2).next() {
+        qs.push(Query::new(Measure::Count).filter(Dimension::Geography, city.id));
+        qs.push(Query::new(Measure::ScheduledEnergy).filter(Dimension::Geography, city.id));
+        qs.push(
+            Query::new(Measure::TotalMaxEnergy)
+                .filter(Dimension::Geography, city.id)
+                .group_by(Dimension::Geography, 3),
+        );
+        qs.push(
+            Query::new(Measure::ScheduledEnergy)
+                .filter(Dimension::Geography, city.id)
+                .statuses([OfferState::Scheduled]),
+        );
+    }
+    let appliance = w.hierarchy(Dimension::Appliance);
+    let deepest = appliance.depth() as u8 - 1;
+    if let Some(kind) = appliance.at_level(deepest).next() {
+        qs.push(Query::new(Measure::Count).filter(Dimension::Appliance, kind.id));
+        qs.push(
+            Query::new(Measure::AvgPrice)
+                .filter(Dimension::Appliance, kind.id)
+                .group_by(Dimension::ProsumerType, 1),
+        );
+    }
+    if let Some(region) = geo.at_level(1).next() {
+        let from = TimeSlot::EPOCH + SlotSpan::days(1);
+        qs.push(
+            Query::new(Measure::ScheduledEnergy)
+                .filter(Dimension::Geography, region.id)
+                .time_range(from, from + SlotSpan::days(1)),
+        );
+        qs.push(
+            Query::new(Measure::Count)
+                .filter(Dimension::Geography, region.id)
+                .statuses([OfferState::Scheduled, OfferState::Executed]),
+        );
+    }
+    qs.push(Query::new(Measure::ScheduledEnergy).statuses([OfferState::Scheduled]));
+    qs
+}
+
+/// Runs the filtered-query probe over a bulk-loaded pool of
+/// `filter_facts` offers: one three-way equality pass (pushdown `eval`
+/// ≡ plain `eval_scan` ≡ row `eval_rows`), then best-of-N timing of
+/// pushdown against the plain columnar scan.
+fn run_filtered_probe(population: &Population, config: &ColumnarConfig) -> (bool, f64, f64) {
+    let pool = generate_offer_pool(
+        population,
+        config.filter_facts.max(1),
+        config.seed ^ 0xF117,
+        TimeSlot::EPOCH + SlotSpan::days(1),
+    );
+    let mut bulk = Warehouse::load(population, &pool);
+    // Schedule a contiguous quarter of the pool so the status RLE column
+    // has real run structure for the status-restricted probes to skip.
+    let picks: Vec<_> = pool
+        .iter()
+        .take(pool.len() / 4)
+        .map(|fo| {
+            let energies = fo.profile().slices().iter().map(|s| s.min).collect();
+            (fo.id(), mirabel_flexoffer::Schedule::new(fo.earliest_start(), energies))
+        })
+        .collect();
+    bulk.assign_schedules(&picks);
+    let battery = filtered_battery(&bulk);
+
+    let mut equality_ok = !battery.is_empty();
+    for q in &battery {
+        let rows = bulk.eval_rows(q);
+        equality_ok &= bulk.eval(q) == rows && bulk.eval_scan(q) == rows;
+    }
+
+    let repeats = config.repeats.max(1);
+    let mut pushdown_ms = f64::INFINITY;
+    let mut scan_ms = f64::INFINITY;
+    for _ in 0..repeats {
+        let t0 = Instant::now();
+        for q in &battery {
+            let _ = bulk.eval(q);
+        }
+        pushdown_ms = pushdown_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        let t0 = Instant::now();
+        for q in &battery {
+            let _ = bulk.eval_scan(q);
+        }
+        scan_ms = scan_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    (equality_ok, pushdown_ms, scan_ms)
 }
 
 /// Runs the full harness.
@@ -230,7 +358,7 @@ pub fn run_columnar(config: &ColumnarConfig) -> ColumnarReport {
         TimeSlot::EPOCH + SlotSpan::days(1),
     );
 
-    let live = LiveWarehouse::new(population, &initial);
+    let live = LiveWarehouse::new(population.clone(), &initial);
     let mut epochs = 0u64;
     let mut queries = 0usize;
     let mut views = 0usize;
@@ -285,6 +413,9 @@ pub fn run_columnar(config: &ColumnarConfig) -> ColumnarReport {
         row_eval_ms = row_eval_ms.min(t0.elapsed().as_secs_f64() * 1e3);
     }
 
+    let (filtered_equality_ok, filtered_pushdown_ms, filtered_scan_ms) =
+        run_filtered_probe(&population, config);
+
     ColumnarReport {
         config: config.clone(),
         offers: warehouse.offers().len(),
@@ -296,6 +427,14 @@ pub fn run_columnar(config: &ColumnarConfig) -> ColumnarReport {
         columnar_eval_ms,
         row_eval_ms,
         eval_speedup: if columnar_eval_ms > 0.0 { row_eval_ms / columnar_eval_ms } else { 0.0 },
+        filtered_equality_ok,
+        filtered_pushdown_ms,
+        filtered_scan_ms,
+        filtered_speedup: if filtered_pushdown_ms > 0.0 {
+            filtered_scan_ms / filtered_pushdown_ms
+        } else {
+            0.0
+        },
         available_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
     }
 }
@@ -312,6 +451,7 @@ mod tests {
             withdraw_fraction: 0.2,
             seed: 17,
             repeats: 1,
+            filter_facts: 5_000,
         }
     }
 
@@ -324,11 +464,18 @@ mod tests {
         assert!(report.queries > 0 && report.views > 0);
         assert!(report.offers > 0);
         assert!(report.columnar_eval_ms > 0.0 && report.row_eval_ms > 0.0);
+        assert!(
+            report.filtered_equality_ok,
+            "filtered pushdown diverged from the scan or row oracle"
+        );
+        assert!(report.filtered_pushdown_ms > 0.0 && report.filtered_scan_ms > 0.0);
 
         let json = report.to_json();
         assert!(json.contains("\"bench\": \"columnar\""));
         assert!(json.contains("\"equality_ok\": true"));
         assert!(json.contains("\"views_ok\": true"));
+        assert!(json.contains("\"filtered_equality_ok\": true"));
+        assert!(json.contains("\"filtered_speedup\""));
         crate::diff::Json::parse(&json).expect("report must parse with the gate's own reader");
     }
 }

@@ -336,6 +336,35 @@ pub const STRESS_P99_FLOOR_US: f64 = 250.0;
 /// relative gate arms only above one millisecond.
 pub const NET_P99_FLOOR_US: f64 = 1_000.0;
 
+/// Absolute floor for the columnar `eval_speedup` ratio: the encoded
+/// read path must answer the S7 battery at least this many times faster
+/// than the row oracle, independent of what the baseline happened to
+/// record. A same-host ratio, so it gates on every machine class.
+pub const EVAL_SPEEDUP_FLOOR: f64 = 2.0;
+
+/// Absolute floor for the filtered-query probe: dictionary-mask /
+/// posting-list pushdown must beat the plain (pre-pushdown) columnar
+/// scan at least this many times on the selective battery.
+pub const FILTERED_SPEEDUP_FLOOR: f64 = 3.0;
+
+/// Absolute floor for bundle-aware replanning: a warm single-cell
+/// re-plan must beat the cold full re-grouping at least this many times.
+pub const BUNDLE_REPLAN_SPEEDUP_FLOOR: f64 = 5.0;
+
+/// A hard absolute floor on a same-host speedup ratio: fails whenever
+/// `current < floor`, regardless of the baseline (which is recorded for
+/// the report line only).
+fn floor_check(name: impl Into<String>, floor: f64, current: f64) -> MetricCheck {
+    MetricCheck {
+        name: name.into(),
+        baseline: floor,
+        current,
+        better: Better::Higher,
+        ok: current >= floor,
+        advisory: false,
+    }
+}
+
 /// Checks one metric against tolerance (see [`Better`]). Improvements
 /// always pass.
 pub fn check_metric(
@@ -507,9 +536,11 @@ pub fn diff_ingest(
 
 /// Diffs a planning report against the baseline's `planning` section:
 /// the hard `determinism_ok` / `frame_hash_stable` /
-/// `bundle_roundtrip_ok` gates (absence is a failure), the incremental
-/// and bundling speedups (higher is better; the bundle speedup is a
-/// same-host ratio, so it gates on every machine class), re-plan
+/// `bundle_roundtrip_ok` / `bundle_replan_roundtrip_ok` gates (absence
+/// is a failure), the incremental, bundling and bundle-aware-replan
+/// speedups (higher is better; the bundle ratios are same-host, so they
+/// gate on every machine class, and the warm re-plan additionally
+/// carries the absolute [`BUNDLE_REPLAN_SPEEDUP_FLOOR`]), re-plan
 /// latencies (lower is better, noise-floored), and per-scheduler
 /// imbalance improvement (higher is better; seed-deterministic, so it
 /// gates even across machine classes).
@@ -522,7 +553,9 @@ pub fn diff_planning(
     if current.num_at(&["incremental_speedup"]).is_none() {
         return Err("current planning report has no 'incremental_speedup' — wrong file?".into());
     }
-    for gate in ["determinism_ok", "frame_hash_stable", "bundle_roundtrip_ok"] {
+    for gate in
+        ["determinism_ok", "frame_hash_stable", "bundle_roundtrip_ok", "bundle_replan_roundtrip_ok"]
+    {
         checks.push(MetricCheck {
             name: format!("planning.{gate}"),
             baseline: 1.0,
@@ -532,15 +565,23 @@ pub fn diff_planning(
             advisory: false,
         });
     }
-    // Bundling speedup is a ratio of two timings taken on the same
+    // Bundling speedups are ratios of two timings taken on the same
     // host, like the spatial query speedup — hard on any machine class.
-    {
-        let (Some(b), Some(c)) =
-            (baseline.num_at(&["bundle_speedup"]), current.num_at(&["bundle_speedup"]))
-        else {
-            return Err("missing bundle_speedup in a planning report".into());
+    for field in ["bundle_speedup", "bundle_replan_speedup"] {
+        let (Some(b), Some(c)) = (baseline.num_at(&[field]), current.num_at(&[field])) else {
+            return Err(format!("missing {field} in a planning report"));
         };
-        checks.push(check_metric("planning.bundle_speedup", b, c, tolerance, Better::Higher));
+        checks.push(check_metric(format!("planning.{field}"), b, c, tolerance, Better::Higher));
+    }
+    // The warm single-cell re-plan also has an absolute bar: churning
+    // one cell must beat the cold full re-grouping outright, not merely
+    // match whatever the baseline recorded.
+    if let Some(c) = current.num_at(&["bundle_replan_speedup"]) {
+        checks.push(floor_check(
+            "planning.bundle_replan_speedup_floor",
+            BUNDLE_REPLAN_SPEEDUP_FLOOR,
+            c,
+        ));
     }
     let advisory = !same_machine_class(baseline, current);
     for (field, better, floor) in [
@@ -549,6 +590,7 @@ pub fn diff_planning(
         ("incremental_replan_ms", Better::Lower, LATENCY_FLOOR_MS),
         ("bundle_raw_ms", Better::Lower, LATENCY_FLOOR_MS),
         ("bundled_replan_ms", Better::Lower, LATENCY_FLOOR_MS),
+        ("cell_replan_ms", Better::Lower, LATENCY_FLOOR_MS),
     ] {
         let (Some(b), Some(c)) = (baseline.num_at(&[field]), current.num_at(&[field])) else {
             return Err(format!("missing {field} in a planning report"));
@@ -750,12 +792,15 @@ pub fn diff_forecast(
 }
 
 /// Diffs a columnar report against the baseline's `columnar` section:
-/// the hard `equality_ok` / `views_ok` gates (absence is a failure —
-/// a report without them never ran the batteries), the battery sizes
-/// (seed-deterministic coverage that cannot quietly shrink), the
-/// columns-vs-rows eval speedup (a same-host ratio, so it gates on
-/// every machine class), and the battery latencies (lower is better,
-/// noise-floored, advisory across machine classes).
+/// the hard `equality_ok` / `views_ok` / `filtered_equality_ok` gates
+/// (absence is a failure — a report without them never ran the
+/// batteries), the battery sizes (seed-deterministic coverage that
+/// cannot quietly shrink), the columns-vs-rows eval speedup and the
+/// filtered-probe pushdown speedup (same-host ratios, so they gate on
+/// every machine class and additionally carry the absolute
+/// [`EVAL_SPEEDUP_FLOOR`] / [`FILTERED_SPEEDUP_FLOOR`] bars), and the
+/// battery latencies (lower is better, noise-floored, advisory across
+/// machine classes).
 pub fn diff_columnar(
     baseline: &Json,
     current: &Json,
@@ -765,7 +810,7 @@ pub fn diff_columnar(
     if current.num_at(&["queries"]).is_none() {
         return Err("current columnar report has no 'queries' field — wrong file?".into());
     }
-    for gate in ["equality_ok", "views_ok"] {
+    for gate in ["equality_ok", "views_ok", "filtered_equality_ok"] {
         checks.push(MetricCheck {
             name: format!("columnar.{gate}"),
             baseline: 1.0,
@@ -782,16 +827,17 @@ pub fn diff_columnar(
             checks.push(check_metric(format!("columnar.{field}"), b, c, tolerance, Better::Higher));
         }
     }
+    for (field, floor) in
+        [("eval_speedup", EVAL_SPEEDUP_FLOOR), ("filtered_speedup", FILTERED_SPEEDUP_FLOOR)]
     {
-        let (Some(b), Some(c)) =
-            (baseline.num_at(&["eval_speedup"]), current.num_at(&["eval_speedup"]))
-        else {
-            return Err("missing eval_speedup in a columnar report".into());
+        let (Some(b), Some(c)) = (baseline.num_at(&[field]), current.num_at(&[field])) else {
+            return Err(format!("missing {field} in a columnar report"));
         };
-        checks.push(check_metric("columnar.eval_speedup", b, c, tolerance, Better::Higher));
+        checks.push(check_metric(format!("columnar.{field}"), b, c, tolerance, Better::Higher));
+        checks.push(floor_check(format!("columnar.{field}_floor"), floor, c));
     }
     let advisory = !same_machine_class(baseline, current);
-    for field in ["columnar_eval_ms", "row_eval_ms"] {
+    for field in ["columnar_eval_ms", "row_eval_ms", "filtered_pushdown_ms", "filtered_scan_ms"] {
         let (Some(b), Some(c)) = (baseline.num_at(&[field]), current.num_at(&[field])) else {
             return Err(format!("missing {field} in a columnar report"));
         };
@@ -995,12 +1041,28 @@ mod tests {
         bundle: f64,
         roundtrip: bool,
     ) -> Json {
+        planning_json_replan(speedup, improvement, det, frames, bundle, roundtrip, 10.0, true)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn planning_json_replan(
+        speedup: f64,
+        improvement: f64,
+        det: bool,
+        frames: bool,
+        bundle: f64,
+        roundtrip: bool,
+        replan_speedup: f64,
+        replan_roundtrip: bool,
+    ) -> Json {
         Json::parse(&format!(
             r#"{{"incremental_speedup": {speedup}, "full_replan_ms": 40.0,
                  "incremental_replan_ms": 1.0, "determinism_ok": {det},
                  "frame_hash_stable": {frames},
                  "bundle_raw_ms": 40.0, "bundled_replan_ms": 5.0,
                  "bundle_speedup": {bundle}, "bundle_roundtrip_ok": {roundtrip},
+                 "cell_replan_ms": 0.5, "bundle_replan_speedup": {replan_speedup},
+                 "bundle_replan_roundtrip_ok": {replan_roundtrip},
                  "schedulers": [{{"name": "greedy-best-start", "improvement": {improvement}}},
                                 {{"name": "earliest-start", "improvement": 0.1}}]}}"#,
         ))
@@ -1012,7 +1074,9 @@ mod tests {
         let base = planning_json(40.0, 0.8, true, true);
         let ok = diff_planning(&base, &planning_json(38.0, 0.81, true, true), 0.2).unwrap();
         assert!(ok.iter().all(|c| c.ok), "{ok:?}");
-        assert_eq!(ok.len(), 3 + 1 + 5 + 2); // gates + bundle speedup + numerics + 2 schedulers
+        // 4 boolean gates + 2 bundle ratios + the replan floor +
+        // 6 numerics + 2 schedulers
+        assert_eq!(ok.len(), 4 + 2 + 1 + 6 + 2);
 
         let torn = diff_planning(&base, &planning_json(40.0, 0.8, false, true), 0.2).unwrap();
         assert!(torn.iter().any(|c| !c.ok && c.name == "planning.determinism_ok"));
@@ -1059,6 +1123,39 @@ mod tests {
         )
         .unwrap();
         assert!(diff_planning(&base, &legacy, 0.2).is_err());
+    }
+
+    #[test]
+    fn planning_diff_gates_bundle_aware_replanning() {
+        let base = planning_json(40.0, 0.8, true, true);
+        // Losing the warm-replan edge relative to the baseline fails.
+        let slower = diff_planning(
+            &base,
+            &planning_json_replan(40.0, 0.8, true, true, 8.0, true, 6.0, true),
+            0.2,
+        )
+        .unwrap();
+        assert!(slower
+            .iter()
+            .any(|c| c.is_regression() && c.name == "planning.bundle_replan_speedup"));
+        // The absolute ≥5x floor fails even when the relative check
+        // would pass against a slow baseline.
+        let sluggish = planning_json_replan(40.0, 0.8, true, true, 8.0, true, 4.5, true);
+        let floored = diff_planning(&sluggish, &sluggish.clone(), 0.2).unwrap();
+        assert!(floored
+            .iter()
+            .any(|c| c.is_regression() && c.name == "planning.bundle_replan_speedup_floor"));
+        assert!(floored.iter().all(|c| c.name != "planning.bundle_replan_speedup" || c.ok));
+        // A broken warm round trip is a hard boolean gate.
+        let broken = diff_planning(
+            &base,
+            &planning_json_replan(40.0, 0.8, true, true, 8.0, true, 10.0, false),
+            0.2,
+        )
+        .unwrap();
+        assert!(broken
+            .iter()
+            .any(|c| c.is_regression() && c.name == "planning.bundle_replan_roundtrip_ok"));
     }
 
     #[test]
@@ -1292,10 +1389,23 @@ mod tests {
     }
 
     fn columnar_json(eq: bool, views: bool, speedup: f64, cols_ms: f64) -> Json {
+        columnar_json_filtered(eq, views, speedup, cols_ms, true, 4.0)
+    }
+
+    fn columnar_json_filtered(
+        eq: bool,
+        views: bool,
+        speedup: f64,
+        cols_ms: f64,
+        filtered_eq: bool,
+        filtered_speedup: f64,
+    ) -> Json {
         Json::parse(&format!(
             r#"{{"queries": 400, "views": 48, "equality_ok": {eq}, "views_ok": {views},
                  "columnar_eval_ms": {cols_ms}, "row_eval_ms": 40.0,
-                 "eval_speedup": {speedup}}}"#,
+                 "eval_speedup": {speedup}, "filtered_equality_ok": {filtered_eq},
+                 "filtered_pushdown_ms": 20.0, "filtered_scan_ms": 80.0,
+                 "filtered_speedup": {filtered_speedup}}}"#,
         ))
         .unwrap()
     }
@@ -1305,7 +1415,9 @@ mod tests {
         let base = columnar_json(true, true, 4.0, 10.0);
         let ok = diff_columnar(&base, &columnar_json(true, true, 3.8, 10.5), 0.2).unwrap();
         assert!(ok.iter().all(|c| c.ok), "{ok:?}");
-        assert_eq!(ok.len(), 2 + 2 + 1 + 2); // gates + counts + speedup + latencies
+        // 3 boolean gates + 2 counts + 2 speedups + 2 floors +
+        // 4 latencies
+        assert_eq!(ok.len(), 3 + 2 + 2 + 2 + 4);
 
         let diverged = diff_columnar(&base, &columnar_json(false, true, 4.0, 10.0), 0.2).unwrap();
         assert!(diverged.iter().any(|c| c.is_regression() && c.name == "columnar.equality_ok"));
@@ -1318,7 +1430,9 @@ mod tests {
         // agrees: coverage is part of the gate.
         let shrunk = Json::parse(
             r#"{"queries": 40, "views": 48, "equality_ok": true, "views_ok": true,
-                "columnar_eval_ms": 1.0, "row_eval_ms": 4.0, "eval_speedup": 4.0}"#,
+                "columnar_eval_ms": 1.0, "row_eval_ms": 4.0, "eval_speedup": 4.0,
+                "filtered_equality_ok": true, "filtered_pushdown_ms": 1.0,
+                "filtered_scan_ms": 4.0, "filtered_speedup": 4.0}"#,
         )
         .unwrap();
         let small = diff_columnar(&base, &shrunk, 0.2).unwrap();
@@ -1327,13 +1441,46 @@ mod tests {
         // Absence of the equality booleans is a failure, not a skip.
         let bare = Json::parse(
             r#"{"queries": 400, "views": 48, "columnar_eval_ms": 10.0,
-                "row_eval_ms": 40.0, "eval_speedup": 4.0}"#,
+                "row_eval_ms": 40.0, "eval_speedup": 4.0,
+                "filtered_pushdown_ms": 20.0, "filtered_scan_ms": 80.0,
+                "filtered_speedup": 4.0}"#,
         )
         .unwrap();
         let missing = diff_columnar(&base, &bare, 0.2).unwrap();
         assert!(missing.iter().any(|c| c.is_regression() && c.name == "columnar.equality_ok"));
+        assert!(missing
+            .iter()
+            .any(|c| c.is_regression() && c.name == "columnar.filtered_equality_ok"));
 
         assert!(diff_columnar(&base, &Json::parse("{}").unwrap(), 0.2).is_err());
+    }
+
+    #[test]
+    fn columnar_diff_gates_the_filtered_probe() {
+        let base = columnar_json(true, true, 4.0, 10.0);
+        // A three-way divergence on the filtered battery is hard.
+        let diverged =
+            diff_columnar(&base, &columnar_json_filtered(true, true, 4.0, 10.0, false, 4.0), 0.2)
+                .unwrap();
+        assert!(diverged
+            .iter()
+            .any(|c| c.is_regression() && c.name == "columnar.filtered_equality_ok"));
+        // Pushdown losing its edge relative to the baseline fails.
+        let slower =
+            diff_columnar(&base, &columnar_json_filtered(true, true, 4.0, 10.0, true, 3.1), 0.2)
+                .unwrap();
+        assert!(slower.iter().any(|c| c.is_regression() && c.name == "columnar.filtered_speedup"));
+        // The absolute floors fail even against an equally slow
+        // baseline: ≥2x for the battery, ≥3x for the filtered probe.
+        let sluggish = columnar_json_filtered(true, true, 1.8, 10.0, true, 2.5);
+        let floored = diff_columnar(&sluggish, &sluggish.clone(), 0.2).unwrap();
+        assert!(floored
+            .iter()
+            .any(|c| c.is_regression() && c.name == "columnar.eval_speedup_floor"));
+        assert!(floored
+            .iter()
+            .any(|c| c.is_regression() && c.name == "columnar.filtered_speedup_floor"));
+        assert!(floored.iter().all(|c| !c.name.ends_with("_floor") || !c.ok || c.current >= 2.0));
     }
 
     #[test]

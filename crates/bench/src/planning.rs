@@ -135,6 +135,18 @@ pub struct PlanningReport {
     /// every real offer (aggregate → schedule → disaggregate is an
     /// exact round trip, not a lossy approximation).
     pub bundle_roundtrip_ok: bool,
+    /// Best-of-N warm bundled re-plan after single-offer churn,
+    /// milliseconds: the standing [`BundleScheduler`] grid re-groups and
+    /// re-schedules only the churned (direction, EST, TFT) cell.
+    pub cell_replan_ms: f64,
+    /// `bundled_replan_ms / cell_replan_ms` — the bundle-aware replan
+    /// gate (CI demands ≥ 5×): single-cell churn against the cold
+    /// full-pipeline re-group.
+    pub bundle_replan_speedup: f64,
+    /// `true` iff every warm cell re-plan kept a feasible schedule on
+    /// every real offer — the exact disaggregation round trip holds
+    /// through plan reuse, not just on cold runs.
+    pub bundle_replan_roundtrip_ok: bool,
 }
 
 impl PlanningReport {
@@ -158,6 +170,12 @@ impl PlanningReport {
         out.push_str(&format!("  \"bundled_replan_ms\": {:.3},\n", self.bundled_replan_ms));
         out.push_str(&format!("  \"bundle_speedup\": {:.1},\n", self.bundle_speedup));
         out.push_str(&format!("  \"bundle_roundtrip_ok\": {},\n", self.bundle_roundtrip_ok));
+        out.push_str(&format!("  \"cell_replan_ms\": {:.4},\n", self.cell_replan_ms));
+        out.push_str(&format!("  \"bundle_replan_speedup\": {:.1},\n", self.bundle_replan_speedup));
+        out.push_str(&format!(
+            "  \"bundle_replan_roundtrip_ok\": {},\n",
+            self.bundle_replan_roundtrip_ok
+        ));
         out.push_str("  \"runs\": [\n");
         for (i, r) in self.runs.iter().enumerate() {
             out.push_str(&format!(
@@ -397,6 +415,37 @@ pub fn run_planning(config: &PlanningConfig) -> PlanningReport {
             p.offers().iter().all(|fo| fo.schedule().is_some_and(|s| fo.check_schedule(s).is_ok()));
     }
 
+    // 6. Bundle-aware incremental replanning: a *standing* bundled
+    //    planner re-plans after single-offer churn. The BundleScheduler
+    //    keeps a per-(seed, target) grid of (direction, EST, TFT) cells
+    //    across calls, so a warm replan re-groups and re-schedules only
+    //    the churned cell against the residual target — measured against
+    //    the cold full-pipeline re-group (`bundled_replan_ms`, section
+    //    5), which rebuilds and re-plans every cell from scratch.
+    let mut cell_replan_ms = f64::INFINITY;
+    let mut bundle_replan_roundtrip_ok = true;
+    {
+        let mut standing = IncrementalPlanner::new(
+            BundleScheduler::new(climber, bundle_params()),
+            single(),
+            target.clone(),
+        );
+        standing.insert(pool.iter().cloned());
+        standing.full_replan().expect("warming bundled replan");
+        for round in 0..bundle_repeats {
+            standing.insert([extra_offer(&population, config, 1_000 + round as u64)]);
+            let t0 = Instant::now();
+            let out = standing.replan().expect("cell replan");
+            cell_replan_ms = cell_replan_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+            assert_eq!(out.replanned, 1, "single ingest must dirty one partition");
+            bundle_replan_roundtrip_ok &= out.report.assigned == pool.len() + round + 1;
+            bundle_replan_roundtrip_ok &= standing
+                .offers()
+                .iter()
+                .all(|fo| fo.schedule().is_some_and(|s| fo.check_schedule(s).is_ok()));
+        }
+    }
+
     PlanningReport {
         config: config.clone(),
         available_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
@@ -415,6 +464,13 @@ pub fn run_planning(config: &PlanningConfig) -> PlanningReport {
             0.0
         },
         bundle_roundtrip_ok,
+        cell_replan_ms,
+        bundle_replan_speedup: if cell_replan_ms > 0.0 {
+            bundled_replan_ms / cell_replan_ms
+        } else {
+            0.0
+        },
+        bundle_replan_roundtrip_ok,
     }
 }
 
@@ -464,6 +520,19 @@ mod tests {
         assert!(report.bundle_raw_ms > 0.0 && report.bundled_replan_ms > 0.0);
         assert!(report.bundle_speedup > 0.0);
 
+        assert!(
+            report.bundle_replan_roundtrip_ok,
+            "warm cell replan left offers without feasible schedules"
+        );
+        assert!(report.cell_replan_ms > 0.0);
+        assert!(report.bundle_replan_speedup > 0.0);
+        assert!(
+            report.cell_replan_ms <= report.bundled_replan_ms,
+            "single-cell churn ({} ms) must not exceed a cold full re-group ({} ms)",
+            report.cell_replan_ms,
+            report.bundled_replan_ms
+        );
+
         let json = report.to_json();
         assert!(json.contains("\"bench\": \"planning\""));
         assert!(json.contains("\"determinism_ok\": true"));
@@ -471,6 +540,9 @@ mod tests {
         assert!(json.contains("\"incremental_speedup\""));
         assert!(json.contains("\"bundle_speedup\""));
         assert!(json.contains("\"bundle_roundtrip_ok\": true"));
+        assert!(json.contains("\"cell_replan_ms\""));
+        assert!(json.contains("\"bundle_replan_speedup\""));
+        assert!(json.contains("\"bundle_replan_roundtrip_ok\": true"));
         mirabel_bench_json_sanity(&json);
     }
 

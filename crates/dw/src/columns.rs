@@ -35,6 +35,231 @@ use crate::hierarchy::{Dimension, MemberId};
 /// (time, geography, grid, energy type, prosumer type, appliance).
 pub type LeafKeys = [MemberId; 6];
 
+/// Dense code of a lifecycle status: its position in
+/// [`OfferState::ALL`]. The codes are what the status run-length
+/// column stores and what status predicates resolve to.
+pub fn status_code(status: OfferState) -> u32 {
+    match status {
+        OfferState::Offered => 0,
+        OfferState::Accepted => 1,
+        OfferState::Rejected => 2,
+        OfferState::Scheduled => 3,
+        OfferState::Executed => 4,
+        OfferState::Withdrawn => 5,
+    }
+}
+
+/// Dense code of a direction: its position in [`Direction::ALL`]
+/// (0 = consumption, 1 = production).
+pub fn direction_code(direction: Direction) -> u32 {
+    match direction {
+        Direction::Consumption => 0,
+        Direction::Production => 1,
+    }
+}
+
+/// A dictionary-encoded leaf-key column: the distinct [`MemberId`]s in
+/// first-seen order (`dict`) plus one dense `u32` code per fact
+/// (`codes`).
+///
+/// Code assignment rules (these make the encoding a *canonical*
+/// function of the push sequence, so two stores that saw the same
+/// operations compare equal):
+///
+/// * a member's code is its first-seen position in the push order;
+/// * the dictionary is **append-only** — [`DictColumn::retain`]
+///   (withdraw compaction) drops codes of dead facts but never
+///   renumbers or garbage-collects the dictionary, so codes stay
+///   stable across an epoch's lifetime and predicate masks resolved
+///   against one epoch's dictionary index the next epoch's codes
+///   correctly.
+///
+/// Hierarchy member ids are dense and small (tens of members per
+/// dimension), so the reverse map is a flat `Vec` indexed by
+/// `MemberId`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DictColumn {
+    dict: Vec<MemberId>,
+    /// `member.0 → code + 1`; 0 = member not in the dictionary.
+    code_of: Vec<u32>,
+    codes: Vec<u32>,
+}
+
+impl DictColumn {
+    fn new() -> DictColumn {
+        DictColumn { dict: Vec::new(), code_of: Vec::new(), codes: Vec::new() }
+    }
+
+    /// Appends one fact's member, interning it on first sight.
+    fn push(&mut self, member: MemberId) {
+        let slot = member.0 as usize;
+        if slot >= self.code_of.len() {
+            self.code_of.resize(slot + 1, 0);
+        }
+        let code = if self.code_of[slot] == 0 {
+            let code = self.dict.len() as u32;
+            self.dict.push(member);
+            self.code_of[slot] = code + 1;
+            code
+        } else {
+            self.code_of[slot] - 1
+        };
+        self.codes.push(code);
+    }
+
+    /// Withdraw compaction: drop dead facts' codes. The dictionary is
+    /// append-only (see the type docs), so only the per-fact codes
+    /// move.
+    fn retain(&mut self, dead: &[bool]) {
+        retain_by(&mut self.codes, dead);
+    }
+
+    /// The distinct members, indexed by code.
+    pub fn dict(&self) -> &[MemberId] {
+        &self.dict
+    }
+
+    /// Per-fact codes (same length as the store).
+    pub fn codes(&self) -> &[u32] {
+        &self.codes
+    }
+
+    /// The code of `member`, if it ever occurred in this column.
+    pub fn code(&self, member: MemberId) -> Option<u32> {
+        let raw = *self.code_of.get(member.0 as usize)?;
+        (raw != 0).then(|| raw - 1)
+    }
+
+    /// Decodes the member of fact `idx`.
+    pub fn member(&self, idx: usize) -> MemberId {
+        self.dict[self.codes[idx] as usize]
+    }
+
+    /// Resolves a predicate over members to a mask over codes — the
+    /// once-per-query step that lets evaluation test `mask[code]`
+    /// instead of walking a hierarchy per fact.
+    pub fn mask(&self, mut keep: impl FnMut(MemberId) -> bool) -> Vec<bool> {
+        self.dict.iter().map(|&m| keep(m)).collect()
+    }
+}
+
+/// One maximal run of equal codes: `value` repeated up to (exclusive)
+/// fact index `end`. The run's start is the previous run's `end` (0
+/// for the first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Run {
+    /// The repeated code.
+    pub value: u32,
+    /// Exclusive end index of the run.
+    pub end: u32,
+}
+
+/// A run-length-encoded code column for the low-cardinality dimensions
+/// (direction: 2 values, status: 6). Runs are kept in **canonical
+/// maximal form** — adjacent runs always hold distinct values — so the
+/// representation is a pure function of the decoded sequence and the
+/// derived `PartialEq` compares encodings the way it compares values.
+///
+/// Point updates ([`RleColumn::set`], the status flips of
+/// [`ColumnStore::refresh`]) split the containing run into at most
+/// three and re-merge equal-valued neighbours; withdraw compaction
+/// rebuilds the runs outright from the compacted plain column ("run
+/// invalidation on compact") because a retain can splice arbitrary
+/// run fragments together.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RleColumn {
+    runs: Vec<Run>,
+    len: u32,
+}
+
+impl RleColumn {
+    fn new() -> RleColumn {
+        RleColumn { runs: Vec::new(), len: 0 }
+    }
+
+    /// Rebuilds the canonical runs of `values` from scratch.
+    fn from_values(values: impl Iterator<Item = u32>) -> RleColumn {
+        let mut rle = RleColumn::new();
+        for v in values {
+            rle.push(v);
+        }
+        rle
+    }
+
+    /// Appends one value, extending the last run when it matches.
+    fn push(&mut self, value: u32) {
+        self.len += 1;
+        match self.runs.last_mut() {
+            Some(run) if run.value == value => run.end = self.len,
+            _ => self.runs.push(Run { value, end: self.len }),
+        }
+    }
+
+    /// Index of the run containing fact `idx` (binary search over the
+    /// ascending exclusive ends).
+    fn run_index(&self, idx: u32) -> usize {
+        self.runs.partition_point(|r| r.end <= idx)
+    }
+
+    /// Decoded value of fact `idx`.
+    pub fn value(&self, idx: usize) -> u32 {
+        self.runs[self.run_index(idx as u32)].value
+    }
+
+    /// Point update: rewrite fact `idx` to `value`, restoring canonical
+    /// maximal form (split the containing run, then merge with
+    /// equal-valued neighbours).
+    fn set(&mut self, idx: usize, value: u32) {
+        let idx = idx as u32;
+        let k = self.run_index(idx);
+        let run = self.runs[k];
+        if run.value == value {
+            return;
+        }
+        let start = if k == 0 { 0 } else { self.runs[k - 1].end };
+        // Replace run k with up to three fragments [start..idx),
+        // [idx..idx+1), [idx+1..end) ...
+        let mut fragments = Vec::with_capacity(3);
+        if idx > start {
+            fragments.push(Run { value: run.value, end: idx });
+        }
+        fragments.push(Run { value, end: idx + 1 });
+        if idx + 1 < run.end {
+            fragments.push(Run { value: run.value, end: run.end });
+        }
+        let f = fragments.len();
+        self.runs.splice(k..=k, fragments);
+        // ... then re-merge the two splice boundaries to keep adjacent
+        // runs distinct (interior fragment boundaries always separate
+        // distinct values). Right first, so the left merge's indices
+        // stay valid.
+        let right = k + f;
+        if right < self.runs.len() && self.runs[right].value == self.runs[right - 1].value {
+            self.runs[right - 1].end = self.runs[right].end;
+            self.runs.remove(right);
+        }
+        if k > 0 && self.runs[k].value == self.runs[k - 1].value {
+            self.runs[k - 1].end = self.runs[k].end;
+            self.runs.remove(k);
+        }
+    }
+
+    /// The canonical maximal runs.
+    pub fn runs(&self) -> &[Run] {
+        &self.runs
+    }
+
+    /// Number of encoded values.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// `true` when nothing is encoded.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
 /// One offer's per-slice energy bounds, borrowed straight from the CSR
 /// slice columns — what the aggregator and the planner's load-curve
 /// merge iterate instead of chasing an `Arc<FlexOffer>`.
@@ -98,6 +323,16 @@ pub struct ColumnStore {
     slice_offsets: Vec<usize>,
     slice_min_wh: Vec<i64>,
     slice_max_wh: Vec<i64>,
+
+    /// Dictionary encodings of the six leaf-key columns, in
+    /// [`Dimension::ALL`] order. The plain `Vec<MemberId>` columns stay
+    /// the decode surface (and the borrowed-slice API); the dictionaries
+    /// are what predicate pushdown resolves filters against.
+    dicts: [DictColumn; 6],
+    /// Run-length postings over [`direction_code`]s.
+    direction_rle: RleColumn,
+    /// Run-length postings over [`status_code`]s.
+    status_rle: RleColumn,
 }
 
 impl Default for ColumnStore {
@@ -133,6 +368,16 @@ impl ColumnStore {
             slice_offsets: vec![0],
             slice_min_wh: Vec::new(),
             slice_max_wh: Vec::new(),
+            dicts: [
+                DictColumn::new(),
+                DictColumn::new(),
+                DictColumn::new(),
+                DictColumn::new(),
+                DictColumn::new(),
+                DictColumn::new(),
+            ],
+            direction_rle: RleColumn::new(),
+            status_rle: RleColumn::new(),
         }
     }
 
@@ -178,6 +423,11 @@ impl ColumnStore {
         self.energy_leaf.push(e);
         self.prosumer_leaf.push(p);
         self.appliance_leaf.push(a);
+        for (dict, key) in self.dicts.iter_mut().zip(keys) {
+            dict.push(key);
+        }
+        self.direction_rle.push(direction_code(fo.direction()));
+        self.status_rle.push(status_code(fo.status()));
         self.push_measures(fo);
         for s in fo.profile().slices() {
             self.slice_min_wh.push(s.min.wh());
@@ -208,6 +458,7 @@ impl ColumnStore {
         debug_assert_eq!(self.offer[idx], fo.id(), "refresh keyed to the wrong offer");
         let (scheduled_wh, executed_wh, deviation_wh) = lifecycle_measures(fo);
         self.status[idx] = fo.status();
+        self.status_rle.set(idx, status_code(fo.status()));
         self.scheduled_wh[idx] = scheduled_wh;
         self.executed_wh[idx] = executed_wh;
         self.deviation_wh[idx] = deviation_wh;
@@ -239,6 +490,15 @@ impl ColumnStore {
         retain_by(&mut self.deviation_wh, dead);
         retain_by(&mut self.price_cents, dead);
         retain_by(&mut self.balancing_potential_wh, dead);
+        for dict in &mut self.dicts {
+            dict.retain(dead);
+        }
+        // Run invalidation on compact: a retain can splice arbitrary
+        // fragments of runs together, so the canonical runs are rebuilt
+        // from the already-compacted plain columns instead of patched.
+        self.direction_rle =
+            RleColumn::from_values(self.direction.iter().map(|&d| direction_code(d)));
+        self.status_rle = RleColumn::from_values(self.status.iter().map(|&s| status_code(s)));
 
         // Rebuild the CSR triple by streaming the surviving ranges.
         let old_offsets = std::mem::take(&mut self.slice_offsets);
@@ -386,6 +646,28 @@ impl ColumnStore {
             Dimension::Appliance => &self.appliance_leaf,
         }
     }
+
+    /// The dictionary encoding of `dimension`'s leaf-key column.
+    pub fn dict(&self, dimension: Dimension) -> &DictColumn {
+        &self.dicts[match dimension {
+            Dimension::Time => 0,
+            Dimension::Geography => 1,
+            Dimension::Grid => 2,
+            Dimension::EnergyType => 3,
+            Dimension::ProsumerType => 4,
+            Dimension::Appliance => 5,
+        }]
+    }
+
+    /// Canonical runs of the direction codes ([`direction_code`]).
+    pub fn direction_runs(&self) -> &[Run] {
+        self.direction_rle.runs()
+    }
+
+    /// Canonical runs of the status codes ([`status_code`]).
+    pub fn status_runs(&self) -> &[Run] {
+        self.status_rle.runs()
+    }
 }
 
 /// The three lifecycle measures extracted together (shared by push and
@@ -506,7 +788,112 @@ mod tests {
         assert_eq!(cs.len(), 0);
         assert_eq!(cs.slice_count(), 0);
         assert_eq!(cs.rows().count(), 0);
+        assert!(cs.direction_runs().is_empty());
+        assert!(cs.status_runs().is_empty());
         let with_cap = ColumnStore::with_capacity(64);
         assert!(with_cap.is_empty());
+    }
+
+    #[test]
+    fn codes_are_positions_in_the_all_constants() {
+        for (i, s) in OfferState::ALL.into_iter().enumerate() {
+            assert_eq!(status_code(s) as usize, i);
+        }
+        for (i, d) in Direction::ALL.into_iter().enumerate() {
+            assert_eq!(direction_code(d) as usize, i);
+        }
+    }
+
+    /// Decodes an RLE column back to one value per fact.
+    fn decode(runs: &[Run]) -> Vec<u32> {
+        let mut out = Vec::new();
+        for r in runs {
+            out.resize(r.end as usize, r.value);
+        }
+        out
+    }
+
+    /// Asserts every encoded column decodes to its plain twin and the
+    /// runs are canonical (adjacent runs distinct, ends ascending).
+    fn assert_encoded_consistent(cs: &ColumnStore) {
+        for dim in Dimension::ALL {
+            let dc = cs.dict(dim);
+            assert_eq!(dc.codes().len(), cs.len());
+            let decoded: Vec<MemberId> = (0..cs.len()).map(|i| dc.member(i)).collect();
+            assert_eq!(decoded, cs.leaves(dim), "{dim:?} dictionary decode diverged");
+            for (code, &m) in dc.dict().iter().enumerate() {
+                assert_eq!(dc.code(m), Some(code as u32));
+            }
+        }
+        for (runs, plain) in [
+            (
+                cs.direction_runs(),
+                cs.directions().iter().map(|&d| direction_code(d)).collect::<Vec<_>>(),
+            ),
+            (cs.status_runs(), cs.statuses().iter().map(|&s| status_code(s)).collect::<Vec<_>>()),
+        ] {
+            assert_eq!(decode(runs), plain);
+            for w in runs.windows(2) {
+                assert!(w[0].value != w[1].value, "non-canonical adjacent runs: {runs:?}");
+                assert!(w[0].end < w[1].end);
+            }
+            assert_eq!(runs.last().map(|r| r.end as usize).unwrap_or(0), cs.len());
+        }
+    }
+
+    #[test]
+    fn encoded_columns_track_push_refresh_and_compact() {
+        let mut cs = ColumnStore::new();
+        let mut offers: Vec<FlexOffer> =
+            (0..8).map(|i| offer(i + 1, i as i64, 2, 0, 1_000)).collect();
+        for fo in &offers {
+            cs.push(fo, keys());
+        }
+        assert_encoded_consistent(&cs);
+        // All Offered: one status run, one direction run.
+        assert_eq!(cs.status_runs().len(), 1);
+        assert_eq!(cs.direction_runs().len(), 1);
+
+        // Point updates split and re-merge runs canonically.
+        for &i in &[3usize, 4, 0, 7] {
+            offers[i].accept().unwrap();
+            cs.refresh(i, &offers[i]);
+            assert_encoded_consistent(&cs);
+        }
+        // 3 and 4 merged into one Accepted run.
+        assert_eq!(decode(cs.status_runs())[3..5], [1, 1]);
+
+        // Flipping one back exercises the same-value early return too.
+        cs.refresh(3, &offers[3]);
+        assert_encoded_consistent(&cs);
+
+        // Compaction drops codes and rebuilds runs from the survivors.
+        cs.compact(&[true, false, false, true, false, false, false, false]);
+        assert_eq!(cs.len(), 6);
+        assert_encoded_consistent(&cs);
+        // The dictionary never renumbers: surviving codes still decode.
+        let before = cs.clone();
+        cs.compact(&[false; 6]);
+        assert_eq!(cs, before, "no-op compact must be a structural no-op");
+    }
+
+    #[test]
+    fn rle_point_updates_cover_all_split_shapes() {
+        // One run of five, then hit head, tail, middle, and re-merge.
+        let mut rle = RleColumn::from_values([7u32; 5].into_iter());
+        rle.set(0, 1); // head split
+        rle.set(4, 1); // tail split
+        rle.set(2, 1); // middle split
+        assert_eq!(rle.runs().len(), 5);
+        rle.set(1, 1); // merges 0..2
+        rle.set(3, 1); // merges everything
+        assert_eq!(rle.runs(), &[Run { value: 1, end: 5 }]);
+        for i in 0..5 {
+            assert_eq!(rle.value(i), 1);
+        }
+        // Single-element three-way merge.
+        let mut rle = RleColumn::from_values([2u32, 9, 2].into_iter());
+        rle.set(1, 2);
+        assert_eq!(rle.runs(), &[Run { value: 2, end: 3 }]);
     }
 }

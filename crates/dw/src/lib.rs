@@ -63,7 +63,9 @@ pub mod spatial;
 mod view;
 mod warehouse;
 
-pub use columns::{ColumnSlice, ColumnStore, LeafKeys};
+pub use columns::{
+    direction_code, status_code, ColumnSlice, ColumnStore, DictColumn, LeafKeys, RleColumn, Run,
+};
 pub use fact::FactRow;
 pub use hierarchy::{Dimension, Hierarchy, Member, MemberId};
 pub use live::{EpochSnapshot, LiveWarehouse, PendingDeltas};

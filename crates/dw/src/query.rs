@@ -230,14 +230,186 @@ impl fmt::Display for DwError {
 impl Error for DwError {}
 
 impl Warehouse {
-    /// Evaluates `query` over the fact columns.
+    /// Evaluates `query` over the fact columns with predicate pushdown.
     ///
-    /// Columnar evaluation: the filter pass reads only the
-    /// `earliest_start`, `status` and touched dimension-leaf columns,
-    /// and the aggregation pass reads exactly one measure column — no
-    /// row materialization anywhere. [`Warehouse::eval_rows`] is the
-    /// row-oriented reference this is regression-tested against.
+    /// Every hierarchical filter is resolved **once** against the
+    /// touched dimension's dictionary — a mask over its dense codes —
+    /// so the per-fact test is one array load instead of a hierarchy
+    /// walk; a status restriction becomes a mask over the status codes
+    /// that skips whole runs of the status RLE column; and the
+    /// measure dispatch is hoisted out of the loop into a
+    /// `(column, divisor)` pair, so the inner loop is a monomorphic
+    /// sequential reduction over one contiguous `i64` column.
+    ///
+    /// Accumulation stays strictly sequential in fact order (no chunked
+    /// multi-accumulator tricks): `f64` addition is non-associative, and
+    /// the result must stay bit-identical to [`Warehouse::eval_rows`]
+    /// (the row oracle) and [`Warehouse::eval_scan`] (the plain columnar
+    /// scan both are gated against).
     pub fn eval(&self, query: &Query) -> Result<QueryResult, DwError> {
+        self.validate(query)?;
+        let cols = self.columns();
+
+        // Resolve each filtered dimension to one AND-combined mask over
+        // its dictionary codes. An all-false mask means no fact can
+        // match: answer empty without touching the fact columns.
+        let mut masks: Vec<(&[u32], Vec<bool>)> = Vec::new();
+        for dim in Dimension::ALL {
+            let members: Vec<MemberId> =
+                query.filters.iter().filter(|f| f.dimension == dim).map(|f| f.member).collect();
+            if members.is_empty() {
+                continue;
+            }
+            let h = self.hierarchy(dim);
+            let dc = cols.dict(dim);
+            let mask = dc.mask(|leaf| members.iter().all(|&m| h.is_descendant(leaf, m)));
+            if !mask.iter().any(|&b| b) {
+                return Ok(finalise(query, Default::default(), 0.0, 0));
+            }
+            masks.push((dc.codes(), mask));
+        }
+
+        // Status restriction as a mask over the six status codes; the
+        // scan below walks the status RLE runs and skips non-matching
+        // runs wholesale.
+        let status_mask: Option<[bool; 6]> = query.statuses.as_ref().map(|statuses| {
+            let mut mask = [false; 6];
+            for &s in statuses {
+                mask[crate::columns::status_code(s) as usize] = true;
+            }
+            mask
+        });
+
+        // Group-by resolved once to a code → group-member map.
+        let group: Option<(&[u32], Vec<Option<MemberId>>)> = query.group_by.map(|(dim, level)| {
+            let h = self.hierarchy(dim);
+            let dc = cols.dict(dim);
+            let map = dc.dict().iter().map(|&leaf| h.ancestor_at_level(leaf, level)).collect();
+            (dc.codes(), map)
+        });
+
+        // Measure dispatch hoisted out of the loop. The divisor (not a
+        // reciprocal multiply: `x / 1000.0` and `x * 0.001` round
+        // differently) reproduces `Measure::value_at` exactly.
+        let (measure_col, divisor): (Option<&[i64]>, f64) = match query.measure {
+            Measure::Count => (None, 1.0),
+            Measure::ScheduledEnergy => (Some(cols.scheduled_wh()), 1_000.0),
+            Measure::ExecutedEnergy => (Some(cols.executed_wh()), 1_000.0),
+            Measure::PlanDeviation => (Some(cols.deviation_wh()), 1_000.0),
+            Measure::BalancingPotential => (Some(cols.balancing_potential_wh()), 1_000.0),
+            Measure::TotalMaxEnergy => (Some(cols.total_max_wh()), 1_000.0),
+            Measure::EnergyFlexibility => (Some(cols.energy_flex_wh()), 1_000.0),
+            Measure::AvgPrice => (Some(cols.price_cents()), 1.0),
+            Measure::AvgTimeFlexibility => (Some(cols.time_flex()), 1.0),
+        };
+
+        // A selective geography filter (below the All root) is answered
+        // from the spatial per-region posting lists instead of a full
+        // column pass: `indices_under` returns exactly the facts whose
+        // geography leaf descends from the member, ascending, so the
+        // candidate set shrinks to the subtree while the visit order —
+        // and therefore the non-associative `f64` accumulation — stays
+        // identical to the full scan. The geography mask is kept in
+        // `masks` regardless: it re-checks the postings (harmless) and
+        // carries any additional same-dimension conjuncts.
+        let spatial_hits: Option<Vec<usize>> = query
+            .filters
+            .iter()
+            .filter(|f| f.dimension == Dimension::Geography)
+            .find(|f| {
+                self.hierarchy(Dimension::Geography).member(f.member).is_some_and(|m| m.level > 0)
+            })
+            .map(|f| {
+                self.spatial_index().indices_under(self.hierarchy(Dimension::Geography), f.member)
+            });
+
+        let starts = cols.earliest_starts();
+        let mut groups: std::collections::BTreeMap<MemberId, (f64, usize)> = Default::default();
+        let mut total = 0.0;
+        let mut count = 0usize;
+        let mut visit = |idx: usize| {
+            if let Some((from, to)) = query.time_range {
+                let est = starts[idx];
+                if est < from || est >= to {
+                    return;
+                }
+            }
+            for (codes, mask) in &masks {
+                if !mask[codes[idx] as usize] {
+                    return;
+                }
+            }
+            let v = match measure_col {
+                Some(col) => col[idx] as f64 / divisor,
+                None => 1.0,
+            };
+            total += v;
+            count += 1;
+            if let Some((codes, map)) = &group {
+                if let Some(g) = map[codes[idx] as usize] {
+                    let e = groups.entry(g).or_insert((0.0, 0));
+                    e.0 += v;
+                    e.1 += 1;
+                }
+            }
+        };
+        match (&spatial_hits, &status_mask) {
+            (Some(hits), None) => {
+                for &idx in hits {
+                    visit(idx);
+                }
+            }
+            (Some(hits), Some(mask)) => {
+                // Per-fact status test on the already-small candidate
+                // set; ascending, so equal to the run-sliced order.
+                let statuses = cols.statuses();
+                for &idx in hits {
+                    if mask[crate::columns::status_code(statuses[idx]) as usize] {
+                        visit(idx);
+                    }
+                }
+            }
+            (None, None) => {
+                if let ([(codes, mask)], None) = (masks.as_slice(), query.time_range) {
+                    // The hot shape — one dictionary filter, no time
+                    // bound — iterates the code column directly: one
+                    // predictable load-and-test per fact, with the full
+                    // `visit` body (which re-checks the mask, harmlessly)
+                    // only entered on matches.
+                    let mask = mask.as_slice();
+                    for (idx, &c) in codes.iter().enumerate() {
+                        if mask[c as usize] {
+                            visit(idx);
+                        }
+                    }
+                } else {
+                    for idx in 0..cols.len() {
+                        visit(idx);
+                    }
+                }
+            }
+            (None, Some(mask)) => {
+                let mut lo = 0usize;
+                for run in cols.status_runs() {
+                    let hi = run.end as usize;
+                    if mask[run.value as usize] {
+                        for idx in lo..hi {
+                            visit(idx);
+                        }
+                    }
+                    lo = hi;
+                }
+            }
+        }
+        Ok(finalise(query, groups, total, count))
+    }
+
+    /// The PR-8 plain columnar scan: per-fact predicate tests over the
+    /// unencoded columns, no dictionary or run skipping. Kept public as
+    /// the baseline the filtered-query bench probe measures pushdown
+    /// against (and as a second equality oracle — it must agree with
+    /// [`Warehouse::eval`] bit for bit).
+    pub fn eval_scan(&self, query: &Query) -> Result<QueryResult, DwError> {
         self.validate(query)?;
         let cols = self.columns();
         let mut groups: std::collections::BTreeMap<MemberId, (f64, usize)> = Default::default();
@@ -536,8 +708,19 @@ mod tests {
                 .statuses(vec![OfferState::Offered]),
         ];
         for q in &queries {
-            assert_eq!(dw.eval(q).unwrap(), dw.eval_rows(q).unwrap());
+            let pushdown = dw.eval(q).unwrap();
+            assert_eq!(pushdown, dw.eval_rows(q).unwrap());
+            assert_eq!(pushdown, dw.eval_scan(q).unwrap());
         }
+        // An impossible filter combination takes the all-false-mask
+        // early return and must still agree with the oracles.
+        let geo = dw.hierarchy(Dimension::Geography);
+        let disjoint = Query::new(Measure::Count)
+            .filter(Dimension::Geography, geo.member_by_name("Midtjylland").unwrap().id)
+            .filter(Dimension::Geography, geo.member_by_name("Sjælland").unwrap().id);
+        let empty = dw.eval(&disjoint).unwrap();
+        assert_eq!(empty, dw.eval_rows(&disjoint).unwrap());
+        assert_eq!(empty.matching_facts, 0);
     }
 
     #[test]

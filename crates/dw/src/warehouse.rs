@@ -376,7 +376,7 @@ impl Warehouse {
 
     /// All loaded offers (fact order). Offers are stored behind [`Arc`]
     /// so loaders can hand them to view tabs without cloning the payload
-    /// (see [`Warehouse::load_shared`]).
+    /// (see [`crate::OfferView::materialize`]).
     pub fn offers(&self) -> &[Arc<FlexOffer>] {
         &self.offers
     }
@@ -443,9 +443,21 @@ impl Warehouse {
     }
 
     /// `true` when fact `idx` lies in the subtree of `member` in the
-    /// geography hierarchy.
+    /// geography hierarchy — the per-fact hierarchy walk kept for the
+    /// scan oracle ([`Warehouse::load_offers_scan`]); the indexed
+    /// loaders resolve the region once via [`Warehouse::geo_code_mask`]
+    /// instead.
     fn in_region(&self, idx: usize, member: MemberId) -> bool {
         self.geography.is_descendant(self.columns.geo_leaves()[idx], member)
+    }
+
+    /// Resolves a region filter to a mask over the geography
+    /// dictionary's codes: one `is_descendant` walk per *distinct* leaf
+    /// instead of one per fact.
+    fn geo_code_mask(&self, member: MemberId) -> Vec<bool> {
+        self.columns
+            .dict(Dimension::Geography)
+            .mask(|leaf| self.geography.is_descendant(leaf, member))
     }
 
     /// The warehouse's own shared handle for fact `idx` (for the view
@@ -477,6 +489,14 @@ impl Warehouse {
                 return false;
             }
         }
+        self.loader_extent_at(i, query)
+    }
+
+    /// The interval half of [`Warehouse::loader_matches_at`]: the extent
+    /// test alone, for scan paths whose entity/direction filters were
+    /// already discharged by an index or a run skip.
+    fn loader_extent_at(&self, i: usize, query: &LoaderQuery) -> bool {
+        let c = &self.columns;
         let lo = c.earliest_starts()[i];
         let hi = lo + SlotSpan::slots(c.time_flex()[i] + c.slices(i).len() as i64);
         lo < query.to && query.from < hi
@@ -485,25 +505,49 @@ impl Warehouse {
     /// Fact indices satisfying every part of `query`, ascending. Picks
     /// the cheapest index: the per-prosumer postings for entity queries,
     /// the per-region postings for spatial queries, a full scan only when
-    /// neither filter is set. All residual filters run columnar
-    /// ([`Warehouse::loader_matches_at`]).
+    /// neither filter is set. Residual filters are pushed down onto the
+    /// encoded columns: a region restriction resolves to a dictionary
+    /// code mask once ([`Warehouse::geo_code_mask`]) and a
+    /// direction-filtered full scan walks the direction RLE runs,
+    /// skipping non-matching runs wholesale.
     fn selected_indices(&self, query: &LoaderQuery) -> Vec<usize> {
         match (query.prosumer, query.region) {
-            (Some(p), region) => self
-                .prosumer_indices(p)
-                .iter()
-                .copied()
-                .filter(|&i| region.is_none_or(|m| self.in_region(i, m)))
-                .filter(|&i| self.loader_matches_at(i, query))
-                .collect(),
+            (Some(p), region) => {
+                let geo_mask = region.map(|m| self.geo_code_mask(m));
+                let geo_codes = self.columns.dict(Dimension::Geography).codes();
+                self.prosumer_indices(p)
+                    .iter()
+                    .copied()
+                    .filter(|&i| geo_mask.as_ref().is_none_or(|mask| mask[geo_codes[i] as usize]))
+                    .filter(|&i| self.loader_matches_at(i, query))
+                    .collect()
+            }
             (None, Some(m)) => {
                 let mut indices = self.spatial.indices_under(&self.geography, m);
                 indices.retain(|&i| self.loader_matches_at(i, query));
                 indices
             }
-            (None, None) => {
-                (0..self.offers.len()).filter(|&i| self.loader_matches_at(i, query)).collect()
-            }
+            (None, None) => match query.direction {
+                // Direction-filtered full scan: only the matching runs
+                // of the direction RLE column are visited, and inside a
+                // run only the extent test remains.
+                Some(d) => {
+                    let code = crate::columns::direction_code(d);
+                    let mut out = Vec::new();
+                    let mut lo = 0usize;
+                    for run in self.columns.direction_runs() {
+                        let hi = run.end as usize;
+                        if run.value == code {
+                            out.extend((lo..hi).filter(|&i| self.loader_extent_at(i, query)));
+                        }
+                        lo = hi;
+                    }
+                    out
+                }
+                None => {
+                    (0..self.offers.len()).filter(|&i| self.loader_extent_at(i, query)).collect()
+                }
+            },
         }
     }
 

@@ -45,6 +45,19 @@ impl NetClient {
         Ok(NetClient { conn: conn.resume()? })
     }
 
+    /// [`NetClient::resume`] with bounded retry on transient failure: a
+    /// refused connect, a reset socket or an EOF mid-handshake is
+    /// retried up to `attempts` times before the last error surfaces.
+    /// A server verdict — [`NetError::ResumeExpired`] above all —
+    /// surfaces immediately without burning an attempt, since the
+    /// single-use token cannot fare better the second time.
+    pub fn resume_with_retry(
+        conn: Connection<state::Resumable>,
+        attempts: usize,
+    ) -> Result<NetClient, NetError> {
+        Ok(NetClient { conn: conn.resume_with_retry(attempts)? })
+    }
+
     /// The session id the server opened for this connection.
     pub fn session(&self) -> u64 {
         self.conn.session()

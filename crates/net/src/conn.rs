@@ -443,6 +443,20 @@ impl Connection<state::Active> {
     }
 }
 
+/// Pause between [`Connection::resume_with_retry`] attempts: long
+/// enough for a restarting listener to come back, short enough that a
+/// handful of attempts stays well inside interactive latency.
+const RESUME_RETRY_BACKOFF: Duration = Duration::from_millis(10);
+
+/// `true` for failures worth a second resume attempt: the socket layer
+/// failed (connect refused, reset, timeout) or the server dropped the
+/// connection before replying. Everything the *server said* — an
+/// expired token, a refusal, a protocol violation — is a verdict, not a
+/// glitch, and repeating the question cannot change it.
+fn transient_resume_failure(err: &NetError) -> bool {
+    matches!(err, NetError::Io(_) | NetError::UnexpectedEof)
+}
+
 impl Connection<state::Resumable> {
     /// The id of the parked session this handle can re-attach to.
     pub fn session(&self) -> u64 {
@@ -454,16 +468,45 @@ impl Connection<state::Resumable> {
         &self.token
     }
 
+    /// One resume attempt, leaving this handle reusable on failure.
+    fn attempt_resume(&self) -> Result<Connection<state::Active>, NetError> {
+        let mut fresh = Connection::open(self.addr)?;
+        fresh.notifications = self.notifications.clone();
+        fresh.epoch = self.epoch;
+        fresh.resume_with(&self.token)
+    }
+
     /// Reconnects to the same server and re-attaches to the parked
     /// session with `session resume <token>`. Notification history and
     /// the epoch high-water mark carry over; if the warehouse moved on
     /// while detached, the resume reply's (newer) epoch is recorded
     /// exactly once.
     pub fn resume(self) -> Result<Connection<state::Active>, NetError> {
-        let mut fresh = Connection::open(self.addr)?;
-        fresh.notifications = self.notifications;
-        fresh.epoch = self.epoch;
-        fresh.resume_with(&self.token)
+        self.attempt_resume()
+    }
+
+    /// [`resume`](Connection::resume) with bounded retry on *transient*
+    /// failure: a refused connect, a reset socket or an EOF before the
+    /// reply is retried up to `attempts` times (with a short pause in
+    /// between), then the last error surfaces. Failures the server
+    /// *pronounced* — [`NetError::ResumeExpired`] above all, but also
+    /// refusals and protocol violations — surface immediately: the
+    /// token is single-use, so re-asking after a verdict can only burn
+    /// it.
+    pub fn resume_with_retry(self, attempts: usize) -> Result<Connection<state::Active>, NetError> {
+        let attempts = attempts.max(1);
+        let mut last = None;
+        for round in 0..attempts {
+            if round > 0 {
+                std::thread::sleep(RESUME_RETRY_BACKOFF);
+            }
+            match self.attempt_resume() {
+                Ok(active) => return Ok(active),
+                Err(err) if transient_resume_failure(&err) => last = Some(err),
+                Err(err) => return Err(err),
+            }
+        }
+        Err(last.expect("at least one attempt ran"))
     }
 }
 

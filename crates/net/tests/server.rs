@@ -364,6 +364,69 @@ fn resume_tokens_expire_independently_of_the_parking_lot() {
 }
 
 #[test]
+fn resume_retry_bounds_transient_failures_and_surfaces_verdicts() {
+    use std::time::Instant;
+
+    use mirabel_net::{NetError, NetServerConfig};
+
+    let server = NetServer::bind_with(
+        "127.0.0.1:0",
+        pool(10, 21),
+        NetServerConfig {
+            park_ttl: Duration::from_secs(300),
+            resume_token_ttl: Duration::from_millis(50),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // Happy path: a live server resumes on the first attempt, with the
+    // same session carried over.
+    let first = NetClient::connect(addr).unwrap();
+    let session = first.session();
+    let parked = first.detach();
+    for _ in 0..200 {
+        if server.parked() == 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let revived = NetClient::resume_with_retry(parked, 3).expect("a live server resumes");
+    assert_eq!(revived.session(), session);
+    let parked = revived.detach();
+    for _ in 0..200 {
+        if server.parked() == 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // A server verdict surfaces immediately: the expired token is not
+    // retried (retries would only re-ask a settled question).
+    std::thread::sleep(Duration::from_millis(120));
+    let err = NetClient::resume_with_retry(parked, 5)
+        .expect_err("an expired token cannot resume, retried or not");
+    assert!(matches!(err, NetError::ResumeExpired), "got {err:?}");
+
+    // Transient failure: once the listener is gone, every attempt fails
+    // at the socket layer; the bounded retry runs all of them (each
+    // retry after the first sleeps ~10 ms, so three attempts take at
+    // least two backoffs) and then surfaces the I/O error.
+    let dying = NetClient::connect(addr).unwrap().detach();
+    drop(server);
+    let started = Instant::now();
+    let err = NetClient::resume_with_retry(dying, 3)
+        .expect_err("no listener means no resume, however often it is retried");
+    assert!(matches!(err, NetError::Io(_)), "the last transient error surfaces, got {err:?}");
+    assert!(
+        started.elapsed() >= Duration::from_millis(20),
+        "three attempts must include two backoff pauses, finished in {:?}",
+        started.elapsed()
+    );
+}
+
+#[test]
 fn malformed_lines_get_err_replies_and_the_session_survives() {
     let server = NetServer::bind("127.0.0.1:0", pool(10, 2)).unwrap();
     let mut client = NetClient::connect(server.local_addr()).unwrap();

@@ -40,9 +40,11 @@ impl VisualOffer {
         offers.iter().cloned().map(VisualOffer::plain).collect()
     }
 
-    /// Wraps shared offers — e.g. straight from
-    /// [`mirabel_dw::Warehouse::load_shared`] — with zero payload clones:
-    /// the warehouse's allocation *is* the tab's allocation.
+    /// Wraps shared offers — e.g. a materialized
+    /// [`mirabel_dw::Warehouse::view`] selection
+    /// ([`OfferView::materialize`](mirabel_dw::OfferView::materialize)) —
+    /// with zero payload clones: the warehouse's allocation *is* the
+    /// tab's allocation.
     pub fn from_shared(offers: &[Arc<FlexOffer>]) -> Vec<VisualOffer> {
         offers.iter().cloned().map(VisualOffer::shared).collect()
     }

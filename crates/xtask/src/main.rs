@@ -152,7 +152,7 @@ const BENCH_GATE: &[Step] = &[
         env: &[],
     },
     Step {
-        name: "planning harness (incremental >= 10x + determinism gates)",
+        name: "planning harness (incremental >= 10x, warm cell re-plan >= 5x + determinism gates)",
         program: "cargo",
         args: &[
             "run",
@@ -172,6 +172,8 @@ const BENCH_GATE: &[Step] = &[
             "--assert-speedup",
             "10",
             "--assert-bundle-speedup",
+            "5",
+            "--assert-bundle-replan-speedup",
             "5",
             "--out",
             "BENCH_planning.json",
@@ -248,7 +250,7 @@ const BENCH_GATE: &[Step] = &[
         env: &[],
     },
     Step {
-        name: "columnar harness (columnar == row equality gates)",
+        name: "columnar harness (equality gates + filtered pushdown >= 3x over the plain scan)",
         program: "cargo",
         args: &[
             "run",
@@ -264,6 +266,10 @@ const BENCH_GATE: &[Step] = &[
             "--days",
             "2",
             "--repeats",
+            "3",
+            "--filter-facts",
+            "1000000",
+            "--assert-filtered-speedup",
             "3",
             "--out",
             "BENCH_columnar.json",
