@@ -12,7 +12,12 @@
 //!   reply must equal the in-process session's frame hashes;
 //! * **storm equivalence** (always): a reconnect-storm round kills and
 //!   resumes 25% of the clients mid-trace via `session resume <token>`
-//!   and must still pass both equalities.
+//!   and must still pass both equalities;
+//! * **connection scale** (always): a connection storm opens all K
+//!   connections at once and holds them simultaneously — every one
+//!   must be live at the peak (accept throughput and connect p99 land
+//!   in the report for `bench_diff --net`'s machine-class-aware
+//!   floors).
 //!
 //! ```sh
 //! cargo run --release -p mirabel-bench --bin net -- \
@@ -103,6 +108,11 @@ fn main() -> ExitCode {
         if report.storm_outcome_match { "identical" } else { "DIVERGED" },
         if report.storm_hash_match { "identical" } else { "DIVERGED" },
     );
+    println!(
+        "connection storm: {} simultaneous connections held ({} asked), \
+         {:.0} accepts/s, connect p99 {:.1} us",
+        report.peak_connections, config.clients, report.accepts_per_s, report.connect_p99_us,
+    );
 
     if let Err(e) = std::fs::write(&out_path, report.to_json()) {
         eprintln!("cannot write {out_path}: {e}");
@@ -121,6 +131,14 @@ fn main() -> ExitCode {
     }
     if !report.storm_outcome_match || !report.storm_hash_match {
         eprintln!("FAIL: the reconnect storm diverged — a resumed session is not its old self");
+        failed = true;
+    }
+    if report.peak_connections < config.clients {
+        eprintln!(
+            "FAIL: only {} of {} storm connections were live at once — a connect failed \
+             or a connection dropped early",
+            report.peak_connections, config.clients,
+        );
         failed = true;
     }
     if failed {

@@ -336,6 +336,22 @@ pub const STRESS_P99_FLOOR_US: f64 = 250.0;
 /// relative gate arms only above one millisecond.
 pub const NET_P99_FLOOR_US: f64 = 1_000.0;
 
+/// Absolute floor on connection-storm accept throughput (connections
+/// accepted per second while every client connects at once). The
+/// event-loop server drains a full backlog per readiness event, so even
+/// a modest runner clears hundreds per second; dipping below this floor
+/// means the accept path regressed to per-connection setup costs.
+/// Advisory below [`PARALLEL_GATE_MIN_CORES`] cores, where the
+/// thundering-herd clients and the reactor fight for one core and the
+/// number measures the scheduler.
+pub const NET_ACCEPTS_FLOOR_PER_S: f64 = 200.0;
+
+/// Noise floor for the connection-storm connect→handshake p99
+/// (microseconds): a thundering herd of simultaneous connects queues on
+/// the listener backlog by design, so the p99 is dominated by queueing
+/// until it clears ~200 ms — only past that does the relative gate arm.
+pub const NET_CONNECT_P99_FLOOR_US: f64 = 200_000.0;
+
 /// Absolute floor for the columnar `eval_speedup` ratio: the encoded
 /// read path must answer the S7 battery at least this many times faster
 /// than the row oracle, independent of what the baseline happened to
@@ -710,6 +726,18 @@ pub fn diff_spatial(
 /// bit-exact — park/resume seams included — on any machine class),
 /// wire throughput (higher is better) and the request→reply p99
 /// (lower is better, noise-floored).
+///
+/// Reports from the event-loop server additionally carry the
+/// connection-scale section, which gates three ways: the storm peak
+/// must hold every client simultaneously (hard — a dropped connect is
+/// a correctness failure, not noise), accept throughput clears
+/// [`NET_ACCEPTS_FLOOR_PER_S`], and the connect p99 diffs against the
+/// baseline above [`NET_CONNECT_P99_FLOOR_US`]. The two timing gates
+/// follow the machine-class policy and additionally fall back to
+/// advisory below [`PARALLEL_GATE_MIN_CORES`] cores. Baselines or
+/// reports predating the section skip these checks (unlike the storm
+/// equivalence gates, absence here is a missing *measurement*, not a
+/// failed one — the hard equivalence gates above still bind).
 pub fn diff_net(
     baseline: &Json,
     current: &Json,
@@ -739,6 +767,40 @@ pub fn diff_net(
         let mut check =
             check_metric_floored(format!("net.{field}"), b, c, tolerance, better, floor);
         check.advisory = advisory;
+        checks.push(check);
+    }
+    // Connection-scale gates (absent from pre-event-loop reports).
+    if let (Some(clients), Some(peak)) =
+        (current.num_at(&["clients"]), current.num_at(&["peak_connections"]))
+    {
+        checks.push(MetricCheck {
+            name: "net.peak_connections".into(),
+            baseline: clients,
+            current: peak,
+            better: Better::Higher,
+            ok: peak >= clients,
+            advisory: false,
+        });
+    }
+    let small_runner =
+        recorded_parallelism(current).is_some_and(|cores| cores < PARALLEL_GATE_MIN_CORES);
+    if let Some(c) = current.num_at(&["accepts_per_s"]) {
+        let mut check = floor_check("net.accepts_per_s", NET_ACCEPTS_FLOOR_PER_S, c);
+        check.advisory = advisory || small_runner;
+        checks.push(check);
+    }
+    if let (Some(b), Some(c)) =
+        (baseline.num_at(&["connect_p99_us"]), current.num_at(&["connect_p99_us"]))
+    {
+        let mut check = check_metric_floored(
+            "net.connect_p99_us",
+            b,
+            c,
+            tolerance,
+            Better::Lower,
+            NET_CONNECT_P99_FLOOR_US,
+        );
+        check.advisory = advisory || small_runner;
         checks.push(check);
     }
     Ok(checks)
@@ -1225,6 +1287,61 @@ mod tests {
         assert!(noisy.iter().all(|c| c.ok), "{noisy:?}");
 
         assert!(diff_net(&base, &Json::parse("{}").unwrap(), 0.2).is_err());
+    }
+
+    fn net_json_scaled(peak: usize, accepts: f64, connect_p99: f64, cores: usize) -> Json {
+        Json::parse(&format!(
+            r#"{{"clients": 256, "outcome_match": true, "hash_match": true,
+                 "storm_outcome_match": true, "storm_hash_match": true,
+                 "commands_per_s": 20000.0, "p99_us": 2000.0,
+                 "peak_connections": {peak}, "accepts_per_s": {accepts},
+                 "connect_p99_us": {connect_p99},
+                 "available_parallelism": {cores}}}"#,
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn net_connection_scale_gates_peak_hard_and_floors_by_machine_class() {
+        let base = net_json_scaled(256, 5_000.0, 30_000.0, 8);
+
+        // Healthy: every connection held, throughput over the floor.
+        let ok = diff_net(&base, &net_json_scaled(256, 4_500.0, 35_000.0, 8), 0.2).unwrap();
+        assert!(ok.iter().all(|c| c.ok), "{ok:?}");
+        assert!(ok.iter().any(|c| c.name == "net.peak_connections"));
+
+        // A dropped connection is a hard failure on any machine class.
+        let dropped = diff_net(&base, &net_json_scaled(255, 5_000.0, 30_000.0, 1), 0.2).unwrap();
+        let peak = dropped.iter().find(|c| c.name == "net.peak_connections").unwrap();
+        assert!(peak.is_regression(), "a lost storm connection must gate hard");
+
+        // Accept throughput under the floor: hard on >= 4 cores…
+        let slow = diff_net(&base, &net_json_scaled(256, 120.0, 30_000.0, 8), 0.2).unwrap();
+        let accepts = slow.iter().find(|c| c.name == "net.accepts_per_s").unwrap();
+        assert!(accepts.is_regression(), "sub-floor accept throughput must gate");
+        // …advisory on a small runner, where the herd and the reactor
+        // share a core.
+        let small = diff_net(&base, &net_json_scaled(256, 120.0, 30_000.0, 1), 0.2).unwrap();
+        let accepts = small.iter().find(|c| c.name == "net.accepts_per_s").unwrap();
+        assert!(accepts.advisory && !accepts.is_regression());
+
+        // Connect p99 regressions gate above the queueing noise floor…
+        let tail = diff_net(&base, &net_json_scaled(256, 5_000.0, 400_000.0, 8), 0.2).unwrap();
+        let p99 = tail.iter().find(|c| c.name == "net.connect_p99_us").unwrap();
+        assert!(p99.is_regression());
+        // …but jitter below it never does.
+        let noise = diff_net(
+            &net_json_scaled(256, 5_000.0, 20_000.0, 8),
+            &net_json_scaled(256, 5_000.0, 190_000.0, 8),
+            0.2,
+        )
+        .unwrap();
+        assert!(noise.iter().all(|c| c.ok), "{noise:?}");
+
+        // Legacy reports without the section skip it cleanly.
+        let legacy = net_json(20_000.0, 2_000.0, true, true);
+        let checks = diff_net(&legacy, &legacy, 0.2).unwrap();
+        assert!(checks.iter().all(|c| !c.name.contains("peak") && !c.name.contains("accepts")));
     }
 
     #[test]

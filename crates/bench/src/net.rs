@@ -118,6 +118,16 @@ pub struct NetReport {
     pub storm_outcome_match: bool,
     /// `true` iff the storm round's frame hashes matched in-process.
     pub storm_hash_match: bool,
+    /// Peak simultaneous connections held open by the connection-scale
+    /// storm (must equal `config.clients` — every connect succeeded
+    /// and every connection was live at once).
+    pub peak_connections: usize,
+    /// Connections accepted per second while all `config.clients`
+    /// clients connect at once (connection-scale storm).
+    pub accepts_per_s: f64,
+    /// 99th-percentile connect→handshake latency, microseconds, under
+    /// the connection-scale storm.
+    pub connect_p99_us: f64,
     /// Total commands replayed over the wire (per round).
     pub commands: u64,
     /// Wall-clock seconds of the best wire round.
@@ -154,6 +164,9 @@ impl NetReport {
         out.push_str(&format!("  \"storm_clients\": {},\n", self.storm_clients));
         out.push_str(&format!("  \"storm_outcome_match\": {},\n", self.storm_outcome_match));
         out.push_str(&format!("  \"storm_hash_match\": {},\n", self.storm_hash_match));
+        out.push_str(&format!("  \"peak_connections\": {},\n", self.peak_connections));
+        out.push_str(&format!("  \"accepts_per_s\": {:.1},\n", self.accepts_per_s));
+        out.push_str(&format!("  \"connect_p99_us\": {:.2},\n", self.connect_p99_us));
         out.push_str(&format!("  \"commands\": {},\n", self.commands));
         out.push_str(&format!("  \"wall_s\": {:.6},\n", self.wall_s));
         out.push_str(&format!("  \"commands_per_s\": {:.1},\n", self.commands_per_s));
@@ -352,6 +365,55 @@ fn replay_over_wire(
     (observations, latencies, wall_s)
 }
 
+/// The connection-scale storm: every client connects at once against a
+/// fresh server, all connections are held open simultaneously (the
+/// peak is read off the server, not assumed), each client proves its
+/// connection live with one round-trip, and everything `bye`s down.
+/// Returns `(accepts_per_s, connect_p99_us, peak_connections)`.
+///
+/// This is the event-loop payoff measurement: with one OS thread per
+/// connection this topped out at thread-spawn scale; the reactor holds
+/// `--clients 1000+` on a single core, bounded by fds alone.
+fn connect_storm(warehouse: &Arc<mirabel_dw::Warehouse>, clients: usize) -> (f64, f64, usize) {
+    let pool = Arc::new(ConcurrentPool::new(Arc::clone(warehouse)));
+    let server = NetServer::bind("127.0.0.1:0", pool).expect("bind loopback");
+    let addr = server.local_addr();
+    let barrier = std::sync::Barrier::new(clients + 1);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait(); // all clients fire together
+                    let t0 = Instant::now();
+                    let mut client = NetClient::connect(addr).expect("storm connect");
+                    let connect_ns = t0.elapsed().as_nanos() as u64;
+                    barrier.wait(); // all connected — peak is now
+                    barrier.wait(); // peak sampled; prove liveness
+                    let reply = client.request(&mirabel_net::Request::Hashes).expect("storm probe");
+                    assert!(
+                        matches!(reply, mirabel_net::Reply::Hashes(_)),
+                        "storm probe got {reply:?}"
+                    );
+                    client.bye().expect("storm bye");
+                    connect_ns
+                })
+            })
+            .collect();
+        barrier.wait();
+        let t0 = Instant::now();
+        barrier.wait();
+        let accept_wall = t0.elapsed().as_secs_f64();
+        let peak = server.connections();
+        barrier.wait();
+        let mut connect_ns: Vec<u64> =
+            handles.into_iter().map(|h| h.join().expect("storm client")).collect();
+        connect_ns.sort_unstable();
+        let accepts_per_s = clients as f64 / accept_wall.max(f64::EPSILON);
+        (accepts_per_s, crate::percentile_us(&connect_ns, 0.99), peak)
+    })
+}
+
 /// Share of clients the storm round kills and resumes mid-trace.
 pub const STORM_SHARE: f64 = 0.25;
 
@@ -439,6 +501,12 @@ pub fn run_net(config: &NetConfig) -> NetReport {
         storm_hash_match &= o.hashes == r.hashes;
     }
 
+    // The connection-scale storm: all K clients at once, held open
+    // simultaneously. Unrelated to the trace replays — this one
+    // measures the serving core's connection scalability.
+    let (accepts_per_s, connect_p99_us, peak_connections) =
+        connect_storm(&warehouse, config.clients);
+
     NetReport {
         config: config.clone(),
         offers,
@@ -450,6 +518,9 @@ pub fn run_net(config: &NetConfig) -> NetReport {
         storm_clients,
         storm_outcome_match,
         storm_hash_match,
+        peak_connections,
+        accepts_per_s,
+        connect_p99_us,
         commands,
         wall_s,
         commands_per_s,
@@ -506,6 +577,22 @@ mod tests {
         assert!(json.contains("\"hash_match\": true"), "{json}");
         assert!(json.contains("\"storm_outcome_match\": true"), "{json}");
         assert!(json.contains("\"storm_hash_match\": true"), "{json}");
+        assert_eq!(report.peak_connections, 3, "the connection storm must hold all clients");
+        assert!(report.accepts_per_s > 0.0);
+        assert!(report.connect_p99_us > 0.0);
+        assert!(json.contains("\"peak_connections\": 3"), "{json}");
+        assert!(json.contains("\"accepts_per_s\": "), "{json}");
+        assert!(json.contains("\"connect_p99_us\": "), "{json}");
+    }
+
+    #[test]
+    fn connection_scale_storm_holds_every_connection_open_at_once() {
+        let (_, dw) = crate::warehouse(30, 1);
+        let warehouse = Arc::new(dw);
+        let (accepts_per_s, connect_p99_us, peak) = connect_storm(&warehouse, 48);
+        assert_eq!(peak, 48, "a storm connect failed or a connection dropped early");
+        assert!(accepts_per_s > 0.0);
+        assert!(connect_p99_us > 0.0);
     }
 
     #[test]

@@ -67,7 +67,7 @@ pub fn direction_code(direction: Direction) -> u32 {
 /// operations compare equal):
 ///
 /// * a member's code is its first-seen position in the push order;
-/// * the dictionary is **append-only** — [`DictColumn::retain`]
+/// * the dictionary is **append-only** — `DictColumn::retain`
 ///   (withdraw compaction) drops codes of dead facts but never
 ///   renumbers or garbage-collects the dictionary, so codes stay
 ///   stable across an epoch's lifetime and predicate masks resolved
@@ -160,7 +160,7 @@ pub struct Run {
 /// representation is a pure function of the decoded sequence and the
 /// derived `PartialEq` compares encodings the way it compares values.
 ///
-/// Point updates ([`RleColumn::set`], the status flips of
+/// Point updates (`RleColumn::set`, the status flips of
 /// [`ColumnStore::refresh`]) split the containing run into at most
 /// three and re-merge equal-valued neighbours; withdraw compaction
 /// rebuilds the runs outright from the compacted plain column ("run

@@ -1,0 +1,199 @@
+//! Protocol fuzzing over a live socket: seeded malformed-line storms —
+//! truncated commands, interleaved garbage, oversized lines, invalid
+//! UTF-8, requests split across arbitrary write boundaries — must only
+//! ever produce `err <reason>` replies. The server never panics, never
+//! desyncs its framing, and the session survives every one of them: a
+//! well-formed command afterwards still earns its `ok`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use mirabel_dw::Warehouse;
+use mirabel_net::{NetServer, ServerLine};
+use mirabel_session::ConcurrentPool;
+use mirabel_workload::{generate_offers, OfferConfig, Population, PopulationConfig};
+
+fn pool(size: usize, seed: u64) -> Arc<ConcurrentPool> {
+    let pop = Population::generate(&PopulationConfig { size, seed, household_share: 0.8 });
+    let offers = generate_offers(&pop, &OfferConfig::default());
+    Arc::new(ConcurrentPool::new(Arc::new(Warehouse::load(&pop, &offers))))
+}
+
+/// Splitmix64: the deterministic seed generator for every storm below.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One malformed (or deliberately harmless) input line plus what it
+/// should earn: `Some(true)` = an `ok` reply, `Some(false)` = an `err`
+/// reply, `None` = no reply at all (blank/comment).
+fn fuzz_line(rng: &mut u64) -> (Vec<u8>, Option<bool>) {
+    match splitmix(rng) % 10 {
+        // Truncated commands: a valid head with its arguments cut off.
+        0 => {
+            let heads = ["load", "set-canvas", "pointer-move", "set-aggregation", "set-planning"];
+            let head = heads[(splitmix(rng) % heads.len() as u64) as usize];
+            (format!("{head}\n").into_bytes(), Some(false))
+        }
+        1 => (b"load 0\n".to_vec(), Some(false)),
+        // Interleaved printable garbage.
+        2 => {
+            let len = 1 + (splitmix(rng) % 40) as usize;
+            let mut line: Vec<u8> = (0..len).map(|_| b'!' + (splitmix(rng) % 90) as u8).collect();
+            // A leading `#` would make it a comment (no reply).
+            if line[0] == b'#' {
+                line[0] = b'!';
+            }
+            line.push(b'\n');
+            (line, Some(false))
+        }
+        // Unknown request heads.
+        3 => (b"frobnicate 1 2 3\n".to_vec(), Some(false)),
+        // Out-of-place handshake requests on an active session.
+        4 => (b"hello 1\n".to_vec(), Some(false)),
+        5 => (b"session resume deadbeef-0-0\n".to_vec(), Some(false)),
+        // Invalid UTF-8.
+        6 => (b"\xff\xfe\x80 load\n".to_vec(), Some(false)),
+        // Blank lines and comments: swallowed, never replied to.
+        7 => (b"   \r\n".to_vec(), None),
+        8 => (b"# a recorded-script comment\n".to_vec(), None),
+        // A valid probe: framing still intact right here.
+        _ => (b"render\n".to_vec(), Some(true)),
+    }
+}
+
+/// Writes `bytes` in randomly sized slices so request frames routinely
+/// straddle the server's read boundaries.
+fn write_chunked(stream: &mut TcpStream, bytes: &[u8], rng: &mut u64) {
+    let mut off = 0;
+    while off < bytes.len() {
+        let step = 1 + (splitmix(rng) % 7) as usize;
+        let end = (off + step).min(bytes.len());
+        stream.write_all(&bytes[off..end]).unwrap();
+        off = end;
+    }
+}
+
+/// Connects and handshakes by hand, returning the raw stream and a
+/// buffered reader past the greeting and session reply.
+fn handshake(addr: std::net::SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("mirabel-net "), "greeting first: {line:?}");
+    stream.write_all(b"hello 1\n").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("ok session "), "handshake reply: {line:?}");
+    (stream, reader)
+}
+
+#[test]
+fn malformed_line_storm_only_ever_earns_err_replies() {
+    let server = NetServer::bind("127.0.0.1:0", pool(10, 0xF022)).unwrap();
+    let (mut stream, mut reader) = handshake(server.local_addr());
+
+    let mut rng = 0xDEAD_BEEF_u64;
+    let mut line = String::new();
+    for i in 0..400 {
+        let (bytes, expect) = fuzz_line(&mut rng);
+        write_chunked(&mut stream, &bytes, &mut rng);
+        if let Some(expect_ok) = expect {
+            line.clear();
+            assert!(reader.read_line(&mut line).unwrap() > 0, "EOF at fuzz step {i}");
+            let reply = line.trim_end();
+            // Every reply must parse as a server line — the framing
+            // never desyncs into garbage.
+            let parsed = ServerLine::decode(reply)
+                .unwrap_or_else(|e| panic!("unparseable reply at step {i}: {reply:?} ({e})"));
+            match parsed {
+                ServerLine::Reply(r) => {
+                    let got_ok = !r.encode().starts_with("err ");
+                    assert_eq!(
+                        got_ok,
+                        expect_ok,
+                        "step {i}: sent {:?}, got {reply:?}",
+                        String::from_utf8_lossy(&bytes)
+                    );
+                }
+                other => panic!("step {i}: expected a reply, got {other:?}"),
+            }
+        }
+    }
+
+    // The session survived 400 rounds of abuse: still serving.
+    stream.write_all(b"hashes\nbye\n").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("ok hashes"), "{line:?}");
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim_end(), "ok bye");
+}
+
+#[test]
+fn oversized_lines_earn_one_err_and_resync_at_the_next_newline() {
+    let server = NetServer::bind("127.0.0.1:0", pool(10, 0xBEEF)).unwrap();
+    let (mut stream, mut reader) = handshake(server.local_addr());
+
+    // 3× the limit without a newline, then the newline, then a valid
+    // request: exactly one err, then a normal ok — never a desync, no
+    // unbounded buffering of the flood.
+    let flood = vec![b'z'; 192 * 1024];
+    stream.write_all(&flood).unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    match ServerLine::decode(line.trim_end()).unwrap() {
+        ServerLine::Reply(mirabel_net::Reply::Error(reason)) => {
+            assert!(reason.starts_with("request line exceeds "), "wrong refusal: {reason:?}")
+        }
+        other => panic!("oversized line must be refused: {other:?}"),
+    }
+    stream.write_all(b"\nrender\n").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("ok "), "framing must resync after the flood: {line:?}");
+    stream.write_all(b"bye\n").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim_end(), "ok bye");
+}
+
+#[test]
+fn garbage_before_the_handshake_is_refused_and_closed() {
+    // Pre-handshake, the contract is stricter: the first request must
+    // be `hello`/`session resume`, anything else is err + close.
+    let server = NetServer::bind("127.0.0.1:0", pool(10, 0x600D)).unwrap();
+    let mut rng = 0x1234_5678_u64;
+    for _ in 0..24 {
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("mirabel-net "));
+
+        // Any non-handshake fuzz line (skip blanks/comments — they'd
+        // leave the connection waiting for a first request).
+        let bytes = loop {
+            let (bytes, expect) = fuzz_line(&mut rng);
+            if expect.is_some() && !bytes.starts_with(b"hello") {
+                break bytes;
+            }
+        };
+        write_chunked(&mut stream, &bytes, &mut rng);
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("err "), "pre-handshake garbage must be refused: {line:?}");
+        // …and the connection is closed after the refusal.
+        line.clear();
+        assert_eq!(reader.read_line(&mut line).unwrap(), 0, "expected EOF, got {line:?}");
+    }
+    assert_eq!(server.pool().len(), 0, "no session may leak from a refused handshake");
+}

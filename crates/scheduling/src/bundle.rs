@@ -185,7 +185,7 @@ fn target_hash(target: &TimeSeries) -> u64 {
 /// after — aggregate the schedulable subset into surrogate offers, plan
 /// those with the inner scheduler, then disaggregate exactly back onto
 /// the members. Repeat calls with the same seed and target re-plan only
-/// the churned grid cells (see the [module docs](self)).
+/// the churned grid cells (see the module docs).
 #[derive(Debug)]
 pub struct BundleScheduler<S> {
     inner: S,

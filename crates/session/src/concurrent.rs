@@ -5,16 +5,27 @@
 //! `&mut self` — correct, but one caller at a time. [`ConcurrentPool`]
 //! is its `Send + Sync` sibling for the MIRABEL enterprise setting
 //! (many analysts over one warehouse): sessions are sharded across `N`
-//! independently locked maps (session id → shard), and every session
+//! copy-on-write snapshot maps (session id → shard), and every session
 //! additionally sits behind its own lock, so
 //!
-//! * commands to *distinct* sessions never contend — a shard lock is
-//!   held only for the map lookup, and the command itself runs under
-//!   the per-session lock;
+//! * commands to *distinct* sessions never contend — lookup on the hot
+//!   command path is lock-free against a published shard snapshot, and
+//!   the command itself runs under the per-session lock;
 //! * the warehouse is `Arc`-shared and read-only, so a thousand
 //!   sessions hold one copy of the data;
 //! * everything session-local (tabs, selections, frame caches,
 //!   aggregation parameters) stays inside that session's lock.
+//!
+//! ## Read-mostly shards
+//!
+//! Each shard is a *snapshot map*: an `Arc<HashMap>` plus a generation
+//! counter. Writers (open/close — rare) clone the map, install a new
+//! `Arc`, and bump the generation; readers either clone the current
+//! `Arc` under a briefly-held slot lock, or — on the serving hot path —
+//! go through a [`PoolReader`], which caches the `(generation, Arc)`
+//! pair per shard and revalidates with one atomic load. Steady state
+//! (no opens/closes since the last lookup) touches **no lock at all**:
+//! one `Acquire` load plus a probe of an immutable `HashMap`.
 //!
 //! Determinism guarantee: a session's state is a pure function of the
 //! command sequence *it* received **and the epoch sequence it observed**.
@@ -27,7 +38,6 @@
 //! while [`ConcurrentPool::publish`] swaps live snapshots underneath
 //! the readers.
 
-use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -43,13 +53,44 @@ use crate::session::Session;
 /// id → shard map is a mask.
 pub const DEFAULT_SHARDS: usize = 16;
 
-/// One lock's worth of sessions. The map value is `Arc<Mutex<_>>` so
-/// [`ConcurrentPool::apply`] can release the shard lock before running
-/// the command: shard locks serialize only open/close/lookup, never the
-/// work of handling a command.
-#[derive(Debug, Default)]
+/// The immutable value of one shard generation: id → session handle.
+type SessionMap = HashMap<u64, Arc<Mutex<Session>>>;
+
+/// One copy-on-write shard. `slot` always holds the *current* snapshot;
+/// `gen` is bumped (with `Release` ordering, under the slot lock, after
+/// the new snapshot is installed) on every open/close that lands here.
+/// A reader that observes generation `g` and then clones the slot is
+/// guaranteed a snapshot at least as new as `g` — which is all
+/// [`PoolReader`] needs to keep its per-shard cache coherent.
 struct Shard {
-    sessions: Mutex<HashMap<u64, Arc<Mutex<Session>>>>,
+    gen: AtomicU64,
+    slot: Mutex<Arc<SessionMap>>,
+}
+
+impl Default for Shard {
+    fn default() -> Shard {
+        Shard { gen: AtomicU64::new(0), slot: Mutex::new(Arc::new(HashMap::new())) }
+    }
+}
+
+impl Shard {
+    /// Clones the current snapshot, applies `mutate` to the clone,
+    /// installs it and bumps the generation — all under the slot lock,
+    /// so writers serialize and a generation observed by a reader can
+    /// never pair with an older snapshot.
+    fn mutate<R>(&self, mutate: impl FnOnce(&mut SessionMap) -> R) -> R {
+        let mut slot = self.slot.lock().expect("shard lock");
+        let mut next: SessionMap = (**slot).clone();
+        let out = mutate(&mut next);
+        *slot = Arc::new(next);
+        self.gen.fetch_add(1, Ordering::Release);
+        out
+    }
+
+    /// The current snapshot (one lock acquisition, one `Arc` clone).
+    fn snapshot(&self) -> Arc<SessionMap> {
+        Arc::clone(&self.slot.lock().expect("shard lock"))
+    }
 }
 
 /// A sharded, lock-per-session pool of [`Session`]s over one shared
@@ -154,9 +195,10 @@ impl ConcurrentPool {
     /// fine: the per-connection ordering guarantee lives in the
     /// transport, see PROTOCOL.md). A slow hook still runs on the
     /// publisher's thread, so subscribers doing I/O should bound it
-    /// (the network front uses socket write timeouts). Hooks cannot be
-    /// unregistered; subscribers that may outlive their interest
-    /// should capture a [`std::sync::Weak`] and no-op once dead.
+    /// (the network front only enqueues bytes and never blocks on a
+    /// socket). Hooks cannot be unregistered; subscribers that may
+    /// outlive their interest should capture a [`std::sync::Weak`] and
+    /// no-op once dead.
     pub fn on_publish(&self, hook: impl Fn(u64) + Send + Sync + 'static) {
         self.hooks.lock().expect("hooks lock").push(Arc::new(hook));
     }
@@ -224,10 +266,25 @@ impl ConcurrentPool {
         self.shards.len()
     }
 
-    fn shard(&self, id: u64) -> &Shard {
+    fn shard_index(&self, id: u64) -> usize {
         // Sequential ids round-robin the shards, which is exactly the
         // spread we want for K users opened in a row.
-        &self.shards[(id as usize) & (self.shards.len() - 1)]
+        (id as usize) & (self.shards.len() - 1)
+    }
+
+    fn shard(&self, id: u64) -> &Shard {
+        &self.shards[self.shard_index(id)]
+    }
+
+    /// The session handle for `id` from the shard's current snapshot.
+    fn session_arc(&self, id: u64) -> Option<Arc<Mutex<Session>>> {
+        self.shard(id).slot.lock().expect("shard lock").get(&id).cloned()
+    }
+
+    /// A cached lock-free reader over this pool — see [`PoolReader`].
+    pub fn reader(self: &Arc<Self>) -> PoolReader {
+        let cache = self.shards.iter().map(|_| None).collect();
+        PoolReader { pool: Arc::clone(self), cache }
     }
 
     /// Opens a fresh session and returns its id.
@@ -239,14 +296,19 @@ impl ConcurrentPool {
         let (epoch, warehouse) = self.current();
         loop {
             let id = self.next.fetch_add(1, Ordering::Relaxed);
-            let mut map = self.shard(id).sessions.lock().expect("shard lock");
-            if let Entry::Vacant(slot) = map.entry(id) {
+            let inserted = self.shard(id).mutate(|map| {
+                if map.contains_key(&id) {
+                    // `id` is still live after a counter wraparound.
+                    return false;
+                }
                 let mut session = Session::new(Arc::clone(&warehouse));
                 session.sync_warehouse(Arc::clone(&warehouse), epoch);
-                slot.insert(Arc::new(Mutex::new(session)));
+                map.insert(id, Arc::new(Mutex::new(session)));
+                true
+            });
+            if inserted {
                 return SessionId(id);
             }
-            // `id` is still live after a counter wraparound: advance.
         }
     }
 
@@ -254,7 +316,7 @@ impl ConcurrentPool {
     /// in flight on another thread finishes on its own handle; the
     /// session is dropped when the last handle goes away.
     pub fn close(&self, id: SessionId) -> bool {
-        self.shard(id.0).sessions.lock().expect("shard lock").remove(&id.0).is_some()
+        self.shard(id.0).mutate(|map| map.remove(&id.0).is_some())
     }
 
     /// Locks session `id` and lazily syncs it to the pool's current
@@ -273,11 +335,11 @@ impl ConcurrentPool {
 
     /// Routes one command to session `id`; `None` for an unknown id.
     ///
-    /// The shard lock is held only for the map lookup; the command runs
-    /// under the session's own lock, so concurrent commands to distinct
-    /// sessions proceed in parallel. If the pool moved to a new
-    /// warehouse epoch since this session's last command, the session
-    /// re-syncs first (see [`ConcurrentPool::publish`]).
+    /// The shard snapshot is consulted only for the map lookup; the
+    /// command runs under the session's own lock, so concurrent commands
+    /// to distinct sessions proceed in parallel. If the pool moved to a
+    /// new warehouse epoch since this session's last command, the
+    /// session re-syncs first (see [`ConcurrentPool::publish`]).
     pub fn apply(&self, id: SessionId, cmd: Command) -> Option<Outcome> {
         self.apply_with_epoch(id, cmd).map(|(_, outcome)| outcome)
     }
@@ -288,10 +350,7 @@ impl ConcurrentPool {
     /// protocol's ordering guarantee: the `epoch E` notification must
     /// precede any reply computed at epoch `E` on the same connection.
     pub fn apply_with_epoch(&self, id: SessionId, cmd: Command) -> Option<(u64, Outcome)> {
-        let session = {
-            let map = self.shard(id.0).sessions.lock().expect("shard lock");
-            Arc::clone(map.get(&id.0)?)
-        };
+        let session = self.session_arc(id.0)?;
         let mut guard = self.locked(&session);
         let epoch = guard.epoch();
         let outcome = guard.handle(cmd);
@@ -302,10 +361,7 @@ impl ConcurrentPool {
     /// Like [`ConcurrentPool::apply`], syncs the session to the current
     /// epoch first.
     pub fn with_session<R>(&self, id: SessionId, f: impl FnOnce(&Session) -> R) -> Option<R> {
-        let session = {
-            let map = self.shard(id.0).sessions.lock().expect("shard lock");
-            Arc::clone(map.get(&id.0)?)
-        };
+        let session = self.session_arc(id.0)?;
         let guard = self.locked(&session);
         Some(f(&guard))
     }
@@ -316,10 +372,7 @@ impl ConcurrentPool {
         id: SessionId,
         f: impl FnOnce(&mut Session) -> R,
     ) -> Option<R> {
-        let session = {
-            let map = self.shard(id.0).sessions.lock().expect("shard lock");
-            Arc::clone(map.get(&id.0)?)
-        };
+        let session = self.session_arc(id.0)?;
         let mut guard = self.locked(&session);
         Some(f(&mut guard))
     }
@@ -330,14 +383,7 @@ impl ConcurrentPool {
         let mut ids: Vec<SessionId> = self
             .shards
             .iter()
-            .flat_map(|s| {
-                s.sessions
-                    .lock()
-                    .expect("shard lock")
-                    .keys()
-                    .map(|&k| SessionId(k))
-                    .collect::<Vec<_>>()
-            })
+            .flat_map(|s| s.snapshot().keys().map(|&k| SessionId(k)).collect::<Vec<_>>())
             .collect();
         ids.sort();
         ids
@@ -345,7 +391,7 @@ impl ConcurrentPool {
 
     /// Number of live sessions.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.sessions.lock().expect("shard lock").len()).sum()
+        self.shards.iter().map(|s| s.snapshot().len()).sum()
     }
 
     /// `true` when no sessions are open.
@@ -354,11 +400,90 @@ impl ConcurrentPool {
     }
 }
 
-// The whole point of this type: it crosses threads. A compile-time
-// assertion so a non-`Send` field can never sneak in silently.
+/// A per-thread cached reader over a [`ConcurrentPool`]: the serving
+/// hot path of the network front.
+///
+/// Each reader caches, per shard, the `(generation, snapshot)` pair it
+/// last observed. A lookup loads the shard's generation (`Acquire`);
+/// if it matches the cache, the probe runs against the cached immutable
+/// `HashMap` — **no lock taken**. Only when an open/close has moved the
+/// generation does the reader briefly take the shard's slot lock to
+/// re-clone the current snapshot.
+///
+/// Coherence: a reader observes a session no later than any event that
+/// *happens-before* the lookup. In the server, a session id only
+/// reaches a reader thread through a channel after
+/// [`ConcurrentPool::open`] returned, so the generation bump is always
+/// visible and a fresh id can never miss. A reader may briefly keep
+/// resolving an id that another thread already closed (until its next
+/// cache refresh); the server never routes commands to a session after
+/// its owning connection retired it, so this staleness is unobservable
+/// on the wire — and the authoritative `&ConcurrentPool` API never
+/// serves stale snapshots at all.
+///
+/// `PoolReader` is `Send` (hand one to each worker thread) but
+/// deliberately not shareable: lookups take `&mut self` to update the
+/// cache in place.
+#[derive(Debug)]
+pub struct PoolReader {
+    pool: Arc<ConcurrentPool>,
+    /// Per-shard cache: generation + the snapshot observed at it.
+    cache: Vec<Option<(u64, Arc<SessionMap>)>>,
+}
+
+impl PoolReader {
+    /// The pool this reader serves.
+    pub fn pool(&self) -> &Arc<ConcurrentPool> {
+        &self.pool
+    }
+
+    /// Resolves `id` against the cached shard snapshot, refreshing the
+    /// cache only if the shard's generation moved.
+    fn session_arc(&mut self, id: u64) -> Option<Arc<Mutex<Session>>> {
+        let idx = self.pool.shard_index(id);
+        let shard = &self.pool.shards[idx];
+        let gen = shard.gen.load(Ordering::Acquire);
+        let slot = &mut self.cache[idx];
+        let stale = !matches!(slot, Some((cached_gen, _)) if *cached_gen == gen);
+        if stale {
+            // Re-pair generation and snapshot under the slot lock: the
+            // writer installs the snapshot *then* bumps the generation
+            // (both under the same lock), so this pair is consistent.
+            let guard = shard.slot.lock().expect("shard lock");
+            *slot = Some((shard.gen.load(Ordering::Acquire), Arc::clone(&guard)));
+        }
+        slot.as_ref().and_then(|(_, map)| map.get(&id).cloned())
+    }
+
+    /// Cached twin of [`ConcurrentPool::apply_with_epoch`].
+    pub fn apply_with_epoch(&mut self, id: SessionId, cmd: Command) -> Option<(u64, Outcome)> {
+        let session = self.session_arc(id.0)?;
+        let mut guard = self.pool.locked(&session);
+        let epoch = guard.epoch();
+        let outcome = guard.handle(cmd);
+        Some((epoch, outcome))
+    }
+
+    /// Cached twin of [`ConcurrentPool::apply`].
+    pub fn apply(&mut self, id: SessionId, cmd: Command) -> Option<Outcome> {
+        self.apply_with_epoch(id, cmd).map(|(_, outcome)| outcome)
+    }
+
+    /// Cached twin of [`ConcurrentPool::with_session`].
+    pub fn with_session<R>(&mut self, id: SessionId, f: impl FnOnce(&Session) -> R) -> Option<R> {
+        let session = self.session_arc(id.0)?;
+        let guard = self.pool.locked(&session);
+        Some(f(&guard))
+    }
+}
+
+// The whole point of these types: they cross threads. Compile-time
+// assertions so a non-`Send` field can never sneak in silently.
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
+    const fn assert_send<T: Send>() {}
     assert_send_sync::<ConcurrentPool>();
+    assert_send::<PoolReader>();
 };
 
 #[cfg(test)]
@@ -491,5 +616,27 @@ mod tests {
         let wrapped = pool.open();
         assert_eq!(wrapped, SessionId(1));
         assert_eq!(pool.len(), 3);
+    }
+
+    #[test]
+    fn reader_sees_opens_and_closes_without_locking_steady_state() {
+        let pool = Arc::new(pool());
+        let mut reader = pool.reader();
+        let a = pool.open();
+
+        // A fresh id resolves through the reader (generation moved).
+        assert!(matches!(reader.apply_with_epoch(a, Command::Render), Some((0, _))));
+        // Steady state: repeated lookups hit the cached snapshot.
+        for _ in 0..100 {
+            assert!(reader.with_session(a, |s| s.tabs().len()).is_some());
+        }
+
+        // After a close, the authoritative API misses immediately and
+        // the reader misses after its cache revalidates (the close
+        // bumped the generation, so the very next lookup refreshes).
+        assert!(pool.close(a));
+        assert!(pool.apply(a, Command::Render).is_none());
+        assert!(reader.apply(a, Command::Render).is_none());
+        assert!(reader.with_session(a, |_| ()).is_none());
     }
 }

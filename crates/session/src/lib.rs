@@ -81,7 +81,7 @@ pub mod visual;
 pub mod wire;
 
 pub use command::{encode_script, parse_script, Command, CommandParseError};
-pub use concurrent::ConcurrentPool;
+pub use concurrent::{ConcurrentPool, PoolReader};
 pub use outcome::{AggregationStats, Outcome, PlanStats, SelectionDelta};
 pub use planner::PlanningParams;
 pub use pool::{SessionId, SessionPool};

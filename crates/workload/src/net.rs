@@ -210,6 +210,39 @@ mod tests {
     }
 
     #[test]
+    fn traces_scale_to_a_thousand_clients_and_stay_deterministic() {
+        // The connection-scale story: the nightly `--clients 1000` run
+        // feeds on these traces, so generation at that width must stay
+        // cheap, deterministic, and per-client independent (client i's
+        // trace does not change when more clients are added after it).
+        let wide = NetTraceConfig {
+            clients: 1_000,
+            steps_per_client: 12,
+            reconnect_rate: 0.02,
+            resume_share: 0.5,
+            seed: 0x5CA1E,
+        };
+        let traces = generate_net_traces(&wide);
+        assert_eq!(traces.len(), 1_000);
+        for (i, t) in traces.iter().enumerate() {
+            assert_eq!(t.client, i);
+            assert_eq!(
+                t.events.iter().filter(|e| matches!(e, NetEvent::Step(_))).count(),
+                12,
+                "client {i} lost interaction steps"
+            );
+            assert!(matches!(t.events.first(), Some(NetEvent::Step(_))));
+            assert!(matches!(t.events.last(), Some(NetEvent::Step(_))));
+        }
+        // Distinct clients get distinct streams…
+        assert_ne!(traces[0].events, traces[999].events);
+        // …and a narrower run is a prefix of the wide one, client for
+        // client: scaling the fleet up never rewrites existing traces.
+        let narrow = generate_net_traces(&NetTraceConfig { clients: 64, ..wide });
+        assert_eq!(&traces[..64], &narrow[..]);
+    }
+
+    #[test]
     fn zero_rate_means_no_reconnects() {
         let cfg = NetTraceConfig {
             clients: 3,

@@ -216,11 +216,11 @@ const BENCH_GATE: &[Step] = &[
             "net",
             "--",
             "--clients",
-            "4",
+            "256",
             "--commands",
-            "150",
+            "20",
             "--repeats",
-            "3",
+            "2",
             "--out",
             "BENCH_net.json",
         ],
@@ -314,6 +314,37 @@ const BENCH_GATE: &[Step] = &[
 /// The examples smoke job: examples are *run*, not just
 /// clippy-compiled, so a drifting API or a panicking main surfaces in
 /// CI instead of in a reader's terminal.
+/// The nightly connection-scale run, runnable locally: 1000
+/// simultaneous connections against the event-loop server (mirrors the
+/// `BENCH_net_scale_nightly.json` CI step).
+const NET_SCALE: &[Step] = &[Step {
+    name: "net harness (connection scale: 1000 simultaneous connections)",
+    program: "cargo",
+    args: &[
+        "run",
+        "--release",
+        "--locked",
+        "-p",
+        "mirabel-bench",
+        "--bin",
+        "net",
+        "--",
+        "--clients",
+        "1000",
+        "--commands",
+        "12",
+        "--reconnect-rate",
+        "0.0",
+        "--resume-share",
+        "0.0",
+        "--repeats",
+        "1",
+        "--out",
+        "BENCH_net_scale.json",
+    ],
+    env: &[],
+}];
+
 const EXAMPLES: &[Step] = &[
     Step {
         name: "example: quickstart",
@@ -435,11 +466,11 @@ const BASELINE: &[Step] = &[
             "net",
             "--",
             "--clients",
-            "4",
+            "256",
             "--commands",
-            "150",
+            "20",
             "--repeats",
-            "3",
+            "2",
             "--out",
             "BENCH_net.json",
         ],
@@ -549,6 +580,7 @@ fn main() -> ExitCode {
         "examples" => run(&[EXAMPLES]),
         "api-check" => run(&[API_CHECK]),
         "bench-gate" => run(&[BENCH_GATE]),
+        "net-scale" => run(&[NET_SCALE]),
         "baseline" => run(&[BASELINE]),
         _ => {
             eprintln!(
@@ -560,6 +592,7 @@ fn main() -> ExitCode {
                  \x20 api-check   typestate compile-fail doctests + API rustdoc -D warnings\n\
                  \x20 examples    run (not just compile) the smoke examples\n\
                  \x20 bench-gate  benches, stress/ingest/planning/spatial/net/columnar harnesses, bench_diff gate\n\
+                 \x20 net-scale   the nightly 1000-connection storm against the event-loop server\n\
                  \x20 baseline    refresh BENCH_baseline.json from this machine"
             );
             ExitCode::FAILURE
